@@ -1,0 +1,55 @@
+"""Shared fixtures and table helpers for the experiment benchmarks.
+
+Every module here regenerates one table or figure from the paper's
+evaluation corpus (see DESIGN.md's experiment index and EXPERIMENTS.md
+for paper-vs-measured numbers).  Campaign construction is cached at
+module scope; the pytest-benchmark fixture times a representative unit
+of each experiment so `pytest benchmarks/ --benchmark-only` both prints
+the reproduced rows and reports timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.facts import FactBase
+from repro.corpus.images import ImageCorpus
+from repro.corpus.music import MusicCorpus
+from repro.corpus.objects import ObjectLayout
+from repro.corpus.vocab import Vocabulary
+from repro.players.population import PopulationConfig, build_population
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The shared synthetic world for all game benchmarks."""
+    vocab = Vocabulary(size=1200, categories=40, seed=2009)
+    corpus = ImageCorpus(vocab, size=120, seed=2009)
+    layout = ObjectLayout(corpus, objects_per_image=4, seed=2009)
+    facts = FactBase(vocab, seed=2009)
+    music = MusicCorpus(vocab, size=80, seed=2009)
+    return {"vocab": vocab, "corpus": corpus, "layout": layout,
+            "facts": facts, "music": music}
+
+
+@pytest.fixture(scope="session")
+def honest_population():
+    return build_population(60, PopulationConfig(
+        skill_mean=0.78, skill_sd=0.12, coverage_mean=0.72,
+        coverage_sd=0.12, speed_mean=3.5), seed=2009)
+
+
+def print_table(title: str, header, rows) -> None:
+    """Print a paper-style table to the benchmark output."""
+    print()
+    print(f"=== {title} ===")
+    widths = [max(len(str(header[col])),
+                  max((len(str(row[col])) for row in rows), default=0))
+              for col in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w)
+                        for cell, w in zip(row, widths)))
+    print()

@@ -1,0 +1,87 @@
+"""A2 (ablation) — platform task-assignment policies.
+
+Breadth-first (least-answered first) minimizes time to full 1-coverage;
+depth-first (closest-to-complete first) minimizes time to the first
+*completed* tasks.  The ablation drives identical worker streams through
+both policies (and the random baseline) and measures when each milestone
+falls.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.platform.facade import Platform
+from repro.platform.scheduler import AssignmentPolicy
+
+TASKS = 30
+REDUNDANCY = 3
+WORKERS = 12
+
+
+def run_policy(policy):
+    platform = Platform(policy=policy, gold_rate=0.0, seed=700)
+    job = platform.create_job("ablation", redundancy=REDUNDANCY)
+    platform.add_tasks(job.job_id, [{"i": i} for i in range(TASKS)])
+    platform.start_job(job.job_id)
+    answers = 0
+    first_complete = None
+    full_coverage = None
+    covered = set()
+    completed = set()
+    # Workers round-robin until the job is done.
+    exhausted = set()
+    while len(exhausted) < WORKERS:
+        for w in range(WORKERS):
+            worker = f"w{w}"
+            if worker in exhausted:
+                continue
+            task = platform.request_task(job.job_id, worker)
+            if task is None:
+                exhausted.add(worker)
+                continue
+            platform.submit_answer(task.task_id, worker, "label")
+            answers += 1
+            covered.add(task.task_id)
+            if full_coverage is None and len(covered) == TASKS:
+                full_coverage = answers
+            record = platform.store.get_task(task.task_id)
+            if (len(record.workers()) >= REDUNDANCY
+                    and task.task_id not in completed):
+                completed.add(task.task_id)
+                if first_complete is None:
+                    first_complete = answers
+    return {"first_complete": first_complete,
+            "full_coverage": full_coverage,
+            "total_answers": answers,
+            "completed": len(completed)}
+
+
+@pytest.fixture(scope="module")
+def policies():
+    return {policy: run_policy(policy)
+            for policy in (AssignmentPolicy.BREADTH_FIRST,
+                           AssignmentPolicy.DEPTH_FIRST,
+                           AssignmentPolicy.RANDOM)}
+
+
+def test_a2_scheduler_tradeoff(policies, benchmark):
+    rows = [(policy.value,
+             stats["first_complete"], stats["full_coverage"],
+             stats["completed"], stats["total_answers"])
+            for policy, stats in policies.items()]
+    print_table(
+        "A2: assignment policy trade-off (answers until milestone)",
+        ("policy", "first task complete", "full 1-coverage",
+         "tasks completed", "answers"), rows)
+    breadth = policies[AssignmentPolicy.BREADTH_FIRST]
+    depth = policies[AssignmentPolicy.DEPTH_FIRST]
+    # Every policy eventually completes every task.
+    for stats in policies.values():
+        assert stats["completed"] == TASKS
+    # Depth-first completes its first task no later than breadth-first.
+    assert depth["first_complete"] <= breadth["first_complete"]
+    # Breadth-first reaches full coverage no later than depth-first.
+    assert breadth["full_coverage"] <= depth["full_coverage"]
+
+    # Benchmark unit: one policy run end to end.
+    benchmark(lambda: run_policy(AssignmentPolicy.BREADTH_FIRST))

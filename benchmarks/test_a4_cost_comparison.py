@@ -1,0 +1,98 @@
+"""A4 (ablation) — the paper's economic argument, priced.
+
+Why games?  Because the same verified output costs orders of magnitude
+less when it rides on time people already spend playing.  This ablation
+runs one labeling workload two ways:
+
+- **GWAP**: an ESP campaign — labor is free, infrastructure is paid per
+  human-hour;
+- **paid crowdsourcing**: the same corpus as a platform job at
+  redundancy 3 with per-answer wages plus a 20% marketplace fee.
+
+The comparison is cost per verified label.  Absolute prices are
+parameterized (see `repro.platform.economics`); the shape — GWAP
+orders of magnitude cheaper per label — is the paper's argument.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.games.esp import EspGame
+from repro.platform.economics import GWAP_COST, PAID_CROWD_COST
+from repro.platform.facade import Platform
+from repro.players.adversarial import answer_stream
+from repro.players.population import PopulationConfig, build_population
+from repro.service.api import ApiServer
+from repro.service.client import InProcessClient
+from repro.sim.adapters import esp_session_runner
+from repro.sim.engine import Campaign
+from repro.sim.platform_sim import Workforce
+
+
+@pytest.fixture(scope="module")
+def priced_runs(world):
+    corpus, vocab = world["corpus"], world["vocab"]
+    population = build_population(40, PopulationConfig(
+        skill_mean=0.8, coverage_mean=0.78), seed=1000)
+
+    # GWAP side: an ESP campaign.
+    game = EspGame(corpus, seed=1000)
+    campaign = Campaign(population, esp_session_runner(game),
+                        arrival_rate_per_hour=200.0, seed=1000)
+    result = campaign.run(3 * 3600.0)
+    gwap_verified = len(result.verified_contributions)
+    gwap_report = GWAP_COST.price(
+        answers=result.total_rounds, human_hours=result.human_hours,
+        verified_units=gwap_verified)
+
+    # Paid side: the same images as platform tasks at redundancy 3.
+    platform = Platform(gold_rate=0.0, spam_detection=False, seed=1000)
+    client = InProcessClient(ApiServer(platform))
+    job = client.create_job("paid-labels", redundancy=3)
+    client.add_tasks(job["job_id"], [
+        {"payload": {"image_id": image.image_id}} for image in corpus])
+    client.start_job(job["job_id"])
+
+    def answer(model, payload, rng):
+        image = corpus.image(payload["image_id"])
+        answers = answer_stream(model, image.salience, vocab, rng, 1)
+        return answers[0] if answers else "unknown"
+
+    workforce = Workforce(client, population, answer,
+                          arrival_rate_per_hour=200.0, seed=1000)
+    wf_result = workforce.run(job["job_id"], duration_s=12 * 3600.0)
+    paid_verified = len(client.results(job["job_id"]))
+    # Paid human time: approximate 30 s of attention per answer.
+    paid_hours = wf_result.answers * 30.0 / 3600.0
+    paid_report = PAID_CROWD_COST.price(
+        answers=wf_result.answers, human_hours=paid_hours,
+        verified_units=paid_verified)
+    return gwap_report, paid_report
+
+
+def test_a4_cost_per_verified_label(priced_runs, benchmark):
+    gwap, paid = priced_runs
+    rows = [
+        ("GWAP (ESP)", gwap.answers, gwap.verified_units,
+         f"${gwap.total:.2f}",
+         f"${gwap.cost_per_verified_unit:.5f}"),
+        ("paid crowd", paid.answers, paid.verified_units,
+         f"${paid.total:.2f}",
+         f"${paid.cost_per_verified_unit:.5f}"),
+    ]
+    print_table(
+        "A4: cost per verified label — GWAP vs paid crowdsourcing",
+        ("approach", "answers", "verified", "total cost",
+         "$/verified"), rows)
+    # Both approaches deliver verified output...
+    assert gwap.verified_units > 100
+    assert paid.verified_units > 50
+    # ... but riding on play is orders of magnitude cheaper per label.
+    assert (gwap.cost_per_verified_unit
+            < paid.cost_per_verified_unit / 50)
+    # Paid costs are dominated by wages, GWAP costs by infrastructure.
+    assert paid.payments > paid.infra
+    assert gwap.payments == 0.0
+
+    # Benchmark unit: pricing a campaign.
+    benchmark(lambda: GWAP_COST.price(10000, 50.0, 5000))

@@ -1,0 +1,64 @@
+"""F2 — corpus coverage over time.
+
+Paper reference: "with enough play, virtually all images will be
+labeled" — the coverage curve (fraction of the corpus with at least k
+verified labels) climbs toward 1 and saturates.  Reproduced: coverage at
+k=1 approaches 1.0 within the simulated campaign; deeper coverage (k=5)
+lags it, giving the characteristic staggered S-curves.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.analytics.coverage import coverage_curve, coverage_fraction
+from repro.games.esp import EspGame
+from repro.sim.adapters import esp_session_runner
+from repro.sim.engine import Campaign
+
+HOURS = 8.0
+
+
+@pytest.fixture(scope="module")
+def coverage_corpus(world):
+    # A corpus large enough that coverage ramps visibly instead of
+    # saturating in the first bucket.
+    from repro.corpus.images import ImageCorpus
+    return ImageCorpus(world["vocab"], size=600, seed=61)
+
+
+@pytest.fixture(scope="module")
+def campaign_contributions(coverage_corpus, honest_population):
+    game = EspGame(coverage_corpus, seed=60)
+    campaign = Campaign(honest_population, esp_session_runner(game),
+                        arrival_rate_per_hour=120.0, seed=60)
+    result = campaign.run(HOURS * 3600.0)
+    return result.contributions
+
+
+def test_f2_coverage_curves(campaign_contributions, coverage_corpus,
+                            benchmark):
+    corpus_size = len(coverage_corpus)
+    shallow = coverage_curve(campaign_contributions, corpus_size,
+                             bucket_s=3600.0, min_outputs=1)
+    deep = coverage_curve(campaign_contributions, corpus_size,
+                          bucket_s=3600.0, min_outputs=5)
+    rows = [(f"{int(end // 3600)}h", f"{c1:.2f}", f"{c5:.2f}")
+            for (end, c1), (_, c5) in zip(shallow, deep)]
+    print_table(
+        "F2: corpus coverage over time (fraction of images with >= k "
+        "verified labels)",
+        ("time", "k=1", "k=5"), rows)
+    # Coverage curves are monotone.
+    assert [v for _, v in shallow] == sorted(v for _, v in shallow)
+    assert [v for _, v in deep] == sorted(v for _, v in deep)
+    # "Virtually all images will be labeled."
+    assert shallow[-1][1] > 0.95
+    # Depth lags breadth at every point.
+    for (_, c1), (_, c5) in zip(shallow, deep):
+        assert c5 <= c1
+    # Deep coverage is well underway by campaign end.
+    assert deep[-1][1] > 0.4
+
+    # Benchmark unit: one coverage computation.
+    benchmark(lambda: coverage_fraction(campaign_contributions,
+                                        corpus_size, min_outputs=3))

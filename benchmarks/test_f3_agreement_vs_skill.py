@@ -1,0 +1,67 @@
+"""F3 — agreement rate versus player skill and vocabulary.
+
+Output-agreement games only work because humans share perception and
+vocabulary; the overview's design analysis implies agreement rates climb
+with the pair's shared competence.  Reproduced: ESP sessions between
+equal-skill pairs across a skill/coverage ladder; the round success rate
+must increase monotonically (allowing small noise) along the ladder.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.games.esp import EspGame
+from repro.players.base import PlayerModel
+from repro import rng as _rng
+
+LADDER = (0.15, 0.35, 0.55, 0.75, 0.95)
+SESSIONS_PER_LEVEL = 25
+
+
+@pytest.fixture(scope="module")
+def agreement_curve(world):
+    corpus = world["corpus"]
+    curve = {}
+    for level in LADDER:
+        # Real ESP rounds last seconds, not the whole session: the
+        # tight cap is what separates weak pairs from strong ones.
+        game = EspGame(corpus, seed=int(level * 100),
+                       round_time_limit_s=12.0)
+        pair = (PlayerModel(player_id=f"a-{level}", skill=level,
+                            vocab_coverage=max(0.15, level),
+                            speed=3.5, diligence=0.85),
+                PlayerModel(player_id=f"b-{level}", skill=level,
+                            vocab_coverage=max(0.15, level),
+                            speed=3.5, diligence=0.85))
+        rounds = 0
+        successes = 0
+        for _ in range(SESSIONS_PER_LEVEL):
+            session = game.play_session(*pair)
+            rounds += len(session.rounds)
+            successes += session.successes
+        curve[level] = successes / rounds if rounds else 0.0
+    return curve
+
+
+def test_f3_agreement_rises_with_skill(agreement_curve, world,
+                                       benchmark):
+    rows = [(f"{level:.2f}", f"{rate:.3f}")
+            for level, rate in agreement_curve.items()]
+    print_table("F3: ESP round agreement rate vs pair skill",
+                ("skill / coverage", "agreement rate"), rows)
+    rates = [agreement_curve[level] for level in LADDER]
+    # Ends of the ladder are far apart...
+    assert rates[-1] > rates[0] + 0.25
+    # ... and the curve is monotone up to small noise.
+    for lower, higher in zip(rates, rates[1:]):
+        assert higher >= lower - 0.05
+    # Skilled pairs agree on most rounds.
+    assert rates[-1] > 0.8
+
+    # Benchmark unit: a top-of-ladder session.
+    game = EspGame(world["corpus"], seed=123)
+    pair = (PlayerModel(player_id="bx", skill=0.95,
+                        vocab_coverage=0.95, speed=3.5),
+            PlayerModel(player_id="by", skill=0.95,
+                        vocab_coverage=0.95, speed=3.5))
+    benchmark(lambda: game.play_session(*pair))

@@ -1,0 +1,78 @@
+"""F4 — reCAPTCHA digitization progress over served challenges.
+
+The paper's scaling argument for reCAPTCHA: human verification traffic
+is so plentiful that whole books digitize as a side effect.  The figure
+is the progress curve — fraction of the unknown pool resolved versus
+challenges served.  Shape: monotone, steep at first (easy words resolve
+with the minimum number of votes), with a long tail for the hardest
+words; more traffic means proportionally more digitized text.
+"""
+
+import itertools
+
+import pytest
+
+from conftest import print_table
+from repro.captcha.ocr import OcrEngine
+from repro.captcha.readers import HumanReader
+from repro.captcha.recaptcha import ReCaptchaService
+from repro.corpus.ocr import OcrCorpus
+from repro.players.population import PopulationConfig, build_population
+
+CHECKPOINTS = (250, 500, 1000, 2000, 4000, 8000)
+
+
+@pytest.fixture(scope="module")
+def progress_curve():
+    corpus = OcrCorpus(size=800, damaged_frac=0.35,
+                       clean_legibility=0.98, damaged_legibility=0.82,
+                       seed=900)
+    service = ReCaptchaService(
+        corpus,
+        OcrEngine("ocr-a", strength=0.5, penalty=0.25, seed=1),
+        OcrEngine("ocr-b", strength=0.45, penalty=0.3, seed=2),
+        quorum=3.0, seed=900)
+    population = build_population(50, PopulationConfig(
+        skill_mean=0.87, skill_sd=0.07), seed=900)
+    readers = itertools.cycle(
+        HumanReader(model, damage_recovery=0.95, seed=i)
+        for i, model in enumerate(population))
+    curve = []
+    served = 0
+    initial_unknowns = service.unknown_pool_size
+    for checkpoint in CHECKPOINTS:
+        while served < checkpoint and service.unknown_pool_size > 0:
+            challenge = service.issue()
+            reader = next(readers)
+            answers = tuple(reader.read(word)
+                            for word in challenge.words)
+            service.submit(reader.reader_id, challenge.challenge_id,
+                           answers)
+            served += 1
+        curve.append((served, service.digitization_progress()))
+        if service.unknown_pool_size == 0:
+            break
+    return service, curve, initial_unknowns
+
+
+def test_f4_progress_curve(progress_curve, benchmark):
+    service, curve, initial_unknowns = progress_curve
+    rows = [(served, f"{progress:.3f}") for served, progress in curve]
+    print_table(
+        "F4: digitization progress vs challenges served "
+        f"({initial_unknowns} unknown words)",
+        ("challenges", "fraction resolved"), rows)
+    fractions = [progress for _, progress in curve]
+    # Monotone progress.
+    assert fractions == sorted(fractions)
+    # Early traffic resolves the bulk: by the midpoint of the serving
+    # budget, most of the final progress is already in.
+    midpoint = fractions[len(fractions) // 2]
+    assert midpoint > fractions[-1] * 0.5
+    # Enough traffic digitizes essentially everything.
+    assert fractions[-1] > 0.9
+    # Resolution quality holds throughout.
+    assert service.resolution_accuracy() > 0.9
+
+    # Benchmark unit: computing progress over the full service state.
+    benchmark(service.digitization_progress)

@@ -1,0 +1,88 @@
+"""T7 — aggregation ablation: repetition vs voting vs Dawid–Skene.
+
+The overview's repetition rule is the simplest point on a spectrum of
+redundancy aggregators.  This ablation holds the noisy answer set fixed
+(classification workload, 30% spammers) and compares:
+
+- a single random answer per item (redundancy 1, the no-mechanism
+  baseline),
+- plurality voting at redundancy 3 and 5,
+- Dawid–Skene EM at redundancy 5 (confusion-aware reweighting).
+
+Expected shape: accuracy rises with redundancy, and Dawid–Skene beats
+plain voting at equal cost because it discounts the spammers.
+"""
+
+import random
+
+import pytest
+
+from conftest import print_table
+from repro.aggregation.dawid_skene import DawidSkene
+from repro.aggregation.majority import MajorityVote
+
+N_ITEMS = 150
+N_CLASSES = 5
+WORKER_ACCURACY = 0.72
+SPAM_FRAC = 0.3
+POOL = 30
+
+
+def make_answers(redundancy, seed):
+    """(worker, item, answer) records with a spammy worker pool."""
+    rng = random.Random(seed)
+    classes = [f"c{k}" for k in range(N_CLASSES)]
+    truth = {f"t{i}": rng.choice(classes) for i in range(N_ITEMS)}
+    workers = []
+    for w in range(POOL):
+        workers.append((f"w{w}", w < POOL * SPAM_FRAC))
+    answers = []
+    for item, true_class in truth.items():
+        for worker, is_spammer in rng.sample(workers, redundancy):
+            if is_spammer:
+                answers.append((worker, item, rng.choice(classes)))
+            elif rng.random() < WORKER_ACCURACY:
+                answers.append((worker, item, true_class))
+            else:
+                wrong = [c for c in classes if c != true_class]
+                answers.append((worker, item, rng.choice(wrong)))
+    return answers, truth
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    results = {}
+    single_answers, truth1 = make_answers(1, seed=7)
+    results["single (r=1)"] = MajorityVote().accuracy(single_answers,
+                                                      truth1)
+    for redundancy in (3, 5):
+        answers, truth = make_answers(redundancy, seed=7)
+        results[f"majority (r={redundancy})"] = MajorityVote().accuracy(
+            answers, truth)
+        if redundancy == 5:
+            results["dawid-skene (r=5)"] = DawidSkene().accuracy(
+                answers, truth)
+            results["_ds_answers"] = answers
+    return results
+
+
+def test_t7_aggregation_ablation(ablation, benchmark):
+    rows = [(name, f"{accuracy:.3f}")
+            for name, accuracy in ablation.items()
+            if not name.startswith("_")]
+    print_table("T7: aggregation accuracy (30% spammers, worker "
+                "accuracy 0.72)", ("aggregator", "accuracy"), rows)
+    single = ablation["single (r=1)"]
+    majority3 = ablation["majority (r=3)"]
+    majority5 = ablation["majority (r=5)"]
+    dawid_skene = ablation["dawid-skene (r=5)"]
+    # Redundancy monotonically buys accuracy.
+    assert majority3 > single
+    assert majority5 >= majority3 - 0.02
+    # Confusion-aware aggregation dominates plain voting at equal cost.
+    assert dawid_skene >= majority5
+    assert dawid_skene > 0.8
+
+    # Benchmark unit: one Dawid-Skene fit.
+    answers = ablation["_ds_answers"]
+    benchmark(lambda: DawidSkene(max_iterations=20).fit(answers))

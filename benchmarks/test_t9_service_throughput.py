@@ -1,0 +1,61 @@
+"""T9 — platform/service engineering throughput (substrate sanity).
+
+Not a paper result: this is the engineering table for the substrate the
+repro band calls for ("Flask/Django service").  It measures request
+throughput of the task platform through the in-process router and over
+real HTTP on loopback, and asserts the platform sustains the request
+rates the simulated campaigns generate.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.client import HttpClient, InProcessClient
+from repro.service.http import serve_in_thread
+
+
+@pytest.fixture()
+def loaded_platform():
+    platform = Platform(gold_rate=0.0, seed=9)
+    client = InProcessClient(ApiServer(platform))
+    job = client.create_job("bench", redundancy=1000000)
+    client.add_tasks(job["job_id"],
+                     [{"payload": {"i": i}} for i in range(50)])
+    client.start_job(job["job_id"])
+    client.register_worker("bench-worker")
+    return platform, client, job["job_id"]
+
+
+def test_t9_inprocess_request_rate(loaded_platform, benchmark):
+    platform, client, job_id = loaded_platform
+
+    counter = {"n": 0}
+
+    def fetch_and_answer():
+        worker = f"w-{counter['n']}"
+        counter["n"] += 1
+        task = client.next_task(job_id, worker)
+        client.submit_answer(task["task_id"], worker, "label")
+
+    result = benchmark(fetch_and_answer)
+    # One fetch+answer cycle should be far faster than the ~seconds
+    # cadence of a live campaign.
+    assert benchmark.stats["mean"] < 0.05
+
+
+def test_t9_http_round_trip(benchmark):
+    platform = Platform(gold_rate=0.0, seed=10)
+    server, thread, base_url = serve_in_thread(ApiServer(platform))
+    try:
+        client = HttpClient(base_url)
+        benchmark(client.health)
+        ops = 1.0 / benchmark.stats["mean"]
+        print_table("T9: service throughput",
+                    ("path", "ops/s"),
+                    [("GET /health over HTTP", f"{ops:.0f}")])
+        # Loopback HTTP must sustain hundreds of requests per second.
+        assert ops > 200
+    finally:
+        server.shutdown()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""End-to-end production pipeline: platform -> workforce -> dataset.
+
+The flow a real deployment runs:
+
+1. stand up the platform and post a labeling job (with gold tasks);
+2. let a simulated workforce arrive over a working day and answer;
+3. route low-confidence tasks back out for more answers;
+4. silence flagged spammers, aggregate, and export the dataset with
+   confidence intervals on its quality.
+
+Run:  python examples/production_pipeline.py
+"""
+
+from repro.analytics import proportion_ci
+from repro.corpus import ImageCorpus, Vocabulary
+from repro.export import save_dataset
+from repro.platform import Platform
+from repro.players import PopulationConfig, build_population
+from repro.players.adversarial import answer_stream
+from repro.service import ApiServer, InProcessClient
+from repro.sim import Workforce
+
+
+def main() -> None:
+    vocab = Vocabulary(size=800, categories=30, seed=21)
+    corpus = ImageCorpus(vocab, size=40, seed=21)
+
+    # 1. Platform and job (10% gold injection for player testing).
+    platform = Platform(gold_rate=0.1, spam_detection=True, seed=21)
+    client = InProcessClient(ApiServer(platform))
+    job = client.create_job("label-images", redundancy=3)
+    specs = [{"payload": {"image_id": image.image_id}}
+             for image in corpus]
+    # Gold tasks: the top tag of a few images is the known answer.
+    for image in list(corpus)[:5]:
+        specs.append({"payload": {"image_id": image.image_id},
+                      "gold_answer": image.top_tags(1)[0]})
+    client.add_tasks(job["job_id"], specs)
+    client.start_job(job["job_id"])
+    print(f"Posted {len(specs)} tasks (5 gold) at redundancy 3")
+
+    # 2. A workforce with a 15% spammer share answers through the API.
+    population = build_population(30, PopulationConfig(
+        skill_mean=0.82, coverage_mean=0.8, spammer_frac=0.15),
+        seed=21)
+
+    def answer(model, payload, rng):
+        image = corpus.image(payload["image_id"])
+        answers = answer_stream(model, image.salience, vocab, rng, 1)
+        return answers[0] if answers else "unknown"
+
+    workforce = Workforce(client, population, answer,
+                          arrival_rate_per_hour=260.0, seed=21)
+    result = workforce.run(job["job_id"], duration_s=8 * 3600.0)
+    print(f"Workforce: {result.answers} answers from "
+          f"{result.workers_active} workers"
+          + (f"; job complete at "
+             f"{result.completed_at_s / 3600:.1f}h"
+             if result.completed_at_s else ""))
+
+    # 3. Adaptive redundancy: contested tasks go back out.
+    contested = platform.low_confidence_tasks(job["job_id"],
+                                              min_margin=0.34)
+    if contested:
+        platform.extend_redundancy(job["job_id"], contested, extra=2)
+        print(f"Routing {len(contested)} low-confidence tasks for "
+              "2 more answers each")
+        workforce.run(job["job_id"], duration_s=4 * 3600.0)
+
+    # 4. Quality controls and the final dataset.
+    flagged = platform.flagged_workers()
+    print(f"Spam detector flagged {len(flagged)} workers: {flagged}")
+
+    results = platform.results(job["job_id"])
+    correct = 0
+    for task_id, vote in results.items():
+        payload = platform.store.get_task(task_id).payload
+        image = corpus.image(payload["image_id"])
+        correct += image.is_relevant(vote.answer)
+    interval = proportion_ci(correct, len(results))
+    print(f"Final label accuracy: {interval.estimate:.3f} "
+          f"(95% CI [{interval.low:.3f}, {interval.high:.3f}])")
+
+    document = {
+        "format": "repro-dataset", "version": 1,
+        "kind": "image-labels",
+        "records": [
+            {"image_id": platform.store.get_task(t).payload["image_id"],
+             "label": vote.answer,
+             "confidence": vote.confidence}
+            for t, vote in sorted(results.items())],
+        "stats": {"accuracy": interval.estimate,
+                  "ci_low": interval.low, "ci_high": interval.high},
+    }
+    out = "/tmp/repro_labels.json"
+    save_dataset(document, out)
+    print(f"Dataset written to {out} "
+          f"({len(document['records'])} records)")
+
+
+if __name__ == "__main__":
+    main()

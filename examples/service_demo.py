@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Run the crowdsourcing platform as a real HTTP service.
+
+Starts the stdlib HTTP server on a free loopback port, creates a
+labeling job through the REST API, drives simulated workers through the
+fetch-task/submit-answer loop over real sockets, and prints the
+aggregated results and leaderboard.
+
+Run:  python examples/service_demo.py
+"""
+
+from repro.corpus import ImageCorpus, Vocabulary
+from repro.platform import Platform
+from repro.players import build_population
+from repro.players.adversarial import answer_stream
+from repro.service import ApiServer, HttpClient, serve_in_thread
+from repro import rng as _rng
+
+
+def main() -> None:
+    platform = Platform(gold_rate=0.0, seed=3)
+    server, _thread, base_url = serve_in_thread(ApiServer(platform))
+    print(f"Platform serving at {base_url}")
+
+    try:
+        client = HttpClient(base_url)
+        print(f"Health check: {client.health()}")
+
+        # A labeling job over a small image corpus.
+        vocab = Vocabulary(size=400, categories=20, seed=3)
+        corpus = ImageCorpus(vocab, size=15, seed=3)
+        job = client.create_job("label-images", redundancy=3)
+        client.add_tasks(job["job_id"], [
+            {"payload": {"image_id": image.image_id}}
+            for image in corpus])
+        client.start_job(job["job_id"])
+        print(f"Created {job['job_id']} with {len(corpus)} tasks "
+              "(redundancy 3)")
+
+        # Simulated workers answer over HTTP.
+        workers = build_population(6, seed=3, id_prefix="worker")
+        rng = _rng.make_rng(3)
+        for model in workers:
+            client.register_worker(model.player_id,
+                                   display_name=model.player_id)
+            while True:
+                task = client.next_task(job["job_id"], model.player_id)
+                if task is None:
+                    break
+                image = corpus.image(task["payload"]["image_id"])
+                answers = answer_stream(model, image.salience, vocab,
+                                        rng, k=1)
+                label = answers[0] if answers else "unknown"
+                client.submit_answer(task["task_id"], model.player_id,
+                                     label)
+
+        progress = client.get_job(job["job_id"])["progress"]
+        print(f"Progress: {progress['answers']} answers, "
+              f"{progress['complete_frac']:.0%} of tasks complete")
+
+        results = client.results(job["job_id"])
+        correct = 0
+        for task_id, result in sorted(results.items()):
+            task_payload = platform.store.get_task(task_id).payload
+            image = corpus.image(task_payload["image_id"])
+            relevant = image.is_relevant(result["answer"])
+            correct += relevant
+            marker = "ok " if relevant else "MISS"
+            print(f"  [{marker}] {task_payload['image_id']} -> "
+                  f"{result['answer']!r} "
+                  f"(confidence {result['confidence']:.2f})")
+        print(f"Majority answers relevant to image: "
+              f"{correct}/{len(results)}")
+
+        print("\nLeaderboard:")
+        for entry in client.leaderboard(k=5):
+            print(f"  {entry['account_id']}: {entry['points']} points")
+    finally:
+        server.shutdown()
+        print("\nServer stopped.")
+
+
+if __name__ == "__main__":
+    main()

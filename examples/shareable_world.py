@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Shareable artifacts: export a world, reload it, verify determinism.
+
+A released experiment should not depend on the generator staying
+byte-identical across library versions.  This example builds a world,
+saves it to JSON, reloads it, and shows that a seeded campaign on the
+reloaded world reproduces the original's labels exactly — then exports
+the collected dataset.
+
+Run:  python examples/shareable_world.py
+"""
+
+import os
+import tempfile
+
+from repro.corpus import ImageCorpus, Vocabulary, load_world, save_world
+from repro.export import export_image_labels, save_dataset
+from repro.games import EspGame
+from repro.players import PopulationConfig, build_population
+from repro import rng as _rng
+
+
+def run_campaign(corpus, population, seed):
+    game = EspGame(corpus, promotion_threshold=2, seed=seed)
+    r = _rng.make_rng(seed)
+    for _ in range(25):
+        a, b = r.sample(population, 2)
+        game.play_session(a, b)
+    return game
+
+
+def main() -> None:
+    vocab = Vocabulary(size=700, categories=25, seed=11)
+    corpus = ImageCorpus(vocab, size=50, seed=11)
+    population = build_population(16, PopulationConfig(
+        skill_mean=0.8, coverage_mean=0.8), seed=11)
+
+    world_path = os.path.join(tempfile.gettempdir(),
+                              "repro_world.json")
+    save_world(world_path, vocabulary=vocab, images=corpus)
+    size_kb = os.path.getsize(world_path) / 1024
+    print(f"World saved to {world_path} ({size_kb:.0f} KiB)")
+
+    world = load_world(world_path)
+    print(f"Reloaded: {len(world.vocabulary)} words, "
+          f"{len(world.images)} images")
+
+    original = run_campaign(corpus, population, seed=42)
+    restored = run_campaign(world.images, population, seed=42)
+    same = original.good_labels() == restored.good_labels()
+    print(f"Identical labels from original vs reloaded world: {same}")
+    assert same, "world round-trip must preserve campaign determinism"
+
+    dataset_path = os.path.join(tempfile.gettempdir(),
+                                "repro_esp_labels.json")
+    document = export_image_labels(original)
+    save_dataset(document, dataset_path)
+    print(f"Dataset: {document['stats']['labels']} labels at "
+          f"precision {document['stats']['precision']:.3f} -> "
+          f"{dataset_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro: a human-computation platform (DAC 2009 "Human Computation").
+
+A from-scratch Python reproduction of the systems the paper surveys:
+games with a purpose (ESP Game, Peekaboom, Verbosity, TagATune, Matchin,
+Squigl), the CAPTCHA/reCAPTCHA digitization pipeline, answer aggregation
+and quality control, a crowdsourcing task platform with a REST service,
+and a campaign simulator with configurable simulated-human populations.
+
+Quickstart::
+
+    from repro.corpus import Vocabulary, ImageCorpus
+    from repro.games import EspGame
+    from repro.players import build_population
+
+    vocab = Vocabulary(size=500, seed=1)
+    corpus = ImageCorpus(vocab, size=50, seed=1)
+    game = EspGame(corpus, seed=1)
+    players = build_population(10, seed=1)
+    game.play_session(players[0], players[1])
+    print(game.good_labels())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,43 @@
+"""Answer aggregation: turning redundant noisy answers into truth.
+
+The paper's central quality mechanism is *repetition* — trust an output
+only after enough independent people produced it.  This package provides
+that and the standard stronger alternatives, all operating on plain
+(worker, item, answer) records so they work for contributions from any
+game or from the task platform:
+
+- :mod:`repro.aggregation.majority` — per-item plurality voting with
+  tie-breaking and optional worker weights.
+- :mod:`repro.aggregation.dawid_skene` — EM estimation of per-worker
+  confusion matrices (Dawid & Skene 1979), the classic crowdsourcing
+  aggregator.
+- :mod:`repro.aggregation.promotion` — the ESP repetition-threshold rule
+  as a standalone aggregator over label streams.
+- :mod:`repro.aggregation.strings` — transcription voting with
+  normalization and character-level consensus (for reCAPTCHA).
+- :mod:`repro.aggregation.boxes` — point/box consensus for Peekaboom and
+  Squigl output.
+- :mod:`repro.aggregation.confidence` — posterior-style confidence
+  scores shared by the aggregators.
+"""
+
+from repro.aggregation.majority import MajorityVote, VoteResult
+from repro.aggregation.dawid_skene import DawidSkene, DawidSkeneResult
+from repro.aggregation.bradley_terry import (BradleyTerry,
+                                             BradleyTerryResult)
+from repro.aggregation.promotion import PromotionAggregator
+from repro.aggregation.strings import (StringConsensus, normalize_answer,
+                                       character_consensus)
+from repro.aggregation.boxes import (box_from_points, consensus_box,
+                                     point_cloud_center)
+from repro.aggregation.confidence import agreement_confidence
+
+__all__ = [
+    "MajorityVote", "VoteResult",
+    "DawidSkene", "DawidSkeneResult",
+    "BradleyTerry", "BradleyTerryResult",
+    "PromotionAggregator",
+    "StringConsensus", "normalize_answer", "character_consensus",
+    "box_from_points", "consensus_box", "point_cloud_center",
+    "agreement_confidence",
+]

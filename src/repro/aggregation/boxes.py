@@ -1,0 +1,93 @@
+"""Spatial consensus: points and boxes from Peekaboom/Squigl output.
+
+Peekaboom emits reveal points; the consensus object location is a robust
+box around the dense core of the point cloud (trimmed percentile bounds,
+so a few scattered reveals from low-skill Boom players don't inflate the
+box).  Squigl emits traced boxes; consensus is the coordinate-wise median
+box.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.corpus.objects import BoundingBox
+from repro.errors import AggregationError
+
+
+def point_cloud_center(points: Sequence[Tuple[float, float]]
+                       ) -> Tuple[float, float]:
+    """Median center of a point cloud (robust to outliers)."""
+    if not points:
+        raise AggregationError("need >= 1 point for a center")
+    xs = sorted(p[0] for p in points)
+    ys = sorted(p[1] for p in points)
+    return _median(xs), _median(ys)
+
+
+def _median(sorted_values: List[float]) -> float:
+    n = len(sorted_values)
+    mid = n // 2
+    if n % 2:
+        return sorted_values[mid]
+    return 0.5 * (sorted_values[mid - 1] + sorted_values[mid])
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values, q in [0,1]."""
+    if not sorted_values:
+        raise AggregationError("need values for a percentile")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = position - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+def box_from_points(points: Sequence[Tuple[float, float]],
+                    trim: float = 0.1,
+                    pad: float = 0.0) -> BoundingBox:
+    """Robust bounding box of a reveal point cloud.
+
+    Args:
+        points: (x, y) reveal centers.
+        trim: percentile trimmed from each side (0.1 keeps the 10th-90th
+            percentile core).
+        pad: absolute padding added on every side (e.g. reveal radius).
+
+    Raises:
+        AggregationError: with no points or a degenerate trim.
+    """
+    if not points:
+        raise AggregationError("need >= 1 point for a box")
+    if not 0.0 <= trim < 0.5:
+        raise AggregationError(f"trim must be in [0, 0.5), got {trim}")
+    xs = sorted(p[0] for p in points)
+    ys = sorted(p[1] for p in points)
+    x1 = _percentile(xs, trim) - pad
+    x2 = _percentile(xs, 1 - trim) + pad
+    y1 = _percentile(ys, trim) - pad
+    y2 = _percentile(ys, 1 - trim) + pad
+    width = max(x2 - x1, 1.0)
+    height = max(y2 - y1, 1.0)
+    return BoundingBox(x1, y1, width, height)
+
+
+def consensus_box(boxes: Sequence[BoundingBox]) -> BoundingBox:
+    """Coordinate-wise median of traced boxes (Squigl consensus)."""
+    if not boxes:
+        raise AggregationError("need >= 1 box for a consensus")
+    x1 = _median(sorted(b.x for b in boxes))
+    y1 = _median(sorted(b.y for b in boxes))
+    x2 = _median(sorted(b.x2 for b in boxes))
+    y2 = _median(sorted(b.y2 for b in boxes))
+    return BoundingBox(x1, y1, max(x2 - x1, 1.0), max(y2 - y1, 1.0))
+
+
+def mean_iou(boxes: Sequence[BoundingBox], truth: BoundingBox) -> float:
+    """Mean IoU of boxes against a ground-truth box."""
+    if not boxes:
+        return 0.0
+    return sum(b.iou(truth) for b in boxes) / len(boxes)

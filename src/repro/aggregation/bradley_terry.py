@@ -1,0 +1,131 @@
+"""Bradley–Terry ranking from pairwise preference outcomes.
+
+Matchin's output is a stream of (winner, loser) agreements; the natural
+estimator of the underlying appeal scale is the Bradley–Terry model:
+item *i* beats item *j* with probability ``s_i / (s_i + s_j)``.  The
+strengths are fit by the classic minorization–maximization iteration
+(Hunter 2004), with light regularization so items with few comparisons
+do not blow up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.errors import AggregationError
+
+
+@dataclass(frozen=True)
+class BradleyTerryResult:
+    """Fitted strengths, normalized to mean 1.0.
+
+    Attributes:
+        strengths: item -> strength (larger = preferred).
+        iterations: MM iterations executed.
+        converged: whether the fit reached tolerance.
+    """
+
+    strengths: Dict[Hashable, float]
+    iterations: int
+    converged: bool
+
+    def ranking(self) -> List[Tuple[Hashable, float]]:
+        """Items sorted by strength, strongest first."""
+        return sorted(self.strengths.items(),
+                      key=lambda kv: (-kv[1], repr(kv[0])))
+
+    def win_probability(self, a: Hashable, b: Hashable) -> float:
+        """Model probability that ``a`` is preferred over ``b``."""
+        try:
+            sa = self.strengths[a]
+            sb = self.strengths[b]
+        except KeyError as exc:
+            raise AggregationError(f"unknown item: {exc}") from None
+        return sa / (sa + sb)
+
+
+class BradleyTerry:
+    """MM fitter for Bradley–Terry strengths.
+
+    Args:
+        max_iterations: MM iteration cap.
+        tolerance: stop when the largest relative strength change falls
+            below this.
+        regularization: virtual wins/losses added between every pair of
+            items sharing a comparison graph (keeps strengths finite for
+            undefeated items).
+    """
+
+    def __init__(self, max_iterations: int = 200,
+                 tolerance: float = 1e-6,
+                 regularization: float = 0.1) -> None:
+        if max_iterations < 1:
+            raise AggregationError(
+                f"max_iterations must be >= 1, got {max_iterations}")
+        if regularization < 0:
+            raise AggregationError(
+                f"regularization must be >= 0, got {regularization}")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.regularization = regularization
+
+    def fit(self, outcomes: Sequence[Tuple[Hashable, Hashable]]
+            ) -> BradleyTerryResult:
+        """Fit strengths from (winner, loser) records."""
+        if not outcomes:
+            raise AggregationError(
+                "cannot fit Bradley-Terry on no outcomes")
+        wins: Dict[Tuple[Hashable, Hashable], float] = {}
+        items = set()
+        for winner, loser in outcomes:
+            if winner == loser:
+                raise AggregationError(
+                    f"self-comparison for item {winner!r}")
+            wins[(winner, loser)] = wins.get((winner, loser), 0.0) + 1.0
+            items.add(winner)
+            items.add(loser)
+        ordered = sorted(items, key=repr)
+        # Regularize: every observed pair gets epsilon wins both ways.
+        pairs = {frozenset(k) for k in wins}
+        for pair in pairs:
+            a, b = sorted(pair, key=repr)
+            wins[(a, b)] = wins.get((a, b), 0.0) + self.regularization
+            wins[(b, a)] = wins.get((b, a), 0.0) + self.regularization
+        strengths = {item: 1.0 for item in ordered}
+        win_totals: Dict[Hashable, float] = {item: 0.0
+                                             for item in ordered}
+        opponents: Dict[Hashable, Dict[Hashable, float]] = {
+            item: {} for item in ordered}
+        for (winner, loser), count in wins.items():
+            win_totals[winner] += count
+            opponents[winner][loser] = (
+                opponents[winner].get(loser, 0.0) + count)
+            opponents[loser][winner] = (
+                opponents[loser].get(winner, 0.0) + count)
+        converged = False
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            updated = {}
+            for item in ordered:
+                denominator = 0.0
+                for other, games in opponents[item].items():
+                    denominator += games / (strengths[item]
+                                            + strengths[other])
+                if denominator <= 0:
+                    updated[item] = strengths[item]
+                else:
+                    updated[item] = win_totals[item] / denominator
+            mean = sum(updated.values()) / len(updated)
+            updated = {item: value / mean
+                       for item, value in updated.items()}
+            delta = max(abs(updated[item] - strengths[item])
+                        / max(strengths[item], 1e-12)
+                        for item in ordered)
+            strengths = updated
+            if delta < self.tolerance:
+                converged = True
+                break
+        return BradleyTerryResult(strengths=strengths,
+                                  iterations=iterations,
+                                  converged=converged)

@@ -1,0 +1,70 @@
+"""Confidence estimates shared by the aggregators.
+
+:func:`agreement_confidence` answers the question behind the paper's
+repetition rule: if each independent source is correct with probability
+``p`` and wrong answers scatter over ``alternatives`` possibilities, how
+confident are we in an answer produced by ``k`` independent sources?
+
+This is the analysis tool the T7 ablation uses to pick thresholds: it
+returns the posterior probability that the repeated answer is correct
+under a uniform-error model.
+"""
+
+from __future__ import annotations
+
+
+from repro.errors import AggregationError
+
+
+def agreement_confidence(k: int, p: float, alternatives: int = 100,
+                         prior: float = 0.5) -> float:
+    """Posterior P(answer correct | k independent sources agreed on it).
+
+    Model: a candidate answer is a priori correct with ``prior``.  A
+    source produces the correct answer with probability ``p``; an
+    incorrect source picks uniformly among ``alternatives`` wrong
+    answers.  All ``k`` sources produced *this* answer.
+
+    Args:
+        k: number of independent agreeing sources (>= 1).
+        p: per-source correctness probability, in (0, 1].
+        alternatives: size of the wrong-answer space (>= 1).
+        prior: prior probability the candidate answer is correct.
+
+    Returns:
+        Posterior correctness probability, in (0, 1].
+    """
+    if k < 1:
+        raise AggregationError(f"k must be >= 1, got {k}")
+    if not 0.0 < p <= 1.0:
+        raise AggregationError(f"p must be in (0,1], got {p}")
+    if alternatives < 1:
+        raise AggregationError(
+            f"alternatives must be >= 1, got {alternatives}")
+    if not 0.0 < prior < 1.0:
+        raise AggregationError(f"prior must be in (0,1), got {prior}")
+    # Likelihood of k sources all emitting the answer if it is correct:
+    like_correct = p ** k
+    # ... and if it is one specific wrong answer:
+    like_wrong = ((1.0 - p) / alternatives) ** k
+    numerator = prior * like_correct
+    denominator = numerator + (1.0 - prior) * like_wrong
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+def required_threshold(p: float, target: float,
+                       alternatives: int = 100, prior: float = 0.5,
+                       max_k: int = 20) -> int:
+    """Smallest k whose agreement confidence reaches ``target``.
+
+    Returns ``max_k`` if the target is unreachable within the cap (e.g.
+    ``p`` so low that agreement carries no information).
+    """
+    if not 0.0 < target < 1.0:
+        raise AggregationError(f"target must be in (0,1), got {target}")
+    for k in range(1, max_k + 1):
+        if agreement_confidence(k, p, alternatives, prior) >= target:
+            return k
+    return max_k

@@ -1,0 +1,129 @@
+"""Majority / plurality voting over (worker, item, answer) records.
+
+The baseline aggregator every crowdsourcing comparison includes.  Supports
+per-worker weights (fed from :mod:`repro.quality.reputation`) and exposes
+the vote margin so callers can route low-margin items back for more
+answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Any, Dict, Hashable, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from repro.errors import AggregationError
+
+
+@dataclass(frozen=True)
+class VoteResult:
+    """Outcome of voting on one item.
+
+    Attributes:
+        item_id: the item voted on.
+        answer: winning answer (ties broken by lexical order of repr for
+            determinism).
+        support: weighted votes for the winner.
+        total: total weighted votes cast.
+        margin: (winner - runner-up) / total, in [0, 1].
+    """
+
+    item_id: Hashable
+    answer: Any
+    support: float
+    total: float
+    margin: float
+
+    @property
+    def confidence(self) -> float:
+        """Winner's share of the vote mass."""
+        if self.total <= 0:
+            return 0.0
+        return self.support / self.total
+
+
+class MajorityVote:
+    """Weighted plurality voting.
+
+    Args:
+        weights: optional mapping worker -> weight (default 1.0 each).
+            Non-positive weights silence a worker entirely.
+    """
+
+    def __init__(self,
+                 weights: Optional[Mapping[str, float]] = None) -> None:
+        self._weights = dict(weights or {})
+
+    def weight_of(self, worker: str) -> float:
+        return self._weights.get(worker, 1.0)
+
+    def vote(self, item_id: Hashable,
+             answers: Sequence[Tuple[str, Any]]) -> VoteResult:
+        """Vote on one item.
+
+        Args:
+            item_id: item identifier.
+            answers: (worker, answer) pairs.
+
+        Answers may be unhashable JSON structures (dicts, lists); they
+        are tallied by a canonical form and the original object is
+        returned.
+
+        Raises:
+            AggregationError: with no positive-weight answers.
+        """
+        tally: Dict[Any, float] = {}
+        originals: Dict[Any, Any] = {}
+        total = 0.0
+        for worker, answer in answers:
+            weight = self.weight_of(worker)
+            if weight <= 0:
+                continue
+            key = self._canonical(answer)
+            originals.setdefault(key, answer)
+            tally[key] = tally.get(key, 0.0) + weight
+            total += weight
+        if not tally:
+            raise AggregationError(
+                f"no usable answers for item {item_id!r}")
+        ranked = sorted(tally.items(),
+                        key=lambda kv: (-kv[1], repr(kv[0])))
+        winner_key, support = ranked[0]
+        winner = originals[winner_key]
+        runner_up = ranked[1][1] if len(ranked) > 1 else 0.0
+        margin = (support - runner_up) / total if total > 0 else 0.0
+        return VoteResult(item_id=item_id, answer=winner, support=support,
+                          total=total, margin=margin)
+
+    @staticmethod
+    def _canonical(answer: Any) -> Any:
+        """A hashable tally key for any JSON-ish answer."""
+        try:
+            hash(answer)
+            return answer
+        except TypeError:
+            import json
+            try:
+                return "\x00json:" + json.dumps(answer, sort_keys=True)
+            except (TypeError, ValueError):
+                return "\x00repr:" + repr(answer)
+
+    def vote_all(self, answers: Sequence[Tuple[str, Hashable, Any]]
+                 ) -> Dict[Hashable, VoteResult]:
+        """Vote on a whole answer set of (worker, item, answer) records."""
+        by_item: Dict[Hashable, List[Tuple[str, Any]]] = {}
+        for worker, item_id, answer in answers:
+            by_item.setdefault(item_id, []).append((worker, answer))
+        return {item_id: self.vote(item_id, pairs)
+                for item_id, pairs in by_item.items()}
+
+    def accuracy(self, answers: Sequence[Tuple[str, Hashable, Any]],
+                 truth: Mapping[Hashable, Any]) -> float:
+        """Fraction of voted items whose winner matches ``truth``."""
+        results = self.vote_all(answers)
+        scored = [item_id for item_id in results if item_id in truth]
+        if not scored:
+            return 0.0
+        correct = sum(1 for item_id in scored
+                      if results[item_id].answer == truth[item_id])
+        return correct / len(scored)

@@ -1,0 +1,84 @@
+"""Repetition-threshold promotion as a standalone aggregator.
+
+The paper's own quality rule: an output is *good* once ``threshold``
+independent sources produced it.  Unlike :class:`~repro.core.taboo.
+TabooTracker` (which is entangled with ESP's gameplay), this aggregator
+works on any (source, item, answer) stream and enforces *independence*:
+repeated answers from the same source (or the same source pair) count
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+
+from repro.errors import AggregationError
+
+
+class PromotionAggregator:
+    """Promote answers after ``threshold`` independent repetitions.
+
+    Args:
+        threshold: distinct sources required (>= 1).
+    """
+
+    def __init__(self, threshold: int = 2) -> None:
+        if threshold < 1:
+            raise AggregationError(
+                f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._sources: Dict[Tuple[Hashable, Hashable], Set[FrozenSet]] = {}
+        self._promoted: Dict[Hashable, List[Hashable]] = {}
+
+    def observe(self, source, item_id: Hashable,
+                answer: Hashable) -> bool:
+        """Record one answer; returns True when this promotes it.
+
+        ``source`` may be a single id or an iterable of ids (a player
+        pair); the whole set counts as one independent source.
+        """
+        if isinstance(source, (str, int)):
+            source_key = frozenset([source])
+        else:
+            source_key = frozenset(source)
+        if not source_key:
+            raise AggregationError("answer must have a non-empty source")
+        key = (item_id, answer)
+        sources = self._sources.setdefault(key, set())
+        already = answer in self._promoted.get(item_id, [])
+        sources.add(source_key)
+        if len(sources) >= self.threshold and not already:
+            self._promoted.setdefault(item_id, []).append(answer)
+            return True
+        return False
+
+    def observe_all(self, records: Sequence[Tuple]) -> int:
+        """Observe (source, item, answer) records; returns promotions."""
+        promotions = 0
+        for source, item_id, answer in records:
+            if self.observe(source, item_id, answer):
+                promotions += 1
+        return promotions
+
+    def support(self, item_id: Hashable, answer: Hashable) -> int:
+        """Distinct sources seen for (item, answer)."""
+        return len(self._sources.get((item_id, answer), ()))
+
+    def is_promoted(self, item_id: Hashable, answer: Hashable) -> bool:
+        return answer in self._promoted.get(item_id, [])
+
+    def promoted(self, item_id: Hashable) -> Tuple[Hashable, ...]:
+        """Promoted answers for an item, in promotion order."""
+        return tuple(self._promoted.get(item_id, ()))
+
+    def all_promoted(self) -> Dict[Hashable, Tuple[Hashable, ...]]:
+        return {item: tuple(answers)
+                for item, answers in self._promoted.items()}
+
+    def pending(self, item_id: Hashable) -> Dict[Hashable, int]:
+        """Unpromoted answers for an item with their current support."""
+        out = {}
+        for (item, answer), sources in self._sources.items():
+            if item == item_id and not self.is_promoted(item, answer):
+                out[answer] = len(sources)
+        return out

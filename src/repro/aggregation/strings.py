@@ -1,0 +1,143 @@
+"""Transcription aggregation for reCAPTCHA-style string answers.
+
+reCAPTCHA resolves an unknown word when enough humans agree on its
+transcription (after normalization); disagreements among humans and OCR
+engines are settled by weighted plurality, with a character-level
+consensus fallback that recovers the majority character in each position
+when no full string reaches quorum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import AggregationError
+
+
+def normalize_answer(text: str) -> str:
+    """Canonical transcription form: lowercase, stripped, no inner runs."""
+    return " ".join(text.strip().lower().split())
+
+
+def character_consensus(strings: Sequence[str]) -> str:
+    """Per-position majority character over same-intent transcriptions.
+
+    Strings vote per position; the consensus length is the majority
+    length.  Ties break toward the earlier alphabet character for
+    determinism.
+    """
+    if not strings:
+        raise AggregationError("character consensus needs >= 1 string")
+    lengths: Dict[int, int] = {}
+    for s in strings:
+        lengths[len(s)] = lengths.get(len(s), 0) + 1
+    target_len = sorted(lengths.items(),
+                        key=lambda kv: (-kv[1], kv[0]))[0][0]
+    out = []
+    for pos in range(target_len):
+        counts: Dict[str, int] = {}
+        for s in strings:
+            if pos < len(s):
+                counts[s[pos]] = counts.get(s[pos], 0) + 1
+        if not counts:
+            break
+        out.append(sorted(counts.items(),
+                          key=lambda kv: (-kv[1], kv[0]))[0][0])
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class TranscriptionResult:
+    """Resolution of one unknown word.
+
+    Attributes:
+        item_id: the scanned word.
+        text: resolved transcription.
+        votes: weighted support for the winner.
+        total: total weighted votes.
+        resolved: True if quorum/confidence thresholds were met.
+        via: "plurality" or "characters" (fallback path).
+    """
+
+    item_id: Hashable
+    text: str
+    votes: float
+    total: float
+    resolved: bool
+    via: str
+
+    @property
+    def confidence(self) -> float:
+        if self.total <= 0:
+            return 0.0
+        return self.votes / self.total
+
+
+class StringConsensus:
+    """Vote-based transcription resolution.
+
+    Args:
+        quorum: minimum weighted votes the winner needs.
+        min_confidence: minimum winner share of the vote mass.
+        weights: per-source vote weights (e.g. human 1.0, OCR 0.5 — the
+            real system seeds each word with OCR guesses at half a vote).
+    """
+
+    def __init__(self, quorum: float = 2.0, min_confidence: float = 0.5,
+                 weights: Optional[Mapping[str, float]] = None) -> None:
+        if quorum <= 0:
+            raise AggregationError(f"quorum must be > 0, got {quorum}")
+        if not 0.0 < min_confidence <= 1.0:
+            raise AggregationError(
+                f"min_confidence must be in (0,1], got {min_confidence}")
+        self.quorum = quorum
+        self.min_confidence = min_confidence
+        self._weights = dict(weights or {})
+
+    def weight_of(self, source: str) -> float:
+        return self._weights.get(source, 1.0)
+
+    def resolve(self, item_id: Hashable,
+                answers: Sequence[Tuple[str, str]]) -> TranscriptionResult:
+        """Resolve one word from (source, transcription) pairs."""
+        tally: Dict[str, float] = {}
+        total = 0.0
+        normalized: List[str] = []
+        for source, text in answers:
+            weight = self.weight_of(source)
+            if weight <= 0:
+                continue
+            canon = normalize_answer(text)
+            if not canon:
+                continue
+            normalized.append(canon)
+            tally[canon] = tally.get(canon, 0.0) + weight
+            total += weight
+        if not tally:
+            raise AggregationError(
+                f"no usable transcriptions for {item_id!r}")
+        ranked = sorted(tally.items(), key=lambda kv: (-kv[1], kv[0]))
+        winner, votes = ranked[0]
+        confidence = votes / total
+        if votes >= self.quorum and confidence >= self.min_confidence:
+            return TranscriptionResult(item_id=item_id, text=winner,
+                                       votes=votes, total=total,
+                                       resolved=True, via="plurality")
+        # Fallback: character-level consensus over all transcriptions.
+        merged = character_consensus(normalized)
+        merged_votes = tally.get(merged, 0.0)
+        resolved = (total >= self.quorum
+                    and merged_votes / total >= self.min_confidence / 2)
+        return TranscriptionResult(item_id=item_id, text=merged,
+                                   votes=merged_votes, total=total,
+                                   resolved=resolved, via="characters")
+
+    def resolve_all(self, answers: Sequence[Tuple[str, Hashable, str]]
+                    ) -> Dict[Hashable, TranscriptionResult]:
+        """Resolve every item in (source, item, transcription) records."""
+        by_item: Dict[Hashable, List[Tuple[str, str]]] = {}
+        for source, item_id, text in answers:
+            by_item.setdefault(item_id, []).append((source, text))
+        return {item_id: self.resolve(item_id, pairs)
+                for item_id, pairs in by_item.items()}

@@ -1,0 +1,43 @@
+"""Evaluation metrics for human-computation systems.
+
+Implements the paper's GWAP evaluation framework and the label-quality
+measurements the benchmarks report:
+
+- :mod:`repro.analytics.throughput` — throughput, average lifetime play
+  (ALP) and expected contribution.
+- :mod:`repro.analytics.quality` — precision/recall of collected labels
+  against corpus ground truth, label-set entropy and novelty.
+- :mod:`repro.analytics.coverage` — item coverage curves (fraction of
+  the corpus with >= k verified outputs over time).
+- :mod:`repro.analytics.timeseries` — cumulative-count series utilities
+  behind the growth figures.
+"""
+
+from repro.analytics.throughput import (GwapMetrics, expected_contribution,
+                                        gwap_metrics)
+from repro.analytics.quality import (label_entropy, label_novelty,
+                                     label_precision_recall)
+from repro.analytics.coverage import coverage_curve, coverage_fraction
+from repro.analytics.timeseries import (Series, cumulative_counts,
+                                        rate_per_hour)
+from repro.analytics.stats import Interval, bootstrap_ci, proportion_ci
+from repro.analytics.retention import (EngagementStats, engagement_stats,
+                                       play_time_distribution)
+from repro.analytics.report import campaign_report
+from repro.analytics.events import (label_growth_from_events,
+                                    player_activity,
+                                    promotions_by_item,
+                                    replay_consistency_check,
+                                    session_summary)
+
+__all__ = [
+    "Interval", "bootstrap_ci", "proportion_ci",
+    "EngagementStats", "engagement_stats", "play_time_distribution",
+    "campaign_report",
+    "label_growth_from_events", "promotions_by_item",
+    "session_summary", "player_activity", "replay_consistency_check",
+    "GwapMetrics", "expected_contribution", "gwap_metrics",
+    "label_precision_recall", "label_entropy", "label_novelty",
+    "coverage_curve", "coverage_fraction",
+    "Series", "cumulative_counts", "rate_per_hour",
+]

@@ -1,0 +1,67 @@
+"""Corpus coverage: how much of the item space has verified output.
+
+The overview's scaling argument — "with enough play, virtually all
+images will be labeled" — is a coverage claim.  These helpers compute
+the fraction of a corpus with at least ``k`` verified outputs, and the
+coverage-over-time curve behind figure F2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.entities import Contribution
+from repro.errors import SimulationError
+
+
+def coverage_fraction(contributions: Sequence[Contribution],
+                      corpus_size: int, min_outputs: int = 1,
+                      verified_only: bool = True) -> float:
+    """Fraction of items with >= ``min_outputs`` (verified) outputs."""
+    if corpus_size <= 0:
+        raise SimulationError(
+            f"corpus_size must be >= 1, got {corpus_size}")
+    if min_outputs < 1:
+        raise SimulationError(
+            f"min_outputs must be >= 1, got {min_outputs}")
+    counts: Dict[str, int] = {}
+    for contribution in contributions:
+        if verified_only and not contribution.verified:
+            continue
+        counts[contribution.item_id] = counts.get(
+            contribution.item_id, 0) + 1
+    covered = sum(1 for count in counts.values()
+                  if count >= min_outputs)
+    return covered / corpus_size
+
+
+def coverage_curve(contributions: Sequence[Contribution],
+                   corpus_size: int, bucket_s: float = 3600.0,
+                   min_outputs: int = 1, verified_only: bool = True
+                   ) -> List[Tuple[float, float]]:
+    """Coverage fraction at the end of each time bucket.
+
+    Returns (bucket_end_s, coverage) points, cumulative over time.
+    """
+    if bucket_s <= 0:
+        raise SimulationError(f"bucket_s must be > 0, got {bucket_s}")
+    usable = [c for c in contributions
+              if c.verified or not verified_only]
+    if not usable:
+        return []
+    usable.sort(key=lambda c: c.timestamp)
+    horizon = usable[-1].timestamp
+    buckets = int(horizon // bucket_s) + 1
+    counts: Dict[str, int] = {}
+    curve: List[Tuple[float, float]] = []
+    index = 0
+    for bucket in range(buckets):
+        end = (bucket + 1) * bucket_s
+        while index < len(usable) and usable[index].timestamp < end:
+            item = usable[index].item_id
+            counts[item] = counts.get(item, 0) + 1
+            index += 1
+        covered = sum(1 for count in counts.values()
+                      if count >= min_outputs)
+        curve.append((end, covered / corpus_size))
+    return curve

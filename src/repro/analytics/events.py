@@ -1,0 +1,82 @@
+"""Analytics straight from a game's event log.
+
+Games append structured events (``label``, ``promotion``, ``session``,
+game-specific rounds) to their :class:`~repro.core.events.EventLog`.
+These helpers turn a (possibly reloaded) log back into the standard
+analyses, so a dumped log file is a sufficient record of a campaign —
+no live game object needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analytics.timeseries import Series, cumulative_counts
+from repro.core.events import EventLog
+from repro.errors import SimulationError
+
+
+def label_growth_from_events(log: EventLog,
+                             bucket_s: float = 3600.0,
+                             kind: str = "label") -> Series:
+    """Cumulative verified-label series from ``label`` events."""
+    stamps = [event.at_s for event in log.of_kind(kind)]
+    if not stamps:
+        return Series(points=())
+    return cumulative_counts(stamps, bucket_s=bucket_s)
+
+
+def promotions_by_item(log: EventLog) -> Dict[str, List[str]]:
+    """item -> promoted labels, in promotion order, from the log."""
+    out: Dict[str, List[str]] = {}
+    for event in log.of_kind("promotion"):
+        out.setdefault(event.data["item"], []).append(
+            event.data["label"])
+    return out
+
+
+def session_summary(log: EventLog) -> Dict[str, float]:
+    """Aggregate session statistics from ``session`` events."""
+    sessions = log.of_kind("session")
+    if not sessions:
+        raise SimulationError("log contains no session events")
+    rounds = sum(event.data.get("rounds", 0) for event in sessions)
+    successes = sum(event.data.get("successes", 0)
+                    for event in sessions)
+    return {
+        "sessions": float(len(sessions)),
+        "rounds": float(rounds),
+        "successes": float(successes),
+        "agreement_rate": successes / rounds if rounds else 0.0,
+        "rounds_per_session": rounds / len(sessions),
+    }
+
+
+def player_activity(log: EventLog) -> Dict[str, int]:
+    """player -> sessions participated, from ``session`` events."""
+    out: Dict[str, int] = {}
+    for event in log.of_kind("session"):
+        for player in event.data.get("players", []):
+            out[player] = out.get(player, 0) + 1
+    return out
+
+
+def replay_consistency_check(log: EventLog) -> List[str]:
+    """Sanity-check a log: every promotion must follow enough labels.
+
+    Returns a list of human-readable inconsistencies (empty = clean).
+    Used to validate reloaded logs before analysis.
+    """
+    problems: List[str] = []
+    label_counts: Dict[Tuple[str, str], int] = {}
+    for event in log:
+        if event.kind == "label":
+            key = (event.data["item"], event.data["label"])
+            label_counts[key] = label_counts.get(key, 0) + 1
+        elif event.kind == "promotion":
+            key = (event.data["item"], event.data["label"])
+            if label_counts.get(key, 0) < 1:
+                problems.append(
+                    f"promotion of {key[1]!r} on {key[0]!r} at "
+                    f"{event.at_s:.1f}s has no preceding label event")
+    return problems

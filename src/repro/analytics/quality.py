@@ -1,0 +1,116 @@
+"""Label quality against corpus ground truth.
+
+Because the synthetic corpora expose their salience distributions, label
+quality is measurable exactly:
+
+- :func:`label_precision_recall` — of the labels a campaign collected,
+  how many are ground-truth relevant (precision), and how much of the
+  ground-truth tag mass was recovered (salience-weighted recall).
+- :func:`label_entropy` — diversity of an item's collected label set.
+- :func:`label_novelty` — fraction of labels outside an item's top-k
+  obvious tags (what the taboo mechanism is supposed to raise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.corpus.images import ImageCorpus
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision/recall summary over a labeled corpus."""
+
+    precision: float
+    recall: float
+    labels: int
+    items: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return (2 * self.precision * self.recall
+                / (self.precision + self.recall))
+
+
+def label_precision_recall(labels: Mapping[str, Sequence[str]],
+                           corpus: ImageCorpus,
+                           relevance_threshold: float = 0.0
+                           ) -> PrecisionRecall:
+    """Score collected labels against the corpus.
+
+    Args:
+        labels: item_id -> collected labels.
+        corpus: the ground-truth corpus.
+        relevance_threshold: minimum salience for a label to count as
+            relevant.
+
+    Precision is label-weighted; recall is salience-mass-weighted (a
+    campaign that recovers only the obvious tags still gets substantial
+    recall, matching how the original evaluations credited ESP labels).
+    """
+    total_labels = 0
+    correct_labels = 0
+    recovered_mass = 0.0
+    total_mass = 0.0
+    for item_id, item_labels in labels.items():
+        image = corpus.image(item_id)
+        label_set = set(item_labels)
+        for label in item_labels:
+            total_labels += 1
+            if image.is_relevant(label, relevance_threshold):
+                correct_labels += 1
+        for text, mass in image.salience.items():
+            total_mass += mass
+            if text in label_set:
+                recovered_mass += mass
+    precision = correct_labels / total_labels if total_labels else 0.0
+    recall = recovered_mass / total_mass if total_mass else 0.0
+    return PrecisionRecall(precision=precision, recall=recall,
+                           labels=total_labels, items=len(labels))
+
+
+def label_entropy(labels: Sequence[str]) -> float:
+    """Shannon entropy (nats) of a label multiset (0.0 when empty)."""
+    if not labels:
+        return 0.0
+    counts: Dict[str, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    total = len(labels)
+    return -sum((c / total) * math.log(c / total)
+                for c in counts.values())
+
+
+def label_novelty(labels: Mapping[str, Sequence[str]],
+                  corpus: ImageCorpus, obvious_k: int = 2) -> float:
+    """Fraction of collected labels outside each item's top-k tags.
+
+    The taboo mechanism's success measure: without taboo words pairs
+    keep re-agreeing on the obvious tags (novelty near 0); with them the
+    stream shifts to deeper tags.
+    """
+    if obvious_k < 0:
+        raise SimulationError(f"obvious_k must be >= 0, got {obvious_k}")
+    total = 0
+    novel = 0
+    for item_id, item_labels in labels.items():
+        obvious = set(corpus.image(item_id).top_tags(obvious_k))
+        for label in item_labels:
+            total += 1
+            if label not in obvious:
+                novel += 1
+    if total == 0:
+        return 0.0
+    return novel / total
+
+
+def distinct_labels(labels: Mapping[str, Sequence[str]]) -> int:
+    """Total distinct (item, label) pairs collected."""
+    return sum(len(set(item_labels))
+               for item_labels in labels.values())

@@ -1,0 +1,110 @@
+"""Campaign reports: one call, the full picture as text.
+
+:func:`campaign_report` renders everything a campaign operator wants to
+see — GWAP metrics, label quality, engagement, growth — as a plain-text
+report (the format the CLI prints and tests can assert on).  All
+sections degrade gracefully when their inputs are absent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analytics.coverage import coverage_fraction
+from repro.analytics.quality import label_precision_recall
+from repro.analytics.retention import (engagement_stats,
+                                       play_time_distribution)
+from repro.analytics.stats import proportion_ci
+from repro.analytics.throughput import gwap_metrics
+from repro.analytics.timeseries import cumulative_counts
+from repro.errors import SimulationError
+from repro.players.base import PlayerModel
+from repro.players.engagement import EngagementModel
+from repro.sim.engine import CampaignResult
+
+
+def _bar(fraction: float, width: int = 30) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def campaign_report(game_name: str, result: CampaignResult,
+                    population: Sequence[PlayerModel],
+                    engagement: Optional[EngagementModel] = None,
+                    corpus=None, game=None,
+                    bucket_s: float = 3600.0) -> str:
+    """Render a full text report for a finished campaign.
+
+    Args:
+        game_name: display name.
+        result: the campaign result.
+        population: the player pool.
+        engagement: optional engagement model (for model-based ALP).
+        corpus: optional image corpus (enables quality + coverage
+            sections).
+        game: optional :class:`~repro.games.esp.EspGame` (enables the
+            promoted-label section).
+        bucket_s: time bucket for the growth series.
+    """
+    if not result.outcomes:
+        raise SimulationError("cannot report an empty campaign")
+    lines: List[str] = []
+    out = lines.append
+    out(f"=== campaign report: {game_name} ===")
+    out("")
+
+    metrics = gwap_metrics(game_name, result, population, engagement)
+    out("-- GWAP metrics --")
+    out(f"sessions:              {metrics.sessions}")
+    out(f"human hours:           {metrics.human_hours:.1f}")
+    out(f"throughput:            "
+        f"{metrics.throughput_per_hour:.1f} verified/human-hour")
+    out(f"avg lifetime play:     {metrics.alp_hours:.2f} h")
+    out(f"expected contribution: {metrics.expected_contribution:.0f}")
+    out("")
+
+    if corpus is not None and game is not None:
+        promoted = {item: list(labels)
+                    for item, labels in game.good_labels().items()}
+        out("-- label quality --")
+        if promoted:
+            pr = label_precision_recall(promoted, corpus)
+            interval = proportion_ci(
+                int(round(pr.precision * pr.labels)),
+                max(1, pr.labels))
+            out(f"promoted labels:       {pr.labels}")
+            out(f"precision:             {pr.precision:.3f} "
+                f"(95% CI [{interval.low:.3f}, {interval.high:.3f}])")
+            out(f"salience recall:       {pr.recall:.3f}")
+        else:
+            out("promoted labels:       0")
+        coverage = coverage_fraction(result.contributions, len(corpus))
+        out(f"coverage (k=1):        {coverage:.2f}  "
+            f"[{_bar(coverage)}]")
+        out("")
+
+    out("-- engagement --")
+    stats = engagement_stats(result)
+    out(f"players active:        {stats.players}")
+    out(f"observed ALP:          {stats.observed_alp_s / 60:.1f} min")
+    out(f"top-decile share:      {stats.top_decile_share:.0%} of all "
+        "play time")
+    out(f"returning players:     {stats.returning_fraction:.0%}")
+    out("play-time distribution:")
+    histogram = play_time_distribution(result)
+    peak = max(count for _, count in histogram) or 1
+    for label, count in histogram:
+        out(f"  {label:>12}: {count:4d} [{_bar(count / peak, 20)}]")
+    out("")
+
+    out("-- output growth --")
+    stamps = [c.timestamp for c in result.verified_contributions]
+    if stamps:
+        series = cumulative_counts(stamps, bucket_s=bucket_s)
+        final = series.final or 1.0
+        for end, count in series:
+            out(f"  {end / 3600.0:5.1f}h {int(count):7d} "
+                f"[{_bar(count / final, 20)}]")
+    else:
+        out("  (no verified output)")
+    return "\n".join(lines)

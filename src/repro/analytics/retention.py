@@ -1,0 +1,109 @@
+"""Observed engagement statistics from a finished campaign.
+
+The engagement *model* sets lifetime budgets a priori; these helpers
+measure what actually happened — the observed play-time distribution,
+its concentration (the paper notes a devoted minority contributed most
+hours, some exceeding 50 h/week), and return/retention behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import CampaignResult
+
+
+@dataclass(frozen=True)
+class EngagementStats:
+    """Observed per-player engagement summary.
+
+    Attributes:
+        players: distinct participants.
+        observed_alp_s: mean play seconds per participant.
+        median_play_s: median play seconds.
+        top_decile_share: fraction of total play time contributed by
+            the most-engaged 10% of players.
+        max_sessions: most sessions by any single player.
+        returning_fraction: players with more than one session.
+    """
+
+    players: int
+    observed_alp_s: float
+    median_play_s: float
+    top_decile_share: float
+    max_sessions: int
+    returning_fraction: float
+
+
+def _play_time_by_player(result: CampaignResult) -> Dict[str, float]:
+    times: Dict[str, float] = {}
+    for outcome in result.outcomes:
+        for player in outcome.players:
+            if player.startswith("recorded:"):
+                continue
+            times[player] = times.get(player, 0.0) + outcome.duration_s
+    return times
+
+
+def _sessions_by_player(result: CampaignResult) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for outcome in result.outcomes:
+        for player in outcome.players:
+            if player.startswith("recorded:"):
+                continue
+            counts[player] = counts.get(player, 0) + 1
+    return counts
+
+
+def engagement_stats(result: CampaignResult) -> EngagementStats:
+    """Summarize observed engagement for a finished campaign."""
+    times = _play_time_by_player(result)
+    if not times:
+        raise SimulationError(
+            "campaign produced no sessions to analyze")
+    values = sorted(times.values())
+    total = sum(values)
+    n = len(values)
+    decile = max(1, n // 10)
+    top_share = sum(values[-decile:]) / total if total > 0 else 0.0
+    sessions = _sessions_by_player(result)
+    returning = sum(1 for count in sessions.values() if count > 1)
+    return EngagementStats(
+        players=n,
+        observed_alp_s=total / n,
+        median_play_s=values[n // 2],
+        top_decile_share=top_share,
+        max_sessions=max(sessions.values()),
+        returning_fraction=returning / n)
+
+
+def play_time_distribution(result: CampaignResult,
+                           buckets: Sequence[float] = (
+                               60.0, 300.0, 900.0, 3600.0, 14400.0)
+                           ) -> List[Tuple[str, int]]:
+    """Histogram of per-player total play time.
+
+    Returns (bucket label, player count) pairs; the last bucket is
+    open-ended.
+    """
+    times = _play_time_by_player(result)
+    edges = sorted(buckets)
+    counts = [0] * (len(edges) + 1)
+    for value in times.values():
+        placed = False
+        for index, edge in enumerate(edges):
+            if value < edge:
+                counts[index] += 1
+                placed = True
+                break
+        if not placed:
+            counts[-1] += 1
+    labels = []
+    previous = 0.0
+    for edge in edges:
+        labels.append(f"{previous / 60:.0f}-{edge / 60:.0f} min")
+        previous = edge
+    labels.append(f">{previous / 60:.0f} min")
+    return list(zip(labels, counts))

@@ -1,0 +1,120 @@
+"""Uncertainty estimates for campaign metrics.
+
+Simulated campaigns are stochastic; a single run's throughput or
+precision is a point estimate.  This module provides the two tools the
+benchmarks and reports use to qualify such numbers:
+
+- :func:`bootstrap_ci` — percentile bootstrap confidence interval of
+  any statistic of a sample (e.g. per-session throughput).
+- :func:`proportion_ci` — Wilson score interval for success counts
+  (e.g. label precision, agreement rates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro import rng as _rng
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A point estimate with a confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise SimulationError(
+                f"interval reversed: [{self.low}, {self.high}]")
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def bootstrap_ci(sample: Sequence[float],
+                 statistic: Callable[[Sequence[float]], float] = None,
+                 confidence: float = 0.95, resamples: int = 2000,
+                 seed: _rng.SeedLike = 0) -> Interval:
+    """Percentile-bootstrap CI of ``statistic`` over ``sample``.
+
+    Args:
+        sample: observed values (>= 2).
+        statistic: reducer (default: mean).
+        confidence: interval mass, in (0, 1).
+        resamples: bootstrap resamples.
+        seed: RNG seed (bootstrap is deterministic under it).
+    """
+    if len(sample) < 2:
+        raise SimulationError(
+            f"bootstrap needs >= 2 observations, got {len(sample)}")
+    if not 0.0 < confidence < 1.0:
+        raise SimulationError(
+            f"confidence must be in (0,1), got {confidence}")
+    if resamples < 10:
+        raise SimulationError(
+            f"resamples must be >= 10, got {resamples}")
+    if statistic is None:
+        statistic = lambda values: sum(values) / len(values)  # noqa: E731
+    rng = _rng.make_rng(seed)
+    n = len(sample)
+    estimates = []
+    for _ in range(resamples):
+        resample = [sample[rng.randrange(n)] for _ in range(n)]
+        estimates.append(statistic(resample))
+    estimates.sort()
+    alpha = (1.0 - confidence) / 2.0
+    low_index = int(alpha * resamples)
+    high_index = min(resamples - 1, int((1.0 - alpha) * resamples))
+    return Interval(estimate=statistic(sample),
+                    low=estimates[low_index],
+                    high=estimates[high_index],
+                    confidence=confidence)
+
+
+# Normal quantiles for the Wilson interval at common confidences.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def proportion_ci(successes: int, trials: int,
+                  confidence: float = 0.95) -> Interval:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the extremes (0 or all successes), unlike the
+    normal approximation — important because promoted-label precision
+    is frequently exactly 1.0 in small campaigns.
+    """
+    if trials <= 0:
+        raise SimulationError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise SimulationError(
+            f"successes ({successes}) outside [0, {trials}]")
+    if confidence not in _Z:
+        raise SimulationError(
+            f"confidence must be one of {sorted(_Z)}, got {confidence}")
+    z = _Z[confidence]
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(
+        p * (1 - p) / trials + z * z / (4 * trials * trials))
+    low = max(0.0, center - margin)
+    high = min(1.0, center + margin)
+    # Snap floating-point residue at the boundaries so degenerate
+    # proportions (0 or 1) sit inside their own interval.
+    if low < 1e-12:
+        low = 0.0
+    if high > 1.0 - 1e-12:
+        high = 1.0
+    return Interval(estimate=p, low=low, high=high,
+                    confidence=confidence)

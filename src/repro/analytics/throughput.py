@@ -1,0 +1,89 @@
+"""The paper's GWAP evaluation metrics.
+
+Three numbers summarize a GWAP's productive capacity:
+
+- **throughput** — verified outputs per human-hour of play;
+- **average lifetime play (ALP)** — hours a player spends on the game
+  over their lifetime;
+- **expected contribution** = throughput × ALP — verified outputs an
+  average recruit will eventually produce.
+
+:func:`gwap_metrics` computes all three from a campaign result plus an
+engagement model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.players.base import PlayerModel
+from repro.players.engagement import EngagementModel
+from repro.sim.engine import CampaignResult
+
+
+@dataclass(frozen=True)
+class GwapMetrics:
+    """The summary row the paper's GWAP table reports per game.
+
+    Attributes:
+        game: name of the game.
+        throughput_per_hour: verified contributions per human-hour.
+        alp_hours: average lifetime play per player, in hours.
+        expected_contribution: throughput × ALP.
+        sessions: sessions observed.
+        human_hours: total human time in the measured campaign.
+    """
+
+    game: str
+    throughput_per_hour: float
+    alp_hours: float
+    expected_contribution: float
+    sessions: int
+    human_hours: float
+
+    def row(self) -> str:
+        """A formatted table row matching the paper's layout."""
+        return (f"{self.game:<12} {self.throughput_per_hour:>12.1f} "
+                f"{self.alp_hours:>10.2f} "
+                f"{self.expected_contribution:>14.0f}")
+
+
+def expected_contribution(throughput_per_hour: float,
+                          alp_hours: float) -> float:
+    """Expected verified outputs from one average player's lifetime."""
+    if throughput_per_hour < 0 or alp_hours < 0:
+        raise SimulationError(
+            "throughput and ALP must be >= 0, got "
+            f"{throughput_per_hour}, {alp_hours}")
+    return throughput_per_hour * alp_hours
+
+
+def gwap_metrics(game: str, result: CampaignResult,
+                 population: Sequence[PlayerModel],
+                 engagement: Optional[EngagementModel] = None,
+                 verified_only: bool = True) -> GwapMetrics:
+    """Summarize a campaign into the paper's three-metric row.
+
+    ALP comes from the engagement model's population mean (the model is
+    per-player deterministic, so this is the same number the campaign's
+    budgets were drawn from); without a model, ALP falls back to the
+    observed mean play time per distinct participant.
+    """
+    throughput = result.throughput_per_hour(verified_only=verified_only)
+    if engagement is not None:
+        alp_hours = engagement.average_lifetime_play_s(
+            population) / 3600.0
+    else:
+        participants = {player for outcome in result.outcomes
+                        for player in outcome.players}
+        if participants:
+            alp_hours = result.human_seconds / len(participants) / 3600.0
+        else:
+            alp_hours = 0.0
+    return GwapMetrics(
+        game=game, throughput_per_hour=throughput, alp_hours=alp_hours,
+        expected_contribution=expected_contribution(throughput,
+                                                    alp_hours),
+        sessions=len(result.outcomes), human_hours=result.human_hours)

@@ -1,0 +1,84 @@
+"""Cumulative-count time series for the growth figures.
+
+Small, dependency-free series utilities: bucketed cumulative counts of a
+timestamp stream (label growth, F1) and per-bucket rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Series:
+    """An (x, y) series with convenience accessors."""
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def xs(self) -> List[float]:
+        return [x for x, _ in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+    @property
+    def final(self) -> float:
+        """The last y value (0.0 for an empty series)."""
+        if not self.points:
+            return 0.0
+        return self.points[-1][1]
+
+    def is_monotonic(self) -> bool:
+        """Whether y never decreases (true for cumulative series)."""
+        return all(self.points[i][1] <= self.points[i + 1][1]
+                   for i in range(len(self.points) - 1))
+
+
+def cumulative_counts(timestamps: Sequence[float],
+                      bucket_s: float = 3600.0,
+                      horizon_s: float = 0.0) -> Series:
+    """Cumulative event count at the end of each bucket.
+
+    Args:
+        timestamps: event times (seconds).
+        bucket_s: bucket width.
+        horizon_s: minimum series horizon (extends past the last event).
+    """
+    if bucket_s <= 0:
+        raise SimulationError(f"bucket_s must be > 0, got {bucket_s}")
+    ordered = sorted(timestamps)
+    horizon = max(horizon_s, ordered[-1] if ordered else 0.0)
+    buckets = max(1, -int(-horizon // bucket_s))
+    if ordered and ordered[-1] >= buckets * bucket_s:
+        buckets += 1
+    points: List[Tuple[float, float]] = []
+    index = 0
+    for bucket in range(buckets):
+        end = (bucket + 1) * bucket_s
+        while index < len(ordered) and ordered[index] < end:
+            index += 1
+        points.append((end, float(index)))
+    return Series(points=tuple(points))
+
+
+def rate_per_hour(timestamps: Sequence[float],
+                  bucket_s: float = 3600.0) -> Series:
+    """Per-bucket event rate, scaled to events/hour."""
+    cumulative = cumulative_counts(timestamps, bucket_s=bucket_s)
+    points: List[Tuple[float, float]] = []
+    previous = 0.0
+    for x, y in cumulative:
+        points.append((x, (y - previous) * 3600.0 / bucket_s))
+        previous = y
+    return Series(points=tuple(points))

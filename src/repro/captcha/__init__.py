@@ -1,0 +1,30 @@
+"""CAPTCHA and reCAPTCHA: channeling human cycles into digitization.
+
+The overview's second pillar: a CAPTCHA is a test humans pass and
+programs fail, and reCAPTCHA makes the wasted human effort useful by
+pairing a *control* word (known answer, used to verify the solver is
+human) with an *unknown* word (from a scanned book both OCR engines
+failed on).  Human votes on unknown words resolve transcriptions at
+accuracy standard OCR cannot reach.
+
+- :mod:`repro.captcha.ocr` — simulated OCR engines with character-level
+  error models over the scanned-word corpus.
+- :mod:`repro.captcha.readers` — human reader simulation (sees through
+  damage far better than OCR; adversarial solvers type junk).
+- :mod:`repro.captcha.challenge` — the plain CAPTCHA test (distorted
+  word, verify human vs bot).
+- :mod:`repro.captcha.recaptcha` — the full two-word protocol with vote
+  resolution.
+"""
+
+from repro.captcha.ocr import OcrEngine, ocr_disagreements
+from repro.captcha.readers import HumanReader
+from repro.captcha.challenge import CaptchaChallenge, CaptchaService
+from repro.captcha.recaptcha import ReCaptchaService, WordStatus
+
+__all__ = [
+    "OcrEngine", "ocr_disagreements",
+    "HumanReader",
+    "CaptchaChallenge", "CaptchaService",
+    "ReCaptchaService", "WordStatus",
+]

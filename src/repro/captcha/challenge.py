@@ -1,0 +1,105 @@
+"""Plain CAPTCHA: a test humans pass and programs fail.
+
+A challenge is a scanned word rendered with extra distortion (its
+effective legibility is pushed down).  Humans still read it; OCR-based
+bots mostly cannot.  :class:`CaptchaService` issues challenges, verifies
+answers, and tracks pass rates per solver — giving the library the
+"are you human" primitive reCAPTCHA extends.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro import rng as _rng
+from repro.aggregation.strings import normalize_answer
+from repro.corpus.ocr import OcrCorpus, ScannedWord
+from repro.errors import ConfigError, QualityError
+
+_challenge_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class CaptchaChallenge:
+    """One issued challenge.
+
+    Attributes:
+        challenge_id: unique id (answers must reference it).
+        word: the distorted scanned word presented.
+    """
+
+    challenge_id: str
+    word: ScannedWord
+
+
+class CaptchaService:
+    """Issues and verifies distorted-word challenges.
+
+    Args:
+        corpus: source words.
+        distortion: how much each challenge's legibility is reduced
+            (0.35 means a 0.9-legibility word is served at 0.55).
+        max_attempts: verification attempts allowed per challenge.
+        seed: RNG seed for word selection.
+    """
+
+    def __init__(self, corpus: OcrCorpus, distortion: float = 0.35,
+                 max_attempts: int = 3, seed: _rng.SeedLike = 0) -> None:
+        if not 0.0 <= distortion < 1.0:
+            raise ConfigError(
+                f"distortion must be in [0,1), got {distortion}")
+        if max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.corpus = corpus
+        self.distortion = distortion
+        self.max_attempts = max_attempts
+        self._rng = _rng.make_rng(seed)
+        self._open: Dict[str, Tuple[ScannedWord, int]] = {}
+        self._passes: Dict[str, int] = {}
+        self._failures: Dict[str, int] = {}
+
+    def issue(self) -> CaptchaChallenge:
+        """Issue a fresh challenge with distortion applied."""
+        base = self._rng.choice(list(self.corpus.words))
+        distorted = ScannedWord(
+            word_id=base.word_id, truth=base.truth,
+            legibility=max(0.05, base.legibility * (1 - self.distortion)),
+            page=base.page)
+        challenge_id = f"captcha-{next(_challenge_counter):08d}"
+        self._open[challenge_id] = (distorted, 0)
+        return CaptchaChallenge(challenge_id=challenge_id, word=distorted)
+
+    def verify(self, solver_id: str, challenge_id: str,
+               answer: str) -> bool:
+        """Check an answer; consumes the challenge on success/exhaustion."""
+        if challenge_id not in self._open:
+            raise QualityError(
+                f"unknown or consumed challenge: {challenge_id!r}")
+        word, attempts = self._open[challenge_id]
+        passed = normalize_answer(answer) == normalize_answer(word.truth)
+        attempts += 1
+        if passed:
+            del self._open[challenge_id]
+            self._passes[solver_id] = self._passes.get(solver_id, 0) + 1
+        elif attempts >= self.max_attempts:
+            del self._open[challenge_id]
+            self._failures[solver_id] = (
+                self._failures.get(solver_id, 0) + 1)
+        else:
+            self._open[challenge_id] = (word, attempts)
+        return passed
+
+    def pass_rate(self, solver_id: str) -> float:
+        """Fraction of this solver's consumed challenges they passed."""
+        passes = self._passes.get(solver_id, 0)
+        failures = self._failures.get(solver_id, 0)
+        total = passes + failures
+        if total == 0:
+            return 0.0
+        return passes / total
+
+    def open_challenges(self) -> int:
+        return len(self._open)

@@ -1,0 +1,121 @@
+"""Simulated OCR engines.
+
+An OCR engine reads each character of a scanned word correctly with
+probability driven by the word's legibility, scaled by the engine's
+strength; errors substitute visually confusable characters, with
+occasional deletions and insertions.  Two engines with independent error
+draws disagree exactly on the damaged tail of the corpus — the population
+reCAPTCHA harvests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro import rng as _rng
+from repro.corpus.ocr import OcrCorpus, ScannedWord
+from repro.errors import ConfigError
+
+# Visually confusable substitution classes (lowercase synthetic alphabet).
+_CONFUSABLE = {
+    "a": "eo", "b": "dh", "c": "eo", "d": "bp", "e": "ac", "f": "t",
+    "g": "q", "h": "bn", "i": "jl", "j": "i", "k": "h", "l": "i",
+    "m": "n", "n": "mh", "o": "ac", "p": "d", "q": "g", "r": "n",
+    "s": "z", "t": "f", "u": "v", "v": "u", "w": "v", "z": "s",
+}
+_ALPHABET = "abcdefghijklmnopqrstuvwz"
+
+
+class OcrEngine:
+    """A character-error-model OCR engine.
+
+    Args:
+        name: engine id (used as a vote source).
+        strength: 0..1; how much of a word's illegibility the engine
+            overcomes (0 = raw legibility, 1 = perfect).  Real OCR is
+            *worse* than raw legibility on damaged print, so strengths
+            are typically small or negative-leaning via ``penalty``.
+        penalty: extra per-character error probability on damaged words
+            (models OCR's brittleness to noise humans shrug off).
+        seed: RNG seed; reads are deterministic per (engine, word).
+    """
+
+    def __init__(self, name: str, strength: float = 0.2,
+                 penalty: float = 0.15, seed: _rng.SeedLike = 0) -> None:
+        if not 0.0 <= strength <= 1.0:
+            raise ConfigError(
+                f"strength must be in [0,1], got {strength}")
+        if not 0.0 <= penalty <= 1.0:
+            raise ConfigError(f"penalty must be in [0,1], got {penalty}")
+        self.name = name
+        self.strength = strength
+        self.penalty = penalty
+        self._seed_base = _rng.make_rng(seed).getrandbits(64)
+
+    def _word_rng(self, word: ScannedWord):
+        return _rng.make_rng(f"{self.name}:{self._seed_base}:"
+                             f"{word.word_id}")
+
+    def char_accuracy(self, word: ScannedWord) -> float:
+        """Per-character read accuracy on this word."""
+        base = word.legibility + (1.0 - word.legibility) * self.strength
+        damage = 1.0 - word.legibility
+        return max(0.05, min(0.999, base - self.penalty * damage))
+
+    def read(self, word: ScannedWord) -> str:
+        """Transcribe the word (deterministic per engine and word)."""
+        rng = self._word_rng(word)
+        accuracy = self.char_accuracy(word)
+        out: List[str] = []
+        for char in word.truth:
+            roll = rng.random()
+            if roll < accuracy:
+                out.append(char)
+                continue
+            kind = rng.random()
+            if kind < 0.7:
+                # Substitution with a confusable (or random) character.
+                pool = _CONFUSABLE.get(char, _ALPHABET)
+                out.append(rng.choice(pool))
+            elif kind < 0.85:
+                # Deletion.
+                continue
+            else:
+                # Insertion then the (mis)read character.
+                out.append(rng.choice(_ALPHABET))
+                out.append(char)
+        return "".join(out) or rng.choice(_ALPHABET)
+
+    def word_accuracy(self, corpus: OcrCorpus) -> float:
+        """Fraction of corpus words transcribed exactly."""
+        if len(corpus) == 0:
+            return 0.0
+        correct = sum(1 for word in corpus
+                      if self.read(word) == word.truth)
+        return correct / len(corpus)
+
+
+def ocr_disagreements(corpus: OcrCorpus, engine_a: OcrEngine,
+                      engine_b: OcrEngine
+                      ) -> Tuple[List[ScannedWord], List[ScannedWord],
+                                 Dict[str, Tuple[str, str]]]:
+    """Split a corpus by whether two engines agree.
+
+    Returns:
+        (agreed, disagreed, readings): ``agreed`` words both engines read
+        identically (reCAPTCHA's control candidates), ``disagreed`` words
+        they conflict on (the unknown-word pool), and each word's pair of
+        readings.
+    """
+    agreed: List[ScannedWord] = []
+    disagreed: List[ScannedWord] = []
+    readings: Dict[str, Tuple[str, str]] = {}
+    for word in corpus:
+        read_a = engine_a.read(word)
+        read_b = engine_b.read(word)
+        readings[word.word_id] = (read_a, read_b)
+        if read_a == read_b:
+            agreed.append(word)
+        else:
+            disagreed.append(word)
+    return agreed, disagreed, readings

@@ -1,0 +1,67 @@
+"""Human reader simulation for CAPTCHA solving and word transcription.
+
+Humans see through print damage far better than OCR: a human's
+per-character accuracy on a damaged word stays high where an engine's
+collapses.  :class:`HumanReader` wraps a
+:class:`~repro.players.base.PlayerModel`; honest readers transcribe with
+skill-boosted accuracy, adversarial solvers (bots trying to pass, lazy
+humans mashing keys) type junk.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import rng as _rng
+from repro.captcha.ocr import _ALPHABET, _CONFUSABLE
+from repro.corpus.ocr import ScannedWord
+from repro.errors import ConfigError
+from repro.players.base import Behavior, PlayerModel
+
+
+class HumanReader:
+    """A simulated human transcriber.
+
+    Args:
+        model: the underlying player (behavior decides honesty).
+        damage_recovery: fraction of a word's illegibility a fully
+            skilled human overcomes (default 0.9 — humans are the gold
+            standard readers the paper leans on).
+        seed: RNG stream for this reader's transcriptions.
+    """
+
+    def __init__(self, model: PlayerModel, damage_recovery: float = 0.9,
+                 seed: _rng.SeedLike = 0) -> None:
+        if not 0.0 <= damage_recovery <= 1.0:
+            raise ConfigError(
+                f"damage_recovery must be in [0,1], got {damage_recovery}")
+        self.model = model
+        self.reader_id = model.player_id
+        self.damage_recovery = damage_recovery
+        self._rng = _rng.make_rng(seed)
+
+    def char_accuracy(self, word: ScannedWord) -> float:
+        """Per-character accuracy of this reader on this word."""
+        recovery = self.damage_recovery * self.model.skill
+        return min(0.999,
+                   word.legibility + (1.0 - word.legibility) * recovery)
+
+    def read(self, word: ScannedWord) -> str:
+        """Transcribe the word (honest) or emit junk (adversarial)."""
+        if self.model.behavior in (Behavior.SPAMMER, Behavior.RANDOM_BOT):
+            length = max(1, len(word.truth) + self._rng.randint(-2, 2))
+            return "".join(self._rng.choice(_ALPHABET)
+                           for _ in range(length))
+        accuracy = self.char_accuracy(word)
+        out: List[str] = []
+        for char in word.truth:
+            if self._rng.random() < accuracy:
+                out.append(char)
+                continue
+            pool = _CONFUSABLE.get(char, _ALPHABET)
+            out.append(self._rng.choice(pool))
+        return "".join(out)
+
+    def word_accuracy_estimate(self, word: ScannedWord) -> float:
+        """Probability this reader gets the whole word right."""
+        return self.char_accuracy(word) ** max(1, len(word.truth))

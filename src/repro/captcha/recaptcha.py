@@ -1,0 +1,242 @@
+"""reCAPTCHA: the paired control/unknown word protocol.
+
+Pipeline (as in the real system):
+
+1. Two OCR engines read the whole scanned corpus.  Words they *agree* on
+   and that are highly legible become **control** words (answer treated
+   as known); words they *disagree* on become the **unknown** pool.
+2. Each served challenge pairs one control word with one unknown word,
+   in random order.  The solver does not know which is which.
+3. The control answer verifies humanity.  If it passes, the unknown
+   answer is recorded as a vote, alongside the OCR readings at half a
+   vote each.
+4. A word resolves when the vote consensus reaches quorum; resolved
+   words can be promoted into the control pool, compounding the system.
+
+:class:`ReCaptchaService` implements all four stages and reports the
+paper's headline metric: resolved-word accuracy versus the OCR baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro import rng as _rng
+from repro.aggregation.strings import (StringConsensus, TranscriptionResult,
+                                       normalize_answer)
+from repro.captcha.ocr import OcrEngine, ocr_disagreements
+from repro.corpus.ocr import OcrCorpus, ScannedWord
+from repro.errors import ConfigError, QualityError
+
+_challenge_counter = itertools.count()
+
+
+class WordStatus(enum.Enum):
+    """Lifecycle of an unknown word."""
+
+    UNKNOWN = "unknown"
+    RESOLVED = "resolved"
+    PROMOTED = "promoted"   # resolved and now serving as a control word
+
+
+@dataclass(frozen=True)
+class ReCaptchaChallenge:
+    """One two-word challenge.
+
+    Attributes:
+        challenge_id: unique id.
+        words: the two scanned words, in presentation order.
+        control_index: which of the two is the control (server-side
+            knowledge; not shown to solvers).
+    """
+
+    challenge_id: str
+    words: Tuple[ScannedWord, ScannedWord]
+    control_index: int
+
+    @property
+    def control_word(self) -> ScannedWord:
+        return self.words[self.control_index]
+
+    @property
+    def unknown_word(self) -> ScannedWord:
+        return self.words[1 - self.control_index]
+
+
+class ReCaptchaService:
+    """The full reCAPTCHA digitization service.
+
+    Args:
+        corpus: the scanned book.
+        engine_a / engine_b: the two OCR engines.
+        control_legibility: minimum legibility for initial control words
+            (agreed *and* clean — so control answers are reliable).
+        quorum: weighted votes needed to resolve an unknown word.
+        ocr_vote_weight: weight of each OCR engine's seeded guess.
+        promote_resolved: feed resolved words back into the control pool.
+        seed: RNG seed for challenge assembly.
+    """
+
+    def __init__(self, corpus: OcrCorpus, engine_a: OcrEngine,
+                 engine_b: OcrEngine, control_legibility: float = 0.9,
+                 quorum: float = 2.5, ocr_vote_weight: float = 0.5,
+                 promote_resolved: bool = True,
+                 seed: _rng.SeedLike = 0) -> None:
+        if quorum <= 0:
+            raise ConfigError(f"quorum must be > 0, got {quorum}")
+        self.corpus = corpus
+        self.engine_a = engine_a
+        self.engine_b = engine_b
+        self.promote_resolved = promote_resolved
+        self._rng = _rng.make_rng(seed)
+        agreed, disagreed, readings = ocr_disagreements(
+            corpus, engine_a, engine_b)
+        self._readings = readings
+        # Control pool: agreed + clean. Their "known answer" is the OCR
+        # consensus (which on clean agreed words is almost surely right).
+        self._controls: Dict[str, str] = {
+            w.word_id: readings[w.word_id][0]
+            for w in agreed if w.legibility >= control_legibility}
+        self._unknowns: Dict[str, ScannedWord] = {
+            w.word_id: w for w in disagreed}
+        self._status: Dict[str, WordStatus] = {
+            w.word_id: WordStatus.UNKNOWN for w in disagreed}
+        self._votes: Dict[str, List[Tuple[str, str]]] = {}
+        self._resolutions: Dict[str, TranscriptionResult] = {}
+        self._consensus = StringConsensus(
+            quorum=quorum, min_confidence=0.5,
+            weights={engine_a.name: ocr_vote_weight,
+                     engine_b.name: ocr_vote_weight})
+        # Seed unknown words with the OCR readings.
+        for word_id in self._unknowns:
+            read_a, read_b = readings[word_id]
+            self._votes[word_id] = [(engine_a.name, read_a),
+                                    (engine_b.name, read_b)]
+        self._open: Dict[str, ReCaptchaChallenge] = {}
+        self._human_passes = 0
+        self._human_failures = 0
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    @property
+    def control_pool_size(self) -> int:
+        return len(self._controls)
+
+    @property
+    def unknown_pool_size(self) -> int:
+        return sum(1 for status in self._status.values()
+                   if status is WordStatus.UNKNOWN)
+
+    def issue(self) -> ReCaptchaChallenge:
+        """Assemble one control+unknown challenge in random order."""
+        if not self._controls:
+            raise QualityError("control pool is empty")
+        pending = [word_id for word_id, status in self._status.items()
+                   if status is WordStatus.UNKNOWN]
+        if not pending:
+            raise QualityError("no unknown words left to serve")
+        control_id = self._rng.choice(sorted(self._controls))
+        unknown_id = self._rng.choice(sorted(pending))
+        control = self.corpus.word(control_id)
+        unknown = self._unknowns[unknown_id]
+        control_index = self._rng.randrange(2)
+        words = ((control, unknown) if control_index == 0
+                 else (unknown, control))
+        challenge = ReCaptchaChallenge(
+            challenge_id=f"rc-{next(_challenge_counter):08d}",
+            words=words, control_index=control_index)
+        self._open[challenge.challenge_id] = challenge
+        return challenge
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+
+    def submit(self, solver_id: str, challenge_id: str,
+               answers: Tuple[str, str]) -> bool:
+        """Submit both answers; returns whether the solver passed.
+
+        A pass requires the control answer to match the control pool's
+        known transcription; only then does the unknown answer count as
+        a vote.
+        """
+        challenge = self._open.pop(challenge_id, None)
+        if challenge is None:
+            raise QualityError(
+                f"unknown or consumed challenge: {challenge_id!r}")
+        control_answer = answers[challenge.control_index]
+        unknown_answer = answers[1 - challenge.control_index]
+        expected = self._controls[challenge.control_word.word_id]
+        passed = (normalize_answer(control_answer)
+                  == normalize_answer(expected))
+        if not passed:
+            self._human_failures += 1
+            return False
+        self._human_passes += 1
+        unknown_id = challenge.unknown_word.word_id
+        if self._status.get(unknown_id) is WordStatus.UNKNOWN:
+            self._votes[unknown_id].append((solver_id, unknown_answer))
+            self._try_resolve(unknown_id)
+        return True
+
+    def _try_resolve(self, word_id: str) -> None:
+        result = self._consensus.resolve(word_id, self._votes[word_id])
+        if not result.resolved:
+            return
+        self._resolutions[word_id] = result
+        if self.promote_resolved:
+            self._controls[word_id] = result.text
+            self._status[word_id] = WordStatus.PROMOTED
+        else:
+            self._status[word_id] = WordStatus.RESOLVED
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def status(self, word_id: str) -> WordStatus:
+        try:
+            return self._status[word_id]
+        except KeyError:
+            raise QualityError(
+                f"{word_id!r} is not an unknown word") from None
+
+    def resolved_words(self) -> Dict[str, str]:
+        """word_id -> resolved transcription."""
+        return {word_id: result.text
+                for word_id, result in self._resolutions.items()}
+
+    def resolution_accuracy(self) -> float:
+        """Fraction of resolved words matching ground truth."""
+        if not self._resolutions:
+            return 0.0
+        correct = sum(
+            1 for word_id, result in self._resolutions.items()
+            if result.text == normalize_answer(
+                self.corpus.word(word_id).truth))
+        return correct / len(self._resolutions)
+
+    def ocr_baseline_accuracy(self) -> float:
+        """Single-engine word accuracy over the whole corpus (mean of
+        the two engines) — the number the paper contrasts with."""
+        return 0.5 * (self.engine_a.word_accuracy(self.corpus)
+                      + self.engine_b.word_accuracy(self.corpus))
+
+    def human_pass_rate(self) -> float:
+        total = self._human_passes + self._human_failures
+        if total == 0:
+            return 0.0
+        return self._human_passes / total
+
+    def digitization_progress(self) -> float:
+        """Fraction of the original unknown pool now resolved."""
+        if not self._status:
+            return 1.0
+        done = sum(1 for status in self._status.values()
+                   if status is not WordStatus.UNKNOWN)
+        return done / len(self._status)

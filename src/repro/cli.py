@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``campaign`` — run a simulated ESP campaign and print GWAP metrics.
+- ``digitize`` — run the reCAPTCHA pipeline over a synthetic book.
+- ``serve``    — start the platform's HTTP service.
+- ``suite``    — play one match of every game and summarize outputs.
+
+Each command is a thin wrapper over the public API; see the examples/
+directory for richer, commented versions of the same flows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Human-computation platform (DAC 2009 repro)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a simulated ESP campaign")
+    campaign.add_argument("--hours", type=float, default=4.0,
+                          help="campaign duration in hours")
+    campaign.add_argument("--players", type=int, default=60,
+                          help="population size")
+    campaign.add_argument("--rate", type=float, default=160.0,
+                          help="visits per hour")
+    campaign.add_argument("--images", type=int, default=150,
+                          help="corpus size")
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--report", action="store_true",
+                          help="print the full campaign report")
+
+    digitize = sub.add_parser(
+        "digitize", help="run the reCAPTCHA digitization pipeline")
+    digitize.add_argument("--words", type=int, default=600,
+                          help="scanned book size")
+    digitize.add_argument("--readers", type=int, default=40,
+                          help="human reader pool size")
+    digitize.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="start the platform HTTP service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--seed", type=int, default=0)
+
+    suite = sub.add_parser(
+        "suite", help="play one match of every game")
+    suite.add_argument("--seed", type=int, default=0)
+
+    play = sub.add_parser(
+        "play", help="solve CAPTCHA challenges interactively")
+    play.add_argument("--rounds", type=int, default=5)
+    play.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analytics import gwap_metrics
+    from repro.corpus import ImageCorpus, Vocabulary
+    from repro.games import EspGame
+    from repro.players import EngagementModel, build_population
+    from repro.sim import Campaign, esp_session_runner
+
+    vocab = Vocabulary(size=1000, seed=args.seed)
+    corpus = ImageCorpus(vocab, size=args.images, seed=args.seed)
+    game = EspGame(corpus, seed=args.seed)
+    population = build_population(args.players, seed=args.seed)
+    engagement = EngagementModel(alp_scale_s=1.5 * 3600.0)
+    campaign = Campaign(population, esp_session_runner(game),
+                        arrival_rate_per_hour=args.rate,
+                        engagement=engagement, seed=args.seed)
+    result = campaign.run(args.hours * 3600.0)
+    if args.report:
+        from repro.analytics.report import campaign_report
+        print(campaign_report("ESP", result, population, engagement,
+                              corpus=corpus, game=game))
+        return 0
+    metrics = gwap_metrics("ESP", result, population, engagement)
+    print(f"sessions:              {metrics.sessions}")
+    print(f"human hours:           {metrics.human_hours:.1f}")
+    print(f"throughput:            "
+          f"{metrics.throughput_per_hour:.1f} labels/human-hour")
+    print(f"avg lifetime play:     {metrics.alp_hours:.2f} h")
+    print(f"expected contribution: {metrics.expected_contribution:.0f}")
+    print(f"promoted labels:       "
+          f"{sum(len(v) for v in game.good_labels().values())}")
+    print(f"label precision:       {game.label_precision():.3f}")
+    return 0
+
+
+def _cmd_digitize(args: argparse.Namespace) -> int:
+    from repro.captcha import HumanReader, OcrEngine, ReCaptchaService
+    from repro.corpus import OcrCorpus
+    from repro.players import PopulationConfig, build_population
+
+    corpus = OcrCorpus(size=args.words, damaged_frac=0.3,
+                       clean_legibility=0.99, damaged_legibility=0.85,
+                       seed=args.seed)
+    service = ReCaptchaService(
+        corpus,
+        OcrEngine("ocr-a", strength=0.55, penalty=0.2, seed=args.seed),
+        OcrEngine("ocr-b", strength=0.5, penalty=0.25,
+                  seed=args.seed + 1),
+        quorum=3.0, seed=args.seed)
+    population = build_population(args.readers, PopulationConfig(
+        skill_mean=0.88, skill_sd=0.06), seed=args.seed)
+    readers = itertools.cycle(
+        HumanReader(model, damage_recovery=0.95, seed=i)
+        for i, model in enumerate(population))
+    served = 0
+    while service.unknown_pool_size > 0 and served < 50000:
+        challenge = service.issue()
+        reader = next(readers)
+        answers = tuple(reader.read(word) for word in challenge.words)
+        service.submit(reader.reader_id, challenge.challenge_id,
+                       answers)
+        served += 1
+    print(f"challenges served:     {served}")
+    print(f"digitization progress: "
+          f"{service.digitization_progress():.1%}")
+    print(f"reCAPTCHA accuracy:    "
+          f"{service.resolution_accuracy():.3f}")
+    print(f"OCR baseline accuracy: "
+          f"{service.ocr_baseline_accuracy():.3f}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.platform import Platform
+    from repro.service import ApiServer
+    from repro.service.http import _make_handler
+    from http.server import ThreadingHTTPServer
+
+    platform = Platform(seed=args.seed)
+    api = ApiServer(platform)
+    server = ThreadingHTTPServer((args.host, args.port),
+                                 _make_handler(api))
+    host, port = server.server_address[0], server.server_address[1]
+    print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nstopping")
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    import runpy
+    from pathlib import Path
+
+    # The suite example is the canonical tour; reuse it directly when
+    # available, otherwise run a minimal inline version.
+    example = (Path(__file__).resolve().parent.parent.parent
+               / "examples" / "gwap_suite.py")
+    if example.exists():
+        runpy.run_path(str(example), run_name="__main__")
+        return 0
+    from repro.corpus import ImageCorpus, Vocabulary
+    from repro.games import EspGame
+    from repro.players import build_population
+    vocab = Vocabulary(size=600, seed=args.seed)
+    corpus = ImageCorpus(vocab, size=40, seed=args.seed)
+    game = EspGame(corpus, seed=args.seed)
+    players = build_population(2, seed=args.seed)
+    session = game.play_session(players[0], players[1])
+    print(f"ESP: {session.successes}/{len(session.rounds)} rounds "
+          "agreed")
+    return 0
+
+
+def _cmd_play(args: argparse.Namespace) -> int:
+    from repro.corpus import OcrCorpus
+    from repro.play import InteractiveCaptcha
+
+    corpus = OcrCorpus(size=200, damaged_frac=0.0,
+                       seed=args.seed if args.seed is not None else 0)
+    session = InteractiveCaptcha(corpus, rounds=args.rounds,
+                                 seed=args.seed)
+    summary = session.play()
+    return 0 if summary.solved > 0 else 1
+
+
+_COMMANDS = {
+    "campaign": _cmd_campaign,
+    "digitize": _cmd_digitize,
+    "serve": _cmd_serve,
+    "suite": _cmd_suite,
+    "play": _cmd_play,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Game-agnostic GWAP engine.
+
+This package implements the three game-structure templates von Ahn &
+Dabbish identified and the DAC 2009 overview presents — output-agreement,
+inversion-problem, and input-agreement — together with the supporting
+mechanics every GWAP shares:
+
+- :mod:`repro.core.entities` — players, task items, contributions, rounds.
+- :mod:`repro.core.templates` — the three game templates as engines that
+  consume player actions and emit contributions.
+- :mod:`repro.core.scoring` — points, streak and time bonuses, skill
+  levels.
+- :mod:`repro.core.taboo` — taboo-word lists and the promotion of labels
+  to taboo status after repeated agreement.
+- :mod:`repro.core.matchmaking` — the lobby: random pairing and the
+  pre-recorded single-player fallback.
+- :mod:`repro.core.session` — timed multi-round sessions.
+- :mod:`repro.core.events` — structured event log for replay/analysis.
+"""
+
+from repro.core.entities import (
+    Contribution, ContributionKind, PlayerRef, RoundOutcome, RoundResult,
+    TaskItem,
+)
+from repro.core.templates import (
+    GameTemplate, InputAgreementGame, InversionProblemGame,
+    OutputAgreementGame,
+)
+from repro.core.scoring import ScoreKeeper, ScoringRules, SkillLevels
+from repro.core.taboo import TabooTracker
+from repro.core.matchmaking import Lobby, Match, RecordedPartner
+from repro.core.session import GameSession, SessionConfig
+from repro.core.events import Event, EventLog
+
+__all__ = [
+    "Contribution", "ContributionKind", "PlayerRef", "RoundOutcome",
+    "RoundResult", "TaskItem",
+    "GameTemplate", "OutputAgreementGame", "InversionProblemGame",
+    "InputAgreementGame",
+    "ScoreKeeper", "ScoringRules", "SkillLevels",
+    "TabooTracker",
+    "Lobby", "Match", "RecordedPartner",
+    "GameSession", "SessionConfig",
+    "Event", "EventLog",
+]

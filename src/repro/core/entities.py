@@ -1,0 +1,125 @@
+"""Core data entities shared by every game and the platform.
+
+The engine is deliberately game-agnostic: a *task item* is an opaque
+payload plus an id, a *contribution* is the typed unit of useful output a
+game emits (a label, a location, a fact, a match judgment, a
+transcription), and a *round result* records what happened between two
+players on one item.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+_contribution_counter = itertools.count()
+
+
+class ContributionKind(enum.Enum):
+    """The type of useful computation a contribution carries."""
+
+    LABEL = "label"                 # ESP: (item, word)
+    LOCATION = "location"           # Peekaboom: (item, word, box/point)
+    FACT = "fact"                   # Verbosity: (word, relation, object)
+    MATCH_JUDGMENT = "match"        # TagATune: (item pair, same/different)
+    TRANSCRIPTION = "transcription"  # reCAPTCHA: (scan, text)
+    PREFERENCE = "preference"       # Matchin: (item pair, winner)
+    TRACE = "trace"                 # Squigl: (item, word, outline)
+    DESCRIPTION = "description"     # Phetch: (item, word list)
+
+
+class RoundOutcome(enum.Enum):
+    """How a round ended."""
+
+    AGREED = "agreed"
+    PASSED = "passed"
+    TIMEOUT = "timeout"
+    COMPLETED = "completed"   # inversion games: guesser got the word
+    FAILED = "failed"         # inversion games: guesser never got it
+
+
+@dataclass(frozen=True)
+class PlayerRef:
+    """A lightweight reference to a player known to the engine."""
+
+    player_id: str
+
+    def __str__(self) -> str:
+        return self.player_id
+
+
+@dataclass(frozen=True)
+class TaskItem:
+    """A unit of work presented to players.
+
+    Attributes:
+        item_id: unique id within a campaign (e.g. an image id).
+        kind: free-form item type tag ("image", "word", "clip", "scan").
+        payload: game-specific data (e.g. the target word for Peekaboom).
+    """
+
+    item_id: str
+    kind: str = "image"
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One unit of verified-or-raw human computation output.
+
+    Attributes:
+        contribution_id: unique monotonically increasing id.
+        kind: what the data field means.
+        item_id: the task item the contribution is about.
+        data: kind-specific payload, e.g. ``{"label": "cat"}``.
+        players: ids of the players whose actions produced it.
+        verified: True when the game's internal agreement mechanism
+            already cross-checked it (e.g. an ESP match), False for raw
+            single-player output that still needs aggregation.
+        timestamp: simulation time (seconds) at which it was produced.
+        weight: aggregation weight (default 1.0; quality control may
+            down-weight suspect players).
+    """
+
+    kind: ContributionKind
+    item_id: str
+    data: Dict[str, Any]
+    players: Tuple[str, ...]
+    verified: bool = False
+    timestamp: float = 0.0
+    weight: float = 1.0
+    contribution_id: int = field(
+        default_factory=lambda: next(_contribution_counter))
+
+    def value(self, key: str) -> Any:
+        """Convenience accessor into :attr:`data`."""
+        return self.data.get(key)
+
+
+@dataclass
+class RoundResult:
+    """The result of one round of play on one item.
+
+    Attributes:
+        item: the task item played.
+        outcome: how the round ended.
+        contributions: useful outputs emitted by the round.
+        elapsed_s: round duration in (simulated) seconds.
+        points: score awarded to each participating player.
+        detail: free-form debugging info (guesses tried, clues given...).
+    """
+
+    item: TaskItem
+    outcome: RoundOutcome
+    contributions: list
+    elapsed_s: float
+    points: Dict[str, int] = field(default_factory=dict)
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the round produced agreement/completion."""
+        return self.outcome in (RoundOutcome.AGREED,
+                                RoundOutcome.COMPLETED)

@@ -1,0 +1,88 @@
+"""Structured event log for campaign replay and analysis.
+
+Every significant engine action (match formed, round played, label
+promoted, player flagged) can be appended to an :class:`EventLog`.  The
+log is append-only and queryable by type and time window; the analytics
+package consumes it to build the time-series figures (label growth,
+coverage over time).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Sequence
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped engine event.
+
+    Attributes:
+        at_s: campaign time in seconds.
+        kind: event type tag ("match", "round", "promotion", "flag", ...).
+        data: type-specific payload (JSON-serializable).
+    """
+
+    at_s: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({"at_s": self.at_s, "kind": self.kind,
+                           "data": self.data}, sort_keys=True)
+
+    @staticmethod
+    def from_json(raw: str) -> "Event":
+        obj = json.loads(raw)
+        return Event(at_s=obj["at_s"], kind=obj["kind"],
+                     data=obj.get("data", {}))
+
+
+class EventLog:
+    """Append-only, time-ordered-as-appended event store."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def append(self, at_s: float, kind: str, **data: Any) -> Event:
+        """Record an event and return it."""
+        event = Event(at_s=at_s, kind=kind, data=data)
+        self._events.append(event)
+        return event
+
+    def extend(self, events: Sequence[Event]) -> None:
+        self._events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        """All events of one kind, in append order."""
+        return [e for e in self._events if e.kind == kind]
+
+    def between(self, start_s: float, end_s: float) -> List[Event]:
+        """Events with ``start_s <= at_s < end_s``."""
+        return [e for e in self._events if start_s <= e.at_s < end_s]
+
+    def where(self, predicate: Callable[[Event], bool]) -> List[Event]:
+        """Events matching an arbitrary predicate."""
+        return [e for e in self._events if predicate(e)]
+
+    def kinds(self) -> List[str]:
+        """Distinct event kinds present, sorted."""
+        return sorted({e.kind for e in self._events})
+
+    def dump(self) -> List[str]:
+        """The whole log as JSON lines."""
+        return [e.to_json() for e in self._events]
+
+    @staticmethod
+    def load(lines: Sequence[str]) -> "EventLog":
+        """Rebuild a log from :meth:`dump` output."""
+        log = EventLog()
+        log.extend([Event.from_json(line) for line in lines])
+        return log

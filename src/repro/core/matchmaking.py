@@ -1,0 +1,137 @@
+"""Matchmaking: random pairing and the pre-recorded partner fallback.
+
+Random matching is itself a quality mechanism — colluders cannot choose
+each other — and the pre-recorded (single-player) mode is how the ESP Game
+stays playable at low traffic: a lone player is paired against a replayed
+guess stream from an earlier session, and their answers are only *verified*
+if they match what the recorded player entered.
+
+:class:`Lobby` queues waiting players and forms :class:`Match` es;
+:class:`RecordedPartner` replays a stored guess stream through the
+output-agreement player protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import rng as _rng
+from repro.core.entities import TaskItem
+from repro.core.templates import TimedAnswer
+from repro.errors import MatchmakingError
+
+
+@dataclass(frozen=True)
+class Match:
+    """A formed pairing, possibly against a recorded partner."""
+
+    player_a: str
+    player_b: str
+    recorded: bool = False
+
+    @property
+    def players(self) -> Tuple[str, str]:
+        return (self.player_a, self.player_b)
+
+
+class RecordedPartner:
+    """Replays a recorded guess stream as an output-agreement player.
+
+    Args:
+        player_id: synthetic id ("recorded:<original player>").
+        recordings: mapping item_id -> guesses recorded in a live session.
+    """
+
+    def __init__(self, player_id: str,
+                 recordings: Dict[str, Sequence[TimedAnswer]]) -> None:
+        self.player_id = player_id
+        self._recordings = dict(recordings)
+
+    def enter_guesses(self, item: TaskItem,
+                      taboo: frozenset) -> Sequence[TimedAnswer]:
+        """Replay the stored stream, minus now-taboo words."""
+        stored = self._recordings.get(item.item_id, ())
+        return [g for g in stored if g.text not in taboo]
+
+    def has_recording_for(self, item_id: str) -> bool:
+        return item_id in self._recordings
+
+    def items(self) -> Sequence[str]:
+        return tuple(self._recordings)
+
+
+class Lobby:
+    """A waiting-room that forms random pairs.
+
+    Players enter the lobby; :meth:`form_matches` randomly pairs everyone
+    waiting.  With an odd player out, the lobby falls back to a recorded
+    partner when a recording bank is available, otherwise the player keeps
+    waiting.
+
+    Args:
+        seed: RNG seed for the random pairing.
+        allow_recorded: whether single players may face recordings.
+    """
+
+    def __init__(self, seed: _rng.SeedLike = 0,
+                 allow_recorded: bool = True) -> None:
+        self._rng = _rng.make_rng(seed)
+        self.allow_recorded = allow_recorded
+        self._waiting: List[str] = []
+        self._recordings: Dict[str, Dict[str, List[TimedAnswer]]] = {}
+
+    def enter(self, player_id: str) -> None:
+        """Add a player to the waiting queue."""
+        if player_id in self._waiting:
+            raise MatchmakingError(
+                f"player {player_id!r} is already waiting")
+        self._waiting.append(player_id)
+
+    def leave(self, player_id: str) -> None:
+        """Remove a player from the waiting queue (no-op if absent)."""
+        try:
+            self._waiting.remove(player_id)
+        except ValueError:
+            pass
+
+    @property
+    def waiting(self) -> Sequence[str]:
+        return tuple(self._waiting)
+
+    def record_session(self, player_id: str, item_id: str,
+                       guesses: Sequence[TimedAnswer]) -> None:
+        """Bank a live guess stream for future single-player rounds."""
+        bank = self._recordings.setdefault(player_id, {})
+        bank[item_id] = list(guesses)
+
+    def recorded_partner(self) -> Optional[RecordedPartner]:
+        """A random recorded partner, or None if the bank is empty."""
+        if not self._recordings:
+            return None
+        source = self._rng.choice(sorted(self._recordings))
+        return RecordedPartner(f"recorded:{source}",
+                               self._recordings[source])
+
+    def form_matches(self) -> List[Match]:
+        """Randomly pair all waiting players; maybe seat the odd one out.
+
+        Returns the formed matches; matched players leave the queue.  The
+        pairing is uniformly random, which is what denies colluders
+        partner choice.
+        """
+        queue = list(self._waiting)
+        self._rng.shuffle(queue)
+        matches: List[Match] = []
+        while len(queue) >= 2:
+            a = queue.pop()
+            b = queue.pop()
+            matches.append(Match(player_a=a, player_b=b))
+        if queue and self.allow_recorded:
+            partner = self.recorded_partner()
+            if partner is not None:
+                matches.append(Match(player_a=queue.pop(),
+                                     player_b=partner.player_id,
+                                     recorded=True))
+        self._waiting = queue
+        return matches

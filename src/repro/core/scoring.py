@@ -1,0 +1,150 @@
+"""Scoring, bonuses and skill levels.
+
+The overview lists score keeping, timed-response bonuses and skill levels
+among the mechanics that make GWAPs enjoyable (and therefore productive:
+enjoyment drives average lifetime play).  :class:`ScoringRules` is a pure
+policy object; :class:`ScoreKeeper` tracks per-player totals, streaks and
+levels across a session or campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ScoringRules:
+    """Point policy for a game.
+
+    Attributes:
+        base_points: points for a successful round.
+        pass_points: points when both players pass (usually 0).
+        time_bonus_max: extra points for an instant answer, decaying
+            linearly to zero at ``time_bonus_window_s``.
+        time_bonus_window_s: window over which the time bonus decays.
+        streak_bonus: extra points per consecutive success, capped at
+            ``streak_cap`` successes.
+        streak_cap: longest streak that still increases the bonus.
+    """
+
+    base_points: int = 100
+    pass_points: int = 0
+    time_bonus_max: int = 50
+    time_bonus_window_s: float = 20.0
+    streak_bonus: int = 10
+    streak_cap: int = 5
+
+    def __post_init__(self) -> None:
+        if self.base_points < 0:
+            raise ConfigError(
+                f"base_points must be >= 0, got {self.base_points}")
+        if self.time_bonus_window_s <= 0:
+            raise ConfigError(
+                "time_bonus_window_s must be > 0, got "
+                f"{self.time_bonus_window_s}")
+        if self.streak_cap < 0:
+            raise ConfigError(
+                f"streak_cap must be >= 0, got {self.streak_cap}")
+
+    def round_points(self, success: bool, elapsed_s: float,
+                     streak: int) -> int:
+        """Points for one round given success, speed and current streak."""
+        if not success:
+            return self.pass_points
+        frac = max(0.0, 1.0 - elapsed_s / self.time_bonus_window_s)
+        time_bonus = int(round(self.time_bonus_max * frac))
+        streak_bonus = self.streak_bonus * min(streak, self.streak_cap)
+        return self.base_points + time_bonus + streak_bonus
+
+
+@dataclass(frozen=True)
+class SkillLevels:
+    """Named skill levels unlocked at cumulative point thresholds."""
+
+    thresholds: Tuple[int, ...] = (0, 1000, 5000, 20000, 100000)
+    names: Tuple[str, ...] = ("newbie", "apprentice", "pro", "master",
+                              "grandmaster")
+
+    def __post_init__(self) -> None:
+        if len(self.thresholds) != len(self.names):
+            raise ConfigError(
+                f"{len(self.thresholds)} thresholds but "
+                f"{len(self.names)} names")
+        if list(self.thresholds) != sorted(self.thresholds):
+            raise ConfigError("thresholds must be non-decreasing")
+
+    def level(self, points: int) -> str:
+        """The name of the highest level unlocked by ``points``."""
+        name = self.names[0]
+        for threshold, candidate in zip(self.thresholds, self.names):
+            if points >= threshold:
+                name = candidate
+        return name
+
+    def next_threshold(self, points: int) -> int:
+        """Points needed for the next level (or current points if maxed)."""
+        for threshold in self.thresholds:
+            if points < threshold:
+                return threshold
+        return points
+
+
+class ScoreKeeper:
+    """Tracks scores, streaks and levels for a set of players."""
+
+    def __init__(self, rules: ScoringRules = ScoringRules(),
+                 levels: SkillLevels = SkillLevels()) -> None:
+        self.rules = rules
+        self.levels = levels
+        self._points: Dict[str, int] = {}
+        self._streaks: Dict[str, int] = {}
+        self._rounds: Dict[str, int] = {}
+        self._successes: Dict[str, int] = {}
+
+    def record_round(self, player_ids: Sequence[str], success: bool,
+                     elapsed_s: float) -> Dict[str, int]:
+        """Record one round for all participants; returns points awarded."""
+        awarded: Dict[str, int] = {}
+        for player_id in player_ids:
+            streak = self._streaks.get(player_id, 0)
+            points = self.rules.round_points(success, elapsed_s, streak)
+            self._points[player_id] = self._points.get(player_id, 0) + points
+            self._rounds[player_id] = self._rounds.get(player_id, 0) + 1
+            if success:
+                self._streaks[player_id] = streak + 1
+                self._successes[player_id] = (
+                    self._successes.get(player_id, 0) + 1)
+            else:
+                self._streaks[player_id] = 0
+            awarded[player_id] = points
+        return awarded
+
+    def points(self, player_id: str) -> int:
+        """Cumulative points for a player (0 if unseen)."""
+        return self._points.get(player_id, 0)
+
+    def streak(self, player_id: str) -> int:
+        """Current success streak for a player."""
+        return self._streaks.get(player_id, 0)
+
+    def level(self, player_id: str) -> str:
+        """Current skill-level name for a player."""
+        return self.levels.level(self.points(player_id))
+
+    def success_rate(self, player_id: str) -> float:
+        """Fraction of the player's rounds that succeeded."""
+        rounds = self._rounds.get(player_id, 0)
+        if rounds == 0:
+            return 0.0
+        return self._successes.get(player_id, 0) / rounds
+
+    def leaderboard(self, top: int = 10) -> List[Tuple[str, int]]:
+        """Top players by cumulative points."""
+        ranked = sorted(self._points.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top]
+
+    def known_players(self) -> List[str]:
+        return sorted(self._points)

@@ -1,0 +1,122 @@
+"""Timed multi-round game sessions.
+
+A GWAP session is a fixed time window (the ESP Game used 2.5 minutes)
+during which a matched pair plays as many rounds as fit.  The session
+object owns the per-session clock, asks a round-playing callback for each
+round, applies scoring, and stops when the window closes.
+
+The session is template-agnostic: the concrete game supplies a
+``play_round(item, now) -> RoundResult`` callable and an item iterator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.entities import RoundResult, TaskItem
+from repro.core.scoring import ScoreKeeper
+from repro.errors import ConfigError, GameError
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Session policy.
+
+    Attributes:
+        duration_s: total session length (ESP: 150 s).
+        max_rounds: hard cap on rounds regardless of time.
+        inter_round_gap_s: dead time between rounds (next image loads).
+    """
+
+    duration_s: float = 150.0
+    max_rounds: int = 15
+    inter_round_gap_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigError(
+                f"duration_s must be > 0, got {self.duration_s}")
+        if self.max_rounds < 1:
+            raise ConfigError(
+                f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.inter_round_gap_s < 0:
+            raise ConfigError(
+                "inter_round_gap_s must be >= 0, got "
+                f"{self.inter_round_gap_s}")
+
+
+@dataclass
+class SessionResult:
+    """What one session produced."""
+
+    rounds: List[RoundResult]
+    duration_s: float
+    players: Sequence[str]
+
+    @property
+    def successes(self) -> int:
+        return sum(1 for r in self.rounds if r.succeeded)
+
+    @property
+    def contributions(self) -> List:
+        out = []
+        for r in self.rounds:
+            out.extend(r.contributions)
+        return out
+
+
+class GameSession:
+    """Runs rounds for one matched pair until the clock runs out.
+
+    Args:
+        config: session policy.
+        scorekeeper: shared score state (campaign-wide or per-session).
+        start_s: campaign time at which the session begins.
+    """
+
+    def __init__(self, config: SessionConfig = SessionConfig(),
+                 scorekeeper: Optional[ScoreKeeper] = None,
+                 start_s: float = 0.0) -> None:
+        self.config = config
+        self.scorekeeper = scorekeeper or ScoreKeeper()
+        self.start_s = start_s
+
+    def run(self, players: Sequence[str], items: Iterable[TaskItem],
+            play_round: Callable[[TaskItem, float], RoundResult]
+            ) -> SessionResult:
+        """Run the session.
+
+        Args:
+            players: ids of the (usually two) participants.
+            items: item stream; the session consumes one per round.
+            play_round: callback executing one round; receives the item
+                and the current campaign time, returns a
+                :class:`RoundResult`.
+
+        Returns:
+            A :class:`SessionResult` with per-round outcomes; each
+            round's ``points`` dict is filled in from the scorekeeper.
+        """
+        if not players:
+            raise GameError("a session needs at least one player")
+        clock = 0.0
+        rounds: List[RoundResult] = []
+        item_iter: Iterator[TaskItem] = iter(items)
+        while (clock < self.config.duration_s
+               and len(rounds) < self.config.max_rounds):
+            try:
+                item = next(item_iter)
+            except StopIteration:
+                break
+            result = play_round(item, self.start_s + clock)
+            remaining = self.config.duration_s - clock
+            elapsed = min(result.elapsed_s, remaining)
+            awarded = self.scorekeeper.record_round(
+                players, result.succeeded, elapsed)
+            result.points = awarded
+            rounds.append(result)
+            clock += elapsed + self.config.inter_round_gap_s
+        return SessionResult(rounds=rounds,
+                             duration_s=min(clock, self.config.duration_s),
+                             players=tuple(players))

@@ -1,0 +1,88 @@
+"""Taboo words: the ESP Game's label-diversity mechanism.
+
+Once a label has been agreed on for an image enough times, the ESP Game
+makes it *taboo*: future player pairs see the taboo list and may not enter
+those words, which forces agreement on progressively less obvious labels.
+The overview highlights this as the mechanism that keeps a finished corpus
+gaining new information instead of re-confirming "dog" forever.
+
+:class:`TabooTracker` is shared mutable state across a campaign: games ask
+it for the current taboo list per item and report each verified agreement
+back to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+class TabooTracker:
+    """Tracks per-item agreement counts and promotes labels to taboo.
+
+    Args:
+        promotion_threshold: independent agreements needed before a label
+            becomes taboo for its item (the paper's "repetition" knob —
+            the same count gates when a label is considered *good*).
+        max_taboo: cap on the taboo list shown per item (oldest-promoted
+            kept; real ESP showed up to 6).
+    """
+
+    def __init__(self, promotion_threshold: int = 2,
+                 max_taboo: int = 6) -> None:
+        if promotion_threshold < 1:
+            raise ConfigError(
+                "promotion_threshold must be >= 1, got "
+                f"{promotion_threshold}")
+        if max_taboo < 0:
+            raise ConfigError(f"max_taboo must be >= 0, got {max_taboo}")
+        self.promotion_threshold = promotion_threshold
+        self.max_taboo = max_taboo
+        self._agreements: Dict[Tuple[str, str], int] = {}
+        self._taboo: Dict[str, List[str]] = {}
+
+    def taboo_for(self, item_id: str) -> FrozenSet[str]:
+        """Current taboo words for an item (possibly empty)."""
+        return frozenset(self._taboo.get(item_id, ())[:self.max_taboo])
+
+    def is_taboo(self, item_id: str, label: str) -> bool:
+        """Whether ``label`` is currently taboo for ``item_id``."""
+        return label in self.taboo_for(item_id)
+
+    def record_agreement(self, item_id: str, label: str) -> bool:
+        """Record one verified agreement; returns True if it promoted.
+
+        Agreements on already-taboo labels are counted but never promote
+        twice.
+        """
+        key = (item_id, label)
+        self._agreements[key] = self._agreements.get(key, 0) + 1
+        taboo = self._taboo.setdefault(item_id, [])
+        if (self._agreements[key] >= self.promotion_threshold
+                and label not in taboo):
+            taboo.append(label)
+            return True
+        return False
+
+    def agreement_count(self, item_id: str, label: str) -> int:
+        """Verified agreements recorded for (item, label)."""
+        return self._agreements.get((item_id, label), 0)
+
+    def promoted_labels(self, item_id: str) -> Sequence[str]:
+        """All labels ever promoted for an item, in promotion order.
+
+        Unlike :meth:`taboo_for`, this is not capped: it is the item's
+        *good label* set — the game's verified output.
+        """
+        return tuple(self._taboo.get(item_id, ()))
+
+    def all_promoted(self) -> Dict[str, Tuple[str, ...]]:
+        """Mapping of item -> promoted labels for every tracked item."""
+        return {item: tuple(labels)
+                for item, labels in self._taboo.items() if labels}
+
+    def items_with_at_least(self, count: int) -> List[str]:
+        """Items that have at least ``count`` promoted labels."""
+        return [item for item, labels in self._taboo.items()
+                if len(labels) >= count]

@@ -1,0 +1,323 @@
+"""The three GWAP game-structure templates.
+
+von Ahn & Dabbish distilled the successful games into three templates,
+which the DAC 2009 overview presents as the reusable core of human
+computation games:
+
+- **Output-agreement** (:class:`OutputAgreementGame`, e.g. ESP Game):
+  both players see the same input and win by producing the same output.
+  The matched output is a *verified* contribution.
+- **Inversion-problem** (:class:`InversionProblemGame`, e.g. Peekaboom,
+  Verbosity, Phetch): a *describer* holds a secret about the input and
+  sends clues; a *guesser* must reproduce the secret.  Completion
+  certifies the clues as useful computation.
+- **Input-agreement** (:class:`InputAgreementGame`, e.g. TagATune): the
+  players receive inputs that are either identical or different, exchange
+  descriptions, and win by both correctly judging same-vs-different.
+  Agreement certifies the exchanged descriptions.
+
+Templates are engines: they are game-agnostic, know nothing about
+simulated-player internals, and interact with players through the small
+structural protocols defined here.  A concrete game (:mod:`repro.games`)
+binds a template to a corpus and a contribution kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Dict,
+                    List,
+                    Optional,
+                    Protocol,
+                    Sequence,
+                    Tuple,
+                    runtime_checkable)
+
+from repro.core.entities import (Contribution, ContributionKind,
+                                 RoundOutcome, RoundResult, TaskItem)
+from repro.errors import ConfigError, GameError
+
+
+@dataclass(frozen=True)
+class TimedAnswer:
+    """An answer (guess / clue / tag) produced ``at_s`` seconds in."""
+
+    text: str
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise GameError(f"answer time must be >= 0, got {self.at_s}")
+
+
+@runtime_checkable
+class OutputAgreementPlayer(Protocol):
+    """A player that types guesses for an item under taboo constraints."""
+
+    player_id: str
+
+    def enter_guesses(self, item: TaskItem,
+                      taboo: frozenset) -> Sequence[TimedAnswer]:
+        """Timed guesses the player would enter for this item."""
+        ...
+
+
+@runtime_checkable
+class Describer(Protocol):
+    """The inversion-problem player who knows the secret."""
+
+    player_id: str
+
+    def give_clues(self, item: TaskItem,
+                   secret: str) -> Sequence[TimedAnswer]:
+        """Timed clues revealing the secret (never the secret itself)."""
+        ...
+
+
+@runtime_checkable
+class Guesser(Protocol):
+    """The inversion-problem player reconstructing the secret."""
+
+    player_id: str
+
+    def guess_from_clues(self, item: TaskItem,
+                         clues: Sequence[str]) -> Sequence[str]:
+        """Guesses (in order) after seeing the given clue prefix."""
+        ...
+
+
+@runtime_checkable
+class InputAgreementPlayer(Protocol):
+    """A player describing an input and judging same-vs-different."""
+
+    player_id: str
+
+    def describe(self, item: TaskItem) -> Sequence[TimedAnswer]:
+        """Timed tags describing the player's own input."""
+        ...
+
+    def judge_same(self, item: TaskItem,
+                   partner_tags: Sequence[str]) -> bool:
+        """Vote whether the partner's input equals the player's own."""
+        ...
+
+
+class GameTemplate:
+    """Base class: shared configuration for round-based templates.
+
+    Args:
+        round_time_limit_s: wall-clock cap on a round.
+        contribution_kind: the kind tag stamped on emitted contributions.
+    """
+
+    def __init__(self, round_time_limit_s: float = 150.0,
+                 contribution_kind: ContributionKind =
+                 ContributionKind.LABEL) -> None:
+        if round_time_limit_s <= 0:
+            raise ConfigError(
+                "round_time_limit_s must be > 0, got "
+                f"{round_time_limit_s}")
+        self.round_time_limit_s = round_time_limit_s
+        self.contribution_kind = contribution_kind
+
+
+class OutputAgreementGame(GameTemplate):
+    """Output-agreement template (ESP Game structure).
+
+    Both players independently type guesses; the round succeeds at the
+    earliest time a non-taboo word has been typed by both.  Taboo words
+    are filtered out of each player's stream before matching (the UI
+    would have rejected them).
+    """
+
+    def play_round(self, item: TaskItem, player_a: OutputAgreementPlayer,
+                   player_b: OutputAgreementPlayer,
+                   taboo: frozenset = frozenset(),
+                   now: float = 0.0) -> RoundResult:
+        """Play one round and return its result.
+
+        Args:
+            item: the shared input.
+            player_a / player_b: the randomly matched partners.
+            taboo: words neither player may enter.
+            now: campaign timestamp for emitted contributions.
+        """
+        guesses_a = self._legal(player_a.enter_guesses(item, taboo), taboo)
+        guesses_b = self._legal(player_b.enter_guesses(item, taboo), taboo)
+        match = self._earliest_match(guesses_a, guesses_b)
+        detail = {
+            "guesses_a": [g.text for g in guesses_a],
+            "guesses_b": [g.text for g in guesses_b],
+            "timed_a": [(g.text, g.at_s) for g in guesses_a],
+            "timed_b": [(g.text, g.at_s) for g in guesses_b],
+            "taboo": sorted(taboo),
+        }
+        if match is None:
+            return RoundResult(item=item, outcome=RoundOutcome.TIMEOUT,
+                               contributions=[],
+                               elapsed_s=self.round_time_limit_s,
+                               detail=detail)
+        label, at_s = match
+        contribution = Contribution(
+            kind=self.contribution_kind, item_id=item.item_id,
+            data={"label": label},
+            players=(player_a.player_id, player_b.player_id),
+            verified=True, timestamp=now + at_s)
+        detail["matched"] = label
+        return RoundResult(item=item, outcome=RoundOutcome.AGREED,
+                           contributions=[contribution], elapsed_s=at_s,
+                           detail=detail)
+
+    def _legal(self, guesses: Sequence[TimedAnswer],
+               taboo: frozenset) -> List[TimedAnswer]:
+        legal = [g for g in guesses
+                 if g.text not in taboo and g.at_s <= self.round_time_limit_s]
+        legal.sort(key=lambda g: g.at_s)
+        return legal
+
+    @staticmethod
+    def _earliest_match(guesses_a: Sequence[TimedAnswer],
+                        guesses_b: Sequence[TimedAnswer]
+                        ) -> Optional[Tuple[str, float]]:
+        """Earliest word both streams contain; time is the later entry."""
+        first_a: Dict[str, float] = {}
+        for guess in guesses_a:
+            first_a.setdefault(guess.text, guess.at_s)
+        best: Optional[Tuple[str, float]] = None
+        for guess in guesses_b:
+            if guess.text in first_a:
+                at = max(first_a[guess.text], guess.at_s)
+                if best is None or at < best[1]:
+                    best = (guess.text, at)
+        return best
+
+
+class InversionProblemGame(GameTemplate):
+    """Inversion-problem template (Peekaboom / Verbosity structure).
+
+    The describer's clue schedule is replayed in time order; after each
+    clue the guesser produces zero or more guesses.  The round completes
+    when a guess equals the secret.  Clues given before completion are
+    emitted as contributions, verified iff the round completed (the
+    guess certifies the clues carried real information).
+
+    Args:
+        guess_interval_s: simulated delay between a clue landing and each
+            successive guess it triggers.
+    """
+
+    def __init__(self, round_time_limit_s: float = 150.0,
+                 contribution_kind: ContributionKind =
+                 ContributionKind.FACT,
+                 guess_interval_s: float = 2.0) -> None:
+        super().__init__(round_time_limit_s, contribution_kind)
+        if guess_interval_s <= 0:
+            raise ConfigError(
+                f"guess_interval_s must be > 0, got {guess_interval_s}")
+        self.guess_interval_s = guess_interval_s
+
+    def play_round(self, item: TaskItem, describer: Describer,
+                   guesser: Guesser, secret: str,
+                   now: float = 0.0) -> RoundResult:
+        """Play one round: describer reveals, guesser reconstructs."""
+        if not secret:
+            raise GameError("inversion round needs a non-empty secret")
+        clues = sorted(describer.give_clues(item, secret),
+                       key=lambda c: c.at_s)
+        clues = [c for c in clues if c.at_s <= self.round_time_limit_s]
+        if any(c.text == secret for c in clues):
+            raise GameError(
+                f"describer {describer.player_id} leaked the secret "
+                f"{secret!r} as a clue")
+        seen: List[str] = []
+        guesses_tried: List[str] = []
+        completed_at: Optional[float] = None
+        for clue in clues:
+            seen.append(clue.text)
+            for index, guess in enumerate(
+                    guesser.guess_from_clues(item, tuple(seen))):
+                guess_at = clue.at_s + (index + 1) * self.guess_interval_s
+                if guess_at > self.round_time_limit_s:
+                    break
+                guesses_tried.append(guess)
+                if guess == secret:
+                    completed_at = guess_at
+                    break
+            if completed_at is not None:
+                break
+        completed = completed_at is not None
+        if completed:
+            elapsed = completed_at
+        elif clues:
+            # Both players pass once the describer is out of clues and
+            # the guesser has exhausted their attempts — real rounds end
+            # here, not at the hard time limit.
+            elapsed = min(self.round_time_limit_s,
+                          clues[-1].at_s + 2 * self.guess_interval_s)
+        else:
+            elapsed = min(self.round_time_limit_s,
+                          2 * self.guess_interval_s)
+        used_clues = seen if completed else [c.text for c in clues]
+        contributions = [
+            Contribution(kind=self.contribution_kind, item_id=item.item_id,
+                         data={"clue": text, "secret": secret},
+                         players=(describer.player_id, guesser.player_id),
+                         verified=completed, timestamp=now + elapsed)
+            for text in used_clues
+        ]
+        outcome = (RoundOutcome.COMPLETED if completed
+                   else RoundOutcome.FAILED)
+        return RoundResult(
+            item=item, outcome=outcome, contributions=contributions,
+            elapsed_s=elapsed,
+            detail={"clues": used_clues, "guesses": guesses_tried,
+                    "secret": secret})
+
+
+class InputAgreementGame(GameTemplate):
+    """Input-agreement template (TagATune structure).
+
+    Each player describes their own input; both then judge whether the
+    inputs match, seeing only the partner's description.  The round
+    succeeds when the two judgments agree with each other *and* with the
+    truth; exchanged tags then become verified contributions on each
+    player's own item.
+    """
+
+    def play_round(self, item_a: TaskItem, item_b: TaskItem,
+                   player_a: InputAgreementPlayer,
+                   player_b: InputAgreementPlayer,
+                   same: bool, now: float = 0.0) -> RoundResult:
+        """Play one round.
+
+        Args:
+            item_a / item_b: the inputs shown to each player (identical
+                objects when ``same`` is True).
+            same: ground truth of the round.
+        """
+        tags_a = [t for t in player_a.describe(item_a)
+                  if t.at_s <= self.round_time_limit_s]
+        tags_b = [t for t in player_b.describe(item_b)
+                  if t.at_s <= self.round_time_limit_s]
+        vote_a = player_a.judge_same(item_a, tuple(t.text for t in tags_b))
+        vote_b = player_b.judge_same(item_b, tuple(t.text for t in tags_a))
+        votes_agree = vote_a == vote_b
+        correct = votes_agree and vote_a == same
+        last_tag = max([t.at_s for t in tags_a + tags_b] or [0.0])
+        elapsed = min(self.round_time_limit_s, last_tag + 2.0)
+        contributions: List[Contribution] = []
+        for item, tags, player in ((item_a, tags_a, player_a),
+                                   (item_b, tags_b, player_b)):
+            for tag in tags:
+                contributions.append(Contribution(
+                    kind=self.contribution_kind, item_id=item.item_id,
+                    data={"label": tag.text},
+                    players=(player.player_id,),
+                    verified=correct, timestamp=now + tag.at_s))
+        outcome = RoundOutcome.AGREED if correct else RoundOutcome.FAILED
+        return RoundResult(
+            item=item_a, outcome=outcome, contributions=contributions,
+            elapsed_s=elapsed,
+            detail={"vote_a": vote_a, "vote_b": vote_b, "same": same,
+                    "tags_a": [t.text for t in tags_a],
+                    "tags_b": [t.text for t in tags_b]})

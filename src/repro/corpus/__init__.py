@@ -1,0 +1,39 @@
+"""Synthetic corpora with known ground truth.
+
+The original GWAP systems ran over real images, music clips and scanned
+book pages.  This package replaces them with deterministic synthetic
+corpora that expose the *ground truth* each game is trying to recover, so
+that label quality can be measured exactly:
+
+- :mod:`repro.corpus.vocab` — a Zipfian synthetic vocabulary with semantic
+  categories and word-relatedness structure.
+- :mod:`repro.corpus.images` — images carrying a ground-truth tag salience
+  distribution (for ESP, Peekaboom, Matchin, Squigl).
+- :mod:`repro.corpus.objects` — objects with bounding boxes inside images
+  (for Peekaboom and Squigl).
+- :mod:`repro.corpus.facts` — a common-sense fact base (for Verbosity).
+- :mod:`repro.corpus.ocr` — scanned-word corpus with per-word legibility
+  (for CAPTCHA / reCAPTCHA).
+- :mod:`repro.corpus.music` — music clips with tag distributions (for
+  TagATune's input-agreement game).
+"""
+
+from repro.corpus.vocab import Vocabulary, Word
+from repro.corpus.images import Image, ImageCorpus
+from repro.corpus.objects import BoundingBox, SceneObject
+from repro.corpus.facts import Fact, FactBase
+from repro.corpus.ocr import ScannedWord, OcrCorpus
+from repro.corpus.music import MusicClip, MusicCorpus
+from repro.corpus.io import (World, load_world, save_world,
+                             document_to_world, world_to_document)
+
+__all__ = [
+    "World", "load_world", "save_world",
+    "document_to_world", "world_to_document",
+    "Vocabulary", "Word",
+    "Image", "ImageCorpus",
+    "BoundingBox", "SceneObject",
+    "Fact", "FactBase",
+    "ScannedWord", "OcrCorpus",
+    "MusicClip", "MusicCorpus",
+]

@@ -1,0 +1,189 @@
+"""Common-sense fact base for Verbosity.
+
+Verbosity collects facts of the form *"<subject> <relation> <object>"*
+(e.g. "milk — is a kind of — drink").  The synthetic fact base derives
+facts from the vocabulary's category structure: words in the same category
+are related, the most frequent word of a category acts as its hypernym,
+and a controlled fraction of *distractor* facts is available so simulated
+describers can produce plausible-but-wrong clues whose incorrectness is
+known to the evaluator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro import rng as _rng
+from repro.corpus.vocab import Vocabulary, Word
+from repro.errors import CorpusError
+
+
+class Relation(enum.Enum):
+    """Verbosity's fixed clue templates."""
+
+    IS_A = "is a kind of"
+    RELATED_TO = "is related to"
+    USED_FOR = "is used for"
+    LOOKS_LIKE = "looks like"
+    OPPOSITE_OF = "is the opposite of"
+
+    def render(self, subject: str, obj: str) -> str:
+        return f"{subject} {self.value} {obj}"
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A (subject, relation, object) triple with ground-truth validity."""
+
+    subject: str
+    relation: Relation
+    obj: str
+    true: bool
+
+    def render(self) -> str:
+        """Human-readable sentence form."""
+        return self.relation.render(self.subject, self.obj)
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.subject, self.relation.value, self.obj)
+
+
+class FactBase:
+    """Ground-truth common-sense facts over a vocabulary.
+
+    For each word, true facts connect it to same-category words
+    (RELATED_TO / LOOKS_LIKE), to its category hypernym (IS_A), and to a
+    category-specific purpose word (USED_FOR).  False facts connect words
+    across unrelated categories; they exist so that simulated guessers and
+    fact validators can be tested against known-bad clues.
+
+    Args:
+        vocabulary: the shared vocabulary.
+        facts_per_word: true facts generated per word (capped by category
+            size).
+        distractors_per_word: known-false facts per word.
+        seed: RNG seed.
+    """
+
+    def __init__(self, vocabulary: Vocabulary, facts_per_word: int = 4,
+                 distractors_per_word: int = 2,
+                 seed: _rng.SeedLike = 0) -> None:
+        if facts_per_word <= 0:
+            raise CorpusError(
+                f"facts_per_word must be >= 1, got {facts_per_word}")
+        self.vocabulary = vocabulary
+        rng = _rng.make_rng(seed)
+        self._facts: Dict[Tuple[str, str, str], Fact] = {}
+        self._true_by_subject: Dict[str, List[Fact]] = {}
+        self._false_by_subject: Dict[str, List[Fact]] = {}
+        hypernyms = self._category_hypernyms()
+        purposes = self._category_purposes(rng)
+        for word in vocabulary:
+            true_facts = self._make_true_facts(
+                word, hypernyms, purposes, facts_per_word, rng)
+            false_facts = self._make_false_facts(
+                word, distractors_per_word, rng)
+            self._true_by_subject[word.text] = true_facts
+            self._false_by_subject[word.text] = false_facts
+            for fact in true_facts + false_facts:
+                self._facts[fact.key] = fact
+
+    def _category_hypernyms(self) -> Dict[int, str]:
+        hypernyms = {}
+        for category in range(self.vocabulary.categories):
+            members = self.vocabulary.category_words(category)
+            hypernyms[category] = min(members, key=lambda w: w.rank).text
+        return hypernyms
+
+    def _category_purposes(self, rng) -> Dict[int, str]:
+        purposes = {}
+        for category in range(self.vocabulary.categories):
+            members = list(self.vocabulary.category_words(category))
+            purposes[category] = rng.choice(members).text
+        return purposes
+
+    def _make_true_facts(self, word: Word, hypernyms: Dict[int, str],
+                         purposes: Dict[int, str], budget: int,
+                         rng) -> List[Fact]:
+        facts: List[Fact] = []
+        hypernym = hypernyms[word.category]
+        if hypernym != word.text:
+            facts.append(Fact(word.text, Relation.IS_A, hypernym, True))
+        purpose = purposes[word.category]
+        if purpose != word.text:
+            facts.append(Fact(word.text, Relation.USED_FOR, purpose, True))
+        related = self.vocabulary.related(word, limit=budget + 2)
+        rng.shuffle(related)
+        for other in related:
+            if len(facts) >= budget:
+                break
+            relation = (Relation.RELATED_TO if rng.random() < 0.7
+                        else Relation.LOOKS_LIKE)
+            facts.append(Fact(word.text, relation, other.text, True))
+        return facts[:budget]
+
+    def _make_false_facts(self, word: Word, budget: int,
+                          rng) -> List[Fact]:
+        facts: List[Fact] = []
+        attempts = 0
+        while len(facts) < budget and attempts < budget * 10:
+            attempts += 1
+            other = self.vocabulary.by_rank(
+                rng.randint(1, len(self.vocabulary)))
+            if other.category == word.category or other.text == word.text:
+                continue
+            relation = rng.choice(list(Relation))
+            fact = Fact(word.text, relation, other.text, False)
+            if fact.key not in self._facts:
+                facts.append(fact)
+        return facts
+
+    def true_facts(self, subject: str) -> Sequence[Fact]:
+        """All ground-truth-true facts about ``subject``."""
+        if subject not in self._true_by_subject:
+            raise CorpusError(f"unknown subject: {subject!r}")
+        return tuple(self._true_by_subject[subject])
+
+    def false_facts(self, subject: str) -> Sequence[Fact]:
+        """Known-false distractor facts about ``subject``."""
+        if subject not in self._false_by_subject:
+            raise CorpusError(f"unknown subject: {subject!r}")
+        return tuple(self._false_by_subject[subject])
+
+    def has_fact(self, subject: str, relation: Relation,
+                 obj: str) -> bool:
+        """Whether this exact triple was generated as a true fact.
+
+        Stricter than :meth:`is_true`: the generated fact list is what a
+        knowledgeable describer would actually say about ``subject``, so
+        exact matches identify the subject far more sharply than mere
+        category plausibility.
+        """
+        fact = self._facts.get((subject, relation.value, obj))
+        return fact is not None and fact.true
+
+    def is_true(self, subject: str, relation: Relation, obj: str) -> bool:
+        """Ground-truth validity of a triple.
+
+        Triples never generated are judged by category co-membership: a
+        same-category pair is plausible-true, anything else false.  This
+        keeps validity defined for novel player-produced clues.
+        """
+        fact = self._facts.get((subject, relation.value, obj))
+        if fact is not None:
+            return fact.true
+        try:
+            s = self.vocabulary.word(subject)
+            o = self.vocabulary.word(obj)
+        except CorpusError:
+            return False
+        return s.category == o.category and subject != obj
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def all_facts(self) -> Sequence[Fact]:
+        return tuple(self._facts.values())

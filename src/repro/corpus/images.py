@@ -1,0 +1,134 @@
+"""Synthetic image corpus with ground-truth tag salience.
+
+Each :class:`Image` carries a *salience distribution* over vocabulary
+words: the probability that a human looking at the image would think of
+each word.  This is the ground truth ESP-style games try to recover, and
+it is what lets the reproduction measure label precision exactly.
+
+Salience is built from the image's semantic *theme* (a vocabulary
+category): theme words get high salience, a few cross-category
+"background" words get low salience, and salience within the image is
+itself Zipfian — matching the empirical observation that a few labels per
+image dominate human agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro import rng as _rng
+from repro.corpus.vocab import Vocabulary
+from repro.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class Image:
+    """A synthetic image.
+
+    Attributes:
+        image_id: unique id within its corpus.
+        theme: the dominant vocabulary category.
+        salience: mapping word text -> probability a viewer thinks of it.
+            Values sum to 1 across the image's tag support.
+        width, height: pixel dimensions (used by Peekaboom boxes).
+    """
+
+    image_id: str
+    theme: int
+    salience: Dict[str, float]
+    width: int = 640
+    height: int = 480
+
+    def top_tags(self, k: int = 5) -> List[str]:
+        """The ``k`` most salient ground-truth tags."""
+        ranked = sorted(self.salience.items(), key=lambda kv: -kv[1])
+        return [text for text, _ in ranked[:k]]
+
+    def tag_salience(self, text: str) -> float:
+        """Salience of ``text`` in this image (0 if absent)."""
+        return self.salience.get(text, 0.0)
+
+    def is_relevant(self, text: str, threshold: float = 0.0) -> bool:
+        """Whether ``text`` is a ground-truth tag above ``threshold``."""
+        return self.salience.get(text, 0.0) > threshold
+
+
+class ImageCorpus:
+    """A deterministic corpus of synthetic images.
+
+    Args:
+        vocabulary: shared vocabulary the images are about.
+        size: number of images.
+        tags_per_image: size of each image's tag support.
+        background_tags: how many of those come from outside the theme.
+        salience_exponent: Zipf exponent of within-image tag salience.
+        seed: RNG seed.
+    """
+
+    def __init__(self, vocabulary: Vocabulary, size: int = 500,
+                 tags_per_image: int = 12, background_tags: int = 3,
+                 salience_exponent: float = 1.2,
+                 seed: _rng.SeedLike = 0) -> None:
+        if size <= 0:
+            raise CorpusError(f"corpus size must be >= 1, got {size}")
+        if tags_per_image <= background_tags:
+            raise CorpusError(
+                "tags_per_image must exceed background_tags "
+                f"({tags_per_image} <= {background_tags})")
+        self.vocabulary = vocabulary
+        rng = _rng.make_rng(seed)
+        self._images: List[Image] = []
+        for index in range(size):
+            theme = rng.randrange(vocabulary.categories)
+            image = self._make_image(f"img-{index:05d}", theme,
+                                     tags_per_image, background_tags,
+                                     salience_exponent, rng)
+            self._images.append(image)
+        self._by_id = {img.image_id: img for img in self._images}
+
+    def _make_image(self, image_id: str, theme: int, tags_per_image: int,
+                    background_tags: int, salience_exponent: float,
+                    rng) -> Image:
+        theme_words = list(self.vocabulary.category_words(theme))
+        theme_count = min(tags_per_image - background_tags,
+                          len(theme_words))
+        weights = [w.frequency for w in theme_words]
+        chosen = _rng.weighted_sample_without_replacement(
+            rng, theme_words, weights, theme_count)
+        # Background tags: frequent words from other categories.
+        pool = [w for w in self.vocabulary.words if w.category != theme]
+        bg_weights = [w.frequency for w in pool]
+        chosen += _rng.weighted_sample_without_replacement(
+            rng, pool, bg_weights, background_tags)
+        # Within-image salience is Zipfian over a random ordering biased
+        # toward theme words first (theme words occupy the top ranks).
+        zipf = _rng.zipf_weights(len(chosen), salience_exponent)
+        salience = {word.text: zipf[pos] for pos, word in enumerate(chosen)}
+        return Image(image_id=image_id, theme=theme, salience=salience)
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def __iter__(self):
+        return iter(self._images)
+
+    @property
+    def images(self) -> Sequence[Image]:
+        return tuple(self._images)
+
+    def image(self, image_id: str) -> Image:
+        """Look up an image by id."""
+        try:
+            return self._by_id[image_id]
+        except KeyError:
+            raise CorpusError(f"unknown image: {image_id!r}") from None
+
+    def sample(self, rng, k: int = 1) -> List[Image]:
+        """Sample ``k`` distinct images uniformly."""
+        return rng.sample(self._images, min(k, len(self._images)))
+
+    def relevance(self, image_id: str, label: str,
+                  threshold: float = 0.0) -> bool:
+        """Whether ``label`` is ground-truth relevant to ``image_id``."""
+        return self.image(image_id).is_relevant(label, threshold)

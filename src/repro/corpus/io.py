@@ -1,0 +1,272 @@
+"""World serialization: save and load entire synthetic worlds.
+
+Seeds make worlds reproducible *within* a library version, but a
+released dataset must be stable across versions and shareable without
+the generator.  This module round-trips every corpus type through a
+versioned JSON document:
+
+    save_world(path, vocabulary=v, images=c, layout=l, ...)
+    world = load_world(path)
+    world.vocabulary, world.images, world.layout, ...
+
+Only the pieces you pass are stored; loading returns the same subset.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.corpus.facts import Fact, FactBase, Relation
+from repro.corpus.images import Image, ImageCorpus
+from repro.corpus.music import MusicClip, MusicCorpus
+from repro.corpus.objects import BoundingBox, ObjectLayout, SceneObject
+from repro.corpus.ocr import OcrCorpus, ScannedWord
+from repro.corpus.vocab import Vocabulary, Word
+from repro.errors import CorpusError
+
+FORMAT = "repro-world"
+VERSION = 1
+
+
+# ---------------------------------------------------------------------
+# Per-type encoders
+# ---------------------------------------------------------------------
+
+def _vocabulary_doc(vocabulary: Vocabulary) -> Dict[str, Any]:
+    return {
+        "size": vocabulary.size,
+        "categories": vocabulary.categories,
+        "exponent": vocabulary.exponent,
+        "words": [{"text": w.text, "rank": w.rank,
+                   "frequency": w.frequency, "category": w.category}
+                  for w in vocabulary.words],
+    }
+
+
+def _vocabulary_from(doc: Dict[str, Any]) -> Vocabulary:
+    vocabulary = Vocabulary.__new__(Vocabulary)
+    vocabulary.size = doc["size"]
+    vocabulary.categories = doc["categories"]
+    vocabulary.exponent = doc["exponent"]
+    words = [Word(text=w["text"], rank=w["rank"],
+                  frequency=w["frequency"], category=w["category"])
+             for w in doc["words"]]
+    vocabulary._words = words
+    vocabulary._by_text = {w.text: w for w in words}
+    vocabulary._by_category = {}
+    for word in words:
+        vocabulary._by_category.setdefault(word.category,
+                                           []).append(word)
+    return vocabulary
+
+
+def _images_doc(corpus: ImageCorpus) -> List[Dict[str, Any]]:
+    return [{"image_id": image.image_id, "theme": image.theme,
+             "salience": image.salience, "width": image.width,
+             "height": image.height}
+            for image in corpus.images]
+
+
+def _images_from(doc: List[Dict[str, Any]],
+                 vocabulary: Vocabulary) -> ImageCorpus:
+    corpus = ImageCorpus.__new__(ImageCorpus)
+    corpus.vocabulary = vocabulary
+    corpus._images = [Image(image_id=i["image_id"], theme=i["theme"],
+                            salience=dict(i["salience"]),
+                            width=i.get("width", 640),
+                            height=i.get("height", 480))
+                      for i in doc]
+    corpus._by_id = {img.image_id: img for img in corpus._images}
+    return corpus
+
+
+def _layout_doc(layout: ObjectLayout) -> List[Dict[str, Any]]:
+    return [{"image_id": obj.image_id, "word": obj.word,
+             "salience": obj.salience,
+             "box": {"x": obj.box.x, "y": obj.box.y,
+                     "w": obj.box.w, "h": obj.box.h}}
+            for obj in layout.all_objects()]
+
+
+def _layout_from(doc: List[Dict[str, Any]],
+                 corpus: ImageCorpus) -> ObjectLayout:
+    layout = ObjectLayout.__new__(ObjectLayout)
+    layout.corpus = corpus
+    layout._objects = {}
+    layout._by_image = {image.image_id: [] for image in corpus}
+    for raw in doc:
+        box = BoundingBox(raw["box"]["x"], raw["box"]["y"],
+                          raw["box"]["w"], raw["box"]["h"])
+        obj = SceneObject(image_id=raw["image_id"], word=raw["word"],
+                          box=box, salience=raw["salience"])
+        layout._objects[(obj.image_id, obj.word)] = obj
+        layout._by_image.setdefault(obj.image_id, []).append(obj)
+    return layout
+
+
+def _facts_doc(facts: FactBase) -> List[Dict[str, Any]]:
+    return [{"subject": f.subject, "relation": f.relation.value,
+             "object": f.obj, "true": f.true}
+            for f in facts.all_facts()]
+
+
+def _relation_from(value: str) -> Relation:
+    for relation in Relation:
+        if relation.value == value:
+            return relation
+    raise CorpusError(f"unknown relation: {value!r}")
+
+
+def _facts_from(doc: List[Dict[str, Any]],
+                vocabulary: Vocabulary) -> FactBase:
+    base = FactBase.__new__(FactBase)
+    base.vocabulary = vocabulary
+    base._facts = {}
+    base._true_by_subject = {w.text: [] for w in vocabulary}
+    base._false_by_subject = {w.text: [] for w in vocabulary}
+    for raw in doc:
+        fact = Fact(subject=raw["subject"],
+                    relation=_relation_from(raw["relation"]),
+                    obj=raw["object"], true=raw["true"])
+        base._facts[fact.key] = fact
+        bucket = (base._true_by_subject if fact.true
+                  else base._false_by_subject)
+        bucket.setdefault(fact.subject, []).append(fact)
+    return base
+
+
+def _ocr_doc(corpus: OcrCorpus) -> List[Dict[str, Any]]:
+    return [{"word_id": w.word_id, "truth": w.truth,
+             "legibility": w.legibility, "page": w.page}
+            for w in corpus.words]
+
+
+def _ocr_from(doc: List[Dict[str, Any]]) -> OcrCorpus:
+    corpus = OcrCorpus.__new__(OcrCorpus)
+    corpus._words = [ScannedWord(word_id=w["word_id"],
+                                 truth=w["truth"],
+                                 legibility=w["legibility"],
+                                 page=w["page"]) for w in doc]
+    corpus._by_id = {w.word_id: w for w in corpus._words}
+    return corpus
+
+
+def _music_doc(corpus: MusicCorpus) -> List[Dict[str, Any]]:
+    return [{"clip_id": c.clip_id, "genre": c.genre,
+             "salience": c.salience, "duration_s": c.duration_s}
+            for c in corpus.clips]
+
+
+def _music_from(doc: List[Dict[str, Any]],
+                vocabulary: Vocabulary) -> MusicCorpus:
+    corpus = MusicCorpus.__new__(MusicCorpus)
+    corpus.vocabulary = vocabulary
+    corpus._clips = [MusicClip(clip_id=c["clip_id"], genre=c["genre"],
+                               salience=dict(c["salience"]),
+                               duration_s=c["duration_s"])
+                     for c in doc]
+    corpus._by_id = {c.clip_id: c for c in corpus._clips}
+    return corpus
+
+
+# ---------------------------------------------------------------------
+# The bundle
+# ---------------------------------------------------------------------
+
+@dataclass
+class World:
+    """A loaded world bundle; absent pieces are None."""
+
+    vocabulary: Optional[Vocabulary] = None
+    images: Optional[ImageCorpus] = None
+    layout: Optional[ObjectLayout] = None
+    facts: Optional[FactBase] = None
+    ocr: Optional[OcrCorpus] = None
+    music: Optional[MusicCorpus] = None
+
+
+def world_to_document(vocabulary: Optional[Vocabulary] = None,
+                      images: Optional[ImageCorpus] = None,
+                      layout: Optional[ObjectLayout] = None,
+                      facts: Optional[FactBase] = None,
+                      ocr: Optional[OcrCorpus] = None,
+                      music: Optional[MusicCorpus] = None
+                      ) -> Dict[str, Any]:
+    """Encode the given world pieces into one document.
+
+    Pieces that reference the vocabulary (images, layout, facts, music)
+    require it to be included too.
+    """
+    needs_vocab = [images, facts, music]
+    if any(piece is not None for piece in needs_vocab) \
+            and vocabulary is None:
+        raise CorpusError(
+            "images/facts/music require the vocabulary in the bundle")
+    if layout is not None and images is None:
+        raise CorpusError("layout requires its image corpus")
+    document: Dict[str, Any] = {"format": FORMAT, "version": VERSION}
+    if vocabulary is not None:
+        document["vocabulary"] = _vocabulary_doc(vocabulary)
+    if images is not None:
+        document["images"] = _images_doc(images)
+    if layout is not None:
+        document["layout"] = _layout_doc(layout)
+    if facts is not None:
+        document["facts"] = _facts_doc(facts)
+    if ocr is not None:
+        document["ocr"] = _ocr_doc(ocr)
+    if music is not None:
+        document["music"] = _music_doc(music)
+    return document
+
+
+def document_to_world(document: Dict[str, Any]) -> World:
+    """Decode a :func:`world_to_document` document."""
+    if document.get("format") != FORMAT:
+        raise CorpusError(
+            f"not a {FORMAT} document: {document.get('format')!r}")
+    if document.get("version") != VERSION:
+        raise CorpusError(
+            f"unsupported world version: {document.get('version')!r}")
+    world = World()
+    if "vocabulary" in document:
+        world.vocabulary = _vocabulary_from(document["vocabulary"])
+    if "images" in document:
+        if world.vocabulary is None:
+            raise CorpusError("images present without vocabulary")
+        world.images = _images_from(document["images"],
+                                    world.vocabulary)
+    if "layout" in document:
+        if world.images is None:
+            raise CorpusError("layout present without images")
+        world.layout = _layout_from(document["layout"], world.images)
+    if "facts" in document:
+        if world.vocabulary is None:
+            raise CorpusError("facts present without vocabulary")
+        world.facts = _facts_from(document["facts"], world.vocabulary)
+    if "ocr" in document:
+        world.ocr = _ocr_from(document["ocr"])
+    if "music" in document:
+        if world.vocabulary is None:
+            raise CorpusError("music present without vocabulary")
+        world.music = _music_from(document["music"], world.vocabulary)
+    return world
+
+
+def save_world(path: Union[str, Path], **pieces: Any) -> None:
+    """Write a world bundle to a JSON file (see
+    :func:`world_to_document` for accepted keywords)."""
+    document = world_to_document(**pieces)
+    Path(path).write_text(json.dumps(document, sort_keys=True))
+
+
+def load_world(path: Union[str, Path]) -> World:
+    """Read a world bundle back from :func:`save_world` output."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise CorpusError(f"malformed world file: {exc}") from None
+    return document_to_world(document)

@@ -1,0 +1,114 @@
+"""Music-clip corpus for TagATune's input-agreement game.
+
+TagATune shows two players a music clip each (same clip or different
+clips) and asks them to decide, from each other's typed descriptions,
+whether the inputs match.  The synthetic clip carries a tag distribution
+exactly like an image; what matters for input-agreement is the *overlap
+structure*: clips from the same genre share tags, so the simulated
+same/different decision gets genuinely harder for related clips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro import rng as _rng
+from repro.corpus.vocab import Vocabulary
+from repro.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class MusicClip:
+    """A synthetic music clip.
+
+    Attributes:
+        clip_id: unique id.
+        genre: vocabulary category acting as the clip's genre.
+        salience: word -> probability a listener mentions it.
+        duration_s: clip length in seconds (affects round timing).
+    """
+
+    clip_id: str
+    genre: int
+    salience: Dict[str, float]
+    duration_s: float = 30.0
+
+    def top_tags(self, k: int = 5) -> List[str]:
+        ranked = sorted(self.salience.items(), key=lambda kv: -kv[1])
+        return [text for text, _ in ranked[:k]]
+
+    def tag_salience(self, text: str) -> float:
+        return self.salience.get(text, 0.0)
+
+
+class MusicCorpus:
+    """A deterministic corpus of synthetic music clips.
+
+    Args:
+        vocabulary: shared vocabulary (categories act as genres).
+        size: number of clips.
+        tags_per_clip: tag support size per clip.
+        seed: RNG seed.
+    """
+
+    def __init__(self, vocabulary: Vocabulary, size: int = 300,
+                 tags_per_clip: int = 8, seed: _rng.SeedLike = 0) -> None:
+        if size <= 0:
+            raise CorpusError(f"corpus size must be >= 1, got {size}")
+        self.vocabulary = vocabulary
+        rng = _rng.make_rng(seed)
+        self._clips: List[MusicClip] = []
+        for index in range(size):
+            genre = rng.randrange(vocabulary.categories)
+            members = list(vocabulary.category_words(genre))
+            count = min(tags_per_clip, len(members))
+            weights = [w.frequency for w in members]
+            chosen = _rng.weighted_sample_without_replacement(
+                rng, members, weights, count)
+            zipf = _rng.zipf_weights(len(chosen), 1.1)
+            salience = {w.text: zipf[pos] for pos, w in enumerate(chosen)}
+            self._clips.append(MusicClip(
+                clip_id=f"clip-{index:05d}", genre=genre,
+                salience=salience,
+                duration_s=rng.uniform(15.0, 45.0)))
+        self._by_id = {c.clip_id: c for c in self._clips}
+
+    def __len__(self) -> int:
+        return len(self._clips)
+
+    def __iter__(self):
+        return iter(self._clips)
+
+    @property
+    def clips(self) -> Sequence[MusicClip]:
+        return tuple(self._clips)
+
+    def clip(self, clip_id: str) -> MusicClip:
+        """Look up a clip by id."""
+        try:
+            return self._by_id[clip_id]
+        except KeyError:
+            raise CorpusError(f"unknown clip: {clip_id!r}") from None
+
+    def sample_pair(self, rng, same: bool) -> Tuple[MusicClip, MusicClip]:
+        """Sample a round pair: identical clips or two distinct clips."""
+        first = rng.choice(self._clips)
+        if same:
+            return first, first
+        second = rng.choice(self._clips)
+        attempts = 0
+        while second.clip_id == first.clip_id and attempts < 50:
+            second = rng.choice(self._clips)
+            attempts += 1
+        if second.clip_id == first.clip_id:
+            raise CorpusError("corpus too small to sample distinct clips")
+        return first, second
+
+    def tag_overlap(self, a: MusicClip, b: MusicClip) -> float:
+        """Jaccard overlap of two clips' tag supports (difficulty proxy)."""
+        sa, sb = set(a.salience), set(b.salience)
+        union = sa | sb
+        if not union:
+            return 0.0
+        return len(sa & sb) / len(union)

@@ -1,0 +1,150 @@
+"""Objects with bounding boxes inside synthetic images (for Peekaboom).
+
+Peekaboom's output is *where* in an image a word's referent is.  Each
+salient tag of an image is given a ground-truth :class:`BoundingBox`; the
+consensus of simulated players' reveals/clicks is evaluated against it by
+intersection-over-union in :mod:`repro.aggregation.boxes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro import rng as _rng
+from repro.corpus.images import Image, ImageCorpus
+from repro.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned box in image pixel coordinates."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.h <= 0:
+            raise CorpusError(
+                f"box must have positive size, got w={self.w}, h={self.h}")
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.w
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.h
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + self.w / 2.0, self.y + self.h / 2.0)
+
+    def contains(self, px: float, py: float) -> bool:
+        """Whether the point lies inside (inclusive) the box."""
+        return self.x <= px <= self.x2 and self.y <= py <= self.y2
+
+    def intersection(self, other: "BoundingBox") -> float:
+        """Intersection area with ``other``."""
+        ix = max(0.0, min(self.x2, other.x2) - max(self.x, other.x))
+        iy = max(0.0, min(self.y2, other.y2) - max(self.y, other.y))
+        return ix * iy
+
+    def iou(self, other: "BoundingBox") -> float:
+        """Intersection over union with ``other`` (0..1)."""
+        inter = self.intersection(other)
+        union = self.area + other.area - inter
+        if union <= 0:
+            return 0.0
+        return inter / union
+
+    def clipped(self, width: float, height: float) -> "BoundingBox":
+        """Return this box clipped to the image bounds."""
+        x1 = min(max(self.x, 0.0), width - 1.0)
+        y1 = min(max(self.y, 0.0), height - 1.0)
+        x2 = min(max(self.x2, x1 + 1.0), width)
+        y2 = min(max(self.y2, y1 + 1.0), height)
+        return BoundingBox(x1, y1, x2 - x1, y2 - y1)
+
+
+@dataclass(frozen=True)
+class SceneObject:
+    """A ground-truth object: a word's referent located in an image."""
+
+    image_id: str
+    word: str
+    box: BoundingBox
+    salience: float
+
+
+class ObjectLayout:
+    """Assigns ground-truth bounding boxes to images' salient tags.
+
+    Box size scales with salience — more salient referents tend to occupy
+    more of the frame — which gives Peekaboom the property the paper
+    relies on: prominent objects are located faster and more precisely.
+
+    Args:
+        corpus: the image corpus to lay out.
+        objects_per_image: number of top tags given referent boxes.
+        seed: RNG seed.
+    """
+
+    def __init__(self, corpus: ImageCorpus, objects_per_image: int = 4,
+                 seed: _rng.SeedLike = 0) -> None:
+        if objects_per_image <= 0:
+            raise CorpusError(
+                f"objects_per_image must be >= 1, got {objects_per_image}")
+        self.corpus = corpus
+        rng = _rng.make_rng(seed)
+        self._objects: Dict[Tuple[str, str], SceneObject] = {}
+        self._by_image: Dict[str, List[SceneObject]] = {}
+        for image in corpus:
+            placed: List[SceneObject] = []
+            for word in image.top_tags(objects_per_image):
+                salience = image.tag_salience(word)
+                box = self._place_box(image, salience, rng)
+                obj = SceneObject(image_id=image.image_id, word=word,
+                                  box=box, salience=salience)
+                self._objects[(image.image_id, word)] = obj
+                placed.append(obj)
+            self._by_image[image.image_id] = placed
+
+    @staticmethod
+    def _place_box(image: Image, salience: float, rng) -> BoundingBox:
+        # Fractional footprint grows with salience: ~12%..55% of each axis.
+        frac = 0.12 + 0.43 * min(1.0, salience * 2.5)
+        w = max(8.0, image.width * frac * rng.uniform(0.7, 1.3))
+        h = max(8.0, image.height * frac * rng.uniform(0.7, 1.3))
+        w = min(w, image.width * 0.9)
+        h = min(h, image.height * 0.9)
+        x = rng.uniform(0, image.width - w)
+        y = rng.uniform(0, image.height - h)
+        return BoundingBox(x, y, w, h)
+
+    def object_for(self, image_id: str, word: str) -> SceneObject:
+        """Ground-truth object for (image, word)."""
+        try:
+            return self._objects[(image_id, word)]
+        except KeyError:
+            raise CorpusError(
+                f"no object for word {word!r} in image {image_id!r}"
+            ) from None
+
+    def has_object(self, image_id: str, word: str) -> bool:
+        return (image_id, word) in self._objects
+
+    def objects_in(self, image_id: str) -> Sequence[SceneObject]:
+        """All ground-truth objects in an image."""
+        if image_id not in self._by_image:
+            raise CorpusError(f"unknown image: {image_id!r}")
+        return tuple(self._by_image[image_id])
+
+    def all_objects(self) -> Sequence[SceneObject]:
+        return tuple(self._objects.values())

@@ -1,0 +1,123 @@
+"""Scanned-word corpus for CAPTCHA / reCAPTCHA.
+
+reCAPTCHA's raw material is words from scanned books that OCR engines fail
+on.  The synthetic equivalent is a corpus of words each carrying a
+*legibility* score in [0, 1]: the probability that a reader (human or
+OCR engine, scaled by their own skill) transcribes each character
+correctly.  Low-legibility words are exactly the ones two OCR engines
+disagree on, which is how real reCAPTCHA selects its unknown words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro import rng as _rng
+from repro.corpus.vocab import Vocabulary, synth_word
+from repro.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class ScannedWord:
+    """A word image from a scanned page.
+
+    Attributes:
+        word_id: unique id.
+        truth: the true transcription.
+        legibility: per-character probability of correct reading by a
+            baseline reader (1.0 = pristine print, ~0.5 = badly damaged).
+        page: page number within the synthetic book.
+    """
+
+    word_id: str
+    truth: str
+    legibility: float
+    page: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.legibility <= 1.0:
+            raise CorpusError(
+                f"legibility must be in [0,1], got {self.legibility}")
+        if not self.truth:
+            raise CorpusError("scanned word must have non-empty truth")
+
+
+class OcrCorpus:
+    """A synthetic scanned book: words with varying legibility.
+
+    Legibility is drawn from a mixture: most words are clean (high
+    legibility), a tail is damaged (ink blots, fading).  ``damaged_frac``
+    controls the tail mass; the damaged tail is what reCAPTCHA harvests.
+
+    Args:
+        size: number of scanned words.
+        vocabulary: optional vocabulary to draw word forms from (falls
+            back to fresh synthetic words).
+        damaged_frac: fraction of words in the damaged (hard) mixture
+            component.
+        clean_legibility / damaged_legibility: mean legibility of each
+            component.
+        words_per_page: pagination granularity.
+        seed: RNG seed.
+    """
+
+    def __init__(self, size: int = 1000,
+                 vocabulary: Optional[Vocabulary] = None,
+                 damaged_frac: float = 0.3,
+                 clean_legibility: float = 0.97,
+                 damaged_legibility: float = 0.72,
+                 words_per_page: int = 250,
+                 seed: _rng.SeedLike = 0) -> None:
+        if size <= 0:
+            raise CorpusError(f"corpus size must be >= 1, got {size}")
+        if not 0.0 <= damaged_frac <= 1.0:
+            raise CorpusError(
+                f"damaged_frac must be in [0,1], got {damaged_frac}")
+        rng = _rng.make_rng(seed)
+        self._words: List[ScannedWord] = []
+        for index in range(size):
+            if vocabulary is not None:
+                truth = vocabulary.by_rank(
+                    rng.randint(1, len(vocabulary))).text
+            else:
+                truth = synth_word(rng, min_syllables=2, max_syllables=4)
+            if rng.random() < damaged_frac:
+                legibility = _rng.bounded_gauss(
+                    rng, damaged_legibility, 0.08, 0.4, 0.92)
+            else:
+                legibility = _rng.bounded_gauss(
+                    rng, clean_legibility, 0.02, 0.85, 1.0)
+            self._words.append(ScannedWord(
+                word_id=f"scan-{index:06d}", truth=truth,
+                legibility=legibility, page=index // words_per_page))
+        self._by_id = {w.word_id: w for w in self._words}
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __iter__(self):
+        return iter(self._words)
+
+    @property
+    def words(self) -> Sequence[ScannedWord]:
+        return tuple(self._words)
+
+    def word(self, word_id: str) -> ScannedWord:
+        """Look up a scanned word by id."""
+        try:
+            return self._by_id[word_id]
+        except KeyError:
+            raise CorpusError(f"unknown scanned word: {word_id!r}") from None
+
+    def pages(self) -> int:
+        """Number of pages in the synthetic book."""
+        return max(w.page for w in self._words) + 1 if self._words else 0
+
+    def page_words(self, page: int) -> Sequence[ScannedWord]:
+        """All words on a page, in reading order."""
+        return tuple(w for w in self._words if w.page == page)
+
+    def damaged(self, threshold: float = 0.9) -> Sequence[ScannedWord]:
+        """Words below a legibility threshold (reCAPTCHA candidates)."""
+        return tuple(w for w in self._words if w.legibility < threshold)

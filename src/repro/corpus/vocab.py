@@ -1,0 +1,168 @@
+"""Synthetic vocabulary with Zipfian frequencies and category structure.
+
+The vocabulary is the shared substrate of the simulated world: images are
+"about" words, players "know" subsets of words, and agreement in
+output-agreement games emerges exactly as in the real ESP Game — two
+players agree when the word is salient in the item and present in both
+vocabularies.
+
+Words are organized into semantic categories; each category has a set of
+member words plus *related* words (for Verbosity-style facts and for
+near-miss labels).  Word surface forms are pronounceable synthetic strings
+so transcription games (reCAPTCHA) get realistic length variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro import rng as _rng
+from repro.errors import CorpusError
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+
+def synth_word(rng, min_syllables: int = 1, max_syllables: int = 4) -> str:
+    """Generate a pronounceable synthetic word (CV syllables)."""
+    count = rng.randint(min_syllables, max_syllables)
+    parts = []
+    for _ in range(count):
+        parts.append(rng.choice(_CONSONANTS))
+        parts.append(rng.choice(_VOWELS))
+        if rng.random() < 0.25:
+            parts.append(rng.choice(_CONSONANTS))
+    return "".join(parts)
+
+
+@dataclass(frozen=True)
+class Word:
+    """A vocabulary entry.
+
+    Attributes:
+        text: surface form (unique within a vocabulary).
+        rank: global frequency rank (1 = most frequent).
+        frequency: normalized Zipfian frequency of the word.
+        category: id of the semantic category the word belongs to.
+    """
+
+    text: str
+    rank: int
+    frequency: float
+    category: int
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class Vocabulary:
+    """A closed synthetic vocabulary with Zipfian global frequencies.
+
+    Args:
+        size: number of words.
+        categories: number of semantic categories words are spread over.
+        exponent: Zipf exponent of the global frequency distribution.
+        seed: RNG seed (or an existing ``random.Random``).
+    """
+
+    def __init__(self, size: int = 2000, categories: int = 40,
+                 exponent: float = 1.05, seed: _rng.SeedLike = 0) -> None:
+        if size <= 0:
+            raise CorpusError(f"vocabulary size must be >= 1, got {size}")
+        if categories <= 0:
+            raise CorpusError(
+                f"category count must be >= 1, got {categories}")
+        rng = _rng.make_rng(seed)
+        self.size = size
+        self.categories = categories
+        self.exponent = exponent
+        weights = _rng.zipf_weights(size, exponent)
+        seen: set = set()
+        words: List[Word] = []
+        for rank in range(1, size + 1):
+            text = synth_word(rng)
+            while text in seen:
+                text = synth_word(rng)
+            seen.add(text)
+            category = rng.randrange(categories)
+            words.append(Word(text=text, rank=rank,
+                              frequency=weights[rank - 1],
+                              category=category))
+        self._words = words
+        self._by_text: Dict[str, Word] = {w.text: w for w in words}
+        self._by_category: Dict[int, List[Word]] = {}
+        for word in words:
+            self._by_category.setdefault(word.category, []).append(word)
+        # Guarantee every category is non-empty by reassigning spares.
+        empty = [c for c in range(categories) if c not in self._by_category]
+        if empty:
+            donors = sorted(self._by_category,
+                            key=lambda c: -len(self._by_category[c]))
+            rebuilt = list(words)
+            for cat in empty:
+                donor = donors[0]
+                moved = self._by_category[donor].pop()
+                idx = rebuilt.index(moved)
+                replacement = Word(moved.text, moved.rank, moved.frequency,
+                                   cat)
+                rebuilt[idx] = replacement
+                self._by_category[cat] = [replacement]
+                donors.sort(key=lambda c: -len(self._by_category[c]))
+            self._words = rebuilt
+            self._by_text = {w.text: w for w in rebuilt}
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self):
+        return iter(self._words)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._by_text
+
+    @property
+    def words(self) -> Sequence[Word]:
+        """All words, ordered by rank."""
+        return tuple(self._words)
+
+    def word(self, text: str) -> Word:
+        """Look up a word by surface form."""
+        try:
+            return self._by_text[text]
+        except KeyError:
+            raise CorpusError(f"unknown word: {text!r}") from None
+
+    def by_rank(self, rank: int) -> Word:
+        """Return the word at frequency ``rank`` (1-based)."""
+        if not 1 <= rank <= self.size:
+            raise CorpusError(
+                f"rank {rank} out of range 1..{self.size}")
+        return self._words[rank - 1]
+
+    def category_words(self, category: int) -> Sequence[Word]:
+        """All words in a semantic category."""
+        if category not in self._by_category:
+            raise CorpusError(f"unknown category: {category}")
+        return tuple(self._by_category[category])
+
+    def related(self, word: Word, limit: int = 10) -> List[Word]:
+        """Words semantically related to ``word`` (same category).
+
+        Related words are the most frequent other members of the word's
+        category — the pool Verbosity facts and near-miss guesses draw
+        from.
+        """
+        members = [w for w in self._by_category[word.category]
+                   if w.text != word.text]
+        members.sort(key=lambda w: w.rank)
+        return members[:limit]
+
+    def sample(self, rng, k: int = 1,
+               by_frequency: bool = True) -> List[Word]:
+        """Sample ``k`` distinct words, by global frequency or uniformly."""
+        if by_frequency:
+            weights = [w.frequency for w in self._words]
+            return _rng.weighted_sample_without_replacement(
+                rng, self._words, weights, k)
+        return rng.sample(self._words, min(k, self.size))

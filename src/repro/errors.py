@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` human-computation library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subclasses are
+grouped by subsystem and carry enough context in their message to debug a
+failing campaign without a stack trace.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class CorpusError(ReproError):
+    """A corpus generator or lookup failed (unknown item, empty corpus)."""
+
+
+class GameError(ReproError):
+    """A game engine was driven with an illegal action or state."""
+
+
+class MatchmakingError(GameError):
+    """The lobby could not form a legal match."""
+
+
+class AggregationError(ReproError):
+    """An aggregator received inconsistent or insufficient input."""
+
+
+class QualityError(ReproError):
+    """A quality-control component was misused (e.g. unknown player)."""
+
+
+class PlatformError(ReproError):
+    """The task platform rejected an operation."""
+
+
+class TaskNotFound(PlatformError):
+    """A task id does not exist in the store."""
+
+
+class JobNotFound(PlatformError):
+    """A job/project id does not exist in the store."""
+
+
+class AccountError(PlatformError):
+    """Account creation or lookup failed."""
+
+
+class ServiceError(ReproError):
+    """The service layer rejected a request."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was configured or driven incorrectly."""

@@ -1,0 +1,165 @@
+"""Dataset export: turning campaign output into shareable artifacts.
+
+The product of a human-computation system is a dataset — image labels,
+object boxes, common-sense facts, transcriptions.  This module collects
+each game's verified output into a single JSON-serializable document
+with provenance (contributor counts, agreement support, timestamps) and
+writes/reads it from disk.
+
+The document format is stable and versioned::
+
+    {
+      "format": "repro-dataset",
+      "version": 1,
+      "kind": "image-labels" | "object-locations" | "facts"
+              | "transcriptions" | "music-tags",
+      "records": [...],
+      "stats": {...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.aggregation.boxes import box_from_points
+from repro.errors import ReproError
+
+FORMAT = "repro-dataset"
+VERSION = 1
+
+
+class ExportError(ReproError):
+    """A dataset document is malformed or mismatched."""
+
+
+def _document(kind: str, records: List[Dict[str, Any]],
+              stats: Dict[str, Any]) -> Dict[str, Any]:
+    return {"format": FORMAT, "version": VERSION, "kind": kind,
+            "records": records, "stats": stats}
+
+
+def export_image_labels(game) -> Dict[str, Any]:
+    """Export an :class:`~repro.games.esp.EspGame`'s promoted labels.
+
+    Each record carries the label's agreement support and whether the
+    ground-truth oracle judges it relevant (synthetic corpora only).
+    """
+    records = []
+    for item_id, labels in sorted(game.good_labels().items()):
+        for label in labels:
+            records.append({
+                "image_id": item_id,
+                "label": label,
+                "support": game.taboo.agreement_count(item_id, label),
+                "relevant": game.corpus.relevance(item_id, label),
+            })
+    stats = {
+        "images_labeled": len(game.good_labels()),
+        "labels": len(records),
+        "precision": game.label_precision(),
+        "rounds_played": game.rounds_played,
+    }
+    return _document("image-labels", records, stats)
+
+
+def export_object_locations(game) -> Dict[str, Any]:
+    """Export a :class:`~repro.games.peekaboom.PeekaboomGame`'s
+    consensus object boxes (from verified reveal clouds)."""
+    records = []
+    for (image_id, word), contributions in sorted(
+            game.verified_locations().items()):
+        points = [(c.value("x"), c.value("y")) for c in contributions]
+        radius = max(c.value("radius") for c in contributions)
+        box = box_from_points(points, trim=0.1, pad=radius * 0.5)
+        records.append({
+            "image_id": image_id,
+            "word": word,
+            "box": {"x": box.x, "y": box.y, "w": box.w, "h": box.h},
+            "reveals": len(points),
+        })
+    stats = {"objects_located": len(records)}
+    return _document("object-locations", records, stats)
+
+
+def export_facts(game) -> Dict[str, Any]:
+    """Export a :class:`~repro.games.verbosity.VerbosityGame`'s
+    certified common-sense facts."""
+    records = []
+    for fact in game.collected_facts(verified_only=True):
+        records.append({
+            "subject": fact.subject,
+            "relation": fact.relation.value,
+            "object": fact.obj,
+            "sentence": fact.render(),
+            "true": fact.true,
+        })
+    stats = {
+        "facts": len(records),
+        "accuracy": game.fact_accuracy(verified_only=True),
+    }
+    return _document("facts", records, stats)
+
+
+def export_transcriptions(service) -> Dict[str, Any]:
+    """Export a :class:`~repro.captcha.recaptcha.ReCaptchaService`'s
+    resolved words."""
+    records = []
+    for word_id, text in sorted(service.resolved_words().items()):
+        truth = service.corpus.word(word_id).truth
+        records.append({
+            "word_id": word_id,
+            "transcription": text,
+            "correct": text == truth,
+        })
+    stats = {
+        "resolved": len(records),
+        "accuracy": service.resolution_accuracy(),
+        "ocr_baseline": service.ocr_baseline_accuracy(),
+    }
+    return _document("transcriptions", records, stats)
+
+
+def export_music_tags(game) -> Dict[str, Any]:
+    """Export a :class:`~repro.games.tagatune.TagATuneGame`'s verified
+    clip tags."""
+    records = []
+    for clip_id, tags in sorted(game.verified_tags().items()):
+        for tag in tags:
+            records.append({"clip_id": clip_id, "tag": tag})
+    stats = {"clips_tagged": len(game.verified_tags()),
+             "tags": len(records),
+             "precision": game.tag_precision()}
+    return _document("music-tags", records, stats)
+
+
+def save_dataset(document: Dict[str, Any],
+                 path: Union[str, Path]) -> None:
+    """Write a dataset document to a JSON file."""
+    if document.get("format") != FORMAT:
+        raise ExportError(
+            f"not a {FORMAT} document: {document.get('format')!r}")
+    Path(path).write_text(json.dumps(document, indent=2,
+                                     sort_keys=True))
+
+
+def load_dataset(path: Union[str, Path],
+                 expect_kind: str = None) -> Dict[str, Any]:
+    """Read a dataset document back, validating format and kind."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ExportError(f"malformed dataset file: {exc}") from None
+    if document.get("format") != FORMAT:
+        raise ExportError(
+            f"not a {FORMAT} document: {document.get('format')!r}")
+    if document.get("version") != VERSION:
+        raise ExportError(
+            f"unsupported version: {document.get('version')!r}")
+    if expect_kind is not None and document.get("kind") != expect_kind:
+        raise ExportError(
+            f"expected kind {expect_kind!r}, got "
+            f"{document.get('kind')!r}")
+    return document

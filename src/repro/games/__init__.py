@@ -1,0 +1,37 @@
+"""Concrete games built on the core templates.
+
+Each module binds a template to a corpus and a simulated-player adapter:
+
+- :mod:`repro.games.esp` — the ESP Game (output-agreement image
+  labeling), including taboo words and recorded single-player mode.
+- :mod:`repro.games.peekaboom` — Peekaboom (inversion-problem object
+  location; custom engine because clues are pixel reveals, not words).
+- :mod:`repro.games.verbosity` — Verbosity (inversion-problem
+  common-sense facts).
+- :mod:`repro.games.tagatune` — TagATune (input-agreement music
+  annotation).
+- :mod:`repro.games.matchin` — Matchin (pairwise image preference).
+- :mod:`repro.games.squigl` — Squigl (object outline tracing).
+- :mod:`repro.games.phetch` — Phetch (certified image descriptions via
+  retrieval).
+"""
+
+from repro.games.esp import EspAgent, EspGame
+from repro.games.peekaboom import BoomAgent, PeekAgent, PeekaboomGame
+from repro.games.verbosity import (DescriberAgent, GuesserAgent,
+                                   VerbosityGame)
+from repro.games.tagatune import TagATuneAgent, TagATuneGame
+from repro.games.matchin import MatchinGame, appeal_score
+from repro.games.squigl import SquiglGame
+from repro.games.phetch import (PhetchDescriber, PhetchGame,
+                                PhetchSeeker)
+
+__all__ = [
+    "EspAgent", "EspGame",
+    "BoomAgent", "PeekAgent", "PeekaboomGame",
+    "DescriberAgent", "GuesserAgent", "VerbosityGame",
+    "TagATuneAgent", "TagATuneGame",
+    "MatchinGame", "appeal_score",
+    "SquiglGame",
+    "PhetchDescriber", "PhetchGame", "PhetchSeeker",
+]

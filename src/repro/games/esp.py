@@ -1,0 +1,241 @@
+"""The ESP Game: output-agreement image labeling.
+
+Two randomly matched players see the same image and type guesses; when
+they agree on a non-taboo word, the word becomes a verified label for the
+image.  After a label has been matched ``promotion_threshold`` times it
+turns taboo, forcing future pairs toward less obvious labels.
+
+This module provides:
+
+- :class:`EspAgent` — adapts a :class:`~repro.players.base.PlayerModel`
+  to the :class:`~repro.core.templates.OutputAgreementPlayer` protocol.
+- :class:`EspGame` — a campaign object owning the corpus, the taboo
+  tracker, scoring and the event log; it plays sessions between player
+  models and accumulates verified labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro import rng as _rng
+from repro.core.entities import (Contribution, ContributionKind,
+                                 RoundResult, TaskItem)
+from repro.core.events import EventLog
+from repro.core.matchmaking import Lobby
+from repro.core.scoring import ScoreKeeper, ScoringRules
+from repro.core.session import GameSession, SessionConfig, SessionResult
+from repro.core.taboo import TabooTracker
+from repro.core.templates import OutputAgreementGame, TimedAnswer
+from repro.corpus.images import ImageCorpus
+from repro.errors import GameError
+from repro.platform.leaderboard import Leaderboard
+from repro.players.adversarial import answer_stream
+from repro.players.base import PlayerModel
+from repro.players.timing import ResponseTimer
+
+
+class EspAgent:
+    """A player model driving the output-agreement protocol for images.
+
+    Args:
+        model: the simulated human.
+        corpus: the image corpus items refer into.
+        rng: per-agent random stream.
+        round_time_s: used to budget the number of guesses.
+    """
+
+    def __init__(self, model: PlayerModel, corpus: ImageCorpus, rng,
+                 round_time_s: float = 150.0) -> None:
+        self.model = model
+        self.player_id = model.player_id
+        self.corpus = corpus
+        self._rng = _rng.make_rng(rng)
+        self.round_time_s = round_time_s
+        self._timer = ResponseTimer(model)
+
+    def enter_guesses(self, item: TaskItem,
+                      taboo: frozenset) -> Sequence[TimedAnswer]:
+        """Timed guess stream for one round on ``item``."""
+        image = self.corpus.image(item.item_id)
+        budget = self.model.answers_per_round(self.round_time_s)
+        texts = answer_stream(self.model, image.salience,
+                              self.corpus.vocabulary, self._rng, budget,
+                              exclude=taboo)
+        times = self._timer.schedule(self._rng, len(texts),
+                                     limit_s=self.round_time_s)
+        return [TimedAnswer(text, at) for text, at in zip(texts, times)]
+
+
+class EspGame:
+    """An ESP Game campaign.
+
+    Args:
+        corpus: images to label.
+        promotion_threshold: agreements before a label is good/taboo.
+        session_config: session timing policy.
+        scoring: point rules.
+        seed: campaign RNG seed.
+        use_taboo: disable to measure the taboo mechanism's effect (T4).
+    """
+
+    def __init__(self, corpus: ImageCorpus, promotion_threshold: int = 2,
+                 session_config: SessionConfig = SessionConfig(),
+                 scoring: ScoringRules = ScoringRules(),
+                 seed: _rng.SeedLike = 0, use_taboo: bool = True,
+                 round_time_limit_s: Optional[float] = None) -> None:
+        self.corpus = corpus
+        self._rng = _rng.make_rng(seed)
+        self.session_config = session_config
+        self.taboo = TabooTracker(promotion_threshold=promotion_threshold)
+        self.use_taboo = use_taboo
+        self.scorekeeper = ScoreKeeper(rules=scoring)
+        # Timestamped boards (the real game showed hourly, daily and
+        # all-time leaderboards).
+        self.leaderboard = Leaderboard()
+        self.events = EventLog()
+        self.lobby = Lobby(seed=_rng.derive(self._rng, "lobby"))
+        # By default a round may run the whole session; a tighter cap
+        # makes pairs give up (time out) on images they cannot match.
+        self.round_time_limit_s = (round_time_limit_s
+                                   or session_config.duration_s)
+        self._template = OutputAgreementGame(
+            round_time_limit_s=self.round_time_limit_s,
+            contribution_kind=ContributionKind.LABEL)
+        self.contributions: List[Contribution] = []
+        self._rounds_played = 0
+
+    def make_agent(self, model: PlayerModel) -> EspAgent:
+        """Build the protocol adapter for a player model."""
+        return EspAgent(model, self.corpus,
+                        _rng.derive(self._rng, f"agent:{model.player_id}"),
+                        round_time_s=self.round_time_limit_s)
+
+    def _item_stream(self, rng) -> Iterable[TaskItem]:
+        while True:
+            image = rng.choice(list(self.corpus.images))
+            yield TaskItem(item_id=image.image_id, kind="image")
+
+    def play_session(self, model_a: PlayerModel, model_b: PlayerModel,
+                     start_s: float = 0.0) -> SessionResult:
+        """Play one timed session between two player models."""
+        if model_a.player_id == model_b.player_id:
+            raise GameError("a pair needs two distinct players")
+        agent_a = self.make_agent(model_a)
+        agent_b = self.make_agent(model_b)
+        return self.play_session_agents(agent_a, agent_b, start_s)
+
+    def play_single_session(self, model: PlayerModel,
+                            start_s: float = 0.0) -> SessionResult:
+        """Single-player mode: pair the player with a recorded partner.
+
+        The paper's low-traffic fallback — the lone player's guesses are
+        only verified when they match what a previously recorded player
+        entered for the same image.  Requires at least one recorded
+        session in the lobby's bank (see ``record_sessions``).
+        """
+        partner = self.lobby.recorded_partner()
+        if partner is None:
+            raise GameError(
+                "no recorded sessions available for single-player mode")
+        return self.play_session_agents(self.make_agent(model), partner,
+                                        start_s=start_s)
+
+    def play_session_agents(self, agent_a, agent_b,
+                            start_s: float = 0.0,
+                            record: bool = False) -> SessionResult:
+        """Play one session between two protocol agents.
+
+        Accepts anything satisfying the output-agreement protocol, which
+        is how recorded partners (:class:`RecordedPartner`) join.  With
+        ``record=True`` both players' guess streams are banked in the
+        lobby for future single-player sessions.
+        """
+        session = GameSession(config=self.session_config,
+                              scorekeeper=self.scorekeeper,
+                              start_s=start_s)
+        item_rng = _rng.derive(self._rng, "items")
+
+        def play_round(item: TaskItem, now: float) -> RoundResult:
+            taboo = (self.taboo.taboo_for(item.item_id)
+                     if self.use_taboo else frozenset())
+            result = self._template.play_round(item, agent_a, agent_b,
+                                               taboo=taboo, now=now)
+            self._absorb_round(item, result, now)
+            if record:
+                for agent, key in ((agent_a, "timed_a"),
+                                   (agent_b, "timed_b")):
+                    self.lobby.record_session(
+                        agent.player_id, item.item_id,
+                        [TimedAnswer(text, at) for text, at
+                         in result.detail.get(key, [])])
+            return result
+
+        result = session.run(
+            players=[agent_a.player_id, agent_b.player_id],
+            items=self._item_stream(item_rng), play_round=play_round)
+        # Timestamped boards: replay the session clock over the rounds.
+        clock = start_s
+        for round_result in result.rounds:
+            clock += round_result.elapsed_s
+            for player_id, earned in round_result.points.items():
+                self.leaderboard.record(player_id, earned, clock)
+            clock += self.session_config.inter_round_gap_s
+        self.events.append(start_s, "session",
+                           players=[agent_a.player_id, agent_b.player_id],
+                           rounds=len(result.rounds),
+                           successes=result.successes)
+        return result
+
+    def _absorb_round(self, item: TaskItem, result: RoundResult,
+                      now: float) -> None:
+        self._rounds_played += 1
+        self.contributions.extend(result.contributions)
+        for contribution in result.contributions:
+            if not contribution.verified:
+                continue
+            label = contribution.value("label")
+            promoted = self.taboo.record_agreement(item.item_id, label)
+            self.events.append(contribution.timestamp, "label",
+                               item=item.item_id, label=label,
+                               players=list(contribution.players))
+            if promoted:
+                self.events.append(contribution.timestamp, "promotion",
+                                   item=item.item_id, label=label)
+
+    @property
+    def rounds_played(self) -> int:
+        return self._rounds_played
+
+    def good_labels(self) -> Dict[str, Tuple[str, ...]]:
+        """item -> labels promoted by repeated agreement (the output)."""
+        return self.taboo.all_promoted()
+
+    def raw_labels(self) -> Dict[str, List[str]]:
+        """item -> every matched label (verified, pre-promotion)."""
+        out: Dict[str, List[str]] = {}
+        for contribution in self.contributions:
+            if contribution.verified:
+                out.setdefault(contribution.item_id, []).append(
+                    contribution.value("label"))
+        return out
+
+    def label_precision(self, promoted_only: bool = True,
+                        threshold: float = 0.0) -> float:
+        """Fraction of collected labels that are ground-truth relevant."""
+        total = 0
+        correct = 0
+        if promoted_only:
+            source = [(item, label)
+                      for item, labels in self.good_labels().items()
+                      for label in labels]
+        else:
+            source = [(c.item_id, c.value("label"))
+                      for c in self.contributions if c.verified]
+        for item_id, label in source:
+            total += 1
+            if self.corpus.relevance(item_id, label, threshold):
+                correct += 1
+        if total == 0:
+            return 0.0
+        return correct / total

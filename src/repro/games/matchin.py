@@ -1,0 +1,155 @@
+"""Matchin: pairwise image preference (output-agreement on taste).
+
+Both players see the same *pair* of images and each picks the one they
+believe their partner prefers; agreeing earns points.  Aggregated over
+many pairs, the agreements yield a global attractiveness ranking — the
+game's useful output.
+
+Ground truth here is a latent per-image *appeal* score (a stable hash of
+the image id), and players perceive appeal with skill-dependent noise, so
+the recovered ranking converges to the latent one as rounds accumulate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro import rng as _rng
+from repro.core.entities import (Contribution, ContributionKind,
+                                 RoundOutcome, RoundResult, TaskItem)
+from repro.core.events import EventLog
+from repro.corpus.images import Image, ImageCorpus
+from repro.errors import GameError
+from repro.players.base import Behavior, PlayerModel
+
+
+def appeal_score(image_id: str) -> float:
+    """Latent ground-truth attractiveness of an image, in [0, 1).
+
+    A stable hash — not random state — so every component of the system
+    agrees on it without coordination.
+    """
+    digest = hashlib.sha256(f"appeal:{image_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+class MatchinGame:
+    """A Matchin campaign accumulating pairwise preference agreements.
+
+    Args:
+        corpus: image corpus.
+        seed: campaign RNG seed.
+    """
+
+    def __init__(self, corpus: ImageCorpus, seed: _rng.SeedLike = 0) -> None:
+        self.corpus = corpus
+        self._rng = _rng.make_rng(seed)
+        self.events = EventLog()
+        self.contributions: List[Contribution] = []
+        # Bradley-Terry-ish tallies: wins[image] and appearances[image].
+        self._wins: Dict[str, int] = {}
+        self._appearances: Dict[str, int] = {}
+
+    def _perceived_choice(self, model: PlayerModel, left: Image,
+                          right: Image, rng) -> str:
+        """Which image the player picks as the preferred one."""
+        if model.behavior in (Behavior.SPAMMER, Behavior.RANDOM_BOT):
+            return left.image_id if rng.random() < 0.5 else right.image_id
+        noise = 0.35 * (1.0 - model.skill)
+        left_seen = appeal_score(left.image_id) + rng.gauss(0.0, noise)
+        right_seen = appeal_score(right.image_id) + rng.gauss(0.0, noise)
+        return left.image_id if left_seen >= right_seen else right.image_id
+
+    def play_round(self, model_a: PlayerModel, model_b: PlayerModel,
+                   now: float = 0.0,
+                   pair: Optional[Tuple[Image, Image]] = None
+                   ) -> RoundResult:
+        """One pair-choice round between two player models."""
+        if pair is None:
+            left, right = self.corpus.sample(self._rng, 2)
+        else:
+            left, right = pair
+        if left.image_id == right.image_id:
+            raise GameError("Matchin needs two distinct images")
+        rng_a = _rng.derive(self._rng, f"choice:{model_a.player_id}")
+        rng_b = _rng.derive(self._rng, f"choice:{model_b.player_id}")
+        choice_a = self._perceived_choice(model_a, left, right, rng_a)
+        choice_b = self._perceived_choice(model_b, left, right, rng_b)
+        agreed = choice_a == choice_b
+        item = TaskItem(item_id=f"{left.image_id}|{right.image_id}",
+                        kind="image_pair")
+        contributions: List[Contribution] = []
+        for image in (left, right):
+            self._appearances[image.image_id] = (
+                self._appearances.get(image.image_id, 0) + 1)
+        if agreed:
+            self._wins[choice_a] = self._wins.get(choice_a, 0) + 1
+            contributions.append(Contribution(
+                kind=ContributionKind.PREFERENCE, item_id=item.item_id,
+                data={"winner": choice_a,
+                      "loser": (right.image_id if choice_a == left.image_id
+                                else left.image_id)},
+                players=(model_a.player_id, model_b.player_id),
+                verified=True, timestamp=now + 8.0))
+            self.contributions.extend(contributions)
+        outcome = RoundOutcome.AGREED if agreed else RoundOutcome.FAILED
+        self.events.append(now, "matchin_round", agreed=agreed,
+                           pair=[left.image_id, right.image_id])
+        return RoundResult(item=item, outcome=outcome,
+                           contributions=contributions, elapsed_s=8.0,
+                           detail={"choice_a": choice_a,
+                                   "choice_b": choice_b})
+
+    def play_match(self, model_a: PlayerModel, model_b: PlayerModel,
+                   rounds: int = 20, start_s: float = 0.0
+                   ) -> List[RoundResult]:
+        """A multi-round match."""
+        results = []
+        clock = start_s
+        for _ in range(rounds):
+            result = self.play_round(model_a, model_b, now=clock)
+            results.append(result)
+            clock += result.elapsed_s + 1.0
+        return results
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        """Images ranked by empirical win rate (the recovered appeal)."""
+        rates = []
+        for image_id, appearances in self._appearances.items():
+            wins = self._wins.get(image_id, 0)
+            rates.append((image_id, wins / appearances))
+        rates.sort(key=lambda kv: -kv[1])
+        return rates
+
+    def ranking_bt(self):
+        """Bradley–Terry ranking from the agreement stream.
+
+        Fits the pairwise-preference model to every verified agreement;
+        statistically stronger than raw win rates when items have
+        uneven appearance counts.  Returns the fitted
+        :class:`~repro.aggregation.bradley_terry.BradleyTerryResult`.
+        """
+        from repro.aggregation.bradley_terry import BradleyTerry
+        outcomes = [(c.value("winner"), c.value("loser"))
+                    for c in self.contributions if c.verified]
+        return BradleyTerry().fit(outcomes)
+
+    def ranking_correlation(self) -> float:
+        """Spearman correlation of recovered vs latent appeal ranking.
+
+        Only images that appeared at least once are scored.  Returns 0.0
+        when fewer than two images have been seen.
+        """
+        observed = self.ranking()
+        if len(observed) < 2:
+            return 0.0
+        ids = [image_id for image_id, _ in observed]
+        truth_order = sorted(ids, key=lambda i: -appeal_score(i))
+        truth_rank = {image_id: pos for pos, image_id
+                      in enumerate(truth_order)}
+        observed_rank = {image_id: pos for pos, (image_id, _)
+                         in enumerate(observed)}
+        n = len(ids)
+        d2 = sum((truth_rank[i] - observed_rank[i]) ** 2 for i in ids)
+        return 1.0 - 6.0 * d2 / (n * (n * n - 1))

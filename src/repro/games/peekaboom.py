@@ -1,0 +1,241 @@
+"""Peekaboom: locating objects in images via an inversion problem.
+
+*Boom* sees an image plus a target word and progressively reveals circular
+regions of the image; *Peek* sees only the revealed regions and must type
+the word.  A correct guess certifies the reveals, whose footprint is the
+useful output: where the word's referent is.
+
+The clue here is a pixel reveal, not text, so Peekaboom gets its own
+engine rather than the generic text-clue
+:class:`~repro.core.templates.InversionProblemGame`; the structure
+(describer/guesser, completion certifies clues) is the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import rng as _rng
+from repro.core.entities import (Contribution, ContributionKind,
+                                 RoundOutcome, RoundResult, TaskItem)
+from repro.core.events import EventLog
+from repro.corpus.images import Image, ImageCorpus
+from repro.corpus.objects import BoundingBox, ObjectLayout
+from repro.errors import ConfigError, GameError
+from repro.players.base import Behavior, PlayerModel
+from repro.players.timing import ResponseTimer
+
+
+@dataclass(frozen=True)
+class Reveal:
+    """One circular reveal: center plus radius, at a time."""
+
+    x: float
+    y: float
+    radius: float
+    at_s: float
+
+
+class BoomAgent:
+    """The describer: reveals regions around the target object.
+
+    Reveal centers are Gaussian around the object's center with spatial
+    noise inversely related to skill; radii shrink over the round as Boom
+    zeroes in.  Adversarial Boom players reveal uniformly random regions.
+    """
+
+    def __init__(self, model: PlayerModel, layout: ObjectLayout, rng,
+                 reveal_radius: float = 40.0) -> None:
+        self.model = model
+        self.player_id = model.player_id
+        self.layout = layout
+        self._rng = _rng.make_rng(rng)
+        self.reveal_radius = reveal_radius
+        # Reveals are mouse clicks — far faster than typed answers.
+        self._timer = ResponseTimer(model, first_latency_s=1.5,
+                                    gap_mean_s=1.2)
+
+    def give_reveals(self, image: Image, word: str,
+                     limit_s: float) -> List[Reveal]:
+        """Timed reveal sequence for (image, word)."""
+        budget = self.model.answers_per_round(limit_s)
+        times = self._timer.schedule(self._rng, budget, limit_s=limit_s)
+        if self.model.behavior in (Behavior.SPAMMER, Behavior.RANDOM_BOT):
+            return [Reveal(self._rng.uniform(0, image.width),
+                           self._rng.uniform(0, image.height),
+                           self.reveal_radius, at) for at in times]
+        obj = self.layout.object_for(image.image_id, word)
+        cx, cy = obj.box.center
+        # Spatial noise: low-skill Boom players scatter reveals.
+        sigma = (0.15 + 0.8 * (1.0 - self.model.skill)) * max(
+            obj.box.w, obj.box.h)
+        reveals = []
+        for index, at in enumerate(times):
+            shrink = max(0.5, 1.0 - 0.08 * index)
+            reveals.append(Reveal(
+                x=min(max(self._rng.gauss(cx, sigma), 0), image.width),
+                y=min(max(self._rng.gauss(cy, sigma), 0), image.height),
+                radius=self.reveal_radius * shrink, at_s=at))
+        return reveals
+
+
+class PeekAgent:
+    """The guesser: infers the word from which objects the reveals hit.
+
+    Args:
+        min_evidence: reveals Peek must see before venturing a guess —
+            a single small reveal is not recognizable, so guessing only
+            starts once a few regions are open.
+    """
+
+    def __init__(self, model: PlayerModel, layout: ObjectLayout,
+                 rng, min_evidence: int = 3) -> None:
+        self.model = model
+        self.player_id = model.player_id
+        self.layout = layout
+        self._rng = _rng.make_rng(rng)
+        self.min_evidence = min_evidence
+
+    def guess_from_reveals(self, image: Image,
+                           reveals: Sequence[Reveal]) -> List[str]:
+        """Candidate words ranked by revealed evidence.
+
+        Evidence for an object is the count of reveals whose center lies
+        inside (or within one radius of) its box, weighted by salience;
+        Peek can only guess words they know.
+        """
+        if len(reveals) < self.min_evidence:
+            return []
+        if self.model.behavior in (Behavior.SPAMMER, Behavior.RANDOM_BOT):
+            vocabulary = self.layout.corpus.vocabulary
+            picks = vocabulary.sample(self._rng, 3, by_frequency=True)
+            return [w.text for w in picks]
+        scores: Dict[str, float] = {}
+        for obj in self.layout.objects_in(image.image_id):
+            word = self.layout.corpus.vocabulary.word(obj.word)
+            if not self.model.knows(word):
+                continue
+            evidence = 0.0
+            for reveal in reveals:
+                grown = BoundingBox(
+                    max(0.0, obj.box.x - reveal.radius),
+                    max(0.0, obj.box.y - reveal.radius),
+                    obj.box.w + 2 * reveal.radius,
+                    obj.box.h + 2 * reveal.radius)
+                if grown.contains(reveal.x, reveal.y):
+                    evidence += 1.0
+            if evidence > 0:
+                # Perceptual noise shrinks with skill.
+                noise = self._rng.gauss(0.0, 1.5 * (1 - self.model.skill))
+                scores[obj.word] = evidence * (0.5 + obj.salience) + noise
+        ranked = sorted(scores.items(), key=lambda kv: -kv[1])
+        return [word for word, _ in ranked[:3]]
+
+
+class PeekaboomGame:
+    """A Peekaboom campaign.
+
+    Args:
+        corpus: image corpus.
+        layout: ground-truth object layout over the corpus.
+        round_time_limit_s: per-round cap.
+        guess_interval_s: Peek's reaction delay after each reveal.
+        seed: campaign RNG seed.
+    """
+
+    def __init__(self, corpus: ImageCorpus, layout: ObjectLayout,
+                 round_time_limit_s: float = 60.0,
+                 guess_interval_s: float = 2.0,
+                 seed: _rng.SeedLike = 0) -> None:
+        if round_time_limit_s <= 0:
+            raise ConfigError("round_time_limit_s must be > 0")
+        self.corpus = corpus
+        self.layout = layout
+        self.round_time_limit_s = round_time_limit_s
+        self.guess_interval_s = guess_interval_s
+        self._rng = _rng.make_rng(seed)
+        self.events = EventLog()
+        self.contributions: List[Contribution] = []
+
+    def make_boom(self, model: PlayerModel) -> BoomAgent:
+        return BoomAgent(model, self.layout,
+                         _rng.derive(self._rng, f"boom:{model.player_id}"))
+
+    def make_peek(self, model: PlayerModel) -> PeekAgent:
+        return PeekAgent(model, self.layout,
+                         _rng.derive(self._rng, f"peek:{model.player_id}"))
+
+    def play_round(self, boom: BoomAgent, peek: PeekAgent, image: Image,
+                   word: str, now: float = 0.0) -> RoundResult:
+        """Play one Boom/Peek round for (image, word)."""
+        if not self.layout.has_object(image.image_id, word):
+            raise GameError(
+                f"word {word!r} has no object in image {image.image_id!r}")
+        reveals = boom.give_reveals(image, word, self.round_time_limit_s)
+        shown: List[Reveal] = []
+        completed_at: Optional[float] = None
+        guesses_tried: List[str] = []
+        for reveal in reveals:
+            shown.append(reveal)
+            guesses = peek.guess_from_reveals(image, tuple(shown))
+            for index, guess in enumerate(guesses):
+                at = reveal.at_s + (index + 1) * self.guess_interval_s
+                if at > self.round_time_limit_s:
+                    break
+                guesses_tried.append(guess)
+                if guess == word:
+                    completed_at = at
+                    break
+            if completed_at is not None:
+                break
+        completed = completed_at is not None
+        elapsed = completed_at if completed else self.round_time_limit_s
+        item = TaskItem(item_id=image.image_id, kind="image",
+                        payload={"word": word})
+        contributions = [Contribution(
+            kind=ContributionKind.LOCATION, item_id=image.image_id,
+            data={"word": word, "x": r.x, "y": r.y, "radius": r.radius},
+            players=(boom.player_id, peek.player_id),
+            verified=completed, timestamp=now + r.at_s)
+            for r in (shown if completed else reveals)]
+        self.contributions.extend(contributions)
+        outcome = (RoundOutcome.COMPLETED if completed
+                   else RoundOutcome.FAILED)
+        self.events.append(now + elapsed, "peekaboom_round",
+                           item=image.image_id, word=word,
+                           completed=completed, reveals=len(shown))
+        return RoundResult(item=item, outcome=outcome,
+                           contributions=contributions, elapsed_s=elapsed,
+                           detail={"word": word, "guesses": guesses_tried,
+                                   "reveals": len(shown)})
+
+    def play_match(self, model_a: PlayerModel, model_b: PlayerModel,
+                   rounds: int = 6, start_s: float = 0.0
+                   ) -> List[RoundResult]:
+        """Play a match, alternating Boom/Peek roles each round."""
+        results: List[RoundResult] = []
+        clock = start_s
+        for index in range(rounds):
+            if index % 2 == 0:
+                boom, peek = self.make_boom(model_a), self.make_peek(model_b)
+            else:
+                boom, peek = self.make_boom(model_b), self.make_peek(model_a)
+            image = self._rng.choice(list(self.corpus.images))
+            objects = self.layout.objects_in(image.image_id)
+            obj = self._rng.choice(list(objects))
+            result = self.play_round(boom, peek, image, obj.word,
+                                     now=clock)
+            results.append(result)
+            clock += result.elapsed_s + 2.0
+        return results
+
+    def verified_locations(self) -> Dict[Tuple[str, str],
+                                         List[Contribution]]:
+        """(image, word) -> verified reveal contributions."""
+        out: Dict[Tuple[str, str], List[Contribution]] = {}
+        for contribution in self.contributions:
+            if contribution.verified:
+                key = (contribution.item_id, contribution.value("word"))
+                out.setdefault(key, []).append(contribution)
+        return out

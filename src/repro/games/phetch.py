@@ -1,0 +1,213 @@
+"""Phetch: collecting image descriptions via retrieval.
+
+One *describer* sees an image and writes a description; *seekers* use
+the description to find that image among the corpus (in the real game,
+through an image search engine).  A seeker clicking the right image
+certifies the description — the game's output is validated natural-
+language image captions (built to make the web accessible to the
+visually impaired).
+
+Simulation: a description is the describer's perceived tag set; seekers
+score candidate images by how much of the description's salience they
+carry and click their best guess.  Retrieval succeeds when the true
+image outranks the distractors, which it does exactly when the
+description is faithful — reproducing the game's certification logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import rng as _rng
+from repro.core.entities import (Contribution, ContributionKind,
+                                 RoundOutcome, RoundResult, TaskItem)
+from repro.core.events import EventLog
+from repro.corpus.images import Image, ImageCorpus
+from repro.errors import GameError
+from repro.players.adversarial import answer_stream
+from repro.players.base import PlayerModel
+
+
+class PhetchDescriber:
+    """Writes a description: the tags the player perceives."""
+
+    def __init__(self, model: PlayerModel, corpus: ImageCorpus, rng,
+                 description_words: int = 6) -> None:
+        self.model = model
+        self.player_id = model.player_id
+        self.corpus = corpus
+        self._rng = _rng.make_rng(rng)
+        self.description_words = description_words
+
+    def describe(self, image: Image) -> List[str]:
+        """The description: an ordered list of perceived tags."""
+        return answer_stream(self.model, image.salience,
+                             self.corpus.vocabulary, self._rng,
+                             self.description_words)
+
+
+class PhetchSeeker:
+    """Finds the described image among candidates.
+
+    The seeker's search scores each candidate by the salience mass it
+    assigns to the description words, perturbed by skill noise, and
+    clicks the top candidates in order.
+    """
+
+    def __init__(self, model: PlayerModel, corpus: ImageCorpus, rng,
+                 max_clicks: int = 3) -> None:
+        self.model = model
+        self.player_id = model.player_id
+        self.corpus = corpus
+        self._rng = _rng.make_rng(rng)
+        self.max_clicks = max_clicks
+
+    def search(self, description: Sequence[str],
+               candidates: Sequence[Image]) -> List[str]:
+        """Ranked image ids the seeker would click, best first."""
+        if not description:
+            return []
+        scores: List[Tuple[str, float]] = []
+        noise_scale = 0.15 * (1.0 - self.model.effective_skill())
+        for image in candidates:
+            relevance = sum(image.tag_salience(word)
+                            for word in description)
+            relevance += self._rng.gauss(0.0, noise_scale)
+            scores.append((image.image_id, relevance))
+        scores.sort(key=lambda kv: -kv[1])
+        return [image_id for image_id, _ in scores[:self.max_clicks]]
+
+
+class PhetchGame:
+    """A Phetch campaign collecting certified image descriptions.
+
+    Args:
+        corpus: image corpus.
+        candidates: size of the search pool per round (the target plus
+            distractors).
+        round_time_s: nominal wall-clock per round (for throughput).
+        seed: campaign RNG seed.
+    """
+
+    def __init__(self, corpus: ImageCorpus, candidates: int = 15,
+                 round_time_s: float = 40.0,
+                 seed: _rng.SeedLike = 0) -> None:
+        if candidates < 2:
+            raise GameError(
+                f"need >= 2 candidate images, got {candidates}")
+        if candidates > len(corpus):
+            raise GameError(
+                f"candidates ({candidates}) exceeds corpus size "
+                f"({len(corpus)})")
+        self.corpus = corpus
+        self.candidates = candidates
+        self.round_time_s = round_time_s
+        self._rng = _rng.make_rng(seed)
+        self.events = EventLog()
+        self.contributions: List[Contribution] = []
+
+    def make_describer(self, model: PlayerModel) -> PhetchDescriber:
+        return PhetchDescriber(
+            model, self.corpus,
+            _rng.derive(self._rng, f"desc:{model.player_id}"))
+
+    def make_seeker(self, model: PlayerModel) -> PhetchSeeker:
+        return PhetchSeeker(
+            model, self.corpus,
+            _rng.derive(self._rng, f"seek:{model.player_id}"))
+
+    def play_round(self, describer: PhetchDescriber,
+                   seekers: Sequence[PhetchSeeker],
+                   image: Optional[Image] = None,
+                   now: float = 0.0) -> RoundResult:
+        """One describe-and-retrieve round.
+
+        The first seeker to click the target certifies the description.
+        """
+        if not seekers:
+            raise GameError("Phetch needs at least one seeker")
+        if image is None:
+            image = self._rng.choice(list(self.corpus.images))
+        pool = [img for img in
+                self._rng.sample(list(self.corpus.images),
+                                 self.candidates)
+                if img.image_id != image.image_id]
+        pool = pool[:self.candidates - 1] + [image]
+        self._rng.shuffle(pool)
+        description = describer.describe(image)
+        finder: Optional[str] = None
+        clicks_used = 0
+        for seeker in seekers:
+            clicks = seeker.search(description, pool)
+            clicks_used += len(clicks)
+            if image.image_id in clicks:
+                finder = seeker.player_id
+                break
+        found = finder is not None
+        item = TaskItem(item_id=image.image_id, kind="image")
+        contributions: List[Contribution] = []
+        if description:
+            contributions.append(Contribution(
+                kind=ContributionKind.DESCRIPTION,
+                item_id=image.image_id,
+                data={"description": list(description),
+                      "finder": finder},
+                players=(describer.player_id,)
+                + tuple(s.player_id for s in seekers),
+                verified=found, timestamp=now + self.round_time_s))
+            self.contributions.extend(contributions)
+        self.events.append(now, "phetch_round", image=image.image_id,
+                           found=found, clicks=clicks_used)
+        outcome = (RoundOutcome.COMPLETED if found
+                   else RoundOutcome.FAILED)
+        return RoundResult(item=item, outcome=outcome,
+                           contributions=contributions,
+                           elapsed_s=self.round_time_s,
+                           detail={"description": list(description),
+                                   "finder": finder})
+
+    def play_match(self, describer_model: PlayerModel,
+                   seeker_models: Sequence[PlayerModel],
+                   rounds: int = 6, start_s: float = 0.0
+                   ) -> List[RoundResult]:
+        """A match: one describer against a seeker panel."""
+        describer = self.make_describer(describer_model)
+        seekers = [self.make_seeker(model) for model in seeker_models]
+        results = []
+        clock = start_s
+        for _ in range(rounds):
+            result = self.play_round(describer, seekers, now=clock)
+            results.append(result)
+            clock += result.elapsed_s + 2.0
+        return results
+
+    def certified_descriptions(self) -> Dict[str, List[List[str]]]:
+        """image -> certified descriptions (lists of words)."""
+        out: Dict[str, List[List[str]]] = {}
+        for contribution in self.contributions:
+            if contribution.verified:
+                out.setdefault(contribution.item_id, []).append(
+                    list(contribution.value("description")))
+        return out
+
+    def description_precision(self) -> float:
+        """Fraction of certified description words that are relevant."""
+        total = 0
+        relevant = 0
+        for image_id, descriptions in \
+                self.certified_descriptions().items():
+            image = self.corpus.image(image_id)
+            for description in descriptions:
+                for word in description:
+                    total += 1
+                    relevant += image.is_relevant(word)
+        if total == 0:
+            return 0.0
+        return relevant / total
+
+    def retrieval_rate(self) -> float:
+        """Fraction of rounds where a seeker found the image."""
+        rounds = self.events.of_kind("phetch_round")
+        if not rounds:
+            return 0.0
+        return sum(e.data["found"] for e in rounds) / len(rounds)

@@ -1,0 +1,156 @@
+"""Squigl: object outline tracing (output-agreement on regions).
+
+Both players see the same image and the same word and each traces the
+word's referent; when the traces agree (high overlap) the consensus
+region is a verified segmentation.  The simulated trace is a bounding box
+around the ground-truth object, perturbed by skill-dependent jitter in
+position and scale; adversaries trace random regions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro import rng as _rng
+from repro.core.entities import (Contribution, ContributionKind,
+                                 RoundOutcome, RoundResult, TaskItem)
+from repro.core.events import EventLog
+from repro.corpus.images import Image, ImageCorpus
+from repro.corpus.objects import BoundingBox, ObjectLayout
+from repro.errors import GameError
+from repro.players.base import Behavior, PlayerModel
+
+
+def _jittered_box(truth: BoundingBox, image: Image, skill: float,
+                  rng) -> BoundingBox:
+    """A human trace of ``truth``: position and scale jitter fall with skill."""
+    pos_sigma = (0.02 + 0.25 * (1.0 - skill))
+    scale_sigma = (0.03 + 0.3 * (1.0 - skill))
+    dx = rng.gauss(0.0, pos_sigma) * truth.w
+    dy = rng.gauss(0.0, pos_sigma) * truth.h
+    sw = max(0.3, 1.0 + rng.gauss(0.0, scale_sigma))
+    sh = max(0.3, 1.0 + rng.gauss(0.0, scale_sigma))
+    box = BoundingBox(truth.x + dx, truth.y + dy,
+                      truth.w * sw, truth.h * sh)
+    return box.clipped(image.width, image.height)
+
+
+def _random_box(image: Image, rng) -> BoundingBox:
+    w = rng.uniform(0.1, 0.5) * image.width
+    h = rng.uniform(0.1, 0.5) * image.height
+    return BoundingBox(rng.uniform(0, image.width - w),
+                       rng.uniform(0, image.height - h), w, h)
+
+
+class SquiglGame:
+    """A Squigl campaign collecting consensus object outlines.
+
+    Args:
+        corpus: image corpus.
+        layout: ground-truth object layout.
+        agreement_iou: minimum trace overlap that counts as agreement.
+        seed: campaign RNG seed.
+    """
+
+    def __init__(self, corpus: ImageCorpus, layout: ObjectLayout,
+                 agreement_iou: float = 0.35,
+                 seed: _rng.SeedLike = 0) -> None:
+        if not 0.0 < agreement_iou <= 1.0:
+            raise GameError(
+                f"agreement_iou must be in (0,1], got {agreement_iou}")
+        self.corpus = corpus
+        self.layout = layout
+        self.agreement_iou = agreement_iou
+        self._rng = _rng.make_rng(seed)
+        self.events = EventLog()
+        self.contributions: List[Contribution] = []
+
+    def trace_for(self, model: PlayerModel, image: Image,
+                  word: str, rng) -> BoundingBox:
+        """The box this player would trace for (image, word)."""
+        if model.behavior in (Behavior.SPAMMER, Behavior.RANDOM_BOT):
+            return _random_box(image, rng)
+        truth = self.layout.object_for(image.image_id, word).box
+        return _jittered_box(truth, image, model.skill, rng)
+
+    def play_round(self, model_a: PlayerModel, model_b: PlayerModel,
+                   image: Optional[Image] = None,
+                   word: Optional[str] = None,
+                   now: float = 0.0) -> RoundResult:
+        """One tracing round; agreement certifies the consensus box."""
+        if image is None:
+            image = self._rng.choice(list(self.corpus.images))
+        if word is None:
+            obj = self._rng.choice(list(
+                self.layout.objects_in(image.image_id)))
+            word = obj.word
+        if not self.layout.has_object(image.image_id, word):
+            raise GameError(
+                f"word {word!r} has no object in image {image.image_id!r}")
+        rng_a = _rng.derive(self._rng, f"trace:{model_a.player_id}")
+        rng_b = _rng.derive(self._rng, f"trace:{model_b.player_id}")
+        box_a = self.trace_for(model_a, image, word, rng_a)
+        box_b = self.trace_for(model_b, image, word, rng_b)
+        iou = box_a.iou(box_b)
+        agreed = iou >= self.agreement_iou
+        item = TaskItem(item_id=image.image_id, kind="image",
+                        payload={"word": word})
+        contributions: List[Contribution] = []
+        if agreed:
+            consensus = self._intersection_box(box_a, box_b)
+            contributions.append(Contribution(
+                kind=ContributionKind.TRACE, item_id=image.image_id,
+                data={"word": word, "x": consensus.x, "y": consensus.y,
+                      "w": consensus.w, "h": consensus.h, "iou": iou},
+                players=(model_a.player_id, model_b.player_id),
+                verified=True, timestamp=now + 15.0))
+            self.contributions.extend(contributions)
+        self.events.append(now, "squigl_round", word=word,
+                           image=image.image_id, agreed=agreed, iou=iou)
+        outcome = RoundOutcome.AGREED if agreed else RoundOutcome.FAILED
+        return RoundResult(item=item, outcome=outcome,
+                           contributions=contributions, elapsed_s=15.0,
+                           detail={"iou": iou, "word": word})
+
+    @staticmethod
+    def _intersection_box(a: BoundingBox, b: BoundingBox) -> BoundingBox:
+        x1 = max(a.x, b.x)
+        y1 = max(a.y, b.y)
+        x2 = min(a.x2, b.x2)
+        y2 = min(a.y2, b.y2)
+        if x2 <= x1 or y2 <= y1:
+            # Degenerate overlap: fall back to the union's bounding box.
+            x1 = min(a.x, b.x)
+            y1 = min(a.y, b.y)
+            x2 = max(a.x2, b.x2)
+            y2 = max(a.y2, b.y2)
+        return BoundingBox(x1, y1, x2 - x1, y2 - y1)
+
+    def play_match(self, model_a: PlayerModel, model_b: PlayerModel,
+                   rounds: int = 10, start_s: float = 0.0
+                   ) -> List[RoundResult]:
+        """A multi-round tracing match."""
+        results = []
+        clock = start_s
+        for _ in range(rounds):
+            result = self.play_round(model_a, model_b, now=clock)
+            results.append(result)
+            clock += result.elapsed_s + 1.0
+        return results
+
+    def consensus_quality(self) -> float:
+        """Mean IoU of verified consensus boxes against ground truth."""
+        scores = []
+        for contribution in self.contributions:
+            if not contribution.verified:
+                continue
+            truth = self.layout.object_for(
+                contribution.item_id, contribution.value("word")).box
+            consensus = BoundingBox(contribution.value("x"),
+                                    contribution.value("y"),
+                                    contribution.value("w"),
+                                    contribution.value("h"))
+            scores.append(consensus.iou(truth))
+        if not scores:
+            return 0.0
+        return sum(scores) / len(scores)

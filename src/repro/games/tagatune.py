@@ -1,0 +1,157 @@
+"""TagATune: input-agreement music annotation.
+
+Both players hear a clip (the same one, or two different ones), type
+descriptions visible to each other, and vote *same* or *different*.  When
+both votes are correct the exchanged descriptions become verified tags for
+each player's own clip.  Input-agreement sidesteps the shared-vocabulary
+requirement of output-agreement (players only need to *compare*, not
+match), which is why TagATune works for music where exact word agreement
+is rare.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro import rng as _rng
+from repro.core.entities import (Contribution, ContributionKind,
+                                 RoundResult, TaskItem)
+from repro.core.events import EventLog
+from repro.core.templates import (InputAgreementGame, TimedAnswer)
+from repro.corpus.music import MusicCorpus
+from repro.errors import GameError
+from repro.players.adversarial import answer_stream, is_item_blind
+from repro.players.base import PlayerModel
+from repro.players.timing import ResponseTimer
+
+
+class TagATuneAgent:
+    """Adapts a player model to the input-agreement protocol for clips."""
+
+    def __init__(self, model: PlayerModel, corpus: MusicCorpus, rng,
+                 round_time_s: float = 30.0,
+                 judge_threshold: float = 0.2) -> None:
+        self.model = model
+        self.player_id = model.player_id
+        self.corpus = corpus
+        self._rng = _rng.make_rng(rng)
+        self.round_time_s = round_time_s
+        self.judge_threshold = judge_threshold
+        self._timer = ResponseTimer(model, first_latency_s=4.0,
+                                    gap_mean_s=5.0)
+
+    def describe(self, item: TaskItem) -> Sequence[TimedAnswer]:
+        """Timed tags for the player's own clip."""
+        clip = self.corpus.clip(item.item_id)
+        budget = max(1, self.model.answers_per_round(self.round_time_s)
+                     // 2)
+        texts = answer_stream(self.model, clip.salience,
+                              self.corpus.vocabulary, self._rng, budget)
+        times = self._timer.schedule(self._rng, len(texts),
+                                     limit_s=self.round_time_s)
+        return [TimedAnswer(text, at) for text, at in zip(texts, times)]
+
+    def judge_same(self, item: TaskItem,
+                   partner_tags: Sequence[str]) -> bool:
+        """Vote by overlap between partner tags and own clip's salience.
+
+        The player checks how many of the partner's words ring true for
+        their own clip; skill shrinks the judgment noise.  Item-blind
+        adversaries vote at random.
+        """
+        if is_item_blind(self.model):
+            return self._rng.random() < 0.5
+        clip = self.corpus.clip(item.item_id)
+        if not partner_tags:
+            return self._rng.random() < 0.3
+        hits = sum(1 for tag in partner_tags
+                   if clip.tag_salience(tag) > 0.0)
+        overlap = hits / len(partner_tags)
+        noise = self._rng.gauss(0.0, 0.25 * (1 - self.model.skill))
+        return overlap + noise >= self.judge_threshold
+
+
+class TagATuneGame:
+    """A TagATune campaign.
+
+    Args:
+        corpus: music clips.
+        same_probability: fraction of rounds where both players get the
+            same clip (real TagATune used ~0.5).
+        round_time_limit_s: per-round cap.
+        seed: campaign RNG seed.
+    """
+
+    def __init__(self, corpus: MusicCorpus, same_probability: float = 0.5,
+                 round_time_limit_s: float = 30.0,
+                 seed: _rng.SeedLike = 0) -> None:
+        if not 0.0 <= same_probability <= 1.0:
+            raise GameError(
+                f"same_probability must be in [0,1], got "
+                f"{same_probability}")
+        self.corpus = corpus
+        self.same_probability = same_probability
+        self._rng = _rng.make_rng(seed)
+        self._template = InputAgreementGame(
+            round_time_limit_s=round_time_limit_s,
+            contribution_kind=ContributionKind.LABEL)
+        self.events = EventLog()
+        self.contributions: List[Contribution] = []
+
+    def make_agent(self, model: PlayerModel) -> TagATuneAgent:
+        return TagATuneAgent(
+            model, self.corpus,
+            _rng.derive(self._rng, f"agent:{model.player_id}"),
+            round_time_s=self._template.round_time_limit_s)
+
+    def play_round(self, agent_a: TagATuneAgent, agent_b: TagATuneAgent,
+                   now: float = 0.0) -> RoundResult:
+        """One same-or-different round between two agents."""
+        same = self._rng.random() < self.same_probability
+        clip_a, clip_b = self.corpus.sample_pair(self._rng, same)
+        item_a = TaskItem(item_id=clip_a.clip_id, kind="clip")
+        item_b = TaskItem(item_id=clip_b.clip_id, kind="clip")
+        result = self._template.play_round(item_a, item_b, agent_a,
+                                           agent_b, same, now=now)
+        self.contributions.extend(result.contributions)
+        self.events.append(now + result.elapsed_s, "tagatune_round",
+                           same=same, succeeded=result.succeeded,
+                           clips=[clip_a.clip_id, clip_b.clip_id])
+        return result
+
+    def play_match(self, model_a: PlayerModel, model_b: PlayerModel,
+                   rounds: int = 8, start_s: float = 0.0
+                   ) -> List[RoundResult]:
+        """A multi-round match between two player models."""
+        agent_a = self.make_agent(model_a)
+        agent_b = self.make_agent(model_b)
+        results = []
+        clock = start_s
+        for _ in range(rounds):
+            result = self.play_round(agent_a, agent_b, now=clock)
+            results.append(result)
+            clock += result.elapsed_s + 2.0
+        return results
+
+    def verified_tags(self) -> Dict[str, List[str]]:
+        """clip -> tags certified by correct same/different agreement."""
+        out: Dict[str, List[str]] = {}
+        for contribution in self.contributions:
+            if contribution.verified:
+                out.setdefault(contribution.item_id, []).append(
+                    contribution.value("label"))
+        return out
+
+    def tag_precision(self) -> float:
+        """Fraction of verified tags that are ground-truth relevant."""
+        total = 0
+        correct = 0
+        for clip_id, tags in self.verified_tags().items():
+            clip = self.corpus.clip(clip_id)
+            for tag in tags:
+                total += 1
+                if clip.tag_salience(tag) > 0.0:
+                    correct += 1
+        if total == 0:
+            return 0.0
+        return correct / total

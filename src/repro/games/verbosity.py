@@ -1,0 +1,235 @@
+"""Verbosity: collecting common-sense facts via an inversion problem.
+
+The *narrator* (describer) holds a secret word and sends clues using fixed
+templates ("it is a kind of ...", "it is related to ..."); the *guesser*
+must name the word.  A correct guess certifies the clues as facts about
+the word — the game's useful output is a common-sense knowledge base.
+
+Clues are rendered as ``"<relation>|<object>"`` strings through the
+generic :class:`~repro.core.templates.InversionProblemGame`, and parsed
+back into (subject, relation, object) triples for the fact store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import rng as _rng
+from repro.core.entities import (Contribution,
+                                 ContributionKind,
+                                 RoundResult,
+                                 TaskItem)
+from repro.core.events import EventLog
+from repro.core.templates import InversionProblemGame, TimedAnswer
+from repro.corpus.facts import Fact, FactBase, Relation
+from repro.errors import GameError
+from repro.players.base import Behavior, PlayerModel
+from repro.players.timing import ResponseTimer
+
+_CLUE_SEP = "|"
+
+
+def render_clue(relation: Relation, obj: str) -> str:
+    """Encode a clue as the template's textual answer form."""
+    return f"{relation.value}{_CLUE_SEP}{obj}"
+
+
+def parse_clue(text: str) -> Tuple[Relation, str]:
+    """Decode a clue string back into (relation, object)."""
+    try:
+        relation_value, obj = text.split(_CLUE_SEP, 1)
+    except ValueError:
+        raise GameError(f"malformed clue: {text!r}") from None
+    for relation in Relation:
+        if relation.value == relation_value:
+            return relation, obj
+    raise GameError(f"unknown relation in clue: {text!r}")
+
+
+class DescriberAgent:
+    """The narrator: emits template clues about the secret word.
+
+    High-skill narrators draw true facts from the fact base; with
+    probability falling in skill they emit a known-false distractor.
+    Adversarial narrators emit only distractors.
+    """
+
+    def __init__(self, model: PlayerModel, facts: FactBase, rng) -> None:
+        self.model = model
+        self.player_id = model.player_id
+        self.facts = facts
+        self._rng = _rng.make_rng(rng)
+        self._timer = ResponseTimer(model, first_latency_s=3.0,
+                                    gap_mean_s=4.0)
+
+    def give_clues(self, item: TaskItem,
+                   secret: str) -> Sequence[TimedAnswer]:
+        budget = max(2, self.model.answers_per_round(60.0) // 2)
+        times = self._timer.schedule(self._rng, budget, limit_s=120.0)
+        true_pool = [f for f in self.facts.true_facts(secret)
+                     if f.obj != secret]
+        false_pool = list(self.facts.false_facts(secret))
+        self._rng.shuffle(true_pool)
+        self._rng.shuffle(false_pool)
+        adversarial = self.model.behavior in (Behavior.SPAMMER,
+                                              Behavior.RANDOM_BOT)
+        error_rate = 1.0 if adversarial else 0.3 * (1 - self.model.skill)
+        clues: List[TimedAnswer] = []
+        for at in times:
+            use_false = (self._rng.random() < error_rate and false_pool)
+            if use_false:
+                fact = false_pool.pop()
+            elif true_pool and not adversarial:
+                fact = true_pool.pop()
+            else:
+                # Out of material: a human stops rather than inventing
+                # known-false clues; an adversary stops when their junk
+                # runs out.
+                break
+            clues.append(TimedAnswer(render_clue(fact.relation, fact.obj),
+                                     at))
+        return clues
+
+
+class GuesserAgent:
+    """The guesser: scores candidate words against the clue set.
+
+    Candidates come from the categories of the clue objects (where true
+    facts live); each candidate scores one point per clue that is true of
+    it, and the guesser names the best-scoring known words.
+    """
+
+    def __init__(self, model: PlayerModel, facts: FactBase, rng,
+                 max_guesses: int = 4) -> None:
+        self.model = model
+        self.player_id = model.player_id
+        self.facts = facts
+        self._rng = _rng.make_rng(rng)
+        self.max_guesses = max_guesses
+
+    def guess_from_clues(self, item: TaskItem,
+                         clues: Sequence[str]) -> Sequence[str]:
+        vocabulary = self.facts.vocabulary
+        parsed = [parse_clue(text) for text in clues]
+        candidates: Dict[str, float] = {}
+        for relation, obj in parsed:
+            try:
+                obj_word = vocabulary.word(obj)
+            except Exception:
+                continue
+            for candidate in vocabulary.category_words(obj_word.category):
+                if candidate.text == obj or not self.model.knows(candidate):
+                    continue
+                if self.facts.has_fact(candidate.text, relation, obj):
+                    # The clue is literally one of the candidate's own
+                    # facts — strong identification.
+                    gain = 2.0
+                elif self.facts.is_true(candidate.text, relation, obj):
+                    gain = 0.4
+                else:
+                    gain = 0.1
+                candidates[candidate.text] = (
+                    candidates.get(candidate.text, 0.0) + gain)
+        for text in list(candidates):
+            noise = self._rng.gauss(0.0, 0.8 * (1 - self.model.skill))
+            candidates[text] += noise
+        ranked = sorted(candidates.items(), key=lambda kv: -kv[1])
+        return [text for text, _ in ranked[:self.max_guesses]]
+
+
+class VerbosityGame:
+    """A Verbosity campaign: collect facts certified by completed rounds.
+
+    Args:
+        facts: the ground-truth fact base (provides word universe and
+            lets the evaluator score collected facts).
+        round_time_limit_s: per-round cap.
+        seed: campaign RNG seed.
+    """
+
+    def __init__(self, facts: FactBase, round_time_limit_s: float = 120.0,
+                 seed: _rng.SeedLike = 0,
+                 secret_rank_limit: Optional[int] = None) -> None:
+        self.facts = facts
+        self._rng = _rng.make_rng(seed)
+        # Real Verbosity used common words as secrets; limiting the
+        # frequency rank keeps secrets inside most players' vocabulary.
+        self.secret_rank_limit = secret_rank_limit
+        self._template = InversionProblemGame(
+            round_time_limit_s=round_time_limit_s,
+            contribution_kind=ContributionKind.FACT,
+            guess_interval_s=2.0)
+        self.events = EventLog()
+        self.contributions: List[Contribution] = []
+
+    def make_describer(self, model: PlayerModel) -> DescriberAgent:
+        return DescriberAgent(
+            model, self.facts,
+            _rng.derive(self._rng, f"desc:{model.player_id}"))
+
+    def make_guesser(self, model: PlayerModel) -> GuesserAgent:
+        return GuesserAgent(
+            model, self.facts,
+            _rng.derive(self._rng, f"guess:{model.player_id}"))
+
+    def play_round(self, describer: DescriberAgent, guesser: GuesserAgent,
+                   secret: str, now: float = 0.0) -> RoundResult:
+        """One narrator/guesser round about ``secret``."""
+        item = TaskItem(item_id=f"word:{secret}", kind="word",
+                        payload={"secret": secret})
+        result = self._template.play_round(item, describer, guesser,
+                                           secret, now=now)
+        self.contributions.extend(result.contributions)
+        self.events.append(now + result.elapsed_s, "verbosity_round",
+                           secret=secret,
+                           completed=result.succeeded,
+                           clues=len(result.detail.get("clues", [])))
+        return result
+
+    def play_match(self, model_a: PlayerModel, model_b: PlayerModel,
+                   rounds: int = 6, start_s: float = 0.0
+                   ) -> List[RoundResult]:
+        """Alternating-role match over random secret words."""
+        results: List[RoundResult] = []
+        clock = start_s
+        vocabulary = self.facts.vocabulary
+        rank_cap = min(self.secret_rank_limit or len(vocabulary),
+                       len(vocabulary))
+        for index in range(rounds):
+            secret = vocabulary.by_rank(
+                self._rng.randint(1, rank_cap)).text
+            if index % 2 == 0:
+                pair = (self.make_describer(model_a),
+                        self.make_guesser(model_b))
+            else:
+                pair = (self.make_describer(model_b),
+                        self.make_guesser(model_a))
+            result = self.play_round(pair[0], pair[1], secret, now=clock)
+            results.append(result)
+            clock += result.elapsed_s + 2.0
+        return results
+
+    def collected_facts(self, verified_only: bool = True) -> List[Fact]:
+        """Facts harvested from clue contributions.
+
+        Each clue contribution is parsed into a triple; its ``true`` flag
+        is looked up in the ground-truth base so callers can score the
+        collection.
+        """
+        out: List[Fact] = []
+        for contribution in self.contributions:
+            if verified_only and not contribution.verified:
+                continue
+            relation, obj = parse_clue(contribution.value("clue"))
+            subject = contribution.value("secret")
+            out.append(Fact(subject=subject, relation=relation, obj=obj,
+                            true=self.facts.is_true(subject, relation,
+                                                    obj)))
+        return out
+
+    def fact_accuracy(self, verified_only: bool = True) -> float:
+        """Fraction of collected facts that are ground-truth true."""
+        facts = self.collected_facts(verified_only)
+        if not facts:
+            return 0.0
+        return sum(1 for f in facts if f.true) / len(facts)

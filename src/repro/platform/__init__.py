@@ -1,0 +1,39 @@
+"""Crowdsourcing task platform substrate.
+
+GWAPs are one interface to human computation; the overview situates them
+within the broader pattern of platforms that queue tasks, assign them
+redundantly to workers, and aggregate the answers (the role MTurk or
+PyBossa plays in practice).  This package is that substrate:
+
+- :mod:`repro.platform.store` — in-memory record store with JSON
+  round-tripping.
+- :mod:`repro.platform.jobs` — jobs (projects) and task records with a
+  redundancy requirement and lifecycle.
+- :mod:`repro.platform.accounts` — worker accounts.
+- :mod:`repro.platform.scheduler` — task assignment policies
+  (breadth-first, depth-first, random).
+- :mod:`repro.platform.leaderboard` — points leaderboard.
+- :mod:`repro.platform.facade` — :class:`~repro.platform.facade.Platform`,
+  the high-level API the service layer and examples use.
+"""
+
+from repro.platform.store import JsonStore
+from repro.platform.jobs import Job, JobStatus, TaskRecord, TaskState
+from repro.platform.accounts import Account, AccountRegistry
+from repro.platform.scheduler import AssignmentPolicy, TaskScheduler
+from repro.platform.leaderboard import Leaderboard
+from repro.platform.facade import Platform
+from repro.platform.economics import (BudgetTracker, CostModel,
+                                      CostReport, GWAP_COST,
+                                      PAID_CROWD_COST)
+
+__all__ = [
+    "BudgetTracker", "CostModel", "CostReport",
+    "GWAP_COST", "PAID_CROWD_COST",
+    "JsonStore",
+    "Job", "JobStatus", "TaskRecord", "TaskState",
+    "Account", "AccountRegistry",
+    "AssignmentPolicy", "TaskScheduler",
+    "Leaderboard",
+    "Platform",
+]

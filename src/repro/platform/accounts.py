@@ -1,0 +1,82 @@
+"""Worker accounts.
+
+Minimal identity for the platform and service layers: an id, a display
+name, cumulative points, and free-form attributes (the simulator stores
+the behavior archetype here for post-hoc analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import AccountError
+
+
+@dataclass
+class Account:
+    """A registered worker/player."""
+
+    account_id: str
+    display_name: str
+    points: int = 0
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def add_points(self, amount: int) -> int:
+        """Add (possibly zero) points; returns the new total."""
+        if amount < 0:
+            raise AccountError(
+                f"cannot add negative points ({amount})")
+        self.points += amount
+        return self.points
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"account_id": self.account_id,
+                "display_name": self.display_name,
+                "points": self.points, "attributes": self.attributes}
+
+    @staticmethod
+    def from_dict(raw: Dict[str, Any]) -> "Account":
+        return Account(account_id=raw["account_id"],
+                       display_name=raw["display_name"],
+                       points=raw.get("points", 0),
+                       attributes=raw.get("attributes", {}))
+
+
+class AccountRegistry:
+    """Creates and looks up accounts with id uniqueness."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, Account] = {}
+
+    def register(self, account_id: str, display_name: Optional[str] = None,
+                 **attributes: Any) -> Account:
+        """Create an account; duplicate ids are an error."""
+        if account_id in self._accounts:
+            raise AccountError(f"account {account_id!r} already exists")
+        account = Account(account_id=account_id,
+                          display_name=display_name or account_id,
+                          attributes=dict(attributes))
+        self._accounts[account_id] = account
+        return account
+
+    def get(self, account_id: str) -> Account:
+        try:
+            return self._accounts[account_id]
+        except KeyError:
+            raise AccountError(f"no account {account_id!r}") from None
+
+    def ensure(self, account_id: str) -> Account:
+        """Get or lazily create an account."""
+        if account_id not in self._accounts:
+            return self.register(account_id)
+        return self._accounts[account_id]
+
+    def __contains__(self, account_id: str) -> bool:
+        return account_id in self._accounts
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def all(self) -> List[Account]:
+        return [self._accounts[k] for k in sorted(self._accounts)]

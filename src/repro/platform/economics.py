@@ -1,0 +1,144 @@
+"""Crowdsourcing economics: what the answers cost.
+
+The paper's motivating arithmetic: people collectively spend billions of
+hours playing games — effort a GWAP channels for free — whereas a paid
+platform pays per answer (plus a platform fee).  This module prices a
+campaign either way:
+
+- :class:`CostModel` — per-answer payment, platform fee, and the fixed
+  infrastructure rate both approaches pay.
+- :class:`CostReport` — totals plus the per-verified-unit cost that the
+  A4 ablation compares across approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Pricing of a crowdsourcing approach.
+
+    Attributes:
+        payment_per_answer: wage per accepted answer (0 for GWAPs —
+            play is its own compensation).
+        platform_fee_rate: marketplace fee as a fraction of payments
+            (e.g. MTurk's 20%).
+        infra_per_human_hour: hosting/serving cost per human-hour of
+            activity (both approaches pay this).
+    """
+
+    payment_per_answer: float = 0.0
+    platform_fee_rate: float = 0.0
+    infra_per_human_hour: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.payment_per_answer < 0:
+            raise PlatformError(
+                "payment_per_answer must be >= 0, got "
+                f"{self.payment_per_answer}")
+        if not 0.0 <= self.platform_fee_rate <= 1.0:
+            raise PlatformError(
+                "platform_fee_rate must be in [0,1], got "
+                f"{self.platform_fee_rate}")
+        if self.infra_per_human_hour < 0:
+            raise PlatformError(
+                "infra_per_human_hour must be >= 0, got "
+                f"{self.infra_per_human_hour}")
+
+    def price(self, answers: int, human_hours: float,
+              verified_units: int) -> "CostReport":
+        """Price a campaign that produced these quantities."""
+        if answers < 0 or human_hours < 0 or verified_units < 0:
+            raise PlatformError("campaign quantities must be >= 0")
+        payments = answers * self.payment_per_answer
+        fees = payments * self.platform_fee_rate
+        infra = human_hours * self.infra_per_human_hour
+        return CostReport(answers=answers, human_hours=human_hours,
+                          verified_units=verified_units,
+                          payments=payments, fees=fees, infra=infra)
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Priced campaign output."""
+
+    answers: int
+    human_hours: float
+    verified_units: int
+    payments: float
+    fees: float
+    infra: float
+
+    @property
+    def total(self) -> float:
+        return self.payments + self.fees + self.infra
+
+    @property
+    def cost_per_verified_unit(self) -> float:
+        """Total cost divided by verified output (inf with none)."""
+        if self.verified_units == 0:
+            return float("inf")
+        return self.total / self.verified_units
+
+
+# Reference models for the A4 comparison.
+GWAP_COST = CostModel(payment_per_answer=0.0, platform_fee_rate=0.0,
+                      infra_per_human_hour=0.01)
+PAID_CROWD_COST = CostModel(payment_per_answer=0.01,
+                            platform_fee_rate=0.2,
+                            infra_per_human_hour=0.01)
+
+
+@dataclass
+class BudgetTracker:
+    """A spend cap for a paid job.
+
+    Attributes:
+        limit: maximum total spend.
+        model: the pricing model charged per answer.
+        spent: running total.
+    """
+
+    limit: float
+    model: CostModel
+    spent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.limit <= 0:
+            raise PlatformError(f"limit must be > 0, got {self.limit}")
+
+    @property
+    def answer_cost(self) -> float:
+        return (self.model.payment_per_answer
+                * (1.0 + self.model.platform_fee_rate))
+
+    def can_afford_answer(self) -> bool:
+        """Whether one more answer fits the budget."""
+        return self.spent + self.answer_cost <= self.limit + 1e-12
+
+    def charge_answer(self) -> float:
+        """Debit one answer; returns the remaining budget.
+
+        Raises:
+            PlatformError: when the budget is exhausted.
+        """
+        if not self.can_afford_answer():
+            raise PlatformError(
+                f"budget exhausted: spent {self.spent:.2f} of "
+                f"{self.limit:.2f}")
+        self.spent += self.answer_cost
+        return self.remaining
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.limit - self.spent)
+
+    def affordable_answers(self) -> int:
+        """How many more answers the budget covers."""
+        if self.answer_cost == 0:
+            return 10 ** 12
+        return int(self.remaining / self.answer_cost + 1e-9)

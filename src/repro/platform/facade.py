@@ -1,0 +1,270 @@
+"""The high-level platform API.
+
+:class:`Platform` ties the store, scheduler, accounts, reputation and
+leaderboard together behind the handful of verbs a crowdsourcing service
+needs: create a job, add tasks, hand a worker their next task, accept an
+answer, and report results.  The service layer exposes exactly these
+verbs over HTTP; examples and the simulator call them directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import rng as _rng
+from repro.aggregation.majority import MajorityVote, VoteResult
+from repro.errors import AggregationError, PlatformError
+from repro.platform.accounts import Account, AccountRegistry
+from repro.platform.jobs import (Job, JobStatus, TaskRecord, TaskState)
+from repro.platform.leaderboard import Leaderboard
+from repro.platform.scheduler import AssignmentPolicy, TaskScheduler
+from repro.platform.store import JsonStore
+from repro.quality.reputation import ReputationTracker
+from repro.quality.spam import SpamDetector
+
+
+class Platform:
+    """A complete in-process crowdsourcing platform.
+
+    Args:
+        policy: task assignment policy.
+        gold_rate: gold-injection rate for player testing.
+        points_per_answer: flat points credited per accepted answer.
+        spam_detection: feed every answer into a
+            :class:`~repro.quality.spam.SpamDetector` and let
+            :meth:`results` silence flagged workers.
+        seed: RNG seed for scheduling decisions.
+    """
+
+    def __init__(self,
+                 policy: AssignmentPolicy = AssignmentPolicy.BREADTH_FIRST,
+                 gold_rate: float = 0.1, points_per_answer: int = 10,
+                 spam_detection: bool = True,
+                 seed: _rng.SeedLike = 0) -> None:
+        self.store = JsonStore()
+        self.accounts = AccountRegistry()
+        self.scheduler = TaskScheduler(self.store, policy=policy,
+                                       gold_rate=gold_rate, seed=seed)
+        self.reputation = ReputationTracker()
+        self.spam = SpamDetector() if spam_detection else None
+        self.leaderboard = Leaderboard()
+        self.points_per_answer = points_per_answer
+        self._job_counter = itertools.count()
+        self._task_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Job management
+    # ------------------------------------------------------------------
+
+    def create_job(self, name: str, redundancy: int = 3,
+                   **meta: Any) -> Job:
+        """Create a job in DRAFT state."""
+        job = Job(job_id=f"job-{next(self._job_counter):04d}", name=name,
+                  redundancy=redundancy, meta=dict(meta))
+        self.store.put_job(job)
+        return job
+
+    def add_task(self, job_id: str, payload: Dict[str, Any],
+                 gold_answer: Optional[Any] = None) -> TaskRecord:
+        """Add one task to a job (gold if ``gold_answer`` is given)."""
+        job = self.store.get_job(job_id)
+        if job.status is JobStatus.ARCHIVED:
+            raise PlatformError(
+                f"job {job_id!r} is archived; cannot add tasks")
+        task = TaskRecord(
+            task_id=f"task-{next(self._task_counter):06d}",
+            job_id=job_id, payload=dict(payload),
+            gold_answer=gold_answer)
+        self.store.put_task(task)
+        return task
+
+    def add_tasks(self, job_id: str,
+                  payloads: Sequence[Dict[str, Any]]) -> List[TaskRecord]:
+        """Bulk-add plain tasks."""
+        return [self.add_task(job_id, payload) for payload in payloads]
+
+    def start_job(self, job_id: str) -> Job:
+        """Move a job to RUNNING (requires at least one task)."""
+        job = self.store.get_job(job_id)
+        if job.status is JobStatus.ARCHIVED:
+            raise PlatformError(f"job {job_id!r} is archived")
+        if not job.task_ids:
+            raise PlatformError(f"job {job_id!r} has no tasks")
+        job.status = JobStatus.RUNNING
+        return job
+
+    def archive_job(self, job_id: str) -> Job:
+        """Archive a job: no more tasks, answers, or restarts."""
+        job = self.store.get_job(job_id)
+        job.status = JobStatus.ARCHIVED
+        return job
+
+    # ------------------------------------------------------------------
+    # The worker loop
+    # ------------------------------------------------------------------
+
+    def register_worker(self, account_id: str,
+                        display_name: Optional[str] = None,
+                        **attributes: Any) -> Account:
+        """Register a worker account."""
+        account = self.accounts.register(account_id, display_name,
+                                         **attributes)
+        self.store.put_account(account)
+        return account
+
+    def request_task(self, job_id: str,
+                     worker_id: str) -> Optional[TaskRecord]:
+        """The worker's next task, or None when the job has nothing
+        left for them."""
+        job = self.store.get_job(job_id)
+        if job.status is JobStatus.COMPLETED:
+            return None
+        if job.status is not JobStatus.RUNNING:
+            raise PlatformError(
+                f"job {job_id!r} is not running (status: "
+                f"{job.status.value})")
+        self.accounts.ensure(worker_id)
+        return self.scheduler.next_task(job_id, worker_id)
+
+    def submit_answer(self, task_id: str, worker_id: str, answer: Any,
+                      at_s: float = 0.0) -> TaskRecord:
+        """Accept an answer, credit points, grade gold, update state.
+
+        Answers are accepted while the job is RUNNING or COMPLETED —
+        a worker may have fetched the task moments before another
+        worker's answer completed the job, and their work still counts.
+        """
+        task = self.store.get_task(task_id)
+        job = self.store.get_job(task.job_id)
+        if job.status not in (JobStatus.RUNNING, JobStatus.COMPLETED):
+            raise PlatformError(
+                f"job {job.job_id!r} is not accepting answers "
+                f"(status: {job.status.value})")
+        task.add_answer(worker_id, answer, at_s=at_s)
+        self.scheduler.clear_reservation(task_id, worker_id)
+        account = self.accounts.ensure(worker_id)
+        account.add_points(self.points_per_answer)
+        self.leaderboard.record(worker_id, self.points_per_answer, at_s)
+        if task.is_gold:
+            correct = answer == task.gold_answer
+            self.reputation.record_gold(worker_id, correct)
+            if self.spam is not None:
+                self.spam.record_gold(worker_id, correct)
+        if self.spam is not None:
+            self.spam.record_answer(worker_id, self._hashable(answer))
+        self._maybe_complete(job)
+        return task
+
+    @staticmethod
+    def _hashable(answer: Any) -> Any:
+        """Answers may be arbitrary JSON; hash-friendly for detectors."""
+        try:
+            hash(answer)
+            return answer
+        except TypeError:
+            return repr(answer)
+
+    def flagged_workers(self) -> List[str]:
+        """Workers the spam detector currently flags (empty when
+        detection is disabled)."""
+        if self.spam is None:
+            return []
+        return self.spam.flagged()
+
+    def _maybe_complete(self, job: Job) -> None:
+        tasks = self.store.tasks_for(job.job_id)
+        if tasks and all(t.state(job.redundancy) is TaskState.COMPLETED
+                         for t in tasks):
+            job.status = JobStatus.COMPLETED
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def progress(self, job_id: str) -> Dict[str, Any]:
+        """Completion statistics for a job."""
+        return self.scheduler.progress(job_id)
+
+    def results(self, job_id: str,
+                use_reputation: bool = True
+                ) -> Dict[str, VoteResult]:
+        """Aggregated per-task results via (weighted) majority vote.
+
+        Gold tasks are excluded — they are instruments, not outputs.
+        Workers flagged by the spam detector are silenced (weight 0)
+        unless that would silence a task entirely.
+        """
+        weights = dict(self.reputation.weights()) if use_reputation \
+            else {}
+        if use_reputation:
+            for worker in self.flagged_workers():
+                weights[worker] = 0.0
+        vote = MajorityVote(weights=weights or None)
+        fallback = MajorityVote()
+        by_task: Dict[str, List[Tuple[str, Any]]] = {}
+        for task in self.store.tasks_for(job_id):
+            if task.is_gold:
+                continue
+            for record in task.answers:
+                by_task.setdefault(task.task_id, []).append(
+                    (record.worker_id, record.answer))
+        results: Dict[str, VoteResult] = {}
+        for task_id, pairs in by_task.items():
+            try:
+                results[task_id] = vote.vote(task_id, pairs)
+            except AggregationError:
+                # Every answerer was silenced: better a low-trust
+                # answer than none at all.
+                results[task_id] = fallback.vote(task_id, pairs)
+        return results
+
+    def low_confidence_tasks(self, job_id: str,
+                             min_margin: float = 0.34,
+                             use_reputation: bool = True) -> List[str]:
+        """Completed tasks whose vote margin is below ``min_margin``.
+
+        The routing signal for adaptive redundancy: these are the items
+        a campaign should send back out for more answers before
+        trusting the result.
+        """
+        results = self.results(job_id, use_reputation=use_reputation)
+        return sorted(task_id for task_id, result in results.items()
+                      if result.margin < min_margin)
+
+    def extend_redundancy(self, job_id: str, task_ids: Sequence[str],
+                          extra: int = 2) -> int:
+        """Reopen tasks for ``extra`` more answers each.
+
+        Raises the job's redundancy bar for the given tasks by cloning
+        them into a follow-up requirement: the simplest sound way to
+        demand more answers without per-task redundancy bookkeeping is
+        to raise the job redundancy to cover the neediest task.  Returns
+        the job's new redundancy.
+        """
+        if extra < 1:
+            raise PlatformError(f"extra must be >= 1, got {extra}")
+        job = self.store.get_job(job_id)
+        needed = 0
+        for task_id in task_ids:
+            task = self.store.get_task(task_id)
+            if task.job_id != job_id:
+                raise PlatformError(
+                    f"task {task_id!r} is not in job {job_id!r}")
+            needed = max(needed, len(task.workers()) + extra)
+        if needed > job.redundancy:
+            job.redundancy = needed
+        if job.status is JobStatus.COMPLETED and task_ids:
+            job.status = JobStatus.RUNNING
+        return job.redundancy
+
+    def worker_stats(self, worker_id: str) -> Dict[str, Any]:
+        """A worker's account, reputation and rank snapshot."""
+        account = self.accounts.get(worker_id)
+        return {
+            "account_id": account.account_id,
+            "points": account.points,
+            "reputation": self.reputation.weight(worker_id),
+            "trusted": self.reputation.trusted(worker_id),
+            "rank": self.leaderboard.rank_of(worker_id),
+        }

@@ -1,0 +1,154 @@
+"""Jobs (projects) and task records.
+
+A *job* groups tasks sharing a purpose ("label these 500 images") and a
+redundancy requirement: each task needs ``redundancy`` answers from
+distinct workers before it is complete.  Task records carry their answer
+history so aggregation can run at any time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import PlatformError
+
+
+class JobStatus(enum.Enum):
+    """Job lifecycle: draft -> running -> completed (or archived)."""
+
+    DRAFT = "draft"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    ARCHIVED = "archived"
+
+
+class TaskState(enum.Enum):
+    """Task state derived from answer count vs the job's redundancy."""
+
+    PENDING = "pending"      # needs more answers
+    COMPLETED = "completed"  # redundancy met
+
+
+@dataclass
+class AnswerRecord:
+    """One worker's answer to one task."""
+
+    worker_id: str
+    answer: Any
+    at_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"worker_id": self.worker_id, "answer": self.answer,
+                "at_s": self.at_s}
+
+    @staticmethod
+    def from_dict(raw: Dict[str, Any]) -> "AnswerRecord":
+        return AnswerRecord(worker_id=raw["worker_id"],
+                            answer=raw["answer"],
+                            at_s=raw.get("at_s", 0.0))
+
+
+@dataclass
+class TaskRecord:
+    """One task in a job.
+
+    Attributes:
+        task_id: unique id.
+        job_id: owning job.
+        payload: what the worker sees (JSON-serializable).
+        gold_answer: known answer if this is a gold task (None normally).
+        answers: accumulated answers.
+    """
+
+    task_id: str
+    job_id: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    gold_answer: Optional[Any] = None
+    answers: List[AnswerRecord] = field(default_factory=list)
+
+    @property
+    def is_gold(self) -> bool:
+        return self.gold_answer is not None
+
+    def workers(self) -> Sequence[str]:
+        """Distinct workers who answered, in first-answer order."""
+        seen: List[str] = []
+        for record in self.answers:
+            if record.worker_id not in seen:
+                seen.append(record.worker_id)
+        return tuple(seen)
+
+    def answered_by(self, worker_id: str) -> bool:
+        return any(r.worker_id == worker_id for r in self.answers)
+
+    def add_answer(self, worker_id: str, answer: Any,
+                   at_s: float = 0.0) -> AnswerRecord:
+        if self.answered_by(worker_id):
+            raise PlatformError(
+                f"worker {worker_id!r} already answered task "
+                f"{self.task_id!r}")
+        record = AnswerRecord(worker_id=worker_id, answer=answer,
+                              at_s=at_s)
+        self.answers.append(record)
+        return record
+
+    def state(self, redundancy: int) -> TaskState:
+        if len(self.workers()) >= redundancy:
+            return TaskState.COMPLETED
+        return TaskState.PENDING
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"task_id": self.task_id, "job_id": self.job_id,
+                "payload": self.payload, "gold_answer": self.gold_answer,
+                "answers": [a.to_dict() for a in self.answers]}
+
+    @staticmethod
+    def from_dict(raw: Dict[str, Any]) -> "TaskRecord":
+        return TaskRecord(
+            task_id=raw["task_id"], job_id=raw["job_id"],
+            payload=raw.get("payload", {}),
+            gold_answer=raw.get("gold_answer"),
+            answers=[AnswerRecord.from_dict(a)
+                     for a in raw.get("answers", [])])
+
+
+@dataclass
+class Job:
+    """A project: a batch of tasks with shared policy.
+
+    Attributes:
+        job_id: unique id.
+        name: human-readable name.
+        redundancy: distinct answers each task needs.
+        status: lifecycle state.
+        task_ids: ids of member tasks, in creation order.
+        meta: free-form project metadata.
+    """
+
+    job_id: str
+    name: str
+    redundancy: int = 3
+    status: JobStatus = JobStatus.DRAFT
+    task_ids: List[str] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.redundancy < 1:
+            raise PlatformError(
+                f"redundancy must be >= 1, got {self.redundancy}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"job_id": self.job_id, "name": self.name,
+                "redundancy": self.redundancy,
+                "status": self.status.value,
+                "task_ids": list(self.task_ids), "meta": self.meta}
+
+    @staticmethod
+    def from_dict(raw: Dict[str, Any]) -> "Job":
+        return Job(job_id=raw["job_id"], name=raw["name"],
+                   redundancy=raw.get("redundancy", 3),
+                   status=JobStatus(raw.get("status", "draft")),
+                   task_ids=list(raw.get("task_ids", [])),
+                   meta=raw.get("meta", {}))

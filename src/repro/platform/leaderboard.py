@@ -1,0 +1,80 @@
+"""Points leaderboard.
+
+The overview lists leaderboards among the enjoyability mechanics (hourly,
+daily and all-time boards in the ESP Game).  This one supports multiple
+rolling windows over a timestamped score stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class ScoreEntry:
+    """One scoring event."""
+
+    account_id: str
+    points: int
+    at_s: float
+
+
+class Leaderboard:
+    """Timestamped score stream with windowed rankings."""
+
+    def __init__(self) -> None:
+        self._entries: List[ScoreEntry] = []
+
+    def record(self, account_id: str, points: int, at_s: float) -> None:
+        """Record a scoring event (points may be zero, not negative)."""
+        if points < 0:
+            raise PlatformError(
+                f"points must be >= 0, got {points}")
+        self._entries.append(ScoreEntry(account_id=account_id,
+                                        points=points, at_s=at_s))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def totals(self, since_s: float = float("-inf"),
+               until_s: float = float("inf")) -> Dict[str, int]:
+        """Per-account totals within a time window."""
+        out: Dict[str, int] = {}
+        for entry in self._entries:
+            if since_s <= entry.at_s < until_s:
+                out[entry.account_id] = (out.get(entry.account_id, 0)
+                                         + entry.points)
+        return out
+
+    def top(self, k: int = 10, since_s: float = float("-inf"),
+            until_s: float = float("inf")) -> List[Tuple[str, int]]:
+        """Top ``k`` accounts in a window, points then id order."""
+        totals = self.totals(since_s, until_s)
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]
+
+    def rank_of(self, account_id: str,
+                since_s: float = float("-inf"),
+                until_s: float = float("inf")) -> Optional[int]:
+        """1-based rank of an account in a window (None if absent)."""
+        ranked = self.top(k=len(self._entries) + 1, since_s=since_s,
+                          until_s=until_s)
+        for position, (candidate, _) in enumerate(ranked, start=1):
+            if candidate == account_id:
+                return position
+        return None
+
+    def hourly(self, now_s: float, k: int = 10) -> List[Tuple[str, int]]:
+        """Last-hour board."""
+        return self.top(k=k, since_s=now_s - 3600.0, until_s=now_s)
+
+    def daily(self, now_s: float, k: int = 10) -> List[Tuple[str, int]]:
+        """Last-24h board."""
+        return self.top(k=k, since_s=now_s - 86400.0, until_s=now_s)
+
+    def all_time(self, k: int = 10) -> List[Tuple[str, int]]:
+        """All-time board."""
+        return self.top(k=k)

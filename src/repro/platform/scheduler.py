@@ -1,0 +1,148 @@
+"""Task assignment policies.
+
+Which pending task should a requesting worker get?  The classic choices:
+
+- **breadth-first** — the least-answered task first, minimizing time to
+  first coverage of the whole job (PyBossa's default).
+- **depth-first** — the closest-to-complete task first, minimizing time
+  to first *completed* tasks.
+- **random** — uniform over eligible tasks (a baseline, and the fairest
+  to adversarial workers trying to target specific items).
+
+All policies exclude tasks the worker already answered and completed
+tasks; gold tasks can be injected at a configured rate.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import rng as _rng
+from repro.errors import PlatformError
+from repro.platform.jobs import Job, TaskRecord, TaskState
+from repro.platform.store import JsonStore
+
+
+class AssignmentPolicy(enum.Enum):
+    """Which pending task a requesting worker receives."""
+
+    BREADTH_FIRST = "breadth_first"
+    DEPTH_FIRST = "depth_first"
+    RANDOM = "random"
+
+
+class TaskScheduler:
+    """Assigns pending tasks to workers under a policy.
+
+    Args:
+        store: the platform store.
+        policy: assignment policy.
+        gold_rate: probability of serving an eligible gold task instead
+            of a normal one (player testing).
+        seed: RNG seed for RANDOM policy and gold injection.
+    """
+
+    def __init__(self, store: JsonStore,
+                 policy: AssignmentPolicy = AssignmentPolicy.BREADTH_FIRST,
+                 gold_rate: float = 0.0,
+                 seed: _rng.SeedLike = 0) -> None:
+        if not 0.0 <= gold_rate <= 1.0:
+            raise PlatformError(
+                f"gold_rate must be in [0,1], got {gold_rate}")
+        self.store = store
+        self.policy = policy
+        self.gold_rate = gold_rate
+        self._rng = _rng.make_rng(seed)
+        # Soft leases: task -> {worker: lease expiry}.  A fetched task
+        # counts toward redundancy until answered or until the lease
+        # expires (abandoned workers must not stall the job forever).
+        self.lease_ttl_s = 300.0
+        self._reservations: Dict[str, Dict[str, float]] = {}
+
+    def _outstanding(self, task: TaskRecord,
+                     excluding: Optional[str] = None) -> int:
+        holders = self._reservations.get(task.task_id, {})
+        now = time.monotonic()
+        live = {worker for worker, expires in holders.items()
+                if expires > now}
+        return len(live - ({excluding} if excluding else set()))
+
+    def clear_reservation(self, task_id: str, worker_id: str) -> None:
+        """Release a worker's lease (called when their answer lands)."""
+        holders = self._reservations.get(task_id)
+        if holders is not None:
+            holders.pop(worker_id, None)
+            if not holders:
+                self._reservations.pop(task_id, None)
+
+    def eligible_tasks(self, job: Job, worker_id: str,
+                       include_gold: bool = True,
+                       respect_reservations: bool = True
+                       ) -> List[TaskRecord]:
+        """Pending tasks this worker may still answer."""
+        out = []
+        for task in self.store.tasks_for(job.job_id):
+            if task.state(job.redundancy) is TaskState.COMPLETED:
+                continue
+            if task.answered_by(worker_id):
+                continue
+            if task.is_gold and not include_gold:
+                continue
+            if respect_reservations and not task.is_gold:
+                committed = (len(task.workers())
+                             + self._outstanding(task,
+                                                 excluding=worker_id))
+                if committed >= job.redundancy:
+                    continue
+            out.append(task)
+        return out
+
+    def next_task(self, job_id: str,
+                  worker_id: str) -> Optional[TaskRecord]:
+        """The next task for this worker, or None when none are left.
+
+        Handing a task out leases it to the worker for
+        ``lease_ttl_s``; the lease is released when the answer arrives
+        or expires if the worker abandons the task, so stragglers never
+        stall the job permanently.
+        """
+        job = self.store.get_job(job_id)
+        eligible = self.eligible_tasks(job, worker_id)
+        if not eligible:
+            return None
+        task = self._pick(eligible)
+        self._reservations.setdefault(task.task_id, {})[worker_id] = (
+            time.monotonic() + self.lease_ttl_s)
+        return task
+
+    def _pick(self, eligible: List[TaskRecord]) -> TaskRecord:
+        golds = [t for t in eligible if t.is_gold]
+        if golds and self._rng.random() < self.gold_rate:
+            return golds[self._rng.randrange(len(golds))]
+        normal = [t for t in eligible if not t.is_gold] or eligible
+        if self.policy is AssignmentPolicy.RANDOM:
+            return normal[self._rng.randrange(len(normal))]
+        if self.policy is AssignmentPolicy.BREADTH_FIRST:
+            return min(normal,
+                       key=lambda t: (len(t.workers())
+                                      + self._outstanding(t),
+                                      t.task_id))
+        if self.policy is AssignmentPolicy.DEPTH_FIRST:
+            return max(normal,
+                       key=lambda t: (len(t.workers()), ),
+                       default=None) or normal[0]
+        raise PlatformError(f"unknown policy: {self.policy!r}")
+
+    def progress(self, job_id: str) -> dict:
+        """Completion statistics for a job."""
+        job = self.store.get_job(job_id)
+        tasks = self.store.tasks_for(job_id)
+        completed = sum(1 for t in tasks
+                        if t.state(job.redundancy)
+                        is TaskState.COMPLETED)
+        answers = sum(len(t.answers) for t in tasks)
+        return {"tasks": len(tasks), "completed": completed,
+                "answers": answers,
+                "complete_frac": completed / len(tasks) if tasks else 1.0}

@@ -1,0 +1,134 @@
+"""In-memory record store with JSON persistence.
+
+The platform's storage layer: three tables (jobs, tasks, accounts) kept
+in dictionaries, with full round-tripping to a JSON document so campaigns
+can be checkpointed and resumed.  Deliberately simple — the substrate the
+"Flask/Django service" band implies, without external dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.errors import JobNotFound, PlatformError, TaskNotFound
+from repro.platform.accounts import Account
+from repro.platform.jobs import Job, TaskRecord
+
+
+class JsonStore:
+    """Jobs, tasks and accounts with JSON (de)serialization."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._tasks: Dict[str, TaskRecord] = {}
+        self._accounts: Dict[str, Account] = {}
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def put_job(self, job: Job) -> None:
+        self._jobs[job.job_id] = job
+
+    def get_job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise JobNotFound(f"no job {job_id!r}") from None
+
+    def has_job(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    def jobs(self) -> List[Job]:
+        return [self._jobs[k] for k in sorted(self._jobs)]
+
+    # ------------------------------------------------------------------
+    # Tasks
+    # ------------------------------------------------------------------
+
+    def put_task(self, task: TaskRecord) -> None:
+        if task.job_id not in self._jobs:
+            raise JobNotFound(
+                f"task {task.task_id!r} references missing job "
+                f"{task.job_id!r}")
+        self._tasks[task.task_id] = task
+        job = self._jobs[task.job_id]
+        if task.task_id not in job.task_ids:
+            job.task_ids.append(task.task_id)
+
+    def get_task(self, task_id: str) -> TaskRecord:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise TaskNotFound(f"no task {task_id!r}") from None
+
+    def has_task(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def tasks_for(self, job_id: str) -> List[TaskRecord]:
+        job = self.get_job(job_id)
+        return [self._tasks[task_id] for task_id in job.task_ids
+                if task_id in self._tasks]
+
+    def task_count(self) -> int:
+        return len(self._tasks)
+
+    # ------------------------------------------------------------------
+    # Accounts
+    # ------------------------------------------------------------------
+
+    def put_account(self, account: Account) -> None:
+        self._accounts[account.account_id] = account
+
+    def get_account(self, account_id: str) -> Account:
+        try:
+            return self._accounts[account_id]
+        except KeyError:
+            raise PlatformError(f"no account {account_id!r}") from None
+
+    def has_account(self, account_id: str) -> bool:
+        return account_id in self._accounts
+
+    def accounts(self) -> List[Account]:
+        return [self._accounts[k] for k in sorted(self._accounts)]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_document(self) -> Dict[str, Any]:
+        """The whole store as one JSON-serializable document."""
+        return {
+            "jobs": [job.to_dict() for job in self.jobs()],
+            "tasks": [self._tasks[k].to_dict()
+                      for k in sorted(self._tasks)],
+            "accounts": [account.to_dict()
+                         for account in self.accounts()],
+        }
+
+    @staticmethod
+    def from_document(document: Dict[str, Any]) -> "JsonStore":
+        """Rebuild a store from :meth:`to_document` output."""
+        store = JsonStore()
+        for raw in document.get("jobs", []):
+            job = Job.from_dict(raw)
+            job.task_ids = []
+            store.put_job(job)
+        for raw in document.get("tasks", []):
+            store.put_task(TaskRecord.from_dict(raw))
+        for raw in document.get("accounts", []):
+            store.put_account(Account.from_dict(raw))
+        return store
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the store to a JSON file."""
+        Path(path).write_text(
+            json.dumps(self.to_document(), indent=2, sort_keys=True))
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "JsonStore":
+        """Read a store back from :meth:`save` output."""
+        return JsonStore.from_document(
+            json.loads(Path(path).read_text()))

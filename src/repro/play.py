@@ -1,0 +1,132 @@
+"""Interactive play: a human solving CAPTCHA challenges at a terminal.
+
+The simulation replaces humans everywhere else; this module goes the
+other way and lets a *real* human be the computation element.  A scanned
+word is rendered as visually noisy text (letters interleaved with digit
+and punctuation junk, erratic spacing — the text-terminal analogue of a
+distorted CAPTCHA image); the player types back just the letters.
+Attention separates signal from noise easily for a person and poorly
+for a naive program — the CAPTCHA property, in a terminal.
+
+The loop takes injectable ``input_fn``/``print_fn`` so tests can script
+a player; the CLI wires it to the real terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro import rng as _rng
+from repro.captcha.challenge import CaptchaService
+from repro.corpus.ocr import OcrCorpus
+from repro.errors import ConfigError
+
+_NOISE = "0123456789.:;!?*+#"
+
+
+def render_challenge(truth: str, rng, noise_rate: float = 0.5,
+                     max_gap: int = 2) -> str:
+    """Render a word as noisy display text.
+
+    Every letter of ``truth`` appears, in order; noise characters and
+    erratic spacing are interleaved.  Solving = typing the letters.
+
+    Args:
+        truth: the word to render.
+        rng: random stream (deterministic rendering under a seed).
+        noise_rate: expected noise characters per letter.
+        max_gap: maximum spaces between display tokens.
+    """
+    if not truth:
+        raise ConfigError("cannot render an empty word")
+    if noise_rate < 0:
+        raise ConfigError(f"noise_rate must be >= 0, got {noise_rate}")
+    tokens: List[str] = []
+    for char in truth:
+        while rng.random() < noise_rate / (1 + noise_rate):
+            tokens.append(rng.choice(_NOISE))
+        tokens.append(char)
+    if rng.random() < 0.8:
+        tokens.append(rng.choice(_NOISE))
+    pieces = []
+    for token in tokens:
+        pieces.append(token)
+        pieces.append(" " * rng.randint(0, max_gap))
+    return "".join(pieces).strip()
+
+
+def extract_letters(display: str) -> str:
+    """The intended solution of a rendered challenge."""
+    return "".join(c for c in display if c.isalpha())
+
+
+@dataclass
+class PlaySummary:
+    """Result of an interactive session."""
+
+    rounds: int
+    solved: int
+    score: int
+
+    @property
+    def pass_rate(self) -> float:
+        if self.rounds == 0:
+            return 0.0
+        return self.solved / self.rounds
+
+
+class InteractiveCaptcha:
+    """A terminal CAPTCHA session.
+
+    Args:
+        corpus: scanned words to serve.
+        rounds: challenges per session.
+        points_per_solve: score per correct transcription.
+        seed: RNG seed for word choice and rendering.
+        input_fn / print_fn: I/O injection (defaults: builtin
+            ``input``/``print``).
+    """
+
+    def __init__(self, corpus: OcrCorpus, rounds: int = 5,
+                 points_per_solve: int = 100,
+                 seed: _rng.SeedLike = None,
+                 input_fn: Callable[[str], str] = input,
+                 print_fn: Callable[[str], None] = print) -> None:
+        if rounds < 1:
+            raise ConfigError(f"rounds must be >= 1, got {rounds}")
+        self.corpus = corpus
+        self.rounds = rounds
+        self.points_per_solve = points_per_solve
+        self._rng = _rng.make_rng(seed)
+        self._input = input_fn
+        self._print = print_fn
+        self.service = CaptchaService(corpus, distortion=0.0,
+                                      max_attempts=1,
+                                      seed=_rng.derive(self._rng,
+                                                       "service"))
+
+    def play(self, player_id: str = "human") -> PlaySummary:
+        """Run one session; returns the summary."""
+        self._print("Type the LETTERS you see, ignoring digits and "
+                    "punctuation.")
+        solved = 0
+        for index in range(1, self.rounds + 1):
+            challenge = self.service.issue()
+            display = render_challenge(challenge.word.truth, self._rng)
+            self._print(f"\n[{index}/{self.rounds}]   {display}")
+            answer = self._input("> ")
+            passed = self.service.verify(player_id,
+                                         challenge.challenge_id,
+                                         answer)
+            if passed:
+                solved += 1
+                self._print("correct!")
+            else:
+                self._print(
+                    f"wrong — it was {challenge.word.truth!r}")
+        score = solved * self.points_per_solve
+        self._print(f"\nsolved {solved}/{self.rounds} "
+                    f"(score {score})")
+        return PlaySummary(rounds=self.rounds, solved=solved,
+                           score=score)

@@ -1,0 +1,33 @@
+"""Simulated human players.
+
+The reproduction's substitute for live web players (see DESIGN.md):
+a stochastic cognitive model with the knobs the paper's results depend on.
+
+- :mod:`repro.players.base` — :class:`PlayerModel`: identity, skill,
+  vocabulary coverage, speed, diligence, behavior type.  Word knowledge is
+  a deterministic pseudo-random function of (player, word), so two models
+  of the same player always know the same words.
+- :mod:`repro.players.perception` — how a player turns an item's
+  ground-truth salience into an ordered stream of things to type.
+- :mod:`repro.players.timing` — response-time model (first-keystroke
+  latency plus inter-answer gaps, faster for higher speed).
+- :mod:`repro.players.adversarial` — spammer / random-bot / lazy /
+  colluder behaviors.
+- :mod:`repro.players.engagement` — average-lifetime-play model: how many
+  hours a player sinks into a game over their lifetime.
+- :mod:`repro.players.population` — mixed-population factory.
+"""
+
+from repro.players.base import Behavior, PlayerModel
+from repro.players.perception import perceive_tags, perception_weights
+from repro.players.timing import ResponseTimer
+from repro.players.engagement import EngagementModel, LifetimeStats
+from repro.players.population import PopulationConfig, build_population
+
+__all__ = [
+    "Behavior", "PlayerModel",
+    "perceive_tags", "perception_weights",
+    "ResponseTimer",
+    "EngagementModel", "LifetimeStats",
+    "PopulationConfig", "build_population",
+]

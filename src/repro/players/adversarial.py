@@ -1,0 +1,40 @@
+"""Behavior dispatch: one entry point for honest and adversarial answers.
+
+Games should not branch on behavior types themselves; they call
+:func:`answer_stream` and get whatever the player's archetype would type.
+Honest and lazy players perceive the item (:func:`perceive_tags`);
+spammers, random bots and colluders are item-blind (:func:`spam_tags`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.corpus.vocab import Vocabulary
+from repro.players.base import Behavior, PlayerModel
+from repro.players.perception import perceive_tags, spam_tags
+
+_ITEM_BLIND = (Behavior.SPAMMER, Behavior.RANDOM_BOT, Behavior.COLLUDER)
+
+
+def answer_stream(model: PlayerModel, salience: Dict[str, float],
+                  vocabulary: Vocabulary, rng, k: int,
+                  exclude: frozenset = frozenset()) -> List[str]:
+    """Ordered answers the player types for an item with this salience.
+
+    Args:
+        model: the player (any behavior).
+        salience: the item's ground-truth tag distribution.
+        vocabulary: shared vocabulary.
+        rng: per-round random stream.
+        k: maximum answers.
+        exclude: taboo words (enforced by the UI for everyone).
+    """
+    if model.behavior in _ITEM_BLIND:
+        return spam_tags(model, vocabulary, rng, k, exclude)
+    return perceive_tags(model, salience, vocabulary, rng, k, exclude)
+
+
+def is_item_blind(model: PlayerModel) -> bool:
+    """Whether this player's answers carry no item information."""
+    return model.behavior in _ITEM_BLIND

@@ -1,0 +1,122 @@
+"""The player cognitive model.
+
+A :class:`PlayerModel` captures everything about a simulated human that
+the paper's metrics are sensitive to:
+
+- **skill** — how well perception tracks ground-truth salience (low skill
+  adds noise and near-miss labels);
+- **vocabulary coverage** — which words the player can produce at all
+  (agreement in output-agreement games requires *shared* vocabulary, so
+  coverage drives the agreement-vs-skill figure);
+- **speed** — typing/thinking rate, which drives throughput;
+- **diligence** — how many answers the player bothers to enter per round;
+- **behavior** — honest or one of the adversarial modes.
+
+Word knowledge is *deterministic*: ``knows(word)`` hashes (player id,
+word) against a frequency-dependent coverage curve, so knowledge is
+stable across rounds without storing per-player dictionaries.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.corpus.vocab import Word
+from repro.errors import ConfigError
+
+
+class Behavior(enum.Enum):
+    """Player behavior archetypes used across the library."""
+
+    HONEST = "honest"
+    SPAMMER = "spammer"        # types globally frequent words, ignores item
+    RANDOM_BOT = "random_bot"  # types uniform random vocabulary words
+    LAZY = "lazy"              # honest but enters very few answers
+    COLLUDER = "colluder"      # types pre-agreed code words
+
+
+def _unit_hash(*parts: str) -> float:
+    """Stable hash of strings into [0, 1)."""
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class PlayerModel:
+    """A simulated human.
+
+    Attributes:
+        player_id: unique id.
+        skill: 0..1, fidelity of perception to ground truth.
+        vocab_coverage: 0..1, fraction of the vocabulary the player could
+            produce at the median word frequency.
+        speed: answers per 10 seconds the player can sustain (≥ 0.5).
+        diligence: 0..1, propensity to keep entering answers in a round.
+        behavior: archetype controlling honest vs adversarial play.
+        collusion_key: shared secret for colluder pairs (same key ⇒ same
+            code words).
+    """
+
+    player_id: str
+    skill: float = 0.7
+    vocab_coverage: float = 0.6
+    speed: float = 3.0
+    diligence: float = 0.8
+    behavior: Behavior = Behavior.HONEST
+    collusion_key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name in ("skill", "vocab_coverage", "diligence"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    f"{name} must be in [0,1], got {value}")
+        if self.speed < 0.5:
+            raise ConfigError(f"speed must be >= 0.5, got {self.speed}")
+        if (self.behavior is Behavior.COLLUDER
+                and not self.collusion_key):
+            raise ConfigError(
+                f"colluder {self.player_id!r} needs a collusion_key")
+
+    def knows(self, word: Word) -> bool:
+        """Whether this player can produce ``word``.
+
+        Knowledge probability rises with word frequency: everyone knows
+        the very frequent words, coverage of rare words scales with
+        ``vocab_coverage``.  The decision is a stable hash, not a draw.
+        """
+        # Map frequency rank into a familiarity boost: rank 1 -> ~1.0,
+        # median rank -> vocab_coverage, deep tail -> lower.
+        rank_frac = word.rank / max(1, word.rank + 50)
+        known_prob = self.vocab_coverage ** rank_frac
+        return _unit_hash(self.player_id, word.text) < known_prob
+
+    def knowledge_seed(self, label: str) -> int:
+        """A stable per-player integer seed for derived streams."""
+        digest = hashlib.sha256(
+            f"{self.player_id}\x1f{label}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def effective_skill(self) -> float:
+        """Skill as used by perception (adversaries don't perceive)."""
+        if self.behavior in (Behavior.SPAMMER, Behavior.RANDOM_BOT):
+            return 0.0
+        return self.skill
+
+    @property
+    def is_adversarial(self) -> bool:
+        return self.behavior is not Behavior.HONEST
+
+    def answers_per_round(self, round_time_s: float) -> int:
+        """Budget of answers this player enters in one round.
+
+        Speed gives the physical cap; diligence scales how much of it the
+        player actually uses; lazy players stop after one answer.
+        """
+        if self.behavior is Behavior.LAZY:
+            return 1
+        cap = self.speed * round_time_s / 10.0
+        return max(1, int(round(cap * (0.3 + 0.7 * self.diligence))))

@@ -1,0 +1,138 @@
+"""Perception: turning ground-truth salience into what a player types.
+
+Given an item's salience distribution over words, an honest player's
+candidate answers are sampled without replacement with weights
+
+    salience ** (1 / temperature)  for known words,
+
+where the temperature falls with skill: a highly skilled player's order
+closely tracks true salience, a low-skill player's is noisier.  A
+skill-dependent fraction of answers is replaced by *near misses* — words
+from the same category that are not actually salient in the item — which
+is what caps label precision below 1.0 exactly as in the real ESP data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro import rng as _rng
+from repro.corpus.vocab import Vocabulary
+from repro.players.base import Behavior, PlayerModel
+
+
+def perception_weights(model: PlayerModel, salience: Dict[str, float],
+                       vocabulary: Vocabulary
+                       ) -> List[Tuple[str, float]]:
+    """Sampling weights over the item's tags for this player.
+
+    Unknown words get weight zero (the player cannot produce them);
+    known words get salience sharpened/flattened by skill.
+    """
+    skill = model.effective_skill()
+    # temperature 0.6 (sharp) at skill 1 .. 2.5 (flat) at skill 0.
+    temperature = 2.5 - 1.9 * skill
+    weighted: List[Tuple[str, float]] = []
+    # Canonical order: determinism must not depend on dict insertion
+    # order (a deserialized corpus may store the same salience with
+    # different key order).
+    for text, value in sorted(salience.items()):
+        try:
+            word = vocabulary.word(text)
+        except Exception:
+            continue
+        if not model.knows(word):
+            continue
+        weighted.append((text, value ** (1.0 / temperature)))
+    return weighted
+
+
+def _near_miss(model: PlayerModel, salience: Dict[str, float],
+               vocabulary: Vocabulary, rng) -> Optional[str]:
+    """A plausible-but-wrong label: same category as a salient tag."""
+    texts = sorted(salience)
+    if not texts:
+        return None
+    anchor_text = rng.choice(texts)
+    try:
+        anchor = vocabulary.word(anchor_text)
+    except Exception:
+        return None
+    candidates = [w for w in vocabulary.related(anchor, limit=12)
+                  if w.text not in salience and model.knows(w)]
+    if not candidates:
+        return None
+    return rng.choice(candidates).text
+
+
+def perceive_tags(model: PlayerModel, salience: Dict[str, float],
+                  vocabulary: Vocabulary, rng, k: int,
+                  exclude: frozenset = frozenset()) -> List[str]:
+    """Ordered answers the player would type for this item.
+
+    Args:
+        model: the player.
+        salience: the item's ground-truth tag distribution.
+        vocabulary: shared vocabulary (for knowledge and near misses).
+        rng: random stream for this round.
+        k: maximum answers.
+        exclude: words the player will not type (taboo list; honest
+            players respect it).
+
+    Returns:
+        Up to ``k`` distinct words, most-likely-first, with occasional
+        near-miss substitutions for lower-skill players.
+    """
+    if k <= 0:
+        return []
+    weighted = [(t, w) for t, w in
+                perception_weights(model, salience, vocabulary)
+                if t not in exclude]
+    items = [t for t, _ in weighted]
+    weights = [w for _, w in weighted]
+    ordered = _rng.weighted_sample_without_replacement(
+        rng, items, weights, k)
+    # Low-skill players substitute near misses.
+    error_rate = 0.25 * (1.0 - model.effective_skill())
+    out: List[str] = []
+    seen = set(exclude)
+    for text in ordered:
+        if rng.random() < error_rate:
+            miss = _near_miss(model, salience, vocabulary, rng)
+            if miss is not None and miss not in seen:
+                out.append(miss)
+                seen.add(miss)
+                continue
+        if text not in seen:
+            out.append(text)
+            seen.add(text)
+    return out[:k]
+
+
+def spam_tags(model: PlayerModel, vocabulary: Vocabulary, rng,
+              k: int, exclude: frozenset = frozenset()) -> List[str]:
+    """Answers from an item-blind adversary.
+
+    Spammers type globally frequent words (maximizing accidental
+    agreement); random bots type uniformly random words; colluders type
+    their pre-agreed code words.  Adversaries ignore the taboo list only
+    if the UI would allow it — we model the UI as enforcing taboo, so
+    ``exclude`` is still honored.
+    """
+    if k <= 0:
+        return []
+    if model.behavior is Behavior.COLLUDER:
+        code_rng = _rng.make_rng(f"collusion:{model.collusion_key}")
+        code_words = [w.text for w in vocabulary.sample(code_rng, k + 4,
+                                                        by_frequency=False)]
+        return [w for w in code_words if w not in exclude][:k]
+    if model.behavior is Behavior.SPAMMER:
+        top = [w.text for w in vocabulary.words[:max(20, 3 * k)]]
+        picks = [t for t in top if t not in exclude]
+        rng.shuffle(picks)
+        # Spammers favor the very top words: re-sort a biased prefix.
+        picks.sort(key=lambda t: vocabulary.word(t).rank)
+        return picks[:k]
+    # RANDOM_BOT and any other item-blind fallback.
+    words = vocabulary.sample(rng, k + 4, by_frequency=False)
+    return [w.text for w in words if w.text not in exclude][:k]

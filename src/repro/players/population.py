@@ -1,0 +1,128 @@
+"""Population factory: mixed crowds of simulated players.
+
+The campaigns in the benchmarks draw their players from a
+:class:`PopulationConfig` describing the behavior mix (honest fraction,
+spammer fraction, ...) and the skill/coverage/speed distributions of the
+honest core.  Colluders are created in pairs sharing a collusion key,
+mirroring the real threat model (two friends coordinating answers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import rng as _rng
+from repro.errors import ConfigError
+from repro.players.base import Behavior, PlayerModel
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Mix and distribution parameters for a simulated crowd.
+
+    Fractions must sum to at most 1; the remainder is honest players.
+
+    Attributes:
+        spammer_frac / random_bot_frac / lazy_frac / colluder_frac:
+            behavior mix.
+        skill_mean / skill_sd: Gaussian (clipped to [0.05, 0.98]) skill
+            of honest players.
+        coverage_mean / coverage_sd: vocabulary coverage distribution.
+        speed_mean / speed_sd: answers-per-10s distribution.
+        diligence_mean / diligence_sd: answer-budget distribution.
+    """
+
+    spammer_frac: float = 0.0
+    random_bot_frac: float = 0.0
+    lazy_frac: float = 0.0
+    colluder_frac: float = 0.0
+    skill_mean: float = 0.7
+    skill_sd: float = 0.15
+    coverage_mean: float = 0.6
+    coverage_sd: float = 0.15
+    speed_mean: float = 3.0
+    speed_sd: float = 0.8
+    diligence_mean: float = 0.8
+    diligence_sd: float = 0.15
+
+    def __post_init__(self) -> None:
+        total = (self.spammer_frac + self.random_bot_frac
+                 + self.lazy_frac + self.colluder_frac)
+        for name in ("spammer_frac", "random_bot_frac", "lazy_frac",
+                     "colluder_frac"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0,1], got {value}")
+        if total > 1.0 + 1e-9:
+            raise ConfigError(
+                f"behavior fractions sum to {total:.3f} > 1")
+
+    @property
+    def honest_frac(self) -> float:
+        return 1.0 - (self.spammer_frac + self.random_bot_frac
+                      + self.lazy_frac + self.colluder_frac)
+
+
+def _behavior_counts(config: PopulationConfig, n: int) -> Dict[Behavior,
+                                                               int]:
+    counts = {
+        Behavior.SPAMMER: int(round(config.spammer_frac * n)),
+        Behavior.RANDOM_BOT: int(round(config.random_bot_frac * n)),
+        Behavior.LAZY: int(round(config.lazy_frac * n)),
+        Behavior.COLLUDER: int(round(config.colluder_frac * n)),
+    }
+    # Colluders come in pairs.
+    if counts[Behavior.COLLUDER] % 2:
+        counts[Behavior.COLLUDER] += (
+            -1 if counts[Behavior.COLLUDER] > 1 else 1)
+    adversarial = sum(counts.values())
+    if adversarial > n:
+        counts[Behavior.SPAMMER] = max(
+            0, counts[Behavior.SPAMMER] - (adversarial - n))
+        adversarial = sum(counts.values())
+    counts[Behavior.HONEST] = n - adversarial
+    return counts
+
+
+def build_population(n: int, config: PopulationConfig = PopulationConfig(),
+                     seed: _rng.SeedLike = 0,
+                     id_prefix: str = "player") -> List[PlayerModel]:
+    """Build ``n`` players matching ``config``.
+
+    Honest-core attribute distributions also apply to lazy players
+    (they are honest, just brief) and, with degraded skill, to
+    adversaries (whose skill is ignored by perception anyway).
+
+    Returns players in a deterministic shuffled order.
+    """
+    if n <= 0:
+        raise ConfigError(f"population size must be >= 1, got {n}")
+    rng = _rng.make_rng(seed)
+    counts = _behavior_counts(config, n)
+    players: List[PlayerModel] = []
+    collusion_ring = 0
+    index = 0
+    for behavior, count in counts.items():
+        for member in range(count):
+            key: Optional[str] = None
+            if behavior is Behavior.COLLUDER:
+                key = f"ring-{collusion_ring // 2}"
+                collusion_ring += 1
+            players.append(PlayerModel(
+                player_id=f"{id_prefix}-{index:05d}",
+                skill=_rng.bounded_gauss(rng, config.skill_mean,
+                                         config.skill_sd, 0.05, 0.98),
+                vocab_coverage=_rng.bounded_gauss(
+                    rng, config.coverage_mean, config.coverage_sd,
+                    0.1, 0.98),
+                speed=_rng.bounded_gauss(rng, config.speed_mean,
+                                         config.speed_sd, 0.5, 8.0),
+                diligence=_rng.bounded_gauss(
+                    rng, config.diligence_mean, config.diligence_sd,
+                    0.05, 1.0),
+                behavior=behavior,
+                collusion_key=key))
+            index += 1
+    rng.shuffle(players)
+    return players

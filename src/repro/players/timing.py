@@ -1,0 +1,66 @@
+"""Response-time model.
+
+Throughput — the paper's headline GWAP metric — is answers per unit time,
+so timing matters as much as correctness.  The model is simple and
+defensible: a first-answer latency (reading/orienting) plus lognormal-ish
+inter-answer gaps, both scaled down by the player's speed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.errors import ConfigError
+from repro.players.base import PlayerModel
+
+
+class ResponseTimer:
+    """Generates answer timestamps for one player.
+
+    Args:
+        model: the player whose speed scales all times.
+        first_latency_s: mean orienting time before the first answer.
+        gap_mean_s: mean gap between answers at speed 3.0.
+    """
+
+    def __init__(self, model: PlayerModel, first_latency_s: float = 3.0,
+                 gap_mean_s: float = 3.5) -> None:
+        if first_latency_s <= 0 or gap_mean_s <= 0:
+            raise ConfigError("latency and gap means must be > 0")
+        self.model = model
+        self.first_latency_s = first_latency_s
+        self.gap_mean_s = gap_mean_s
+
+    def _speed_scale(self) -> float:
+        # speed 3.0 is the reference; faster players shrink times.
+        return 3.0 / self.model.speed
+
+    def _lognormal(self, rng, mean: float) -> float:
+        # lognormal with sigma 0.5, median scaled to the requested mean.
+        mu = math.log(mean) - 0.125
+        return math.exp(rng.gauss(mu, 0.5))
+
+    def first_latency(self, rng) -> float:
+        """Seconds before the first answer of a round."""
+        return self._lognormal(rng, self.first_latency_s *
+                               self._speed_scale())
+
+    def gap(self, rng) -> float:
+        """Seconds between consecutive answers."""
+        return self._lognormal(rng, self.gap_mean_s * self._speed_scale())
+
+    def schedule(self, rng, count: int,
+                 limit_s: float = float("inf")) -> List[float]:
+        """Timestamps for up to ``count`` answers within ``limit_s``.
+
+        Returns strictly increasing times; stops early at the limit.
+        """
+        if count <= 0:
+            return []
+        times: List[float] = []
+        clock = self.first_latency(rng)
+        while len(times) < count and clock <= limit_s:
+            times.append(clock)
+            clock += self.gap(rng)
+        return times

@@ -1,0 +1,37 @@
+"""Quality control: the paper's anti-cheating mechanisms.
+
+The overview lists the defenses that let GWAPs trust anonymous crowds:
+random matching (implemented by :class:`~repro.core.matchmaking.Lobby`),
+repetition (:mod:`repro.aggregation.promotion`), and the player-testing
+mechanisms implemented here:
+
+- :mod:`repro.quality.gold` — seed known-answer (gold) items into the
+  task stream and score players on them.
+- :mod:`repro.quality.reputation` — per-player reputation from gold
+  performance and peer agreement; exports aggregation weights.
+- :mod:`repro.quality.spam` — flag item-blind players from their answer
+  statistics (gold accuracy near chance, answer distribution divergence).
+- :mod:`repro.quality.collusion` — flag player pairs whose mutual
+  agreement is anomalously higher than their agreement with everyone
+  else.
+- :mod:`repro.quality.agreement` — inter-annotator agreement statistics
+  (observed agreement, Cohen's kappa, Fleiss' kappa).
+"""
+
+from repro.quality.gold import GoldPool, GoldSeeder
+from repro.quality.reputation import ReputationTracker
+from repro.quality.spam import SpamDetector, SpamVerdict
+from repro.quality.collusion import CollusionDetector
+from repro.quality.agreement import (cohen_kappa, fleiss_kappa,
+                                     observed_agreement)
+from repro.quality.monitoring import (Alert, AlertKind,
+                                      CampaignMonitor)
+
+__all__ = [
+    "Alert", "AlertKind", "CampaignMonitor",
+    "GoldPool", "GoldSeeder",
+    "ReputationTracker",
+    "SpamDetector", "SpamVerdict",
+    "CollusionDetector",
+    "cohen_kappa", "fleiss_kappa", "observed_agreement",
+]

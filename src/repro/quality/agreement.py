@@ -1,0 +1,87 @@
+"""Inter-annotator agreement statistics.
+
+The standard chance-corrected agreement measures, used by the analytics
+package and the F3 benchmark (agreement rate vs player skill):
+
+- :func:`observed_agreement` — raw fraction of co-annotated items two
+  raters matched on.
+- :func:`cohen_kappa` — two-rater agreement corrected for chance via the
+  raters' marginal distributions.
+- :func:`fleiss_kappa` — many-rater generalization over an item×category
+  count table.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.errors import QualityError
+
+
+def observed_agreement(rater_a: Mapping[Hashable, Hashable],
+                       rater_b: Mapping[Hashable, Hashable]) -> float:
+    """Fraction of shared items both raters answered identically."""
+    shared = set(rater_a) & set(rater_b)
+    if not shared:
+        raise QualityError("raters share no items")
+    matches = sum(1 for item in shared if rater_a[item] == rater_b[item])
+    return matches / len(shared)
+
+
+def cohen_kappa(rater_a: Mapping[Hashable, Hashable],
+                rater_b: Mapping[Hashable, Hashable]) -> float:
+    """Cohen's kappa for two raters over their shared items.
+
+    Returns 1.0 when observed agreement is perfect even if expected
+    agreement is also 1.0 (the degenerate single-category case).
+    """
+    shared = sorted(set(rater_a) & set(rater_b), key=repr)
+    if not shared:
+        raise QualityError("raters share no items")
+    n = len(shared)
+    po = sum(1 for item in shared
+             if rater_a[item] == rater_b[item]) / n
+    categories = sorted({rater_a[i] for i in shared}
+                        | {rater_b[i] for i in shared}, key=repr)
+    pe = 0.0
+    for category in categories:
+        pa = sum(1 for i in shared if rater_a[i] == category) / n
+        pb = sum(1 for i in shared if rater_b[i] == category) / n
+        pe += pa * pb
+    if pe >= 1.0:
+        return 1.0 if po >= 1.0 else 0.0
+    return (po - pe) / (1.0 - pe)
+
+
+def fleiss_kappa(table: Sequence[Mapping[Hashable, int]]) -> float:
+    """Fleiss' kappa over an item -> {category: rating count} table.
+
+    Every item must have the same total number of ratings (>= 2).
+    """
+    if not table:
+        raise QualityError("fleiss_kappa needs >= 1 item")
+    totals = {sum(row.values()) for row in table}
+    if len(totals) != 1:
+        raise QualityError(
+            f"all items need equal rating counts, saw {sorted(totals)}")
+    n_ratings = totals.pop()
+    if n_ratings < 2:
+        raise QualityError(
+            f"need >= 2 ratings per item, got {n_ratings}")
+    categories = sorted({c for row in table for c in row}, key=repr)
+    n_items = len(table)
+    # Per-item agreement.
+    p_items = []
+    for row in table:
+        s = sum(count * (count - 1) for count in row.values())
+        p_items.append(s / (n_ratings * (n_ratings - 1)))
+    p_bar = sum(p_items) / n_items
+    # Category marginals.
+    pe = 0.0
+    for category in categories:
+        share = sum(row.get(category, 0) for row in table) / (
+            n_items * n_ratings)
+        pe += share * share
+    if pe >= 1.0:
+        return 1.0 if p_bar >= 1.0 else 0.0
+    return (p_bar - pe) / (1.0 - pe)

@@ -1,0 +1,112 @@
+"""Collusion detection from pairwise agreement anomalies.
+
+Two coordinated players agree far more with *each other* than either does
+with the rest of the crowd.  Random matching already makes collusion
+unprofitable (partners are rarely paired); this detector closes the rest
+of the gap by flagging pairs whose mutual agreement rate exceeds the
+baseline agreement of both members by a margin, given enough co-play.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.errors import QualityError
+
+
+@dataclass(frozen=True)
+class PairStats:
+    """Co-play statistics for one unordered player pair."""
+
+    pair: FrozenSet[str]
+    rounds: int
+    agreements: int
+
+    @property
+    def agreement_rate(self) -> float:
+        if self.rounds == 0:
+            return 0.0
+        return self.agreements / self.rounds
+
+
+class CollusionDetector:
+    """Flags anomalously agreeing pairs.
+
+    Args:
+        min_rounds: co-played rounds required before judging a pair.
+        margin: how much a pair's agreement must exceed the larger of
+            its members' baseline rates to be suspicious.
+    """
+
+    def __init__(self, min_rounds: int = 8, margin: float = 0.25) -> None:
+        if min_rounds < 1:
+            raise QualityError(
+                f"min_rounds must be >= 1, got {min_rounds}")
+        if margin <= 0:
+            raise QualityError(f"margin must be > 0, got {margin}")
+        self.min_rounds = min_rounds
+        self.margin = margin
+        self._pairs: Dict[FrozenSet[str], List[int]] = {}
+        self._players: Dict[str, List[int]] = {}
+
+    def record_round(self, player_a: str, player_b: str,
+                     agreed: bool) -> None:
+        """Feed one round between two players."""
+        if player_a == player_b:
+            raise QualityError("a pair needs two distinct players")
+        pair = frozenset([player_a, player_b])
+        stats = self._pairs.setdefault(pair, [0, 0])
+        stats[0] += 1
+        stats[1] += 1 if agreed else 0
+        for player in (player_a, player_b):
+            totals = self._players.setdefault(player, [0, 0])
+            totals[0] += 1
+            totals[1] += 1 if agreed else 0
+
+    def pair_stats(self, player_a: str, player_b: str) -> PairStats:
+        """Statistics for one pair (zeros if never co-played)."""
+        pair = frozenset([player_a, player_b])
+        rounds, agreements = self._pairs.get(pair, (0, 0))
+        return PairStats(pair=pair, rounds=rounds, agreements=agreements)
+
+    def baseline_rate(self, player_id: str,
+                      excluding: Optional[str] = None) -> float:
+        """A player's agreement rate over all partners except one.
+
+        ``excluding`` removes the suspect pair's rounds, so a prolific
+        colluder's own inflated stats don't mask the anomaly.
+        """
+        rounds, agreements = self._players.get(player_id, (0, 0))
+        if excluding is not None:
+            pair_rounds, pair_agreements = self._pairs.get(
+                frozenset([player_id, excluding]), (0, 0))
+            rounds -= pair_rounds
+            agreements -= pair_agreements
+        if rounds <= 0:
+            return 0.0
+        return agreements / rounds
+
+    def suspicious_pairs(self) -> List[PairStats]:
+        """Pairs whose mutual agreement is anomalously high."""
+        flagged: List[PairStats] = []
+        for pair, (rounds, agreements) in self._pairs.items():
+            if rounds < self.min_rounds:
+                continue
+            rate = agreements / rounds
+            a, b = sorted(pair)
+            baseline = max(self.baseline_rate(a, excluding=b),
+                           self.baseline_rate(b, excluding=a))
+            if rate >= baseline + self.margin:
+                flagged.append(PairStats(pair=pair, rounds=rounds,
+                                         agreements=agreements))
+        flagged.sort(key=lambda s: (-s.agreement_rate,
+                                    sorted(s.pair)))
+        return flagged
+
+    def flagged_players(self) -> Set[str]:
+        """Union of players in suspicious pairs."""
+        players: Set[str] = set()
+        for stats in self.suspicious_pairs():
+            players |= stats.pair
+        return players

@@ -1,0 +1,128 @@
+"""Gold (known-answer) seeding and player testing.
+
+Occasionally presenting items whose answers are already known, and
+scoring players against them, is the paper's "player testing" mechanism.
+:class:`GoldPool` holds the known answers; :class:`GoldSeeder` decides —
+deterministically under its seed — when a task stream position should be
+a gold item, and records per-player gold accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Sequence
+
+from repro import rng as _rng
+from repro.errors import QualityError
+
+
+class GoldPool:
+    """A pool of items with known correct answers.
+
+    Answers may be a single value or a set of acceptable values (an
+    image's full ground-truth tag set, say).
+    """
+
+    def __init__(self) -> None:
+        self._answers: Dict[Hashable, frozenset] = {}
+
+    def add(self, item_id: Hashable, answer) -> None:
+        """Register a gold item; ``answer`` is a value or iterable."""
+        if isinstance(answer, (str, int, float, bool)):
+            acceptable = frozenset([answer])
+        else:
+            acceptable = frozenset(answer)
+        if not acceptable:
+            raise QualityError(
+                f"gold item {item_id!r} needs >= 1 acceptable answer")
+        self._answers[item_id] = acceptable
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def __contains__(self, item_id: Hashable) -> bool:
+        return item_id in self._answers
+
+    def items(self) -> Sequence[Hashable]:
+        return tuple(self._answers)
+
+    def check(self, item_id: Hashable, answer) -> bool:
+        """Whether ``answer`` is acceptable for the gold item."""
+        try:
+            return answer in self._answers[item_id]
+        except KeyError:
+            raise QualityError(
+                f"item {item_id!r} is not a gold item") from None
+
+
+@dataclass
+class GoldRecord:
+    """A player's running gold performance."""
+
+    asked: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.asked == 0:
+            return 0.0
+        return self.correct / self.asked
+
+
+class GoldSeeder:
+    """Decides when to inject gold items and tracks player scores.
+
+    Args:
+        pool: the known-answer pool.
+        rate: fraction of stream positions that are gold (0..1).
+        seed: RNG seed for the injection schedule.
+    """
+
+    def __init__(self, pool: GoldPool, rate: float = 0.1,
+                 seed: _rng.SeedLike = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise QualityError(f"gold rate must be in [0,1], got {rate}")
+        self.pool = pool
+        self.rate = rate
+        self._rng = _rng.make_rng(seed)
+        self._records: Dict[str, GoldRecord] = {}
+
+    def next_is_gold(self) -> bool:
+        """Whether the next stream position should be a gold item."""
+        if len(self.pool) == 0:
+            return False
+        return self._rng.random() < self.rate
+
+    def pick_gold(self) -> Hashable:
+        """A random gold item id."""
+        items = self.pool.items()
+        if not items:
+            raise QualityError("gold pool is empty")
+        return items[self._rng.randrange(len(items))]
+
+    def grade(self, player_id: str, item_id: Hashable, answer) -> bool:
+        """Grade one gold answer and update the player's record."""
+        correct = self.pool.check(item_id, answer)
+        record = self._records.setdefault(player_id, GoldRecord())
+        record.asked += 1
+        if correct:
+            record.correct += 1
+        return correct
+
+    def accuracy(self, player_id: str) -> float:
+        """The player's gold accuracy (0.0 with no gold answers yet)."""
+        return self._records.get(player_id, GoldRecord()).accuracy
+
+    def asked(self, player_id: str) -> int:
+        return self._records.get(player_id, GoldRecord()).asked
+
+    def records(self) -> Mapping[str, GoldRecord]:
+        return dict(self._records)
+
+    def failing_players(self, min_asked: int = 5,
+                        min_accuracy: float = 0.5) -> List[str]:
+        """Players with enough gold exposure and accuracy below the bar."""
+        return sorted(
+            player_id for player_id, record in self._records.items()
+            if record.asked >= min_asked
+            and record.accuracy < min_accuracy)

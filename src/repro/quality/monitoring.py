@@ -1,0 +1,174 @@
+"""Campaign health monitoring from the event stream.
+
+A deployed human-computation service watches a few vital signs: the
+agreement rate (a drop means confusing content or an adversary wave),
+the spam-flag count, and throughput.  :class:`CampaignMonitor` consumes
+round-level observations in time order, maintains sliding windows, and
+raises typed alerts when a window degrades past its threshold.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import QualityError
+
+
+class AlertKind(enum.Enum):
+    """The vital signs the monitor watches."""
+
+    LOW_AGREEMENT = "low_agreement"
+    THROUGHPUT_DROP = "throughput_drop"
+    SPAM_WAVE = "spam_wave"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One raised alert."""
+
+    kind: AlertKind
+    at_s: float
+    value: float
+    threshold: float
+    message: str
+
+
+class CampaignMonitor:
+    """Sliding-window vital signs with alerting.
+
+    Args:
+        window: rounds per sliding window.
+        min_agreement: alert when the window's agreement rate drops
+            below this.
+        throughput_drop_factor: alert when the current window's
+            rounds-per-second falls below this fraction of the best
+            window seen so far.
+        spam_flags_per_window: alert when this many distinct players
+            are flagged within one window.
+        cooldown_s: minimum time between alerts of the same kind.
+    """
+
+    def __init__(self, window: int = 50, min_agreement: float = 0.4,
+                 throughput_drop_factor: float = 0.3,
+                 spam_flags_per_window: int = 3,
+                 cooldown_s: float = 600.0) -> None:
+        if window < 5:
+            raise QualityError(f"window must be >= 5, got {window}")
+        if not 0.0 < min_agreement < 1.0:
+            raise QualityError(
+                f"min_agreement must be in (0,1), got {min_agreement}")
+        if not 0.0 < throughput_drop_factor < 1.0:
+            raise QualityError(
+                "throughput_drop_factor must be in (0,1), got "
+                f"{throughput_drop_factor}")
+        self.window = window
+        self.min_agreement = min_agreement
+        self.throughput_drop_factor = throughput_drop_factor
+        self.spam_flags_per_window = spam_flags_per_window
+        self.cooldown_s = cooldown_s
+        self._rounds: Deque[Tuple[float, bool]] = deque(maxlen=window)
+        self._flags: Deque[Tuple[float, str]] = deque()
+        self._alerts: List[Alert] = []
+        self._last_alert_at: dict = {}
+        self._best_rate: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def record_round(self, at_s: float, agreed: bool) -> Optional[Alert]:
+        """Feed one round; returns an alert if one fires now."""
+        self._rounds.append((at_s, agreed))
+        alert = self._check_agreement(at_s) or self._check_throughput(
+            at_s)
+        return alert
+
+    def record_spam_flag(self, at_s: float,
+                         player_id: str) -> Optional[Alert]:
+        """Feed one spam-flag event."""
+        self._flags.append((at_s, player_id))
+        horizon = at_s - 3600.0
+        while self._flags and self._flags[0][0] < horizon:
+            self._flags.popleft()
+        distinct = {player for _, player in self._flags}
+        if len(distinct) >= self.spam_flags_per_window:
+            return self._raise(AlertKind.SPAM_WAVE, at_s,
+                               float(len(distinct)),
+                               float(self.spam_flags_per_window),
+                               f"{len(distinct)} players flagged "
+                               "within the last hour")
+        return None
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+
+    def agreement_rate(self) -> Optional[float]:
+        """Current window agreement rate (None until the window fills)."""
+        if len(self._rounds) < self.window:
+            return None
+        agreed = sum(1 for _, ok in self._rounds if ok)
+        return agreed / len(self._rounds)
+
+    def rounds_per_second(self) -> Optional[float]:
+        """Current window round rate (None until the window fills)."""
+        if len(self._rounds) < self.window:
+            return None
+        start = self._rounds[0][0]
+        end = self._rounds[-1][0]
+        if end <= start:
+            return None
+        return len(self._rounds) / (end - start)
+
+    def _check_agreement(self, at_s: float) -> Optional[Alert]:
+        rate = self.agreement_rate()
+        if rate is None or rate >= self.min_agreement:
+            return None
+        return self._raise(AlertKind.LOW_AGREEMENT, at_s, rate,
+                           self.min_agreement,
+                           f"window agreement rate {rate:.2f} below "
+                           f"{self.min_agreement:.2f}")
+
+    def _check_throughput(self, at_s: float) -> Optional[Alert]:
+        rate = self.rounds_per_second()
+        if rate is None:
+            return None
+        if rate > self._best_rate:
+            self._best_rate = rate
+            return None
+        floor = self._best_rate * self.throughput_drop_factor
+        if rate >= floor:
+            return None
+        return self._raise(AlertKind.THROUGHPUT_DROP, at_s, rate,
+                           floor,
+                           f"round rate {rate:.3f}/s fell below "
+                           f"{floor:.3f}/s")
+
+    def _raise(self, kind: AlertKind, at_s: float, value: float,
+               threshold: float, message: str) -> Optional[Alert]:
+        last = self._last_alert_at.get(kind)
+        if last is not None and at_s - last < self.cooldown_s:
+            return None
+        alert = Alert(kind=kind, at_s=at_s, value=value,
+                      threshold=threshold, message=message)
+        self._alerts.append(alert)
+        self._last_alert_at[kind] = at_s
+        return alert
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def alerts(self) -> List[Alert]:
+        return list(self._alerts)
+
+    def alerts_of(self, kind: AlertKind) -> List[Alert]:
+        return [a for a in self._alerts if a.kind is kind]
+
+    def healthy(self) -> bool:
+        """No alert has fired."""
+        return not self._alerts

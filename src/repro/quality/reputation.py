@@ -1,0 +1,107 @@
+"""Player reputation from gold performance and peer agreement.
+
+Reputation blends two signals with Beta-style smoothing:
+
+- gold accuracy (strong but sparse — gold items are a small fraction);
+- peer agreement rate (weak but plentiful — every round yields one).
+
+The output is a weight in [0, 1] suitable for
+:class:`~repro.aggregation.majority.MajorityVote` and friends, plus a
+trust decision for gating task assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import QualityError
+
+
+@dataclass
+class ReputationRecord:
+    """Raw counters behind one player's reputation."""
+
+    gold_asked: int = 0
+    gold_correct: int = 0
+    rounds: int = 0
+    agreements: int = 0
+
+    def gold_rate(self, prior_a: float, prior_b: float) -> float:
+        return ((self.gold_correct + prior_a)
+                / (self.gold_asked + prior_a + prior_b))
+
+    def agreement_rate(self, prior_a: float, prior_b: float) -> float:
+        return ((self.agreements + prior_a)
+                / (self.rounds + prior_a + prior_b))
+
+
+class ReputationTracker:
+    """Maintains per-player reputation weights.
+
+    Args:
+        gold_weight: blend factor for the gold signal (the remainder
+            goes to peer agreement).
+        prior_strength: pseudo-counts of the Beta(α, β) prior; a fresh
+            player starts at the prior mean 0.5.
+        distrust_below: weight threshold under which a player is
+            untrusted.
+    """
+
+    def __init__(self, gold_weight: float = 0.6,
+                 prior_strength: float = 4.0,
+                 distrust_below: float = 0.35) -> None:
+        if not 0.0 <= gold_weight <= 1.0:
+            raise QualityError(
+                f"gold_weight must be in [0,1], got {gold_weight}")
+        if prior_strength <= 0:
+            raise QualityError(
+                f"prior_strength must be > 0, got {prior_strength}")
+        self.gold_weight = gold_weight
+        self._prior = prior_strength / 2.0
+        self.distrust_below = distrust_below
+        self._records: Dict[str, ReputationRecord] = {}
+
+    def _record(self, player_id: str) -> ReputationRecord:
+        return self._records.setdefault(player_id, ReputationRecord())
+
+    def record_gold(self, player_id: str, correct: bool) -> None:
+        """Feed one graded gold answer."""
+        record = self._record(player_id)
+        record.gold_asked += 1
+        if correct:
+            record.gold_correct += 1
+
+    def record_round(self, player_id: str, agreed: bool) -> None:
+        """Feed one played round and whether it reached agreement."""
+        record = self._record(player_id)
+        record.rounds += 1
+        if agreed:
+            record.agreements += 1
+
+    def weight(self, player_id: str) -> float:
+        """The player's current reputation weight in [0, 1]."""
+        record = self._records.get(player_id)
+        if record is None:
+            return 0.5
+        gold = record.gold_rate(self._prior, self._prior)
+        peer = record.agreement_rate(self._prior, self._prior)
+        if record.gold_asked == 0:
+            return peer
+        return self.gold_weight * gold + (1 - self.gold_weight) * peer
+
+    def trusted(self, player_id: str) -> bool:
+        """Whether the player clears the distrust threshold."""
+        return self.weight(player_id) >= self.distrust_below
+
+    def weights(self) -> Dict[str, float]:
+        """All known players' weights (for vote aggregators)."""
+        return {player_id: self.weight(player_id)
+                for player_id in self._records}
+
+    def untrusted_players(self) -> List[str]:
+        return sorted(player_id for player_id in self._records
+                      if not self.trusted(player_id))
+
+    def known_players(self) -> List[str]:
+        return sorted(self._records)

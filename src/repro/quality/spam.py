@@ -1,0 +1,134 @@
+"""Spammer detection from answer statistics.
+
+An item-blind player betrays themself two ways:
+
+1. **Gold accuracy near chance** — they cannot answer known items.
+2. **Answer-distribution collapse** — a spammer types the same few
+   globally frequent words regardless of item, so the *diversity* of
+   their answer stream (distinct answers / total answers, a type-token
+   ratio) is far below an honest player's, whose answers track the
+   varied items they see.  The gap widens with data: an honest player
+   keeps meeting new items and producing new words; a spammer's
+   repertoire is fixed.
+
+:class:`SpamDetector` fuses both signals into a score and a verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import QualityError
+
+
+@dataclass(frozen=True)
+class SpamVerdict:
+    """The detector's judgment of one player.
+
+    Attributes:
+        player_id: who was judged.
+        score: spam score in [0, 1]; higher is more spammer-like.
+        is_spammer: score above the detector threshold.
+        gold_accuracy: observed gold accuracy (None without gold data).
+        answer_diversity: distinct/total answer ratio (None with too
+            few answers).
+    """
+
+    player_id: str
+    score: float
+    is_spammer: bool
+    gold_accuracy: Optional[float]
+    answer_diversity: Optional[float]
+
+
+class SpamDetector:
+    """Scores players for item-blindness.
+
+    Args:
+        threshold: spam score above which a player is flagged.
+        min_answers: answers required before the diversity signal
+            counts (type-token ratios are meaningless on tiny samples).
+        min_gold: gold answers required before the gold signal counts.
+        chance_accuracy: gold accuracy expected from blind guessing.
+        diversity_pivot: diversity at or above which a player looks
+            fully honest (honest streams typically exceed 0.4; spammers
+            collapse toward k/total).
+    """
+
+    def __init__(self, threshold: float = 0.6, min_answers: int = 20,
+                 min_gold: int = 3, chance_accuracy: float = 0.1,
+                 diversity_pivot: float = 0.4) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise QualityError(
+                f"threshold must be in (0,1), got {threshold}")
+        if not 0.0 < diversity_pivot <= 1.0:
+            raise QualityError(
+                f"diversity_pivot must be in (0,1], got "
+                f"{diversity_pivot}")
+        self.threshold = threshold
+        self.min_answers = min_answers
+        self.min_gold = min_gold
+        self.chance_accuracy = chance_accuracy
+        self.diversity_pivot = diversity_pivot
+        self._answers: Dict[str, List[Hashable]] = {}
+        self._gold: Dict[str, Tuple[int, int]] = {}
+
+    def record_answer(self, player_id: str, answer: Hashable) -> None:
+        """Feed one answer (any item)."""
+        self._answers.setdefault(player_id, []).append(answer)
+
+    def record_gold(self, player_id: str, correct: bool) -> None:
+        """Feed one graded gold answer."""
+        asked, right = self._gold.get(player_id, (0, 0))
+        self._gold[player_id] = (asked + 1, right + (1 if correct else 0))
+
+    def _diversity_signal(self, player_id: str) -> Optional[float]:
+        answers = self._answers.get(player_id, ())
+        if len(answers) < self.min_answers:
+            return None
+        return len(set(answers)) / len(answers)
+
+    def _gold_signal(self, player_id: str) -> Optional[float]:
+        asked, right = self._gold.get(player_id, (0, 0))
+        if asked < self.min_gold:
+            return None
+        return right / asked
+
+    def judge(self, player_id: str) -> SpamVerdict:
+        """Score one player with whatever signals are available.
+
+        With no usable signal the score is 0.5 (unknown) and the player
+        is not flagged — innocent until data.
+        """
+        diversity = self._diversity_signal(player_id)
+        gold = self._gold_signal(player_id)
+        parts: List[float] = []
+        if gold is not None:
+            # 1.0 when at chance, 0.0 when perfect.
+            span = max(1e-9, 1.0 - self.chance_accuracy)
+            parts.append(min(1.0, max(0.0, (1.0 - gold) / span)))
+        if diversity is not None:
+            # Collapsed repertoires are spammy; diversity at or above
+            # the pivot reads as honest.
+            parts.append(1.0 - min(1.0, diversity / self.diversity_pivot))
+        if not parts:
+            return SpamVerdict(player_id=player_id, score=0.5,
+                               is_spammer=False, gold_accuracy=gold,
+                               answer_diversity=diversity)
+        score = sum(parts) / len(parts)
+        return SpamVerdict(player_id=player_id, score=score,
+                           is_spammer=score > self.threshold,
+                           gold_accuracy=gold,
+                           answer_diversity=diversity)
+
+    def judge_all(self) -> Dict[str, SpamVerdict]:
+        """Judgments for every player seen by either signal."""
+        players = set(self._answers) | set(self._gold)
+        return {player_id: self.judge(player_id)
+                for player_id in sorted(players)}
+
+    def flagged(self) -> List[str]:
+        """Players currently judged spammers."""
+        return [player_id for player_id, verdict
+                in self.judge_all().items() if verdict.is_spammer]

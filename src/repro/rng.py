@@ -1,0 +1,146 @@
+"""Deterministic randomness utilities.
+
+Every stochastic component in the library takes an explicit random source
+instead of using module-level global state, so that a campaign run under a
+single seed is exactly reproducible.  This module provides:
+
+- :func:`make_rng` — build a :class:`random.Random` from a seed or pass an
+  existing one through.
+- :func:`derive` — derive an independent child stream from a parent stream
+  and a label, so subsystems do not perturb each other's sequences.
+- :func:`zipf_weights` / :func:`weighted_choice` — the small sampling
+  helpers used throughout the corpus and player models.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Sequence, TypeVar, Union
+
+T = TypeVar("T")
+
+SeedLike = Union[None, int, str, random.Random]
+
+
+def make_rng(seed: SeedLike = None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh nondeterministic stream), an ``int`` or
+    ``str`` seed, or an existing :class:`random.Random` (returned as-is so
+    call sites can uniformly write ``rng = make_rng(seed_or_rng)``).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def derive(rng: random.Random, label: str) -> random.Random:
+    """Derive an independent child stream from ``rng`` tagged by ``label``.
+
+    The child's seed mixes a draw from the parent with a stable hash of the
+    label, so two children derived with different labels are independent,
+    and deriving the same label twice in sequence yields different streams
+    (the parent advances).
+    """
+    base = rng.getrandbits(64)
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    mix = int.from_bytes(digest[:8], "big")
+    return random.Random(base ^ mix)
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> list[float]:
+    """Return normalized Zipf weights ``1/rank**exponent`` for ``n`` ranks.
+
+    Natural-language tag frequencies are approximately Zipfian; the corpus
+    generators use these weights for per-image tag salience.
+    """
+    if n <= 0:
+        raise ValueError(f"zipf_weights needs n >= 1, got {n}")
+    raw = [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T],
+                    weights: Sequence[float]) -> T:
+    """Sample one item from ``items`` proportionally to ``weights``."""
+    if len(items) != len(weights):
+        raise ValueError(
+            f"items ({len(items)}) and weights ({len(weights)}) differ")
+    if not items:
+        raise ValueError("cannot sample from an empty sequence")
+    total = float(sum(weights))
+    if total <= 0.0:
+        # Degenerate weights: fall back to uniform.
+        return items[rng.randrange(len(items))]
+    target = rng.random() * total
+    acc = 0.0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if target < acc:
+            return item
+    return items[-1]
+
+
+def weighted_sample_without_replacement(
+        rng: random.Random, items: Sequence[T], weights: Sequence[float],
+        k: int) -> list[T]:
+    """Sample ``k`` distinct items proportionally to ``weights``.
+
+    Uses the Efraimidis–Spirakis exponential-key trick, which is exact and
+    O(n log n).  ``k`` is clipped to ``len(items)``.
+    """
+    if len(items) != len(weights):
+        raise ValueError(
+            f"items ({len(items)}) and weights ({len(weights)}) differ")
+    k = min(k, len(items))
+    if k <= 0:
+        return []
+    keyed = []
+    for item, weight in zip(items, weights):
+        if weight <= 0.0:
+            key = float("-inf")
+        else:
+            key = rng.random() ** (1.0 / weight)
+        keyed.append((key, item))
+    keyed.sort(key=lambda pair: pair[0], reverse=True)
+    return [item for _, item in keyed[:k]]
+
+
+def poisson(rng: random.Random, lam: float) -> int:
+    """Draw from a Poisson distribution with mean ``lam``.
+
+    Knuth's algorithm for small means, normal approximation above 30 —
+    arrival batches in the simulator never need more accuracy than that.
+    """
+    if lam < 0:
+        raise ValueError(f"poisson mean must be >= 0, got {lam}")
+    if lam == 0:
+        return 0
+    if lam > 30:
+        value = int(round(rng.gauss(lam, lam ** 0.5)))
+        return max(0, value)
+    threshold = pow(2.718281828459045, -lam)
+    k = 0
+    product = 1.0
+    while True:
+        product *= rng.random()
+        if product <= threshold:
+            return k
+        k += 1
+
+
+def exponential(rng: random.Random, rate: float) -> float:
+    """Draw an exponential inter-arrival time with the given ``rate``."""
+    if rate <= 0:
+        raise ValueError(f"exponential rate must be > 0, got {rate}")
+    return rng.expovariate(rate)
+
+
+def bounded_gauss(rng: random.Random, mean: float, stdev: float,
+                  low: float, high: float) -> float:
+    """Gaussian draw clipped to ``[low, high]`` (used for skills/timing)."""
+    if low > high:
+        raise ValueError(f"bounds reversed: low={low} > high={high}")
+    return min(high, max(low, rng.gauss(mean, stdev)))

@@ -1,0 +1,27 @@
+"""REST-style service layer over the platform.
+
+The "Flask/Django service" of the repro band, built on the standard
+library so it runs offline:
+
+- :mod:`repro.service.wire` — request/response envelopes and JSON
+  serializers for platform objects.
+- :mod:`repro.service.api` — the router: method+path patterns dispatched
+  to handlers over a :class:`~repro.platform.facade.Platform`.
+- :mod:`repro.service.http` — binds the router to a stdlib
+  ``ThreadingHTTPServer``.
+- :mod:`repro.service.client` — :class:`InProcessClient` (direct router
+  calls, for simulations) and :class:`HttpClient` (urllib, for the real
+  server) with one shared interface.
+"""
+
+from repro.service.wire import ApiRequest, ApiResponse, task_to_wire
+from repro.service.api import ApiServer
+from repro.service.http import serve_in_thread
+from repro.service.client import HttpClient, InProcessClient
+
+__all__ = [
+    "ApiRequest", "ApiResponse", "task_to_wire",
+    "ApiServer",
+    "serve_in_thread",
+    "HttpClient", "InProcessClient",
+]

@@ -1,0 +1,238 @@
+"""The router: REST endpoints over a Platform.
+
+Endpoints (all bodies and responses are JSON):
+
+====== =============================== =======================================
+Method Path                            Action
+====== =============================== =======================================
+GET    /health                         liveness probe
+POST   /jobs                           create job {name, redundancy?, meta?}
+GET    /jobs                           list jobs
+GET    /jobs/{job_id}                  job detail + progress
+POST   /jobs/{job_id}/tasks            add task(s) {payload} or {tasks: [...]}
+POST   /jobs/{job_id}/start            move job to RUNNING
+GET    /jobs/{job_id}/next?worker=W    next task for worker (404 if none)
+GET    /jobs/{job_id}/results          aggregated results
+POST   /workers                        register {worker_id, display_name?}
+GET    /workers/{worker_id}            worker stats
+POST   /tasks/{task_id}/answers        submit {worker_id, answer, at_s?}
+GET    /leaderboard?k=10               top accounts
+====== =============================== =======================================
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import (AccountError, JobNotFound, PlatformError,
+                          ServiceError, TaskNotFound)
+from repro.platform.facade import Platform
+from repro.service.wire import (ApiRequest, ApiResponse, error_body,
+                                job_to_wire, task_to_wire)
+
+Handler = Callable[[ApiRequest, Dict[str, str]], ApiResponse]
+
+
+class ApiServer:
+    """Dispatches :class:`ApiRequest` s against a platform."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        self._routes: List[Tuple[str, re.Pattern, Handler]] = []
+        # The platform is plain mutable state; the threaded HTTP server
+        # dispatches concurrently, so requests are serialized here.
+        self._lock = threading.Lock()
+        self._install_routes()
+
+    def _route(self, method: str, pattern: str, handler: Handler) -> None:
+        regex = re.compile(
+            "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern) + "$")
+        self._routes.append((method, regex, handler))
+
+    def _install_routes(self) -> None:
+        self._route("GET", "/health", self._health)
+        self._route("POST", "/jobs", self._create_job)
+        self._route("GET", "/jobs", self._list_jobs)
+        self._route("GET", "/jobs/{job_id}", self._get_job)
+        self._route("POST", "/jobs/{job_id}/tasks", self._add_tasks)
+        self._route("GET", "/jobs/{job_id}/tasks", self._list_tasks)
+        self._route("POST", "/jobs/{job_id}/start", self._start_job)
+        self._route("POST", "/jobs/{job_id}/archive", self._archive_job)
+        self._route("GET", "/jobs/{job_id}/next", self._next_task)
+        self._route("GET", "/jobs/{job_id}/results", self._results)
+        self._route("GET", "/jobs/{job_id}/low_confidence",
+                    self._low_confidence)
+        self._route("GET", "/workers/flagged", self._flagged_workers)
+        self._route("POST", "/workers", self._register_worker)
+        self._route("GET", "/workers/{worker_id}", self._worker_stats)
+        self._route("POST", "/tasks/{task_id}/answers", self._answer)
+        self._route("GET", "/leaderboard", self._leaderboard)
+
+    def handle(self, request: ApiRequest) -> ApiResponse:
+        """Route one request, translating errors to status codes."""
+        for method, regex, handler in self._routes:
+            if method != request.method:
+                continue
+            match = regex.match(request.path)
+            if match is None:
+                continue
+            try:
+                with self._lock:
+                    return handler(request, match.groupdict())
+            except (JobNotFound, TaskNotFound) as exc:
+                return ApiResponse(404, error_body(str(exc)))
+            except AccountError as exc:
+                return ApiResponse(409, error_body(str(exc)))
+            except ServiceError as exc:
+                return ApiResponse(exc.status, error_body(str(exc)))
+            except PlatformError as exc:
+                return ApiResponse(400, error_body(str(exc)))
+        return ApiResponse(404, error_body(
+            f"no route for {request.method} {request.path}"))
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _health(self, request: ApiRequest,
+                params: Dict[str, str]) -> ApiResponse:
+        return ApiResponse(200, {"status": "ok"})
+
+    def _create_job(self, request: ApiRequest,
+                    params: Dict[str, str]) -> ApiResponse:
+        body = request.body
+        name = body.get("name")
+        if not name:
+            raise ServiceError("job needs a 'name'", status=422)
+        job = self.platform.create_job(
+            name=name, redundancy=int(body.get("redundancy", 3)),
+            **body.get("meta", {}))
+        return ApiResponse(201, job_to_wire(job))
+
+    def _list_jobs(self, request: ApiRequest,
+                   params: Dict[str, str]) -> ApiResponse:
+        jobs = [job_to_wire(job) for job in self.platform.store.jobs()]
+        return ApiResponse(200, {"jobs": jobs})
+
+    def _get_job(self, request: ApiRequest,
+                 params: Dict[str, str]) -> ApiResponse:
+        job = self.platform.store.get_job(params["job_id"])
+        progress = self.platform.progress(job.job_id)
+        return ApiResponse(200, job_to_wire(job, progress))
+
+    def _add_tasks(self, request: ApiRequest,
+                   params: Dict[str, str]) -> ApiResponse:
+        body = request.body
+        job_id = params["job_id"]
+        if "tasks" in body:
+            specs = body["tasks"]
+        elif "payload" in body:
+            specs = [body]
+        else:
+            raise ServiceError(
+                "body needs 'payload' or 'tasks'", status=422)
+        created = []
+        for spec in specs:
+            task = self.platform.add_task(
+                job_id, spec.get("payload", {}),
+                gold_answer=spec.get("gold_answer"))
+            created.append(task_to_wire(task))
+        return ApiResponse(201, {"tasks": created})
+
+    def _list_tasks(self, request: ApiRequest,
+                    params: Dict[str, str]) -> ApiResponse:
+        """Admin view: paginated tasks with answers and gold."""
+        job = self.platform.store.get_job(params["job_id"])
+        offset = max(0, int(request.query.get("offset", "0")))
+        limit = min(500, max(1, int(request.query.get("limit", "50"))))
+        tasks = self.platform.store.tasks_for(job.job_id)
+        page = tasks[offset:offset + limit]
+        return ApiResponse(200, {
+            "total": len(tasks), "offset": offset, "limit": limit,
+            "tasks": [task_to_wire(task, include_answers=True)
+                      for task in page]})
+
+    def _start_job(self, request: ApiRequest,
+                   params: Dict[str, str]) -> ApiResponse:
+        job = self.platform.start_job(params["job_id"])
+        return ApiResponse(200, job_to_wire(job))
+
+    def _archive_job(self, request: ApiRequest,
+                     params: Dict[str, str]) -> ApiResponse:
+        job = self.platform.archive_job(params["job_id"])
+        return ApiResponse(200, job_to_wire(job))
+
+    def _next_task(self, request: ApiRequest,
+                   params: Dict[str, str]) -> ApiResponse:
+        worker = request.query.get("worker")
+        if not worker:
+            raise ServiceError("missing 'worker' query parameter",
+                               status=422)
+        task = self.platform.request_task(params["job_id"], worker)
+        if task is None:
+            return ApiResponse(404, error_body(
+                "no pending tasks for this worker"))
+        return ApiResponse(200, task_to_wire(task))
+
+    def _results(self, request: ApiRequest,
+                 params: Dict[str, str]) -> ApiResponse:
+        results = self.platform.results(params["job_id"])
+        wire = {
+            task_id: {"answer": result.answer,
+                      "confidence": result.confidence,
+                      "margin": result.margin}
+            for task_id, result in results.items()}
+        return ApiResponse(200, {"results": wire})
+
+    def _low_confidence(self, request: ApiRequest,
+                        params: Dict[str, str]) -> ApiResponse:
+        min_margin = float(request.query.get("min_margin", "0.34"))
+        tasks = self.platform.low_confidence_tasks(
+            params["job_id"], min_margin=min_margin)
+        return ApiResponse(200, {"tasks": tasks,
+                                 "min_margin": min_margin})
+
+    def _flagged_workers(self, request: ApiRequest,
+                         params: Dict[str, str]) -> ApiResponse:
+        return ApiResponse(200, {"flagged":
+                                 self.platform.flagged_workers()})
+
+    def _register_worker(self, request: ApiRequest,
+                         params: Dict[str, str]) -> ApiResponse:
+        body = request.body
+        worker_id = body.get("worker_id")
+        if not worker_id:
+            raise ServiceError("worker needs a 'worker_id'", status=422)
+        account = self.platform.register_worker(
+            worker_id, body.get("display_name"),
+            **body.get("attributes", {}))
+        return ApiResponse(201, account.to_dict())
+
+    def _worker_stats(self, request: ApiRequest,
+                      params: Dict[str, str]) -> ApiResponse:
+        stats = self.platform.worker_stats(params["worker_id"])
+        return ApiResponse(200, stats)
+
+    def _answer(self, request: ApiRequest,
+                params: Dict[str, str]) -> ApiResponse:
+        body = request.body
+        worker_id = body.get("worker_id")
+        if not worker_id:
+            raise ServiceError("answer needs a 'worker_id'", status=422)
+        if "answer" not in body:
+            raise ServiceError("answer needs an 'answer'", status=422)
+        task = self.platform.submit_answer(
+            params["task_id"], worker_id, body["answer"],
+            at_s=float(body.get("at_s", 0.0)))
+        return ApiResponse(201, {"task_id": task.task_id,
+                                 "answers": len(task.answers)})
+
+    def _leaderboard(self, request: ApiRequest,
+                     params: Dict[str, str]) -> ApiResponse:
+        k = int(request.query.get("k", "10"))
+        top = self.platform.leaderboard.all_time(k=k)
+        return ApiResponse(200, {"leaderboard": [
+            {"account_id": account_id, "points": points}
+            for account_id, points in top]})

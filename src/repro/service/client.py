@@ -1,0 +1,144 @@
+"""Service clients: in-process and HTTP, one interface.
+
+Both clients expose the platform verbs as methods returning parsed
+bodies; failures raise :class:`~repro.errors.ServiceError` carrying the
+HTTP status.  Simulations use :class:`InProcessClient` (no sockets);
+:class:`HttpClient` exercises the real wire path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+from urllib import error as urlerror
+from urllib import request as urlrequest
+from urllib.parse import urlencode
+
+from repro.errors import ServiceError
+from repro.service.api import ApiServer
+from repro.service.wire import ApiRequest
+
+
+class _BaseClient:
+    """Shared verb implementations over an abstract transport."""
+
+    def _call(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None,
+              query: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    # -- verbs ---------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._call("GET", "/health")
+
+    def create_job(self, name: str, redundancy: int = 3,
+                   **meta: Any) -> Dict[str, Any]:
+        return self._call("POST", "/jobs",
+                          {"name": name, "redundancy": redundancy,
+                           "meta": meta})
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return self._call("GET", "/jobs")["jobs"]
+
+    def get_job(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/jobs/{job_id}")
+
+    def add_tasks(self, job_id: str,
+                  tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        return self._call("POST", f"/jobs/{job_id}/tasks",
+                          {"tasks": tasks})["tasks"]
+
+    def start_job(self, job_id: str) -> Dict[str, Any]:
+        return self._call("POST", f"/jobs/{job_id}/start", {})
+
+    def register_worker(self, worker_id: str,
+                        display_name: Optional[str] = None,
+                        **attributes: Any) -> Dict[str, Any]:
+        return self._call("POST", "/workers",
+                          {"worker_id": worker_id,
+                           "display_name": display_name,
+                           "attributes": attributes})
+
+    def next_task(self, job_id: str,
+                  worker_id: str) -> Optional[Dict[str, Any]]:
+        """The worker's next task, or None when none remain."""
+        try:
+            return self._call("GET", f"/jobs/{job_id}/next",
+                              query={"worker": worker_id})
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def submit_answer(self, task_id: str, worker_id: str, answer: Any,
+                      at_s: float = 0.0) -> Dict[str, Any]:
+        return self._call("POST", f"/tasks/{task_id}/answers",
+                          {"worker_id": worker_id, "answer": answer,
+                           "at_s": at_s})
+
+    def results(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/jobs/{job_id}/results")["results"]
+
+    def worker_stats(self, worker_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/workers/{worker_id}")
+
+    def leaderboard(self, k: int = 10) -> List[Dict[str, Any]]:
+        return self._call("GET", "/leaderboard",
+                          query={"k": str(k)})["leaderboard"]
+
+
+class InProcessClient(_BaseClient):
+    """Calls the router directly — no sockets, no serialization cost
+    beyond the JSON-shaped dicts themselves."""
+
+    def __init__(self, api: ApiServer) -> None:
+        self.api = api
+
+    def _call(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None,
+              query: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
+        response = self.api.handle(ApiRequest(
+            method=method, path=path, body=body or {},
+            query=query or {}))
+        if not response.ok:
+            raise ServiceError(
+                response.body.get("error", "request failed"),
+                status=response.status)
+        return response.body
+
+
+class HttpClient(_BaseClient):
+    """Talks to a running HTTP server via urllib."""
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _call(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None,
+              query: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
+        url = self.base_url + path
+        if query:
+            url += "?" + urlencode(query)
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None and method != "GET":
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urlrequest.Request(url, data=data, headers=headers,
+                                     method=method)
+        try:
+            with urlrequest.urlopen(request,
+                                    timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urlerror.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", str(exc))
+            except Exception:
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from None
+        except urlerror.URLError as exc:
+            raise ServiceError(f"connection failed: {exc.reason}",
+                               status=503) from None

@@ -1,0 +1,81 @@
+"""Stdlib HTTP binding for the API router.
+
+Wraps an :class:`~repro.service.api.ApiServer` in a
+``ThreadingHTTPServer``: JSON in, JSON out, threaded so a simulation and
+its service can share a process.  :func:`serve_in_thread` is the
+one-liner examples and tests use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.service.api import ApiServer
+from repro.service.wire import ApiRequest
+
+
+def _make_handler(api: ApiServer):
+    class Handler(BaseHTTPRequestHandler):
+        """Translates HTTP to ApiRequest and back."""
+
+        # Quiet the default stderr access log.
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass
+
+        def _dispatch(self, method: str) -> None:
+            parts = urlsplit(self.path)
+            query = dict(parse_qsl(parts.query))
+            body = {}
+            length = int(self.headers.get("Content-Length") or 0)
+            if length:
+                raw = self.rfile.read(length)
+                try:
+                    body = json.loads(raw.decode("utf-8"))
+                except json.JSONDecodeError:
+                    self._respond(400, {"error": "invalid JSON body"})
+                    return
+            request = ApiRequest(method=method, path=parts.path,
+                                 body=body, query=query)
+            response = api.handle(request)
+            self._respond(response.status, response.body)
+
+        def _respond(self, status: int, body: dict) -> None:
+            payload = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._dispatch("POST")
+
+    return Handler
+
+
+def serve_in_thread(api: ApiServer, host: str = "127.0.0.1",
+                    port: int = 0
+                    ) -> Tuple[ThreadingHTTPServer, threading.Thread, str]:
+    """Start the API on a daemon thread.
+
+    Args:
+        api: the router to serve.
+        host: bind address.
+        port: bind port (0 picks a free one).
+
+    Returns:
+        (server, thread, base_url).  Call ``server.shutdown()`` when
+        done.
+    """
+    server = ThreadingHTTPServer((host, port), _make_handler(api))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base_url = f"http://{server.server_address[0]}:{server.server_address[1]}"
+    return server, thread, base_url

@@ -1,0 +1,71 @@
+"""Wire format: request/response envelopes and serializers.
+
+Everything crossing the service boundary is a JSON document.  The
+envelopes are transport-independent, so the same
+:class:`~repro.service.api.ApiServer` serves the HTTP binding and the
+in-process client identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.platform.jobs import Job, TaskRecord
+
+
+@dataclass(frozen=True)
+class ApiRequest:
+    """A transport-independent request.
+
+    Attributes:
+        method: HTTP-style verb ("GET", "POST").
+        path: resource path ("/jobs/job-0001/next").
+        body: parsed JSON body (empty dict for bodyless requests).
+        query: query parameters (single-valued).
+    """
+
+    method: str
+    path: str
+    body: Dict[str, Any] = field(default_factory=dict)
+    query: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """A transport-independent response."""
+
+    status: int
+    body: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def job_to_wire(job: Job, progress: Optional[Mapping[str, Any]] = None
+                ) -> Dict[str, Any]:
+    """Serialize a job (optionally with progress) for responses."""
+    doc = job.to_dict()
+    if progress is not None:
+        doc["progress"] = dict(progress)
+    return doc
+
+
+def task_to_wire(task: TaskRecord,
+                 include_answers: bool = False) -> Dict[str, Any]:
+    """Serialize a task for responses.
+
+    By default answers and the gold answer are withheld — workers must
+    not see either.
+    """
+    doc = {"task_id": task.task_id, "job_id": task.job_id,
+           "payload": task.payload}
+    if include_answers:
+        doc["answers"] = [a.to_dict() for a in task.answers]
+        doc["gold_answer"] = task.gold_answer
+    return doc
+
+
+def error_body(message: str) -> Dict[str, Any]:
+    return {"error": message}

@@ -1,0 +1,32 @@
+"""Campaign simulation: player arrivals, pairing, and long-run metrics.
+
+Replaces the live web audience: a :class:`~repro.sim.arrivals.
+ArrivalProcess` generates timestamped player visits (Poisson with a
+diurnal profile), the :class:`~repro.sim.engine.Campaign` pairs arrivals
+and plays sessions through any game adapter, and the result carries the
+contribution stream the analytics package turns into the paper's
+throughput/ALP/coverage numbers.
+
+- :mod:`repro.sim.arrivals` — arrival processes.
+- :mod:`repro.sim.engine` — the campaign loop and result records.
+- :mod:`repro.sim.adapters` — uniform session adapters for every game.
+"""
+
+from repro.sim.arrivals import ArrivalProcess, DiurnalProfile
+from repro.sim.engine import Campaign, CampaignResult, SessionOutcome
+from repro.sim.platform_sim import Workforce, WorkforceResult
+from repro.sim.adapters import (esp_session_runner, esp_solo_runner,
+                                matchin_session_runner,
+                                peekaboom_session_runner,
+                                squigl_session_runner,
+                                tagatune_session_runner,
+                                verbosity_session_runner)
+
+__all__ = [
+    "ArrivalProcess", "DiurnalProfile",
+    "Campaign", "CampaignResult", "SessionOutcome",
+    "Workforce", "WorkforceResult",
+    "esp_session_runner", "esp_solo_runner", "peekaboom_session_runner",
+    "verbosity_session_runner", "tagatune_session_runner",
+    "matchin_session_runner", "squigl_session_runner",
+]

@@ -1,0 +1,149 @@
+"""Session adapters: one uniform runner per game.
+
+Each factory takes a configured game and returns a
+``SessionRunner`` — ``(model_a, model_b, start_s) -> SessionOutcome`` —
+so any game plugs into :class:`~repro.sim.engine.Campaign` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.entities import RoundResult
+from repro.games.esp import EspGame
+from repro.games.matchin import MatchinGame
+from repro.games.peekaboom import PeekaboomGame
+from repro.games.squigl import SquiglGame
+from repro.games.tagatune import TagATuneGame
+from repro.games.verbosity import VerbosityGame
+from repro.players.base import PlayerModel
+from repro.sim.engine import SessionOutcome, SessionRunner
+
+
+def _from_rounds(rounds: List[RoundResult], players,
+                 gap_s: float = 2.0) -> SessionOutcome:
+    contributions = []
+    for result in rounds:
+        contributions.extend(result.contributions)
+    duration = sum(r.elapsed_s for r in rounds) + gap_s * len(rounds)
+    return SessionOutcome(
+        contributions=tuple(contributions), rounds=len(rounds),
+        successes=sum(1 for r in rounds if r.succeeded),
+        duration_s=duration, players=tuple(players))
+
+
+def _esp_outcome(session) -> SessionOutcome:
+    contributions = []
+    for result in session.rounds:
+        contributions.extend(result.contributions)
+    return SessionOutcome(
+        contributions=tuple(contributions),
+        rounds=len(session.rounds), successes=session.successes,
+        duration_s=session.duration_s,
+        players=tuple(session.players))
+
+
+def esp_session_runner(game: EspGame,
+                       record: bool = False) -> SessionRunner:
+    """Runner for ESP sessions (uses the game's own session clock).
+
+    With ``record=True`` live guess streams are banked in the game's
+    lobby, enabling the recorded-partner solo fallback
+    (:func:`esp_solo_runner`).
+    """
+
+    def run(model_a: PlayerModel, model_b: PlayerModel,
+            start_s: float) -> SessionOutcome:
+        session = game.play_session_agents(
+            game.make_agent(model_a), game.make_agent(model_b),
+            start_s=start_s, record=record)
+        return _esp_outcome(session)
+
+    return run
+
+
+def esp_solo_runner(game: EspGame):
+    """Single-player fallback runner for :class:`Campaign`.
+
+    Plays the lone visitor against a recorded partner from the game's
+    lobby bank; raises (and the campaign drops the visitor) while the
+    bank is still empty.
+    """
+
+    def run(model: PlayerModel, start_s: float) -> SessionOutcome:
+        return _esp_outcome(
+            game.play_single_session(model, start_s=start_s))
+
+    return run
+
+
+def peekaboom_session_runner(game: PeekaboomGame,
+                             rounds: int = 6) -> SessionRunner:
+    """Runner for Peekaboom matches of ``rounds`` alternating rounds."""
+
+    def run(model_a: PlayerModel, model_b: PlayerModel,
+            start_s: float) -> SessionOutcome:
+        results = game.play_match(model_a, model_b, rounds=rounds,
+                                  start_s=start_s)
+        return _from_rounds(results,
+                            (model_a.player_id, model_b.player_id))
+
+    return run
+
+
+def verbosity_session_runner(game: VerbosityGame,
+                             rounds: int = 4) -> SessionRunner:
+    """Runner for Verbosity matches."""
+
+    def run(model_a: PlayerModel, model_b: PlayerModel,
+            start_s: float) -> SessionOutcome:
+        results = game.play_match(model_a, model_b, rounds=rounds,
+                                  start_s=start_s)
+        return _from_rounds(results,
+                            (model_a.player_id, model_b.player_id))
+
+    return run
+
+
+def tagatune_session_runner(game: TagATuneGame,
+                            rounds: int = 8) -> SessionRunner:
+    """Runner for TagATune matches."""
+
+    def run(model_a: PlayerModel, model_b: PlayerModel,
+            start_s: float) -> SessionOutcome:
+        results = game.play_match(model_a, model_b, rounds=rounds,
+                                  start_s=start_s)
+        return _from_rounds(results,
+                            (model_a.player_id, model_b.player_id))
+
+    return run
+
+
+def matchin_session_runner(game: MatchinGame,
+                           rounds: int = 20) -> SessionRunner:
+    """Runner for Matchin matches."""
+
+    def run(model_a: PlayerModel, model_b: PlayerModel,
+            start_s: float) -> SessionOutcome:
+        results = game.play_match(model_a, model_b, rounds=rounds,
+                                  start_s=start_s)
+        return _from_rounds(results,
+                            (model_a.player_id, model_b.player_id),
+                            gap_s=1.0)
+
+    return run
+
+
+def squigl_session_runner(game: SquiglGame,
+                          rounds: int = 10) -> SessionRunner:
+    """Runner for Squigl matches."""
+
+    def run(model_a: PlayerModel, model_b: PlayerModel,
+            start_s: float) -> SessionOutcome:
+        results = game.play_match(model_a, model_b, rounds=rounds,
+                                  start_s=start_s)
+        return _from_rounds(results,
+                            (model_a.player_id, model_b.player_id),
+                            gap_s=1.0)
+
+    return run

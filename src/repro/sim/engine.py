@@ -1,0 +1,210 @@
+"""The campaign loop.
+
+A campaign pairs arriving players and hands each pair to a *session
+runner* — a callable ``(model_a, model_b, start_s) -> SessionOutcome``
+(see :mod:`repro.sim.adapters` for per-game runners).  Arrivals queue in
+a waiting pool; a pair forms as soon as two players wait (random partner
+choice denied, as in real GWAP matchmaking); a lone player who waits past
+``max_wait_s`` is dropped unless the runner supports recorded partners.
+
+Per-player lifetime budgets from the engagement model bound how many
+sessions a player returns for, which is what makes throughput × ALP the
+right decomposition of a campaign's total output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import rng as _rng
+from repro.core.entities import Contribution
+from repro.errors import SimulationError
+from repro.players.base import PlayerModel
+from repro.players.engagement import EngagementModel
+from repro.sim.arrivals import ArrivalProcess, DiurnalProfile
+
+
+@dataclass(frozen=True)
+class SessionOutcome:
+    """Uniform result of one session, whatever the game.
+
+    Attributes:
+        contributions: contributions emitted by the session.
+        rounds: rounds played.
+        successes: rounds that reached agreement/completion.
+        duration_s: session wall-clock length.
+        players: participant ids.
+    """
+
+    contributions: Tuple[Contribution, ...]
+    rounds: int
+    successes: int
+    duration_s: float
+    players: Tuple[str, ...]
+
+
+SessionRunner = Callable[[PlayerModel, PlayerModel, float], SessionOutcome]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced.
+
+    Attributes:
+        outcomes: per-session outcomes, in start order.
+        session_starts: campaign times sessions began.
+        human_seconds: total player-time spent (2 players × duration).
+        arrivals: visits generated.
+        dropped: visitors who left unpaired.
+    """
+
+    outcomes: List[SessionOutcome] = field(default_factory=list)
+    session_starts: List[float] = field(default_factory=list)
+    human_seconds: float = 0.0
+    arrivals: int = 0
+    dropped: int = 0
+
+    @property
+    def contributions(self) -> List[Contribution]:
+        out: List[Contribution] = []
+        for outcome in self.outcomes:
+            out.extend(outcome.contributions)
+        return out
+
+    @property
+    def verified_contributions(self) -> List[Contribution]:
+        return [c for c in self.contributions if c.verified]
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(o.rounds for o in self.outcomes)
+
+    @property
+    def total_successes(self) -> int:
+        return sum(o.successes for o in self.outcomes)
+
+    @property
+    def human_hours(self) -> float:
+        return self.human_seconds / 3600.0
+
+    def throughput_per_hour(self, verified_only: bool = True) -> float:
+        """Contributions per human-hour — the paper's throughput."""
+        if self.human_hours <= 0:
+            return 0.0
+        count = (len(self.verified_contributions) if verified_only
+                 else len(self.contributions))
+        return count / self.human_hours
+
+
+class Campaign:
+    """Pairs arriving players and runs sessions.
+
+    Args:
+        population: the player pool visitors are drawn from.
+        runner: the game's session runner.
+        arrival_rate_per_hour: visit rate.
+        engagement: lifetime-play model (None disables budgets).
+        max_wait_s: how long a lone visitor waits before leaving.
+        solo_runner: optional single-player fallback — called as
+            ``solo_runner(model, start_s)`` for a visitor who waited
+            past ``max_wait_s`` (the recorded-partner mode of the real
+            games).  Without one, such visitors are dropped.
+        profile: optional diurnal modulation of the arrival rate.
+        seed: campaign RNG seed.
+    """
+
+    def __init__(self, population: Sequence[PlayerModel],
+                 runner: SessionRunner,
+                 arrival_rate_per_hour: float = 120.0,
+                 engagement: Optional[EngagementModel] = None,
+                 max_wait_s: float = 60.0,
+                 solo_runner: Optional[Callable[[PlayerModel, float],
+                                               SessionOutcome]] = None,
+                 profile: Optional[DiurnalProfile] = None,
+                 seed: _rng.SeedLike = 0) -> None:
+        if not population:
+            raise SimulationError("campaign needs a non-empty population")
+        self.population = list(population)
+        self.runner = runner
+        self.engagement = engagement
+        self.max_wait_s = max_wait_s
+        self.solo_runner = solo_runner
+        self._rng = _rng.make_rng(seed)
+        self.arrivals = ArrivalProcess(
+            arrival_rate_per_hour,
+            profile=profile or DiurnalProfile(amplitude=0.0),
+            seed=_rng.derive(self._rng, "arrivals"))
+        self._budgets: Dict[str, float] = {}
+        if engagement is not None:
+            for model in self.population:
+                self._budgets[model.player_id] = engagement.draw(
+                    model).total_play_s
+
+    def _visitor(self) -> Optional[PlayerModel]:
+        """Draw a visitor with lifetime budget remaining."""
+        candidates = self.population
+        if self.engagement is not None:
+            candidates = [m for m in self.population
+                          if self._budgets.get(m.player_id, 0.0) > 0.0]
+            if not candidates:
+                return None
+        return candidates[self._rng.randrange(len(candidates))]
+
+    def run(self, duration_s: float) -> CampaignResult:
+        """Simulate ``duration_s`` seconds of campaign time."""
+        result = CampaignResult()
+        waiting: Optional[Tuple[PlayerModel, float]] = None
+        for at_s in self.arrivals.times(duration_s):
+            visitor = self._visitor()
+            if visitor is None:
+                break
+            result.arrivals += 1
+            if waiting is None:
+                waiting = (visitor, at_s)
+                continue
+            partner, since = waiting
+            if at_s - since > self.max_wait_s:
+                # The earlier visitor waited too long: fall back to a
+                # recorded-partner session when available, else drop.
+                self._seat_or_drop(partner, since, result)
+                waiting = (visitor, at_s)
+                continue
+            if partner.player_id == visitor.player_id:
+                # Same player cannot self-pair; keep them waiting.
+                continue
+            waiting = None
+            outcome = self.runner(partner, visitor, at_s)
+            result.outcomes.append(outcome)
+            result.session_starts.append(at_s)
+            result.human_seconds += outcome.duration_s * len(
+                outcome.players)
+            if self.engagement is not None:
+                for model in (partner, visitor):
+                    self._budgets[model.player_id] = max(
+                        0.0, self._budgets[model.player_id]
+                        - outcome.duration_s)
+        if waiting is not None:
+            self._seat_or_drop(waiting[0], waiting[1], result)
+        return result
+
+    def _seat_or_drop(self, model: PlayerModel, since_s: float,
+                      result: CampaignResult) -> None:
+        """Seat a lonely visitor against the solo fallback, or drop."""
+        if self.solo_runner is None:
+            result.dropped += 1
+            return
+        try:
+            outcome = self.solo_runner(model, since_s + self.max_wait_s)
+        except Exception:
+            # A fallback with no recordings yet behaves like a drop.
+            result.dropped += 1
+            return
+        result.outcomes.append(outcome)
+        result.session_starts.append(since_s + self.max_wait_s)
+        # Only the live player's time counts as human time.
+        result.human_seconds += outcome.duration_s
+        if self.engagement is not None:
+            self._budgets[model.player_id] = max(
+                0.0, self._budgets.get(model.player_id, 0.0)
+                - outcome.duration_s)

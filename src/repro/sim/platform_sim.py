@@ -1,0 +1,132 @@
+"""Worker simulation against the task platform.
+
+The GWAP campaigns drive *games*; this module drives the *platform*: a
+simulated workforce arrives over time, fetches tasks through the
+platform API (in-process client or the real HTTP client — the interface
+is shared), answers with realistic delays, and leaves when the job runs
+dry.  It produces the platform-side timeline (answers over time, job
+completion point) and works unchanged against a remote service.
+
+Answer content is delegated to an ``answer_fn(model, payload, rng)`` so
+workloads of any kind (labels, transcriptions, judgments) reuse the same
+driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro import rng as _rng
+from repro.errors import SimulationError
+from repro.players.base import PlayerModel
+from repro.players.timing import ResponseTimer
+from repro.sim.arrivals import ArrivalProcess
+
+AnswerFn = Callable[[PlayerModel, Dict[str, Any], Any], Any]
+
+
+@dataclass
+class WorkforceResult:
+    """What the simulated workforce did.
+
+    Attributes:
+        answers: total answers submitted.
+        answer_times: submission timestamps (campaign seconds).
+        workers_active: workers who submitted at least one answer.
+        completed_at_s: campaign time the job completed (None if not).
+    """
+
+    answers: int = 0
+    answer_times: List[float] = field(default_factory=list)
+    workers_active: int = 0
+    completed_at_s: Optional[float] = None
+
+
+class Workforce:
+    """Drives a platform job with simulated workers.
+
+    Args:
+        client: anything with the service-client verbs (``next_task``,
+            ``submit_answer``, ``get_job``, ``register_worker``) — an
+            :class:`~repro.service.client.InProcessClient`, an
+            :class:`~repro.service.client.HttpClient`, or the
+            :class:`~repro.platform.facade.Platform` wrapped in one.
+        population: worker pool.
+        answer_fn: produces a worker's answer for a task payload.
+        arrival_rate_per_hour: worker visit rate.
+        tasks_per_visit: how many tasks a visiting worker attempts
+            (scaled by the worker's diligence).
+        seed: RNG seed.
+    """
+
+    def __init__(self, client, population: Sequence[PlayerModel],
+                 answer_fn: AnswerFn,
+                 arrival_rate_per_hour: float = 60.0,
+                 tasks_per_visit: int = 10,
+                 seed: _rng.SeedLike = 0) -> None:
+        if not population:
+            raise SimulationError("workforce needs a population")
+        if tasks_per_visit < 1:
+            raise SimulationError(
+                f"tasks_per_visit must be >= 1, got {tasks_per_visit}")
+        self.client = client
+        self.population = list(population)
+        self.answer_fn = answer_fn
+        self.tasks_per_visit = tasks_per_visit
+        self._rng = _rng.make_rng(seed)
+        self.arrivals = ArrivalProcess(
+            arrival_rate_per_hour,
+            seed=_rng.derive(self._rng, "arrivals"))
+        self._registered: set = set()
+
+    def _ensure_registered(self, model: PlayerModel) -> None:
+        if model.player_id in self._registered:
+            return
+        try:
+            self.client.register_worker(model.player_id)
+        except Exception:
+            # Already registered on the remote side (e.g. a resumed
+            # campaign): identity is what matters, not the 409.
+            pass
+        self._registered.add(model.player_id)
+
+    def run(self, job_id: str, duration_s: float) -> WorkforceResult:
+        """Simulate ``duration_s`` seconds of workforce traffic."""
+        result = WorkforceResult()
+        active: set = set()
+        for at_s in self.arrivals.times(duration_s):
+            model = self.population[
+                self._rng.randrange(len(self.population))]
+            self._ensure_registered(model)
+            timer = ResponseTimer(model, first_latency_s=4.0,
+                                  gap_mean_s=8.0)
+            visit_rng = _rng.derive(self._rng,
+                                    f"visit:{model.player_id}:{at_s}")
+            budget = max(1, int(round(
+                self.tasks_per_visit * (0.4 + 0.6 * model.diligence))))
+            clock = at_s + timer.first_latency(visit_rng)
+            for _ in range(budget):
+                if clock >= duration_s:
+                    break
+                task = self.client.next_task(job_id, model.player_id)
+                if task is None:
+                    break
+                answer = self.answer_fn(model, task["payload"],
+                                        visit_rng)
+                self.client.submit_answer(task["task_id"],
+                                          model.player_id, answer,
+                                          at_s=clock)
+                result.answers += 1
+                result.answer_times.append(clock)
+                active.add(model.player_id)
+                if result.completed_at_s is None:
+                    job = self.client.get_job(job_id)
+                    progress = job.get("progress", {})
+                    if progress.get("complete_frac") == 1.0:
+                        result.completed_at_s = clock
+                clock += timer.gap(visit_rng)
+            if result.completed_at_s is not None:
+                break
+        result.workers_active = len(active)
+        return result

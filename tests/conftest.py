@@ -1,0 +1,78 @@
+"""Shared fixtures: small deterministic corpora and populations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.facts import FactBase
+from repro.corpus.images import ImageCorpus
+from repro.corpus.music import MusicCorpus
+from repro.corpus.objects import ObjectLayout
+from repro.corpus.ocr import OcrCorpus
+from repro.corpus.vocab import Vocabulary
+from repro.players.base import Behavior, PlayerModel
+from repro.players.population import PopulationConfig, build_population
+
+
+@pytest.fixture(scope="session")
+def vocab() -> Vocabulary:
+    return Vocabulary(size=400, categories=20, seed=11)
+
+
+@pytest.fixture(scope="session")
+def corpus(vocab) -> ImageCorpus:
+    return ImageCorpus(vocab, size=40, seed=11)
+
+
+@pytest.fixture(scope="session")
+def layout(corpus) -> ObjectLayout:
+    return ObjectLayout(corpus, objects_per_image=3, seed=11)
+
+
+@pytest.fixture(scope="session")
+def facts(vocab) -> FactBase:
+    return FactBase(vocab, seed=11)
+
+
+@pytest.fixture(scope="session")
+def music(vocab) -> MusicCorpus:
+    return MusicCorpus(vocab, size=30, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ocr_corpus() -> OcrCorpus:
+    return OcrCorpus(size=200, seed=11)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(99)
+
+
+@pytest.fixture(scope="session")
+def players() -> list:
+    return build_population(12, seed=11)
+
+
+@pytest.fixture(scope="session")
+def skilled_player() -> PlayerModel:
+    return PlayerModel(player_id="skilled", skill=0.95,
+                       vocab_coverage=0.9, speed=5.0, diligence=1.0)
+
+
+@pytest.fixture(scope="session")
+def novice_player() -> PlayerModel:
+    return PlayerModel(player_id="novice", skill=0.2,
+                       vocab_coverage=0.3, speed=1.5, diligence=0.5)
+
+
+@pytest.fixture(scope="session")
+def spammer() -> PlayerModel:
+    return PlayerModel(player_id="spammer", behavior=Behavior.SPAMMER)
+
+
+@pytest.fixture(scope="session")
+def random_bot() -> PlayerModel:
+    return PlayerModel(player_id="bot", behavior=Behavior.RANDOM_BOT)

@@ -1,0 +1,94 @@
+"""Tests for spatial consensus (points and boxes)."""
+
+import pytest
+
+from repro.aggregation.boxes import (box_from_points, consensus_box,
+                                     mean_iou, point_cloud_center)
+from repro.corpus.objects import BoundingBox
+from repro.errors import AggregationError
+
+
+class TestPointCloudCenter:
+    def test_median_center(self):
+        points = [(0, 0), (10, 10), (4, 6)]
+        assert point_cloud_center(points) == (4, 6)
+
+    def test_even_count_interpolates(self):
+        points = [(0, 0), (10, 10)]
+        assert point_cloud_center(points) == (5, 5)
+
+    def test_robust_to_outlier(self):
+        points = [(5, 5), (5, 5), (5, 5), (1000, 1000)]
+        cx, cy = point_cloud_center(points)
+        assert cx == 5 and cy == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(AggregationError):
+            point_cloud_center([])
+
+
+class TestBoxFromPoints:
+    def test_tight_cloud_gives_small_box(self):
+        points = [(50 + dx, 50 + dy) for dx in (-2, 0, 2)
+                  for dy in (-2, 0, 2)]
+        box = box_from_points(points, trim=0.0)
+        assert box.w <= 5
+        assert box.h <= 5
+        assert box.contains(50, 50)
+
+    def test_trim_discards_outliers(self):
+        points = [(50, 50)] * 18 + [(500, 500), (-500, -500)]
+        trimmed = box_from_points(points, trim=0.15)
+        raw = box_from_points(points, trim=0.0)
+        assert trimmed.area < raw.area
+
+    def test_pad_expands(self):
+        points = [(10, 10), (20, 20)]
+        padded = box_from_points(points, trim=0.0, pad=5.0)
+        unpadded = box_from_points(points, trim=0.0)
+        assert padded.area > unpadded.area
+
+    def test_single_point_gives_min_box(self):
+        box = box_from_points([(5, 5)], trim=0.0)
+        assert box.w >= 1.0 and box.h >= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AggregationError):
+            box_from_points([])
+
+    def test_bad_trim_rejected(self):
+        with pytest.raises(AggregationError):
+            box_from_points([(0, 0)], trim=0.5)
+
+
+class TestConsensusBox:
+    def test_identical_boxes(self):
+        box = BoundingBox(10, 10, 20, 20)
+        assert consensus_box([box, box, box]).iou(box) == pytest.approx(
+            1.0)
+
+    def test_median_resists_outlier(self):
+        good = BoundingBox(10, 10, 20, 20)
+        outlier = BoundingBox(200, 200, 5, 5)
+        consensus = consensus_box([good, good, good, outlier])
+        assert consensus.iou(good) > 0.9
+
+    def test_two_boxes_average(self):
+        a = BoundingBox(0, 0, 10, 10)
+        b = BoundingBox(2, 2, 10, 10)
+        consensus = consensus_box([a, b])
+        assert consensus.x == pytest.approx(1.0)
+        assert consensus.y == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AggregationError):
+            consensus_box([])
+
+
+class TestMeanIou:
+    def test_perfect(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert mean_iou([box, box], box) == pytest.approx(1.0)
+
+    def test_empty_zero(self):
+        assert mean_iou([], BoundingBox(0, 0, 1, 1)) == 0.0

@@ -1,0 +1,90 @@
+"""Tests for Bradley-Terry ranking."""
+
+import random
+
+import pytest
+
+from repro.aggregation.bradley_terry import BradleyTerry
+from repro.errors import AggregationError
+
+
+def synthetic_outcomes(strengths, games=2000, seed=1):
+    """Generate (winner, loser) pairs from true BT strengths."""
+    rng = random.Random(seed)
+    items = list(strengths)
+    outcomes = []
+    for _ in range(games):
+        a, b = rng.sample(items, 2)
+        p_a = strengths[a] / (strengths[a] + strengths[b])
+        if rng.random() < p_a:
+            outcomes.append((a, b))
+        else:
+            outcomes.append((b, a))
+    return outcomes
+
+
+class TestBradleyTerry:
+    def test_recovers_true_order(self):
+        truth = {"a": 4.0, "b": 2.0, "c": 1.0, "d": 0.5}
+        outcomes = synthetic_outcomes(truth, seed=2)
+        result = BradleyTerry().fit(outcomes)
+        ranked = [item for item, _ in result.ranking()]
+        assert ranked == ["a", "b", "c", "d"]
+
+    def test_strengths_normalized(self):
+        truth = {"a": 3.0, "b": 1.0, "c": 0.5}
+        result = BradleyTerry().fit(synthetic_outcomes(truth, seed=3))
+        mean = sum(result.strengths.values()) / len(result.strengths)
+        assert mean == pytest.approx(1.0)
+
+    def test_win_probability_consistent(self):
+        truth = {"a": 3.0, "b": 1.0}
+        result = BradleyTerry().fit(
+            synthetic_outcomes(truth, games=4000, seed=4))
+        p = result.win_probability("a", "b")
+        assert 0.65 < p < 0.85
+        assert result.win_probability("b", "a") == pytest.approx(1 - p)
+
+    def test_undefeated_item_stays_finite(self):
+        outcomes = [("champ", "x")] * 10 + [("x", "y")] * 5
+        result = BradleyTerry().fit(outcomes)
+        assert result.strengths["champ"] < 1e6
+        assert result.ranking()[0][0] == "champ"
+
+    def test_converges(self):
+        truth = {"a": 2.0, "b": 1.0, "c": 0.7}
+        result = BradleyTerry().fit(synthetic_outcomes(truth, seed=5))
+        assert result.converged
+
+    def test_empty_rejected(self):
+        with pytest.raises(AggregationError):
+            BradleyTerry().fit([])
+
+    def test_self_comparison_rejected(self):
+        with pytest.raises(AggregationError):
+            BradleyTerry().fit([("a", "a")])
+
+    def test_unknown_item_probability_rejected(self):
+        result = BradleyTerry().fit([("a", "b")])
+        with pytest.raises(AggregationError):
+            result.win_probability("a", "ghost")
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(AggregationError):
+            BradleyTerry(max_iterations=0)
+        with pytest.raises(AggregationError):
+            BradleyTerry(regularization=-1.0)
+
+    def test_matchin_integration(self, corpus):
+        from repro.games.matchin import MatchinGame, appeal_score
+        from repro.players.base import PlayerModel
+        game = MatchinGame(corpus, seed=7)
+        a = PlayerModel(player_id="bt1", skill=0.95)
+        b = PlayerModel(player_id="bt2", skill=0.95)
+        game.play_match(a, b, rounds=400)
+        result = game.ranking_bt()
+        ranked = [item for item, _ in result.ranking()]
+        # Top of the BT ranking should be genuinely high-appeal.
+        top_appeal = sum(appeal_score(i) for i in ranked[:5]) / 5
+        bottom_appeal = sum(appeal_score(i) for i in ranked[-5:]) / 5
+        assert top_appeal > bottom_appeal

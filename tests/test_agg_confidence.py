@@ -1,0 +1,61 @@
+"""Tests for agreement confidence."""
+
+import pytest
+
+from repro.aggregation.confidence import (agreement_confidence,
+                                          required_threshold)
+from repro.errors import AggregationError
+
+
+class TestAgreementConfidence:
+    def test_more_sources_more_confidence(self):
+        values = [agreement_confidence(k, p=0.6) for k in (1, 2, 3, 4)]
+        assert all(values[i] < values[i + 1] for i in range(3))
+
+    def test_perfect_sources(self):
+        assert agreement_confidence(1, p=1.0) == pytest.approx(1.0)
+
+    def test_bigger_answer_space_raises_confidence(self):
+        narrow = agreement_confidence(2, p=0.5, alternatives=2)
+        wide = agreement_confidence(2, p=0.5, alternatives=1000)
+        assert wide > narrow
+
+    def test_prior_matters(self):
+        low = agreement_confidence(1, p=0.6, prior=0.1)
+        high = agreement_confidence(1, p=0.6, prior=0.9)
+        assert high > low
+
+    def test_bounds(self):
+        value = agreement_confidence(3, p=0.7, alternatives=50)
+        assert 0.0 < value <= 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AggregationError):
+            agreement_confidence(0, p=0.5)
+        with pytest.raises(AggregationError):
+            agreement_confidence(1, p=0.0)
+        with pytest.raises(AggregationError):
+            agreement_confidence(1, p=0.5, alternatives=0)
+        with pytest.raises(AggregationError):
+            agreement_confidence(1, p=0.5, prior=1.0)
+
+
+class TestRequiredThreshold:
+    def test_easy_target_needs_few(self):
+        assert required_threshold(p=0.9, target=0.9,
+                                  alternatives=100) <= 2
+
+    def test_harder_target_needs_more(self):
+        easy = required_threshold(p=0.6, target=0.8, alternatives=10)
+        hard = required_threshold(p=0.6, target=0.999, alternatives=10)
+        assert hard >= easy
+
+    def test_unreachable_returns_cap(self):
+        # With alternatives=1 and p=0.5, agreement carries almost no
+        # information beyond the prior.
+        assert required_threshold(p=0.5, target=0.999999,
+                                  alternatives=1, max_k=5) == 5
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(AggregationError):
+            required_threshold(p=0.5, target=1.0)

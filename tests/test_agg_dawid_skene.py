@@ -1,0 +1,101 @@
+"""Tests for Dawid-Skene EM aggregation."""
+
+import random
+
+import pytest
+
+from repro.aggregation.dawid_skene import DawidSkene
+from repro.aggregation.majority import MajorityVote
+from repro.errors import AggregationError
+
+
+def synthetic_answers(n_items=60, n_workers=8, accuracy=0.8,
+                      n_classes=4, spammers=0, seed=1):
+    """Workers answering with known accuracy; spammers answer randomly."""
+    rng = random.Random(seed)
+    classes = [f"c{k}" for k in range(n_classes)]
+    truth = {f"t{i}": rng.choice(classes) for i in range(n_items)}
+    answers = []
+    for w in range(n_workers):
+        is_spammer = w < spammers
+        for item, true_class in truth.items():
+            if is_spammer:
+                answers.append((f"w{w}", item, rng.choice(classes)))
+            elif rng.random() < accuracy:
+                answers.append((f"w{w}", item, true_class))
+            else:
+                wrong = [c for c in classes if c != true_class]
+                answers.append((f"w{w}", item, rng.choice(wrong)))
+    return answers, truth
+
+
+class TestDawidSkene:
+    def test_recovers_truth_with_good_workers(self):
+        answers, truth = synthetic_answers(accuracy=0.85, seed=2)
+        model = DawidSkene()
+        assert model.accuracy(answers, truth) > 0.9
+
+    def test_posteriors_normalized(self):
+        answers, _ = synthetic_answers(seed=3)
+        result = DawidSkene().fit(answers)
+        for item_post in result.posteriors.values():
+            assert abs(sum(item_post.values()) - 1.0) < 1e-6
+
+    def test_confusion_rows_stochastic(self):
+        answers, _ = synthetic_answers(seed=4)
+        result = DawidSkene().fit(answers)
+        for matrix in result.confusion.values():
+            row_sums = matrix.sum(axis=1)
+            assert all(abs(s - 1.0) < 1e-6 for s in row_sums)
+
+    def test_spammers_get_low_diagonal(self):
+        answers, _ = synthetic_answers(accuracy=0.9, spammers=2,
+                                       n_workers=10, seed=5)
+        result = DawidSkene().fit(answers)
+        spam_acc = result.worker_accuracy("w0")
+        good_acc = result.worker_accuracy("w9")
+        assert good_acc > spam_acc + 0.2
+
+    def test_beats_majority_with_heavy_spam(self):
+        answers, truth = synthetic_answers(
+            n_items=80, n_workers=11, accuracy=0.85, spammers=5, seed=6)
+        ds_acc = DawidSkene().accuracy(answers, truth)
+        mv_acc = MajorityVote().accuracy(answers, truth)
+        assert ds_acc >= mv_acc
+
+    def test_class_priors_normalized(self):
+        answers, _ = synthetic_answers(seed=7)
+        result = DawidSkene().fit(answers)
+        assert abs(sum(result.class_priors.values()) - 1.0) < 1e-6
+
+    def test_empty_answers_rejected(self):
+        with pytest.raises(AggregationError):
+            DawidSkene().fit([])
+
+    def test_unknown_worker_accuracy_rejected(self):
+        answers, _ = synthetic_answers(seed=8)
+        result = DawidSkene().fit(answers)
+        with pytest.raises(AggregationError):
+            result.worker_accuracy("ghost")
+
+    def test_iterations_bounded(self):
+        answers, _ = synthetic_answers(seed=9)
+        result = DawidSkene(max_iterations=3).fit(answers)
+        assert result.iterations <= 3
+
+    def test_log_likelihood_finite(self):
+        answers, _ = synthetic_answers(seed=10)
+        result = DawidSkene().fit(answers)
+        assert result.log_likelihood < 0
+        assert result.log_likelihood > -1e9
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(AggregationError):
+            DawidSkene(max_iterations=0)
+        with pytest.raises(AggregationError):
+            DawidSkene(smoothing=-1.0)
+
+    def test_single_class_degenerate(self):
+        answers = [("w1", "t1", "a"), ("w2", "t1", "a")]
+        result = DawidSkene().fit(answers)
+        assert result.labels == {"t1": "a"}

@@ -1,0 +1,80 @@
+"""Tests for majority voting."""
+
+import pytest
+
+from repro.aggregation.majority import MajorityVote, VoteResult
+from repro.errors import AggregationError
+
+
+class TestVote:
+    def test_plurality_wins(self):
+        vote = MajorityVote()
+        result = vote.vote("t1", [("w1", "cat"), ("w2", "cat"),
+                                  ("w3", "dog")])
+        assert result.answer == "cat"
+        assert result.support == 2.0
+        assert result.total == 3.0
+
+    def test_margin(self):
+        vote = MajorityVote()
+        result = vote.vote("t1", [("w1", "a"), ("w2", "a"),
+                                  ("w3", "b")])
+        assert result.margin == pytest.approx(1.0 / 3.0)
+
+    def test_tie_breaks_deterministically(self):
+        vote = MajorityVote()
+        a = vote.vote("t1", [("w1", "x"), ("w2", "y")])
+        b = vote.vote("t1", [("w2", "y"), ("w1", "x")])
+        assert a.answer == b.answer
+
+    def test_unanimous_margin_one(self):
+        vote = MajorityVote()
+        result = vote.vote("t1", [("w1", "a"), ("w2", "a")])
+        assert result.margin == 1.0
+        assert result.confidence == 1.0
+
+    def test_weights_shift_winner(self):
+        vote = MajorityVote(weights={"expert": 5.0})
+        result = vote.vote("t1", [("expert", "rare"), ("w1", "common"),
+                                  ("w2", "common")])
+        assert result.answer == "rare"
+
+    def test_zero_weight_silences(self):
+        vote = MajorityVote(weights={"spam": 0.0})
+        result = vote.vote("t1", [("spam", "junk"), ("w1", "real")])
+        assert result.answer == "real"
+        assert result.total == 1.0
+
+    def test_all_silenced_raises(self):
+        vote = MajorityVote(weights={"spam": 0.0})
+        with pytest.raises(AggregationError):
+            vote.vote("t1", [("spam", "junk")])
+
+    def test_empty_answers_raises(self):
+        with pytest.raises(AggregationError):
+            MajorityVote().vote("t1", [])
+
+
+class TestVoteAll:
+    def test_groups_by_item(self):
+        vote = MajorityVote()
+        results = vote.vote_all([
+            ("w1", "t1", "a"), ("w2", "t1", "a"),
+            ("w1", "t2", "b"), ("w2", "t2", "c"),
+        ])
+        assert set(results) == {"t1", "t2"}
+        assert results["t1"].answer == "a"
+
+    def test_accuracy(self):
+        vote = MajorityVote()
+        answers = [("w1", "t1", "a"), ("w2", "t1", "a"),
+                   ("w1", "t2", "b"), ("w2", "t2", "b")]
+        assert vote.accuracy(answers, {"t1": "a", "t2": "x"}) == 0.5
+
+    def test_accuracy_no_overlap(self):
+        vote = MajorityVote()
+        assert vote.accuracy([("w", "t", "a")], {"other": "a"}) == 0.0
+
+    def test_unweighted_default(self):
+        vote = MajorityVote()
+        assert vote.weight_of("anyone") == 1.0

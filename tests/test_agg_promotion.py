@@ -1,0 +1,74 @@
+"""Tests for the repetition-threshold promotion aggregator."""
+
+import pytest
+
+from repro.aggregation.promotion import PromotionAggregator
+from repro.errors import AggregationError
+
+
+class TestPromotionAggregator:
+    def test_promotes_at_threshold(self):
+        agg = PromotionAggregator(threshold=2)
+        assert not agg.observe("s1", "item", "cat")
+        assert agg.observe("s2", "item", "cat")
+        assert agg.is_promoted("item", "cat")
+
+    def test_same_source_counts_once(self):
+        agg = PromotionAggregator(threshold=2)
+        assert not agg.observe("s1", "item", "cat")
+        assert not agg.observe("s1", "item", "cat")
+        assert agg.support("item", "cat") == 1
+
+    def test_pair_sources_count_as_one(self):
+        agg = PromotionAggregator(threshold=2)
+        assert not agg.observe(("a", "b"), "item", "cat")
+        assert not agg.observe(("b", "a"), "item", "cat")
+        assert agg.observe(("c", "d"), "item", "cat")
+
+    def test_overlapping_pairs_are_distinct_sources(self):
+        agg = PromotionAggregator(threshold=2)
+        agg.observe(("a", "b"), "item", "cat")
+        assert agg.observe(("a", "c"), "item", "cat")
+
+    def test_no_double_promotion(self):
+        agg = PromotionAggregator(threshold=1)
+        assert agg.observe("s1", "item", "cat")
+        assert not agg.observe("s2", "item", "cat")
+        assert agg.promoted("item") == ("cat",)
+
+    def test_observe_all_counts_promotions(self):
+        agg = PromotionAggregator(threshold=2)
+        records = [("s1", "i", "a"), ("s2", "i", "a"),
+                   ("s1", "i", "b"), ("s3", "i", "b")]
+        assert agg.observe_all(records) == 2
+
+    def test_pending_support(self):
+        agg = PromotionAggregator(threshold=3)
+        agg.observe("s1", "item", "cat")
+        agg.observe("s2", "item", "cat")
+        agg.observe("s1", "item", "dog")
+        assert agg.pending("item") == {"cat": 2, "dog": 1}
+
+    def test_pending_excludes_promoted(self):
+        agg = PromotionAggregator(threshold=1)
+        agg.observe("s1", "item", "cat")
+        assert agg.pending("item") == {}
+
+    def test_all_promoted(self):
+        agg = PromotionAggregator(threshold=1)
+        agg.observe("s1", "i1", "a")
+        agg.observe("s1", "i2", "b")
+        assert agg.all_promoted() == {"i1": ("a",), "i2": ("b",)}
+
+    def test_empty_source_rejected(self):
+        agg = PromotionAggregator()
+        with pytest.raises(AggregationError):
+            agg.observe((), "item", "cat")
+
+    def test_int_source_ok(self):
+        agg = PromotionAggregator(threshold=1)
+        assert agg.observe(42, "item", "cat")
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(AggregationError):
+            PromotionAggregator(threshold=0)

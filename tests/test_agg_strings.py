@@ -1,0 +1,108 @@
+"""Tests for transcription consensus."""
+
+import pytest
+
+from repro.aggregation.strings import (StringConsensus, character_consensus,
+                                       normalize_answer)
+from repro.errors import AggregationError
+
+
+class TestNormalizeAnswer:
+    def test_case_and_whitespace(self):
+        assert normalize_answer("  HeLLo   World ") == "hello world"
+
+    def test_empty(self):
+        assert normalize_answer("   ") == ""
+
+
+class TestCharacterConsensus:
+    def test_majority_per_position(self):
+        assert character_consensus(["cat", "cat", "car"]) == "cat"
+
+    def test_majority_length(self):
+        assert character_consensus(["cats", "cat", "cats"]) == "cats"
+
+    def test_single_string(self):
+        assert character_consensus(["word"]) == "word"
+
+    def test_empty_rejected(self):
+        with pytest.raises(AggregationError):
+            character_consensus([])
+
+    def test_deterministic_ties(self):
+        assert (character_consensus(["ab", "ba"])
+                == character_consensus(["ba", "ab"]))
+
+
+class TestStringConsensus:
+    def test_plurality_resolution(self):
+        consensus = StringConsensus(quorum=2.0)
+        result = consensus.resolve("w1", [("h1", "castle"),
+                                          ("h2", "castle"),
+                                          ("h3", "cast1e")])
+        assert result.resolved
+        assert result.text == "castle"
+        assert result.via == "plurality"
+
+    def test_normalization_merges_votes(self):
+        consensus = StringConsensus(quorum=2.0)
+        result = consensus.resolve("w1", [("h1", "Castle "),
+                                          ("h2", "castle")])
+        assert result.resolved
+        assert result.text == "castle"
+
+    def test_below_quorum_unresolved(self):
+        consensus = StringConsensus(quorum=3.0)
+        result = consensus.resolve("w1", [("h1", "a"), ("h2", "b")])
+        assert not result.resolved
+
+    def test_character_fallback(self):
+        consensus = StringConsensus(quorum=2.0, min_confidence=0.9)
+        result = consensus.resolve("w1", [("h1", "cat"), ("h2", "car"),
+                                          ("h3", "bat")])
+        assert result.via == "characters"
+        assert result.text == "cat"
+
+    def test_source_weights(self):
+        consensus = StringConsensus(quorum=2.0,
+                                    weights={"ocr": 0.5})
+        result = consensus.resolve("w1", [("ocr", "wrong"),
+                                          ("h1", "right"),
+                                          ("h2", "right")])
+        assert result.text == "right"
+
+    def test_zero_weight_ignored(self):
+        consensus = StringConsensus(quorum=1.0,
+                                    weights={"mute": 0.0})
+        result = consensus.resolve("w1", [("mute", "junk"),
+                                          ("h1", "real")])
+        assert result.text == "real"
+
+    def test_empty_answers_rejected(self):
+        with pytest.raises(AggregationError):
+            StringConsensus().resolve("w1", [])
+
+    def test_blank_answers_rejected(self):
+        with pytest.raises(AggregationError):
+            StringConsensus().resolve("w1", [("h1", "   ")])
+
+    def test_resolve_all(self):
+        consensus = StringConsensus(quorum=2.0)
+        results = consensus.resolve_all([
+            ("h1", "w1", "aa"), ("h2", "w1", "aa"),
+            ("h1", "w2", "bb"), ("h2", "w2", "bb"),
+        ])
+        assert results["w1"].text == "aa"
+        assert results["w2"].text == "bb"
+
+    def test_confidence(self):
+        consensus = StringConsensus(quorum=2.0)
+        result = consensus.resolve("w1", [("h1", "x"), ("h2", "x"),
+                                          ("h3", "y")])
+        assert result.confidence == pytest.approx(2.0 / 3.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(AggregationError):
+            StringConsensus(quorum=0)
+        with pytest.raises(AggregationError):
+            StringConsensus(min_confidence=0.0)

@@ -1,0 +1,164 @@
+"""Tests for the analytics package."""
+
+import pytest
+
+from repro.analytics.coverage import coverage_curve, coverage_fraction
+from repro.analytics.quality import (label_entropy, label_novelty,
+                                     label_precision_recall)
+from repro.analytics.throughput import (GwapMetrics, expected_contribution,
+                                        gwap_metrics)
+from repro.analytics.timeseries import (Series, cumulative_counts,
+                                        rate_per_hour)
+from repro.core.entities import Contribution, ContributionKind
+from repro.errors import SimulationError
+from repro.players.engagement import EngagementModel
+from repro.players.population import build_population
+from repro.sim.engine import CampaignResult, SessionOutcome
+
+
+def contribution(item_id, at_s, verified=True):
+    return Contribution(kind=ContributionKind.LABEL, item_id=item_id,
+                        data={"label": "x"}, players=("a", "b"),
+                        verified=verified, timestamp=at_s)
+
+
+class TestThroughput:
+    def test_expected_contribution(self):
+        assert expected_contribution(100.0, 2.0) == 200.0
+        with pytest.raises(SimulationError):
+            expected_contribution(-1.0, 1.0)
+
+    def test_gwap_metrics_with_engagement(self):
+        population = build_population(20, seed=1)
+        engagement = EngagementModel(alp_scale_s=3600.0)
+        result = CampaignResult(
+            outcomes=[SessionOutcome(
+                contributions=tuple(contribution(f"i{k}", k)
+                                    for k in range(10)),
+                rounds=10, successes=10, duration_s=1800.0,
+                players=("a", "b"))],
+            session_starts=[0.0], human_seconds=3600.0, arrivals=2)
+        metrics = gwap_metrics("ESP", result, population, engagement)
+        assert metrics.throughput_per_hour == pytest.approx(10.0)
+        assert metrics.alp_hours > 0
+        assert metrics.expected_contribution == pytest.approx(
+            metrics.throughput_per_hour * metrics.alp_hours)
+
+    def test_gwap_metrics_observed_alp_fallback(self):
+        result = CampaignResult(
+            outcomes=[SessionOutcome(contributions=(), rounds=1,
+                                     successes=0, duration_s=600.0,
+                                     players=("a", "b"))],
+            session_starts=[0.0], human_seconds=1200.0, arrivals=2)
+        metrics = gwap_metrics("X", result, [], engagement=None)
+        assert metrics.alp_hours == pytest.approx(1200.0 / 2 / 3600.0)
+
+    def test_row_formatting(self):
+        metrics = GwapMetrics(game="ESP", throughput_per_hour=233.0,
+                              alp_hours=0.9, expected_contribution=216,
+                              sessions=10, human_hours=5.0)
+        row = metrics.row()
+        assert "ESP" in row
+        assert "233.0" in row
+
+
+class TestQualityMetrics:
+    def test_precision_recall(self, corpus):
+        image = corpus.images[0]
+        good = image.top_tags(3)
+        labels = {image.image_id: good + ["definitely-wrong"]}
+        pr = label_precision_recall(labels, corpus)
+        assert pr.precision == pytest.approx(3 / 4)
+        assert 0 < pr.recall < 1
+        assert 0 < pr.f1 < 1
+
+    def test_perfect_recall(self, corpus):
+        image = corpus.images[0]
+        labels = {image.image_id: list(image.salience)}
+        pr = label_precision_recall(labels, corpus)
+        assert pr.recall == pytest.approx(1.0)
+
+    def test_empty_labels(self, corpus):
+        pr = label_precision_recall({}, corpus)
+        assert pr.precision == 0.0
+        assert pr.f1 == 0.0
+
+    def test_entropy(self):
+        assert label_entropy([]) == 0.0
+        assert label_entropy(["a", "a", "a"]) == 0.0
+        assert label_entropy(["a", "b"]) > 0.0
+
+    def test_novelty(self, corpus):
+        image = corpus.images[0]
+        obvious = image.top_tags(2)
+        deep = image.top_tags(6)[4:]
+        labels = {image.image_id: obvious + deep}
+        novelty = label_novelty(labels, corpus, obvious_k=2)
+        assert novelty == pytest.approx(len(deep)
+                                        / (len(obvious) + len(deep)))
+
+    def test_novelty_empty(self, corpus):
+        assert label_novelty({}, corpus) == 0.0
+
+
+class TestCoverage:
+    def test_fraction(self):
+        contributions = [contribution("a", 1.0),
+                         contribution("a", 2.0),
+                         contribution("b", 3.0)]
+        assert coverage_fraction(contributions, corpus_size=4) == 0.5
+        assert coverage_fraction(contributions, corpus_size=4,
+                                 min_outputs=2) == 0.25
+
+    def test_fraction_unverified_excluded(self):
+        contributions = [contribution("a", 1.0, verified=False)]
+        assert coverage_fraction(contributions, corpus_size=2) == 0.0
+        assert coverage_fraction(contributions, corpus_size=2,
+                                 verified_only=False) == 0.5
+
+    def test_curve_monotone(self):
+        contributions = [contribution(f"i{k % 5}", k * 600.0)
+                         for k in range(20)]
+        curve = coverage_curve(contributions, corpus_size=10,
+                               bucket_s=3600.0)
+        values = [v for _, v in curve]
+        assert values == sorted(values)
+        assert values[-1] == 0.5
+
+    def test_curve_empty(self):
+        assert coverage_curve([], corpus_size=5) == []
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            coverage_fraction([], corpus_size=0)
+        with pytest.raises(SimulationError):
+            coverage_fraction([], corpus_size=1, min_outputs=0)
+
+
+class TestTimeseries:
+    def test_cumulative_counts(self):
+        series = cumulative_counts([100.0, 200.0, 4000.0],
+                                   bucket_s=3600.0)
+        assert series.points[0] == (3600.0, 2.0)
+        assert series.points[1] == (7200.0, 3.0)
+        assert series.is_monotonic()
+        assert series.final == 3.0
+
+    def test_horizon_extension(self):
+        series = cumulative_counts([10.0], bucket_s=100.0,
+                                   horizon_s=1000.0)
+        assert len(series) == 10
+        assert series.final == 1.0
+
+    def test_empty_timestamps(self):
+        series = cumulative_counts([], bucket_s=100.0)
+        assert series.final == 0.0
+
+    def test_rate_per_hour(self):
+        stamps = [i * 36.0 for i in range(100)]  # 100 in first hour
+        series = rate_per_hour(stamps, bucket_s=3600.0)
+        assert series.points[0][1] == pytest.approx(100.0)
+
+    def test_bad_bucket(self):
+        with pytest.raises(SimulationError):
+            cumulative_counts([1.0], bucket_s=0.0)

@@ -1,0 +1,76 @@
+"""Tests for event-log analytics."""
+
+import pytest
+
+from repro.analytics.events import (label_growth_from_events,
+                                    player_activity,
+                                    promotions_by_item,
+                                    replay_consistency_check,
+                                    session_summary)
+from repro.core.events import EventLog
+from repro.errors import SimulationError
+from repro.games.esp import EspGame
+from repro import rng as _rng
+
+
+@pytest.fixture(scope="module")
+def campaign_log(corpus, players):
+    game = EspGame(corpus, promotion_threshold=1, seed=970)
+    rng = _rng.make_rng(970)
+    for _ in range(12):
+        a, b = rng.sample(players, 2)
+        game.play_session(a, b)
+    return game
+
+
+class TestEventAnalytics:
+    def test_growth_matches_game_state(self, campaign_log):
+        game = campaign_log
+        series = label_growth_from_events(game.events)
+        verified = sum(len(v) for v in game.raw_labels().values())
+        assert series.final == verified
+        assert series.is_monotonic()
+
+    def test_growth_on_empty_log(self):
+        series = label_growth_from_events(EventLog())
+        assert series.final == 0.0
+
+    def test_promotions_match_taboo_state(self, campaign_log):
+        game = campaign_log
+        from_events = promotions_by_item(game.events)
+        from_state = {item: list(labels)
+                      for item, labels in game.good_labels().items()}
+        assert from_events == from_state
+
+    def test_session_summary(self, campaign_log):
+        summary = session_summary(campaign_log.events)
+        assert summary["sessions"] == 12.0
+        assert 0.0 <= summary["agreement_rate"] <= 1.0
+        assert summary["rounds"] >= summary["sessions"]
+
+    def test_session_summary_empty_log(self):
+        with pytest.raises(SimulationError):
+            session_summary(EventLog())
+
+    def test_player_activity(self, campaign_log, players):
+        activity = player_activity(campaign_log.events)
+        assert sum(activity.values()) == 24  # 12 sessions x 2 players
+        assert set(activity) <= {p.player_id for p in players}
+
+    def test_survives_dump_reload(self, campaign_log):
+        game = campaign_log
+        reloaded = EventLog.load(game.events.dump())
+        assert (label_growth_from_events(reloaded).final
+                == label_growth_from_events(game.events).final)
+        assert promotions_by_item(reloaded) == promotions_by_item(
+            game.events)
+
+    def test_consistency_check_clean_log(self, campaign_log):
+        assert replay_consistency_check(campaign_log.events) == []
+
+    def test_consistency_check_catches_orphan_promotion(self):
+        log = EventLog()
+        log.append(5.0, "promotion", item="img-1", label="ghost")
+        problems = replay_consistency_check(log)
+        assert len(problems) == 1
+        assert "ghost" in problems[0]

@@ -1,0 +1,62 @@
+"""Tests for the campaign report generator."""
+
+import pytest
+
+from repro.analytics.report import campaign_report
+from repro.errors import SimulationError
+from repro.games.esp import EspGame
+from repro.players.engagement import EngagementModel
+from repro.players.population import PopulationConfig, build_population
+from repro.sim.adapters import esp_session_runner
+from repro.sim.engine import Campaign, CampaignResult
+
+
+@pytest.fixture(scope="module")
+def reported_campaign(corpus):
+    game = EspGame(corpus, seed=960)
+    population = build_population(20, PopulationConfig(
+        skill_mean=0.8, coverage_mean=0.8), seed=960)
+    engagement = EngagementModel(alp_scale_s=3600.0)
+    campaign = Campaign(population, esp_session_runner(game),
+                        arrival_rate_per_hour=150.0,
+                        engagement=engagement, seed=960)
+    result = campaign.run(2 * 3600.0)
+    return game, population, engagement, result
+
+
+class TestCampaignReport:
+    def test_full_report_sections(self, corpus, reported_campaign):
+        game, population, engagement, result = reported_campaign
+        report = campaign_report("ESP", result, population,
+                                 engagement, corpus=corpus, game=game)
+        assert "GWAP metrics" in report
+        assert "throughput:" in report
+        assert "label quality" in report
+        assert "precision:" in report
+        assert "engagement" in report
+        assert "output growth" in report
+
+    def test_report_without_corpus(self, reported_campaign):
+        game, population, engagement, result = reported_campaign
+        report = campaign_report("ESP", result, population, engagement)
+        assert "label quality" not in report
+        assert "GWAP metrics" in report
+
+    def test_report_without_engagement(self, reported_campaign):
+        game, population, _, result = reported_campaign
+        report = campaign_report("ESP", result, population)
+        assert "avg lifetime play" in report
+
+    def test_empty_campaign_rejected(self, reported_campaign):
+        _, population, _, _ = reported_campaign
+        with pytest.raises(SimulationError):
+            campaign_report("ESP", CampaignResult(), population)
+
+    def test_cli_report_flag(self, capsys):
+        from repro.cli import main
+        code = main(["campaign", "--hours", "0.5", "--players", "10",
+                     "--images", "20", "--seed", "5", "--report"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign report" in out
+        assert "play-time distribution" in out

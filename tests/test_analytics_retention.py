@@ -1,0 +1,70 @@
+"""Tests for observed engagement statistics."""
+
+import pytest
+
+from repro.analytics.retention import (engagement_stats,
+                                       play_time_distribution)
+from repro.errors import SimulationError
+from repro.sim.engine import CampaignResult, SessionOutcome
+
+
+def outcome(players, duration):
+    return SessionOutcome(contributions=(), rounds=1, successes=1,
+                          duration_s=duration, players=tuple(players))
+
+
+def result_with(outcomes):
+    result = CampaignResult()
+    for o in outcomes:
+        result.outcomes.append(o)
+        result.session_starts.append(0.0)
+        result.human_seconds += o.duration_s * len(o.players)
+    return result
+
+
+class TestEngagementStats:
+    def test_basic_counts(self):
+        result = result_with([
+            outcome(["a", "b"], 100.0),
+            outcome(["a", "c"], 100.0),
+            outcome(["a", "b"], 100.0),
+        ])
+        stats = engagement_stats(result)
+        assert stats.players == 3
+        assert stats.max_sessions == 3
+        # a played 300s, b 200s, c 100s -> mean 200.
+        assert stats.observed_alp_s == pytest.approx(200.0)
+        assert stats.median_play_s == pytest.approx(200.0)
+        assert stats.returning_fraction == pytest.approx(2 / 3)
+
+    def test_recorded_partners_excluded(self):
+        result = result_with([outcome(["a", "recorded:x"], 100.0)])
+        stats = engagement_stats(result)
+        assert stats.players == 1
+
+    def test_top_decile_share_concentrated(self):
+        outcomes = [outcome([f"casual-{i}", f"casual-{i}b"], 10.0)
+                    for i in range(18)]
+        outcomes += [outcome(["whale", "whale-b"], 5000.0)]
+        stats = engagement_stats(result_with(outcomes))
+        assert stats.top_decile_share > 0.4
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(SimulationError):
+            engagement_stats(CampaignResult())
+
+
+class TestPlayTimeDistribution:
+    def test_buckets_partition_players(self):
+        result = result_with([
+            outcome(["quick", "quick2"], 30.0),
+            outcome(["medium", "medium2"], 600.0),
+            outcome(["devoted", "devoted2"], 20000.0),
+        ])
+        histogram = play_time_distribution(result)
+        assert sum(count for _, count in histogram) == 6
+
+    def test_open_ended_last_bucket(self):
+        result = result_with([outcome(["whale", "w2"], 10 ** 6)])
+        histogram = play_time_distribution(result)
+        assert histogram[-1][1] == 2

@@ -1,0 +1,93 @@
+"""Tests for bootstrap and proportion confidence intervals."""
+
+import pytest
+
+from repro.analytics.stats import Interval, bootstrap_ci, proportion_ci
+from repro.errors import SimulationError
+
+
+class TestInterval:
+    def test_contains(self):
+        interval = Interval(estimate=0.5, low=0.4, high=0.6,
+                            confidence=0.95)
+        assert 0.5 in interval
+        assert 0.39 not in interval
+        assert interval.width == pytest.approx(0.2)
+
+    def test_reversed_rejected(self):
+        with pytest.raises(SimulationError):
+            Interval(estimate=0.5, low=0.6, high=0.4, confidence=0.95)
+
+
+class TestBootstrapCi:
+    def test_covers_true_mean(self):
+        import random
+        rng = random.Random(1)
+        sample = [rng.gauss(10.0, 2.0) for _ in range(200)]
+        interval = bootstrap_ci(sample, seed=1)
+        assert 10.0 in interval
+        assert interval.estimate == pytest.approx(
+            sum(sample) / len(sample))
+
+    def test_narrower_with_more_data(self):
+        import random
+        rng = random.Random(2)
+        small = [rng.gauss(0, 1) for _ in range(20)]
+        large = [rng.gauss(0, 1) for _ in range(2000)]
+        assert (bootstrap_ci(large, seed=2).width
+                < bootstrap_ci(small, seed=2).width)
+
+    def test_custom_statistic(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 100.0]
+        interval = bootstrap_ci(
+            sample, statistic=lambda v: sorted(v)[len(v) // 2],
+            seed=3)
+        assert interval.estimate == 3.0
+
+    def test_deterministic_under_seed(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0]
+        a = bootstrap_ci(sample, seed=4)
+        b = bootstrap_ci(sample, seed=4)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            bootstrap_ci([1.0])
+        with pytest.raises(SimulationError):
+            bootstrap_ci([1.0, 2.0], confidence=1.0)
+        with pytest.raises(SimulationError):
+            bootstrap_ci([1.0, 2.0], resamples=5)
+
+
+class TestProportionCi:
+    def test_half(self):
+        interval = proportion_ci(50, 100)
+        assert interval.estimate == 0.5
+        assert 0.5 in interval
+        assert interval.low > 0.39
+        assert interval.high < 0.61
+
+    def test_extremes_well_behaved(self):
+        perfect = proportion_ci(20, 20)
+        assert perfect.estimate == 1.0
+        assert perfect.high == 1.0
+        assert perfect.low < 1.0  # honest uncertainty at the boundary
+        zero = proportion_ci(0, 20)
+        assert zero.low == 0.0
+        assert zero.high > 0.0
+
+    def test_narrows_with_trials(self):
+        assert (proportion_ci(500, 1000).width
+                < proportion_ci(5, 10).width)
+
+    def test_confidence_levels(self):
+        assert (proportion_ci(50, 100, confidence=0.99).width
+                > proportion_ci(50, 100, confidence=0.90).width)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            proportion_ci(1, 0)
+        with pytest.raises(SimulationError):
+            proportion_ci(5, 3)
+        with pytest.raises(SimulationError):
+            proportion_ci(1, 10, confidence=0.5)

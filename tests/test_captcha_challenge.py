@@ -1,0 +1,81 @@
+"""Tests for the plain CAPTCHA service."""
+
+import pytest
+
+from repro.captcha.challenge import CaptchaService
+from repro.captcha.ocr import OcrEngine
+from repro.captcha.readers import HumanReader
+from repro.errors import ConfigError, QualityError
+
+
+class TestCaptchaService:
+    def test_issue_applies_distortion(self, ocr_corpus):
+        service = CaptchaService(ocr_corpus, distortion=0.4, seed=1)
+        challenge = service.issue()
+        original = ocr_corpus.word(challenge.word.word_id)
+        assert challenge.word.legibility < original.legibility
+
+    def test_correct_answer_passes(self, ocr_corpus):
+        service = CaptchaService(ocr_corpus, seed=2)
+        challenge = service.issue()
+        assert service.verify("solver", challenge.challenge_id,
+                              challenge.word.truth)
+        assert service.pass_rate("solver") == 1.0
+
+    def test_challenge_consumed_on_pass(self, ocr_corpus):
+        service = CaptchaService(ocr_corpus, seed=3)
+        challenge = service.issue()
+        service.verify("s", challenge.challenge_id, challenge.word.truth)
+        with pytest.raises(QualityError):
+            service.verify("s", challenge.challenge_id,
+                           challenge.word.truth)
+
+    def test_attempts_exhausted(self, ocr_corpus):
+        service = CaptchaService(ocr_corpus, max_attempts=2, seed=4)
+        challenge = service.issue()
+        assert not service.verify("s", challenge.challenge_id, "wrong")
+        assert not service.verify("s", challenge.challenge_id, "wrong")
+        with pytest.raises(QualityError):
+            service.verify("s", challenge.challenge_id, "wrong")
+        assert service.pass_rate("s") == 0.0
+
+    def test_retry_within_attempts(self, ocr_corpus):
+        service = CaptchaService(ocr_corpus, max_attempts=3, seed=5)
+        challenge = service.issue()
+        assert not service.verify("s", challenge.challenge_id, "wrong")
+        assert service.verify("s", challenge.challenge_id,
+                              challenge.word.truth)
+
+    def test_humans_pass_more_than_ocr(self, ocr_corpus,
+                                       skilled_player):
+        service = CaptchaService(ocr_corpus, distortion=0.5, seed=6)
+        reader = HumanReader(skilled_player, seed=6)
+        engine = OcrEngine("bot", strength=0.2, penalty=0.25, seed=6)
+        human_passes = 0
+        bot_passes = 0
+        for _ in range(60):
+            challenge = service.issue()
+            human_passes += service.verify(
+                "human", challenge.challenge_id,
+                reader.read(challenge.word))
+            challenge = service.issue()
+            bot_passes += service.verify(
+                "bot", challenge.challenge_id,
+                engine.read(challenge.word))
+        assert human_passes > bot_passes
+
+    def test_open_challenges_counter(self, ocr_corpus):
+        service = CaptchaService(ocr_corpus, seed=7)
+        service.issue()
+        service.issue()
+        assert service.open_challenges() == 2
+
+    def test_pass_rate_unseen_solver(self, ocr_corpus):
+        service = CaptchaService(ocr_corpus)
+        assert service.pass_rate("nobody") == 0.0
+
+    def test_rejects_bad_config(self, ocr_corpus):
+        with pytest.raises(ConfigError):
+            CaptchaService(ocr_corpus, distortion=1.0)
+        with pytest.raises(ConfigError):
+            CaptchaService(ocr_corpus, max_attempts=0)

@@ -1,0 +1,82 @@
+"""Tests for simulated OCR engines."""
+
+import pytest
+
+from repro.captcha.ocr import OcrEngine, ocr_disagreements
+from repro.corpus.ocr import OcrCorpus, ScannedWord
+from repro.errors import ConfigError
+
+
+class TestOcrEngine:
+    def test_reads_deterministic(self, ocr_corpus):
+        engine = OcrEngine("e1", seed=1)
+        word = ocr_corpus.words[0]
+        assert engine.read(word) == engine.read(word)
+
+    def test_different_engines_differ_on_damage(self, ocr_corpus):
+        a = OcrEngine("a", seed=1)
+        b = OcrEngine("b", seed=2)
+        damaged = ocr_corpus.damaged(threshold=0.85)
+        differs = sum(1 for w in damaged if a.read(w) != b.read(w))
+        assert differs >= len(damaged) * 0.3
+
+    def test_clean_words_read_well(self):
+        engine = OcrEngine("e", strength=0.3, penalty=0.1, seed=3)
+        pristine = ScannedWord("w", "fanodatu", 1.0, 0)
+        assert engine.read(pristine) == "fanodatu"
+
+    def test_char_accuracy_drops_with_damage(self):
+        engine = OcrEngine("e", strength=0.2, penalty=0.2, seed=4)
+        clean = ScannedWord("c", "word", 0.98, 0)
+        damaged = ScannedWord("d", "word", 0.5, 0)
+        assert engine.char_accuracy(clean) > engine.char_accuracy(
+            damaged)
+
+    def test_word_accuracy_in_range(self, ocr_corpus):
+        engine = OcrEngine("e", seed=5)
+        accuracy = engine.word_accuracy(ocr_corpus)
+        assert 0.0 < accuracy < 1.0
+
+    def test_stronger_engine_more_accurate(self, ocr_corpus):
+        weak = OcrEngine("weak", strength=0.0, penalty=0.3, seed=6)
+        strong = OcrEngine("strong", strength=0.8, penalty=0.0, seed=6)
+        assert (strong.word_accuracy(ocr_corpus)
+                > weak.word_accuracy(ocr_corpus))
+
+    def test_never_returns_empty(self):
+        engine = OcrEngine("e", strength=0.0, penalty=1.0, seed=7)
+        hopeless = ScannedWord("h", "a", 0.0, 0)
+        assert engine.read(hopeless) != ""
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            OcrEngine("e", strength=1.5)
+        with pytest.raises(ConfigError):
+            OcrEngine("e", penalty=-0.1)
+
+
+class TestOcrDisagreements:
+    def test_partition_complete(self, ocr_corpus):
+        a = OcrEngine("a", seed=1)
+        b = OcrEngine("b", seed=2)
+        agreed, disagreed, readings = ocr_disagreements(ocr_corpus, a, b)
+        assert len(agreed) + len(disagreed) == len(ocr_corpus)
+        assert len(readings) == len(ocr_corpus)
+
+    def test_agreed_words_match_readings(self, ocr_corpus):
+        a = OcrEngine("a", seed=1)
+        b = OcrEngine("b", seed=2)
+        agreed, _, readings = ocr_disagreements(ocr_corpus, a, b)
+        for word in agreed:
+            read_a, read_b = readings[word.word_id]
+            assert read_a == read_b
+
+    def test_disagreements_skew_damaged(self, ocr_corpus):
+        a = OcrEngine("a", seed=1)
+        b = OcrEngine("b", seed=2)
+        agreed, disagreed, _ = ocr_disagreements(ocr_corpus, a, b)
+        if agreed and disagreed:
+            mean_agreed = sum(w.legibility for w in agreed) / len(agreed)
+            mean_disagreed = sum(w.legibility
+                                 for w in disagreed) / len(disagreed)
+            assert mean_disagreed < mean_agreed

@@ -1,0 +1,49 @@
+"""Tests for human reader simulation."""
+
+import pytest
+
+from repro.captcha.ocr import OcrEngine
+from repro.captcha.readers import HumanReader
+from repro.corpus.ocr import ScannedWord
+from repro.errors import ConfigError
+from repro.players.base import Behavior, PlayerModel
+
+
+class TestHumanReader:
+    def test_skilled_human_reads_damage_well(self, skilled_player):
+        reader = HumanReader(skilled_player, seed=1)
+        damaged = ScannedWord("d", "fanodatu", 0.6, 0)
+        correct = sum(reader.read(damaged) == "fanodatu"
+                      for _ in range(50))
+        assert correct >= 25
+
+    def test_human_beats_ocr_on_damage(self, skilled_player,
+                                       ocr_corpus):
+        reader = HumanReader(skilled_player, seed=2)
+        engine = OcrEngine("e", strength=0.2, penalty=0.2, seed=2)
+        damaged = list(ocr_corpus.damaged(threshold=0.85))[:50]
+        human_hits = sum(reader.read(w) == w.truth for w in damaged)
+        ocr_hits = sum(engine.read(w) == w.truth for w in damaged)
+        assert human_hits > ocr_hits
+
+    def test_adversarial_reader_types_junk(self, spammer):
+        reader = HumanReader(spammer, seed=3)
+        word = ScannedWord("w", "fanodatu", 1.0, 0)
+        hits = sum(reader.read(word) == word.truth for _ in range(30))
+        assert hits <= 2
+
+    def test_char_accuracy_monotone_in_skill(self):
+        word = ScannedWord("w", "abc", 0.5, 0)
+        low = HumanReader(PlayerModel(player_id="low", skill=0.1))
+        high = HumanReader(PlayerModel(player_id="high", skill=0.95))
+        assert high.char_accuracy(word) > low.char_accuracy(word)
+
+    def test_word_accuracy_estimate_bounds(self, skilled_player):
+        reader = HumanReader(skilled_player)
+        word = ScannedWord("w", "abcdef", 0.7, 0)
+        estimate = reader.word_accuracy_estimate(word)
+        assert 0.0 < estimate <= 1.0
+
+    def test_rejects_bad_recovery(self, skilled_player):
+        with pytest.raises(ConfigError):
+            HumanReader(skilled_player, damage_recovery=1.5)

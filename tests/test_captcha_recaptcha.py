@@ -1,0 +1,155 @@
+"""Tests for the reCAPTCHA service."""
+
+import itertools
+
+import pytest
+
+from repro.captcha.ocr import OcrEngine
+from repro.captcha.readers import HumanReader
+from repro.captcha.recaptcha import ReCaptchaService, WordStatus
+from repro.corpus.ocr import OcrCorpus
+from repro.errors import ConfigError, QualityError
+from repro.players.base import Behavior, PlayerModel
+from repro.players.population import PopulationConfig, build_population
+
+
+@pytest.fixture()
+def engines():
+    return (OcrEngine("ocr-a", strength=0.25, penalty=0.2, seed=1),
+            OcrEngine("ocr-b", strength=0.2, penalty=0.25, seed=2))
+
+
+@pytest.fixture()
+def service(ocr_corpus, engines):
+    return ReCaptchaService(ocr_corpus, engines[0], engines[1], seed=5)
+
+
+def readers_for(population, seed_base=0):
+    return [HumanReader(model, seed=seed_base + i)
+            for i, model in enumerate(population)]
+
+
+def drive(service, readers, challenges):
+    cycle = itertools.cycle(readers)
+    for _ in range(challenges):
+        if service.unknown_pool_size == 0:
+            break
+        challenge = service.issue()
+        reader = next(cycle)
+        answers = tuple(reader.read(w) for w in challenge.words)
+        service.submit(reader.reader_id, challenge.challenge_id, answers)
+
+
+class TestSetup:
+    def test_pools_partition(self, service, ocr_corpus):
+        assert service.control_pool_size >= 1
+        assert service.unknown_pool_size >= 1
+
+    def test_unknown_words_start_unknown(self, service, ocr_corpus,
+                                         engines):
+        from repro.captcha.ocr import ocr_disagreements
+        _, disagreed, _ = ocr_disagreements(ocr_corpus, *engines)
+        for word in disagreed[:10]:
+            assert service.status(word.word_id) is WordStatus.UNKNOWN
+
+    def test_status_unknown_word_rejected(self, service):
+        with pytest.raises(QualityError):
+            service.status("not-a-word")
+
+    def test_rejects_bad_quorum(self, ocr_corpus, engines):
+        with pytest.raises(ConfigError):
+            ReCaptchaService(ocr_corpus, engines[0], engines[1],
+                             quorum=0)
+
+
+class TestChallenges:
+    def test_challenge_pairs_control_and_unknown(self, service):
+        challenge = service.issue()
+        assert challenge.control_word.word_id != \
+            challenge.unknown_word.word_id
+        assert service.status(challenge.unknown_word.word_id) is \
+            WordStatus.UNKNOWN
+
+    def test_control_position_varies(self, service):
+        positions = {service.issue().control_index for _ in range(30)}
+        assert positions == {0, 1}
+
+    def test_wrong_control_answer_fails(self, service):
+        challenge = service.issue()
+        answers = ["junk", "junk"]
+        assert not service.submit("solver", challenge.challenge_id,
+                                  tuple(answers))
+
+    def test_consumed_challenge_rejected(self, service):
+        challenge = service.issue()
+        service.submit("s", challenge.challenge_id, ("a", "b"))
+        with pytest.raises(QualityError):
+            service.submit("s", challenge.challenge_id, ("a", "b"))
+
+    def test_correct_control_passes(self, service, skilled_player):
+        reader = HumanReader(skilled_player, seed=9)
+        passes = 0
+        for _ in range(40):
+            challenge = service.issue()
+            answers = tuple(reader.read(w) for w in challenge.words)
+            passes += service.submit("s", challenge.challenge_id,
+                                     answers)
+        assert passes >= 20
+
+
+class TestResolution:
+    def test_votes_resolve_words(self, service):
+        population = build_population(20, PopulationConfig(
+            skill_mean=0.85, skill_sd=0.08), seed=6)
+        drive(service, readers_for(population), 1500)
+        assert service.digitization_progress() > 0.5
+        assert len(service.resolved_words()) >= 1
+
+    def test_resolution_beats_ocr(self, ocr_corpus, engines):
+        service = ReCaptchaService(ocr_corpus, engines[0], engines[1],
+                                   seed=7)
+        population = build_population(20, PopulationConfig(
+            skill_mean=0.85, skill_sd=0.08), seed=7)
+        drive(service, readers_for(population), 2000)
+        if service.resolved_words():
+            assert (service.resolution_accuracy()
+                    > service.ocr_baseline_accuracy())
+
+    def test_promotion_grows_control_pool(self, ocr_corpus, engines):
+        service = ReCaptchaService(ocr_corpus, engines[0], engines[1],
+                                   promote_resolved=True, seed=8)
+        before = service.control_pool_size
+        population = build_population(20, PopulationConfig(
+            skill_mean=0.85), seed=8)
+        drive(service, readers_for(population), 1500)
+        if service.resolved_words():
+            assert service.control_pool_size > before
+            statuses = {service.status(w)
+                        for w in service.resolved_words()}
+            assert statuses <= {WordStatus.PROMOTED}
+
+    def test_no_promotion_mode(self, ocr_corpus, engines):
+        service = ReCaptchaService(ocr_corpus, engines[0], engines[1],
+                                   promote_resolved=False, seed=9)
+        before = service.control_pool_size
+        population = build_population(20, PopulationConfig(
+            skill_mean=0.85), seed=9)
+        drive(service, readers_for(population), 1500)
+        assert service.control_pool_size == before
+        for word_id in service.resolved_words():
+            assert service.status(word_id) is WordStatus.RESOLVED
+
+    def test_spammers_do_not_poison(self, ocr_corpus, engines):
+        service = ReCaptchaService(ocr_corpus, engines[0], engines[1],
+                                   seed=10)
+        spam = [HumanReader(PlayerModel(player_id=f"sp{i}",
+                                        behavior=Behavior.SPAMMER),
+                            seed=i)
+                for i in range(10)]
+        drive(service, spam, 500)
+        # Spammers fail the control word, so nothing resolves from them.
+        assert service.human_pass_rate() < 0.1
+        assert len(service.resolved_words()) == 0
+
+    def test_human_pass_rate_empty(self, service):
+        assert service.human_pass_rate() == 0.0

@@ -1,0 +1,40 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_campaign_command(self, capsys):
+        code = main(["campaign", "--hours", "0.5", "--players", "10",
+                     "--rate", "80", "--images", "30", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert "label precision:" in out
+
+    def test_digitize_command(self, capsys):
+        code = main(["digitize", "--words", "120", "--readers", "10",
+                     "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reCAPTCHA accuracy:" in out
+        assert "OCR baseline accuracy:" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_campaign_deterministic(self, capsys):
+        main(["campaign", "--hours", "0.3", "--players", "8",
+              "--images", "20", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["campaign", "--hours", "0.3", "--players", "8",
+              "--images", "20", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second

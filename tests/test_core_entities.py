@@ -1,0 +1,67 @@
+"""Tests for core entities."""
+
+import pytest
+
+from repro.core.entities import (Contribution, ContributionKind,
+                                 PlayerRef, RoundOutcome, RoundResult,
+                                 TaskItem)
+
+
+class TestContribution:
+    def _make(self, **overrides):
+        defaults = dict(kind=ContributionKind.LABEL, item_id="img-1",
+                        data={"label": "cat"}, players=("a", "b"))
+        defaults.update(overrides)
+        return Contribution(**defaults)
+
+    def test_ids_monotonically_increase(self):
+        first = self._make()
+        second = self._make()
+        assert second.contribution_id > first.contribution_id
+
+    def test_value_accessor(self):
+        contribution = self._make()
+        assert contribution.value("label") == "cat"
+        assert contribution.value("missing") is None
+
+    def test_defaults(self):
+        contribution = self._make()
+        assert not contribution.verified
+        assert contribution.weight == 1.0
+        assert contribution.timestamp == 0.0
+
+
+class TestRoundResult:
+    def test_succeeded_outcomes(self):
+        item = TaskItem(item_id="x")
+        for outcome, expected in [
+                (RoundOutcome.AGREED, True),
+                (RoundOutcome.COMPLETED, True),
+                (RoundOutcome.TIMEOUT, False),
+                (RoundOutcome.FAILED, False),
+                (RoundOutcome.PASSED, False)]:
+            result = RoundResult(item=item, outcome=outcome,
+                                 contributions=[], elapsed_s=1.0)
+            assert result.succeeded is expected
+
+
+class TestTaskItem:
+    def test_defaults(self):
+        item = TaskItem(item_id="img-1")
+        assert item.kind == "image"
+        assert item.payload == {}
+
+    def test_frozen(self):
+        item = TaskItem(item_id="img-1")
+        with pytest.raises(AttributeError):
+            item.item_id = "other"
+
+
+class TestPlayerRef:
+    def test_str(self):
+        assert str(PlayerRef(player_id="p1")) == "p1"
+
+    def test_hashable_equality(self):
+        assert PlayerRef("a") == PlayerRef("a")
+        assert len({PlayerRef("a"), PlayerRef("a"),
+                    PlayerRef("b")}) == 2

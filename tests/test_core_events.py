@@ -1,0 +1,67 @@
+"""Tests for the event log."""
+
+from repro.core.events import Event, EventLog
+
+
+class TestEvent:
+    def test_json_roundtrip(self):
+        event = Event(at_s=12.5, kind="label",
+                      data={"item": "img-1", "label": "cat"})
+        restored = Event.from_json(event.to_json())
+        assert restored == event
+
+    def test_json_roundtrip_empty_data(self):
+        event = Event(at_s=0.0, kind="tick")
+        assert Event.from_json(event.to_json()) == event
+
+
+class TestEventLog:
+    def test_append_and_len(self):
+        log = EventLog()
+        log.append(1.0, "a")
+        log.append(2.0, "b", value=3)
+        assert len(log) == 2
+
+    def test_of_kind(self):
+        log = EventLog()
+        log.append(1.0, "label", item="x")
+        log.append(2.0, "promotion", item="x")
+        log.append(3.0, "label", item="y")
+        labels = log.of_kind("label")
+        assert len(labels) == 2
+        assert all(e.kind == "label" for e in labels)
+
+    def test_between_half_open(self):
+        log = EventLog()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            log.append(t, "tick")
+        window = log.between(1.0, 3.0)
+        assert [e.at_s for e in window] == [1.0, 2.0]
+
+    def test_where(self):
+        log = EventLog()
+        log.append(1.0, "label", item="x")
+        log.append(2.0, "label", item="y")
+        hits = log.where(lambda e: e.data.get("item") == "y")
+        assert len(hits) == 1
+
+    def test_kinds_sorted_distinct(self):
+        log = EventLog()
+        log.append(1.0, "b")
+        log.append(2.0, "a")
+        log.append(3.0, "b")
+        assert log.kinds() == ["a", "b"]
+
+    def test_dump_load_roundtrip(self):
+        log = EventLog()
+        log.append(1.0, "label", item="x", players=["a", "b"])
+        log.append(2.0, "promotion", item="x")
+        restored = EventLog.load(log.dump())
+        assert len(restored) == 2
+        assert list(restored)[0].data["players"] == ["a", "b"]
+
+    def test_iteration_order(self):
+        log = EventLog()
+        for t in (5.0, 1.0, 3.0):
+            log.append(t, "tick")
+        assert [e.at_s for e in log] == [5.0, 1.0, 3.0]

@@ -1,0 +1,98 @@
+"""Tests for the lobby and recorded partners."""
+
+import pytest
+
+from repro.core.entities import TaskItem
+from repro.core.matchmaking import Lobby, Match, RecordedPartner
+from repro.core.templates import TimedAnswer
+from repro.errors import MatchmakingError
+
+
+class TestLobby:
+    def test_pairs_even_queue(self):
+        lobby = Lobby(seed=1, allow_recorded=False)
+        for player in ("a", "b", "c", "d"):
+            lobby.enter(player)
+        matches = lobby.form_matches()
+        assert len(matches) == 2
+        paired = {p for m in matches for p in m.players}
+        assert paired == {"a", "b", "c", "d"}
+        assert lobby.waiting == ()
+
+    def test_odd_player_waits_without_recordings(self):
+        lobby = Lobby(seed=1, allow_recorded=True)
+        for player in ("a", "b", "c"):
+            lobby.enter(player)
+        matches = lobby.form_matches()
+        assert len(matches) == 1
+        assert len(lobby.waiting) == 1
+
+    def test_odd_player_gets_recorded_partner(self):
+        lobby = Lobby(seed=1, allow_recorded=True)
+        lobby.record_session("veteran", "img-1",
+                             [TimedAnswer("cat", 2.0)])
+        lobby.enter("solo")
+        matches = lobby.form_matches()
+        assert len(matches) == 1
+        assert matches[0].recorded
+        assert matches[0].player_b == "recorded:veteran"
+
+    def test_recorded_disabled(self):
+        lobby = Lobby(seed=1, allow_recorded=False)
+        lobby.record_session("veteran", "img-1",
+                             [TimedAnswer("cat", 2.0)])
+        lobby.enter("solo")
+        assert lobby.form_matches() == []
+        assert lobby.waiting == ("solo",)
+
+    def test_double_enter_rejected(self):
+        lobby = Lobby()
+        lobby.enter("a")
+        with pytest.raises(MatchmakingError):
+            lobby.enter("a")
+
+    def test_leave_is_idempotent(self):
+        lobby = Lobby()
+        lobby.enter("a")
+        lobby.leave("a")
+        lobby.leave("a")
+        assert lobby.waiting == ()
+
+    def test_pairing_is_random(self):
+        # Over many shuffles, "a" should get different partners.
+        partners = set()
+        for seed in range(20):
+            lobby = Lobby(seed=seed, allow_recorded=False)
+            for player in ("a", "b", "c", "d"):
+                lobby.enter(player)
+            for match in lobby.form_matches():
+                if "a" in match.players:
+                    other = [p for p in match.players if p != "a"][0]
+                    partners.add(other)
+        assert len(partners) >= 2
+
+    def test_recorded_partner_none_when_bank_empty(self):
+        lobby = Lobby()
+        assert lobby.recorded_partner() is None
+
+
+class TestRecordedPartner:
+    def test_replays_recording(self):
+        partner = RecordedPartner("recorded:x", {
+            "img-1": [TimedAnswer("cat", 1.0), TimedAnswer("dog", 2.0)]})
+        item = TaskItem(item_id="img-1")
+        guesses = partner.enter_guesses(item, frozenset())
+        assert [g.text for g in guesses] == ["cat", "dog"]
+
+    def test_respects_taboo(self):
+        partner = RecordedPartner("recorded:x", {
+            "img-1": [TimedAnswer("cat", 1.0), TimedAnswer("dog", 2.0)]})
+        item = TaskItem(item_id="img-1")
+        guesses = partner.enter_guesses(item, frozenset(["cat"]))
+        assert [g.text for g in guesses] == ["dog"]
+
+    def test_unknown_item_gives_nothing(self):
+        partner = RecordedPartner("recorded:x", {})
+        item = TaskItem(item_id="img-9")
+        assert partner.enter_guesses(item, frozenset()) == []
+        assert not partner.has_recording_for("img-9")

@@ -1,0 +1,112 @@
+"""Tests for scoring rules, skill levels and the scorekeeper."""
+
+import pytest
+
+from repro.core.scoring import ScoreKeeper, ScoringRules, SkillLevels
+from repro.errors import ConfigError
+
+
+class TestScoringRules:
+    def test_failure_gives_pass_points(self):
+        rules = ScoringRules(pass_points=5)
+        assert rules.round_points(False, 1.0, 3) == 5
+
+    def test_instant_answer_gets_full_time_bonus(self):
+        rules = ScoringRules(base_points=100, time_bonus_max=50,
+                             time_bonus_window_s=20.0, streak_bonus=0)
+        assert rules.round_points(True, 0.0, 0) == 150
+
+    def test_slow_answer_gets_no_time_bonus(self):
+        rules = ScoringRules(base_points=100, time_bonus_max=50,
+                             time_bonus_window_s=20.0, streak_bonus=0)
+        assert rules.round_points(True, 25.0, 0) == 100
+
+    def test_time_bonus_decays_linearly(self):
+        rules = ScoringRules(base_points=0, time_bonus_max=100,
+                             time_bonus_window_s=10.0, streak_bonus=0)
+        assert rules.round_points(True, 5.0, 0) == 50
+
+    def test_streak_bonus_capped(self):
+        rules = ScoringRules(base_points=0, time_bonus_max=0,
+                             streak_bonus=10, streak_cap=5)
+        assert rules.round_points(True, 100.0, 3) == 30
+        assert rules.round_points(True, 100.0, 50) == 50
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            ScoringRules(base_points=-1)
+        with pytest.raises(ConfigError):
+            ScoringRules(time_bonus_window_s=0)
+
+
+class TestSkillLevels:
+    def test_level_progression(self):
+        levels = SkillLevels()
+        assert levels.level(0) == "newbie"
+        assert levels.level(1500) == "apprentice"
+        assert levels.level(100000) == "grandmaster"
+
+    def test_next_threshold(self):
+        levels = SkillLevels()
+        assert levels.next_threshold(0) == 1000
+        assert levels.next_threshold(999999) == 999999
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            SkillLevels(thresholds=(0, 10), names=("a",))
+
+    def test_unsorted_thresholds_rejected(self):
+        with pytest.raises(ConfigError):
+            SkillLevels(thresholds=(10, 0), names=("a", "b"))
+
+
+class TestScoreKeeper:
+    def test_points_accumulate(self):
+        keeper = ScoreKeeper(rules=ScoringRules(
+            base_points=100, time_bonus_max=0, streak_bonus=0))
+        keeper.record_round(["p1", "p2"], True, 5.0)
+        keeper.record_round(["p1"], True, 5.0)
+        assert keeper.points("p1") == 200
+        assert keeper.points("p2") == 100
+
+    def test_streak_resets_on_failure(self):
+        keeper = ScoreKeeper()
+        keeper.record_round(["p"], True, 5.0)
+        keeper.record_round(["p"], True, 5.0)
+        assert keeper.streak("p") == 2
+        keeper.record_round(["p"], False, 5.0)
+        assert keeper.streak("p") == 0
+
+    def test_streak_increases_points(self):
+        rules = ScoringRules(base_points=100, time_bonus_max=0,
+                             streak_bonus=10, streak_cap=5)
+        keeper = ScoreKeeper(rules=rules)
+        first = keeper.record_round(["p"], True, 30.0)["p"]
+        second = keeper.record_round(["p"], True, 30.0)["p"]
+        assert second == first + 10
+
+    def test_success_rate(self):
+        keeper = ScoreKeeper()
+        keeper.record_round(["p"], True, 5.0)
+        keeper.record_round(["p"], False, 5.0)
+        assert keeper.success_rate("p") == 0.5
+        assert keeper.success_rate("unknown") == 0.0
+
+    def test_leaderboard_ordering(self):
+        keeper = ScoreKeeper(rules=ScoringRules(
+            base_points=100, time_bonus_max=0, streak_bonus=0))
+        keeper.record_round(["a"], True, 5.0)
+        keeper.record_round(["b"], True, 5.0)
+        keeper.record_round(["b"], True, 5.0)
+        board = keeper.leaderboard()
+        assert board[0][0] == "b"
+        assert board[1][0] == "a"
+
+    def test_level_lookup(self):
+        keeper = ScoreKeeper()
+        assert keeper.level("fresh") == "newbie"
+
+    def test_unknown_player_zero(self):
+        keeper = ScoreKeeper()
+        assert keeper.points("ghost") == 0
+        assert keeper.streak("ghost") == 0

@@ -1,0 +1,111 @@
+"""Tests for timed game sessions."""
+
+import pytest
+
+from repro.core.entities import (RoundOutcome, RoundResult, TaskItem)
+from repro.core.scoring import ScoreKeeper, ScoringRules
+from repro.core.session import GameSession, SessionConfig
+from repro.errors import ConfigError, GameError
+
+
+def _round(item, outcome=RoundOutcome.AGREED, elapsed=10.0):
+    return RoundResult(item=item, outcome=outcome, contributions=[],
+                       elapsed_s=elapsed)
+
+
+def _items(n=100):
+    return [TaskItem(item_id=f"img-{i}") for i in range(n)]
+
+
+class TestSessionConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            SessionConfig(duration_s=0)
+        with pytest.raises(ConfigError):
+            SessionConfig(max_rounds=0)
+        with pytest.raises(ConfigError):
+            SessionConfig(inter_round_gap_s=-1)
+
+
+class TestGameSession:
+    def test_runs_until_clock_expires(self):
+        config = SessionConfig(duration_s=50.0, max_rounds=100,
+                               inter_round_gap_s=0.0)
+        session = GameSession(config=config)
+        result = session.run(["a", "b"], _items(),
+                             lambda item, now: _round(item, elapsed=10.0))
+        assert len(result.rounds) == 5
+
+    def test_max_rounds_cap(self):
+        config = SessionConfig(duration_s=10000.0, max_rounds=3)
+        session = GameSession(config=config)
+        result = session.run(["a"], _items(),
+                             lambda item, now: _round(item))
+        assert len(result.rounds) == 3
+
+    def test_item_exhaustion_stops(self):
+        session = GameSession(SessionConfig(duration_s=1000.0,
+                                            max_rounds=50))
+        result = session.run(["a"], _items(2),
+                             lambda item, now: _round(item))
+        assert len(result.rounds) == 2
+
+    def test_now_advances_between_rounds(self):
+        times = []
+        config = SessionConfig(duration_s=100.0, inter_round_gap_s=2.0)
+        session = GameSession(config=config, start_s=1000.0)
+
+        def play(item, now):
+            times.append(now)
+            return _round(item, elapsed=10.0)
+
+        session.run(["a"], _items(), play)
+        assert times[0] == 1000.0
+        assert times[1] == 1012.0
+
+    def test_points_recorded_per_round(self):
+        keeper = ScoreKeeper(rules=ScoringRules(
+            base_points=100, time_bonus_max=0, streak_bonus=0))
+        session = GameSession(SessionConfig(duration_s=25.0,
+                                            inter_round_gap_s=0.0),
+                              scorekeeper=keeper)
+        result = session.run(["a", "b"], _items(),
+                             lambda item, now: _round(item, elapsed=10.0))
+        for round_result in result.rounds:
+            assert round_result.points == {"a": 100, "b": 100}
+        assert keeper.points("a") == 100 * len(result.rounds)
+
+    def test_failed_rounds_break_streak(self):
+        keeper = ScoreKeeper()
+        session = GameSession(SessionConfig(duration_s=100.0,
+                                            inter_round_gap_s=0.0),
+                              scorekeeper=keeper)
+        outcomes = iter([RoundOutcome.AGREED, RoundOutcome.TIMEOUT])
+
+        def play(item, now):
+            try:
+                outcome = next(outcomes)
+            except StopIteration:
+                outcome = RoundOutcome.TIMEOUT
+            return _round(item, outcome=outcome, elapsed=10.0)
+
+        session.run(["a"], _items(), play)
+        assert keeper.streak("a") == 0
+
+    def test_needs_players(self):
+        session = GameSession()
+        with pytest.raises(GameError):
+            session.run([], _items(), lambda item, now: _round(item))
+
+    def test_session_result_aggregates(self):
+        session = GameSession(SessionConfig(duration_s=35.0,
+                                            inter_round_gap_s=0.0))
+        outcomes = iter([RoundOutcome.AGREED, RoundOutcome.TIMEOUT,
+                         RoundOutcome.AGREED])
+
+        def play(item, now):
+            return _round(item, outcome=next(outcomes), elapsed=10.0)
+
+        result = session.run(["a"], _items(3), play)
+        assert result.successes == 2
+        assert result.players == ("a",)

@@ -1,0 +1,73 @@
+"""Tests for the taboo tracker."""
+
+import pytest
+
+from repro.core.taboo import TabooTracker
+from repro.errors import ConfigError
+
+
+class TestTabooTracker:
+    def test_promotion_at_threshold(self):
+        tracker = TabooTracker(promotion_threshold=2)
+        assert not tracker.record_agreement("img", "cat")
+        assert tracker.record_agreement("img", "cat")
+        assert tracker.is_taboo("img", "cat")
+
+    def test_threshold_one_promotes_immediately(self):
+        tracker = TabooTracker(promotion_threshold=1)
+        assert tracker.record_agreement("img", "dog")
+
+    def test_no_double_promotion(self):
+        tracker = TabooTracker(promotion_threshold=1)
+        assert tracker.record_agreement("img", "cat")
+        assert not tracker.record_agreement("img", "cat")
+        assert tracker.promoted_labels("img") == ("cat",)
+
+    def test_agreement_count(self):
+        tracker = TabooTracker(promotion_threshold=3)
+        tracker.record_agreement("img", "cat")
+        tracker.record_agreement("img", "cat")
+        assert tracker.agreement_count("img", "cat") == 2
+        assert tracker.agreement_count("img", "dog") == 0
+
+    def test_per_item_isolation(self):
+        tracker = TabooTracker(promotion_threshold=1)
+        tracker.record_agreement("img-a", "cat")
+        assert tracker.is_taboo("img-a", "cat")
+        assert not tracker.is_taboo("img-b", "cat")
+
+    def test_taboo_list_capped(self):
+        tracker = TabooTracker(promotion_threshold=1, max_taboo=2)
+        for label in ("a", "b", "c", "d"):
+            tracker.record_agreement("img", label)
+        assert len(tracker.taboo_for("img")) == 2
+        # But all four remain in the promoted output.
+        assert len(tracker.promoted_labels("img")) == 4
+
+    def test_promotion_order_preserved(self):
+        tracker = TabooTracker(promotion_threshold=1)
+        for label in ("x", "y", "z"):
+            tracker.record_agreement("img", label)
+        assert tracker.promoted_labels("img") == ("x", "y", "z")
+
+    def test_all_promoted_skips_empty(self):
+        tracker = TabooTracker(promotion_threshold=2)
+        tracker.record_agreement("img", "once")
+        assert tracker.all_promoted() == {}
+
+    def test_items_with_at_least(self):
+        tracker = TabooTracker(promotion_threshold=1)
+        tracker.record_agreement("a", "l1")
+        tracker.record_agreement("b", "l1")
+        tracker.record_agreement("b", "l2")
+        assert tracker.items_with_at_least(2) == ["b"]
+
+    def test_empty_taboo_for_unknown_item(self):
+        tracker = TabooTracker()
+        assert tracker.taboo_for("never-seen") == frozenset()
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            TabooTracker(promotion_threshold=0)
+        with pytest.raises(ConfigError):
+            TabooTracker(max_taboo=-1)

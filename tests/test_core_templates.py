@@ -1,0 +1,231 @@
+"""Tests for the three game-structure templates using scripted players."""
+
+import pytest
+
+from repro.core.entities import ContributionKind, RoundOutcome, TaskItem
+from repro.core.templates import (InputAgreementGame, InversionProblemGame,
+                                  OutputAgreementGame, TimedAnswer)
+from repro.errors import ConfigError, GameError
+
+
+class ScriptedGuesser:
+    """Output-agreement player replaying a fixed guess script."""
+
+    def __init__(self, player_id, answers):
+        self.player_id = player_id
+        self._answers = answers
+
+    def enter_guesses(self, item, taboo):
+        return [a for a in self._answers if a.text not in taboo]
+
+
+class ScriptedDescriber:
+    def __init__(self, player_id, clues):
+        self.player_id = player_id
+        self._clues = clues
+
+    def give_clues(self, item, secret):
+        return self._clues
+
+
+class ScriptedSecretGuesser:
+    """Guesses the secret after seeing ``after`` clues."""
+
+    def __init__(self, player_id, secret, after=1):
+        self.player_id = player_id
+        self.secret = secret
+        self.after = after
+
+    def guess_from_clues(self, item, clues):
+        if len(clues) >= self.after:
+            return ["wrong", self.secret]
+        return ["wrong"]
+
+
+class ScriptedInputPlayer:
+    def __init__(self, player_id, tags, vote):
+        self.player_id = player_id
+        self._tags = tags
+        self._vote = vote
+
+    def describe(self, item):
+        return self._tags
+
+    def judge_same(self, item, partner_tags):
+        return self._vote
+
+
+ITEM = TaskItem(item_id="img-1", kind="image")
+
+
+class TestOutputAgreement:
+    def test_earliest_common_word_wins(self):
+        game = OutputAgreementGame()
+        a = ScriptedGuesser("a", [TimedAnswer("cat", 2.0),
+                                  TimedAnswer("dog", 5.0)])
+        b = ScriptedGuesser("b", [TimedAnswer("dog", 3.0),
+                                  TimedAnswer("cat", 8.0)])
+        result = game.play_round(ITEM, a, b)
+        assert result.outcome is RoundOutcome.AGREED
+        # dog matches at max(5,3)=5; cat at max(2,8)=8 -> dog wins.
+        assert result.contributions[0].value("label") == "dog"
+        assert result.elapsed_s == 5.0
+
+    def test_match_time_is_later_entry(self):
+        game = OutputAgreementGame()
+        a = ScriptedGuesser("a", [TimedAnswer("cat", 1.0)])
+        b = ScriptedGuesser("b", [TimedAnswer("cat", 9.0)])
+        result = game.play_round(ITEM, a, b)
+        assert result.elapsed_s == 9.0
+
+    def test_no_match_times_out(self):
+        game = OutputAgreementGame(round_time_limit_s=30.0)
+        a = ScriptedGuesser("a", [TimedAnswer("cat", 1.0)])
+        b = ScriptedGuesser("b", [TimedAnswer("dog", 1.0)])
+        result = game.play_round(ITEM, a, b)
+        assert result.outcome is RoundOutcome.TIMEOUT
+        assert result.contributions == []
+        assert result.elapsed_s == 30.0
+
+    def test_taboo_words_cannot_match(self):
+        game = OutputAgreementGame()
+        a = ScriptedGuesser("a", [TimedAnswer("cat", 1.0),
+                                  TimedAnswer("dog", 2.0)])
+        b = ScriptedGuesser("b", [TimedAnswer("cat", 1.0),
+                                  TimedAnswer("dog", 2.0)])
+        result = game.play_round(ITEM, a, b, taboo=frozenset(["cat"]))
+        assert result.contributions[0].value("label") == "dog"
+
+    def test_contribution_is_verified(self):
+        game = OutputAgreementGame()
+        a = ScriptedGuesser("a", [TimedAnswer("cat", 1.0)])
+        b = ScriptedGuesser("b", [TimedAnswer("cat", 2.0)])
+        result = game.play_round(ITEM, a, b, now=100.0)
+        contribution = result.contributions[0]
+        assert contribution.verified
+        assert contribution.kind is ContributionKind.LABEL
+        assert contribution.players == ("a", "b")
+        assert contribution.timestamp == 102.0
+
+    def test_guesses_after_limit_ignored(self):
+        game = OutputAgreementGame(round_time_limit_s=10.0)
+        a = ScriptedGuesser("a", [TimedAnswer("late", 50.0)])
+        b = ScriptedGuesser("b", [TimedAnswer("late", 1.0)])
+        result = game.play_round(ITEM, a, b)
+        assert result.outcome is RoundOutcome.TIMEOUT
+
+    def test_rejects_bad_time_limit(self):
+        with pytest.raises(ConfigError):
+            OutputAgreementGame(round_time_limit_s=0)
+
+
+class TestInversionProblem:
+    def test_completion_certifies_clues(self):
+        game = InversionProblemGame()
+        describer = ScriptedDescriber("d", [TimedAnswer("clue1", 2.0),
+                                            TimedAnswer("clue2", 10.0)])
+        guesser = ScriptedSecretGuesser("g", "secret", after=2)
+        result = game.play_round(ITEM, describer, guesser, "secret")
+        assert result.outcome is RoundOutcome.COMPLETED
+        assert all(c.verified for c in result.contributions)
+        assert [c.value("clue") for c in result.contributions] == [
+            "clue1", "clue2"]
+
+    def test_failure_leaves_clues_unverified(self):
+        game = InversionProblemGame(round_time_limit_s=60.0,
+                                    guess_interval_s=2.0)
+        describer = ScriptedDescriber("d", [TimedAnswer("clue1", 2.0)])
+        guesser = ScriptedSecretGuesser("g", "secret", after=99)
+        result = game.play_round(ITEM, describer, guesser, "secret")
+        assert result.outcome is RoundOutcome.FAILED
+        assert all(not c.verified for c in result.contributions)
+        # Players pass soon after the clue stream dries up, rather than
+        # sitting out the hard limit.
+        assert result.elapsed_s == pytest.approx(6.0)
+
+    def test_failure_elapsed_capped_by_limit(self):
+        game = InversionProblemGame(round_time_limit_s=5.0,
+                                    guess_interval_s=4.0)
+        describer = ScriptedDescriber("d", [TimedAnswer("clue1", 4.0)])
+        guesser = ScriptedSecretGuesser("g", "secret", after=99)
+        result = game.play_round(ITEM, describer, guesser, "secret")
+        assert result.elapsed_s == 5.0
+
+    def test_secret_leak_rejected(self):
+        game = InversionProblemGame()
+        describer = ScriptedDescriber("d", [TimedAnswer("secret", 1.0)])
+        guesser = ScriptedSecretGuesser("g", "secret")
+        with pytest.raises(GameError):
+            game.play_round(ITEM, describer, guesser, "secret")
+
+    def test_empty_secret_rejected(self):
+        game = InversionProblemGame()
+        with pytest.raises(GameError):
+            game.play_round(ITEM, ScriptedDescriber("d", []),
+                            ScriptedSecretGuesser("g", "x"), "")
+
+    def test_guess_timing_includes_interval(self):
+        game = InversionProblemGame(guess_interval_s=2.0)
+        describer = ScriptedDescriber("d", [TimedAnswer("clue", 5.0)])
+        guesser = ScriptedSecretGuesser("g", "secret", after=1)
+        result = game.play_round(ITEM, describer, guesser, "secret")
+        # "wrong" at 7.0, "secret" at 9.0.
+        assert result.elapsed_s == pytest.approx(9.0)
+
+    def test_guesses_past_limit_fail_round(self):
+        game = InversionProblemGame(round_time_limit_s=6.0,
+                                    guess_interval_s=2.0)
+        describer = ScriptedDescriber("d", [TimedAnswer("clue", 5.0)])
+        guesser = ScriptedSecretGuesser("g", "secret", after=1)
+        result = game.play_round(ITEM, describer, guesser, "secret")
+        assert result.outcome is RoundOutcome.FAILED
+
+
+class TestInputAgreement:
+    def _items(self):
+        return (TaskItem(item_id="clip-a", kind="clip"),
+                TaskItem(item_id="clip-b", kind="clip"))
+
+    def test_correct_agreement_verifies_tags(self):
+        game = InputAgreementGame()
+        item_a, item_b = self._items()
+        a = ScriptedInputPlayer("a", [TimedAnswer("jazz", 3.0)], True)
+        b = ScriptedInputPlayer("b", [TimedAnswer("sax", 4.0)], True)
+        result = game.play_round(item_a, item_b, a, b, same=True)
+        assert result.outcome is RoundOutcome.AGREED
+        assert all(c.verified for c in result.contributions)
+
+    def test_tags_attach_to_own_item(self):
+        game = InputAgreementGame()
+        item_a, item_b = self._items()
+        a = ScriptedInputPlayer("a", [TimedAnswer("jazz", 3.0)], True)
+        b = ScriptedInputPlayer("b", [TimedAnswer("rock", 4.0)], True)
+        result = game.play_round(item_a, item_b, a, b, same=True)
+        by_item = {c.item_id: c.value("label")
+                   for c in result.contributions}
+        assert by_item == {"clip-a": "jazz", "clip-b": "rock"}
+
+    def test_disagreeing_votes_fail(self):
+        game = InputAgreementGame()
+        item_a, item_b = self._items()
+        a = ScriptedInputPlayer("a", [], True)
+        b = ScriptedInputPlayer("b", [], False)
+        result = game.play_round(item_a, item_b, a, b, same=True)
+        assert result.outcome is RoundOutcome.FAILED
+
+    def test_agreeing_but_wrong_votes_fail(self):
+        game = InputAgreementGame()
+        item_a, item_b = self._items()
+        a = ScriptedInputPlayer("a", [TimedAnswer("x", 1.0)], False)
+        b = ScriptedInputPlayer("b", [], False)
+        result = game.play_round(item_a, item_b, a, b, same=True)
+        assert result.outcome is RoundOutcome.FAILED
+        assert all(not c.verified for c in result.contributions)
+
+    def test_different_inputs_correctly_judged(self):
+        game = InputAgreementGame()
+        item_a, item_b = self._items()
+        a = ScriptedInputPlayer("a", [], False)
+        b = ScriptedInputPlayer("b", [], False)
+        result = game.play_round(item_a, item_b, a, b, same=False)
+        assert result.outcome is RoundOutcome.AGREED

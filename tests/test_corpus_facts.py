@@ -1,0 +1,87 @@
+"""Tests for the Verbosity fact base."""
+
+import pytest
+
+from repro.corpus.facts import Fact, FactBase, Relation
+from repro.errors import CorpusError
+
+
+class TestRelation:
+    def test_render(self):
+        assert Relation.IS_A.render("milk", "drink") == \
+            "milk is a kind of drink"
+
+
+class TestFactBase:
+    def test_every_word_has_true_facts(self, vocab, facts):
+        for word in vocab:
+            assert len(facts.true_facts(word.text)) >= 1
+
+    def test_true_facts_marked_true(self, vocab, facts):
+        for word in list(vocab)[:30]:
+            for fact in facts.true_facts(word.text):
+                assert fact.true
+
+    def test_false_facts_marked_false(self, vocab, facts):
+        for word in list(vocab)[:30]:
+            for fact in facts.false_facts(word.text):
+                assert not fact.true
+
+    def test_true_facts_stay_in_category(self, vocab, facts):
+        for word in list(vocab)[:30]:
+            for fact in facts.true_facts(word.text):
+                obj = vocab.word(fact.obj)
+                assert obj.category == word.category
+
+    def test_false_facts_cross_category(self, vocab, facts):
+        for word in list(vocab)[:30]:
+            for fact in facts.false_facts(word.text):
+                obj = vocab.word(fact.obj)
+                assert obj.category != word.category
+
+    def test_no_self_facts(self, vocab, facts):
+        for word in list(vocab)[:50]:
+            for fact in (list(facts.true_facts(word.text))
+                         + list(facts.false_facts(word.text))):
+                assert fact.obj != fact.subject
+
+    def test_is_true_on_generated_facts(self, vocab, facts):
+        word = vocab.by_rank(7)
+        fact = facts.true_facts(word.text)[0]
+        assert facts.is_true(fact.subject, fact.relation, fact.obj)
+
+    def test_is_true_on_distractors(self, vocab, facts):
+        word = vocab.by_rank(7)
+        for fact in facts.false_facts(word.text):
+            assert not facts.is_true(fact.subject, fact.relation,
+                                     fact.obj)
+
+    def test_is_true_novel_same_category(self, vocab, facts):
+        word = vocab.by_rank(1)
+        others = [w for w in vocab.category_words(word.category)
+                  if w.text != word.text]
+        if others:
+            assert facts.is_true(word.text, Relation.RELATED_TO,
+                                 others[-1].text)
+
+    def test_is_true_unknown_words(self, facts):
+        assert not facts.is_true("ghost", Relation.IS_A, "entity")
+
+    def test_unknown_subject_raises(self, facts):
+        with pytest.raises(CorpusError):
+            facts.true_facts("not-a-word")
+
+    def test_fact_render(self):
+        fact = Fact("cat", Relation.LOOKS_LIKE, "tiger", True)
+        assert fact.render() == "cat looks like tiger"
+
+    def test_deterministic(self, vocab):
+        a = FactBase(vocab, seed=5)
+        b = FactBase(vocab, seed=5)
+        word = vocab.by_rank(2).text
+        assert ([f.key for f in a.true_facts(word)]
+                == [f.key for f in b.true_facts(word)])
+
+    def test_rejects_bad_config(self, vocab):
+        with pytest.raises(CorpusError):
+            FactBase(vocab, facts_per_word=0)

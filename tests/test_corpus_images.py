@@ -1,0 +1,85 @@
+"""Tests for the synthetic image corpus."""
+
+import pytest
+
+from repro.corpus.images import Image, ImageCorpus
+from repro.corpus.vocab import Vocabulary
+from repro.errors import CorpusError
+
+
+class TestImage:
+    def test_top_tags_sorted_by_salience(self, corpus):
+        image = corpus.images[0]
+        tags = image.top_tags(5)
+        saliences = [image.tag_salience(t) for t in tags]
+        assert saliences == sorted(saliences, reverse=True)
+
+    def test_tag_salience_absent_is_zero(self, corpus):
+        assert corpus.images[0].tag_salience("nope") == 0.0
+
+    def test_is_relevant_threshold(self, corpus):
+        image = corpus.images[0]
+        top = image.top_tags(1)[0]
+        assert image.is_relevant(top)
+        assert not image.is_relevant(top, threshold=1.0)
+
+
+class TestImageCorpus:
+    def test_size(self, corpus):
+        assert len(corpus) == 40
+
+    def test_salience_normalized(self, corpus):
+        for image in corpus:
+            assert abs(sum(image.salience.values()) - 1.0) < 1e-9
+
+    def test_tag_support_size(self, vocab):
+        c = ImageCorpus(vocab, size=10, tags_per_image=8,
+                        background_tags=2, seed=3)
+        for image in c:
+            assert len(image.salience) <= 8
+
+    def test_theme_words_dominate(self, corpus, vocab):
+        for image in list(corpus)[:10]:
+            top = image.top_tags(3)
+            theme_hits = sum(
+                1 for t in top
+                if vocab.word(t).category == image.theme)
+            assert theme_hits >= 2
+
+    def test_background_tags_off_theme(self, vocab):
+        c = ImageCorpus(vocab, size=10, tags_per_image=10,
+                        background_tags=3, seed=3)
+        for image in c:
+            off_theme = [t for t in image.salience
+                         if vocab.word(t).category != image.theme]
+            assert len(off_theme) >= 1
+
+    def test_lookup_roundtrip(self, corpus):
+        image = corpus.images[5]
+        assert corpus.image(image.image_id) is image
+
+    def test_unknown_image(self, corpus):
+        with pytest.raises(CorpusError):
+            corpus.image("img-99999")
+
+    def test_relevance_helper(self, corpus):
+        image = corpus.images[0]
+        top = image.top_tags(1)[0]
+        assert corpus.relevance(image.image_id, top)
+        assert not corpus.relevance(image.image_id, "missing-tag")
+
+    def test_deterministic(self, vocab):
+        a = ImageCorpus(vocab, size=8, seed=4)
+        b = ImageCorpus(vocab, size=8, seed=4)
+        assert [i.salience for i in a] == [i.salience for i in b]
+
+    def test_sample(self, corpus, rng):
+        sample = corpus.sample(rng, k=5)
+        assert len({i.image_id for i in sample}) == 5
+
+    def test_rejects_bad_config(self, vocab):
+        with pytest.raises(CorpusError):
+            ImageCorpus(vocab, size=0)
+        with pytest.raises(CorpusError):
+            ImageCorpus(vocab, size=5, tags_per_image=3,
+                        background_tags=3)

@@ -1,0 +1,142 @@
+"""Tests for world serialization."""
+
+import pytest
+
+from repro.corpus.io import (World, document_to_world, load_world,
+                             save_world, world_to_document)
+from repro.errors import CorpusError
+
+
+class TestRoundTrip:
+    def test_vocabulary_roundtrip(self, vocab):
+        world = document_to_world(world_to_document(vocabulary=vocab))
+        assert len(world.vocabulary) == len(vocab)
+        assert world.vocabulary.by_rank(1) == vocab.by_rank(1)
+        original = vocab.by_rank(17)
+        assert world.vocabulary.word(original.text) == original
+        assert (world.vocabulary.category_words(0)
+                == vocab.category_words(0))
+
+    def test_images_roundtrip(self, vocab, corpus):
+        world = document_to_world(
+            world_to_document(vocabulary=vocab, images=corpus))
+        assert len(world.images) == len(corpus)
+        for image in corpus:
+            restored = world.images.image(image.image_id)
+            assert restored.salience == image.salience
+            assert restored.theme == image.theme
+
+    def test_layout_roundtrip(self, vocab, corpus, layout):
+        world = document_to_world(world_to_document(
+            vocabulary=vocab, images=corpus, layout=layout))
+        for obj in layout.all_objects():
+            restored = world.layout.object_for(obj.image_id, obj.word)
+            assert restored.box.iou(obj.box) == pytest.approx(1.0)
+            assert restored.salience == obj.salience
+
+    def test_facts_roundtrip(self, vocab, facts):
+        world = document_to_world(
+            world_to_document(vocabulary=vocab, facts=facts))
+        word = vocab.by_rank(5).text
+        assert ([f.key for f in world.facts.true_facts(word)]
+                == [f.key for f in facts.true_facts(word)])
+        original = facts.true_facts(word)[0]
+        assert world.facts.has_fact(original.subject,
+                                    original.relation, original.obj)
+
+    def test_ocr_roundtrip(self, ocr_corpus):
+        world = document_to_world(world_to_document(ocr=ocr_corpus))
+        assert len(world.ocr) == len(ocr_corpus)
+        first = ocr_corpus.words[0]
+        assert world.ocr.word(first.word_id).truth == first.truth
+        assert world.ocr.pages() == ocr_corpus.pages()
+
+    def test_music_roundtrip(self, vocab, music):
+        world = document_to_world(
+            world_to_document(vocabulary=vocab, music=music))
+        assert len(world.music) == len(music)
+        clip = music.clips[0]
+        assert world.music.clip(clip.clip_id).salience == clip.salience
+
+    def test_file_roundtrip(self, vocab, corpus, layout, facts,
+                            ocr_corpus, music, tmp_path):
+        path = tmp_path / "world.json"
+        save_world(path, vocabulary=vocab, images=corpus,
+                   layout=layout, facts=facts, ocr=ocr_corpus,
+                   music=music)
+        world = load_world(path)
+        assert world.vocabulary is not None
+        assert world.images is not None
+        assert world.layout is not None
+        assert world.facts is not None
+        assert world.ocr is not None
+        assert world.music is not None
+
+    def test_partial_bundle(self, ocr_corpus, tmp_path):
+        path = tmp_path / "ocr_only.json"
+        save_world(path, ocr=ocr_corpus)
+        world = load_world(path)
+        assert world.ocr is not None
+        assert world.vocabulary is None
+        assert world.images is None
+
+
+class TestGamesOnRestoredWorld:
+    def test_esp_runs_on_loaded_world(self, vocab, corpus, tmp_path,
+                                      players):
+        from repro.games.esp import EspGame
+        path = tmp_path / "world.json"
+        save_world(path, vocabulary=vocab, images=corpus)
+        world = load_world(path)
+        game = EspGame(world.images, seed=1)
+        session = game.play_session(players[0], players[1])
+        assert len(session.rounds) >= 1
+
+    def test_determinism_preserved_through_io(self, vocab, corpus,
+                                              tmp_path, players):
+        """The same seeded session on original vs restored world must
+        produce identical labels — the whole point of world export."""
+        from repro.games.esp import EspGame
+        path = tmp_path / "world.json"
+        save_world(path, vocabulary=vocab, images=corpus)
+        world = load_world(path)
+        original = EspGame(corpus, seed=7)
+        restored = EspGame(world.images, seed=7)
+        s1 = original.play_session(players[0], players[1])
+        s2 = restored.play_session(players[0], players[1])
+        labels1 = [c.value("label") for r in s1.rounds
+                   for c in r.contributions]
+        labels2 = [c.value("label") for r in s2.rounds
+                   for c in r.contributions]
+        assert labels1 == labels2
+
+
+class TestValidation:
+    def test_images_need_vocabulary(self, corpus):
+        with pytest.raises(CorpusError):
+            world_to_document(images=corpus)
+
+    def test_layout_needs_images(self, vocab, layout):
+        with pytest.raises(CorpusError):
+            world_to_document(vocabulary=vocab, layout=layout)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(CorpusError):
+            document_to_world({"format": "something-else",
+                               "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(CorpusError):
+            document_to_world({"format": "repro-world", "version": 99})
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(CorpusError):
+            load_world(path)
+
+    def test_document_with_orphan_images_rejected(self, vocab, corpus):
+        document = world_to_document(vocabulary=vocab, images=corpus)
+        del document["vocabulary"]
+        with pytest.raises(CorpusError):
+            document_to_world(document)

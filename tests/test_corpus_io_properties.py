@@ -1,0 +1,55 @@
+"""Property-style round-trip tests for world IO across random seeds."""
+
+import pytest
+
+from repro.corpus.images import ImageCorpus
+from repro.corpus.io import document_to_world, world_to_document
+from repro.corpus.music import MusicCorpus
+from repro.corpus.ocr import OcrCorpus
+from repro.corpus.vocab import Vocabulary
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+class TestRoundTripAcrossSeeds:
+    def test_vocabulary_identical(self, seed):
+        vocab = Vocabulary(size=60, categories=6, seed=seed)
+        restored = document_to_world(
+            world_to_document(vocabulary=vocab)).vocabulary
+        assert list(restored.words) == list(vocab.words)
+
+    def test_images_identical(self, seed):
+        vocab = Vocabulary(size=60, categories=6, seed=seed)
+        corpus = ImageCorpus(vocab, size=8, seed=seed)
+        restored = document_to_world(world_to_document(
+            vocabulary=vocab, images=corpus)).images
+        for image in corpus:
+            other = restored.image(image.image_id)
+            assert other.salience == image.salience
+            assert other.theme == image.theme
+            assert other.width == image.width
+
+    def test_ocr_identical(self, seed):
+        corpus = OcrCorpus(size=30, seed=seed)
+        restored = document_to_world(
+            world_to_document(ocr=corpus)).ocr
+        assert ([(w.word_id, w.truth, w.legibility, w.page)
+                 for w in restored]
+                == [(w.word_id, w.truth, w.legibility, w.page)
+                    for w in corpus])
+
+    def test_music_identical(self, seed):
+        vocab = Vocabulary(size=60, categories=6, seed=seed)
+        corpus = MusicCorpus(vocab, size=6, seed=seed)
+        restored = document_to_world(world_to_document(
+            vocabulary=vocab, music=corpus)).music
+        for clip in corpus:
+            other = restored.clip(clip.clip_id)
+            assert other.salience == clip.salience
+            assert other.duration_s == clip.duration_s
+
+    def test_double_roundtrip_stable(self, seed):
+        vocab = Vocabulary(size=40, categories=4, seed=seed)
+        once = world_to_document(vocabulary=vocab)
+        twice = world_to_document(
+            vocabulary=document_to_world(once).vocabulary)
+        assert once == twice

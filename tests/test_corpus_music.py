@@ -1,0 +1,64 @@
+"""Tests for the music-clip corpus."""
+
+import pytest
+
+from repro.corpus.music import MusicCorpus
+from repro.errors import CorpusError
+
+
+class TestMusicCorpus:
+    def test_size(self, music):
+        assert len(music) == 30
+
+    def test_salience_normalized(self, music):
+        for clip in music:
+            assert abs(sum(clip.salience.values()) - 1.0) < 1e-9
+
+    def test_tags_within_genre(self, music, vocab):
+        for clip in music:
+            for tag in clip.salience:
+                assert vocab.word(tag).category == clip.genre
+
+    def test_lookup(self, music):
+        clip = music.clips[2]
+        assert music.clip(clip.clip_id) is clip
+
+    def test_unknown_clip(self, music):
+        with pytest.raises(CorpusError):
+            music.clip("clip-none")
+
+    def test_sample_pair_same(self, music, rng):
+        a, b = music.sample_pair(rng, same=True)
+        assert a is b
+
+    def test_sample_pair_different(self, music, rng):
+        a, b = music.sample_pair(rng, same=False)
+        assert a.clip_id != b.clip_id
+
+    def test_same_genre_clips_overlap_more(self, music, rng):
+        same_genre = []
+        cross_genre = []
+        clips = list(music)
+        for i, a in enumerate(clips):
+            for b in clips[i + 1:]:
+                overlap = music.tag_overlap(a, b)
+                if a.genre == b.genre:
+                    same_genre.append(overlap)
+                else:
+                    cross_genre.append(overlap)
+        if same_genre and cross_genre:
+            assert (sum(same_genre) / len(same_genre)
+                    > sum(cross_genre) / len(cross_genre))
+
+    def test_durations_positive(self, music):
+        assert all(clip.duration_s > 0 for clip in music)
+
+    def test_top_tags_ordered(self, music):
+        clip = music.clips[0]
+        tags = clip.top_tags(4)
+        values = [clip.tag_salience(t) for t in tags]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_zero_size(self, vocab):
+        with pytest.raises(CorpusError):
+            MusicCorpus(vocab, size=0)

@@ -1,0 +1,106 @@
+"""Tests for bounding boxes and the object layout."""
+
+import pytest
+
+from repro.corpus.objects import BoundingBox, ObjectLayout
+from repro.errors import CorpusError
+
+
+class TestBoundingBox:
+    def test_basic_geometry(self):
+        box = BoundingBox(10, 20, 30, 40)
+        assert box.x2 == 40
+        assert box.y2 == 60
+        assert box.area == 1200
+        assert box.center == (25, 40)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(CorpusError):
+            BoundingBox(0, 0, 0, 10)
+        with pytest.raises(CorpusError):
+            BoundingBox(0, 0, 10, -1)
+
+    def test_contains(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.contains(5, 5)
+        assert box.contains(0, 0)
+        assert box.contains(10, 10)
+        assert not box.contains(10.1, 5)
+
+    def test_iou_identical(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.iou(box) == pytest.approx(1.0)
+
+    def test_iou_disjoint(self):
+        a = BoundingBox(0, 0, 10, 10)
+        b = BoundingBox(20, 20, 10, 10)
+        assert a.iou(b) == 0.0
+
+    def test_iou_half_overlap(self):
+        a = BoundingBox(0, 0, 10, 10)
+        b = BoundingBox(5, 0, 10, 10)
+        assert a.iou(b) == pytest.approx(50.0 / 150.0)
+
+    def test_iou_symmetric(self):
+        a = BoundingBox(0, 0, 10, 10)
+        b = BoundingBox(3, 3, 12, 8)
+        assert a.iou(b) == pytest.approx(b.iou(a))
+
+    def test_clipped_stays_in_bounds(self):
+        box = BoundingBox(-10, -10, 1000, 1000)
+        clipped = box.clipped(640, 480)
+        assert clipped.x >= 0 and clipped.y >= 0
+        assert clipped.x2 <= 640 and clipped.y2 <= 480
+
+
+class TestObjectLayout:
+    def test_objects_per_image(self, corpus, layout):
+        for image in corpus:
+            assert len(layout.objects_in(image.image_id)) == 3
+
+    def test_objects_are_salient_tags(self, corpus, layout):
+        for image in list(corpus)[:10]:
+            for obj in layout.objects_in(image.image_id):
+                assert image.tag_salience(obj.word) > 0
+
+    def test_boxes_inside_image(self, corpus, layout):
+        for image in corpus:
+            for obj in layout.objects_in(image.image_id):
+                assert obj.box.x >= 0
+                assert obj.box.y >= 0
+                assert obj.box.x2 <= image.width
+                assert obj.box.y2 <= image.height
+
+    def test_salient_objects_tend_larger(self, corpus, layout):
+        bigger = 0
+        total = 0
+        for image in corpus:
+            objs = sorted(layout.objects_in(image.image_id),
+                          key=lambda o: -o.salience)
+            if len(objs) >= 2:
+                total += 1
+                if objs[0].box.area >= objs[-1].box.area:
+                    bigger += 1
+        assert bigger / total > 0.6
+
+    def test_lookup(self, corpus, layout):
+        image = corpus.images[0]
+        obj = layout.objects_in(image.image_id)[0]
+        assert layout.object_for(image.image_id, obj.word) is obj
+        assert layout.has_object(image.image_id, obj.word)
+
+    def test_missing_object(self, corpus, layout):
+        with pytest.raises(CorpusError):
+            layout.object_for(corpus.images[0].image_id, "nope")
+        assert not layout.has_object(corpus.images[0].image_id, "nope")
+
+    def test_unknown_image(self, layout):
+        with pytest.raises(CorpusError):
+            layout.objects_in("img-xxxx")
+
+    def test_all_objects_count(self, corpus, layout):
+        assert len(layout.all_objects()) == len(corpus) * 3
+
+    def test_rejects_bad_config(self, corpus):
+        with pytest.raises(CorpusError):
+            ObjectLayout(corpus, objects_per_image=0)

@@ -1,0 +1,68 @@
+"""Tests for the scanned-word (OCR) corpus."""
+
+import pytest
+
+from repro.corpus.ocr import OcrCorpus, ScannedWord
+from repro.corpus.vocab import Vocabulary
+from repro.errors import CorpusError
+
+
+class TestScannedWord:
+    def test_legibility_bounds_enforced(self):
+        with pytest.raises(CorpusError):
+            ScannedWord("w", "abc", 1.5, 0)
+        with pytest.raises(CorpusError):
+            ScannedWord("w", "abc", -0.1, 0)
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(CorpusError):
+            ScannedWord("w", "", 0.9, 0)
+
+
+class TestOcrCorpus:
+    def test_size(self, ocr_corpus):
+        assert len(ocr_corpus) == 200
+
+    def test_lookup(self, ocr_corpus):
+        word = ocr_corpus.words[3]
+        assert ocr_corpus.word(word.word_id) is word
+
+    def test_unknown_word(self, ocr_corpus):
+        with pytest.raises(CorpusError):
+            ocr_corpus.word("scan-999999")
+
+    def test_damaged_fraction_roughly_matches(self):
+        corpus = OcrCorpus(size=2000, damaged_frac=0.3, seed=1)
+        damaged = corpus.damaged(threshold=0.9)
+        frac = len(damaged) / len(corpus)
+        assert 0.2 < frac < 0.45
+
+    def test_two_legibility_modes(self):
+        corpus = OcrCorpus(size=1000, damaged_frac=0.5, seed=2)
+        values = sorted(w.legibility for w in corpus)
+        low = values[: len(values) // 4]
+        high = values[-len(values) // 4:]
+        assert sum(low) / len(low) < 0.8
+        assert sum(high) / len(high) > 0.92
+
+    def test_pagination(self):
+        corpus = OcrCorpus(size=550, words_per_page=250, seed=3)
+        assert corpus.pages() == 3
+        assert len(corpus.page_words(0)) == 250
+        assert len(corpus.page_words(2)) == 50
+
+    def test_vocabulary_source(self, vocab):
+        corpus = OcrCorpus(size=50, vocabulary=vocab, seed=4)
+        assert all(w.truth in vocab for w in corpus)
+
+    def test_deterministic(self):
+        a = OcrCorpus(size=30, seed=9)
+        b = OcrCorpus(size=30, seed=9)
+        assert [w.truth for w in a] == [w.truth for w in b]
+        assert [w.legibility for w in a] == [w.legibility for w in b]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(CorpusError):
+            OcrCorpus(size=0)
+        with pytest.raises(CorpusError):
+            OcrCorpus(size=10, damaged_frac=1.5)

@@ -1,0 +1,127 @@
+"""Tests for the synthetic vocabulary."""
+
+import pytest
+
+from repro.corpus.vocab import Vocabulary, synth_word
+from repro.errors import CorpusError
+from repro import rng as _rng
+
+
+class TestSynthWord:
+    def test_pronounceable_alternation(self, rng):
+        word = synth_word(rng, 2, 2)
+        assert len(word) >= 4
+        assert word[0] not in "aeiou"
+        assert word[1] in "aeiou"
+
+    def test_length_scales_with_syllables(self, rng):
+        short = synth_word(rng, 1, 1)
+        long = synth_word(rng, 4, 4)
+        assert len(long) > len(short)
+
+
+class TestVocabularyConstruction:
+    def test_size(self, vocab):
+        assert len(vocab) == 400
+
+    def test_unique_surface_forms(self, vocab):
+        texts = [w.text for w in vocab]
+        assert len(texts) == len(set(texts))
+
+    def test_ranks_sequential(self, vocab):
+        assert [w.rank for w in vocab] == list(range(1, 401))
+
+    def test_frequencies_normalized(self, vocab):
+        assert abs(sum(w.frequency for w in vocab) - 1.0) < 1e-9
+
+    def test_frequencies_decrease_with_rank(self, vocab):
+        words = list(vocab)
+        assert all(words[i].frequency > words[i + 1].frequency
+                   for i in range(len(words) - 1))
+
+    def test_every_category_nonempty(self, vocab):
+        for category in range(vocab.categories):
+            assert len(vocab.category_words(category)) >= 1
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(CorpusError):
+            Vocabulary(size=0)
+
+    def test_rejects_zero_categories(self):
+        with pytest.raises(CorpusError):
+            Vocabulary(size=10, categories=0)
+
+    def test_deterministic_under_seed(self):
+        a = Vocabulary(size=50, seed=5)
+        b = Vocabulary(size=50, seed=5)
+        assert [w.text for w in a] == [w.text for w in b]
+
+    def test_different_seeds_differ(self):
+        a = Vocabulary(size=50, seed=5)
+        b = Vocabulary(size=50, seed=6)
+        assert [w.text for w in a] != [w.text for w in b]
+
+
+class TestVocabularyLookup:
+    def test_word_roundtrip(self, vocab):
+        first = vocab.by_rank(1)
+        assert vocab.word(first.text) == first
+
+    def test_unknown_word(self, vocab):
+        with pytest.raises(CorpusError):
+            vocab.word("definitely-not-a-word")
+
+    def test_contains(self, vocab):
+        assert vocab.by_rank(3).text in vocab
+        assert "zzzzzz-none" not in vocab
+
+    def test_by_rank_bounds(self, vocab):
+        with pytest.raises(CorpusError):
+            vocab.by_rank(0)
+        with pytest.raises(CorpusError):
+            vocab.by_rank(401)
+
+    def test_category_words_consistent(self, vocab):
+        for category in range(vocab.categories):
+            for word in vocab.category_words(category):
+                assert word.category == category
+
+    def test_unknown_category(self, vocab):
+        with pytest.raises(CorpusError):
+            vocab.category_words(999)
+
+
+class TestRelated:
+    def test_related_same_category(self, vocab):
+        word = vocab.by_rank(10)
+        for other in vocab.related(word):
+            assert other.category == word.category
+            assert other.text != word.text
+
+    def test_related_limit(self, vocab):
+        word = vocab.by_rank(1)
+        assert len(vocab.related(word, limit=3)) <= 3
+
+    def test_related_sorted_by_rank(self, vocab):
+        word = vocab.by_rank(5)
+        related = vocab.related(word, limit=10)
+        assert [w.rank for w in related] == sorted(w.rank for w in related)
+
+
+class TestSample:
+    def test_sample_distinct(self, vocab, rng):
+        sample = vocab.sample(rng, k=20)
+        assert len({w.text for w in sample}) == 20
+
+    def test_sample_by_frequency_biased(self, vocab, rng):
+        hits = 0
+        for _ in range(200):
+            word = vocab.sample(rng, k=1)[0]
+            if word.rank <= 40:
+                hits += 1
+        # Top-10% words carry most frequency mass under Zipf.
+        assert hits > 60
+
+    def test_sample_uniform(self, vocab, rng):
+        sample = vocab.sample(rng, k=10, by_frequency=False)
+        assert len(sample) == 10

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj is not errors.ReproError):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_platform_family(self):
+        assert issubclass(errors.TaskNotFound, errors.PlatformError)
+        assert issubclass(errors.JobNotFound, errors.PlatformError)
+        assert issubclass(errors.AccountError, errors.PlatformError)
+
+    def test_matchmaking_is_game_error(self):
+        assert issubclass(errors.MatchmakingError, errors.GameError)
+
+    def test_service_error_carries_status(self):
+        exc = errors.ServiceError("nope", status=422)
+        assert exc.status == 422
+        assert str(exc) == "nope"
+
+    def test_service_error_default_status(self):
+        assert errors.ServiceError("x").status == 400
+
+    def test_one_catch_for_everything(self):
+        # The library contract: `except ReproError` catches any library
+        # failure.
+        try:
+            raise errors.AggregationError("agg")
+        except errors.ReproError as caught:
+            assert "agg" in str(caught)
+
+    def test_export_error_in_family(self):
+        from repro.export import ExportError
+        assert issubclass(ExportError, errors.ReproError)

@@ -1,0 +1,49 @@
+"""Tests for ESP's timestamped leaderboards."""
+
+import pytest
+
+from repro.games.esp import EspGame
+from repro.players.population import PopulationConfig, build_population
+from repro import rng as _rng
+
+
+@pytest.fixture()
+def played_game(corpus):
+    game = EspGame(corpus, seed=990)
+    population = build_population(8, PopulationConfig(
+        skill_mean=0.85, coverage_mean=0.85), seed=990)
+    rng = _rng.make_rng(990)
+    clock = 0.0
+    for _ in range(6):
+        a, b = rng.sample(population, 2)
+        session = game.play_session(a, b, start_s=clock)
+        clock += session.duration_s + 30.0
+    return game, population, clock
+
+
+class TestEspLeaderboard:
+    def test_totals_match_scorekeeper(self, played_game):
+        game, population, _ = played_game
+        totals = game.leaderboard.totals()
+        for player_id, points in totals.items():
+            assert points == game.scorekeeper.points(player_id)
+
+    def test_all_time_board_ordered(self, played_game):
+        game, _, _ = played_game
+        board = game.leaderboard.all_time(k=5)
+        values = [points for _, points in board]
+        assert values == sorted(values, reverse=True)
+        assert board  # someone scored
+
+    def test_hourly_window_subset_of_all_time(self, played_game):
+        game, _, clock = played_game
+        hourly = dict(game.leaderboard.hourly(now_s=clock))
+        all_time = game.leaderboard.totals()
+        for player_id, points in hourly.items():
+            assert points <= all_time[player_id]
+
+    def test_events_within_session_clock(self, played_game):
+        game, _, clock = played_game
+        # No scoring event may land after the campaign clock.
+        latest = max(e.at_s for e in game.leaderboard._entries)
+        assert latest <= clock

@@ -1,0 +1,85 @@
+"""Tests for ESP single-player (recorded partner) mode."""
+
+import pytest
+
+from repro.errors import GameError
+from repro.games.esp import EspGame
+from repro.players.population import PopulationConfig, build_population
+
+
+@pytest.fixture()
+def seeded_game(corpus):
+    """A game with a bank of recorded live sessions."""
+    game = EspGame(corpus, seed=111)
+    population = build_population(8, PopulationConfig(
+        skill_mean=0.85, coverage_mean=0.85), seed=111)
+    for i in range(0, 8, 2):
+        game.play_session_agents(game.make_agent(population[i]),
+                                 game.make_agent(population[i + 1]),
+                                 record=True)
+    return game, population
+
+
+class TestSinglePlayerMode:
+    def test_requires_recordings(self, corpus, players):
+        game = EspGame(corpus, seed=112)
+        with pytest.raises(GameError):
+            game.play_single_session(players[0])
+
+    def test_recorded_sessions_bank(self, seeded_game):
+        game, _ = seeded_game
+        assert game.lobby.recorded_partner() is not None
+
+    def test_single_session_plays(self, seeded_game):
+        game, population = seeded_game
+        lone = build_population(1, PopulationConfig(
+            skill_mean=0.85, coverage_mean=0.85), seed=113,
+            id_prefix="solo")[0]
+        session = game.play_single_session(lone)
+        assert len(session.rounds) >= 1
+        # The recorded partner id is marked as such.
+        assert any(p.startswith("recorded:") for p in session.players)
+
+    def test_single_player_can_verify_labels(self, seeded_game):
+        game, _ = seeded_game
+        before = sum(len(v) for v in game.raw_labels().values())
+        # Several skilled solo players against the bank.
+        solos = build_population(6, PopulationConfig(
+            skill_mean=0.9, coverage_mean=0.9), seed=114,
+            id_prefix="solo")
+        successes = 0
+        for solo in solos:
+            session = game.play_single_session(solo)
+            successes += session.successes
+        after = sum(len(v) for v in game.raw_labels().values())
+        assert successes >= 1
+        assert after > before
+
+    def test_single_player_labels_stay_precise(self, seeded_game):
+        game, _ = seeded_game
+        solos = build_population(6, PopulationConfig(
+            skill_mean=0.9, coverage_mean=0.9), seed=115,
+            id_prefix="solo")
+        for solo in solos:
+            game.play_single_session(solo)
+        assert game.label_precision(promoted_only=False) > 0.8
+
+    def test_recorded_partner_respects_new_taboo(self, corpus):
+        # A label promoted after recording must not re-verify through
+        # the recorded stream.
+        game = EspGame(corpus, promotion_threshold=1, seed=116)
+        population = build_population(4, PopulationConfig(
+            skill_mean=0.9, coverage_mean=0.9), seed=116)
+        game.play_session_agents(game.make_agent(population[0]),
+                                 game.make_agent(population[1]),
+                                 record=True)
+        promoted_before = {
+            (item, label)
+            for item, labels in game.good_labels().items()
+            for label in labels}
+        session = game.play_single_session(population[2])
+        for round_result in session.rounds:
+            for contribution in round_result.contributions:
+                key = (contribution.item_id,
+                       contribution.value("label"))
+                assert key not in promoted_before

@@ -1,0 +1,124 @@
+"""Tests for dataset export."""
+
+import pytest
+
+from repro.export import (ExportError, export_facts, export_image_labels,
+                          export_music_tags, export_object_locations,
+                          export_transcriptions, load_dataset,
+                          save_dataset)
+from repro.games.esp import EspGame
+from repro.games.peekaboom import PeekaboomGame
+from repro.games.tagatune import TagATuneGame
+from repro.games.verbosity import VerbosityGame
+from repro.players.base import PlayerModel
+from repro.players.population import PopulationConfig, build_population
+from repro import rng as _rng
+
+
+@pytest.fixture(scope="module")
+def expert_pair():
+    return [PlayerModel(player_id=f"x{i}", skill=0.95,
+                        vocab_coverage=0.95, speed=5.0, diligence=1.0)
+            for i in range(2)]
+
+
+class TestImageLabelExport:
+    def test_document_shape(self, corpus, expert_pair):
+        game = EspGame(corpus, promotion_threshold=1, seed=300)
+        game.play_session(*expert_pair)
+        document = export_image_labels(game)
+        assert document["format"] == "repro-dataset"
+        assert document["kind"] == "image-labels"
+        assert document["stats"]["labels"] == len(document["records"])
+        for record in document["records"]:
+            assert record["support"] >= 1
+            assert isinstance(record["relevant"], bool)
+
+    def test_roundtrip(self, corpus, expert_pair, tmp_path):
+        game = EspGame(corpus, promotion_threshold=1, seed=301)
+        game.play_session(*expert_pair)
+        document = export_image_labels(game)
+        path = tmp_path / "labels.json"
+        save_dataset(document, path)
+        restored = load_dataset(path, expect_kind="image-labels")
+        assert restored == document
+
+
+class TestOtherExports:
+    def test_locations(self, corpus, layout, expert_pair):
+        game = PeekaboomGame(corpus, layout, round_time_limit_s=30.0,
+                             seed=302)
+        game.play_match(*expert_pair, rounds=8)
+        document = export_object_locations(game)
+        assert document["kind"] == "object-locations"
+        for record in document["records"]:
+            assert record["box"]["w"] > 0
+            assert record["reveals"] >= 1
+
+    def test_facts(self, facts, expert_pair):
+        game = VerbosityGame(facts, round_time_limit_s=45.0, seed=303)
+        game.play_match(*expert_pair, rounds=8)
+        document = export_facts(game)
+        assert document["kind"] == "facts"
+        assert document["stats"]["accuracy"] >= 0.0
+        for record in document["records"]:
+            assert record["sentence"].startswith(record["subject"])
+
+    def test_music_tags(self, music, expert_pair):
+        game = TagATuneGame(music, seed=304)
+        game.play_match(*expert_pair, rounds=10)
+        document = export_music_tags(game)
+        assert document["kind"] == "music-tags"
+        assert document["stats"]["tags"] == len(document["records"])
+
+    def test_transcriptions(self, ocr_corpus):
+        from repro.captcha import HumanReader, OcrEngine, ReCaptchaService
+        service = ReCaptchaService(
+            ocr_corpus, OcrEngine("a", seed=1), OcrEngine("b", seed=2),
+            seed=305)
+        readers = [HumanReader(m, seed=i) for i, m in enumerate(
+            build_population(10, PopulationConfig(skill_mean=0.9),
+                             seed=305))]
+        import itertools
+        cycle = itertools.cycle(readers)
+        for _ in range(600):
+            if service.unknown_pool_size == 0:
+                break
+            challenge = service.issue()
+            reader = next(cycle)
+            service.submit(reader.reader_id, challenge.challenge_id,
+                           tuple(reader.read(w)
+                                 for w in challenge.words))
+        document = export_transcriptions(service)
+        assert document["kind"] == "transcriptions"
+        assert document["stats"]["resolved"] == len(document["records"])
+
+
+class TestValidation:
+    def test_save_rejects_non_dataset(self, tmp_path):
+        with pytest.raises(ExportError):
+            save_dataset({"foo": 1}, tmp_path / "x.json")
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ExportError):
+            load_dataset(path)
+
+    def test_load_rejects_wrong_kind(self, corpus, expert_pair,
+                                     tmp_path):
+        game = EspGame(corpus, promotion_threshold=1, seed=306)
+        game.play_session(*expert_pair)
+        path = tmp_path / "labels.json"
+        save_dataset(export_image_labels(game), path)
+        with pytest.raises(ExportError):
+            load_dataset(path, expect_kind="facts")
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        import json
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format": "repro-dataset",
+                                    "version": 99, "kind": "facts",
+                                    "records": [], "stats": {}}))
+        with pytest.raises(ExportError):
+            load_dataset(path)

@@ -1,0 +1,136 @@
+"""Failure injection: degraded conditions the system must survive."""
+
+import pytest
+
+from repro.corpus.images import ImageCorpus
+from repro.corpus.vocab import Vocabulary
+from repro.errors import CorpusError, GameError, QualityError
+from repro.games.esp import EspGame
+from repro.games.tagatune import TagATuneGame
+from repro.players.base import Behavior, PlayerModel
+from repro.players.population import PopulationConfig, build_population
+from repro import rng as _rng
+
+
+class TestTabooSaturation:
+    def test_fully_taboo_item_times_out_not_crashes(self, corpus,
+                                                    players):
+        """When every tag of an image is taboo, rounds must time out
+        gracefully (the real game rotates such images out)."""
+        game = EspGame(corpus, promotion_threshold=1, seed=900)
+        image = corpus.images[0]
+        for tag in image.salience:
+            game.taboo.record_agreement(image.image_id, tag)
+        # Force max_taboo high enough to expose everything.
+        game.taboo.max_taboo = len(image.salience) + 5
+        agent_a = game.make_agent(players[0])
+        agent_b = game.make_agent(players[1])
+        from repro.core.entities import TaskItem
+        taboo = game.taboo.taboo_for(image.image_id)
+        result = game._template.play_round(
+            TaskItem(item_id=image.image_id), agent_a, agent_b,
+            taboo=taboo)
+        # Honest players cannot enter taboo words; near-miss words may
+        # still collide, but a crash or a taboo label is a failure.
+        for contribution in result.contributions:
+            assert contribution.value("label") not in taboo
+
+
+class TestAllAdversarialPopulation:
+    def test_esp_survives_pure_spam(self, corpus):
+        population = build_population(10, PopulationConfig(
+            spammer_frac=0.5, random_bot_frac=0.5), seed=901)
+        game = EspGame(corpus, seed=901)
+        rng = _rng.make_rng(901)
+        for _ in range(10):
+            a, b = rng.sample(population, 2)
+            game.play_session(a, b)
+        # The campaign runs; whatever got promoted is mostly junk,
+        # which precision correctly reports.
+        if game.good_labels():
+            assert game.label_precision() < 0.9
+
+    def test_tagatune_survives_pure_bots(self, music):
+        population = build_population(6, PopulationConfig(
+            random_bot_frac=1.0), seed=902)
+        game = TagATuneGame(music, seed=902)
+        results = game.play_match(population[0], population[1],
+                                  rounds=10)
+        assert len(results) == 10
+        # Bots' random votes only rarely certify tags.
+        assert game.tag_precision() <= 1.0
+
+
+class TestDegenerateCorpora:
+    def test_single_word_vocabulary(self):
+        vocab = Vocabulary(size=1, categories=1, seed=1)
+        assert len(vocab) == 1
+        word = vocab.by_rank(1)
+        assert vocab.related(word) == []
+
+    def test_single_image_corpus(self):
+        vocab = Vocabulary(size=30, categories=3, seed=2)
+        corpus = ImageCorpus(vocab, size=1, tags_per_image=5,
+                             background_tags=1, seed=2)
+        assert len(corpus) == 1
+
+    def test_vocab_smaller_than_categories_still_covers(self):
+        vocab = Vocabulary(size=3, categories=3, seed=3)
+        for category in range(3):
+            assert len(vocab.category_words(category)) == 1
+
+
+class TestRecaptchaDegenerate:
+    def test_no_unknown_words(self, vocab):
+        """Two identical engines never disagree: serving must fail
+        loudly, not loop."""
+        from repro.captcha.ocr import OcrEngine
+        from repro.captcha.recaptcha import ReCaptchaService
+        from repro.corpus.ocr import OcrCorpus
+        corpus = OcrCorpus(size=40, damaged_frac=0.0,
+                           clean_legibility=1.0, seed=903)
+        engine = OcrEngine("same", strength=1.0, penalty=0.0, seed=9)
+        service = ReCaptchaService(corpus, engine, engine, seed=903)
+        assert service.unknown_pool_size == 0
+        with pytest.raises(QualityError):
+            service.issue()
+
+    def test_empty_control_pool(self):
+        """All words damaged and disagreed: no controls to verify
+        humans with."""
+        from repro.captcha.ocr import OcrEngine
+        from repro.captcha.recaptcha import ReCaptchaService
+        from repro.corpus.ocr import OcrCorpus
+        corpus = OcrCorpus(size=40, damaged_frac=1.0,
+                           damaged_legibility=0.45, seed=904)
+        service = ReCaptchaService(
+            corpus, OcrEngine("a", strength=0.0, penalty=0.5, seed=1),
+            OcrEngine("b", strength=0.0, penalty=0.5, seed=2),
+            control_legibility=0.99, seed=904)
+        if service.control_pool_size == 0:
+            with pytest.raises(QualityError):
+                service.issue()
+
+
+class TestSessionEdgeCases:
+    def test_zero_diligence_lazy_player_still_plays(self, corpus):
+        minimal = PlayerModel(player_id="min", skill=0.5,
+                              vocab_coverage=0.5, speed=0.5,
+                              diligence=0.05, behavior=Behavior.LAZY)
+        partner = PlayerModel(player_id="partner", skill=0.8,
+                              vocab_coverage=0.8)
+        game = EspGame(corpus, seed=905)
+        session = game.play_session(minimal, partner)
+        assert len(session.rounds) >= 1
+
+    def test_identical_skill_extremes(self, corpus):
+        floor_a = PlayerModel(player_id="fa", skill=0.05,
+                              vocab_coverage=0.1, speed=0.5,
+                              diligence=0.05)
+        floor_b = PlayerModel(player_id="fb", skill=0.05,
+                              vocab_coverage=0.1, speed=0.5,
+                              diligence=0.05)
+        game = EspGame(corpus, seed=906, round_time_limit_s=15.0)
+        session = game.play_session(floor_a, floor_b)
+        # Mostly timeouts, but the session itself must complete.
+        assert len(session.rounds) >= 1

@@ -1,0 +1,128 @@
+"""Tests for the calibration knobs added during experiment tuning.
+
+These parameters exist because the benchmarks needed them; they are
+public API and deserve their own coverage: ESP per-round time caps,
+Verbosity secret-rank limits, exact-fact lookup, and Peekaboom's
+minimum-evidence gate.
+"""
+
+import pytest
+
+from repro.corpus.facts import FactBase, Relation
+from repro.games.esp import EspGame
+from repro.games.peekaboom import PeekAgent, PeekaboomGame
+from repro.games.verbosity import VerbosityGame
+from repro.players.base import PlayerModel
+from repro import rng as _rng
+
+
+class TestEspRoundTimeCap:
+    def test_defaults_to_session_duration(self, corpus):
+        game = EspGame(corpus, seed=1)
+        assert game.round_time_limit_s == game.session_config.duration_s
+
+    def test_cap_bounds_round_elapsed(self, corpus, players):
+        game = EspGame(corpus, seed=1, round_time_limit_s=10.0)
+        session = game.play_session(players[0], players[1])
+        assert all(r.elapsed_s <= 10.0 for r in session.rounds)
+
+    def test_tight_cap_reduces_agreement(self, corpus):
+        weak = [PlayerModel(player_id=f"w{i}", skill=0.25,
+                            vocab_coverage=0.25, speed=2.0,
+                            diligence=0.6) for i in range(2)]
+        loose = EspGame(corpus, seed=2)
+        tight = EspGame(corpus, seed=2, round_time_limit_s=8.0)
+        loose_rate = 0
+        tight_rate = 0
+        for _ in range(5):
+            s1 = loose.play_session(weak[0], weak[1])
+            s2 = tight.play_session(weak[0], weak[1])
+            loose_rate += s1.successes / max(1, len(s1.rounds))
+            tight_rate += s2.successes / max(1, len(s2.rounds))
+        assert tight_rate < loose_rate
+
+    def test_more_rounds_fit_with_cap(self, corpus, players):
+        tight = EspGame(corpus, seed=3, round_time_limit_s=10.0)
+        session = tight.play_session(players[0], players[1])
+        assert len(session.rounds) >= 5
+
+
+class TestVerbositySecretRankLimit:
+    def test_secrets_respect_cap(self, facts, vocab, players):
+        game = VerbosityGame(facts, seed=4, secret_rank_limit=50)
+        game.play_match(players[0], players[1], rounds=8)
+        for event in game.events.of_kind("verbosity_round"):
+            word = vocab.word(event.data["secret"])
+            assert word.rank <= 50
+
+    def test_cap_larger_than_vocab_ok(self, facts, players):
+        game = VerbosityGame(facts, seed=5, secret_rank_limit=10 ** 6)
+        results = game.play_match(players[0], players[1], rounds=2)
+        assert len(results) == 2
+
+    def test_common_secrets_complete_more(self, facts):
+        pair = [PlayerModel(player_id=f"v{i}", skill=0.7,
+                            vocab_coverage=0.5, speed=3.0,
+                            diligence=0.8) for i in range(2)]
+        common = VerbosityGame(facts, round_time_limit_s=45.0, seed=6,
+                               secret_rank_limit=40)
+        rare = VerbosityGame(facts, round_time_limit_s=45.0, seed=6)
+        common_wins = sum(r.succeeded for r in
+                          common.play_match(*pair, rounds=20))
+        rare_wins = sum(r.succeeded for r in
+                        rare.play_match(*pair, rounds=20))
+        assert common_wins >= rare_wins
+
+
+class TestHasFact:
+    def test_generated_facts_found(self, facts, vocab):
+        word = vocab.by_rank(3)
+        fact = facts.true_facts(word.text)[0]
+        assert facts.has_fact(fact.subject, fact.relation, fact.obj)
+
+    def test_distractors_not_facts(self, facts, vocab):
+        word = vocab.by_rank(3)
+        for fact in facts.false_facts(word.text):
+            assert not facts.has_fact(fact.subject, fact.relation,
+                                      fact.obj)
+
+    def test_plausible_but_ungenerated_not_facts(self, facts, vocab):
+        word = vocab.by_rank(1)
+        generated = {f.key for f in facts.true_facts(word.text)}
+        for other in vocab.category_words(word.category):
+            key = (word.text, Relation.LOOKS_LIKE.value, other.text)
+            if other.text != word.text and key not in generated:
+                # is_true may accept it (category plausible)...
+                assert facts.is_true(word.text, Relation.LOOKS_LIKE,
+                                     other.text)
+                # ... but has_fact must not.
+                assert not facts.has_fact(word.text,
+                                          Relation.LOOKS_LIKE,
+                                          other.text)
+                break
+
+
+class TestPeekMinEvidence:
+    def test_no_guess_below_evidence(self, corpus, layout,
+                                     skilled_player):
+        peek = PeekAgent(skilled_player, layout, _rng.make_rng(1),
+                         min_evidence=3)
+        image = corpus.images[0]
+        from repro.games.peekaboom import Reveal
+        reveals = [Reveal(10.0, 10.0, 40.0, 1.0),
+                   Reveal(12.0, 11.0, 40.0, 2.0)]
+        assert peek.guess_from_reveals(image, reveals) == []
+
+    def test_guessing_starts_at_evidence(self, corpus, layout,
+                                         skilled_player):
+        peek = PeekAgent(skilled_player, layout, _rng.make_rng(2),
+                         min_evidence=1)
+        image = corpus.images[0]
+        obj = layout.objects_in(image.image_id)[0]
+        from repro.games.peekaboom import Reveal
+        cx, cy = obj.box.center
+        reveals = [Reveal(cx, cy, 40.0, 1.0)]
+        # With min_evidence=1 a single on-target reveal may already
+        # produce candidates.
+        guesses = peek.guess_from_reveals(image, reveals)
+        assert isinstance(guesses, list)

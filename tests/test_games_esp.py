@@ -1,0 +1,117 @@
+"""Tests for the ESP Game."""
+
+import pytest
+
+from repro.core.entities import ContributionKind, TaskItem
+from repro.core.session import SessionConfig
+from repro.errors import GameError
+from repro.games.esp import EspAgent, EspGame
+from repro.players.base import Behavior, PlayerModel
+from repro.players.population import PopulationConfig, build_population
+from repro import rng as _rng
+
+
+@pytest.fixture()
+def game(corpus):
+    return EspGame(corpus, seed=21)
+
+
+class TestEspAgent:
+    def test_guesses_are_timed_and_ordered(self, corpus,
+                                           skilled_player):
+        agent = EspAgent(skilled_player, corpus, _rng.make_rng(1))
+        item = TaskItem(item_id=corpus.images[0].image_id)
+        guesses = agent.enter_guesses(item, frozenset())
+        times = [g.at_s for g in guesses]
+        assert times == sorted(times)
+        assert len(guesses) >= 1
+
+    def test_taboo_respected(self, corpus, skilled_player):
+        agent = EspAgent(skilled_player, corpus, _rng.make_rng(1))
+        image = corpus.images[0]
+        taboo = frozenset(image.top_tags(3))
+        item = TaskItem(item_id=image.image_id)
+        guesses = agent.enter_guesses(item, taboo)
+        assert not ({g.text for g in guesses} & taboo)
+
+
+class TestEspGame:
+    def test_session_produces_verified_labels(self, game, players):
+        result = game.play_session(players[0], players[1])
+        assert result.successes >= 1
+        verified = [c for c in result.contributions if c.verified]
+        assert all(c.kind is ContributionKind.LABEL for c in verified)
+
+    def test_identical_players_rejected(self, game, players):
+        with pytest.raises(GameError):
+            game.play_session(players[0], players[0])
+
+    def test_promotion_after_threshold(self, corpus, players):
+        game = EspGame(corpus, promotion_threshold=1, seed=3)
+        game.play_session(players[0], players[1])
+        assert len(game.good_labels()) >= 1
+
+    def test_taboo_changes_later_sessions(self, corpus):
+        game = EspGame(corpus, promotion_threshold=1, seed=5)
+        pop = build_population(8, PopulationConfig(
+            skill_mean=0.85, coverage_mean=0.85), seed=5)
+        for i in range(0, 8, 2):
+            game.play_session(pop[i], pop[i + 1])
+        # With threshold 1 every agreement promotes, so repeated labels
+        # per item must be distinct.
+        for item, labels in game.good_labels().items():
+            assert len(labels) == len(set(labels))
+
+    def test_disable_taboo(self, corpus, players):
+        game = EspGame(corpus, promotion_threshold=1, use_taboo=False,
+                       seed=5)
+        game.play_session(players[0], players[1])
+        # raw labels can now repeat across rounds (no constraint to
+        # verify beyond "no crash"); promoted list still dedupes.
+        for labels in game.good_labels().values():
+            assert len(labels) == len(set(labels))
+
+    def test_events_logged(self, game, players):
+        game.play_session(players[0], players[1])
+        assert len(game.events.of_kind("session")) == 1
+        assert len(game.events.of_kind("label")) >= 1
+
+    def test_scorekeeper_tracks_both_players(self, game, players):
+        game.play_session(players[0], players[1])
+        assert game.scorekeeper.points(players[0].player_id) > 0
+        assert game.scorekeeper.points(players[1].player_id) > 0
+
+    def test_label_precision_high_for_honest(self, corpus):
+        game = EspGame(corpus, seed=6)
+        pop = build_population(6, PopulationConfig(
+            skill_mean=0.9, coverage_mean=0.9), seed=6)
+        for i in range(0, 6, 2):
+            game.play_session(pop[i], pop[i + 1])
+        assert game.label_precision(promoted_only=False) > 0.8
+
+    def test_spammer_pair_rarely_agrees_on_relevant(self, corpus):
+        game = EspGame(corpus, seed=7)
+        spam_a = PlayerModel(player_id="sa", behavior=Behavior.SPAMMER)
+        spam_b = PlayerModel(player_id="sb", behavior=Behavior.SPAMMER)
+        result = game.play_session(spam_a, spam_b)
+        # Two spammers *do* agree (same frequent words) but on labels
+        # irrelevant to the image.
+        if result.successes:
+            assert game.label_precision(promoted_only=False) <= 0.8
+
+    def test_raw_labels_accumulate(self, game, players):
+        game.play_session(players[0], players[1])
+        raw = game.raw_labels()
+        total = sum(len(v) for v in raw.values())
+        assert total == len([c for c in game.contributions
+                             if c.verified])
+
+    def test_session_respects_duration(self, corpus, players):
+        config = SessionConfig(duration_s=60.0, max_rounds=50)
+        game = EspGame(corpus, session_config=config, seed=8)
+        result = game.play_session(players[0], players[1])
+        assert result.duration_s <= 60.0
+
+    def test_rounds_played_counter(self, game, players):
+        result = game.play_session(players[0], players[1])
+        assert game.rounds_played == len(result.rounds)

@@ -1,0 +1,80 @@
+"""Tests for Matchin."""
+
+import pytest
+
+from repro.core.entities import ContributionKind
+from repro.errors import GameError
+from repro.games.matchin import MatchinGame, appeal_score
+from repro.players.base import PlayerModel
+
+
+@pytest.fixture()
+def game(corpus):
+    return MatchinGame(corpus, seed=61)
+
+
+@pytest.fixture()
+def expert_pair():
+    return (PlayerModel(player_id="m1", skill=0.95),
+            PlayerModel(player_id="m2", skill=0.95))
+
+
+class TestAppealScore:
+    def test_stable(self):
+        assert appeal_score("img-1") == appeal_score("img-1")
+
+    def test_in_unit_interval(self, corpus):
+        for image in corpus:
+            assert 0.0 <= appeal_score(image.image_id) < 1.0
+
+    def test_varies_across_images(self, corpus):
+        scores = {appeal_score(i.image_id) for i in corpus}
+        assert len(scores) == len(corpus)
+
+
+class TestMatchinGame:
+    def test_experts_agree_often(self, game, expert_pair):
+        results = game.play_match(*expert_pair, rounds=40)
+        successes = sum(1 for r in results if r.succeeded)
+        assert successes >= 25
+
+    def test_agreement_emits_preference(self, game, expert_pair):
+        results = game.play_match(*expert_pair, rounds=20)
+        for result in results:
+            if result.succeeded:
+                assert len(result.contributions) == 1
+                contribution = result.contributions[0]
+                assert contribution.kind is ContributionKind.PREFERENCE
+                assert contribution.value("winner") != \
+                    contribution.value("loser")
+
+    def test_ranking_correlates_with_appeal(self, corpus):
+        game = MatchinGame(corpus, seed=62)
+        a = PlayerModel(player_id="r1", skill=0.95)
+        b = PlayerModel(player_id="r2", skill=0.95)
+        game.play_match(a, b, rounds=600)
+        assert game.ranking_correlation() > 0.5
+
+    def test_low_skill_correlates_less(self, corpus):
+        sharp_game = MatchinGame(corpus, seed=63)
+        blunt_game = MatchinGame(corpus, seed=63)
+        sharp = [PlayerModel(player_id=f"s{i}", skill=0.98)
+                 for i in range(2)]
+        blunt = [PlayerModel(player_id=f"b{i}", skill=0.05)
+                 for i in range(2)]
+        sharp_game.play_match(*sharp, rounds=400)
+        blunt_game.play_match(*blunt, rounds=400)
+        assert (sharp_game.ranking_correlation()
+                > blunt_game.ranking_correlation())
+
+    def test_identical_pair_rejected(self, game, corpus, expert_pair):
+        image = corpus.images[0]
+        with pytest.raises(GameError):
+            game.play_round(*expert_pair, pair=(image, image))
+
+    def test_ranking_correlation_empty(self, game):
+        assert game.ranking_correlation() == 0.0
+
+    def test_events_logged(self, game, expert_pair):
+        game.play_match(*expert_pair, rounds=5)
+        assert len(game.events.of_kind("matchin_round")) == 5

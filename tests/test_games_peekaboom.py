@@ -1,0 +1,118 @@
+"""Tests for Peekaboom."""
+
+import pytest
+
+from repro.core.entities import ContributionKind, RoundOutcome
+from repro.errors import GameError
+from repro.games.peekaboom import BoomAgent, PeekAgent, PeekaboomGame
+from repro.players.base import Behavior, PlayerModel
+from repro import rng as _rng
+
+
+@pytest.fixture()
+def game(corpus, layout):
+    return PeekaboomGame(corpus, layout, seed=31)
+
+
+class TestBoomAgent:
+    def test_reveals_cluster_near_object(self, corpus, layout,
+                                         skilled_player):
+        agent = BoomAgent(skilled_player, layout, _rng.make_rng(2))
+        image = corpus.images[0]
+        obj = layout.objects_in(image.image_id)[0]
+        reveals = agent.give_reveals(image, obj.word, 60.0)
+        assert len(reveals) >= 1
+        cx, cy = obj.box.center
+        near = sum(1 for r in reveals
+                   if abs(r.x - cx) < obj.box.w * 1.5
+                   and abs(r.y - cy) < obj.box.h * 1.5)
+        assert near >= len(reveals) * 0.5
+
+    def test_reveals_inside_image(self, corpus, layout, novice_player):
+        agent = BoomAgent(novice_player, layout, _rng.make_rng(3))
+        image = corpus.images[1]
+        obj = layout.objects_in(image.image_id)[0]
+        for reveal in agent.give_reveals(image, obj.word, 60.0):
+            assert 0 <= reveal.x <= image.width
+            assert 0 <= reveal.y <= image.height
+
+    def test_adversarial_boom_scatters(self, corpus, layout, spammer):
+        agent = BoomAgent(spammer, layout, _rng.make_rng(4))
+        image = corpus.images[0]
+        obj = layout.objects_in(image.image_id)[0]
+        reveals = agent.give_reveals(image, obj.word, 60.0)
+        assert len(reveals) >= 1
+
+
+class TestPeekAgent:
+    def test_guesses_known_salient_object(self, corpus, layout,
+                                          skilled_player):
+        boom = BoomAgent(skilled_player, layout, _rng.make_rng(5))
+        peek = PeekAgent(skilled_player, layout, _rng.make_rng(6))
+        image = corpus.images[0]
+        obj = layout.objects_in(image.image_id)[0]
+        reveals = boom.give_reveals(image, obj.word, 60.0)
+        guesses = peek.guess_from_reveals(image, reveals)
+        assert isinstance(guesses, list)
+
+    def test_no_reveals_no_evidence(self, corpus, layout,
+                                    skilled_player):
+        peek = PeekAgent(skilled_player, layout, _rng.make_rng(7))
+        guesses = peek.guess_from_reveals(corpus.images[0], [])
+        assert guesses == []
+
+
+class TestPeekaboomGame:
+    def test_round_on_missing_object_rejected(self, game, corpus,
+                                              players):
+        boom = game.make_boom(players[0])
+        peek = game.make_peek(players[1])
+        with pytest.raises(GameError):
+            game.play_round(boom, peek, corpus.images[0], "not-a-word")
+
+    def test_completed_rounds_verify_locations(self, game, corpus,
+                                               layout):
+        expert = PlayerModel(player_id="x1", skill=0.95,
+                             vocab_coverage=0.95, speed=5.0,
+                             diligence=1.0)
+        expert2 = PlayerModel(player_id="x2", skill=0.95,
+                              vocab_coverage=0.95, speed=5.0,
+                              diligence=1.0)
+        results = game.play_match(expert, expert2, rounds=12)
+        completed = [r for r in results if r.succeeded]
+        assert completed, "expert pair should complete some rounds"
+        for result in completed:
+            for contribution in result.contributions:
+                assert contribution.verified
+                assert contribution.kind is ContributionKind.LOCATION
+
+    def test_failed_round_contributions_unverified(self, game, corpus,
+                                                   layout, spammer,
+                                                   random_bot):
+        results = game.play_match(spammer, random_bot, rounds=6)
+        for result in results:
+            if not result.succeeded:
+                assert all(not c.verified for c in result.contributions)
+
+    def test_verified_locations_grouped(self, game):
+        expert = PlayerModel(player_id="y1", skill=0.95,
+                             vocab_coverage=0.95, speed=5.0,
+                             diligence=1.0)
+        expert2 = PlayerModel(player_id="y2", skill=0.95,
+                              vocab_coverage=0.95, speed=5.0,
+                              diligence=1.0)
+        game.play_match(expert, expert2, rounds=12)
+        for (image_id, word), contributions in \
+                game.verified_locations().items():
+            assert all(c.item_id == image_id for c in contributions)
+            assert all(c.value("word") == word for c in contributions)
+
+    def test_events_logged(self, game, players):
+        game.play_match(players[0], players[1], rounds=3)
+        assert len(game.events.of_kind("peekaboom_round")) == 3
+
+    def test_round_time_limit_respected(self, corpus, layout, players):
+        game = PeekaboomGame(corpus, layout, round_time_limit_s=10.0,
+                             seed=32)
+        results = game.play_match(players[0], players[1], rounds=4)
+        assert all(r.elapsed_s <= 10.0 for r in results)

@@ -1,0 +1,93 @@
+"""Tests for Phetch."""
+
+import pytest
+
+from repro.core.entities import ContributionKind
+from repro.errors import GameError
+from repro.games.phetch import PhetchGame
+from repro.players.base import PlayerModel
+
+
+@pytest.fixture()
+def game(corpus):
+    return PhetchGame(corpus, candidates=10, seed=101)
+
+
+@pytest.fixture()
+def expert():
+    return PlayerModel(player_id="pd", skill=0.95, vocab_coverage=0.95,
+                       speed=5.0, diligence=1.0)
+
+
+@pytest.fixture()
+def seekers():
+    return [PlayerModel(player_id=f"ps{i}", skill=0.9,
+                        vocab_coverage=0.9) for i in range(2)]
+
+
+class TestPhetchGame:
+    def test_experts_retrieve_often(self, game, expert, seekers):
+        results = game.play_match(expert, seekers, rounds=15)
+        found = sum(1 for r in results if r.succeeded)
+        assert found >= 10
+        assert game.retrieval_rate() == pytest.approx(found / 15)
+
+    def test_certified_descriptions_precise(self, game, expert,
+                                            seekers):
+        game.play_match(expert, seekers, rounds=15)
+        assert game.certified_descriptions()
+        assert game.description_precision() > 0.7
+
+    def test_contributions_are_descriptions(self, game, expert,
+                                            seekers):
+        game.play_match(expert, seekers, rounds=5)
+        for contribution in game.contributions:
+            assert contribution.kind is ContributionKind.DESCRIPTION
+            assert isinstance(contribution.value("description"), list)
+
+    def test_spam_describer_rarely_certifies(self, game, seekers,
+                                             spammer):
+        results = game.play_match(spammer, seekers, rounds=15)
+        found = sum(1 for r in results if r.succeeded)
+        # A description unrelated to the image cannot guide retrieval
+        # above chance (3 clicks x 2 seekers over 10 candidates).
+        assert found <= 9
+
+    def test_finder_recorded(self, game, expert, seekers):
+        results = game.play_match(expert, seekers, rounds=10)
+        for result in results:
+            if result.succeeded:
+                assert result.detail["finder"] in {"ps0", "ps1"}
+
+    def test_needs_seekers(self, game, expert, corpus):
+        describer = game.make_describer(expert)
+        with pytest.raises(GameError):
+            game.play_round(describer, [])
+
+    def test_candidate_bounds(self, corpus):
+        with pytest.raises(GameError):
+            PhetchGame(corpus, candidates=1)
+        with pytest.raises(GameError):
+            PhetchGame(corpus, candidates=len(corpus) + 1)
+
+    def test_retrieval_rate_empty(self, corpus):
+        assert PhetchGame(corpus, seed=1).retrieval_rate() == 0.0
+
+    def test_events_logged(self, game, expert, seekers):
+        game.play_match(expert, seekers, rounds=4)
+        assert len(game.events.of_kind("phetch_round")) == 4
+
+    def test_better_description_better_retrieval(self, corpus,
+                                                 seekers):
+        expert_game = PhetchGame(corpus, candidates=10, seed=102)
+        novice_game = PhetchGame(corpus, candidates=10, seed=102)
+        expert = PlayerModel(player_id="e", skill=0.95,
+                             vocab_coverage=0.95, speed=5.0,
+                             diligence=1.0)
+        novice = PlayerModel(player_id="n", skill=0.1,
+                             vocab_coverage=0.2, speed=2.0,
+                             diligence=0.4)
+        expert_game.play_match(expert, seekers, rounds=20)
+        novice_game.play_match(novice, seekers, rounds=20)
+        assert (expert_game.retrieval_rate()
+                >= novice_game.retrieval_rate())

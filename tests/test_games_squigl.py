@@ -1,0 +1,81 @@
+"""Tests for Squigl."""
+
+import pytest
+
+from repro.core.entities import ContributionKind
+from repro.corpus.objects import BoundingBox
+from repro.errors import GameError
+from repro.games.squigl import SquiglGame
+from repro.players.base import PlayerModel
+from repro import rng as _rng
+
+
+@pytest.fixture()
+def game(corpus, layout):
+    return SquiglGame(corpus, layout, seed=71)
+
+
+@pytest.fixture()
+def expert_pair():
+    return (PlayerModel(player_id="s1", skill=0.95),
+            PlayerModel(player_id="s2", skill=0.95))
+
+
+class TestSquiglGame:
+    def test_expert_traces_close_to_truth(self, game, corpus, layout,
+                                          expert_pair):
+        image = corpus.images[0]
+        obj = layout.objects_in(image.image_id)[0]
+        rng = _rng.make_rng(1)
+        trace = game.trace_for(expert_pair[0], image, obj.word, rng)
+        assert trace.iou(obj.box) > 0.4
+
+    def test_experts_agree_often(self, game, expert_pair):
+        results = game.play_match(*expert_pair, rounds=20)
+        successes = sum(1 for r in results if r.succeeded)
+        assert successes >= 14
+
+    def test_agreement_emits_trace(self, game, expert_pair):
+        results = game.play_match(*expert_pair, rounds=10)
+        for result in results:
+            if result.succeeded:
+                contribution = result.contributions[0]
+                assert contribution.kind is ContributionKind.TRACE
+                assert contribution.value("iou") >= game.agreement_iou
+
+    def test_consensus_quality_high_for_experts(self, game,
+                                                expert_pair):
+        game.play_match(*expert_pair, rounds=20)
+        assert game.consensus_quality() > 0.45
+
+    def test_adversaries_rarely_agree(self, game, spammer, random_bot):
+        results = game.play_match(spammer, random_bot, rounds=20)
+        successes = sum(1 for r in results if r.succeeded)
+        assert successes <= 6
+
+    def test_unknown_word_rejected(self, game, corpus, expert_pair):
+        with pytest.raises(GameError):
+            game.play_round(*expert_pair, image=corpus.images[0],
+                            word="missing")
+
+    def test_bad_agreement_iou(self, corpus, layout):
+        with pytest.raises(GameError):
+            SquiglGame(corpus, layout, agreement_iou=0.0)
+        with pytest.raises(GameError):
+            SquiglGame(corpus, layout, agreement_iou=1.5)
+
+    def test_consensus_quality_empty(self, game):
+        assert game.consensus_quality() == 0.0
+
+    def test_low_skill_agrees_less(self, corpus, layout):
+        sharp_game = SquiglGame(corpus, layout, seed=72)
+        blunt_game = SquiglGame(corpus, layout, seed=72)
+        sharp = [PlayerModel(player_id=f"sq{i}", skill=0.95)
+                 for i in range(2)]
+        blunt = [PlayerModel(player_id=f"bq{i}", skill=0.05)
+                 for i in range(2)]
+        sharp_n = sum(r.succeeded for r in
+                      sharp_game.play_match(*sharp, rounds=30))
+        blunt_n = sum(r.succeeded for r in
+                      blunt_game.play_match(*blunt, rounds=30))
+        assert sharp_n > blunt_n

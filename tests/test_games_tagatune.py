@@ -1,0 +1,93 @@
+"""Tests for TagATune."""
+
+import pytest
+
+from repro.core.entities import ContributionKind, TaskItem
+from repro.errors import GameError
+from repro.games.tagatune import TagATuneAgent, TagATuneGame
+from repro.players.base import PlayerModel
+from repro import rng as _rng
+
+
+@pytest.fixture()
+def game(music):
+    return TagATuneGame(music, seed=51)
+
+
+@pytest.fixture()
+def expert_pair():
+    return (PlayerModel(player_id="t1", skill=0.95, vocab_coverage=0.95,
+                        speed=5.0, diligence=1.0),
+            PlayerModel(player_id="t2", skill=0.95, vocab_coverage=0.95,
+                        speed=5.0, diligence=1.0))
+
+
+class TestTagATuneAgent:
+    def test_describe_tags_for_own_clip(self, music, skilled_player):
+        agent = TagATuneAgent(skilled_player, music, _rng.make_rng(1))
+        clip = music.clips[0]
+        tags = agent.describe(TaskItem(item_id=clip.clip_id, kind="clip"))
+        assert len(tags) >= 1
+        relevant = sum(1 for t in tags if clip.tag_salience(t.text) > 0)
+        assert relevant >= len(tags) * 0.5
+
+    def test_judge_same_with_matching_tags(self, music, skilled_player):
+        agent = TagATuneAgent(skilled_player, music, _rng.make_rng(2))
+        clip = music.clips[0]
+        item = TaskItem(item_id=clip.clip_id, kind="clip")
+        votes = [agent.judge_same(item, tuple(clip.top_tags(4)))
+                 for _ in range(20)]
+        assert sum(votes) >= 15
+
+    def test_judge_different_with_foreign_tags(self, music, vocab,
+                                               skilled_player):
+        agent = TagATuneAgent(skilled_player, music, _rng.make_rng(3))
+        clip = music.clips[0]
+        foreign = [c for c in music if c.genre != clip.genre][0]
+        item = TaskItem(item_id=clip.clip_id, kind="clip")
+        votes = [agent.judge_same(item, tuple(foreign.top_tags(4)))
+                 for _ in range(20)]
+        assert sum(votes) <= 8
+
+
+class TestTagATuneGame:
+    def test_experts_agree_often(self, game, expert_pair):
+        results = game.play_match(*expert_pair, rounds=20)
+        successes = sum(1 for r in results if r.succeeded)
+        assert successes >= 12
+
+    def test_verified_tags_attach_to_clips(self, game, expert_pair,
+                                           music):
+        game.play_match(*expert_pair, rounds=15)
+        for clip_id, tags in game.verified_tags().items():
+            clip = music.clip(clip_id)
+            assert clip is not None
+            assert len(tags) >= 1
+
+    def test_tag_precision_high_for_experts(self, game, expert_pair):
+        game.play_match(*expert_pair, rounds=20)
+        assert game.tag_precision() > 0.7
+
+    def test_contributions_are_labels(self, game, expert_pair):
+        game.play_match(*expert_pair, rounds=5)
+        assert all(c.kind is ContributionKind.LABEL
+                   for c in game.contributions)
+
+    def test_same_probability_respected(self, music, expert_pair):
+        game = TagATuneGame(music, same_probability=1.0, seed=52)
+        game.play_match(*expert_pair, rounds=10)
+        for event in game.events.of_kind("tagatune_round"):
+            assert event.data["same"] is True
+
+    def test_bad_same_probability(self, music):
+        with pytest.raises(GameError):
+            TagATuneGame(music, same_probability=1.5)
+
+    def test_spammers_fail_often(self, game, spammer, random_bot):
+        results = game.play_match(spammer, random_bot, rounds=20)
+        successes = sum(1 for r in results if r.succeeded)
+        assert successes <= 12
+
+    def test_tag_precision_empty(self, music):
+        game = TagATuneGame(music, seed=53)
+        assert game.tag_precision() == 0.0

@@ -1,0 +1,116 @@
+"""Tests for Verbosity."""
+
+import pytest
+
+from repro.core.entities import ContributionKind
+from repro.corpus.facts import Relation
+from repro.errors import GameError
+from repro.games.verbosity import (DescriberAgent, GuesserAgent,
+                                   VerbosityGame, parse_clue, render_clue)
+from repro.players.base import PlayerModel
+from repro import rng as _rng
+
+
+@pytest.fixture()
+def game(facts):
+    return VerbosityGame(facts, seed=41)
+
+
+@pytest.fixture()
+def expert_pair():
+    return (PlayerModel(player_id="v1", skill=0.95, vocab_coverage=0.95,
+                        speed=5.0, diligence=1.0),
+            PlayerModel(player_id="v2", skill=0.95, vocab_coverage=0.95,
+                        speed=5.0, diligence=1.0))
+
+
+class TestClueCodec:
+    def test_roundtrip(self):
+        text = render_clue(Relation.IS_A, "drink")
+        assert parse_clue(text) == (Relation.IS_A, "drink")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(GameError):
+            parse_clue("no separator here")
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(GameError):
+            parse_clue("is nothing like|drink")
+
+
+class TestDescriberAgent:
+    def test_clues_never_leak_secret(self, facts, vocab, skilled_player):
+        agent = DescriberAgent(skilled_player, facts, _rng.make_rng(1))
+        from repro.core.entities import TaskItem
+        secret = vocab.by_rank(5).text
+        clues = agent.give_clues(TaskItem(item_id="w"), secret)
+        for clue in clues:
+            _, obj = parse_clue(clue.text)
+            assert obj != secret
+
+    def test_skilled_describer_mostly_true(self, facts, vocab,
+                                           skilled_player):
+        agent = DescriberAgent(skilled_player, facts, _rng.make_rng(2))
+        from repro.core.entities import TaskItem
+        true_count = 0
+        total = 0
+        for rank in range(1, 30):
+            secret = vocab.by_rank(rank).text
+            for clue in agent.give_clues(TaskItem(item_id="w"), secret):
+                relation, obj = parse_clue(clue.text)
+                total += 1
+                true_count += facts.is_true(secret, relation, obj)
+        assert total > 0
+        assert true_count / total > 0.75
+
+    def test_adversarial_describer_mostly_false(self, facts, vocab,
+                                                spammer):
+        agent = DescriberAgent(spammer, facts, _rng.make_rng(3))
+        from repro.core.entities import TaskItem
+        false_count = 0
+        total = 0
+        for rank in range(1, 30):
+            secret = vocab.by_rank(rank).text
+            for clue in agent.give_clues(TaskItem(item_id="w"), secret):
+                relation, obj = parse_clue(clue.text)
+                total += 1
+                false_count += not facts.is_true(secret, relation, obj)
+        if total:
+            assert false_count / total > 0.6
+
+
+class TestVerbosityGame:
+    def test_match_completes_some_rounds(self, game, expert_pair):
+        results = game.play_match(*expert_pair, rounds=10)
+        assert sum(1 for r in results if r.succeeded) >= 3
+
+    def test_verified_facts_are_fact_kind(self, game, expert_pair):
+        game.play_match(*expert_pair, rounds=8)
+        verified = [c for c in game.contributions if c.verified]
+        assert verified
+        assert all(c.kind is ContributionKind.FACT for c in verified)
+
+    def test_fact_accuracy_high_for_experts(self, game, expert_pair):
+        game.play_match(*expert_pair, rounds=12)
+        assert game.fact_accuracy() > 0.7
+
+    def test_collected_facts_parse_back(self, game, expert_pair):
+        game.play_match(*expert_pair, rounds=6)
+        for fact in game.collected_facts(verified_only=False):
+            assert fact.subject
+            assert fact.obj
+
+    def test_unverified_facts_included_when_asked(self, game,
+                                                  expert_pair):
+        game.play_match(*expert_pair, rounds=8)
+        all_facts = game.collected_facts(verified_only=False)
+        verified = game.collected_facts(verified_only=True)
+        assert len(all_facts) >= len(verified)
+
+    def test_events_logged(self, game, expert_pair):
+        game.play_match(*expert_pair, rounds=4)
+        assert len(game.events.of_kind("verbosity_round")) == 4
+
+    def test_fact_accuracy_empty(self, facts):
+        game = VerbosityGame(facts, seed=1)
+        assert game.fact_accuracy() == 0.0

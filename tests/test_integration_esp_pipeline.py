@@ -1,0 +1,70 @@
+"""Integration: full ESP campaign -> aggregation -> analytics."""
+
+import pytest
+
+from repro.analytics.coverage import coverage_fraction
+from repro.analytics.quality import label_precision_recall
+from repro.analytics.throughput import gwap_metrics
+from repro.corpus.images import ImageCorpus
+from repro.corpus.vocab import Vocabulary
+from repro.games.esp import EspGame
+from repro.players.engagement import EngagementModel
+from repro.players.population import PopulationConfig, build_population
+from repro.sim.adapters import esp_session_runner
+from repro.sim.engine import Campaign
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    vocab = Vocabulary(size=600, categories=25, seed=77)
+    corpus = ImageCorpus(vocab, size=60, seed=77)
+    game = EspGame(corpus, seed=77)
+    population = build_population(40, PopulationConfig(
+        skill_mean=0.75, coverage_mean=0.7), seed=77)
+    engagement = EngagementModel(alp_scale_s=3600.0)
+    campaign = Campaign(population, esp_session_runner(game),
+                        arrival_rate_per_hour=200.0,
+                        engagement=engagement, seed=77)
+    result = campaign.run(4 * 3600.0)
+    return vocab, corpus, game, population, engagement, result
+
+
+class TestEspPipeline:
+    def test_campaign_produced_sessions(self, campaign_result):
+        *_, result = campaign_result
+        assert len(result.outcomes) > 50
+
+    def test_verified_labels_flow_to_game_state(self, campaign_result):
+        _, _, game, _, _, result = campaign_result
+        verified = result.verified_contributions
+        assert verified
+        assert sum(len(v) for v in game.raw_labels().values()) == len(
+            verified)
+
+    def test_promoted_labels_precise(self, campaign_result):
+        _, corpus, game, _, _, _ = campaign_result
+        labels = {item: list(labels)
+                  for item, labels in game.good_labels().items()}
+        assert labels, "campaign should promote some labels"
+        pr = label_precision_recall(labels, corpus)
+        assert pr.precision > 0.75
+
+    def test_throughput_metrics_sane(self, campaign_result):
+        _, _, _, population, engagement, result = campaign_result
+        metrics = gwap_metrics("ESP", result, population, engagement)
+        assert 10 < metrics.throughput_per_hour < 2000
+        assert metrics.expected_contribution > 0
+
+    def test_coverage_grows(self, campaign_result):
+        _, corpus, _, _, _, result = campaign_result
+        coverage = coverage_fraction(result.contributions, len(corpus))
+        assert coverage > 0.5
+
+    def test_events_consistent_with_contributions(self, campaign_result):
+        _, _, game, _, _, _ = campaign_result
+        label_events = game.events.of_kind("label")
+        verified = [c for c in game.contributions if c.verified]
+        assert len(label_events) == len(verified)
+        promotions = game.events.of_kind("promotion")
+        promoted = sum(len(v) for v in game.good_labels().values())
+        assert len(promotions) == promoted

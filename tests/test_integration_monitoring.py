@@ -1,0 +1,54 @@
+"""Integration: campaign health monitoring on live game traffic."""
+
+import pytest
+
+from repro.games.esp import EspGame
+from repro.players.population import PopulationConfig, build_population
+from repro.quality.monitoring import AlertKind, CampaignMonitor
+from repro import rng as _rng
+
+
+def run_monitored_campaign(corpus, config, seed, sessions=30,
+                           monitor=None):
+    game = EspGame(corpus, seed=seed, round_time_limit_s=15.0)
+    population = build_population(16, config, seed=seed)
+    monitor = monitor or CampaignMonitor(window=30, min_agreement=0.35,
+                                         cooldown_s=60.0)
+    rng = _rng.make_rng(seed)
+    clock = 0.0
+    for _ in range(sessions):
+        a, b = rng.sample(population, 2)
+        session = game.play_session(a, b, start_s=clock)
+        for round_result in session.rounds:
+            monitor.record_round(clock, round_result.succeeded)
+            clock += round_result.elapsed_s + 2.0
+    return game, monitor
+
+
+class TestMonitoredCampaigns:
+    def test_healthy_crowd_stays_quiet(self, corpus):
+        _, monitor = run_monitored_campaign(
+            corpus, PopulationConfig(skill_mean=0.85,
+                                     coverage_mean=0.85), seed=950)
+        assert monitor.alerts_of(AlertKind.LOW_AGREEMENT) == []
+
+    def test_bot_takeover_trips_agreement_alarm(self, corpus):
+        _, monitor = run_monitored_campaign(
+            corpus, PopulationConfig(random_bot_frac=0.9,
+                                     spammer_frac=0.1), seed=951)
+        assert monitor.alerts_of(AlertKind.LOW_AGREEMENT)
+
+    def test_spam_flags_feed_monitor(self, corpus):
+        monitor = CampaignMonitor(spam_flags_per_window=2)
+        from repro.quality.spam import SpamDetector
+        detector = SpamDetector(min_answers=10)
+        for i in range(3):
+            player = f"spam-{i}"
+            for _ in range(20):
+                detector.record_answer(player, "same-junk")
+        fired = []
+        for at, player in enumerate(detector.flagged()):
+            alert = monitor.record_spam_flag(float(at * 10), player)
+            if alert:
+                fired.append(alert)
+        assert fired and fired[0].kind is AlertKind.SPAM_WAVE

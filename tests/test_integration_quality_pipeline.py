@@ -1,0 +1,83 @@
+"""Integration: adversarial population -> quality control -> aggregation.
+
+Exercises the paper's claim that random matching + repetition + player
+testing keep output quality high even with cheaters in the crowd.
+"""
+
+import itertools
+
+import pytest
+
+from repro.aggregation.majority import MajorityVote
+from repro.aggregation.promotion import PromotionAggregator
+from repro.corpus.images import ImageCorpus
+from repro.corpus.vocab import Vocabulary
+from repro.games.esp import EspGame
+from repro.players.base import Behavior
+from repro.players.population import PopulationConfig, build_population
+from repro.quality.spam import SpamDetector
+from repro import rng as _rng
+
+
+@pytest.fixture(scope="module")
+def adversarial_campaign():
+    vocab = Vocabulary(size=500, categories=20, seed=88)
+    corpus = ImageCorpus(vocab, size=40, seed=88)
+    game = EspGame(corpus, promotion_threshold=2, seed=88)
+    population = build_population(30, PopulationConfig(
+        skill_mean=0.8, coverage_mean=0.75, spammer_frac=0.25), seed=88)
+    rng = _rng.make_rng(88)
+    detector = SpamDetector(min_answers=8, threshold=0.55)
+    for _ in range(60):
+        a, b = rng.sample(population, 2)
+        if a.player_id == b.player_id:
+            continue
+        session = game.play_session(a, b)
+        for round_result in session.rounds:
+            for guess in round_result.detail.get("guesses_a", []):
+                detector.record_answer(a.player_id, guess)
+            for guess in round_result.detail.get("guesses_b", []):
+                detector.record_answer(b.player_id, guess)
+    return corpus, game, population, detector
+
+
+class TestAdversarialPipeline:
+    def test_promoted_labels_stay_precise(self, adversarial_campaign):
+        corpus, game, _, _ = adversarial_campaign
+        if game.good_labels():
+            assert game.label_precision() > 0.6
+
+    def test_spam_detector_finds_spammers(self, adversarial_campaign):
+        _, _, population, detector = adversarial_campaign
+        spammers = {p.player_id for p in population
+                    if p.behavior is Behavior.SPAMMER}
+        flagged = set(detector.flagged())
+        judged = {p for p in flagged | spammers
+                  if detector.judge(p).answer_diversity is not None}
+        caught = flagged & spammers & judged
+        seen_spammers = spammers & judged
+        if seen_spammers:
+            assert len(caught) / len(seen_spammers) > 0.5
+
+    def test_spam_detector_spares_honest(self, adversarial_campaign):
+        _, _, population, detector = adversarial_campaign
+        honest = {p.player_id for p in population
+                  if p.behavior is Behavior.HONEST}
+        flagged = set(detector.flagged())
+        wrongly = flagged & honest
+        assert len(wrongly) <= max(1, len(honest) // 5)
+
+    def test_promotion_blocks_single_pair_spam(self):
+        """A single colluding pair cannot promote with threshold 2."""
+        agg = PromotionAggregator(threshold=2)
+        for _ in range(10):
+            agg.observe(("c1", "c2"), "img", "junk")
+        assert not agg.is_promoted("img", "junk")
+
+    def test_weighted_vote_overrides_spam_majority(self):
+        vote = MajorityVote(weights={"s1": 0.1, "s2": 0.1, "s3": 0.1,
+                                     "h1": 1.0, "h2": 1.0})
+        result = vote.vote("item", [("s1", "junk"), ("s2", "junk"),
+                                    ("s3", "junk"), ("h1", "real"),
+                                    ("h2", "real")])
+        assert result.answer == "real"

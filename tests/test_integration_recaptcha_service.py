@@ -1,0 +1,79 @@
+"""Integration: reCAPTCHA digitization driven through the task platform.
+
+The reCAPTCHA pipeline and the platform are independent subsystems; this
+test wires them together the way a deployment would: each unknown word
+becomes a platform task, workers transcribe through the service API, and
+the platform's majority results feed the string consensus.
+"""
+
+import pytest
+
+from repro.aggregation.strings import StringConsensus, normalize_answer
+from repro.captcha.ocr import OcrEngine, ocr_disagreements
+from repro.captcha.readers import HumanReader
+from repro.corpus.ocr import OcrCorpus
+from repro.platform.facade import Platform
+from repro.players.population import PopulationConfig, build_population
+from repro.service.api import ApiServer
+from repro.service.client import InProcessClient
+
+
+@pytest.fixture(scope="module")
+def digitization_run():
+    corpus = OcrCorpus(size=150, seed=99)
+    engine_a = OcrEngine("ocr-a", strength=0.25, penalty=0.2, seed=1)
+    engine_b = OcrEngine("ocr-b", strength=0.2, penalty=0.25, seed=2)
+    _, disagreed, _ = ocr_disagreements(corpus, engine_a, engine_b)
+    disagreed = disagreed[:25]
+
+    platform = Platform(gold_rate=0.0, seed=99)
+    client = InProcessClient(ApiServer(platform))
+    job = client.create_job("digitize-book", redundancy=3)
+    client.add_tasks(job["job_id"],
+                     [{"payload": {"word_id": w.word_id}}
+                      for w in disagreed])
+    client.start_job(job["job_id"])
+
+    population = build_population(12, PopulationConfig(
+        skill_mean=0.85, skill_sd=0.08), seed=99)
+    readers = {p.player_id: HumanReader(p, seed=i)
+               for i, p in enumerate(population)}
+    for player_id, reader in readers.items():
+        client.register_worker(player_id)
+        while True:
+            task = client.next_task(job["job_id"], player_id)
+            if task is None:
+                break
+            word = corpus.word(task["payload"]["word_id"])
+            client.submit_answer(task["task_id"], player_id,
+                                 reader.read(word))
+    return corpus, client, job, disagreed
+
+
+class TestDigitizationThroughPlatform:
+    def test_job_completes(self, digitization_run):
+        _, client, job, _ = digitization_run
+        progress = client.get_job(job["job_id"])["progress"]
+        assert progress["complete_frac"] == 1.0
+
+    def test_results_beat_single_reader(self, digitization_run):
+        corpus, client, job, disagreed = digitization_run
+        results = client.results(job["job_id"])
+        truths = {w.word_id: w.truth for w in disagreed}
+        # Map task -> word via stored payloads.
+        correct = 0
+        for task_id, result in results.items():
+            word_id = [w.word_id for w in disagreed
+                       if normalize_answer(result["answer"])
+                       == normalize_answer(truths[w.word_id])]
+            correct += bool(word_id)
+        accuracy = correct / len(results)
+        assert accuracy > 0.5
+
+    def test_consensus_improves_over_majority_strings(
+            self, digitization_run):
+        corpus, client, job, disagreed = digitization_run
+        # Independently resolve with the character-consensus fallback.
+        consensus = StringConsensus(quorum=2.0, min_confidence=0.5)
+        platform_results = client.results(job["job_id"])
+        assert len(platform_results) == len(disagreed)

@@ -1,0 +1,78 @@
+"""Direct tests for small public helpers covered only indirectly."""
+
+import pytest
+
+from repro.aggregation.strings import TranscriptionResult
+from repro.analytics.quality import distinct_labels
+from repro.corpus.objects import BoundingBox
+from repro.platform.accounts import Account
+from repro.platform.economics import PAID_CROWD_COST, BudgetTracker
+from repro.platform.jobs import Job, TaskRecord
+from repro.platform.store import JsonStore
+from repro.sim.engine import CampaignResult, SessionOutcome
+
+
+class TestBoundingBoxIntersection:
+    def test_overlap_area(self):
+        a = BoundingBox(0, 0, 10, 10)
+        b = BoundingBox(5, 5, 10, 10)
+        assert a.intersection(b) == 25.0
+        assert b.intersection(a) == 25.0
+
+    def test_disjoint_zero(self):
+        a = BoundingBox(0, 0, 5, 5)
+        b = BoundingBox(10, 10, 5, 5)
+        assert a.intersection(b) == 0.0
+
+    def test_contained(self):
+        outer = BoundingBox(0, 0, 10, 10)
+        inner = BoundingBox(2, 2, 3, 3)
+        assert outer.intersection(inner) == inner.area
+
+
+class TestDistinctLabels:
+    def test_counts_per_item_sets(self):
+        labels = {"i1": ["a", "a", "b"], "i2": ["c"]}
+        assert distinct_labels(labels) == 3
+
+    def test_empty(self):
+        assert distinct_labels({}) == 0
+
+
+class TestStoreHasHelpers:
+    def test_has_task_and_account(self):
+        store = JsonStore()
+        store.put_job(Job(job_id="j", name="x"))
+        store.put_task(TaskRecord(task_id="t", job_id="j"))
+        store.put_account(Account(account_id="a", display_name="A"))
+        assert store.has_task("t")
+        assert not store.has_task("ghost")
+        assert store.has_account("a")
+        assert not store.has_account("ghost")
+
+
+class TestBudgetAnswerCost:
+    def test_includes_fee(self):
+        budget = BudgetTracker(limit=1.0, model=PAID_CROWD_COST)
+        assert budget.answer_cost == pytest.approx(0.012)
+
+
+class TestCampaignResultTotals:
+    def test_total_successes(self):
+        result = CampaignResult()
+        result.outcomes.append(SessionOutcome(
+            contributions=(), rounds=5, successes=3, duration_s=10.0,
+            players=("a", "b")))
+        result.outcomes.append(SessionOutcome(
+            contributions=(), rounds=4, successes=4, duration_s=10.0,
+            players=("c", "d")))
+        assert result.total_successes == 7
+        assert result.total_rounds == 9
+
+
+class TestTranscriptionResultConfidence:
+    def test_zero_total(self):
+        result = TranscriptionResult(item_id="w", text="x", votes=0.0,
+                                     total=0.0, resolved=False,
+                                     via="plurality")
+        assert result.confidence == 0.0

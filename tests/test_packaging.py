@@ -1,0 +1,65 @@
+"""Packaging sanity: the public surface imports and versions agree."""
+
+import importlib
+
+import pytest
+
+
+PACKAGES = [
+    "repro", "repro.corpus", "repro.players", "repro.core",
+    "repro.games", "repro.captcha", "repro.aggregation",
+    "repro.quality", "repro.platform", "repro.service", "repro.sim",
+    "repro.analytics", "repro.export", "repro.cli", "repro.play",
+]
+
+
+class TestPackaging:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        module = importlib.import_module(name)
+        assert module is not None
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol}"
+
+    def test_version_matches_pyproject(self):
+        import re
+        from pathlib import Path
+        import repro
+        pyproject = Path(repro.__file__).resolve()
+        for parent in pyproject.parents:
+            candidate = parent / "pyproject.toml"
+            if candidate.exists():
+                match = re.search(r'^version = "(.+)"',
+                                  candidate.read_text(), re.M)
+                assert match
+                assert repro.__version__ == match.group(1)
+                return
+        pytest.skip("pyproject.toml not found (installed mode)")
+
+    def test_every_module_has_docstring(self):
+        from pathlib import Path
+        import ast
+        import repro
+        root = Path(repro.__file__).parent
+        for path in root.rglob("*.py"):
+            tree = ast.parse(path.read_text())
+            assert ast.get_docstring(tree), f"{path} lacks a docstring"
+
+    def test_public_classes_have_docstrings(self):
+        from pathlib import Path
+        import ast
+        import repro
+        root = Path(repro.__file__).parent
+        missing = []
+        for path in root.rglob("*.py"):
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ClassDef) \
+                        and not node.name.startswith("_"):
+                    if not ast.get_docstring(node):
+                        missing.append(f"{path.name}:{node.name}")
+        assert missing == []

@@ -1,0 +1,63 @@
+"""Tests for accounts and the registry."""
+
+import pytest
+
+from repro.errors import AccountError
+from repro.platform.accounts import Account, AccountRegistry
+
+
+class TestAccount:
+    def test_add_points(self):
+        account = Account(account_id="a", display_name="A")
+        assert account.add_points(10) == 10
+        assert account.add_points(5) == 15
+
+    def test_negative_points_rejected(self):
+        account = Account(account_id="a", display_name="A")
+        with pytest.raises(AccountError):
+            account.add_points(-1)
+
+    def test_dict_roundtrip(self):
+        account = Account(account_id="a", display_name="Alice",
+                          points=42, attributes={"behavior": "honest"})
+        restored = Account.from_dict(account.to_dict())
+        assert restored.points == 42
+        assert restored.attributes == {"behavior": "honest"}
+
+
+class TestAccountRegistry:
+    def test_register_and_get(self):
+        registry = AccountRegistry()
+        registry.register("w1", "Worker One", behavior="honest")
+        account = registry.get("w1")
+        assert account.display_name == "Worker One"
+        assert account.attributes["behavior"] == "honest"
+
+    def test_duplicate_rejected(self):
+        registry = AccountRegistry()
+        registry.register("w1")
+        with pytest.raises(AccountError):
+            registry.register("w1")
+
+    def test_default_display_name(self):
+        registry = AccountRegistry()
+        assert registry.register("w1").display_name == "w1"
+
+    def test_get_unknown(self):
+        registry = AccountRegistry()
+        with pytest.raises(AccountError):
+            registry.get("ghost")
+
+    def test_ensure_creates_once(self):
+        registry = AccountRegistry()
+        first = registry.ensure("w1")
+        second = registry.ensure("w1")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_contains_and_all(self):
+        registry = AccountRegistry()
+        registry.register("b")
+        registry.register("a")
+        assert "a" in registry
+        assert [acc.account_id for acc in registry.all()] == ["a", "b"]

@@ -1,0 +1,72 @@
+"""Tests for cost models and budget tracking."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.economics import (GWAP_COST, PAID_CROWD_COST,
+                                      BudgetTracker, CostModel)
+
+
+class TestCostModel:
+    def test_gwap_pays_only_infra(self):
+        report = GWAP_COST.price(answers=10000, human_hours=50.0,
+                                 verified_units=5000)
+        assert report.payments == 0.0
+        assert report.fees == 0.0
+        assert report.total == pytest.approx(0.5)
+        assert report.cost_per_verified_unit == pytest.approx(0.0001)
+
+    def test_paid_crowd_pays_wages_and_fees(self):
+        report = PAID_CROWD_COST.price(answers=10000, human_hours=50.0,
+                                       verified_units=5000)
+        assert report.payments == pytest.approx(100.0)
+        assert report.fees == pytest.approx(20.0)
+        assert report.total == pytest.approx(120.5)
+
+    def test_gwap_cheaper_per_unit(self):
+        gwap = GWAP_COST.price(10000, 50.0, 5000)
+        paid = PAID_CROWD_COST.price(10000, 50.0, 5000)
+        assert (gwap.cost_per_verified_unit
+                < paid.cost_per_verified_unit / 100)
+
+    def test_zero_output_infinite_unit_cost(self):
+        report = GWAP_COST.price(100, 1.0, 0)
+        assert report.cost_per_verified_unit == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            CostModel(payment_per_answer=-1.0)
+        with pytest.raises(PlatformError):
+            CostModel(platform_fee_rate=1.5)
+        with pytest.raises(PlatformError):
+            GWAP_COST.price(-1, 0.0, 0)
+
+
+class TestBudgetTracker:
+    def test_charges_until_exhausted(self):
+        budget = BudgetTracker(limit=0.036, model=PAID_CROWD_COST)
+        # answer cost = 0.01 * 1.2 = 0.012 -> 3 answers affordable.
+        assert budget.affordable_answers() == 3
+        budget.charge_answer()
+        budget.charge_answer()
+        budget.charge_answer()
+        assert not budget.can_afford_answer()
+        with pytest.raises(PlatformError):
+            budget.charge_answer()
+
+    def test_remaining_decreases(self):
+        budget = BudgetTracker(limit=1.0, model=PAID_CROWD_COST)
+        before = budget.remaining
+        budget.charge_answer()
+        assert budget.remaining < before
+
+    def test_free_model_never_exhausts(self):
+        budget = BudgetTracker(limit=0.01, model=GWAP_COST)
+        for _ in range(1000):
+            budget.charge_answer()
+        assert budget.can_afford_answer()
+        assert budget.affordable_answers() > 10 ** 9
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            BudgetTracker(limit=0.0, model=GWAP_COST)

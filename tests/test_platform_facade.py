@@ -1,0 +1,133 @@
+"""Tests for the Platform facade."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.facade import Platform
+from repro.platform.jobs import JobStatus
+
+
+def run_job(platform, workers, answers, redundancy=3, tasks=4):
+    """Create, fill and run a simple labeling job."""
+    job = platform.create_job("labels", redundancy=redundancy)
+    platform.add_tasks(job.job_id,
+                       [{"index": i} for i in range(tasks)])
+    platform.start_job(job.job_id)
+    for worker in workers:
+        platform.register_worker(worker)
+        while True:
+            task = platform.request_task(job.job_id, worker)
+            if task is None:
+                break
+            platform.submit_answer(task.task_id, worker,
+                                   answers(worker, task))
+    return job
+
+
+class TestJobLifecycle:
+    def test_start_requires_tasks(self):
+        platform = Platform()
+        job = platform.create_job("empty")
+        with pytest.raises(PlatformError):
+            platform.start_job(job.job_id)
+
+    def test_draft_job_rejects_requests(self):
+        platform = Platform()
+        job = platform.create_job("draft")
+        platform.add_tasks(job.job_id, [{"q": 1}])
+        with pytest.raises(PlatformError):
+            platform.request_task(job.job_id, "w1")
+
+    def test_completion(self):
+        platform = Platform(gold_rate=0.0)
+        job = run_job(platform, ["w1", "w2"],
+                      lambda w, t: "x", redundancy=2, tasks=3)
+        assert platform.store.get_job(job.job_id).status is \
+            JobStatus.COMPLETED
+        assert platform.request_task(job.job_id, "w3") is None
+
+    def test_progress(self):
+        platform = Platform(gold_rate=0.0)
+        job = platform.create_job("p", redundancy=2)
+        platform.add_tasks(job.job_id, [{"q": 1}, {"q": 2}])
+        platform.start_job(job.job_id)
+        task = platform.request_task(job.job_id, "w1")
+        platform.submit_answer(task.task_id, "w1", "a")
+        progress = platform.progress(job.job_id)
+        assert progress["answers"] == 1
+        assert progress["completed"] == 0
+
+
+class TestAnswering:
+    def test_points_credited(self):
+        platform = Platform(points_per_answer=7, gold_rate=0.0)
+        run_job(platform, ["w1"], lambda w, t: "x", redundancy=1,
+                tasks=3)
+        assert platform.accounts.get("w1").points == 21
+        assert len(platform.leaderboard) == 3
+
+    def test_gold_grading_feeds_reputation(self):
+        platform = Platform(gold_rate=1.0)
+        job = platform.create_job("g", redundancy=1)
+        platform.add_task(job.job_id, {"q": 1}, gold_answer="right")
+        platform.start_job(job.job_id)
+        platform.register_worker("w1")
+        task = platform.request_task(job.job_id, "w1")
+        platform.submit_answer(task.task_id, "w1", "wrong")
+        assert platform.reputation.weight("w1") < 0.5
+
+    def test_answer_to_stopped_job_rejected(self):
+        platform = Platform(gold_rate=0.0)
+        job = platform.create_job("s", redundancy=1)
+        task = platform.add_task(job.job_id, {"q": 1})
+        with pytest.raises(PlatformError):
+            platform.submit_answer(task.task_id, "w1", "x")
+
+
+class TestResults:
+    def test_majority_results(self):
+        platform = Platform(gold_rate=0.0)
+        job = run_job(platform, ["w1", "w2", "w3"],
+                      lambda w, t: "cat" if w != "w3" else "dog",
+                      redundancy=3, tasks=2)
+        results = platform.results(job.job_id)
+        assert all(r.answer == "cat" for r in results.values())
+
+    def test_gold_tasks_excluded_from_results(self):
+        platform = Platform(gold_rate=1.0)
+        job = platform.create_job("g", redundancy=1)
+        platform.add_task(job.job_id, {"q": 1}, gold_answer="yes")
+        platform.start_job(job.job_id)
+        platform.register_worker("w1")
+        task = platform.request_task(job.job_id, "w1")
+        platform.submit_answer(task.task_id, "w1", "yes")
+        assert platform.results(job.job_id) == {}
+
+    def test_reputation_weighted_results(self):
+        platform = Platform(gold_rate=0.0)
+        job = platform.create_job("rw", redundancy=3)
+        platform.add_tasks(job.job_id, [{"q": 1}])
+        platform.start_job(job.job_id)
+        # Hand-feed reputation: w1 reliable, w2/w3 proven bad.
+        for _ in range(10):
+            platform.reputation.record_gold("w1", True)
+            platform.reputation.record_gold("w2", False)
+            platform.reputation.record_gold("w3", False)
+        for worker, answer in (("w1", "right"), ("w2", "wrong"),
+                               ("w3", "wrong")):
+            platform.register_worker(worker)
+            task = platform.request_task(job.job_id, worker)
+            platform.submit_answer(task.task_id, worker, answer)
+        weighted = platform.results(job.job_id, use_reputation=True)
+        unweighted = platform.results(job.job_id, use_reputation=False)
+        assert list(weighted.values())[0].answer == "right"
+        assert list(unweighted.values())[0].answer == "wrong"
+
+    def test_worker_stats(self):
+        platform = Platform(gold_rate=0.0)
+        run_job(platform, ["w1"], lambda w, t: "x", redundancy=1,
+                tasks=1)
+        stats = platform.worker_stats("w1")
+        assert stats["points"] == 10
+        assert stats["rank"] == 1
+        assert stats["trusted"] is True

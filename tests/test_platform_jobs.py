@@ -1,0 +1,71 @@
+"""Tests for jobs and task records."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.jobs import (AnswerRecord, Job, JobStatus, TaskRecord,
+                                 TaskState)
+
+
+class TestTaskRecord:
+    def test_add_answer(self):
+        task = TaskRecord(task_id="t1", job_id="j1")
+        task.add_answer("w1", "cat", at_s=5.0)
+        assert task.answers[0].answer == "cat"
+        assert task.answered_by("w1")
+
+    def test_duplicate_worker_rejected(self):
+        task = TaskRecord(task_id="t1", job_id="j1")
+        task.add_answer("w1", "cat")
+        with pytest.raises(PlatformError):
+            task.add_answer("w1", "dog")
+
+    def test_workers_order(self):
+        task = TaskRecord(task_id="t1", job_id="j1")
+        task.add_answer("b", 1)
+        task.add_answer("a", 2)
+        assert task.workers() == ("b", "a")
+
+    def test_state_transitions(self):
+        task = TaskRecord(task_id="t1", job_id="j1")
+        assert task.state(2) is TaskState.PENDING
+        task.add_answer("w1", 1)
+        assert task.state(2) is TaskState.PENDING
+        task.add_answer("w2", 2)
+        assert task.state(2) is TaskState.COMPLETED
+
+    def test_gold_flag(self):
+        plain = TaskRecord(task_id="t1", job_id="j1")
+        gold = TaskRecord(task_id="t2", job_id="j1", gold_answer="cat")
+        assert not plain.is_gold
+        assert gold.is_gold
+
+    def test_dict_roundtrip(self):
+        task = TaskRecord(task_id="t1", job_id="j1",
+                          payload={"image": "x"}, gold_answer="cat")
+        task.add_answer("w1", "cat", at_s=3.0)
+        restored = TaskRecord.from_dict(task.to_dict())
+        assert restored.task_id == "t1"
+        assert restored.gold_answer == "cat"
+        assert restored.answers[0].worker_id == "w1"
+        assert restored.answers[0].at_s == 3.0
+
+
+class TestJob:
+    def test_defaults(self):
+        job = Job(job_id="j1", name="test")
+        assert job.status is JobStatus.DRAFT
+        assert job.redundancy == 3
+
+    def test_rejects_bad_redundancy(self):
+        with pytest.raises(PlatformError):
+            Job(job_id="j1", name="x", redundancy=0)
+
+    def test_dict_roundtrip(self):
+        job = Job(job_id="j1", name="test", redundancy=5,
+                  status=JobStatus.RUNNING, task_ids=["t1"],
+                  meta={"kind": "labels"})
+        restored = Job.from_dict(job.to_dict())
+        assert restored.status is JobStatus.RUNNING
+        assert restored.task_ids == ["t1"]
+        assert restored.meta == {"kind": "labels"}

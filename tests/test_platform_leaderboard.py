@@ -1,0 +1,65 @@
+"""Tests for the leaderboard."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.leaderboard import Leaderboard
+
+
+def make_board():
+    board = Leaderboard()
+    board.record("a", 100, at_s=0.0)
+    board.record("b", 50, at_s=100.0)
+    board.record("a", 25, at_s=5000.0)
+    board.record("c", 200, at_s=90000.0)
+    return board
+
+
+class TestLeaderboard:
+    def test_all_time_totals(self):
+        board = make_board()
+        assert board.totals() == {"a": 125, "b": 50, "c": 200}
+
+    def test_top_order(self):
+        board = make_board()
+        assert board.top(2) == [("c", 200), ("a", 125)]
+
+    def test_window_filters(self):
+        board = make_board()
+        assert board.totals(since_s=0.0, until_s=1000.0) == {
+            "a": 100, "b": 50}
+
+    def test_hourly_window(self):
+        board = make_board()
+        hourly = dict(board.hourly(now_s=5100.0))
+        assert hourly == {"a": 25}
+
+    def test_daily_window(self):
+        board = make_board()
+        daily = dict(board.daily(now_s=6000.0))
+        assert daily == {"a": 125, "b": 50}
+
+    def test_rank_of(self):
+        board = make_board()
+        assert board.rank_of("c") == 1
+        assert board.rank_of("b") == 3
+        assert board.rank_of("ghost") is None
+
+    def test_ties_break_by_id(self):
+        board = Leaderboard()
+        board.record("z", 10, 0.0)
+        board.record("a", 10, 0.0)
+        assert board.top(2) == [("a", 10), ("z", 10)]
+
+    def test_zero_points_allowed(self):
+        board = Leaderboard()
+        board.record("a", 0, 0.0)
+        assert board.totals() == {"a": 0}
+
+    def test_negative_points_rejected(self):
+        board = Leaderboard()
+        with pytest.raises(PlatformError):
+            board.record("a", -5, 0.0)
+
+    def test_len(self):
+        assert len(make_board()) == 4

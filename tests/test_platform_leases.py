@@ -1,0 +1,60 @@
+"""Tests for task-lease semantics in the scheduler."""
+
+import pytest
+
+from repro.platform.jobs import Job, TaskRecord
+from repro.platform.scheduler import AssignmentPolicy, TaskScheduler
+from repro.platform.store import JsonStore
+
+
+def make_scheduler(tasks=3, redundancy=2):
+    store = JsonStore()
+    store.put_job(Job(job_id="j", name="leases",
+                      redundancy=redundancy))
+    for i in range(tasks):
+        store.put_task(TaskRecord(task_id=f"t{i}", job_id="j"))
+    return TaskScheduler(store, seed=1), store
+
+
+class TestLeases:
+    def test_concurrent_fetches_spread_over_tasks(self):
+        scheduler, _ = make_scheduler(tasks=3, redundancy=1)
+        handed = [scheduler.next_task("j", f"w{k}").task_id
+                  for k in range(3)]
+        assert len(set(handed)) == 3
+
+    def test_lease_capacity_matches_redundancy(self):
+        scheduler, _ = make_scheduler(tasks=1, redundancy=2)
+        assert scheduler.next_task("j", "w1") is not None
+        assert scheduler.next_task("j", "w2") is not None
+        # Both redundancy slots leased: nothing left for a third.
+        assert scheduler.next_task("j", "w3") is None
+
+    def test_answer_clears_lease(self):
+        scheduler, store = make_scheduler(tasks=1, redundancy=2)
+        task = scheduler.next_task("j", "w1")
+        store.get_task(task.task_id).add_answer("w1", "x")
+        scheduler.clear_reservation(task.task_id, "w1")
+        # One answer + no stale lease: one slot remains for w3 even
+        # with w2's live lease.
+        assert scheduler.next_task("j", "w2") is not None
+        assert scheduler.next_task("j", "w3") is None
+
+    def test_expired_lease_frees_slot(self):
+        scheduler, _ = make_scheduler(tasks=1, redundancy=1)
+        scheduler.lease_ttl_s = -1.0  # every lease is born expired
+        assert scheduler.next_task("j", "w1") is not None
+        assert scheduler.next_task("j", "w2") is not None
+
+    def test_refetch_by_same_worker_allowed(self):
+        # A worker re-requesting before answering gets a task again
+        # (their own lease does not block them).
+        scheduler, _ = make_scheduler(tasks=1, redundancy=1)
+        first = scheduler.next_task("j", "w1")
+        second = scheduler.next_task("j", "w1")
+        assert first is not None and second is not None
+        assert first.task_id == second.task_id
+
+    def test_clear_unknown_reservation_is_noop(self):
+        scheduler, _ = make_scheduler()
+        scheduler.clear_reservation("t0", "ghost")  # no error

@@ -1,0 +1,91 @@
+"""Tests for adaptive redundancy routing on the platform."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.facade import Platform
+from repro.platform.jobs import JobStatus
+
+
+def contested_job(platform):
+    """A job with one clean task and one contested (split-vote) task."""
+    job = platform.create_job("routing", redundancy=3)
+    clean = platform.add_task(job.job_id, {"kind": "clean"})
+    contested = platform.add_task(job.job_id, {"kind": "contested"})
+    platform.start_job(job.job_id)
+    votes = {"w1": ("cat", "x"), "w2": ("cat", "y"),
+             "w3": ("cat", "x")}
+    for worker, (clean_answer, contested_answer) in votes.items():
+        platform.register_worker(worker)
+        platform.submit_answer(clean.task_id, worker, clean_answer)
+        platform.submit_answer(contested.task_id, worker,
+                               contested_answer)
+    return job, clean, contested
+
+
+class TestLowConfidenceRouting:
+    def test_contested_task_flagged(self):
+        platform = Platform(gold_rate=0.0)
+        job, clean, contested = contested_job(platform)
+        flagged = platform.low_confidence_tasks(job.job_id,
+                                                min_margin=0.5)
+        assert contested.task_id in flagged
+        assert clean.task_id not in flagged
+
+    def test_unanimous_job_flags_nothing(self):
+        platform = Platform(gold_rate=0.0)
+        job = platform.create_job("clean", redundancy=2)
+        task = platform.add_task(job.job_id, {})
+        platform.start_job(job.job_id)
+        for worker in ("w1", "w2"):
+            platform.register_worker(worker)
+            platform.submit_answer(task.task_id, worker, "same")
+        assert platform.low_confidence_tasks(job.job_id) == []
+
+    def test_extend_redundancy_reopens(self):
+        platform = Platform(gold_rate=0.0)
+        job, clean, contested = contested_job(platform)
+        assert platform.store.get_job(job.job_id).status is \
+            JobStatus.COMPLETED
+        new_redundancy = platform.extend_redundancy(
+            job.job_id, [contested.task_id], extra=2)
+        assert new_redundancy == 5
+        assert platform.store.get_job(job.job_id).status is \
+            JobStatus.RUNNING
+        # A fresh worker can now pick the contested task back up.
+        platform.register_worker("w4")
+        task = platform.request_task(job.job_id, "w4")
+        assert task is not None
+
+    def test_extend_validates_inputs(self):
+        platform = Platform(gold_rate=0.0)
+        job, clean, contested = contested_job(platform)
+        with pytest.raises(PlatformError):
+            platform.extend_redundancy(job.job_id,
+                                       [contested.task_id], extra=0)
+        other = platform.create_job("other")
+        foreign = platform.add_task(other.job_id, {})
+        with pytest.raises(PlatformError):
+            platform.extend_redundancy(job.job_id, [foreign.task_id])
+
+    def test_extend_with_no_tasks_keeps_redundancy(self):
+        platform = Platform(gold_rate=0.0)
+        job, *_ = contested_job(platform)
+        assert platform.extend_redundancy(job.job_id, []) == 3
+
+    def test_adaptive_loop_resolves_contested_task(self):
+        platform = Platform(gold_rate=0.0)
+        job, clean, contested = contested_job(platform)
+        flagged = platform.low_confidence_tasks(job.job_id,
+                                                min_margin=0.5)
+        platform.extend_redundancy(job.job_id, flagged, extra=2)
+        for worker in ("w5", "w6"):
+            platform.register_worker(worker)
+            while True:
+                task = platform.request_task(job.job_id, worker)
+                if task is None:
+                    break
+                platform.submit_answer(task.task_id, worker, "x")
+        results = platform.results(job.job_id, use_reputation=False)
+        assert results[contested.task_id].answer == "x"
+        assert results[contested.task_id].margin > 0.3

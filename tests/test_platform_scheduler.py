@@ -1,0 +1,101 @@
+"""Tests for task assignment policies."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.jobs import Job, TaskRecord
+from repro.platform.scheduler import AssignmentPolicy, TaskScheduler
+from repro.platform.store import JsonStore
+
+
+def make_store(tasks=4, redundancy=2, golds=0):
+    store = JsonStore()
+    store.put_job(Job(job_id="j1", name="test", redundancy=redundancy))
+    for i in range(tasks):
+        store.put_task(TaskRecord(task_id=f"t{i}", job_id="j1"))
+    for i in range(golds):
+        store.put_task(TaskRecord(task_id=f"g{i}", job_id="j1",
+                                  gold_answer="yes"))
+    return store
+
+
+class TestEligibility:
+    def test_excludes_answered(self):
+        store = make_store()
+        scheduler = TaskScheduler(store)
+        store.get_task("t0").add_answer("w1", 1)
+        eligible = scheduler.eligible_tasks(store.get_job("j1"), "w1")
+        assert "t0" not in [t.task_id for t in eligible]
+
+    def test_excludes_completed(self):
+        store = make_store(redundancy=1)
+        scheduler = TaskScheduler(store)
+        store.get_task("t0").add_answer("other", 1)
+        eligible = scheduler.eligible_tasks(store.get_job("j1"), "w1")
+        assert "t0" not in [t.task_id for t in eligible]
+
+    def test_gold_filter(self):
+        store = make_store(tasks=1, golds=2)
+        scheduler = TaskScheduler(store)
+        eligible = scheduler.eligible_tasks(store.get_job("j1"), "w1",
+                                            include_gold=False)
+        assert [t.task_id for t in eligible] == ["t0"]
+
+
+class TestPolicies:
+    def test_breadth_first_prefers_least_answered(self):
+        store = make_store(tasks=3, redundancy=3)
+        scheduler = TaskScheduler(
+            store, policy=AssignmentPolicy.BREADTH_FIRST)
+        store.get_task("t0").add_answer("x", 1)
+        store.get_task("t1").add_answer("x", 1)
+        assert scheduler.next_task("j1", "w1").task_id == "t2"
+
+    def test_depth_first_prefers_most_answered(self):
+        store = make_store(tasks=3, redundancy=3)
+        scheduler = TaskScheduler(
+            store, policy=AssignmentPolicy.DEPTH_FIRST)
+        store.get_task("t1").add_answer("x", 1)
+        store.get_task("t1").add_answer("y", 1)
+        assert scheduler.next_task("j1", "w1").task_id == "t1"
+
+    def test_random_policy_covers_tasks(self):
+        store = make_store(tasks=5, redundancy=9)
+        scheduler = TaskScheduler(store,
+                                  policy=AssignmentPolicy.RANDOM, seed=3)
+        seen = {scheduler.next_task("j1", "w1").task_id
+                for _ in range(50)}
+        assert len(seen) >= 3
+
+    def test_exhausted_returns_none(self):
+        store = make_store(tasks=1, redundancy=1)
+        scheduler = TaskScheduler(store)
+        store.get_task("t0").add_answer("w1", 1)
+        assert scheduler.next_task("j1", "w1") is None
+
+    def test_gold_injection_rate(self):
+        store = make_store(tasks=1, redundancy=100, golds=1)
+        scheduler = TaskScheduler(store, gold_rate=1.0, seed=4)
+        task = scheduler.next_task("j1", "w1")
+        assert task.is_gold
+
+    def test_gold_rate_zero_prefers_normal(self):
+        store = make_store(tasks=1, redundancy=100, golds=1)
+        scheduler = TaskScheduler(store, gold_rate=0.0, seed=5)
+        assert not scheduler.next_task("j1", "w1").is_gold
+
+    def test_bad_gold_rate(self):
+        with pytest.raises(PlatformError):
+            TaskScheduler(make_store(), gold_rate=2.0)
+
+
+class TestProgress:
+    def test_progress_counts(self):
+        store = make_store(tasks=2, redundancy=1)
+        scheduler = TaskScheduler(store)
+        store.get_task("t0").add_answer("w1", 1)
+        progress = scheduler.progress("j1")
+        assert progress["tasks"] == 2
+        assert progress["completed"] == 1
+        assert progress["answers"] == 1
+        assert progress["complete_frac"] == 0.5

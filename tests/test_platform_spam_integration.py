@@ -1,0 +1,116 @@
+"""Tests for spam detection integrated into the platform and API."""
+
+import pytest
+
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.client import InProcessClient
+from repro.service.wire import ApiRequest
+
+
+def spammed_platform():
+    """3 honest workers + 1 gold-failing spammer on a 6-task job."""
+    platform = Platform(gold_rate=0.0, spam_detection=True, seed=400)
+    job = platform.create_job("spammy", redundancy=4)
+    tasks = platform.add_tasks(job.job_id,
+                               [{"i": i} for i in range(6)])
+    golds = [platform.add_task(job.job_id, {"gold": g},
+                               gold_answer=f"truth-{g}")
+             for g in range(4)]
+    platform.start_job(job.job_id)
+    for worker in ("h1", "h2", "h3", "spam"):
+        platform.register_worker(worker)
+    for index, task in enumerate(tasks):
+        for worker in ("h1", "h2", "h3"):
+            platform.submit_answer(task.task_id, worker,
+                                   f"label-{index}")
+        platform.submit_answer(task.task_id, "spam", "junk")
+    for gold in golds:
+        for worker in ("h1", "h2", "h3"):
+            platform.submit_answer(gold.task_id, worker,
+                                   gold.gold_answer)
+        platform.submit_answer(gold.task_id, "spam", "junk")
+    return platform, job, tasks
+
+
+class TestPlatformSpamIntegration:
+    def test_spammer_flagged(self):
+        platform, *_ = spammed_platform()
+        assert "spam" in platform.flagged_workers()
+
+    def test_honest_not_flagged(self):
+        platform, *_ = spammed_platform()
+        flagged = set(platform.flagged_workers())
+        assert not flagged & {"h1", "h2", "h3"}
+
+    def test_flagged_workers_silenced_in_results(self):
+        platform, job, tasks = spammed_platform()
+        results = platform.results(job.job_id)
+        for task in tasks:
+            assert results[task.task_id].answer != "junk"
+
+    def test_all_flagged_falls_back(self):
+        platform = Platform(gold_rate=0.0, spam_detection=True,
+                            seed=401)
+        job = platform.create_job("only-spam", redundancy=1)
+        task = platform.add_task(job.job_id, {})
+        platform.start_job(job.job_id)
+        platform.register_worker("spam")
+        # Build a spam reputation on gold elsewhere.
+        for _ in range(5):
+            platform.spam.record_gold("spam", False)
+        platform.submit_answer(task.task_id, "spam", "only-answer")
+        results = platform.results(job.job_id)
+        # Fallback keeps the task answered rather than erroring.
+        assert results[task.task_id].answer == "only-answer"
+
+    def test_detection_disabled(self):
+        platform = Platform(gold_rate=0.0, spam_detection=False)
+        assert platform.spam is None
+        assert platform.flagged_workers() == []
+
+    def test_unhashable_answers_survive(self):
+        platform = Platform(gold_rate=0.0, spam_detection=True)
+        job = platform.create_job("complex", redundancy=1)
+        task = platform.add_task(job.job_id, {})
+        platform.start_job(job.job_id)
+        platform.register_worker("w")
+        platform.submit_answer(task.task_id, "w",
+                               {"boxes": [1, 2, 3]})
+        results = platform.results(job.job_id)
+        assert results[task.task_id].answer == {"boxes": [1, 2, 3]}
+
+
+class TestQualityEndpoints:
+    def _client(self, platform):
+        return InProcessClient(ApiServer(platform))
+
+    def test_flagged_endpoint(self):
+        platform, *_ = spammed_platform()
+        api = ApiServer(platform)
+        response = api.handle(ApiRequest("GET", "/workers/flagged"))
+        assert response.status == 200
+        assert "spam" in response.body["flagged"]
+
+    def test_flagged_route_beats_worker_stats(self):
+        platform = Platform()
+        api = ApiServer(platform)
+        response = api.handle(ApiRequest("GET", "/workers/flagged"))
+        # Must hit the flagged route, not 404/409 from stats lookup.
+        assert response.status == 200
+        assert response.body == {"flagged": []}
+
+    def test_low_confidence_endpoint(self):
+        platform = Platform(gold_rate=0.0, spam_detection=False)
+        job = platform.create_job("lc", redundancy=3)
+        task = platform.add_task(job.job_id, {})
+        platform.start_job(job.job_id)
+        for worker, answer in (("w1", "x"), ("w2", "y"), ("w3", "z")):
+            platform.register_worker(worker)
+            platform.submit_answer(task.task_id, worker, answer)
+        api = ApiServer(platform)
+        response = api.handle(ApiRequest(
+            "GET", f"/jobs/{job.job_id}/low_confidence",
+            query={"min_margin": "0.5"}))
+        assert response.status == 200
+        assert task.task_id in response.body["tasks"]

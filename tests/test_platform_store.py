@@ -1,0 +1,76 @@
+"""Tests for the JSON store."""
+
+import pytest
+
+from repro.errors import JobNotFound, PlatformError, TaskNotFound
+from repro.platform.accounts import Account
+from repro.platform.jobs import Job, TaskRecord
+from repro.platform.store import JsonStore
+
+
+def make_store():
+    store = JsonStore()
+    store.put_job(Job(job_id="j1", name="first"))
+    store.put_task(TaskRecord(task_id="t1", job_id="j1",
+                              payload={"q": 1}))
+    store.put_task(TaskRecord(task_id="t2", job_id="j1",
+                              gold_answer="yes"))
+    store.put_account(Account(account_id="a1", display_name="Alice"))
+    return store
+
+
+class TestJsonStore:
+    def test_job_lookup(self):
+        store = make_store()
+        assert store.get_job("j1").name == "first"
+        assert store.has_job("j1")
+        with pytest.raises(JobNotFound):
+            store.get_job("j9")
+
+    def test_task_lookup(self):
+        store = make_store()
+        assert store.get_task("t1").payload == {"q": 1}
+        with pytest.raises(TaskNotFound):
+            store.get_task("t9")
+
+    def test_task_registers_in_job(self):
+        store = make_store()
+        assert store.get_job("j1").task_ids == ["t1", "t2"]
+
+    def test_task_requires_job(self):
+        store = JsonStore()
+        with pytest.raises(JobNotFound):
+            store.put_task(TaskRecord(task_id="t", job_id="missing"))
+
+    def test_tasks_for(self):
+        store = make_store()
+        tasks = store.tasks_for("j1")
+        assert [t.task_id for t in tasks] == ["t1", "t2"]
+
+    def test_account_lookup(self):
+        store = make_store()
+        assert store.get_account("a1").display_name == "Alice"
+        with pytest.raises(PlatformError):
+            store.get_account("a9")
+
+    def test_document_roundtrip(self):
+        store = make_store()
+        store.get_task("t1").add_answer("w1", "cat", at_s=2.0)
+        restored = JsonStore.from_document(store.to_document())
+        assert restored.get_job("j1").task_ids == ["t1", "t2"]
+        assert restored.get_task("t1").answers[0].answer == "cat"
+        assert restored.get_account("a1").display_name == "Alice"
+
+    def test_file_roundtrip(self, tmp_path):
+        store = make_store()
+        path = tmp_path / "store.json"
+        store.save(path)
+        restored = JsonStore.load(path)
+        assert restored.task_count() == 2
+        assert restored.get_task("t2").gold_answer == "yes"
+
+    def test_idempotent_task_registration(self):
+        store = make_store()
+        task = store.get_task("t1")
+        store.put_task(task)
+        assert store.get_job("j1").task_ids == ["t1", "t2"]

@@ -1,0 +1,104 @@
+"""Tests for the interactive CAPTCHA session."""
+
+import pytest
+
+from repro.corpus.ocr import OcrCorpus
+from repro.errors import ConfigError
+from repro.play import (InteractiveCaptcha, extract_letters,
+                        render_challenge)
+from repro import rng as _rng
+
+
+class TestRenderChallenge:
+    def test_letters_preserved_in_order(self, rng):
+        for _ in range(50):
+            display = render_challenge("fanodatu", rng)
+            assert extract_letters(display) == "fanodatu"
+
+    def test_noise_present(self, rng):
+        noisy = [render_challenge("fanodatu", rng, noise_rate=2.0)
+                 for _ in range(20)]
+        assert any(any(c.isdigit() or c in ".:;!?*+#" for c in d)
+                   for d in noisy)
+
+    def test_zero_noise_still_renders(self, rng):
+        display = render_challenge("abc", rng, noise_rate=0.0)
+        assert extract_letters(display) == "abc"
+
+    def test_deterministic_under_seed(self):
+        a = render_challenge("word", _rng.make_rng(5))
+        b = render_challenge("word", _rng.make_rng(5))
+        assert a == b
+
+    def test_empty_word_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            render_challenge("", rng)
+
+    def test_negative_noise_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            render_challenge("abc", rng, noise_rate=-1.0)
+
+
+class ScriptedIo:
+    """A fake terminal: answers via a strategy, records output."""
+
+    def __init__(self, solver):
+        self.solver = solver
+        self.printed = []
+        self._last_display = None
+
+    def print_fn(self, message):
+        self.printed.append(message)
+        if "]" in message and "[" in message:
+            self._last_display = message.split("]", 1)[1].strip()
+
+    def input_fn(self, prompt):
+        return self.solver(self._last_display)
+
+
+class TestInteractiveCaptcha:
+    @pytest.fixture()
+    def corpus(self):
+        return OcrCorpus(size=50, damaged_frac=0.0, seed=3)
+
+    def test_attentive_player_solves_everything(self, corpus):
+        io = ScriptedIo(solver=extract_letters)
+        session = InteractiveCaptcha(corpus, rounds=5, seed=3,
+                                     input_fn=io.input_fn,
+                                     print_fn=io.print_fn)
+        summary = session.play()
+        assert summary.solved == 5
+        assert summary.pass_rate == 1.0
+        assert summary.score == 500
+
+    def test_button_masher_fails(self, corpus):
+        io = ScriptedIo(solver=lambda display: "zzz")
+        session = InteractiveCaptcha(corpus, rounds=4, seed=4,
+                                     input_fn=io.input_fn,
+                                     print_fn=io.print_fn)
+        summary = session.play()
+        assert summary.solved == 0
+        assert summary.pass_rate == 0.0
+
+    def test_naive_program_fails(self, corpus):
+        # A program that types everything it sees (noise included)
+        # fails — the CAPTCHA property.
+        io = ScriptedIo(solver=lambda display: display.replace(" ", ""))
+        session = InteractiveCaptcha(corpus, rounds=4, seed=5,
+                                     input_fn=io.input_fn,
+                                     print_fn=io.print_fn)
+        summary = session.play()
+        assert summary.solved == 0
+
+    def test_feedback_printed(self, corpus):
+        io = ScriptedIo(solver=extract_letters)
+        session = InteractiveCaptcha(corpus, rounds=2, seed=6,
+                                     input_fn=io.input_fn,
+                                     print_fn=io.print_fn)
+        session.play()
+        assert any("correct!" in line for line in io.printed)
+        assert any("solved 2/2" in line for line in io.printed)
+
+    def test_rounds_validated(self, corpus):
+        with pytest.raises(ConfigError):
+            InteractiveCaptcha(corpus, rounds=0)

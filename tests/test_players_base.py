@@ -1,0 +1,97 @@
+"""Tests for the player cognitive model."""
+
+import pytest
+
+from repro.corpus.vocab import Vocabulary
+from repro.errors import ConfigError
+from repro.players.base import Behavior, PlayerModel
+
+
+class TestPlayerModelValidation:
+    def test_skill_bounds(self):
+        with pytest.raises(ConfigError):
+            PlayerModel(player_id="p", skill=1.5)
+        with pytest.raises(ConfigError):
+            PlayerModel(player_id="p", skill=-0.1)
+
+    def test_speed_floor(self):
+        with pytest.raises(ConfigError):
+            PlayerModel(player_id="p", speed=0.1)
+
+    def test_colluder_needs_key(self):
+        with pytest.raises(ConfigError):
+            PlayerModel(player_id="p", behavior=Behavior.COLLUDER)
+        model = PlayerModel(player_id="p", behavior=Behavior.COLLUDER,
+                            collusion_key="ring-0")
+        assert model.collusion_key == "ring-0"
+
+
+class TestKnowledge:
+    def test_knowledge_is_stable(self, vocab):
+        model = PlayerModel(player_id="p1", vocab_coverage=0.5)
+        word = vocab.by_rank(100)
+        assert model.knows(word) == model.knows(word)
+
+    def test_knowledge_differs_across_players(self, vocab):
+        a = PlayerModel(player_id="pa", vocab_coverage=0.5)
+        b = PlayerModel(player_id="pb", vocab_coverage=0.5)
+        differs = any(a.knows(w) != b.knows(w) for w in vocab)
+        assert differs
+
+    def test_everyone_knows_frequent_words(self, vocab):
+        model = PlayerModel(player_id="p", vocab_coverage=0.4)
+        known_top = sum(model.knows(vocab.by_rank(r))
+                        for r in range(1, 11))
+        assert known_top >= 8
+
+    def test_coverage_scales_knowledge(self, vocab):
+        rich = PlayerModel(player_id="rich", vocab_coverage=0.95)
+        poor = PlayerModel(player_id="poor", vocab_coverage=0.15)
+        rich_known = sum(rich.knows(w) for w in vocab)
+        poor_known = sum(poor.knows(w) for w in vocab)
+        assert rich_known > poor_known * 1.5
+
+    def test_knowledge_seed_stable(self):
+        model = PlayerModel(player_id="p")
+        assert (model.knowledge_seed("engagement")
+                == model.knowledge_seed("engagement"))
+        assert (model.knowledge_seed("a")
+                != model.knowledge_seed("b"))
+
+
+class TestBehavior:
+    def test_adversaries_have_zero_effective_skill(self):
+        spammer = PlayerModel(player_id="s", skill=0.9,
+                              behavior=Behavior.SPAMMER)
+        assert spammer.effective_skill() == 0.0
+
+    def test_honest_keeps_skill(self):
+        model = PlayerModel(player_id="h", skill=0.8)
+        assert model.effective_skill() == 0.8
+
+    def test_is_adversarial(self):
+        assert PlayerModel(player_id="s",
+                           behavior=Behavior.SPAMMER).is_adversarial
+        assert not PlayerModel(player_id="h").is_adversarial
+
+
+class TestAnswerBudget:
+    def test_lazy_enters_one(self):
+        lazy = PlayerModel(player_id="l", behavior=Behavior.LAZY)
+        assert lazy.answers_per_round(150.0) == 1
+
+    def test_budget_scales_with_speed(self):
+        slow = PlayerModel(player_id="s", speed=1.0, diligence=0.8)
+        fast = PlayerModel(player_id="f", speed=6.0, diligence=0.8)
+        assert fast.answers_per_round(150.0) > slow.answers_per_round(
+            150.0)
+
+    def test_budget_scales_with_diligence(self):
+        keen = PlayerModel(player_id="k", speed=3.0, diligence=1.0)
+        slack = PlayerModel(player_id="s", speed=3.0, diligence=0.1)
+        assert keen.answers_per_round(150.0) > slack.answers_per_round(
+            150.0)
+
+    def test_budget_at_least_one(self):
+        minimal = PlayerModel(player_id="m", speed=0.5, diligence=0.05)
+        assert minimal.answers_per_round(5.0) >= 1

@@ -1,0 +1,61 @@
+"""Tests for the engagement (ALP) model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.players.base import PlayerModel
+from repro.players.engagement import EngagementModel, LifetimeStats
+from repro.players.population import build_population
+
+
+class TestEngagementModel:
+    def test_draw_stable_per_player(self, skilled_player):
+        model = EngagementModel(alp_scale_s=3600.0)
+        a = model.draw(skilled_player)
+        b = model.draw(skilled_player)
+        assert a.total_play_s == b.total_play_s
+        assert a.session_lengths_s == b.session_lengths_s
+
+    def test_draw_differs_across_players(self, skilled_player,
+                                         novice_player):
+        model = EngagementModel()
+        assert (model.draw(skilled_player).total_play_s
+                != model.draw(novice_player).total_play_s)
+
+    def test_sessions_sum_to_total(self, players):
+        model = EngagementModel()
+        for player in players:
+            stats = model.draw(player)
+            assert sum(stats.session_lengths_s) == pytest.approx(
+                stats.total_play_s)
+
+    def test_scale_shifts_median(self):
+        population = build_population(200, seed=3)
+        short = EngagementModel(alp_scale_s=600.0)
+        long = EngagementModel(alp_scale_s=6000.0)
+        assert (long.average_lifetime_play_s(population)
+                > short.average_lifetime_play_s(population) * 3)
+
+    def test_heavy_tail_present(self):
+        population = build_population(300, seed=4)
+        model = EngagementModel(alp_scale_s=3600.0, sigma=1.0)
+        draws = sorted(model.draw(p).total_play_s for p in population)
+        median = draws[len(draws) // 2]
+        top = draws[-1]
+        assert top > median * 5
+
+    def test_average_empty_population(self):
+        assert EngagementModel().average_lifetime_play_s([]) == 0.0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            EngagementModel(alp_scale_s=0)
+        with pytest.raises(ConfigError):
+            EngagementModel(sigma=0)
+        with pytest.raises(ConfigError):
+            EngagementModel(session_s=0)
+
+    def test_lifetime_stats_validation(self):
+        with pytest.raises(ConfigError):
+            LifetimeStats(total_play_s=-1.0, sessions=1,
+                          session_lengths_s=(1.0,))

@@ -1,0 +1,144 @@
+"""Tests for perception, spam answers and the behavior dispatcher."""
+
+import pytest
+
+from repro.players.adversarial import answer_stream, is_item_blind
+from repro.players.base import Behavior, PlayerModel
+from repro.players.perception import (perceive_tags, perception_weights,
+                                      spam_tags)
+
+
+class TestPerceptionWeights:
+    def test_unknown_words_excluded(self, vocab):
+        model = PlayerModel(player_id="p", vocab_coverage=0.3)
+        salience = {w.text: 0.1 for w in list(vocab)[:10]}
+        weighted = perception_weights(model, salience, vocab)
+        for text, _ in weighted:
+            assert model.knows(vocab.word(text))
+
+    def test_skill_sharpens_ordering(self, corpus, vocab):
+        image = corpus.images[0]
+        sharp = PlayerModel(player_id="sharp", skill=0.98,
+                            vocab_coverage=0.95)
+        weighted = dict(perception_weights(sharp, image.salience, vocab))
+        # With high skill, relative weights should track salience order.
+        known = [t for t in image.top_tags(10) if t in weighted]
+        if len(known) >= 2:
+            assert weighted[known[0]] >= weighted[known[-1]]
+
+    def test_nonvocab_tags_skipped(self, vocab):
+        model = PlayerModel(player_id="p", vocab_coverage=0.9)
+        weighted = perception_weights(model, {"not-in-vocab": 1.0}, vocab)
+        assert weighted == []
+
+
+class TestPerceiveTags:
+    def test_respects_k(self, corpus, vocab, rng, skilled_player):
+        image = corpus.images[0]
+        tags = perceive_tags(skilled_player, image.salience, vocab, rng,
+                             k=3)
+        assert len(tags) <= 3
+
+    def test_k_zero(self, corpus, vocab, rng, skilled_player):
+        assert perceive_tags(skilled_player, corpus.images[0].salience,
+                             vocab, rng, k=0) == []
+
+    def test_no_duplicates(self, corpus, vocab, rng, skilled_player):
+        image = corpus.images[0]
+        tags = perceive_tags(skilled_player, image.salience, vocab, rng,
+                             k=10)
+        assert len(tags) == len(set(tags))
+
+    def test_excludes_taboo(self, corpus, vocab, rng, skilled_player):
+        image = corpus.images[0]
+        taboo = frozenset(image.top_tags(2))
+        for _ in range(10):
+            tags = perceive_tags(skilled_player, image.salience, vocab,
+                                 rng, k=8, exclude=taboo)
+            assert not (set(tags) & taboo)
+
+    def test_high_skill_mostly_relevant(self, corpus, vocab, rng,
+                                        skilled_player):
+        image = corpus.images[0]
+        relevant = 0
+        total = 0
+        for _ in range(30):
+            for tag in perceive_tags(skilled_player, image.salience,
+                                     vocab, rng, k=5):
+                total += 1
+                relevant += image.is_relevant(tag)
+        assert relevant / total > 0.8
+
+    def test_low_skill_more_near_misses(self, corpus, vocab, rng,
+                                        novice_player, skilled_player):
+        image = corpus.images[0]
+
+        def miss_rate(model):
+            miss = 0
+            total = 0
+            for trial in range(60):
+                for tag in perceive_tags(model, image.salience, vocab,
+                                         rng, k=4):
+                    total += 1
+                    miss += not image.is_relevant(tag)
+            return miss / max(total, 1)
+
+        assert miss_rate(novice_player) >= miss_rate(skilled_player)
+
+
+class TestSpamTags:
+    def test_spammer_types_frequent_words(self, vocab, rng, spammer):
+        tags = spam_tags(spammer, vocab, rng, k=5)
+        ranks = [vocab.word(t).rank for t in tags]
+        assert max(ranks) <= 30
+
+    def test_colluders_share_code_words(self, vocab, rng):
+        a = PlayerModel(player_id="c1", behavior=Behavior.COLLUDER,
+                        collusion_key="ring-7")
+        b = PlayerModel(player_id="c2", behavior=Behavior.COLLUDER,
+                        collusion_key="ring-7")
+        tags_a = spam_tags(a, vocab, rng, k=4)
+        tags_b = spam_tags(b, vocab, rng, k=4)
+        assert tags_a == tags_b
+
+    def test_different_rings_differ(self, vocab, rng):
+        a = PlayerModel(player_id="c1", behavior=Behavior.COLLUDER,
+                        collusion_key="ring-1")
+        b = PlayerModel(player_id="c2", behavior=Behavior.COLLUDER,
+                        collusion_key="ring-2")
+        assert (spam_tags(a, vocab, rng, k=4)
+                != spam_tags(b, vocab, rng, k=4))
+
+    def test_taboo_still_enforced(self, vocab, rng, spammer):
+        top = vocab.by_rank(1).text
+        tags = spam_tags(spammer, vocab, rng, k=5,
+                         exclude=frozenset([top]))
+        assert top not in tags
+
+    def test_k_zero(self, vocab, rng, spammer):
+        assert spam_tags(spammer, vocab, rng, k=0) == []
+
+
+class TestAnswerStream:
+    def test_honest_uses_perception(self, corpus, vocab, rng,
+                                    skilled_player):
+        image = corpus.images[0]
+        tags = answer_stream(skilled_player, image.salience, vocab, rng,
+                             k=5)
+        relevant = sum(image.is_relevant(t) for t in tags)
+        assert relevant >= len(tags) * 0.5
+
+    def test_spammer_ignores_item(self, corpus, vocab, rng, spammer):
+        image_a = corpus.images[0]
+        image_b = corpus.images[1]
+        tags_a = answer_stream(spammer, image_a.salience, vocab, rng,
+                               k=5)
+        tags_b = answer_stream(spammer, image_b.salience, vocab, rng,
+                               k=5)
+        # Item-blind: the top-frequency words dominate both streams.
+        assert set(tags_a) == set(tags_b)
+
+    def test_is_item_blind(self, spammer, random_bot, skilled_player):
+        assert is_item_blind(spammer)
+        assert is_item_blind(random_bot)
+        assert not is_item_blind(skilled_player)

@@ -1,0 +1,80 @@
+"""Tests for the population factory."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.players.base import Behavior
+from repro.players.population import PopulationConfig, build_population
+
+
+class TestPopulationConfig:
+    def test_honest_frac(self):
+        config = PopulationConfig(spammer_frac=0.2, lazy_frac=0.1)
+        assert config.honest_frac == pytest.approx(0.7)
+
+    def test_rejects_oversubscribed(self):
+        with pytest.raises(ConfigError):
+            PopulationConfig(spammer_frac=0.7, random_bot_frac=0.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            PopulationConfig(spammer_frac=-0.1)
+
+
+class TestBuildPopulation:
+    def test_size(self):
+        assert len(build_population(25, seed=1)) == 25
+
+    def test_unique_ids(self):
+        population = build_population(50, seed=1)
+        ids = [p.player_id for p in population]
+        assert len(ids) == len(set(ids))
+
+    def test_behavior_mix(self):
+        config = PopulationConfig(spammer_frac=0.2, random_bot_frac=0.1)
+        population = build_population(100, config, seed=2)
+        spammers = sum(p.behavior is Behavior.SPAMMER
+                       for p in population)
+        bots = sum(p.behavior is Behavior.RANDOM_BOT for p in population)
+        assert spammers == 20
+        assert bots == 10
+
+    def test_colluders_paired_with_shared_keys(self):
+        config = PopulationConfig(colluder_frac=0.1)
+        population = build_population(100, config, seed=3)
+        colluders = [p for p in population
+                     if p.behavior is Behavior.COLLUDER]
+        assert len(colluders) % 2 == 0
+        keys = {}
+        for player in colluders:
+            keys.setdefault(player.collusion_key, []).append(player)
+        for ring in keys.values():
+            assert len(ring) == 2
+
+    def test_skill_distribution_tracks_mean(self):
+        low = build_population(
+            200, PopulationConfig(skill_mean=0.3, skill_sd=0.05), seed=4)
+        high = build_population(
+            200, PopulationConfig(skill_mean=0.9, skill_sd=0.05), seed=4)
+        low_mean = sum(p.skill for p in low) / len(low)
+        high_mean = sum(p.skill for p in high) / len(high)
+        assert high_mean - low_mean > 0.4
+
+    def test_deterministic(self):
+        a = build_population(20, seed=7)
+        b = build_population(20, seed=7)
+        assert [(p.player_id, p.skill) for p in a] == [
+            (p.player_id, p.skill) for p in b]
+
+    def test_id_prefix(self):
+        population = build_population(3, seed=1, id_prefix="worker")
+        assert all(p.player_id.startswith("worker-")
+                   for p in population)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigError):
+            build_population(0)
+
+    def test_all_honest_by_default(self):
+        population = build_population(30, seed=5)
+        assert all(p.behavior is Behavior.HONEST for p in population)

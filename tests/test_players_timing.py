@@ -1,0 +1,49 @@
+"""Tests for the response-time model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.players.base import PlayerModel
+from repro.players.timing import ResponseTimer
+
+
+class TestResponseTimer:
+    def test_schedule_monotonic(self, rng, skilled_player):
+        timer = ResponseTimer(skilled_player)
+        times = timer.schedule(rng, 10)
+        assert all(times[i] < times[i + 1]
+                   for i in range(len(times) - 1))
+
+    def test_schedule_respects_limit(self, rng, skilled_player):
+        timer = ResponseTimer(skilled_player)
+        times = timer.schedule(rng, 100, limit_s=20.0)
+        assert all(t <= 20.0 for t in times)
+
+    def test_schedule_count_zero(self, rng, skilled_player):
+        timer = ResponseTimer(skilled_player)
+        assert timer.schedule(rng, 0) == []
+
+    def test_faster_players_answer_sooner(self, rng):
+        slow = PlayerModel(player_id="slow", speed=1.0)
+        fast = PlayerModel(player_id="fast", speed=6.0)
+        slow_mean = sum(ResponseTimer(slow).first_latency(rng)
+                        for _ in range(300)) / 300
+        fast_mean = sum(ResponseTimer(fast).first_latency(rng)
+                        for _ in range(300)) / 300
+        assert fast_mean < slow_mean
+
+    def test_gaps_positive(self, rng, novice_player):
+        timer = ResponseTimer(novice_player)
+        assert all(timer.gap(rng) > 0 for _ in range(100))
+
+    def test_rejects_bad_config(self, skilled_player):
+        with pytest.raises(ConfigError):
+            ResponseTimer(skilled_player, first_latency_s=0)
+        with pytest.raises(ConfigError):
+            ResponseTimer(skilled_player, gap_mean_s=-1)
+
+    def test_mean_gap_tracks_parameter(self, rng):
+        reference = PlayerModel(player_id="ref", speed=3.0)
+        timer = ResponseTimer(reference, gap_mean_s=4.0)
+        mean = sum(timer.gap(rng) for _ in range(2000)) / 2000
+        assert 3.0 < mean < 5.5

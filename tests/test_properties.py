@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import rng as _rng
+from repro.aggregation.boxes import box_from_points, consensus_box
+from repro.aggregation.confidence import agreement_confidence
+from repro.aggregation.majority import MajorityVote
+from repro.aggregation.promotion import PromotionAggregator
+from repro.aggregation.strings import (character_consensus,
+                                       normalize_answer)
+from repro.analytics.quality import label_entropy
+from repro.analytics.timeseries import cumulative_counts
+from repro.core.scoring import ScoringRules
+from repro.core.taboo import TabooTracker
+from repro.corpus.objects import BoundingBox
+from repro.quality.agreement import cohen_kappa
+
+
+# ---------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------
+
+answers = st.lists(
+    st.tuples(st.sampled_from(["w1", "w2", "w3", "w4", "w5"]),
+              st.sampled_from(["a", "b", "c"])),
+    min_size=1, max_size=30)
+
+points = st.lists(
+    st.tuples(st.floats(0, 1000, allow_nan=False),
+              st.floats(0, 1000, allow_nan=False)),
+    min_size=1, max_size=40)
+
+boxes = st.lists(
+    st.builds(BoundingBox,
+              st.floats(0, 500, allow_nan=False),
+              st.floats(0, 500, allow_nan=False),
+              st.floats(1, 300, allow_nan=False),
+              st.floats(1, 300, allow_nan=False)),
+    min_size=1, max_size=15)
+
+
+# ---------------------------------------------------------------------
+# Voting invariants
+# ---------------------------------------------------------------------
+
+class TestMajorityProperties:
+    @given(answers)
+    def test_winner_has_max_support(self, records):
+        vote = MajorityVote()
+        result = vote.vote("item", records)
+        tally = {}
+        for _, answer in records:
+            tally[answer] = tally.get(answer, 0) + 1
+        assert tally[result.answer] == max(tally.values())
+
+    @given(answers)
+    def test_confidence_in_unit_interval(self, records):
+        result = MajorityVote().vote("item", records)
+        assert 0.0 < result.confidence <= 1.0
+        assert 0.0 <= result.margin <= 1.0
+
+    @given(answers)
+    def test_order_invariance(self, records):
+        forward = MajorityVote().vote("item", records)
+        backward = MajorityVote().vote("item", list(reversed(records)))
+        assert forward.answer == backward.answer
+
+
+class TestPromotionProperties:
+    @given(st.lists(st.tuples(st.sampled_from("stuvw"),
+                              st.sampled_from("xy")),
+                    min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=5))
+    def test_promotion_iff_support_reaches_threshold(self, records,
+                                                     threshold):
+        agg = PromotionAggregator(threshold=threshold)
+        for source, answer in records:
+            agg.observe(source, "item", answer)
+        for answer in set(a for _, a in records):
+            distinct = len({s for s, a in records if a == answer})
+            assert agg.is_promoted("item", answer) == (
+                distinct >= threshold)
+
+    @given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=30))
+    def test_support_never_exceeds_distinct_sources(self, sources):
+        agg = PromotionAggregator(threshold=99)
+        for source in sources:
+            agg.observe(source, "item", "label")
+        assert agg.support("item", "label") == len(set(sources))
+
+
+# ---------------------------------------------------------------------
+# String consensus invariants
+# ---------------------------------------------------------------------
+
+class TestStringProperties:
+    @given(st.text(max_size=40))
+    def test_normalize_idempotent(self, text):
+        once = normalize_answer(text)
+        assert normalize_answer(once) == once
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=6),
+                    min_size=1, max_size=12))
+    def test_character_consensus_length_is_majority_length(self,
+                                                           strings):
+        merged = character_consensus(strings)
+        lengths = sorted(((strings.count(s), s) for s in strings))
+        counts = {}
+        for s in strings:
+            counts[len(s)] = counts.get(len(s), 0) + 1
+        majority_len = sorted(counts.items(),
+                              key=lambda kv: (-kv[1], kv[0]))[0][0]
+        assert len(merged) <= majority_len
+
+    @given(st.text(alphabet="abcdef", min_size=1, max_size=10),
+           st.integers(min_value=1, max_value=9))
+    def test_unanimous_consensus_is_identity(self, word, copies):
+        assert character_consensus([word] * copies) == word
+
+
+# ---------------------------------------------------------------------
+# Spatial invariants
+# ---------------------------------------------------------------------
+
+class TestBoxProperties:
+    @given(points)
+    def test_box_contains_median_core(self, cloud):
+        box = box_from_points(cloud, trim=0.0)
+        xs = sorted(p[0] for p in cloud)
+        ys = sorted(p[1] for p in cloud)
+        mid = (xs[len(xs) // 2], ys[len(ys) // 2])
+        padded = BoundingBox(box.x - 1e-6, box.y - 1e-6,
+                             box.w + 2e-6, box.h + 2e-6)
+        assert padded.contains(*mid)
+
+    @given(points, st.floats(0.0, 0.4, allow_nan=False))
+    def test_trim_never_grows_box(self, cloud, trim):
+        raw = box_from_points(cloud, trim=0.0)
+        trimmed = box_from_points(cloud, trim=trim)
+        assert trimmed.area <= raw.area + 1e-6
+
+    @given(boxes)
+    def test_consensus_box_within_extremes(self, box_list):
+        consensus = consensus_box(box_list)
+        min_x = min(b.x for b in box_list)
+        max_x2 = max(b.x2 for b in box_list)
+        assert consensus.x >= min_x - 1e-6
+        assert consensus.x2 <= max_x2 + 1e-6
+
+    @given(st.builds(BoundingBox,
+                     st.floats(0, 100, allow_nan=False),
+                     st.floats(0, 100, allow_nan=False),
+                     st.floats(1, 100, allow_nan=False),
+                     st.floats(1, 100, allow_nan=False)))
+    def test_iou_self_is_one(self, box):
+        assert box.iou(box) == 1.0 or math.isclose(box.iou(box), 1.0)
+
+
+# ---------------------------------------------------------------------
+# Confidence / scoring / misc invariants
+# ---------------------------------------------------------------------
+
+class TestScalarProperties:
+    @given(st.integers(1, 10), st.floats(0.05, 1.0, exclude_max=False,
+                                         allow_nan=False),
+           st.integers(1, 1000))
+    def test_confidence_monotone_in_k(self, k, p, alternatives):
+        # Monotonicity in k holds exactly when a correct source is more
+        # likely to emit the answer than a wrong one; below that point
+        # extra agreement is evidence *against* the answer (Bayes).
+        assume(p > (1.0 - p) / alternatives)
+        a = agreement_confidence(k, p, alternatives)
+        b = agreement_confidence(k + 1, p, alternatives)
+        assert b >= a - 1e-12
+        assert 0.0 <= a <= 1.0
+
+    @given(st.floats(0.0, 500.0, allow_nan=False),
+           st.integers(0, 100))
+    def test_round_points_nonnegative(self, elapsed, streak):
+        rules = ScoringRules()
+        assert rules.round_points(True, elapsed, streak) >= \
+            rules.base_points
+        assert rules.round_points(False, elapsed, streak) == \
+            rules.pass_points
+
+    @given(st.lists(st.sampled_from("abcd"), max_size=50))
+    def test_entropy_bounds(self, labels):
+        entropy = label_entropy(labels)
+        assert entropy >= 0.0
+        if labels:
+            assert entropy <= math.log(len(labels)) + 1e-9
+
+    @given(st.lists(st.floats(0, 100000, allow_nan=False),
+                    max_size=60),
+           st.floats(1.0, 10000.0, allow_nan=False))
+    def test_cumulative_counts_monotone(self, stamps, bucket):
+        series = cumulative_counts(stamps, bucket_s=bucket)
+        assert series.is_monotonic()
+        assert series.final == len(stamps)
+
+    @given(st.lists(st.sampled_from("st"), min_size=1, max_size=40))
+    def test_taboo_promotion_order_unique(self, labels):
+        tracker = TabooTracker(promotion_threshold=1)
+        for label in labels:
+            tracker.record_agreement("item", label)
+        promoted = tracker.promoted_labels("item")
+        assert len(promoted) == len(set(promoted))
+        assert set(promoted) == set(labels)
+
+    @given(st.dictionaries(st.integers(0, 30), st.sampled_from("xy"),
+                           min_size=1, max_size=30))
+    def test_cohen_kappa_self_agreement(self, ratings):
+        assert cohen_kappa(ratings, dict(ratings)) == 1.0
+
+
+class TestRngProperties:
+    @given(st.integers(1, 200), st.floats(0.1, 3.0, allow_nan=False))
+    def test_zipf_weights_sum_to_one(self, n, exponent):
+        weights = _rng.zipf_weights(n, exponent)
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+        assert all(w > 0 for w in weights)
+
+    @given(st.integers(0, 2 ** 32), st.integers(1, 20),
+           st.integers(0, 40))
+    def test_weighted_sample_size(self, seed, n, k):
+        rng = _rng.make_rng(seed)
+        items = list(range(n))
+        sample = _rng.weighted_sample_without_replacement(
+            rng, items, [1.0] * n, k)
+        assert len(sample) == min(k, n)
+        assert len(set(sample)) == len(sample)

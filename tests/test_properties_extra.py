@@ -1,0 +1,98 @@
+"""Property-based tests for the later-added modules."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.bradley_terry import BradleyTerry
+from repro.aggregation.majority import MajorityVote
+from repro.analytics.stats import bootstrap_ci, proportion_ci
+
+items = st.sampled_from("abcde")
+outcome_lists = st.lists(
+    st.tuples(items, items).filter(lambda pair: pair[0] != pair[1]),
+    min_size=1, max_size=60)
+
+
+class TestBradleyTerryProperties:
+    @given(outcome_lists)
+    @settings(deadline=None)
+    def test_strengths_positive_and_normalized(self, outcomes):
+        result = BradleyTerry(max_iterations=100).fit(outcomes)
+        values = list(result.strengths.values())
+        assert all(v > 0 for v in values)
+        assert math.isclose(sum(values) / len(values), 1.0,
+                            rel_tol=1e-6)
+
+    @given(outcome_lists)
+    @settings(deadline=None)
+    def test_win_probabilities_complementary(self, outcomes):
+        result = BradleyTerry(max_iterations=50).fit(outcomes)
+        names = sorted(result.strengths)
+        if len(names) >= 2:
+            a, b = names[0], names[1]
+            assert math.isclose(result.win_probability(a, b)
+                                + result.win_probability(b, a), 1.0)
+
+    @given(outcome_lists)
+    @settings(deadline=None)
+    def test_relabeling_invariance(self, outcomes):
+        mapping = {c: c.upper() for c in "abcde"}
+        renamed = [(mapping[w], mapping[l]) for w, l in outcomes]
+        original = BradleyTerry().fit(outcomes)
+        relabeled = BradleyTerry().fit(renamed)
+        for item, strength in original.strengths.items():
+            assert math.isclose(strength,
+                                relabeled.strengths[mapping[item]],
+                                rel_tol=1e-6)
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(-1000, 1000, allow_nan=False),
+                    min_size=2, max_size=60),
+           st.integers(0, 2 ** 31))
+    @settings(deadline=None, max_examples=40)
+    def test_bootstrap_contains_estimate_band(self, sample, seed):
+        interval = bootstrap_ci(sample, resamples=200, seed=seed)
+        assert interval.low <= interval.high
+        assert min(sample) - 1e-9 <= interval.low
+        assert interval.high <= max(sample) + 1e-9
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    def test_wilson_contains_point_estimate(self, successes, trials):
+        assume(successes <= trials)
+        interval = proportion_ci(successes, trials)
+        assert interval.estimate in interval
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    @given(st.integers(1, 100))
+    def test_wilson_symmetric_at_half(self, half):
+        interval = proportion_ci(half, 2 * half)
+        center = (interval.low + interval.high) / 2
+        assert math.isclose(center, 0.5, abs_tol=1e-9)
+
+
+class TestMajorityUnhashable:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["w1", "w2", "w3"]),
+                  st.one_of(
+                      st.text(max_size=4),
+                      st.lists(st.integers(0, 3), max_size=3),
+                      st.dictionaries(st.sampled_from("xy"),
+                                      st.integers(0, 3), max_size=2))),
+        min_size=1, max_size=20))
+    def test_vote_accepts_any_json_answer(self, records):
+        result = MajorityVote().vote("item", records)
+        assert result.total >= 1.0
+        # The winner is one of the submitted answers.
+        assert any(result.answer == answer for _, answer in records)
+
+    def test_equal_structures_pool_votes(self):
+        result = MajorityVote().vote("item", [
+            ("w1", {"a": 1, "b": 2}),
+            ("w2", {"b": 2, "a": 1}),   # same content, new object
+            ("w3", "other"),
+        ])
+        assert result.answer == {"a": 1, "b": 2}
+        assert result.support == 2.0

@@ -1,0 +1,101 @@
+"""Property-based tests for the game templates (scripted players)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import RoundOutcome, TaskItem
+from repro.core.templates import OutputAgreementGame, TimedAnswer
+
+ITEM = TaskItem(item_id="prop-item")
+
+WORDS = "abcdefg"
+
+guess_streams = st.lists(
+    st.tuples(st.sampled_from(WORDS),
+              st.floats(0.0, 100.0, allow_nan=False)),
+    max_size=12)
+
+
+class Scripted:
+    def __init__(self, player_id, answers):
+        self.player_id = player_id
+        self._answers = [TimedAnswer(t, a) for t, a in answers]
+
+    def enter_guesses(self, item, taboo):
+        return [g for g in self._answers if g.text not in taboo]
+
+
+def brute_force_match(stream_a, stream_b, taboo=frozenset()):
+    """Reference implementation: earliest time a common word exists."""
+    first_a = {}
+    for text, at in sorted(stream_a, key=lambda g: g[1]):
+        if text not in taboo:
+            first_a.setdefault(text, at)
+    best = None
+    for text, at in stream_b:
+        if text in taboo or text not in first_a:
+            continue
+        when = max(first_a[text], at)
+        if best is None or when < best[1]:
+            best = (text, when)
+    return best
+
+
+class TestOutputAgreementProperties:
+    @given(guess_streams, guess_streams)
+    @settings(deadline=None)
+    def test_matches_brute_force(self, stream_a, stream_b):
+        game = OutputAgreementGame(round_time_limit_s=1000.0)
+        result = game.play_round(ITEM, Scripted("a", stream_a),
+                                 Scripted("b", stream_b))
+        expected = brute_force_match(stream_a, stream_b)
+        if expected is None:
+            assert result.outcome is RoundOutcome.TIMEOUT
+        else:
+            assert result.outcome is RoundOutcome.AGREED
+            assert result.elapsed_s == expected[1]
+            # The matched label must be *a* valid earliest match (ties
+            # may differ in word, never in time).
+            label = result.contributions[0].value("label")
+            assert brute_force_match(
+                stream_a, stream_b)[1] == result.elapsed_s
+            assert label in {t for t, _ in stream_a}
+            assert label in {t for t, _ in stream_b}
+
+    @given(guess_streams, guess_streams,
+           st.sets(st.sampled_from(WORDS), max_size=4))
+    @settings(deadline=None)
+    def test_taboo_never_matches(self, stream_a, stream_b, taboo):
+        game = OutputAgreementGame(round_time_limit_s=1000.0)
+        result = game.play_round(ITEM, Scripted("a", stream_a),
+                                 Scripted("b", stream_b),
+                                 taboo=frozenset(taboo))
+        for contribution in result.contributions:
+            assert contribution.value("label") not in taboo
+
+    @given(guess_streams, guess_streams)
+    @settings(deadline=None)
+    def test_symmetry(self, stream_a, stream_b):
+        """Swapping the players never changes time or outcome."""
+        game = OutputAgreementGame(round_time_limit_s=1000.0)
+        forward = game.play_round(ITEM, Scripted("a", stream_a),
+                                  Scripted("b", stream_b))
+        backward = game.play_round(ITEM, Scripted("b", stream_b),
+                                   Scripted("a", stream_a))
+        assert forward.outcome == backward.outcome
+        assert forward.elapsed_s == backward.elapsed_s
+
+    @given(guess_streams, guess_streams,
+           st.floats(1.0, 50.0, allow_nan=False))
+    @settings(deadline=None)
+    def test_time_limit_monotone(self, stream_a, stream_b, limit):
+        """Shrinking the limit can only turn AGREED into TIMEOUT."""
+        long_game = OutputAgreementGame(round_time_limit_s=1000.0)
+        short_game = OutputAgreementGame(round_time_limit_s=limit)
+        long_result = long_game.play_round(
+            ITEM, Scripted("a", stream_a), Scripted("b", stream_b))
+        short_result = short_game.play_round(
+            ITEM, Scripted("a", stream_a), Scripted("b", stream_b))
+        if short_result.outcome is RoundOutcome.AGREED:
+            assert long_result.outcome is RoundOutcome.AGREED
+            assert short_result.elapsed_s <= limit

@@ -1,0 +1,91 @@
+"""Tests for inter-annotator agreement statistics."""
+
+import pytest
+
+from repro.errors import QualityError
+from repro.quality.agreement import (cohen_kappa, fleiss_kappa,
+                                     observed_agreement)
+
+
+class TestObservedAgreement:
+    def test_perfect(self):
+        a = {"i1": "x", "i2": "y"}
+        assert observed_agreement(a, dict(a)) == 1.0
+
+    def test_partial(self):
+        a = {"i1": "x", "i2": "y"}
+        b = {"i1": "x", "i2": "z"}
+        assert observed_agreement(a, b) == 0.5
+
+    def test_only_shared_items_count(self):
+        a = {"i1": "x", "only-a": "q"}
+        b = {"i1": "x", "only-b": "r"}
+        assert observed_agreement(a, b) == 1.0
+
+    def test_no_shared_items(self):
+        with pytest.raises(QualityError):
+            observed_agreement({"a": 1}, {"b": 1})
+
+
+class TestCohenKappa:
+    def test_perfect_agreement(self):
+        a = {"i1": "x", "i2": "y", "i3": "x"}
+        assert cohen_kappa(a, dict(a)) == pytest.approx(1.0)
+
+    def test_chance_agreement_near_zero(self):
+        # Raters independent: kappa should be near 0.
+        import random
+        rng = random.Random(5)
+        a = {f"i{k}": rng.choice("xy") for k in range(500)}
+        b = {f"i{k}": rng.choice("xy") for k in range(500)}
+        assert abs(cohen_kappa(a, b)) < 0.15
+
+    def test_degenerate_single_category(self):
+        a = {"i1": "x", "i2": "x"}
+        assert cohen_kappa(a, dict(a)) == 1.0
+
+    def test_systematic_disagreement_negative(self):
+        a = {f"i{k}": "x" if k % 2 else "y" for k in range(10)}
+        b = {f"i{k}": "y" if k % 2 else "x" for k in range(10)}
+        assert cohen_kappa(a, b) < 0
+
+    def test_known_value(self):
+        # Classic 2x2 example: po=0.7, pe=0.5 -> kappa=0.4.
+        a = {}
+        b = {}
+        index = 0
+        for count, (va, vb) in [(35, ("x", "x")), (15, ("x", "y")),
+                                (15, ("y", "x")), (35, ("y", "y"))]:
+            for _ in range(count):
+                a[f"i{index}"] = va
+                b[f"i{index}"] = vb
+                index += 1
+        assert cohen_kappa(a, b) == pytest.approx(0.4)
+
+
+class TestFleissKappa:
+    def test_perfect(self):
+        table = [{"x": 4}, {"y": 4}, {"x": 4}]
+        assert fleiss_kappa(table) == pytest.approx(1.0)
+
+    def test_mixed(self):
+        table = [{"x": 3, "y": 1}, {"x": 1, "y": 3}, {"x": 2, "y": 2}]
+        value = fleiss_kappa(table)
+        assert -1.0 <= value < 1.0
+
+    def test_uneven_totals_rejected(self):
+        with pytest.raises(QualityError):
+            fleiss_kappa([{"x": 3}, {"x": 2}])
+
+    def test_single_rating_rejected(self):
+        with pytest.raises(QualityError):
+            fleiss_kappa([{"x": 1}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(QualityError):
+            fleiss_kappa([])
+
+    def test_all_split_worse_than_unanimous(self):
+        unanimous = [{"x": 4}, {"y": 4}]
+        split = [{"x": 2, "y": 2}, {"x": 2, "y": 2}]
+        assert fleiss_kappa(unanimous) > fleiss_kappa(split)

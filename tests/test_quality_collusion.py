@@ -1,0 +1,76 @@
+"""Tests for collusion detection."""
+
+import pytest
+
+from repro.errors import QualityError
+from repro.quality.collusion import CollusionDetector
+
+
+def feed_baseline(detector, pair_rate=1.0, pair_rounds=12,
+                  baseline_rounds=12):
+    """Colluders c1/c2 agree at pair_rate; all other pairs at exactly
+    0.5 (deterministic alternation, no sampling noise)."""
+    for i in range(pair_rounds):
+        detector.record_round("c1", "c2", i < pair_rate * pair_rounds)
+    others = ["h1", "h2", "h3", "h4"]
+    pairs = [(a, b) for idx, a in enumerate(others)
+             for b in others[idx + 1:]]
+    pairs += [(c, h) for c in ("c1", "c2") for h in others]
+    for a, b in pairs:
+        for i in range(baseline_rounds):
+            detector.record_round(a, b, i % 2 == 0)
+
+
+class TestCollusionDetector:
+    def test_flags_always_agreeing_pair(self):
+        detector = CollusionDetector(min_rounds=8, margin=0.25)
+        feed_baseline(detector)
+        flagged = detector.flagged_players()
+        assert flagged == {"c1", "c2"}
+
+    def test_normal_pairs_not_flagged(self):
+        detector = CollusionDetector(min_rounds=8, margin=0.25)
+        feed_baseline(detector, pair_rate=0.5)
+        assert detector.flagged_players() == set()
+
+    def test_min_rounds_gate(self):
+        detector = CollusionDetector(min_rounds=20, margin=0.25)
+        feed_baseline(detector, pair_rounds=10)
+        assert detector.flagged_players() == set()
+
+    def test_pair_stats(self):
+        detector = CollusionDetector()
+        detector.record_round("a", "b", True)
+        detector.record_round("a", "b", False)
+        stats = detector.pair_stats("a", "b")
+        assert stats.rounds == 2
+        assert stats.agreements == 1
+        assert stats.agreement_rate == 0.5
+
+    def test_pair_stats_unordered(self):
+        detector = CollusionDetector()
+        detector.record_round("a", "b", True)
+        assert detector.pair_stats("b", "a").rounds == 1
+
+    def test_baseline_excludes_suspect_pair(self):
+        detector = CollusionDetector()
+        for _ in range(10):
+            detector.record_round("a", "b", True)
+        detector.record_round("a", "c", False)
+        assert detector.baseline_rate("a", excluding="b") == 0.0
+        assert detector.baseline_rate("a") > 0.9
+
+    def test_self_pair_rejected(self):
+        detector = CollusionDetector()
+        with pytest.raises(QualityError):
+            detector.record_round("a", "a", True)
+
+    def test_unseen_pair_zero_stats(self):
+        detector = CollusionDetector()
+        assert detector.pair_stats("x", "y").agreement_rate == 0.0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(QualityError):
+            CollusionDetector(min_rounds=0)
+        with pytest.raises(QualityError):
+            CollusionDetector(margin=0.0)

@@ -1,0 +1,90 @@
+"""Tests for gold seeding and player testing."""
+
+import pytest
+
+from repro.errors import QualityError
+from repro.quality.gold import GoldPool, GoldSeeder
+
+
+class TestGoldPool:
+    def test_single_answer(self):
+        pool = GoldPool()
+        pool.add("g1", "cat")
+        assert pool.check("g1", "cat")
+        assert not pool.check("g1", "dog")
+
+    def test_answer_set(self):
+        pool = GoldPool()
+        pool.add("g1", {"cat", "kitten"})
+        assert pool.check("g1", "kitten")
+
+    def test_empty_answer_set_rejected(self):
+        pool = GoldPool()
+        with pytest.raises(QualityError):
+            pool.add("g1", [])
+
+    def test_unknown_item_rejected(self):
+        pool = GoldPool()
+        with pytest.raises(QualityError):
+            pool.check("ghost", "x")
+
+    def test_contains_and_len(self):
+        pool = GoldPool()
+        pool.add("g1", "a")
+        pool.add("g2", "b")
+        assert "g1" in pool
+        assert len(pool) == 2
+
+
+class TestGoldSeeder:
+    def _pool(self):
+        pool = GoldPool()
+        for i in range(5):
+            pool.add(f"g{i}", f"answer-{i}")
+        return pool
+
+    def test_rate_zero_never_gold(self):
+        seeder = GoldSeeder(self._pool(), rate=0.0, seed=1)
+        assert not any(seeder.next_is_gold() for _ in range(100))
+
+    def test_rate_one_always_gold(self):
+        seeder = GoldSeeder(self._pool(), rate=1.0, seed=1)
+        assert all(seeder.next_is_gold() for _ in range(100))
+
+    def test_rate_approximate(self):
+        seeder = GoldSeeder(self._pool(), rate=0.2, seed=2)
+        hits = sum(seeder.next_is_gold() for _ in range(2000))
+        assert 300 < hits < 500
+
+    def test_empty_pool_never_gold(self):
+        seeder = GoldSeeder(GoldPool(), rate=1.0)
+        assert not seeder.next_is_gold()
+        with pytest.raises(QualityError):
+            seeder.pick_gold()
+
+    def test_grading_tracks_accuracy(self):
+        seeder = GoldSeeder(self._pool(), seed=3)
+        assert seeder.grade("p1", "g0", "answer-0")
+        assert not seeder.grade("p1", "g1", "wrong")
+        assert seeder.accuracy("p1") == 0.5
+        assert seeder.asked("p1") == 2
+
+    def test_accuracy_unknown_player(self):
+        seeder = GoldSeeder(self._pool())
+        assert seeder.accuracy("ghost") == 0.0
+
+    def test_failing_players(self):
+        seeder = GoldSeeder(self._pool(), seed=4)
+        for _ in range(6):
+            seeder.grade("bad", "g0", "wrong")
+            seeder.grade("good", "g0", "answer-0")
+        assert seeder.failing_players(min_asked=5) == ["bad"]
+
+    def test_failing_needs_exposure(self):
+        seeder = GoldSeeder(self._pool())
+        seeder.grade("newbie", "g0", "wrong")
+        assert seeder.failing_players(min_asked=5) == []
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(QualityError):
+            GoldSeeder(self._pool(), rate=1.5)

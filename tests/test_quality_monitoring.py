@@ -1,0 +1,112 @@
+"""Tests for campaign health monitoring."""
+
+import pytest
+
+from repro.errors import QualityError
+from repro.quality.monitoring import Alert, AlertKind, CampaignMonitor
+
+
+def feed_rounds(monitor, count, agreed=True, start=0.0, gap=1.0):
+    at = start
+    alerts = []
+    for _ in range(count):
+        alert = monitor.record_round(at, agreed)
+        if alert:
+            alerts.append(alert)
+        at += gap
+    return alerts, at
+
+
+class TestAgreementAlert:
+    def test_no_alert_before_window_fills(self):
+        monitor = CampaignMonitor(window=20, min_agreement=0.5)
+        alerts, _ = feed_rounds(monitor, 19, agreed=False)
+        assert alerts == []
+        assert monitor.agreement_rate() is None
+
+    def test_low_agreement_fires(self):
+        monitor = CampaignMonitor(window=20, min_agreement=0.5)
+        alerts, _ = feed_rounds(monitor, 25, agreed=False)
+        assert any(a.kind is AlertKind.LOW_AGREEMENT for a in alerts)
+        assert not monitor.healthy()
+
+    def test_healthy_campaign_silent(self):
+        monitor = CampaignMonitor(window=20, min_agreement=0.5)
+        alerts, _ = feed_rounds(monitor, 100, agreed=True)
+        assert monitor.healthy()
+        assert monitor.agreement_rate() == 1.0
+
+    def test_cooldown_suppresses_repeats(self):
+        monitor = CampaignMonitor(window=10, min_agreement=0.5,
+                                  cooldown_s=1000.0)
+        alerts, _ = feed_rounds(monitor, 50, agreed=False, gap=1.0)
+        low = [a for a in alerts if a.kind is AlertKind.LOW_AGREEMENT]
+        assert len(low) == 1
+
+    def test_alert_after_cooldown(self):
+        monitor = CampaignMonitor(window=10, min_agreement=0.5,
+                                  cooldown_s=5.0)
+        alerts, _ = feed_rounds(monitor, 60, agreed=False, gap=1.0)
+        low = [a for a in alerts if a.kind is AlertKind.LOW_AGREEMENT]
+        assert len(low) >= 2
+
+
+class TestThroughputAlert:
+    def test_drop_fires(self):
+        monitor = CampaignMonitor(window=10, min_agreement=0.01,
+                                  throughput_drop_factor=0.3,
+                                  cooldown_s=0.1)
+        # Fast phase: 1 round/s.
+        _, at = feed_rounds(monitor, 30, agreed=True, gap=1.0)
+        # Slow phase: 1 round / 20s -> well below 30% of best.
+        alerts, _ = feed_rounds(monitor, 30, agreed=True, start=at,
+                                gap=20.0)
+        assert any(a.kind is AlertKind.THROUGHPUT_DROP
+                   for a in alerts)
+
+    def test_steady_rate_silent(self):
+        monitor = CampaignMonitor(window=10, min_agreement=0.01,
+                                  throughput_drop_factor=0.3)
+        alerts, _ = feed_rounds(monitor, 100, agreed=True, gap=2.0)
+        assert not any(a.kind is AlertKind.THROUGHPUT_DROP
+                       for a in alerts)
+
+
+class TestSpamWaveAlert:
+    def test_wave_fires(self):
+        monitor = CampaignMonitor(spam_flags_per_window=3)
+        assert monitor.record_spam_flag(10.0, "s1") is None
+        assert monitor.record_spam_flag(20.0, "s2") is None
+        alert = monitor.record_spam_flag(30.0, "s3")
+        assert alert is not None
+        assert alert.kind is AlertKind.SPAM_WAVE
+
+    def test_same_player_counts_once(self):
+        monitor = CampaignMonitor(spam_flags_per_window=3)
+        for at in (10.0, 20.0, 30.0, 40.0):
+            alert = monitor.record_spam_flag(at, "repeat-offender")
+        assert alert is None
+
+    def test_old_flags_expire(self):
+        monitor = CampaignMonitor(spam_flags_per_window=3)
+        monitor.record_spam_flag(0.0, "s1")
+        monitor.record_spam_flag(10.0, "s2")
+        # Two hours later, the earlier flags have aged out.
+        alert = monitor.record_spam_flag(7200.0 + 100.0, "s3")
+        assert alert is None
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(QualityError):
+            CampaignMonitor(window=2)
+        with pytest.raises(QualityError):
+            CampaignMonitor(min_agreement=0.0)
+        with pytest.raises(QualityError):
+            CampaignMonitor(throughput_drop_factor=1.0)
+
+    def test_alerts_of_filter(self):
+        monitor = CampaignMonitor(window=10, min_agreement=0.5)
+        feed_rounds(monitor, 20, agreed=False)
+        assert monitor.alerts_of(AlertKind.LOW_AGREEMENT)
+        assert monitor.alerts_of(AlertKind.SPAM_WAVE) == []

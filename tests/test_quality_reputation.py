@@ -1,0 +1,75 @@
+"""Tests for reputation tracking."""
+
+import pytest
+
+from repro.errors import QualityError
+from repro.quality.reputation import ReputationTracker
+
+
+class TestReputationTracker:
+    def test_fresh_player_at_prior(self):
+        tracker = ReputationTracker()
+        assert tracker.weight("new") == pytest.approx(0.5)
+
+    def test_gold_success_raises_weight(self):
+        tracker = ReputationTracker()
+        for _ in range(10):
+            tracker.record_gold("good", True)
+        assert tracker.weight("good") > 0.7
+
+    def test_gold_failure_lowers_weight(self):
+        tracker = ReputationTracker()
+        for _ in range(10):
+            tracker.record_gold("bad", False)
+        assert tracker.weight("bad") < 0.3
+
+    def test_peer_agreement_counts_without_gold(self):
+        tracker = ReputationTracker()
+        for _ in range(10):
+            tracker.record_round("social", True)
+        assert tracker.weight("social") > 0.6
+
+    def test_gold_dominates_blend(self):
+        tracker = ReputationTracker(gold_weight=0.8)
+        for _ in range(10):
+            tracker.record_gold("mixed", False)
+            tracker.record_round("mixed", True)
+        assert tracker.weight("mixed") < 0.5
+
+    def test_trusted_threshold(self):
+        tracker = ReputationTracker(distrust_below=0.35)
+        for _ in range(20):
+            tracker.record_gold("bad", False)
+            tracker.record_round("bad", False)
+        assert not tracker.trusted("bad")
+        assert tracker.untrusted_players() == ["bad"]
+
+    def test_fresh_player_trusted(self):
+        tracker = ReputationTracker()
+        assert tracker.trusted("new")
+
+    def test_weights_export(self):
+        tracker = ReputationTracker()
+        tracker.record_round("a", True)
+        tracker.record_round("b", False)
+        weights = tracker.weights()
+        assert set(weights) == {"a", "b"}
+        assert weights["a"] > weights["b"]
+
+    def test_prior_smooths_small_samples(self):
+        tracker = ReputationTracker(prior_strength=8.0)
+        tracker.record_gold("one-hit", True)
+        # One success shouldn't yield extreme weight.
+        assert tracker.weight("one-hit") < 0.8
+
+    def test_known_players(self):
+        tracker = ReputationTracker()
+        tracker.record_round("z", True)
+        tracker.record_gold("a", True)
+        assert tracker.known_players() == ["a", "z"]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(QualityError):
+            ReputationTracker(gold_weight=1.5)
+        with pytest.raises(QualityError):
+            ReputationTracker(prior_strength=0)

@@ -1,0 +1,97 @@
+"""Tests for spammer detection."""
+
+import pytest
+
+from repro.errors import QualityError
+from repro.quality.spam import SpamDetector
+
+
+class TestSpamDetector:
+    def test_no_data_is_unknown(self):
+        detector = SpamDetector()
+        verdict = detector.judge("ghost")
+        assert verdict.score == 0.5
+        assert not verdict.is_spammer
+
+    def test_gold_failures_flag(self):
+        detector = SpamDetector(min_gold=3)
+        for _ in range(6):
+            detector.record_gold("bad", False)
+        verdict = detector.judge("bad")
+        assert verdict.is_spammer
+        assert verdict.gold_accuracy == 0.0
+
+    def test_gold_success_clears(self):
+        detector = SpamDetector(min_gold=3)
+        for _ in range(6):
+            detector.record_gold("good", True)
+        verdict = detector.judge("good")
+        assert not verdict.is_spammer
+
+    def test_collapsed_repertoire_flags(self):
+        detector = SpamDetector(min_answers=20)
+        for _ in range(60):
+            detector.record_answer("parrot", "same-word")
+        verdict = detector.judge("parrot")
+        assert verdict.answer_diversity == pytest.approx(1 / 60)
+        assert verdict.is_spammer
+
+    def test_rotating_small_repertoire_flags(self):
+        detector = SpamDetector(min_answers=20)
+        words = [f"top-{k}" for k in range(8)]
+        for i in range(120):
+            detector.record_answer("rotator", words[i % 8])
+        verdict = detector.judge("rotator")
+        assert verdict.is_spammer
+
+    def test_diverse_answers_pass(self):
+        detector = SpamDetector(min_answers=20)
+        for i in range(60):
+            detector.record_answer("varied", f"word-{i}")
+        verdict = detector.judge("varied")
+        assert verdict.answer_diversity == pytest.approx(1.0)
+        assert not verdict.is_spammer
+
+    def test_moderate_reuse_passes(self):
+        # Honest players repeat common tags across similar items but
+        # keep meeting new ones: diversity around 0.5.
+        detector = SpamDetector(min_answers=20)
+        for i in range(100):
+            detector.record_answer("normal", f"word-{i // 2}")
+        assert not detector.judge("normal").is_spammer
+
+    def test_signals_require_minimum_data(self):
+        detector = SpamDetector(min_answers=10, min_gold=3)
+        detector.record_answer("thin", "x")
+        detector.record_gold("thin", False)
+        verdict = detector.judge("thin")
+        assert verdict.answer_diversity is None
+        assert verdict.gold_accuracy is None
+
+    def test_judge_all_and_flagged(self):
+        detector = SpamDetector(min_gold=2)
+        for _ in range(4):
+            detector.record_gold("bad", False)
+            detector.record_gold("good", True)
+        verdicts = detector.judge_all()
+        assert set(verdicts) == {"bad", "good"}
+        assert detector.flagged() == ["bad"]
+
+    def test_mixed_signals_average(self):
+        detector = SpamDetector(min_answers=5, min_gold=2,
+                                threshold=0.6)
+        # Good gold, collapsed diversity -> average around 0.5.
+        for _ in range(4):
+            detector.record_gold("odd", True)
+        for _ in range(10):
+            detector.record_answer("odd", "same")
+        verdict = detector.judge("odd")
+        assert 0.3 < verdict.score < 0.7
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(QualityError):
+            SpamDetector(threshold=0.0)
+        with pytest.raises(QualityError):
+            SpamDetector(threshold=1.0)
+        with pytest.raises(QualityError):
+            SpamDetector(diversity_pivot=0.0)

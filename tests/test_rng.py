@@ -1,0 +1,162 @@
+"""Tests for repro.rng determinism and sampling helpers."""
+
+import random
+
+import pytest
+
+from repro import rng as _rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = _rng.make_rng(7)
+        b = _rng.make_rng(7)
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)]
+
+    def test_string_seed(self):
+        a = _rng.make_rng("campaign-1")
+        b = _rng.make_rng("campaign-1")
+        assert a.random() == b.random()
+
+    def test_passthrough_existing_rng(self):
+        source = random.Random(3)
+        assert _rng.make_rng(source) is source
+
+    def test_none_gives_fresh_stream(self):
+        assert isinstance(_rng.make_rng(None), random.Random)
+
+
+class TestDerive:
+    def test_different_labels_differ(self):
+        parent = _rng.make_rng(1)
+        a = _rng.derive(parent, "lobby")
+        parent2 = _rng.make_rng(1)
+        b = _rng.derive(parent2, "items")
+        assert a.random() != b.random()
+
+    def test_same_label_same_parent_state_matches(self):
+        a = _rng.derive(_rng.make_rng(1), "x")
+        b = _rng.derive(_rng.make_rng(1), "x")
+        assert a.random() == b.random()
+
+    def test_sequential_derives_advance_parent(self):
+        parent = _rng.make_rng(1)
+        a = _rng.derive(parent, "x")
+        b = _rng.derive(parent, "x")
+        assert a.random() != b.random()
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = _rng.zipf_weights(100, 1.0)
+        assert abs(sum(weights) - 1.0) < 1e-9
+
+    def test_decreasing(self):
+        weights = _rng.zipf_weights(50, 1.2)
+        assert all(weights[i] > weights[i + 1] for i in range(49))
+
+    def test_single_rank(self):
+        assert _rng.zipf_weights(1) == [1.0]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _rng.zipf_weights(0)
+
+    def test_exponent_zero_is_uniform(self):
+        weights = _rng.zipf_weights(4, 0.0)
+        assert all(abs(w - 0.25) < 1e-9 for w in weights)
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self, rng):
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            pick = _rng.weighted_choice(rng, ["a", "b"], [0.9, 0.1])
+            counts[pick] += 1
+        assert counts["a"] > counts["b"] * 3
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            _rng.weighted_choice(rng, ["a"], [0.5, 0.5])
+
+    def test_empty(self, rng):
+        with pytest.raises(ValueError):
+            _rng.weighted_choice(rng, [], [])
+
+    def test_zero_weights_fall_back_to_uniform(self, rng):
+        pick = _rng.weighted_choice(rng, ["a", "b"], [0.0, 0.0])
+        assert pick in ("a", "b")
+
+
+class TestWeightedSampleWithoutReplacement:
+    def test_distinct(self, rng):
+        items = list(range(20))
+        sample = _rng.weighted_sample_without_replacement(
+            rng, items, [1.0] * 20, 10)
+        assert len(sample) == len(set(sample)) == 10
+
+    def test_k_clipped(self, rng):
+        sample = _rng.weighted_sample_without_replacement(
+            rng, [1, 2], [1.0, 1.0], 10)
+        assert sorted(sample) == [1, 2]
+
+    def test_k_zero(self, rng):
+        assert _rng.weighted_sample_without_replacement(
+            rng, [1, 2], [1.0, 1.0], 0) == []
+
+    def test_zero_weight_items_rank_last(self, rng):
+        sample = _rng.weighted_sample_without_replacement(
+            rng, ["keep", "drop"], [1.0, 0.0], 1)
+        assert sample == ["keep"]
+
+    def test_heavy_weight_usually_first(self, rng):
+        firsts = 0
+        for _ in range(300):
+            sample = _rng.weighted_sample_without_replacement(
+                rng, ["x", "y"], [50.0, 1.0], 2)
+            firsts += sample[0] == "x"
+        assert firsts > 250
+
+
+class TestPoisson:
+    def test_zero_mean(self, rng):
+        assert _rng.poisson(rng, 0.0) == 0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            _rng.poisson(rng, -1.0)
+
+    def test_mean_small(self, rng):
+        draws = [_rng.poisson(rng, 4.0) for _ in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert 3.6 < mean < 4.4
+
+    def test_mean_large_approximation(self, rng):
+        draws = [_rng.poisson(rng, 100.0) for _ in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert 95 < mean < 105
+
+    def test_nonnegative(self, rng):
+        assert all(_rng.poisson(rng, 50.0) >= 0 for _ in range(200))
+
+
+class TestExponential:
+    def test_mean(self, rng):
+        draws = [_rng.exponential(rng, 2.0) for _ in range(5000)]
+        assert abs(sum(draws) / len(draws) - 0.5) < 0.05
+
+    def test_rejects_nonpositive_rate(self, rng):
+        with pytest.raises(ValueError):
+            _rng.exponential(rng, 0.0)
+
+
+class TestBoundedGauss:
+    def test_within_bounds(self, rng):
+        draws = [_rng.bounded_gauss(rng, 0.5, 5.0, 0.0, 1.0)
+                 for _ in range(500)]
+        assert all(0.0 <= d <= 1.0 for d in draws)
+
+    def test_reversed_bounds_rejected(self, rng):
+        with pytest.raises(ValueError):
+            _rng.bounded_gauss(rng, 0.5, 0.1, 1.0, 0.0)

@@ -1,0 +1,109 @@
+"""Tests for the admin endpoints: task listing and job archival."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.facade import Platform
+from repro.platform.jobs import JobStatus
+from repro.service.api import ApiServer
+from repro.service.wire import ApiRequest
+
+
+@pytest.fixture()
+def api():
+    platform = Platform(gold_rate=0.0, spam_detection=False, seed=5)
+    return ApiServer(platform), platform
+
+
+def call(api, method, path, body=None, query=None):
+    return api.handle(ApiRequest(method=method, path=path,
+                                 body=body or {}, query=query or {}))
+
+
+def seeded_job(api, tasks=7):
+    server, platform = api
+    job_id = call(server, "POST", "/jobs",
+                  {"name": "admin", "redundancy": 1}).body["job_id"]
+    call(server, "POST", f"/jobs/{job_id}/tasks",
+         {"tasks": [{"payload": {"i": i}} for i in range(tasks)]})
+    return job_id
+
+
+class TestTaskListing:
+    def test_lists_with_answers_and_gold(self, api):
+        server, platform = api
+        job_id = seeded_job(api, tasks=2)
+        call(server, "POST", f"/jobs/{job_id}/start")
+        task = call(server, "GET", f"/jobs/{job_id}/next",
+                    query={"worker": "w1"}).body
+        call(server, "POST", f"/tasks/{task['task_id']}/answers",
+             {"worker_id": "w1", "answer": "cat"})
+        response = call(server, "GET", f"/jobs/{job_id}/tasks")
+        assert response.status == 200
+        assert response.body["total"] == 2
+        answered = [t for t in response.body["tasks"]
+                    if t["answers"]]
+        assert len(answered) == 1
+        assert answered[0]["answers"][0]["answer"] == "cat"
+
+    def test_pagination(self, api):
+        server, _ = api
+        job_id = seeded_job(api, tasks=7)
+        page1 = call(server, "GET", f"/jobs/{job_id}/tasks",
+                     query={"offset": "0", "limit": "3"}).body
+        page2 = call(server, "GET", f"/jobs/{job_id}/tasks",
+                     query={"offset": "3", "limit": "3"}).body
+        page3 = call(server, "GET", f"/jobs/{job_id}/tasks",
+                     query={"offset": "6", "limit": "3"}).body
+        assert [len(p["tasks"]) for p in (page1, page2, page3)] \
+            == [3, 3, 1]
+        ids = [t["task_id"] for p in (page1, page2, page3)
+               for t in p["tasks"]]
+        assert len(set(ids)) == 7
+
+    def test_limit_clamped(self, api):
+        server, _ = api
+        job_id = seeded_job(api)
+        response = call(server, "GET", f"/jobs/{job_id}/tasks",
+                        query={"limit": "100000"}).body
+        assert response["limit"] == 500
+
+    def test_unknown_job_404(self, api):
+        server, _ = api
+        assert call(server, "GET",
+                    "/jobs/job-9999/tasks").status == 404
+
+
+class TestArchival:
+    def test_archive_endpoint(self, api):
+        server, platform = api
+        job_id = seeded_job(api)
+        response = call(server, "POST", f"/jobs/{job_id}/archive")
+        assert response.status == 200
+        assert response.body["status"] == "archived"
+        assert platform.store.get_job(job_id).status is \
+            JobStatus.ARCHIVED
+
+    def test_archived_job_rejects_tasks(self, api):
+        server, _ = api
+        job_id = seeded_job(api)
+        call(server, "POST", f"/jobs/{job_id}/archive")
+        response = call(server, "POST", f"/jobs/{job_id}/tasks",
+                        {"payload": {"late": True}})
+        assert response.status == 400
+
+    def test_archived_job_cannot_start(self, api):
+        server, _ = api
+        job_id = seeded_job(api)
+        call(server, "POST", f"/jobs/{job_id}/archive")
+        assert call(server, "POST",
+                    f"/jobs/{job_id}/start").status == 400
+
+    def test_archived_job_rejects_requests(self, api):
+        server, _ = api
+        job_id = seeded_job(api)
+        call(server, "POST", f"/jobs/{job_id}/start")
+        call(server, "POST", f"/jobs/{job_id}/archive")
+        response = call(server, "GET", f"/jobs/{job_id}/next",
+                        query={"worker": "w1"})
+        assert response.status == 400

@@ -1,0 +1,162 @@
+"""Tests for the API router (transport-independent)."""
+
+import pytest
+
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.wire import ApiRequest
+
+
+@pytest.fixture()
+def api():
+    return ApiServer(Platform(gold_rate=0.0, seed=1))
+
+
+def call(api, method, path, body=None, query=None):
+    return api.handle(ApiRequest(method=method, path=path,
+                                 body=body or {}, query=query or {}))
+
+
+class TestRouting:
+    def test_health(self, api):
+        response = call(api, "GET", "/health")
+        assert response.status == 200
+        assert response.body == {"status": "ok"}
+
+    def test_unknown_route_404(self, api):
+        assert call(api, "GET", "/nope").status == 404
+
+    def test_wrong_method_404(self, api):
+        assert call(api, "POST", "/health").status == 404
+
+
+class TestJobs:
+    def test_create_job(self, api):
+        response = call(api, "POST", "/jobs",
+                        {"name": "test", "redundancy": 2})
+        assert response.status == 201
+        assert response.body["name"] == "test"
+        assert response.body["redundancy"] == 2
+
+    def test_create_job_requires_name(self, api):
+        assert call(api, "POST", "/jobs", {}).status == 422
+
+    def test_list_jobs(self, api):
+        call(api, "POST", "/jobs", {"name": "a"})
+        call(api, "POST", "/jobs", {"name": "b"})
+        response = call(api, "GET", "/jobs")
+        assert len(response.body["jobs"]) == 2
+
+    def test_get_job_includes_progress(self, api):
+        job_id = call(api, "POST", "/jobs",
+                      {"name": "x"}).body["job_id"]
+        call(api, "POST", f"/jobs/{job_id}/tasks",
+             {"payload": {"q": 1}})
+        response = call(api, "GET", f"/jobs/{job_id}")
+        assert response.body["progress"]["tasks"] == 1
+
+    def test_get_missing_job_404(self, api):
+        assert call(api, "GET", "/jobs/job-9999").status == 404
+
+    def test_start_empty_job_400(self, api):
+        job_id = call(api, "POST", "/jobs",
+                      {"name": "x"}).body["job_id"]
+        assert call(api, "POST", f"/jobs/{job_id}/start").status == 400
+
+
+class TestTasks:
+    def _running_job(self, api, tasks=2):
+        job_id = call(api, "POST", "/jobs",
+                      {"name": "x", "redundancy": 1}).body["job_id"]
+        call(api, "POST", f"/jobs/{job_id}/tasks",
+             {"tasks": [{"payload": {"i": i}} for i in range(tasks)]})
+        call(api, "POST", f"/jobs/{job_id}/start")
+        return job_id
+
+    def test_bulk_add(self, api):
+        job_id = call(api, "POST", "/jobs",
+                      {"name": "x"}).body["job_id"]
+        response = call(api, "POST", f"/jobs/{job_id}/tasks",
+                        {"tasks": [{"payload": {}}, {"payload": {}}]})
+        assert response.status == 201
+        assert len(response.body["tasks"]) == 2
+
+    def test_add_requires_payload_or_tasks(self, api):
+        job_id = call(api, "POST", "/jobs",
+                      {"name": "x"}).body["job_id"]
+        assert call(api, "POST", f"/jobs/{job_id}/tasks",
+                    {}).status == 422
+
+    def test_next_task_flow(self, api):
+        job_id = self._running_job(api)
+        response = call(api, "GET", f"/jobs/{job_id}/next",
+                        query={"worker": "w1"})
+        assert response.status == 200
+        assert "task_id" in response.body
+        # Answers and gold are withheld from workers.
+        assert "answers" not in response.body
+        assert "gold_answer" not in response.body
+
+    def test_next_requires_worker(self, api):
+        job_id = self._running_job(api)
+        assert call(api, "GET", f"/jobs/{job_id}/next").status == 422
+
+    def test_answer_and_results(self, api):
+        job_id = self._running_job(api, tasks=1)
+        task = call(api, "GET", f"/jobs/{job_id}/next",
+                    query={"worker": "w1"}).body
+        response = call(api, "POST",
+                        f"/tasks/{task['task_id']}/answers",
+                        {"worker_id": "w1", "answer": "cat"})
+        assert response.status == 201
+        results = call(api, "GET", f"/jobs/{job_id}/results").body
+        assert results["results"][task["task_id"]]["answer"] == "cat"
+
+    def test_answer_validation(self, api):
+        job_id = self._running_job(api, tasks=1)
+        task = call(api, "GET", f"/jobs/{job_id}/next",
+                    query={"worker": "w1"}).body
+        assert call(api, "POST", f"/tasks/{task['task_id']}/answers",
+                    {"answer": "x"}).status == 422
+        assert call(api, "POST", f"/tasks/{task['task_id']}/answers",
+                    {"worker_id": "w1"}).status == 422
+
+    def test_answer_missing_task_404(self, api):
+        assert call(api, "POST", "/tasks/task-9999/answers",
+                    {"worker_id": "w", "answer": 1}).status == 404
+
+    def test_exhausted_next_404(self, api):
+        job_id = self._running_job(api, tasks=1)
+        task = call(api, "GET", f"/jobs/{job_id}/next",
+                    query={"worker": "w1"}).body
+        call(api, "POST", f"/tasks/{task['task_id']}/answers",
+             {"worker_id": "w1", "answer": "x"})
+        assert call(api, "GET", f"/jobs/{job_id}/next",
+                    query={"worker": "w1"}).status == 404
+
+
+class TestWorkers:
+    def test_register(self, api):
+        response = call(api, "POST", "/workers",
+                        {"worker_id": "w1", "display_name": "W"})
+        assert response.status == 201
+        assert response.body["display_name"] == "W"
+
+    def test_duplicate_register_409(self, api):
+        call(api, "POST", "/workers", {"worker_id": "w1"})
+        assert call(api, "POST", "/workers",
+                    {"worker_id": "w1"}).status == 409
+
+    def test_register_requires_id(self, api):
+        assert call(api, "POST", "/workers", {}).status == 422
+
+    def test_stats(self, api):
+        call(api, "POST", "/workers", {"worker_id": "w1"})
+        response = call(api, "GET", "/workers/w1")
+        assert response.status == 200
+        assert response.body["points"] == 0
+
+    def test_leaderboard(self, api):
+        response = call(api, "GET", "/leaderboard", query={"k": "5"})
+        assert response.status == 200
+        assert response.body["leaderboard"] == []

@@ -1,0 +1,82 @@
+"""Tests for concurrent access to the HTTP service."""
+
+import threading
+
+import pytest
+
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.client import HttpClient
+from repro.service.http import serve_in_thread
+
+
+class TestConcurrentWorkers:
+    def test_parallel_answer_storm(self):
+        """Many workers hammering the API concurrently must neither
+        crash nor double-assign redundancy slots."""
+        platform = Platform(gold_rate=0.0, spam_detection=False,
+                            seed=77)
+        server, _, base_url = serve_in_thread(ApiServer(platform))
+        try:
+            setup = HttpClient(base_url)
+            job = setup.create_job("storm", redundancy=4)
+            setup.add_tasks(job["job_id"],
+                            [{"payload": {"i": i}} for i in range(12)])
+            setup.start_job(job["job_id"])
+
+            errors = []
+
+            def worker(worker_id):
+                client = HttpClient(base_url)
+                try:
+                    client.register_worker(worker_id)
+                    while True:
+                        task = client.next_task(job["job_id"],
+                                                worker_id)
+                        if task is None:
+                            return
+                        client.submit_answer(task["task_id"],
+                                             worker_id, "label")
+                except Exception as exc:  # pragma: no cover - fail out
+                    errors.append((worker_id, exc))
+
+            threads = [threading.Thread(target=worker, args=(f"w{k}",))
+                       for k in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert errors == []
+            # Every task got exactly `redundancy` distinct answerers.
+            for task in platform.store.tasks_for(job["job_id"]):
+                workers = task.workers()
+                assert len(workers) == 4
+                assert len(set(workers)) == 4
+            progress = setup.get_job(job["job_id"])["progress"]
+            assert progress["complete_frac"] == 1.0
+        finally:
+            server.shutdown()
+
+    def test_parallel_reads_consistent(self):
+        platform = Platform(gold_rate=0.0, seed=78)
+        server, _, base_url = serve_in_thread(ApiServer(platform))
+        try:
+            client = HttpClient(base_url)
+            job = client.create_job("reads")
+            client.add_tasks(job["job_id"], [{"payload": {}}])
+            results = []
+
+            def reader():
+                local = HttpClient(base_url)
+                for _ in range(10):
+                    results.append(local.health()["status"])
+
+            threads = [threading.Thread(target=reader)
+                       for _ in range(5)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=15)
+            assert results.count("ok") == 50
+        finally:
+            server.shutdown()

@@ -1,0 +1,53 @@
+"""Tests for wire-format envelopes and serializers."""
+
+import pytest
+
+from repro.platform.jobs import Job, JobStatus, TaskRecord
+from repro.service.wire import (ApiRequest, ApiResponse, error_body,
+                                job_to_wire, task_to_wire)
+
+
+class TestEnvelopes:
+    def test_request_defaults(self):
+        request = ApiRequest(method="GET", path="/health")
+        assert request.body == {}
+        assert request.query == {}
+
+    def test_response_ok_range(self):
+        assert ApiResponse(200).ok
+        assert ApiResponse(201).ok
+        assert ApiResponse(299).ok
+        assert not ApiResponse(300).ok
+        assert not ApiResponse(404).ok
+
+
+class TestSerializers:
+    def test_job_to_wire_includes_progress(self):
+        job = Job(job_id="j1", name="test", status=JobStatus.RUNNING)
+        doc = job_to_wire(job, progress={"tasks": 3})
+        assert doc["status"] == "running"
+        assert doc["progress"] == {"tasks": 3}
+
+    def test_job_to_wire_without_progress(self):
+        doc = job_to_wire(Job(job_id="j1", name="test"))
+        assert "progress" not in doc
+
+    def test_task_to_wire_withholds_secrets(self):
+        task = TaskRecord(task_id="t1", job_id="j1",
+                          payload={"q": 1}, gold_answer="secret")
+        task.add_answer("w1", "x")
+        doc = task_to_wire(task)
+        assert "gold_answer" not in doc
+        assert "answers" not in doc
+        assert doc["payload"] == {"q": 1}
+
+    def test_task_to_wire_admin_view(self):
+        task = TaskRecord(task_id="t1", job_id="j1",
+                          gold_answer="secret")
+        task.add_answer("w1", "x")
+        doc = task_to_wire(task, include_answers=True)
+        assert doc["gold_answer"] == "secret"
+        assert doc["answers"][0]["worker_id"] == "w1"
+
+    def test_error_body(self):
+        assert error_body("boom") == {"error": "boom"}

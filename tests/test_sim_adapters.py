@@ -1,0 +1,69 @@
+"""Tests for per-game session adapters."""
+
+import pytest
+
+from repro.games.esp import EspGame
+from repro.games.matchin import MatchinGame
+from repro.games.peekaboom import PeekaboomGame
+from repro.games.squigl import SquiglGame
+from repro.games.tagatune import TagATuneGame
+from repro.games.verbosity import VerbosityGame
+from repro.sim.adapters import (esp_session_runner, matchin_session_runner,
+                                peekaboom_session_runner,
+                                squigl_session_runner,
+                                tagatune_session_runner,
+                                verbosity_session_runner)
+from repro.sim.engine import SessionOutcome
+
+
+class TestAdapters:
+    def test_esp_runner(self, corpus, players):
+        runner = esp_session_runner(EspGame(corpus, seed=1))
+        outcome = runner(players[0], players[1], 100.0)
+        assert isinstance(outcome, SessionOutcome)
+        assert outcome.rounds >= 1
+        assert outcome.duration_s > 0
+        assert set(outcome.players) == {players[0].player_id,
+                                        players[1].player_id}
+
+    def test_peekaboom_runner(self, corpus, layout, players):
+        runner = peekaboom_session_runner(
+            PeekaboomGame(corpus, layout, seed=2), rounds=3)
+        outcome = runner(players[0], players[1], 0.0)
+        assert outcome.rounds == 3
+
+    def test_verbosity_runner(self, facts, players):
+        runner = verbosity_session_runner(VerbosityGame(facts, seed=3),
+                                          rounds=2)
+        outcome = runner(players[0], players[1], 0.0)
+        assert outcome.rounds == 2
+
+    def test_tagatune_runner(self, music, players):
+        runner = tagatune_session_runner(TagATuneGame(music, seed=4),
+                                         rounds=4)
+        outcome = runner(players[0], players[1], 0.0)
+        assert outcome.rounds == 4
+
+    def test_matchin_runner(self, corpus, players):
+        runner = matchin_session_runner(MatchinGame(corpus, seed=5),
+                                        rounds=6)
+        outcome = runner(players[0], players[1], 0.0)
+        assert outcome.rounds == 6
+
+    def test_squigl_runner(self, corpus, layout, players):
+        runner = squigl_session_runner(
+            SquiglGame(corpus, layout, seed=6), rounds=4)
+        outcome = runner(players[0], players[1], 0.0)
+        assert outcome.rounds == 4
+
+    def test_successes_bounded_by_rounds(self, corpus, players):
+        runner = esp_session_runner(EspGame(corpus, seed=7))
+        outcome = runner(players[2], players[3], 0.0)
+        assert 0 <= outcome.successes <= outcome.rounds
+
+    def test_contribution_timestamps_after_start(self, corpus,
+                                                 players):
+        runner = esp_session_runner(EspGame(corpus, seed=8))
+        outcome = runner(players[0], players[1], 5000.0)
+        for contribution in outcome.contributions:
+            assert contribution.timestamp >= 5000.0

@@ -1,0 +1,69 @@
+"""Tests for arrival processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.arrivals import ArrivalProcess, DiurnalProfile
+
+
+class TestDiurnalProfile:
+    def test_flat_profile(self):
+        profile = DiurnalProfile(amplitude=0.0)
+        assert profile.factor(0) == 1.0
+        assert profile.factor(12 * 3600) == 1.0
+
+    def test_peak_at_peak_hour(self):
+        profile = DiurnalProfile(amplitude=0.5, peak_hour=20.0)
+        assert profile.factor(20 * 3600) == pytest.approx(1.5)
+
+    def test_trough_opposite_peak(self):
+        profile = DiurnalProfile(amplitude=0.5, peak_hour=20.0)
+        assert profile.factor(8 * 3600) == pytest.approx(0.5)
+
+    def test_mean_is_one(self):
+        profile = DiurnalProfile(amplitude=0.8, peak_hour=10.0)
+        values = [profile.factor(h * 3600) for h in range(24)]
+        assert sum(values) / 24 == pytest.approx(1.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DiurnalProfile(amplitude=1.5)
+        with pytest.raises(SimulationError):
+            DiurnalProfile(peak_hour=24.0)
+
+
+class TestArrivalProcess:
+    def test_count_tracks_rate(self):
+        process = ArrivalProcess(rate_per_hour=120.0, seed=1)
+        times = process.times(10 * 3600.0)
+        assert 1000 < len(times) < 1400
+
+    def test_times_sorted_in_window(self):
+        process = ArrivalProcess(rate_per_hour=60.0, seed=2)
+        times = process.times(3600.0)
+        assert times == sorted(times)
+        assert all(0 <= t < 3600.0 for t in times)
+
+    def test_deterministic_under_seed(self):
+        a = ArrivalProcess(rate_per_hour=60.0, seed=3).times(3600.0)
+        b = ArrivalProcess(rate_per_hour=60.0, seed=3).times(3600.0)
+        assert a == b
+
+    def test_diurnal_modulation_shifts_mass(self):
+        profile = DiurnalProfile(amplitude=0.9, peak_hour=20.0)
+        process = ArrivalProcess(rate_per_hour=100.0, profile=profile,
+                                 seed=4)
+        times = process.times(24 * 3600.0)
+        evening = sum(1 for t in times if 17 <= (t / 3600) % 24 < 23)
+        morning = sum(1 for t in times if 5 <= (t / 3600) % 24 < 11)
+        assert evening > morning * 2
+
+    def test_expected_count(self):
+        process = ArrivalProcess(rate_per_hour=60.0)
+        assert process.expected_count(7200.0) == 120.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ArrivalProcess(rate_per_hour=0)
+        with pytest.raises(SimulationError):
+            ArrivalProcess(rate_per_hour=10).times(0)

@@ -1,0 +1,42 @@
+"""Tests for diurnal arrival modulation in campaigns."""
+
+import pytest
+
+from repro.players.population import build_population
+from repro.sim.arrivals import DiurnalProfile
+from repro.sim.engine import Campaign
+from tests.test_sim_engine import stub_runner
+
+
+class TestDiurnalCampaign:
+    def test_profile_shifts_session_mass(self):
+        population = build_population(30, seed=700)
+        profile = DiurnalProfile(amplitude=0.9, peak_hour=20.0)
+        campaign = Campaign(population, stub_runner(duration_s=60.0),
+                            arrival_rate_per_hour=120.0,
+                            profile=profile, seed=700)
+        result = campaign.run(24 * 3600.0)
+        evening = sum(1 for t in result.session_starts
+                      if 17 <= (t / 3600.0) % 24 < 23)
+        morning = sum(1 for t in result.session_starts
+                      if 5 <= (t / 3600.0) % 24 < 11)
+        assert evening > morning
+
+    def test_flat_default(self):
+        population = build_population(30, seed=701)
+        campaign = Campaign(population, stub_runner(duration_s=60.0),
+                            arrival_rate_per_hour=120.0, seed=701)
+        assert campaign.arrivals.profile.amplitude == 0.0
+
+    def test_deterministic_with_profile(self):
+        population = build_population(10, seed=702)
+        profile = DiurnalProfile(amplitude=0.5, peak_hour=12.0)
+
+        def run():
+            campaign = Campaign(population,
+                                stub_runner(duration_s=60.0),
+                                arrival_rate_per_hour=80.0,
+                                profile=profile, seed=702)
+            return campaign.run(6 * 3600.0)
+
+        assert run().session_starts == run().session_starts

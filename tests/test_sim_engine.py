@@ -1,0 +1,94 @@
+"""Tests for the campaign engine."""
+
+import pytest
+
+from repro.core.entities import Contribution, ContributionKind
+from repro.errors import SimulationError
+from repro.players.base import PlayerModel
+from repro.players.engagement import EngagementModel
+from repro.players.population import build_population
+from repro.sim.engine import Campaign, CampaignResult, SessionOutcome
+
+
+def stub_runner(duration_s=100.0, contributions_per_session=3):
+    def run(model_a, model_b, start_s):
+        contributions = tuple(
+            Contribution(kind=ContributionKind.LABEL, item_id=f"i{k}",
+                         data={"label": "x"},
+                         players=(model_a.player_id, model_b.player_id),
+                         verified=True, timestamp=start_s + k)
+            for k in range(contributions_per_session))
+        return SessionOutcome(
+            contributions=contributions, rounds=3, successes=3,
+            duration_s=duration_s,
+            players=(model_a.player_id, model_b.player_id))
+    return run
+
+
+class TestCampaign:
+    def test_sessions_form_from_arrivals(self):
+        population = build_population(20, seed=1)
+        campaign = Campaign(population, stub_runner(),
+                            arrival_rate_per_hour=120.0, seed=2)
+        result = campaign.run(4 * 3600.0)
+        assert result.arrivals > 100
+        assert len(result.outcomes) > 30
+
+    def test_human_seconds_counts_both_players(self):
+        population = build_population(10, seed=3)
+        campaign = Campaign(population, stub_runner(duration_s=50.0),
+                            arrival_rate_per_hour=120.0, seed=4)
+        result = campaign.run(3600.0)
+        assert result.human_seconds == pytest.approx(
+            len(result.outcomes) * 100.0)
+
+    def test_throughput_counts_verified(self):
+        population = build_population(10, seed=5)
+        campaign = Campaign(population,
+                            stub_runner(duration_s=3600.0,
+                                        contributions_per_session=10),
+                            arrival_rate_per_hour=60.0, seed=6)
+        result = campaign.run(3600.0)
+        if result.outcomes:
+            expected = (10 * len(result.outcomes)
+                        / result.human_hours)
+            assert result.throughput_per_hour() == pytest.approx(
+                expected)
+
+    def test_engagement_budgets_cap_play(self):
+        population = build_population(4, seed=7)
+        tiny = EngagementModel(alp_scale_s=100.0, sigma=0.1)
+        campaign = Campaign(population, stub_runner(duration_s=200.0),
+                            arrival_rate_per_hour=600.0,
+                            engagement=tiny, seed=8)
+        result = campaign.run(24 * 3600.0)
+        # 4 players x ~100s budget, 200s sessions: every player burns
+        # out after one session; the campaign stops early.
+        assert len(result.outcomes) <= 8
+
+    def test_max_wait_drops_lonely_visitors(self):
+        population = build_population(10, seed=9)
+        campaign = Campaign(population, stub_runner(),
+                            arrival_rate_per_hour=2.0,
+                            max_wait_s=10.0, seed=10)
+        result = campaign.run(10 * 3600.0)
+        assert result.dropped >= 1
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(SimulationError):
+            Campaign([], stub_runner())
+
+    def test_deterministic(self):
+        population = build_population(10, seed=11)
+        a = Campaign(population, stub_runner(),
+                     arrival_rate_per_hour=60.0, seed=12).run(3600.0)
+        b = Campaign(population, stub_runner(),
+                     arrival_rate_per_hour=60.0, seed=12).run(3600.0)
+        assert len(a.outcomes) == len(b.outcomes)
+        assert a.session_starts == b.session_starts
+
+    def test_result_aggregates(self):
+        result = CampaignResult()
+        assert result.contributions == []
+        assert result.throughput_per_hour() == 0.0
+        assert result.total_rounds == 0

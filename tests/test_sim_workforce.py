@@ -1,0 +1,101 @@
+"""Tests for the platform workforce simulation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.platform.facade import Platform
+from repro.players.adversarial import answer_stream
+from repro.players.population import PopulationConfig, build_population
+from repro.service.api import ApiServer
+from repro.service.client import InProcessClient
+from repro.sim.platform_sim import Workforce
+
+
+def labeling_job(corpus, tasks=10, redundancy=3):
+    platform = Platform(gold_rate=0.0, spam_detection=False, seed=600)
+    client = InProcessClient(ApiServer(platform))
+    job = client.create_job("wf", redundancy=redundancy)
+    client.add_tasks(job["job_id"], [
+        {"payload": {"image_id": image.image_id}}
+        for image in list(corpus)[:tasks]])
+    client.start_job(job["job_id"])
+    return platform, client, job["job_id"]
+
+
+def label_answer(vocab, corpus):
+    def answer(model, payload, rng):
+        image = corpus.image(payload["image_id"])
+        answers = answer_stream(model, image.salience, vocab, rng, 1)
+        return answers[0] if answers else "unknown"
+    return answer
+
+
+class TestWorkforce:
+    def test_completes_job(self, corpus, vocab):
+        platform, client, job_id = labeling_job(corpus)
+        population = build_population(15, PopulationConfig(
+            skill_mean=0.85, coverage_mean=0.85), seed=600)
+        workforce = Workforce(client, population,
+                              label_answer(vocab, corpus),
+                              arrival_rate_per_hour=200.0, seed=600)
+        result = workforce.run(job_id, duration_s=8 * 3600.0)
+        assert result.completed_at_s is not None
+        assert result.answers >= 30  # 10 tasks x redundancy 3
+        progress = client.get_job(job_id)["progress"]
+        assert progress["complete_frac"] == 1.0
+
+    def test_answer_times_ordered_per_visit(self, corpus, vocab):
+        platform, client, job_id = labeling_job(corpus, tasks=5,
+                                                redundancy=2)
+        population = build_population(8, seed=601)
+        workforce = Workforce(client, population,
+                              label_answer(vocab, corpus),
+                              arrival_rate_per_hour=100.0, seed=601)
+        result = workforce.run(job_id, duration_s=4 * 3600.0)
+        assert result.answers == len(result.answer_times)
+        assert all(t >= 0 for t in result.answer_times)
+
+    def test_workers_active_counted(self, corpus, vocab):
+        platform, client, job_id = labeling_job(corpus)
+        population = build_population(10, seed=602)
+        workforce = Workforce(client, population,
+                              label_answer(vocab, corpus),
+                              arrival_rate_per_hour=150.0, seed=602)
+        result = workforce.run(job_id, duration_s=6 * 3600.0)
+        assert 1 <= result.workers_active <= len(population)
+
+    def test_results_match_ground_truth_mostly(self, corpus, vocab):
+        platform, client, job_id = labeling_job(corpus, redundancy=3)
+        population = build_population(12, PopulationConfig(
+            skill_mean=0.9, coverage_mean=0.9), seed=603)
+        workforce = Workforce(client, population,
+                              label_answer(vocab, corpus),
+                              arrival_rate_per_hour=300.0, seed=603)
+        workforce.run(job_id, duration_s=8 * 3600.0)
+        results = client.results(job_id)
+        relevant = 0
+        for task_id, result in results.items():
+            payload = platform.store.get_task(task_id).payload
+            image = corpus.image(payload["image_id"])
+            relevant += image.is_relevant(result["answer"])
+        assert relevant >= len(results) * 0.6
+
+    def test_empty_population_rejected(self, corpus, vocab):
+        platform, client, job_id = labeling_job(corpus)
+        with pytest.raises(SimulationError):
+            Workforce(client, [], label_answer(vocab, corpus))
+
+    def test_deterministic(self, corpus, vocab):
+        def run_once():
+            platform, client, job_id = labeling_job(corpus)
+            population = build_population(10, seed=604)
+            workforce = Workforce(client, population,
+                                  label_answer(vocab, corpus),
+                                  arrival_rate_per_hour=120.0,
+                                  seed=604)
+            return workforce.run(job_id, duration_s=3 * 3600.0)
+
+        first = run_once()
+        second = run_once()
+        assert first.answers == second.answers
+        assert first.answer_times == second.answer_times
