@@ -6,6 +6,8 @@ Commands:
 - ``digitize`` — run the reCAPTCHA pipeline over a synthetic book.
 - ``serve``    — start the platform's HTTP service.
 - ``suite``    — play one match of every game and summarize outputs.
+- ``metrics``  — pretty-print a ``/metrics`` snapshot from a running
+  service.
 
 Each command is a thin wrapper over the public API; see the examples/
 directory for richer, commented versions of the same flows.
@@ -61,6 +63,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "play", help="solve CAPTCHA challenges interactively")
     play.add_argument("--rounds", type=int, default=5)
     play.add_argument("--seed", type=int, default=None)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="pretty-print a /metrics snapshot from a running service")
+    metrics.add_argument("--url", default="http://127.0.0.1:8080",
+                         help="base URL of the service")
+    metrics.add_argument("--format",
+                         choices=("table", "json", "prom"),
+                         default="table",
+                         help="table (default), raw json, or "
+                              "prometheus text")
     return parser
 
 
@@ -192,12 +205,72 @@ def _cmd_play(args: argparse.Namespace) -> int:
     return 0 if summary.solved > 0 else 1
 
 
+def _format_metric_rows(name: str, metric: dict) -> list:
+    """Rows (name, labels, value) for one metric's series."""
+    rows = []
+    for series in metric.get("series", []):
+        labels = ",".join(f"{k}={v}" for k, v
+                          in sorted(series.get("labels", {}).items()))
+        if metric["kind"] == "histogram":
+            if not series.get("count"):
+                value = "count=0"
+            else:
+                value = (f"count={series['count']} "
+                         f"mean={series['mean']:.6f} "
+                         f"p50={series['p50']:.6f} "
+                         f"p95={series['p95']:.6f} "
+                         f"p99={series['p99']:.6f}")
+        else:
+            number = series.get("value", 0.0)
+            value = (f"{number:g}" if isinstance(number, float)
+                     else str(number))
+        rows.append((name, metric["kind"], labels, value))
+    return rows
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    from urllib import error as urlerror
+    from urllib import request as urlrequest
+
+    base = args.url.rstrip("/")
+    path = "/metrics"
+    if args.format == "prom":
+        path += "?format=prometheus"
+    try:
+        with urlrequest.urlopen(base + path, timeout=10.0) as response:
+            raw = response.read().decode("utf-8")
+    except (urlerror.URLError, OSError) as exc:
+        print(f"cannot reach {base}{path}: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "prom":
+        print(raw, end="")
+        return 0
+    snapshot = json.loads(raw)
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for name, metric in sorted(snapshot.get("metrics", {}).items()):
+        rows.extend(_format_metric_rows(name, metric))
+    if not rows:
+        print("no metrics recorded yet")
+        return 0
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(3)]
+    for name, kind, labels, value in rows:
+        print(f"{name.ljust(widths[0])}  {kind.ljust(widths[1])}  "
+              f"{labels.ljust(widths[2])}  {value}")
+    return 0
+
+
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "digitize": _cmd_digitize,
     "serve": _cmd_serve,
     "suite": _cmd_suite,
     "play": _cmd_play,
+    "metrics": _cmd_metrics,
 }
 
 

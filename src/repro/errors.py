@@ -37,6 +37,10 @@ class QualityError(ReproError):
     """A quality-control component was misused (e.g. unknown player)."""
 
 
+class ObservabilityError(ReproError):
+    """A telemetry component was misused (bad metric type, bad bucket)."""
+
+
 class PlatformError(ReproError):
     """The task platform rejected an operation."""
 

@@ -1,0 +1,42 @@
+"""Observability: metrics, tracing, and telemetry events.
+
+The measurement substrate for the whole platform:
+
+- :mod:`repro.obs.metrics` — thread-safe :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` in a :class:`MetricsRegistry`,
+  with a process-wide default registry.
+- :mod:`repro.obs.tracing` — ``with span("name"):`` nesting spans into
+  exportable trace trees.
+- :mod:`repro.obs.events` — :class:`~repro.core.events.EventLog`
+  payloads normalized into flat telemetry records and folded into the
+  registry.
+- :mod:`repro.obs.exposition` — JSON and Prometheus text renderings
+  (served by ``GET /metrics``).
+- :mod:`repro.obs.bridge` — :class:`MonitorBridge` mirroring
+  :class:`~repro.quality.monitoring.CampaignMonitor` alerts into
+  counters.
+
+See ``docs/observability.md`` for a cookbook.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry, default_registry,
+                               set_default_registry)
+from repro.obs.tracing import (Span, Tracer, default_tracer, span)
+from repro.obs.events import (TelemetryLogger, TelemetryRecord,
+                              feed_registry, normalize_event,
+                              normalize_log)
+from repro.obs.exposition import (PROMETHEUS_CONTENT_TYPE, negotiate,
+                                  render_json, render_prometheus)
+from repro.obs.bridge import MonitorBridge
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "default_registry", "set_default_registry",
+    "Span", "Tracer", "default_tracer", "span",
+    "TelemetryLogger", "TelemetryRecord", "feed_registry",
+    "normalize_event", "normalize_log",
+    "PROMETHEUS_CONTENT_TYPE", "negotiate", "render_json",
+    "render_prometheus",
+    "MonitorBridge",
+]

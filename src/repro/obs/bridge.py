@@ -1,0 +1,81 @@
+"""Bridge :class:`~repro.quality.monitoring.CampaignMonitor` to metrics.
+
+The monitor raises typed alerts; dashboards want counters and gauges.
+:class:`MonitorBridge` wraps a monitor with the same feeding interface
+(``record_round`` / ``record_spam_flag``) and mirrors every observation
+into a registry:
+
+- ``quality.rounds`` / ``quality.spam_flags`` counters,
+- ``quality.alerts`` counter labelled by alert kind,
+- ``quality.agreement_rate`` / ``quality.rounds_per_second`` gauges
+  (partial-window values, so early campaigns are visible too).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.quality.monitoring import Alert, CampaignMonitor
+
+
+class MonitorBridge:
+    """Feed a monitor and mirror its vitals into a registry.
+
+    Args:
+        monitor: the wrapped monitor (a default one if omitted).
+        registry: target registry (the process default if omitted).
+    """
+
+    def __init__(self, monitor: Optional[CampaignMonitor] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.monitor = monitor if monitor is not None \
+            else CampaignMonitor()
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self._rounds = self.registry.counter(
+            "quality.rounds", "rounds fed to the campaign monitor")
+        self._flags = self.registry.counter(
+            "quality.spam_flags", "spam flags fed to the monitor")
+        self._alerts = self.registry.counter(
+            "quality.alerts", "monitor alerts raised, by kind")
+        self._agreement = self.registry.gauge(
+            "quality.agreement_rate",
+            "sliding-window agreement rate (partial windows included)")
+        self._rate = self.registry.gauge(
+            "quality.rounds_per_second",
+            "sliding-window round rate (partial windows included)")
+
+    def record_round(self, at_s: float, agreed: bool) -> List[Alert]:
+        """Feed one round; returns every alert that fired."""
+        alerts = self.monitor.observe_round(at_s, agreed)
+        self._rounds.inc(agreed=str(agreed).lower())
+        self._count_alerts(alerts)
+        rate = self.monitor.agreement_rate(strict=False)
+        if rate is not None:
+            self._agreement.set(rate)
+        rps = self.monitor.rounds_per_second(strict=False)
+        if rps is not None:
+            self._rate.set(rps)
+        return alerts
+
+    def record_spam_flag(self, at_s: float,
+                         player_id: str) -> Optional[Alert]:
+        """Feed one spam flag; returns the alert if one fired."""
+        alert = self.monitor.record_spam_flag(at_s, player_id)
+        self._flags.inc()
+        self._count_alerts([alert] if alert else [])
+        return alert
+
+    def _count_alerts(self, alerts: List[Alert]) -> None:
+        for alert in alerts:
+            self._alerts.inc(kind=alert.kind.value)
+
+    # -- proxied reporting ---------------------------------------------
+
+    @property
+    def alerts(self) -> List[Alert]:
+        return self.monitor.alerts
+
+    def healthy(self) -> bool:
+        return self.monitor.healthy()

@@ -1,0 +1,126 @@
+"""Structured-event telemetry from :class:`~repro.core.events.EventLog`.
+
+Games and campaigns already append typed events ("session", "label",
+"promotion", "flag", ...) to an :class:`EventLog`.  This module
+normalizes those heterogeneous payloads into flat
+:class:`TelemetryRecord` s — numeric fields separated from string tags —
+and folds them into a :class:`~repro.obs.metrics.MetricsRegistry`:
+one ``events.count`` counter series per kind, plus one histogram per
+numeric field, so a dumped log and a live campaign read identically on
+a dashboard.
+
+:class:`TelemetryLogger` is the live-path variant: an
+:class:`EventLog`-compatible ``append`` that mirrors every event into
+the registry as it is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.core.events import Event, EventLog
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One normalized, timestamped telemetry record.
+
+    Attributes:
+        at_s: campaign time in seconds.
+        kind: the originating event kind.
+        fields: numeric payload entries (bools become 0/1, lists and
+            dicts become their length).
+        tags: string payload entries.
+    """
+
+    at_s: float
+    kind: str
+    fields: Dict[str, float] = field(default_factory=dict)
+    tags: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"at_s": self.at_s, "kind": self.kind,
+                "fields": dict(self.fields), "tags": dict(self.tags)}
+
+
+def normalize_event(event: Event) -> TelemetryRecord:
+    """Flatten one event's payload into numeric fields and tags."""
+    fields: Dict[str, float] = {}
+    tags: Dict[str, str] = {}
+    for key, value in event.data.items():
+        if isinstance(value, bool):
+            fields[key] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            fields[key] = float(value)
+        elif isinstance(value, str):
+            tags[key] = value
+        elif isinstance(value, (list, tuple, dict, set)):
+            fields[f"{key}_count"] = float(len(value))
+        # Anything else (None, nested objects) is dropped: telemetry
+        # keeps only what aggregates.
+    return TelemetryRecord(at_s=event.at_s, kind=event.kind,
+                           fields=fields, tags=tags)
+
+
+def normalize_log(log: Union[EventLog, Iterable[Event]]
+                  ) -> List[TelemetryRecord]:
+    """Normalize a whole log (or any event iterable), in order."""
+    return [normalize_event(event) for event in log]
+
+
+def feed_registry(log: Union[EventLog, Iterable[Event]],
+                  registry: Optional[MetricsRegistry] = None,
+                  prefix: str = "events") -> MetricsRegistry:
+    """Fold a log into a registry; returns the registry used.
+
+    Produces ``{prefix}.count`` (labelled by kind) and a
+    ``{prefix}.{kind}.{field}`` histogram per numeric field.
+    """
+    registry = registry if registry is not None else default_registry()
+    count = registry.counter(
+        f"{prefix}.count", "events recorded, by kind")
+    for record in normalize_log(log):
+        count.inc(kind=record.kind)
+        for name, value in record.fields.items():
+            registry.histogram(
+                f"{prefix}.{record.kind}.{name}",
+                f"distribution of {name!r} on {record.kind!r} events",
+            ).observe(value)
+    return registry
+
+
+class TelemetryLogger:
+    """An event log that mirrors appends into a metrics registry.
+
+    Drop-in for :class:`EventLog` where only ``append`` is used; the
+    underlying log stays available as :attr:`log` for replay/analytics.
+    """
+
+    def __init__(self, log: Optional[EventLog] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "events") -> None:
+        self.log = log if log is not None else EventLog()
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self.prefix = prefix
+        self._count = self.registry.counter(
+            f"{prefix}.count", "events recorded, by kind")
+
+    def append(self, at_s: float, kind: str, **data: Any) -> Event:
+        event = self.log.append(at_s, kind, **data)
+        record = normalize_event(event)
+        self._count.inc(kind=kind)
+        for name, value in record.fields.items():
+            self.registry.histogram(
+                f"{self.prefix}.{kind}.{name}",
+                f"distribution of {name!r} on {kind!r} events",
+            ).observe(value)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.log)
+
+    def __iter__(self):
+        return iter(self.log)

@@ -1,0 +1,123 @@
+"""Exposition formats for a metrics snapshot.
+
+Two renderings of the same :meth:`MetricsRegistry.snapshot`:
+
+- **JSON** — the snapshot itself, the native format of the service's
+  ``GET /metrics`` endpoint and the ``repro metrics`` CLI.
+- **Prometheus text** (version 0.0.4) — ``name{label="v"} value``
+  lines with ``# HELP`` / ``# TYPE`` headers, counters suffixed
+  ``_total`` and histograms exposed as summaries (``_count``, ``_sum``,
+  ``{quantile="0.5"}`` ...), so any Prometheus-compatible scraper can
+  poll the endpoint unmodified.
+
+:func:`negotiate` picks the format from an explicit ``?format=`` query
+parameter (which wins) or the request's ``Accept`` header.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a dotted metric name for Prometheus."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels_text(labels: Mapping[str, str],
+                 extra: Optional[Mapping[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{prometheus_name(k)}="{_escape_label(str(v))}"'
+                     for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_json(registry: MetricsRegistry) -> Dict[str, Any]:
+    """The JSON exposition: the registry snapshot."""
+    return registry.snapshot()
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The snapshot as Prometheus 0.0.4 text exposition."""
+    snapshot = registry.snapshot()["metrics"]
+    lines = []
+    for name in sorted(snapshot):
+        metric = snapshot[name]
+        kind = metric["kind"]
+        base = prometheus_name(name)
+        prom_kind = {"counter": "counter", "gauge": "gauge",
+                     "histogram": "summary"}.get(kind, "untyped")
+        exposed = base + "_total" if kind == "counter" else base
+        if metric.get("description"):
+            lines.append(f"# HELP {exposed} {metric['description']}")
+        lines.append(f"# TYPE {exposed} {prom_kind}")
+        for series in metric["series"]:
+            labels = series.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(f"{exposed}{_labels_text(labels)} "
+                             f"{_format_value(series['value'])}")
+                continue
+            # Histogram -> summary: quantiles + _count + _sum.
+            for quantile, key in _QUANTILES:
+                if key in series:
+                    text = _labels_text(labels,
+                                        {"quantile": quantile})
+                    lines.append(f"{base}{text} "
+                                 f"{_format_value(series[key])}")
+            plain = _labels_text(labels)
+            lines.append(f"{base}_count{plain} "
+                         f"{_format_value(series.get('count', 0))}")
+            lines.append(f"{base}_sum{plain} "
+                         f"{_format_value(series.get('sum', 0.0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def negotiate(accept: Optional[str] = None,
+              fmt: Optional[str] = None) -> str:
+    """Pick ``"json"`` or ``"prometheus"``.
+
+    An explicit ``fmt`` ("json", "prometheus", "prom", "text") wins;
+    otherwise an ``Accept`` header preferring ``text/plain`` selects
+    Prometheus; JSON is the default.
+    """
+    if fmt:
+        lowered = fmt.lower()
+        if lowered in ("prometheus", "prom", "text"):
+            return "prometheus"
+        return "json"
+    if accept:
+        lowered = accept.lower()
+        json_at = lowered.find("application/json")
+        text_at = lowered.find("text/plain")
+        if text_at != -1 and (json_at == -1 or text_at < json_at):
+            return "prometheus"
+    return "json"

@@ -1,0 +1,314 @@
+"""Thread-safe in-process metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` names and owns metrics; instrumented code
+calls ``registry.counter("service.requests").inc(route="/health")`` on
+its hot path and readers take a :meth:`MetricsRegistry.snapshot` (a
+plain JSON-able dict) whenever they like.  Every mutation is guarded by
+a per-metric lock, so the registry can be shared by the threaded HTTP
+server, the simulator, and a reader thread without coordination.
+
+All three metric kinds are label-aware: each distinct label set is an
+independent series inside the metric (``requests{route="/jobs"}`` vs
+``requests{route="/health"}``).  Histograms use fixed buckets and
+estimate percentiles by linear interpolation within a bucket, bounded
+by the observed min/max — the standard Prometheus-style tradeoff of a
+little accuracy for O(1) memory per series.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default latency-oriented buckets (seconds), roughly geometric.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0)
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labels_dict(key: LabelKey) -> Dict[str, str]:
+    return {k: v for k, v in key}
+
+
+class Metric:
+    """Base class: a named, described, lock-guarded metric."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name:
+            raise ObservabilityError("metric needs a non-empty name")
+        self.name = name
+        self.description = description
+        self._lock = threading.Lock()
+
+    def snapshot(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing sum, per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        super().__init__(name, description)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (must be >= 0) to this label set's series."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (got {amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value for one label set (0.0 if never incremented)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all label sets."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            series = [{"labels": _labels_dict(key), "value": value}
+                      for key, value in sorted(self._values.items())]
+        return {"kind": self.kind, "description": self.description,
+                "series": series}
+
+
+class Gauge(Metric):
+    """A value that can go up and down, per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        super().__init__(name, description)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            series = [{"labels": _labels_dict(key), "value": value}
+                      for key, value in sorted(self._values.items())]
+        return {"kind": self.kind, "description": self.description,
+                "series": series}
+
+
+class _HistogramSeries:
+    """Mutable per-label-set histogram state."""
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        # counts[i] observations in (bucket[i-1], bucket[i]];
+        # counts[-1] is the overflow bucket (> last bound).
+        self.counts = [0] * (n_buckets + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution with interpolated percentiles."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, description: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, description)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2
+                             in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {name!r} needs strictly increasing buckets")
+        self.buckets = bounds
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into this label set's distribution."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(
+                    len(self.buckets))
+            # First bound >= value; len(buckets) is the overflow slot.
+            idx = bisect_left(self.buckets, value)
+            series.counts[idx] += 1
+            series.count += 1
+            series.sum += value
+            series.min = min(series.min, value)
+            series.max = max(series.max, value)
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.count if series else 0
+
+    def percentile(self, q: float, **labels: Any) -> Optional[float]:
+        """Estimated ``q``-quantile (q in [0,1]) for one label set."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0,1]: {q}")
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return None
+            return self._percentile_locked(series, q)
+
+    def _percentile_locked(self, series: _HistogramSeries,
+                           q: float) -> float:
+        target = q * series.count
+        cumulative = 0
+        for i, n in enumerate(series.counts):
+            if n == 0:
+                continue
+            lower = self.buckets[i - 1] if i > 0 else min(
+                0.0, series.min)
+            upper = (self.buckets[i] if i < len(self.buckets)
+                     else series.max)
+            if cumulative + n >= target:
+                frac = (target - cumulative) / n
+                estimate = lower + frac * (upper - lower)
+                return min(max(estimate, series.min), series.max)
+            cumulative += n
+        return series.max
+
+    def summary(self, **labels: Any) -> Dict[str, float]:
+        """count/sum/mean/min/max/p50/p95/p99 for one label set."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return {"count": 0, "sum": 0.0}
+            return self._summary_locked(series)
+
+    def _summary_locked(self, series: _HistogramSeries
+                        ) -> Dict[str, float]:
+        return {
+            "count": series.count,
+            "sum": series.sum,
+            "mean": series.sum / series.count,
+            "min": series.min,
+            "max": series.max,
+            "p50": self._percentile_locked(series, 0.50),
+            "p95": self._percentile_locked(series, 0.95),
+            "p99": self._percentile_locked(series, 0.99),
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            series = []
+            for key, state in sorted(self._series.items()):
+                doc: Dict[str, Any] = {"labels": _labels_dict(key)}
+                if state.count:
+                    doc.update(self._summary_locked(state))
+                else:
+                    doc.update({"count": 0, "sum": 0.0})
+                series.append(doc)
+        return {"kind": self.kind, "description": self.description,
+                "buckets": list(self.buckets), "series": series}
+
+
+class MetricsRegistry:
+    """Names and owns metrics; get-or-create by kind.
+
+    Asking for an existing name with the same kind returns the existing
+    metric (so instrumented modules need no shared setup); asking with
+    a different kind raises :class:`~repro.errors.ObservabilityError`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, description: str,
+                       **kwargs: Any) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            metric = cls(name, description, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(self, name: str, description: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        kwargs = {"buckets": buckets} if buckets is not None else {}
+        return self._get_or_create(Histogram, name, description,
+                                   **kwargs)
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole registry as a JSON-able document."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {"metrics": {name: metric.snapshot()
+                            for name, metric in sorted(metrics)}}
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh campaigns)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry instrumented code falls back to."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

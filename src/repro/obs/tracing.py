@@ -1,0 +1,151 @@
+"""Lightweight request/round tracing.
+
+A :class:`Tracer` hands out ``with tracer.span("platform.submit_answer")``
+context managers.  Spans nest per thread: a span opened while another is
+active on the same thread becomes its child, so one HTTP request or one
+simulated session exports as a single tree.  Finished root spans land in
+a bounded in-memory ring buffer; :meth:`Tracer.export` returns them as
+plain dicts and :meth:`Tracer.export_json` as a JSON document, newest
+last.
+
+The implementation is deliberately cheap — one object allocation and
+two ``perf_counter`` calls per span — so hot paths can stay instrumented
+in production runs (see ``benchmarks/test_t9_service_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed operation, possibly with nested children."""
+
+    __slots__ = ("span_id", "name", "started_at", "duration_s",
+                 "status", "error", "attributes", "children")
+
+    def __init__(self, span_id: int, name: str,
+                 attributes: Dict[str, Any]) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.started_at = time.time()
+        self.duration_s: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self.attributes = attributes
+        self.children: List["Span"] = []
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "span_id": self.span_id, "name": self.name,
+            "started_at": self.started_at,
+            "duration_s": self.duration_s, "status": self.status,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.attributes:
+            doc["attributes"] = dict(self.attributes)
+        if self.children:
+            doc["children"] = [c.to_dict() for c in self.children]
+        return doc
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Tracer:
+    """Per-thread span nesting over a bounded root-span buffer.
+
+    Args:
+        max_spans: root spans retained (oldest evicted first).
+        enabled: when False, :meth:`span` is a no-op context manager
+            (for overhead-sensitive callers).
+    """
+
+    def __init__(self, max_spans: int = 1000,
+                 enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._roots: Deque[Span] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any):
+        """Open a span; yields the :class:`Span` (or None if disabled)."""
+        if not self.enabled:
+            yield None
+            return
+        span = Span(next(self._ids), name, attributes)
+        stack = self._stack()
+        stack.append(span)
+        start = time.perf_counter()
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            span.duration_s = time.perf_counter() - start
+            stack.pop()
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                with self._lock:
+                    self._roots.append(span)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def roots(self) -> List[Span]:
+        """Finished root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans (any depth) with this name."""
+        return [span for root in self.roots()
+                for span in root.walk() if span.name == name]
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Finished root spans as JSON-able dicts, oldest first."""
+        return [root.to_dict() for root in self.roots()]
+
+    def export_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps({"spans": self.export()}, indent=indent,
+                          sort_keys=True, default=str)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+
+_default_tracer = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """The process-wide tracer instrumented code falls back to."""
+    return _default_tracer
+
+
+def span(name: str, **attributes: Any):
+    """``with span("name"):`` against the default tracer."""
+    return _default_tracer.span(name, **attributes)

@@ -15,6 +15,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro import rng as _rng
 from repro.aggregation.majority import MajorityVote, VoteResult
 from repro.errors import AggregationError, PlatformError
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer, default_tracer
 from repro.platform.accounts import Account, AccountRegistry
 from repro.platform.jobs import (Job, JobStatus, TaskRecord, TaskState)
 from repro.platform.leaderboard import Leaderboard
@@ -35,23 +37,44 @@ class Platform:
             :class:`~repro.quality.spam.SpamDetector` and let
             :meth:`results` silence flagged workers.
         seed: RNG seed for scheduling decisions.
+        registry: metrics registry the platform counters land in (the
+            process default if omitted).
+        tracer: span tracer for the worker-loop verbs (the process
+            default if omitted).
     """
 
     def __init__(self,
                  policy: AssignmentPolicy = AssignmentPolicy.BREADTH_FIRST,
                  gold_rate: float = 0.1, points_per_answer: int = 10,
                  spam_detection: bool = True,
-                 seed: _rng.SeedLike = 0) -> None:
+                 seed: _rng.SeedLike = 0,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self.tracer = tracer if tracer is not None else default_tracer()
         self.store = JsonStore()
         self.accounts = AccountRegistry()
         self.scheduler = TaskScheduler(self.store, policy=policy,
-                                       gold_rate=gold_rate, seed=seed)
+                                       gold_rate=gold_rate, seed=seed,
+                                       registry=self.registry)
         self.reputation = ReputationTracker()
         self.spam = SpamDetector() if spam_detection else None
         self.leaderboard = Leaderboard()
         self.points_per_answer = points_per_answer
         self._job_counter = itertools.count()
         self._task_counter = itertools.count()
+        self._m_jobs = self.registry.counter(
+            "platform.jobs", "job lifecycle transitions, by event")
+        self._m_tasks_added = self.registry.counter(
+            "platform.tasks_added", "tasks added to jobs")
+        self._m_tasks_served = self.registry.counter(
+            "platform.tasks_served", "tasks handed to workers")
+        self._m_answers = self.registry.counter(
+            "platform.answers", "answers accepted, by gold/plain")
+        self._m_extensions = self.registry.counter(
+            "platform.redundancy_extensions",
+            "adaptive-redundancy extensions applied")
 
     # ------------------------------------------------------------------
     # Job management
@@ -63,6 +86,7 @@ class Platform:
         job = Job(job_id=f"job-{next(self._job_counter):04d}", name=name,
                   redundancy=redundancy, meta=dict(meta))
         self.store.put_job(job)
+        self._m_jobs.inc(event="created")
         return job
 
     def add_task(self, job_id: str, payload: Dict[str, Any],
@@ -77,6 +101,8 @@ class Platform:
             job_id=job_id, payload=dict(payload),
             gold_answer=gold_answer)
         self.store.put_task(task)
+        self._m_tasks_added.inc(gold=str(gold_answer is not None
+                                         ).lower())
         return task
 
     def add_tasks(self, job_id: str,
@@ -92,12 +118,14 @@ class Platform:
         if not job.task_ids:
             raise PlatformError(f"job {job_id!r} has no tasks")
         job.status = JobStatus.RUNNING
+        self._m_jobs.inc(event="started")
         return job
 
     def archive_job(self, job_id: str) -> Job:
         """Archive a job: no more tasks, answers, or restarts."""
         job = self.store.get_job(job_id)
         job.status = JobStatus.ARCHIVED
+        self._m_jobs.inc(event="archived")
         return job
 
     # ------------------------------------------------------------------
@@ -117,15 +145,19 @@ class Platform:
                      worker_id: str) -> Optional[TaskRecord]:
         """The worker's next task, or None when the job has nothing
         left for them."""
-        job = self.store.get_job(job_id)
-        if job.status is JobStatus.COMPLETED:
-            return None
-        if job.status is not JobStatus.RUNNING:
-            raise PlatformError(
-                f"job {job_id!r} is not running (status: "
-                f"{job.status.value})")
-        self.accounts.ensure(worker_id)
-        return self.scheduler.next_task(job_id, worker_id)
+        with self.tracer.span("platform.request_task", job=job_id):
+            job = self.store.get_job(job_id)
+            if job.status is JobStatus.COMPLETED:
+                return None
+            if job.status is not JobStatus.RUNNING:
+                raise PlatformError(
+                    f"job {job_id!r} is not running (status: "
+                    f"{job.status.value})")
+            self.accounts.ensure(worker_id)
+            task = self.scheduler.next_task(job_id, worker_id)
+            if task is not None:
+                self._m_tasks_served.inc()
+            return task
 
     def submit_answer(self, task_id: str, worker_id: str, answer: Any,
                       at_s: float = 0.0) -> TaskRecord:
@@ -135,26 +167,31 @@ class Platform:
         a worker may have fetched the task moments before another
         worker's answer completed the job, and their work still counts.
         """
-        task = self.store.get_task(task_id)
-        job = self.store.get_job(task.job_id)
-        if job.status not in (JobStatus.RUNNING, JobStatus.COMPLETED):
-            raise PlatformError(
-                f"job {job.job_id!r} is not accepting answers "
-                f"(status: {job.status.value})")
-        task.add_answer(worker_id, answer, at_s=at_s)
-        self.scheduler.clear_reservation(task_id, worker_id)
-        account = self.accounts.ensure(worker_id)
-        account.add_points(self.points_per_answer)
-        self.leaderboard.record(worker_id, self.points_per_answer, at_s)
-        if task.is_gold:
-            correct = answer == task.gold_answer
-            self.reputation.record_gold(worker_id, correct)
+        with self.tracer.span("platform.submit_answer", task=task_id):
+            task = self.store.get_task(task_id)
+            job = self.store.get_job(task.job_id)
+            if job.status not in (JobStatus.RUNNING,
+                                  JobStatus.COMPLETED):
+                raise PlatformError(
+                    f"job {job.job_id!r} is not accepting answers "
+                    f"(status: {job.status.value})")
+            task.add_answer(worker_id, answer, at_s=at_s)
+            self.scheduler.clear_reservation(task_id, worker_id)
+            account = self.accounts.ensure(worker_id)
+            account.add_points(self.points_per_answer)
+            self.leaderboard.record(worker_id, self.points_per_answer,
+                                    at_s)
+            if task.is_gold:
+                correct = answer == task.gold_answer
+                self.reputation.record_gold(worker_id, correct)
+                if self.spam is not None:
+                    self.spam.record_gold(worker_id, correct)
             if self.spam is not None:
-                self.spam.record_gold(worker_id, correct)
-        if self.spam is not None:
-            self.spam.record_answer(worker_id, self._hashable(answer))
-        self._maybe_complete(job)
-        return task
+                self.spam.record_answer(worker_id,
+                                        self._hashable(answer))
+            self._m_answers.inc(gold=str(task.is_gold).lower())
+            self._maybe_complete(job)
+            return task
 
     @staticmethod
     def _hashable(answer: Any) -> Any:
@@ -176,6 +213,8 @@ class Platform:
         tasks = self.store.tasks_for(job.job_id)
         if tasks and all(t.state(job.redundancy) is TaskState.COMPLETED
                          for t in tasks):
+            if job.status is not JobStatus.COMPLETED:
+                self._m_jobs.inc(event="completed")
             job.status = JobStatus.COMPLETED
 
     # ------------------------------------------------------------------
@@ -254,6 +293,7 @@ class Platform:
             needed = max(needed, len(task.workers()) + extra)
         if needed > job.redundancy:
             job.redundancy = needed
+            self._m_extensions.inc()
         if job.status is JobStatus.COMPLETED and task_ids:
             job.status = JobStatus.RUNNING
         return job.redundancy

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import rng as _rng
 from repro.errors import PlatformError
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.platform.jobs import Job, TaskRecord, TaskState
 from repro.platform.store import JsonStore
 
@@ -42,12 +43,16 @@ class TaskScheduler:
         gold_rate: probability of serving an eligible gold task instead
             of a normal one (player testing).
         seed: RNG seed for RANDOM policy and gold injection.
+        registry: metrics registry for the queue-depth gauge and
+            assignment-latency histogram (the process default if
+            omitted).
     """
 
     def __init__(self, store: JsonStore,
                  policy: AssignmentPolicy = AssignmentPolicy.BREADTH_FIRST,
                  gold_rate: float = 0.0,
-                 seed: _rng.SeedLike = 0) -> None:
+                 seed: _rng.SeedLike = 0,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         if not 0.0 <= gold_rate <= 1.0:
             raise PlatformError(
                 f"gold_rate must be in [0,1], got {gold_rate}")
@@ -55,6 +60,18 @@ class TaskScheduler:
         self.policy = policy
         self.gold_rate = gold_rate
         self._rng = _rng.make_rng(seed)
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self._m_depth = self.registry.gauge(
+            "scheduler.queue_depth",
+            "eligible pending tasks seen at the last assignment, "
+            "by job")
+        self._m_latency = self.registry.histogram(
+            "scheduler.assignment_latency_s",
+            "time next_task spent choosing an assignment")
+        self._m_assignments = self.registry.counter(
+            "scheduler.assignments",
+            "next_task outcomes, by served/empty")
         # Soft leases: task -> {worker: lease expiry}.  A fetched task
         # counts toward redundancy until answered or until the lease
         # expires (abandoned workers must not stall the job forever).
@@ -108,13 +125,19 @@ class TaskScheduler:
         or expires if the worker abandons the task, so stragglers never
         stall the job permanently.
         """
+        started = time.perf_counter()
         job = self.store.get_job(job_id)
         eligible = self.eligible_tasks(job, worker_id)
+        self._m_depth.set(len(eligible), job=job_id)
         if not eligible:
+            self._m_latency.observe(time.perf_counter() - started)
+            self._m_assignments.inc(outcome="empty")
             return None
         task = self._pick(eligible)
         self._reservations.setdefault(task.task_id, {})[worker_id] = (
             time.monotonic() + self.lease_ttl_s)
+        self._m_latency.observe(time.perf_counter() - started)
+        self._m_assignments.inc(outcome="served")
         return task
 
     def _pick(self, eligible: List[TaskRecord]) -> TaskRecord:

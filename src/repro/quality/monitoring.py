@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import QualityError
 
@@ -72,19 +72,30 @@ class CampaignMonitor:
         self._rounds: Deque[Tuple[float, bool]] = deque(maxlen=window)
         self._flags: Deque[Tuple[float, str]] = deque()
         self._alerts: List[Alert] = []
-        self._last_alert_at: dict = {}
+        self._last_alert_at: Dict[AlertKind, float] = {}
         self._best_rate: float = 0.0
 
     # ------------------------------------------------------------------
     # Feeding
     # ------------------------------------------------------------------
 
-    def record_round(self, at_s: float, agreed: bool) -> Optional[Alert]:
-        """Feed one round; returns an alert if one fires now."""
+    def observe_round(self, at_s: float, agreed: bool) -> List[Alert]:
+        """Feed one round; returns every alert that fires now.
+
+        Both vital signs are evaluated on every round — a firing
+        agreement alert must not mask a simultaneous throughput breach
+        (nor skip the throughput check's best-rate bookkeeping).
+        """
         self._rounds.append((at_s, agreed))
-        alert = self._check_agreement(at_s) or self._check_throughput(
-            at_s)
-        return alert
+        fired = [self._check_agreement(at_s),
+                 self._check_throughput(at_s)]
+        return [alert for alert in fired if alert is not None]
+
+    def record_round(self, at_s: float, agreed: bool) -> Optional[Alert]:
+        """Single-alert compatibility wrapper over
+        :meth:`observe_round`; returns the first fired alert, if any."""
+        alerts = self.observe_round(at_s, agreed)
+        return alerts[0] if alerts else None
 
     def record_spam_flag(self, at_s: float,
                          player_id: str) -> Optional[Alert]:
@@ -106,16 +117,31 @@ class CampaignMonitor:
     # Checks
     # ------------------------------------------------------------------
 
-    def agreement_rate(self) -> Optional[float]:
-        """Current window agreement rate (None until the window fills)."""
-        if len(self._rounds) < self.window:
+    def agreement_rate(self, strict: bool = True) -> Optional[float]:
+        """Current window agreement rate.
+
+        With ``strict=True`` (the alerting default) the rate is None
+        until the window fills, so alerts never fire on thin evidence.
+        ``strict=False`` returns the partial-window value as soon as
+        one round has landed — what an early-campaign dashboard wants.
+        """
+        if not self._rounds:
+            return None
+        if strict and len(self._rounds) < self.window:
             return None
         agreed = sum(1 for _, ok in self._rounds if ok)
         return agreed / len(self._rounds)
 
-    def rounds_per_second(self) -> Optional[float]:
-        """Current window round rate (None until the window fills)."""
-        if len(self._rounds) < self.window:
+    def rounds_per_second(self, strict: bool = True) -> Optional[float]:
+        """Current window round rate.
+
+        Same ``strict`` semantics as :meth:`agreement_rate`; the
+        non-strict value needs at least two rounds spanning nonzero
+        time.
+        """
+        if strict and len(self._rounds) < self.window:
+            return None
+        if len(self._rounds) < 2:
             return None
         start = self._rounds[0][0]
         end = self._rounds[-1][0]

@@ -17,6 +17,7 @@ POST   /workers                        register {worker_id, display_name?}
 GET    /workers/{worker_id}            worker stats
 POST   /tasks/{task_id}/answers        submit {worker_id, answer, at_s?}
 GET    /leaderboard?k=10               top accounts
+GET    /metrics?format=json|prometheus telemetry snapshot
 ====== =============================== =======================================
 """
 
@@ -24,10 +25,15 @@ from __future__ import annotations
 
 import re
 import threading
-from typing import Callable, Dict, List, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import (AccountError, JobNotFound, PlatformError,
                           ServiceError, TaskNotFound)
+from repro.obs.exposition import (PROMETHEUS_CONTENT_TYPE, negotiate,
+                                  render_json, render_prometheus)
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer, default_tracer
 from repro.platform.facade import Platform
 from repro.service.wire import (ApiRequest, ApiResponse, error_body,
                                 job_to_wire, task_to_wire)
@@ -36,20 +42,51 @@ Handler = Callable[[ApiRequest, Dict[str, str]], ApiResponse]
 
 
 class ApiServer:
-    """Dispatches :class:`ApiRequest` s against a platform."""
+    """Dispatches :class:`ApiRequest` s against a platform.
 
-    def __init__(self, platform: Platform) -> None:
+    Every request is counted into ``registry`` (per-route request
+    counters, a latency histogram, lock wait/held timings) and traced
+    as a ``service.<METHOD> <route>`` span; ``GET /metrics`` exposes
+    the registry.
+
+    Args:
+        platform: the platform the routes operate on.
+        registry: metrics registry (the process default if omitted).
+        tracer: span tracer (the process default if omitted).
+    """
+
+    def __init__(self, platform: Platform,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.platform = platform
-        self._routes: List[Tuple[str, re.Pattern, Handler]] = []
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self._routes: List[
+            Tuple[str, str, re.Pattern, Handler, bool]] = []
         # The platform is plain mutable state; the threaded HTTP server
         # dispatches concurrently, so requests are serialized here.
         self._lock = threading.Lock()
         self._install_routes()
+        self._requests = self.registry.counter(
+            "service.requests",
+            "requests handled, by route/method/status")
+        self._latency = self.registry.histogram(
+            "service.request_latency_s", "request latency, by route")
+        self._errors = self.registry.counter(
+            "service.errors", "unexpected 5xx failures, by layer")
+        self._lock_wait = self.registry.histogram(
+            "service.lock_wait_s",
+            "time spent waiting for the platform lock")
+        self._lock_held = self.registry.histogram(
+            "service.lock_held_s",
+            "time spent holding the platform lock")
 
-    def _route(self, method: str, pattern: str, handler: Handler) -> None:
+    def _route(self, method: str, pattern: str, handler: Handler,
+               locked: bool = True) -> None:
         regex = re.compile(
             "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern) + "$")
-        self._routes.append((method, regex, handler))
+        self._routes.append((method, pattern, regex, handler, locked))
 
     def _install_routes(self) -> None:
         self._route("GET", "/health", self._health)
@@ -69,28 +106,61 @@ class ApiServer:
         self._route("GET", "/workers/{worker_id}", self._worker_stats)
         self._route("POST", "/tasks/{task_id}/answers", self._answer)
         self._route("GET", "/leaderboard", self._leaderboard)
+        # The metrics reader must not queue behind platform traffic:
+        # the registry is internally thread-safe, so no lock.
+        self._route("GET", "/metrics", self._metrics, locked=False)
 
     def handle(self, request: ApiRequest) -> ApiResponse:
         """Route one request, translating errors to status codes."""
-        for method, regex, handler in self._routes:
+        started = time.perf_counter()
+        response, route = self._dispatch(request)
+        elapsed = time.perf_counter() - started
+        self._requests.inc(route=route, method=request.method,
+                           status=str(response.status))
+        self._latency.observe(elapsed, route=route)
+        if response.status >= 500:
+            self._errors.inc(layer="api")
+        return response
+
+    def _dispatch(self, request: ApiRequest
+                  ) -> Tuple[ApiResponse, str]:
+        """(response, route pattern) for one request."""
+        for method, pattern, regex, handler, locked in self._routes:
             if method != request.method:
                 continue
             match = regex.match(request.path)
             if match is None:
                 continue
-            try:
-                with self._lock:
-                    return handler(request, match.groupdict())
-            except (JobNotFound, TaskNotFound) as exc:
-                return ApiResponse(404, error_body(str(exc)))
-            except AccountError as exc:
-                return ApiResponse(409, error_body(str(exc)))
-            except ServiceError as exc:
-                return ApiResponse(exc.status, error_body(str(exc)))
-            except PlatformError as exc:
-                return ApiResponse(400, error_body(str(exc)))
+            with self.tracer.span(f"service.{method} {pattern}"):
+                try:
+                    if not locked:
+                        return handler(request,
+                                       match.groupdict()), pattern
+                    wait_start = time.perf_counter()
+                    with self._lock:
+                        acquired = time.perf_counter()
+                        self._lock_wait.observe(acquired - wait_start)
+                        try:
+                            return handler(request,
+                                           match.groupdict()), pattern
+                        finally:
+                            self._lock_held.observe(
+                                time.perf_counter() - acquired)
+                except (JobNotFound, TaskNotFound) as exc:
+                    return ApiResponse(404,
+                                       error_body(str(exc))), pattern
+                except AccountError as exc:
+                    return ApiResponse(409,
+                                       error_body(str(exc))), pattern
+                except ServiceError as exc:
+                    return ApiResponse(exc.status,
+                                       error_body(str(exc))), pattern
+                except PlatformError as exc:
+                    return ApiResponse(400,
+                                       error_body(str(exc))), pattern
         return ApiResponse(404, error_body(
-            f"no route for {request.method} {request.path}"))
+            f"no route for {request.method} {request.path}"
+        )), "<unmatched>"
 
     # ------------------------------------------------------------------
     # Handlers
@@ -236,3 +306,14 @@ class ApiServer:
         return ApiResponse(200, {"leaderboard": [
             {"account_id": account_id, "points": points}
             for account_id, points in top]})
+
+    def _metrics(self, request: ApiRequest,
+                 params: Dict[str, str]) -> ApiResponse:
+        """Telemetry snapshot; ``?format=`` / ``Accept`` negotiated."""
+        fmt = negotiate(accept=request.headers.get("accept"),
+                        fmt=request.query.get("format"))
+        if fmt == "prometheus":
+            return ApiResponse(200, {},
+                               text=render_prometheus(self.registry),
+                               content_type=PROMETHEUS_CONTENT_TYPE)
+        return ApiResponse(200, render_json(self.registry))

@@ -27,6 +27,18 @@ def _make_handler(api: ApiServer):
             pass
 
         def _dispatch(self, method: str) -> None:
+            # Anything unexpected must come back as a 500 JSON error,
+            # never escape to BaseHTTPRequestHandler (which would dump
+            # a stack trace down the connection and reset it).
+            try:
+                response = self._handle(method)
+            except Exception:  # noqa: BLE001 - the last-resort handler
+                api.registry.counter("service.errors").inc(layer="http")
+                response = (500, {"error": "internal server error"},
+                            None, None)
+            self._respond(*response)
+
+        def _handle(self, method: str):
             parts = urlsplit(self.path)
             query = dict(parse_qsl(parts.query))
             body = {}
@@ -36,20 +48,34 @@ def _make_handler(api: ApiServer):
                 try:
                     body = json.loads(raw.decode("utf-8"))
                 except json.JSONDecodeError:
-                    self._respond(400, {"error": "invalid JSON body"})
-                    return
+                    return 400, {"error": "invalid JSON body"}, \
+                        None, None
+            headers = {key.lower(): value
+                       for key, value in self.headers.items()}
             request = ApiRequest(method=method, path=parts.path,
-                                 body=body, query=query)
+                                 body=body, query=query,
+                                 headers=headers)
             response = api.handle(request)
-            self._respond(response.status, response.body)
+            return (response.status, response.body, response.text,
+                    response.content_type)
 
-        def _respond(self, status: int, body: dict) -> None:
-            payload = json.dumps(body).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(payload)))
-            self.end_headers()
-            self.wfile.write(payload)
+        def _respond(self, status: int, body: dict,
+                     text: str = None, content_type: str = None) -> None:
+            if text is not None:
+                payload = text.encode("utf-8")
+                ctype = content_type or "text/plain; charset=utf-8"
+            else:
+                payload = json.dumps(body).encode("utf-8")
+                ctype = content_type or "application/json"
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+            except (BrokenPipeError, ConnectionResetError):
+                # The client hung up mid-response; nothing to salvage.
+                pass
 
         def do_GET(self) -> None:  # noqa: N802
             self._dispatch("GET")

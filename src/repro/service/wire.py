@@ -23,20 +23,34 @@ class ApiRequest:
         path: resource path ("/jobs/job-0001/next").
         body: parsed JSON body (empty dict for bodyless requests).
         query: query parameters (single-valued).
+        headers: request headers, lower-cased keys (used for content
+            negotiation; empty for in-process callers).
     """
 
     method: str
     path: str
     body: Dict[str, Any] = field(default_factory=dict)
     query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
 class ApiResponse:
-    """A transport-independent response."""
+    """A transport-independent response.
+
+    Attributes:
+        status: HTTP status code.
+        body: JSON body (what in-process callers consume).
+        text: when set, the HTTP binding sends this raw text instead
+            of serializing ``body`` (Prometheus exposition).
+        content_type: overrides the transport content type when
+            ``text`` is set.
+    """
 
     status: int
     body: Dict[str, Any] = field(default_factory=dict)
+    text: Optional[str] = None
+    content_type: Optional[str] = None
 
     @property
     def ok(self) -> bool:

@@ -17,9 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import time
+
 from repro import rng as _rng
 from repro.core.entities import Contribution
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer, default_tracer
 from repro.players.base import PlayerModel
 from repro.players.engagement import EngagementModel
 from repro.sim.arrivals import ArrivalProcess, DiurnalProfile
@@ -112,6 +116,11 @@ class Campaign:
             games).  Without one, such visitors are dropped.
         profile: optional diurnal modulation of the arrival rate.
         seed: campaign RNG seed.
+        registry: metrics registry the engine's counters/gauges land
+            in (the process default if omitted).
+        tracer: span tracer; each :meth:`run` is one ``sim.run`` root
+            span with nested ``sim.session`` children (the process
+            default if omitted).
     """
 
     def __init__(self, population: Sequence[PlayerModel],
@@ -122,7 +131,9 @@ class Campaign:
                  solo_runner: Optional[Callable[[PlayerModel, float],
                                                SessionOutcome]] = None,
                  profile: Optional[DiurnalProfile] = None,
-                 seed: _rng.SeedLike = 0) -> None:
+                 seed: _rng.SeedLike = 0,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         if not population:
             raise SimulationError("campaign needs a non-empty population")
         self.population = list(population)
@@ -140,6 +151,22 @@ class Campaign:
             for model in self.population:
                 self._budgets[model.player_id] = engagement.draw(
                     model).total_play_s
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self._m_arrivals = self.registry.counter(
+            "sim.arrivals", "visitors generated by the arrival process")
+        self._m_sessions = self.registry.counter(
+            "sim.sessions", "sessions run, by paired/solo")
+        self._m_rounds = self.registry.counter(
+            "sim.rounds", "rounds played across all sessions")
+        self._m_dropped = self.registry.counter(
+            "sim.dropped", "visitors who left unpaired")
+        self._m_tick = self.registry.histogram(
+            "sim.tick_s", "wall-clock time per event-loop tick")
+        self._m_rate = self.registry.gauge(
+            "sim.rounds_per_campaign_second",
+            "rounds per simulated second over the last run")
 
     def _visitor(self) -> Optional[PlayerModel]:
         """Draw a visitor with lifetime budget remaining."""
@@ -154,52 +181,77 @@ class Campaign:
     def run(self, duration_s: float) -> CampaignResult:
         """Simulate ``duration_s`` seconds of campaign time."""
         result = CampaignResult()
+        with self.tracer.span("sim.run", duration_s=duration_s):
+            self._run_loop(duration_s, result)
+        if duration_s > 0:
+            self._m_rate.set(result.total_rounds / duration_s)
+        return result
+
+    def _run_loop(self, duration_s: float,
+                  result: CampaignResult) -> None:
         waiting: Optional[Tuple[PlayerModel, float]] = None
         for at_s in self.arrivals.times(duration_s):
-            visitor = self._visitor()
-            if visitor is None:
-                break
-            result.arrivals += 1
-            if waiting is None:
-                waiting = (visitor, at_s)
-                continue
-            partner, since = waiting
-            if at_s - since > self.max_wait_s:
-                # The earlier visitor waited too long: fall back to a
-                # recorded-partner session when available, else drop.
-                self._seat_or_drop(partner, since, result)
-                waiting = (visitor, at_s)
-                continue
-            if partner.player_id == visitor.player_id:
-                # Same player cannot self-pair; keep them waiting.
-                continue
-            waiting = None
-            outcome = self.runner(partner, visitor, at_s)
-            result.outcomes.append(outcome)
-            result.session_starts.append(at_s)
-            result.human_seconds += outcome.duration_s * len(
-                outcome.players)
-            if self.engagement is not None:
-                for model in (partner, visitor):
-                    self._budgets[model.player_id] = max(
-                        0.0, self._budgets[model.player_id]
-                        - outcome.duration_s)
+            tick_start = time.perf_counter()
+            try:
+                visitor = self._visitor()
+                if visitor is None:
+                    break
+                result.arrivals += 1
+                self._m_arrivals.inc()
+                if waiting is None:
+                    waiting = (visitor, at_s)
+                    continue
+                partner, since = waiting
+                if at_s - since > self.max_wait_s:
+                    # The earlier visitor waited too long: fall back
+                    # to a recorded-partner session when available,
+                    # else drop.
+                    self._seat_or_drop(partner, since, result)
+                    waiting = (visitor, at_s)
+                    continue
+                if partner.player_id == visitor.player_id:
+                    # Same player cannot self-pair; keep them waiting.
+                    continue
+                waiting = None
+                with self.tracer.span("sim.session", mode="paired",
+                                      at_s=at_s) as span:
+                    outcome = self.runner(partner, visitor, at_s)
+                    if span is not None:
+                        span.attributes["rounds"] = outcome.rounds
+                self._m_sessions.inc(mode="paired")
+                self._m_rounds.inc(outcome.rounds)
+                result.outcomes.append(outcome)
+                result.session_starts.append(at_s)
+                result.human_seconds += outcome.duration_s * len(
+                    outcome.players)
+                if self.engagement is not None:
+                    for model in (partner, visitor):
+                        self._budgets[model.player_id] = max(
+                            0.0, self._budgets[model.player_id]
+                            - outcome.duration_s)
+            finally:
+                self._m_tick.observe(time.perf_counter() - tick_start)
         if waiting is not None:
             self._seat_or_drop(waiting[0], waiting[1], result)
-        return result
 
     def _seat_or_drop(self, model: PlayerModel, since_s: float,
                       result: CampaignResult) -> None:
         """Seat a lonely visitor against the solo fallback, or drop."""
         if self.solo_runner is None:
             result.dropped += 1
+            self._m_dropped.inc()
             return
         try:
-            outcome = self.solo_runner(model, since_s + self.max_wait_s)
+            with self.tracer.span("sim.session", mode="solo"):
+                outcome = self.solo_runner(model,
+                                           since_s + self.max_wait_s)
         except Exception:
             # A fallback with no recordings yet behaves like a drop.
             result.dropped += 1
+            self._m_dropped.inc()
             return
+        self._m_sessions.inc(mode="solo")
+        self._m_rounds.inc(outcome.rounds)
         result.outcomes.append(outcome)
         result.session_starts.append(since_s + self.max_wait_s)
         # Only the live player's time counts as human time.

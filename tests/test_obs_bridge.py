@@ -1,0 +1,66 @@
+"""Tests for the CampaignMonitor -> metrics bridge."""
+
+from repro.obs.bridge import MonitorBridge
+from repro.obs.metrics import MetricsRegistry
+from repro.quality.monitoring import AlertKind, CampaignMonitor
+
+
+def make_bridge(**monitor_kwargs):
+    registry = MetricsRegistry()
+    monitor = CampaignMonitor(**monitor_kwargs)
+    return MonitorBridge(monitor, registry), registry
+
+
+class TestRounds:
+    def test_rounds_counted_by_agreement(self):
+        bridge, registry = make_bridge(window=10)
+        for i in range(6):
+            bridge.record_round(float(i), agreed=(i % 2 == 0))
+        counter = registry.counter("quality.rounds")
+        assert counter.value(agreed="true") == 3.0
+        assert counter.value(agreed="false") == 3.0
+
+    def test_partial_window_gauges_update_early(self):
+        bridge, registry = make_bridge(window=50)
+        bridge.record_round(0.0, True)
+        bridge.record_round(1.0, True)
+        bridge.record_round(2.0, False)
+        # Strict monitor reads are still blind...
+        assert bridge.monitor.agreement_rate() is None
+        # ...but the dashboard gauges already see partial values.
+        assert registry.gauge("quality.agreement_rate").value() == \
+            2.0 / 3.0
+        assert registry.gauge(
+            "quality.rounds_per_second").value() == 1.5
+
+
+class TestAlerts:
+    def test_agreement_alerts_mirrored(self):
+        bridge, registry = make_bridge(window=10, min_agreement=0.5,
+                                       cooldown_s=0.0)
+        for i in range(20):
+            bridge.record_round(float(i), agreed=False)
+        mirrored = registry.counter("quality.alerts").value(
+            kind="low_agreement")
+        raised = len(bridge.monitor.alerts_of(
+            AlertKind.LOW_AGREEMENT))
+        assert raised > 0
+        assert mirrored == float(raised)
+        assert not bridge.healthy()
+
+    def test_spam_wave_mirrored(self):
+        bridge, registry = make_bridge(spam_flags_per_window=2)
+        assert bridge.record_spam_flag(1.0, "s1") is None
+        alert = bridge.record_spam_flag(2.0, "s2")
+        assert alert is not None
+        assert registry.counter("quality.spam_flags").value() == 2.0
+        assert registry.counter("quality.alerts").value(
+            kind="spam_wave") == 1.0
+        assert bridge.alerts == bridge.monitor.alerts
+
+    def test_default_monitor_and_registry(self):
+        registry = MetricsRegistry()
+        bridge = MonitorBridge(registry=registry)
+        assert bridge.record_round(0.0, True) == []
+        assert registry.counter("quality.rounds").value(
+            agreed="true") == 1.0

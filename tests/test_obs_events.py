@@ -1,0 +1,89 @@
+"""Tests for EventLog -> telemetry normalization."""
+
+from repro.core.events import EventLog
+from repro.obs.events import (TelemetryLogger, feed_registry,
+                              normalize_event, normalize_log)
+from repro.obs.metrics import MetricsRegistry
+
+
+def sample_log():
+    log = EventLog()
+    log.append(1.0, "session", rounds=10, successes=7,
+               players=["a", "b"], game="esp")
+    log.append(2.0, "session", rounds=6, successes=6,
+               players=["c", "d"], game="esp")
+    log.append(3.0, "label", item="img-1", label="dog")
+    log.append(4.0, "flag", player="spammer-1", hard=True)
+    return log
+
+
+class TestNormalize:
+    def test_numeric_fields_and_tags_split(self):
+        log = sample_log()
+        record = normalize_event(log.of_kind("session")[0])
+        assert record.at_s == 1.0
+        assert record.kind == "session"
+        assert record.fields == {"rounds": 10.0, "successes": 7.0,
+                                 "players_count": 2.0}
+        assert record.tags == {"game": "esp"}
+
+    def test_bools_become_01(self):
+        log = sample_log()
+        record = normalize_event(log.of_kind("flag")[0])
+        assert record.fields == {"hard": 1.0}
+        assert record.tags == {"player": "spammer-1"}
+
+    def test_normalize_log_preserves_order(self):
+        records = normalize_log(sample_log())
+        assert [r.kind for r in records] == ["session", "session",
+                                             "label", "flag"]
+
+    def test_to_dict_is_json_shaped(self):
+        record = normalize_log(sample_log())[0]
+        doc = record.to_dict()
+        assert set(doc) == {"at_s", "kind", "fields", "tags"}
+
+
+class TestFeedRegistry:
+    def test_counts_by_kind(self):
+        registry = MetricsRegistry()
+        feed_registry(sample_log(), registry)
+        count = registry.counter("events.count")
+        assert count.value(kind="session") == 2.0
+        assert count.value(kind="label") == 1.0
+        assert count.value(kind="flag") == 1.0
+
+    def test_numeric_fields_become_histograms(self):
+        registry = MetricsRegistry()
+        feed_registry(sample_log(), registry)
+        rounds = registry.get("events.session.rounds")
+        assert rounds is not None
+        summary = rounds.summary()
+        assert summary["count"] == 2
+        assert summary["sum"] == 16.0
+
+
+class TestTelemetryLogger:
+    def test_mirrors_appends_live(self):
+        registry = MetricsRegistry()
+        logger = TelemetryLogger(registry=registry)
+        logger.append(1.0, "session", rounds=4)
+        logger.append(2.0, "session", rounds=8)
+        assert len(logger) == 2
+        assert registry.counter("events.count").value(
+            kind="session") == 2.0
+        assert registry.get(
+            "events.session.rounds").summary()["sum"] == 12.0
+
+    def test_underlying_log_stays_queryable(self):
+        logger = TelemetryLogger(registry=MetricsRegistry())
+        logger.append(1.0, "label", item="x", label="cat")
+        assert logger.log.of_kind("label")[0].data["label"] == "cat"
+        assert [e.kind for e in logger] == ["label"]
+
+    def test_wraps_existing_log(self):
+        log = EventLog()
+        log.append(0.5, "session", rounds=1)
+        logger = TelemetryLogger(log=log, registry=MetricsRegistry())
+        logger.append(1.5, "session", rounds=2)
+        assert len(log) == 2

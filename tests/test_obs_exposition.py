@@ -1,0 +1,85 @@
+"""Tests for JSON / Prometheus exposition and format negotiation."""
+
+from repro.obs.exposition import (negotiate, prometheus_name,
+                                  render_json, render_prometheus)
+from repro.obs.metrics import MetricsRegistry
+
+
+def loaded_registry():
+    registry = MetricsRegistry()
+    counter = registry.counter("service.requests", "requests handled")
+    counter.inc(route="/health", status="200")
+    counter.inc(route="/health", status="200")
+    registry.gauge("scheduler.queue_depth").set(7.0, job="job-0000")
+    hist = registry.histogram("service.request_latency_s", "latency")
+    for value in (0.01, 0.02, 0.03, 0.04):
+        hist.observe(value, route="/health")
+    return registry
+
+
+class TestPrometheusText:
+    def test_counter_rendering(self):
+        text = render_prometheus(loaded_registry())
+        assert "# TYPE service_requests_total counter" in text
+        assert "# HELP service_requests_total requests handled" in text
+        assert ('service_requests_total{route="/health",'
+                'status="200"} 2') in text
+
+    def test_gauge_rendering(self):
+        text = render_prometheus(loaded_registry())
+        assert "# TYPE scheduler_queue_depth gauge" in text
+        assert 'scheduler_queue_depth{job="job-0000"} 7' in text
+
+    def test_histogram_as_summary(self):
+        text = render_prometheus(loaded_registry())
+        assert "# TYPE service_request_latency_s summary" in text
+        assert ('service_request_latency_s_count{route="/health"} 4'
+                in text)
+        assert 'service_request_latency_s_sum{route="/health"} ' in text
+        assert ('service_request_latency_s{quantile="0.5",'
+                'route="/health"}') in text
+        assert ('service_request_latency_s{quantile="0.95",'
+                'route="/health"}') in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(msg='say "hi"\nplease\\now')
+        text = render_prometheus(registry)
+        assert r'msg="say \"hi\"\nplease\\now"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_name_sanitization(self):
+        assert prometheus_name("service.request-latency.s") == \
+            "service_request_latency_s"
+        assert prometheus_name("9lives") == "_9lives"
+
+
+class TestJson:
+    def test_render_json_is_snapshot(self):
+        registry = loaded_registry()
+        doc = render_json(registry)
+        assert doc == registry.snapshot()
+        series = doc["metrics"]["service.requests"]["series"]
+        assert series[0]["value"] == 2.0
+
+
+class TestNegotiate:
+    def test_default_is_json(self):
+        assert negotiate() == "json"
+        assert negotiate(accept="") == "json"
+
+    def test_format_param_wins(self):
+        assert negotiate(fmt="prometheus") == "prometheus"
+        assert negotiate(fmt="prom") == "prometheus"
+        assert negotiate(fmt="text") == "prometheus"
+        assert negotiate(accept="text/plain", fmt="json") == "json"
+
+    def test_accept_header(self):
+        assert negotiate(accept="text/plain") == "prometheus"
+        assert negotiate(accept="application/json") == "json"
+        assert negotiate(
+            accept="text/plain, application/json") == "prometheus"
+        assert negotiate(
+            accept="application/json, text/plain") == "json"

@@ -1,0 +1,191 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry, default_registry,
+                               set_default_registry)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labels_are_independent_series(self, registry):
+        counter = registry.counter("requests")
+        counter.inc(route="/health")
+        counter.inc(route="/health")
+        counter.inc(route="/jobs")
+        assert counter.value(route="/health") == 2.0
+        assert counter.value(route="/jobs") == 1.0
+        assert counter.value(route="/missing") == 0.0
+        assert counter.total() == 3.0
+
+    def test_label_order_is_irrelevant(self, registry):
+        counter = registry.counter("c")
+        counter.inc(a="1", b="2")
+        assert counter.value(b="2", a="1") == 1.0
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.counter("c").inc(-1)
+
+    def test_snapshot_shape(self, registry):
+        counter = registry.counter("c", "description here")
+        counter.inc(route="/x")
+        snap = counter.snapshot()
+        assert snap["kind"] == "counter"
+        assert snap["description"] == "description here"
+        assert snap["series"] == [
+            {"labels": {"route": "/x"}, "value": 1.0}]
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value() == 13.0
+
+    def test_can_go_negative(self, registry):
+        gauge = registry.gauge("g")
+        gauge.dec(4.0)
+        assert gauge.value() == -4.0
+
+
+class TestHistogram:
+    def test_percentiles_against_uniform_distribution(self, registry):
+        hist = registry.histogram("h")
+        # 1000 evenly spaced values in (0, 1].
+        for i in range(1, 1001):
+            hist.observe(i / 1000.0)
+        summary = hist.summary()
+        assert summary["count"] == 1000
+        assert summary["sum"] == pytest.approx(500.5, rel=1e-9)
+        assert summary["p50"] == pytest.approx(0.5, abs=0.05)
+        assert summary["p95"] == pytest.approx(0.95, abs=0.05)
+        assert summary["p99"] == pytest.approx(0.99, abs=0.05)
+        assert summary["min"] == 0.001
+        assert summary["max"] == 1.0
+
+    def test_percentile_bounded_by_observations(self, registry):
+        hist = registry.histogram("h")
+        hist.observe(0.3)
+        assert hist.percentile(0.0) == 0.3
+        assert hist.percentile(1.0) == 0.3
+
+    def test_overflow_bucket(self, registry):
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.summary()["max"] == 100.0
+        assert hist.percentile(0.99) <= 100.0
+
+    def test_empty_summary(self, registry):
+        hist = registry.histogram("h")
+        assert hist.summary() == {"count": 0, "sum": 0.0}
+        assert hist.percentile(0.5) is None
+
+    def test_bad_buckets_rejected(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h2", buckets=())
+
+    def test_bad_quantile_rejected(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h").percentile(1.5)
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments_are_exact(self, registry):
+        counter = registry.counter("c")
+        per_thread, n_threads = 10000, 8
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value() == per_thread * n_threads
+
+    def test_concurrent_histogram_observations_are_exact(self,
+                                                         registry):
+        hist = registry.histogram("h")
+        per_thread, n_threads = 5000, 6
+
+        def work():
+            for i in range(per_thread):
+                hist.observe(i / per_thread)
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count() == per_thread * n_threads
+
+    def test_concurrent_get_or_create_returns_one_metric(self,
+                                                         registry):
+        seen = []
+
+        def work():
+            seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(metric is seen[0] for metric in seen)
+
+
+class TestRegistry:
+    def test_get_or_create_same_kind(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("m")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("m")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("m")
+
+    def test_snapshot_and_names(self, registry):
+        registry.counter("b").inc()
+        registry.gauge("a").set(1.0)
+        assert registry.names() == ["a", "b"]
+        snap = registry.snapshot()
+        assert list(snap["metrics"]) == ["a", "b"]
+
+    def test_reset(self, registry):
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.names() == []
+        assert registry.counter("c").value() == 0.0
+
+    def test_default_registry_swap(self):
+        mine = MetricsRegistry()
+        previous = set_default_registry(mine)
+        try:
+            assert default_registry() is mine
+        finally:
+            set_default_registry(previous)
+        assert default_registry() is previous

@@ -1,0 +1,136 @@
+"""Tests for the span/tracing API."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import Tracer, default_tracer, span
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer()
+
+
+class TestNesting:
+    def test_child_spans_nest_under_parent(self, tracer):
+        with tracer.span("parent"):
+            with tracer.span("child-1"):
+                pass
+            with tracer.span("child-2"):
+                with tracer.span("grandchild"):
+                    pass
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["parent"]
+        assert [c.name for c in roots[0].children] == ["child-1",
+                                                       "child-2"]
+        assert [c.name for c in roots[0].children[1].children] == [
+            "grandchild"]
+
+    def test_sequential_spans_are_separate_roots(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots()] == ["a", "b"]
+
+    def test_current_tracks_innermost(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_threads_do_not_share_stacks(self, tracer):
+        done = threading.Event()
+
+        def other_thread():
+            with tracer.span("other"):
+                pass
+            done.set()
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        assert done.is_set()
+        # "other" must be its own root, not a child of "main".
+        roots = {r.name: r for r in tracer.roots()}
+        assert set(roots) == {"main", "other"}
+        assert roots["main"].children == []
+
+
+class TestRecording:
+    def test_duration_and_status(self, tracer):
+        with tracer.span("op"):
+            pass
+        root = tracer.roots()[0]
+        assert root.status == "ok"
+        assert root.duration_s >= 0.0
+        assert root.started_at > 0.0
+
+    def test_exception_marks_error_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        root = tracer.roots()[0]
+        assert root.status == "error"
+        assert "boom" in root.error
+
+    def test_attributes_captured(self, tracer):
+        with tracer.span("op", task="task-1", n=3):
+            pass
+        assert tracer.roots()[0].attributes == {"task": "task-1",
+                                                "n": 3}
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.roots()] == ["s2", "s3", "s4"]
+
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("op") as handle:
+            assert handle is None
+        assert tracer.export() == []
+
+
+class TestExport:
+    def test_export_json_round_trips(self, tracer):
+        with tracer.span("parent", job="j"):
+            with tracer.span("child"):
+                pass
+        doc = json.loads(tracer.export_json())
+        assert len(doc["spans"]) == 1
+        parent = doc["spans"][0]
+        assert parent["name"] == "parent"
+        assert parent["attributes"] == {"job": "j"}
+        assert parent["children"][0]["name"] == "child"
+        assert parent["duration_s"] >= parent["children"][0][
+            "duration_s"]
+
+    def test_find_searches_all_depths(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("target"):
+                pass
+        with tracer.span("target"):
+            pass
+        assert len(tracer.find("target")) == 2
+
+    def test_clear(self, tracer):
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.export() == []
+
+    def test_module_level_span_uses_default_tracer(self):
+        default_tracer().clear()
+        with span("module-level"):
+            pass
+        assert default_tracer().find("module-level")
+        default_tracer().clear()

@@ -96,6 +96,85 @@ class TestSpamWaveAlert:
         assert alert is None
 
 
+class TestObserveRound:
+    """Regression tests for the record_round short-circuit fix."""
+
+    def test_simultaneous_alerts_both_returned(self):
+        monitor = CampaignMonitor(window=10, min_agreement=0.5,
+                                  throughput_drop_factor=0.3,
+                                  cooldown_s=0.0)
+        # Fast agreeing phase establishes a best rate of ~1 round/s.
+        _, at = feed_rounds(monitor, 30, agreed=True, gap=1.0)
+        # Slow disagreeing phase: agreement and throughput degrade
+        # together, so some round must fire BOTH alerts at once.
+        fired = []
+        for i in range(30):
+            fired.append(monitor.observe_round(at + i * 20.0, False))
+        both = [alerts for alerts in fired if len(alerts) == 2]
+        assert both, "no round returned both alerts"
+        kinds = {alert.kind for alert in both[0]}
+        assert kinds == {AlertKind.LOW_AGREEMENT,
+                         AlertKind.THROUGHPUT_DROP}
+
+    def test_throughput_checked_even_when_agreement_fires(self):
+        monitor = CampaignMonitor(window=10, min_agreement=0.99,
+                                  throughput_drop_factor=0.3,
+                                  cooldown_s=0.0)
+        # Every full window disagrees, so agreement fires constantly;
+        # the throughput check must still track the best rate.
+        feed_rounds(monitor, 30, agreed=False, gap=1.0)
+        assert monitor._best_rate > 0.0
+        assert monitor.alerts_of(AlertKind.LOW_AGREEMENT)
+
+    def test_record_round_compat_returns_first_alert(self):
+        monitor = CampaignMonitor(window=10, min_agreement=0.5)
+        alert = None
+        for i in range(20):
+            alert = monitor.record_round(float(i), False) or alert
+        assert isinstance(alert, Alert)
+        assert alert.kind is AlertKind.LOW_AGREEMENT
+
+    def test_observe_round_empty_when_healthy(self):
+        monitor = CampaignMonitor(window=10, min_agreement=0.5)
+        assert monitor.observe_round(0.0, True) == []
+
+
+class TestPartialWindows:
+    def test_strict_default_stays_blind_until_window_fills(self):
+        monitor = CampaignMonitor(window=20)
+        feed_rounds(monitor, 5, agreed=True)
+        assert monitor.agreement_rate() is None
+        assert monitor.rounds_per_second() is None
+
+    def test_non_strict_agreement_sees_partial_window(self):
+        monitor = CampaignMonitor(window=20)
+        monitor.observe_round(0.0, True)
+        monitor.observe_round(1.0, True)
+        monitor.observe_round(2.0, False)
+        assert monitor.agreement_rate(strict=False) == \
+            pytest.approx(2.0 / 3.0)
+
+    def test_non_strict_rate_needs_two_rounds(self):
+        monitor = CampaignMonitor(window=20)
+        monitor.observe_round(0.0, True)
+        assert monitor.rounds_per_second(strict=False) is None
+        monitor.observe_round(2.0, True)
+        assert monitor.rounds_per_second(strict=False) == \
+            pytest.approx(1.0)
+
+    def test_non_strict_empty_monitor_is_none(self):
+        monitor = CampaignMonitor(window=20)
+        assert monitor.agreement_rate(strict=False) is None
+        assert monitor.rounds_per_second(strict=False) is None
+
+    def test_partial_window_never_fires_alerts(self):
+        monitor = CampaignMonitor(window=20, min_agreement=0.5)
+        fired = []
+        for i in range(19):
+            fired.extend(monitor.observe_round(float(i), False))
+        assert fired == []
+
+
 class TestConfig:
     def test_validation(self):
         with pytest.raises(QualityError):

@@ -4,6 +4,8 @@ import pytest
 
 from repro.core.entities import Contribution, ContributionKind
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.players.base import PlayerModel
 from repro.players.engagement import EngagementModel
 from repro.players.population import build_population
@@ -77,6 +79,60 @@ class TestCampaign:
     def test_empty_population_rejected(self):
         with pytest.raises(SimulationError):
             Campaign([], stub_runner())
+
+
+class TestInstrumentation:
+    def test_run_exports_nested_trace(self):
+        population = build_population(20, seed=1)
+        registry, tracer = MetricsRegistry(), Tracer()
+        campaign = Campaign(population, stub_runner(),
+                            arrival_rate_per_hour=120.0, seed=2,
+                            registry=registry, tracer=tracer)
+        campaign.run(2 * 3600.0)
+        export = tracer.export()
+        assert export, "trace export is empty"
+        root = export[-1]
+        assert root["name"] == "sim.run"
+        children = root.get("children", [])
+        assert children and all(c["name"] == "sim.session"
+                                for c in children)
+        assert all(c["duration_s"] >= 0.0 for c in children)
+
+    def test_counters_match_result(self):
+        population = build_population(20, seed=1)
+        registry = MetricsRegistry()
+        campaign = Campaign(population, stub_runner(),
+                            arrival_rate_per_hour=120.0, seed=2,
+                            registry=registry, tracer=Tracer())
+        result = campaign.run(2 * 3600.0)
+        assert registry.counter("sim.arrivals").total() == \
+            result.arrivals
+        assert registry.counter("sim.sessions").total() == \
+            len(result.outcomes)
+        assert registry.counter("sim.rounds").total() == \
+            result.total_rounds
+        assert registry.counter("sim.dropped").total() == \
+            result.dropped
+        assert registry.get("sim.tick_s").count() == result.arrivals
+        assert registry.gauge(
+            "sim.rounds_per_campaign_second").value() == \
+            pytest.approx(result.total_rounds / (2 * 3600.0))
+
+    def test_solo_fallback_traced(self):
+        population = build_population(10, seed=9)
+
+        def solo(model, start_s):
+            return SessionOutcome(contributions=(), rounds=1,
+                                  successes=1, duration_s=30.0,
+                                  players=(model.player_id,))
+
+        registry, tracer = MetricsRegistry(), Tracer()
+        campaign = Campaign(population, stub_runner(),
+                            arrival_rate_per_hour=2.0, max_wait_s=10.0,
+                            solo_runner=solo, seed=10,
+                            registry=registry, tracer=tracer)
+        campaign.run(10 * 3600.0)
+        assert registry.counter("sim.sessions").value(mode="solo") > 0
 
     def test_deterministic(self):
         population = build_population(10, seed=11)
