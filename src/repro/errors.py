@@ -57,12 +57,85 @@ class AccountError(PlatformError):
     """Account creation or lookup failed."""
 
 
-class ServiceError(ReproError):
-    """The service layer rejected a request."""
+#: Statuses a client may safely retry: the request either never ran or
+#: can be replayed without changing the outcome (pair with idempotency
+#: keys for POSTs).  Everything else in 4xx means the request itself is
+#: wrong and retrying cannot help.
+RETRYABLE_STATUSES = frozenset({408, 425, 429, 500, 502, 503, 504})
 
-    def __init__(self, message: str, status: int = 400) -> None:
+
+class ServiceError(ReproError):
+    """The service layer rejected a request.
+
+    Attributes:
+        status: HTTP status code.
+        retry_after_s: server-advised backoff (from a ``Retry-After``
+            header or a load-shedding response), when given.
+    """
+
+    def __init__(self, message: str, status: int = 400,
+                 retry_after_s: "float | None" = None) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after_s = retry_after_s
+
+    @property
+    def retryable(self) -> bool:
+        """Whether retrying the same request can plausibly succeed."""
+        return self.status in RETRYABLE_STATUSES
+
+
+class TransientServiceError(ServiceError):
+    """A transport-level failure (connection reset, timeout, refused).
+
+    Always retryable: the request may not have reached the server at
+    all, and even if it did, idempotency keys make replay safe.
+    """
+
+    def __init__(self, message: str, status: int = 503,
+                 retry_after_s: "float | None" = None) -> None:
+        super().__init__(message, status=status,
+                         retry_after_s=retry_after_s)
+
+    @property
+    def retryable(self) -> bool:
+        return True
+
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open: failing fast, no retry.
+
+    Deliberately *not* retryable — the point of the breaker is to stop
+    hammering a struggling service; callers should back off at a higher
+    level (or wait for the breaker's reset timeout).
+    """
+
+    def __init__(self, message: str = "circuit breaker is open",
+                 retry_after_s: "float | None" = None) -> None:
+        super().__init__(message, status=503,
+                         retry_after_s=retry_after_s)
+
+    @property
+    def retryable(self) -> bool:
+        return False
+
+
+class InjectedFault(ServiceError):
+    """A failure deliberately injected by :mod:`repro.faults`."""
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Classify an exception as retryable or not.
+
+    Retryable: transport failures (``ConnectionError``, ``OSError``,
+    ``TimeoutError``) and service errors whose status is in
+    :data:`RETRYABLE_STATUSES`.  Not retryable: everything else —
+    notably 4xx rejections (the request is wrong) and
+    :class:`CircuitOpenError` (fail fast by design).
+    """
+    if isinstance(exc, ServiceError):
+        return exc.retryable
+    return isinstance(exc, (ConnectionError, TimeoutError, OSError))
 
 
 class SimulationError(ReproError):

@@ -1,0 +1,18 @@
+"""Deterministic fault injection for chaos-testing the platform stack.
+
+``repro.faults`` turns the failure modes a production GWAP service
+faces — slow calls, transient rejections, lost responses, duplicate
+deliveries, store crash-restarts — into a seedable, replayable
+schedule.  A :class:`FaultPlan` declares *what* fails and *how often*;
+a :class:`FaultInjector` executes the plan at injection points threaded
+through :mod:`repro.service` and :mod:`repro.platform`.  With no
+injector configured (the default), every injection point is a no-op.
+
+See ``docs/resilience.md`` for the cookbook and ``tests/chaos/`` for
+full campaigns run under each fault class.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+
+__all__ = ["FaultInjector", "FaultKind", "FaultPlan", "FaultRule"]

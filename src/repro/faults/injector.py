@@ -1,0 +1,157 @@
+"""The fault injector: executes a :class:`~repro.faults.plan.FaultPlan`.
+
+Injection points in the service and platform layers hold an optional
+injector and consult it with one cheap call per site; the default
+(``faults=None`` everywhere) is a literal no-op with zero overhead.
+
+Each rule owns an independent seeded decision stream (derived from the
+plan seed and the rule's position), so whether rule A fires never
+perturbs rule B's schedule, and a single-threaded campaign replays the
+identical fault sequence under the same seed.  Every injection is
+counted into the ``faults.injected`` metric by site and kind, so a
+chaos run can assert its faults actually happened.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional
+
+from repro import rng as _rng
+from repro.errors import InjectedFault
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+
+class _RuleState:
+    """Mutable firing state for one rule."""
+
+    __slots__ = ("rule", "rng", "calls", "fires")
+
+    def __init__(self, rule: FaultRule, seed_stream) -> None:
+        self.rule = rule
+        self.rng = seed_stream
+        self.calls = 0
+        self.fires = 0
+
+    def decide(self) -> bool:
+        """Advance this rule's stream for one eligible call."""
+        self.calls += 1
+        if self.calls <= self.rule.after:
+            return False
+        if (self.rule.max_fires is not None
+                and self.fires >= self.rule.max_fires):
+            return False
+        if self.rng.random() >= self.rule.probability:
+            return False
+        self.fires += 1
+        return True
+
+
+class FaultInjector:
+    """Deterministic, thread-safe executor for a fault plan.
+
+    Args:
+        plan: the schedule to execute.
+        registry: metrics registry the ``faults.injected`` counter
+            lands in (the process default if omitted).
+        sleep: latency implementation (monkeypatchable for tests).
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 registry: Optional[MetricsRegistry] = None,
+                 sleep=time.sleep) -> None:
+        self.plan = plan
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        base = _rng.make_rng(plan.seed)
+        self._states: List[_RuleState] = [
+            _RuleState(rule, _rng.derive(base, f"rule-{index}"))
+            for index, rule in enumerate(plan.rules)]
+        self._m_injected = self.registry.counter(
+            "faults.injected", "faults injected, by site/kind")
+
+    # ------------------------------------------------------------------
+    # Core decision
+    # ------------------------------------------------------------------
+
+    def _fired(self, site: str, kind: FaultKind) -> Optional[FaultRule]:
+        """The first matching rule that fires at this call, if any.
+
+        Every matching rule's stream advances exactly once per call,
+        fired or not, which is what keeps schedules independent.
+        """
+        hit: Optional[FaultRule] = None
+        with self._lock:
+            for state in self._states:
+                if state.rule.kind is not kind:
+                    continue
+                if not fnmatchcase(site, state.rule.site):
+                    continue
+                if state.decide() and hit is None:
+                    hit = state.rule
+        if hit is not None:
+            self._m_injected.inc(site=site, kind=kind.value)
+        return hit
+
+    # ------------------------------------------------------------------
+    # Site-facing queries (one per fault kind)
+    # ------------------------------------------------------------------
+
+    def sleep_latency(self, site: str) -> float:
+        """Inject latency at ``site``; returns the seconds slept."""
+        rule = self._fired(site, FaultKind.LATENCY)
+        if rule is None:
+            return 0.0
+        if rule.latency_s > 0:
+            self._sleep(rule.latency_s)
+        return rule.latency_s
+
+    def error(self, site: str) -> Optional[InjectedFault]:
+        """An :class:`InjectedFault` to raise at ``site``, or None.
+
+        Transient rules produce retryable statuses, permanent rules
+        non-retryable ones; both are decided here so a site needs a
+        single call.
+        """
+        rule = self._fired(site, FaultKind.TRANSIENT_ERROR)
+        if rule is None:
+            rule = self._fired(site, FaultKind.PERMANENT_ERROR)
+        if rule is None:
+            return None
+        return InjectedFault(
+            f"injected {rule.kind.value} at {site}", status=rule.status,
+            retry_after_s=rule.retry_after_s)
+
+    def drops_response(self, site: str) -> bool:
+        """True when the response at ``site`` should be lost."""
+        return self._fired(site, FaultKind.DROP_ANSWER) is not None
+
+    def duplicates(self, site: str) -> bool:
+        """True when the request at ``site`` is redelivered."""
+        return self._fired(site, FaultKind.DUPLICATE) is not None
+
+    def crashes_store(self, site: str) -> bool:
+        """True when the store should crash-restart before ``site``."""
+        return self._fired(site, FaultKind.STORE_CRASH) is not None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def fires(self) -> Dict[str, int]:
+        """Injections so far, keyed ``"site-pattern/kind"``."""
+        with self._lock:
+            out: Dict[str, int] = {}
+            for state in self._states:
+                key = f"{state.rule.site}/{state.rule.kind.value}"
+                out[key] = out.get(key, 0) + state.fires
+            return out
+
+    def total_fires(self) -> int:
+        with self._lock:
+            return sum(state.fires for state in self._states)

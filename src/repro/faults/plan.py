@@ -1,0 +1,166 @@
+"""Fault plans: declarative, seedable failure schedules.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` s, each naming a
+*site* (an injection point such as ``api.answer`` or
+``platform.submit_answer``; shell-style wildcards allowed), a
+:class:`FaultKind`, and firing controls (probability, warm-up skip,
+fire cap).  Plans are pure data — building an executable injector from
+one is :class:`repro.faults.injector.FaultInjector`'s job — so the same
+plan can drive many runs, and a seeded plan replays the exact same
+fault schedule every time.
+
+The six fault kinds model the failures a production crowdsourcing
+service sees (ISSUE 2; Ponciano et al. 2015's dependability taxonomy):
+
+- ``LATENCY`` — the operation happens, slowly.
+- ``TRANSIENT_ERROR`` — the operation is rejected with a retryable
+  status (connection reset at the HTTP layer); retrying heals it.
+- ``PERMANENT_ERROR`` — the operation is rejected with a
+  non-retryable status; clients must give up.
+- ``DROP_ANSWER`` — the operation *happens* but its response is lost,
+  so the caller cannot tell success from failure (the at-least-once
+  delivery hazard idempotency keys exist for).
+- ``DUPLICATE`` — the request is delivered twice (at-least-once
+  redelivery); the platform must dedupe.
+- ``STORE_CRASH`` — the platform store crash-restarts from its JSON
+  checkpoint, losing all in-memory leases.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from repro import rng as _rng
+from repro.errors import ConfigError
+
+
+class FaultKind(enum.Enum):
+    """What kind of failure a rule injects."""
+
+    LATENCY = "latency"
+    TRANSIENT_ERROR = "transient_error"
+    PERMANENT_ERROR = "permanent_error"
+    DROP_ANSWER = "drop_answer"
+    DUPLICATE = "duplicate"
+    STORE_CRASH = "store_crash"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One failure schedule entry.
+
+    Attributes:
+        site: injection-point pattern (``fnmatch`` style), e.g.
+            ``"api.answer"`` or ``"platform.*"``.
+        kind: the fault to inject.
+        probability: chance each eligible call fires, in [0, 1].
+        after: skip this many eligible calls before arming (lets a
+            campaign warm up fault-free).
+        max_fires: stop firing after this many injections (None =
+            unlimited).
+        latency_s: sleep duration for ``LATENCY`` rules.
+        status: HTTP status for error rules (503 transient, 422
+            permanent are the conventional picks).
+        retry_after_s: advisory backoff attached to injected errors.
+    """
+
+    site: str
+    kind: FaultKind
+    probability: float = 1.0
+    after: int = 0
+    max_fires: Optional[int] = None
+    latency_s: float = 0.001
+    status: int = 503
+    retry_after_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ConfigError("fault rule needs a non-empty site")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(
+                f"probability must be in [0,1], got {self.probability}")
+        if self.after < 0:
+            raise ConfigError(f"after must be >= 0, got {self.after}")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ConfigError(
+                f"max_fires must be >= 0, got {self.max_fires}")
+        if self.latency_s < 0:
+            raise ConfigError(
+                f"latency_s must be >= 0, got {self.latency_s}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable schedule of fault rules.
+
+    The builder methods return new plans (plans are immutable), so a
+    baseline plan can be specialized per campaign::
+
+        plan = (FaultPlan(seed=3)
+                .with_transient_errors("api.answer", probability=0.3)
+                .with_latency("scheduler.next_task", latency_s=0.001))
+
+    Attributes:
+        seed: drives every rule's independent decision stream.
+        rules: the schedule entries.
+    """
+
+    seed: _rng.SeedLike = 0
+    rules: Sequence[FaultRule] = field(default_factory=tuple)
+
+    def with_rule(self, rule: FaultRule) -> "FaultPlan":
+        return replace(self, rules=tuple(self.rules) + (rule,))
+
+    def with_latency(self, site: str, probability: float = 1.0,
+                     latency_s: float = 0.001,
+                     **kw) -> "FaultPlan":
+        return self.with_rule(FaultRule(
+            site=site, kind=FaultKind.LATENCY, probability=probability,
+            latency_s=latency_s, **kw))
+
+    def with_transient_errors(self, site: str,
+                              probability: float = 1.0,
+                              status: int = 503, **kw) -> "FaultPlan":
+        return self.with_rule(FaultRule(
+            site=site, kind=FaultKind.TRANSIENT_ERROR,
+            probability=probability, status=status, **kw))
+
+    def with_permanent_errors(self, site: str,
+                              probability: float = 1.0,
+                              status: int = 422, **kw) -> "FaultPlan":
+        return self.with_rule(FaultRule(
+            site=site, kind=FaultKind.PERMANENT_ERROR,
+            probability=probability, status=status, **kw))
+
+    def with_dropped_answers(self, site: str,
+                             probability: float = 1.0,
+                             **kw) -> "FaultPlan":
+        return self.with_rule(FaultRule(
+            site=site, kind=FaultKind.DROP_ANSWER,
+            probability=probability, **kw))
+
+    def with_duplicates(self, site: str, probability: float = 1.0,
+                        **kw) -> "FaultPlan":
+        return self.with_rule(FaultRule(
+            site=site, kind=FaultKind.DUPLICATE,
+            probability=probability, **kw))
+
+    def with_store_crashes(self, site: str = "platform.*",
+                           probability: float = 0.05,
+                           max_fires: Optional[int] = 3,
+                           **kw) -> "FaultPlan":
+        return self.with_rule(FaultRule(
+            site=site, kind=FaultKind.STORE_CRASH,
+            probability=probability, max_fires=max_fires, **kw))
+
+    def rules_of(self, kind: FaultKind) -> List[FaultRule]:
+        return [rule for rule in self.rules if rule.kind is kind]
+
+    def build(self, registry=None, sleep=None):
+        """An executable :class:`~repro.faults.injector.FaultInjector`
+        for this plan (convenience; importing here avoids a cycle)."""
+        from repro.faults.injector import FaultInjector
+        kwargs = {} if sleep is None else {"sleep": sleep}
+        return FaultInjector(self, registry=registry, **kwargs)

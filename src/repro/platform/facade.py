@@ -41,6 +41,10 @@ class Platform:
             process default if omitted).
         tracer: span tracer for the worker-loop verbs (the process
             default if omitted).
+        faults: optional :class:`repro.faults.FaultInjector`; when set,
+            the worker-loop verbs consult it (store crash-restarts,
+            latency) and the service layer inherits it.  None (the
+            default) costs nothing.
     """
 
     def __init__(self,
@@ -49,21 +53,29 @@ class Platform:
                  spam_detection: bool = True,
                  seed: _rng.SeedLike = 0,
                  registry: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 faults=None) -> None:
         self.registry = (registry if registry is not None
                          else default_registry())
         self.tracer = tracer if tracer is not None else default_tracer()
+        self.faults = faults
         self.store = JsonStore()
         self.accounts = AccountRegistry()
         self.scheduler = TaskScheduler(self.store, policy=policy,
                                        gold_rate=gold_rate, seed=seed,
-                                       registry=self.registry)
+                                       registry=self.registry,
+                                       faults=faults)
         self.reputation = ReputationTracker()
         self.spam = SpamDetector() if spam_detection else None
         self.leaderboard = Leaderboard()
         self.points_per_answer = points_per_answer
         self._job_counter = itertools.count()
         self._task_counter = itertools.count()
+        # At-least-once delivery defense: idempotency key -> task_id of
+        # the submission it already applied.  Kept outside the store on
+        # purpose — it models the dedupe table a production deployment
+        # would keep in its request log.
+        self._idempotency: Dict[str, str] = {}
         self._m_jobs = self.registry.counter(
             "platform.jobs", "job lifecycle transitions, by event")
         self._m_tasks_added = self.registry.counter(
@@ -75,6 +87,12 @@ class Platform:
         self._m_extensions = self.registry.counter(
             "platform.redundancy_extensions",
             "adaptive-redundancy extensions applied")
+        self._m_deduped = self.registry.counter(
+            "platform.answers_deduped",
+            "duplicate answer deliveries absorbed, by reason")
+        self._m_restarts = self.registry.counter(
+            "platform.store_restarts",
+            "store crash-restarts survived")
 
     # ------------------------------------------------------------------
     # Job management
@@ -146,6 +164,9 @@ class Platform:
         """The worker's next task, or None when the job has nothing
         left for them."""
         with self.tracer.span("platform.request_task", job=job_id):
+            if (self.faults is not None and
+                    self.faults.crashes_store("platform.request_task")):
+                self.crash_restart_store()
             job = self.store.get_job(job_id)
             if job.status is JobStatus.COMPLETED:
                 return None
@@ -160,14 +181,31 @@ class Platform:
             return task
 
     def submit_answer(self, task_id: str, worker_id: str, answer: Any,
-                      at_s: float = 0.0) -> TaskRecord:
+                      at_s: float = 0.0,
+                      idempotency_key: Optional[str] = None
+                      ) -> TaskRecord:
         """Accept an answer, credit points, grade gold, update state.
 
         Answers are accepted while the job is RUNNING or COMPLETED —
         a worker may have fetched the task moments before another
         worker's answer completed the job, and their work still counts.
+
+        At-least-once delivery is absorbed here: a redelivery under an
+        already-applied ``idempotency_key``, or a replay of the exact
+        answer a worker already gave, returns the task untouched — no
+        second answer row, no double points, no double spam/reputation
+        signal.  Only a *conflicting* re-answer (same worker, different
+        answer, no key) is rejected.
         """
         with self.tracer.span("platform.submit_answer", task=task_id):
+            if (self.faults is not None and
+                    self.faults.crashes_store("platform.submit_answer")):
+                self.crash_restart_store()
+            if idempotency_key is not None:
+                applied = self._idempotency.get(idempotency_key)
+                if applied is not None:
+                    self._m_deduped.inc(reason="key")
+                    return self.store.get_task(applied)
             task = self.store.get_task(task_id)
             job = self.store.get_job(task.job_id)
             if job.status not in (JobStatus.RUNNING,
@@ -175,7 +213,19 @@ class Platform:
                 raise PlatformError(
                     f"job {job.job_id!r} is not accepting answers "
                     f"(status: {job.status.value})")
+            if task.answered_by(worker_id):
+                if any(r.worker_id == worker_id and r.answer == answer
+                       for r in task.answers):
+                    self._m_deduped.inc(reason="replay")
+                    if idempotency_key is not None:
+                        self._idempotency[idempotency_key] = task_id
+                    return task
+                raise PlatformError(
+                    f"worker {worker_id!r} already answered task "
+                    f"{task_id!r} differently")
             task.add_answer(worker_id, answer, at_s=at_s)
+            if idempotency_key is not None:
+                self._idempotency[idempotency_key] = task_id
             self.scheduler.clear_reservation(task_id, worker_id)
             account = self.accounts.ensure(worker_id)
             account.add_points(self.points_per_answer)
@@ -201,6 +251,26 @@ class Platform:
             return answer
         except TypeError:
             return repr(answer)
+
+    def crash_restart_store(self) -> None:
+        """Simulate (or survive) a store crash-restart.
+
+        The store is rebuilt from its own JSON checkpoint — exactly
+        what :meth:`JsonStore.save`/``load`` would do across a real
+        process restart — and every in-memory scheduler lease is
+        dropped, because leases are process state a crash loses.
+        Durable records (jobs, tasks, answers, accounts) survive.
+        """
+        self.store = JsonStore.from_document(self.store.to_document())
+        self.scheduler.store = self.store
+        self.scheduler.drop_all_reservations()
+        self._m_restarts.inc()
+
+    def worker_disconnected(self, worker_id: str) -> int:
+        """A worker's session died: requeue every lease it held so its
+        in-flight tasks go back out immediately instead of waiting for
+        lease expiry.  Returns the number of leases requeued."""
+        return self.scheduler.release_worker(worker_id)
 
     def flagged_workers(self) -> List[str]:
         """Workers the spam detector currently flags (empty when

@@ -46,19 +46,23 @@ class TaskScheduler:
         registry: metrics registry for the queue-depth gauge and
             assignment-latency histogram (the process default if
             omitted).
+        faults: optional fault injector consulted at the
+            ``scheduler.next_task`` site (None = no-op).
     """
 
     def __init__(self, store: JsonStore,
                  policy: AssignmentPolicy = AssignmentPolicy.BREADTH_FIRST,
                  gold_rate: float = 0.0,
                  seed: _rng.SeedLike = 0,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 faults=None) -> None:
         if not 0.0 <= gold_rate <= 1.0:
             raise PlatformError(
                 f"gold_rate must be in [0,1], got {gold_rate}")
         self.store = store
         self.policy = policy
         self.gold_rate = gold_rate
+        self.faults = faults
         self._rng = _rng.make_rng(seed)
         self.registry = (registry if registry is not None
                          else default_registry())
@@ -72,6 +76,9 @@ class TaskScheduler:
         self._m_assignments = self.registry.counter(
             "scheduler.assignments",
             "next_task outcomes, by served/empty")
+        self._m_requeued = self.registry.counter(
+            "scheduler.requeued_leases",
+            "leases requeued from dead or crashed sessions, by cause")
         # Soft leases: task -> {worker: lease expiry}.  A fetched task
         # counts toward redundancy until answered or until the lease
         # expires (abandoned workers must not stall the job forever).
@@ -93,6 +100,36 @@ class TaskScheduler:
             holders.pop(worker_id, None)
             if not holders:
                 self._reservations.pop(task_id, None)
+
+    def release_worker(self, worker_id: str) -> int:
+        """Requeue every lease ``worker_id`` holds (dead session).
+
+        The graceful-degradation half of soft leases: instead of
+        waiting ``lease_ttl_s`` for an abandoned task to become
+        eligible again, a reported disconnect frees it immediately.
+        Returns the number of leases released.
+        """
+        released = 0
+        for task_id in list(self._reservations):
+            holders = self._reservations[task_id]
+            if worker_id in holders:
+                holders.pop(worker_id)
+                released += 1
+                if not holders:
+                    self._reservations.pop(task_id, None)
+        if released:
+            self._m_requeued.inc(released, cause="disconnect")
+        return released
+
+    def drop_all_reservations(self) -> int:
+        """Forget every lease (a crash-restart lost them all).
+        Returns the number dropped."""
+        dropped = sum(len(holders)
+                      for holders in self._reservations.values())
+        self._reservations.clear()
+        if dropped:
+            self._m_requeued.inc(dropped, cause="crash")
+        return dropped
 
     def eligible_tasks(self, job: Job, worker_id: str,
                        include_gold: bool = True,
@@ -126,6 +163,8 @@ class TaskScheduler:
         stall the job permanently.
         """
         started = time.perf_counter()
+        if self.faults is not None:
+            self.faults.sleep_latency("scheduler.next_task")
         job = self.store.get_job(job_id)
         eligible = self.eligible_tasks(job, worker_id)
         self._m_depth.set(len(eligible), job=job_id)

@@ -53,20 +53,37 @@ class ApiServer:
         platform: the platform the routes operate on.
         registry: metrics registry (the process default if omitted).
         tracer: span tracer (the process default if omitted).
+        faults: optional fault injector (defaults to the platform's, so
+            one plan covers the whole stack); None = zero-overhead
+            no-op.
+        max_pending: load-shedding bound — platform requests beyond
+            this many concurrently queued/executing are refused with a
+            503 + ``Retry-After`` instead of piling onto the lock
+            (None = never shed).
+        shed_retry_after_s: backoff advertised on shed responses.
     """
 
     def __init__(self, platform: Platform,
                  registry: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 faults=None,
+                 max_pending: Optional[int] = None,
+                 shed_retry_after_s: float = 1.0) -> None:
         self.platform = platform
         self.registry = (registry if registry is not None
                          else default_registry())
         self.tracer = tracer if tracer is not None else default_tracer()
+        self.faults = (faults if faults is not None
+                       else getattr(platform, "faults", None))
+        self.max_pending = max_pending
+        self.shed_retry_after_s = shed_retry_after_s
         self._routes: List[
             Tuple[str, str, re.Pattern, Handler, bool]] = []
         # The platform is plain mutable state; the threaded HTTP server
         # dispatches concurrently, so requests are serialized here.
         self._lock = threading.Lock()
+        self._pending = 0
+        self._pending_lock = threading.Lock()
         self._install_routes()
         self._requests = self.registry.counter(
             "service.requests",
@@ -81,6 +98,9 @@ class ApiServer:
         self._lock_held = self.registry.histogram(
             "service.lock_held_s",
             "time spent holding the platform lock")
+        self._m_shed = self.registry.counter(
+            "service.shed",
+            "requests refused by load shedding, by route")
 
     def _route(self, method: str, pattern: str, handler: Handler,
                locked: bool = True) -> None:
@@ -103,6 +123,8 @@ class ApiServer:
                     self._low_confidence)
         self._route("GET", "/workers/flagged", self._flagged_workers)
         self._route("POST", "/workers", self._register_worker)
+        self._route("POST", "/workers/{worker_id}/disconnect",
+                    self._disconnect_worker)
         self._route("GET", "/workers/{worker_id}", self._worker_stats)
         self._route("POST", "/tasks/{task_id}/answers", self._answer)
         self._route("GET", "/leaderboard", self._leaderboard)
@@ -131,21 +153,36 @@ class ApiServer:
             match = regex.match(request.path)
             if match is None:
                 continue
+            params = match.groupdict()
+            site = "api." + handler.__name__.lstrip("_")
             with self.tracer.span(f"service.{method} {pattern}"):
                 try:
                     if not locked:
-                        return handler(request,
-                                       match.groupdict()), pattern
-                    wait_start = time.perf_counter()
-                    with self._lock:
-                        acquired = time.perf_counter()
-                        self._lock_wait.observe(acquired - wait_start)
-                        try:
-                            return handler(request,
-                                           match.groupdict()), pattern
-                        finally:
-                            self._lock_held.observe(
-                                time.perf_counter() - acquired)
+                        return self._invoke(handler, request, params,
+                                            site), pattern
+                    if self.max_pending is not None:
+                        with self._pending_lock:
+                            if self._pending >= self.max_pending:
+                                shed = self._shed(pattern)
+                                return shed, pattern
+                            self._pending += 1
+                    try:
+                        wait_start = time.perf_counter()
+                        with self._lock:
+                            acquired = time.perf_counter()
+                            self._lock_wait.observe(
+                                acquired - wait_start)
+                            try:
+                                return self._invoke(
+                                    handler, request, params,
+                                    site), pattern
+                            finally:
+                                self._lock_held.observe(
+                                    time.perf_counter() - acquired)
+                    finally:
+                        if self.max_pending is not None:
+                            with self._pending_lock:
+                                self._pending -= 1
                 except (JobNotFound, TaskNotFound) as exc:
                     return ApiResponse(404,
                                        error_body(str(exc))), pattern
@@ -153,14 +190,63 @@ class ApiServer:
                     return ApiResponse(409,
                                        error_body(str(exc))), pattern
                 except ServiceError as exc:
-                    return ApiResponse(exc.status,
-                                       error_body(str(exc))), pattern
+                    return ApiResponse(
+                        exc.status, error_body(str(exc)),
+                        headers=self._retry_after_headers(
+                            exc.retry_after_s)), pattern
                 except PlatformError as exc:
                     return ApiResponse(400,
                                        error_body(str(exc))), pattern
         return ApiResponse(404, error_body(
             f"no route for {request.method} {request.path}"
         )), "<unmatched>"
+
+    @staticmethod
+    def _retry_after_headers(retry_after_s: Optional[float]
+                             ) -> Dict[str, str]:
+        if retry_after_s is None:
+            return {}
+        return {"Retry-After": f"{retry_after_s:g}"}
+
+    def _shed(self, pattern: str) -> ApiResponse:
+        """Refuse one request: the platform queue is saturated."""
+        self._m_shed.inc(route=pattern)
+        return ApiResponse(
+            503, error_body("overloaded: platform queue is full; "
+                            "retry later"),
+            headers={"Retry-After": f"{self.shed_retry_after_s:g}"})
+
+    def _invoke(self, handler: Handler, request: ApiRequest,
+                params: Dict[str, str], site: str) -> ApiResponse:
+        """Run one handler, consulting the fault injector around it.
+
+        With no injector this is a plain call.  Otherwise the injector
+        may add latency, reject the request outright (transient or
+        permanent), redeliver a POST (at-least-once duplicate — the
+        platform's idempotency layer must absorb it), or drop the
+        response after the handler ran (the caller sees a retryable
+        503 and cannot tell the work happened).
+        """
+        faults = self.faults
+        if faults is None:
+            return handler(request, params)
+        faults.sleep_latency(site)
+        fault = faults.error(site)
+        if fault is not None:
+            raise fault
+        response = handler(request, params)
+        if request.method == "POST":
+            if faults.duplicates(site):
+                try:
+                    handler(request, params)
+                except (PlatformError, ServiceError):
+                    pass  # a rejected redelivery is invisible upstream
+            if faults.drops_response(site):
+                return ApiResponse(
+                    503,
+                    error_body(f"injected: response lost at {site}"),
+                    headers={"Retry-After": "0"})
+        return response
 
     # ------------------------------------------------------------------
     # Handlers
@@ -285,6 +371,14 @@ class ApiServer:
         stats = self.platform.worker_stats(params["worker_id"])
         return ApiResponse(200, stats)
 
+    def _disconnect_worker(self, request: ApiRequest,
+                           params: Dict[str, str]) -> ApiResponse:
+        """A session died: requeue every task lease it held."""
+        released = self.platform.worker_disconnected(
+            params["worker_id"])
+        return ApiResponse(200, {"worker_id": params["worker_id"],
+                                 "requeued": released})
+
     def _answer(self, request: ApiRequest,
                 params: Dict[str, str]) -> ApiResponse:
         body = request.body
@@ -295,7 +389,8 @@ class ApiServer:
             raise ServiceError("answer needs an 'answer'", status=422)
         task = self.platform.submit_answer(
             params["task_id"], worker_id, body["answer"],
-            at_s=float(body.get("at_s", 0.0)))
+            at_s=float(body.get("at_s", 0.0)),
+            idempotency_key=body.get("idempotency_key"))
         return ApiResponse(201, {"task_id": task.task_id,
                                  "answers": len(task.answers)})
 

@@ -4,28 +4,118 @@ Both clients expose the platform verbs as methods returning parsed
 bodies; failures raise :class:`~repro.errors.ServiceError` carrying the
 HTTP status.  Simulations use :class:`InProcessClient` (no sockets);
 :class:`HttpClient` exercises the real wire path.
+
+Both are resilient when given a :class:`~repro.service.retry.RetryPolicy`:
+retryable failures (connection resets, 429/5xx — see
+:func:`repro.errors.is_retryable`) are retried with exponential backoff
+and jitter, a :class:`~repro.service.retry.CircuitBreaker` can fail fast
+when the service is down, and every ``submit_answer`` carries an
+idempotency key so an at-least-once retry can never double-count an
+answer.  Per-attempt outcomes land in ``client.*`` metrics.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+import time
+from http import client as http_client
+from typing import Any, Callable, Dict, List, Optional
 from urllib import error as urlerror
 from urllib import request as urlrequest
 from urllib.parse import urlencode
 
-from repro.errors import ServiceError
+from repro import rng as _rng
+from repro.errors import (CircuitOpenError, ServiceError,
+                          TransientServiceError, is_retryable)
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.service.api import ApiServer
+from repro.service.retry import CircuitBreaker, RetryPolicy
 from repro.service.wire import ApiRequest
 
 
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Seconds from a ``Retry-After`` header value, if parseable."""
+    if not value:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None
+
+
 class _BaseClient:
-    """Shared verb implementations over an abstract transport."""
+    """Shared verb implementations and retry loop over an abstract
+    transport (:meth:`_send`).
+
+    Args:
+        retry_policy: enables retries when given (None = single-shot,
+            the historical behavior).
+        breaker: optional circuit breaker consulted before each
+            attempt; trips on retryable failures only (4xx rejections
+            mean the service is healthy).
+        registry: metrics registry for the ``client.*`` series (the
+            process default if omitted).
+        sleep: backoff sleep implementation (injectable for tests).
+        seed: jitter RNG seed.
+    """
+
+    def __init__(self, retry_policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 seed: _rng.SeedLike = 0) -> None:
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self._sleep = sleep
+        self._rng = _rng.make_rng(seed)
+        self._m_attempts = self.registry.counter(
+            "client.attempts", "request attempts, by outcome")
+        self._m_retries = self.registry.counter(
+            "client.retries", "retries issued, by method")
+        self._m_backoff = self.registry.histogram(
+            "client.backoff_s", "backoff slept between attempts")
+
+    def _send(self, method: str, path: str,
+              body: Optional[Dict[str, Any]],
+              query: Optional[Dict[str, str]]) -> Dict[str, Any]:
+        raise NotImplementedError
 
     def _call(self, method: str, path: str,
               body: Optional[Dict[str, Any]] = None,
               query: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
-        raise NotImplementedError
+        """One verb: a single attempt, or a retry loop under a policy."""
+        policy = self.retry_policy
+        attempts = policy.max_attempts if policy is not None else 1
+        for attempt in range(attempts):
+            if self.breaker is not None and not self.breaker.allow():
+                self._m_attempts.inc(outcome="breaker_open")
+                raise CircuitOpenError(
+                    retry_after_s=self.breaker.remaining_open_s())
+            try:
+                result = self._send(method, path, body, query)
+            except ServiceError as exc:
+                retryable = is_retryable(exc)
+                if self.breaker is not None and retryable:
+                    self.breaker.record_failure()
+                self._m_attempts.inc(
+                    outcome="retryable" if retryable else "fatal")
+                if not retryable or attempt + 1 >= attempts:
+                    raise
+                delay = policy.backoff_s(
+                    attempt, rng=self._rng,
+                    retry_after_s=exc.retry_after_s)
+                self._m_retries.inc(method=method)
+                self._m_backoff.observe(delay)
+                if delay > 0:
+                    self._sleep(delay)
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            self._m_attempts.inc(outcome="ok")
+            return result
+        raise AssertionError("unreachable: retry loop exited")
 
     # -- verbs ---------------------------------------------------------
 
@@ -72,10 +162,27 @@ class _BaseClient:
             raise
 
     def submit_answer(self, task_id: str, worker_id: str, answer: Any,
-                      at_s: float = 0.0) -> Dict[str, Any]:
+                      at_s: float = 0.0,
+                      idempotency_key: Optional[str] = None
+                      ) -> Dict[str, Any]:
+        """Submit an answer, safely retryable.
+
+        A worker answers a task at most once, so ``task_id/worker_id``
+        is a natural idempotency key: the platform treats a redelivery
+        under the same key as the original submission and never
+        double-counts.  Pass ``idempotency_key`` to override.
+        """
+        if idempotency_key is None:
+            idempotency_key = f"{task_id}/{worker_id}"
         return self._call("POST", f"/tasks/{task_id}/answers",
                           {"worker_id": worker_id, "answer": answer,
-                           "at_s": at_s})
+                           "at_s": at_s,
+                           "idempotency_key": idempotency_key})
+
+    def disconnect_worker(self, worker_id: str) -> Dict[str, Any]:
+        """Report a dead session; its task leases requeue immediately."""
+        return self._call("POST", f"/workers/{worker_id}/disconnect",
+                          {})
 
     def results(self, job_id: str) -> Dict[str, Any]:
         return self._call("GET", f"/jobs/{job_id}/results")["results"]
@@ -87,37 +194,46 @@ class _BaseClient:
         return self._call("GET", "/leaderboard",
                           query={"k": str(k)})["leaderboard"]
 
+    def metrics(self) -> Dict[str, Any]:
+        """The service's telemetry snapshot (JSON exposition)."""
+        return self._call("GET", "/metrics")
+
 
 class InProcessClient(_BaseClient):
     """Calls the router directly — no sockets, no serialization cost
     beyond the JSON-shaped dicts themselves."""
 
-    def __init__(self, api: ApiServer) -> None:
+    def __init__(self, api: ApiServer, **resilience: Any) -> None:
+        super().__init__(**resilience)
         self.api = api
 
-    def _call(self, method: str, path: str,
-              body: Optional[Dict[str, Any]] = None,
-              query: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
+    def _send(self, method: str, path: str,
+              body: Optional[Dict[str, Any]],
+              query: Optional[Dict[str, str]]) -> Dict[str, Any]:
         response = self.api.handle(ApiRequest(
             method=method, path=path, body=body or {},
             query=query or {}))
         if not response.ok:
             raise ServiceError(
                 response.body.get("error", "request failed"),
-                status=response.status)
+                status=response.status,
+                retry_after_s=_parse_retry_after(
+                    response.headers.get("Retry-After")))
         return response.body
 
 
 class HttpClient(_BaseClient):
     """Talks to a running HTTP server via urllib."""
 
-    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+    def __init__(self, base_url: str, timeout_s: float = 10.0,
+                 **resilience: Any) -> None:
+        super().__init__(**resilience)
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
 
-    def _call(self, method: str, path: str,
-              body: Optional[Dict[str, Any]] = None,
-              query: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
+    def _send(self, method: str, path: str,
+              body: Optional[Dict[str, Any]],
+              query: Optional[Dict[str, str]]) -> Dict[str, Any]:
         url = self.base_url + path
         if query:
             url += "?" + urlencode(query)
@@ -138,7 +254,17 @@ class HttpClient(_BaseClient):
                     "error", str(exc))
             except Exception:
                 message = str(exc)
-            raise ServiceError(message, status=exc.code) from None
+            raise ServiceError(
+                message, status=exc.code,
+                retry_after_s=_parse_retry_after(
+                    exc.headers.get("Retry-After"))) from None
         except urlerror.URLError as exc:
-            raise ServiceError(f"connection failed: {exc.reason}",
-                               status=503) from None
+            raise TransientServiceError(
+                f"connection failed: {exc.reason}") from None
+        except (http_client.HTTPException, ConnectionError,
+                TimeoutError) as exc:
+            # Reset mid-response (RemoteDisconnected & friends): the
+            # request may or may not have been applied — retryable, and
+            # idempotency keys make the replay safe.
+            raise TransientServiceError(
+                f"connection failed: {exc}") from None

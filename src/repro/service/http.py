@@ -18,6 +18,10 @@ from repro.service.api import ApiServer
 from repro.service.wire import ApiRequest
 
 
+class _InjectedConnectionReset(Exception):
+    """Internal: a fault rule asked for a wire-level connection reset."""
+
+
 def _make_handler(api: ApiServer):
     class Handler(BaseHTTPRequestHandler):
         """Translates HTTP to ApiRequest and back."""
@@ -32,6 +36,15 @@ def _make_handler(api: ApiServer):
             # a stack trace down the connection and reset it).
             try:
                 response = self._handle(method)
+            except _InjectedConnectionReset:
+                # Slam the connection shut with no response: the client
+                # sees a reset and cannot tell whether the request ran.
+                self.close_connection = True
+                try:
+                    self.connection.close()
+                except OSError:
+                    pass
+                return
             except Exception:  # noqa: BLE001 - the last-resort handler
                 api.registry.counter("service.errors").inc(layer="http")
                 response = (500, {"error": "internal server error"},
@@ -39,6 +52,13 @@ def _make_handler(api: ApiServer):
             self._respond(*response)
 
         def _handle(self, method: str):
+            faults = api.faults
+            if faults is not None:
+                # Wire-level faults, before the request is even parsed:
+                # injected network latency and connection resets.
+                faults.sleep_latency("http.request")
+                if faults.error("http.request") is not None:
+                    raise _InjectedConnectionReset
             parts = urlsplit(self.path)
             query = dict(parse_qsl(parts.query))
             body = {}
@@ -49,7 +69,7 @@ def _make_handler(api: ApiServer):
                     body = json.loads(raw.decode("utf-8"))
                 except json.JSONDecodeError:
                     return 400, {"error": "invalid JSON body"}, \
-                        None, None
+                        None, None, None
             headers = {key.lower(): value
                        for key, value in self.headers.items()}
             request = ApiRequest(method=method, path=parts.path,
@@ -57,10 +77,11 @@ def _make_handler(api: ApiServer):
                                  headers=headers)
             response = api.handle(request)
             return (response.status, response.body, response.text,
-                    response.content_type)
+                    response.content_type, response.headers)
 
         def _respond(self, status: int, body: dict,
-                     text: str = None, content_type: str = None) -> None:
+                     text: str = None, content_type: str = None,
+                     extra_headers: dict = None) -> None:
             if text is not None:
                 payload = text.encode("utf-8")
                 ctype = content_type or "text/plain; charset=utf-8"
@@ -71,6 +92,8 @@ def _make_handler(api: ApiServer):
                 self.send_response(status)
                 self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(payload)))
+                for key, value in (extra_headers or {}).items():
+                    self.send_header(key, value)
                 self.end_headers()
                 self.wfile.write(payload)
             except (BrokenPipeError, ConnectionResetError):

@@ -1,0 +1,197 @@
+"""Client-side resilience: retry policy and circuit breaker.
+
+:class:`RetryPolicy` computes capped exponential backoff with optional
+jitter, honoring server ``Retry-After`` advice.  :class:`CircuitBreaker`
+implements the classic three-state machine (closed → open → half-open)
+so a client stops hammering a service that is consistently failing and
+probes it gently once the reset timeout elapses.
+
+Both are wired into :class:`repro.service.client._BaseClient`; both
+report state through :mod:`repro.obs` (``client.breaker_state`` gauge,
+``client.breaker_transitions`` counter).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with partial jitter.
+
+    Attempt *k* (0-based) sleeps
+    ``min(max_delay_s, base_delay_s * multiplier**k)``, scaled into
+    ``[1 - jitter, 1]`` of itself uniformly at random, then raised to
+    any server-advised ``Retry-After``.
+
+    Attributes:
+        max_attempts: total tries including the first (>= 1).
+        base_delay_s: backoff before the first retry.
+        max_delay_s: backoff ceiling.
+        multiplier: exponential growth factor.
+        jitter: randomized fraction of each delay, in [0, 1]
+            (0 = deterministic backoff, handy in tests).
+        respect_retry_after: honor ``Retry-After`` advice as a floor.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    respect_retry_after: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(
+                f"jitter must be in [0,1], got {self.jitter}")
+
+    def backoff_s(self, attempt: int,
+                  rng: Optional[random.Random] = None,
+                  retry_after_s: Optional[float] = None) -> float:
+        """Sleep duration before retry number ``attempt + 1``."""
+        delay = min(self.max_delay_s,
+                    self.base_delay_s * self.multiplier ** attempt)
+        if self.jitter > 0 and rng is not None:
+            delay *= (1.0 - self.jitter) + rng.random() * self.jitter
+        if retry_after_s is not None and self.respect_retry_after:
+            delay = max(delay, retry_after_s)
+        return delay
+
+
+class BreakerState(enum.Enum):
+    """Circuit breaker states."""
+
+    CLOSED = "closed"        # normal operation
+    OPEN = "open"            # failing fast
+    HALF_OPEN = "half_open"  # probing with limited traffic
+
+    @property
+    def gauge_value(self) -> int:
+        return {"closed": 0, "half_open": 1, "open": 2}[self.value]
+
+
+class CircuitBreaker:
+    """Three-state circuit breaker.
+
+    CLOSED counts consecutive failures; at ``failure_threshold`` it
+    OPENs and :meth:`allow` returns False until ``reset_timeout_s``
+    elapses, when it HALF-OPENs and admits one probe.  A successful
+    probe CLOSEs the circuit; a failed one re-OPENs it.
+
+    Args:
+        failure_threshold: consecutive failures that trip the breaker.
+        reset_timeout_s: how long to fail fast before probing.
+        name: label for this breaker's metrics series.
+        clock: monotonic time source (injectable for tests).
+        registry: metrics registry (the process default if omitted).
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 5.0, name: str = "client",
+                 clock: Callable[[], float] = time.monotonic,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, "
+                f"got {failure_threshold}")
+        if reset_timeout_s < 0:
+            raise ConfigError(
+                f"reset_timeout_s must be >= 0, got {reset_timeout_s}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.name = name
+        self._clock = clock
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._m_state = self.registry.gauge(
+            "client.breaker_state",
+            "breaker state (0 closed, 1 half-open, 2 open), by breaker")
+        self._m_transitions = self.registry.counter(
+            "client.breaker_transitions",
+            "breaker state changes, by breaker/to")
+        self._m_state.set(0, breaker=self.name)
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _transition(self, state: BreakerState) -> None:
+        """Move to ``state`` (lock held by caller)."""
+        if state is self._state:
+            return
+        self._state = state
+        self._m_state.set(state.gauge_value, breaker=self.name)
+        self._m_transitions.inc(breaker=self.name, to=state.value)
+
+    def _maybe_half_open(self) -> None:
+        if (self._state is BreakerState.OPEN
+                and self._clock() - self._opened_at
+                >= self.reset_timeout_s):
+            self._transition(BreakerState.HALF_OPEN)
+            self._probing = False
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN:
+                if self._probing:
+                    return False
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.HALF_OPEN:
+                self._opened_at = self._clock()
+                self._probing = False
+                self._transition(BreakerState.OPEN)
+                return
+            self._failures += 1
+            if (self._state is BreakerState.CLOSED
+                    and self._failures >= self.failure_threshold):
+                self._opened_at = self._clock()
+                self._transition(BreakerState.OPEN)
+
+    def remaining_open_s(self) -> float:
+        """Seconds until the breaker will probe again (0 if not open)."""
+        with self._lock:
+            if self._state is not BreakerState.OPEN:
+                return 0.0
+            return max(0.0, self.reset_timeout_s
+                       - (self._clock() - self._opened_at))

@@ -45,12 +45,16 @@ class ApiResponse:
             of serializing ``body`` (Prometheus exposition).
         content_type: overrides the transport content type when
             ``text`` is set.
+        headers: extra response headers (e.g. ``Retry-After`` on a
+            load-shedding 503); the HTTP binding sends them verbatim
+            and in-process clients read them off the envelope.
     """
 
     status: int
     body: Dict[str, Any] = field(default_factory=dict)
     text: Optional[str] = None
     content_type: Optional[str] = None
+    headers: Dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,8 @@
+"""Chaos test layer: full campaigns under injected faults.
+
+Each test runs a complete labeling campaign (ESP-style word labels,
+Peekaboom-style object boxes) through the real service stack with a
+:class:`repro.faults.FaultPlan` active, and asserts the promoted labels
+are byte-identical to the fault-free baseline — graceful degradation,
+demonstrated end to end.
+"""

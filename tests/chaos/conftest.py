@@ -1,0 +1,16 @@
+"""Chaos-layer fixtures.
+
+``CHAOS_SEED`` (env) re-seeds every fault plan, so CI can sweep several
+schedules while local runs stay deterministic under the default.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    return int(os.environ.get("CHAOS_SEED", "0"))

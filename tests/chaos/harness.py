@@ -1,0 +1,123 @@
+"""The chaos campaign harness.
+
+:func:`run_campaign` drives a complete labeling campaign — create job,
+add tasks, register workers, round-robin the worker loop to completion,
+aggregate — through the real ``ApiServer``/``Platform`` stack via an
+:class:`InProcessClient` with retries enabled, optionally under a
+:class:`~repro.faults.FaultPlan`.  Worker answers are a pure function
+of the task payload (plus one deterministic noisy worker the majority
+always outvotes), so the promoted labels of any two runs are comparable
+byte for byte no matter how faults reshuffle the assignment order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.client import InProcessClient
+from repro.service.retry import RetryPolicy
+
+
+def esp_payloads(n_tasks: int) -> List[Dict[str, Any]]:
+    """ESP-style image-labeling tasks with known truth labels."""
+    return [{"image": f"img-{i:03d}", "truth": f"label-{i % 4}"}
+            for i in range(n_tasks)]
+
+
+def peekaboom_payloads(n_tasks: int) -> List[Dict[str, Any]]:
+    """Peekaboom-style object-location tasks; truth is a box."""
+    return [{"image": f"img-{i:03d}",
+             "truth": {"x": i % 8, "y": (3 * i) % 8, "w": 2, "h": 2}}
+            for i in range(n_tasks)]
+
+
+def honest_answer(payload: Dict[str, Any]) -> Any:
+    return payload["truth"]
+
+
+def noisy_answer(worker_id: str, payload: Dict[str, Any]) -> str:
+    """A wrong answer, stable per (worker, image)."""
+    digest = hashlib.sha256(
+        f"{worker_id}|{payload['image']}".encode("utf-8")).hexdigest()
+    return f"noise-{int(digest[:4], 16) % 5}"
+
+
+@dataclass
+class CampaignResult:
+    """Everything a chaos assertion needs from one run."""
+
+    labels_json: str
+    platform: Platform
+    registry: MetricsRegistry
+    injector: Optional[FaultInjector]
+    job_id: str
+    answer_rows: int
+
+
+def run_campaign(plan: Optional[FaultPlan] = None, *,
+                 game: str = "esp", n_tasks: int = 12,
+                 redundancy: int = 3, n_workers: int = 6,
+                 seed: int = 7,
+                 max_attempts: int = 10) -> CampaignResult:
+    """One full campaign; returns its promoted labels canonically.
+
+    With ``redundancy`` honest answers required per task and at most
+    one noisy worker, majority vote always promotes the truth, so two
+    runs differ only if faults actually corrupted state.
+    """
+    registry = MetricsRegistry()
+    injector = plan.build(registry=registry) if plan is not None \
+        else None
+    platform = Platform(gold_rate=0.0, spam_detection=False, seed=seed,
+                        registry=registry, tracer=Tracer(),
+                        faults=injector)
+    api = ApiServer(platform, registry=registry, tracer=Tracer())
+    client = InProcessClient(
+        api,
+        retry_policy=RetryPolicy(max_attempts=max_attempts,
+                                 base_delay_s=0.0, max_delay_s=0.0,
+                                 jitter=0.0),
+        registry=registry, sleep=lambda s: None, seed=seed)
+
+    payloads = (esp_payloads(n_tasks) if game == "esp"
+                else peekaboom_payloads(n_tasks))
+    job = client.create_job(f"chaos-{game}", redundancy=redundancy)
+    job_id = job["job_id"]
+    client.add_tasks(job_id, [{"payload": p} for p in payloads])
+    client.start_job(job_id)
+    workers = [f"w{k:02d}" for k in range(n_workers)]
+    for worker in workers:
+        client.register_worker(worker)
+    noisy = workers[-1]
+
+    # Round-robin the worker loop until a full pass serves nothing.
+    served = True
+    while served:
+        served = False
+        for worker in workers:
+            task = client.next_task(job_id, worker)
+            if task is None:
+                continue
+            served = True
+            payload = task["payload"]
+            answer = (noisy_answer(worker, payload) if worker == noisy
+                      else honest_answer(payload))
+            client.submit_answer(task["task_id"], worker, answer)
+
+    results = client.results(job_id)
+    labels = {task_id: result["answer"]
+              for task_id, result in results.items()}
+    rows = sum(len(task.answers)
+               for task in platform.store.tasks_for(job_id))
+    return CampaignResult(
+        labels_json=json.dumps(labels, sort_keys=True),
+        platform=platform, registry=registry, injector=injector,
+        job_id=job_id, answer_rows=rows)

@@ -1,0 +1,115 @@
+"""Chaos campaigns: every fault class vs. a fault-free baseline.
+
+The acceptance bar (ISSUE 2): a full ESP/Peekaboom campaign under each
+fault class — latency, transient errors, dropped answers, duplicate
+deliveries, store crash-restart — must promote byte-identical labels to
+the fault-free run, and the faults must demonstrably have fired.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan
+
+from tests.chaos.harness import run_campaign
+
+
+def _baseline(game: str):
+    return run_campaign(None, game=game)
+
+
+def _plan_latency(seed: int) -> FaultPlan:
+    return (FaultPlan(seed=seed)
+            .with_latency("api.*", probability=0.2, latency_s=0.0005)
+            .with_latency("scheduler.next_task", probability=0.2,
+                          latency_s=0.0005))
+
+
+def _plan_transient(seed: int) -> FaultPlan:
+    return (FaultPlan(seed=seed)
+            .with_transient_errors("api.answer", probability=0.3)
+            .with_transient_errors("api.next_task", probability=0.2,
+                                   status=429))
+
+
+def _plan_dropped(seed: int) -> FaultPlan:
+    return FaultPlan(seed=seed).with_dropped_answers(
+        "api.answer", probability=0.4)
+
+
+def _plan_duplicates(seed: int) -> FaultPlan:
+    return FaultPlan(seed=seed).with_duplicates(
+        "api.answer", probability=0.5)
+
+
+def _plan_store_crash(seed: int) -> FaultPlan:
+    return (FaultPlan(seed=seed)
+            .with_store_crashes("platform.submit_answer",
+                                probability=0.08, max_fires=4)
+            .with_store_crashes("platform.request_task",
+                                probability=0.04, max_fires=2))
+
+
+PLANS = {
+    "latency": _plan_latency,
+    "transient_errors": _plan_transient,
+    "dropped_answers": _plan_dropped,
+    "duplicate_deliveries": _plan_duplicates,
+    "store_crash_restart": _plan_store_crash,
+}
+
+
+@pytest.mark.parametrize("game", ["esp", "peekaboom"])
+@pytest.mark.parametrize("fault_class", sorted(PLANS))
+class TestChaosCampaigns:
+    def test_labels_identical_to_baseline(self, game, fault_class,
+                                          chaos_seed):
+        baseline = _baseline(game)
+        chaotic = run_campaign(PLANS[fault_class](chaos_seed),
+                               game=game)
+        # The faults must actually have fired, or the test proves
+        # nothing...
+        assert chaotic.injector.total_fires() > 0, \
+            f"{fault_class} plan never fired"
+        # ...and the promoted labels must not have noticed.
+        assert chaotic.labels_json == baseline.labels_json
+
+    def test_no_duplicate_answer_rows(self, game, fault_class,
+                                      chaos_seed):
+        chaotic = run_campaign(PLANS[fault_class](chaos_seed),
+                               game=game)
+        for task in chaotic.platform.store.tasks_for(chaotic.job_id):
+            workers = [record.worker_id for record in task.answers]
+            assert len(workers) == len(set(workers)), \
+                f"duplicate answer rows on {task.task_id}"
+
+
+class TestBaselineSanity:
+    def test_baseline_promotes_truth(self):
+        baseline = _baseline("esp")
+        assert '"label-0"' in baseline.labels_json
+        # Every task promoted, exactly redundancy rows each.
+        assert baseline.answer_rows == 12 * 3
+
+    def test_points_never_double_credited(self, chaos_seed):
+        """Dropped responses + duplicates: credited points must equal
+        answer rows times the per-answer rate."""
+        plan = (FaultPlan(seed=chaos_seed)
+                .with_dropped_answers("api.answer", probability=0.4)
+                .with_duplicates("api.answer", probability=0.4))
+        chaotic = run_campaign(plan)
+        platform = chaotic.platform
+        credited = sum(account.points
+                       for account in platform.accounts.all())
+        assert credited == chaotic.answer_rows \
+            * platform.points_per_answer
+
+    def test_store_crash_preserves_durable_state(self, chaos_seed):
+        chaotic = run_campaign(_plan_store_crash(chaos_seed))
+        restarts = chaotic.registry.counter(
+            "platform.store_restarts").total()
+        assert restarts > 0
+        # Durable rows survived every restart: the job completed.
+        progress = chaotic.platform.progress(chaotic.job_id)
+        assert progress["complete_frac"] == 1.0

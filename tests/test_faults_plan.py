@@ -1,0 +1,137 @@
+"""Unit tests for the fault-injection subsystem (repro.faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, InjectedFault
+from repro.faults import FaultKind, FaultPlan, FaultRule
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestFaultRule:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultRule(site="", kind=FaultKind.LATENCY)
+        with pytest.raises(ConfigError):
+            FaultRule(site="x", kind=FaultKind.LATENCY,
+                      probability=1.5)
+        with pytest.raises(ConfigError):
+            FaultRule(site="x", kind=FaultKind.LATENCY, after=-1)
+        with pytest.raises(ConfigError):
+            FaultRule(site="x", kind=FaultKind.LATENCY, max_fires=-2)
+        with pytest.raises(ConfigError):
+            FaultRule(site="x", kind=FaultKind.LATENCY,
+                      latency_s=-0.1)
+
+
+class TestFaultPlan:
+    def test_builders_accumulate_rules(self):
+        plan = (FaultPlan(seed=1)
+                .with_latency("api.*")
+                .with_transient_errors("api.answer")
+                .with_permanent_errors("api.answer")
+                .with_dropped_answers("api.answer")
+                .with_duplicates("api.answer")
+                .with_store_crashes())
+        assert len(plan.rules) == 6
+        kinds = {rule.kind for rule in plan.rules}
+        assert kinds == set(FaultKind)
+
+    def test_plans_are_immutable(self):
+        base = FaultPlan(seed=1)
+        extended = base.with_latency("api.*")
+        assert len(base.rules) == 0
+        assert len(extended.rules) == 1
+
+    def test_rules_of_filters_by_kind(self):
+        plan = (FaultPlan().with_latency("a")
+                .with_duplicates("b"))
+        assert [r.site for r in plan.rules_of(FaultKind.LATENCY)] \
+            == ["a"]
+
+
+class TestFaultInjector:
+    def test_no_rules_is_inert(self):
+        injector = FaultPlan(seed=0).build(registry=_registry())
+        assert injector.sleep_latency("api.answer") == 0.0
+        assert injector.error("api.answer") is None
+        assert not injector.drops_response("api.answer")
+        assert not injector.duplicates("api.answer")
+        assert not injector.crashes_store("platform.submit_answer")
+        assert injector.total_fires() == 0
+
+    def test_site_patterns_match_fnmatch_style(self):
+        plan = FaultPlan(seed=0).with_duplicates("api.*",
+                                                 probability=1.0)
+        injector = plan.build(registry=_registry())
+        assert injector.duplicates("api.answer")
+        assert injector.duplicates("api.next_task")
+        assert not injector.duplicates("platform.submit_answer")
+
+    def test_deterministic_under_seed(self):
+        plan = FaultPlan(seed=42).with_transient_errors(
+            "api.answer", probability=0.5)
+        a = plan.build(registry=_registry())
+        b = plan.build(registry=_registry())
+        pattern_a = [a.error("api.answer") is not None
+                     for _ in range(40)]
+        pattern_b = [b.error("api.answer") is not None
+                     for _ in range(40)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+
+    def test_seeds_change_the_schedule(self):
+        def pattern(seed):
+            injector = FaultPlan(seed=seed).with_transient_errors(
+                "x", probability=0.5).build(registry=_registry())
+            return [injector.error("x") is not None
+                    for _ in range(40)]
+        assert pattern(1) != pattern(2)
+
+    def test_after_and_max_fires(self):
+        plan = FaultPlan(seed=0).with_rule(FaultRule(
+            site="x", kind=FaultKind.TRANSIENT_ERROR,
+            probability=1.0, after=3, max_fires=2))
+        injector = plan.build(registry=_registry())
+        fired = [injector.error("x") is not None for _ in range(10)]
+        assert fired == [False, False, False, True, True,
+                         False, False, False, False, False]
+
+    def test_error_kinds_map_to_statuses(self):
+        plan = (FaultPlan(seed=0)
+                .with_transient_errors("t", probability=1.0,
+                                       status=503)
+                .with_permanent_errors("p", probability=1.0,
+                                       status=422))
+        injector = plan.build(registry=_registry())
+        transient = injector.error("t")
+        permanent = injector.error("p")
+        assert isinstance(transient, InjectedFault)
+        assert transient.status == 503 and transient.retryable
+        assert permanent.status == 422 and not permanent.retryable
+
+    def test_latency_sleeps_via_injected_clock(self):
+        slept = []
+        plan = FaultPlan(seed=0).with_latency(
+            "x", probability=1.0, latency_s=0.25)
+        injector = plan.build(registry=_registry(),
+                              sleep=slept.append)
+        assert injector.sleep_latency("x") == 0.25
+        assert slept == [0.25]
+
+    def test_fires_counted_in_metrics_and_introspection(self):
+        registry = _registry()
+        plan = FaultPlan(seed=0).with_duplicates("x",
+                                                 probability=1.0)
+        injector = plan.build(registry=registry)
+        for _ in range(3):
+            assert injector.duplicates("x")
+        assert injector.total_fires() == 3
+        assert injector.fires() == {"x/duplicate": 3}
+        counter = registry.counter("faults.injected")
+        assert counter.value(site="x", kind="duplicate") == 3.0

@@ -1,0 +1,139 @@
+"""Property-based (seeded-random) invariants for the aggregators.
+
+Majority vote and Dawid–Skene are the platform's promotion machinery;
+these tests assert the structural invariants chaos campaigns lean on:
+answer order never matters, duplicated delivery of a whole answer set
+never changes a decision, and confidence-like quantities stay in
+bounds.  Cases are generated from a fixed seed, so failures replay.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aggregation.dawid_skene import DawidSkene
+from repro.aggregation.majority import MajorityVote
+
+N_CASES = 25
+
+
+def _random_answer_set(rng: random.Random):
+    """(worker, answer) pairs over a small random alphabet."""
+    n_workers = rng.randint(1, 12)
+    alphabet = [f"ans-{k}" for k in range(rng.randint(1, 5))]
+    return [(f"w{k}", rng.choice(alphabet)) for k in range(n_workers)]
+
+
+def _cases():
+    rng = random.Random(20260806)
+    return [_random_answer_set(rng) for _ in range(N_CASES)]
+
+
+class TestMajorityInvariants:
+    @pytest.mark.parametrize("answers", _cases())
+    def test_permutation_invariance(self, answers):
+        vote = MajorityVote()
+        base = vote.vote("item", answers)
+        shuffled = list(answers)
+        random.Random(9).shuffle(shuffled)
+        permuted = vote.vote("item", shuffled)
+        assert permuted.answer == base.answer
+        assert permuted.support == base.support
+        assert permuted.margin == pytest.approx(base.margin)
+
+    @pytest.mark.parametrize("answers", _cases())
+    def test_duplicate_delivery_idempotence(self, answers):
+        """Delivering the whole answer set twice doubles the mass but
+        never flips the decision, confidence, or margin."""
+        vote = MajorityVote()
+        base = vote.vote("item", answers)
+        doubled = vote.vote("item", list(answers) + list(answers))
+        assert doubled.answer == base.answer
+        assert doubled.total == pytest.approx(2 * base.total)
+        assert doubled.confidence == pytest.approx(base.confidence)
+        assert doubled.margin == pytest.approx(base.margin)
+
+    @pytest.mark.parametrize("answers", _cases())
+    def test_confidence_and_margin_bounds(self, answers):
+        result = MajorityVote().vote("item", answers)
+        assert 0.0 <= result.confidence <= 1.0
+        assert 0.0 <= result.margin <= 1.0
+        assert result.support <= result.total
+
+    @pytest.mark.parametrize("answers", _cases())
+    def test_weight_scaling_invariance(self, answers):
+        """Scaling every worker's weight by the same power of two (an
+        exact float) changes no decision and no ratio."""
+        workers = {worker for worker, _ in answers}
+        rng = random.Random(repr(sorted(workers)))
+        # Powers of two keep weighted sums exactly representable.
+        weights = {worker: 2.0 ** rng.randint(-2, 2)
+                   for worker in workers}
+        scaled = {worker: 4.0 * weight
+                  for worker, weight in weights.items()}
+        base = MajorityVote(weights=weights).vote("item", answers)
+        big = MajorityVote(weights=scaled).vote("item", answers)
+        assert big.answer == base.answer
+        assert big.confidence == pytest.approx(base.confidence)
+        assert big.margin == pytest.approx(base.margin)
+
+
+def _labeling_problem(seed: int, n_items: int = 15, n_workers: int = 6,
+                      accuracy: float = 0.85):
+    """(records, truth) with mostly-accurate simulated workers."""
+    rng = random.Random(seed)
+    classes = ["cat", "dog", "fox"]
+    truth = {f"item-{i}": rng.choice(classes) for i in range(n_items)}
+    records = []
+    for worker in (f"w{k}" for k in range(n_workers)):
+        for item, answer in truth.items():
+            if rng.random() >= accuracy:
+                answer = rng.choice(classes)
+            records.append((worker, item, answer))
+    return records, truth
+
+
+class TestDawidSkeneInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_permutation_invariance(self, seed):
+        records, _ = _labeling_problem(seed)
+        fitter = DawidSkene()
+        base = fitter.fit(records)
+        shuffled = list(records)
+        random.Random(seed + 100).shuffle(shuffled)
+        permuted = fitter.fit(shuffled)
+        assert permuted.labels == base.labels
+        for item, posterior in base.posteriors.items():
+            for cls, probability in posterior.items():
+                assert permuted.posteriors[item][cls] \
+                    == pytest.approx(probability, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_duplicate_delivery_idempotence(self, seed):
+        records, _ = _labeling_problem(seed)
+        fitter = DawidSkene()
+        base = fitter.fit(records)
+        doubled = fitter.fit(list(records) + list(records))
+        assert doubled.labels == base.labels
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_posteriors_are_distributions(self, seed):
+        records, _ = _labeling_problem(seed)
+        result = DawidSkene().fit(records)
+        for posterior in result.posteriors.values():
+            assert sum(posterior.values()) == pytest.approx(1.0)
+            assert all(0.0 <= p <= 1.0 for p in posterior.values())
+        for worker in {w for w, _, _ in records}:
+            assert 0.0 <= result.worker_accuracy(worker) <= 1.0
+        priors_mass = sum(result.class_priors.values())
+        assert priors_mass == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_recovers_truth_with_accurate_workers(self, seed):
+        records, truth = _labeling_problem(seed, accuracy=0.9)
+        result = DawidSkene().fit(records)
+        correct = sum(1 for item, label in result.labels.items()
+                      if truth[item] == label)
+        assert correct / len(truth) >= 0.8

@@ -1,0 +1,293 @@
+"""Unit tests: retry policy, circuit breaker, idempotency, shedding."""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import (CircuitOpenError, ConfigError, PlatformError,
+                          ServiceError, TransientServiceError,
+                          is_retryable)
+from repro.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.client import InProcessClient
+from repro.service.retry import (BreakerState, CircuitBreaker,
+                                 RetryPolicy)
+
+
+def _stack(faults=None, **api_kw):
+    registry = MetricsRegistry()
+    platform = Platform(gold_rate=0.0, spam_detection=False, seed=0,
+                        registry=registry, tracer=Tracer(),
+                        faults=faults)
+    api = ApiServer(platform, registry=registry, tracer=Tracer(),
+                    **api_kw)
+    return registry, platform, api
+
+
+class TestErrorClassification:
+    def test_status_based(self):
+        assert is_retryable(ServiceError("x", status=503))
+        assert is_retryable(ServiceError("x", status=429))
+        assert not is_retryable(ServiceError("x", status=404))
+        assert not is_retryable(ServiceError("x", status=422))
+
+    def test_transport_and_special_cases(self):
+        assert is_retryable(TransientServiceError("reset"))
+        assert is_retryable(ConnectionResetError())
+        assert is_retryable(TimeoutError())
+        assert not is_retryable(CircuitOpenError())
+        assert not is_retryable(ValueError("x"))
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0,
+                             max_delay_s=0.5, jitter=0.0)
+        delays = [policy.backoff_s(k) for k in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=1.0,
+                             jitter=0.5)
+        rng = random.Random(3)
+        for _ in range(50):
+            delay = policy.backoff_s(0, rng=rng)
+            assert 0.5 <= delay <= 1.0
+
+    def test_retry_after_is_a_floor(self):
+        policy = RetryPolicy(base_delay_s=0.01, jitter=0.0)
+        assert policy.backoff_s(0, retry_after_s=0.7) == 0.7
+        ignore = RetryPolicy(base_delay_s=0.01, jitter=0.0,
+                             respect_retry_after=False)
+        assert ignore.backoff_s(0, retry_after_s=0.7) == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestCircuitBreaker:
+    def test_full_cycle(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=3,
+                                 reset_timeout_s=10.0,
+                                 clock=lambda: clock[0],
+                                 registry=MetricsRegistry())
+        assert breaker.state is BreakerState.CLOSED
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.remaining_open_s() == 10.0
+        # Reset timeout elapses: one probe allowed.
+        clock[0] = 10.0
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+        assert not breaker.allow()  # only one probe
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1,
+                                 reset_timeout_s=5.0,
+                                 clock=lambda: clock[0],
+                                 registry=MetricsRegistry())
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock[0] = 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_metrics_track_state(self):
+        registry = MetricsRegistry()
+        breaker = CircuitBreaker(failure_threshold=1, name="svc",
+                                 registry=registry)
+        breaker.record_failure()
+        gauge = registry.gauge("client.breaker_state")
+        assert gauge.value(breaker="svc") == 2.0
+
+
+class TestClientRetryLoop:
+    def test_transient_errors_healed_by_retry(self):
+        plan = FaultPlan(seed=0).with_transient_errors(
+            "api.health", probability=1.0, max_fires=2)
+        registry, _, api = _stack(faults=plan.build(
+            registry=MetricsRegistry()))
+        client = InProcessClient(
+            api, retry_policy=RetryPolicy(max_attempts=4,
+                                          base_delay_s=0.0,
+                                          jitter=0.0),
+            registry=registry, sleep=lambda s: None)
+        assert client.health() == {"status": "ok"}
+        assert registry.counter("client.retries").total() == 2
+
+    def test_non_retryable_fails_immediately(self):
+        registry, _, api = _stack()
+        client = InProcessClient(
+            api, retry_policy=RetryPolicy(max_attempts=5,
+                                          base_delay_s=0.0,
+                                          jitter=0.0),
+            registry=registry, sleep=lambda s: None)
+        with pytest.raises(ServiceError) as excinfo:
+            client.get_job("job-nope")
+        assert excinfo.value.status == 404
+        assert registry.counter("client.retries").total() == 0
+
+    def test_retries_exhausted_reraise(self):
+        plan = FaultPlan(seed=0).with_transient_errors(
+            "api.health", probability=1.0)
+        registry, _, api = _stack(faults=plan.build(
+            registry=MetricsRegistry()))
+        client = InProcessClient(
+            api, retry_policy=RetryPolicy(max_attempts=3,
+                                          base_delay_s=0.0,
+                                          jitter=0.0),
+            registry=registry, sleep=lambda s: None)
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 503
+        assert registry.counter("client.retries").total() == 2
+
+    def test_breaker_fails_fast_after_threshold(self):
+        plan = FaultPlan(seed=0).with_transient_errors(
+            "api.health", probability=1.0)
+        registry, _, api = _stack(faults=plan.build(
+            registry=MetricsRegistry()))
+        breaker = CircuitBreaker(failure_threshold=3,
+                                 reset_timeout_s=60.0,
+                                 registry=registry)
+        client = InProcessClient(
+            api, retry_policy=RetryPolicy(max_attempts=10,
+                                          base_delay_s=0.0,
+                                          jitter=0.0),
+            breaker=breaker, registry=registry, sleep=lambda s: None)
+        with pytest.raises(CircuitOpenError):
+            client.health()
+        assert breaker.state is BreakerState.OPEN
+        # Fail-fast: no further attempts reach the service.
+        attempts_before = registry.counter(
+            "client.attempts").value(outcome="retryable")
+        with pytest.raises(CircuitOpenError):
+            client.health()
+        attempts_after = registry.counter(
+            "client.attempts").value(outcome="retryable")
+        assert attempts_after == attempts_before
+
+    def test_breaker_ignores_4xx(self):
+        registry, _, api = _stack()
+        breaker = CircuitBreaker(failure_threshold=1,
+                                 registry=registry)
+        client = InProcessClient(api, breaker=breaker,
+                                 registry=registry)
+        with pytest.raises(ServiceError):
+            client.get_job("job-nope")
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestIdempotency:
+    def _running_job(self, platform):
+        job = platform.create_job("j", redundancy=2)
+        platform.add_task(job.job_id, {"q": 1})
+        platform.start_job(job.job_id)
+        return job
+
+    def test_key_replay_is_absorbed(self):
+        _, platform, _ = _stack()
+        job = self._running_job(platform)
+        task_id = job.task_ids[0]
+        platform.submit_answer(task_id, "w1", "a",
+                               idempotency_key="k1")
+        task = platform.submit_answer(task_id, "w1", "a",
+                                      idempotency_key="k1")
+        assert len(task.answers) == 1
+        assert platform.accounts.get("w1").points \
+            == platform.points_per_answer
+
+    def test_exact_replay_without_key_is_absorbed(self):
+        _, platform, _ = _stack()
+        job = self._running_job(platform)
+        task_id = job.task_ids[0]
+        platform.submit_answer(task_id, "w1", "a")
+        task = platform.submit_answer(task_id, "w1", "a")
+        assert len(task.answers) == 1
+
+    def test_conflicting_reanswer_rejected(self):
+        _, platform, _ = _stack()
+        job = self._running_job(platform)
+        task_id = job.task_ids[0]
+        platform.submit_answer(task_id, "w1", "a")
+        with pytest.raises(PlatformError):
+            platform.submit_answer(task_id, "w1", "b")
+
+    def test_client_sends_key_automatically(self):
+        registry, platform, api = _stack()
+        job = self._running_job(platform)
+        task_id = job.task_ids[0]
+        client = InProcessClient(api, registry=registry)
+        client.submit_answer(task_id, "w1", "a")
+        response = client.submit_answer(task_id, "w1", "a")
+        assert response["answers"] == 1
+        assert registry.counter(
+            "platform.answers_deduped").value(reason="key") == 1.0
+
+
+class TestGracefulDegradation:
+    def test_disconnect_requeues_leases(self):
+        registry, platform, api = _stack()
+        client = InProcessClient(api, registry=registry)
+        job = client.create_job("d", redundancy=1)
+        client.add_tasks(job["job_id"], [{"payload": {"i": 0}}])
+        client.start_job(job["job_id"])
+        task = client.next_task(job["job_id"], "w1")
+        assert task is not None
+        # w1 holds the only redundancy slot: nothing for w2.
+        assert client.next_task(job["job_id"], "w2") is None
+        released = client.disconnect_worker("w1")
+        assert released["requeued"] == 1
+        # The task goes straight back out.
+        assert client.next_task(job["job_id"], "w2") is not None
+
+    def test_load_shedding_returns_503_with_retry_after(self):
+        plan = FaultPlan(seed=0).with_latency(
+            "api.health", probability=1.0, latency_s=0.3)
+        registry, _, api = _stack(
+            faults=plan.build(registry=MetricsRegistry()),
+            max_pending=2, shed_retry_after_s=1.5)
+        client = InProcessClient(api, registry=registry)
+        statuses = []
+
+        def call():
+            try:
+                client.health()
+                statuses.append(200)
+            except ServiceError as exc:
+                statuses.append((exc.status, exc.retry_after_s))
+
+        threads = [threading.Thread(target=call) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+            time.sleep(0.05)
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()  # third concurrent request: shed
+        for thread in threads:
+            thread.join(timeout=10)
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after_s == 1.5
+        assert statuses == [200, 200]
+        assert registry.counter("service.shed").total() == 1

@@ -1,0 +1,95 @@
+"""Multi-threaded stress: 16 threads hammering the router directly.
+
+No faults here — this is the contention test.  The platform lock must
+keep assignment exactly-once (no lost or duplicated redundancy slots)
+and the ``/metrics`` counters must reconcile exactly with the requests
+the threads actually made.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.client import InProcessClient
+
+N_THREADS = 16
+N_TASKS = 24
+REDUNDANCY = 5
+
+
+class TestApiStress:
+    def test_sixteen_threads_exact_assignment_and_counters(self):
+        registry = MetricsRegistry()
+        platform = Platform(gold_rate=0.0, spam_detection=False,
+                            seed=11, registry=registry,
+                            tracer=Tracer())
+        api = ApiServer(platform, registry=registry, tracer=Tracer())
+        setup = InProcessClient(api, registry=registry)
+
+        job = setup.create_job("stress", redundancy=REDUNDANCY)
+        job_id = job["job_id"]
+        setup.add_tasks(job_id, [{"payload": {"i": i}}
+                                 for i in range(N_TASKS)])
+        setup.start_job(job_id)
+        setup_requests = 3
+
+        request_counts = [0] * N_THREADS
+        errors = []
+
+        def worker(index: int) -> None:
+            worker_id = f"w{index:02d}"
+            client = InProcessClient(api, registry=registry)
+            try:
+                client.register_worker(worker_id)
+                request_counts[index] += 1
+                while True:
+                    task = client.next_task(job_id, worker_id)
+                    request_counts[index] += 1
+                    if task is None:
+                        return
+                    client.submit_answer(
+                        task["task_id"], worker_id,
+                        f"label-{task['payload']['i'] % 4}")
+                    request_counts[index] += 1
+            except Exception as exc:  # pragma: no cover - fail out
+                errors.append((worker_id, exc))
+
+        threads = [threading.Thread(target=worker, args=(k,))
+                   for k in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+
+        # No lost or duplicated assignments: every task holds exactly
+        # `redundancy` answers from distinct workers.
+        total_rows = 0
+        for task in platform.store.tasks_for(job_id):
+            workers = [record.worker_id for record in task.answers]
+            assert len(workers) == REDUNDANCY
+            assert len(set(workers)) == REDUNDANCY
+            total_rows += len(workers)
+        assert total_rows == N_TASKS * REDUNDANCY
+        assert setup.get_job(job_id)["progress"]["complete_frac"] \
+            == 1.0
+
+        # /metrics reconciles exactly with the requests made.  The
+        # /metrics read itself is counted only after its snapshot, and
+        # the get_job above adds one more request.
+        expected = setup_requests + sum(request_counts) + 1
+        snapshot = setup.metrics()["metrics"]
+        served = sum(series["value"] for series in
+                     snapshot["service.requests"]["series"])
+        assert served == expected
+
+        answers = sum(series["value"] for series in
+                      snapshot["platform.answers"]["series"])
+        assert answers == total_rows
+        deduped = snapshot.get("platform.answers_deduped",
+                               {"series": []})
+        assert sum(s["value"] for s in deduped["series"]) == 0
