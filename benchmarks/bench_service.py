@@ -1,0 +1,254 @@
+"""Service throughput regression harness: single-lock vs striped.
+
+Measures the worker loop (``next_task`` + ``submit_answer``) through
+the real ``ApiServer`` under two stacks:
+
+- **baseline** — the seed's semantics: flat ``JsonStore``, one global
+  service lock, legacy full-rescan scheduling.
+- **sharded** — the production stack: ``ShardedStore`` behind striped
+  per-job locks, indexed scheduling, O(1) completion tracking.
+
+Each worker thread drives its own job to completion (the sharded
+stack's stripes are then genuinely independent), at 1/4/16 threads,
+in-process and over loopback HTTP.  Results land in
+``BENCH_service.json``; ``--check-against`` compares the speedup
+ratios to a committed baseline and exits non-zero on a >20% regression
+(ratios, not raw ops/s, so the gate is stable across machines).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --out BENCH_service.json \
+        --check-against benchmarks/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "src"))
+
+from repro.obs.metrics import MetricsRegistry          # noqa: E402
+from repro.obs.tracing import Tracer                   # noqa: E402
+from repro.platform.facade import Platform             # noqa: E402
+from repro.platform.store import JsonStore, ShardedStore  # noqa: E402
+from repro.service.api import ApiServer                # noqa: E402
+from repro.service.client import (HttpClient,          # noqa: E402
+                                  InProcessClient)
+from repro.service.http import serve_in_thread         # noqa: E402
+
+THREAD_COUNTS = (1, 4, 16)
+
+
+def build_stack(mode: str, seed: int = 9):
+    """One service stack: ``"baseline"`` (seed semantics) or
+    ``"sharded"`` (production)."""
+    registry = MetricsRegistry()
+    common = dict(gold_rate=0.0, spam_detection=False, seed=seed,
+                  registry=registry, tracer=Tracer())
+    if mode == "sharded":
+        platform = Platform(store=ShardedStore(), fast_path=True,
+                            **common)
+        lock_mode = "striped"
+    elif mode == "baseline":
+        platform = Platform(store=JsonStore(), fast_path=False,
+                            **common)
+        lock_mode = "global"
+    else:
+        raise ValueError(f"unknown mode: {mode!r}")
+    api = ApiServer(platform, registry=registry, tracer=Tracer(),
+                    lock_mode=lock_mode)
+    return platform, api
+
+
+def _drive_job(client, job_id: str, redundancy: int, prefix: str,
+               latencies: List[float]) -> int:
+    """Run one job to completion; returns the op count (every
+    ``next_task`` and every ``submit_answer`` is one op)."""
+    ops = 0
+    for r in range(redundancy):
+        worker = f"{prefix}-w{r}"
+        while True:
+            started = time.perf_counter()
+            task = client.next_task(job_id, worker)
+            ops += 1
+            if task is None:
+                latencies.append(time.perf_counter() - started)
+                break
+            client.submit_answer(task["task_id"], worker, "label")
+            ops += 1
+            latencies.append(time.perf_counter() - started)
+    return ops
+
+
+def _p95_ms(latencies: List[float]) -> float:
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1,
+                       int(0.95 * len(ordered)))] * 1000.0
+
+
+def measure(mode: str, n_threads: int, n_tasks: int,
+            redundancy: int, transport: str = "inprocess") -> Dict:
+    """One measurement cell: ops/s and p95 for one stack shape."""
+    platform, api = build_stack(mode)
+    server = None
+    try:
+        if transport == "http":
+            server, _, base_url = serve_in_thread(api)
+
+            def make_client():
+                return HttpClient(base_url)
+        else:
+            def make_client():
+                return InProcessClient(api)
+
+        setup = make_client()
+        job_ids = []
+        for t in range(n_threads):
+            job = setup.create_job(f"bench-{t}", redundancy=redundancy)
+            setup.add_tasks(job["job_id"],
+                            [{"payload": {"i": i}}
+                             for i in range(n_tasks)])
+            setup.start_job(job["job_id"])
+            job_ids.append(job["job_id"])
+
+        barrier = threading.Barrier(n_threads + 1)
+        latencies: List[List[float]] = [[] for _ in range(n_threads)]
+        ops = [0] * n_threads
+
+        def worker(t: int) -> None:
+            client = make_client()
+            barrier.wait()
+            ops[t] = _drive_job(client, job_ids[t], redundancy,
+                                f"t{t}", latencies[t])
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+    finally:
+        if server is not None:
+            server.shutdown()
+
+    total_ops = sum(ops)
+    merged = [x for chunk in latencies for x in chunk]
+    return {"ops": total_ops, "wall_s": round(wall, 4),
+            "ops_per_s": round(total_ops / wall, 1),
+            "p95_ms": round(_p95_ms(merged), 3)}
+
+
+def run_suite(n_tasks: int, redundancy: int, http_tasks: int,
+              thread_counts=THREAD_COUNTS,
+              skip_http: bool = False) -> Dict:
+    results: Dict = {
+        "config": {"n_tasks": n_tasks, "redundancy": redundancy,
+                   "http_tasks": http_tasks,
+                   "thread_counts": list(thread_counts),
+                   "python": sys.version.split()[0]},
+        "inprocess": {}, "http": {}}
+    for transport in ("inprocess",) if skip_http \
+            else ("inprocess", "http"):
+        tasks = n_tasks if transport == "inprocess" else http_tasks
+        for n_threads in thread_counts:
+            cell: Dict = {}
+            for mode in ("baseline", "sharded"):
+                cell[mode] = measure(mode, n_threads, tasks,
+                                     redundancy, transport)
+            cell["speedup"] = round(
+                cell["sharded"]["ops_per_s"]
+                / cell["baseline"]["ops_per_s"], 2)
+            results[transport][str(n_threads)] = cell
+            print(f"{transport:>9} x{n_threads:<3} "
+                  f"baseline {cell['baseline']['ops_per_s']:>9.1f} "
+                  f"ops/s   sharded "
+                  f"{cell['sharded']['ops_per_s']:>9.1f} ops/s   "
+                  f"speedup {cell['speedup']:.2f}x", flush=True)
+    top = str(max(thread_counts))
+    results["speedup_16"] = results["inprocess"].get(
+        top, {}).get("speedup")
+    return results
+
+
+def check_regression(fresh: Dict, committed_path: str,
+                     tolerance: float, min_speedup: float) -> List[str]:
+    """Speedup-ratio regression gate; returns failure messages.
+
+    Only the in-process cells gate: loopback HTTP is dominated by
+    transport cost (~1 ms per round-trip regardless of stack), so its
+    ratio hovers at parity and would only add noise to the gate.  HTTP
+    numbers are still measured and reported for visibility.
+    """
+    with open(committed_path, "r", encoding="utf-8") as handle:
+        committed = json.load(handle)
+    failures = []
+    for transport in ("inprocess",):
+        for n_threads, cell in fresh.get(transport, {}).items():
+            base = committed.get(transport, {}).get(n_threads)
+            if base is None:
+                continue
+            floor = base["speedup"] * (1.0 - tolerance)
+            if cell["speedup"] < floor:
+                failures.append(
+                    f"{transport} x{n_threads}: speedup "
+                    f"{cell['speedup']:.2f}x fell below "
+                    f"{floor:.2f}x (committed "
+                    f"{base['speedup']:.2f}x - {tolerance:.0%})")
+    if fresh.get("speedup_16") is not None \
+            and fresh["speedup_16"] < min_speedup:
+        failures.append(
+            f"in-process speedup at max threads is "
+            f"{fresh['speedup_16']:.2f}x, below the "
+            f"{min_speedup:.1f}x acceptance floor")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument("--tasks", type=int, default=120,
+                        help="tasks per job, in-process runs")
+    parser.add_argument("--redundancy", type=int, default=3)
+    parser.add_argument("--http-tasks", type=int, default=16,
+                        help="tasks per job, HTTP runs")
+    parser.add_argument("--skip-http", action="store_true")
+    parser.add_argument("--check-against", default=None,
+                        help="committed BENCH_baseline.json to gate "
+                             "against")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--min-speedup", type=float, default=2.5)
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.tasks, args.redundancy, args.http_tasks,
+                        skip_http=args.skip_http)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check_against:
+        failures = check_regression(results, args.check_against,
+                                    args.tolerance, args.min_speedup)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

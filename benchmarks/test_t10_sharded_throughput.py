@@ -1,0 +1,36 @@
+"""T10 — striped-lock platform throughput vs the single-lock seed.
+
+The acceptance gate for the sharded platform core: the production
+stack (ShardedStore + striped ApiServer + indexed scheduling) must
+sustain at least 2.5x the in-process ops/sec of the seed's single-lock
+stack at 16 worker threads.  ``bench_service.py`` is the full harness
+(1/4/16 threads, HTTP cells, JSON output, CI regression gate); this
+test measures the one cell the acceptance criterion names, fresh, so
+a plain pytest run proves the claim without any committed artifacts.
+"""
+
+from bench_service import measure
+from conftest import print_table
+
+MIN_SPEEDUP = 2.5
+N_THREADS = 16
+N_TASKS = 120
+REDUNDANCY = 3
+
+
+def test_t10_sharded_speedup_at_16_threads():
+    baseline = measure("baseline", N_THREADS, N_TASKS, REDUNDANCY)
+    sharded = measure("sharded", N_THREADS, N_TASKS, REDUNDANCY)
+    speedup = sharded["ops_per_s"] / baseline["ops_per_s"]
+    print_table(
+        "T10: worker-loop throughput, 16 threads, in-process",
+        ("stack", "ops/s", "p95 ms"),
+        [("single-lock baseline", f"{baseline['ops_per_s']:.0f}",
+          f"{baseline['p95_ms']:.2f}"),
+         ("striped sharded", f"{sharded['ops_per_s']:.0f}",
+          f"{sharded['p95_ms']:.2f}"),
+         ("speedup", f"{speedup:.2f}x", "")])
+    assert speedup >= MIN_SPEEDUP, (
+        f"sharded stack is only {speedup:.2f}x the single-lock "
+        f"baseline at {N_THREADS} threads; the bar is "
+        f"{MIN_SPEEDUP}x")

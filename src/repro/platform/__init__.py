@@ -5,8 +5,11 @@ within the broader pattern of platforms that queue tasks, assign them
 redundantly to workers, and aggregate the answers (the role MTurk or
 PyBossa plays in practice).  This package is that substrate:
 
-- :mod:`repro.platform.store` — in-memory record store with JSON
-  round-tripping.
+- :mod:`repro.platform.store` — in-memory record stores with JSON
+  round-tripping (flat :class:`~repro.platform.store.JsonStore` and the
+  striped-lock :class:`~repro.platform.store.ShardedStore`).
+- :mod:`repro.platform.sharding` — the process-stable key → shard hash
+  and the :class:`~repro.platform.sharding.LockStripes` primitive.
 - :mod:`repro.platform.jobs` — jobs (projects) and task records with a
   redundancy requirement and lifecycle.
 - :mod:`repro.platform.accounts` — worker accounts.
@@ -17,7 +20,9 @@ PyBossa plays in practice).  This package is that substrate:
   the high-level API the service layer and examples use.
 """
 
-from repro.platform.store import JsonStore
+from repro.platform.sharding import (DEFAULT_SHARDS, LockStripes,
+                                     shard_of)
+from repro.platform.store import JsonStore, ShardedStore
 from repro.platform.jobs import Job, JobStatus, TaskRecord, TaskState
 from repro.platform.accounts import Account, AccountRegistry
 from repro.platform.scheduler import AssignmentPolicy, TaskScheduler
@@ -30,7 +35,8 @@ from repro.platform.economics import (BudgetTracker, CostModel,
 __all__ = [
     "BudgetTracker", "CostModel", "CostReport",
     "GWAP_COST", "PAID_CROWD_COST",
-    "JsonStore",
+    "DEFAULT_SHARDS", "LockStripes", "shard_of",
+    "JsonStore", "ShardedStore",
     "Job", "JobStatus", "TaskRecord", "TaskState",
     "Account", "AccountRegistry",
     "AssignmentPolicy", "TaskScheduler",

@@ -10,6 +10,7 @@ verbs over HTTP; examples and the simulator call them directly.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import rng as _rng
@@ -21,7 +22,8 @@ from repro.platform.accounts import Account, AccountRegistry
 from repro.platform.jobs import (Job, JobStatus, TaskRecord, TaskState)
 from repro.platform.leaderboard import Leaderboard
 from repro.platform.scheduler import AssignmentPolicy, TaskScheduler
-from repro.platform.store import JsonStore
+from repro.platform.sharding import DEFAULT_SHARDS
+from repro.platform.store import JsonStore, ShardedStore
 from repro.quality.reputation import ReputationTracker
 from repro.quality.spam import SpamDetector
 
@@ -45,6 +47,25 @@ class Platform:
             the worker-loop verbs consult it (store crash-restarts,
             latency) and the service layer inherits it.  None (the
             default) costs nothing.
+        store: storage backend.  Defaults to a
+            :class:`~repro.platform.store.ShardedStore` with
+            ``store_shards`` shards; pass a
+            :class:`~repro.platform.store.JsonStore` to reproduce the
+            seed's flat single-dict substrate (the perf baseline).
+        store_shards: shard count for the default store.
+        fast_path: use the O(1) per-answer job-completion counter
+            instead of rescanning every task on every answer.  The
+            results are identical (the golden-trace suite proves it);
+            ``False`` restores the seed's scan for baseline
+            benchmarking.
+
+    Concurrency contract: the platform's verbs are not internally
+    serialized per job — the service layer holds one lock stripe per
+    job around each verb (see ``docs/architecture.md``).  Cross-job
+    shared state (accounts, leaderboard, reputation, spam, the
+    idempotency table) is guarded here by ``registry_lock``, which is
+    always acquired *after* a job stripe and *before* any scheduler or
+    store lock, never the other way around.
     """
 
     def __init__(self,
@@ -54,17 +75,27 @@ class Platform:
                  seed: _rng.SeedLike = 0,
                  registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
-                 faults=None) -> None:
+                 faults=None,
+                 store=None,
+                 store_shards: int = DEFAULT_SHARDS,
+                 fast_path: bool = True) -> None:
         self.registry = (registry if registry is not None
                          else default_registry())
         self.tracer = tracer if tracer is not None else default_tracer()
         self.faults = faults
-        self.store = JsonStore()
+        self.store = (store if store is not None
+                      else ShardedStore(n_shards=store_shards))
+        self.fast_path = fast_path
+        # Guards cross-job shared state; see the class docstring for
+        # the lock-ordering rule.  Re-entrant so registry-scoped
+        # service handlers can call verbs that re-acquire it.
+        self.registry_lock = threading.RLock()
         self.accounts = AccountRegistry()
         self.scheduler = TaskScheduler(self.store, policy=policy,
                                        gold_rate=gold_rate, seed=seed,
                                        registry=self.registry,
-                                       faults=faults)
+                                       faults=faults,
+                                       legacy_scan=not fast_path)
         self.reputation = ReputationTracker()
         self.spam = SpamDetector() if spam_detection else None
         self.leaderboard = Leaderboard()
@@ -74,8 +105,13 @@ class Platform:
         # At-least-once delivery defense: idempotency key -> task_id of
         # the submission it already applied.  Kept outside the store on
         # purpose — it models the dedupe table a production deployment
-        # would keep in its request log.
+        # would keep in its request log.  Guarded by registry_lock.
         self._idempotency: Dict[str, str] = {}
+        # Fast-path completion tracking: job_id -> (count of COMPLETED
+        # tasks, the redundancy that count was taken at).  Lets
+        # _maybe_complete run in O(1) per answer instead of rescanning
+        # the job; invalidated whenever redundancy changes.
+        self._completed_counts: Dict[str, Tuple[int, int]] = {}
         self._m_jobs = self.registry.counter(
             "platform.jobs", "job lifecycle transitions, by event")
         self._m_tasks_added = self.registry.counter(
@@ -154,9 +190,10 @@ class Platform:
                         display_name: Optional[str] = None,
                         **attributes: Any) -> Account:
         """Register a worker account."""
-        account = self.accounts.register(account_id, display_name,
-                                         **attributes)
-        self.store.put_account(account)
+        with self.registry_lock:
+            account = self.accounts.register(account_id, display_name,
+                                             **attributes)
+            self.store.put_account(account)
         return account
 
     def request_task(self, job_id: str,
@@ -174,7 +211,12 @@ class Platform:
                 raise PlatformError(
                     f"job {job_id!r} is not running (status: "
                     f"{job.status.value})")
-            self.accounts.ensure(worker_id)
+            # Double-checked: dict membership is GIL-atomic, so known
+            # workers (every request after the first) skip the
+            # cross-job registry lock entirely on this hot path.
+            if worker_id not in self.accounts:
+                with self.registry_lock:
+                    self.accounts.ensure(worker_id)
             task = self.scheduler.next_task(job_id, worker_id)
             if task is not None:
                 self._m_tasks_served.inc()
@@ -202,7 +244,8 @@ class Platform:
                     self.faults.crashes_store("platform.submit_answer")):
                 self.crash_restart_store()
             if idempotency_key is not None:
-                applied = self._idempotency.get(idempotency_key)
+                with self.registry_lock:
+                    applied = self._idempotency.get(idempotency_key)
                 if applied is not None:
                     self._m_deduped.inc(reason="key")
                     return self.store.get_task(applied)
@@ -218,29 +261,36 @@ class Platform:
                        for r in task.answers):
                     self._m_deduped.inc(reason="replay")
                     if idempotency_key is not None:
-                        self._idempotency[idempotency_key] = task_id
+                        with self.registry_lock:
+                            self._idempotency[idempotency_key] = task_id
                     return task
                 raise PlatformError(
                     f"worker {worker_id!r} already answered task "
                     f"{task_id!r} differently")
+            was_complete = (task.state(job.redundancy)
+                            is TaskState.COMPLETED)
             task.add_answer(worker_id, answer, at_s=at_s)
-            if idempotency_key is not None:
-                self._idempotency[idempotency_key] = task_id
             self.scheduler.clear_reservation(task_id, worker_id)
-            account = self.accounts.ensure(worker_id)
-            account.add_points(self.points_per_answer)
-            self.leaderboard.record(worker_id, self.points_per_answer,
-                                    at_s)
-            if task.is_gold:
-                correct = answer == task.gold_answer
-                self.reputation.record_gold(worker_id, correct)
+            with self.registry_lock:
+                if idempotency_key is not None:
+                    self._idempotency[idempotency_key] = task_id
+                account = self.accounts.ensure(worker_id)
+                account.add_points(self.points_per_answer)
+                self.leaderboard.record(worker_id,
+                                        self.points_per_answer, at_s)
+                if task.is_gold:
+                    correct = answer == task.gold_answer
+                    self.reputation.record_gold(worker_id, correct)
+                    if self.spam is not None:
+                        self.spam.record_gold(worker_id, correct)
                 if self.spam is not None:
-                    self.spam.record_gold(worker_id, correct)
-            if self.spam is not None:
-                self.spam.record_answer(worker_id,
-                                        self._hashable(answer))
+                    self.spam.record_answer(worker_id,
+                                            self._hashable(answer))
             self._m_answers.inc(gold=str(task.is_gold).lower())
-            self._maybe_complete(job)
+            completed_now = (not was_complete and
+                             task.state(job.redundancy)
+                             is TaskState.COMPLETED)
+            self._maybe_complete(job, transitioned=completed_now)
             return task
 
     @staticmethod
@@ -261,7 +311,7 @@ class Platform:
         dropped, because leases are process state a crash loses.
         Durable records (jobs, tasks, answers, accounts) survive.
         """
-        self.store = JsonStore.from_document(self.store.to_document())
+        self.store = self.store.restarted()
         self.scheduler.store = self.store
         self.scheduler.drop_all_reservations()
         self._m_restarts.inc()
@@ -277,12 +327,43 @@ class Platform:
         detection is disabled)."""
         if self.spam is None:
             return []
-        return self.spam.flagged()
+        with self.registry_lock:
+            return self.spam.flagged()
 
-    def _maybe_complete(self, job: Job) -> None:
-        tasks = self.store.tasks_for(job.job_id)
-        if tasks and all(t.state(job.redundancy) is TaskState.COMPLETED
-                         for t in tasks):
+    def _maybe_complete(self, job: Job,
+                        transitioned: bool = False) -> None:
+        """Promote the job to COMPLETED when every task is.
+
+        Fast path: a cached (completed-count, redundancy) pair is
+        bumped when the just-answered task crossed its redundancy bar
+        (``transitioned``) — O(1) per answer.  The cache is rebuilt by
+        a full scan whenever it is missing or the job's redundancy
+        moved; ``fast_path=False`` always scans, exactly as the seed
+        did.  Answers are never removed, so the count is monotone and
+        the two paths agree (the golden-trace suite proves it).
+        """
+        if not self.fast_path:
+            tasks = self.store.tasks_for(job.job_id)
+            if tasks and all(t.state(job.redundancy)
+                             is TaskState.COMPLETED for t in tasks):
+                if job.status is not JobStatus.COMPLETED:
+                    self._m_jobs.inc(event="completed")
+                job.status = JobStatus.COMPLETED
+            return
+        job_id = job.job_id
+        cached = self._completed_counts.get(job_id)
+        if cached is None or cached[1] != job.redundancy:
+            tasks = self.store.tasks_for(job_id)
+            count = sum(1 for t in tasks
+                        if t.state(job.redundancy)
+                        is TaskState.COMPLETED)
+        elif transitioned:
+            count = cached[0] + 1
+        else:
+            count = cached[0]
+        self._completed_counts[job_id] = (count, job.redundancy)
+        total = len(job.task_ids)
+        if total and count >= total:
             if job.status is not JobStatus.COMPLETED:
                 self._m_jobs.inc(event="completed")
             job.status = JobStatus.COMPLETED
@@ -304,8 +385,9 @@ class Platform:
         Workers flagged by the spam detector are silenced (weight 0)
         unless that would silence a task entirely.
         """
-        weights = dict(self.reputation.weights()) if use_reputation \
-            else {}
+        with self.registry_lock:
+            weights = dict(self.reputation.weights()) \
+                if use_reputation else {}
         if use_reputation:
             for worker in self.flagged_workers():
                 weights[worker] = 0.0

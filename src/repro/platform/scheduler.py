@@ -11,19 +11,38 @@ Which pending task should a requesting worker get?  The classic choices:
 
 All policies exclude tasks the worker already answered and completed
 tasks; gold tasks can be injected at a configured rate.
+
+Concurrency: the scheduler keeps two kinds of internal state.
+
+- The soft-lease table (``_reservations``) is guarded by a short
+  internal lock so per-job stripes mutating leases for different jobs
+  never corrupt it; worker disconnects sweep it under the same lock.
+- The per-job completed-task index (``_done``) is a monotone,
+  lock-free-read set: answers are never removed, so once a task is
+  observed COMPLETED at a given redundancy it stays completed until
+  the job's redundancy is raised (``invalidate_job``).  ``next_task``
+  reads it without locking and skips completed tasks in O(1) instead
+  of recomputing their state on every scan — the hot-path win the
+  ``BENCH_service.json`` harness measures.  ``legacy_scan=True``
+  restores the seed's full-rescan behavior for baseline benchmarking.
+
+Lease serialization per job is the *caller's* job (the service layer
+holds one stripe per job around ``next_task``/``clear_reservation``);
+the internal lock only protects the table across jobs.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
+import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import rng as _rng
-from repro.errors import PlatformError
+from repro.errors import PlatformError, TaskNotFound
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.platform.jobs import Job, TaskRecord, TaskState
-from repro.platform.store import JsonStore
 
 
 class AssignmentPolicy(enum.Enum):
@@ -34,11 +53,43 @@ class AssignmentPolicy(enum.Enum):
     RANDOM = "random"
 
 
+class _JobIndex:
+    """A per-job breadth-first assignment queue (fast path only).
+
+    A lazy min-heap of ``(load, task_id)`` entries, where *load* is the
+    task's distinct-answerer count plus its live lease count — exactly
+    the key the legacy scan minimizes.  Entries go stale when loads
+    move underneath them; a stale entry is refreshed at pop time
+    against the live record, so the first *fresh* pop that passes the
+    per-worker filters is identical to the legacy scan's ``min`` over
+    the eligible set, at ~O(1) amortized instead of O(tasks) per
+    assignment.
+
+    Each index carries its own lock, a leaf in the platform hierarchy:
+    nothing else is acquired while it is held except store shard locks
+    (which are themselves internal to single store calls).
+    """
+
+    __slots__ = ("lock", "heap", "redundancy", "n_members",
+                 "has_gold")
+
+    def __init__(self, redundancy: int, n_members: int,
+                 has_gold: bool,
+                 entries: List[Tuple[int, str]]) -> None:
+        self.lock = threading.Lock()
+        self.redundancy = redundancy
+        self.n_members = n_members
+        self.has_gold = has_gold
+        self.heap = entries
+        heapq.heapify(self.heap)
+
+
 class TaskScheduler:
     """Assigns pending tasks to workers under a policy.
 
     Args:
-        store: the platform store.
+        store: the platform store (:class:`~repro.platform.store.JsonStore`
+            or :class:`~repro.platform.store.ShardedStore`).
         policy: assignment policy.
         gold_rate: probability of serving an eligible gold task instead
             of a normal one (player testing).
@@ -48,14 +99,20 @@ class TaskScheduler:
             omitted).
         faults: optional fault injector consulted at the
             ``scheduler.next_task`` site (None = no-op).
+        legacy_scan: disable the completed-task index and rescan every
+            task's state on every assignment, exactly as the seed did.
+            Kept as the single-lock baseline for the perf regression
+            harness; results are identical either way (the golden-trace
+            suite proves it).
     """
 
-    def __init__(self, store: JsonStore,
+    def __init__(self, store,
                  policy: AssignmentPolicy = AssignmentPolicy.BREADTH_FIRST,
                  gold_rate: float = 0.0,
                  seed: _rng.SeedLike = 0,
                  registry: Optional[MetricsRegistry] = None,
-                 faults=None) -> None:
+                 faults=None,
+                 legacy_scan: bool = False) -> None:
         if not 0.0 <= gold_rate <= 1.0:
             raise PlatformError(
                 f"gold_rate must be in [0,1], got {gold_rate}")
@@ -63,6 +120,7 @@ class TaskScheduler:
         self.policy = policy
         self.gold_rate = gold_rate
         self.faults = faults
+        self.legacy_scan = legacy_scan
         self._rng = _rng.make_rng(seed)
         self.registry = (registry if registry is not None
                          else default_registry())
@@ -82,24 +140,94 @@ class TaskScheduler:
         # Soft leases: task -> {worker: lease expiry}.  A fetched task
         # counts toward redundancy until answered or until the lease
         # expires (abandoned workers must not stall the job forever).
+        # The table spans jobs, so mutations take _res_lock; per-job
+        # stripes above us serialize same-job mutations.
         self.lease_ttl_s = 300.0
         self._reservations: Dict[str, Dict[str, float]] = {}
+        self._res_lock = threading.Lock()
+        # Per-job completed-task index: job_id -> set of task ids
+        # observed COMPLETED at _done_redundancy[job_id].  Reads are
+        # lock-free (set membership under the GIL); writers only ever
+        # add, and invalidate_job() swaps in a fresh set.
+        self._done: Dict[str, Set[str]] = {}
+        self._done_redundancy: Dict[str, int] = {}
+        # Per-job breadth-first assignment queues (fast path).  The
+        # map itself is guarded by _idx_lock (short get/set only);
+        # each queue's internals by its own leaf lock.
+        self._indices: Dict[str, _JobIndex] = {}
+        self._idx_lock = threading.Lock()
 
     def _outstanding(self, task: TaskRecord,
                      excluding: Optional[str] = None) -> int:
-        holders = self._reservations.get(task.task_id, {})
+        with self._res_lock:
+            holders = dict(self._reservations.get(task.task_id, {}))
         now = time.monotonic()
         live = {worker for worker, expires in holders.items()
                 if expires > now}
         return len(live - ({excluding} if excluding else set()))
 
+    def _live_reservations(self) -> Dict[str, Set[str]]:
+        """One consistent snapshot of live lease holders, task -> set
+        of workers.  The fast path takes this once per assignment (one
+        lock acquisition) instead of calling :meth:`_outstanding` per
+        candidate task (a lock acquisition *and* a dict copy each);
+        the answers are identical because the job's stripe serializes
+        same-job lease churn for the duration of the assignment."""
+        now = time.monotonic()
+        with self._res_lock:
+            return {task_id: {worker
+                              for worker, expires in holders.items()
+                              if expires > now}
+                    for task_id, holders in
+                    self._reservations.items()}
+
+    def _snapshot_and_purge(self) -> Tuple[Dict[str, Set[str]],
+                                           List[str]]:
+        """Like :meth:`_live_reservations`, but expired leases are
+        removed from the table while snapshotting.  Purging is
+        semantically invisible (an expired lease never counted
+        anywhere); it exists so lease expiry becomes an *event* the
+        assignment queues can observe — the returned purged task ids
+        get fresh heap entries pushed, keeping queue order exact."""
+        now = time.monotonic()
+        purged: List[str] = []
+        snapshot: Dict[str, Set[str]] = {}
+        with self._res_lock:
+            for task_id in list(self._reservations):
+                holders = self._reservations[task_id]
+                live = {worker for worker, expires in holders.items()
+                        if expires > now}
+                if len(live) != len(holders):
+                    purged.append(task_id)
+                    if live:
+                        self._reservations[task_id] = {
+                            worker: holders[worker]
+                            for worker in live}
+                    else:
+                        self._reservations.pop(task_id)
+                if live:
+                    snapshot[task_id] = live
+        return snapshot, purged
+
+    @staticmethod
+    def _snapshot_outstanding(snapshot: Dict[str, Set[str]],
+                              task: TaskRecord,
+                              excluding: Optional[str] = None) -> int:
+        live = snapshot.get(task.task_id)
+        if not live:
+            return 0
+        if excluding is not None and excluding in live:
+            return len(live) - 1
+        return len(live)
+
     def clear_reservation(self, task_id: str, worker_id: str) -> None:
         """Release a worker's lease (called when their answer lands)."""
-        holders = self._reservations.get(task_id)
-        if holders is not None:
-            holders.pop(worker_id, None)
-            if not holders:
-                self._reservations.pop(task_id, None)
+        with self._res_lock:
+            holders = self._reservations.get(task_id)
+            if holders is not None:
+                holders.pop(worker_id, None)
+                if not holders:
+                    self._reservations.pop(task_id, None)
 
     def release_worker(self, worker_id: str) -> int:
         """Requeue every lease ``worker_id`` holds (dead session).
@@ -110,13 +238,19 @@ class TaskScheduler:
         Returns the number of leases released.
         """
         released = 0
-        for task_id in list(self._reservations):
-            holders = self._reservations[task_id]
-            if worker_id in holders:
-                holders.pop(worker_id)
-                released += 1
-                if not holders:
-                    self._reservations.pop(task_id, None)
+        dropped: List[str] = []
+        with self._res_lock:
+            for task_id in list(self._reservations):
+                holders = self._reservations[task_id]
+                if worker_id in holders:
+                    holders.pop(worker_id)
+                    released += 1
+                    dropped.append(task_id)
+                    if not holders:
+                        self._reservations.pop(task_id, None)
+        for task_id in dropped:
+            # Loads just decreased: re-key the assignment queues.
+            self._push_fresh(task_id)
         if released:
             self._m_requeued.inc(released, cause="disconnect")
         return released
@@ -124,31 +258,176 @@ class TaskScheduler:
     def drop_all_reservations(self) -> int:
         """Forget every lease (a crash-restart lost them all).
         Returns the number dropped."""
-        dropped = sum(len(holders)
-                      for holders in self._reservations.values())
-        self._reservations.clear()
+        with self._res_lock:
+            dropped = sum(len(holders)
+                          for holders in self._reservations.values())
+            self._reservations.clear()
+        # A crash-restart also swapped the store's records out from
+        # under the queues: rebuild everything lazily.
+        with self._idx_lock:
+            self._indices.clear()
         if dropped:
             self._m_requeued.inc(dropped, cause="crash")
         return dropped
+
+    def invalidate_job(self, job_id: str) -> None:
+        """Drop the completed-task index and assignment queue for a
+        job.
+
+        Called when the job's redundancy changes (adaptive-redundancy
+        extensions reopen previously completed tasks); both are
+        rebuilt lazily on the next assignment."""
+        self._done.pop(job_id, None)
+        self._done_redundancy.pop(job_id, None)
+        with self._idx_lock:
+            self._indices.pop(job_id, None)
+
+    def _push_fresh(self, task_id: str) -> None:
+        """Re-key a task in its job's assignment queue after its load
+        *decreased* (lease released or expired).  Stale-low entries
+        self-correct at pop time, but a stale-high entry would pop too
+        late and break the breadth-first order — so every decrease
+        pushes a fresh entry here."""
+        try:
+            task = self.store.get_task(task_id)
+        except TaskNotFound:
+            return
+        with self._idx_lock:
+            index = self._indices.get(task.job_id)
+        if index is None:
+            return
+        load = len(task.workers()) + self._outstanding(task)
+        with index.lock:
+            heapq.heappush(index.heap, (load, task_id))
+
+    def _index_for(self, job: Job,
+                   snapshot: Dict[str, Set[str]]
+                   ) -> Optional[_JobIndex]:
+        """The job's assignment queue, (re)built when stale; None when
+        the job holds gold tasks (gold eligibility gates an RNG draw,
+        so those jobs keep the scan path for draw-sequence parity)."""
+        job_id = job.job_id
+        with self._idx_lock:
+            index = self._indices.get(job_id)
+        if (index is not None
+                and index.redundancy == job.redundancy
+                and index.n_members == len(job.task_ids)):
+            return None if index.has_gold else index
+        tasks = self.store.tasks_for(job_id)
+        entries = []
+        has_gold = False
+        done = self._done_set(job)
+        for task in tasks:
+            if task.is_gold:
+                has_gold = True
+            if task.state(job.redundancy) is TaskState.COMPLETED:
+                done.add(task.task_id)
+                continue
+            entries.append((len(task.workers())
+                            + len(snapshot.get(task.task_id, ())),
+                            task.task_id))
+        index = _JobIndex(job.redundancy, len(job.task_ids),
+                          has_gold, entries)
+        with self._idx_lock:
+            self._indices[job_id] = index
+        return None if has_gold else index
+
+    def _indexed_pick(self, index: _JobIndex, job: Job,
+                      worker_id: str,
+                      snapshot: Dict[str, Set[str]]
+                      ) -> Optional[TaskRecord]:
+        """Pop the queue until the first fresh, eligible task — the
+        same task the legacy scan's ``min`` would return."""
+        redundancy = job.redundancy
+        done = self._done_set(job)
+        parked: List[Tuple[int, str]] = []
+        chosen: Optional[TaskRecord] = None
+        with index.lock:
+            heap = index.heap
+            while heap:
+                load, task_id = heapq.heappop(heap)
+                try:
+                    task = self.store.get_task(task_id)
+                except TaskNotFound:
+                    continue
+                live = snapshot.get(task_id, ())
+                answered = len(task.workers())
+                current = answered + len(live)
+                if current != load:
+                    heapq.heappush(heap, (current, task_id))
+                    continue
+                if answered >= redundancy:
+                    # Completed: permanently out of the queue (a
+                    # redundancy raise rebuilds the whole index).
+                    done.add(task_id)
+                    continue
+                if task.answered_by(worker_id):
+                    parked.append((load, task_id))
+                    continue
+                outstanding = len(live) - (1 if worker_id in live
+                                           else 0)
+                if answered + outstanding >= redundancy:
+                    parked.append((load, task_id))
+                    continue
+                chosen = task
+                # Account for the lease the caller is about to take.
+                heapq.heappush(heap, (current + 1, task_id))
+                break
+            for entry in parked:
+                heapq.heappush(heap, entry)
+        return chosen
+
+    def _done_set(self, job: Job) -> Set[str]:
+        """The job's completed-task index, reset on redundancy change."""
+        job_id = job.job_id
+        if self._done_redundancy.get(job_id) != job.redundancy:
+            self._done[job_id] = set()
+            self._done_redundancy[job_id] = job.redundancy
+        return self._done[job_id]
 
     def eligible_tasks(self, job: Job, worker_id: str,
                        include_gold: bool = True,
                        respect_reservations: bool = True
                        ) -> List[TaskRecord]:
-        """Pending tasks this worker may still answer."""
+        """Pending tasks this worker may still answer.
+
+        Fast path (``legacy_scan=False``): ids already in the job's
+        completed index are dropped *before* any record is fetched
+        (the store never even resolves them), the survivors are
+        resolved in one shard-grouped batch, and live leases come from
+        a single snapshot.  The legacy path re-fetches and re-derives
+        everything per call, exactly as the seed did; both paths
+        produce the same list in the same order (creation order), so
+        downstream RNG draws are identical — the golden-trace suite
+        holds each to the other.
+        """
+        done = None if self.legacy_scan else self._done_set(job)
+        if done is None:
+            candidates = self.store.tasks_for(job.job_id)
+            res = None
+        else:
+            pending_ids = [task_id for task_id in list(job.task_ids)
+                           if task_id not in done]
+            candidates = self.store.get_tasks(pending_ids)
+            res = (self._live_reservations()
+                   if respect_reservations else None)
         out = []
-        for task in self.store.tasks_for(job.job_id):
+        for task in candidates:
             if task.state(job.redundancy) is TaskState.COMPLETED:
+                if done is not None:
+                    done.add(task.task_id)
                 continue
             if task.answered_by(worker_id):
                 continue
             if task.is_gold and not include_gold:
                 continue
             if respect_reservations and not task.is_gold:
-                committed = (len(task.workers())
-                             + self._outstanding(task,
-                                                 excluding=worker_id))
-                if committed >= job.redundancy:
+                outstanding = (
+                    self._snapshot_outstanding(res, task,
+                                               excluding=worker_id)
+                    if res is not None
+                    else self._outstanding(task, excluding=worker_id))
+                if len(task.workers()) + outstanding >= job.redundancy:
                     continue
             out.append(task)
         return out
@@ -166,20 +445,42 @@ class TaskScheduler:
         if self.faults is not None:
             self.faults.sleep_latency("scheduler.next_task")
         job = self.store.get_job(job_id)
-        eligible = self.eligible_tasks(job, worker_id)
-        self._m_depth.set(len(eligible), job=job_id)
-        if not eligible:
+        task: Optional[TaskRecord] = None
+        indexed = False
+        if (not self.legacy_scan
+                and self.policy is AssignmentPolicy.BREADTH_FIRST):
+            snapshot, purged = self._snapshot_and_purge()
+            for task_id in purged:
+                self._push_fresh(task_id)
+            index = self._index_for(job, snapshot)
+            if index is not None:
+                indexed = True
+                task = self._indexed_pick(index, job, worker_id,
+                                          snapshot)
+                # Queue length stands in for the legacy eligible
+                # count: pending entries, not filtered per worker.
+                self._m_depth.set(len(index.heap), job=job_id)
+        if not indexed:
+            eligible = self.eligible_tasks(job, worker_id)
+            self._m_depth.set(len(eligible), job=job_id)
+            if eligible:
+                task = self._pick(eligible,
+                                  res=None if self.legacy_scan
+                                  else self._live_reservations())
+        if task is None:
             self._m_latency.observe(time.perf_counter() - started)
             self._m_assignments.inc(outcome="empty")
             return None
-        task = self._pick(eligible)
-        self._reservations.setdefault(task.task_id, {})[worker_id] = (
-            time.monotonic() + self.lease_ttl_s)
+        with self._res_lock:
+            self._reservations.setdefault(
+                task.task_id, {})[worker_id] = (
+                    time.monotonic() + self.lease_ttl_s)
         self._m_latency.observe(time.perf_counter() - started)
         self._m_assignments.inc(outcome="served")
         return task
 
-    def _pick(self, eligible: List[TaskRecord]) -> TaskRecord:
+    def _pick(self, eligible: List[TaskRecord],
+              res: Optional[Dict[str, Set[str]]] = None) -> TaskRecord:
         golds = [t for t in eligible if t.is_gold]
         if golds and self._rng.random() < self.gold_rate:
             return golds[self._rng.randrange(len(golds))]
@@ -187,9 +488,11 @@ class TaskScheduler:
         if self.policy is AssignmentPolicy.RANDOM:
             return normal[self._rng.randrange(len(normal))]
         if self.policy is AssignmentPolicy.BREADTH_FIRST:
+            def load(t: TaskRecord) -> int:
+                return (self._snapshot_outstanding(res, t)
+                        if res is not None else self._outstanding(t))
             return min(normal,
-                       key=lambda t: (len(t.workers())
-                                      + self._outstanding(t),
+                       key=lambda t: (len(t.workers()) + load(t),
                                       t.task_id))
         if self.policy is AssignmentPolicy.DEPTH_FIRST:
             return max(normal,

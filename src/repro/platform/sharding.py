@@ -1,0 +1,130 @@
+"""Deterministic sharding primitives: key hashing and lock stripes.
+
+The platform's concurrency story is built on two small pieces:
+
+- :func:`shard_of` — a process-stable key → shard hash.  Python's
+  builtin ``hash()`` is randomized per process (``PYTHONHASHSEED``), so
+  the shard map is derived from BLAKE2b instead: the same key lands on
+  the same shard in every process, forever.  That stability is what lets
+  a checkpoint written by an 8-shard store be reloaded into a 3-shard
+  store (or vice versa) without moving a single record's identity.
+- :class:`LockStripes` — a fixed array of re-entrant locks addressed by
+  the same hash.  Two operations on the same key always contend on the
+  same stripe; operations on different keys almost never do.
+
+Lock-ordering rules (see ``docs/architecture.md`` for the full
+hierarchy): when several stripes must be held at once, they are always
+acquired in ascending stripe-index order, which makes stripe deadlock
+impossible by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from contextlib import contextmanager
+from functools import lru_cache
+from typing import Iterable, Iterator, List
+
+from repro.errors import PlatformError
+
+#: Default shard count for stores and lock stripes.  A small power of
+#: two: enough to make cross-job contention rare, few enough that
+#: whole-store scans (list jobs, persistence) stay cheap.
+DEFAULT_SHARDS = 8
+
+
+@lru_cache(maxsize=1 << 16)
+def _key_digest(key: str) -> int:
+    # The digest is a pure function of the key alone (the modulus is
+    # applied by the caller), so one cache serves every shard count.
+    # lru_cache is thread-safe, and the hot path re-hashes the same few
+    # thousand job/task ids constantly.
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(),
+        "big")
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """Deterministic shard index for ``key`` in ``[0, n_shards)``.
+
+    Stable across processes and Python versions: the index is the
+    BLAKE2b-64 digest of the UTF-8 key, reduced modulo ``n_shards``.
+    Uniformity is inherited from the hash — over realistic id
+    populations every shard receives its fair share (see the property
+    tests in ``tests/test_platform_sharding.py``).
+    """
+    if n_shards < 1:
+        raise PlatformError(
+            f"n_shards must be >= 1, got {n_shards}")
+    if n_shards == 1:
+        return 0
+    return _key_digest(key) % n_shards
+
+
+class LockStripes:
+    """A fixed array of re-entrant locks addressed by key hash.
+
+    The striped replacement for one global mutex: operations keyed by
+    the same id (a job and all its tasks) serialize on one stripe,
+    while unrelated keys proceed on other stripes in parallel.
+
+    Args:
+        n_stripes: number of stripes.  More stripes = less false
+            contention, at the cost of a longer acquire-all sweep.
+    """
+
+    def __init__(self, n_stripes: int = 16) -> None:
+        if n_stripes < 1:
+            raise PlatformError(
+                f"n_stripes must be >= 1, got {n_stripes}")
+        self._stripes: List[threading.RLock] = [
+            threading.RLock() for _ in range(n_stripes)]
+
+    def __len__(self) -> int:
+        return len(self._stripes)
+
+    def index_of(self, key: str) -> int:
+        """The stripe index ``key`` hashes to."""
+        return shard_of(key, len(self._stripes))
+
+    def for_key(self, key: str) -> threading.RLock:
+        """The stripe lock guarding ``key``."""
+        return self._stripes[self.index_of(key)]
+
+    def for_index(self, index: int) -> threading.RLock:
+        return self._stripes[index]
+
+    @contextmanager
+    def holding(self, keys: Iterable[str]) -> Iterator[None]:
+        """Hold every stripe the given keys hash to.
+
+        Stripes are de-duplicated and acquired in ascending index
+        order — the lock-ordering rule that makes multi-stripe
+        operations deadlock-free.
+        """
+        indices = sorted({self.index_of(key) for key in keys})
+        held: List[threading.RLock] = []
+        try:
+            for index in indices:
+                lock = self._stripes[index]
+                lock.acquire()
+                held.append(lock)
+            yield
+        finally:
+            for lock in reversed(held):
+                lock.release()
+
+    @contextmanager
+    def holding_all(self) -> Iterator[None]:
+        """Hold every stripe (whole-platform operations: checkpoint,
+        crash-restart).  Acquired in index order, like :meth:`holding`."""
+        held: List[threading.RLock] = []
+        try:
+            for lock in self._stripes:
+                lock.acquire()
+                held.append(lock)
+            yield
+        finally:
+            for lock in reversed(held):
+                lock.release()

@@ -1,24 +1,49 @@
-"""In-memory record store with JSON persistence.
+"""In-memory record stores with JSON persistence.
 
-The platform's storage layer: three tables (jobs, tasks, accounts) kept
-in dictionaries, with full round-tripping to a JSON document so campaigns
-can be checkpointed and resumed.  Deliberately simple — the substrate the
-"Flask/Django service" band implies, without external dependencies.
+The platform's storage layer: three tables (jobs, tasks, accounts),
+with full round-tripping to a JSON document so campaigns can be
+checkpointed and resumed.
+
+Two implementations share one interface and one document format:
+
+- :class:`JsonStore` — flat dictionaries, no locking.  The original
+  single-threaded substrate, kept as the baseline the concurrency and
+  perf regression suites measure against.
+- :class:`ShardedStore` — the same tables split into N shards by a
+  process-stable key hash (:func:`repro.platform.sharding.shard_of`),
+  each shard guarded by its own re-entrant lock.  Concurrent operations
+  on different keys touch different shards and never contend; the
+  document format is byte-identical to :class:`JsonStore`'s, so
+  checkpoints written by either store (at any shard count) load into
+  the other.
+
+Accessor contract (both stores): ``jobs()``, ``tasks_for()`` and
+``accounts()`` return **fresh snapshot lists** — callers may sort,
+slice or clear them without perturbing store state, and a list taken
+before a concurrent insert never mutates under iteration.  The records
+*inside* the lists are the live objects (the platform mutates tasks in
+place by design).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from repro.errors import JobNotFound, PlatformError, TaskNotFound
 from repro.platform.accounts import Account
 from repro.platform.jobs import Job, TaskRecord
+from repro.platform.sharding import DEFAULT_SHARDS, shard_of
 
 
 class JsonStore:
-    """Jobs, tasks and accounts with JSON (de)serialization."""
+    """Jobs, tasks and accounts with JSON (de)serialization.
+
+    Deliberately simple and unlocked: the single-threaded baseline.
+    Thread-safe deployments use :class:`ShardedStore`.
+    """
 
     def __init__(self) -> None:
         self._jobs: Dict[str, Job] = {}
@@ -42,7 +67,11 @@ class JsonStore:
         return job_id in self._jobs
 
     def jobs(self) -> List[Job]:
+        """All jobs, id-sorted, as a fresh snapshot list."""
         return [self._jobs[k] for k in sorted(self._jobs)]
+
+    def job_count(self) -> int:
+        return len(self._jobs)
 
     # ------------------------------------------------------------------
     # Tasks
@@ -68,8 +97,22 @@ class JsonStore:
         return task_id in self._tasks
 
     def tasks_for(self, job_id: str) -> List[TaskRecord]:
+        """A job's tasks, in creation order, as a fresh snapshot list.
+
+        The membership list is copied before resolution, so a caller
+        iterating the result races with concurrent ``put_task`` calls
+        safely, and mutating the returned list never touches the job's
+        own ``task_ids``.
+        """
         job = self.get_job(job_id)
-        return [self._tasks[task_id] for task_id in job.task_ids
+        member_ids = list(job.task_ids)
+        return [self._tasks[task_id] for task_id in member_ids
+                if task_id in self._tasks]
+
+    def get_tasks(self, task_ids: List[str]) -> List[TaskRecord]:
+        """Resolve many task ids at once, preserving order; unknown
+        ids are silently skipped (same contract as ``tasks_for``)."""
+        return [self._tasks[task_id] for task_id in task_ids
                 if task_id in self._tasks]
 
     def task_count(self) -> int:
@@ -92,6 +135,7 @@ class JsonStore:
         return account_id in self._accounts
 
     def accounts(self) -> List[Account]:
+        """All accounts, id-sorted, as a fresh snapshot list."""
         return [self._accounts[k] for k in sorted(self._accounts)]
 
     # ------------------------------------------------------------------
@@ -102,25 +146,26 @@ class JsonStore:
         """The whole store as one JSON-serializable document."""
         return {
             "jobs": [job.to_dict() for job in self.jobs()],
-            "tasks": [self._tasks[k].to_dict()
-                      for k in sorted(self._tasks)],
+            "tasks": [task.to_dict()
+                      for task in self._sorted_tasks()],
             "accounts": [account.to_dict()
                          for account in self.accounts()],
         }
 
-    @staticmethod
-    def from_document(document: Dict[str, Any]) -> "JsonStore":
+    def _sorted_tasks(self) -> List[TaskRecord]:
+        return [self._tasks[k] for k in sorted(self._tasks)]
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "JsonStore":
         """Rebuild a store from :meth:`to_document` output."""
-        store = JsonStore()
-        for raw in document.get("jobs", []):
-            job = Job.from_dict(raw)
-            job.task_ids = []
-            store.put_job(job)
-        for raw in document.get("tasks", []):
-            store.put_task(TaskRecord.from_dict(raw))
-        for raw in document.get("accounts", []):
-            store.put_account(Account.from_dict(raw))
+        store = cls()
+        _fill_from_document(store, document)
         return store
+
+    def restarted(self) -> "JsonStore":
+        """A type- and shape-preserving rebuild from the store's own
+        checkpoint document — what a crash-restart does."""
+        return type(self).from_document(self.to_document())
 
     def save(self, path: Union[str, Path]) -> None:
         """Write the store to a JSON file."""
@@ -132,3 +177,237 @@ class JsonStore:
         """Read a store back from :meth:`save` output."""
         return JsonStore.from_document(
             json.loads(Path(path).read_text()))
+
+
+def _fill_from_document(store, document: Dict[str, Any]) -> None:
+    """Populate any store implementation from a checkpoint document."""
+    for raw in document.get("jobs", []):
+        job = Job.from_dict(raw)
+        job.task_ids = []
+        store.put_job(job)
+    for raw in document.get("tasks", []):
+        store.put_task(TaskRecord.from_dict(raw))
+    for raw in document.get("accounts", []):
+        store.put_account(Account.from_dict(raw))
+
+
+class ShardedStore:
+    """The striped-lock store: N independently locked shards.
+
+    Jobs, tasks and accounts each hash to a shard by their own id via
+    :func:`~repro.platform.sharding.shard_of` — process-stable, so a
+    checkpoint reloads onto the same shards in every process, and the
+    document format is shard-count-agnostic (an 8-shard checkpoint
+    loads cleanly into a 3-shard store).
+
+    Each shard owns one :class:`threading.RLock`; single-key operations
+    take exactly one shard lock, and whole-store scans take the shard
+    locks one at a time in index order (the store-level lock-ordering
+    rule).  Shard locks are leaf locks in the platform hierarchy: no
+    other platform lock is ever acquired while one is held.
+
+    Semantically identical to :class:`JsonStore` — same accessor
+    contract, same sorted iteration orders, same document bytes — which
+    is what the golden-trace determinism suite in
+    ``tests/concurrency/`` asserts.
+    """
+
+    def __init__(self, n_shards: int = DEFAULT_SHARDS) -> None:
+        if n_shards < 1:
+            raise PlatformError(
+                f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self._locks = [threading.RLock() for _ in range(n_shards)]
+        self._jobs: List[Dict[str, Job]] = [
+            {} for _ in range(n_shards)]
+        self._tasks: List[Dict[str, TaskRecord]] = [
+            {} for _ in range(n_shards)]
+        self._accounts: List[Dict[str, Account]] = [
+            {} for _ in range(n_shards)]
+
+    def shard_of(self, key: str) -> int:
+        """The shard index ``key`` lives on."""
+        return shard_of(key, self.n_shards)
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def put_job(self, job: Job) -> None:
+        shard = self.shard_of(job.job_id)
+        with self._locks[shard]:
+            self._jobs[shard][job.job_id] = job
+
+    def get_job(self, job_id: str) -> Job:
+        shard = self.shard_of(job_id)
+        with self._locks[shard]:
+            try:
+                return self._jobs[shard][job_id]
+            except KeyError:
+                raise JobNotFound(f"no job {job_id!r}") from None
+
+    def has_job(self, job_id: str) -> bool:
+        shard = self.shard_of(job_id)
+        with self._locks[shard]:
+            return job_id in self._jobs[shard]
+
+    def jobs(self) -> List[Job]:
+        """All jobs, id-sorted, as a fresh snapshot list."""
+        collected: List[Job] = []
+        for shard in range(self.n_shards):
+            with self._locks[shard]:
+                collected.extend(self._jobs[shard].values())
+        return sorted(collected, key=lambda job: job.job_id)
+
+    def job_count(self) -> int:
+        return sum(len(table) for table in self._jobs)
+
+    # ------------------------------------------------------------------
+    # Tasks
+    # ------------------------------------------------------------------
+
+    def put_task(self, task: TaskRecord) -> None:
+        # Membership check and member-list append go to the job's
+        # shard, the record itself to the task's shard.  Job-shard
+        # first, never holding both at once, so there is no shard-lock
+        # ordering to violate.
+        job = self.get_job(task.job_id)  # raises JobNotFound
+        shard = self.shard_of(task.task_id)
+        with self._locks[shard]:
+            self._tasks[shard][task.task_id] = task
+        job_shard = self.shard_of(task.job_id)
+        with self._locks[job_shard]:
+            if task.task_id not in job.task_ids:
+                job.task_ids.append(task.task_id)
+
+    def get_task(self, task_id: str) -> TaskRecord:
+        shard = self.shard_of(task_id)
+        with self._locks[shard]:
+            try:
+                return self._tasks[shard][task_id]
+            except KeyError:
+                raise TaskNotFound(f"no task {task_id!r}") from None
+
+    def has_task(self, task_id: str) -> bool:
+        shard = self.shard_of(task_id)
+        with self._locks[shard]:
+            return task_id in self._tasks[shard]
+
+    def tasks_for(self, job_id: str) -> List[TaskRecord]:
+        """A job's tasks, in creation order, as a fresh snapshot list.
+
+        Same copy semantics as :meth:`JsonStore.tasks_for`: the
+        member-id list is snapshotted under the job's shard lock, then
+        each record is resolved under its own shard lock.
+        """
+        job = self.get_job(job_id)
+        job_shard = self.shard_of(job_id)
+        with self._locks[job_shard]:
+            member_ids = list(job.task_ids)
+        return self.get_tasks(member_ids)
+
+    def get_tasks(self, task_ids: List[str]) -> List[TaskRecord]:
+        """Resolve many task ids at once, preserving order; unknown
+        ids are silently skipped (same contract as ``tasks_for``).
+
+        Ids are grouped by shard so each involved shard lock is taken
+        exactly once per call instead of once per id — the difference
+        between O(ids) and O(shards) lock traffic on the scheduler's
+        hot path.
+        """
+        by_shard: Dict[int, List[str]] = {}
+        for task_id in task_ids:
+            by_shard.setdefault(self.shard_of(task_id),
+                                []).append(task_id)
+        resolved: Dict[str, TaskRecord] = {}
+        for shard, ids in by_shard.items():
+            table = self._tasks[shard]
+            with self._locks[shard]:
+                for task_id in ids:
+                    task = table.get(task_id)
+                    if task is not None:
+                        resolved[task_id] = task
+        return [resolved[task_id] for task_id in task_ids
+                if task_id in resolved]
+
+    def task_count(self) -> int:
+        return sum(len(table) for table in self._tasks)
+
+    # ------------------------------------------------------------------
+    # Accounts
+    # ------------------------------------------------------------------
+
+    def put_account(self, account: Account) -> None:
+        shard = self.shard_of(account.account_id)
+        with self._locks[shard]:
+            self._accounts[shard][account.account_id] = account
+
+    def get_account(self, account_id: str) -> Account:
+        shard = self.shard_of(account_id)
+        with self._locks[shard]:
+            try:
+                return self._accounts[shard][account_id]
+            except KeyError:
+                raise PlatformError(
+                    f"no account {account_id!r}") from None
+
+    def has_account(self, account_id: str) -> bool:
+        shard = self.shard_of(account_id)
+        with self._locks[shard]:
+            return account_id in self._accounts[shard]
+
+    def accounts(self) -> List[Account]:
+        """All accounts, id-sorted, as a fresh snapshot list."""
+        collected: List[Account] = []
+        for shard in range(self.n_shards):
+            with self._locks[shard]:
+                collected.extend(self._accounts[shard].values())
+        return sorted(collected,
+                      key=lambda account: account.account_id)
+
+    # ------------------------------------------------------------------
+    # Persistence — document bytes identical to JsonStore's
+    # ------------------------------------------------------------------
+
+    def to_document(self) -> Dict[str, Any]:
+        """The whole store as one JSON-serializable document
+        (byte-compatible with :meth:`JsonStore.to_document`)."""
+        tasks: List[TaskRecord] = []
+        for shard in range(self.n_shards):
+            with self._locks[shard]:
+                tasks.extend(self._tasks[shard].values())
+        tasks.sort(key=lambda task: task.task_id)
+        return {
+            "jobs": [job.to_dict() for job in self.jobs()],
+            "tasks": [task.to_dict() for task in tasks],
+            "accounts": [account.to_dict()
+                         for account in self.accounts()],
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any],
+                      n_shards: int = DEFAULT_SHARDS
+                      ) -> "ShardedStore":
+        """Rebuild from a checkpoint document written by *any* store
+        implementation at *any* shard count."""
+        store = cls(n_shards=n_shards)
+        _fill_from_document(store, document)
+        return store
+
+    def restarted(self) -> "ShardedStore":
+        """Crash-restart rebuild, preserving the shard count."""
+        return type(self).from_document(self.to_document(),
+                                        n_shards=self.n_shards)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the store to a JSON file (JsonStore-compatible)."""
+        Path(path).write_text(
+            json.dumps(self.to_document(), indent=2, sort_keys=True))
+
+    @staticmethod
+    def load(path: Union[str, Path],
+             n_shards: int = DEFAULT_SHARDS) -> "ShardedStore":
+        """Read a store back from :meth:`save` (or
+        :meth:`JsonStore.save`) output."""
+        return ShardedStore.from_document(
+            json.loads(Path(path).read_text()), n_shards=n_shards)

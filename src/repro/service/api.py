@@ -16,9 +16,35 @@ GET    /jobs/{job_id}/results          aggregated results
 POST   /workers                        register {worker_id, display_name?}
 GET    /workers/{worker_id}            worker stats
 POST   /tasks/{task_id}/answers        submit {worker_id, answer, at_s?}
+POST   /tasks:batch-assign             next tasks for many workers of one job
+POST   /answers:batch                  submit many answers in one round-trip
 GET    /leaderboard?k=10               top accounts
 GET    /metrics?format=json|prometheus telemetry snapshot
 ====== =============================== =======================================
+
+Concurrency model: requests are serialized by **lock scope**, not by
+one global mutex.  Each route declares what it touches:
+
+- ``none`` — lock-free (``/health``, ``/metrics``; the registry is
+  internally thread-safe).
+- ``job`` — one stripe of a :class:`~repro.platform.sharding.LockStripes`
+  array, keyed by the job id.  Two requests for the same job serialize;
+  requests for different jobs (almost always) run on different stripes.
+- ``task`` — the task's owning job is resolved first (a store read),
+  then its job stripe is taken: an answer contends only with traffic
+  for the same job.
+- ``registry`` — the platform's short read-mostly ``registry_lock``
+  for cross-job state (worker registration and stats, the leaderboard,
+  job listing/creation, disconnect sweeps).
+- ``item`` — batch routes: no outer lock; the handler takes the right
+  stripe per item, so one wire round-trip can span many jobs without
+  holding many stripes at once.
+
+Lock ordering (see ``docs/architecture.md``): stripe → platform
+registry lock → scheduler reservation lock → store shard lock, and
+never backwards.  ``lock_mode="global"`` restores the seed's single
+mutex for every scoped route — the baseline configuration the perf
+regression harness measures against.
 """
 
 from __future__ import annotations
@@ -26,7 +52,8 @@ from __future__ import annotations
 import re
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import (AccountError, JobNotFound, PlatformError,
                           ServiceError, TaskNotFound)
@@ -35,10 +62,15 @@ from repro.obs.exposition import (PROMETHEUS_CONTENT_TYPE, negotiate,
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.tracing import Tracer, default_tracer
 from repro.platform.facade import Platform
+from repro.platform.sharding import LockStripes
 from repro.service.wire import (ApiRequest, ApiResponse, error_body,
                                 job_to_wire, task_to_wire)
 
 Handler = Callable[[ApiRequest, Dict[str, str]], ApiResponse]
+
+#: Upper bound on items accepted by one batch request — a wire-level
+#: guard against a single request monopolizing the platform.
+MAX_BATCH_ITEMS = 512
 
 
 class ApiServer:
@@ -61,6 +93,11 @@ class ApiServer:
             503 + ``Retry-After`` instead of piling onto the lock
             (None = never shed).
         shed_retry_after_s: backoff advertised on shed responses.
+        lock_mode: ``"striped"`` (default) serializes requests per
+            lock scope — per-job stripes plus the platform's registry
+            lock (see the module docstring); ``"global"`` restores the
+            seed's single mutex, the perf-regression baseline.
+        n_stripes: stripe count for striped mode.
     """
 
     def __init__(self, platform: Platform,
@@ -68,7 +105,13 @@ class ApiServer:
                  tracer: Optional[Tracer] = None,
                  faults=None,
                  max_pending: Optional[int] = None,
-                 shed_retry_after_s: float = 1.0) -> None:
+                 shed_retry_after_s: float = 1.0,
+                 lock_mode: str = "striped",
+                 n_stripes: int = 16) -> None:
+        if lock_mode not in ("striped", "global"):
+            raise PlatformError(
+                f"lock_mode must be 'striped' or 'global', "
+                f"got {lock_mode!r}")
         self.platform = platform
         self.registry = (registry if registry is not None
                          else default_registry())
@@ -77,11 +120,14 @@ class ApiServer:
                        else getattr(platform, "faults", None))
         self.max_pending = max_pending
         self.shed_retry_after_s = shed_retry_after_s
+        self.lock_mode = lock_mode
         self._routes: List[
-            Tuple[str, str, re.Pattern, Handler, bool]] = []
-        # The platform is plain mutable state; the threaded HTTP server
-        # dispatches concurrently, so requests are serialized here.
+            Tuple[str, str, re.Pattern, Handler, str]] = []
+        # Global mode: every scoped request serializes here, exactly as
+        # the seed did.  Striped mode: per-job stripes, with the
+        # platform's registry_lock covering cross-job routes.
         self._lock = threading.Lock()
+        self._stripes = LockStripes(n_stripes)
         self._pending = 0
         self._pending_lock = threading.Lock()
         self._install_routes()
@@ -103,34 +149,49 @@ class ApiServer:
             "requests refused by load shedding, by route")
 
     def _route(self, method: str, pattern: str, handler: Handler,
-               locked: bool = True) -> None:
+               scope: str = "registry") -> None:
         regex = re.compile(
             "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern) + "$")
-        self._routes.append((method, pattern, regex, handler, locked))
+        self._routes.append((method, pattern, regex, handler, scope))
 
     def _install_routes(self) -> None:
+        # Health is deliberately a scoped route: it participates in
+        # pending-request accounting, so load shedding and probe
+        # latency reflect real platform queueing, as in the seed.
         self._route("GET", "/health", self._health)
         self._route("POST", "/jobs", self._create_job)
         self._route("GET", "/jobs", self._list_jobs)
-        self._route("GET", "/jobs/{job_id}", self._get_job)
-        self._route("POST", "/jobs/{job_id}/tasks", self._add_tasks)
-        self._route("GET", "/jobs/{job_id}/tasks", self._list_tasks)
-        self._route("POST", "/jobs/{job_id}/start", self._start_job)
-        self._route("POST", "/jobs/{job_id}/archive", self._archive_job)
-        self._route("GET", "/jobs/{job_id}/next", self._next_task)
-        self._route("GET", "/jobs/{job_id}/results", self._results)
+        self._route("GET", "/jobs/{job_id}", self._get_job,
+                    scope="job")
+        self._route("POST", "/jobs/{job_id}/tasks", self._add_tasks,
+                    scope="job")
+        self._route("GET", "/jobs/{job_id}/tasks", self._list_tasks,
+                    scope="job")
+        self._route("POST", "/jobs/{job_id}/start", self._start_job,
+                    scope="job")
+        self._route("POST", "/jobs/{job_id}/archive",
+                    self._archive_job, scope="job")
+        self._route("GET", "/jobs/{job_id}/next", self._next_task,
+                    scope="job")
+        self._route("GET", "/jobs/{job_id}/results", self._results,
+                    scope="job")
         self._route("GET", "/jobs/{job_id}/low_confidence",
-                    self._low_confidence)
+                    self._low_confidence, scope="job")
         self._route("GET", "/workers/flagged", self._flagged_workers)
         self._route("POST", "/workers", self._register_worker)
         self._route("POST", "/workers/{worker_id}/disconnect",
                     self._disconnect_worker)
         self._route("GET", "/workers/{worker_id}", self._worker_stats)
-        self._route("POST", "/tasks/{task_id}/answers", self._answer)
+        self._route("POST", "/tasks/{task_id}/answers", self._answer,
+                    scope="task")
+        self._route("POST", "/tasks:batch-assign", self._batch_assign,
+                    scope="job")
+        self._route("POST", "/answers:batch", self._batch_answers,
+                    scope="item")
         self._route("GET", "/leaderboard", self._leaderboard)
         # The metrics reader must not queue behind platform traffic:
         # the registry is internally thread-safe, so no lock.
-        self._route("GET", "/metrics", self._metrics, locked=False)
+        self._route("GET", "/metrics", self._metrics, scope="none")
 
     def handle(self, request: ApiRequest) -> ApiResponse:
         """Route one request, translating errors to status codes."""
@@ -144,10 +205,66 @@ class ApiServer:
             self._errors.inc(layer="api")
         return response
 
+    def _lock_for(self, scope: str, request: ApiRequest,
+                  params: Dict[str, str]):
+        """The lock a request must hold, or None for lock-free.
+
+        Global mode maps every scope (including per-item batches) to
+        the single mutex.  Striped mode resolves ``job`` scope to the
+        job's stripe, ``task`` scope to the owning job's stripe (one
+        store read — may raise :class:`TaskNotFound`, which dispatch
+        translates to a 404), and ``registry`` scope to the platform's
+        registry lock.  ``item`` scope returns None: the handler takes
+        stripes itself, one item at a time.
+        """
+        if scope == "none":
+            return None
+        if self.lock_mode == "global":
+            return self._lock
+        if scope == "registry":
+            return self.platform.registry_lock
+        if scope == "job":
+            key = params.get("job_id") or str(
+                request.body.get("job_id", ""))
+            return self._stripes.for_key(key)
+        if scope == "task":
+            task = self.platform.store.get_task(params["task_id"])
+            return self._stripes.for_key(task.job_id)
+        if scope == "item":
+            return None
+        raise PlatformError(f"unknown lock scope: {scope!r}")
+
+    @contextmanager
+    def _timed_lock(self, lock) -> Iterator[None]:
+        """Hold ``lock``, feeding the wait/held histograms."""
+        wait_start = time.perf_counter()
+        lock.acquire()
+        acquired = time.perf_counter()
+        self._lock_wait.observe(acquired - wait_start)
+        try:
+            yield
+        finally:
+            self._lock_held.observe(time.perf_counter() - acquired)
+            lock.release()
+
+    @contextmanager
+    def _item_guard(self, job_id: str) -> Iterator[None]:
+        """Per-item stripe for batch handlers.
+
+        In striped mode this takes (and times) the job's stripe; in
+        global mode the whole batch already runs under the global
+        mutex, so this is a no-op.
+        """
+        if self.lock_mode == "global":
+            yield
+            return
+        with self._timed_lock(self._stripes.for_key(job_id)):
+            yield
+
     def _dispatch(self, request: ApiRequest
                   ) -> Tuple[ApiResponse, str]:
         """(response, route pattern) for one request."""
-        for method, pattern, regex, handler, locked in self._routes:
+        for method, pattern, regex, handler, scope in self._routes:
             if method != request.method:
                 continue
             match = regex.match(request.path)
@@ -157,7 +274,7 @@ class ApiServer:
             site = "api." + handler.__name__.lstrip("_")
             with self.tracer.span(f"service.{method} {pattern}"):
                 try:
-                    if not locked:
+                    if scope == "none":
                         return self._invoke(handler, request, params,
                                             site), pattern
                     if self.max_pending is not None:
@@ -167,18 +284,15 @@ class ApiServer:
                                 return shed, pattern
                             self._pending += 1
                     try:
-                        wait_start = time.perf_counter()
-                        with self._lock:
-                            acquired = time.perf_counter()
-                            self._lock_wait.observe(
-                                acquired - wait_start)
-                            try:
-                                return self._invoke(
-                                    handler, request, params,
-                                    site), pattern
-                            finally:
-                                self._lock_held.observe(
-                                    time.perf_counter() - acquired)
+                        lock = self._lock_for(scope, request, params)
+                        if lock is None:
+                            return self._invoke(
+                                handler, request, params,
+                                site), pattern
+                        with self._timed_lock(lock):
+                            return self._invoke(
+                                handler, request, params,
+                                site), pattern
                     finally:
                         if self.max_pending is not None:
                             with self._pending_lock:
@@ -393,6 +507,112 @@ class ApiServer:
             idempotency_key=body.get("idempotency_key"))
         return ApiResponse(201, {"task_id": task.task_id,
                                  "answers": len(task.answers)})
+
+    # ------------------------------------------------------------------
+    # Batch endpoints — one wire round-trip, many operations
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _batch_items(body: Dict, field: str) -> List:
+        items = body.get(field)
+        if not isinstance(items, list) or not items:
+            raise ServiceError(
+                f"body needs a non-empty '{field}' list", status=422)
+        if len(items) > MAX_BATCH_ITEMS:
+            raise ServiceError(
+                f"batch too large: {len(items)} > {MAX_BATCH_ITEMS}",
+                status=422)
+        return items
+
+    def _batch_assign(self, request: ApiRequest,
+                      params: Dict[str, str]) -> ApiResponse:
+        """Assign next tasks to many workers of one job at once.
+
+        Body: ``{"job_id": j, "workers": [w1, w2, ...]}``.  Response
+        pairs every worker with their task (or ``null`` when the job
+        has nothing left for them) — the wire-amortized form of N
+        ``GET /jobs/{id}/next`` calls.  Runs under the job's stripe,
+        so a batch is one serialized scheduling transaction.
+        """
+        body = request.body
+        job_id = body.get("job_id")
+        if not job_id:
+            raise ServiceError("batch-assign needs a 'job_id'",
+                               status=422)
+        workers = self._batch_items(body, "workers")
+        assignments = []
+        for worker_id in workers:
+            if not worker_id or not isinstance(worker_id, str):
+                raise ServiceError(
+                    "every worker id must be a non-empty string",
+                    status=422)
+            task = self.platform.request_task(job_id, worker_id)
+            assignments.append(
+                {"worker_id": worker_id,
+                 "task": task_to_wire(task) if task is not None
+                 else None})
+        assigned = sum(1 for a in assignments
+                       if a["task"] is not None)
+        return ApiResponse(200, {"job_id": job_id,
+                                 "assigned": assigned,
+                                 "assignments": assignments})
+
+    def _batch_answers(self, request: ApiRequest,
+                       params: Dict[str, str]) -> ApiResponse:
+        """Submit many answers in one round-trip, possibly across jobs.
+
+        Body: ``{"answers": [{task_id, worker_id, answer, at_s?,
+        idempotency_key?}, ...]}``.  Items are applied independently,
+        each under its own job's stripe: one bad item yields a per-item
+        error entry (mirroring the single-submit status code) without
+        failing the rest, so a client can retry just the failures —
+        and idempotency keys make those retries safe.
+        """
+        items = self._batch_items(request.body, "answers")
+        results = []
+        accepted = 0
+        for item in items:
+            outcome = self._apply_one_answer(item)
+            if outcome.get("status") == 201:
+                accepted += 1
+            results.append(outcome)
+        return ApiResponse(200, {"accepted": accepted,
+                                 "results": results})
+
+    def _apply_one_answer(self, item) -> Dict:
+        """One batch answer item → its per-item result document."""
+        if not isinstance(item, dict):
+            return {"status": 422,
+                    "error": "each answer must be an object"}
+        task_id = item.get("task_id")
+        worker_id = item.get("worker_id")
+        if not task_id or not worker_id or "answer" not in item:
+            return {"task_id": task_id, "status": 422,
+                    "error": "answer items need 'task_id', "
+                             "'worker_id' and 'answer'"}
+        try:
+            # Resolve the owning job outside any stripe (store reads
+            # are shard-locked), then apply under that job's stripe.
+            job_id = self.platform.store.get_task(task_id).job_id
+            with self._item_guard(job_id):
+                task = self.platform.submit_answer(
+                    task_id, worker_id, item["answer"],
+                    at_s=float(item.get("at_s", 0.0)),
+                    idempotency_key=item.get("idempotency_key"))
+            return {"task_id": task.task_id, "status": 201,
+                    "answers": len(task.answers)}
+        except (JobNotFound, TaskNotFound) as exc:
+            return {"task_id": task_id, "status": 404,
+                    "error": str(exc)}
+        except AccountError as exc:
+            return {"task_id": task_id, "status": 409,
+                    "error": str(exc)}
+        except ServiceError as exc:
+            return {"task_id": task_id, "status": exc.status,
+                    "error": str(exc)}
+        except PlatformError as exc:
+            return {"task_id": task_id, "status": 400,
+                    "error": str(exc)}
 
     def _leaderboard(self, request: ApiRequest,
                      params: Dict[str, str]) -> ApiResponse:

@@ -179,6 +179,41 @@ class _BaseClient:
                            "at_s": at_s,
                            "idempotency_key": idempotency_key})
 
+    def batch_assign(self, job_id: str,
+                     workers: List[str]) -> List[Dict[str, Any]]:
+        """Next tasks for many workers of one job, one round-trip.
+
+        Returns one ``{"worker_id", "task"}`` entry per worker;
+        ``task`` is None when the job has nothing left for that
+        worker.  The wire-amortized form of N ``next_task`` calls.
+        """
+        body = self._call("POST", "/tasks:batch-assign",
+                          {"job_id": job_id,
+                           "workers": list(workers)})
+        return body["assignments"]
+
+    def submit_answers(self, answers: List[Dict[str, Any]]
+                       ) -> List[Dict[str, Any]]:
+        """Submit many answers in one round-trip, safely retryable.
+
+        Each item needs ``task_id``, ``worker_id`` and ``answer``
+        (``at_s`` and ``idempotency_key`` optional — the natural
+        ``task_id/worker_id`` key is filled in, so an at-least-once
+        redelivery of the whole batch can never double-count).
+        Returns per-item result documents; a failed item carries its
+        own ``status``/``error`` and does not fail the batch.
+        """
+        items = []
+        for answer in answers:
+            item = dict(answer)
+            if item.get("task_id") and item.get("worker_id"):
+                item.setdefault(
+                    "idempotency_key",
+                    f"{item['task_id']}/{item['worker_id']}")
+            items.append(item)
+        return self._call("POST", "/answers:batch",
+                          {"answers": items})["results"]
+
     def disconnect_worker(self, worker_id: str) -> Dict[str, Any]:
         """Report a dead session; its task leases requeue immediately."""
         return self._call("POST", f"/workers/{worker_id}/disconnect",

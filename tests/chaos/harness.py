@@ -21,6 +21,7 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.platform.facade import Platform
+from repro.platform.store import JsonStore, ShardedStore
 from repro.service.api import ApiServer
 from repro.service.client import InProcessClient
 from repro.service.retry import RetryPolicy
@@ -65,21 +66,36 @@ class CampaignResult:
 def run_campaign(plan: Optional[FaultPlan] = None, *,
                  game: str = "esp", n_tasks: int = 12,
                  redundancy: int = 3, n_workers: int = 6,
-                 seed: int = 7,
-                 max_attempts: int = 10) -> CampaignResult:
+                 seed: int = 7, max_attempts: int = 10,
+                 store_mode: str = "sharded") -> CampaignResult:
     """One full campaign; returns its promoted labels canonically.
 
     With ``redundancy`` honest answers required per task and at most
     one noisy worker, majority vote always promotes the truth, so two
     runs differ only if faults actually corrupted state.
+
+    ``store_mode`` selects the concurrency stack under test:
+    ``"sharded"`` is the production path (striped-lock ``ShardedStore``
+    behind a striped ``ApiServer``); ``"json"`` reconstructs the seed's
+    single-lock semantics (flat ``JsonStore``, one global service lock,
+    legacy full-scan scheduling).  Promoted labels must be identical
+    either way — the chaos matrix sweeps both.
     """
+    if store_mode == "sharded":
+        store, fast_path, lock_mode = ShardedStore(), True, "striped"
+    elif store_mode == "json":
+        store, fast_path, lock_mode = JsonStore(), False, "global"
+    else:
+        raise ValueError(f"unknown store_mode: {store_mode!r}")
     registry = MetricsRegistry()
     injector = plan.build(registry=registry) if plan is not None \
         else None
     platform = Platform(gold_rate=0.0, spam_detection=False, seed=seed,
                         registry=registry, tracer=Tracer(),
-                        faults=injector)
-    api = ApiServer(platform, registry=registry, tracer=Tracer())
+                        faults=injector, store=store,
+                        fast_path=fast_path)
+    api = ApiServer(platform, registry=registry, tracer=Tracer(),
+                    lock_mode=lock_mode)
     client = InProcessClient(
         api,
         retry_policy=RetryPolicy(max_attempts=max_attempts,

@@ -16,7 +16,9 @@ from tests.chaos.harness import run_campaign
 
 
 def _baseline(game: str):
-    return run_campaign(None, game=game)
+    # The authority is the seed's single-lock stack: every chaotic run,
+    # on either store, must promote exactly these labels.
+    return run_campaign(None, game=game, store_mode="json")
 
 
 def _plan_latency(seed: int) -> FaultPlan:
@@ -60,14 +62,15 @@ PLANS = {
 }
 
 
+@pytest.mark.parametrize("store_mode", ["json", "sharded"])
 @pytest.mark.parametrize("game", ["esp", "peekaboom"])
 @pytest.mark.parametrize("fault_class", sorted(PLANS))
 class TestChaosCampaigns:
     def test_labels_identical_to_baseline(self, game, fault_class,
-                                          chaos_seed):
+                                          chaos_seed, store_mode):
         baseline = _baseline(game)
         chaotic = run_campaign(PLANS[fault_class](chaos_seed),
-                               game=game)
+                               game=game, store_mode=store_mode)
         # The faults must actually have fired, or the test proves
         # nothing...
         assert chaotic.injector.total_fires() > 0, \
@@ -76,9 +79,9 @@ class TestChaosCampaigns:
         assert chaotic.labels_json == baseline.labels_json
 
     def test_no_duplicate_answer_rows(self, game, fault_class,
-                                      chaos_seed):
+                                      chaos_seed, store_mode):
         chaotic = run_campaign(PLANS[fault_class](chaos_seed),
-                               game=game)
+                               game=game, store_mode=store_mode)
         for task in chaotic.platform.store.tasks_for(chaotic.job_id):
             workers = [record.worker_id for record in task.answers]
             assert len(workers) == len(set(workers)), \

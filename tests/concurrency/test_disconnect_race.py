@@ -1,0 +1,127 @@
+"""The disconnect/answer race on a single lease.
+
+``POST /workers/{id}/disconnect`` is registry-scoped while
+``submit_answer`` holds the task's job stripe — the two verbs genuinely
+race at the platform layer.  Whatever the interleaving, the invariants
+are: both calls succeed, exactly one answer row lands, points are
+credited exactly once, and the lease table ends empty (no resurrected
+lease blocks the next worker).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.client import InProcessClient
+
+ITERATIONS = 50
+
+
+def _lease_holders(platform):
+    with platform.scheduler._res_lock:
+        return {task_id: dict(holders) for task_id, holders
+                in platform.scheduler._reservations.items()}
+
+
+@pytest.mark.parametrize("lock_mode", ["striped", "global"])
+class TestDisconnectVsSubmitRace:
+    def test_single_lease_race_invariants(self, lock_mode):
+        failures = []
+        for iteration in range(ITERATIONS):
+            platform = Platform(gold_rate=0.0, spam_detection=False,
+                                seed=iteration,
+                                registry=MetricsRegistry(),
+                                tracer=Tracer())
+            api = ApiServer(platform, registry=platform.registry,
+                            tracer=Tracer(), lock_mode=lock_mode)
+            client = InProcessClient(api)
+            job = client.create_job("race", redundancy=2)
+            job_id = job["job_id"]
+            client.add_tasks(job_id, [{"payload": {"i": 0}}])
+            client.start_job(job_id)
+            client.register_worker("w0")
+            task = client.next_task(job_id, "w0")
+            assert task is not None
+
+            barrier = threading.Barrier(2)
+            errors = []
+
+            def submit():
+                try:
+                    barrier.wait(timeout=10)
+                    InProcessClient(api).submit_answer(
+                        task["task_id"], "w0", "yes")
+                except Exception as exc:
+                    errors.append(("submit", repr(exc)))
+
+            def disconnect():
+                try:
+                    barrier.wait(timeout=10)
+                    InProcessClient(api).disconnect_worker("w0")
+                except Exception as exc:
+                    errors.append(("disconnect", repr(exc)))
+
+            threads = [threading.Thread(target=submit),
+                       threading.Thread(target=disconnect)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+
+            record = platform.store.get_task(task["task_id"])
+            rows = [r for r in record.answers if r.worker_id == "w0"]
+            holders = _lease_holders(platform)
+            points = platform.accounts.get("w0").points
+            if (errors or len(rows) != 1 or holders
+                    or points != platform.points_per_answer):
+                failures.append((iteration, errors, len(rows),
+                                 holders, points))
+        assert not failures, failures
+
+    def test_task_still_assignable_after_race(self, lock_mode):
+        """The slot the race fought over stays usable: a second worker
+        can take and finish the task afterwards."""
+        platform = Platform(gold_rate=0.0, spam_detection=False,
+                            seed=3, registry=MetricsRegistry(),
+                            tracer=Tracer())
+        api = ApiServer(platform, registry=platform.registry,
+                        tracer=Tracer(), lock_mode=lock_mode)
+        client = InProcessClient(api)
+        job = client.create_job("race", redundancy=2)
+        job_id = job["job_id"]
+        client.add_tasks(job_id, [{"payload": {"i": 0}}])
+        client.start_job(job_id)
+        task = client.next_task(job_id, "w0")
+
+        barrier = threading.Barrier(2)
+        results = []
+
+        def submit():
+            barrier.wait(timeout=10)
+            results.append(InProcessClient(api).submit_answer(
+                task["task_id"], "w0", "yes"))
+
+        def disconnect():
+            barrier.wait(timeout=10)
+            results.append(
+                InProcessClient(api).disconnect_worker("w0"))
+
+        threads = [threading.Thread(target=submit),
+                   threading.Thread(target=disconnect)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(results) == 2
+
+        follow_up = client.next_task(job_id, "w1")
+        assert follow_up is not None
+        assert follow_up["task_id"] == task["task_id"]
+        client.submit_answer(follow_up["task_id"], "w1", "yes")
+        assert platform.progress(job_id)["complete_frac"] == 1.0

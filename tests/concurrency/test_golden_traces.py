@@ -1,0 +1,126 @@
+"""Golden-trace determinism: the sharded stack replays the seed.
+
+The striped-lock platform is only a refactor if it is *invisible*: a
+full campaign driven identically over the flat single-lock seed stack
+and over the sharded stack must produce byte-identical results — same
+promoted labels, same store document (every answer row, every point,
+every job status), for every seed, game, shard count, and scheduler
+fast-path setting.  These tests pin that contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.platform.facade import Platform
+from repro.platform.scheduler import AssignmentPolicy
+from repro.platform.store import JsonStore, ShardedStore
+
+from tests.chaos.harness import (esp_payloads, honest_answer,
+                                 noisy_answer, peekaboom_payloads,
+                                 run_campaign)
+
+SEEDS = [0, 1, 2]
+
+
+def _drive(platform: Platform, game: str, *, n_tasks: int = 12,
+           redundancy: int = 3, n_workers: int = 6,
+           gold_every: int = 0) -> "tuple[str, str]":
+    """One full campaign at the Platform level; returns the promoted
+    labels and the final store document, both canonical JSON."""
+    payloads = (esp_payloads(n_tasks) if game == "esp"
+                else peekaboom_payloads(n_tasks))
+    job = platform.create_job(f"golden-{game}", redundancy=redundancy)
+    for i, payload in enumerate(payloads):
+        gold = (f"gold-{i}" if gold_every and i % gold_every == 0
+                else None)
+        platform.add_task(job.job_id, payload, gold_answer=gold)
+    platform.start_job(job.job_id)
+    workers = [f"w{k:02d}" for k in range(n_workers)]
+    for worker in workers:
+        platform.register_worker(worker)
+    noisy = workers[-1]
+
+    served = True
+    while served:
+        served = False
+        for worker in workers:
+            task = platform.request_task(job.job_id, worker)
+            if task is None:
+                continue
+            served = True
+            answer = (noisy_answer(worker, task.payload)
+                      if worker == noisy
+                      else honest_answer(task.payload))
+            platform.submit_answer(
+                task.task_id, worker, answer,
+                idempotency_key=f"{task.task_id}/{worker}")
+
+    labels = {task_id: result.answer for task_id, result
+              in platform.results(job.job_id).items()}
+    return (json.dumps(labels, sort_keys=True),
+            json.dumps(platform.store.to_document(), sort_keys=True))
+
+
+def _seed_stack(seed: int, **kw) -> Platform:
+    """The seed's semantics: flat store, full-rescan completion."""
+    return Platform(gold_rate=0.0, spam_detection=False, seed=seed,
+                    store=JsonStore(), fast_path=False, **kw)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("game", ["esp", "peekaboom"])
+class TestGoldenTraces:
+    @pytest.mark.parametrize("n_shards", [1, 3, 8])
+    def test_sharded_matches_seed_stack(self, seed, game, n_shards):
+        reference = _drive(_seed_stack(seed), game)
+        sharded = _drive(
+            Platform(gold_rate=0.0, spam_detection=False, seed=seed,
+                     store=ShardedStore(n_shards=n_shards),
+                     fast_path=True), game)
+        assert sharded == reference
+
+    def test_fast_path_alone_matches_seed_stack(self, seed, game):
+        reference = _drive(_seed_stack(seed), game)
+        fast = _drive(
+            Platform(gold_rate=0.0, spam_detection=False, seed=seed,
+                     store=JsonStore(), fast_path=True), game)
+        assert fast == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestGoldenTracesRandomizedScheduling:
+    """RNG-consuming paths (RANDOM policy, gold injection) draw the
+    same sequence on both stacks only if the eligible-task lists are
+    identical at every step — the strongest determinism probe."""
+
+    def test_random_policy_with_gold(self, seed):
+        kw = dict(policy=AssignmentPolicy.RANDOM, gold_rate=0.3,
+                  spam_detection=False, seed=seed)
+        reference = _drive(Platform(store=JsonStore(),
+                                    fast_path=False, **kw),
+                           "esp", gold_every=4)
+        sharded = _drive(Platform(store=ShardedStore(n_shards=8),
+                                  fast_path=True, **kw),
+                         "esp", gold_every=4)
+        assert sharded == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("game", ["esp", "peekaboom"])
+class TestGoldenTracesThroughService:
+    def test_service_stacks_agree(self, seed, game):
+        """The full wire path (ApiServer + client retries): global-lock
+        JsonStore vs striped ShardedStore, byte-identical labels and
+        store documents."""
+        flat = run_campaign(None, game=game, seed=seed,
+                            store_mode="json")
+        sharded = run_campaign(None, game=game, seed=seed,
+                               store_mode="sharded")
+        assert sharded.labels_json == flat.labels_json
+        assert (json.dumps(sharded.platform.store.to_document(),
+                           sort_keys=True)
+                == json.dumps(flat.platform.store.to_document(),
+                              sort_keys=True))

@@ -1,0 +1,236 @@
+"""Property tests for the shard hash and the sharded store.
+
+Three properties the platform's concurrency story rests on:
+
+- the key → shard hash is **process-stable** (a checkpoint reloads onto
+  the same shards in any process, any run),
+- it is **uniform** (no shard becomes a hot spot), and
+- checkpoints **round-trip across shard-count changes** (an 8-shard
+  store's save loads into a 3-shard or flat store bit-for-bit).
+
+Plus the store accessor contract: ``jobs()``/``tasks_for()``/
+``accounts()`` return snapshot copies, never aliases of live state.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from collections import Counter
+
+import pytest
+
+from repro.errors import JobNotFound, PlatformError, TaskNotFound
+from repro.platform.accounts import Account
+from repro.platform.jobs import Job, TaskRecord
+from repro.platform.sharding import LockStripes, shard_of
+from repro.platform.store import JsonStore, ShardedStore
+
+
+class TestShardHashStability:
+    # Pinned expectations: these exact values must hold forever, or
+    # every existing checkpoint's shard placement silently changes.
+    PINNED_8 = {"job-0000": 3, "task-000001": 6, "alpha": 2,
+                "wörker-β": 5}
+    PINNED_3 = {"job-0000": 2, "task-000001": 0, "alpha": 0,
+                "wörker-β": 1}
+
+    def test_pinned_values(self):
+        for key, expected in self.PINNED_8.items():
+            assert shard_of(key, 8) == expected
+        for key, expected in self.PINNED_3.items():
+            assert shard_of(key, 3) == expected
+
+    def test_stable_across_processes(self):
+        """A fresh interpreter (fresh PYTHONHASHSEED) must agree."""
+        keys = sorted(self.PINNED_8)
+        script = (
+            "import json, sys\n"
+            "sys.path.insert(0, 'src')\n"
+            "from repro.platform.sharding import shard_of\n"
+            f"keys = {keys!r}\n"
+            "print(json.dumps([shard_of(k, 8) for k in keys]))\n")
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, check=True, cwd=".")
+        assert json.loads(out.stdout) == [self.PINNED_8[k]
+                                          for k in keys]
+
+    def test_single_shard_and_bad_counts(self):
+        assert shard_of("anything", 1) == 0
+        with pytest.raises(PlatformError):
+            shard_of("x", 0)
+
+
+class TestShardHashUniformity:
+    def test_uniform_within_10pct_over_1k_job_ids(self):
+        """1k synthetic job ids over 4 shards: every shard within 10%
+        of its fair share (deterministic — the hash is fixed)."""
+        counts = Counter(shard_of(f"job-{i:04d}", 4)
+                         for i in range(1000))
+        expected = 1000 / 4
+        assert set(counts) == {0, 1, 2, 3}
+        for shard, count in counts.items():
+            assert abs(count - expected) / expected <= 0.10, \
+                f"shard {shard} holds {count} of 1000"
+
+    @pytest.mark.parametrize("n_shards", [8, 16])
+    def test_uniform_within_10pct_over_10k_ids(self, n_shards):
+        counts = Counter(shard_of(f"job-{i:04d}", n_shards)
+                         for i in range(10000))
+        expected = 10000 / n_shards
+        assert len(counts) == n_shards
+        for shard, count in counts.items():
+            assert abs(count - expected) / expected <= 0.10, \
+                f"shard {shard} holds {count} of 10000"
+
+
+def _populated(store):
+    store.put_job(Job(job_id="j1", name="first"))
+    store.put_job(Job(job_id="j2", name="second"))
+    store.put_task(TaskRecord(task_id="t1", job_id="j1",
+                              payload={"q": 1}))
+    store.put_task(TaskRecord(task_id="t2", job_id="j1",
+                              gold_answer="yes"))
+    store.put_task(TaskRecord(task_id="t3", job_id="j2"))
+    store.get_task("t1").add_answer("w1", "cat", at_s=2.0)
+    store.put_account(Account(account_id="a1", display_name="Alice"))
+    return store
+
+
+class TestShardedStore:
+    def test_lookup_parity_with_json_store(self):
+        sharded = _populated(ShardedStore(n_shards=4))
+        assert sharded.get_job("j1").name == "first"
+        assert sharded.has_job("j2")
+        assert not sharded.has_job("j9")
+        assert sharded.get_task("t2").gold_answer == "yes"
+        assert sharded.has_task("t3")
+        assert sharded.get_account("a1").display_name == "Alice"
+        assert sharded.task_count() == 3
+        assert sharded.job_count() == 2
+        with pytest.raises(JobNotFound):
+            sharded.get_job("j9")
+        with pytest.raises(TaskNotFound):
+            sharded.get_task("t9")
+        with pytest.raises(PlatformError):
+            sharded.get_account("a9")
+        with pytest.raises(JobNotFound):
+            sharded.put_task(TaskRecord(task_id="t", job_id="nope"))
+
+    def test_sorted_iteration_matches_json_store(self):
+        flat = _populated(JsonStore())
+        sharded = _populated(ShardedStore(n_shards=4))
+        assert ([j.job_id for j in sharded.jobs()]
+                == [j.job_id for j in flat.jobs()])
+        assert ([t.task_id for t in sharded.tasks_for("j1")]
+                == [t.task_id for t in flat.tasks_for("j1")])
+        assert ([a.account_id for a in sharded.accounts()]
+                == [a.account_id for a in flat.accounts()])
+
+    def test_document_bytes_identical_to_json_store(self):
+        flat = _populated(JsonStore())
+        sharded = _populated(ShardedStore(n_shards=4))
+        assert (json.dumps(sharded.to_document(), sort_keys=True)
+                == json.dumps(flat.to_document(), sort_keys=True))
+
+    @pytest.mark.parametrize("from_shards,to_shards",
+                             [(8, 3), (3, 8), (8, 1), (1, 16)])
+    def test_save_load_roundtrips_shard_count_changes(
+            self, tmp_path, from_shards, to_shards):
+        """A checkpoint written at one shard count reloads at any
+        other, with identical document bytes."""
+        source = _populated(ShardedStore(n_shards=from_shards))
+        path = tmp_path / "store.json"
+        source.save(path)
+        reloaded = ShardedStore.load(path, n_shards=to_shards)
+        assert reloaded.n_shards == to_shards
+        assert (json.dumps(reloaded.to_document(), sort_keys=True)
+                == json.dumps(source.to_document(), sort_keys=True))
+
+    def test_save_load_roundtrips_across_implementations(
+            self, tmp_path):
+        sharded = _populated(ShardedStore(n_shards=8))
+        path = tmp_path / "store.json"
+        sharded.save(path)
+        flat = JsonStore.load(path)
+        assert (json.dumps(flat.to_document(), sort_keys=True)
+                == json.dumps(sharded.to_document(), sort_keys=True))
+        back = ShardedStore.from_document(flat.to_document(),
+                                          n_shards=5)
+        assert back.get_task("t1").answers[0].answer == "cat"
+
+    def test_restarted_preserves_type_and_shard_count(self):
+        sharded = _populated(ShardedStore(n_shards=5))
+        restarted = sharded.restarted()
+        assert isinstance(restarted, ShardedStore)
+        assert restarted.n_shards == 5
+        assert restarted.get_job("j1").task_ids == ["t1", "t2"]
+        flat = _populated(JsonStore())
+        assert isinstance(flat.restarted(), JsonStore)
+
+
+@pytest.mark.parametrize("factory", [JsonStore,
+                                     lambda: ShardedStore(n_shards=4)],
+                         ids=["json", "sharded"])
+class TestSnapshotCopySemantics:
+    """Regression: accessors must return copies, not live lists."""
+
+    def test_tasks_for_returns_a_fresh_copy(self, factory):
+        store = _populated(factory())
+        first = store.tasks_for("j1")
+        first.clear()  # caller vandalism must not reach the store
+        again = store.tasks_for("j1")
+        assert [t.task_id for t in again] == ["t1", "t2"]
+        assert store.get_job("j1").task_ids == ["t1", "t2"]
+        assert again is not store.tasks_for("j1")
+
+    def test_tasks_for_does_not_alias_job_task_ids(self, factory):
+        store = _populated(factory())
+        tasks = store.tasks_for("j1")
+        tasks.append(tasks[0])
+        assert len(store.get_job("j1").task_ids) == 2
+        assert len(store.tasks_for("j1")) == 2
+
+    def test_jobs_and_accounts_return_fresh_copies(self, factory):
+        store = _populated(factory())
+        jobs = store.jobs()
+        jobs.clear()
+        assert [j.job_id for j in store.jobs()] == ["j1", "j2"]
+        accounts = store.accounts()
+        accounts.append("junk")
+        assert [a.account_id for a in store.accounts()] == ["a1"]
+
+
+class TestLockStripes:
+    def test_same_key_same_stripe(self):
+        stripes = LockStripes(16)
+        assert stripes.for_key("job-7") is stripes.for_key("job-7")
+        assert stripes.index_of("job-7") == shard_of("job-7", 16)
+
+    def test_holding_many_deduplicates_and_releases(self):
+        stripes = LockStripes(4)
+        keys = [f"job-{i}" for i in range(10)]
+        with stripes.holding(keys):
+            # Every stripe involved is re-entrant for the holder.
+            with stripes.holding(keys[:2]):
+                pass
+        # All released: a fresh exclusive acquire succeeds.
+        for index in range(4):
+            lock = stripes.for_index(index)
+            assert lock.acquire(blocking=False)
+            lock.release()
+
+    def test_holding_all(self):
+        stripes = LockStripes(3)
+        with stripes.holding_all():
+            pass
+        for index in range(3):
+            lock = stripes.for_index(index)
+            assert lock.acquire(blocking=False)
+            lock.release()
+
+    def test_bad_stripe_count(self):
+        with pytest.raises(PlatformError):
+            LockStripes(0)

@@ -1,0 +1,228 @@
+"""Tests for the batch wire endpoints.
+
+``POST /tasks:batch-assign`` and ``POST /answers:batch`` amortize the
+worker loop's per-operation wire cost.  The contract: a batch is
+exactly equivalent to the sequence of single calls it replaces —
+same assignments, same per-item status codes, same idempotent-retry
+safety — and a bad item never poisons its batchmates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+from repro.service.api import MAX_BATCH_ITEMS, ApiServer
+from repro.service.client import HttpClient, InProcessClient
+from repro.service.http import serve_in_thread
+
+
+def _service(lock_mode="striped", seed=7):
+    registry = MetricsRegistry()
+    platform = Platform(gold_rate=0.0, spam_detection=False,
+                        seed=seed, registry=registry, tracer=Tracer())
+    api = ApiServer(platform, registry=registry, tracer=Tracer(),
+                    lock_mode=lock_mode)
+    return platform, api, InProcessClient(api)
+
+
+def _campaign(client, n_tasks=6, redundancy=2, name="batched"):
+    job = client.create_job(name, redundancy=redundancy)
+    client.add_tasks(job["job_id"],
+                     [{"payload": {"i": i}} for i in range(n_tasks)])
+    client.start_job(job["job_id"])
+    return job["job_id"]
+
+
+class TestBatchAssign:
+    def test_pairs_every_worker_with_a_task(self):
+        platform, api, client = _service()
+        job_id = _campaign(client)
+        workers = [f"w{k}" for k in range(4)]
+        assignments = client.batch_assign(job_id, workers)
+        assert [a["worker_id"] for a in assignments] == workers
+        assert all(a["task"]["job_id"] == job_id
+                   for a in assignments)
+
+    def test_equivalent_to_sequential_next_task(self):
+        """Same seed, same requests: the batch serves exactly what N
+        single calls would have."""
+        _, _, batch_client = _service(seed=11)
+        _, _, single_client = _service(seed=11)
+        batch_job = _campaign(batch_client)
+        single_job = _campaign(single_client)
+        workers = [f"w{k}" for k in range(4)]
+        batched = batch_client.batch_assign(batch_job, workers)
+        for entry, worker in zip(batched, workers):
+            single = single_client.next_task(single_job, worker)
+            assert entry["task"]["task_id"] == single["task_id"]
+
+    def test_null_task_when_job_drained(self):
+        platform, api, client = _service()
+        job_id = _campaign(client, n_tasks=1, redundancy=1)
+        client.submit_answer(
+            client.next_task(job_id, "w0")["task_id"], "w0", "yes")
+        assignments = client.batch_assign(job_id, ["w1", "w2"])
+        assert [a["task"] for a in assignments] == [None, None]
+
+    def test_assigned_count_in_body(self):
+        platform, api, client = _service()
+        job_id = _campaign(client, n_tasks=1, redundancy=1)
+        body = client._call("POST", "/tasks:batch-assign",
+                            {"job_id": job_id,
+                             "workers": ["w0", "w1"]})
+        # One task, redundancy 1: the second worker goes home empty.
+        assert body["assigned"] == 1
+
+    def test_validation_errors(self):
+        platform, api, client = _service()
+        job_id = _campaign(client)
+        for body in ({"workers": ["w0"]},                 # no job_id
+                     {"job_id": job_id},                  # no workers
+                     {"job_id": job_id, "workers": []},   # empty
+                     {"job_id": job_id, "workers": [""]},
+                     {"job_id": job_id, "workers": [17]},
+                     {"job_id": job_id,
+                      "workers": ["w"] * (MAX_BATCH_ITEMS + 1)}):
+            with pytest.raises(ServiceError) as excinfo:
+                client._call("POST", "/tasks:batch-assign", body)
+            assert excinfo.value.status == 422, body
+
+    def test_unknown_job_404s_whole_batch(self):
+        platform, api, client = _service()
+        with pytest.raises(ServiceError) as excinfo:
+            client.batch_assign("job-nope", ["w0"])
+        assert excinfo.value.status == 404
+
+
+class TestBatchAnswers:
+    def test_accepts_answers_across_jobs(self):
+        platform, api, client = _service()
+        job_a = _campaign(client, name="a")
+        job_b = _campaign(client, name="b")
+        task_a = client.next_task(job_a, "w0")
+        task_b = client.next_task(job_b, "w0")
+        results = client.submit_answers([
+            {"task_id": task_a["task_id"], "worker_id": "w0",
+             "answer": "left"},
+            {"task_id": task_b["task_id"], "worker_id": "w0",
+             "answer": "right"}])
+        assert [r["status"] for r in results] == [201, 201]
+        assert platform.store.get_task(
+            task_a["task_id"]).answers[0].answer == "left"
+        assert platform.store.get_task(
+            task_b["task_id"]).answers[0].answer == "right"
+
+    def test_bad_item_does_not_poison_batch(self):
+        platform, api, client = _service()
+        job_id = _campaign(client)
+        task = client.next_task(job_id, "w0")
+        results = client.submit_answers([
+            {"task_id": "task-nope", "worker_id": "w0",
+             "answer": "x"},
+            {"worker_id": "w0", "answer": "x"},   # no task_id
+            {"task_id": task["task_id"], "worker_id": "w0",
+             "answer": "yes"}])
+        assert [r["status"] for r in results] == [404, 422, 201]
+        assert len(platform.store.get_task(
+            task["task_id"]).answers) == 1
+
+    def test_accepted_counts_only_201s(self):
+        platform, api, client = _service()
+        job_id = _campaign(client)
+        task = client.next_task(job_id, "w0")
+        body = client._call("POST", "/answers:batch", {"answers": [
+            {"task_id": task["task_id"], "worker_id": "w0",
+             "answer": "yes"},
+            {"task_id": "task-nope", "worker_id": "w0",
+             "answer": "x"}]})
+        assert body["accepted"] == 1
+
+    def test_conflicting_reanswer_is_a_400_item(self):
+        platform, api, client = _service()
+        job_id = _campaign(client)
+        task = client.next_task(job_id, "w0")
+        client.submit_answer(task["task_id"], "w0", "yes")
+        results = client.submit_answers([
+            {"task_id": task["task_id"], "worker_id": "w0",
+             "answer": "DIFFERENT", "idempotency_key": "fresh-key"}])
+        assert results[0]["status"] == 400
+        assert "differently" in results[0]["error"]
+
+    def test_redelivery_of_whole_batch_never_double_counts(self):
+        """At-least-once redelivery: the client fills natural
+        idempotency keys, so replaying an entire batch is a no-op."""
+        platform, api, client = _service()
+        job_id = _campaign(client)
+        items = []
+        for worker in ("w0", "w1"):
+            task = client.next_task(job_id, worker)
+            items.append({"task_id": task["task_id"],
+                          "worker_id": worker, "answer": "yes"})
+        first = client.submit_answers(items)
+        again = client.submit_answers(items)
+        assert [r["status"] for r in first] == [201, 201]
+        assert [r["status"] for r in again] == [201, 201]
+        for item in items:
+            task = platform.store.get_task(item["task_id"])
+            assert len([r for r in task.answers
+                        if r.worker_id == item["worker_id"]]) == 1
+        assert platform.accounts.get("w0").points == \
+            platform.points_per_answer
+
+    def test_validation_errors(self):
+        platform, api, client = _service()
+        for body in ({}, {"answers": []}, {"answers": "nope"},
+                     {"answers": [{}] * (MAX_BATCH_ITEMS + 1)}):
+            with pytest.raises(ServiceError) as excinfo:
+                client._call("POST", "/answers:batch", body)
+            assert excinfo.value.status == 422, body
+
+    def test_non_object_item_gets_per_item_422(self):
+        platform, api, client = _service()
+        body = client._call("POST", "/answers:batch",
+                            {"answers": ["just-a-string"]})
+        assert body["results"][0]["status"] == 422
+
+
+@pytest.mark.parametrize("lock_mode", ["striped", "global"])
+class TestBatchLockModeEquivalence:
+    def test_full_batched_campaign(self, lock_mode):
+        """A campaign driven purely through the batch endpoints
+        completes identically under either locking regime."""
+        platform, api, client = _service(lock_mode=lock_mode)
+        job_id = _campaign(client, n_tasks=4, redundancy=2)
+        workers = [f"w{k}" for k in range(3)]
+        while platform.progress(job_id)["complete_frac"] < 1.0:
+            assignments = client.batch_assign(job_id, workers)
+            items = [{"task_id": a["task"]["task_id"],
+                      "worker_id": a["worker_id"], "answer": "yes"}
+                     for a in assignments if a["task"] is not None]
+            if not items:
+                break
+            results = client.submit_answers(items)
+            assert all(r["status"] == 201 for r in results)
+        assert platform.progress(job_id)["complete_frac"] == 1.0
+        assert platform.progress(job_id)["answers"] == 4 * 2
+
+
+class TestBatchOverHttp:
+    def test_batch_roundtrip_on_the_wire(self):
+        platform, api, _ = _service()
+        server, thread, base_url = serve_in_thread(api)
+        try:
+            client = HttpClient(base_url)
+            job_id = _campaign(client, n_tasks=2, redundancy=1)
+            assignments = client.batch_assign(job_id, ["w0", "w1"])
+            assert all(a["task"] is not None for a in assignments)
+            results = client.submit_answers(
+                [{"task_id": a["task"]["task_id"],
+                  "worker_id": a["worker_id"], "answer": "ok"}
+                 for a in assignments])
+            assert [r["status"] for r in results] == [201, 201]
+            assert platform.progress(job_id)["complete_frac"] == 1.0
+        finally:
+            server.shutdown()

@@ -68,7 +68,7 @@ class TestMetricsEndpoint:
                                route="/health")
         assert latency["count"] == 5
         assert 0.0 <= latency["p50"] <= latency["p95"]
-        # Lock instrumentation saw every locked request.
+        # Lock instrumentation saw every scoped request.
         assert metrics["service.lock_held_s"]["series"][0]["count"] >= 8
         # Platform-layer counters rode along.
         assert series_value("platform.answers",
