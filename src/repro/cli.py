@@ -4,10 +4,15 @@ Commands:
 
 - ``campaign`` — run a simulated ESP campaign and print GWAP metrics.
 - ``digitize`` — run the reCAPTCHA pipeline over a synthetic book.
-- ``serve``    — start the platform's HTTP service.
+- ``serve``    — start the platform's HTTP service (``--data-dir``
+  makes it durable: recover on boot, WAL every mutation, checkpoint
+  on shutdown).
 - ``suite``    — play one match of every game and summarize outputs.
 - ``metrics``  — pretty-print a ``/metrics`` snapshot from a running
   service.
+- ``fsck``     — check a durability directory: per-record CRC,
+  sequence-gap and orphan-reference diagnostics; silent and exit 0
+  when clean, one line per issue and exit 1 on corruption.
 
 Each command is a thin wrapper over the public API; see the examples/
 directory for richer, commented versions of the same flows.
@@ -54,6 +59,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--data-dir", default=None,
+                       help="durability directory: recover state from "
+                            "it on boot and write-ahead-log every "
+                            "mutation (default: in-memory only)")
+    serve.add_argument("--checkpoint-every", type=int, default=512,
+                       help="WAL records between checkpoint rotations")
 
     suite = sub.add_parser(
         "suite", help="play one match of every game")
@@ -74,6 +85,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          default="table",
                          help="table (default), raw json, or "
                               "prometheus text")
+
+    fsck = sub.add_parser(
+        "fsck", help="check a durability directory for corruption")
+    fsck.add_argument("--dir", required=True,
+                      help="the durability data directory to check")
+    fsck.add_argument("--verbose", action="store_true",
+                      help="print a summary even when clean")
     return parser
 
 
@@ -154,7 +172,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.http import _make_handler
     from http.server import ThreadingHTTPServer
 
-    platform = Platform(seed=args.seed)
+    if args.data_dir:
+        platform = Platform.recover(
+            args.data_dir, checkpoint_every=args.checkpoint_every,
+            seed=args.seed)
+        print(f"recovered from {args.data_dir} "
+              f"(seq {platform.durability.seq})")
+    else:
+        platform = Platform(seed=args.seed)
     api = ApiServer(platform)
     server = ThreadingHTTPServer((args.host, args.port),
                                  _make_handler(api))
@@ -166,6 +191,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nstopping")
     finally:
         server.server_close()
+        api.shutdown()
     return 0
 
 
@@ -264,6 +290,17 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.durability import fsck
+
+    report = fsck(args.dir)
+    for line in report.lines():
+        print(line)
+    if args.verbose:
+        print(report.summary(), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "digitize": _cmd_digitize,
@@ -271,6 +308,7 @@ _COMMANDS = {
     "suite": _cmd_suite,
     "play": _cmd_play,
     "metrics": _cmd_metrics,
+    "fsck": _cmd_fsck,
 }
 
 

@@ -1,0 +1,36 @@
+"""Crash-safe persistence: write-ahead log, checkpoints, fsck.
+
+The platform appends every mutating operation to a
+:class:`~repro.durability.log.DurabilityLog` before acknowledging it,
+rotates checkpoints at a record threshold, and recovers by loading the
+newest valid checkpoint and replaying the WAL tail.  ``repro fsck``
+diagnoses a durability directory offline.
+"""
+
+from repro.durability.fsck import FsckIssue, FsckReport, fsck
+from repro.durability.log import (CHECKPOINT_FORMAT,
+                                  DEFAULT_CHECKPOINT_EVERY,
+                                  DurabilityLog)
+from repro.durability.wal import (FRAME_HEADER, SegmentScan, WalRecord,
+                                  atomic_write_bytes, atomic_write_text,
+                                  crc32c, decode_frame, encode_frame,
+                                  encode_record, scan_segment)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DurabilityLog",
+    "FRAME_HEADER",
+    "FsckIssue",
+    "FsckReport",
+    "SegmentScan",
+    "WalRecord",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "crc32c",
+    "decode_frame",
+    "encode_frame",
+    "encode_record",
+    "fsck",
+    "scan_segment",
+]

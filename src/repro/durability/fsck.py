@@ -1,0 +1,254 @@
+"""Offline integrity checker for a durability directory.
+
+:func:`fsck` walks every checkpoint and WAL segment byte by byte and
+reports everything wrong with them, without mutating anything:
+
+- **Framing / checksum** — undersized or oversized frames, CRC32C
+  mismatches, undecodable payloads, torn tails.  Because every durable
+  byte lives inside a checksummed frame (checkpoints included), any
+  flipped byte surfaces here.
+- **Sequencing** — gaps or regressions in the record stream, a WAL
+  tail that does not meet its covering checkpoint, segments whose
+  first record disagrees with their filename.
+- **References** — records naming jobs/tasks that neither the
+  checkpoint nor an earlier record created (orphans), and unknown
+  operation kinds.
+
+A clean directory produces an empty report; ``repro fsck`` prints
+nothing and exits 0 on one, and prints one line per issue and exits 1
+otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Union
+
+from repro.errors import StoreCorruptError
+from repro.durability.log import (CHECKPOINT_FORMAT, _CHECKPOINT_RE,
+                                  _SEGMENT_RE)
+from repro.durability.wal import decode_frame, scan_segment
+
+#: Operations the platform writes, with the references each one makes.
+KNOWN_OPS = frozenset({
+    "register", "create_job", "add_task", "start_job", "archive_job",
+    "assign", "answer", "dedupe", "disconnect", "promotion",
+})
+
+
+@dataclass(frozen=True)
+class FsckIssue:
+    """One diagnostic: where, what kind, and the detail."""
+
+    path: str
+    kind: str
+    detail: str
+    seq: Optional[int] = None
+    offset: Optional[int] = None
+
+    def line(self) -> str:
+        where = self.path
+        if self.offset is not None:
+            where += f" @byte {self.offset}"
+        if self.seq is not None:
+            where += f" seq {self.seq}"
+        return f"{where}: {self.kind}: {self.detail}"
+
+
+@dataclass
+class FsckReport:
+    """Everything :func:`fsck` learned about one directory."""
+
+    root: str
+    checkpoints: int = 0
+    segments: int = 0
+    records: int = 0
+    checkpoint_seq: int = 0
+    last_seq: int = 0
+    issues: List[FsckIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def lines(self) -> List[str]:
+        return [issue.line() for issue in self.issues]
+
+    def summary(self) -> str:
+        state = "clean" if self.ok else f"{len(self.issues)} issue(s)"
+        return (f"{self.root}: {state} — {self.checkpoints} "
+                f"checkpoint(s), {self.segments} segment(s), "
+                f"{self.records} record(s), checkpoint seq "
+                f"{self.checkpoint_seq}, last seq {self.last_seq}")
+
+
+def _check_checkpoint(path: Path, seq: int,
+                      report: FsckReport) -> Optional[Dict[str, Any]]:
+    """Validate one checkpoint file; returns its state when clean."""
+    try:
+        document = decode_frame(path.read_bytes())
+    except StoreCorruptError as exc:
+        report.issues.append(FsckIssue(
+            path.name, "checkpoint-corrupt", str(exc), seq=seq))
+        return None
+    if (not isinstance(document, dict)
+            or document.get("format") != CHECKPOINT_FORMAT
+            or not isinstance(document.get("state"), dict)
+            or document.get("seq") != seq):
+        report.issues.append(FsckIssue(
+            path.name, "checkpoint-corrupt",
+            "decoded but structurally invalid "
+            "(format/seq/state fields)", seq=seq))
+        return None
+    return document["state"]
+
+
+def _reference_sets(state: Optional[Dict[str, Any]]
+                    ) -> Dict[str, Set[str]]:
+    """Known job/task ids seeded from a checkpoint's store document."""
+    jobs: Set[str] = set()
+    tasks: Set[str] = set()
+    store = (state or {}).get("store", {})
+    for raw in store.get("jobs", []):
+        if isinstance(raw, dict) and "job_id" in raw:
+            jobs.add(str(raw["job_id"]))
+    for raw in store.get("tasks", []):
+        if isinstance(raw, dict) and "task_id" in raw:
+            tasks.add(str(raw["task_id"]))
+    return {"jobs": jobs, "tasks": tasks}
+
+
+def _check_references(record, refs: Dict[str, Set[str]], name: str,
+                      report: FsckReport) -> None:
+    """Orphan-reference diagnostics for one record."""
+    data = record.data
+    op = record.op
+
+    def missing(kind: str, key: str) -> None:
+        ident = data.get(key)
+        if ident is None:
+            report.issues.append(FsckIssue(
+                name, "orphan-ref", f"{op} record lacks {key!r}",
+                seq=record.seq))
+        elif str(ident) not in refs[kind]:
+            report.issues.append(FsckIssue(
+                name, "orphan-ref",
+                f"{op} references unknown {kind[:-1]} {ident!r}",
+                seq=record.seq))
+
+    if op not in KNOWN_OPS:
+        report.issues.append(FsckIssue(
+            name, "unknown-op", f"unknown operation {op!r}",
+            seq=record.seq))
+        return
+    if op == "create_job":
+        if "job_id" in data:
+            refs["jobs"].add(str(data["job_id"]))
+    elif op == "add_task":
+        missing("jobs", "job_id")
+        if "task_id" in data:
+            refs["tasks"].add(str(data["task_id"]))
+    elif op in ("start_job", "archive_job", "promotion"):
+        missing("jobs", "job_id")
+    elif op == "assign":
+        missing("jobs", "job_id")
+        missing("tasks", "task_id")
+    elif op in ("answer", "dedupe"):
+        missing("tasks", "task_id")
+
+
+def fsck(root: Union[str, Path]) -> FsckReport:
+    """Diagnose one durability directory without mutating it."""
+    root = Path(root)
+    report = FsckReport(root=str(root))
+    if not root.is_dir():
+        report.issues.append(FsckIssue(
+            str(root), "missing", "not a directory"))
+        return report
+
+    for stale in sorted(root.glob("*.tmp")):
+        report.issues.append(FsckIssue(
+            stale.name, "stale-tmp",
+            "leftover temp file from an interrupted checkpoint"))
+
+    checkpoints = []
+    segments = []
+    for path in sorted(root.iterdir()):
+        match = _CHECKPOINT_RE.match(path.name)
+        if match:
+            checkpoints.append((int(match.group(1)), path))
+            continue
+        match = _SEGMENT_RE.match(path.name)
+        if match:
+            segments.append((int(match.group(1)), path))
+    checkpoints.sort()
+    segments.sort()
+    report.checkpoints = len(checkpoints)
+    report.segments = len(segments)
+
+    newest_state: Optional[Dict[str, Any]] = None
+    for seq, path in checkpoints:
+        state = _check_checkpoint(path, seq, report)
+        if state is not None:
+            newest_state = state
+            report.checkpoint_seq = seq
+    refs = _reference_sets(newest_state)
+
+    expected: Optional[int] = None
+    for index, (first_seq, path) in enumerate(segments):
+        scan = scan_segment(path)
+        if scan.error is not None:
+            report.issues.append(FsckIssue(
+                path.name, "corrupt-record", scan.error,
+                offset=scan.good_bytes))
+        elif scan.torn:
+            kind = ("torn-tail" if index == len(segments) - 1
+                    else "torn-record")
+            report.issues.append(FsckIssue(
+                path.name, kind,
+                "file ends inside a record (crashed append; recovery "
+                "truncates this)" if kind == "torn-tail"
+                else "record torn in a non-final segment",
+                offset=scan.good_bytes))
+        if scan.records and scan.records[0].seq != first_seq:
+            report.issues.append(FsckIssue(
+                path.name, "seq-gap",
+                f"first record is seq {scan.records[0].seq}, "
+                f"filename claims {first_seq}"))
+        for record in scan.records:
+            report.records += 1
+            report.last_seq = max(report.last_seq, record.seq)
+            if expected is not None and record.seq != expected:
+                report.issues.append(FsckIssue(
+                    path.name, "seq-gap",
+                    f"expected seq {expected}, found {record.seq}",
+                    seq=record.seq))
+            expected = record.seq + 1
+            if record.seq > report.checkpoint_seq:
+                _check_references(record, refs, path.name, report)
+
+    if (report.checkpoint_seq and segments
+            and report.last_seq > report.checkpoint_seq):
+        first_tail = min(
+            (record_seq for record_seq in _all_seqs(segments)
+             if record_seq > report.checkpoint_seq), default=None)
+        if first_tail is not None and first_tail != \
+                report.checkpoint_seq + 1:
+            report.issues.append(FsckIssue(
+                str(root), "seq-gap",
+                f"WAL tail starts at seq {first_tail}; checkpoint "
+                f"covers {report.checkpoint_seq}"))
+    return report
+
+
+def _all_seqs(segments) -> List[int]:
+    seqs: List[int] = []
+    for _, path in segments:
+        seqs.extend(record.seq for record in
+                    scan_segment(path).records)
+    return seqs
+
+
+_ = re  # imported for regex type parity with log module

@@ -1,0 +1,392 @@
+"""The durability log: WAL segments plus rotating checkpoints.
+
+A :class:`DurabilityLog` owns one directory::
+
+    data/
+      checkpoint-000000000180.ckpt   # framed snapshot covering seq <= 180
+      wal-000000000181.log           # records 181..N (name = first seq)
+
+Protocol (the classic WAL discipline):
+
+- **Append** — every mutating platform operation is framed, appended to
+  the current segment, flushed and fsynced *before* the operation is
+  acknowledged.  Sequence numbers are monotone and contiguous.
+- **Checkpoint** — every ``checkpoint_every`` records the platform
+  snapshots its durable state; the snapshot is framed and written
+  atomically (temp + fsync + ``os.replace``), the live segment is
+  rotated, and segments wholly covered by the checkpoint are deleted.
+  The two newest checkpoints are kept (belt and braces); older ones
+  are pruned.
+- **Recover** — load the newest checkpoint that decodes cleanly, then
+  replay every record with a higher sequence number.  A torn final
+  record (the signature of a crash mid-append) is truncated, not
+  fatal; a checksum mismatch or sequence gap anywhere else raises
+  :class:`~repro.errors.StoreCorruptError` — those bytes changed after
+  they were acknowledged, and silently dropping them would lose
+  acknowledged work.
+
+The log's internal lock is a leaf: nothing else is ever acquired while
+it is held, so callers may append while holding any platform lock.
+Crash-point faults (``wal.append`` / ``wal.checkpoint`` sites) simulate
+a process kill mid-write: the frame's first ``at_byte`` bytes reach
+disk and :class:`~repro.errors.InjectedCrash` propagates.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import InjectedCrash, StoreCorruptError
+from repro.durability.wal import (FRAME_HEADER, SegmentScan, WalRecord,
+                                  atomic_write_bytes, decode_frame,
+                                  encode_frame, encode_record,
+                                  fsync_dir, scan_segment)
+
+#: Checkpoint snapshot document format version.
+CHECKPOINT_FORMAT = 1
+
+#: Default record count between automatic checkpoints.
+DEFAULT_CHECKPOINT_EVERY = 512
+
+#: How many checkpoint generations survive a rotation.
+KEPT_CHECKPOINTS = 2
+
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{12})\.ckpt$")
+_SEGMENT_RE = re.compile(r"^wal-(\d{12})\.log$")
+
+
+def _checkpoint_name(seq: int) -> str:
+    return f"checkpoint-{seq:012d}.ckpt"
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"wal-{first_seq:012d}.log"
+
+
+class DurabilityLog:
+    """Append-only WAL with checkpoint rotation over one directory.
+
+    Args:
+        root: the data directory (created if missing).  Stale ``*.tmp``
+            files from interrupted checkpoints are removed on open, and
+            a torn final record in the newest segment is truncated.
+        checkpoint_every: records between automatic checkpoints
+            (consulted by the platform via :meth:`should_checkpoint`).
+        fsync: fsync after every append.  Leave on for real
+            durability; ``False`` trades crash safety for speed in
+            throwaway simulations.
+        faults: optional :class:`~repro.faults.FaultInjector` consulted
+            at the ``wal.append`` and ``wal.checkpoint`` crash-point
+            sites.
+        registry: metrics registry for ``wal.appends``,
+            ``wal.checkpoints`` and ``wal.truncated_tails`` (the
+            process default if omitted).
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 fsync: bool = True,
+                 faults=None,
+                 registry=None) -> None:
+        if checkpoint_every < 1:
+            raise StoreCorruptError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.checkpoint_every = checkpoint_every
+        self.fsync = fsync
+        self.faults = faults
+        from repro.obs.metrics import default_registry
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self._m_appends = self.registry.counter(
+            "wal.appends", "WAL records appended, by op")
+        self._m_checkpoints = self.registry.counter(
+            "wal.checkpoints", "checkpoints written")
+        self._m_truncated = self.registry.counter(
+            "wal.truncated_tails",
+            "torn WAL tails truncated during recovery")
+        self._lock = threading.Lock()
+        self._handle = None
+        self._current_segment: Optional[Path] = None
+        for stale in self.root.glob("*.tmp"):
+            stale.unlink()
+        self._seq = 0
+        self._since_checkpoint = 0
+        self._scan_directory()
+
+    # ------------------------------------------------------------------
+    # Directory state
+    # ------------------------------------------------------------------
+
+    def _checkpoint_files(self) -> List[Tuple[int, Path]]:
+        """(seq, path) of every checkpoint file, newest first."""
+        found = []
+        for path in self.root.iterdir():
+            match = _CHECKPOINT_RE.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found, reverse=True)
+
+    def _segment_files(self) -> List[Tuple[int, Path]]:
+        """(first_seq, path) of every WAL segment, oldest first."""
+        found = []
+        for path in self.root.iterdir():
+            match = _SEGMENT_RE.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    def _scan_directory(self) -> None:
+        """Establish the next sequence number from disk, truncating a
+        torn tail in the newest segment (a crashed append)."""
+        checkpoint_seq = 0
+        files = self._checkpoint_files()
+        if files:
+            checkpoint_seq = files[0][0]
+        last_seq = checkpoint_seq
+        records_after = 0
+        segments = self._segment_files()
+        for index, (first_seq, path) in enumerate(segments):
+            scan = scan_segment(path)
+            if scan.torn:
+                if index != len(segments) - 1:
+                    raise StoreCorruptError(
+                        f"{path.name}: torn record in a non-final "
+                        "WAL segment")
+                self._truncate_segment(path, scan)
+            if scan.records:
+                last_seq = max(last_seq, scan.records[-1].seq)
+                records_after += sum(
+                    1 for record in scan.records
+                    if record.seq > checkpoint_seq)
+        self._seq = last_seq
+        self._since_checkpoint = records_after
+        if segments and segments[-1][1].exists():
+            self._current_segment = segments[-1][1]
+
+    def _truncate_segment(self, path: Path, scan: SegmentScan) -> None:
+        """Cut a torn final record off a segment (crash mid-append)."""
+        with open(path, "r+b") as handle:
+            handle.truncate(scan.good_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._m_truncated.inc()
+        if scan.good_bytes == 0 and not scan.records:
+            # Nothing durable ever landed in this segment.
+            path.unlink()
+            fsync_dir(self.root)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the newest durable record."""
+        with self._lock:
+            return self._seq
+
+    def should_checkpoint(self) -> bool:
+        """Whether the rotation threshold has been reached."""
+        with self._lock:
+            return self._since_checkpoint >= self.checkpoint_every
+
+    def status(self) -> Dict[str, Any]:
+        """A JSON-able health summary (the ``/healthz`` payload)."""
+        with self._lock:
+            seq = self._seq
+            since = self._since_checkpoint
+        checkpoints = self._checkpoint_files()
+        return {
+            "dir": str(self.root),
+            "seq": seq,
+            "checkpoint_seq": checkpoints[0][0] if checkpoints else 0,
+            "records_since_checkpoint": since,
+            "segments": len(self._segment_files()),
+            "checkpoints": len(checkpoints),
+        }
+
+    # ------------------------------------------------------------------
+    # Append
+    # ------------------------------------------------------------------
+
+    def append(self, op: str, data: Dict[str, Any]) -> int:
+        """Durably append one record; returns its sequence number.
+
+        The record is on disk (written, flushed, fsynced) before this
+        returns — the platform acknowledges the operation only after.
+        """
+        with self._lock:
+            seq = self._seq + 1
+            frame = encode_record(seq, op, data)
+            handle = self._open_segment(seq)
+            self._maybe_crash(handle, frame, "wal.append")
+            handle.write(frame)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            self._seq = seq
+            self._since_checkpoint += 1
+        self._m_appends.inc(op=op)
+        return seq
+
+    def _open_segment(self, first_seq: int):
+        if self._handle is None:
+            if self._current_segment is None:
+                self._current_segment = (
+                    self.root / _segment_name(first_seq))
+            self._handle = open(self._current_segment, "ab")
+        return self._handle
+
+    def _maybe_crash(self, handle, frame: bytes, site: str) -> None:
+        """Simulate a process kill mid-write when a crash-point rule
+        fires: the frame's first ``at_byte`` bytes reach disk, then
+        :class:`~repro.errors.InjectedCrash` propagates.  ``at_byte``
+        of None (or past the frame) means the write completed but the
+        process died before acknowledging."""
+        faults = self.faults
+        if faults is None:
+            return
+        rule = faults.crash_point(site)
+        if rule is None:
+            return
+        cut = len(frame) if rule.at_byte is None else min(
+            max(rule.at_byte, 0), len(frame))
+        handle.write(frame[:cut])
+        handle.flush()
+        os.fsync(handle.fileno())
+        raise InjectedCrash(
+            f"injected crash at {site} after {cut}/{len(frame)} bytes")
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, state: Dict[str, Any],
+                   at_seq: Optional[int] = None) -> int:
+        """Write a snapshot covering records up to ``at_seq``, rotate
+        the live segment, and delete segments the snapshot covers.
+
+        ``at_seq`` must be captured *before* the state snapshot is
+        taken (effects of later records may be included; replay is
+        idempotent, so re-applying them is harmless — but a record
+        newer than its covering checkpoint must never be skipped).
+        Defaults to the current sequence number.  Returns ``at_seq``.
+        """
+        with self._lock:
+            seq = self._seq if at_seq is None else at_seq
+            frame = encode_frame({"format": CHECKPOINT_FORMAT,
+                                  "seq": seq, "state": state})
+            target = self.root / _checkpoint_name(seq)
+            self._checkpoint_write(target, frame)
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            self._current_segment = None
+            self._rotate(seq)
+            self._since_checkpoint = self._seq - seq
+        self._m_checkpoints.inc()
+        return seq
+
+    def _checkpoint_write(self, target: Path, frame: bytes) -> None:
+        faults = self.faults
+        if faults is not None:
+            rule = faults.crash_point("wal.checkpoint")
+            if rule is not None:
+                # Die mid-snapshot: only the temp file is touched, so
+                # the previous checkpoint generation stays intact.
+                tmp = target.with_name(target.name + ".tmp")
+                cut = (len(frame) if rule.at_byte is None
+                       else min(max(rule.at_byte, 0), len(frame)))
+                tmp.write_bytes(frame[:cut])
+                raise InjectedCrash(
+                    f"injected crash at wal.checkpoint after "
+                    f"{cut}/{len(frame)} bytes")
+        atomic_write_bytes(target, frame)
+
+    def _rotate(self, covered_seq: int) -> None:
+        """Delete segments wholly covered by the checkpoint and prune
+        old checkpoint generations."""
+        segments = self._segment_files()
+        for index, (first_seq, path) in enumerate(segments):
+            if index + 1 < len(segments):
+                newest_record = segments[index + 1][0] - 1
+            else:
+                newest_record = self._seq
+            if newest_record <= covered_seq:
+                path.unlink()
+        for seq, path in self._checkpoint_files()[KEPT_CHECKPOINTS:]:
+            path.unlink()
+        fsync_dir(self.root)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def load_checkpoint(self) -> Tuple[int, Optional[Dict[str, Any]]]:
+        """The newest checkpoint that decodes cleanly.
+
+        Returns ``(seq, state)``, or ``(0, None)`` when no valid
+        checkpoint exists.  A corrupt newer generation falls back to
+        the older one — replay then covers the gap from the WAL.
+        """
+        for seq, path in self._checkpoint_files():
+            try:
+                document = decode_frame(path.read_bytes())
+            except StoreCorruptError:
+                continue
+            if (not isinstance(document, dict)
+                    or document.get("format") != CHECKPOINT_FORMAT
+                    or not isinstance(document.get("state"), dict)
+                    or document.get("seq") != seq):
+                continue
+            return seq, document["state"]
+        return 0, None
+
+    def replay(self, after_seq: int) -> Iterator[WalRecord]:
+        """Yield every durable record with ``seq > after_seq``.
+
+        A torn final record was already truncated on open; a sequence
+        gap or checksum failure raises
+        :class:`~repro.errors.StoreCorruptError` (run ``repro fsck``
+        for a full diagnosis).
+        """
+        expected: Optional[int] = None
+        segments = self._segment_files()
+        for index, (first_seq, path) in enumerate(segments):
+            scan = scan_segment(path)
+            if scan.error is not None:
+                raise StoreCorruptError(
+                    f"{path.name} at byte {scan.good_bytes}: "
+                    f"{scan.error}")
+            if scan.torn:
+                if index != len(segments) - 1:
+                    raise StoreCorruptError(
+                        f"{path.name}: torn record in a non-final "
+                        "WAL segment")
+                self._truncate_segment(path, scan)
+            for record in scan.records:
+                if record.seq <= after_seq:
+                    continue
+                if expected is not None and record.seq != expected:
+                    raise StoreCorruptError(
+                        f"{path.name}: WAL sequence gap "
+                        f"({expected} expected, {record.seq} found)")
+                if expected is None and record.seq != after_seq + 1:
+                    raise StoreCorruptError(
+                        f"{path.name}: WAL tail starts at "
+                        f"{record.seq}, checkpoint covers {after_seq}")
+                yield record
+                expected = record.seq + 1
+
+    def close(self) -> None:
+        """Close the live segment handle (appends reopen it)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None

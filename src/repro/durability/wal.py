@@ -1,0 +1,214 @@
+"""The write-ahead-log record format and file primitives.
+
+One WAL *frame* is::
+
+    [4 bytes  payload length, big-endian]
+    [4 bytes  CRC32C of the payload, big-endian]
+    [N bytes  payload: canonical JSON {"seq", "op", "data"}, UTF-8]
+
+Frames are strictly appended; a crash can therefore only ever leave a
+*prefix* of the intended bytes on disk, which is why a torn final frame
+is recoverable (truncate it) while a CRC mismatch anywhere else is real
+corruption (the bytes changed after they were written).  Checkpoints
+reuse the same frame so every byte of durable state — snapshot and log
+alike — is covered by a checksum.
+
+CRC32C (the Castagnoli polynomial, the variant used by ext4, iSCSI and
+LevelDB's log format) is implemented here table-driven in pure Python:
+records are small and the stdlib only ships CRC32.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import StoreCorruptError
+
+#: Frame header: payload length then payload CRC32C, both uint32 BE.
+FRAME_HEADER = struct.Struct(">II")
+
+#: Upper bound on a single record's payload — a framing sanity check,
+#: not a practical limit (a length field this large means corruption).
+MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
+
+
+def _build_crc32c_table() -> List[int]:
+    table = []
+    for index in range(256):
+        crc = index
+        for _ in range(8):
+            crc = (crc >> 1) ^ 0x82F63B78 if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_CRC32C_TABLE = _build_crc32c_table()
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """CRC32C (Castagnoli) of ``data``, chainable via ``crc``."""
+    crc ^= 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _CRC32C_TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded WAL record."""
+
+    seq: int
+    op: str
+    data: Dict[str, Any]
+
+
+def encode_record(seq: int, op: str, data: Dict[str, Any]) -> bytes:
+    """Frame one record (header + canonical JSON payload)."""
+    payload = json.dumps({"seq": seq, "op": op, "data": data},
+                         sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return FRAME_HEADER.pack(len(payload), crc32c(payload)) + payload
+
+
+def encode_frame(document: Dict[str, Any]) -> bytes:
+    """Frame an arbitrary JSON document (checkpoint files)."""
+    payload = json.dumps(document, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return FRAME_HEADER.pack(len(payload), crc32c(payload)) + payload
+
+
+def decode_frame(raw: bytes) -> Dict[str, Any]:
+    """Decode a whole buffer holding exactly one frame.
+
+    Raises :class:`~repro.errors.StoreCorruptError` on a short buffer,
+    CRC mismatch, trailing bytes, or non-JSON payload.
+    """
+    if len(raw) < FRAME_HEADER.size:
+        raise StoreCorruptError(
+            f"frame truncated: {len(raw)} bytes < "
+            f"{FRAME_HEADER.size}-byte header")
+    length, checksum = FRAME_HEADER.unpack_from(raw)
+    if length > MAX_PAYLOAD_BYTES:
+        raise StoreCorruptError(
+            f"frame length {length} exceeds sanity bound")
+    payload = raw[FRAME_HEADER.size:FRAME_HEADER.size + length]
+    if len(payload) < length:
+        raise StoreCorruptError(
+            f"frame truncated: payload {len(payload)}/{length} bytes")
+    if len(raw) != FRAME_HEADER.size + length:
+        raise StoreCorruptError(
+            f"{len(raw) - FRAME_HEADER.size - length} trailing bytes "
+            "after frame")
+    if crc32c(payload) != checksum:
+        raise StoreCorruptError("frame checksum mismatch")
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreCorruptError(
+            f"frame payload is not JSON: {exc}") from exc
+
+
+@dataclass
+class SegmentScan:
+    """Everything a scan of one WAL segment file learned.
+
+    Attributes:
+        records: the frames that decoded cleanly, in file order.
+        good_bytes: offset of the first byte not covered by a clean
+            frame (the file size when the segment is clean).
+        torn: the file ended mid-frame — the signature of a crash
+            during an append; recovery truncates to ``good_bytes``.
+        error: a non-torn defect (CRC mismatch, insane length, bad
+            JSON, seq regression) at ``good_bytes``, or None.  Unlike a
+            torn tail this cannot come from a crashed append, so it is
+            never silently healed.
+    """
+
+    records: List[WalRecord]
+    good_bytes: int
+    torn: bool = False
+    error: Optional[str] = None
+
+
+def scan_segment(path: Union[str, Path]) -> SegmentScan:
+    """Decode every clean frame of a segment, stopping at the first
+    torn or corrupt one."""
+    raw = Path(path).read_bytes()
+    records: List[WalRecord] = []
+    offset = 0
+    last_seq: Optional[int] = None
+    while offset < len(raw):
+        remaining = len(raw) - offset
+        if remaining < FRAME_HEADER.size:
+            return SegmentScan(records, offset, torn=True)
+        length, checksum = FRAME_HEADER.unpack_from(raw, offset)
+        if length > MAX_PAYLOAD_BYTES:
+            return SegmentScan(
+                records, offset,
+                error=f"frame length {length} exceeds sanity bound")
+        if remaining < FRAME_HEADER.size + length:
+            return SegmentScan(records, offset, torn=True)
+        payload = raw[offset + FRAME_HEADER.size:
+                      offset + FRAME_HEADER.size + length]
+        if crc32c(payload) != checksum:
+            return SegmentScan(records, offset,
+                               error="frame checksum mismatch")
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+            record = WalRecord(seq=int(doc["seq"]), op=str(doc["op"]),
+                               data=dict(doc["data"]))
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                TypeError, ValueError) as exc:
+            return SegmentScan(records, offset,
+                               error=f"undecodable record: {exc}")
+        if last_seq is not None and record.seq != last_seq + 1:
+            return SegmentScan(
+                records, offset,
+                error=f"sequence jump {last_seq} -> {record.seq}")
+        last_seq = record.seq
+        records.append(record)
+        offset += FRAME_HEADER.size + length
+    return SegmentScan(records, offset)
+
+
+# ----------------------------------------------------------------------
+# Durable file helpers
+# ----------------------------------------------------------------------
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """fsync a directory so a rename inside it is durable (no-op on
+    platforms whose directories cannot be opened)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write a file atomically: temp sibling, fsync, ``os.replace``.
+
+    A crash at any point leaves either the old file or the new one,
+    never a truncated hybrid.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    fsync_dir(target.parent)
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """:func:`atomic_write_bytes` for UTF-8 text."""
+    atomic_write_bytes(path, text.encode("utf-8"))

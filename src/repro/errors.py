@@ -57,6 +57,25 @@ class AccountError(PlatformError):
     """Account creation or lookup failed."""
 
 
+class StoreCorruptError(PlatformError):
+    """Persisted state failed an integrity check (truncated JSON, CRC
+    mismatch, sequence gap).
+
+    Non-retryable: the bytes on disk are wrong and re-reading them
+    cannot help — run ``repro fsck`` to locate the damage.
+    """
+
+
+class InjectedCrash(ReproError):
+    """A process kill deliberately injected by :mod:`repro.faults`.
+
+    Raised by a crash-point fault after a *partial* write has been
+    flushed, simulating the process dying mid-append or
+    mid-checkpoint.  Non-retryable by design: the harness is expected
+    to recover from disk, not to retry the call.
+    """
+
+
 #: Statuses a client may safely retry: the request either never ran or
 #: can be replayed without changing the outcome (pair with idempotency
 #: keys for POSTs).  Everything else in 4xx means the request itself is

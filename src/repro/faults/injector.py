@@ -139,6 +139,14 @@ class FaultInjector:
         """True when the store should crash-restart before ``site``."""
         return self._fired(site, FaultKind.STORE_CRASH) is not None
 
+    def crash_point(self, site: str) -> Optional[FaultRule]:
+        """The ``CRASH_POINT`` rule firing at ``site``, or None.
+
+        Returns the whole rule (the durability log needs ``at_byte``
+        to decide how much of the frame reaches disk).
+        """
+        return self._fired(site, FaultKind.CRASH_POINT)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

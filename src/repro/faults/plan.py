@@ -24,6 +24,11 @@ service sees (ISSUE 2; Ponciano et al. 2015's dependability taxonomy):
   redelivery); the platform must dedupe.
 - ``STORE_CRASH`` — the platform store crash-restarts from its JSON
   checkpoint, losing all in-memory leases.
+- ``CRASH_POINT`` — the process dies mid-write: the durability log
+  flushes only the first ``at_byte`` bytes of a WAL append or
+  checkpoint frame, then raises
+  :class:`~repro.errors.InjectedCrash`.  The crash-recovery matrix is
+  built on this.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ class FaultKind(enum.Enum):
     DROP_ANSWER = "drop_answer"
     DUPLICATE = "duplicate"
     STORE_CRASH = "store_crash"
+    CRASH_POINT = "crash_point"
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,10 @@ class FaultRule:
         status: HTTP status for error rules (503 transient, 422
             permanent are the conventional picks).
         retry_after_s: advisory backoff attached to injected errors.
+        at_byte: for ``CRASH_POINT`` rules, how many bytes of the
+            frame reach disk before the simulated kill (None = the
+            whole frame lands but the process dies before
+            acknowledging).
     """
 
     site: str
@@ -74,6 +84,7 @@ class FaultRule:
     latency_s: float = 0.001
     status: int = 503
     retry_after_s: Optional[float] = None
+    at_byte: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.site:
@@ -89,6 +100,13 @@ class FaultRule:
         if self.latency_s < 0:
             raise ConfigError(
                 f"latency_s must be >= 0, got {self.latency_s}")
+        if self.at_byte is not None:
+            if self.kind is not FaultKind.CRASH_POINT:
+                raise ConfigError(
+                    "at_byte only applies to CRASH_POINT rules")
+            if self.at_byte < 0:
+                raise ConfigError(
+                    f"at_byte must be >= 0, got {self.at_byte}")
 
 
 @dataclass(frozen=True)
@@ -154,6 +172,20 @@ class FaultPlan:
         return self.with_rule(FaultRule(
             site=site, kind=FaultKind.STORE_CRASH,
             probability=probability, max_fires=max_fires, **kw))
+
+    def with_crash_points(self, site: str = "wal.append",
+                          probability: float = 1.0,
+                          after: int = 0,
+                          max_fires: Optional[int] = 1,
+                          at_byte: Optional[int] = None,
+                          **kw) -> "FaultPlan":
+        """Kill the process mid-write at a durability site
+        (``wal.append`` or ``wal.checkpoint``), leaving the first
+        ``at_byte`` bytes of the frame on disk."""
+        return self.with_rule(FaultRule(
+            site=site, kind=FaultKind.CRASH_POINT,
+            probability=probability, after=after, max_fires=max_fires,
+            at_byte=at_byte, **kw))
 
     def rules_of(self, kind: FaultKind) -> List[FaultRule]:
         return [rule for rule in self.rules if rule.kind is kind]

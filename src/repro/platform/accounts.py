@@ -72,6 +72,13 @@ class AccountRegistry:
             return self.register(account_id)
         return self._accounts[account_id]
 
+    def adopt(self, account: Account) -> Account:
+        """Install an existing account object (recovery path: the
+        registry and the store must share one object so points accrue
+        in both views)."""
+        self._accounts[account.account_id] = account
+        return account
+
     def __contains__(self, account_id: str) -> bool:
         return account_id in self._accounts
 

@@ -10,12 +10,17 @@ verbs over HTTP; examples and the simulator call them directly.
 from __future__ import annotations
 
 import itertools
+import re
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import rng as _rng
 from repro.aggregation.majority import MajorityVote, VoteResult
-from repro.errors import AggregationError, PlatformError
+from repro.durability.log import DEFAULT_CHECKPOINT_EVERY, DurabilityLog
+from repro.durability.wal import WalRecord
+from repro.errors import (AggregationError, JobNotFound, PlatformError,
+                          StoreCorruptError, TaskNotFound)
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.tracing import Tracer, default_tracer
 from repro.platform.accounts import Account, AccountRegistry
@@ -26,6 +31,9 @@ from repro.platform.sharding import DEFAULT_SHARDS
 from repro.platform.store import JsonStore, ShardedStore
 from repro.quality.reputation import ReputationTracker
 from repro.quality.spam import SpamDetector
+
+_JOB_ID_RE = re.compile(r"^job-(\d+)$")
+_TASK_ID_RE = re.compile(r"^task-(\d+)$")
 
 
 class Platform:
@@ -53,6 +61,15 @@ class Platform:
             :class:`~repro.platform.store.JsonStore` to reproduce the
             seed's flat single-dict substrate (the perf baseline).
         store_shards: shard count for the default store.
+        durability: optional
+            :class:`~repro.durability.log.DurabilityLog`.  When set,
+            every mutating verb appends a WAL record *before*
+            acknowledging, checkpoints rotate automatically at the
+            log's record threshold, and
+            :meth:`crash_restart_store` performs a real
+            recover-from-disk instead of an in-memory rebuild.  None
+            (the default) costs nothing.  Prefer :meth:`recover` to
+            open an existing data directory.
         fast_path: use the O(1) per-answer job-completion counter
             instead of rescanning every task on every answer.  The
             results are identical (the golden-trace suite proves it);
@@ -78,11 +95,15 @@ class Platform:
                  faults=None,
                  store=None,
                  store_shards: int = DEFAULT_SHARDS,
+                 durability: Optional[DurabilityLog] = None,
                  fast_path: bool = True) -> None:
         self.registry = (registry if registry is not None
                          else default_registry())
         self.tracer = tracer if tracer is not None else default_tracer()
         self.faults = faults
+        self.durability = durability
+        if durability is not None and durability.faults is None:
+            durability.faults = faults
         self.store = (store if store is not None
                       else ShardedStore(n_shards=store_shards))
         self.fast_path = fast_path
@@ -131,6 +152,24 @@ class Platform:
             "store crash-restarts survived")
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def _log(self, op: str, **data: Any) -> None:
+        """Durably append one WAL record before the verb acknowledges.
+
+        Called *outside* ``registry_lock`` (the log's lock is a leaf in
+        the platform hierarchy).  A no-op without a durability log.
+        Rotates a checkpoint when the log's record threshold is hit.
+        """
+        log = self.durability
+        if log is None:
+            return
+        log.append(op, data)
+        if log.should_checkpoint():
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
     # Job management
     # ------------------------------------------------------------------
 
@@ -140,6 +179,8 @@ class Platform:
         job = Job(job_id=f"job-{next(self._job_counter):04d}", name=name,
                   redundancy=redundancy, meta=dict(meta))
         self.store.put_job(job)
+        self._log("create_job", job_id=job.job_id, name=name,
+                  redundancy=redundancy, meta=dict(meta))
         self._m_jobs.inc(event="created")
         return job
 
@@ -155,6 +196,8 @@ class Platform:
             job_id=job_id, payload=dict(payload),
             gold_answer=gold_answer)
         self.store.put_task(task)
+        self._log("add_task", task_id=task.task_id, job_id=job_id,
+                  payload=dict(payload), gold_answer=gold_answer)
         self._m_tasks_added.inc(gold=str(gold_answer is not None
                                          ).lower())
         return task
@@ -172,6 +215,7 @@ class Platform:
         if not job.task_ids:
             raise PlatformError(f"job {job_id!r} has no tasks")
         job.status = JobStatus.RUNNING
+        self._log("start_job", job_id=job_id)
         self._m_jobs.inc(event="started")
         return job
 
@@ -179,6 +223,7 @@ class Platform:
         """Archive a job: no more tasks, answers, or restarts."""
         job = self.store.get_job(job_id)
         job.status = JobStatus.ARCHIVED
+        self._log("archive_job", job_id=job_id)
         self._m_jobs.inc(event="archived")
         return job
 
@@ -194,6 +239,9 @@ class Platform:
             account = self.accounts.register(account_id, display_name,
                                              **attributes)
             self.store.put_account(account)
+        self._log("register", account_id=account_id,
+                  display_name=display_name,
+                  attributes=dict(attributes))
         return account
 
     def request_task(self, job_id: str,
@@ -219,6 +267,8 @@ class Platform:
                     self.accounts.ensure(worker_id)
             task = self.scheduler.next_task(job_id, worker_id)
             if task is not None:
+                self._log("assign", job_id=job_id,
+                          task_id=task.task_id, worker_id=worker_id)
                 self._m_tasks_served.inc()
             return task
 
@@ -263,6 +313,8 @@ class Platform:
                     if idempotency_key is not None:
                         with self.registry_lock:
                             self._idempotency[idempotency_key] = task_id
+                        self._log("dedupe", key=idempotency_key,
+                                  task_id=task_id)
                     return task
                 raise PlatformError(
                     f"worker {worker_id!r} already answered task "
@@ -286,6 +338,10 @@ class Platform:
                 if self.spam is not None:
                     self.spam.record_answer(worker_id,
                                             self._hashable(answer))
+            self._log("answer", task_id=task_id, worker_id=worker_id,
+                      answer=answer, at_s=at_s,
+                      idempotency_key=idempotency_key,
+                      points=self.points_per_answer)
             self._m_answers.inc(gold=str(task.is_gold).lower())
             completed_now = (not was_complete and
                              task.state(job.redundancy)
@@ -305,21 +361,254 @@ class Platform:
     def crash_restart_store(self) -> None:
         """Simulate (or survive) a store crash-restart.
 
-        The store is rebuilt from its own JSON checkpoint — exactly
-        what :meth:`JsonStore.save`/``load`` would do across a real
-        process restart — and every in-memory scheduler lease is
+        With a durability log the platform performs a *real*
+        recover-from-disk: newest valid checkpoint plus WAL-tail
+        replay, exactly what :meth:`recover` does in a fresh process.
+        Without one it falls back to the in-memory rebuild the chaos
+        suite predates (the store reloaded from its own checkpoint
+        document).  Either way every in-memory scheduler lease is
         dropped, because leases are process state a crash loses.
         Durable records (jobs, tasks, answers, accounts) survive.
         """
-        self.store = self.store.restarted()
-        self.scheduler.store = self.store
-        self.scheduler.drop_all_reservations()
+        if self.durability is not None:
+            self._restore_from_log()
+        else:
+            self.store = self.store.restarted()
+            self.scheduler.store = self.store
+            self.scheduler.drop_all_reservations()
         self._m_restarts.inc()
+
+    # ------------------------------------------------------------------
+    # Checkpoint and recovery
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Optional[int]:
+        """Snapshot durable state into the log and rotate old WAL
+        segments.  Returns the sequence number the snapshot covers,
+        or None without a durability log.
+
+        The covered sequence is captured *before* the state snapshot:
+        effects of records appended concurrently may leak into the
+        snapshot, but replay is idempotent so re-applying them is
+        harmless — whereas a record newer than its covering checkpoint
+        must never be skipped.
+        """
+        log = self.durability
+        if log is None:
+            return None
+        at_seq = log.seq
+        with self.registry_lock:
+            state = self._snapshot_state()
+        return log.checkpoint(state, at_seq=at_seq)
+
+    def _snapshot_state(self) -> Dict[str, Any]:
+        """The checkpoint document: the store plus the platform state
+        that lives outside it (idempotency table; lazily-created
+        registry accounts the store never saw)."""
+        store_doc = self.store.to_document()
+        stored = {raw["account_id"] for raw in store_doc["accounts"]}
+        return {
+            "store": store_doc,
+            "idempotency": dict(self._idempotency),
+            "registry_accounts": [
+                account.to_dict() for account in self.accounts.all()
+                if account.account_id not in stored],
+        }
+
+    @classmethod
+    def recover(cls, root: Union[str, Path],
+                checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                fsync: bool = True,
+                **platform_kwargs: Any) -> "Platform":
+        """Open (or create) a durable platform on a data directory.
+
+        Loads the newest valid checkpoint, replays the WAL tail
+        (truncating a torn final record), and returns a platform whose
+        every subsequent mutation is logged to the same directory.
+        ``platform_kwargs`` are forwarded to the constructor.
+        """
+        log = DurabilityLog(
+            root, checkpoint_every=checkpoint_every, fsync=fsync,
+            faults=platform_kwargs.get("faults"),
+            registry=platform_kwargs.get("registry"))
+        platform = cls(durability=log, **platform_kwargs)
+        platform._restore_from_log()
+        return platform
+
+    def _restore_from_log(self) -> None:
+        """Rebuild all platform state from the durability directory:
+        newest valid checkpoint, then WAL-tail replay, then derived
+        state (leaderboard, reputation, spam) from the restored store.
+        """
+        log = self.durability
+        seq, state = log.load_checkpoint()
+        with self.registry_lock:
+            document = (state or {}).get("store", {})
+            if isinstance(self.store, ShardedStore):
+                self.store = ShardedStore.from_document(
+                    document, n_shards=self.store.n_shards)
+            else:
+                self.store = type(self.store).from_document(document)
+            self._idempotency = dict(
+                (state or {}).get("idempotency", {}))
+            self.accounts = AccountRegistry()
+            # Store and registry must share account *objects* so
+            # points accrue in both views, exactly as in live
+            # operation.
+            for account in self.store.accounts():
+                self.accounts.adopt(account)
+            for raw in (state or {}).get("registry_accounts", []):
+                self.accounts.adopt(Account.from_dict(raw))
+            for record in log.replay(seq):
+                try:
+                    self._apply_wal_record(record)
+                except (JobNotFound, TaskNotFound, KeyError) as exc:
+                    raise StoreCorruptError(
+                        f"WAL record seq {record.seq} "
+                        f"({record.op}) references missing state: "
+                        f"{exc}") from exc
+            self._complete_finished_jobs()
+            self._resync_counters()
+            self.scheduler.store = self.store
+            self.scheduler.drop_all_reservations()
+            self._completed_counts.clear()
+            self._rebuild_derived()
+
+    def _apply_wal_record(self, record: WalRecord) -> None:
+        """Replay one WAL record onto the recovered state.
+
+        Idempotent by construction: a checkpoint may already include
+        the effects of records appended while its snapshot was being
+        taken, so every applier skips work that is already present
+        instead of double-applying it.
+        """
+        op, data = record.op, record.data
+        if op == "register":
+            account_id = data["account_id"]
+            if account_id not in self.accounts:
+                account = self.accounts.register(
+                    account_id, data.get("display_name"),
+                    **dict(data.get("attributes", {})))
+                self.store.put_account(account)
+        elif op == "create_job":
+            if not self.store.has_job(data["job_id"]):
+                self.store.put_job(Job(
+                    job_id=data["job_id"], name=data["name"],
+                    redundancy=data["redundancy"],
+                    meta=dict(data.get("meta", {}))))
+        elif op == "add_task":
+            if not self.store.has_task(data["task_id"]):
+                self.store.put_task(TaskRecord(
+                    task_id=data["task_id"], job_id=data["job_id"],
+                    payload=dict(data.get("payload", {})),
+                    gold_answer=data.get("gold_answer")))
+        elif op == "start_job":
+            job = self.store.get_job(data["job_id"])
+            if job.status is JobStatus.DRAFT:
+                job.status = JobStatus.RUNNING
+        elif op == "archive_job":
+            self.store.get_job(data["job_id"]).status = \
+                JobStatus.ARCHIVED
+        elif op == "promotion":
+            job = self.store.get_job(data["job_id"])
+            job.redundancy = max(job.redundancy, data["redundancy"])
+            if (data.get("status") == JobStatus.RUNNING.value
+                    and job.status is JobStatus.COMPLETED):
+                job.status = JobStatus.RUNNING
+        elif op == "answer":
+            self._replay_answer(data)
+        elif op == "dedupe":
+            self._idempotency[data["key"]] = data["task_id"]
+        elif op in ("assign", "disconnect"):
+            # Leases are process state; a crash loses them by design.
+            pass
+        else:
+            raise StoreCorruptError(
+                f"unknown WAL operation {op!r} at seq {record.seq}")
+
+    def _replay_answer(self, data: Dict[str, Any]) -> None:
+        task = self.store.get_task(data["task_id"])
+        worker_id = data["worker_id"]
+        answer = data["answer"]
+        already = any(r.worker_id == worker_id and r.answer == answer
+                      for r in task.answers)
+        if not already:
+            task.add_answer(worker_id, answer,
+                            at_s=data.get("at_s", 0.0))
+            self.accounts.ensure(worker_id).add_points(
+                data.get("points", self.points_per_answer))
+        key = data.get("idempotency_key")
+        if key is not None:
+            self._idempotency[key] = data["task_id"]
+
+    def _complete_finished_jobs(self) -> None:
+        """Post-replay status sweep: promote every RUNNING job whose
+        tasks are all complete.  Needed because replay skips answers a
+        checkpoint already absorbed, so per-answer completion checks
+        could miss the final transition."""
+        for job in self.store.jobs():
+            if job.status is not JobStatus.RUNNING:
+                continue
+            tasks = self.store.tasks_for(job.job_id)
+            if tasks and all(task.state(job.redundancy)
+                             is TaskState.COMPLETED
+                             for task in tasks):
+                job.status = JobStatus.COMPLETED
+
+    def _resync_counters(self) -> None:
+        """Point the id counters past every recovered id so new jobs
+        and tasks never collide with replayed ones."""
+        next_job = 0
+        next_task = 0
+        for job in self.store.jobs():
+            match = _JOB_ID_RE.match(job.job_id)
+            if match:
+                next_job = max(next_job, int(match.group(1)) + 1)
+            for task in self.store.tasks_for(job.job_id):
+                match = _TASK_ID_RE.match(task.task_id)
+                if match:
+                    next_task = max(next_task,
+                                    int(match.group(1)) + 1)
+        self._job_counter = itertools.count(next_job)
+        self._task_counter = itertools.count(next_task)
+
+    def _rebuild_derived(self) -> None:
+        """Rebuild leaderboard, reputation and spam state from the
+        recovered store in canonical order (jobs id-sorted, tasks in
+        creation order, answers in arrival order) — the same per-answer
+        feed live operation produced."""
+        self.leaderboard = Leaderboard()
+        self.reputation = ReputationTracker()
+        if self.spam is not None:
+            self.spam = SpamDetector()
+        for job in self.store.jobs():
+            for task in self.store.tasks_for(job.job_id):
+                for rec in task.answers:
+                    self.leaderboard.record(rec.worker_id,
+                                            self.points_per_answer,
+                                            rec.at_s)
+                    if task.is_gold:
+                        correct = rec.answer == task.gold_answer
+                        self.reputation.record_gold(rec.worker_id,
+                                                    correct)
+                        if self.spam is not None:
+                            self.spam.record_gold(rec.worker_id,
+                                                  correct)
+                    if self.spam is not None:
+                        self.spam.record_answer(
+                            rec.worker_id, self._hashable(rec.answer))
+
+    def durability_status(self) -> Dict[str, Any]:
+        """The ``/healthz`` durability payload."""
+        if self.durability is None:
+            return {"enabled": False}
+        return {"enabled": True, **self.durability.status()}
 
     def worker_disconnected(self, worker_id: str) -> int:
         """A worker's session died: requeue every lease it held so its
         in-flight tasks go back out immediately instead of waiting for
         lease expiry.  Returns the number of leases requeued."""
+        self._log("disconnect", worker_id=worker_id)
         return self.scheduler.release_worker(worker_id)
 
     def flagged_workers(self) -> List[str]:
@@ -448,6 +737,9 @@ class Platform:
             self._m_extensions.inc()
         if job.status is JobStatus.COMPLETED and task_ids:
             job.status = JobStatus.RUNNING
+        self._log("promotion", job_id=job_id,
+                  redundancy=job.redundancy,
+                  status=job.status.value)
         return job.redundancy
 
     def worker_stats(self, worker_id: str) -> Dict[str, Any]:

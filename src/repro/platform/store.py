@@ -32,10 +32,28 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
-from repro.errors import JobNotFound, PlatformError, TaskNotFound
+from repro.errors import (JobNotFound, PlatformError, StoreCorruptError,
+                          TaskNotFound)
 from repro.platform.accounts import Account
 from repro.platform.jobs import Job, TaskRecord
 from repro.platform.sharding import DEFAULT_SHARDS, shard_of
+
+
+def _load_document(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a store snapshot, raising
+    :class:`~repro.errors.StoreCorruptError` on truncated or invalid
+    JSON instead of leaking a raw ``json.JSONDecodeError``."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StoreCorruptError(
+            f"store file {Path(path).name!r} is not valid JSON "
+            f"(truncated save?): {exc}") from exc
+    if not isinstance(document, dict):
+        raise StoreCorruptError(
+            f"store file {Path(path).name!r} holds "
+            f"{type(document).__name__}, expected an object")
+    return document
 
 
 class JsonStore:
@@ -168,15 +186,22 @@ class JsonStore:
         return type(self).from_document(self.to_document())
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the store to a JSON file."""
-        Path(path).write_text(
+        """Write the store to a JSON file atomically (temp sibling,
+        fsync, ``os.replace``) — a crash mid-save leaves the previous
+        snapshot intact, never a truncated hybrid."""
+        from repro.durability.wal import atomic_write_text
+        atomic_write_text(
+            path,
             json.dumps(self.to_document(), indent=2, sort_keys=True))
 
     @staticmethod
     def load(path: Union[str, Path]) -> "JsonStore":
-        """Read a store back from :meth:`save` output."""
-        return JsonStore.from_document(
-            json.loads(Path(path).read_text()))
+        """Read a store back from :meth:`save` output.
+
+        Raises :class:`~repro.errors.StoreCorruptError` (non-retryable)
+        on truncated or invalid JSON.
+        """
+        return JsonStore.from_document(_load_document(path))
 
 
 def _fill_from_document(store, document: Dict[str, Any]) -> None:
@@ -400,14 +425,21 @@ class ShardedStore:
                                         n_shards=self.n_shards)
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the store to a JSON file (JsonStore-compatible)."""
-        Path(path).write_text(
+        """Write the store to a JSON file (JsonStore-compatible),
+        atomically — temp sibling, fsync, ``os.replace``."""
+        from repro.durability.wal import atomic_write_text
+        atomic_write_text(
+            path,
             json.dumps(self.to_document(), indent=2, sort_keys=True))
 
     @staticmethod
     def load(path: Union[str, Path],
              n_shards: int = DEFAULT_SHARDS) -> "ShardedStore":
         """Read a store back from :meth:`save` (or
-        :meth:`JsonStore.save`) output."""
-        return ShardedStore.from_document(
-            json.loads(Path(path).read_text()), n_shards=n_shards)
+        :meth:`JsonStore.save`) output.
+
+        Raises :class:`~repro.errors.StoreCorruptError` (non-retryable)
+        on truncated or invalid JSON.
+        """
+        return ShardedStore.from_document(_load_document(path),
+                                          n_shards=n_shards)

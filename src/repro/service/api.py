@@ -6,6 +6,7 @@ Endpoints (all bodies and responses are JSON):
 Method Path                            Action
 ====== =============================== =======================================
 GET    /health                         liveness probe
+GET    /healthz                        readiness + durability status
 POST   /jobs                           create job {name, redundancy?, meta?}
 GET    /jobs                           list jobs
 GET    /jobs/{job_id}                  job detail + progress
@@ -159,6 +160,10 @@ class ApiServer:
         # pending-request accounting, so load shedding and probe
         # latency reflect real platform queueing, as in the seed.
         self._route("GET", "/health", self._health)
+        # The durability probe must answer even when the platform is
+        # saturated (an operator checking WAL lag mid-incident), so it
+        # is lock-free like /metrics.
+        self._route("GET", "/healthz", self._healthz, scope="none")
         self._route("POST", "/jobs", self._create_job)
         self._route("GET", "/jobs", self._list_jobs)
         self._route("GET", "/jobs/{job_id}", self._get_job,
@@ -369,6 +374,25 @@ class ApiServer:
     def _health(self, request: ApiRequest,
                 params: Dict[str, str]) -> ApiResponse:
         return ApiResponse(200, {"status": "ok"})
+
+    def _healthz(self, request: ApiRequest,
+                 params: Dict[str, str]) -> ApiResponse:
+        """Readiness probe with durability status: whether a WAL is
+        configured, its directory, newest sequence number, and how
+        many records the next checkpoint will cover."""
+        return ApiResponse(200, {
+            "status": "ok",
+            "durability": self.platform.durability_status()})
+
+    def shutdown(self) -> None:
+        """Graceful shutdown: flush a final checkpoint so the next
+        :meth:`~repro.platform.facade.Platform.recover` starts from a
+        snapshot instead of a long WAL replay.  A no-op without a
+        durability log — and crash-safe to skip, since every
+        acknowledged operation is already in the WAL."""
+        self.platform.checkpoint()
+        if self.platform.durability is not None:
+            self.platform.durability.close()
 
     def _create_job(self, request: ApiRequest,
                     params: Dict[str, str]) -> ApiResponse:

@@ -17,6 +17,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
+from repro.durability.log import DurabilityLog
 from repro.faults import FaultInjector, FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
@@ -67,7 +68,8 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
                  game: str = "esp", n_tasks: int = 12,
                  redundancy: int = 3, n_workers: int = 6,
                  seed: int = 7, max_attempts: int = 10,
-                 store_mode: str = "sharded") -> CampaignResult:
+                 store_mode: str = "sharded",
+                 data_dir=None) -> CampaignResult:
     """One full campaign; returns its promoted labels canonically.
 
     With ``redundancy`` honest answers required per task and at most
@@ -80,6 +82,11 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
     single-lock semantics (flat ``JsonStore``, one global service lock,
     legacy full-scan scheduling).  Promoted labels must be identical
     either way — the chaos matrix sweeps both.
+
+    ``data_dir`` makes the campaign durable: every mutation is
+    write-ahead-logged there (checkpoint every 32 records, fsync off
+    for test speed), and ``STORE_CRASH`` faults exercise the real
+    recover-from-disk path instead of the in-memory rebuild.
     """
     if store_mode == "sharded":
         store, fast_path, lock_mode = ShardedStore(), True, "striped"
@@ -90,10 +97,14 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
     registry = MetricsRegistry()
     injector = plan.build(registry=registry) if plan is not None \
         else None
+    durability = None
+    if data_dir is not None:
+        durability = DurabilityLog(data_dir, checkpoint_every=32,
+                                   fsync=False, registry=registry)
     platform = Platform(gold_rate=0.0, spam_detection=False, seed=seed,
                         registry=registry, tracer=Tracer(),
                         faults=injector, store=store,
-                        fast_path=fast_path)
+                        durability=durability, fast_path=fast_path)
     api = ApiServer(platform, registry=registry, tracer=Tracer(),
                     lock_mode=lock_mode)
     client = InProcessClient(

@@ -1,0 +1,319 @@
+"""The crash-recovery matrix: kill the process anywhere, lose nothing.
+
+The acceptance property of the durability issue: for every injected
+kill point — mid-record, between records, mid-checkpoint — recovery
+restores a state byte-identical (via ``to_document``) to the
+acknowledged-operations oracle, with zero acknowledged answers lost and
+zero duplicates, and ``repro fsck`` is silent on every recovered
+directory.
+
+The oracle is built by running a workload once and snapshotting
+``(store document, idempotency table)`` after every acknowledged verb;
+because each verb appends exactly one WAL record, the snapshot at
+sequence *k* is what recovery must reproduce after a crash that
+preserved exactly *k* records.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import shutil
+
+import pytest
+
+from repro.durability.fsck import fsck
+from repro.durability.log import DurabilityLog
+from repro.durability.wal import encode_record, scan_segment
+from repro.errors import InjectedCrash
+from repro.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+
+from tests.chaos.harness import run_campaign
+
+
+def _snap(platform):
+    return (json.dumps(platform.store.to_document(), sort_keys=True),
+            json.dumps(platform._idempotency, sort_keys=True))
+
+
+def _durable_platform(root, seed, checkpoint_every=10 ** 6,
+                      faults=None):
+    registry = MetricsRegistry()
+    log = DurabilityLog(root, checkpoint_every=checkpoint_every,
+                        fsync=False, registry=registry, faults=faults)
+    platform = Platform(gold_rate=0.0, spam_detection=False,
+                        seed=seed, registry=registry, tracer=Tracer(),
+                        durability=log)
+    return platform
+
+
+def _run_workload(platform, seed):
+    """A seed-varied campaign; returns the per-sequence oracle."""
+    rng = random.Random(seed)
+    oracle = {0: _snap(platform)}
+
+    def acked():
+        oracle[platform.durability.seq] = _snap(platform)
+
+    workers = [f"w{k}" for k in range(3 + seed % 2)]
+    platform.register_worker(workers[0], "Worker Zero")
+    acked()
+    job = platform.create_job("crash-matrix", redundancy=2)
+    acked()
+    tasks = []
+    for i in range(4 + seed % 3):
+        tasks.append(platform.add_task(
+            job.job_id, {"image": f"img-{i}"}))
+        acked()
+    platform.start_job(job.job_id)
+    acked()
+    extended = False
+    while True:
+        progressed = False
+        for worker in workers:
+            task = platform.request_task(job.job_id, worker)
+            if task is None:
+                continue
+            acked()
+            progressed = True
+            platform.submit_answer(
+                task.task_id, worker, f"label-{task.task_id[-1]}",
+                at_s=float(len(oracle)),
+                idempotency_key=f"{worker}:{task.task_id}")
+            acked()
+            if rng.random() < 0.15:
+                platform.worker_disconnected(worker)
+                acked()
+        if not progressed:
+            if not extended:
+                extended = True
+                platform.extend_redundancy(
+                    job.job_id, [tasks[0].task_id], extra=1)
+                acked()
+                continue
+            break
+    return oracle
+
+
+def _cuts_for(segment_path):
+    """Kill points: every record boundary plus two mid-record offsets
+    (inside the header, inside the payload) per record."""
+    scan = scan_segment(segment_path)
+    assert not scan.torn and scan.error is None
+    size = segment_path.stat().st_size
+    boundaries = [0]
+    offset = 0
+    for record in scan.records:
+        offset += len(encode_record(record.seq, record.op,
+                                    record.data))
+        boundaries.append(offset)
+    assert boundaries[-1] == size
+    cuts = []
+    for index in range(len(boundaries) - 1):
+        start, end = boundaries[index], boundaries[index + 1]
+        cuts.append((start, scan.records[index].seq - 1))
+        cuts.append((start + 3, scan.records[index].seq - 1))
+        cuts.append((start + (end - start) // 2,
+                     scan.records[index].seq - 1))
+    cuts.append((size, scan.records[-1].seq))
+    return cuts
+
+
+def _recover_and_check(crash_dir, oracle, surviving_seq):
+    recovered = Platform.recover(
+        crash_dir, fsync=False, gold_rate=0.0, spam_detection=False,
+        seed=99, registry=MetricsRegistry(), tracer=Tracer())
+    doc, idem = _snap(recovered)
+    want_doc, want_idem = oracle[surviving_seq]
+    assert doc == want_doc, \
+        f"state diverged at surviving seq {surviving_seq}"
+    assert idem == want_idem
+    recovered.durability.close()
+    report = fsck(crash_dir)
+    assert report.ok, report.lines()
+
+
+class TestKillAtEveryOffset:
+    def test_wal_tail_sweep(self, tmp_path, chaos_seed):
+        """Truncate the WAL at every record boundary and mid-record:
+        recovery always lands exactly on the acknowledged prefix."""
+        source = tmp_path / "source"
+        platform = _durable_platform(source, chaos_seed)
+        oracle = _run_workload(platform, chaos_seed)
+        platform.durability.close()
+        segment = next(source.glob("wal-*.log"))
+        pristine = segment.read_bytes()
+        cuts = _cuts_for(segment)
+        assert len(cuts) > 30  # the matrix is meaningfully dense
+        for index, (cut, surviving_seq) in enumerate(cuts):
+            crash_dir = tmp_path / f"crash-{index:04d}"
+            shutil.copytree(source, crash_dir)
+            (crash_dir / segment.name).write_bytes(pristine[:cut])
+            assert surviving_seq in oracle
+            _recover_and_check(crash_dir, oracle, surviving_seq)
+
+    def test_sweep_with_checkpoint_rotation(self, tmp_path,
+                                            chaos_seed):
+        """Same property when checkpoints rotated mid-run: the kill
+        points land in the WAL tail after the newest checkpoint."""
+        source = tmp_path / "source"
+        platform = _durable_platform(source, chaos_seed,
+                                     checkpoint_every=8)
+        oracle = _run_workload(platform, chaos_seed)
+        # If the run happened to end exactly on a checkpoint, pad the
+        # tail so there is always a WAL suffix to sweep.
+        pad = 0
+        while not list(source.glob("wal-*.log")):
+            platform.register_worker(f"pad-{pad}")
+            oracle[platform.durability.seq] = _snap(platform)
+            pad += 1
+        platform.durability.close()
+        assert list(source.glob("*.ckpt")), "expected checkpoints"
+        tail = sorted(source.glob("wal-*.log"))[-1]
+        pristine = tail.read_bytes()
+        for index, (cut, surviving_seq) in enumerate(
+                _cuts_for(tail)):
+            crash_dir = tmp_path / f"crash-{index:04d}"
+            shutil.copytree(source, crash_dir)
+            (crash_dir / tail.name).write_bytes(pristine[:cut])
+            _recover_and_check(crash_dir, oracle, surviving_seq)
+
+
+class TestCrashPointFaults:
+    def test_injected_append_crash_loses_nothing_acked(
+            self, tmp_path, chaos_seed):
+        """A crash-point fault mid-append dies with a torn frame on
+        disk; recovery restores every previously acknowledged op."""
+        plan = FaultPlan(seed=chaos_seed).with_crash_points(
+            "wal.append", after=6 + chaos_seed % 3, at_byte=5,
+            max_fires=1)
+        injector = plan.build(registry=MetricsRegistry())
+        platform = _durable_platform(tmp_path, chaos_seed,
+                                     faults=injector)
+        oracle = {0: _snap(platform)}
+        with pytest.raises(InjectedCrash):
+            for i in range(50):
+                platform.register_worker(f"crash-w{i}")
+                oracle[platform.durability.seq] = _snap(platform)
+        acked_seq = max(oracle)
+        platform.durability.close()
+
+        recovered = Platform.recover(
+            tmp_path, fsync=False, registry=MetricsRegistry(),
+            tracer=Tracer())
+        assert _snap(recovered) == oracle[acked_seq]
+        assert recovered.durability.seq == acked_seq
+        recovered.durability.close()
+        assert fsck(tmp_path).ok
+
+    def test_injected_checkpoint_crash_keeps_wal(self, tmp_path,
+                                                 chaos_seed):
+        """Dying mid-checkpoint only loses the temp file: the WAL
+        already holds every acknowledged record, so recovery is
+        complete — and fsck flags the leftover temp until a reopen
+        cleans it."""
+        plan = FaultPlan(seed=chaos_seed).with_crash_points(
+            "wal.checkpoint", at_byte=6, max_fires=1)
+        injector = plan.build(registry=MetricsRegistry())
+        platform = _durable_platform(tmp_path, chaos_seed,
+                                     checkpoint_every=5,
+                                     faults=injector)
+        with pytest.raises(InjectedCrash):
+            for i in range(20):
+                platform.register_worker(f"ckpt-w{i}")
+        # The record that triggered the checkpoint was durably
+        # appended before the checkpoint write began, so the crashed
+        # process's in-memory state is exactly what disk must restore.
+        expected = _snap(platform)
+        crashed_seq = platform.durability.seq
+        platform.durability.close()
+
+        pre = fsck(tmp_path)
+        assert any(issue.kind == "stale-tmp" for issue in pre.issues)
+
+        recovered = Platform.recover(
+            tmp_path, fsync=False, registry=MetricsRegistry(),
+            tracer=Tracer())
+        assert recovered.durability.seq == crashed_seq
+        assert _snap(recovered) == expected
+        recovered.durability.close()
+        assert fsck(tmp_path).ok
+
+    def test_resume_after_crash_with_same_idempotency_key(
+            self, tmp_path, chaos_seed):
+        """The client contract: after a crash mid-submit, retry the
+        same answer under the same key against the recovered platform
+        — exactly-once effect, zero lost, zero duplicated."""
+        redundancy, n_tasks = 2, 4
+        plan = FaultPlan(seed=chaos_seed).with_crash_points(
+            "wal.append", after=10 + chaos_seed, at_byte=7,
+            max_fires=1)
+        injector = plan.build(registry=MetricsRegistry())
+        platform = _durable_platform(tmp_path, chaos_seed,
+                                     faults=injector)
+        job = platform.create_job("resume", redundancy=redundancy)
+        for i in range(n_tasks):
+            platform.add_task(job.job_id, {"image": f"img-{i}"})
+        platform.start_job(job.job_id)
+
+        workers = ["w0", "w1"]
+        pending = None
+        crashed = False
+        while True:
+            progressed = False
+            for worker in workers:
+                try:
+                    if pending is None:
+                        task = platform.request_task(job.job_id,
+                                                     worker)
+                        if task is None:
+                            continue
+                        pending = (worker, task.task_id)
+                    owner, task_id = pending
+                    platform.submit_answer(
+                        task_id, owner, f"label-{task_id}",
+                        idempotency_key=f"{owner}:{task_id}")
+                    pending = None
+                    progressed = True
+                except InjectedCrash:
+                    assert not crashed, "crash fired twice"
+                    crashed = True
+                    platform.durability.close()
+                    platform = Platform.recover(
+                        tmp_path, fsync=False,
+                        registry=MetricsRegistry(), tracer=Tracer())
+                    progressed = True  # retry against the recovery
+            if not progressed:
+                break
+        assert crashed, "the crash point never fired"
+        tasks = platform.store.tasks_for(job.job_id)
+        for task in tasks:
+            answered = [r.worker_id for r in task.answers]
+            assert len(answered) == redundancy, \
+                f"{task.task_id}: {answered}"
+            assert len(set(answered)) == redundancy, \
+                f"duplicate answers on {task.task_id}"
+        platform.durability.close()
+        assert fsck(tmp_path).ok
+
+
+class TestDurableChaosCampaign:
+    def test_store_crash_campaign_recovers_from_disk(
+            self, tmp_path, chaos_seed):
+        """The full chaos campaign with STORE_CRASH faults, but with
+        every restart a real recover-from-disk: promoted labels stay
+        byte-identical to the fault-free baseline and the surviving
+        directory is fsck-clean."""
+        baseline = run_campaign(None, seed=chaos_seed)
+        plan = (FaultPlan(seed=chaos_seed)
+                .with_store_crashes("platform.*", probability=0.1,
+                                    max_fires=4))
+        durable = run_campaign(plan, seed=chaos_seed,
+                               data_dir=tmp_path / "wal")
+        assert durable.platform._m_restarts is not None
+        assert durable.labels_json == baseline.labels_json
+        durable.platform.durability.close()
+        assert fsck(tmp_path / "wal").ok

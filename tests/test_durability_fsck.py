@@ -1,0 +1,199 @@
+"""fsck: silent on clean directories, loud on every corrupted byte."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.durability.fsck import fsck
+from repro.durability.log import DurabilityLog
+from repro.durability.wal import encode_record
+from repro.obs.metrics import MetricsRegistry
+
+
+def _write_workload(root, checkpoint_every=1000):
+    """A realistic record stream (jobs, tasks, answers) on disk."""
+    log = DurabilityLog(root, checkpoint_every=checkpoint_every,
+                        fsync=False, registry=MetricsRegistry())
+    log.append("register", {"account_id": "w1",
+                            "display_name": "W", "attributes": {}})
+    log.append("create_job", {"job_id": "job-0000", "name": "esp",
+                              "redundancy": 2, "meta": {}})
+    for i in range(3):
+        log.append("add_task", {"task_id": f"task-{i:06d}",
+                                "job_id": "job-0000",
+                                "payload": {"image": f"img-{i}"},
+                                "gold_answer": None})
+    log.append("start_job", {"job_id": "job-0000"})
+    for i in range(3):
+        log.append("answer", {"task_id": f"task-{i:06d}",
+                              "worker_id": "w1",
+                              "answer": f"label-{i}", "at_s": 0.0,
+                              "idempotency_key": f"w1:{i}",
+                              "points": 10})
+    if checkpoint_every < 9:
+        log.checkpoint({"store": {"jobs": [], "tasks": [],
+                                  "accounts": []}})
+    log.close()
+    return log
+
+
+class TestCleanDirectories:
+    def test_clean_wal_only(self, tmp_path):
+        _write_workload(tmp_path)
+        report = fsck(tmp_path)
+        assert report.ok and not report.lines()
+        assert report.records == 9 and report.last_seq == 9
+
+    def test_clean_with_checkpoint(self, tmp_path):
+        _write_workload(tmp_path, checkpoint_every=4)
+        report = fsck(tmp_path)
+        assert report.ok, report.lines()
+        assert report.checkpoint_seq == 9
+
+    def test_missing_directory(self, tmp_path):
+        report = fsck(tmp_path / "nope")
+        assert not report.ok
+        assert report.issues[0].kind == "missing"
+
+
+class TestEveryCorruptByteIsFlagged:
+    def test_segment_byte_flip_sweep(self, tmp_path):
+        """Flip every byte of the WAL, one at a time; fsck must flag
+        every single mutation (the acceptance criterion)."""
+        _write_workload(tmp_path)
+        segment = next(tmp_path.glob("wal-*.log"))
+        pristine = segment.read_bytes()
+        assert fsck(tmp_path).ok
+        for offset in range(len(pristine)):
+            hurt = bytearray(pristine)
+            hurt[offset] ^= 0xFF
+            segment.write_bytes(bytes(hurt))
+            report = fsck(tmp_path)
+            assert not report.ok, \
+                f"byte {offset} flip went undetected"
+        segment.write_bytes(pristine)
+        assert fsck(tmp_path).ok
+
+    def test_checkpoint_byte_flip_sweep(self, tmp_path):
+        _write_workload(tmp_path, checkpoint_every=4)
+        checkpoint = sorted(tmp_path.glob("*.ckpt"))[-1]
+        pristine = checkpoint.read_bytes()
+        for offset in range(len(pristine)):
+            hurt = bytearray(pristine)
+            hurt[offset] ^= 0xFF
+            checkpoint.write_bytes(bytes(hurt))
+            report = fsck(tmp_path)
+            assert not report.ok, \
+                f"checkpoint byte {offset} flip went undetected"
+            assert any(i.kind == "checkpoint-corrupt"
+                       for i in report.issues)
+        checkpoint.write_bytes(pristine)
+        assert fsck(tmp_path).ok
+
+
+class TestStructuralDiagnostics:
+    def test_torn_tail(self, tmp_path):
+        _write_workload(tmp_path)
+        segment = next(tmp_path.glob("wal-*.log"))
+        segment.write_bytes(segment.read_bytes()[:-4])
+        report = fsck(tmp_path)
+        kinds = {issue.kind for issue in report.issues}
+        assert kinds == {"torn-tail"}
+
+    def test_sequence_gap(self, tmp_path):
+        segment = tmp_path / "wal-000000000001.log"
+        segment.write_bytes(
+            encode_record(1, "register",
+                          {"account_id": "w", "display_name": None,
+                           "attributes": {}})
+            + encode_record(2, "create_job",
+                            {"job_id": "j", "name": "n",
+                             "redundancy": 1, "meta": {}}))
+        later = tmp_path / "wal-000000000005.log"
+        later.write_bytes(
+            encode_record(5, "start_job", {"job_id": "j"}))
+        report = fsck(tmp_path)
+        assert any(issue.kind == "seq-gap"
+                   for issue in report.issues)
+
+    def test_orphan_references(self, tmp_path):
+        segment = tmp_path / "wal-000000000001.log"
+        segment.write_bytes(
+            encode_record(1, "answer",
+                          {"task_id": "task-999999",
+                           "worker_id": "w", "answer": "x",
+                           "at_s": 0.0, "idempotency_key": None,
+                           "points": 10})
+            + encode_record(2, "start_job",
+                            {"job_id": "job-9999"}))
+        report = fsck(tmp_path)
+        orphans = [issue for issue in report.issues
+                   if issue.kind == "orphan-ref"]
+        assert len(orphans) == 2
+        assert orphans[0].seq == 1 and orphans[1].seq == 2
+
+    def test_unknown_op(self, tmp_path):
+        segment = tmp_path / "wal-000000000001.log"
+        segment.write_bytes(encode_record(1, "mystery", {}))
+        report = fsck(tmp_path)
+        assert any(issue.kind == "unknown-op"
+                   for issue in report.issues)
+
+    def test_stale_tmp(self, tmp_path):
+        _write_workload(tmp_path)
+        (tmp_path / "checkpoint-000000000099.ckpt.tmp").write_bytes(
+            b"partial")
+        report = fsck(tmp_path)
+        assert any(issue.kind == "stale-tmp"
+                   for issue in report.issues)
+
+    def test_checkpoint_refs_seed_the_tail(self, tmp_path):
+        """Records after a checkpoint may reference jobs the
+        checkpoint's store document holds — not orphans."""
+        _write_workload(tmp_path, checkpoint_every=1000)
+        log = DurabilityLog(tmp_path, fsync=False,
+                            registry=MetricsRegistry())
+        state = {"store": {
+            "jobs": [{"job_id": "job-0000", "name": "esp",
+                      "redundancy": 2, "status": "running",
+                      "meta": {}, "task_ids": ["task-000000"]}],
+            "tasks": [{"task_id": "task-000000",
+                       "job_id": "job-0000", "payload": {},
+                       "gold_answer": None, "answers": []}],
+            "accounts": []}}
+        log.checkpoint(state)
+        log.append("answer", {"task_id": "task-000000",
+                              "worker_id": "w1", "answer": "x",
+                              "at_s": 0.0, "idempotency_key": None,
+                              "points": 10})
+        log.close()
+        report = fsck(tmp_path)
+        assert report.ok, report.lines()
+
+
+class TestFsckCli:
+    def test_clean_is_silent_and_zero(self, tmp_path, capsys):
+        _write_workload(tmp_path)
+        code = cli_main(["fsck", "--dir", str(tmp_path)])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_corrupt_prints_and_exits_nonzero(self, tmp_path,
+                                              capsys):
+        _write_workload(tmp_path)
+        segment = next(tmp_path.glob("wal-*.log"))
+        raw = bytearray(segment.read_bytes())
+        raw[10] ^= 0xFF
+        segment.write_bytes(bytes(raw))
+        code = cli_main(["fsck", "--dir", str(tmp_path)])
+        assert code == 1
+        assert capsys.readouterr().out.strip()
+
+    def test_verbose_summary(self, tmp_path, capsys):
+        _write_workload(tmp_path)
+        code = cli_main(["fsck", "--dir", str(tmp_path),
+                         "--verbose"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "clean" in captured.err

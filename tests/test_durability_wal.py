@@ -1,0 +1,282 @@
+"""Unit tests for the WAL frame format and the durability log."""
+
+import json
+import os
+
+import pytest
+
+from repro.durability.log import DurabilityLog
+from repro.durability.wal import (FRAME_HEADER, atomic_write_text,
+                                  crc32c, decode_frame, encode_frame,
+                                  encode_record, scan_segment)
+from repro.errors import (InjectedCrash, ReproError, StoreCorruptError,
+                          is_retryable)
+from repro.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+
+
+def _log(root, **kw):
+    kw.setdefault("registry", MetricsRegistry())
+    return DurabilityLog(root, **kw)
+
+
+class TestCrc32c:
+    def test_check_vector(self):
+        # The canonical CRC32C check value (RFC 3720 appendix B.4).
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_zero_block_vector(self):
+        assert crc32c(bytes(32)) == 0x8A9136AA
+
+    def test_empty_is_zero(self):
+        assert crc32c(b"") == 0
+
+    def test_detects_single_bit_flip(self):
+        data = b"the quick brown fox"
+        baseline = crc32c(data)
+        for i in range(len(data)):
+            flipped = bytearray(data)
+            flipped[i] ^= 0x01
+            assert crc32c(bytes(flipped)) != baseline
+
+
+class TestFrameCodec:
+    def test_record_roundtrip(self):
+        frame = encode_record(7, "answer", {"task_id": "t", "x": 1})
+        doc = decode_frame(frame)
+        assert doc == {"seq": 7, "op": "answer",
+                       "data": {"task_id": "t", "x": 1}}
+
+    def test_payload_is_canonical_json(self):
+        frame = encode_record(1, "op", {"b": 2, "a": 1})
+        payload = frame[FRAME_HEADER.size:]
+        assert payload == json.dumps(
+            {"data": {"a": 1, "b": 2}, "op": "op", "seq": 1},
+            sort_keys=True, separators=(",", ":")).encode()
+
+    def test_every_corrupted_byte_is_detected(self):
+        frame = encode_frame({"format": 1, "seq": 3, "state": {}})
+        for i in range(len(frame)):
+            hurt = bytearray(frame)
+            hurt[i] ^= 0xFF
+            with pytest.raises(StoreCorruptError):
+                decode_frame(bytes(hurt))
+
+    def test_truncation_is_detected(self):
+        frame = encode_record(1, "op", {})
+        for cut in range(len(frame)):
+            with pytest.raises(StoreCorruptError):
+                decode_frame(frame[:cut])
+
+    def test_trailing_bytes_are_detected(self):
+        frame = encode_record(1, "op", {})
+        with pytest.raises(StoreCorruptError):
+            decode_frame(frame + b"x")
+
+
+class TestScanSegment:
+    def test_clean_segment(self, tmp_path):
+        path = tmp_path / "wal-000000000001.log"
+        frames = b"".join(encode_record(s, "op", {"i": s})
+                          for s in (1, 2, 3))
+        path.write_bytes(frames)
+        scan = scan_segment(path)
+        assert [r.seq for r in scan.records] == [1, 2, 3]
+        assert scan.good_bytes == len(frames)
+        assert not scan.torn and scan.error is None
+
+    def test_torn_tail_at_every_offset(self, tmp_path):
+        """A crash can cut the final frame at any byte; the scan must
+        classify every such cut as torn, never as corruption."""
+        path = tmp_path / "seg.log"
+        good = encode_record(1, "op", {}) + encode_record(2, "op", {})
+        last = encode_record(3, "op", {"k": "v"})
+        for cut in range(len(last)):
+            path.write_bytes(good + last[:cut])
+            scan = scan_segment(path)
+            assert [r.seq for r in scan.records] == [1, 2]
+            assert scan.good_bytes == len(good)
+            assert scan.torn is (cut > 0) or scan.good_bytes \
+                == len(good)
+            if cut:
+                assert scan.torn and scan.error is None
+
+    def test_mid_file_corruption_is_an_error(self, tmp_path):
+        path = tmp_path / "seg.log"
+        first = encode_record(1, "op", {})
+        second = bytearray(encode_record(2, "op", {}))
+        second[FRAME_HEADER.size] ^= 0xFF  # flip a payload byte
+        path.write_bytes(first + bytes(second))
+        scan = scan_segment(path)
+        assert scan.error is not None and not scan.torn
+        assert scan.good_bytes == len(first)
+
+    def test_sequence_jump_is_an_error(self, tmp_path):
+        path = tmp_path / "seg.log"
+        path.write_bytes(encode_record(1, "op", {})
+                         + encode_record(5, "op", {}))
+        scan = scan_segment(path)
+        assert "sequence jump" in scan.error
+
+
+class TestDurabilityLog:
+    def test_append_assigns_contiguous_seqs(self, tmp_path):
+        log = _log(tmp_path)
+        assert [log.append("op", {"i": i}) for i in range(5)] \
+            == [1, 2, 3, 4, 5]
+        assert log.seq == 5
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        log = _log(tmp_path)
+        for i in range(3):
+            log.append("op", {"i": i})
+        log.close()
+        reopened = _log(tmp_path)
+        assert reopened.seq == 3
+        assert reopened.append("op", {}) == 4
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        log = _log(tmp_path)
+        for i in range(3):
+            log.append("op", {"i": i})
+        log.close()
+        segment = next(tmp_path.glob("wal-*.log"))
+        raw = segment.read_bytes()
+        segment.write_bytes(raw[:-3])  # tear the last record
+        reopened = _log(tmp_path)
+        assert reopened.seq == 2
+        assert [r.seq for r in reopened.replay(0)] == [1, 2]
+
+    def test_checkpoint_rotates_segments(self, tmp_path):
+        log = _log(tmp_path, checkpoint_every=4)
+        for i in range(4):
+            log.append("op", {"i": i})
+        assert log.should_checkpoint()
+        covered = log.checkpoint({"store": {}}, at_seq=log.seq)
+        assert covered == 4
+        assert not list(tmp_path.glob("wal-*.log"))
+        assert list(tmp_path.glob("checkpoint-*.ckpt"))
+        log.append("op", {})
+        assert next(tmp_path.glob("wal-*.log")).name \
+            == "wal-000000000005.log"
+
+    def test_two_checkpoint_generations_kept(self, tmp_path):
+        log = _log(tmp_path)
+        for gen in range(3):
+            log.append("op", {"gen": gen})
+            log.checkpoint({"gen": gen})
+        names = sorted(p.name for p in tmp_path.glob("*.ckpt"))
+        assert len(names) == 2
+        assert names[-1] == "checkpoint-000000000003.ckpt"
+
+    def test_recovery_falls_back_to_older_checkpoint(self, tmp_path):
+        log = _log(tmp_path)
+        log.append("op", {"i": 1})
+        log.checkpoint({"mark": "old"})
+        log.append("op", {"i": 2})
+        log.checkpoint({"mark": "new"})
+        newest = sorted(tmp_path.glob("*.ckpt"))[-1]
+        newest.write_bytes(b"garbage")
+        seq, state = _log(tmp_path).load_checkpoint()
+        assert seq == 1 and state == {"mark": "old"}
+
+    def test_replay_rejects_sequence_gap(self, tmp_path):
+        log = _log(tmp_path)
+        for i in range(3):
+            log.append("op", {"i": i})
+        log.close()
+        segment = next(tmp_path.glob("wal-*.log"))
+        frames = [encode_record(1, "op", {"i": 0}),
+                  encode_record(3, "op", {"i": 2})]
+        segment.write_bytes(b"".join(frames))
+        with pytest.raises(StoreCorruptError):
+            list(_log(tmp_path).replay(0))
+
+    def test_stale_tmp_removed_on_open(self, tmp_path):
+        stale = tmp_path / "checkpoint-000000000001.ckpt.tmp"
+        stale.write_bytes(b"partial")
+        _log(tmp_path)
+        assert not stale.exists()
+
+    def test_crash_point_leaves_partial_frame(self, tmp_path):
+        plan = FaultPlan(seed=0).with_crash_points(
+            "wal.append", at_byte=5, max_fires=1)
+        injector = plan.build(registry=MetricsRegistry())
+        log = _log(tmp_path, faults=injector)
+        with pytest.raises(InjectedCrash):
+            log.append("op", {"i": 1})
+        segment = next(tmp_path.glob("wal-*.log"))
+        assert segment.stat().st_size == 5
+        reopened = _log(tmp_path)
+        assert reopened.seq == 0
+
+    def test_crash_point_during_checkpoint_keeps_old_one(
+            self, tmp_path):
+        log = _log(tmp_path)
+        log.append("op", {"i": 1})
+        log.checkpoint({"mark": "safe"})
+        log.append("op", {"i": 2})
+        plan = FaultPlan(seed=0).with_crash_points(
+            "wal.checkpoint", at_byte=4, max_fires=1)
+        log.faults = plan.build(registry=MetricsRegistry())
+        with pytest.raises(InjectedCrash):
+            log.checkpoint({"mark": "doomed"})
+        seq, state = _log(tmp_path).load_checkpoint()
+        assert state == {"mark": "safe"}
+
+
+class TestAtomicSaves:
+    def test_atomic_write_replaces_not_truncates(self, tmp_path):
+        target = tmp_path / "snap.json"
+        target.write_text("old")
+        atomic_write_text(target, "new contents")
+        assert target.read_text() == "new contents"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_store_save_is_atomic(self, tmp_path, monkeypatch):
+        """A crash mid-save must leave the previous snapshot intact:
+        the new bytes only ever land via os.replace."""
+        from repro.platform.store import JsonStore
+
+        store = JsonStore()
+        path = tmp_path / "store.json"
+        store.save(path)
+        before = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise RuntimeError("killed before rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(RuntimeError):
+            store.save(path)
+        assert path.read_bytes() == before
+
+    def test_corrupt_store_file_raises_store_corrupt(self, tmp_path):
+        from repro.platform.store import JsonStore, ShardedStore
+
+        path = tmp_path / "store.json"
+        path.write_text('{"jobs": [')  # truncated mid-save
+        with pytest.raises(StoreCorruptError):
+            JsonStore.load(path)
+        with pytest.raises(StoreCorruptError):
+            ShardedStore.load(path)
+
+    def test_non_object_store_file_raises(self, tmp_path):
+        from repro.platform.store import JsonStore
+
+        path = tmp_path / "store.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(StoreCorruptError):
+            JsonStore.load(path)
+
+
+class TestErrorClassification:
+    def test_store_corrupt_is_not_retryable(self):
+        exc = StoreCorruptError("bad bytes")
+        assert isinstance(exc, ReproError)
+        assert not is_retryable(exc)
+
+    def test_injected_crash_is_not_retryable(self):
+        exc = InjectedCrash("died mid-append")
+        assert isinstance(exc, ReproError)
+        assert not is_retryable(exc)

@@ -37,8 +37,9 @@ class TestFaultPlan:
                 .with_permanent_errors("api.answer")
                 .with_dropped_answers("api.answer")
                 .with_duplicates("api.answer")
-                .with_store_crashes())
-        assert len(plan.rules) == 6
+                .with_store_crashes()
+                .with_crash_points("wal.append", at_byte=3))
+        assert len(plan.rules) == 7
         kinds = {rule.kind for rule in plan.rules}
         assert kinds == set(FaultKind)
 
