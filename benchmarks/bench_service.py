@@ -47,12 +47,24 @@ from repro.service.http import serve_in_thread         # noqa: E402
 THREAD_COUNTS = (1, 4, 16)
 
 
-def build_stack(mode: str, seed: int = 9):
+def build_stack(mode: str, seed: int = 9,
+                sample_rate: float = None):
     """One service stack: ``"baseline"`` (seed semantics) or
-    ``"sharded"`` (production)."""
+    ``"sharded"`` (production).
+
+    ``sample_rate`` switches the tracing-overhead shape: one tracer
+    shared across API + platform + WAL at the given head-sampling
+    rate (0.0 = tracing compiled down to a no-op ``yield None``).
+    None keeps the historical shape (two default tracers) the
+    committed speedup numbers were measured with.
+    """
     registry = MetricsRegistry()
+    if sample_rate is None:
+        platform_tracer, api_tracer = Tracer(), Tracer()
+    else:
+        platform_tracer = api_tracer = Tracer(sample_rate=sample_rate)
     common = dict(gold_rate=0.0, spam_detection=False, seed=seed,
-                  registry=registry, tracer=Tracer())
+                  registry=registry, tracer=platform_tracer)
     if mode == "sharded":
         platform = Platform(store=ShardedStore(), fast_path=True,
                             **common)
@@ -63,7 +75,7 @@ def build_stack(mode: str, seed: int = 9):
         lock_mode = "global"
     else:
         raise ValueError(f"unknown mode: {mode!r}")
-    api = ApiServer(platform, registry=registry, tracer=Tracer(),
+    api = ApiServer(platform, registry=registry, tracer=api_tracer,
                     lock_mode=lock_mode)
     return platform, api
 
@@ -97,9 +109,10 @@ def _p95_ms(latencies: List[float]) -> float:
 
 
 def measure(mode: str, n_threads: int, n_tasks: int,
-            redundancy: int, transport: str = "inprocess") -> Dict:
+            redundancy: int, transport: str = "inprocess",
+            sample_rate: float = None) -> Dict:
     """One measurement cell: ops/s and p95 for one stack shape."""
-    platform, api = build_stack(mode)
+    platform, api = build_stack(mode, sample_rate=sample_rate)
     server = None
     try:
         if transport == "http":
@@ -183,6 +196,59 @@ def run_suite(n_tasks: int, redundancy: int, http_tasks: int,
     return results
 
 
+#: Head-sampling rates swept by the tracing-overhead mode.
+TRACING_RATES = (0.0, 0.01, 1.0)
+
+#: Sampling-off throughput must stay within 5% of the plain sharded
+#: cell measured in the same run (same machine, same load shape) —
+#: the instrumentation-cost regression gate.
+TRACING_OVERHEAD_FLOOR = 0.95
+
+
+def run_tracing_overhead(results: Dict, n_tasks: int,
+                         redundancy: int,
+                         thread_counts=THREAD_COUNTS) -> Dict:
+    """Sweep tracing sample rates over the sharded in-process stack.
+
+    Each rate's ops/s is recorded alongside its ratio to the plain
+    sharded cell from the *same run* at the same thread count, so the
+    ratio isolates instrumentation cost from machine noise.  Rate 0.0
+    is the hot-path guarantee: sampling off must be free.
+    """
+    top = max(thread_counts)
+    plain = results["inprocess"][str(top)]["sharded"]["ops_per_s"]
+    rates: Dict = {}
+    for rate in TRACING_RATES:
+        cell = measure("sharded", top, n_tasks, redundancy,
+                       "inprocess", sample_rate=rate)
+        cell["ratio_vs_plain"] = round(cell["ops_per_s"] / plain, 3)
+        rates[f"{rate:g}"] = cell
+        print(f"  tracing x{top:<3} rate {rate:<4g} "
+              f"{cell['ops_per_s']:>9.1f} ops/s   "
+              f"ratio {cell['ratio_vs_plain']:.3f}", flush=True)
+    overhead = {"threads": top, "plain_ops_per_s": plain,
+                "rates": rates}
+    results["tracing_overhead"] = overhead
+    return overhead
+
+
+def check_tracing_overhead(results: Dict,
+                           floor: float = TRACING_OVERHEAD_FLOOR
+                           ) -> List[str]:
+    """Gate: sampling disabled must cost < (1 - floor) throughput."""
+    overhead = results.get("tracing_overhead")
+    if not overhead:
+        return []
+    cell = overhead["rates"].get("0")
+    if cell is None:
+        return []
+    if cell["ratio_vs_plain"] < floor:
+        return [f"tracing overhead with sampling off: "
+                f"{cell['ratio_vs_plain']:.3f}x of plain sharded "
+                f"throughput, below the {floor:.2f}x floor"]
+    return []
+
+
 def check_regression(fresh: Dict, committed_path: str,
                      tolerance: float, min_speedup: float) -> List[str]:
     """Speedup-ratio regression gate; returns failure messages.
@@ -230,22 +296,31 @@ def main(argv=None) -> int:
                              "against")
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument("--min-speedup", type=float, default=2.5)
+    parser.add_argument("--skip-tracing-overhead",
+                        action="store_true",
+                        help="skip the tracing sample-rate sweep")
     args = parser.parse_args(argv)
 
     results = run_suite(args.tasks, args.redundancy, args.http_tasks,
                         skip_http=args.skip_http)
+    failures: List[str] = []
+    if not args.skip_tracing_overhead:
+        run_tracing_overhead(results, args.tasks, args.redundancy)
+        failures.extend(check_tracing_overhead(results))
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.out}")
 
     if args.check_against:
-        failures = check_regression(results, args.check_against,
-                                    args.tolerance, args.min_speedup)
-        if failures:
-            for failure in failures:
-                print(f"REGRESSION: {failure}", file=sys.stderr)
-            return 1
+        failures.extend(check_regression(results, args.check_against,
+                                         args.tolerance,
+                                         args.min_speedup))
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    if args.check_against or not args.skip_tracing_overhead:
         print("regression gate passed")
     return 0
 

@@ -10,6 +10,9 @@ Commands:
 - ``suite``    — play one match of every game and summarize outputs.
 - ``metrics``  — pretty-print a ``/metrics`` snapshot from a running
   service.
+- ``trace``    — pull the flight recorder from a running service:
+  pretty-print recent trace trees, or ``--jsonl`` for the raw dump
+  (byte-identical to ``GET /debug/traces?format=jsonl``).
 - ``fsck``     — check a durability directory: per-record CRC,
   sequence-gap and orphan-reference diagnostics; silent and exit 0
   when clean, one line per issue and exit 1 on corruption.
@@ -65,6 +68,14 @@ def _build_parser() -> argparse.ArgumentParser:
                             "mutation (default: in-memory only)")
     serve.add_argument("--checkpoint-every", type=int, default=512,
                        help="WAL records between checkpoint rotations")
+    serve.add_argument("--sample-rate", type=float, default=1.0,
+                       help="trace head-sampling rate in [0,1] "
+                            "(0 disables tracing entirely; errored "
+                            "requests are still tail-promoted when "
+                            "rate > 0)")
+    serve.add_argument("--slow-threshold", type=float, default=0.5,
+                       help="seconds above which a request enters the "
+                            "flight recorder's slow-request log")
 
     suite = sub.add_parser(
         "suite", help="play one match of every game")
@@ -85,6 +96,19 @@ def _build_parser() -> argparse.ArgumentParser:
                          default="table",
                          help="table (default), raw json, or "
                               "prometheus text")
+
+    trace = sub.add_parser(
+        "trace",
+        help="pull recent traces from a running service's flight "
+             "recorder")
+    trace.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="base URL of the service")
+    trace.add_argument("--jsonl", action="store_true",
+                       help="raw JSONL dump (one trace per line), "
+                            "byte-identical to "
+                            "GET /debug/traces?format=jsonl")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="only the newest N traces")
 
     fsck = sub.add_parser(
         "fsck", help="check a durability directory for corruption")
@@ -167,20 +191,27 @@ def _cmd_digitize(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.tracing import Tracer
     from repro.platform import Platform
     from repro.service import ApiServer
     from repro.service.http import _make_handler
     from http.server import ThreadingHTTPServer
 
+    # One tracer spans the whole stack (API + platform + WAL), so a
+    # request's trace nests every layer it touched.
+    tracer = Tracer(sample_rate=args.sample_rate,
+                    recorder=FlightRecorder(
+                        slow_threshold_s=args.slow_threshold))
     if args.data_dir:
         platform = Platform.recover(
             args.data_dir, checkpoint_every=args.checkpoint_every,
-            seed=args.seed)
+            seed=args.seed, tracer=tracer)
         print(f"recovered from {args.data_dir} "
               f"(seq {platform.durability.seq})")
     else:
-        platform = Platform(seed=args.seed)
-    api = ApiServer(platform)
+        platform = Platform(seed=args.seed, tracer=tracer)
+    api = ApiServer(platform, tracer=tracer)
     server = ThreadingHTTPServer((args.host, args.port),
                                  _make_handler(api))
     host, port = server.server_address[0], server.server_address[1]
@@ -290,6 +321,57 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_span_tree(span: dict, depth: int = 0) -> None:
+    indent = "  " * depth
+    status = span.get("status", "ok")
+    mark = "" if status == "ok" else f" [{status.upper()}]"
+    duration_ms = span.get("duration_s", 0.0) * 1000.0
+    attrs = span.get("attributes") or {}
+    extra = ("  " + " ".join(f"{k}={v}" for k, v
+                             in sorted(attrs.items()))
+             if attrs else "")
+    print(f"{indent}{span.get('name', '?')}  "
+          f"{duration_ms:.3f}ms{mark}{extra}")
+    for child in span.get("children", []):
+        _print_span_tree(child, depth + 1)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from urllib import error as urlerror
+    from urllib import request as urlrequest
+
+    base = args.url.rstrip("/")
+    path = "/debug/traces?format=jsonl"
+    if args.limit is not None:
+        path += f"&limit={args.limit}"
+    try:
+        with urlrequest.urlopen(base + path, timeout=10.0) as response:
+            raw = response.read().decode("utf-8")
+    except (urlerror.URLError, OSError) as exc:
+        print(f"cannot reach {base}{path}: {exc}", file=sys.stderr)
+        return 1
+    if args.jsonl:
+        # Verbatim: what the endpoint sent is what we print, so piped
+        # output is byte-identical to fetching the URL directly.
+        sys.stdout.write(raw)
+        return 0
+    records = [json.loads(line) for line in raw.splitlines() if line]
+    if not records:
+        print("no traces recorded (is sampling enabled?)")
+        return 0
+    for record in records:
+        status = record.get("status", "ok")
+        mark = "" if status == "ok" else f"  [{status.upper()}]"
+        print(f"trace {record.get('trace_id', '?')}  "
+              f"{record.get('duration_s', 0.0) * 1000.0:.3f}ms{mark}")
+        root = record.get("root")
+        if root:
+            _print_span_tree(root, depth=1)
+        print()
+    return 0
+
+
 def _cmd_fsck(args: argparse.Namespace) -> int:
     from repro.durability import fsck
 
@@ -308,6 +390,7 @@ _COMMANDS = {
     "suite": _cmd_suite,
     "play": _cmd_play,
     "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
     "fsck": _cmd_fsck,
 }
 

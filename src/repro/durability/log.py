@@ -37,6 +37,8 @@ from __future__ import annotations
 import os
 import re
 import threading
+import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -83,15 +85,22 @@ class DurabilityLog:
             at the ``wal.append`` and ``wal.checkpoint`` crash-point
             sites.
         registry: metrics registry for ``wal.appends``,
-            ``wal.checkpoints`` and ``wal.truncated_tails`` (the
-            process default if omitted).
+            ``wal.checkpoints``, ``wal.truncated_tails``, the
+            ``wal.*_latency_s`` histograms and ``wal.*_bytes``
+            counters (the process default if omitted).
+        tracer: optional :class:`~repro.obs.tracing.Tracer`.  When set
+            (the platform wires its own in), each append runs inside a
+            ``wal.append`` span with a nested ``wal.fsync`` span, and
+            checkpoints inside ``wal.checkpoint`` — so a trace shows
+            exactly where the disk time went.  None = no spans.
     """
 
     def __init__(self, root: Union[str, Path],
                  checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
                  fsync: bool = True,
                  faults=None,
-                 registry=None) -> None:
+                 registry=None,
+                 tracer=None) -> None:
         if checkpoint_every < 1:
             raise StoreCorruptError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}")
@@ -100,6 +109,7 @@ class DurabilityLog:
         self.checkpoint_every = checkpoint_every
         self.fsync = fsync
         self.faults = faults
+        self.tracer = tracer
         from repro.obs.metrics import default_registry
         self.registry = (registry if registry is not None
                          else default_registry())
@@ -110,6 +120,18 @@ class DurabilityLog:
         self._m_truncated = self.registry.counter(
             "wal.truncated_tails",
             "torn WAL tails truncated during recovery")
+        self._m_append_latency = self.registry.histogram(
+            "wal.append_latency_s",
+            "full append latency (encode + write + fsync)")
+        self._m_fsync_latency = self.registry.histogram(
+            "wal.fsync_latency_s", "fsync portion of each append")
+        self._m_ckpt_latency = self.registry.histogram(
+            "wal.checkpoint_latency_s",
+            "checkpoint write + rotation latency")
+        self._m_append_bytes = self.registry.counter(
+            "wal.append_bytes", "bytes appended to WAL segments")
+        self._m_ckpt_bytes = self.registry.counter(
+            "wal.checkpoint_bytes", "bytes written to checkpoints")
         self._lock = threading.Lock()
         self._handle = None
         self._current_segment: Optional[Path] = None
@@ -221,17 +243,35 @@ class DurabilityLog:
         The record is on disk (written, flushed, fsynced) before this
         returns — the platform acknowledges the operation only after.
         """
-        with self._lock:
-            seq = self._seq + 1
-            frame = encode_record(seq, op, data)
-            handle = self._open_segment(seq)
-            self._maybe_crash(handle, frame, "wal.append")
-            handle.write(frame)
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
-            self._seq = seq
-            self._since_checkpoint += 1
+        tracer = self.tracer
+        span_cm = (tracer.span("wal.append", op=op)
+                   if tracer is not None else nullcontext(None))
+        trace_id = (tracer.current_trace_id()
+                    if tracer is not None else None)
+        started = time.perf_counter()
+        with span_cm:
+            with self._lock:
+                seq = self._seq + 1
+                frame = encode_record(seq, op, data)
+                handle = self._open_segment(seq)
+                self._maybe_crash(handle, frame, "wal.append")
+                handle.write(frame)
+                handle.flush()
+                if self.fsync:
+                    fsync_cm = (tracer.span("wal.fsync")
+                                if tracer is not None
+                                else nullcontext(None))
+                    fsync_started = time.perf_counter()
+                    with fsync_cm:
+                        os.fsync(handle.fileno())
+                    self._m_fsync_latency.observe(
+                        time.perf_counter() - fsync_started,
+                        exemplar=trace_id)
+                self._seq = seq
+                self._since_checkpoint += 1
+        self._m_append_latency.observe(
+            time.perf_counter() - started, exemplar=trace_id)
+        self._m_append_bytes.inc(len(frame))
         self._m_appends.inc(op=op)
         return seq
 
@@ -278,18 +318,28 @@ class DurabilityLog:
         newer than its covering checkpoint must never be skipped).
         Defaults to the current sequence number.  Returns ``at_seq``.
         """
-        with self._lock:
-            seq = self._seq if at_seq is None else at_seq
-            frame = encode_frame({"format": CHECKPOINT_FORMAT,
-                                  "seq": seq, "state": state})
-            target = self.root / _checkpoint_name(seq)
-            self._checkpoint_write(target, frame)
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
-            self._current_segment = None
-            self._rotate(seq)
-            self._since_checkpoint = self._seq - seq
+        tracer = self.tracer
+        span_cm = (tracer.span("wal.checkpoint")
+                   if tracer is not None else nullcontext(None))
+        trace_id = (tracer.current_trace_id()
+                    if tracer is not None else None)
+        started = time.perf_counter()
+        with span_cm:
+            with self._lock:
+                seq = self._seq if at_seq is None else at_seq
+                frame = encode_frame({"format": CHECKPOINT_FORMAT,
+                                      "seq": seq, "state": state})
+                target = self.root / _checkpoint_name(seq)
+                self._checkpoint_write(target, frame)
+                if self._handle is not None:
+                    self._handle.close()
+                    self._handle = None
+                self._current_segment = None
+                self._rotate(seq)
+                self._since_checkpoint = self._seq - seq
+        self._m_ckpt_latency.observe(
+            time.perf_counter() - started, exemplar=trace_id)
+        self._m_ckpt_bytes.inc(len(frame))
         self._m_checkpoints.inc()
         return seq
 

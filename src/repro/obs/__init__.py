@@ -6,7 +6,12 @@ The measurement substrate for the whole platform:
   :class:`Gauge` / :class:`Histogram` in a :class:`MetricsRegistry`,
   with a process-wide default registry.
 - :mod:`repro.obs.tracing` — ``with span("name"):`` nesting spans into
-  exportable trace trees.
+  exportable trace trees, with trace ids, parent links, and head/tail
+  sampling.
+- :mod:`repro.obs.propagation` — W3C-style ``traceparent`` context
+  carried across the HTTP boundary.
+- :mod:`repro.obs.recorder` — the bounded flight recorder behind the
+  ``/debug/*`` endpoints (recent traces, slow requests, errors).
 - :mod:`repro.obs.events` — :class:`~repro.core.events.EventLog`
   payloads normalized into flat telemetry records and folded into the
   registry.
@@ -23,6 +28,10 @@ from repro.obs.metrics import (Counter, Gauge, Histogram,
                                MetricsRegistry, default_registry,
                                set_default_registry)
 from repro.obs.tracing import (Span, Tracer, default_tracer, span)
+from repro.obs.propagation import (TraceContext, format_traceparent,
+                                   head_sampled, new_span_id,
+                                   new_trace_id, parse_traceparent)
+from repro.obs.recorder import FlightRecorder
 from repro.obs.events import (TelemetryLogger, TelemetryRecord,
                               feed_registry, normalize_event,
                               normalize_log)
@@ -34,6 +43,9 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "default_registry", "set_default_registry",
     "Span", "Tracer", "default_tracer", "span",
+    "TraceContext", "format_traceparent", "head_sampled",
+    "new_span_id", "new_trace_id", "parse_traceparent",
+    "FlightRecorder",
     "TelemetryLogger", "TelemetryRecord", "feed_registry",
     "normalize_event", "normalize_log",
     "PROMETHEUS_CONTENT_TYPE", "negotiate", "render_json",

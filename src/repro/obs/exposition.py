@@ -107,14 +107,20 @@ def negotiate(accept: Optional[str] = None,
 
     An explicit ``fmt`` ("json", "prometheus", "prom", "text") wins;
     otherwise an ``Accept`` header preferring ``text/plain`` selects
-    Prometheus; JSON is the default.
+    Prometheus; JSON is the default — including for a missing,
+    empty, wildcard-only, or outright garbage ``Accept`` header.
+    Negotiation must never raise: a client sending nonsense gets the
+    default rendering, not a 500.
     """
-    if fmt:
-        lowered = fmt.lower()
+    if fmt is not None:
+        try:
+            lowered = str(fmt).strip().lower()
+        except Exception:
+            return "json"
         if lowered in ("prometheus", "prom", "text"):
             return "prometheus"
         return "json"
-    if accept:
+    if accept is not None and isinstance(accept, str):
         lowered = accept.lower()
         json_at = lowered.find("application/json")
         text_at = lowered.find("text/plain")

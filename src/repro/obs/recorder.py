@@ -1,0 +1,151 @@
+"""The flight recorder: bounded buffers of recently finished traces.
+
+Metrics answer "how slow, on average"; the flight recorder answers
+"show me the last slow one".  A :class:`FlightRecorder` keeps three
+ring buffers:
+
+- **traces** — the most recent completed (sampled) root spans,
+- **slow requests** — roots whose duration crossed a configurable
+  threshold,
+- **recent errors** — roots that finished in error (or contain an
+  errored descendant).
+
+Everything is bounded (``collections.deque`` with ``maxlen``), so the
+recorder's memory footprint is a hard constant no matter how long the
+process runs or how many threads feed it — the 16-thread stress test
+in ``tests/test_obs_recorder.py`` holds it to that.  Recording is
+O(1): the finished span *tree* is referenced, not serialized; JSON
+materialization happens only when a reader asks (the ``/debug/*``
+endpoints and the ``repro trace`` CLI).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+#: Default latency threshold for the slow-request log (seconds).
+DEFAULT_SLOW_THRESHOLD_S = 0.5
+
+
+class FlightRecorder:
+    """Bounded in-memory store of recently completed trace trees.
+
+    Args:
+        max_traces: completed traces retained (oldest evicted first).
+        slow_threshold_s: duration at or above which a trace also
+            lands in the slow-request log.
+        max_slow: slow-log capacity.
+        max_errors: recent-errors capacity.
+    """
+
+    def __init__(self, max_traces: int = 256,
+                 slow_threshold_s: float = DEFAULT_SLOW_THRESHOLD_S,
+                 max_slow: int = 128, max_errors: int = 128) -> None:
+        self.slow_threshold_s = slow_threshold_s
+        self._traces: Deque = deque(maxlen=max_traces)
+        self._slow: Deque = deque(maxlen=max_slow)
+        self._errors: Deque = deque(maxlen=max_errors)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    # ------------------------------------------------------------------
+    # Write side (hot path)
+    # ------------------------------------------------------------------
+
+    def record(self, root) -> None:
+        """Admit one finished root span (a
+        :class:`~repro.obs.tracing.Span` whose subtree is complete).
+
+        O(1): the tree is referenced as-is.  Finished spans are never
+        mutated again, so readers can serialize them lazily without a
+        copy.
+        """
+        errored = (root.status == "error"
+                   or getattr(root, "child_error", False))
+        with self._lock:
+            self._traces.append(root)
+            self._recorded += 1
+            if (root.duration_s is not None
+                    and root.duration_s >= self.slow_threshold_s):
+                self._slow.append(root)
+            if errored:
+                self._errors.append(root)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _trace_record(root) -> Dict[str, Any]:
+        """One trace as a flat JSON-able record around its span tree."""
+        return {
+            "trace_id": getattr(root, "trace_id", None),
+            "name": root.name,
+            "started_at": root.started_at,
+            "duration_s": root.duration_s,
+            "status": ("error" if root.status == "error"
+                       or getattr(root, "child_error", False)
+                       else root.status),
+            "root": root.to_dict(),
+        }
+
+    def trace_records(self, limit: Optional[int] = None
+                      ) -> List[Dict[str, Any]]:
+        """Recent traces as JSON-able records, oldest first."""
+        with self._lock:
+            roots = list(self._traces)
+        if limit is not None and limit >= 0:
+            roots = roots[-limit:]
+        return [self._trace_record(root) for root in roots]
+
+    def slow_requests(self, limit: Optional[int] = None
+                      ) -> List[Dict[str, Any]]:
+        """Recent slow traces as JSON-able records, oldest first."""
+        with self._lock:
+            roots = list(self._slow)
+        if limit is not None and limit >= 0:
+            roots = roots[-limit:]
+        return [self._trace_record(root) for root in roots]
+
+    def recent_errors(self, limit: Optional[int] = None
+                      ) -> List[Dict[str, Any]]:
+        """Recent errored traces as JSON-able records, oldest first."""
+        with self._lock:
+            roots = list(self._errors)
+        if limit is not None and limit >= 0:
+            roots = roots[-limit:]
+        return [self._trace_record(root) for root in roots]
+
+    def to_jsonl(self, limit: Optional[int] = None) -> str:
+        """The trace buffer as newline-delimited JSON, oldest first.
+
+        This is the canonical offline-analysis format: the
+        ``GET /debug/traces?format=jsonl`` endpoint and the
+        ``repro trace --jsonl`` CLI both emit exactly this text.
+        """
+        return "\n".join(
+            json.dumps(record, sort_keys=True, default=str)
+            for record in self.trace_records(limit))
+
+    def occupancy(self) -> Dict[str, Any]:
+        """Buffer fill levels and capacities (the ``/healthz`` view)."""
+        with self._lock:
+            return {
+                "traces": len(self._traces),
+                "traces_capacity": self._traces.maxlen,
+                "slow": len(self._slow),
+                "slow_capacity": self._slow.maxlen,
+                "errors": len(self._errors),
+                "errors_capacity": self._errors.maxlen,
+                "recorded_total": self._recorded,
+                "slow_threshold_s": self.slow_threshold_s,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self._slow.clear()
+            self._errors.clear()

@@ -1,4 +1,4 @@
-"""Lightweight request/round tracing.
+"""Lightweight request/round tracing with distributed context.
 
 A :class:`Tracer` hands out ``with tracer.span("platform.submit_answer")``
 context managers.  Spans nest per thread: a span opened while another is
@@ -8,6 +8,28 @@ a bounded in-memory ring buffer; :meth:`Tracer.export` returns them as
 plain dicts and :meth:`Tracer.export_json` as a JSON document, newest
 last.
 
+Every span carries W3C-style identity (a 128-bit trace id shared by the
+whole tree, a 64-bit span id, a parent link), so traces survive the
+HTTP boundary: a server continues a client's trace by entering
+:meth:`Tracer.continue_trace` with the parsed ``traceparent`` header,
+and a client stamps outgoing requests with
+:meth:`Tracer.current_traceparent`.
+
+Sampling is two-stage:
+
+- **Head** — when a root span opens without an inherited context, the
+  trace id itself decides (:func:`repro.obs.propagation.head_sampled`):
+  deterministic, coordination-free, and identical at every hop.
+  ``sample_rate=1.0`` (the default) records everything;
+  ``sample_rate=0.0`` makes :meth:`span` a near-zero-cost no-op.
+- **Tail** — an *unsampled* trace that finishes in error is promoted
+  and recorded anyway: the traces you most need are the ones something
+  went wrong in.
+
+Finished, kept roots also feed a
+:class:`~repro.obs.recorder.FlightRecorder` (recent traces, slow
+requests, recent errors) served by the ``/debug/*`` endpoints.
+
 The implementation is deliberately cheap — one object allocation and
 two ``perf_counter`` calls per span — so hot paths can stay instrumented
 in production runs (see ``benchmarks/test_t9_service_throughput.py``).
@@ -15,24 +37,32 @@ in production runs (see ``benchmarks/test_t9_service_throughput.py``).
 
 from __future__ import annotations
 
-import itertools
 import json
 import threading
 import time
 from collections import deque
-from contextlib import contextmanager
 from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from repro.obs.propagation import (TraceContext, format_traceparent,
+                                   head_sampled, new_span_id,
+                                   new_trace_id)
+from repro.obs.recorder import FlightRecorder
 
 
 class Span:
     """One timed operation, possibly with nested children."""
 
-    __slots__ = ("span_id", "name", "started_at", "duration_s",
-                 "status", "error", "attributes", "children")
+    __slots__ = ("span_id", "trace_id", "parent_id", "name",
+                 "started_at", "duration_s", "status", "error",
+                 "attributes", "children", "sampled", "child_error")
 
-    def __init__(self, span_id: int, name: str,
-                 attributes: Dict[str, Any]) -> None:
+    def __init__(self, span_id: str, trace_id: str,
+                 parent_id: Optional[str], name: str,
+                 attributes: Dict[str, Any],
+                 sampled: bool = True) -> None:
         self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
         self.name = name
         self.started_at = time.time()
         self.duration_s: Optional[float] = None
@@ -40,13 +70,20 @@ class Span:
         self.error: Optional[str] = None
         self.attributes = attributes
         self.children: List["Span"] = []
+        self.sampled = sampled
+        # True when any descendant finished in error — the signal tail
+        # sampling promotes on, bubbled up as children close.
+        self.child_error = False
 
     def to_dict(self) -> Dict[str, Any]:
         doc: Dict[str, Any] = {
-            "span_id": self.span_id, "name": self.name,
+            "span_id": self.span_id, "trace_id": self.trace_id,
+            "name": self.name,
             "started_at": self.started_at,
             "duration_s": self.duration_s, "status": self.status,
         }
+        if self.parent_id is not None:
+            doc["parent_id"] = self.parent_id
         if self.error is not None:
             doc["error"] = self.error
         if self.attributes:
@@ -62,6 +99,114 @@ class Span:
             yield from child.walk()
 
 
+class _NoopHandle:
+    """Context manager for a span that will never exist.
+
+    A shared singleton: tracing disabled (or head-sampled off at rate
+    0.0) costs one method call and zero allocations per ``span()``.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_HANDLE = _NoopHandle()
+
+
+class _SpanHandle:
+    """Hand-rolled context manager for one open span.
+
+    ``@contextmanager`` generators cost several times more than a
+    plain object with ``__enter__``/``__exit__`` — and four spans open
+    per traced request, so the difference shows up directly in the
+    T9/T10 throughput tables.
+
+    Span construction happens in :meth:`__enter__`, not at
+    :meth:`Tracer.span` call time: callers build the handle *before*
+    entering it (``with remote_cm, tracer.span(...)``), and the parent
+    lookup must see whatever context the surrounding managers
+    installed.
+    """
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_stack", "_span",
+                 "_start")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack:
+            parent = stack[-1]
+            span = Span(new_span_id(), parent.trace_id,
+                        parent.span_id, self._name, self._attributes,
+                        sampled=parent.sampled)
+        else:
+            remote: Optional[TraceContext] = getattr(
+                tracer._local, "remote", None)
+            if remote is not None:
+                span = Span(new_span_id(), remote.trace_id,
+                            remote.span_id, self._name,
+                            self._attributes, sampled=remote.sampled)
+            else:
+                trace_id = new_trace_id()
+                span = Span(new_span_id(), trace_id, None, self._name,
+                            self._attributes,
+                            sampled=head_sampled(trace_id,
+                                                 tracer.sample_rate))
+        self._stack = stack
+        self._span = span
+        stack.append(span)
+        self._start = time.perf_counter()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.duration_s = time.perf_counter() - self._start
+        stack = self._stack
+        stack.pop()
+        if exc_type is not None:
+            span.status = "error"
+            span.error = f"{exc_type.__name__}: {exc}"
+        errored = span.status == "error" or span.child_error
+        if stack:
+            parent = stack[-1]
+            parent.children.append(span)
+            if errored:
+                parent.child_error = True
+        else:
+            self._tracer._finish_root(span, errored)
+        return False
+
+
+class _RemoteHandle:
+    """Context manager installing an inherited trace context."""
+
+    __slots__ = ("_local", "_ctx", "_previous")
+
+    def __init__(self, local, ctx: "TraceContext") -> None:
+        self._local = local
+        self._ctx = ctx
+
+    def __enter__(self) -> None:
+        self._previous = getattr(self._local, "remote", None)
+        self._local.remote = self._ctx
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._local.remote = self._previous
+        return False
+
+
 class Tracer:
     """Per-thread span nesting over a bounded root-span buffer.
 
@@ -69,15 +214,34 @@ class Tracer:
         max_spans: root spans retained (oldest evicted first).
         enabled: when False, :meth:`span` is a no-op context manager
             (for overhead-sensitive callers).
+        sample_rate: head-sampling probability in [0, 1].  ``1.0``
+            (the default) records every trace — the historical
+            behavior.  ``0.0`` is a pure fast-path no-op: no span
+            objects, no buffers, no error promotion.  In between,
+            spans are built but an unsampled trace is discarded when
+            its root closes — unless it errored, in which case tail
+            sampling promotes it.
+        recorder: the flight recorder finished roots feed (a private
+            :class:`~repro.obs.recorder.FlightRecorder` if omitted).
     """
 
     def __init__(self, max_spans: int = 1000,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True,
+                 sample_rate: float = 1.0,
+                 recorder: Optional[FlightRecorder] = None) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0,1], got {sample_rate}")
         self.enabled = enabled
+        self.sample_rate = sample_rate
+        self.recorder = (recorder if recorder is not None
+                         else FlightRecorder())
         self._roots: Deque[Span] = deque(maxlen=max_spans)
         self._lock = threading.Lock()
         self._local = threading.local()
-        self._ids = itertools.count(1)
+        self._sampled_total = 0
+        self._promoted_total = 0
+        self._dropped_total = 0
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
@@ -85,30 +249,76 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
-    @contextmanager
+    # ------------------------------------------------------------------
+    # Distributed context
+    # ------------------------------------------------------------------
+
+    def continue_trace(self, ctx: Optional[TraceContext]):
+        """Adopt an inherited trace context for this thread's next root.
+
+        The server half of propagation: ``with
+        tracer.continue_trace(parse_traceparent(header)):`` makes the
+        next root span opened on this thread a *child* of the sender's
+        span — same trace id, ``parent_id`` linking back, and the
+        sender's sampling verdict honored instead of a fresh head
+        decision.  ``ctx=None`` (missing or malformed header) is a
+        no-op: the next root starts a fresh trace.
+        """
+        if ctx is None:
+            return _NOOP_HANDLE
+        return _RemoteHandle(self._local, ctx)
+
+    def current_traceparent(self) -> Optional[str]:
+        """The ``traceparent`` header for the innermost open span on
+        this thread, or None when no span is open (or tracing is
+        off).  The client half of propagation."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        span = stack[-1]
+        return format_traceparent(TraceContext(
+            trace_id=span.trace_id, span_id=span.span_id,
+            sampled=span.sampled))
+
+    def current_trace_id(self) -> Optional[str]:
+        """Trace id of the innermost open span on this thread, if any.
+
+        The exemplar hook: histograms stash this next to a bucket so a
+        latency outlier links back to the trace that caused it.
+        """
+        stack = getattr(self._local, "stack", None)
+        return stack[-1].trace_id if stack else None
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
     def span(self, name: str, **attributes: Any):
-        """Open a span; yields the :class:`Span` (or None if disabled)."""
-        if not self.enabled:
-            yield None
+        """Open a span; the context manager yields the :class:`Span`
+        (or None if disabled or head-sampled out)."""
+        if not self.enabled or self.sample_rate <= 0.0:
+            # sample_rate 0.0 is a strict off switch, even against an
+            # inherited sampled=1 verdict: a disabled process never
+            # allocates spans, fills buffers, or lets callers opt it
+            # back in — the T9/T10 bench fast path.  (No root ever
+            # opens at rate 0, so no child can need this stack.)
+            return _NOOP_HANDLE
+        return _SpanHandle(self, name, attributes)
+
+    def _finish_root(self, span: Span, errored: bool) -> None:
+        """Keep or drop one finished trace (tail sampling)."""
+        if not span.sampled and not errored:
+            with self._lock:
+                self._dropped_total += 1
             return
-        span = Span(next(self._ids), name, attributes)
-        stack = self._stack()
-        stack.append(span)
-        start = time.perf_counter()
-        try:
-            yield span
-        except BaseException as exc:
-            span.status = "error"
-            span.error = f"{type(exc).__name__}: {exc}"
-            raise
-        finally:
-            span.duration_s = time.perf_counter() - start
-            stack.pop()
-            if stack:
-                stack[-1].children.append(span)
-            else:
-                with self._lock:
-                    self._roots.append(span)
+        with self._lock:
+            self._roots.append(span)
+            self._sampled_total += 1
+            if errored and not span.sampled:
+                self._promoted_total += 1
+        # Promotion makes the verdict visible to exporters.
+        span.sampled = True
+        self.recorder.record(span)
 
     def current(self) -> Optional[Span]:
         """The innermost open span on this thread, if any."""
@@ -132,6 +342,16 @@ class Tracer:
     def export_json(self, indent: Optional[int] = None) -> str:
         return json.dumps({"spans": self.export()}, indent=indent,
                           sort_keys=True, default=str)
+
+    def stats(self) -> Dict[str, Any]:
+        """Sampling counters (the ``/healthz`` tracing payload)."""
+        with self._lock:
+            return {
+                "sample_rate": self.sample_rate,
+                "sampled_total": self._sampled_total,
+                "promoted_total": self._promoted_total,
+                "dropped_total": self._dropped_total,
+            }
 
     def clear(self) -> None:
         with self._lock:

@@ -104,6 +104,11 @@ class Platform:
         self.durability = durability
         if durability is not None and durability.faults is None:
             durability.faults = faults
+        # The WAL inherits the platform's tracer (unless it was built
+        # with its own), so append/fsync spans nest under the platform
+        # verb that caused them.
+        if durability is not None and durability.tracer is None:
+            durability.tracer = self.tracer
         self.store = (store if store is not None
                       else ShardedStore(n_shards=store_shards))
         self.fast_path = fast_path

@@ -136,7 +136,14 @@ class TaskScheduler:
             "next_task outcomes, by served/empty")
         self._m_requeued = self.registry.counter(
             "scheduler.requeued_leases",
-            "leases requeued from dead or crashed sessions, by cause")
+            "leases requeued from dead, crashed or expired sessions, "
+            "by cause")
+        self._m_heap_op = self.registry.histogram(
+            "scheduler.heap_op_s",
+            "assignment-queue operation latency, by op (pick/rebuild)")
+        self._m_purge = self.registry.histogram(
+            "scheduler.lease_purge_s",
+            "time spent snapshotting and purging expired leases")
         # Soft leases: task -> {worker: lease expiry}.  A fetched task
         # counts toward redundancy until answered or until the lease
         # expires (abandoned workers must not stall the job forever).
@@ -188,9 +195,13 @@ class TaskScheduler:
         semantically invisible (an expired lease never counted
         anywhere); it exists so lease expiry becomes an *event* the
         assignment queues can observe — the returned purged task ids
-        get fresh heap entries pushed, keeping queue order exact."""
+        get fresh heap entries pushed, keeping queue order exact.
+        Expired leases are counted into ``scheduler.requeued_leases``
+        (cause="expired") and the sweep itself is timed."""
+        started = time.perf_counter()
         now = time.monotonic()
         purged: List[str] = []
+        expired = 0
         snapshot: Dict[str, Set[str]] = {}
         with self._res_lock:
             for task_id in list(self._reservations):
@@ -199,6 +210,7 @@ class TaskScheduler:
                         if expires > now}
                 if len(live) != len(holders):
                     purged.append(task_id)
+                    expired += len(holders) - len(live)
                     if live:
                         self._reservations[task_id] = {
                             worker: holders[worker]
@@ -207,6 +219,9 @@ class TaskScheduler:
                         self._reservations.pop(task_id)
                 if live:
                     snapshot[task_id] = live
+        if expired:
+            self._m_requeued.inc(expired, cause="expired")
+        self._m_purge.observe(time.perf_counter() - started)
         return snapshot, purged
 
     @staticmethod
@@ -313,6 +328,7 @@ class TaskScheduler:
                 and index.redundancy == job.redundancy
                 and index.n_members == len(job.task_ids)):
             return None if index.has_gold else index
+        started = time.perf_counter()
         tasks = self.store.tasks_for(job_id)
         entries = []
         has_gold = False
@@ -330,6 +346,8 @@ class TaskScheduler:
                           has_gold, entries)
         with self._idx_lock:
             self._indices[job_id] = index
+        self._m_heap_op.observe(time.perf_counter() - started,
+                                op="rebuild")
         return None if has_gold else index
 
     def _indexed_pick(self, index: _JobIndex, job: Job,
@@ -338,6 +356,7 @@ class TaskScheduler:
                       ) -> Optional[TaskRecord]:
         """Pop the queue until the first fresh, eligible task — the
         same task the legacy scan's ``min`` would return."""
+        started = time.perf_counter()
         redundancy = job.redundancy
         done = self._done_set(job)
         parked: List[Tuple[int, str]] = []
@@ -375,6 +394,8 @@ class TaskScheduler:
                 break
             for entry in parked:
                 heapq.heappush(heap, entry)
+        self._m_heap_op.observe(time.perf_counter() - started,
+                                op="pick")
         return chosen
 
     def _done_set(self, job: Job) -> Set[str]:

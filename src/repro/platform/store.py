@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import json
 import threading
+import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
@@ -235,9 +237,19 @@ class ShardedStore:
     contract, same sorted iteration orders, same document bytes — which
     is what the golden-trace determinism suite in
     ``tests/concurrency/`` asserts.
+
+    Args:
+        n_shards: shard count.
+        registry: optional metrics registry.  When given, every shard
+            lock acquisition feeds the ``store.shard_wait_s`` and
+            ``store.shard_held_s`` histograms (labelled by shard).
+            When omitted — the default, and the hot-path configuration
+            — lock acquisition is the raw RLock with zero timing
+            overhead.
     """
 
-    def __init__(self, n_shards: int = DEFAULT_SHARDS) -> None:
+    def __init__(self, n_shards: int = DEFAULT_SHARDS,
+                 registry=None) -> None:
         if n_shards < 1:
             raise PlatformError(
                 f"n_shards must be >= 1, got {n_shards}")
@@ -249,6 +261,36 @@ class ShardedStore:
             {} for _ in range(n_shards)]
         self._accounts: List[Dict[str, Account]] = [
             {} for _ in range(n_shards)]
+        if registry is not None:
+            self._m_wait = registry.histogram(
+                "store.shard_wait_s",
+                "time waiting for a store shard lock, by shard")
+            self._m_held = registry.histogram(
+                "store.shard_held_s",
+                "time holding a store shard lock, by shard")
+            self._locked = self._timed_locked
+        else:
+            self._locked = self._plain_locked
+
+    def _plain_locked(self, shard: int):
+        # The RLock is its own context manager: ``with`` on it costs
+        # nothing beyond acquire/release.
+        return self._locks[shard]
+
+    @contextmanager
+    def _timed_locked(self, shard: int):
+        lock = self._locks[shard]
+        wait_start = time.perf_counter()
+        lock.acquire()
+        acquired = time.perf_counter()
+        self._m_wait.observe(acquired - wait_start,
+                             shard=f"s{shard:02d}")
+        try:
+            yield
+        finally:
+            self._m_held.observe(time.perf_counter() - acquired,
+                                 shard=f"s{shard:02d}")
+            lock.release()
 
     def shard_of(self, key: str) -> int:
         """The shard index ``key`` lives on."""
@@ -260,12 +302,12 @@ class ShardedStore:
 
     def put_job(self, job: Job) -> None:
         shard = self.shard_of(job.job_id)
-        with self._locks[shard]:
+        with self._locked(shard):
             self._jobs[shard][job.job_id] = job
 
     def get_job(self, job_id: str) -> Job:
         shard = self.shard_of(job_id)
-        with self._locks[shard]:
+        with self._locked(shard):
             try:
                 return self._jobs[shard][job_id]
             except KeyError:
@@ -273,14 +315,14 @@ class ShardedStore:
 
     def has_job(self, job_id: str) -> bool:
         shard = self.shard_of(job_id)
-        with self._locks[shard]:
+        with self._locked(shard):
             return job_id in self._jobs[shard]
 
     def jobs(self) -> List[Job]:
         """All jobs, id-sorted, as a fresh snapshot list."""
         collected: List[Job] = []
         for shard in range(self.n_shards):
-            with self._locks[shard]:
+            with self._locked(shard):
                 collected.extend(self._jobs[shard].values())
         return sorted(collected, key=lambda job: job.job_id)
 
@@ -298,16 +340,16 @@ class ShardedStore:
         # ordering to violate.
         job = self.get_job(task.job_id)  # raises JobNotFound
         shard = self.shard_of(task.task_id)
-        with self._locks[shard]:
+        with self._locked(shard):
             self._tasks[shard][task.task_id] = task
         job_shard = self.shard_of(task.job_id)
-        with self._locks[job_shard]:
+        with self._locked(job_shard):
             if task.task_id not in job.task_ids:
                 job.task_ids.append(task.task_id)
 
     def get_task(self, task_id: str) -> TaskRecord:
         shard = self.shard_of(task_id)
-        with self._locks[shard]:
+        with self._locked(shard):
             try:
                 return self._tasks[shard][task_id]
             except KeyError:
@@ -315,7 +357,7 @@ class ShardedStore:
 
     def has_task(self, task_id: str) -> bool:
         shard = self.shard_of(task_id)
-        with self._locks[shard]:
+        with self._locked(shard):
             return task_id in self._tasks[shard]
 
     def tasks_for(self, job_id: str) -> List[TaskRecord]:
@@ -327,7 +369,7 @@ class ShardedStore:
         """
         job = self.get_job(job_id)
         job_shard = self.shard_of(job_id)
-        with self._locks[job_shard]:
+        with self._locked(job_shard):
             member_ids = list(job.task_ids)
         return self.get_tasks(member_ids)
 
@@ -347,7 +389,7 @@ class ShardedStore:
         resolved: Dict[str, TaskRecord] = {}
         for shard, ids in by_shard.items():
             table = self._tasks[shard]
-            with self._locks[shard]:
+            with self._locked(shard):
                 for task_id in ids:
                     task = table.get(task_id)
                     if task is not None:
@@ -364,12 +406,12 @@ class ShardedStore:
 
     def put_account(self, account: Account) -> None:
         shard = self.shard_of(account.account_id)
-        with self._locks[shard]:
+        with self._locked(shard):
             self._accounts[shard][account.account_id] = account
 
     def get_account(self, account_id: str) -> Account:
         shard = self.shard_of(account_id)
-        with self._locks[shard]:
+        with self._locked(shard):
             try:
                 return self._accounts[shard][account_id]
             except KeyError:
@@ -378,14 +420,14 @@ class ShardedStore:
 
     def has_account(self, account_id: str) -> bool:
         shard = self.shard_of(account_id)
-        with self._locks[shard]:
+        with self._locked(shard):
             return account_id in self._accounts[shard]
 
     def accounts(self) -> List[Account]:
         """All accounts, id-sorted, as a fresh snapshot list."""
         collected: List[Account] = []
         for shard in range(self.n_shards):
-            with self._locks[shard]:
+            with self._locked(shard):
                 collected.extend(self._accounts[shard].values())
         return sorted(collected,
                       key=lambda account: account.account_id)
@@ -399,7 +441,7 @@ class ShardedStore:
         (byte-compatible with :meth:`JsonStore.to_document`)."""
         tasks: List[TaskRecord] = []
         for shard in range(self.n_shards):
-            with self._locks[shard]:
+            with self._locked(shard):
                 tasks.extend(self._tasks[shard].values())
         tasks.sort(key=lambda task: task.task_id)
         return {

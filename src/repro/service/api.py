@@ -21,7 +21,19 @@ POST   /tasks:batch-assign             next tasks for many workers of one job
 POST   /answers:batch                  submit many answers in one round-trip
 GET    /leaderboard?k=10               top accounts
 GET    /metrics?format=json|prometheus telemetry snapshot
+GET    /debug/traces?format=jsonl      flight recorder: recent traces
+GET    /debug/requests                 flight recorder: slow + errored
+GET    /debug/locks                    lock wait/hold timings per stripe
 ====== =============================== =======================================
+
+Tracing: every routed request runs inside a ``service.<METHOD>
+<route>`` span.  When the request carries a W3C ``traceparent`` header
+(see :mod:`repro.obs.propagation`) the span *continues* the caller's
+trace — same trace id, parent link back to the client attempt that
+sent it — so a retried request shows up as one tree spanning both
+processes.  The observability plumbing itself (``/metrics``,
+``/healthz``, ``/debug/*``) is deliberately untraced: reading the
+flight recorder must not write to it.
 
 Concurrency model: requests are serialized by **lock scope**, not by
 one global mutex.  Each route declares what it touches:
@@ -53,14 +65,16 @@ from __future__ import annotations
 import re
 import threading
 import time
-from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from contextlib import contextmanager, nullcontext
+from typing import (Any, Callable, Dict, Iterator, List, Optional,
+                    Tuple)
 
 from repro.errors import (AccountError, JobNotFound, PlatformError,
                           ServiceError, TaskNotFound)
 from repro.obs.exposition import (PROMETHEUS_CONTENT_TYPE, negotiate,
                                   render_json, render_prometheus)
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.propagation import parse_traceparent
 from repro.obs.tracing import Tracer, default_tracer
 from repro.platform.facade import Platform
 from repro.platform.sharding import LockStripes
@@ -72,6 +86,52 @@ Handler = Callable[[ApiRequest, Dict[str, str]], ApiResponse]
 #: Upper bound on items accepted by one batch request — a wire-level
 #: guard against a single request monopolizing the platform.
 MAX_BATCH_ITEMS = 512
+
+#: JSONL content type for the trace dump endpoint.
+NDJSON_CONTENT_TYPE = "application/x-ndjson; charset=utf-8"
+
+#: Routes that must not generate spans: they *read* the telemetry, and
+#: tracing them would perturb the very buffers they serve (fetching
+#: ``/debug/traces`` twice would otherwise never return the same set).
+_UNTRACED_ROUTES = frozenset({
+    "/metrics", "/healthz", "/debug/traces", "/debug/requests",
+    "/debug/locks"})
+
+
+class _TimedLock:
+    """Hand-rolled timed-lock context manager.
+
+    Two of these run per striped request; a plain object with
+    ``__enter__``/``__exit__`` keeps that off the ``@contextmanager``
+    generator machinery the T9 profile flagged.
+    """
+
+    __slots__ = ("_server", "_lock", "_stripe", "_trace_id",
+                 "_acquired")
+
+    def __init__(self, server: "ApiServer", lock,
+                 stripe: str) -> None:
+        self._server = server
+        self._lock = lock
+        self._stripe = stripe
+
+    def __enter__(self) -> None:
+        server = self._server
+        self._trace_id = server.tracer.current_trace_id()
+        wait_start = time.perf_counter()
+        self._lock.acquire()
+        self._acquired = time.perf_counter()
+        server._lock_wait.observe(self._acquired - wait_start,
+                                  exemplar=self._trace_id,
+                                  stripe=self._stripe)
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._server._lock_held.observe(
+            time.perf_counter() - self._acquired,
+            exemplar=self._trace_id, stripe=self._stripe)
+        self._lock.release()
+        return False
 
 
 class ApiServer:
@@ -129,8 +189,13 @@ class ApiServer:
         # platform's registry_lock covering cross-job routes.
         self._lock = threading.Lock()
         self._stripes = LockStripes(n_stripes)
+        # Metric label per stripe, interned once — formatting a label
+        # string per request shows up on the T9 profile.
+        self._stripe_labels = tuple(f"s{i:02d}"
+                                    for i in range(len(self._stripes)))
         self._pending = 0
         self._pending_lock = threading.Lock()
+        self._started_at = time.time()
         self._install_routes()
         self._requests = self.registry.counter(
             "service.requests",
@@ -141,10 +206,10 @@ class ApiServer:
             "service.errors", "unexpected 5xx failures, by layer")
         self._lock_wait = self.registry.histogram(
             "service.lock_wait_s",
-            "time spent waiting for the platform lock")
+            "time spent waiting for a service lock, by stripe")
         self._lock_held = self.registry.histogram(
             "service.lock_held_s",
-            "time spent holding the platform lock")
+            "time spent holding a service lock, by stripe")
         self._m_shed = self.registry.counter(
             "service.shed",
             "requests refused by load shedding, by route")
@@ -197,22 +262,32 @@ class ApiServer:
         # The metrics reader must not queue behind platform traffic:
         # the registry is internally thread-safe, so no lock.
         self._route("GET", "/metrics", self._metrics, scope="none")
+        # Flight-recorder views: lock-free and untraced, so an
+        # operator poking at a wedged service sees the buffers as they
+        # are without adding to them.
+        self._route("GET", "/debug/traces", self._debug_traces,
+                    scope="none")
+        self._route("GET", "/debug/requests", self._debug_requests,
+                    scope="none")
+        self._route("GET", "/debug/locks", self._debug_locks,
+                    scope="none")
 
     def handle(self, request: ApiRequest) -> ApiResponse:
         """Route one request, translating errors to status codes."""
         started = time.perf_counter()
-        response, route = self._dispatch(request)
+        response, route, trace_id = self._dispatch(request)
         elapsed = time.perf_counter() - started
         self._requests.inc(route=route, method=request.method,
                            status=str(response.status))
-        self._latency.observe(elapsed, route=route)
+        self._latency.observe(elapsed, exemplar=trace_id, route=route)
         if response.status >= 500:
             self._errors.inc(layer="api")
         return response
 
     def _lock_for(self, scope: str, request: ApiRequest,
                   params: Dict[str, str]):
-        """The lock a request must hold, or None for lock-free.
+        """(lock, stripe label) a request must hold; lock is None for
+        lock-free scopes.
 
         Global mode maps every scope (including per-item batches) to
         the single mutex.  Striped mode resolves ``job`` scope to the
@@ -220,37 +295,39 @@ class ApiServer:
         store read — may raise :class:`TaskNotFound`, which dispatch
         translates to a 404), and ``registry`` scope to the platform's
         registry lock.  ``item`` scope returns None: the handler takes
-        stripes itself, one item at a time.
+        stripes itself, one item at a time.  The label keys the
+        per-stripe wait/hold histograms.
         """
         if scope == "none":
-            return None
+            return None, ""
         if self.lock_mode == "global":
-            return self._lock
+            return self._lock, "global"
         if scope == "registry":
-            return self.platform.registry_lock
+            return self.platform.registry_lock, "registry"
         if scope == "job":
             key = params.get("job_id") or str(
                 request.body.get("job_id", ""))
-            return self._stripes.for_key(key)
+            index = self._stripes.index_of(key)
+            return (self._stripes.for_index(index),
+                    self._stripe_labels[index])
         if scope == "task":
             task = self.platform.store.get_task(params["task_id"])
-            return self._stripes.for_key(task.job_id)
+            index = self._stripes.index_of(task.job_id)
+            return (self._stripes.for_index(index),
+                    self._stripe_labels[index])
         if scope == "item":
-            return None
+            return None, ""
         raise PlatformError(f"unknown lock scope: {scope!r}")
 
-    @contextmanager
-    def _timed_lock(self, lock) -> Iterator[None]:
-        """Hold ``lock``, feeding the wait/held histograms."""
-        wait_start = time.perf_counter()
-        lock.acquire()
-        acquired = time.perf_counter()
-        self._lock_wait.observe(acquired - wait_start)
-        try:
-            yield
-        finally:
-            self._lock_held.observe(time.perf_counter() - acquired)
-            lock.release()
+    def _timed_lock(self, lock, stripe: str = "global"
+                    ) -> "_TimedLock":
+        """Hold ``lock``, feeding the per-stripe wait/held histograms.
+
+        The current trace id (when a span is open) rides along as a
+        histogram exemplar, so a pathological lock wait in the metrics
+        names the exact trace that suffered it.
+        """
+        return _TimedLock(self, lock, stripe)
 
     @contextmanager
     def _item_guard(self, job_id: str) -> Iterator[None]:
@@ -263,12 +340,14 @@ class ApiServer:
         if self.lock_mode == "global":
             yield
             return
-        with self._timed_lock(self._stripes.for_key(job_id)):
+        index = self._stripes.index_of(job_id)
+        with self._timed_lock(self._stripes.for_index(index),
+                              stripe=self._stripe_labels[index]):
             yield
 
     def _dispatch(self, request: ApiRequest
-                  ) -> Tuple[ApiResponse, str]:
-        """(response, route pattern) for one request."""
+                  ) -> Tuple[ApiResponse, str, Optional[str]]:
+        """(response, route pattern, trace id) for one request."""
         for method, pattern, regex, handler, scope in self._routes:
             if method != request.method:
                 continue
@@ -277,48 +356,59 @@ class ApiServer:
                 continue
             params = match.groupdict()
             site = "api." + handler.__name__.lstrip("_")
-            with self.tracer.span(f"service.{method} {pattern}"):
+            if pattern in _UNTRACED_ROUTES:
+                remote_cm = nullcontext()
+                span_cm = nullcontext(None)
+            else:
+                ctx = parse_traceparent(
+                    request.headers.get("traceparent"))
+                remote_cm = self.tracer.continue_trace(ctx)
+                span_cm = self.tracer.span(
+                    f"service.{method} {pattern}")
+            with remote_cm, span_cm as span:
+                trace_id = span.trace_id if span is not None else None
                 try:
                     if scope == "none":
                         return self._invoke(handler, request, params,
-                                            site), pattern
+                                            site), pattern, trace_id
                     if self.max_pending is not None:
                         with self._pending_lock:
                             if self._pending >= self.max_pending:
                                 shed = self._shed(pattern)
-                                return shed, pattern
+                                return shed, pattern, trace_id
                             self._pending += 1
                     try:
-                        lock = self._lock_for(scope, request, params)
+                        lock, stripe = self._lock_for(scope, request,
+                                                      params)
                         if lock is None:
                             return self._invoke(
                                 handler, request, params,
-                                site), pattern
-                        with self._timed_lock(lock):
+                                site), pattern, trace_id
+                        with self._timed_lock(lock, stripe=stripe):
                             return self._invoke(
                                 handler, request, params,
-                                site), pattern
+                                site), pattern, trace_id
                     finally:
                         if self.max_pending is not None:
                             with self._pending_lock:
                                 self._pending -= 1
                 except (JobNotFound, TaskNotFound) as exc:
-                    return ApiResponse(404,
-                                       error_body(str(exc))), pattern
+                    return ApiResponse(
+                        404, error_body(str(exc))), pattern, trace_id
                 except AccountError as exc:
-                    return ApiResponse(409,
-                                       error_body(str(exc))), pattern
+                    return ApiResponse(
+                        409, error_body(str(exc))), pattern, trace_id
                 except ServiceError as exc:
                     return ApiResponse(
                         exc.status, error_body(str(exc)),
                         headers=self._retry_after_headers(
-                            exc.retry_after_s)), pattern
+                            exc.retry_after_s)), pattern, trace_id
                 except PlatformError as exc:
-                    return ApiResponse(400,
-                                       error_body(str(exc))), pattern
+                    return ApiResponse(
+                        400, error_body(str(exc))), pattern, trace_id
         return ApiResponse(404, error_body(
             f"no route for {request.method} {request.path}"
-        )), "<unmatched>"
+        )), "<unmatched>", None
 
     @staticmethod
     def _retry_after_headers(retry_after_s: Optional[float]
@@ -377,12 +467,75 @@ class ApiServer:
 
     def _healthz(self, request: ApiRequest,
                  params: Dict[str, str]) -> ApiResponse:
-        """Readiness probe with durability status: whether a WAL is
-        configured, its directory, newest sequence number, and how
-        many records the next checkpoint will cover."""
+        """Readiness probe with durability status (whether a WAL is
+        configured, its directory, newest sequence number, checkpoint
+        backlog) plus observability vitals: uptime, sampling counters,
+        and flight-recorder occupancy."""
         return ApiResponse(200, {
             "status": "ok",
-            "durability": self.platform.durability_status()})
+            "uptime_s": time.time() - self._started_at,
+            "durability": self.platform.durability_status(),
+            "tracing": self.tracer.stats(),
+            "recorder": self.tracer.recorder.occupancy()})
+
+    def _debug_traces(self, request: ApiRequest,
+                      params: Dict[str, str]) -> ApiResponse:
+        """Recently completed traces from the flight recorder.
+
+        ``?format=jsonl`` returns the canonical JSONL dump (one trace
+        record per line, sorted keys) — byte-identical to what
+        ``repro trace --jsonl`` prints for the same recorder state.
+        ``?limit=N`` keeps only the newest N traces.  This route is
+        deliberately untraced: reading telemetry must not write it.
+        """
+        recorder = self.tracer.recorder
+        limit = self._debug_limit(request)
+        if request.query.get("format", "").lower() == "jsonl":
+            text = recorder.to_jsonl(limit=limit)
+            if text:
+                text += "\n"
+            return ApiResponse(200, text=text,
+                               content_type=NDJSON_CONTENT_TYPE)
+        records = recorder.trace_records(limit=limit)
+        return ApiResponse(200, {"traces": records,
+                                 "occupancy": recorder.occupancy()})
+
+    def _debug_requests(self, request: ApiRequest,
+                        params: Dict[str, str]) -> ApiResponse:
+        """Slow-request log and recent-errors buffer."""
+        recorder = self.tracer.recorder
+        limit = self._debug_limit(request)
+        return ApiResponse(200, {
+            "slow_threshold_s": recorder.slow_threshold_s,
+            "slow_requests": recorder.slow_requests(limit=limit),
+            "recent_errors": recorder.recent_errors(limit=limit),
+            "occupancy": recorder.occupancy()})
+
+    def _debug_locks(self, request: ApiRequest,
+                     params: Dict[str, str]) -> ApiResponse:
+        """Per-stripe lock and shard contention snapshots."""
+        doc: Dict[str, Any] = {
+            "lock_mode": self.lock_mode,
+            "n_stripes": len(self._stripes),
+        }
+        for name in ("service.lock_wait_s", "service.lock_held_s",
+                     "store.shard_wait_s", "store.shard_held_s"):
+            metric = self.registry.get(name)
+            if metric is not None:
+                doc[name] = metric.snapshot()
+        return ApiResponse(200, doc)
+
+    @staticmethod
+    def _debug_limit(request: ApiRequest) -> Optional[int]:
+        """Parse ``?limit=N`` (newest N); garbage means no limit."""
+        raw = request.query.get("limit")
+        if raw is None:
+            return None
+        try:
+            limit = int(raw)
+        except (TypeError, ValueError):
+            return None
+        return limit if limit > 0 else None
 
     def shutdown(self) -> None:
         """Graceful shutdown: flush a final checkpoint so the next

@@ -12,6 +12,14 @@ and jitter, a :class:`~repro.service.retry.CircuitBreaker` can fail fast
 when the service is down, and every ``submit_answer`` carries an
 idempotency key so an at-least-once retry can never double-count an
 answer.  Per-attempt outcomes land in ``client.*`` metrics.
+
+Every verb is traced: a ``client.<METHOD> <path>`` root span with one
+``client.attempt`` child per try (tagged with the attempt number and
+idempotency key), so retries show up as sibling children of one trace.
+The attempt's identity rides to the server as a W3C ``traceparent``
+header, which the :class:`~repro.service.api.ApiServer` continues —
+one connected trace from the first client attempt down to the WAL
+fsync that acknowledged it.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro import rng as _rng
 from repro.errors import (CircuitOpenError, ServiceError,
                           TransientServiceError, is_retryable)
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer, default_tracer
 from repro.service.api import ApiServer
 from repro.service.retry import CircuitBreaker, RetryPolicy
 from repro.service.wire import ApiRequest
@@ -55,6 +64,8 @@ class _BaseClient:
             mean the service is healthy).
         registry: metrics registry for the ``client.*`` series (the
             process default if omitted).
+        tracer: span tracer for the verb/attempt spans (the process
+            default if omitted).
         sleep: backoff sleep implementation (injectable for tests).
         seed: jitter RNG seed.
     """
@@ -62,12 +73,14 @@ class _BaseClient:
     def __init__(self, retry_policy: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None,
                  registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
                  sleep: Callable[[float], None] = time.sleep,
                  seed: _rng.SeedLike = 0) -> None:
         self.retry_policy = retry_policy
         self.breaker = breaker
         self.registry = (registry if registry is not None
                          else default_registry())
+        self.tracer = tracer if tracer is not None else default_tracer()
         self._sleep = sleep
         self._rng = _rng.make_rng(seed)
         self._m_attempts = self.registry.counter(
@@ -79,42 +92,70 @@ class _BaseClient:
 
     def _send(self, method: str, path: str,
               body: Optional[Dict[str, Any]],
-              query: Optional[Dict[str, str]]) -> Dict[str, Any]:
+              query: Optional[Dict[str, str]],
+              headers: Optional[Dict[str, str]] = None
+              ) -> Dict[str, Any]:
         raise NotImplementedError
+
+    def _trace_headers(self) -> Optional[Dict[str, str]]:
+        """Outgoing headers carrying the current span's identity."""
+        traceparent = self.tracer.current_traceparent()
+        if traceparent is None:
+            return None
+        return {"traceparent": traceparent}
 
     def _call(self, method: str, path: str,
               body: Optional[Dict[str, Any]] = None,
               query: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
-        """One verb: a single attempt, or a retry loop under a policy."""
+        """One verb: a single attempt, or a retry loop under a policy.
+
+        Traced as one ``client.<METHOD> <path>`` root with a
+        ``client.attempt`` child per try — retries are sibling spans,
+        each stamped with its attempt number (and the idempotency key
+        when the body carries one), each propagated to the server via
+        ``traceparent`` so the server's handler span links back to the
+        exact attempt that reached it.
+        """
         policy = self.retry_policy
         attempts = policy.max_attempts if policy is not None else 1
-        for attempt in range(attempts):
-            if self.breaker is not None and not self.breaker.allow():
-                self._m_attempts.inc(outcome="breaker_open")
-                raise CircuitOpenError(
-                    retry_after_s=self.breaker.remaining_open_s())
-            try:
-                result = self._send(method, path, body, query)
-            except ServiceError as exc:
-                retryable = is_retryable(exc)
-                if self.breaker is not None and retryable:
-                    self.breaker.record_failure()
-                self._m_attempts.inc(
-                    outcome="retryable" if retryable else "fatal")
-                if not retryable or attempt + 1 >= attempts:
-                    raise
-                delay = policy.backoff_s(
-                    attempt, rng=self._rng,
-                    retry_after_s=exc.retry_after_s)
-                self._m_retries.inc(method=method)
-                self._m_backoff.observe(delay)
-                if delay > 0:
-                    self._sleep(delay)
-                continue
-            if self.breaker is not None:
-                self.breaker.record_success()
-            self._m_attempts.inc(outcome="ok")
-            return result
+        idempotency_key = (body.get("idempotency_key")
+                           if isinstance(body, dict) else None)
+        with self.tracer.span(f"client.{method} {path}"):
+            for attempt in range(attempts):
+                if (self.breaker is not None
+                        and not self.breaker.allow()):
+                    self._m_attempts.inc(outcome="breaker_open")
+                    raise CircuitOpenError(
+                        retry_after_s=self.breaker.remaining_open_s())
+                attempt_attrs: Dict[str, Any] = {"attempt": attempt}
+                if idempotency_key is not None:
+                    attempt_attrs["idempotency_key"] = idempotency_key
+                try:
+                    with self.tracer.span("client.attempt",
+                                          **attempt_attrs):
+                        result = self._send(
+                            method, path, body, query,
+                            headers=self._trace_headers())
+                except ServiceError as exc:
+                    retryable = is_retryable(exc)
+                    if self.breaker is not None and retryable:
+                        self.breaker.record_failure()
+                    self._m_attempts.inc(
+                        outcome="retryable" if retryable else "fatal")
+                    if not retryable or attempt + 1 >= attempts:
+                        raise
+                    delay = policy.backoff_s(
+                        attempt, rng=self._rng,
+                        retry_after_s=exc.retry_after_s)
+                    self._m_retries.inc(method=method)
+                    self._m_backoff.observe(delay)
+                    if delay > 0:
+                        self._sleep(delay)
+                    continue
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                self._m_attempts.inc(outcome="ok")
+                return result
         raise AssertionError("unreachable: retry loop exited")
 
     # -- verbs ---------------------------------------------------------
@@ -244,10 +285,12 @@ class InProcessClient(_BaseClient):
 
     def _send(self, method: str, path: str,
               body: Optional[Dict[str, Any]],
-              query: Optional[Dict[str, str]]) -> Dict[str, Any]:
+              query: Optional[Dict[str, str]],
+              headers: Optional[Dict[str, str]] = None
+              ) -> Dict[str, Any]:
         response = self.api.handle(ApiRequest(
             method=method, path=path, body=body or {},
-            query=query or {}))
+            query=query or {}, headers=headers or {}))
         if not response.ok:
             raise ServiceError(
                 response.body.get("error", "request failed"),
@@ -268,16 +311,21 @@ class HttpClient(_BaseClient):
 
     def _send(self, method: str, path: str,
               body: Optional[Dict[str, Any]],
-              query: Optional[Dict[str, str]]) -> Dict[str, Any]:
+              query: Optional[Dict[str, str]],
+              headers: Optional[Dict[str, str]] = None
+              ) -> Dict[str, Any]:
         url = self.base_url + path
         if query:
             url += "?" + urlencode(query)
         data = None
-        headers = {"Accept": "application/json"}
+        send_headers = {"Accept": "application/json"}
+        if headers:
+            send_headers.update(headers)
         if body is not None and method != "GET":
             data = json.dumps(body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urlrequest.Request(url, data=data, headers=headers,
+            send_headers["Content-Type"] = "application/json"
+        request = urlrequest.Request(url, data=data,
+                                     headers=send_headers,
                                      method=method)
         try:
             with urlrequest.urlopen(request,

@@ -7,8 +7,9 @@ so a client stops hammering a service that is consistently failing and
 probes it gently once the reset timeout elapses.
 
 Both are wired into :class:`repro.service.client._BaseClient`; both
-report state through :mod:`repro.obs` (``client.breaker_state`` gauge,
-``client.breaker_transitions`` counter).
+report state through :mod:`repro.obs` (``client.breaker_state`` and
+``client.breaker_failures`` gauges, ``client.breaker_transitions``
+counter).
 """
 
 from __future__ import annotations
@@ -132,7 +133,11 @@ class CircuitBreaker:
         self._m_transitions = self.registry.counter(
             "client.breaker_transitions",
             "breaker state changes, by breaker/to")
+        self._m_failures = self.registry.gauge(
+            "client.breaker_failures",
+            "consecutive failures seen by the breaker, by breaker")
         self._m_state.set(0, breaker=self.name)
+        self._m_failures.set(0, breaker=self.name)
 
     @property
     def state(self) -> BreakerState:
@@ -171,6 +176,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         with self._lock:
             self._failures = 0
+            self._m_failures.set(0, breaker=self.name)
             self._probing = False
             self._transition(BreakerState.CLOSED)
 
@@ -183,6 +189,7 @@ class CircuitBreaker:
                 self._transition(BreakerState.OPEN)
                 return
             self._failures += 1
+            self._m_failures.set(self._failures, breaker=self.name)
             if (self._state is BreakerState.CLOSED
                     and self._failures >= self.failure_threshold):
                 self._opened_at = self._clock()

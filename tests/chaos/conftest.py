@@ -2,15 +2,76 @@
 
 ``CHAOS_SEED`` (env) re-seeds every fault plan, so CI can sweep several
 schedules while local runs stay deterministic under the default.
+
+On any chaos test failure the flight recorders of every campaign the
+test ran are dumped (traces + slow-request log + recent errors, JSONL)
+into ``CHAOS_ARTIFACT_DIR`` (default ``chaos-artifacts/``), one file
+per failed test — the CI job uploads that directory, so a flaky fault
+schedule ships the traces that led up to the failure instead of just a
+stack trace.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
+from pathlib import Path
 
 import pytest
+
+from tests.chaos.harness import ACTIVE_RECORDERS
 
 
 @pytest.fixture(scope="session")
 def chaos_seed() -> int:
     return int(os.environ.get("CHAOS_SEED", "0"))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_recorders():
+    """Scope the recorder dump to one test's campaigns."""
+    ACTIVE_RECORDERS.clear()
+    yield
+    ACTIVE_RECORDERS.clear()
+
+
+def _artifact_dir() -> Path:
+    return Path(os.environ.get("CHAOS_ARTIFACT_DIR",
+                               "chaos-artifacts"))
+
+
+def _dump_recorders(test_name: str) -> None:
+    if not ACTIVE_RECORDERS:
+        return
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", test_name)
+    target = _artifact_dir()
+    target.mkdir(parents=True, exist_ok=True)
+    for index, tracer in enumerate(ACTIVE_RECORDERS):
+        recorder = tracer.recorder
+        path = target / f"{safe}-campaign{index:02d}.jsonl"
+        with open(path, "w") as handle:
+            traces = recorder.to_jsonl()
+            if traces:
+                handle.write(traces + "\n")
+        meta = target / f"{safe}-campaign{index:02d}-meta.json"
+        meta.write_text(json.dumps({
+            "test": test_name,
+            "campaign": index,
+            "tracing": tracer.stats(),
+            "occupancy": recorder.occupancy(),
+            "slow_requests": recorder.slow_requests(),
+            "recent_errors": recorder.recent_errors(),
+        }, indent=2, sort_keys=True, default=str))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        try:
+            _dump_recorders(item.nodeid)
+        except Exception:
+            # Artifact capture must never mask the real failure.
+            pass

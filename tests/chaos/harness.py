@@ -62,6 +62,14 @@ class CampaignResult:
     injector: Optional[FaultInjector]
     job_id: str
     answer_rows: int
+    tracer: Optional[Tracer] = None
+
+
+#: Flight recorders of campaigns run by the current test, newest last.
+#: The conftest failure hook dumps these to a CI artifact so a failed
+#: chaos run ships the traces that led up to it.  Tests clear it via
+#: the autouse fixture in ``conftest.py``.
+ACTIVE_RECORDERS: List[Tracer] = []
 
 
 def run_campaign(plan: Optional[FaultPlan] = None, *,
@@ -101,11 +109,16 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
     if data_dir is not None:
         durability = DurabilityLog(data_dir, checkpoint_every=32,
                                    fsync=False, registry=registry)
+    # One tracer across API + platform + WAL: every request's spans —
+    # platform verb, WAL append, injected faults — land in one tree,
+    # and the flight recorder holds the whole campaign's story.
+    tracer = Tracer()
+    ACTIVE_RECORDERS.append(tracer)
     platform = Platform(gold_rate=0.0, spam_detection=False, seed=seed,
-                        registry=registry, tracer=Tracer(),
+                        registry=registry, tracer=tracer,
                         faults=injector, store=store,
                         durability=durability, fast_path=fast_path)
-    api = ApiServer(platform, registry=registry, tracer=Tracer(),
+    api = ApiServer(platform, registry=registry, tracer=tracer,
                     lock_mode=lock_mode)
     client = InProcessClient(
         api,
@@ -147,4 +160,4 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
     return CampaignResult(
         labels_json=json.dumps(labels, sort_keys=True),
         platform=platform, registry=registry, injector=injector,
-        job_id=job_id, answer_rows=rows)
+        job_id=job_id, answer_rows=rows, tracer=tracer)

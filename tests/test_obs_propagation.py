@@ -1,0 +1,165 @@
+"""W3C traceparent propagation: parse/format round-trip and fuzzing.
+
+The contract under test: :func:`parse_traceparent` is strict (only a
+well-formed version-00 header yields a context) but *total* — any
+input whatsoever returns a :class:`TraceContext` or ``None``, never an
+exception.  A malformed header simply means the receiver starts a
+fresh root trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.propagation import (FLAG_SAMPLED, TraceContext,
+                                   format_traceparent, head_sampled,
+                                   new_span_id, new_trace_id,
+                                   parse_traceparent)
+
+
+def test_format_shape():
+    ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8,
+                       sampled=True)
+    header = format_traceparent(ctx)
+    assert header == "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+
+
+def test_format_unsampled_flags():
+    ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8,
+                       sampled=False)
+    assert format_traceparent(ctx).endswith("-00")
+
+
+def test_round_trip_preserves_identity():
+    for sampled in (True, False):
+        ctx = TraceContext(trace_id=new_trace_id(),
+                           span_id=new_span_id(), sampled=sampled)
+        parsed = parse_traceparent(format_traceparent(ctx))
+        assert parsed == ctx
+
+
+def test_parse_accepts_surrounding_whitespace():
+    ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+    parsed = parse_traceparent("  " + format_traceparent(ctx) + "\n")
+    assert parsed == ctx
+
+
+def test_parse_flags_other_bits_ignored():
+    # Unknown flag bits must not invalidate the header; only the
+    # sampled bit is interpreted.
+    header = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-ff"
+    parsed = parse_traceparent(header)
+    assert parsed is not None
+    assert parsed.sampled is True
+    header = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-fe"
+    assert parse_traceparent(header).sampled is False
+
+
+@pytest.mark.parametrize("header", [
+    None,
+    "",
+    "00",
+    "garbage",
+    "00-" + "ab" * 16 + "-" + "cd" * 8,            # missing flags
+    "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01-x",  # extra field
+    "01-" + "ab" * 16 + "-" + "cd" * 8 + "-01",    # unknown version
+    "00-" + "AB" * 16 + "-" + "cd" * 8 + "-01",    # uppercase hex
+    "00-" + "ab" * 16 + "-" + "CD" * 8 + "-01",
+    "00-" + "ab" * 15 + "-" + "cd" * 8 + "-01",    # short trace id
+    "00-" + "ab" * 17 + "-" + "cd" * 8 + "-01",    # long trace id
+    "00-" + "ab" * 16 + "-" + "cd" * 7 + "-01",    # short span id
+    "00-" + "ab" * 16 + "-" + "cd" * 8 + "-1",     # short flags
+    "00-" + "ab" * 16 + "-" + "cd" * 8 + "-001",   # long flags
+    "00-" + "zz" * 16 + "-" + "cd" * 8 + "-01",    # non-hex
+    "00-" + "00" * 16 + "-" + "cd" * 8 + "-01",    # all-zero trace id
+    "00-" + "ab" * 16 + "-" + "00" * 8 + "-01",    # all-zero span id
+    "00 " + "ab" * 16 + " " + "cd" * 8 + " 01",    # wrong separator
+])
+def test_parse_rejects_malformed(header):
+    assert parse_traceparent(header) is None
+
+
+def test_parse_non_string_inputs():
+    for value in (12345, 1.5, b"00-" + b"ab" * 16, ["00"], {}, object()):
+        assert parse_traceparent(value) is None
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=80))
+def test_parse_never_raises_on_text(header):
+    result = parse_traceparent(header)
+    assert result is None or isinstance(result, TraceContext)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=64).map(
+    lambda raw: raw.decode("latin-1")))
+def test_parse_never_raises_on_binary_junk(header):
+    result = parse_traceparent(header)
+    assert result is None or isinstance(result, TraceContext)
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace_bits=st.integers(min_value=1, max_value=2 ** 128 - 1),
+       span_bits=st.integers(min_value=1, max_value=2 ** 64 - 1),
+       sampled=st.booleans())
+def test_fuzz_round_trip(trace_bits, span_bits, sampled):
+    """Every valid context survives format → parse unchanged."""
+    ctx = TraceContext(trace_id=f"{trace_bits:032x}",
+                       span_id=f"{span_bits:016x}", sampled=sampled)
+    assert parse_traceparent(format_traceparent(ctx)) == ctx
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet="0123456789abcdef-", max_size=60))
+def test_fuzz_hexlike_never_raises(header):
+    """Near-miss headers (right alphabet, wrong shape) stay total."""
+    result = parse_traceparent(header)
+    if result is not None:
+        # Anything accepted must re-format to a canonical header that
+        # parses back to itself.
+        assert parse_traceparent(format_traceparent(result)) == result
+
+
+def test_new_trace_id_shape_and_uniqueness():
+    ids = {new_trace_id() for _ in range(64)}
+    assert len(ids) == 64
+    for trace_id in ids:
+        assert len(trace_id) == 32
+        int(trace_id, 16)  # hex
+
+
+def test_new_span_id_monotonic_unique():
+    ids = [new_span_id() for _ in range(64)]
+    assert len(set(ids)) == 64
+    for span_id in ids:
+        assert len(span_id) == 16
+        int(span_id, 16)
+
+
+def test_head_sampled_extremes():
+    trace_id = new_trace_id()
+    assert head_sampled(trace_id, 1.0) is True
+    assert head_sampled(trace_id, 0.0) is False
+
+
+def test_head_sampled_deterministic_and_calibrated():
+    # The verdict is a pure function of the id: repeated calls agree,
+    # and over many ids the keep fraction tracks the rate.
+    ids = [new_trace_id() for _ in range(2000)]
+    rate = 0.25
+    verdicts = [head_sampled(t, rate) for t in ids]
+    assert verdicts == [head_sampled(t, rate) for t in ids]
+    kept = sum(verdicts) / len(verdicts)
+    assert 0.15 < kept < 0.35
+
+
+def test_head_sampled_boundary_ids():
+    assert head_sampled("0" * 32, 0.001) is True   # 0.0 < rate
+    assert head_sampled("f" * 32, 0.999) is False  # ~1.0 >= rate
+
+
+def test_sampled_flag_bit():
+    assert FLAG_SAMPLED == 0x01

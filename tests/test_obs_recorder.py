@@ -1,0 +1,171 @@
+"""Flight recorder: bounded buffers, classification, JSONL export.
+
+The acceptance property under test: the recorder's memory footprint is
+a hard constant — every buffer is capacity-bounded no matter how many
+traces flow through, including under 16-thread concurrent load.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.recorder import (DEFAULT_SLOW_THRESHOLD_S,
+                                FlightRecorder)
+from repro.obs.tracing import Tracer
+
+
+def _run_trace(tracer: Tracer, name: str = "op",
+               fail: bool = False, **attrs) -> None:
+    if fail:
+        try:
+            with tracer.span(name, **attrs):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+    else:
+        with tracer.span(name, **attrs):
+            pass
+
+
+def test_records_finished_roots():
+    recorder = FlightRecorder()
+    tracer = Tracer(recorder=recorder)
+    _run_trace(tracer, "alpha")
+    _run_trace(tracer, "beta")
+    records = recorder.trace_records()
+    assert [r["name"] for r in records] == ["alpha", "beta"]
+    for record in records:
+        assert record["trace_id"]
+        assert record["status"] == "ok"
+        assert record["root"]["name"] == record["name"]
+
+
+def test_trace_buffer_bounded():
+    recorder = FlightRecorder(max_traces=8)
+    tracer = Tracer(recorder=recorder)
+    for i in range(50):
+        _run_trace(tracer, f"op-{i}")
+    records = recorder.trace_records()
+    assert len(records) == 8
+    # Oldest evicted first: the newest 8 survive.
+    assert [r["name"] for r in records] == [f"op-{i}"
+                                            for i in range(42, 50)]
+    occupancy = recorder.occupancy()
+    assert occupancy["traces"] == 8
+    assert occupancy["traces_capacity"] == 8
+    assert occupancy["recorded_total"] == 50
+
+
+def test_slow_log_threshold():
+    recorder = FlightRecorder(slow_threshold_s=0.05)
+    tracer = Tracer(recorder=recorder)
+    _run_trace(tracer, "fast")
+    # Fabricate a slow trace without sleeping: record a finished span
+    # whose duration crosses the threshold.
+    with tracer.span("slow") as span:
+        pass
+    span.duration_s = 0.2
+    recorder.record(span)
+    slow = recorder.slow_requests()
+    assert [r["name"] for r in slow] == ["slow"]
+    assert recorder.occupancy()["slow"] == 1
+
+
+def test_error_log_and_status_rollup():
+    recorder = FlightRecorder()
+    tracer = Tracer(recorder=recorder)
+    _run_trace(tracer, "fine")
+    _run_trace(tracer, "broken", fail=True)
+    # A root whose *child* errored also lands in the error log, even
+    # when the root itself finished fine (exception handled between
+    # the two spans).
+    with tracer.span("parent"):
+        try:
+            with tracer.span("child"):
+                raise ValueError("nested")
+        except ValueError:
+            pass
+    errors = recorder.recent_errors()
+    assert [r["name"] for r in errors] == ["broken", "parent"]
+    # The parent finished "ok" itself but rolls up as error.
+    assert errors[1]["status"] == "error"
+    assert errors[1]["root"]["status"] == "ok"
+
+
+def test_limit_returns_newest():
+    recorder = FlightRecorder()
+    tracer = Tracer(recorder=recorder)
+    for i in range(10):
+        _run_trace(tracer, f"op-{i}")
+    records = recorder.trace_records(limit=3)
+    assert [r["name"] for r in records] == ["op-7", "op-8", "op-9"]
+
+
+def test_to_jsonl_round_trips():
+    recorder = FlightRecorder()
+    tracer = Tracer(recorder=recorder)
+    for i in range(3):
+        _run_trace(tracer, f"op-{i}", index=i)
+    text = recorder.to_jsonl()
+    # No trailing newline: the canonical text is exactly the joined
+    # records (transport layers append their own framing).
+    assert not text.endswith("\n")
+    lines = text.split("\n")
+    assert len(lines) == 3
+    parsed = [json.loads(line) for line in lines]
+    assert [p["name"] for p in parsed] == ["op-0", "op-1", "op-2"]
+    assert parsed[2]["root"]["attributes"] == {"index": 2}
+
+
+def test_to_jsonl_empty():
+    assert FlightRecorder().to_jsonl() == ""
+
+
+def test_clear():
+    recorder = FlightRecorder(slow_threshold_s=0.0)
+    tracer = Tracer(recorder=recorder)
+    _run_trace(tracer, "x", fail=True)
+    recorder.clear()
+    occupancy = recorder.occupancy()
+    assert occupancy["traces"] == 0
+    assert occupancy["slow"] == 0
+    assert occupancy["errors"] == 0
+    # recorded_total is a lifetime counter, not buffer state.
+    assert occupancy["recorded_total"] == 1
+
+
+def test_default_threshold():
+    assert FlightRecorder().slow_threshold_s == DEFAULT_SLOW_THRESHOLD_S
+
+
+def test_sixteen_thread_stress_stays_bounded():
+    """16 threads × 200 traces: buffers never exceed capacity and no
+    record is lost or double-counted."""
+    recorder = FlightRecorder(max_traces=32, max_slow=16,
+                              max_errors=16, slow_threshold_s=0.0)
+    tracer = Tracer(max_spans=32, recorder=recorder)
+    n_threads, per_thread = 16, 200
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(t: int) -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            _run_trace(tracer, f"t{t}-op{i}", fail=(i % 7 == 0))
+
+    threads = [threading.Thread(target=hammer, args=(t,))
+               for t in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    occupancy = recorder.occupancy()
+    assert occupancy["recorded_total"] == n_threads * per_thread
+    assert occupancy["traces"] == 32
+    assert occupancy["slow"] == 16
+    assert occupancy["errors"] == 16
+    # Readers see well-formed records even at full churn.
+    for record in recorder.trace_records():
+        assert record["trace_id"]
+        json.dumps(record)

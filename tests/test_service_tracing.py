@@ -1,0 +1,341 @@
+"""End-to-end distributed tracing through the service stack.
+
+The acceptance walk: one trace connects a client attempt → the HTTP
+handler → the platform verb → the WAL append/fsync that acknowledged
+it, with retries showing up as sibling ``client.attempt`` spans of one
+client root.  Plus the trace-aware debug endpoints, ``/healthz``
+vitals, CLI/endpoint JSONL byte-equality, and ``/metrics`` content
+negotiation hardening.
+"""
+
+from __future__ import annotations
+
+import json
+from urllib import request as urlrequest
+
+import pytest
+
+from repro import cli
+from repro.durability.log import DurabilityLog
+from repro.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.client import HttpClient, InProcessClient
+from repro.service.http import serve_in_thread
+from repro.service.retry import RetryPolicy
+from repro.service.wire import ApiRequest
+
+
+def _build(tmp_path=None, *, plan=None, sample_rate=1.0, seed=3):
+    """One full service stack sharing a single tracer, plus a client
+    with its *own* tracer so propagation crosses a real boundary."""
+    registry = MetricsRegistry()
+    server_tracer = Tracer(sample_rate=sample_rate)
+    durability = None
+    if tmp_path is not None:
+        durability = DurabilityLog(tmp_path, checkpoint_every=10_000,
+                                   fsync=True, registry=registry)
+    injector = plan.build(registry=registry) if plan is not None \
+        else None
+    platform = Platform(gold_rate=0.0, spam_detection=False, seed=seed,
+                        registry=registry, tracer=server_tracer,
+                        faults=injector, durability=durability)
+    api = ApiServer(platform, registry=registry, tracer=server_tracer)
+    client_tracer = Tracer()
+    client = InProcessClient(
+        api, registry=registry, tracer=client_tracer,
+        retry_policy=RetryPolicy(max_attempts=5, base_delay_s=0.0,
+                                 max_delay_s=0.0, jitter=0.0),
+        sleep=lambda s: None, seed=seed)
+    return api, client, server_tracer, client_tracer
+
+
+def _one_answer(client):
+    """Drive one submit_answer through the stack; returns task id."""
+    job = client.create_job("traced", redundancy=1)
+    client.add_tasks(job["job_id"], [{"payload": {"q": 1}}])
+    client.start_job(job["job_id"])
+    client.register_worker("w1")
+    task = client.next_task(job["job_id"], "w1")
+    client.submit_answer(task["task_id"], "w1", "cat")
+    return job["job_id"], task["task_id"]
+
+
+def _roots_named(tracer, prefix):
+    return [root for root in tracer.roots()
+            if root.name.startswith(prefix)]
+
+
+def _find_all(root, name):
+    return [span for span in root.walk() if span.name == name]
+
+
+class TestConnectedTrace:
+    def test_client_to_wal_one_trace(self, tmp_path):
+        """The acceptance walk, in-process: client attempt → handler
+        → platform verb → WAL append → fsync, one trace id."""
+        api, client, server_tracer, client_tracer = _build(tmp_path)
+        _one_answer(client)
+
+        [client_root] = _roots_named(client_tracer,
+                                     "client.POST /tasks/")
+        [attempt] = _find_all(client_root, "client.attempt")
+        assert attempt.parent_id == client_root.span_id
+        assert attempt.attributes["attempt"] == 0
+        assert "idempotency_key" in attempt.attributes
+        trace_id = client_root.trace_id
+
+        # The server continued the client's trace: same id, parent
+        # link back to the exact attempt that reached it.
+        server_roots = [root for root in server_tracer.roots()
+                        if root.trace_id == trace_id]
+        [service_span] = server_roots
+        assert service_span.name.startswith("service.POST /tasks/")
+        assert service_span.parent_id == attempt.span_id
+
+        [verb] = _find_all(service_span, "platform.submit_answer")
+        [append] = _find_all(verb, "wal.append")
+        [fsync] = _find_all(append, "wal.fsync")
+        for span in (verb, append, fsync):
+            assert span.trace_id == trace_id
+            assert span.duration_s is not None
+
+    def test_retries_are_sibling_attempts(self, tmp_path):
+        plan = FaultPlan(seed=5).with_transient_errors(
+            "api.answer", probability=1.0, max_fires=2)
+        api, client, server_tracer, client_tracer = _build(
+            tmp_path, plan=plan)
+        _one_answer(client)
+
+        [client_root] = _roots_named(client_tracer,
+                                     "client.POST /tasks/")
+        attempts = _find_all(client_root, "client.attempt")
+        assert [a.attributes["attempt"] for a in attempts] == [0, 1, 2]
+        # Siblings: every attempt hangs off the one verb root.
+        assert {a.parent_id for a in attempts} == \
+            {client_root.span_id}
+        trace_id = client_root.trace_id
+
+        # Each attempt produced its own server-side handler span, all
+        # in the same trace, each linked to its attempt.
+        server_spans = [
+            root for root in server_tracer.roots()
+            if root.trace_id == trace_id
+            and root.name.startswith("service.POST /tasks/")]
+        assert len(server_spans) == 3
+        assert [s.parent_id for s in server_spans] == \
+            [a.span_id for a in attempts]
+
+    def test_connected_trace_over_http(self, tmp_path):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        durability = DurabilityLog(tmp_path, checkpoint_every=10_000,
+                                   fsync=True, registry=registry)
+        platform = Platform(gold_rate=0.0, spam_detection=False,
+                            seed=2, registry=registry, tracer=tracer,
+                            durability=durability)
+        server, _, base_url = serve_in_thread(
+            ApiServer(platform, registry=registry, tracer=tracer))
+        try:
+            client_tracer = Tracer()
+            client = HttpClient(base_url, tracer=client_tracer)
+            _one_answer(client)
+        finally:
+            server.shutdown()
+
+        [client_root] = _roots_named(client_tracer,
+                                     "client.POST /tasks/")
+        [attempt] = _find_all(client_root, "client.attempt")
+        server_roots = [root for root in tracer.roots()
+                        if root.trace_id == client_root.trace_id]
+        [service_span] = server_roots
+        assert service_span.parent_id == attempt.span_id
+        assert _find_all(service_span, "wal.fsync")
+
+
+class TestSampling:
+    def test_rate_zero_server_records_nothing(self):
+        """Sampling off is strict: a client's sampled=1 verdict must
+        not opt a disabled server back into tracing."""
+        api, client, server_tracer, client_tracer = _build(
+            sample_rate=0.0)
+        _one_answer(client)
+        assert client_tracer.roots()  # the client itself traced
+        assert server_tracer.roots() == []
+        assert server_tracer.recorder.occupancy()["recorded_total"] \
+            == 0
+
+    def test_head_sampling_drops_fresh_roots(self):
+        api, client, server_tracer, _ = _build(sample_rate=1e-9)
+        # A client that doesn't trace sends no traceparent, so the
+        # server heads-samples its own fresh roots — all dropped.
+        client.tracer = Tracer(enabled=False)
+        _one_answer(client)
+        assert server_tracer.roots() == []
+        stats = server_tracer.stats()
+        assert stats["dropped_total"] > 0
+        assert stats["sampled_total"] == 0
+
+
+class TestDebugEndpoints:
+    def _get(self, api, path, query=None, headers=None):
+        return api.handle(ApiRequest(
+            method="GET", path=path, body={}, query=query or {},
+            headers=headers or {}))
+
+    def test_debug_traces_json(self):
+        api, client, server_tracer, _ = _build()
+        _one_answer(client)
+        response = self._get(api, "/debug/traces")
+        assert response.status == 200
+        body = response.body
+        assert body["occupancy"]["recorded_total"] == \
+            len(body["traces"])
+        names = [t["root"]["name"] for t in body["traces"]]
+        assert any(n.startswith("service.POST /tasks/")
+                   for n in names)
+
+    def test_debug_traces_jsonl_matches_recorder(self):
+        api, client, server_tracer, _ = _build()
+        _one_answer(client)
+        response = self._get(api, "/debug/traces",
+                             query={"format": "jsonl"})
+        assert response.content_type.startswith(
+            "application/x-ndjson")
+        assert response.text.endswith("\n")
+        assert response.text == \
+            server_tracer.recorder.to_jsonl() + "\n"
+        for line in response.text.splitlines():
+            json.loads(line)
+
+    def test_debug_routes_are_untraced(self):
+        """Reading the telemetry must not write it: two reads of
+        /debug/traces return identical bytes."""
+        api, client, _, _ = _build()
+        _one_answer(client)
+        first = self._get(api, "/debug/traces",
+                          query={"format": "jsonl"})
+        second = self._get(api, "/debug/traces",
+                           query={"format": "jsonl"})
+        assert first.text == second.text
+
+    def test_debug_traces_limit(self):
+        api, client, _, _ = _build()
+        _one_answer(client)
+        limited = self._get(api, "/debug/traces",
+                            query={"limit": "2"}).body["traces"]
+        assert len(limited) == 2
+        everything = self._get(api, "/debug/traces").body["traces"]
+        assert len(everything) > 2
+        # Garbage limits mean "no limit", never a 500.
+        for garbage in ("x", "-3", "0", ""):
+            response = self._get(api, "/debug/traces",
+                                 query={"limit": garbage})
+            assert response.status == 200
+            assert len(response.body["traces"]) == len(everything)
+
+    def test_debug_requests(self):
+        api, client, server_tracer, _ = _build()
+        _one_answer(client)
+        body = self._get(api, "/debug/requests").body
+        assert body["slow_threshold_s"] == \
+            server_tracer.recorder.slow_threshold_s
+        assert body["slow_requests"] == []
+        assert body["recent_errors"] == []
+        assert body["occupancy"]["recorded_total"] > 0
+
+    def test_debug_locks(self):
+        api, client, _, _ = _build()
+        _one_answer(client)
+        body = self._get(api, "/debug/locks").body
+        assert body["lock_mode"] == "striped"
+        assert body["n_stripes"] == 16
+        held = body["service.lock_held_s"]
+        assert held["kind"] == "histogram"
+        stripes = {series["labels"]["stripe"]
+                   for series in held["series"]}
+        assert stripes  # per-stripe labels, e.g. {"s04", "registry"}
+
+    def test_healthz_vitals(self):
+        api, client, server_tracer, _ = _build()
+        _one_answer(client)
+        body = self._get(api, "/healthz").body
+        assert body["status"] == "ok"
+        assert body["uptime_s"] >= 0.0
+        assert body["tracing"] == server_tracer.stats()
+        assert body["recorder"] == \
+            server_tracer.recorder.occupancy()
+
+
+class TestMetricsNegotiation:
+    def _metrics(self, api, accept=None, query=None):
+        headers = {"accept": accept} if accept is not None else {}
+        return api.handle(ApiRequest(
+            method="GET", path="/metrics", body={},
+            query=query or {}, headers=headers))
+
+    def test_garbage_accept_falls_back_to_json(self):
+        api, client, _, _ = _build()
+        _one_answer(client)
+        for accept in (";;garbage", "x/", "//,;q=zz", "\x00\xff",
+                       "text;plain", ","):
+            response = self._metrics(api, accept=accept)
+            assert response.status == 200
+            assert isinstance(response.body, dict)
+            assert "service.requests" in response.body["metrics"]
+
+    def test_prometheus_accept(self):
+        api, client, _, _ = _build()
+        _one_answer(client)
+        response = self._metrics(api, accept="text/plain")
+        assert response.text is not None
+        assert "service_requests" in response.text
+
+    def test_format_overrides_accept(self):
+        api, client, _, _ = _build()
+        _one_answer(client)
+        response = self._metrics(api, accept="application/json",
+                                 query={"format": "prometheus"})
+        assert response.text is not None
+
+
+class TestTraceCli:
+    @pytest.fixture()
+    def live_stack(self, tmp_path):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        platform = Platform(gold_rate=0.0, spam_detection=False,
+                            seed=2, registry=registry, tracer=tracer)
+        server, _, base_url = serve_in_thread(
+            ApiServer(platform, registry=registry, tracer=tracer))
+        client = HttpClient(base_url, tracer=Tracer())
+        _one_answer(client)
+        yield base_url
+        server.shutdown()
+
+    def test_jsonl_byte_identical_to_endpoint(self, live_stack,
+                                              capsys):
+        base_url = live_stack
+        with urlrequest.urlopen(
+                base_url + "/debug/traces?format=jsonl") as response:
+            direct = response.read().decode("utf-8")
+        assert cli.main(["trace", "--url", base_url, "--jsonl"]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_pretty_output_walks_trees(self, live_stack, capsys):
+        assert cli.main(["trace", "--url", live_stack]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out
+        assert "platform.submit_answer" in out
+
+    def test_limit_flag(self, live_stack, capsys):
+        assert cli.main(["trace", "--url", live_stack, "--jsonl",
+                         "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert len([l for l in out.splitlines() if l]) == 1
+
+    def test_unreachable_server(self, capsys):
+        assert cli.main(["trace", "--url",
+                         "http://127.0.0.1:1", "--jsonl"]) == 1
