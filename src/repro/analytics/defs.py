@@ -1,0 +1,55 @@
+"""Shared metric definitions: one formula, live and offline.
+
+The paper's GWAP metrics — throughput (verified outputs per
+human-hour), average lifetime play, and expected contribution — are
+computed twice in this codebase: offline by :mod:`repro.analytics`
+after a campaign ends, and live by :mod:`repro.obs.live` while one is
+running.  The two surfaces must agree on fixtures, so the arithmetic
+lives here, dependency-free, and both import it.  Every function is a
+total function of its inputs (no clocks, no state) and returns 0.0 on
+an empty denominator rather than raising: a dashboard polling an
+idle campaign should read zeros, not stack traces.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_HOUR = 3600.0
+
+
+def throughput_per_hour(outputs: float, human_seconds: float) -> float:
+    """Verified outputs per human-hour of play.
+
+    ``outputs`` is the verified-contribution count; ``human_seconds``
+    is total player time (two players x duration for a paired game).
+    """
+    if human_seconds <= 0.0:
+        return 0.0
+    return outputs / (human_seconds / SECONDS_PER_HOUR)
+
+
+def alp_hours(total_play_seconds: float, participants: int) -> float:
+    """Observed average lifetime play, in hours per distinct player."""
+    if participants <= 0:
+        return 0.0
+    return total_play_seconds / participants / SECONDS_PER_HOUR
+
+
+def expected_contribution(throughput: float, alp: float) -> float:
+    """Expected verified outputs from one average recruit's lifetime:
+    throughput (per hour) x average lifetime play (hours)."""
+    return throughput * alp
+
+
+def coverage_rate(covered: float, total: float) -> float:
+    """Fraction of items with enough verified output (0.0 when the
+    item universe is empty or unknown)."""
+    if total <= 0.0:
+        return 0.0
+    return min(1.0, covered / total)
+
+
+def accuracy(correct: float, graded: float) -> float:
+    """Gold accuracy: correct gold answers over graded gold answers."""
+    if graded <= 0.0:
+        return 0.0
+    return correct / graded

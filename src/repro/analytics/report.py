@@ -8,7 +8,7 @@ sections degrade gracefully when their inputs are absent.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.analytics.coverage import coverage_fraction
 from repro.analytics.quality import label_precision_recall
@@ -20,7 +20,11 @@ from repro.analytics.timeseries import cumulative_counts
 from repro.errors import SimulationError
 from repro.players.base import PlayerModel
 from repro.players.engagement import EngagementModel
-from repro.sim.engine import CampaignResult
+
+if TYPE_CHECKING:   # annotation-only: a runtime import would close
+    # the cycle games -> platform -> obs.live -> analytics -> sim ->
+    # games.
+    from repro.sim.engine import CampaignResult
 
 
 def _bar(fraction: float, width: int = 30) -> str:

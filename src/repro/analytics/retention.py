@@ -9,10 +9,14 @@ hours, some exceeding 50 h/week), and return/retention behavior.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.engine import CampaignResult
+
+if TYPE_CHECKING:   # annotation-only: a runtime import would close
+    # the cycle games -> platform -> obs.live -> analytics -> sim ->
+    # games.
+    from repro.sim.engine import CampaignResult
 
 
 @dataclass(frozen=True)

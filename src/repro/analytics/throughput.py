@@ -15,12 +15,17 @@ engagement model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.analytics import defs
 from repro.errors import SimulationError
 from repro.players.base import PlayerModel
 from repro.players.engagement import EngagementModel
-from repro.sim.engine import CampaignResult
+
+if TYPE_CHECKING:   # annotation-only: a runtime import would close
+    # the cycle games -> platform -> obs.live -> analytics -> sim ->
+    # games.
+    from repro.sim.engine import CampaignResult
 
 
 @dataclass(frozen=True)
@@ -52,12 +57,17 @@ class GwapMetrics:
 
 def expected_contribution(throughput_per_hour: float,
                           alp_hours: float) -> float:
-    """Expected verified outputs from one average player's lifetime."""
+    """Expected verified outputs from one average player's lifetime.
+
+    The arithmetic is shared with the live dashboard via
+    :mod:`repro.analytics.defs`; this wrapper adds the offline
+    pipeline's input validation.
+    """
     if throughput_per_hour < 0 or alp_hours < 0:
         raise SimulationError(
             "throughput and ALP must be >= 0, got "
             f"{throughput_per_hour}, {alp_hours}")
-    return throughput_per_hour * alp_hours
+    return defs.expected_contribution(throughput_per_hour, alp_hours)
 
 
 def gwap_metrics(game: str, result: CampaignResult,
@@ -78,10 +88,8 @@ def gwap_metrics(game: str, result: CampaignResult,
     else:
         participants = {player for outcome in result.outcomes
                         for player in outcome.players}
-        if participants:
-            alp_hours = result.human_seconds / len(participants) / 3600.0
-        else:
-            alp_hours = 0.0
+        alp_hours = defs.alp_hours(result.human_seconds,
+                                   len(participants))
     return GwapMetrics(
         game=game, throughput_per_hour=throughput, alp_hours=alp_hours,
         expected_contribution=expected_contribution(throughput,

@@ -13,6 +13,10 @@ Commands:
 - ``trace``    — pull the flight recorder from a running service:
   pretty-print recent trace trees, or ``--jsonl`` for the raw dump
   (byte-identical to ``GET /debug/traces?format=jsonl``).
+- ``top``      — live ops dashboard for a running service: per-game
+  paper metrics, SLO burn rates, active alerts and slow verbs,
+  refreshed in place; ``--once --json`` prints the raw dashboard
+  document (byte-identical to ``GET /dashboard``).
 - ``fsck``     — check a durability directory: per-record CRC,
   sequence-gap and orphan-reference diagnostics; silent and exit 0
   when clean, one line per issue and exit 1 on corruption.
@@ -109,6 +113,22 @@ def _build_parser() -> argparse.ArgumentParser:
                             "GET /debug/traces?format=jsonl")
     trace.add_argument("--limit", type=int, default=None,
                        help="only the newest N traces")
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard: paper metrics, SLOs and alerts from a "
+             "running service")
+    top.add_argument("--url", default="http://127.0.0.1:8080",
+                     help="base URL of the service")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+    top.add_argument("--json", action="store_true",
+                     help="with --once: print the raw dashboard "
+                          "JSON, byte-identical to GET /dashboard")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period in seconds")
+    top.add_argument("--frames", type=int, default=None,
+                     help="stop after N refreshes (default: forever)")
 
     fsck = sub.add_parser(
         "fsck", help="check a durability directory for corruption")
@@ -372,6 +392,122 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_dashboard(doc: dict) -> str:
+    """One terminal frame of the dashboard document."""
+    lines = []
+    service = doc.get("service", {})
+    lines.append(f"repro top — requests={service.get('requests', 0)} "
+                 f"errors={service.get('errors', 0)} "
+                 f"at_s={doc.get('at_s', 0.0):.1f}")
+    slo = doc.get("slo", {})
+    lines.append("")
+    lines.append("SLOs")
+    for name, state in sorted(slo.get("slos", {}).items()):
+        burn = state.get("burn", {})
+        burns = " ".join(f"{rule}={value:.2f}"
+                         for rule, value in sorted(burn.items()))
+        marker = state.get("state", "ok")
+        if marker == "firing":
+            marker = f"FIRING({state.get('severity')})"
+        lines.append(f"  {name:<16} {marker:<14} objective="
+                     f"{state.get('objective'):g} burn[{burns}]")
+    active = slo.get("active_alerts", [])
+    if active:
+        lines.append("")
+        lines.append("Active alerts")
+        for alert in active:
+            lines.append(f"  {alert['severity'].upper():<7} "
+                         f"{alert['slo']}/{alert['rule']} "
+                         f"burn={alert['burn_short']:.2f}")
+    games = doc.get("games", {})
+    if games:
+        lines.append("")
+        lines.append(f"  {'game':<12} {'thr/h':>8} {'ALP(h)':>8} "
+                     f"{'exp.contrib':>12} {'coverage':>9} "
+                     f"{'agree':>6} {'gold':>6}")
+        for game, gdoc in sorted(games.items()):
+            life = gdoc.get("lifetime", {})
+            lines.append(
+                f"  {game:<12} {life.get('throughput', 0.0):>8.1f} "
+                f"{life.get('alp_hours', 0.0):>8.2f} "
+                f"{life.get('expected_contribution', 0.0):>12.1f} "
+                f"{life.get('coverage', 0.0):>9.1%} "
+                f"{life.get('agreement_rate', 0.0):>6.2f} "
+                f"{life.get('gold_accuracy', 0.0):>6.2f}")
+    slow = doc.get("latency", {}).get("slow_verbs", [])
+    if slow:
+        lines.append("")
+        lines.append("Slow verbs (p99)")
+        for verb in slow:
+            p99_ms = (verb.get("p99_s") or 0.0) * 1000.0
+            max_ms = (verb.get("max_s") or 0.0) * 1000.0
+            trace = verb.get("trace_id") or "-"
+            lines.append(f"  {verb['route']:<32} "
+                         f"p99={p99_ms:8.3f}ms max={max_ms:8.3f}ms "
+                         f"n={verb.get('count', 0):<7} "
+                         f"trace={trace}")
+    recent = doc.get("anomalies", {}).get("recent", [])
+    if recent:
+        lines.append("")
+        lines.append("Recent anomalies")
+        for record in recent[-5:]:
+            z = record.get("z")
+            z_text = f"{z:+.1f}" if z is not None else "inf"
+            lines.append(f"  {record['signal']:<16} "
+                         f"z={z_text} value={record['value']:g} "
+                         f"at_s={record['at_s']:.1f}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+    from urllib import error as urlerror
+    from urllib import request as urlrequest
+
+    base = args.url.rstrip("/")
+    path = "/dashboard"
+
+    def fetch() -> "tuple[str, dict]":
+        with urlrequest.urlopen(base + path, timeout=10.0) as response:
+            raw = response.read().decode("utf-8")
+        return raw, json.loads(raw)
+
+    if args.once:
+        try:
+            raw, doc = fetch()
+        except (urlerror.URLError, OSError) as exc:
+            print(f"cannot reach {base}{path}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if args.json:
+            # Verbatim: what the endpoint sent is what we print, so
+            # piped output is byte-identical to fetching the URL.
+            sys.stdout.write(raw)
+            return 0
+        print(_render_dashboard(doc))
+        return 0
+    frames = 0
+    try:
+        while args.frames is None or frames < args.frames:
+            try:
+                _, doc = fetch()
+            except (urlerror.URLError, OSError) as exc:
+                print(f"cannot reach {base}{path}: {exc}",
+                      file=sys.stderr)
+                return 1
+            # Clear and home, then draw the frame in place.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(_render_dashboard(doc) + "\n")
+            sys.stdout.flush()
+            frames += 1
+            if args.frames is None or frames < args.frames:
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_fsck(args: argparse.Namespace) -> int:
     from repro.durability import fsck
 
@@ -391,6 +527,7 @@ _COMMANDS = {
     "play": _cmd_play,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
+    "top": _cmd_top,
     "fsck": _cmd_fsck,
 }
 

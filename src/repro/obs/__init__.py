@@ -20,6 +20,15 @@ The measurement substrate for the whole platform:
 - :mod:`repro.obs.bridge` — :class:`MonitorBridge` mirroring
   :class:`~repro.quality.monitoring.CampaignMonitor` alerts into
   counters.
+- :mod:`repro.obs.sketch` — :class:`QuantileSketch`, a mergeable
+  Greenwald-Khanna summary for accurate tail latency percentiles.
+- :mod:`repro.obs.slo` — declarative :class:`SloSpec` objectives
+  evaluated by an :class:`SloEngine` with multi-window burn-rate
+  alerting.
+- :mod:`repro.obs.anomaly` — EWMA z-score :class:`AnomalyMonitor`
+  for latency/error/agreement regressions.
+- :mod:`repro.obs.live` — :class:`LiveAnalytics`, the streaming
+  engine behind ``GET /dashboard`` and ``repro top``.
 
 See ``docs/observability.md`` for a cookbook.
 """
@@ -38,6 +47,11 @@ from repro.obs.events import (TelemetryLogger, TelemetryRecord,
 from repro.obs.exposition import (PROMETHEUS_CONTENT_TYPE, negotiate,
                                   render_json, render_prometheus)
 from repro.obs.bridge import MonitorBridge
+from repro.obs.sketch import QuantileSketch
+from repro.obs.slo import (Alert, BurnRule, SloEngine, SloSpec,
+                           default_slos)
+from repro.obs.anomaly import AnomalyMonitor, EwmaDetector
+from repro.obs.live import LiveAnalytics, WindowRing
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
@@ -51,4 +65,8 @@ __all__ = [
     "PROMETHEUS_CONTENT_TYPE", "negotiate", "render_json",
     "render_prometheus",
     "MonitorBridge",
+    "QuantileSketch",
+    "Alert", "BurnRule", "SloEngine", "SloSpec", "default_slos",
+    "AnomalyMonitor", "EwmaDetector",
+    "LiveAnalytics", "WindowRing",
 ]

@@ -1,0 +1,173 @@
+"""EWMA z-score anomaly detection for live telemetry signals.
+
+Each watched signal keeps an exponentially-weighted moving mean and
+variance (West's update).  An observation is scored **before** it
+updates the model — ``z = (x - mean) / sqrt(var)`` — so a spike is
+judged against history it has not yet contaminated.  A detection fires
+when ``|z|`` crosses the threshold in the watched direction, subject
+to a warmup count (no verdicts from a cold model) and a cooldown (one
+sustained regression is one anomaly, not a thousand).
+
+The monitor is O(1) per observation and O(watched signals + bounded
+recent list) in memory.  Detections are appended to the platform event
+log as ``anomaly`` events and counted in ``live.anomalies`` — the
+dashboard shows the recent list with each signal's current model.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+#: Observations a detector must see before it may fire.
+DEFAULT_WARMUP = 30
+
+#: z-score magnitude that counts as anomalous.
+DEFAULT_Z = 4.0
+
+#: Seconds a detector stays quiet after firing.
+DEFAULT_COOLDOWN_S = 30.0
+
+
+class EwmaDetector:
+    """One signal's model: EWMA mean/variance plus the firing latch.
+
+    Args:
+        name: signal name (appears in events and snapshots).
+        alpha: EWMA weight of the newest observation; smaller adapts
+            slower and flags sustained shifts longer.
+        direction: ``"high"`` fires on positive z only, ``"low"`` on
+            negative only, ``"both"`` on either.
+        z_threshold: |z| needed to fire.
+        warmup: observations before the model may fire.
+        cooldown_s: quiet period after a firing.
+    """
+
+    __slots__ = ("name", "alpha", "direction", "z_threshold",
+                 "warmup", "cooldown_s", "count", "mean", "var",
+                 "last_z", "last_value", "last_fired_at")
+
+    def __init__(self, name: str, alpha: float = 0.1,
+                 direction: str = "high",
+                 z_threshold: float = DEFAULT_Z,
+                 warmup: int = DEFAULT_WARMUP,
+                 cooldown_s: float = DEFAULT_COOLDOWN_S) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ObservabilityError(
+                f"alpha must be in (0,1], got {alpha}")
+        if direction not in ("high", "low", "both"):
+            raise ObservabilityError(
+                f"direction must be high/low/both: {direction}")
+        self.name = name
+        self.alpha = alpha
+        self.direction = direction
+        self.z_threshold = z_threshold
+        self.warmup = warmup
+        self.cooldown_s = cooldown_s
+        self.count = 0
+        self.mean = 0.0
+        self.var = 0.0
+        self.last_z = 0.0
+        self.last_value = 0.0
+        self.last_fired_at = -math.inf
+
+    def score(self, at_s: float, value: float) -> Optional[float]:
+        """Score ``value`` against the current model, then fold it in.
+        Returns the z-score when this observation fires, else None."""
+        fired: Optional[float] = None
+        if self.count >= self.warmup:
+            std = math.sqrt(self.var)
+            z = (value - self.mean) / std if std > 1e-12 else (
+                0.0 if value == self.mean else math.copysign(
+                    math.inf, value - self.mean))
+            self.last_z = z
+            breaches = (abs(z) >= self.z_threshold
+                        and (self.direction == "both"
+                             or (self.direction == "high" and z > 0)
+                             or (self.direction == "low" and z < 0)))
+            if breaches and (at_s - self.last_fired_at
+                             >= self.cooldown_s):
+                self.last_fired_at = at_s
+                fired = z
+        # West's EWMA update for mean and variance.
+        diff = value - self.mean
+        incr = self.alpha * diff
+        self.mean += incr
+        self.var = (1.0 - self.alpha) * (self.var + diff * incr)
+        self.count += 1
+        self.last_value = value
+        return fired
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"alpha": self.alpha, "direction": self.direction,
+                "z_threshold": self.z_threshold, "count": self.count,
+                "mean": self.mean, "var": self.var,
+                "last_value": self.last_value,
+                "last_z": (self.last_z
+                           if math.isfinite(self.last_z) else None),
+                "warmed_up": self.count >= self.warmup}
+
+
+class AnomalyMonitor:
+    """A set of named detectors plus the bounded recent-anomaly list."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 events: Any = None, recent_limit: int = 50) -> None:
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self.events = events
+        self._lock = threading.Lock()
+        self._detectors: Dict[str, EwmaDetector] = {}
+        self._recent: Deque[Dict[str, Any]] = deque(
+            maxlen=recent_limit)
+        self._c_anomalies = self.registry.counter(
+            "live.anomalies", "anomaly detections, by signal")
+
+    def watch(self, name: str, **kwargs: Any) -> EwmaDetector:
+        """Register a detector for ``name`` (idempotent by name)."""
+        with self._lock:
+            detector = self._detectors.get(name)
+            if detector is None:
+                detector = EwmaDetector(name, **kwargs)
+                self._detectors[name] = detector
+            return detector
+
+    def observe(self, name: str, at_s: float,
+                value: float) -> Optional[Dict[str, Any]]:
+        """Feed one observation; returns the anomaly record if this
+        observation fired, else None.  Unwatched names are ignored."""
+        with self._lock:
+            detector = self._detectors.get(name)
+            if detector is None:
+                return None
+            z = detector.score(at_s, float(value))
+            if z is None:
+                return None
+            record = {"signal": name, "at_s": at_s,
+                      "value": float(value),
+                      "z": z if math.isfinite(z) else None,
+                      "mean": detector.mean,
+                      "direction": detector.direction}
+            self._recent.append(record)
+        self._c_anomalies.inc(signal=name)
+        if self.events is not None:
+            data = {k: v for k, v in record.items() if k != "at_s"}
+            self.events.append(at_s, "anomaly", **data)
+        return record
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able monitor state: each detector's model plus the
+        recent detections, newest last."""
+        with self._lock:
+            return {
+                "signals": {name: det.to_dict()
+                            for name, det in sorted(
+                                self._detectors.items())},
+                "recent": list(self._recent),
+            }

@@ -25,14 +25,22 @@ class MonitorBridge:
     Args:
         monitor: the wrapped monitor (a default one if omitted).
         registry: target registry (the process default if omitted).
+        live: optional :class:`~repro.obs.live.LiveAnalytics` engine;
+            rounds and spam flags are forwarded into its sliding
+            windows so the dashboard's agreement/spam signals track
+            the monitor's feed.
+        game: game label used when forwarding to ``live``.
     """
 
     def __init__(self, monitor: Optional[CampaignMonitor] = None,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 live=None, game: str = "campaign") -> None:
         self.monitor = monitor if monitor is not None \
             else CampaignMonitor()
         self.registry = (registry if registry is not None
                          else default_registry())
+        self.live = live
+        self.game = game
         self._rounds = self.registry.counter(
             "quality.rounds", "rounds fed to the campaign monitor")
         self._flags = self.registry.counter(
@@ -50,6 +58,8 @@ class MonitorBridge:
         """Feed one round; returns every alert that fired."""
         alerts = self.monitor.observe_round(at_s, agreed)
         self._rounds.inc(agreed=str(agreed).lower())
+        if self.live is not None:
+            self.live.record_round(at_s, self.game, agreed)
         self._count_alerts(alerts)
         rate = self.monitor.agreement_rate(strict=False)
         if rate is not None:
@@ -64,6 +74,8 @@ class MonitorBridge:
         """Feed one spam flag; returns the alert if one fired."""
         alert = self.monitor.record_spam_flag(at_s, player_id)
         self._flags.inc()
+        if self.live is not None:
+            self.live.record_spam_flag(at_s, self.game, player_id)
         self._count_alerts([alert] if alert else [])
         return alert
 

@@ -1,0 +1,590 @@
+"""Streaming campaign analytics: the paper's metrics, live.
+
+:class:`LiveAnalytics` consumes the platform/campaign event stream and
+maintains — at O(1) cost per event and bounded memory — everything the
+``GET /dashboard`` endpoint and ``repro top`` render:
+
+- **Sliding time windows** (ring buffers at 10s / 1m / 5m / 1h) of
+  per-game paper metrics: live throughput (verified outputs per
+  human-hour), an ALP estimate from observed session durations,
+  expected contribution = throughput x ALP, label coverage, gold
+  accuracy, and the agreement/spam quality signals.
+- **Per-verb latency sketches** — mergeable
+  :class:`~repro.obs.sketch.QuantileSketch` per route, with the
+  slowest request's trace id kept as an exemplar linking into the
+  flight recorder.
+- An **SLO engine** (:mod:`repro.obs.slo`) fed availability/latency
+  good-bad events, and an **anomaly monitor**
+  (:mod:`repro.obs.anomaly`) watching latency, error rate, and the
+  agreement rate.
+
+Metric definitions are shared with the offline analytics
+(:mod:`repro.analytics.defs`), so the live lifetime numbers converge
+to exactly what ``repro.analytics.gwap_metrics`` computes for the
+finished campaign.
+
+Two timelines coexist: campaign events carry their own ``at_s``
+(simulated seconds), while service requests are stamped with the
+monotonic clock.  Snapshots are a pure function of the events recorded
+so far — no wall-clock reads — so two dashboard fetches with no
+traffic in between are byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analytics.defs import (accuracy, alp_hours, coverage_rate,
+                                  expected_contribution,
+                                  throughput_per_hour)
+from repro.errors import ObservabilityError
+from repro.obs.anomaly import AnomalyMonitor
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.sketch import QuantileSketch
+from repro.obs.slo import SloEngine, SloSpec, default_slos
+
+#: The dashboard's window ladder: (name, span seconds, ring buckets).
+#: Bucket widths start at 1s so the 10s window reacts within a second;
+#: longer windows trade resolution for memory — every window is O(1).
+WINDOWS: Tuple[Tuple[str, float, int], ...] = (
+    ("10s", 10.0, 10), ("1m", 60.0, 12), ("5m", 300.0, 15),
+    ("1h", 3600.0, 15))
+
+#: Prefix of simulated recorded-partner ids; their "time" is replayed,
+#: not human, so it never counts toward ALP or human-hours.
+_RECORDED_PREFIX = "recorded:"
+
+#: Request events drain through the full pipeline (sketches, SLO
+#: rings, anomaly feeds) in micro-batches of this size — and at every
+#: snapshot — so the request hot path is just a buffered append.
+_DRAIN_BATCH = 256
+
+
+class WindowRing:
+    """A fixed ring of time buckets accumulating named float sums.
+
+    ``add`` is O(1) amortized: the event's bucket index is derived from
+    its timestamp, stale buckets are evicted from running totals as the
+    ring advances, and fields accumulate into both the bucket and the
+    totals.  ``totals`` is O(fields).  Events older than the whole ring
+    are dropped (a late event cannot resurrect an evicted bucket).
+    """
+
+    __slots__ = ("span_s", "n_buckets", "bucket_s", "_buckets",
+                 "_head", "_totals")
+
+    def __init__(self, span_s: float, n_buckets: int) -> None:
+        if span_s <= 0 or n_buckets <= 0:
+            raise ObservabilityError(
+                f"window needs positive span/buckets, got "
+                f"{span_s}/{n_buckets}")
+        self.span_s = span_s
+        self.n_buckets = n_buckets
+        self.bucket_s = span_s / n_buckets
+        self._buckets: List[Optional[Dict[str, float]]] = \
+            [None] * n_buckets
+        self._head: Optional[int] = None   # newest absolute index
+        self._totals: Dict[str, float] = {}
+
+    def _advance(self, index: int) -> None:
+        """Roll the ring forward to absolute bucket ``index``."""
+        head = self._head
+        if head is None or index - head >= self.n_buckets:
+            self._buckets = [None] * self.n_buckets
+            self._totals = {}
+        else:
+            for stale in range(head + 1, index + 1):
+                slot = stale % self.n_buckets
+                evicted = self._buckets[slot]
+                if evicted:
+                    for key, value in evicted.items():
+                        remaining = self._totals.get(key, 0.0) - value
+                        if remaining <= 0.0:
+                            self._totals.pop(key, None)
+                        else:
+                            self._totals[key] = remaining
+                self._buckets[slot] = None
+        self._head = index
+
+    def add(self, at_s: float, fields: Dict[str, float]) -> None:
+        """Accumulate ``fields`` into the bucket owning ``at_s``."""
+        index = int(at_s // self.bucket_s)
+        head = self._head
+        if head is None or index > head:
+            self._advance(index)
+        elif index <= head - self.n_buckets:
+            return   # older than the whole ring: dropped
+        bucket = self._buckets[index % self.n_buckets]
+        if bucket is None:
+            bucket = self._buckets[index % self.n_buckets] = {}
+        for key, value in fields.items():
+            bucket[key] = bucket.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0.0) + value
+
+    def totals(self, now_s: Optional[float] = None) -> Dict[str, float]:
+        """Sums over the buckets currently in the ring.
+
+        ``now_s`` optionally rolls the ring forward first, so idle
+        periods age data out even with no new events.
+        """
+        if now_s is not None and self._head is not None:
+            index = int(now_s // self.bucket_s)
+            if index > self._head:
+                self._advance(index)
+        return dict(self._totals)
+
+
+class _GameState:
+    """Everything tracked per game: windows plus lifetime totals."""
+
+    __slots__ = ("windows", "life", "play_s", "items_labeled",
+                 "items_total", "last_at_s")
+
+    def __init__(self) -> None:
+        self.windows: Dict[str, WindowRing] = {
+            name: WindowRing(span, buckets)
+            for name, span, buckets in WINDOWS}
+        self.life: Dict[str, float] = {}
+        # player -> lifetime play seconds (the live ALP numerator);
+        # O(population), the one deliberately non-O(1) structure.
+        self.play_s: Dict[str, float] = {}
+        self.items_labeled: Dict[str, int] = {}
+        self.items_total: Optional[int] = None
+        self.last_at_s = 0.0
+
+    def add(self, at_s: float, **fields: float) -> None:
+        if at_s > self.last_at_s:
+            self.last_at_s = at_s
+        for ring in self.windows.values():
+            ring.add(at_s, fields)
+        life = self.life
+        for key, value in fields.items():
+            life[key] = life.get(key, 0.0) + value
+
+
+def _metrics_from(totals: Dict[str, float],
+                  alp: float) -> Dict[str, float]:
+    """The paper-metric block computed from one totals dict."""
+    throughput = throughput_per_hour(totals.get("outputs", 0.0),
+                                     totals.get("human_s", 0.0))
+    rounds = totals.get("rounds", 0.0)
+    gold = totals.get("gold", 0.0)
+    return {
+        "throughput": throughput,
+        "alp_hours": alp,
+        "expected_contribution": expected_contribution(throughput,
+                                                       alp),
+        "outputs": totals.get("outputs", 0.0),
+        "human_hours": totals.get("human_s", 0.0) / 3600.0,
+        "sessions": totals.get("sessions", 0.0),
+        "rounds": rounds,
+        "agreement_rate": (totals.get("agreed", 0.0) / rounds
+                           if rounds else 0.0),
+        "gold_accuracy": accuracy(totals.get("gold_correct", 0.0),
+                                  gold),
+        "spam_flags": totals.get("spam_flags", 0.0),
+    }
+
+
+class LiveAnalytics:
+    """The streaming analytics engine behind ``GET /dashboard``.
+
+    Args:
+        registry: metrics registry live gauges land in (the process
+            default if omitted).
+        slos: declarative objectives for the SLO engine
+            (:func:`repro.obs.slo.default_slos` if omitted).
+        window_scale: multiplies every SLO burn-rate window span —
+            chaos tests compress hours into seconds with it.
+        epsilon: rank-error budget for the per-verb latency sketches.
+        top_k: slow verbs reported by the dashboard.
+        events: optional :class:`~repro.core.events.EventLog`-style
+            sink; SLO alert transitions and anomalies are appended to
+            it, making alerting part of the platform event stream.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 slos: Optional[List[SloSpec]] = None,
+                 window_scale: float = 1.0,
+                 epsilon: float = 0.005,
+                 top_k: int = 5,
+                 events: Any = None) -> None:
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self.events = events
+        self.top_k = top_k
+        self._lock = threading.Lock()
+        self._games: Dict[str, _GameState] = {}
+        self._epsilon = epsilon
+        # Per-verb latency state: route -> (sketch, slowest value,
+        # slowest trace id).  Route cardinality is the route table's,
+        # so this stays bounded.
+        self._verbs: Dict[str, Dict[str, Any]] = {}
+        self._service_at_s = 0.0
+        self._requests = 0
+        self._errors = 0
+        # Request events not yet folded into the sketches; per-route
+        # pending latency lists live inside self._verbs entries.
+        self._pending_n = 0
+        # Buffered task completions (at_s, game) — the platform's
+        # per-answer hook must stay as cheap as the request append.
+        self._pending_completed: List[Tuple[float, str]] = []
+        # Running aggregate for the current SLO fine bucket; flushed
+        # to the SLO engine and anomaly detectors when the bucket
+        # advances, at every drain, and at every snapshot.
+        self._cur_index: Optional[int] = None
+        self._cur_at = 0.0
+        self._cur_n = 0
+        self._cur_err = 0
+        self._cur_lat_sum = 0.0
+        self.slo = SloEngine(slos if slos is not None
+                             else default_slos(),
+                             window_scale=window_scale,
+                             registry=self.registry,
+                             events=events)
+        # Micro-batches split on the SLO engine's finest ring bucket,
+        # so batching never moves an event into a different bucket.
+        self._slo_gran = self.slo.finest_bucket_s
+        self._lat_thresholds = self.slo.latency_thresholds()
+        self._cur_slow = [0] * len(self._lat_thresholds)
+        self.anomaly = AnomalyMonitor(registry=self.registry,
+                                      events=events)
+        self.anomaly.watch("latency_s", direction="high")
+        self.anomaly.watch("error_rate", direction="high",
+                           alpha=0.05)
+        self.anomaly.watch("agreement_rate", direction="low",
+                           alpha=0.05)
+        self._m_events = self.registry.counter(
+            "live.events", "events consumed by live analytics, by kind")
+        self._g_throughput = self.registry.gauge(
+            "live.throughput_per_hour",
+            "live verified outputs per human-hour, by game/window")
+
+    # ------------------------------------------------------------------
+    # Campaign-side feed (simulated/campaign time)
+    # ------------------------------------------------------------------
+
+    def record_session(self, at_s: float, game: str,
+                       duration_s: float,
+                       players: Tuple[str, ...] = (),
+                       outputs: int = 0) -> None:
+        """One finished session: play time, participants, verified
+        outputs.  Recorded partners contribute no human time."""
+        live_players = [p for p in players
+                        if not p.startswith(_RECORDED_PREFIX)]
+        human_s = duration_s * len(live_players)
+        with self._lock:
+            state = self._game(game)
+            state.add(at_s, sessions=1.0, human_s=human_s,
+                      outputs=float(outputs))
+            for player in live_players:
+                state.play_s[player] = (state.play_s.get(player, 0.0)
+                                        + duration_s)
+        self._m_events.inc(kind="session")
+        self._feed_throughput_slo(game, at_s)
+
+    def record_label(self, at_s: float, game: str,
+                     item: Optional[str] = None,
+                     verified: bool = True) -> None:
+        """One collected label; ``item`` feeds the coverage rate."""
+        with self._lock:
+            state = self._game(game)
+            state.add(at_s, labels=1.0,
+                      outputs=1.0 if verified else 0.0)
+            if item is not None:
+                state.items_labeled[item] = \
+                    state.items_labeled.get(item, 0) + 1
+        self._m_events.inc(kind="label")
+
+    def record_round(self, at_s: float, game: str,
+                     agreed: bool) -> None:
+        """One game round; feeds the agreement rate and its anomaly
+        detector (sudden collapse = collusion/spam surge precursor)."""
+        with self._lock:
+            state = self._game(game)
+            state.add(at_s, rounds=1.0,
+                      agreed=1.0 if agreed else 0.0)
+            totals = state.windows["1m"].totals(at_s)
+            rounds = totals.get("rounds", 0.0)
+            rate = totals.get("agreed", 0.0) / rounds if rounds else 1.0
+        self._m_events.inc(kind="round")
+        self.anomaly.observe("agreement_rate", at_s, rate)
+
+    def record_gold(self, at_s: float, game: str,
+                    correct: bool) -> None:
+        """One graded gold answer; feeds live gold accuracy."""
+        with self._lock:
+            self._game(game).add(
+                at_s, gold=1.0, gold_correct=1.0 if correct else 0.0)
+        self._m_events.inc(kind="gold")
+
+    def record_spam_flag(self, at_s: float, game: str,
+                         player_id: str = "") -> None:
+        with self._lock:
+            self._game(game).add(at_s, spam_flags=1.0)
+        self._m_events.inc(kind="spam_flag")
+
+    def record_task_added(self, at_s: float, game: str,
+                          n: int = 1) -> None:
+        """Platform-side: tasks entering a job grow the coverage
+        denominator."""
+        with self._lock:
+            state = self._game(game)
+            state.items_total = (state.items_total or 0) + n
+        self._m_events.inc(kind="task_added")
+
+    def record_task_completed(self, at_s: float, game: str) -> None:
+        """Platform-side: a task crossed its redundancy bar — one
+        verified output.
+
+        Buffered like request events: the submit-answer hot path only
+        appends; completions fold into the game windows and the
+        throughput SLO at the next drain.
+        """
+        with self._lock:
+            pending = self._pending_completed
+            pending.append((at_s, game))
+            if len(pending) >= _DRAIN_BATCH:
+                self._drain_locked()
+
+    def set_item_universe(self, game: str, total: int) -> None:
+        """Pin the coverage denominator (corpus size) for a game."""
+        with self._lock:
+            self._game(game).items_total = total
+
+    def append(self, at_s: float, kind: str, **data: Any) -> None:
+        """:class:`~repro.core.events.EventLog`-compatible feed.
+
+        Lets the existing event-log plumbing (games, the telemetry
+        bridge) stream straight into live analytics: ``session``,
+        ``label``, ``flag`` and ``*_round`` events are folded into the
+        right window aggregates; unknown kinds are counted and
+        otherwise ignored.
+        """
+        game = data.get("game", "campaign")
+        if kind == "session":
+            self.record_session(
+                at_s, game,
+                duration_s=float(data.get("duration_s", 0.0)),
+                players=tuple(data.get("players", ())),
+                outputs=int(data.get("outputs", 0)))
+        elif kind in ("label", "promotion"):
+            self.record_label(at_s, game, item=data.get("item"))
+        elif kind == "flag":
+            self.record_spam_flag(at_s, game,
+                                  data.get("player", ""))
+        elif kind.endswith("_round") and "agreed" in data:
+            self.record_round(at_s, game, bool(data["agreed"]))
+        else:
+            self._m_events.inc(kind=f"other:{kind}")
+
+    # ------------------------------------------------------------------
+    # Service-side feed (monotonic time)
+    # ------------------------------------------------------------------
+
+    def observe_request(self, route: str, method: str, status: int,
+                        elapsed_s: float, at_s: float,
+                        trace_id: Optional[str] = None) -> None:
+        """One handled request.  ``at_s`` is the caller's monotonic
+        timestamp.
+
+        The hot path is counters, compares and one list append: the
+        latency value queues for a batched sketch insert, and the
+        SLO/anomaly feeds accumulate into the current fine-bucket
+        aggregate.  The heavy folding happens every ``_DRAIN_BATCH``
+        requests, whenever the fine bucket advances, and at every
+        snapshot — still O(1) amortized per event.
+        """
+        error = status >= 500
+        with self._lock:
+            verb = self._verbs.get(route)
+            if verb is None:
+                verb = self._verbs[route] = {
+                    "sketch": QuantileSketch(epsilon=self._epsilon),
+                    "slowest_s": -1.0, "slowest_trace": None,
+                    "pending": []}
+            verb["pending"].append(elapsed_s)
+            if elapsed_s > verb["slowest_s"]:
+                verb["slowest_s"] = elapsed_s
+                verb["slowest_trace"] = trace_id
+            if at_s > self._service_at_s:
+                self._service_at_s = at_s
+            self._requests += 1
+            if error:
+                self._errors += 1
+            index = int(at_s // self._slo_gran)
+            if index != self._cur_index:
+                if self._cur_n:
+                    self._flush_slo_locked()
+                self._cur_index = index
+            self._cur_at = at_s
+            self._cur_n += 1
+            if error:
+                self._cur_err += 1
+            self._cur_lat_sum += elapsed_s
+            slow = self._cur_slow
+            for i, threshold in enumerate(self._lat_thresholds):
+                if elapsed_s > threshold:
+                    slow[i] += 1
+            self._pending_n += 1
+            if self._pending_n >= _DRAIN_BATCH:
+                self._drain_locked()
+
+    def _flush_slo_locked(self) -> None:
+        """Ship the current fine-bucket aggregate: one counted SLO
+        feed plus batch mean latency / error rate for the anomaly
+        detectors.  Matches what per-event feeds would have put in the
+        same ring buckets; alert transitions land at the bucket (or
+        drain) boundary."""
+        n = self._cur_n
+        if not n:
+            return
+        at_s = self._cur_at
+        self.slo.record_request_counts(at_s, n, self._cur_err,
+                                       self._cur_slow)
+        self.anomaly.observe("latency_s", at_s,
+                             self._cur_lat_sum / n)
+        self.anomaly.observe("error_rate", at_s, self._cur_err / n)
+        self._cur_n = 0
+        self._cur_err = 0
+        self._cur_lat_sum = 0.0
+        self._cur_slow = [0] * len(self._lat_thresholds)
+
+    def _drain_locked(self) -> None:
+        """Fold everything buffered into the pipeline: pending task
+        completions, the open SLO aggregate, and one batched sketch
+        insert per route with queued latencies."""
+        completed = self._pending_completed
+        if completed:
+            self._pending_completed = []
+            games_touched: Dict[str, float] = {}
+            for at_s, game in completed:
+                self._game(game).add(at_s, outputs=1.0, completed=1.0)
+                if at_s >= games_touched.get(game, -1.0):
+                    games_touched[game] = at_s
+            self._m_events.inc(len(completed), kind="task_completed")
+            # One throughput-SLO sample per game per drain — the
+            # sampling cadence, not the counted outputs, is what
+            # coarsens.
+            for game, at_s in games_touched.items():
+                rate = self._throughput_rate_locked(game, at_s)
+                self.slo.record_throughput(game, at_s, rate)
+        self._flush_slo_locked()
+        if not self._pending_n:
+            return
+        self._pending_n = 0
+        for verb in self._verbs.values():
+            pending = verb["pending"]
+            if pending:
+                verb["pending"] = []
+                verb["sketch"].observe_many(pending)
+
+    def observe_durability(self, at_s: float, backlog: int) -> None:
+        """Feed the acked-write durability-lag SLO: ``backlog`` is the
+        WAL records not yet covered by a checkpoint."""
+        self.slo.record_durability(at_s, backlog)
+
+    def _feed_throughput_slo(self, game: str, at_s: float) -> None:
+        with self._lock:
+            if self._games.get(game) is None:
+                return
+            rate = self._throughput_rate_locked(game, at_s)
+        self.slo.record_throughput(game, at_s, rate)
+
+    def _throughput_rate_locked(self, game: str,
+                                at_s: float) -> float:
+        """Outputs-per-hour over the last minute, the throughput-SLO
+        sample."""
+        totals = self._game(game).windows["1m"].totals(at_s)
+        return totals.get("outputs", 0.0) * 60.0
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def _game(self, game: str) -> _GameState:
+        state = self._games.get(game)
+        if state is None:
+            state = self._games[game] = _GameState()
+        return state
+
+    def game_metrics(self, game: str) -> Dict[str, Any]:
+        """Lifetime + windowed paper metrics for one game."""
+        with self._lock:
+            self._drain_locked()
+            state = self._games.get(game)
+            if state is None:
+                return {}
+            return self._game_doc(state)
+
+    def _game_doc(self, state: _GameState) -> Dict[str, Any]:
+        alp = alp_hours(sum(state.play_s.values()),
+                        len(state.play_s))
+        lifetime = _metrics_from(state.life, alp)
+        lifetime["players"] = float(len(state.play_s))
+        # Covered items: distinct labeled items (campaign feed) or
+        # completed tasks (platform feed), whichever signal is richer.
+        covered = max(
+            float(sum(1 for count in state.items_labeled.values()
+                      if count > 0)),
+            state.life.get("completed", 0.0))
+        lifetime["coverage"] = coverage_rate(
+            covered, float(state.items_total or 0))
+        windows = {}
+        for name, ring in state.windows.items():
+            windows[name] = _metrics_from(
+                ring.totals(state.last_at_s), alp)
+        return {"lifetime": lifetime, "windows": windows,
+                "at_s": state.last_at_s}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The full dashboard document.
+
+        A pure function of the events consumed so far: no clock reads,
+        so repeated snapshots with no intervening traffic are
+        identical — which is what makes ``repro top --once --json``
+        byte-identical to the endpoint.
+        """
+        with self._lock:
+            self._drain_locked()
+            games = {name: self._game_doc(state)
+                     for name, state in sorted(self._games.items())}
+            verbs = {}
+            for route, verb in self._verbs.items():
+                doc = verb["sketch"].summary()
+                if verb["slowest_trace"] is not None:
+                    doc["slowest_trace_id"] = verb["slowest_trace"]
+                verbs[route] = doc
+            slow = sorted(
+                ((route, doc) for route, doc in verbs.items()
+                 if doc.get("count")),
+                key=lambda pair: -pair[1].get("p99", 0.0))
+            top = [{"route": route,
+                    "p99_s": doc.get("p99"),
+                    "max_s": doc.get("max"),
+                    "count": doc.get("count"),
+                    "trace_id": doc.get("slowest_trace_id")}
+                   for route, doc in slow[:self.top_k]]
+            service = {"at_s": self._service_at_s,
+                       "requests": self._requests,
+                       "errors": self._errors}
+            at_s = max([self._service_at_s]
+                       + [state.last_at_s
+                          for state in self._games.values()])
+        self._mirror_gauges(games)
+        return {
+            "at_s": at_s,
+            "service": service,
+            "games": games,
+            "latency": {"verbs": dict(sorted(verbs.items())),
+                        "slow_verbs": top},
+            "slo": self.slo.snapshot(),
+            "anomalies": self.anomaly.snapshot(),
+        }
+
+    def _mirror_gauges(self, games: Dict[str, Any]) -> None:
+        for game, doc in games.items():
+            for window, metrics in doc["windows"].items():
+                self._g_throughput.set(metrics["throughput"],
+                                       game=game, window=window)

@@ -215,21 +215,36 @@ class Histogram(Metric):
 
     def _percentile_locked(self, series: _HistogramSeries,
                            q: float) -> float:
+        return self._percentile_info_locked(series, q)[0]
+
+    def _percentile_info_locked(self, series: _HistogramSeries,
+                                q: float) -> Tuple[float, bool]:
+        """(estimate, saturated) for one quantile.
+
+        ``saturated`` means the target rank landed in the overflow
+        (+Inf) bucket: there is no finite upper bound to interpolate
+        against, so the estimate is clamped to the last finite bucket
+        bound rather than fabricating a tail between it and the
+        observed max.  Dashboards should treat a saturated value as
+        "at least this much" and widen the buckets.
+        """
         target = q * series.count
         cumulative = 0
         for i, n in enumerate(series.counts):
             if n == 0:
                 continue
-            lower = self.buckets[i - 1] if i > 0 else min(
-                0.0, series.min)
-            upper = (self.buckets[i] if i < len(self.buckets)
-                     else series.max)
             if cumulative + n >= target:
+                if i >= len(self.buckets):
+                    return self.buckets[-1], True
+                lower = self.buckets[i - 1] if i > 0 else min(
+                    0.0, series.min)
+                upper = self.buckets[i]
                 frac = (target - cumulative) / n
                 estimate = lower + frac * (upper - lower)
-                return min(max(estimate, series.min), series.max)
+                return (min(max(estimate, series.min), series.max),
+                        False)
             cumulative += n
-        return series.max
+        return series.max, series.counts[-1] > 0
 
     def summary(self, **labels: Any) -> Dict[str, float]:
         """count/sum/mean/min/max/p50/p95/p99 for one label set."""
@@ -241,16 +256,22 @@ class Histogram(Metric):
 
     def _summary_locked(self, series: _HistogramSeries
                         ) -> Dict[str, float]:
-        return {
+        p50, sat50 = self._percentile_info_locked(series, 0.50)
+        p95, sat95 = self._percentile_info_locked(series, 0.95)
+        p99, sat99 = self._percentile_info_locked(series, 0.99)
+        doc = {
             "count": series.count,
             "sum": series.sum,
             "mean": series.sum / series.count,
             "min": series.min,
             "max": series.max,
-            "p50": self._percentile_locked(series, 0.50),
-            "p95": self._percentile_locked(series, 0.95),
-            "p99": self._percentile_locked(series, 0.99),
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
         }
+        if sat50 or sat95 or sat99:
+            doc["saturated"] = True
+        return doc
 
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:

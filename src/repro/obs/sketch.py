@@ -1,0 +1,312 @@
+"""Mergeable streaming quantile sketch (Greenwald-Khanna).
+
+The bucketed :class:`~repro.obs.metrics.Histogram` answers "roughly
+where is p99?" with O(buckets) memory but interpolates inside fixed
+bucket bounds — a tail that lands past the last bound is invisible.
+:class:`QuantileSketch` complements it: a Greenwald-Khanna summary
+holding O(1/eps * log(eps * n)) tuples whose rank error is bounded by
+``eps * n``, so tail percentiles stay accurate whatever the value
+range, with no buckets to pick.
+
+Properties the test suite leans on:
+
+- **Rank error bound** — ``quantile(q)`` returns a value whose rank in
+  the observed stream is within ``eps * n`` of ``q * n``, on any input
+  ordering (sorted, reversed, adversarial).
+- **Mergeable** — ``merge`` folds another sketch in; the merged error
+  is bounded by the sum of the operands' errors, so any merge tree
+  over per-thread sketches stays within ``2 * eps * n`` of truth.
+- **Exact count/sum/min/max** — only the quantiles are estimates.
+- **Thread-safe** — every mutation holds the sketch's lock; concurrent
+  observers reconcile counts exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Default rank-error budget: p99 of a 10k-observation stream is off
+#: by at most ~50 ranks — tighter than any realistic bucket scheme.
+DEFAULT_EPSILON = 0.005
+
+#: The percentiles a summary reports, with their JSON keys.
+SUMMARY_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99),
+    ("p999", 0.999))
+
+
+class QuantileSketch:
+    """A Greenwald-Khanna epsilon-approximate quantile summary.
+
+    Args:
+        epsilon: rank-error budget as a fraction of the stream length.
+            Smaller is more accurate and keeps more tuples (the tuple
+            count grows as ``O(1/epsilon * log(epsilon * n))``).
+    """
+
+    __slots__ = ("epsilon", "_lock", "_tuples", "_count", "_sum",
+                 "_min", "_max", "_since_compress")
+
+    def __init__(self, epsilon: float = DEFAULT_EPSILON) -> None:
+        if not 0.0 < epsilon < 0.5:
+            raise ObservabilityError(
+                f"epsilon must be in (0, 0.5), got {epsilon}")
+        self.epsilon = epsilon
+        self._lock = threading.Lock()
+        # GK tuples (value, g, delta), sorted by value:
+        #   rank_min(i) = g[0] + ... + g[i]
+        #   rank_max(i) = rank_min(i) + delta[i]
+        self._tuples: List[Tuple[float, int, int]] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._since_compress = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        with self._lock:
+            self._observe_locked(value)
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Fold a batch under one lock acquisition.
+
+        The batch is sorted once (in C) and merged into the summary in
+        a single pass — the classic GK batch insert.  A sorted batch is
+        itself an exact summary (every element ``(v, 1, 0)``), so the
+        merge adds no rank error beyond what compression already
+        allows, and the amortized cost per value is far below a one-by
+        -one ``observe`` loop.
+        """
+        vals = sorted(float(v) for v in values)
+        if not vals:
+            return
+        with self._lock:
+            self._count += len(vals)
+            self._sum += math.fsum(vals)
+            if vals[0] < self._min:
+                self._min = vals[0]
+            if vals[-1] > self._max:
+                self._max = vals[-1]
+            tuples = self._tuples
+            if not tuples:
+                self._tuples = [(v, 1, 0) for v in vals]
+            else:
+                merged: List[Tuple[float, int, int]] = []
+                append = merged.append
+                i = j = 0
+                n_old, n_new = len(tuples), len(vals)
+                while i < n_old and j < n_new:
+                    if tuples[i][0] <= vals[j]:
+                        append(tuples[i])
+                        i += 1
+                    else:
+                        append((vals[j], 1, 0))
+                        j += 1
+                while i < n_old:
+                    append(tuples[i])
+                    i += 1
+                while j < n_new:
+                    append((vals[j], 1, 0))
+                    j += 1
+                self._tuples = merged
+            self._compress_locked()
+            self._since_compress = 0
+
+    def _observe_locked(self, value: float) -> None:
+        tuples = self._tuples
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        # Binary search for the insertion point (first tuple > value).
+        lo, hi = 0, len(tuples)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if tuples[mid][0] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0 or lo == len(tuples):
+            # New global min/max: its rank is exact, delta = 0.
+            tuples.insert(lo, (value, 1, 0))
+        else:
+            delta = max(0,
+                        int(math.floor(2.0 * self.epsilon
+                                       * self._count)) - 1)
+            tuples.insert(lo, (value, 1, delta))
+        self._since_compress += 1
+        if self._since_compress >= max(1, int(1.0
+                                              / (2.0 * self.epsilon))):
+            self._compress_locked()
+            self._since_compress = 0
+
+    def _compress_locked(self) -> None:
+        """Merge adjacent tuples whose combined uncertainty still fits
+        the ``2 * eps * n`` band — the GK space bound."""
+        tuples = self._tuples
+        if len(tuples) < 3:
+            return
+        cap = 2.0 * self.epsilon * self._count
+        out = [tuples[-1]]
+        # Sweep right-to-left, folding a tuple into its right neighbor
+        # when g_i + g_{i+1} + delta_{i+1} < cap.  The first and last
+        # tuples are exact ends and never absorbed.
+        for i in range(len(tuples) - 2, 0, -1):
+            value, g, delta = tuples[i]
+            nvalue, ng, ndelta = out[-1]
+            if g + ng + ndelta < cap:
+                out[-1] = (nvalue, g + ng, ndelta)
+            else:
+                out.append((value, g, delta))
+        out.append(tuples[0])
+        out.reverse()
+        self._tuples = out
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (returns self).
+
+        The merged summary's rank error is bounded by the sum of the
+        two operands' error budgets, so merging N per-thread sketches
+        built with ``epsilon`` stays within ``2 * epsilon * n_total``.
+        """
+        if other is self:
+            raise ObservabilityError(
+                "cannot merge a sketch into itself")
+        # Lock ordering by id() keeps concurrent cross-merges
+        # deadlock-free.
+        first, second = ((self, other) if id(self) < id(other)
+                         else (other, self))
+        with first._lock, second._lock:
+            merged: List[Tuple[float, int, int]] = []
+            a, b = self._tuples, other._tuples
+            i = j = 0
+            while i < len(a) and j < len(b):
+                if a[i][0] <= b[j][0]:
+                    merged.append(a[i])
+                    i += 1
+                else:
+                    merged.append(b[j])
+                    j += 1
+            merged.extend(a[i:])
+            merged.extend(b[j:])
+            self._tuples = merged
+            self._count += other._count
+            self._sum += other._sum
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+            self._compress_locked()
+            self._since_compress = 0
+        return self
+
+    def merged(self, other: "QuantileSketch") -> "QuantileSketch":
+        """A new sketch summarizing both operands; neither is changed."""
+        out = QuantileSketch(epsilon=self.epsilon)
+        with self._lock:
+            out._tuples = list(self._tuples)
+            out._count = self._count
+            out._sum = self._sum
+            out._min = self._min
+            out._max = self._max
+        return out.merge(other)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The eps-approximate ``q``-quantile (``q`` in [0, 1]); None
+        for an empty sketch."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"quantile must be in [0,1]: {q}")
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> Optional[float]:
+        if self._count == 0:
+            return None
+        if q <= 0.0:
+            return self._min
+        if q >= 1.0:
+            return self._max
+        target = math.ceil(q * self._count)
+        slack = self.epsilon * self._count
+        rank_min = 0
+        previous = self._tuples[0][0]
+        for value, g, delta in self._tuples:
+            rank_min += g
+            if rank_min + delta > target + slack:
+                return previous
+            previous = value
+        return previous
+
+    def summary(self) -> Dict[str, Any]:
+        """count/sum/mean/min/max plus the standard percentiles, as a
+        plain JSON-able dict (zeros when empty)."""
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0, "sum": 0.0}
+            doc: Dict[str, Any] = {
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self._sum / self._count,
+                "min": self._min,
+                "max": self._max,
+            }
+            for key, q in SUMMARY_QUANTILES:
+                doc[key] = self._quantile_locked(q)
+            return doc
+
+    def tuple_count(self) -> int:
+        """Summary size, in GK tuples (the memory bound under test)."""
+        with self._lock:
+            return len(self._tuples)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable state: enough to reconstruct via
+        :meth:`from_dict` (tests and cross-process merging)."""
+        with self._lock:
+            return {"epsilon": self.epsilon, "count": self._count,
+                    "sum": self._sum,
+                    "min": None if self._count == 0 else self._min,
+                    "max": None if self._count == 0 else self._max,
+                    "tuples": [list(t) for t in self._tuples]}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "QuantileSketch":
+        sketch = cls(epsilon=doc["epsilon"])
+        sketch._tuples = [(float(v), int(g), int(d))
+                          for v, g, d in doc["tuples"]]
+        sketch._count = int(doc["count"])
+        sketch._sum = float(doc["sum"])
+        sketch._min = (math.inf if doc["min"] is None
+                       else float(doc["min"]))
+        sketch._max = (-math.inf if doc["max"] is None
+                       else float(doc["max"]))
+        return sketch

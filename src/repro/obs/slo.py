@@ -1,0 +1,507 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SloSpec` states an objective ("99.9% of requests succeed",
+"99% of requests finish under 250ms", "99% of durability checks find
+the WAL backlog under its bound", "90% of throughput samples meet the
+per-game floor").  The :class:`SloEngine` consumes a stream of
+good/bad events per objective and evaluates the SRE-workbook
+**multi-window burn-rate** rules:
+
+    burn = bad_fraction / (1 - objective)
+
+A burn of 1.0 spends the error budget exactly at the rate it refills;
+a burn of 14.4 over an hour spends ~2% of a 30-day budget in that
+hour.  Each :class:`BurnRule` pairs a short and a long window and
+fires only when **both** exceed its factor — the long window proves
+sustained damage, the short window proves it is still happening (and
+clears the alert quickly once it stops).  The defaults are the
+workbook's page (5m/1h at 14.4x) and ticket (30m/6h at 6x) rules.
+
+``window_scale`` multiplies every window span so simulated-time tests
+can compress hours into seconds without touching the rule math.
+Alert transitions are appended to the platform event log as
+``slo_alert`` events, and every snapshot refreshes the
+``service.slo_burn_rate`` gauge from the latest evaluation, so
+dashboards and offline replay see the same alert history.  The
+request hot path feeds :meth:`SloEngine.record_requests` — a batched
+single-lock entry point that scores availability and latency together
+— keeping per-request cost to a few integer adds.
+
+All timestamps are caller-supplied; the engine never reads a clock,
+which keeps dashboard snapshots deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+#: Alert severities, worst last.
+SEVERITIES = ("ticket", "page")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective.
+
+    Attributes:
+        name: stable identifier (appears in events, gauges, JSON).
+        kind: which feed scores it — ``availability`` (request
+            succeeded), ``latency`` (request under ``threshold``
+            seconds), ``durability`` (WAL backlog under ``threshold``
+            records), ``throughput`` (per-game rate at or above
+            ``threshold`` outputs/hour).
+        objective: target good fraction in (0, 1).
+        threshold: the good/bad cut for kinds that need one.
+        game: restrict a throughput SLO to one game (None = any).
+    """
+
+    name: str
+    kind: str
+    objective: float
+    threshold: Optional[float] = None
+    game: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ObservabilityError(
+                f"objective must be in (0,1), got {self.objective}")
+        if self.kind not in ("availability", "latency", "durability",
+                             "throughput"):
+            raise ObservabilityError(f"unknown SLO kind: {self.kind}")
+        if self.kind != "availability" and self.threshold is None:
+            raise ObservabilityError(
+                f"SLO kind {self.kind!r} needs a threshold")
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """Fire when burn >= ``factor`` in BOTH windows; clear when the
+    short window drops back under."""
+
+    name: str
+    short_s: float
+    long_s: float
+    factor: float
+    severity: str = "page"
+    #: Below this many short-window samples the rule stays quiet — a
+    #: single bad event in an idle window is not a 1000x burn.
+    min_samples: int = 20
+
+
+#: The SRE-workbook pair: fast page on a budget-torching burn, slow
+#: ticket on a simmering one.
+DEFAULT_RULES: Tuple[BurnRule, ...] = (
+    BurnRule("fast", short_s=300.0, long_s=3600.0, factor=14.4,
+             severity="page"),
+    BurnRule("slow", short_s=1800.0, long_s=21600.0, factor=6.0,
+             severity="ticket"),
+)
+
+
+def default_slos() -> List[SloSpec]:
+    """The service's stock objectives."""
+    return [
+        SloSpec("availability", kind="availability", objective=0.999,
+                description="99.9% of requests return non-5xx"),
+        SloSpec("latency_p99", kind="latency", objective=0.99,
+                threshold=0.250,
+                description="99% of requests finish under 250ms"),
+        SloSpec("durability_lag", kind="durability", objective=0.99,
+                threshold=512.0,
+                description="99% of durability checks find <=512 "
+                            "uncheckpointed WAL records"),
+        SloSpec("game_throughput", kind="throughput", objective=0.90,
+                threshold=1.0,
+                description="90% of throughput samples at >=1 "
+                            "verified output per human-hour"),
+    ]
+
+
+class _GoodBadRing:
+    """Fixed ring of (good, bad) buckets covering one window span."""
+
+    __slots__ = ("bucket_s", "n_buckets", "_good", "_bad", "_head",
+                 "_tg", "_tb")
+
+    N_BUCKETS = 12
+
+    def __init__(self, span_s: float) -> None:
+        self.n_buckets = self.N_BUCKETS
+        self.bucket_s = max(span_s / self.n_buckets, 1e-9)
+        self._good = [0] * self.n_buckets
+        self._bad = [0] * self.n_buckets
+        self._head: Optional[int] = None
+        self._tg = 0
+        self._tb = 0
+
+    def _advance(self, index: int) -> None:
+        head = self._head
+        if head is None or index - head >= self.n_buckets:
+            self._good = [0] * self.n_buckets
+            self._bad = [0] * self.n_buckets
+            self._tg = self._tb = 0
+        else:
+            for stale in range(head + 1, index + 1):
+                slot = stale % self.n_buckets
+                self._tg -= self._good[slot]
+                self._tb -= self._bad[slot]
+                self._good[slot] = self._bad[slot] = 0
+        self._head = index
+
+    def add(self, at_s: float, good: bool) -> None:
+        if good:
+            self.add_counts(at_s, 1, 0)
+        else:
+            self.add_counts(at_s, 0, 1)
+
+    def add_counts(self, at_s: float, n_good: int, n_bad: int) -> None:
+        """Fold a pre-aggregated (good, bad) count pair into the
+        bucket owning ``at_s`` — the batched feed's workhorse."""
+        index = int(at_s // self.bucket_s)
+        head = self._head
+        if head is None or index > head:
+            self._advance(index)
+        elif index <= head - self.n_buckets:
+            return
+        slot = index % self.n_buckets
+        self._good[slot] += n_good
+        self._tg += n_good
+        self._bad[slot] += n_bad
+        self._tb += n_bad
+
+    def totals(self, now_s: float) -> Tuple[int, int]:
+        index = int(now_s // self.bucket_s)
+        if self._head is not None and index > self._head:
+            self._advance(index)
+        return self._tg, self._tb
+
+
+class _SloState:
+    """Runtime state for one spec: rings per distinct window span plus
+    per-rule alert latches."""
+
+    __slots__ = ("spec", "rings", "firing", "last_burn", "events_seen")
+
+    def __init__(self, spec: SloSpec, spans: List[float]) -> None:
+        self.spec = spec
+        self.rings: Dict[float, _GoodBadRing] = {
+            span: _GoodBadRing(span) for span in spans}
+        self.firing: Dict[str, bool] = {}
+        self.last_burn: Dict[str, float] = {}
+        self.events_seen = 0
+
+
+@dataclass
+class Alert:
+    """One alert transition, as surfaced in snapshots and events."""
+
+    slo: str
+    rule: str
+    severity: str
+    state: str                      # "firing" | "resolved"
+    at_s: float
+    burn_short: float
+    burn_long: float
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"slo": self.slo, "rule": self.rule,
+                "severity": self.severity, "state": self.state,
+                "at_s": self.at_s,
+                "burn_short": self.burn_short,
+                "burn_long": self.burn_long, **self.context}
+
+
+class SloEngine:
+    """Scores good/bad streams against every spec and runs the
+    burn-rate state machines.
+
+    O(1) per recorded event: each event lands in a handful of ring
+    buckets and re-evaluates only the rules of the SLO it scored.
+    """
+
+    def __init__(self, slos: List[SloSpec],
+                 rules: Tuple[BurnRule, ...] = DEFAULT_RULES,
+                 window_scale: float = 1.0,
+                 registry: Optional[MetricsRegistry] = None,
+                 events: Any = None,
+                 history_limit: int = 256) -> None:
+        if window_scale <= 0.0:
+            raise ObservabilityError(
+                f"window_scale must be positive, got {window_scale}")
+        self.rules = rules
+        self.window_scale = window_scale
+        self.events = events
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self._lock = threading.Lock()
+        spans = sorted({rule.short_s * window_scale
+                        for rule in rules}
+                       | {rule.long_s * window_scale
+                          for rule in rules})
+        self._spans = spans
+        self._states: Dict[str, _SloState] = {}
+        for spec in slos:
+            if spec.name in self._states:
+                raise ObservabilityError(
+                    f"duplicate SLO name: {spec.name}")
+            self._states[spec.name] = _SloState(spec, spans)
+        self._history: List[Alert] = []
+        self._history_limit = history_limit
+        self._g_burn = self.registry.gauge(
+            "service.slo_burn_rate",
+            "error-budget burn rate, by slo/window")
+        self._c_alerts = self.registry.counter(
+            "service.slo_alerts",
+            "SLO alert transitions, by slo/rule/state")
+
+    @property
+    def finest_bucket_s(self) -> float:
+        """Width of the smallest ring bucket across every window span.
+
+        Batched feeders group events no coarser than this, so a batch
+        lands in the same buckets the per-event path would have used.
+        """
+        return max(min(self._spans) / _GoodBadRing.N_BUCKETS, 1e-9)
+
+    # ------------------------------------------------------------------
+    # Feeds
+    # ------------------------------------------------------------------
+
+    def latency_thresholds(self) -> List[float]:
+        """Latency-SLO thresholds in state order — callers counting
+        over-threshold requests themselves pass the parallel counts to
+        :meth:`record_request_counts`."""
+        return [float(state.spec.threshold or 0.0)
+                for state in self._states.values()
+                if state.spec.kind == "latency"]
+
+    def record_requests(self, at_s: float, n: int, n_err: int,
+                        latencies: Sequence[float]) -> None:
+        """Score a micro-batch of requests in one lock acquisition.
+
+        Feeds the availability SLOs with ``n - n_err`` good / ``n_err``
+        bad and every latency SLO with per-threshold counts over
+        ``latencies``, then evaluates each touched state once.  The
+        caller groups requests no coarser than :attr:`finest_bucket_s`,
+        so bucket placement matches the per-event feeds; alert
+        transitions land at the batch boundary instead of mid-batch,
+        which is at most one fine bucket late.
+        """
+        self.record_request_counts(
+            at_s, n, n_err,
+            [sum(1 for v in latencies if v > threshold)
+             for threshold in self.latency_thresholds()])
+
+    def record_request_counts(self, at_s: float, n: int, n_err: int,
+                              slow_counts: Sequence[int]) -> None:
+        """:meth:`record_requests` for callers that pre-counted the
+        over-threshold requests (``slow_counts`` parallels
+        :meth:`latency_thresholds`) — the all-integer fast path."""
+        if n <= 0:
+            return
+        with self._lock:
+            lat_i = 0
+            for state in self._states.values():
+                kind = state.spec.kind
+                if kind == "availability":
+                    n_bad = n_err
+                elif kind == "latency":
+                    n_bad = int(slow_counts[lat_i])
+                    lat_i += 1
+                else:
+                    continue
+                state.events_seen += n
+                for ring in state.rings.values():
+                    ring.add_counts(at_s, n - n_bad, n_bad)
+                self._evaluate_locked(state, at_s)
+
+    def record(self, kind: str, at_s: float, good: bool,
+               game: Optional[str] = None) -> None:
+        """Score one good/bad event against every SLO of ``kind``."""
+        with self._lock:
+            for state in self._states.values():
+                spec = state.spec
+                if spec.kind != kind:
+                    continue
+                if (spec.game is not None and game is not None
+                        and spec.game != game):
+                    continue
+                state.events_seen += 1
+                for ring in state.rings.values():
+                    ring.add(at_s, good)
+                self._evaluate_locked(state, at_s, game=game)
+
+    def record_latency(self, at_s: float, elapsed_s: float) -> None:
+        with self._lock:
+            for state in self._states.values():
+                if state.spec.kind != "latency":
+                    continue
+                good = elapsed_s <= float(state.spec.threshold or 0.0)
+                state.events_seen += 1
+                for ring in state.rings.values():
+                    ring.add(at_s, good)
+                self._evaluate_locked(state, at_s)
+
+    def record_durability(self, at_s: float, backlog: int) -> None:
+        with self._lock:
+            for state in self._states.values():
+                if state.spec.kind != "durability":
+                    continue
+                good = backlog <= float(state.spec.threshold or 0.0)
+                state.events_seen += 1
+                for ring in state.rings.values():
+                    ring.add(at_s, good)
+                self._evaluate_locked(state, at_s)
+
+    def record_throughput(self, game: str, at_s: float,
+                          per_hour: float) -> None:
+        self.record("throughput", at_s,
+                    good=per_hour >= self._throughput_floor(game),
+                    game=game)
+
+    def _throughput_floor(self, game: str) -> float:
+        for state in self._states.values():
+            spec = state.spec
+            if spec.kind == "throughput" and (spec.game is None
+                                              or spec.game == game):
+                return float(spec.threshold or 0.0)
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def _burn_locked(self, state: _SloState, span_s: float,
+                     at_s: float) -> Tuple[float, int]:
+        good, bad = state.rings[span_s].totals(at_s)
+        total = good + bad
+        if total == 0:
+            return 0.0, 0
+        bad_frac = bad / total
+        budget = 1.0 - state.spec.objective
+        return bad_frac / budget, total
+
+    def _evaluate_locked(self, state: _SloState, at_s: float,
+                         game: Optional[str] = None) -> None:
+        spec = state.spec
+        for rule in self.rules:
+            short = rule.short_s * self.window_scale
+            long_ = rule.long_s * self.window_scale
+            burn_short, n_short = self._burn_locked(state, short, at_s)
+            burn_long, _ = self._burn_locked(state, long_, at_s)
+            state.last_burn[rule.name] = burn_short
+            firing = state.firing.get(rule.name, False)
+            if not firing:
+                if (n_short >= rule.min_samples
+                        and burn_short >= rule.factor
+                        and burn_long >= rule.factor):
+                    state.firing[rule.name] = True
+                    self._transition_locked(
+                        state, rule, "firing", at_s, burn_short,
+                        burn_long, game)
+            elif burn_short < rule.factor:
+                state.firing[rule.name] = False
+                self._transition_locked(
+                    state, rule, "resolved", at_s, burn_short,
+                    burn_long, game)
+
+    def _transition_locked(self, state: _SloState, rule: BurnRule,
+                           new_state: str, at_s: float,
+                           burn_short: float, burn_long: float,
+                           game: Optional[str]) -> None:
+        context: Dict[str, Any] = {}
+        if game is not None:
+            context["game"] = game
+        alert = Alert(slo=state.spec.name, rule=rule.name,
+                      severity=rule.severity, state=new_state,
+                      at_s=at_s, burn_short=round(burn_short, 4),
+                      burn_long=round(burn_long, 4), context=context)
+        self._history.append(alert)
+        if len(self._history) > self._history_limit:
+            del self._history[:len(self._history)
+                              - self._history_limit]
+        self._c_alerts.inc(slo=state.spec.name, rule=rule.name,
+                           state=new_state)
+        if self.events is not None:
+            data = {k: v for k, v in alert.to_dict().items()
+                    if k != "at_s"}
+            self.events.append(at_s, "slo_alert", **data)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def active_alerts(self) -> List[Dict[str, Any]]:
+        """Currently-firing (slo, rule) pairs with their last burn."""
+        with self._lock:
+            return self._active_locked()
+
+    def _active_locked(self) -> List[Dict[str, Any]]:
+        active = []
+        for name in sorted(self._states):
+            state = self._states[name]
+            for rule in self.rules:
+                if state.firing.get(rule.name):
+                    active.append({
+                        "slo": name, "rule": rule.name,
+                        "severity": rule.severity,
+                        "burn_short": round(
+                            state.last_burn.get(rule.name, 0.0), 4)})
+        return active
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able engine state: per-SLO status plus active alerts
+        and the bounded transition history.  Also mirrors the latest
+        short-window burns into the ``service.slo_burn_rate`` gauge —
+        moved off the per-event path so the hot feeds stay cheap."""
+        with self._lock:
+            for state in self._states.values():
+                for rule in self.rules:
+                    self._g_burn.set(
+                        state.last_burn.get(rule.name, 0.0),
+                        slo=state.spec.name, window=rule.name)
+            slos = {}
+            for name in sorted(self._states):
+                state = self._states[name]
+                firing_rules = [rule.name for rule in self.rules
+                                if state.firing.get(rule.name)]
+                severity = None
+                for rule in self.rules:
+                    if state.firing.get(rule.name):
+                        if (severity is None
+                                or SEVERITIES.index(rule.severity)
+                                > SEVERITIES.index(severity)):
+                            severity = rule.severity
+                slos[name] = {
+                    "kind": state.spec.kind,
+                    "objective": state.spec.objective,
+                    "threshold": state.spec.threshold,
+                    "description": state.spec.description,
+                    "events": state.events_seen,
+                    "state": ("firing" if firing_rules else "ok"),
+                    "severity": severity,
+                    "firing_rules": firing_rules,
+                    "burn": {rule.name: round(
+                        state.last_burn.get(rule.name, 0.0), 4)
+                        for rule in self.rules},
+                }
+            return {
+                "window_scale": self.window_scale,
+                "rules": [{"name": rule.name,
+                           "short_s": rule.short_s,
+                           "long_s": rule.long_s,
+                           "factor": rule.factor,
+                           "severity": rule.severity}
+                          for rule in self.rules],
+                "slos": slos,
+                "active_alerts": self._active_locked(),
+                "transitions": [alert.to_dict()
+                                for alert in self._history[-50:]],
+            }

@@ -75,6 +75,12 @@ class Platform:
             results are identical (the golden-trace suite proves it);
             ``False`` restores the seed's scan for baseline
             benchmarking.
+        live: optional :class:`~repro.obs.live.LiveAnalytics` engine;
+            when set, task additions, completions and gold grades are
+            streamed into it (keyed by job name), so ``/dashboard``
+            shows service-driven jobs next to simulated campaigns.
+            The service layer attaches its engine here automatically.
+            None (the default) costs nothing.
 
     Concurrency contract: the platform's verbs are not internally
     serialized per job — the service layer holds one lock stripe per
@@ -96,11 +102,13 @@ class Platform:
                  store=None,
                  store_shards: int = DEFAULT_SHARDS,
                  durability: Optional[DurabilityLog] = None,
-                 fast_path: bool = True) -> None:
+                 fast_path: bool = True,
+                 live=None) -> None:
         self.registry = (registry if registry is not None
                          else default_registry())
         self.tracer = tracer if tracer is not None else default_tracer()
         self.faults = faults
+        self.live = live
         self.durability = durability
         if durability is not None and durability.faults is None:
             durability.faults = faults
@@ -205,6 +213,10 @@ class Platform:
                   payload=dict(payload), gold_answer=gold_answer)
         self._m_tasks_added.inc(gold=str(gold_answer is not None
                                          ).lower())
+        if self.live is not None and gold_answer is None:
+            # Gold tasks are instruments, not outputs: they never
+            # count toward the coverage denominator.
+            self.live.record_task_added(0.0, job.name)
         return task
 
     def add_tasks(self, job_id: str,
@@ -328,6 +340,7 @@ class Platform:
                             is TaskState.COMPLETED)
             task.add_answer(worker_id, answer, at_s=at_s)
             self.scheduler.clear_reservation(task_id, worker_id)
+            gold_correct: Optional[bool] = None
             with self.registry_lock:
                 if idempotency_key is not None:
                     self._idempotency[idempotency_key] = task_id
@@ -336,10 +349,11 @@ class Platform:
                 self.leaderboard.record(worker_id,
                                         self.points_per_answer, at_s)
                 if task.is_gold:
-                    correct = answer == task.gold_answer
-                    self.reputation.record_gold(worker_id, correct)
+                    gold_correct = answer == task.gold_answer
+                    self.reputation.record_gold(worker_id,
+                                                gold_correct)
                     if self.spam is not None:
-                        self.spam.record_gold(worker_id, correct)
+                        self.spam.record_gold(worker_id, gold_correct)
                 if self.spam is not None:
                     self.spam.record_answer(worker_id,
                                             self._hashable(answer))
@@ -351,6 +365,15 @@ class Platform:
             completed_now = (not was_complete and
                              task.state(job.redundancy)
                              is TaskState.COMPLETED)
+            live = self.live
+            if live is not None:
+                if gold_correct is not None:
+                    live.record_gold(at_s, job.name, gold_correct)
+                if completed_now:
+                    # Crossing the redundancy bar is the platform's
+                    # "verified output" moment the paper's throughput
+                    # counts.
+                    live.record_task_completed(at_s, job.name)
             self._maybe_complete(job, transitioned=completed_now)
             return task
 

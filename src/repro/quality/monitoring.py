@@ -49,12 +49,18 @@ class CampaignMonitor:
         spam_flags_per_window: alert when this many distinct players
             are flagged within one window.
         cooldown_s: minimum time between alerts of the same kind.
+        events: optional :class:`~repro.core.events.EventLog`-style
+            sink; every raised alert is appended to it as a
+            ``quality_alert`` event, putting quality alerting on the
+            same replayable stream as the engine's own events.
+        game: game label stamped on emitted events.
     """
 
     def __init__(self, window: int = 50, min_agreement: float = 0.4,
                  throughput_drop_factor: float = 0.3,
                  spam_flags_per_window: int = 3,
-                 cooldown_s: float = 600.0) -> None:
+                 cooldown_s: float = 600.0,
+                 events=None, game: str = "campaign") -> None:
         if window < 5:
             raise QualityError(f"window must be >= 5, got {window}")
         if not 0.0 < min_agreement < 1.0:
@@ -69,6 +75,8 @@ class CampaignMonitor:
         self.throughput_drop_factor = throughput_drop_factor
         self.spam_flags_per_window = spam_flags_per_window
         self.cooldown_s = cooldown_s
+        self.events = events
+        self.game = game
         self._rounds: Deque[Tuple[float, bool]] = deque(maxlen=window)
         self._flags: Deque[Tuple[float, str]] = deque()
         self._alerts: List[Alert] = []
@@ -182,6 +190,11 @@ class CampaignMonitor:
                       threshold=threshold, message=message)
         self._alerts.append(alert)
         self._last_alert_at[kind] = at_s
+        if self.events is not None:
+            self.events.append(at_s, "quality_alert",
+                               kind=kind.value, value=value,
+                               threshold=threshold, message=message,
+                               game=self.game)
         return alert
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ POST   /tasks:batch-assign             next tasks for many workers of one job
 POST   /answers:batch                  submit many answers in one round-trip
 GET    /leaderboard?k=10               top accounts
 GET    /metrics?format=json|prometheus telemetry snapshot
+GET    /dashboard                      live analytics: paper metrics, SLOs
 GET    /debug/traces?format=jsonl      flight recorder: recent traces
 GET    /debug/requests                 flight recorder: slow + errored
 GET    /debug/locks                    lock wait/hold timings per stripe
@@ -62,6 +63,7 @@ regression harness measures against.
 
 from __future__ import annotations
 
+import json
 import re
 import threading
 import time
@@ -73,6 +75,7 @@ from repro.errors import (AccountError, JobNotFound, PlatformError,
                           ServiceError, TaskNotFound)
 from repro.obs.exposition import (PROMETHEUS_CONTENT_TYPE, negotiate,
                                   render_json, render_prometheus)
+from repro.obs.live import LiveAnalytics
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.propagation import parse_traceparent
 from repro.obs.tracing import Tracer, default_tracer
@@ -94,8 +97,11 @@ NDJSON_CONTENT_TYPE = "application/x-ndjson; charset=utf-8"
 #: tracing them would perturb the very buffers they serve (fetching
 #: ``/debug/traces`` twice would otherwise never return the same set).
 _UNTRACED_ROUTES = frozenset({
-    "/metrics", "/healthz", "/debug/traces", "/debug/requests",
-    "/debug/locks"})
+    "/metrics", "/healthz", "/dashboard", "/debug/traces",
+    "/debug/requests", "/debug/locks"})
+
+#: Canonical content type for the dashboard's deterministic JSON.
+DASHBOARD_CONTENT_TYPE = "application/json; charset=utf-8"
 
 
 class _TimedLock:
@@ -159,6 +165,13 @@ class ApiServer:
             lock (see the module docstring); ``"global"`` restores the
             seed's single mutex, the perf-regression baseline.
         n_stripes: stripe count for striped mode.
+        live: the :class:`~repro.obs.live.LiveAnalytics` engine behind
+            ``GET /dashboard``.  None (default) builds one on this
+            server's registry; ``False`` disables live analytics
+            entirely (the benchmark's consumer-off cell — the
+            dashboard then answers 503).  The engine is also attached
+            to the platform (unless it already has one), so platform
+            verbs feed the same dashboard.
     """
 
     def __init__(self, platform: Platform,
@@ -168,7 +181,8 @@ class ApiServer:
                  max_pending: Optional[int] = None,
                  shed_retry_after_s: float = 1.0,
                  lock_mode: str = "striped",
-                 n_stripes: int = 16) -> None:
+                 n_stripes: int = 16,
+                 live: Any = None) -> None:
         if lock_mode not in ("striped", "global"):
             raise PlatformError(
                 f"lock_mode must be 'striped' or 'global', "
@@ -195,7 +209,19 @@ class ApiServer:
                                     for i in range(len(self._stripes)))
         self._pending = 0
         self._pending_lock = threading.Lock()
+        # Wall clock for "since when", monotonic for "how long":
+        # NTP steps must not produce negative or jumping uptime.
         self._started_at = time.time()
+        self._started_monotonic = time.monotonic()
+        if live is False:
+            self.live = None
+        elif live is None:
+            self.live = LiveAnalytics(registry=self.registry)
+        else:
+            self.live = live
+        if (self.live is not None
+                and getattr(platform, "live", None) is None):
+            platform.live = self.live
         self._install_routes()
         self._requests = self.registry.counter(
             "service.requests",
@@ -262,6 +288,11 @@ class ApiServer:
         # The metrics reader must not queue behind platform traffic:
         # the registry is internally thread-safe, so no lock.
         self._route("GET", "/metrics", self._metrics, scope="none")
+        # The live dashboard is lock-free, untraced, and excluded from
+        # live request accounting: reading telemetry must not write
+        # it, so two consecutive fetches are byte-identical.
+        self._route("GET", "/dashboard", self._dashboard,
+                    scope="none")
         # Flight-recorder views: lock-free and untraced, so an
         # operator poking at a wedged service sees the buffers as they
         # are without adding to them.
@@ -275,14 +306,44 @@ class ApiServer:
     def handle(self, request: ApiRequest) -> ApiResponse:
         """Route one request, translating errors to status codes."""
         started = time.perf_counter()
-        response, route, trace_id = self._dispatch(request)
-        elapsed = time.perf_counter() - started
-        self._requests.inc(route=route, method=request.method,
-                           status=str(response.status))
-        self._latency.observe(elapsed, exemplar=trace_id, route=route)
+        try:
+            response, route, trace_id = self._dispatch(request)
+        except Exception:
+            # A handler bug escaping dispatch must still land in every
+            # request ledger — counter, latency and the live
+            # availability SLO — as one 500, or the SLO can never see
+            # the exact failures it exists to page on.  Re-raised so
+            # the transport's last-resort contract (500 JSON body,
+            # service.errors{layer="http"}) is unchanged.
+            self._account(request, self._match_route(request), 500,
+                          time.perf_counter() - started, None, started)
+            raise
+        self._account(request, route, response.status,
+                      time.perf_counter() - started, trace_id, started)
         if response.status >= 500:
             self._errors.inc(layer="api")
         return response
+
+    def _match_route(self, request: ApiRequest) -> str:
+        """The route pattern a request resolves to, sans dispatch."""
+        for method, pattern, regex, _handler, _scope in self._routes:
+            if method == request.method and regex.match(request.path):
+                return pattern
+        return "<unmatched>"
+
+    def _account(self, request: ApiRequest, route: str, status: int,
+                 elapsed: float, trace_id: Optional[str],
+                 started: float) -> None:
+        """Feed one finished request to the counters and live engine."""
+        self._requests.inc(route=route, method=request.method,
+                           status=str(status))
+        self._latency.observe(elapsed, exemplar=trace_id, route=route)
+        live = self.live
+        if (live is not None and route not in _UNTRACED_ROUTES
+                and route != "<unmatched>"):
+            live.observe_request(route, request.method, status,
+                                 elapsed, at_s=started,
+                                 trace_id=trace_id)
 
     def _lock_for(self, scope: str, request: ApiRequest,
                   params: Dict[str, str]):
@@ -470,13 +531,44 @@ class ApiServer:
         """Readiness probe with durability status (whether a WAL is
         configured, its directory, newest sequence number, checkpoint
         backlog) plus observability vitals: uptime, sampling counters,
-        and flight-recorder occupancy."""
+        and flight-recorder occupancy.
+
+        Uptime is measured on the monotonic clock — an NTP step moves
+        ``started_at`` (the wall-clock timestamp reported alongside)
+        but can never make ``uptime_s`` negative or jump.  Each probe
+        also scores the durability-lag SLO: readiness checks are the
+        natural cadence for "is the WAL checkpoint keeping up?".
+        """
+        durability = self.platform.durability_status()
+        if self.live is not None and durability.get("enabled"):
+            self.live.observe_durability(
+                time.perf_counter(),
+                int(durability.get("records_since_checkpoint", 0)))
         return ApiResponse(200, {
             "status": "ok",
-            "uptime_s": time.time() - self._started_at,
-            "durability": self.platform.durability_status(),
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "started_at": self._started_at,
+            "durability": durability,
             "tracing": self.tracer.stats(),
             "recorder": self.tracer.recorder.occupancy()})
+
+    def _dashboard(self, request: ApiRequest,
+                   params: Dict[str, str]) -> ApiResponse:
+        """The live ops dashboard: one deterministic JSON document.
+
+        The canonical encoding (sorted keys) is sent verbatim over
+        HTTP, so ``repro top --once --json`` printing the raw body is
+        byte-identical to a curl of this endpoint.  The route neither
+        traces nor feeds live analytics — a pure read of the engine's
+        state, which is itself a pure function of events consumed.
+        """
+        if self.live is None:
+            return ApiResponse(503, error_body(
+                "live analytics disabled on this server"))
+        doc = self.live.snapshot()
+        return ApiResponse(200, doc,
+                           text=json.dumps(doc, sort_keys=True),
+                           content_type=DASHBOARD_CONTENT_TYPE)
 
     def _debug_traces(self, request: ApiRequest,
                       params: Dict[str, str]) -> ApiResponse:

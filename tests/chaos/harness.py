@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.durability.log import DurabilityLog
 from repro.faults import FaultInjector, FaultPlan
+from repro.obs.live import LiveAnalytics
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.platform.facade import Platform
@@ -63,6 +64,7 @@ class CampaignResult:
     job_id: str
     answer_rows: int
     tracer: Optional[Tracer] = None
+    api: Optional[ApiServer] = None
 
 
 #: Flight recorders of campaigns run by the current test, newest last.
@@ -77,7 +79,8 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
                  redundancy: int = 3, n_workers: int = 6,
                  seed: int = 7, max_attempts: int = 10,
                  store_mode: str = "sharded",
-                 data_dir=None) -> CampaignResult:
+                 data_dir=None,
+                 window_scale: float = 1.0) -> CampaignResult:
     """One full campaign; returns its promoted labels canonically.
 
     With ``redundancy`` honest answers required per task and at most
@@ -118,8 +121,14 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
                         registry=registry, tracer=tracer,
                         faults=injector, store=store,
                         durability=durability, fast_path=fast_path)
+    # window_scale != 1.0 compresses the live SLO burn windows so a
+    # seconds-long chaos campaign can exercise fire *and* clear.
+    live = (LiveAnalytics(registry=registry,
+                          window_scale=window_scale)
+            if window_scale != 1.0 else None)
     api = ApiServer(platform, registry=registry, tracer=tracer,
-                    lock_mode=lock_mode)
+                    lock_mode=lock_mode,
+                    **({"live": live} if live is not None else {}))
     client = InProcessClient(
         api,
         retry_policy=RetryPolicy(max_attempts=max_attempts,
@@ -160,4 +169,4 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
     return CampaignResult(
         labels_json=json.dumps(labels, sort_keys=True),
         platform=platform, registry=registry, injector=injector,
-        job_id=job_id, answer_rows=rows, tracer=tracer)
+        job_id=job_id, answer_rows=rows, tracer=tracer, api=api)

@@ -1,0 +1,103 @@
+"""Dashboard under chaos: live analytics stay sane while faults fire.
+
+An ESP campaign runs under injected latency and transient errors with
+the live SLO burn windows compressed (``window_scale``) so the whole
+alert lifecycle fits in a test: the availability SLO fires while the
+faults burn error budget, then clears once recovery traffic flows.
+``GET /dashboard`` fetched through the same API must be byte-stable,
+account for every output, and show no stuck alerts at the end.
+
+When ``DASHBOARD_ARTIFACT`` is set (the CI chaos job points it at a
+file), the final dashboard JSON is written there for upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.faults import FaultPlan
+from repro.service.wire import ApiRequest
+
+from tests.chaos.harness import run_campaign
+
+N_TASKS = 12
+
+#: Compresses the burn windows: fast rule 60ms/720ms, slow rule
+#: 360ms/4.3s — a seconds-long campaign spans full alert lifecycles.
+WINDOW_SCALE = 0.0002
+
+
+def _chaos_plan(seed: int = 11) -> FaultPlan:
+    return (FaultPlan(seed=seed)
+            .with_latency("api.*", probability=0.2,
+                          latency_s=0.0005)
+            .with_transient_errors("api.answer", probability=0.3))
+
+
+def _fetch_dashboard(api):
+    response = api.handle(ApiRequest(method="GET",
+                                     path="/dashboard"))
+    assert response.status == 200
+    return response.text, json.loads(response.text)
+
+
+def _recovery_traffic(api, n=120):
+    """Healthy requests that age the bad events out of every burn
+    window and give the clear condition its sample floor."""
+    time.sleep(0.5)
+    for _ in range(n):
+        api.handle(ApiRequest(method="GET", path="/health"))
+
+
+class TestDashboardUnderChaos:
+    def test_dashboard_steady_after_faulted_campaign(self, tmp_path):
+        result = run_campaign(_chaos_plan(), game="esp",
+                              n_tasks=N_TASKS,
+                              window_scale=WINDOW_SCALE)
+        api = result.api
+        assert api is not None and api.live is not None
+        assert result.injector.total_fires() > 0
+
+        _recovery_traffic(api)
+        first, doc = _fetch_dashboard(api)
+        second, _ = _fetch_dashboard(api)
+        assert first == second, "dashboard must be fetch-stable"
+
+        # Every completed task surfaced as a verified output.
+        game = doc["games"]["chaos-esp"]
+        assert game["lifetime"]["outputs"] == float(N_TASKS)
+        assert game["lifetime"]["coverage"] == 1.0
+
+        # The injected 503s burned budget hard enough to fire...
+        transitions = doc["slo"]["transitions"]
+        fired = [t for t in transitions if t["state"] == "firing"]
+        assert fired, "chaos should have tripped at least one SLO"
+        # ...and recovery cleared every alert: nothing stays latched.
+        assert doc["slo"]["active_alerts"] == [], (
+            "stuck SLO alerts after chaos: "
+            f"{doc['slo']['active_alerts']}")
+        for name, slo in doc["slo"]["slos"].items():
+            assert slo["state"] == "ok", f"{name} stuck {slo}"
+
+        # The request feed saw real traffic, errors included.
+        assert doc["service"]["requests"] > N_TASKS
+        assert doc["latency"]["slow_verbs"]
+
+        artifact = os.environ.get("DASHBOARD_ARTIFACT")
+        if artifact:
+            with open(artifact, "w", encoding="utf-8") as fh:
+                fh.write(first)
+
+    def test_fault_free_and_faulted_dashboards_agree_on_outputs(self):
+        clean = run_campaign(None, game="esp", n_tasks=N_TASKS)
+        chaotic = run_campaign(_chaos_plan(seed=23), game="esp",
+                               n_tasks=N_TASKS)
+        _, doc_clean = _fetch_dashboard(clean.api)
+        _, doc_chaos = _fetch_dashboard(chaotic.api)
+        clean_life = doc_clean["games"]["chaos-esp"]["lifetime"]
+        chaos_life = doc_chaos["games"]["chaos-esp"]["lifetime"]
+        # Faults reshuffle requests but never change what got done.
+        assert clean_life["outputs"] == chaos_life["outputs"]
+        assert clean_life["coverage"] == chaos_life["coverage"]

@@ -1,0 +1,149 @@
+"""EWMA z-score anomaly detection: warmup, direction, cooldown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventLog
+from repro.errors import ObservabilityError
+from repro.obs.anomaly import (DEFAULT_WARMUP, AnomalyMonitor,
+                               EwmaDetector)
+from repro.obs.metrics import MetricsRegistry
+
+
+def warm(detector, n=DEFAULT_WARMUP + 20, value=1.0, jitter=0.01,
+         start=0.0):
+    """Feed a stable baseline with a little variance (alternating
+    +/- jitter keeps the EWMA variance positive)."""
+    at = start
+    for i in range(n):
+        offset = jitter if i % 2 == 0 else -jitter
+        assert detector.score(at, value + offset) is None
+        at += 1.0
+    return at
+
+
+class TestEwmaDetector:
+    def test_validation(self):
+        with pytest.raises(ObservabilityError):
+            EwmaDetector("x", alpha=0.0)
+        with pytest.raises(ObservabilityError):
+            EwmaDetector("x", direction="sideways")
+
+    def test_warmup_suppresses_firing(self):
+        detector = EwmaDetector("x", warmup=10)
+        # Wild values, but the model is cold: nothing may fire.
+        for i in range(10):
+            assert detector.score(float(i), float(i * i)) is None
+
+    def test_spike_fires_after_warmup(self):
+        detector = EwmaDetector("x", direction="high")
+        at = warm(detector)
+        z = detector.score(at, 100.0)
+        assert z is not None and z > 4.0
+
+    def test_direction_high_ignores_drops(self):
+        detector = EwmaDetector("x", direction="high")
+        at = warm(detector)
+        assert detector.score(at, -100.0) is None
+
+    def test_direction_low_fires_on_collapse(self):
+        detector = EwmaDetector("x", direction="low")
+        at = warm(detector)
+        z = detector.score(at, -100.0)
+        assert z is not None and z < -4.0
+
+    def test_direction_both(self):
+        detector = EwmaDetector("x", direction="both",
+                                cooldown_s=0.0)
+        at = warm(detector)
+        assert detector.score(at, 100.0) is not None
+        at = warm(detector, start=at + 1.0)
+        assert detector.score(at, -100.0) is not None
+
+    def test_cooldown_rate_limits(self):
+        detector = EwmaDetector("x", direction="high",
+                                cooldown_s=30.0, alpha=0.01)
+        at = warm(detector)
+        assert detector.score(at, 100.0) is not None
+        # Still anomalous 1s later, but inside the cooldown.
+        assert detector.score(at + 1.0, 100.0) is None
+        # Far enough out, a fresh regression fires again.
+        at2 = warm(detector, start=at + 100.0)
+        assert detector.score(at2, 500.0) is not None
+
+    def test_zero_variance_spike_scores_infinite(self):
+        detector = EwmaDetector("x", direction="high", warmup=5)
+        # A constant 0.0 baseline keeps the EWMA variance exactly 0
+        # (the model's mean starts there, so diff is always 0).
+        for i in range(10):
+            assert detector.score(float(i), 0.0) is None
+        z = detector.score(11.0, 2.0)
+        assert z is not None and z == float("inf")
+        # The JSON rendering maps the non-finite z to None.
+        assert detector.to_dict()["last_z"] is None
+
+    def test_identical_values_never_fire(self):
+        detector = EwmaDetector("x", direction="both", warmup=3)
+        for i in range(50):
+            assert detector.score(float(i), 7.5) is None
+
+    def test_model_tracks_mean(self):
+        detector = EwmaDetector("x", alpha=0.5)
+        warm(detector, value=10.0, jitter=0.0)
+        assert detector.mean == pytest.approx(10.0, abs=1e-6)
+
+
+class TestAnomalyMonitor:
+    def make(self, events=None):
+        return AnomalyMonitor(registry=MetricsRegistry(),
+                              events=events)
+
+    def test_unwatched_signals_ignored(self):
+        monitor = self.make()
+        assert monitor.observe("nope", 0.0, 1e9) is None
+        assert monitor.snapshot()["signals"] == {}
+
+    def test_watch_is_idempotent(self):
+        monitor = self.make()
+        first = monitor.watch("latency_s", direction="high")
+        second = monitor.watch("latency_s", direction="low")
+        assert first is second
+        assert first.direction == "high"
+
+    def test_detection_recorded_and_emitted(self):
+        events = EventLog()
+        monitor = self.make(events=events)
+        monitor.watch("latency_s", direction="high")
+        at = 0.0
+        for i in range(60):
+            value = 0.01 + (0.001 if i % 2 == 0 else -0.001)
+            monitor.observe("latency_s", at, value)
+            at += 1.0
+        record = monitor.observe("latency_s", at, 5.0)
+        assert record is not None
+        assert record["signal"] == "latency_s"
+        assert record["z"] > 4.0
+        snap = monitor.snapshot()
+        assert snap["recent"][-1]["signal"] == "latency_s"
+        assert snap["signals"]["latency_s"]["warmed_up"]
+        emitted = events.of_kind("anomaly")
+        assert len(emitted) == 1
+        assert emitted[0].data["signal"] == "latency_s"
+        # Payload must not smuggle a second at_s into the event.
+        assert "at_s" not in emitted[0].data
+
+    def test_recent_list_is_bounded(self):
+        monitor = AnomalyMonitor(registry=MetricsRegistry(),
+                                 recent_limit=3)
+        monitor.watch("x", direction="both", warmup=2,
+                      cooldown_s=0.0, z_threshold=1.5)
+        at = 0.0
+        for cycle in range(10):
+            for i in range(10):
+                monitor.observe("x", at, 1.0 + (0.01 if i % 2 == 0
+                                                else -0.01))
+                at += 1.0
+            monitor.observe("x", at, 100.0 * (cycle + 1))
+            at += 1.0
+        assert len(monitor.snapshot()["recent"]) <= 3

@@ -1,0 +1,271 @@
+"""LiveAnalytics: window rings, event feeds, and offline parity.
+
+The headline test feeds a finished fixed-seed ESP campaign through the
+streaming engine session by session and checks the lifetime throughput,
+ALP, and expected contribution agree exactly with the offline
+``repro.analytics.gwap_metrics`` computation over the same result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.throughput import gwap_metrics
+from repro.core.events import EventLog
+from repro.corpus.images import ImageCorpus
+from repro.corpus.vocab import Vocabulary
+from repro.errors import ObservabilityError
+from repro.games.esp import EspGame
+from repro.obs.live import WINDOWS, LiveAnalytics, WindowRing
+from repro.obs.metrics import MetricsRegistry
+from repro.players.population import PopulationConfig, build_population
+from repro.sim.adapters import esp_session_runner
+from repro.sim.engine import Campaign
+
+
+def make_live(**kwargs):
+    return LiveAnalytics(registry=MetricsRegistry(), **kwargs)
+
+
+class TestWindowRing:
+    def test_accumulates_within_span(self):
+        ring = WindowRing(span_s=10.0, n_buckets=10)
+        ring.add(0.5, {"n": 1.0})
+        ring.add(3.2, {"n": 2.0})
+        assert ring.totals() == {"n": 3.0}
+
+    def test_old_buckets_age_out(self):
+        ring = WindowRing(span_s=10.0, n_buckets=10)
+        ring.add(0.5, {"n": 1.0})
+        ring.add(5.0, {"n": 2.0})
+        # Advancing past the first bucket's horizon evicts only it.
+        assert ring.totals(now_s=10.5) == {"n": 2.0}
+        assert ring.totals(now_s=60.0) == {}
+
+    def test_late_events_within_ring_land_in_their_bucket(self):
+        ring = WindowRing(span_s=10.0, n_buckets=10)
+        ring.add(9.0, {"n": 1.0})
+        ring.add(4.0, {"n": 5.0})   # late but still inside the ring
+        assert ring.totals() == {"n": 6.0}
+
+    def test_events_older_than_ring_are_dropped(self):
+        ring = WindowRing(span_s=10.0, n_buckets=10)
+        ring.add(100.0, {"n": 1.0})
+        ring.add(3.0, {"n": 99.0})   # far in the past: ignored
+        assert ring.totals() == {"n": 1.0}
+
+    def test_big_jump_clears_everything(self):
+        ring = WindowRing(span_s=10.0, n_buckets=10)
+        ring.add(1.0, {"n": 4.0})
+        ring.add(500.0, {"n": 1.0})
+        assert ring.totals() == {"n": 1.0}
+
+    def test_validation(self):
+        with pytest.raises(ObservabilityError):
+            WindowRing(span_s=0.0, n_buckets=4)
+        with pytest.raises(ObservabilityError):
+            WindowRing(span_s=10.0, n_buckets=0)
+
+
+class TestFeeds:
+    def test_session_feed_computes_paper_metrics(self):
+        live = make_live()
+        # Two sessions, 2 players x 600s each, 20 verified outputs
+        # per session -> 40 outputs over 2400 human-seconds.
+        live.record_session(10.0, "ESP", duration_s=600.0,
+                            players=("a", "b"), outputs=20)
+        live.record_session(700.0, "ESP", duration_s=600.0,
+                            players=("a", "c"), outputs=20)
+        doc = live.game_metrics("ESP")
+        life = doc["lifetime"]
+        assert life["outputs"] == 40.0
+        assert life["human_hours"] == pytest.approx(2400.0 / 3600.0)
+        assert life["throughput"] == pytest.approx(40.0 / (2400.0
+                                                           / 3600.0))
+        # ALP: a played 1200s, b and c 600s each -> 2400s / 3 players.
+        assert life["alp_hours"] == pytest.approx(
+            (2400.0 / 3.0) / 3600.0)
+        assert life["expected_contribution"] == pytest.approx(
+            life["throughput"] * life["alp_hours"])
+        assert life["players"] == 3.0
+
+    def test_recorded_partners_add_no_human_time(self):
+        live = make_live()
+        live.record_session(0.0, "ESP", duration_s=300.0,
+                            players=("a", "recorded:b"), outputs=5)
+        life = live.game_metrics("ESP")["lifetime"]
+        assert life["human_hours"] == pytest.approx(300.0 / 3600.0)
+        assert life["players"] == 1.0
+
+    def test_windows_age_while_lifetime_keeps_everything(self):
+        live = make_live()
+        live.record_session(0.0, "ESP", duration_s=60.0,
+                            players=("a", "b"), outputs=3)
+        live.record_session(7200.0, "ESP", duration_s=60.0,
+                            players=("a", "b"), outputs=4)
+        doc = live.game_metrics("ESP")
+        assert doc["lifetime"]["outputs"] == 7.0
+        # The first session is two hours old: outside every window.
+        assert doc["windows"]["1h"]["outputs"] == 4.0
+        assert doc["windows"]["10s"]["outputs"] == 4.0
+
+    def test_coverage_from_labels_and_universe(self):
+        live = make_live()
+        live.set_item_universe("ESP", 10)
+        for i in range(4):
+            live.record_label(float(i), "ESP", item=f"img{i}")
+        live.record_label(5.0, "ESP", item="img0")   # repeat item
+        life = live.game_metrics("ESP")["lifetime"]
+        assert life["coverage"] == pytest.approx(0.4)
+
+    def test_coverage_from_platform_task_feed(self):
+        live = make_live()
+        for _ in range(8):
+            live.record_task_added(0.0, "esp")
+        live.record_task_completed(1.0, "esp")
+        live.record_task_completed(2.0, "esp")
+        life = live.game_metrics("esp")["lifetime"]
+        assert life["coverage"] == pytest.approx(0.25)
+        assert life["outputs"] == 2.0
+
+    def test_gold_and_quality_signals(self):
+        live = make_live()
+        live.record_gold(1.0, "ESP", correct=True)
+        live.record_gold(2.0, "ESP", correct=True)
+        live.record_gold(3.0, "ESP", correct=False)
+        live.record_round(4.0, "ESP", agreed=True)
+        live.record_round(5.0, "ESP", agreed=False)
+        live.record_spam_flag(6.0, "ESP", "mallory")
+        life = live.game_metrics("ESP")["lifetime"]
+        assert life["gold_accuracy"] == pytest.approx(2.0 / 3.0)
+        assert life["agreement_rate"] == pytest.approx(0.5)
+        assert life["spam_flags"] == 1.0
+
+    def test_eventlog_append_routing(self):
+        live = make_live()
+        live.append(1.0, "session", game="ESP", duration_s=120.0,
+                    players=("a", "b"), outputs=2)
+        live.append(2.0, "label", game="ESP", item="img1")
+        live.append(3.0, "esp_round", game="ESP", agreed=True)
+        live.append(4.0, "flag", game="ESP", player="mallory")
+        live.append(5.0, "checkpoint", game="ESP")   # unknown: ignored
+        life = live.game_metrics("ESP")["lifetime"]
+        assert life["sessions"] == 1.0
+        assert life["outputs"] == 3.0    # 2 session + 1 label
+        assert life["rounds"] == 1.0
+        assert life["spam_flags"] == 1.0
+
+    def test_unknown_game_metrics_empty(self):
+        assert make_live().game_metrics("nope") == {}
+
+
+class TestSnapshot:
+    def test_snapshot_is_deterministic(self):
+        live = make_live()
+        live.record_session(9.0, "ESP", duration_s=60.0,
+                            players=("a", "b"), outputs=2)
+        live.observe_request("GET /jobs", "GET", 200, 0.010,
+                             at_s=1.0, trace_id="t1")
+        live.observe_request("GET /jobs", "GET", 200, 0.250,
+                             at_s=2.0, trace_id="t2")
+        first = live.snapshot()
+        second = live.snapshot()
+        assert first == second
+
+    def test_slow_verbs_carry_exemplar_trace(self):
+        live = make_live(top_k=2)
+        live.observe_request("GET /a", "GET", 200, 0.010, at_s=1.0,
+                             trace_id="fast")
+        live.observe_request("GET /a", "GET", 200, 0.900, at_s=2.0,
+                             trace_id="slowest")
+        live.observe_request("GET /b", "GET", 200, 0.100, at_s=3.0,
+                             trace_id="other")
+        snap = live.snapshot()
+        slow = snap["latency"]["slow_verbs"]
+        assert slow[0]["route"] == "GET /a"
+        assert slow[0]["trace_id"] == "slowest"
+        assert slow[0]["max_s"] == pytest.approx(0.900)
+        assert [v["route"] for v in slow] == ["GET /a", "GET /b"]
+
+    def test_service_counters_and_errors(self):
+        live = make_live()
+        live.observe_request("GET /a", "GET", 200, 0.01, at_s=1.0)
+        live.observe_request("GET /a", "GET", 503, 0.01, at_s=2.0)
+        snap = live.snapshot()
+        assert snap["service"]["requests"] == 2
+        assert snap["service"]["errors"] == 1
+        assert snap["at_s"] == 2.0
+
+    def test_snapshot_shape(self):
+        snap = make_live().snapshot()
+        assert set(snap) == {"at_s", "service", "games", "latency",
+                             "slo", "anomalies"}
+        assert snap["games"] == {}
+
+    def test_events_sink_receives_alert_stream(self):
+        events = EventLog()
+        live = make_live(events=events, window_scale=0.001)
+        # Hammer the latency SLO well past its threshold; the burn
+        # transition must land in the event log from the traffic
+        # alone — no snapshot needed, the micro-batch drains fire it.
+        for i in range(300):
+            live.observe_request("GET /x", "GET", 200, 0.500,
+                                 at_s=float(i) * 0.01)
+        assert events.of_kind("slo_alert")
+
+
+@pytest.fixture(scope="module")
+def esp_fixture():
+    vocab = Vocabulary(size=600, categories=25, seed=77)
+    corpus = ImageCorpus(vocab, size=60, seed=77)
+    game = EspGame(corpus, seed=77)
+    population = build_population(40, PopulationConfig(
+        skill_mean=0.75, coverage_mean=0.7), seed=77)
+    campaign = Campaign(population, esp_session_runner(game),
+                        arrival_rate_per_hour=200.0, seed=77)
+    result = campaign.run(2 * 3600.0)
+    return population, result
+
+
+class TestOfflineParity:
+    def test_live_matches_gwap_metrics(self, esp_fixture):
+        """Streaming lifetime metrics == offline analytics, exactly.
+
+        The campaign is paired-only (no recorded partners), where the
+        live definitions coincide with the offline engagement-free
+        ``gwap_metrics`` path: same human-seconds, same participant
+        set, same verified-output count.
+        """
+        population, result = esp_fixture
+        assert result.outcomes, "fixture produced no sessions"
+        live = make_live()
+        for start, outcome in zip(result.session_starts,
+                                  result.outcomes):
+            live.record_session(
+                start, "ESP", duration_s=outcome.duration_s,
+                players=outcome.players,
+                outputs=sum(1 for c in outcome.contributions
+                            if c.verified))
+        offline = gwap_metrics("ESP", result, population,
+                               engagement=None)
+        life = live.game_metrics("ESP")["lifetime"]
+        assert life["throughput"] == pytest.approx(
+            offline.throughput_per_hour, rel=1e-12)
+        assert life["alp_hours"] == pytest.approx(
+            offline.alp_hours, rel=1e-12)
+        assert life["expected_contribution"] == pytest.approx(
+            offline.expected_contribution, rel=1e-12)
+        assert life["sessions"] == float(offline.sessions)
+        assert life["human_hours"] == pytest.approx(
+            offline.human_hours, rel=1e-12)
+
+    def test_window_ladder_names(self, esp_fixture):
+        _, result = esp_fixture
+        live = make_live()
+        for start, outcome in zip(result.session_starts,
+                                  result.outcomes):
+            live.record_session(start, "ESP",
+                                duration_s=outcome.duration_s,
+                                players=outcome.players)
+        doc = live.game_metrics("ESP")
+        assert set(doc["windows"]) == {name for name, _, _ in WINDOWS}

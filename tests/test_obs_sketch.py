@@ -1,0 +1,242 @@
+"""QuantileSketch: GK rank-error bounds, merging, and thread safety.
+
+The property tests drive the sketch with hypothesis-generated and
+adversarially ordered streams and check its one contract: a reported
+``q``-quantile's true rank is within ``epsilon * n`` of ``q * n``.
+The stress test mirrors ``tests/test_service_stress.py``: 16 threads
+observing concurrently must reconcile counts exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObservabilityError
+from repro.obs.sketch import QuantileSketch
+
+QUANTILES = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999)
+
+
+def rank_error(data, value, q):
+    """Distance between ``value``'s true rank interval and ``q * n``.
+
+    The returned value's rank in the sorted stream is an interval
+    (duplicates); the error is the gap between that interval and the
+    target rank, zero when the target falls inside it.
+    """
+    ordered = sorted(data)
+    target = q * len(ordered)
+    lo = bisect.bisect_left(ordered, value)
+    hi = bisect.bisect_right(ordered, value)
+    if lo <= target <= hi:
+        return 0.0
+    return min(abs(target - lo), abs(target - hi))
+
+
+def assert_within_bound(data, sketch, factor=1.0):
+    bound = factor * sketch.epsilon * len(data) + 1.0
+    for q in QUANTILES:
+        value = sketch.quantile(q)
+        assert value is not None
+        err = rank_error(data, value, q)
+        assert err <= bound, (
+            f"q={q}: rank error {err} > bound {bound}")
+
+
+class TestRankErrorBounds:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              width=32),
+                    min_size=1, max_size=2000))
+    def test_rank_error_on_arbitrary_streams(self, data):
+        sketch = QuantileSketch(epsilon=0.01)
+        sketch.observe_many(data)
+        assert sketch.count == len(data)
+        assert_within_bound(data, sketch)
+
+    @pytest.mark.parametrize("ordering", [
+        "sorted", "reversed", "sawtooth", "outside_in", "duplicates"])
+    def test_adversarial_orderings(self, ordering):
+        n = 5000
+        base = list(range(n))
+        if ordering == "sorted":
+            data = base
+        elif ordering == "reversed":
+            data = base[::-1]
+        elif ordering == "sawtooth":
+            # Alternating low/high: every insert lands at an end of
+            # the current value range's interior.
+            data = [base[i // 2] if i % 2 == 0 else base[-1 - i // 2]
+                    for i in range(n)]
+        elif ordering == "outside_in":
+            half = n // 2
+            data = [v for pair in zip(base[:half],
+                                      base[half:][::-1])
+                    for v in pair]
+        else:
+            data = [i % 7 for i in range(n)]
+        sketch = QuantileSketch(epsilon=0.005)
+        sketch.observe_many([float(v) for v in data])
+        assert_within_bound([float(v) for v in data], sketch)
+
+    def test_memory_stays_bounded(self):
+        sketch = QuantileSketch(epsilon=0.01)
+        import random
+        rng = random.Random(5)
+        for _ in range(30000):
+            sketch.observe(rng.random())
+        # GK keeps O(1/eps * log(eps*n)) tuples; 30k observations at
+        # eps=0.01 must stay far below the stream length.
+        assert sketch.tuple_count() < 1500
+
+    def test_exact_aggregates_and_extremes(self):
+        sketch = QuantileSketch(epsilon=0.05)
+        values = [3.0, -1.0, 7.5, 3.0]
+        sketch.observe_many(values)
+        assert sketch.count == 4
+        assert sketch.sum == pytest.approx(sum(values))
+        assert sketch.quantile(0.0) == -1.0
+        assert sketch.quantile(1.0) == 7.5
+
+    def test_empty_sketch(self):
+        sketch = QuantileSketch()
+        assert sketch.quantile(0.5) is None
+        assert sketch.summary() == {"count": 0, "sum": 0.0}
+
+    def test_validation(self):
+        with pytest.raises(ObservabilityError):
+            QuantileSketch(epsilon=0.0)
+        with pytest.raises(ObservabilityError):
+            QuantileSketch(epsilon=0.5)
+        with pytest.raises(ObservabilityError):
+            QuantileSketch().quantile(1.5)
+        sketch = QuantileSketch()
+        with pytest.raises(ObservabilityError):
+            sketch.merge(sketch)
+
+
+class TestMerge:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              width=32),
+                    min_size=1, max_size=600),
+           st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              width=32),
+                    min_size=1, max_size=600))
+    def test_pairwise_merge_error_bound(self, left, right):
+        a = QuantileSketch(epsilon=0.01)
+        b = QuantileSketch(epsilon=0.01)
+        a.observe_many(left)
+        b.observe_many(right)
+        a.merge(b)
+        combined = left + right
+        assert a.count == len(combined)
+        assert a.sum == pytest.approx(sum(combined), rel=1e-9, abs=1e-6)
+        # Merging two eps-summaries costs at most the sum of their
+        # error budgets.
+        assert_within_bound(combined, a, factor=2.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.lists(st.floats(min_value=-1e6,
+                                       max_value=1e6,
+                                       width=32),
+                             min_size=1, max_size=300),
+                    min_size=3, max_size=3))
+    def test_merge_associativity(self, parts):
+        """(a + b) + c and a + (b + c) agree on exact aggregates and
+        both respect the 3-operand rank-error bound."""
+        def build(values):
+            sketch = QuantileSketch(epsilon=0.01)
+            sketch.observe_many(values)
+            return sketch
+
+        a1, b1, c1 = (build(p) for p in parts)
+        a2, b2, c2 = (build(p) for p in parts)
+        left = a1.merge(b1).merge(c1)
+        right = a2.merge(b2.merge(c2))
+        combined = [v for part in parts for v in part]
+        for merged in (left, right):
+            assert merged.count == len(combined)
+            assert merged.sum == pytest.approx(sum(combined), rel=1e-9,
+                                               abs=1e-6)
+            assert merged.quantile(0.0) == min(combined)
+            assert merged.quantile(1.0) == max(combined)
+            assert_within_bound(combined, merged, factor=3.0)
+
+    def test_merged_is_non_destructive(self):
+        a = QuantileSketch(epsilon=0.02)
+        b = QuantileSketch(epsilon=0.02)
+        a.observe_many([1.0, 2.0])
+        b.observe_many([10.0])
+        out = a.merged(b)
+        assert out.count == 3
+        assert a.count == 2
+        assert b.count == 1
+
+    def test_serialization_round_trip(self):
+        sketch = QuantileSketch(epsilon=0.02)
+        sketch.observe_many([float(i % 13) for i in range(500)])
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone.count == sketch.count
+        assert clone.sum == pytest.approx(sketch.sum)
+        for q in QUANTILES:
+            assert clone.quantile(q) == sketch.quantile(q)
+
+
+class TestConcurrency:
+    def test_sixteen_threads_reconcile_exactly(self):
+        """Mirror of the service stress test: concurrent observers
+        must lose nothing — count and sum reconcile exactly, and the
+        quantile contract still holds on the union stream."""
+        n_threads = 16
+        per_thread = 2000
+        sketch = QuantileSketch(epsilon=0.01)
+        streams = [[float((t * per_thread + i) % 997)
+                    for i in range(per_thread)]
+                   for t in range(n_threads)]
+        errors = []
+
+        def worker(stream):
+            try:
+                for value in stream:
+                    sketch.observe(value)
+            except Exception as exc:  # pragma: no cover - fail out
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in streams]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        combined = [v for s in streams for v in s]
+        assert sketch.count == n_threads * per_thread
+        assert sketch.sum == pytest.approx(sum(combined))
+        assert_within_bound(combined, sketch)
+
+    def test_concurrent_merges_deadlock_free(self):
+        """Cross-merging two sketches from two threads must not
+        deadlock (id-ordered lock acquisition)."""
+        a = QuantileSketch(epsilon=0.02)
+        b = QuantileSketch(epsilon=0.02)
+        a.observe_many([1.0] * 100)
+        b.observe_many([2.0] * 100)
+        done = []
+
+        def cross(first, second):
+            out = QuantileSketch(epsilon=0.02)
+            out.observe_many([3.0] * 10)
+            first.merged(second)
+            done.append(1)
+
+        t1 = threading.Thread(target=cross, args=(a, b))
+        t2 = threading.Thread(target=cross, args=(b, a))
+        t1.start(), t2.start()
+        t1.join(timeout=30), t2.join(timeout=30)
+        assert len(done) == 2

@@ -1,0 +1,252 @@
+"""SloEngine: burn-rate math, alert state machine, event emission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventLog
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (DEFAULT_RULES, Alert, BurnRule, SloEngine,
+                           SloSpec, default_slos)
+
+#: A single aggressive rule with compressed windows: short 1s,
+#: long 12s, fires at burn >= 10x.
+FAST_RULE = (BurnRule("fast", short_s=1.0, long_s=12.0, factor=10.0,
+                      severity="page", min_samples=20),)
+
+
+def make_engine(slos=None, rules=FAST_RULE, **kwargs):
+    return SloEngine(slos if slos is not None else default_slos(),
+                     rules=rules,
+                     registry=kwargs.pop("registry", MetricsRegistry()),
+                     **kwargs)
+
+
+def hammer(engine, start, n, good, dt=0.01):
+    """Feed n availability events good/bad starting at ``start``."""
+    for i in range(n):
+        engine.record("availability", start + i * dt, good=good)
+
+
+class TestSpecValidation:
+    def test_objective_bounds(self):
+        with pytest.raises(ObservabilityError):
+            SloSpec("x", kind="availability", objective=1.0)
+        with pytest.raises(ObservabilityError):
+            SloSpec("x", kind="availability", objective=0.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ObservabilityError):
+            SloSpec("x", kind="happiness", objective=0.9)
+
+    def test_threshold_required(self):
+        with pytest.raises(ObservabilityError):
+            SloSpec("x", kind="latency", objective=0.9)
+
+    def test_duplicate_names_rejected(self):
+        spec = SloSpec("x", kind="availability", objective=0.9)
+        with pytest.raises(ObservabilityError):
+            make_engine(slos=[spec, spec])
+
+    def test_window_scale_positive(self):
+        with pytest.raises(ObservabilityError):
+            make_engine(window_scale=0.0)
+
+    def test_default_rules_are_the_workbook_pair(self):
+        names = {rule.name: rule for rule in DEFAULT_RULES}
+        assert names["fast"].factor == 14.4
+        assert names["fast"].severity == "page"
+        assert names["slow"].factor == 6.0
+        assert names["slow"].severity == "ticket"
+
+
+class TestStateMachine:
+    def test_fires_and_clears_deterministically(self):
+        events = EventLog()
+        engine = make_engine(events=events)
+        # Healthy baseline, then a sustained total outage, then
+        # recovery: firing -> resolved, with both transitions logged.
+        hammer(engine, 0.0, 50, good=True)
+        hammer(engine, 1.0, 50, good=False)
+        snap = engine.snapshot()
+        assert snap["slos"]["availability"]["state"] == "firing"
+        assert snap["slos"]["availability"]["severity"] == "page"
+        assert engine.active_alerts()
+        hammer(engine, 3.0, 120, good=True)
+        snap = engine.snapshot()
+        assert snap["slos"]["availability"]["state"] == "ok"
+        assert engine.active_alerts() == []
+        states = [(e.data["slo"], e.data["state"])
+                  for e in events.of_kind("slo_alert")]
+        assert states == [("availability", "firing"),
+                          ("availability", "resolved")]
+
+    def test_min_samples_guard(self):
+        """A lone bad event in a quiet window is a 1000x burn on
+        paper; the sample floor keeps it from paging."""
+        engine = make_engine()
+        hammer(engine, 0.0, 5, good=False)
+        assert engine.active_alerts() == []
+        assert engine.snapshot()["slos"]["availability"]["state"] \
+            == "ok"
+
+    def test_needs_both_windows(self):
+        """A short bad burst inside a long healthy window must not
+        fire: burn_long stays under the factor."""
+        engine = make_engine()
+        # 11 seconds of goodness fills the long (12s) window...
+        hammer(engine, 0.0, 1100, good=True)
+        # ...then a 10-event bad burst: 10/~100 in the short window
+        # (burn ~100) but only 10/1110 in the long one (burn ~9).
+        hammer(engine, 11.0, 10, good=False)
+        snap = engine.snapshot()
+        burn = snap["slos"]["availability"]["burn"]["fast"]
+        assert burn >= 10.0   # short window alone would fire
+        assert snap["slos"]["availability"]["state"] == "ok"
+
+    def test_latency_slo_uses_threshold(self):
+        engine = make_engine()
+        for i in range(60):
+            engine.record_latency(i * 0.01, 0.400)   # > 250ms
+        snap = engine.snapshot()
+        assert snap["slos"]["latency_p99"]["state"] == "firing"
+        assert snap["slos"]["availability"]["state"] == "ok"
+
+    def test_durability_slo(self):
+        engine = make_engine()
+        for i in range(60):
+            engine.record_durability(i * 0.01, backlog=10_000)
+        assert engine.snapshot()["slos"]["durability_lag"]["state"] \
+            == "firing"
+
+    def test_throughput_slo_scores_against_floor(self):
+        engine = make_engine()
+        for i in range(60):
+            engine.record_throughput("ESP", i * 0.01, per_hour=0.0)
+        assert engine.snapshot()["slos"]["game_throughput"]["state"] \
+            == "firing"
+        for i in range(200):
+            engine.record_throughput("ESP", 2.0 + i * 0.01,
+                                     per_hour=50.0)
+        assert engine.snapshot()["slos"]["game_throughput"]["state"] \
+            == "ok"
+
+    def test_window_scale_compresses_time(self):
+        """The same event stream fires under scale 0.001 but not at
+        scale 1.0, where it all lands in one bucket of a huge ring."""
+        scaled = make_engine(rules=DEFAULT_RULES, window_scale=0.001)
+        hammer(scaled, 0.0, 50, good=True)
+        hammer(scaled, 1.0, 50, good=False)
+        assert scaled.active_alerts()
+        unscaled = make_engine(rules=DEFAULT_RULES, window_scale=1.0)
+        hammer(unscaled, 0.0, 50, good=True)
+        hammer(unscaled, 1.0, 50, good=False)
+        # Full-width windows see 50 bad out of 100: burn 500 >= 14.4
+        # on both -> fires too, but only after the same math; verify
+        # burn values differ from the scaled engine's short window.
+        snap_u = unscaled.snapshot()["slos"]["availability"]
+        snap_s = scaled.snapshot()["slos"]["availability"]
+        assert snap_u["burn"]["fast"] == pytest.approx(500.0)
+        assert snap_s["burn"]["fast"] == pytest.approx(1000.0)
+
+    def test_burn_gauge_mirrored_at_snapshot(self):
+        registry = MetricsRegistry()
+        engine = make_engine(registry=registry)
+        hammer(engine, 0.0, 30, good=True)
+        hammer(engine, 0.35, 10, good=False)
+        gauge = registry.gauge("service.slo_burn_rate",
+                               "error-budget burn rate, by slo/window")
+        # The hot feeds no longer touch the gauge; snapshot() mirrors
+        # the latest evaluated burn into it.
+        assert gauge.value(slo="availability", window="fast") == 0.0
+        snap = engine.snapshot()
+        mirrored = gauge.value(slo="availability", window="fast")
+        assert mirrored > 0.0
+        assert mirrored == pytest.approx(
+            snap["slos"]["availability"]["burn"]["fast"], rel=1e-6)
+
+
+class TestBatchedFeed:
+    """record_requests must match the per-event feeds it replaces."""
+
+    def _latency_stream(self):
+        # 40 requests per fine bucket: mostly fast/good, with a slow
+        # and failing tail in the second burst.
+        stream = []
+        for i in range(40):
+            stream.append((0.0 + i * 0.001, False, 0.01))
+        for i in range(40):
+            stream.append((0.5 + i * 0.001, i % 2 == 0, 0.9))
+        return stream
+
+    def test_matches_per_event_feeds(self):
+        batched = make_engine()
+        single = make_engine()
+        stream = self._latency_stream()
+        for at_s, error, elapsed_s in stream:
+            single.record("availability", at_s, good=not error)
+            single.record_latency(at_s, elapsed_s)
+        # Same events, grouped no coarser than the finest ring bucket.
+        gran = batched.finest_bucket_s
+        group = []
+        for at_s, error, elapsed_s in stream:
+            if group and int(at_s // gran) != int(group[0][0] // gran):
+                batched.record_requests(
+                    group[-1][0], len(group),
+                    sum(1 for _, err, _ in group if err),
+                    [el for _, _, el in group])
+                group = []
+            group.append((at_s, error, elapsed_s))
+        batched.record_requests(
+            group[-1][0], len(group),
+            sum(1 for _, err, _ in group if err),
+            [el for _, _, el in group])
+        snap_b = batched.snapshot()
+        snap_s = single.snapshot()
+        for name in ("availability", "latency_p99"):
+            assert (snap_b["slos"][name]["events"]
+                    == snap_s["slos"][name]["events"])
+            assert (snap_b["slos"][name]["state"]
+                    == snap_s["slos"][name]["state"])
+            assert snap_b["slos"][name]["burn"] == pytest.approx(
+                snap_s["slos"][name]["burn"])
+
+    def test_empty_batch_is_a_noop(self):
+        engine = make_engine()
+        engine.record_requests(1.0, 0, 0, [])
+        snap = engine.snapshot()
+        assert snap["slos"]["availability"]["events"] == 0
+
+    def test_finest_bucket_tracks_window_scale(self):
+        assert (make_engine(window_scale=0.5).finest_bucket_s
+                == pytest.approx(make_engine().finest_bucket_s * 0.5))
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        snap = make_engine().snapshot()
+        assert set(snap) == {"window_scale", "rules", "slos",
+                             "active_alerts", "transitions"}
+        assert set(snap["slos"]) == {"availability", "latency_p99",
+                                     "durability_lag",
+                                     "game_throughput"}
+
+    def test_transition_history_is_bounded(self):
+        engine = make_engine(history_limit=4)
+        for cycle in range(6):
+            base = cycle * 10.0
+            hammer(engine, base, 50, good=False)
+            hammer(engine, base + 2.0, 120, good=True)
+        snap = engine.snapshot()
+        assert len(snap["transitions"]) <= 4
+
+    def test_alert_to_dict(self):
+        alert = Alert(slo="availability", rule="fast",
+                      severity="page", state="firing", at_s=1.0,
+                      burn_short=20.0, burn_long=15.0,
+                      context={"game": "ESP"})
+        doc = alert.to_dict()
+        assert doc["slo"] == "availability"
+        assert doc["game"] == "ESP"
+        assert doc["state"] == "firing"

@@ -1,0 +1,207 @@
+"""GET /dashboard, repro top, /healthz uptime, histogram saturation.
+
+The contract under test: the dashboard body is a pure function of the
+traffic consumed so far, so back-to-back fetches are byte-identical
+and ``repro top --once --json`` prints exactly what the endpoint sent.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.client import HttpClient
+from repro.service.http import serve_in_thread
+from repro.service.wire import ApiRequest
+
+
+def make_api(live=None):
+    registry = MetricsRegistry()
+    platform = Platform(gold_rate=0.0, seed=7, registry=registry,
+                        tracer=Tracer())
+    kwargs = {} if live is None else {"live": live}
+    return ApiServer(platform, registry=registry, tracer=Tracer(),
+                     **kwargs)
+
+
+@pytest.fixture()
+def served():
+    api = make_api()
+    server, thread, base_url = serve_in_thread(api)
+    yield api, base_url
+    server.shutdown()
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def drive_traffic(base_url, n_tasks=3):
+    client = HttpClient(base_url)
+    job = client.create_job("dash", redundancy=1)
+    client.add_tasks(job["job_id"],
+                     [{"payload": {"i": i}} for i in range(n_tasks)])
+    client.start_job(job["job_id"])
+    for _ in range(n_tasks):
+        task = client.next_task(job["job_id"], "w1")
+        client.submit_answer(task["task_id"], "w1", "yes")
+    return job
+
+
+class TestDashboardEndpoint:
+    def test_repeat_fetches_byte_identical(self, served):
+        _, base_url = served
+        drive_traffic(base_url)
+        status, headers, first = fetch(base_url + "/dashboard")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        _, _, second = fetch(base_url + "/dashboard")
+        assert first == second
+        # Canonical encoding: sorted keys, parse round-trips.
+        doc = json.loads(first)
+        assert first.decode() == json.dumps(doc, sort_keys=True)
+
+    def test_cli_top_matches_endpoint_bytes(self, served, capsys):
+        _, base_url = served
+        drive_traffic(base_url)
+        _, _, raw = fetch(base_url + "/dashboard")
+        code = main(["top", "--url", base_url, "--once", "--json"])
+        assert code == 0
+        assert capsys.readouterr().out.encode("utf-8") == raw
+
+    def test_cli_top_renders_human_frame(self, served, capsys):
+        _, base_url = served
+        drive_traffic(base_url)
+        assert main(["top", "--url", base_url, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO" in out
+        assert "dash" in out   # the per-game table names the job
+
+    def test_cli_top_unreachable_url_fails_cleanly(self, capsys):
+        code = main(["top", "--url", "http://127.0.0.1:9",
+                     "--once", "--json"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_platform_traffic_lands_in_game_metrics(self, served):
+        api, base_url = served
+        drive_traffic(base_url, n_tasks=4)
+        _, _, raw = fetch(base_url + "/dashboard")
+        doc = json.loads(raw)
+        game = doc["games"]["dash"]
+        assert game["lifetime"]["outputs"] == 4.0
+        assert game["lifetime"]["coverage"] == 1.0
+        # Request traffic fed the per-verb sketches and the SLOs.
+        assert doc["service"]["requests"] > 0
+        assert doc["latency"]["slow_verbs"]
+        assert doc["slo"]["slos"]["availability"]["state"] == "ok"
+
+    def test_disabled_live_analytics_returns_503(self):
+        api = make_api(live=False)
+        response = api.handle(ApiRequest(method="GET",
+                                         path="/dashboard"))
+        assert response.status == 503
+
+    def test_dashboard_is_not_self_observing(self, served):
+        """Fetching the dashboard must not change the next fetch:
+        the route is excluded from its own request feed."""
+        _, base_url = served
+        drive_traffic(base_url)
+        _, _, first = fetch(base_url + "/dashboard")
+        for _ in range(5):
+            fetch(base_url + "/dashboard")
+        _, _, last = fetch(base_url + "/dashboard")
+        assert first == last
+
+
+class TestHealthz:
+    def test_uptime_and_start_time(self, served):
+        _, base_url = served
+        _, _, raw = fetch(base_url + "/healthz")
+        doc = json.loads(raw)
+        assert doc["uptime_s"] >= 0.0
+        assert doc["started_at"] > 1.6e9   # a plausible epoch stamp
+        _, _, raw2 = fetch(base_url + "/healthz")
+        assert json.loads(raw2)["uptime_s"] >= doc["uptime_s"]
+
+
+class TestHistogramSaturation:
+    def test_overflow_percentile_clamps_and_flags(self):
+        hist = Histogram("h", buckets=(0.1, 0.5, 1.0))
+        for _ in range(10):
+            hist.observe(50.0)   # everything lands in +Inf
+        summary = hist.summary()
+        assert summary["saturated"] is True
+        assert summary["p99"] == 1.0    # last finite bound, not 50
+        assert summary["max"] == 50.0
+
+    def test_finite_distribution_is_not_flagged(self):
+        hist = Histogram("h", buckets=(0.1, 0.5, 1.0))
+        for _ in range(100):
+            hist.observe(0.05)
+        summary = hist.summary()
+        assert "saturated" not in summary
+        assert summary["p99"] <= 0.1
+
+    def test_mixed_distribution_flags_only_saturated_tail(self):
+        hist = Histogram("h", buckets=(0.1, 0.5, 1.0))
+        for _ in range(98):
+            hist.observe(0.05)
+        for _ in range(2):
+            hist.observe(9.0)
+        summary = hist.summary()
+        # p50/p95 are finite but p99 falls in the overflow bucket.
+        assert summary["p50"] <= 0.1
+        assert summary["p99"] == 1.0
+        assert summary["saturated"] is True
+
+
+class TestEscapedExceptionAccounting:
+    """A handler bug that escapes dispatch is still one 500 request.
+
+    The transport's last-resort handler owns the response body and the
+    layer="http" error counter; the api layer owns the request ledger.
+    Without this, the availability SLO is blind to the exact failures
+    it exists to page on.
+    """
+
+    def _exploding_api(self):
+        api = make_api()
+
+        def explode(request, params):
+            raise RuntimeError("wired to fail")
+
+        api._routes = [
+            (method, pattern, regex,
+             explode if pattern == "/health" else handler, scope)
+            for method, pattern, regex, handler, scope in api._routes]
+        return api
+
+    def test_escape_counts_as_500_everywhere(self):
+        api = self._exploding_api()
+        request = ApiRequest(method="GET", path="/health", body={},
+                             query={}, headers={})
+        with pytest.raises(RuntimeError):
+            api.handle(request)
+        assert api.registry.counter("service.requests").value(
+            route="/health", method="GET", status="500") == 1.0
+        snap = api.live.snapshot()
+        assert snap["service"]["requests"] == 1
+        assert snap["service"]["errors"] == 1
+        assert snap["slo"]["slos"]["availability"]["events"] == 1
+
+    def test_unmatched_path_never_reaches_live(self):
+        api = self._exploding_api()
+        request = ApiRequest(method="GET", path="/no/such/route",
+                             body={}, query={}, headers={})
+        response = api.handle(request)
+        assert response.status == 404
+        assert api.live.snapshot()["service"]["requests"] == 0
