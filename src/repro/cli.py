@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import itertools
 import sys
+import time
 from typing import List, Optional
 
 
@@ -80,6 +81,19 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slow-threshold", type=float, default=0.5,
                        help="seconds above which a request enters the "
                             "flight recorder's slow-request log")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="event-loop workers; each binds its own "
+                            "SO_REUSEPORT listener so the kernel "
+                            "load-balances accepted connections")
+    serve.add_argument("--keep-alive", type=float, default=30.0,
+                       dest="keep_alive",
+                       help="idle keep-alive connection timeout in "
+                            "seconds")
+    serve.add_argument("--hot-cache", type=float, default=0.05,
+                       dest="hot_cache",
+                       help="TTL in seconds for pre-serialized "
+                            "/healthz, /metrics and /dashboard "
+                            "responses (0 disables)")
 
     suite = sub.add_parser(
         "suite", help="play one match of every game")
@@ -215,8 +229,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.tracing import Tracer
     from repro.platform import Platform
     from repro.service import ApiServer
-    from repro.service.http import _make_handler
-    from http.server import ThreadingHTTPServer
+    from repro.service.http import AsyncHttpServer
 
     # One tracer spans the whole stack (API + platform + WAL), so a
     # request's trace nests every layer it touched.
@@ -232,16 +245,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         platform = Platform(seed=args.seed, tracer=tracer)
     api = ApiServer(platform, tracer=tracer)
-    server = ThreadingHTTPServer((args.host, args.port),
-                                 _make_handler(api))
-    host, port = server.server_address[0], server.server_address[1]
-    print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
+    server = AsyncHttpServer(
+        api, host=args.host, port=args.port,
+        workers=max(1, args.workers),
+        keep_alive_timeout_s=args.keep_alive,
+        hot_cache_ttl_s=args.hot_cache)
+    server.start()
+    print(f"serving on {server.base_url} "
+          f"({server.n_workers} worker"
+          f"{'s'[:server.n_workers != 1]}, Ctrl-C to stop)")
     try:
-        server.serve_forever()
+        while True:
+            time.sleep(3600)
     except KeyboardInterrupt:
         print("\nstopping")
     finally:
-        server.server_close()
+        # Drain in-flight keep-alive connections first so their
+        # mutations land in the WAL before the checkpoint flush.
+        server.shutdown()
         api.shutdown()
     return 0
 

@@ -102,14 +102,24 @@ class FaultInjector:
     # Site-facing queries (one per fault kind)
     # ------------------------------------------------------------------
 
+    def latency(self, site: str) -> float:
+        """Injected latency at ``site`` in seconds, without sleeping.
+
+        For transports that must not block a shared event loop: the
+        asyncio front door asks here, then ``await asyncio.sleep``\\ s
+        the answer itself, so one faulted connection never stalls its
+        neighbors.  The rule's decision stream advances exactly as it
+        does for :meth:`sleep_latency`.
+        """
+        rule = self._fired(site, FaultKind.LATENCY)
+        return rule.latency_s if rule is not None else 0.0
+
     def sleep_latency(self, site: str) -> float:
         """Inject latency at ``site``; returns the seconds slept."""
-        rule = self._fired(site, FaultKind.LATENCY)
-        if rule is None:
-            return 0.0
-        if rule.latency_s > 0:
-            self._sleep(rule.latency_s)
-        return rule.latency_s
+        latency = self.latency(site)
+        if latency > 0:
+            self._sleep(latency)
+        return latency
 
     def error(self, site: str) -> Optional[InjectedFault]:
         """An :class:`InjectedFault` to raise at ``site``, or None.

@@ -25,12 +25,12 @@ fsync that acknowledged it.
 from __future__ import annotations
 
 import json
+import re
+import socket
+import threading
 import time
-from http import client as http_client
-from typing import Any, Callable, Dict, List, Optional
-from urllib import error as urlerror
-from urllib import request as urlrequest
-from urllib.parse import urlencode
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import urlencode, urlsplit
 
 from repro import rng as _rng
 from repro.errors import (CircuitOpenError, ServiceError,
@@ -300,54 +300,277 @@ class InProcessClient(_BaseClient):
         return response.body
 
 
+#: Query keys/values that need no percent-escaping skip urlencode —
+#: the worker-loop hot path is all ids and labels.
+_QS_SAFE = re.compile(r"[A-Za-z0-9_.~/-]*\Z")
+
+#: The exact response head ``AsyncHttpServer`` renders on its hot
+#: path: status line, JSON content type, a length, optionally a
+#: final ``Connection: close``.  Anything else (extra headers such
+#: as ``Retry-After``) takes the general parse.
+_FAST_HEAD = re.compile(
+    rb"HTTP/1\.1 (\d{3}) [^\r\n]*\r\n"
+    rb"Content-Type: application/json\r\n"
+    rb"Content-Length: (\d+)"
+    rb"(\r\nConnection: close)?\Z")
+
+
+class _PersistentConnection:
+    """One keep-alive socket to the service, with a tiny HTTP/1.1
+    response reader.
+
+    The server always frames responses with ``Content-Length`` (it
+    never chunks), so the reader is: status line, headers, exactly N
+    body bytes.  ``responded_bytes`` distinguishes "the request never
+    got an answer" (safe to transparently replay a GET on a stale
+    connection) from "the answer was torn mid-flight".
+    """
+
+    __slots__ = ("sock", "requests_sent", "last_used",
+                 "responded_bytes", "_buffer")
+
+    def __init__(self, host: str, port: int,
+                 timeout_s: float) -> None:
+        self.sock = socket.create_connection((host, port),
+                                             timeout=timeout_s)
+        self.sock.setsockopt(socket.IPPROTO_TCP,
+                             socket.TCP_NODELAY, 1)
+        self.requests_sent = 0
+        self.last_used = time.monotonic()
+        self.responded_bytes = 0
+        self._buffer = bytearray()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def __del__(self) -> None:
+        # A dropped client must not leak its pooled socket into a
+        # ResourceWarning from the socket finalizer.
+        if getattr(self, "sock", None) is not None:
+            self.close()
+
+    def roundtrip(self, blob: bytes
+                  ) -> Tuple[int, Dict[str, str], bytes, bool]:
+        """Send one request, read one response.
+
+        Returns ``(status, headers, body, keep_alive)``.  Raises
+        ``OSError``/``ConnectionError`` on transport failure.
+        """
+        self.requests_sent += 1
+        self.responded_bytes = 0
+        self.sock.sendall(blob)
+        head = self._read_until_headers()
+        self.last_used = time.monotonic()
+        # Fast path: the exact head our own front door renders —
+        # one C-level regex instead of a line loop + header dict.
+        # Responses carrying any other header (Retry-After, another
+        # content type, a proxy's extras) fall through to the
+        # general parse.
+        fast = _FAST_HEAD.match(head)
+        if fast is not None:
+            status = int(fast.group(1))
+            length = int(fast.group(2))
+            body = self._read_exactly(length) if length else b""
+            return status, {}, body, fast.group(3) is None
+        lines = head.split(b"\n")
+        status_parts = lines[0].rstrip(b"\r").split(b" ", 2)
+        if len(status_parts) < 2 or not status_parts[1].isdigit():
+            raise ConnectionError("malformed status line")
+        status = int(status_parts[1])
+        headers: Dict[str, str] = {}
+        for raw in lines[1:]:
+            raw = raw.rstrip(b"\r")
+            if not raw:
+                continue
+            name, _, value = raw.partition(b":")
+            headers[name.decode("latin-1").strip().lower()] = \
+                value.decode("latin-1").strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = self._read_exactly(length)
+        keep_alive = "close" not in headers.get("connection",
+                                                "").lower()
+        return status, headers, body, keep_alive
+
+    def _read_until_headers(self) -> bytes:
+        while True:
+            end = self._buffer.find(b"\r\n\r\n")
+            if end != -1:
+                head = bytes(self._buffer[:end])
+                del self._buffer[:end + 4]
+                return head
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    "connection closed before response")
+            self.responded_bytes += len(chunk)
+            self._buffer.extend(chunk)
+
+    def _read_exactly(self, length: int) -> bytes:
+        while len(self._buffer) < length:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    "connection closed mid-response body")
+            self.responded_bytes += len(chunk)
+            self._buffer.extend(chunk)
+        body = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        return body
+
+
 class HttpClient(_BaseClient):
-    """Talks to a running HTTP server via urllib."""
+    """Talks to a running HTTP server over persistent keep-alive
+    connections (one per thread).
+
+    Connection reuse is what makes the asyncio front door pay off
+    from the client side: retries, idempotency keys and traceparent
+    headers all ride the same socket instead of re-handshaking TCP
+    per request.  A connection idle longer than ``reuse_idle_s`` is
+    proactively replaced (the server's keep-alive timeout may have
+    reaped it); a *stale* reused connection that dies before sending
+    any response byte is transparently replayed once for GETs —
+    POSTs surface a retryable :class:`TransientServiceError` so the
+    at-least-once decision stays with the retry policy and the
+    platform's idempotency keys, exactly as before.
+    """
 
     def __init__(self, base_url: str, timeout_s: float = 10.0,
+                 reuse_idle_s: float = 10.0,
                  **resilience: Any) -> None:
         super().__init__(**resilience)
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.reuse_idle_s = reuse_idle_s
+        parts = urlsplit(self.base_url)
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or (443 if parts.scheme == "https"
+                                    else 80)
+        self._host_header = parts.netloc
+        self._local = threading.local()
+        self._conns_lock = threading.Lock()
+        self._conns: List[_PersistentConnection] = []
+        self._m_conns_opened = self.registry.counter(
+            "client.http_connections_opened",
+            "client-side sockets dialed")
+        self._m_stale_retries = self.registry.counter(
+            "client.http_stale_retries",
+            "GETs transparently replayed on a stale keep-alive "
+            "connection")
+
+    # -- connection management -----------------------------------------
+
+    def _connection(self) -> _PersistentConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            if (time.monotonic() - conn.last_used
+                    <= self.reuse_idle_s):
+                return conn
+            self._discard(conn)
+        conn = _PersistentConnection(self._host, self._port,
+                                     self.timeout_s)
+        self._m_conns_opened.inc()
+        self._local.conn = conn
+        with self._conns_lock:
+            self._conns.append(conn)
+        return conn
+
+    def _discard(self, conn: _PersistentConnection) -> None:
+        conn.close()
+        if getattr(self._local, "conn", None) is conn:
+            self._local.conn = None
+        with self._conns_lock:
+            try:
+                self._conns.remove(conn)
+            except ValueError:
+                pass
+
+    def close(self) -> None:
+        """Close every pooled connection (all threads)."""
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            conn.close()
+        self._local.conn = None
+
+    # -- the wire ------------------------------------------------------
+
+    @staticmethod
+    def _encode_request(method: str, target: str, host: str,
+                        headers: Dict[str, str],
+                        data: Optional[bytes]) -> bytes:
+        head = f"{method} {target} HTTP/1.1\r\nHost: {host}\r\n"
+        for key, value in headers.items():
+            head += f"{key}: {value}\r\n"
+        if data is None:
+            return (head + "\r\n").encode("latin-1")
+        return (head + f"Content-Length: {len(data)}\r\n\r\n"
+                ).encode("latin-1") + data
 
     def _send(self, method: str, path: str,
               body: Optional[Dict[str, Any]],
               query: Optional[Dict[str, str]],
               headers: Optional[Dict[str, str]] = None
               ) -> Dict[str, Any]:
-        url = self.base_url + path
+        target = path
         if query:
-            url += "?" + urlencode(query)
-        data = None
+            if all(_QS_SAFE.match(f"{k}{v}") for k, v in
+                   query.items()):
+                target += "?" + "&".join(
+                    f"{k}={v}" for k, v in query.items())
+            else:
+                target += "?" + urlencode(query)
         send_headers = {"Accept": "application/json"}
         if headers:
             send_headers.update(headers)
+        data = None
         if body is not None and method != "GET":
-            data = json.dumps(body).encode("utf-8")
+            data = json.dumps(body, separators=(",", ":")).encode("utf-8")
             send_headers["Content-Type"] = "application/json"
-        request = urlrequest.Request(url, data=data,
-                                     headers=send_headers,
-                                     method=method)
+        blob = self._encode_request(method, target,
+                                    self._host_header,
+                                    send_headers, data)
         try:
-            with urlrequest.urlopen(request,
-                                    timeout=self.timeout_s) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urlerror.HTTPError as exc:
-            try:
-                message = json.loads(exc.read().decode("utf-8")).get(
-                    "error", str(exc))
-            except Exception:
-                message = str(exc)
-            raise ServiceError(
-                message, status=exc.code,
-                retry_after_s=_parse_retry_after(
-                    exc.headers.get("Retry-After"))) from None
-        except urlerror.URLError as exc:
-            raise TransientServiceError(
-                f"connection failed: {exc.reason}") from None
-        except (http_client.HTTPException, ConnectionError,
-                TimeoutError) as exc:
-            # Reset mid-response (RemoteDisconnected & friends): the
-            # request may or may not have been applied — retryable, and
-            # idempotency keys make the replay safe.
+            conn = self._connection()
+        except OSError as exc:
             raise TransientServiceError(
                 f"connection failed: {exc}") from None
+        reused = conn.requests_sent > 0
+        try:
+            status, resp_headers, payload, keep = conn.roundtrip(blob)
+        except socket.timeout:
+            self._discard(conn)
+            raise TransientServiceError(
+                f"request timed out after {self.timeout_s}s"
+            ) from None
+        except (OSError, ConnectionError) as exc:
+            responded = conn.responded_bytes
+            self._discard(conn)
+            if reused and responded == 0 and method == "GET":
+                # The server reaped this keep-alive connection
+                # between requests; a GET is safe to replay on a
+                # fresh socket without involving the retry policy.
+                self._m_stale_retries.inc()
+                return self._send(method, path, body, query,
+                                  headers=headers)
+            raise TransientServiceError(
+                f"connection failed: {exc}") from None
+        if not keep:
+            self._discard(conn)
+        if 200 <= status < 300:
+            try:
+                return json.loads(payload.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise TransientServiceError(
+                    f"undecodable response body: {exc}") from None
+        try:
+            message = json.loads(payload.decode("utf-8")).get(
+                "error", f"HTTP {status}")
+        except Exception:
+            message = f"HTTP {status}"
+        raise ServiceError(
+            message, status=status,
+            retry_after_s=_parse_retry_after(
+                resp_headers.get("retry-after")))

@@ -25,7 +25,8 @@ from repro.obs.tracing import Tracer
 from repro.platform.facade import Platform
 from repro.platform.store import JsonStore, ShardedStore
 from repro.service.api import ApiServer
-from repro.service.client import InProcessClient
+from repro.service.client import HttpClient, InProcessClient
+from repro.service.http import AsyncHttpServer
 from repro.service.retry import RetryPolicy
 
 
@@ -80,7 +81,8 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
                  seed: int = 7, max_attempts: int = 10,
                  store_mode: str = "sharded",
                  data_dir=None,
-                 window_scale: float = 1.0) -> CampaignResult:
+                 window_scale: float = 1.0,
+                 transport: str = "inprocess") -> CampaignResult:
     """One full campaign; returns its promoted labels canonically.
 
     With ``redundancy`` honest answers required per task and at most
@@ -98,6 +100,13 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
     write-ahead-logged there (checkpoint every 32 records, fsync off
     for test speed), and ``STORE_CRASH`` faults exercise the real
     recover-from-disk path instead of the in-memory rebuild.
+
+    ``transport`` selects the client path: ``"inprocess"`` calls the
+    router directly; ``"http"`` serves it on the real asyncio front
+    door and drives the campaign over persistent keep-alive sockets,
+    so wire-level faults (``http.request`` latency and resets) hit
+    the actual transport.  Promoted labels must be identical either
+    way.
     """
     if store_mode == "sharded":
         store, fast_path, lock_mode = ShardedStore(), True, "striped"
@@ -129,12 +138,19 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
     api = ApiServer(platform, registry=registry, tracer=tracer,
                     lock_mode=lock_mode,
                     **({"live": live} if live is not None else {}))
-    client = InProcessClient(
-        api,
+    resilience = dict(
         retry_policy=RetryPolicy(max_attempts=max_attempts,
                                  base_delay_s=0.0, max_delay_s=0.0,
                                  jitter=0.0),
         registry=registry, sleep=lambda s: None, seed=seed)
+    server = None
+    if transport == "http":
+        server = AsyncHttpServer(api).start()
+        client = HttpClient(server.base_url, **resilience)
+    elif transport == "inprocess":
+        client = InProcessClient(api, **resilience)
+    else:
+        raise ValueError(f"unknown transport: {transport!r}")
 
     payloads = (esp_payloads(n_tasks) if game == "esp"
                 else peekaboom_payloads(n_tasks))
@@ -164,6 +180,9 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
     results = client.results(job_id)
     labels = {task_id: result["answer"]
               for task_id, result in results.items()}
+    if server is not None:
+        client.close()
+        server.shutdown()
     rows = sum(len(task.answers)
                for task in platform.store.tasks_for(job_id))
     return CampaignResult(

@@ -1,0 +1,98 @@
+"""Chaos over the real wire: fault plans against the asyncio front
+door.
+
+The same campaigns the in-process chaos matrix runs, but driven over
+persistent keep-alive HTTP connections, with the wire-level hooks
+live: injected ``http.request`` latency is awaited on the event loop
+(one faulted connection must not stall its neighbors) and injected
+``http.request`` errors become hard connection resets the client has
+to survive by reconnecting and retrying.  Every faulted campaign must
+promote labels byte-identical to the fault-free oracle, and the
+flight-recorder artifact path must keep working for HTTP campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults import FaultPlan
+
+from tests.chaos.harness import ACTIVE_RECORDERS, run_campaign
+
+
+def _oracle():
+    return run_campaign(None, seed=23)
+
+
+class TestHttpOracleParity:
+    def test_fault_free_http_matches_inprocess(self, chaos_seed):
+        oracle = _oracle()
+        http = run_campaign(None, seed=23, transport="http")
+        assert http.labels_json == oracle.labels_json
+        assert http.answer_rows == oracle.answer_rows
+
+
+class TestHttpFaultPlans:
+    def test_wire_latency_plan(self, chaos_seed):
+        """LATENCY at the transport: awaited per connection, never
+        blocking the loop; outcome identical to the oracle without a
+        single retry."""
+        oracle = _oracle()
+        plan = (FaultPlan(seed=chaos_seed)
+                .with_latency("http.request", probability=0.2,
+                              latency_s=0.003))
+        result = run_campaign(plan, seed=23, transport="http")
+        assert result.labels_json == oracle.labels_json
+        assert result.injector.total_fires() > 0
+        # Latency alone is invisible to correctness: no retries.
+        assert result.registry.counter(
+            "client.retries").total() == 0
+
+    def test_wire_reset_plan(self, chaos_seed):
+        """ERROR at the transport: hard resets mid-campaign; the
+        client reconnects, retries ride idempotency keys, and the
+        ledger still matches the oracle exactly."""
+        oracle = _oracle()
+        plan = (FaultPlan(seed=chaos_seed)
+                .with_transient_errors("http.request",
+                                       probability=0.08))
+        result = run_campaign(plan, seed=23, transport="http",
+                              max_attempts=16)
+        assert result.labels_json == oracle.labels_json
+        assert result.answer_rows == oracle.answer_rows
+        assert result.injector.fires()[
+            "http.request/transient_error"] > 0
+
+    def test_drop_and_reset_combined_plan(self, chaos_seed):
+        """DROP at the router plus resets at the wire — the full
+        at-least-once hazard set over the real transport."""
+        oracle = _oracle()
+        plan = (FaultPlan(seed=chaos_seed)
+                .with_dropped_answers("api.answer", probability=0.25)
+                .with_transient_errors("http.request",
+                                       probability=0.05)
+                .with_latency("http.request", probability=0.1,
+                              latency_s=0.002))
+        result = run_campaign(plan, seed=23, transport="http",
+                              max_attempts=16)
+        assert result.labels_json == oracle.labels_json
+        assert result.answer_rows == oracle.answer_rows
+        assert result.injector.total_fires() > 0
+
+
+class TestFlightRecorderArtifacts:
+    def test_http_campaign_recorder_is_dumpable(self, chaos_seed,
+                                                tmp_path,
+                                                monkeypatch):
+        """The conftest failure hook dumps ``ACTIVE_RECORDERS``; an
+        HTTP campaign must register a tracer whose recorder renders
+        to JSONL exactly like the in-process path."""
+        from tests.chaos import conftest as chaos_conftest
+        monkeypatch.setenv("CHAOS_ARTIFACT_DIR", str(tmp_path))
+        run_campaign(None, seed=23, transport="http")
+        assert ACTIVE_RECORDERS, "campaign must register its tracer"
+        chaos_conftest._dump_recorders("http-transport-smoke")
+        dumps = sorted(tmp_path.glob("*-meta.json"))
+        assert dumps, "artifact dump produced no files"
+        meta = json.loads(dumps[-1].read_text())
+        assert meta["tracing"]["sampled_total"] > 0

@@ -1,0 +1,222 @@
+"""Fuzz + property tests for the incremental HTTP/1.1 parser.
+
+The contract under test (the transport's safety floor): whatever bytes
+arrive, in whatever chunking, :meth:`HttpRequestParser.feed` never
+raises; every violation is exactly one :class:`ParseError` carrying a
+400/413/431/501 status, after which the parser is dead; and chunking
+never changes the parse — a request torn at any boundary comes out
+identical to the same request fed whole.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.http import (HttpRequestParser, ParsedRequest,
+                                ParseError)
+
+
+def feed_chunked(parser, blob, boundaries):
+    """Feed ``blob`` split at ``boundaries``; collect all events."""
+    events = []
+    last = 0
+    for cut in sorted(boundaries):
+        events.extend(parser.feed(blob[last:cut]))
+        last = cut
+    events.extend(parser.feed(blob[last:]))
+    return events
+
+
+def encode_request(method, path, headers, body):
+    lines = [f"{method} {path} HTTP/1.1"]
+    lines.extend(f"{k}: {v}" for k, v in headers)
+    if body:
+        lines.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+_METHODS = st.sampled_from(["GET", "POST", "PUT", "DELETE", "PATCH"])
+_PATHS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789/-_.",
+    min_size=0, max_size=30).map(lambda s: "/" + s)
+_HEADER_NAMES = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-",
+    min_size=1, max_size=16)
+_HEADER_VALUES = st.text(
+    alphabet=st.characters(min_codepoint=0x21, max_codepoint=0x7E),
+    min_size=0, max_size=30)
+_BODIES = st.binary(max_size=200)
+
+
+@st.composite
+def requests_with_boundaries(draw):
+    """A valid serialized request plus random chunk boundaries."""
+    method = draw(_METHODS)
+    path = draw(_PATHS)
+    headers = draw(st.lists(
+        st.tuples(_HEADER_NAMES, _HEADER_VALUES), max_size=4,
+        unique_by=lambda kv: kv[0].lower()))
+    # The parser folds duplicate names; keep the oracle simple by
+    # excluding names we add ourselves.
+    headers = [(k, v) for k, v in headers
+               if k.lower() not in ("content-length",
+                                    "transfer-encoding",
+                                    "connection")]
+    body = draw(_BODIES)
+    blob = encode_request(method, path, headers, body)
+    boundaries = draw(st.lists(
+        st.integers(min_value=0, max_value=len(blob)), max_size=8))
+    return method, path, headers, body, blob, boundaries
+
+
+class TestChunkingInvariance:
+    @settings(max_examples=200, deadline=None)
+    @given(requests_with_boundaries())
+    def test_torn_anywhere_parses_identically(self, case):
+        method, path, headers, body, blob, boundaries = case
+        events = feed_chunked(HttpRequestParser(), blob, boundaries)
+        assert len(events) == 1
+        request = events[0]
+        assert isinstance(request, ParsedRequest)
+        assert request.method == method
+        assert request.target == path
+        assert request.body == body
+        for name, value in headers:
+            assert request.headers[name.lower()] == value.strip()
+
+    @settings(max_examples=50, deadline=None)
+    @given(requests_with_boundaries(),
+           st.integers(min_value=2, max_value=5))
+    def test_pipelined_copies_come_out_in_order(self, case, n):
+        _, _, _, body, blob, _ = case
+        parser = HttpRequestParser()
+        events = parser.feed(blob * n)
+        assert len(events) == n
+        assert all(isinstance(e, ParsedRequest) for e in events)
+        assert all(e.body == body for e in events)
+
+    def test_byte_at_a_time(self):
+        blob = encode_request("POST", "/jobs", [("x-a", "1")],
+                              b'{"name": "j"}')
+        parser = HttpRequestParser()
+        events = []
+        for index in range(len(blob)):
+            events.extend(parser.feed(blob[index:index + 1]))
+        assert len(events) == 1
+        assert events[0].body == b'{"name": "j"}'
+
+
+class TestNeverRaises:
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=2000),
+           st.lists(st.integers(min_value=0, max_value=2000),
+                    max_size=6))
+    def test_garbage_never_raises(self, blob, boundaries):
+        parser = HttpRequestParser(max_header_bytes=512,
+                                   max_body_bytes=512)
+        events = feed_chunked(parser, blob, boundaries)
+        errors = [e for e in events if isinstance(e, ParseError)]
+        assert len(errors) <= 1
+        if errors:
+            assert errors[-1] is events[-1]
+            assert errors[0].status in (400, 413, 431, 501)
+            assert parser.failed
+            # A dead parser stays dead and silent.
+            assert parser.feed(b"GET / HTTP/1.1\r\n\r\n") == []
+
+    @settings(max_examples=200, deadline=None)
+    @given(requests_with_boundaries(), st.binary(max_size=50),
+           st.integers(min_value=0, max_value=10 ** 6))
+    def test_valid_prefix_then_garbage(self, case, garbage, seed):
+        """Corrupt a valid request at a random position: everything
+        completed before the corruption still comes out first."""
+        _, _, _, _, blob, _ = case
+        cut = seed % (len(blob) + 1)
+        parser = HttpRequestParser()
+        events = parser.feed(blob[:cut] + garbage + blob[cut:])
+        for earlier, later in zip(events, events[1:]):
+            assert not isinstance(earlier, ParseError), \
+                "ParseError must be terminal"
+        assert all(isinstance(e, (ParsedRequest, ParseError))
+                   for e in events)
+
+
+class TestLimitsAndViolations:
+    def test_oversized_headers_431_even_unterminated(self):
+        parser = HttpRequestParser(max_header_bytes=128)
+        events = parser.feed(b"GET / HTTP/1.1\r\nx-pad: "
+                             + b"a" * 200)
+        assert [e.status for e in events
+                if isinstance(e, ParseError)] == [431]
+
+    def test_oversized_body_413_before_buffering(self):
+        parser = HttpRequestParser(max_body_bytes=64)
+        events = parser.feed(b"POST / HTTP/1.1\r\n"
+                             b"Content-Length: 100000\r\n\r\n")
+        assert [e.status for e in events
+                if isinstance(e, ParseError)] == [413]
+
+    @pytest.mark.parametrize("blob,status", [
+        (b"GET /\r\n\r\n", 400),                      # 2-part line
+        (b"GET / HTTP/2.0\r\n\r\n", 400),             # bad version
+        (b"G@T / HTTP/1.1\r\n\r\n", 400),             # bad method
+        (b"GET nopath HTTP/1.1\r\n\r\n", 400),        # bad target
+        (b"GET / HTTP/1.1\r\nbad header\r\n\r\n", 400),
+        (b"GET / HTTP/1.1\r\nx: 1\r\n y2\r\n\r\n", 400),  # folding
+        (b"POST / HTTP/1.1\r\nContent-Length: 2\r\n"
+         b"Content-Length: 3\r\n\r\n", 400),          # conflict
+        (b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n", 400),
+        (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+         501),
+    ])
+    def test_violation_statuses(self, blob, status):
+        events = HttpRequestParser().feed(blob)
+        assert [e.status for e in events
+                if isinstance(e, ParseError)] == [status]
+
+    def test_agreeing_duplicate_content_length_ok(self):
+        events = HttpRequestParser().feed(
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\n"
+            b"Content-Length: 2\r\n\r\nhi")
+        assert len(events) == 1
+        assert events[0].body == b"hi"
+
+
+class TestSemantics:
+    def test_bare_lf_framing_accepted(self):
+        events = HttpRequestParser().feed(
+            b"GET /healthz HTTP/1.1\nhost: x\n\n")
+        assert len(events) == 1
+        assert events[0].headers["host"] == "x"
+
+    @pytest.mark.parametrize("version,connection,expected", [
+        ("HTTP/1.1", None, True),
+        ("HTTP/1.1", "close", False),
+        ("HTTP/1.0", None, False),
+        ("HTTP/1.0", "keep-alive", True),
+    ])
+    def test_keep_alive_defaults(self, version, connection, expected):
+        headers = (f"Connection: {connection}\r\n"
+                   if connection else "")
+        blob = (f"GET / {version}\r\n{headers}\r\n"
+                ).encode("latin-1")
+        events = HttpRequestParser().feed(blob)
+        assert events[0].keep_alive is expected
+
+    def test_has_partial_tracks_request_progress(self):
+        parser = HttpRequestParser()
+        assert not parser.has_partial()
+        parser.feed(b"GET / HT")
+        assert parser.has_partial()
+        parser.feed(b"TP/1.1\r\n\r\n")
+        assert not parser.has_partial()
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab")
+        assert parser.has_partial()
+
+    def test_json_body_roundtrip(self):
+        payload = json.dumps({"name": "fuzz", "n": 3}).encode()
+        blob = encode_request("POST", "/jobs", [], payload)
+        events = HttpRequestParser().feed(blob)
+        assert json.loads(events[0].body) == {"name": "fuzz", "n": 3}

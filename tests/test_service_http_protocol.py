@@ -1,0 +1,287 @@
+"""Protocol conformance for the asyncio front door, over real sockets.
+
+Raw-socket exercises of the wire contract: keep-alive reuse, strict
+pipelined ordering, ``Connection: close`` semantics (including the
+HTTP/1.0 default), half-close, mid-body disconnects that must leave
+the ledger and ``/metrics`` consistent, and the graceful-shutdown
+drain that must answer every accepted request before the owner's
+checkpoint flush.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.durability.log import DurabilityLog
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.http import AsyncHttpServer, serve_in_thread
+
+
+def make_api(**platform_kw):
+    registry = MetricsRegistry()
+    platform_kw.setdefault("gold_rate", 0.0)
+    platform_kw.setdefault("seed", 11)
+    platform = Platform(registry=registry, tracer=Tracer(),
+                        **platform_kw)
+    return ApiServer(platform, registry=registry, tracer=Tracer())
+
+
+@pytest.fixture()
+def server():
+    api = make_api()
+    srv = AsyncHttpServer(api).start()
+    yield srv
+    srv.shutdown()
+
+
+class Wire:
+    """A raw client socket with a minimal HTTP response reader."""
+
+    def __init__(self, port, timeout=5.0):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=timeout)
+        self._buffer = bytearray()
+
+    def close(self):
+        self.sock.close()
+
+    def send(self, blob):
+        self.sock.sendall(blob)
+
+    def _recv_into(self):
+        chunk = self.sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("EOF")
+        self._buffer.extend(chunk)
+
+    def read_response(self):
+        """(status, headers-dict, body-bytes) for one response."""
+        while b"\r\n\r\n" not in self._buffer:
+            self._recv_into()
+        head, _, rest = bytes(self._buffer).partition(b"\r\n\r\n")
+        self._buffer = bytearray(rest)
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        while len(self._buffer) < length:
+            self._recv_into()
+        body = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        return status, headers, body
+
+    def expect_eof(self, timeout=5.0):
+        self.sock.settimeout(timeout)
+        assert self.sock.recv(1024) == b""
+
+
+def get(path, headers=""):
+    return (f"GET {path} HTTP/1.1\r\nHost: t\r\n{headers}\r\n"
+            ).encode("latin-1")
+
+
+def post(path, body):
+    payload = json.dumps(body).encode("utf-8")
+    return (f"POST {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+            ).encode("latin-1") + payload
+
+
+class TestKeepAlive:
+    def test_n_requests_one_connection(self, server):
+        wire = Wire(server.port)
+        for _ in range(10):
+            wire.send(get("/health"))
+            status, headers, body = wire.read_response()
+            assert status == 200
+            assert json.loads(body) == {"status": "ok"}
+            assert "close" not in headers.get("connection", "")
+        wire.close()
+        assert server.m_opened.total() == 1
+        assert server.m_keepalive.total() == 9
+
+    def test_connection_close_honored(self, server):
+        wire = Wire(server.port)
+        wire.send(get("/health", "Connection: close\r\n"))
+        status, headers, _ = wire.read_response()
+        assert status == 200
+        assert headers["connection"] == "close"
+        wire.expect_eof()
+        wire.close()
+
+    def test_http_10_closes_by_default(self, server):
+        wire = Wire(server.port)
+        wire.send(b"GET /health HTTP/1.0\r\n\r\n")
+        status, headers, _ = wire.read_response()
+        assert status == 200
+        assert headers["connection"] == "close"
+        wire.expect_eof()
+        wire.close()
+
+
+class TestPipelining:
+    def test_pipelined_responses_in_request_order(self, server):
+        names = [f"job-{i}" for i in range(8)]
+        blob = b"".join(post("/jobs", {"name": n})
+                        for n in names) + get("/health")
+        wire = Wire(server.port)
+        wire.send(blob)
+        seen = []
+        for _ in names:
+            status, _, body = wire.read_response()
+            assert status == 201
+            seen.append(json.loads(body)["name"])
+        status, _, body = wire.read_response()
+        assert status == 200 and json.loads(body)["status"] == "ok"
+        assert seen == names
+        wire.close()
+
+    def test_error_answered_after_earlier_pipelined_requests(
+            self, server):
+        """A protocol violation mid-pipeline: everything that parsed
+        before it is answered first, the error goes out last, then
+        the connection closes."""
+        wire = Wire(server.port)
+        wire.send(get("/health") + get("/health")
+                  + b"BROKEN\r\n\r\n")
+        for _ in range(2):
+            status, _, body = wire.read_response()
+            assert status == 200
+            assert json.loads(body) == {"status": "ok"}
+        status, headers, body = wire.read_response()
+        assert status == 400
+        assert headers["connection"] == "close"
+        assert "error" in json.loads(body)
+        wire.close()
+        assert server.m_parse_errors.value(status="400") == 1
+
+
+class TestDisconnects:
+    def test_half_close_still_answers(self, server):
+        wire = Wire(server.port)
+        wire.send(post("/jobs", {"name": "half"}))
+        wire.sock.shutdown(socket.SHUT_WR)
+        status, _, body = wire.read_response()
+        assert status == 201
+        assert json.loads(body)["name"] == "half"
+        wire.expect_eof()
+        wire.close()
+
+    def test_mid_body_disconnect_leaves_ledger_consistent(
+            self, server):
+        api = server.api
+        before = len(api.platform.store.jobs())
+        requests_before = api.registry.counter(
+            "service.requests").total()
+        blob = post("/jobs", {"name": "torn"})
+        wire = Wire(server.port)
+        wire.send(blob[:-4])  # headers + most of the body, then gone
+        wire.close()
+        # The orphaned partial request must never reach the router.
+        deadline = threading.Event()
+        deadline.wait(0.15)
+        assert len(api.platform.store.jobs()) == before
+        assert api.registry.counter(
+            "service.requests").total() == requests_before
+        # The service is still fully alive for other connections.
+        other = Wire(server.port)
+        other.send(get("/metrics"))
+        status, _, body = other.read_response()
+        assert status == 200
+        snapshot = json.loads(body)
+        assert "http.connections_opened" in snapshot["metrics"]
+        other.close()
+
+    def test_garbage_connection_gets_400_and_close(self, server):
+        wire = Wire(server.port)
+        wire.send(b"\x00\xff\xfeutter nonsense\r\n\r\n")
+        status, headers, _ = wire.read_response()
+        assert status == 400
+        assert headers["connection"] == "close"
+        wire.expect_eof()
+        wire.close()
+
+
+class TestGracefulShutdownDrain:
+    def test_inflight_keepalive_requests_land_before_checkpoint(
+            self, tmp_path):
+        """The regression the drain fix pins down: requests already
+        accepted on keep-alive connections are answered and WAL-logged
+        before shutdown returns, so the checkpoint flush that follows
+        captures them — and recovery proves it."""
+        registry = MetricsRegistry()
+        log = DurabilityLog(tmp_path, checkpoint_every=10_000,
+                            fsync=False, registry=registry)
+        platform = Platform(durability=log, registry=registry,
+                            tracer=Tracer(), gold_rate=0.0, seed=5)
+        # Injected handler latency holds the pipelined burst in
+        # flight while the main thread starts the shutdown.
+        faults = FaultInjector(
+            FaultPlan(seed=1).with_latency(
+                "http.request", probability=1.0, latency_s=0.05),
+            registry=registry)
+        api = ApiServer(platform, registry=registry, tracer=Tracer(),
+                        faults=faults)
+        server = AsyncHttpServer(api).start()
+
+        names = [f"drain-{i}" for i in range(5)]
+        wire = Wire(server.port)
+        wire.send(b"".join(
+            post("/jobs", {"name": n})
+            for n in names))
+        responses = []
+        reader = threading.Thread(
+            target=lambda: responses.extend(
+                wire.read_response() for _ in names))
+        reader.start()
+        server.shutdown()          # drains before returning
+        reader.join(timeout=10.0)
+        assert not reader.is_alive()
+        assert [status for status, _, _ in responses] == [201] * 5
+        # Only the final drained response closes the connection.
+        assert [h.get("connection") for _, h, _ in responses] \
+            == [None] * 4 + ["close"]
+        wire.expect_eof()
+        wire.close()
+        api.shutdown()             # checkpoint flush, after the drain
+
+        recovered = Platform.recover(
+            tmp_path, registry=MetricsRegistry(), tracer=Tracer(),
+            fsync=False, seed=5)
+        recovered_names = {job.name
+                           for job in recovered.store.jobs()}
+        assert set(names) <= recovered_names
+
+    def test_shutdown_is_idempotent_and_closes_idle(self, server):
+        wire = Wire(server.port)
+        wire.send(get("/health"))
+        assert wire.read_response()[0] == 200
+        server.shutdown()
+        server.shutdown()  # second call is a no-op
+        wire.expect_eof()
+        wire.close()
+
+
+class TestServeInThread:
+    def test_signature_and_base_url(self):
+        api = make_api()
+        srv, thread, base_url = serve_in_thread(api)
+        try:
+            assert base_url == srv.base_url
+            assert thread.is_alive()
+            wire = Wire(srv.port)
+            wire.send(get("/healthz"))
+            assert wire.read_response()[0] == 200
+            wire.close()
+        finally:
+            srv.shutdown()

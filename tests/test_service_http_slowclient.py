@@ -1,0 +1,219 @@
+"""Slow-client robustness: the front door sheds what won't move.
+
+Three attacker shapes against the asyncio transport: a slowloris
+dribbling header bytes (read timeout → 408 + close), a reader that
+stops draining its responses (write-stall timeout → hard abort), and
+both at once while 16 well-behaved threads hammer the service — the
+victims are shed without slowing anyone else down.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.client import HttpClient
+from repro.service.http import AsyncHttpServer
+
+N_THREADS = 16
+
+
+def make_server(**kwargs):
+    registry = MetricsRegistry()
+    platform = Platform(gold_rate=0.0, spam_detection=False, seed=13,
+                        registry=registry, tracer=Tracer())
+    api = ApiServer(platform, registry=registry, tracer=Tracer())
+    return AsyncHttpServer(api, **kwargs).start()
+
+
+def recv_all(sock, timeout=5.0):
+    """Everything the server sends until EOF/reset, as bytes."""
+    sock.settimeout(timeout)
+    chunks = []
+    try:
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    except (ConnectionError, OSError):
+        pass
+    return b"".join(chunks)
+
+
+class TestSlowloris:
+    def test_dribbled_headers_hit_read_timeout(self):
+        server = make_server(read_timeout_s=0.3)
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0)
+            blob = b"GET /health HTTP/1.1\r\nx-slow: "
+            stop = threading.Event()
+
+            def dribble():
+                for byte in blob:
+                    if stop.is_set():
+                        return
+                    try:
+                        sock.sendall(bytes([byte]))
+                    except OSError:
+                        return
+                    time.sleep(0.05)
+
+            writer = threading.Thread(target=dribble)
+            writer.start()
+            wire = recv_all(sock)
+            stop.set()
+            writer.join(timeout=10)
+            sock.close()
+            # Sheds with a 408 so a well-meaning slow client retries.
+            assert wire.startswith(b"HTTP/1.1 408 ")
+            assert b"Connection: close" in wire
+            assert server.m_timeouts.value(kind="read") == 1
+        finally:
+            server.shutdown()
+
+    def test_idle_keepalive_is_not_a_slowloris(self):
+        """Silence between requests is idle, not slow: only the
+        keep-alive timer applies once a request completes."""
+        server = make_server(read_timeout_s=0.2,
+                             keep_alive_timeout_s=30.0)
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0)
+            sock.sendall(b"GET /health HTTP/1.1\r\n\r\n")
+            sock.settimeout(5.0)
+            assert sock.recv(65536).startswith(b"HTTP/1.1 200 ")
+            time.sleep(0.5)  # well past read_timeout_s, but idle
+            sock.sendall(b"GET /health HTTP/1.1\r\n\r\n")
+            assert sock.recv(65536).startswith(b"HTTP/1.1 200 ")
+            sock.close()
+            assert server.m_timeouts.value(kind="read") == 0
+        finally:
+            server.shutdown()
+
+
+class TestStalledReader:
+    def test_reader_that_never_drains_is_aborted(self):
+        # Tiny buffers everywhere so the stall shows up in bytes,
+        # not minutes: the client never reads, the transport's write
+        # buffer fills, pause_writing starts the stall clock.
+        server = make_server(write_timeout_s=0.3,
+                             write_buffer_limit=8 * 1024,
+                             socket_sndbuf=8 * 1024)
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            # Pipeline many /metrics GETs (a few KiB each) and never
+            # read a byte of the answers.
+            sock.sendall(b"GET /metrics HTTP/1.1\r\n\r\n" * 64)
+            deadline = time.monotonic() + 10.0
+            while (server.m_timeouts.value(kind="write") == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert server.m_timeouts.value(kind="write") >= 1
+            sock.close()
+        finally:
+            server.shutdown()
+
+
+class TestShedWithoutCollateral:
+    def test_victims_shed_while_16_threads_fly(self):
+        """The stress harness riding alongside the attackers: every
+        well-behaved request completes, promptly, while the slowloris
+        and the stalled reader are shed in the background."""
+        server = make_server(read_timeout_s=0.4, write_timeout_s=0.4,
+                             write_buffer_limit=8 * 1024,
+                             socket_sndbuf=8 * 1024)
+        api = server.api
+        try:
+            # Attacker 1: slowloris dribbling forever.
+            slow = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0)
+            stop = threading.Event()
+
+            def dribble():
+                for byte in b"GET / HTTP/1.1\r\n" * 40:
+                    if stop.is_set():
+                        return
+                    try:
+                        slow.sendall(bytes([byte]))
+                    except OSError:
+                        return
+                    time.sleep(0.02)
+
+            # Attacker 2: floods requests, never reads responses.
+            stalled = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0)
+            stalled.setsockopt(socket.SOL_SOCKET,
+                               socket.SO_RCVBUF, 4096)
+            stalled.sendall(b"GET /metrics HTTP/1.1\r\n\r\n" * 64)
+            attacker = threading.Thread(target=dribble)
+            attacker.start()
+
+            # The 16 honest threads.
+            setup = HttpClient(server.base_url)
+            job = setup.create_job("shed", redundancy=N_THREADS)
+            job_id = job["job_id"]
+            setup.add_tasks(job_id, [{"payload": {"i": i}}
+                                     for i in range(3)])
+            setup.start_job(job_id)
+            errors = []
+            durations = []
+
+            def worker(index: int) -> None:
+                worker_id = f"w{index:02d}"
+                client = HttpClient(server.base_url,
+                                    registry=api.registry)
+                try:
+                    started = time.monotonic()
+                    client.register_worker(worker_id)
+                    while True:
+                        task = client.next_task(job_id, worker_id)
+                        if task is None:
+                            break
+                        client.submit_answer(task["task_id"],
+                                             worker_id, "label")
+                    durations.append(time.monotonic() - started)
+                except Exception as exc:  # pragma: no cover
+                    errors.append((worker_id, exc))
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=worker, args=(k,))
+                       for k in range(N_THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert errors == []
+            assert len(durations) == N_THREADS
+
+            # Both attackers were shed while the honest work ran.
+            deadline = time.monotonic() + 10.0
+            while (server.m_timeouts.total() < 2
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert server.m_timeouts.value(kind="read") >= 1
+            assert server.m_timeouts.value(kind="write") >= 1
+
+            # Shedding, not collateral damage: the job completed
+            # exactly (every task answered by every worker).
+            for task in api.platform.store.tasks_for(job_id):
+                assert len(task.answers) == N_THREADS
+            stop.set()
+            attacker.join(timeout=10)
+            slow.close()
+            stalled.close()
+            setup.close()
+        finally:
+            server.shutdown()
