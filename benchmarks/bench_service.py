@@ -15,13 +15,18 @@ in-process and over loopback HTTP.  Results land in
 ratios to a committed baseline and exits non-zero on a >20% regression
 (ratios, not raw ops/s, so the gate is stable across machines).
 
-Three same-run gates ride along: the tracing sample-rate sweep
+Five same-run gates ride along: the tracing sample-rate sweep
 (sampling off must be ~free), the live-analytics overhead gate (the
 streaming dashboard consumer must retain >=95% of consumer-off
-throughput at max threads), and the HTTP transport gate (the asyncio
+throughput at max threads), the HTTP transport gate (the asyncio
 front door at max threads must keep >=0.5x of the same run's
 in-process sharded ops/s — the stdlib threaded server it replaced
-managed ~0.05x).
+managed ~0.05x), the durability gate (WAL group commit with real
+fsync at max threads must deliver >=2x the ops/s of the
+one-fsync-per-append path it replaced), and the snapshot-read gate
+(a read-heavy burst against the copy-on-write snapshot routes must
+add *zero* samples to the ``service.lock_wait_s`` stripe metrics —
+the read path holds no service lock at all).
 
 Usage::
 
@@ -37,6 +42,7 @@ import gc
 import json
 import os
 import sys
+import tempfile
 import threading
 import time
 from typing import Dict, List
@@ -44,6 +50,7 @@ from typing import Dict, List
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
                                 "src"))
 
+from repro.durability.log import DurabilityLog         # noqa: E402
 from repro.obs.metrics import MetricsRegistry          # noqa: E402
 from repro.obs.tracing import Tracer                   # noqa: E402
 from repro.platform.facade import Platform             # noqa: E402
@@ -52,6 +59,7 @@ from repro.service.api import ApiServer                # noqa: E402
 from repro.service.client import (HttpClient,          # noqa: E402
                                   InProcessClient)
 from repro.service.http import serve_in_thread         # noqa: E402
+from repro.service.wire import ApiRequest              # noqa: E402
 
 THREAD_COUNTS = (1, 4, 16)
 
@@ -405,6 +413,227 @@ def check_http_gate(results: Dict,
     return []
 
 
+#: Durability gate: at max threads with real fsync on every commit,
+#: WAL group commit (concurrent writers stage frames, one fsync per
+#: batch) must deliver at least this multiple of the legacy
+#: one-fsync-per-append throughput, measured back to back in the same
+#: run.  The acceptance floor is 2x; on dedicated hardware the
+#: measured gain tracks the thread count (one fsync amortized over
+#: ~N writers' frames).
+DURABILITY_GATE_FLOOR = 2.0
+
+
+def _measure_durable_writes(group_commit: bool,
+                            writes_per_thread: int) -> Dict:
+    """One write-heavy cell: max-thread writers, each op a durable
+    platform mutation (a worker registration) write-ahead-logged with
+    real fsync before it acknowledges."""
+    top = max(THREAD_COUNTS)
+    gc.collect()
+    with tempfile.TemporaryDirectory() as data_dir:
+        registry = MetricsRegistry()
+        # Checkpointing pushed out of reach: the cell measures the
+        # append protocol, not rotation.
+        durability = DurabilityLog(data_dir, fsync=True,
+                                   checkpoint_every=10 ** 9,
+                                   registry=registry,
+                                   group_commit=group_commit)
+        platform = Platform(store=ShardedStore(), fast_path=True,
+                            gold_rate=0.0, spam_detection=False,
+                            seed=9, registry=registry,
+                            durability=durability)
+        barrier = threading.Barrier(top + 1)
+
+        def writer(t: int) -> None:
+            barrier.wait()
+            for i in range(writes_per_thread):
+                platform.register_worker(f"dur-t{t}-w{i}")
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(top)]
+        for thread in threads:
+            thread.start()
+        gc.disable()
+        try:
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - started
+        finally:
+            gc.enable()
+        total = top * writes_per_thread
+        cell = {"ops": total, "wall_s": round(wall, 4),
+                "ops_per_s": round(total / wall, 1)}
+        histogram = registry.get("wal.batch_frames")
+        if histogram is not None:
+            with histogram._lock:
+                frames = sum(s.sum
+                             for s in histogram._series.values())
+                batches = sum(s.count
+                              for s in histogram._series.values())
+            if batches:
+                cell["avg_batch_frames"] = round(frames / batches, 2)
+        durability.close()
+    return cell
+
+
+def run_durability_gate(results: Dict, writes_per_thread: int,
+                        pairs: int = 3) -> None:
+    """Write-heavy cells with durability on: per-append fsync vs
+    group commit.
+
+    Both cells run max-thread writers against the durable platform
+    with a real fsyncing WAL under every mutation — the only variable
+    is the commit protocol.  fsync latency varies wildly across
+    runners (hundreds of microseconds on bare metal, milliseconds on
+    cloud block storage), but it cancels in the same-run ratio: the
+    gate asks how many fsyncs the batcher *saved*, not how fast the
+    disk is.  The cells drive the platform facade directly so every
+    op is a durable write and the ratio isolates the commit protocol;
+    the layers above are identical either way and carry their own
+    gates.  Best of ``pairs`` for the usual reason — scheduler noise
+    only ever depresses a single pair's ratio.
+    """
+    top = max(THREAD_COUNTS)
+    cells = []
+    for i in range(pairs):
+        percall = _measure_durable_writes(False, writes_per_thread)
+        grouped = _measure_durable_writes(True, writes_per_thread)
+        ratio = grouped["ops_per_s"] / percall["ops_per_s"]
+        cells.append({"per_append_fsync": percall,
+                      "group_commit": grouped,
+                      "ratio": round(ratio, 3)})
+        print(f"durgate  x{top:<3} pair {i}   per-op-fsync "
+              f"{percall['ops_per_s']:>8.1f} ops/s   grouped "
+              f"{grouped['ops_per_s']:>8.1f} ops/s   "
+              f"(avg batch {grouped.get('avg_batch_frames', 1):.1f}) "
+              f"  ratio {ratio:.2f}x", flush=True)
+    best = max(cell["ratio"] for cell in cells)
+    results["durability_gate"] = {"threads": top, "pairs": cells,
+                                  "ratio": best}
+    print(f"durgate  x{top:<3} group-commit speedup {best:.2f}x "
+          f"(best of {pairs})", flush=True)
+
+
+def check_durability_gate(results: Dict,
+                          floor: float = DURABILITY_GATE_FLOOR
+                          ) -> List[str]:
+    """Gate: group commit keeps >= ``floor``x of per-append-fsync
+    write throughput with durability on."""
+    gate = results.get("durability_gate")
+    if gate is None:
+        return []
+    if gate["ratio"] < floor:
+        return [f"durability write path at x{gate['threads']}: group "
+                f"commit is {gate['ratio']:.2f}x of per-append-fsync "
+                f"throughput, below the {floor:.1f}x floor"]
+    return []
+
+
+def _lock_wait_samples(registry: MetricsRegistry) -> int:
+    """Total sample count across every stripe of the service
+    lock-wait histogram (0 if no service lock was ever taken)."""
+    histogram = registry.get("service.lock_wait_s")
+    if histogram is None:
+        return 0
+    with histogram._lock:
+        return sum(series.count
+                   for series in histogram._series.values())
+
+
+def run_snapshot_read_gate(results: Dict, n_tasks: int,
+                           redundancy: int,
+                           rounds: int = 50) -> None:
+    """Read-heavy cell over the copy-on-write snapshot routes.
+
+    Drives the populated sharded stack with max-thread readers —
+    ``GET /jobs/{id}/tasks`` + ``GET /jobs/{id}`` per round, plus the
+    list and leaderboard routes — and counts the stripe-lock samples
+    the burst added to ``service.lock_wait_s``.  The snapshot read
+    path routes with lock scope ``"none"``, so the answer must be
+    exactly zero: reads cost no lock acquisition at all, not merely
+    an uncontended one.
+    """
+    top = max(THREAD_COUNTS)
+    gc.collect()
+    platform, api = build_stack("sharded")
+    setup = InProcessClient(api)
+    job_ids = []
+    latencies: List[float] = []
+    for t in range(top):
+        job = setup.create_job(f"readbench-{t}",
+                               redundancy=redundancy)
+        setup.add_tasks(job["job_id"],
+                        [{"payload": {"i": i}}
+                         for i in range(n_tasks)])
+        setup.start_job(job["job_id"])
+        _drive_job(setup, job["job_id"], redundancy, f"seed-{t}",
+                   latencies)
+        job_ids.append(job["job_id"])
+
+    before = _lock_wait_samples(platform.registry)
+    reads = [0] * top
+    barrier = threading.Barrier(top + 1)
+
+    def reader(t: int) -> None:
+        job_id = job_ids[t]
+        barrier.wait()
+        for _ in range(rounds):
+            response = api.handle(ApiRequest(
+                method="GET", path=f"/jobs/{job_id}/tasks",
+                body={}, query={"limit": "500"}, headers={}))
+            assert response.ok, response.body
+            response = api.handle(ApiRequest(
+                method="GET", path=f"/jobs/{job_id}", body={},
+                query={}, headers={}))
+            assert response.ok, response.body
+            reads[t] += 2
+        for path in ("/jobs", "/leaderboard"):
+            response = api.handle(ApiRequest(
+                method="GET", path=path, body={}, query={},
+                headers={}))
+            assert response.ok, response.body
+            reads[t] += 1
+
+    threads = [threading.Thread(target=reader, args=(t,))
+               for t in range(top)]
+    for thread in threads:
+        thread.start()
+    gc.disable()
+    try:
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+    finally:
+        gc.enable()
+    added = _lock_wait_samples(platform.registry) - before
+    total = sum(reads)
+    results["snapshot_read_gate"] = {
+        "threads": top, "reads": total,
+        "ops_per_s": round(total / wall, 1),
+        "lock_wait_samples_added": added}
+    print(f"snapgate x{top:<3} {total} snapshot reads   "
+          f"{total / wall:>9.1f} ops/s   lock-wait samples added "
+          f"{added}", flush=True)
+
+
+def check_snapshot_read_gate(results: Dict) -> List[str]:
+    """Gate: the read burst took zero service stripe locks."""
+    gate = results.get("snapshot_read_gate")
+    if gate is None:
+        return []
+    if gate["lock_wait_samples_added"] != 0:
+        return [f"snapshot read path: a read-only burst of "
+                f"{gate['reads']} requests added "
+                f"{gate['lock_wait_samples_added']} samples to "
+                f"service.lock_wait_s — snapshot reads must take no "
+                f"service lock"]
+    return []
+
+
 def check_regression(fresh: Dict, committed_path: str,
                      tolerance: float, min_speedup: float) -> List[str]:
     """Speedup-ratio regression gate; returns failure messages.
@@ -436,6 +665,20 @@ def check_regression(fresh: Dict, committed_path: str,
             f"in-process speedup at max threads is "
             f"{fresh['speedup_16']:.2f}x, below the "
             f"{min_speedup:.1f}x acceptance floor")
+    # The durability ratio also gates against its committed value:
+    # the 2x acceptance floor is the hard minimum, but a stack that
+    # used to batch 8 writers per fsync and now batches 3 should not
+    # pass silently just because 3 > 2.
+    committed_gate = committed.get("durability_gate")
+    fresh_gate = fresh.get("durability_gate")
+    if committed_gate is not None and fresh_gate is not None:
+        floor = committed_gate["ratio"] * (1.0 - tolerance)
+        if fresh_gate["ratio"] < floor:
+            failures.append(
+                f"durability group-commit speedup "
+                f"{fresh_gate['ratio']:.2f}x fell below "
+                f"{floor:.2f}x (committed "
+                f"{committed_gate['ratio']:.2f}x - {tolerance:.0%})")
     return failures
 
 
@@ -463,6 +706,20 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-live-overhead",
                         action="store_true",
                         help="skip the live-analytics overhead gate")
+    parser.add_argument("--durability-writes", type=int, default=150,
+                        help="durable writes per thread in the "
+                             "fsyncing durability-gate cells (the "
+                             "per-append-fsync baseline cell "
+                             "serializes every one behind a real "
+                             "disk flush)")
+    parser.add_argument("--durability-floor", type=float,
+                        default=DURABILITY_GATE_FLOOR,
+                        help="group-commit vs per-append-fsync "
+                             "throughput floor at max threads")
+    parser.add_argument("--skip-durability", action="store_true",
+                        help="skip the fsyncing write-path gate")
+    parser.add_argument("--skip-read-gate", action="store_true",
+                        help="skip the snapshot-read lock-free gate")
     args = parser.parse_args(argv)
 
     results = run_suite(args.tasks, args.redundancy, args.http_tasks,
@@ -477,6 +734,13 @@ def main(argv=None) -> int:
     if not args.skip_live_overhead:
         run_live_overhead(results, args.tasks, args.redundancy)
         failures.extend(check_live_overhead(results))
+    if not args.skip_durability:
+        run_durability_gate(results, args.durability_writes)
+        failures.extend(
+            check_durability_gate(results, args.durability_floor))
+    if not args.skip_read_gate:
+        run_snapshot_read_gate(results, args.tasks, args.redundancy)
+        failures.extend(check_snapshot_read_gate(results))
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -491,7 +755,8 @@ def main(argv=None) -> int:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         return 1
     if (args.check_against or not args.skip_tracing_overhead
-            or not args.skip_live_overhead):
+            or not args.skip_live_overhead
+            or not args.skip_durability or not args.skip_read_gate):
         print("regression gate passed")
     return 0
 

@@ -537,6 +537,8 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         print(line)
     if args.verbose:
         print(report.summary(), file=sys.stderr)
+        for line in report.batch_lines():
+            print(line, file=sys.stderr)
     return 0 if report.ok else 1
 
 

@@ -68,6 +68,14 @@ class FsckReport:
     checkpoint_seq: int = 0
     last_seq: int = 0
     issues: List[FsckIssue] = field(default_factory=list)
+    #: Group-commit framing: frames-per-batch -> number of batches
+    #: (records with no ``batch`` marker count as 1-frame batches).
+    batch_histogram: Dict[int, int] = field(default_factory=dict)
+    #: Torn batches: a marker declared N frames but the log ends
+    #: early.  Informational, not an issue — a crash between the
+    #: batch's write and its fsync legitimately leaves this shape,
+    #: and recovery replays the durable prefix.
+    torn_batches: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -82,6 +90,16 @@ class FsckReport:
                 f"checkpoint(s), {self.segments} segment(s), "
                 f"{self.records} record(s), checkpoint seq "
                 f"{self.checkpoint_seq}, last seq {self.last_seq}")
+
+    def batch_lines(self) -> List[str]:
+        """Human-readable group-commit framing report."""
+        out = []
+        for frames in sorted(self.batch_histogram):
+            count = self.batch_histogram[frames]
+            out.append(f"batches of {frames} frame(s): {count}")
+        out.extend(f"torn batch: {detail}"
+                   for detail in self.torn_batches)
+        return out
 
 
 def _check_checkpoint(path: Path, seq: int,
@@ -197,6 +215,7 @@ def fsck(root: Union[str, Path]) -> FsckReport:
     refs = _reference_sets(newest_state)
 
     expected: Optional[int] = None
+    batches = _BatchTracker(report)
     for index, (first_seq, path) in enumerate(segments):
         scan = scan_segment(path)
         if scan.error is not None:
@@ -219,6 +238,7 @@ def fsck(root: Union[str, Path]) -> FsckReport:
                 f"filename claims {first_seq}"))
         for record in scan.records:
             report.records += 1
+            batches.feed(record)
             report.last_seq = max(report.last_seq, record.seq)
             if expected is not None and record.seq != expected:
                 report.issues.append(FsckIssue(
@@ -240,7 +260,60 @@ def fsck(root: Union[str, Path]) -> FsckReport:
                 str(root), "seq-gap",
                 f"WAL tail starts at seq {first_tail}; checkpoint "
                 f"covers {report.checkpoint_seq}"))
+    batches.finish()
     return report
+
+
+class _BatchTracker:
+    """Reconstructs group-commit batches from ``batch`` markers.
+
+    A group commit stamps its frame count on the batch's first record;
+    the following ``count - 1`` records belong to it.  Unmarked
+    records are single-frame batches.  A marker whose frames never
+    fully arrive (crash between write and fsync truncated the tail)
+    is *informational* — recovery handles it — so it lands in
+    :attr:`FsckReport.torn_batches`, never in ``issues``.
+    """
+
+    def __init__(self, report: FsckReport) -> None:
+        self._report = report
+        self._remaining = 0
+        self._declared = 0
+        self._start_seq = 0
+
+    def feed(self, record) -> None:
+        if self._remaining:
+            if record.batch is None:
+                self._remaining -= 1
+                if not self._remaining:
+                    self._count(self._declared)
+                return
+            # A new marker inside an unfinished batch: the rest of
+            # the previous batch is missing (torn mid-batch).
+            self._torn()
+        if record.batch is not None and record.batch > 1:
+            self._declared = int(record.batch)
+            self._remaining = self._declared - 1
+            self._start_seq = record.seq
+        else:
+            self._count(1)
+
+    def finish(self) -> None:
+        if self._remaining:
+            self._torn()
+
+    def _count(self, frames: int) -> None:
+        histogram = self._report.batch_histogram
+        histogram[frames] = histogram.get(frames, 0) + 1
+
+    def _torn(self) -> None:
+        got = self._declared - self._remaining
+        self._count(got)
+        self._report.torn_batches.append(
+            f"batch at seq {self._start_seq} declared "
+            f"{self._declared} frame(s), only {got} present")
+        self._remaining = 0
+        self._declared = 0
 
 
 def _all_seqs(segments) -> List[int]:

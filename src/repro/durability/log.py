@@ -11,6 +11,16 @@ Protocol (the classic WAL discipline):
 - **Append** — every mutating platform operation is framed, appended to
   the current segment, flushed and fsynced *before* the operation is
   acknowledged.  Sequence numbers are monotone and contiguous.
+- **Group commit** — concurrent appenders stage their frames into a
+  commit queue; one of them (the *leader*) writes the whole batch and
+  issues a single fsync that acknowledges every staged frame at once,
+  bounded by :class:`GroupCommitConfig` (``max_delay_s`` /
+  ``max_bytes`` / ``max_frames``).  Each caller blocks only until the
+  batch holding *its* frame is durable.  A single-threaded caller
+  degenerates to a batch of one whose byte layout is identical to the
+  pre-group-commit format; the first frame of a multi-frame batch
+  carries a ``batch`` marker (its frame count) so ``repro fsck`` can
+  reconstruct batch framing.
 - **Checkpoint** — every ``checkpoint_every`` records the platform
   snapshots its durable state; the snapshot is framed and written
   atomically (temp + fsync + ``os.replace``), the live segment is
@@ -27,9 +37,22 @@ Protocol (the classic WAL discipline):
 
 The log's internal lock is a leaf: nothing else is ever acquired while
 it is held, so callers may append while holding any platform lock.
-Crash-point faults (``wal.append`` / ``wal.checkpoint`` sites) simulate
-a process kill mid-write: the frame's first ``at_byte`` bytes reach
-disk and :class:`~repro.errors.InjectedCrash` propagates.
+Crash-point faults simulate a process kill mid-write:
+
+- ``wal.append`` (``at_byte`` = offset into the *batch* buffer): the
+  batch's first ``at_byte`` bytes reach disk, then
+  :class:`~repro.errors.InjectedCrash` propagates to the leader and
+  every staged follower.  ``at_byte=0`` is the staged-not-synced kill;
+  a mid-buffer offset is the mid-batch-fsync kill.
+- ``wal.ack``: the batch is fully written *and fsynced* but the crash
+  lands before any caller is acknowledged — the durable-but-unacked
+  case the recovery contract explicitly permits.
+- ``wal.checkpoint``: dies mid-snapshot (only the temp file is
+  touched).
+
+Once a crash fires the log is *dead*: every in-flight and subsequent
+append re-raises the original error until a fresh instance recovers
+the directory.
 """
 
 from __future__ import annotations
@@ -39,6 +62,7 @@ import re
 import threading
 import time
 from contextlib import nullcontext
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -59,6 +83,37 @@ KEPT_CHECKPOINTS = 2
 
 _CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{12})\.ckpt$")
 _SEGMENT_RE = re.compile(r"^wal-(\d{12})\.log$")
+
+
+@dataclass(frozen=True)
+class GroupCommitConfig:
+    """Tuning knobs for WAL group commit.
+
+    Attributes:
+        max_delay_s: how long the commit leader may linger collecting
+            more frames before forcing the fsync.  0 (the default)
+            relies on *natural* batching: whatever stages while the
+            previous fsync is in flight forms the next batch — no
+            added latency, near-ideal batching under contention.
+        max_frames: hard cap on frames per batch.
+        max_bytes: soft cap on batch payload bytes; a batch closes
+            once staged frames reach it (a single oversized frame
+            still commits alone).
+    """
+
+    max_delay_s: float = 0.0
+    max_frames: int = 128
+    max_bytes: int = 1 << 20
+
+
+@dataclass(frozen=True)
+class _Staged:
+    """One frame parked in the commit queue."""
+
+    seq: int
+    op: str
+    data: Dict[str, Any]
+    frame: bytes
 
 
 def _checkpoint_name(seq: int) -> str:
@@ -93,6 +148,10 @@ class DurabilityLog:
             ``wal.append`` span with a nested ``wal.fsync`` span, and
             checkpoints inside ``wal.checkpoint`` — so a trace shows
             exactly where the disk time went.  None = no spans.
+        group_commit: ``True`` (the default) enables group commit with
+            :class:`GroupCommitConfig` defaults; pass a
+            :class:`GroupCommitConfig` to tune the batching knobs, or
+            ``False`` for the legacy one-fsync-per-append path.
     """
 
     def __init__(self, root: Union[str, Path],
@@ -100,7 +159,9 @@ class DurabilityLog:
                  fsync: bool = True,
                  faults=None,
                  registry=None,
-                 tracer=None) -> None:
+                 tracer=None,
+                 group_commit: Union[bool, GroupCommitConfig] = True
+                 ) -> None:
         if checkpoint_every < 1:
             raise StoreCorruptError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}")
@@ -132,7 +193,23 @@ class DurabilityLog:
             "wal.append_bytes", "bytes appended to WAL segments")
         self._m_ckpt_bytes = self.registry.counter(
             "wal.checkpoint_bytes", "bytes written to checkpoints")
+        self._m_group_commits = self.registry.counter(
+            "wal.group_commits", "commit batches written (one fsync each)")
+        self._m_batch_frames = self.registry.histogram(
+            "wal.batch_frames", "frames per group-commit batch",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0))
+        if group_commit is True:
+            self._group: Optional[GroupCommitConfig] = GroupCommitConfig()
+        elif group_commit is False or group_commit is None:
+            self._group = None
+        else:
+            self._group = group_commit
         self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._staged: List[_Staged] = []
+        self._staged_bytes = 0
+        self._leading = False
+        self._dead: Optional[BaseException] = None
         self._handle = None
         self._current_segment: Optional[Path] = None
         for stale in self.root.glob("*.tmp"):
@@ -140,6 +217,7 @@ class DurabilityLog:
         self._seq = 0
         self._since_checkpoint = 0
         self._scan_directory()
+        self._next_seq = self._seq
 
     # ------------------------------------------------------------------
     # Directory state
@@ -242,15 +320,55 @@ class DurabilityLog:
 
         The record is on disk (written, flushed, fsynced) before this
         returns — the platform acknowledges the operation only after.
+        Under group commit the caller blocks until the batch holding
+        its frame is durable; it may share that fsync with any number
+        of concurrent appenders.
         """
+        return self._append_many([(op, data)])[0]
+
+    def append_batch(self, ops: List[Tuple[str, Dict[str, Any]]]
+                     ) -> List[int]:
+        """Durably append several records, staged together.
+
+        All frames enter the commit queue atomically (their sequence
+        numbers are contiguous) and the call returns once the last one
+        is durable — with group commit enabled they share fsyncs,
+        split only by the ``max_frames`` / ``max_bytes`` knobs.  A
+        crash mid-batch can persist any *prefix* of the records; none
+        of them were acknowledged, so nothing acknowledged is lost.
+        """
+        if not ops:
+            return []
+        return self._append_many(ops)
+
+    def _append_many(self, ops: List[Tuple[str, Dict[str, Any]]]
+                     ) -> List[int]:
         tracer = self.tracer
-        span_cm = (tracer.span("wal.append", op=op)
+        first_op = ops[0][0]
+        span_cm = (tracer.span("wal.append", op=first_op)
                    if tracer is not None else nullcontext(None))
         trace_id = (tracer.current_trace_id()
                     if tracer is not None else None)
         started = time.perf_counter()
         with span_cm:
-            with self._lock:
+            if self._group is None:
+                seqs = self._append_serial(ops, trace_id)
+            else:
+                seqs = self._append_grouped(ops, trace_id)
+        latency = time.perf_counter() - started
+        for op, _ in ops:
+            self._m_appends.inc(op=op)
+        self._m_append_latency.observe(latency, exemplar=trace_id)
+        return seqs
+
+    def _append_serial(self, ops: List[Tuple[str, Dict[str, Any]]],
+                       trace_id: Optional[str]) -> List[int]:
+        """The legacy path: one write + fsync per record, serialized
+        under the log lock."""
+        tracer = self.tracer
+        seqs: List[int] = []
+        with self._lock:
+            for op, data in ops:
                 seq = self._seq + 1
                 frame = encode_record(seq, op, data)
                 handle = self._open_segment(seq)
@@ -268,12 +386,139 @@ class DurabilityLog:
                         time.perf_counter() - fsync_started,
                         exemplar=trace_id)
                 self._seq = seq
+                self._next_seq = seq
                 self._since_checkpoint += 1
-        self._m_append_latency.observe(
-            time.perf_counter() - started, exemplar=trace_id)
-        self._m_append_bytes.inc(len(frame))
-        self._m_appends.inc(op=op)
-        return seq
+                self._m_append_bytes.inc(len(frame))
+                seqs.append(seq)
+        return seqs
+
+    def _append_grouped(self, ops: List[Tuple[str, Dict[str, Any]]],
+                        trace_id: Optional[str]) -> List[int]:
+        """Stage frames in the commit queue, then either lead the
+        commit or wait for a leader to make them durable."""
+        seqs: List[int] = []
+        is_leader = False
+        with self._cv:
+            if self._dead is not None:
+                raise self._dead
+            for op, data in ops:
+                self._next_seq += 1
+                seq = self._next_seq
+                frame = encode_record(seq, op, data)
+                self._staged.append(_Staged(seq, op, data, frame))
+                self._staged_bytes += len(frame)
+                seqs.append(seq)
+            last = seqs[-1]
+            while True:
+                if self._dead is not None:
+                    raise self._dead
+                if self._seq >= last:
+                    return seqs
+                if not self._leading:
+                    # Nobody is committing: this caller leads.
+                    self._leading = True
+                    is_leader = True
+                    break
+                self._cv.wait()
+        assert is_leader
+        self._lead(last, trace_id)
+        return seqs
+
+    def _lead(self, my_seq: int, trace_id: Optional[str]) -> None:
+        """Drain the commit queue as the batch leader.
+
+        Runs outside the log lock (exclusivity comes from the
+        ``_leading`` flag); keeps committing batches until the queue
+        is empty and its own frame is durable, so the queue is never
+        left leaderless while non-empty.  On any IO failure the log is
+        marked dead and every waiter re-raises the same error.
+        """
+        gc = self._group
+        try:
+            while True:
+                if gc.max_delay_s > 0:
+                    self._linger(gc)
+                with self._cv:
+                    batch = self._take_batch(gc)
+                    if not batch:
+                        if self._seq >= my_seq:
+                            return
+                        continue
+                self._commit_batch(batch, trace_id)
+                with self._cv:
+                    self._seq = batch[-1].seq
+                    self._since_checkpoint += len(batch)
+                    self._cv.notify_all()
+                    if self._seq >= my_seq and not self._staged:
+                        return
+        except BaseException as exc:
+            with self._cv:
+                self._dead = exc
+                self._cv.notify_all()
+            raise
+        finally:
+            with self._cv:
+                self._leading = False
+                self._cv.notify_all()
+
+    def _linger(self, gc: GroupCommitConfig) -> None:
+        """Let more writers stage before closing the batch (only when
+        ``max_delay_s`` asks for it; the default 0 relies on natural
+        batching during the previous fsync)."""
+        deadline = time.monotonic() + gc.max_delay_s
+        while True:
+            with self._cv:
+                if (len(self._staged) >= gc.max_frames
+                        or self._staged_bytes >= gc.max_bytes):
+                    return
+            now = time.monotonic()
+            if now >= deadline:
+                return
+            time.sleep(min(0.0005, deadline - now))
+
+    def _take_batch(self, gc: GroupCommitConfig) -> List[_Staged]:
+        """Pop the next batch off the queue (lock held by caller)."""
+        count = 0
+        batch_bytes = 0
+        for staged in self._staged:
+            if count and (count >= gc.max_frames
+                          or batch_bytes >= gc.max_bytes):
+                break
+            count += 1
+            batch_bytes += len(staged.frame)
+        batch = self._staged[:count]
+        del self._staged[:count]
+        self._staged_bytes -= batch_bytes
+        return batch
+
+    def _commit_batch(self, batch: List[_Staged],
+                      trace_id: Optional[str]) -> None:
+        """Write one batch and make it durable with a single fsync."""
+        tracer = self.tracer
+        frames = [staged.frame for staged in batch]
+        if len(batch) > 1:
+            # Stamp the batch marker on the first frame only, so
+            # single-frame commits keep the legacy byte layout.
+            head = batch[0]
+            frames[0] = encode_record(head.seq, head.op, head.data,
+                                      batch=len(batch))
+        buffer = b"".join(frames)
+        handle = self._open_segment(batch[0].seq)
+        self._maybe_crash(handle, buffer, "wal.append")
+        handle.write(buffer)
+        handle.flush()
+        if self.fsync:
+            fsync_cm = (tracer.span("wal.fsync")
+                        if tracer is not None else nullcontext(None))
+            fsync_started = time.perf_counter()
+            with fsync_cm:
+                os.fsync(handle.fileno())
+            self._m_fsync_latency.observe(
+                time.perf_counter() - fsync_started, exemplar=trace_id)
+        self._maybe_crash_ack(len(batch))
+        self._m_append_bytes.inc(len(buffer))
+        self._m_group_commits.inc()
+        self._m_batch_frames.observe(float(len(batch)))
 
     def _open_segment(self, first_seq: int):
         if self._handle is None:
@@ -303,6 +548,21 @@ class DurabilityLog:
         raise InjectedCrash(
             f"injected crash at {site} after {cut}/{len(frame)} bytes")
 
+    def _maybe_crash_ack(self, frames: int) -> None:
+        """The post-fsync-pre-ack crash point: the batch is fully
+        durable, but the process dies before any caller hears back.
+        Recovery will replay these records even though no ack was ever
+        delivered — the contract allows durable-but-unacked writes."""
+        faults = self.faults
+        if faults is None:
+            return
+        rule = faults.crash_point("wal.ack")
+        if rule is None:
+            return
+        raise InjectedCrash(
+            f"injected crash at wal.ack: batch of {frames} frame(s) "
+            "durable but unacknowledged")
+
     # ------------------------------------------------------------------
     # Checkpoint
     # ------------------------------------------------------------------
@@ -325,7 +585,14 @@ class DurabilityLog:
                     if tracer is not None else None)
         started = time.perf_counter()
         with span_cm:
-            with self._lock:
+            with self._cv:
+                # Let the commit leader finish draining: the queue is
+                # guaranteed empty once nobody is leading, so the
+                # rotation below never races a batch write.
+                while self._leading:
+                    self._cv.wait()
+                if self._dead is not None:
+                    raise self._dead
                 seq = self._seq if at_seq is None else at_seq
                 frame = encode_frame({"format": CHECKPOINT_FORMAT,
                                       "seq": seq, "state": state})
@@ -435,8 +702,11 @@ class DurabilityLog:
                 expected = record.seq + 1
 
     def close(self) -> None:
-        """Close the live segment handle (appends reopen it)."""
-        with self._lock:
+        """Close the live segment handle (appends reopen it), after
+        any in-flight commit batch drains."""
+        with self._cv:
+            while self._leading:
+                self._cv.wait()
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None

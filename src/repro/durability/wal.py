@@ -60,17 +60,33 @@ def crc32c(data: bytes, crc: int = 0) -> int:
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One decoded WAL record."""
+    """One decoded WAL record.
+
+    ``batch`` is the group-commit marker: the first record of a
+    multi-frame commit batch carries the batch's frame count; every
+    other record (including all single-frame commits) carries None.
+    Recovery ignores it — it exists so ``repro fsck`` can reconstruct
+    batch framing after the fact.
+    """
 
     seq: int
     op: str
     data: Dict[str, Any]
+    batch: Optional[int] = None
 
 
-def encode_record(seq: int, op: str, data: Dict[str, Any]) -> bytes:
-    """Frame one record (header + canonical JSON payload)."""
-    payload = json.dumps({"seq": seq, "op": op, "data": data},
-                         sort_keys=True,
+def encode_record(seq: int, op: str, data: Dict[str, Any],
+                  batch: Optional[int] = None) -> bytes:
+    """Frame one record (header + canonical JSON payload).
+
+    ``batch`` stamps the group-commit marker onto the payload; omit it
+    (the default) for single-frame commits so their byte layout is
+    identical to the pre-group-commit format.
+    """
+    document: Dict[str, Any] = {"seq": seq, "op": op, "data": data}
+    if batch is not None:
+        document["batch"] = batch
+    payload = json.dumps(document, sort_keys=True,
                          separators=(",", ":")).encode("utf-8")
     return FRAME_HEADER.pack(len(payload), crc32c(payload)) + payload
 
@@ -160,8 +176,10 @@ def scan_segment(path: Union[str, Path]) -> SegmentScan:
                                error="frame checksum mismatch")
         try:
             doc = json.loads(payload.decode("utf-8"))
+            batch = doc.get("batch")
             record = WalRecord(seq=int(doc["seq"]), op=str(doc["op"]),
-                               data=dict(doc["data"]))
+                               data=dict(doc["data"]),
+                               batch=None if batch is None else int(batch))
         except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
                 TypeError, ValueError) as exc:
             return SegmentScan(records, offset,

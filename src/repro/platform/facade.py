@@ -191,9 +191,10 @@ class Platform:
         """Create a job in DRAFT state."""
         job = Job(job_id=f"job-{next(self._job_counter):04d}", name=name,
                   redundancy=redundancy, meta=dict(meta))
-        self.store.put_job(job)
-        self._log("create_job", job_id=job.job_id, name=name,
-                  redundancy=redundancy, meta=dict(meta))
+        with self.store.mutating(job.job_id):
+            self.store.put_job(job)
+            self._log("create_job", job_id=job.job_id, name=name,
+                      redundancy=redundancy, meta=dict(meta))
         self._m_jobs.inc(event="created")
         return job
 
@@ -208,9 +209,10 @@ class Platform:
             task_id=f"task-{next(self._task_counter):06d}",
             job_id=job_id, payload=dict(payload),
             gold_answer=gold_answer)
-        self.store.put_task(task)
-        self._log("add_task", task_id=task.task_id, job_id=job_id,
-                  payload=dict(payload), gold_answer=gold_answer)
+        with self.store.mutating(job_id):
+            self.store.put_task(task)
+            self._log("add_task", task_id=task.task_id, job_id=job_id,
+                      payload=dict(payload), gold_answer=gold_answer)
         self._m_tasks_added.inc(gold=str(gold_answer is not None
                                          ).lower())
         if self.live is not None and gold_answer is None:
@@ -231,16 +233,18 @@ class Platform:
             raise PlatformError(f"job {job_id!r} is archived")
         if not job.task_ids:
             raise PlatformError(f"job {job_id!r} has no tasks")
-        job.status = JobStatus.RUNNING
-        self._log("start_job", job_id=job_id)
+        with self.store.mutating(job_id):
+            job.status = JobStatus.RUNNING
+            self._log("start_job", job_id=job_id)
         self._m_jobs.inc(event="started")
         return job
 
     def archive_job(self, job_id: str) -> Job:
         """Archive a job: no more tasks, answers, or restarts."""
         job = self.store.get_job(job_id)
-        job.status = JobStatus.ARCHIVED
-        self._log("archive_job", job_id=job_id)
+        with self.store.mutating(job_id):
+            job.status = JobStatus.ARCHIVED
+            self._log("archive_job", job_id=job_id)
         self._m_jobs.inc(event="archived")
         return job
 
@@ -338,43 +342,50 @@ class Platform:
                     f"{task_id!r} differently")
             was_complete = (task.state(job.redundancy)
                             is TaskState.COMPLETED)
-            task.add_answer(worker_id, answer, at_s=at_s)
-            self.scheduler.clear_reservation(task_id, worker_id)
-            gold_correct: Optional[bool] = None
-            with self.registry_lock:
-                if idempotency_key is not None:
-                    self._idempotency[idempotency_key] = task_id
-                account = self.accounts.ensure(worker_id)
-                account.add_points(self.points_per_answer)
-                self.leaderboard.record(worker_id,
-                                        self.points_per_answer, at_s)
-                if task.is_gold:
-                    gold_correct = answer == task.gold_answer
-                    self.reputation.record_gold(worker_id,
-                                                gold_correct)
+            # The seqlock window spans every job-visible mutation of
+            # this verb — the answer row, and the possible COMPLETED
+            # transition in _maybe_complete — so a snapshot reader
+            # either sees none of the verb or all of it.
+            with self.store.mutating(job.job_id):
+                task.add_answer(worker_id, answer, at_s=at_s)
+                self.scheduler.clear_reservation(task_id, worker_id)
+                gold_correct: Optional[bool] = None
+                with self.registry_lock:
+                    if idempotency_key is not None:
+                        self._idempotency[idempotency_key] = task_id
+                    account = self.accounts.ensure(worker_id)
+                    account.add_points(self.points_per_answer)
+                    self.leaderboard.record(worker_id,
+                                            self.points_per_answer,
+                                            at_s)
+                    if task.is_gold:
+                        gold_correct = answer == task.gold_answer
+                        self.reputation.record_gold(worker_id,
+                                                    gold_correct)
+                        if self.spam is not None:
+                            self.spam.record_gold(worker_id,
+                                                  gold_correct)
                     if self.spam is not None:
-                        self.spam.record_gold(worker_id, gold_correct)
-                if self.spam is not None:
-                    self.spam.record_answer(worker_id,
-                                            self._hashable(answer))
-            self._log("answer", task_id=task_id, worker_id=worker_id,
-                      answer=answer, at_s=at_s,
-                      idempotency_key=idempotency_key,
-                      points=self.points_per_answer)
-            self._m_answers.inc(gold=str(task.is_gold).lower())
-            completed_now = (not was_complete and
-                             task.state(job.redundancy)
-                             is TaskState.COMPLETED)
-            live = self.live
-            if live is not None:
-                if gold_correct is not None:
-                    live.record_gold(at_s, job.name, gold_correct)
-                if completed_now:
-                    # Crossing the redundancy bar is the platform's
-                    # "verified output" moment the paper's throughput
-                    # counts.
-                    live.record_task_completed(at_s, job.name)
-            self._maybe_complete(job, transitioned=completed_now)
+                        self.spam.record_answer(worker_id,
+                                                self._hashable(answer))
+                self._log("answer", task_id=task_id,
+                          worker_id=worker_id, answer=answer,
+                          at_s=at_s, idempotency_key=idempotency_key,
+                          points=self.points_per_answer)
+                self._m_answers.inc(gold=str(task.is_gold).lower())
+                completed_now = (not was_complete and
+                                 task.state(job.redundancy)
+                                 is TaskState.COMPLETED)
+                live = self.live
+                if live is not None:
+                    if gold_correct is not None:
+                        live.record_gold(at_s, job.name, gold_correct)
+                    if completed_now:
+                        # Crossing the redundancy bar is the
+                        # platform's "verified output" moment the
+                        # paper's throughput counts.
+                        live.record_task_completed(at_s, job.name)
+                self._maybe_complete(job, transitioned=completed_now)
             return task
 
     @staticmethod
@@ -700,7 +711,9 @@ class Platform:
 
         Gold tasks are excluded — they are instruments, not outputs.
         Workers flagged by the spam detector are silenced (weight 0)
-        unless that would silence a task entirely.
+        unless that would silence a task entirely.  Task data comes
+        from a copy-on-write snapshot (a consistent prefix of the
+        job's commit order) — no stripe or shard lock is taken.
         """
         with self.registry_lock:
             weights = dict(self.reputation.weights()) \
@@ -710,8 +723,11 @@ class Platform:
                 weights[worker] = 0.0
         vote = MajorityVote(weights=weights or None)
         fallback = MajorityVote()
+        snapshot_fn = getattr(self.store, "snapshot_job", None)
+        tasks = (snapshot_fn(job_id).tasks if snapshot_fn is not None
+                 else self.store.tasks_for(job_id))
         by_task: Dict[str, List[Tuple[str, Any]]] = {}
-        for task in self.store.tasks_for(job_id):
+        for task in tasks:
             if task.is_gold:
                 continue
             for record in task.answers:
@@ -760,14 +776,15 @@ class Platform:
                 raise PlatformError(
                     f"task {task_id!r} is not in job {job_id!r}")
             needed = max(needed, len(task.workers()) + extra)
-        if needed > job.redundancy:
-            job.redundancy = needed
-            self._m_extensions.inc()
-        if job.status is JobStatus.COMPLETED and task_ids:
-            job.status = JobStatus.RUNNING
-        self._log("promotion", job_id=job_id,
-                  redundancy=job.redundancy,
-                  status=job.status.value)
+        with self.store.mutating(job_id):
+            if needed > job.redundancy:
+                job.redundancy = needed
+                self._m_extensions.inc()
+            if job.status is JobStatus.COMPLETED and task_ids:
+                job.status = JobStatus.RUNNING
+            self._log("promotion", job_id=job_id,
+                      redundancy=job.redundancy,
+                      status=job.status.value)
         return job.redundancy
 
     def worker_stats(self, worker_id: str) -> Dict[str, Any]:

@@ -23,7 +23,15 @@ class ScoreEntry:
 
 
 class Leaderboard:
-    """Timestamped score stream with windowed rankings."""
+    """Timestamped score stream with windowed rankings.
+
+    Concurrency: the stream is **append-only** (one GIL-atomic list
+    append per event, entries immutable), so readers need no lock —
+    any read observes a consistent *prefix* of the scoring history.
+    The service's ``GET /leaderboard`` route relies on this to run
+    lock-free; writers are serialized by the platform's
+    ``registry_lock`` as before.
+    """
 
     def __init__(self) -> None:
         self._entries: List[ScoreEntry] = []
@@ -35,6 +43,10 @@ class Leaderboard:
                 f"points must be >= 0, got {points}")
         self._entries.append(ScoreEntry(account_id=account_id,
                                         points=points, at_s=at_s))
+
+    def snapshot(self) -> List[ScoreEntry]:
+        """A consistent prefix copy of the score stream, lock-free."""
+        return self._entries[:]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -23,6 +23,20 @@ slice or clear them without perturbing store state, and a list taken
 before a concurrent insert never mutates under iteration.  The records
 *inside* the lists are the live objects (the platform mutates tasks in
 place by design).
+
+Copy-on-write read snapshots: both stores additionally support
+**versioned job snapshots** (:class:`JobSnapshot`) behind a per-job
+seqlock generalized to multiple writers.  Writers wrap each
+job-mutating verb in :meth:`mutating` (a begin counter bumps at entry,
+an end counter at exit — ``begin != end`` means a write is in flight);
+readers call :meth:`snapshot_job` and get an *immutable copy* of the
+job and its tasks without blocking on any write — the copy is memoized
+per version epoch, so any number of readers between two writes share
+one materialization, and writers never copy anything (true
+copy-on-write: the first reader after a write pays for the copy).  A
+snapshot is always a consistent prefix of the job's commit order: the
+reader re-checks the begin counter after copying and discards any copy
+that overlapped a writer.
 """
 
 from __future__ import annotations
@@ -31,8 +45,9 @@ import json
 import threading
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import (JobNotFound, PlatformError, StoreCorruptError,
                           TaskNotFound)
@@ -58,7 +73,144 @@ def _load_document(path: Union[str, Path]) -> Dict[str, Any]:
     return document
 
 
-class JsonStore:
+@dataclass(frozen=True)
+class JobSnapshot:
+    """An immutable copy of one job and its tasks at a version epoch.
+
+    ``job`` and every record in ``tasks`` are copies — mutating the
+    live store never changes a snapshot already handed out, and
+    mutating a snapshot never touches the store.  (Payload/meta dicts
+    are shared by reference; the platform never mutates them after
+    creation.)  ``version`` is the job's seqlock version the copy was
+    taken at — always even.
+    """
+
+    version: int
+    job: Job
+    tasks: Tuple[TaskRecord, ...]
+
+
+class _SnapshotSupport:
+    """The per-job seqlock + memoized-snapshot machinery both store
+    implementations mix in.
+
+    Writers for the *same* job may overlap (the service serializes by
+    task stripe, not by job — two answers to different tasks of one
+    job commit concurrently), so the classic single-counter seqlock is
+    not enough: a begin/end counter pair detects "any writer in
+    flight" (``begin != end``) and "any writer entered during my
+    copy" (begin moved).  Counter bumps take a tiny gate lock — two
+    dict writes, no IO, never held across the mutation itself — while
+    readers take no locks at all: single-key dict reads are
+    GIL-atomic, and the re-check discards any torn copy.
+    """
+
+    def _init_snapshots(self) -> None:
+        self._v_begin: Dict[str, int] = {}
+        self._v_end: Dict[str, int] = {}
+        self._version_gate = threading.Lock()
+        self._snap_cache: Dict[str, JobSnapshot] = {}
+
+    # Subclasses provide lock-free point reads for materialization.
+    def _peek_job(self, job_id: str) -> Optional[Job]:
+        raise NotImplementedError
+
+    def _peek_task(self, task_id: str) -> Optional[TaskRecord]:
+        raise NotImplementedError
+
+    def _job_ids_unlocked(self) -> List[str]:
+        raise NotImplementedError
+
+    def job_version(self, job_id: str) -> int:
+        """The job's current write-epoch counter (writes so far
+        begun; informational — see :meth:`mutating`)."""
+        return self._v_begin.get(job_id, 0)
+
+    @contextmanager
+    def mutating(self, job_id: str) -> Iterator[None]:
+        """Mark a job-mutating verb's window.
+
+        Must be held around *every* store mutation touching the job or
+        its tasks (the platform facade does this).  Overlapping calls
+        for the same job are fine — readers see "in flight" while any
+        writer is inside.
+        """
+        gate = self._version_gate
+        begin = self._v_begin
+        with gate:
+            begin[job_id] = begin.get(job_id, 0) + 1
+        try:
+            yield
+        finally:
+            end = self._v_end
+            with gate:
+                end[job_id] = end.get(job_id, 0) + 1
+
+    def snapshot_job(self, job_id: str) -> JobSnapshot:
+        """An immutable, consistent copy of the job and its tasks.
+
+        Lock-free and non-blocking: if a writer is mid-verb a recent
+        stable epoch's cached snapshot is served (a consistent prefix
+        — never a torn state); only the very first reader of a job may
+        briefly wait for an in-flight write to settle.  Successive
+        snapshots of one job never go backwards (the cache is replaced
+        only by newer versions).  Raises
+        :class:`~repro.errors.JobNotFound` for unknown jobs.
+        """
+        begin = self._v_begin
+        end = self._v_end
+        cache = self._snap_cache
+        while True:
+            b1 = begin.get(job_id, 0)
+            e1 = end.get(job_id, 0)
+            cached = cache.get(job_id)
+            if b1 != e1:
+                # Writer(s) in flight (or raced the two reads).
+                if cached is not None:
+                    return cached
+                time.sleep(0)  # nothing cached yet: wait it out
+                continue
+            if cached is not None and cached.version == b1:
+                return cached
+            job = self._peek_job(job_id)
+            if job is None:
+                raise JobNotFound(f"no job {job_id!r}")
+            snapshot = self._materialize(job, b1)
+            if begin.get(job_id, 0) == b1:
+                # No writer entered during the copy, and none was
+                # inside when it started (b1 == e1): it is consistent.
+                with self._version_gate:
+                    current = cache.get(job_id)
+                    if (current is None
+                            or current.version < snapshot.version):
+                        cache[job_id] = snapshot
+                return snapshot
+            # Raced a writer: the copy may be torn — discard and retry.
+
+    def snapshot_jobs(self) -> List[JobSnapshot]:
+        """Per-job snapshots of every job, id-sorted.  Each entry is
+        individually consistent; a job created mid-scan may or may not
+        appear (monotone, like any listing)."""
+        out = []
+        for job_id in sorted(self._job_ids_unlocked()):
+            try:
+                out.append(self.snapshot_job(job_id))
+            except JobNotFound:  # pragma: no cover - jobs never die
+                continue
+        return out
+
+    def _materialize(self, job: Job, version: int) -> JobSnapshot:
+        job_copy = Job.from_dict(job.to_dict())
+        tasks = []
+        for task_id in job_copy.task_ids:
+            task = self._peek_task(task_id)
+            if task is not None:
+                tasks.append(TaskRecord.from_dict(task.to_dict()))
+        return JobSnapshot(version=version, job=job_copy,
+                           tasks=tuple(tasks))
+
+
+class JsonStore(_SnapshotSupport):
     """Jobs, tasks and accounts with JSON (de)serialization.
 
     Deliberately simple and unlocked: the single-threaded baseline.
@@ -69,6 +221,16 @@ class JsonStore:
         self._jobs: Dict[str, Job] = {}
         self._tasks: Dict[str, TaskRecord] = {}
         self._accounts: Dict[str, Account] = {}
+        self._init_snapshots()
+
+    def _peek_job(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def _peek_task(self, task_id: str) -> Optional[TaskRecord]:
+        return self._tasks.get(task_id)
+
+    def _job_ids_unlocked(self) -> List[str]:
+        return list(self._jobs)
 
     # ------------------------------------------------------------------
     # Jobs
@@ -218,7 +380,7 @@ def _fill_from_document(store, document: Dict[str, Any]) -> None:
         store.put_account(Account.from_dict(raw))
 
 
-class ShardedStore:
+class ShardedStore(_SnapshotSupport):
     """The striped-lock store: N independently locked shards.
 
     Jobs, tasks and accounts each hash to a shard by their own id via
@@ -271,6 +433,21 @@ class ShardedStore:
             self._locked = self._timed_locked
         else:
             self._locked = self._plain_locked
+        self._init_snapshots()
+
+    def _peek_job(self, job_id: str) -> Optional[Job]:
+        # Lock-free: single-key dict reads are GIL-atomic, and the
+        # seqlock retry in snapshot_job covers any concurrent write.
+        return self._jobs[self.shard_of(job_id)].get(job_id)
+
+    def _peek_task(self, task_id: str) -> Optional[TaskRecord]:
+        return self._tasks[self.shard_of(task_id)].get(task_id)
+
+    def _job_ids_unlocked(self) -> List[str]:
+        ids: List[str] = []
+        for table in self._jobs:
+            ids.extend(list(table))
+        return ids
 
     def _plain_locked(self, shard: int):
         # The RLock is its own context manager: ``with`` on it costs

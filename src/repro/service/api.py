@@ -80,11 +80,26 @@ from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.propagation import parse_traceparent
 from repro.obs.tracing import Tracer, default_tracer
 from repro.platform.facade import Platform
+from repro.platform.jobs import TaskState
 from repro.platform.sharding import LockStripes
 from repro.service.wire import (ApiRequest, ApiResponse, error_body,
                                 job_to_wire, task_to_wire)
 
 Handler = Callable[[ApiRequest, Dict[str, str]], ApiResponse]
+
+
+def _snapshot_progress(snap) -> Dict[str, Any]:
+    """Completion statistics computed from one immutable
+    :class:`~repro.platform.store.JobSnapshot` (same document as
+    :meth:`~repro.platform.scheduler.TaskScheduler.progress`)."""
+    redundancy = snap.job.redundancy
+    completed = sum(1 for task in snap.tasks
+                    if task.state(redundancy) is TaskState.COMPLETED)
+    answers = sum(len(task.answers) for task in snap.tasks)
+    total = len(snap.tasks)
+    return {"tasks": total, "completed": completed,
+            "answers": answers,
+            "complete_frac": completed / total if total else 1.0}
 
 #: Upper bound on items accepted by one batch request — a wire-level
 #: guard against a single request monopolizing the platform.
@@ -172,6 +187,14 @@ class ApiServer:
             dashboard then answers 503).  The engine is also attached
             to the platform (unless it already has one), so platform
             verbs feed the same dashboard.
+        snapshot_reads: serve the read routes (job listing/detail,
+            task listing, results, low-confidence, leaderboard) from
+            the store's copy-on-write versioned snapshots with lock
+            scope ``none`` — heavy read traffic never queues on a
+            stripe or the registry lock.  ``False`` restores the
+            locked read paths (the golden-trace comparison baseline).
+            Defaults to True; disabled automatically if the store
+            lacks snapshot support.
     """
 
     def __init__(self, platform: Platform,
@@ -182,12 +205,16 @@ class ApiServer:
                  shed_retry_after_s: float = 1.0,
                  lock_mode: str = "striped",
                  n_stripes: int = 16,
-                 live: Any = None) -> None:
+                 live: Any = None,
+                 snapshot_reads: bool = True) -> None:
         if lock_mode not in ("striped", "global"):
             raise PlatformError(
                 f"lock_mode must be 'striped' or 'global', "
                 f"got {lock_mode!r}")
         self.platform = platform
+        self.snapshot_reads = bool(
+            snapshot_reads
+            and hasattr(platform.store, "snapshot_job"))
         self.registry = (registry if registry is not None
                          else default_registry())
         self.tracer = tracer if tracer is not None else default_tracer()
@@ -255,14 +282,20 @@ class ApiServer:
         # saturated (an operator checking WAL lag mid-incident), so it
         # is lock-free like /metrics.
         self._route("GET", "/healthz", self._healthz, scope="none")
+        # Read routes: with snapshot_reads (the default) they serve
+        # from copy-on-write versioned snapshots and the append-only
+        # leaderboard stream with no lock at all — a read storm never
+        # queues behind writers on a stripe or the registry lock.
+        snap = self.snapshot_reads
         self._route("POST", "/jobs", self._create_job)
-        self._route("GET", "/jobs", self._list_jobs)
+        self._route("GET", "/jobs", self._list_jobs,
+                    scope="none" if snap else "registry")
         self._route("GET", "/jobs/{job_id}", self._get_job,
-                    scope="job")
+                    scope="none" if snap else "job")
         self._route("POST", "/jobs/{job_id}/tasks", self._add_tasks,
                     scope="job")
         self._route("GET", "/jobs/{job_id}/tasks", self._list_tasks,
-                    scope="job")
+                    scope="none" if snap else "job")
         self._route("POST", "/jobs/{job_id}/start", self._start_job,
                     scope="job")
         self._route("POST", "/jobs/{job_id}/archive",
@@ -270,9 +303,10 @@ class ApiServer:
         self._route("GET", "/jobs/{job_id}/next", self._next_task,
                     scope="job")
         self._route("GET", "/jobs/{job_id}/results", self._results,
-                    scope="job")
+                    scope="none" if snap else "job")
         self._route("GET", "/jobs/{job_id}/low_confidence",
-                    self._low_confidence, scope="job")
+                    self._low_confidence,
+                    scope="none" if snap else "job")
         self._route("GET", "/workers/flagged", self._flagged_workers)
         self._route("POST", "/workers", self._register_worker)
         self._route("POST", "/workers/{worker_id}/disconnect",
@@ -284,7 +318,8 @@ class ApiServer:
                     scope="job")
         self._route("POST", "/answers:batch", self._batch_answers,
                     scope="item")
-        self._route("GET", "/leaderboard", self._leaderboard)
+        self._route("GET", "/leaderboard", self._leaderboard,
+                    scope="none" if snap else "registry")
         # The metrics reader must not queue behind platform traffic:
         # the registry is internally thread-safe, so no lock.
         self._route("GET", "/metrics", self._metrics, scope="none")
@@ -652,11 +687,20 @@ class ApiServer:
 
     def _list_jobs(self, request: ApiRequest,
                    params: Dict[str, str]) -> ApiResponse:
-        jobs = [job_to_wire(job) for job in self.platform.store.jobs()]
+        if self.snapshot_reads:
+            jobs = [job_to_wire(snap.job)
+                    for snap in self.platform.store.snapshot_jobs()]
+        else:
+            jobs = [job_to_wire(job)
+                    for job in self.platform.store.jobs()]
         return ApiResponse(200, {"jobs": jobs})
 
     def _get_job(self, request: ApiRequest,
                  params: Dict[str, str]) -> ApiResponse:
+        if self.snapshot_reads:
+            snap = self.platform.store.snapshot_job(params["job_id"])
+            return ApiResponse(200, job_to_wire(
+                snap.job, _snapshot_progress(snap)))
         job = self.platform.store.get_job(params["job_id"])
         progress = self.platform.progress(job.job_id)
         return ApiResponse(200, job_to_wire(job, progress))
@@ -682,11 +726,21 @@ class ApiServer:
 
     def _list_tasks(self, request: ApiRequest,
                     params: Dict[str, str]) -> ApiResponse:
-        """Admin view: paginated tasks with answers and gold."""
-        job = self.platform.store.get_job(params["job_id"])
+        """Admin view: paginated tasks with answers and gold.
+
+        With snapshot reads the page comes from one immutable
+        :class:`~repro.platform.store.JobSnapshot` — a consistent
+        prefix of the job's commit order, served without locks even
+        mid write-storm.
+        """
         offset = max(0, int(request.query.get("offset", "0")))
         limit = min(500, max(1, int(request.query.get("limit", "50"))))
-        tasks = self.platform.store.tasks_for(job.job_id)
+        if self.snapshot_reads:
+            snap = self.platform.store.snapshot_job(params["job_id"])
+            tasks: List[Any] = list(snap.tasks)
+        else:
+            job = self.platform.store.get_job(params["job_id"])
+            tasks = self.platform.store.tasks_for(job.job_id)
         page = tasks[offset:offset + limit]
         return ApiResponse(200, {
             "total": len(tasks), "offset": offset, "limit": limit,

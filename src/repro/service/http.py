@@ -134,6 +134,13 @@ class ParseError:
 _S_HEADERS = 0
 _S_BODY = 1
 _S_FAILED = 2
+_S_CHUNK_SIZE = 3
+_S_CHUNK_DATA = 4
+_S_CHUNK_TRAILERS = 5
+
+#: A chunk-size field: 1-16 hex digits, nothing else.  ``int(_, 16)``
+#: alone would admit signs and underscores.
+_CHUNK_SIZE_RE = re.compile(rb"[0-9A-Fa-f]{1,16}\Z")
 
 
 class HttpRequestParser:
@@ -149,11 +156,18 @@ class HttpRequestParser:
       which the parser is dead (subsequent feeds return nothing);
     - pipelined requests in one chunk all come out, in order.
 
+    Bodies arrive either with a ``Content-Length`` or as
+    ``Transfer-Encoding: chunked`` (decoded here; the handler sees the
+    reassembled body and never the chunk framing).  Any other transfer
+    coding is a 501; a request carrying both framings is a 400, per
+    RFC 7230's request-smuggling rule.
+
     Args:
-        max_header_bytes: cap on the request line + header section;
-            exceeding it yields a 431.
-        max_body_bytes: cap on ``Content-Length``; exceeding it
-            yields a 413 (the body is never buffered).
+        max_header_bytes: cap on the request line + header section
+            (and on a chunked body's trailer section); exceeding it
+            yields a 431.
+        max_body_bytes: cap on ``Content-Length`` or on the decoded
+            length of a chunked body; exceeding it yields a 413.
     """
 
     def __init__(self, max_header_bytes: int = 32 * 1024,
@@ -164,6 +178,8 @@ class HttpRequestParser:
         self._state = _S_HEADERS
         self._pending: Optional[ParsedRequest] = None
         self._body_remaining = 0
+        self._chunk_body = bytearray()
+        self._chunk_remaining = 0
 
     @property
     def failed(self) -> bool:
@@ -173,7 +189,8 @@ class HttpRequestParser:
     def has_partial(self) -> bool:
         """True when a request has started arriving but is not
         complete — the state a read (slowloris) timeout applies to."""
-        if self._state == _S_BODY:
+        if self._state in (_S_BODY, _S_CHUNK_SIZE, _S_CHUNK_DATA,
+                           _S_CHUNK_TRAILERS):
             return True
         return self._state == _S_HEADERS and len(self._buffer) > 0
 
@@ -187,12 +204,12 @@ class HttpRequestParser:
         while True:
             if self._state == _S_HEADERS:
                 event = self._try_headers()
-                if event is None:
-                    break
-            else:  # _S_BODY
+            elif self._state == _S_BODY:
                 event = self._try_body()
-                if event is None:
-                    break
+            else:
+                event = self._try_chunked()
+            if event is None:
+                break
             events.append(event)
             if isinstance(event, ParseError):
                 self._state = _S_FAILED
@@ -278,9 +295,19 @@ class HttpRequestParser:
                 headers[key] = headers[key] + ", " + text
             else:
                 headers[key] = text
-        if "transfer-encoding" in headers:
-            return ParseError(
-                501, "Transfer-Encoding is not supported")
+        chunked = False
+        encoding = headers.get("transfer-encoding")
+        if encoding is not None:
+            if encoding.strip().lower() != "chunked":
+                return ParseError(
+                    501, "unsupported Transfer-Encoding")
+            if "content-length" in headers:
+                # Two framings on one message is the classic request
+                # smuggling vector; RFC 7230 §3.3.3 says reject.
+                return ParseError(
+                    400,
+                    "Transfer-Encoding with Content-Length")
+            chunked = True
         length_text = headers.get("content-length", "0") or "0"
         # A previously merged duplicate like "5, 5" was already
         # rejected above unless the copies agreed; take the first.
@@ -297,6 +324,12 @@ class HttpRequestParser:
             keep_alive = "keep-alive" in connection
         request = ParsedRequest(method, target, version, headers,
                                 b"", keep_alive)
+        if chunked:
+            self._pending = request
+            self._chunk_body = bytearray()
+            self._chunk_remaining = 0
+            self._state = _S_CHUNK_SIZE
+            return self._try_chunked()
         if length == 0:
             return request
         self._pending = request
@@ -339,6 +372,76 @@ class HttpRequestParser:
         self._body_remaining = 0
         self._state = _S_HEADERS
         return request
+
+    def _try_chunked(self
+                     ) -> Optional[Union[ParsedRequest, ParseError]]:
+        """Advance the chunked-body machine as far as the buffer
+        allows: size line -> data+CRLF (repeat) -> trailers."""
+        while True:
+            if self._state == _S_CHUNK_SIZE:
+                index = self._buffer.find(b"\n")
+                if index == -1:
+                    # A size line is a few hex digits plus optional
+                    # extensions; anything growing past the header
+                    # cap is an attack, not a slow sender.
+                    if len(self._buffer) > self.max_header_bytes:
+                        return ParseError(400, "malformed chunk size")
+                    return None
+                line = bytes(self._buffer[:index]).rstrip(b"\r")
+                del self._buffer[:index + 1]
+                size_field = line.split(b";", 1)[0].strip()
+                if not _CHUNK_SIZE_RE.match(size_field):
+                    return ParseError(400, "malformed chunk size")
+                size = int(size_field, 16)
+                if len(self._chunk_body) + size > self.max_body_bytes:
+                    return ParseError(413, "request body too large")
+                if size == 0:
+                    self._state = _S_CHUNK_TRAILERS
+                    continue
+                self._chunk_remaining = size
+                self._state = _S_CHUNK_DATA
+                continue
+            if self._state == _S_CHUNK_DATA:
+                if self._chunk_remaining:
+                    take = min(len(self._buffer),
+                               self._chunk_remaining)
+                    self._chunk_body += self._buffer[:take]
+                    del self._buffer[:take]
+                    self._chunk_remaining -= take
+                    if self._chunk_remaining:
+                        return None
+                # The chunk's own terminator, distinct from the next
+                # size line's; a torn CR waits for its LF.
+                if self._buffer[:2] == b"\r\n":
+                    del self._buffer[:2]
+                elif self._buffer[:1] == b"\n":
+                    del self._buffer[:1]
+                elif not self._buffer or self._buffer == b"\r":
+                    return None
+                else:
+                    return ParseError(
+                        400, "malformed chunk terminator")
+                self._state = _S_CHUNK_SIZE
+                continue
+            # _S_CHUNK_TRAILERS: discard trailer fields up to the
+            # blank line that ends the message.
+            index = self._buffer.find(b"\n")
+            if index == -1:
+                if len(self._buffer) > self.max_header_bytes:
+                    return ParseError(
+                        431, "trailer section too large")
+                return None
+            line = bytes(self._buffer[:index]).rstrip(b"\r")
+            del self._buffer[:index + 1]
+            if line:
+                continue
+            request = self._pending
+            assert request is not None
+            request.body = bytes(self._chunk_body)
+            self._chunk_body = bytearray()
+            self._pending = None
+            self._state = _S_HEADERS
+            return request
 
 
 def _is_token(raw: bytes) -> bool:

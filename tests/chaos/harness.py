@@ -80,6 +80,7 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
                  redundancy: int = 3, n_workers: int = 6,
                  seed: int = 7, max_attempts: int = 10,
                  store_mode: str = "sharded",
+                 snapshot_reads: bool = True,
                  data_dir=None,
                  window_scale: float = 1.0,
                  transport: str = "inprocess") -> CampaignResult:
@@ -95,6 +96,10 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
     single-lock semantics (flat ``JsonStore``, one global service lock,
     legacy full-scan scheduling).  Promoted labels must be identical
     either way — the chaos matrix sweeps both.
+
+    ``snapshot_reads`` toggles the copy-on-write snapshot read path on
+    the service (on by default, like production); golden-trace tests
+    sweep it against the locked read path.
 
     ``data_dir`` makes the campaign durable: every mutation is
     write-ahead-logged there (checkpoint every 32 records, fsync off
@@ -137,6 +142,7 @@ def run_campaign(plan: Optional[FaultPlan] = None, *,
             if window_scale != 1.0 else None)
     api = ApiServer(platform, registry=registry, tracer=tracer,
                     lock_mode=lock_mode,
+                    snapshot_reads=snapshot_reads,
                     **({"live": live} if live is not None else {}))
     resilience = dict(
         retry_policy=RetryPolicy(max_attempts=max_attempts,

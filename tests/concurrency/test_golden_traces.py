@@ -124,3 +124,22 @@ class TestGoldenTracesThroughService:
                            sort_keys=True)
                 == json.dumps(flat.platform.store.to_document(),
                               sort_keys=True))
+
+    def test_snapshot_reads_are_invisible(self, seed, game):
+        """The copy-on-write read path is only an optimization if it
+        is undetectable: every ``lock_mode`` × ``snapshot_reads``
+        cell of the matrix must produce byte-identical labels and
+        store documents."""
+        cells = [run_campaign(None, game=game, seed=seed,
+                              store_mode=store_mode,
+                              snapshot_reads=snap)
+                 for store_mode in ("json", "sharded")
+                 for snap in (False, True)]
+        reference = cells[0]
+        for cell in cells[1:]:
+            assert cell.labels_json == reference.labels_json
+            assert (json.dumps(cell.platform.store.to_document(),
+                               sort_keys=True)
+                    == json.dumps(
+                        reference.platform.store.to_document(),
+                        sort_keys=True))

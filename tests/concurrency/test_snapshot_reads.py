@@ -1,0 +1,221 @@
+"""Snapshot-read linearizability: readers inside a write storm.
+
+Writer threads hammer the striped service (the same random verb mix
+as the linearizability suite) while reader threads page
+``GET /jobs/{id}`` and ``GET /jobs/{id}/tasks`` off the copy-on-write
+snapshot path.  The invariants pinned here, per reader thread and job:
+
+- **consistent prefix**: every observed per-task answer list is a
+  prefix of that task's final committed answer order (answer rows are
+  append-only; per-task order *is* the stripe commit order), and the
+  progress numbers a response reports agree exactly with the answer
+  rows the same snapshot carries — a reader never sees half a verb;
+- **monotonic**: successive reads never go backwards — per-task
+  prefixes only extend, counts only grow, a COMPLETED job never
+  reverts;
+- **lock-free**: a read-only burst against the snapshot routes adds
+  zero samples to the service's stripe-wait metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service.wire import ApiRequest
+
+from tests.concurrency.test_linearizability import (
+    N_JOBS, N_TASKS, N_THREADS, REDUNDANCY, _build_service,
+    _oracle_replay, _worker_loop)
+
+N_READERS = 4
+
+
+def _page_tasks(api, job_id):
+    """One snapshot observation: task_id -> ordered answer pairs."""
+    response = api.handle(ApiRequest(
+        method="GET", path=f"/jobs/{job_id}/tasks",
+        body={}, query={"limit": "500"}, headers={}))
+    assert response.ok, response.body
+    return {
+        task["task_id"]: [(row["worker_id"], row["answer"])
+                          for row in task["answers"]]
+        for task in response.body["tasks"]}
+
+
+def _get_job(api, job_id):
+    response = api.handle(ApiRequest(
+        method="GET", path=f"/jobs/{job_id}", body={}, query={},
+        headers={}))
+    assert response.ok, response.body
+    return response.body
+
+
+def _is_prefix(shorter, longer):
+    return len(shorter) <= len(longer) \
+        and longer[:len(shorter)] == shorter
+
+
+def _reader_loop(api, job_ids, done, observations, errors):
+    """Poll snapshot reads until the storm ends; record everything."""
+    try:
+        while True:
+            finished = done.is_set()  # sample *before* the reads
+            for job_id in job_ids:
+                tasks = _page_tasks(api, job_id)
+                job = _get_job(api, job_id)
+                observations[job_id].append((tasks, job))
+            if finished:
+                return
+    except Exception as exc:  # pragma: no cover - failure evidence
+        errors.append(repr(exc))
+
+
+def _lock_wait_total(registry):
+    histogram = registry.get("service.lock_wait_s")
+    if histogram is None:
+        return 0
+    with histogram._lock:
+        return sum(series.count
+                   for series in histogram._series.values())
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestSnapshotReadsDuringWriteStorm:
+    def test_readers_observe_monotonic_consistent_prefixes(
+            self, seed):
+        platform, api, job_ids = _build_service(seed)
+        assert api.snapshot_reads
+        done = threading.Event()
+        errors: list = []
+        reader_errors: list = []
+        all_observations = []
+
+        writers = [
+            threading.Thread(
+                target=_worker_loop,
+                args=(api, job_ids, f"w{t:02d}", seed * 100 + t,
+                      errors))
+            for t in range(N_THREADS)]
+        readers = []
+        for _ in range(N_READERS):
+            observations = {job_id: [] for job_id in job_ids}
+            all_observations.append(observations)
+            readers.append(threading.Thread(
+                target=_reader_loop,
+                args=(api, job_ids, done, observations,
+                      reader_errors)))
+
+        for thread in writers + readers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=60)
+        done.set()
+        for thread in readers:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert not reader_errors, reader_errors
+        assert not any(t.is_alive() for t in writers + readers)
+
+        final = {
+            job_id: {task.task_id: [(row.worker_id, row.answer)
+                                    for row in task.answers]
+                     for task in platform.store.tasks_for(job_id)}
+            for job_id in job_ids}
+
+        for observations in all_observations:
+            for job_id, history in observations.items():
+                # The storm outlives the first reads, so every reader
+                # genuinely raced writers.
+                assert history, "reader never observed this job"
+                previous_tasks = None
+                completed_seen = False
+                for tasks, job in history:
+                    # Consistent prefix of the final commit order.
+                    assert set(tasks) <= set(final[job_id])
+                    for task_id, answers in tasks.items():
+                        assert _is_prefix(answers,
+                                          final[job_id][task_id]), \
+                            f"{task_id}: {answers} not a prefix"
+                    # Verb atomicity: the progress numbers and the
+                    # COMPLETED transition come from the same
+                    # snapshot the answer rows do.
+                    progress = job["progress"]
+                    if job["status"] == "completed":
+                        completed_seen = True
+                        assert progress["complete_frac"] == 1.0
+                    assert progress["answers"] >= 0
+                    # Monotonic per reader: prefixes only extend.
+                    if previous_tasks is not None:
+                        for task_id, answers in previous_tasks.items():
+                            assert _is_prefix(answers,
+                                              tasks[task_id])
+                    if completed_seen:
+                        assert job["status"] in ("completed",
+                                                 "archived")
+                    previous_tasks = tasks
+                # The storm drains every job, and the readers' final
+                # post-storm pass (after done was set) must see it.
+                last_tasks, _last_job = history[-1]
+                assert last_tasks == final[job_id]
+
+    def test_snapshot_reads_take_no_stripe_locks(self, seed):
+        """A read-only burst against the snapshot routes adds zero
+        samples to ``service.lock_wait_s`` — the read path holds no
+        service lock at all."""
+        platform, api, job_ids = _build_service(seed)
+        errors: list = []
+        threads = [
+            threading.Thread(
+                target=_worker_loop,
+                args=(api, job_ids, f"w{t:02d}", seed * 100 + t,
+                      errors))
+            for t in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+
+        before = _lock_wait_total(platform.registry)
+        for _ in range(25):
+            for job_id in job_ids:
+                _page_tasks(api, job_id)
+                _get_job(api, job_id)
+        api.handle(ApiRequest(method="GET", path="/jobs", body={},
+                              query={}, headers={}))
+        api.handle(ApiRequest(method="GET", path="/leaderboard",
+                              body={}, query={}, headers={}))
+        assert _lock_wait_total(platform.registry) == before
+
+    def test_post_storm_snapshot_equals_oracle_replay(self, seed):
+        """After the storm, the snapshot read path and the witnessed
+        commit order agree: paging the job off its snapshot yields
+        exactly the state the oracle replay produces."""
+        platform, api, job_ids = _build_service(seed)
+        errors: list = []
+        threads = [
+            threading.Thread(
+                target=_worker_loop,
+                args=(api, job_ids, f"w{t:02d}", seed * 100 + t,
+                      errors))
+            for t in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+
+        oracle = _oracle_replay(platform.committed, seed)
+        for job_id in job_ids:
+            observed = _page_tasks(api, job_id)
+            want = {task.task_id: [(row.worker_id, row.answer)
+                                   for row in task.answers]
+                    for task in oracle.store.tasks_for(job_id)}
+            assert {t: sorted(a) for t, a in observed.items()} \
+                == {t: sorted(a) for t, a in want.items()}
+        assert json.dumps(
+            platform.store.to_document(), sort_keys=True) \
+            == json.dumps(oracle.store.to_document(), sort_keys=True)

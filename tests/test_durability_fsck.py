@@ -197,3 +197,71 @@ class TestFsckCli:
         captured = capsys.readouterr()
         assert code == 0
         assert "clean" in captured.err
+
+
+def _register(n):
+    return ("register", {"account_id": f"w{n}",
+                         "display_name": None, "attributes": {}})
+
+
+class TestBatchFraming:
+    """Group-commit framing reconstruction from ``batch`` markers."""
+
+    def test_serial_appends_are_singleton_batches(self, tmp_path):
+        _write_workload(tmp_path)
+        report = fsck(tmp_path)
+        assert report.ok
+        assert report.batch_histogram == {1: 9}
+        assert report.torn_batches == []
+        assert report.batch_lines() == ["batches of 1 frame(s): 9"]
+
+    def test_append_batch_markers_build_the_histogram(self, tmp_path):
+        log = DurabilityLog(tmp_path, fsync=False,
+                            registry=MetricsRegistry())
+        log.append(*_register(0))
+        log.append_batch([_register(1), _register(2), _register(3)])
+        log.append_batch([_register(4), _register(5)])
+        log.close()
+        report = fsck(tmp_path)
+        assert report.ok, report.lines()
+        assert report.batch_histogram == {1: 1, 2: 1, 3: 1}
+        assert report.torn_batches == []
+
+    def test_torn_batch_is_informational_not_an_issue(self, tmp_path):
+        """A marker declaring 3 frames with only 2 on disk is the
+        legitimate shape of a crash before the batch fsync finished;
+        fsck must report it without failing the directory."""
+        segment = tmp_path / "wal-000000000001.log"
+        segment.write_bytes(
+            encode_record(1, "register", _register(1)[1], batch=3)
+            + encode_record(2, "register", _register(2)[1]))
+        report = fsck(tmp_path)
+        assert report.ok, report.lines()
+        assert report.batch_histogram == {2: 1}
+        assert len(report.torn_batches) == 1
+        assert "declared 3 frame(s), only 2 present" \
+            in report.torn_batches[0]
+        assert any("torn batch" in line
+                   for line in report.batch_lines())
+
+    def test_marker_inside_unfinished_batch_closes_it_torn(
+            self, tmp_path):
+        segment = tmp_path / "wal-000000000001.log"
+        segment.write_bytes(
+            encode_record(1, "register", _register(1)[1], batch=3)
+            + encode_record(2, "register", _register(2)[1], batch=2)
+            + encode_record(3, "register", _register(3)[1]))
+        report = fsck(tmp_path)
+        assert report.batch_histogram == {1: 1, 2: 1}
+        assert len(report.torn_batches) == 1
+
+    def test_cli_verbose_prints_framing(self, tmp_path, capsys):
+        log = DurabilityLog(tmp_path, fsync=False,
+                            registry=MetricsRegistry())
+        log.append_batch([_register(1), _register(2)])
+        log.close()
+        code = cli_main(["fsck", "--dir", str(tmp_path),
+                         "--verbose"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "batches of 2 frame(s): 1" in captured.err

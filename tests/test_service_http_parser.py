@@ -168,13 +168,151 @@ class TestLimitsAndViolations:
         (b"POST / HTTP/1.1\r\nContent-Length: 2\r\n"
          b"Content-Length: 3\r\n\r\n", 400),          # conflict
         (b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n", 400),
-        (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
-         501),
+        (b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+         501),                                        # unknown coding
+        (b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip, chunked"
+         b"\r\n\r\n", 501),                           # coding stack
+        (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+         b"Content-Length: 3\r\n\r\n", 400),          # smuggling
+        (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+         b"zz\r\n", 400),                             # bad size
+        (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+         b"-1\r\n", 400),                             # signed size
+        (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+         b"1_0\r\n", 400),                            # int() quirk
+        (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+         b"2\r\nabXX", 400),                          # bad chunk end
     ])
     def test_violation_statuses(self, blob, status):
         events = HttpRequestParser().feed(blob)
         assert [e.status for e in events
                 if isinstance(e, ParseError)] == [status]
+
+
+def encode_chunked(method, path, body, sizes, extension=b"",
+                   trailers=()):
+    """Serialize ``body`` with chunked framing, split at ``sizes``."""
+    out = bytearray(
+        f"{method} {path} HTTP/1.1\r\n"
+        "Transfer-Encoding: chunked\r\n\r\n".encode("latin-1"))
+    offset = 0
+    for size in sizes:
+        piece = body[offset:offset + size]
+        if not piece:
+            continue
+        out += b"%x" % len(piece) + extension + b"\r\n"
+        out += piece + b"\r\n"
+        offset += len(piece)
+    if offset < len(body):
+        out += b"%x\r\n" % (len(body) - offset)
+        out += body[offset:] + b"\r\n"
+    out += b"0\r\n"
+    for name, value in trailers:
+        out += name + b": " + value + b"\r\n"
+    out += b"\r\n"
+    return bytes(out)
+
+
+class TestChunkedBodies:
+    """``Transfer-Encoding: chunked`` decoding (the PR 7 leftover:
+    these requests answered 501 until the parser grew a decoder)."""
+
+    def test_round_trip_with_extensions_and_trailers(self):
+        blob = encode_chunked(
+            "POST", "/jobs", b"Wikipedia in \r\n\r\nchunks.",
+            sizes=[4, 5, 100], extension=b";name=value",
+            trailers=((b"x-checksum", b"abc"),))
+        events = HttpRequestParser().feed(blob)
+        assert len(events) == 1
+        request = events[0]
+        assert isinstance(request, ParsedRequest)
+        assert request.body == b"Wikipedia in \r\n\r\nchunks."
+        assert request.keep_alive
+
+    def test_empty_chunked_body(self):
+        events = HttpRequestParser().feed(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"0\r\n\r\n")
+        assert len(events) == 1
+        assert events[0].body == b""
+
+    def test_torn_at_every_byte(self):
+        blob = encode_chunked("POST", "/answers", b"hello world",
+                              sizes=[1, 4], trailers=((b"t", b"v"),))
+        for cut in range(len(blob) + 1):
+            parser = HttpRequestParser()
+            events = (parser.feed(blob[:cut])
+                      + parser.feed(blob[cut:]))
+            assert len(events) == 1, cut
+            assert events[0].body == b"hello world", cut
+
+    def test_pipelined_after_chunked(self):
+        blob = (encode_chunked("POST", "/a", b"xy", sizes=[2])
+                + b"GET /b HTTP/1.1\r\n\r\n")
+        events = HttpRequestParser().feed(blob)
+        assert [type(e) for e in events] == [ParsedRequest] * 2
+        assert events[0].body == b"xy"
+        assert events[1].method == "GET"
+
+    def test_decoded_body_over_cap_is_413(self):
+        parser = HttpRequestParser(max_body_bytes=8)
+        events = parser.feed(encode_chunked(
+            "POST", "/", b"0123456789", sizes=[5, 5]))
+        assert [e.status for e in events
+                if isinstance(e, ParseError)] == [413]
+
+    def test_unterminated_size_line_is_400(self):
+        parser = HttpRequestParser(max_header_bytes=64)
+        events = parser.feed(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"1" * 200)
+        assert [e.status for e in events
+                if isinstance(e, ParseError)] == [400]
+
+    def test_runaway_trailers_are_431(self):
+        parser = HttpRequestParser(max_header_bytes=64)
+        events = parser.feed(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"0\r\nx-pad: " + b"a" * 200)
+        assert [e.status for e in events
+                if isinstance(e, ParseError)] == [431]
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=120),
+           st.lists(st.integers(min_value=1, max_value=40),
+                    min_size=1, max_size=8),
+           st.lists(st.integers(min_value=0, max_value=400),
+                    max_size=8),
+           st.booleans())
+    def test_fuzz_chunking_never_changes_the_body(
+            self, body, sizes, boundaries, with_trailer):
+        """Random chunk splits, torn at random wire boundaries,
+        decode to exactly the original body."""
+        trailers = ((b"x-t", b"1"),) if with_trailer else ()
+        blob = encode_chunked("POST", "/fuzz", body, sizes,
+                              trailers=trailers)
+        events = feed_chunked(HttpRequestParser(), blob, boundaries)
+        assert len(events) == 1
+        request = events[0]
+        assert isinstance(request, ParsedRequest)
+        assert request.body == body
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=300),
+           st.lists(st.integers(min_value=0, max_value=400),
+                    max_size=6))
+    def test_fuzz_garbage_after_chunked_header_never_raises(
+            self, garbage, boundaries):
+        prefix = (b"POST / HTTP/1.1\r\n"
+                  b"Transfer-Encoding: chunked\r\n\r\n")
+        parser = HttpRequestParser(max_header_bytes=256,
+                                   max_body_bytes=256)
+        events = feed_chunked(parser, prefix + garbage, boundaries)
+        errors = [e for e in events if isinstance(e, ParseError)]
+        assert len(errors) <= 1
+        if errors:
+            assert errors[-1] is events[-1]
+            assert errors[0].status in (400, 413, 431)
 
     def test_agreeing_duplicate_content_length_ok(self):
         events = HttpRequestParser().feed(
