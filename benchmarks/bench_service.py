@@ -15,7 +15,7 @@ in-process and over loopback HTTP.  Results land in
 ratios to a committed baseline and exits non-zero on a >20% regression
 (ratios, not raw ops/s, so the gate is stable across machines).
 
-Five same-run gates ride along: the tracing sample-rate sweep
+Six same-run gates ride along: the tracing sample-rate sweep
 (sampling off must be ~free), the live-analytics overhead gate (the
 streaming dashboard consumer must retain >=95% of consumer-off
 throughput at max threads), the HTTP transport gate (the asyncio
@@ -23,10 +23,13 @@ front door at max threads must keep >=0.5x of the same run's
 in-process sharded ops/s — the stdlib threaded server it replaced
 managed ~0.05x), the durability gate (WAL group commit with real
 fsync at max threads must deliver >=2x the ops/s of the
-one-fsync-per-append path it replaced), and the snapshot-read gate
+one-fsync-per-append path it replaced), the snapshot-read gate
 (a read-heavy burst against the copy-on-write snapshot routes must
 add *zero* samples to the ``service.lock_wait_s`` stripe metrics —
-the read path holds no service lock at all).
+the read path holds no service lock at all), and the cluster gate
+(on a multi-core machine, the 3-node sharded cluster behind its
+router must deliver >=1.5x the single-process front door's durable
+ops/s at max threads — the whole point of paying for N processes).
 
 Usage::
 
@@ -531,6 +534,168 @@ def check_durability_gate(results: Dict,
     return []
 
 
+#: Cluster gate: at max threads on a multi-core machine, the 3-node
+#: cluster (router + shard-owning worker processes, each with its own
+#: fsyncing WAL) must deliver at least this multiple of the
+#: single-process asyncio front door's ops/s, measured back to back
+#: in the same run.  Both sides run the production durability posture
+#: (group-commit WAL, real fsync); the only variable is one process
+#: vs N.  The win comes from escaping the GIL — parse/handle/fsync
+#: work spreads across the node processes — so the gate only means
+#: anything with real cores to spread over.
+CLUSTER_GATE_FLOOR = 1.5
+
+#: Below this many cores the cluster cell measures process-switching
+#: overhead, not parallelism; the gate records itself as skipped.
+CLUSTER_MIN_CORES = 4
+
+#: Nodes in the cluster cell (the chaos matrix's shape).
+CLUSTER_NODES = 3
+
+
+def _measure_front_door(n_threads: int, n_tasks: int,
+                        redundancy: int) -> Dict:
+    """One cell: the single-process durable stack on the asyncio
+    front door, driven by ``n_threads`` HTTP worker loops."""
+    gc.collect()
+    with tempfile.TemporaryDirectory() as data_dir:
+        registry = MetricsRegistry()
+        durability = DurabilityLog(data_dir, fsync=True,
+                                   checkpoint_every=10 ** 9,
+                                   registry=registry)
+        platform = Platform(store=ShardedStore(), fast_path=True,
+                            gold_rate=0.0, spam_detection=False,
+                            seed=9, registry=registry,
+                            durability=durability)
+        api = ApiServer(platform, registry=registry)
+        server, _, base_url = serve_in_thread(api)
+        try:
+            cell = _drive_http_jobs(base_url, n_threads, n_tasks,
+                                    redundancy)
+        finally:
+            server.shutdown()
+        durability.close()
+    return cell
+
+
+def _measure_cluster(n_threads: int, n_tasks: int,
+                     redundancy: int) -> Dict:
+    """One cell: the N-node cluster behind its router, same load."""
+    from repro.cluster import Cluster
+
+    gc.collect()
+    with tempfile.TemporaryDirectory() as data_dir:
+        with Cluster(CLUSTER_NODES, data_dir, fsync=True,
+                     gold_rate=0.0, spam_detection=False,
+                     checkpoint_every=10 ** 9,
+                     registry=MetricsRegistry()) as cluster:
+            cluster.wait_healthy()
+            cell = _drive_http_jobs(cluster.base_url, n_threads,
+                                    n_tasks, redundancy)
+    return cell
+
+
+def _drive_http_jobs(base_url: str, n_threads: int, n_tasks: int,
+                     redundancy: int) -> Dict:
+    """``n_threads`` independent jobs driven to completion over HTTP
+    against ``base_url`` (either front door), one client per thread."""
+    setup = HttpClient(base_url)
+    job_ids = []
+    for t in range(n_threads):
+        job = setup.create_job(f"cbench-{t}", redundancy=redundancy)
+        setup.add_tasks(job["job_id"],
+                        [{"payload": {"i": i}}
+                         for i in range(n_tasks)])
+        setup.start_job(job["job_id"])
+        job_ids.append(job["job_id"])
+    setup.close()
+
+    barrier = threading.Barrier(n_threads + 1)
+    latencies: List[List[float]] = [[] for _ in range(n_threads)]
+    ops = [0] * n_threads
+
+    def worker(t: int) -> None:
+        client = HttpClient(base_url)
+        barrier.wait()
+        ops[t] = _drive_job(client, job_ids[t], redundancy,
+                            f"t{t}", latencies[t])
+        client.close()
+
+    threads = [threading.Thread(target=worker, args=(t,))
+               for t in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    gc.disable()
+    try:
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+    finally:
+        gc.enable()
+    total_ops = sum(ops)
+    merged = [x for chunk in latencies for x in chunk]
+    return {"ops": total_ops, "wall_s": round(wall, 4),
+            "ops_per_s": round(total_ops / wall, 1),
+            "p95_ms": round(_p95_ms(merged), 3)}
+
+
+def run_cluster_gate(results: Dict, n_tasks: int, redundancy: int,
+                     pairs: int = 3) -> None:
+    """Measure cluster vs single-process front door back to back.
+
+    Same-run pairs, best ratio, for the usual reason: scheduler noise
+    only ever depresses a single pair's ratio.  On a machine with
+    fewer than :data:`CLUSTER_MIN_CORES` cores the gate records
+    itself as skipped instead of measuring context-switch overhead
+    and calling it a regression.
+    """
+    top = max(THREAD_COUNTS)
+    cores = os.cpu_count() or 1
+    if cores < CLUSTER_MIN_CORES:
+        results["cluster_gate"] = {
+            "skipped": f"needs >= {CLUSTER_MIN_CORES} cores, "
+                       f"have {cores}"}
+        print(f"clusgate x{top:<3} skipped: {cores} core(s) < "
+              f"{CLUSTER_MIN_CORES}", flush=True)
+        return
+    cells = []
+    for i in range(pairs):
+        single = _measure_front_door(top, n_tasks, redundancy)
+        cluster = _measure_cluster(top, n_tasks, redundancy)
+        ratio = cluster["ops_per_s"] / single["ops_per_s"]
+        cells.append({"single": single, "cluster": cluster,
+                      "ratio": round(ratio, 3)})
+        print(f"clusgate x{top:<3} pair {i}   single "
+              f"{single['ops_per_s']:>8.1f} ops/s   cluster "
+              f"{cluster['ops_per_s']:>8.1f} ops/s   ratio "
+              f"{ratio:.2f}x", flush=True)
+    best = max(cell["ratio"] for cell in cells)
+    results["cluster_gate"] = {"threads": top,
+                               "nodes": CLUSTER_NODES,
+                               "cores": cores, "pairs": cells,
+                               "ratio": best}
+    print(f"clusgate x{top:<3} cluster speedup {best:.2f}x "
+          f"(best of {pairs})", flush=True)
+
+
+def check_cluster_gate(results: Dict,
+                       floor: float = CLUSTER_GATE_FLOOR
+                       ) -> List[str]:
+    """Gate: the cluster keeps >= ``floor``x of the single-process
+    front door's same-run ops/s (multi-core machines only)."""
+    gate = results.get("cluster_gate")
+    if gate is None or "ratio" not in gate:
+        return []
+    if gate["ratio"] < floor:
+        return [f"cluster at x{gate['threads']}: "
+                f"{gate['ratio']:.2f}x of the same-run "
+                f"single-process front-door throughput, below the "
+                f"{floor:.1f}x floor"]
+    return []
+
+
 def _lock_wait_samples(registry: MetricsRegistry) -> int:
     """Total sample count across every stripe of the service
     lock-wait histogram (0 if no service lock was ever taken)."""
@@ -720,6 +885,17 @@ def main(argv=None) -> int:
                         help="skip the fsyncing write-path gate")
     parser.add_argument("--skip-read-gate", action="store_true",
                         help="skip the snapshot-read lock-free gate")
+    parser.add_argument("--cluster-tasks", type=int, default=60,
+                        help="tasks per job in the cluster-gate "
+                             "cells (every op is a durable fsynced "
+                             "write on both sides)")
+    parser.add_argument("--cluster-floor", type=float,
+                        default=CLUSTER_GATE_FLOOR,
+                        help="cluster vs single-process front-door "
+                             "throughput floor at max threads "
+                             "(multi-core machines only)")
+    parser.add_argument("--skip-cluster", action="store_true",
+                        help="skip the multi-node cluster gate")
     args = parser.parse_args(argv)
 
     results = run_suite(args.tasks, args.redundancy, args.http_tasks,
@@ -741,6 +917,11 @@ def main(argv=None) -> int:
     if not args.skip_read_gate:
         run_snapshot_read_gate(results, args.tasks, args.redundancy)
         failures.extend(check_snapshot_read_gate(results))
+    if not args.skip_cluster:
+        run_cluster_gate(results, args.cluster_tasks,
+                         args.redundancy)
+        failures.extend(
+            check_cluster_gate(results, args.cluster_floor))
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -6,7 +6,9 @@ Commands:
 - ``digitize`` — run the reCAPTCHA pipeline over a synthetic book.
 - ``serve``    — start the platform's HTTP service (``--data-dir``
   makes it durable: recover on boot, WAL every mutation, checkpoint
-  on shutdown).
+  on shutdown).  ``--cluster N`` starts N shard-owning worker
+  processes behind a consistent-hash router instead; dead nodes are
+  respawned and recover from their own WALs.
 - ``suite``    — play one match of every game and summarize outputs.
 - ``metrics``  — pretty-print a ``/metrics`` snapshot from a running
   service.
@@ -20,6 +22,8 @@ Commands:
 - ``fsck``     — check a durability directory: per-record CRC,
   sequence-gap and orphan-reference diagnostics; silent and exit 0
   when clean, one line per issue and exit 1 on corruption.
+  ``--cluster-dir`` checks every ``node-*`` directory under a
+  cluster root instead.
 
 Each command is a thin wrapper over the public API; see the examples/
 directory for richer, commented versions of the same flows.
@@ -94,6 +98,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="TTL in seconds for pre-serialized "
                             "/healthz, /metrics and /dashboard "
                             "responses (0 disables)")
+    serve.add_argument("--cluster", type=int, default=0,
+                       metavar="N",
+                       help="serve N shard-owning worker processes "
+                            "behind a consistent-hash router "
+                            "(requires --data-dir; node i persists "
+                            "to <data-dir>/node-0i)")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="cluster nodes skip per-commit fsync "
+                            "(faster, loses the acked-durable "
+                            "guarantee under power loss)")
 
     suite = sub.add_parser(
         "suite", help="play one match of every game")
@@ -146,8 +160,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     fsck = sub.add_parser(
         "fsck", help="check a durability directory for corruption")
-    fsck.add_argument("--dir", required=True,
+    fsck.add_argument("--dir", default=None,
                       help="the durability data directory to check")
+    fsck.add_argument("--cluster-dir", default=None,
+                      dest="cluster_dir",
+                      help="a cluster root: check every node-* "
+                           "durability directory under it")
     fsck.add_argument("--verbose", action="store_true",
                       help="print a summary even when clean")
     return parser
@@ -224,12 +242,41 @@ def _cmd_digitize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import Cluster
+
+    if not args.data_dir:
+        print("--cluster requires --data-dir (each node persists to "
+              "its own subdirectory)", file=sys.stderr)
+        return 2
+    cluster = Cluster(args.cluster, args.data_dir, host=args.host,
+                      router_port=args.port, seed=args.seed,
+                      checkpoint_every=args.checkpoint_every,
+                      fsync=not args.no_fsync)
+    cluster.start()
+    try:
+        cluster.wait_healthy()
+        print(f"cluster of {args.cluster} nodes serving on "
+              f"{cluster.base_url} (root {args.data_dir}, "
+              "Ctrl-C to stop)")
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nstopping")
+    finally:
+        cluster.shutdown()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.recorder import FlightRecorder
     from repro.obs.tracing import Tracer
     from repro.platform import Platform
     from repro.service import ApiServer
     from repro.service.http import AsyncHttpServer
+
+    if args.cluster:
+        return _cmd_serve_cluster(args)
 
     # One tracer spans the whole stack (API + platform + WAL), so a
     # request's trace nests every layer it touched.
@@ -413,8 +460,44 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_cluster_dashboard(doc: dict) -> str:
+    """One terminal frame of a *router's* dashboard document:
+    cluster totals plus one health row per node."""
+    cluster = doc.get("cluster", {})
+    lines = [
+        f"repro top — cluster of {cluster.get('n_nodes', 0)} "
+        f"({cluster.get('healthy_nodes', 0)} healthy)  "
+        f"requests={cluster.get('requests', 0)} "
+        f"errors={cluster.get('errors', 0)}",
+        "",
+        f"  {'node':<10} {'health':<10} {'wal seq':>8} "
+        f"{'ckpt age':>9} {'shard':>7} {'requests':>9}",
+    ]
+    for name, node in sorted(doc.get("nodes", {}).items()):
+        health = "up" if node.get("healthy") else "DOWN"
+        age = node.get("last_checkpoint_age_s")
+        age_text = f"{age:.1f}s" if isinstance(age, (int, float)) \
+            else "-"
+        shard = node.get("shard_range")
+        shard_text = (f"{shard[0]}/{shard[1]}"
+                      if isinstance(shard, list) and len(shard) == 2
+                      else "-")
+        service = node.get("service") or {}
+        lines.append(
+            f"  {name:<10} {health:<10} "
+            f"{node.get('wal_seq') if node.get('wal_seq') is not None else '-':>8} "
+            f"{age_text:>9} {shard_text:>7} "
+            f"{service.get('requests', '-'):>9}")
+        error = node.get("error")
+        if error:
+            lines.append(f"      {error}")
+    return "\n".join(lines)
+
+
 def _render_dashboard(doc: dict) -> str:
     """One terminal frame of the dashboard document."""
+    if doc.get("role") == "router":
+        return _render_cluster_dashboard(doc)
     lines = []
     service = doc.get("service", {})
     lines.append(f"repro top — requests={service.get('requests', 0)} "
@@ -530,8 +613,28 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
-    from repro.durability import fsck
+    from repro.durability import cluster_fsck, fsck
 
+    if bool(args.dir) == bool(args.cluster_dir):
+        print("fsck needs exactly one of --dir or --cluster-dir",
+              file=sys.stderr)
+        return 2
+    if args.cluster_dir:
+        reports = cluster_fsck(args.cluster_dir)
+        if not reports:
+            print(f"{args.cluster_dir}: no node-* directories found",
+                  file=sys.stderr)
+            return 2
+        clean = True
+        for index in sorted(reports):
+            report = reports[index]
+            clean = clean and report.ok
+            for line in report.lines():
+                print(f"node-{index:02d}: {line}")
+            if args.verbose:
+                print(f"node-{index:02d}: {report.summary()}",
+                      file=sys.stderr)
+        return 0 if clean else 1
     report = fsck(args.dir)
     for line in report.lines():
         print(line)

@@ -1,0 +1,46 @@
+"""Fault-tolerant multi-node cluster (ISSUE 9).
+
+``repro.cluster`` shards one platform across N worker *processes*:
+each node owns the contiguous slice of the key space
+``shard_of(id, n_nodes) == index`` (the same BLAKE2b hash the sharded
+store uses), keeps its own write-ahead log and checkpoints in its own
+directory, and serves the full single-node HTTP API.  In front of the
+nodes sits a thin :class:`~repro.cluster.router.ClusterRouter`:
+requests naming an id are routed to its owner by pure hashing,
+collection reads scatter-gather across every node, and writes to a
+dead node answer ``503 + Retry-After`` while the
+:class:`~repro.cluster.supervisor.NodeSupervisor` restarts it from its
+WAL via :meth:`~repro.platform.facade.Platform.recover`.
+
+The pieces compose (and are usable separately):
+
+- :class:`~repro.cluster.node.NodeConfig` / ``python -m
+  repro.cluster.node`` — one shard-owning worker process.
+- :class:`~repro.cluster.supervisor.NodeSupervisor` — spawns nodes,
+  respawns them when they die, and executes chaos verdicts (SIGKILL /
+  SIGSTOP / SIGCONT).
+- :class:`~repro.cluster.router.ClusterRouter` — consistent-hash
+  routing, scatter-gather, per-node health + circuit breakers,
+  failover with idempotent replay.
+- :class:`~repro.cluster.cluster.Cluster` — the one-call bundle:
+  supervisor + router + asyncio front door.
+"""
+
+from repro.cluster.cluster import Cluster, free_ports
+from repro.cluster.node import NodeConfig, READY_FILE, build_node
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import (NODE_DIR_FORMAT, NodeProcess,
+                                      NodeSupervisor, node_dir)
+
+__all__ = [
+    "Cluster",
+    "ClusterRouter",
+    "NodeConfig",
+    "NodeProcess",
+    "NodeSupervisor",
+    "NODE_DIR_FORMAT",
+    "READY_FILE",
+    "build_node",
+    "free_ports",
+    "node_dir",
+]

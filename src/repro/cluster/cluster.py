@@ -1,0 +1,209 @@
+"""The one-call cluster bundle: supervisor + router + front door.
+
+:class:`Cluster` wires the pieces together for tests, the chaos
+harness and ``repro serve --cluster N``: it pre-assigns node ports
+(restarts come back at the same address), writes a ``cluster.json``
+manifest into the data directory (``repro fsck --cluster-dir`` and a
+future boot read it), spawns and supervises the nodes, and serves a
+:class:`~repro.cluster.router.ClusterRouter` on the asyncio front
+door.  Chaos verdicts map 1:1: ``NODE_KILL`` → :meth:`kill_node`,
+``NODE_PAUSE`` → :meth:`pause_node`/:meth:`resume_node`,
+``PARTITION`` → :meth:`partition_node`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.node import NodeConfig
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import NodeSupervisor, node_dir
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer, default_tracer
+
+MANIFEST_FILE = "cluster.json"
+MANIFEST_FORMAT = "repro-cluster/1"
+
+
+def free_ports(n: int, host: str = "127.0.0.1") -> List[int]:
+    """``n`` currently-free TCP ports, reserved simultaneously.
+
+    Binding all sockets before closing any prevents the kernel from
+    handing the same port out twice.  A race with other processes
+    remains possible; ``SO_REUSEADDR`` on the node listeners absorbs
+    the common TIME_WAIT case.
+    """
+    sockets = []
+    try:
+        for _ in range(n):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+class Cluster:
+    """N supervised worker nodes behind one routed front door.
+
+    Args:
+        n_nodes: shard count; also the modulus of ``shard_of``.
+        data_dir: cluster root; node ``i`` logs to
+            ``data_dir/node-0i``.
+        host / router_port: front-door bind address (port 0 picks).
+        seed: node scheduler seed (node ``i`` gets ``seed + i``).
+        checkpoint_every / fsync: per-node WAL tuning.  ``fsync``
+            defaults on: the zero-acked-but-lost guarantee under
+            SIGKILL requires acknowledged answers to be on disk.
+        gold_rate / spam_detection: platform knobs, forwarded to
+            every node.
+        auto_restart: respawn dead nodes (chaos recovery path).
+        node_ports: explicit node ports (otherwise free ones).
+        registry / tracer: router-side observability.
+        router_kwargs: extra :class:`ClusterRouter` tuning.
+    """
+
+    def __init__(self, n_nodes: int, data_dir, *,
+                 host: str = "127.0.0.1", router_port: int = 0,
+                 seed: int = 0, checkpoint_every: int = 512,
+                 fsync: bool = True, gold_rate: float = 0.1,
+                 spam_detection: bool = True,
+                 auto_restart: bool = True,
+                 node_ports: Optional[List[int]] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 router_kwargs: Optional[Dict[str, Any]] = None
+                 ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.data_dir = Path(data_dir)
+        self.host = host
+        self.router_port = router_port
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self._router_kwargs = dict(router_kwargs or {})
+        self._auto_restart = auto_restart
+        if node_ports is not None and len(node_ports) != n_nodes:
+            raise ValueError("need one port per node")
+        ports = node_ports or free_ports(n_nodes, host)
+        self.configs = [
+            NodeConfig(index=index, n_nodes=n_nodes,
+                       data_dir=node_dir(self.data_dir, index),
+                       host=host, port=ports[index],
+                       seed=seed + index,
+                       checkpoint_every=checkpoint_every,
+                       fsync=fsync, gold_rate=gold_rate,
+                       spam_detection=spam_detection)
+            for index in range(n_nodes)]
+        self.supervisor: Optional[NodeSupervisor] = None
+        self.router: Optional[ClusterRouter] = None
+        self.server = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, ready_timeout_s: float = 30.0) -> "Cluster":
+        from repro.service.http import AsyncHttpServer
+
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._write_manifest()
+        self.supervisor = NodeSupervisor(
+            self.configs, auto_restart=self._auto_restart,
+            registry=self.registry)
+        self.supervisor.start(ready_timeout_s=ready_timeout_s)
+        self.router = ClusterRouter(
+            [config.base_url for config in self.configs],
+            registry=self.registry, tracer=self.tracer,
+            **self._router_kwargs).start()
+        # offload="thread": router handlers block on downstream HTTP.
+        self.server = AsyncHttpServer(
+            self.router, host=self.host, port=self.router_port,
+            offload="thread",
+            offload_threads=max(8, 2 * self.n_nodes))
+        self.server.start()
+        return self
+
+    def shutdown(self) -> None:
+        if self.server is not None:
+            self.server.shutdown()
+            self.server = None
+        if self.router is not None:
+            self.router.close()
+            self.router = None
+        if self.supervisor is not None:
+            self.supervisor.stop()
+            self.supervisor = None
+
+    def __enter__(self) -> "Cluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    @property
+    def base_url(self) -> str:
+        assert self.server is not None, "start() first"
+        return self.server.base_url
+
+    def _write_manifest(self) -> None:
+        doc = {
+            "format": MANIFEST_FORMAT,
+            "n_nodes": self.n_nodes,
+            "host": self.host,
+            "nodes": [{"index": config.index, "port": config.port,
+                       "dir": config.data_dir.name}
+                      for config in self.configs],
+        }
+        (self.data_dir / MANIFEST_FILE).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    # -- chaos verdicts ------------------------------------------------
+
+    def kill_node(self, index: int) -> None:
+        """SIGKILL node ``index``; the supervisor respawns it and the
+        replacement recovers from its WAL."""
+        assert self.supervisor is not None, "start() first"
+        self.supervisor.kill_node(index)
+
+    def pause_node(self, index: int) -> None:
+        assert self.supervisor is not None, "start() first"
+        self.supervisor.pause_node(index)
+
+    def resume_node(self, index: int) -> None:
+        assert self.supervisor is not None, "start() first"
+        self.supervisor.resume_node(index)
+
+    def partition_node(self, index: int, duration_s: float) -> None:
+        """Router-side partition: the node runs on, unreachable."""
+        assert self.router is not None, "start() first"
+        self.router.set_partition(index, duration_s)
+
+    # -- health --------------------------------------------------------
+
+    def wait_healthy(self, timeout_s: float = 30.0) -> None:
+        """Block until the router has probed every node healthy."""
+        assert self.router is not None, "start() first"
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            nodes = self.router.nodes_snapshot()
+            if (all(node["healthy"] for node in nodes)
+                    and all(node["wal_seq"] is not None
+                            for node in nodes)):
+                return
+            time.sleep(0.02)
+        raise TimeoutError(
+            f"cluster not healthy within {timeout_s}s: "
+            f"{self.router.nodes_snapshot()}")
+
+    def restarts(self) -> Dict[int, int]:
+        assert self.supervisor is not None, "start() first"
+        return self.supervisor.restarts()

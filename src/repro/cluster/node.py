@@ -1,0 +1,197 @@
+"""One cluster node: a shard-owning worker process.
+
+``python -m repro.cluster.node --index I --nodes N --data-dir DIR``
+boots a :class:`~repro.platform.facade.Platform` restricted to the
+hash slice ``shard_of(id, N) == I`` (so every id it mints is routable
+by pure hashing), recovers it from the node's own durability
+directory, and serves the full HTTP API on the asyncio front door.
+
+Startup protocol: once the listener is bound *and* recovery has
+replayed the WAL, the node atomically writes ``node.json`` (pid, port,
+index) into its data directory — the supervisor polls for that file to
+declare the node ready, and deletes it before every (re)spawn so a
+stale one can never satisfy the poll.  Shutdown protocol: SIGTERM (or
+SIGINT) drains in-flight connections, flushes a final checkpoint, and
+exits 0; SIGKILL at any point is recoverable by construction — that is
+the whole premise of the chaos matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+#: Ready-file name inside the node's data directory.  The atomic
+#: rename lands as ``node.json``; the temp name deliberately avoids
+#: the ``*.tmp`` suffix fsck reserves for interrupted checkpoints.
+READY_FILE = "node.json"
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything that defines one node process.
+
+    ``seed`` feeds the node's scheduler RNG; cluster campaigns that
+    need byte-identical replays keep ``gold_rate`` at 0 so the stream
+    is never consulted and a mid-campaign recovery (which resets it)
+    cannot diverge from a fault-free run.
+    """
+
+    index: int
+    n_nodes: int
+    data_dir: Path
+    host: str = "127.0.0.1"
+    port: int = 0
+    seed: int = 0
+    checkpoint_every: int = 512
+    fsync: bool = True
+    gold_rate: float = 0.1
+    spam_detection: bool = True
+    sample_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.n_nodes:
+            raise ValueError(
+                f"node index {self.index} outside cluster of "
+                f"{self.n_nodes}")
+
+    @property
+    def shard_range(self) -> Tuple[int, int]:
+        return (self.index, self.n_nodes)
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def argv(self) -> List[str]:
+        """The subprocess command line reproducing this config."""
+        cmd = [sys.executable, "-m", "repro.cluster.node",
+               "--index", str(self.index),
+               "--nodes", str(self.n_nodes),
+               "--data-dir", str(self.data_dir),
+               "--host", self.host,
+               "--port", str(self.port),
+               "--seed", str(self.seed),
+               "--checkpoint-every", str(self.checkpoint_every),
+               "--gold-rate", str(self.gold_rate),
+               "--sample-rate", str(self.sample_rate)]
+        if not self.fsync:
+            cmd.append("--no-fsync")
+        if not self.spam_detection:
+            cmd.append("--no-spam")
+        return cmd
+
+
+def build_node(config: NodeConfig):
+    """Recover the node's platform and build its (unstarted) server.
+
+    Returns ``(platform, api, server)``.  Importing inside the
+    function keeps ``repro.cluster`` importable without pulling the
+    whole service stack until a node actually boots.
+    """
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.tracing import Tracer
+    from repro.platform.facade import Platform
+    from repro.service.api import ApiServer
+    from repro.service.http import AsyncHttpServer
+
+    tracer = Tracer(sample_rate=config.sample_rate,
+                    recorder=FlightRecorder())
+    platform = Platform.recover(
+        config.data_dir,
+        checkpoint_every=config.checkpoint_every,
+        fsync=config.fsync,
+        seed=config.seed,
+        gold_rate=config.gold_rate,
+        spam_detection=config.spam_detection,
+        tracer=tracer,
+        shard_range=config.shard_range)
+    api = ApiServer(platform, tracer=tracer,
+                    shard_range=config.shard_range)
+    # Durable platform => handlers block on the WAL; always offload.
+    server = AsyncHttpServer(api, host=config.host, port=config.port,
+                             offload="thread")
+    return platform, api, server
+
+
+def write_ready_file(config: NodeConfig, port: int,
+                     pid: Optional[int] = None) -> Path:
+    """Atomically publish the node's readiness document."""
+    ready = Path(config.data_dir) / READY_FILE
+    doc = {
+        "index": config.index,
+        "n_nodes": config.n_nodes,
+        "pid": pid if pid is not None else os.getpid(),
+        "host": config.host,
+        "port": port,
+        "shard_range": list(config.shard_range),
+        "started_at": time.time(),
+    }
+    staging = ready.parent / (ready.name + ".new")
+    staging.write_text(json.dumps(doc, sort_keys=True),
+                       encoding="utf-8")
+    os.replace(staging, ready)
+    return ready
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster-node",
+        description="one shard-owning cluster worker process")
+    parser.add_argument("--index", type=int, required=True)
+    parser.add_argument("--nodes", type=int, required=True)
+    parser.add_argument("--data-dir", required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--checkpoint-every", type=int, default=512)
+    parser.add_argument("--no-fsync", action="store_true")
+    parser.add_argument("--gold-rate", type=float, default=0.1)
+    parser.add_argument("--no-spam", action="store_true")
+    parser.add_argument("--sample-rate", type=float, default=0.0)
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    config = NodeConfig(
+        index=args.index, n_nodes=args.nodes,
+        data_dir=Path(args.data_dir), host=args.host, port=args.port,
+        seed=args.seed, checkpoint_every=args.checkpoint_every,
+        fsync=not args.no_fsync, gold_rate=args.gold_rate,
+        spam_detection=not args.no_spam,
+        sample_rate=args.sample_rate)
+    platform, api, server = build_node(config)
+    server.start()
+
+    stop = threading.Event()
+
+    def _graceful(signum, frame):  # pragma: no cover - signal path
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+
+    write_ready_file(config, server.port)
+    print(f"node {config.index}/{config.n_nodes} serving "
+          f"{server.base_url} (wal seq {platform.durability.seq})",
+          flush=True)
+    while not stop.is_set():
+        stop.wait(0.2)
+    # Drain keep-alive connections first so every acked mutation is
+    # in the WAL before the final checkpoint flush.
+    server.shutdown()
+    api.shutdown()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

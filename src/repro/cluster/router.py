@@ -1,0 +1,771 @@
+"""The cluster router: consistent-hash request routing over N nodes.
+
+The router is shaped like an :class:`~repro.service.api.ApiServer`
+(``handle(ApiRequest) -> ApiResponse`` plus ``registry`` / ``tracer``
+/ ``faults``), so the same :class:`~repro.service.http.AsyncHttpServer`
+front door serves it — pass ``offload="thread"`` since its handlers
+block on downstream HTTP.
+
+Routing is a pure function of the id in the path: nodes only mint ids
+that hash into their own slice (see ``Platform(shard_range=...)``), so
+``shard_of(job_id, n)`` / ``shard_of(task_id, n)`` *is* the owner and
+the router keeps no placement table at all.  The full map:
+
+========================================  ==============================
+request                                   routing
+========================================  ==============================
+``POST /jobs``                            round-robin (owner = creator)
+``* /jobs/{job_id}...``                   ``shard_of(job_id)``
+``POST /tasks/{task_id}/answers``         ``shard_of(task_id)``
+``POST /tasks:batch-assign``              ``shard_of(body.job_id)``
+``POST /answers:batch``                   split by ``shard_of(task_id)``,
+                                          reassembled in order
+``POST /workers[...]``                    broadcast to every node
+``GET /jobs, /leaderboard,``              scatter-gather, merged;
+``/workers/flagged, /workers/{id}``       any node failure → 503
+``GET /healthz /metrics /dashboard``      per-node aggregation (down
+                                          nodes reported, not hidden)
+``GET /health``                           router-local
+``GET /debug/*?node=I``                   forwarded to node I
+========================================  ==============================
+
+Failover contract: a request to an unreachable node is transparently
+retried against the *same* node (its data lives nowhere else) while
+the supervisor restarts it — but only when replay is safe: GETs, and
+POSTs whose body carries an ``idempotency_key`` the node's dedupe
+table absorbs.  Anything else fails fast with ``503 + Retry-After``
+so the caller's retry policy owns the at-least-once decision.  A
+per-node circuit breaker sheds work from a node that keeps failing,
+and a background probe thread tracks per-node health from the
+enriched ``/healthz`` (WAL seq, checkpoint age, shard range).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.obs.exposition import (PROMETHEUS_CONTENT_TYPE, negotiate,
+                                  render_json, render_prometheus)
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer, default_tracer
+from repro.platform.sharding import shard_of
+from repro.service.client import HttpClient
+from repro.service.retry import CircuitBreaker
+from repro.service.wire import ApiRequest, ApiResponse, error_body
+
+_JOB_PATH = re.compile(r"^/jobs/([^/]+)(?:/.*)?$")
+_ANSWER_PATH = re.compile(r"^/tasks/([^/]+)/answers$")
+_WORKER_PATH = re.compile(r"^/workers/([^/]+)$")
+_DISCONNECT_PATH = re.compile(r"^/workers/([^/]+)/disconnect$")
+
+#: Mirror of the single-node batch cap; the router enforces it before
+#: splitting so an oversized batch is rejected whole, not per-shard.
+MAX_BATCH_ITEMS = 512
+
+
+class _NodeState:
+    """One downstream node: clients, breaker, probed health."""
+
+    def __init__(self, index: int, base_url: str,
+                 client: HttpClient, probe_client: HttpClient,
+                 breaker: CircuitBreaker) -> None:
+        self.index = index
+        self.name = f"node-{index}"
+        self.base_url = base_url
+        self.client = client
+        self.probe_client = probe_client
+        self.breaker = breaker
+        self.lock = threading.Lock()
+        # Optimistic until the first probe lands: a router booted
+        # against a ready cluster must not 503 its first requests.
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.wal_seq: Optional[int] = None
+        self.last_checkpoint_age_s: Optional[float] = None
+        self.shard_range: Optional[List[int]] = None
+        self.last_error: Optional[str] = None
+        self.partitioned_until = 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self.lock:
+            return {
+                "index": self.index,
+                "url": self.base_url,
+                "healthy": self.healthy,
+                "consecutive_failures": self.consecutive_failures,
+                "wal_seq": self.wal_seq,
+                "last_checkpoint_age_s": self.last_checkpoint_age_s,
+                "shard_range": self.shard_range,
+                "error": self.last_error,
+            }
+
+
+class ClusterRouter:
+    """Thin, stateless-by-construction front for a node set.
+
+    Args:
+        node_urls: base URLs indexed by node (position = shard index).
+        registry / tracer / faults: the usual observability trio; the
+            front door reads all three off this object.
+        retry_after_s: advisory backoff attached to 503s.
+        failover_retries: transparent same-node retries for
+            replay-safe requests while the supervisor restarts it.
+        failover_backoff_s: base sleep between those retries (grows
+            linearly with the attempt number).
+        probe_interval_s: health-probe cadence.
+        down_after: consecutive probe failures before a node is
+            marked unhealthy.
+        connect_timeout_s / read_timeout_s: per-request deadlines on
+            the node clients (a hung node costs one deadline, never a
+            blocked router thread).
+        breaker_threshold / breaker_reset_s: per-node circuit breaker
+            tuning; the reset is short because a restarting node is
+            usually back within a second.
+        clock / sleep: injectable time for tests.
+    """
+
+    def __init__(self, node_urls: List[str], *,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 faults=None,
+                 retry_after_s: float = 0.5,
+                 failover_retries: int = 10,
+                 failover_backoff_s: float = 0.1,
+                 probe_interval_s: float = 0.25,
+                 down_after: int = 2,
+                 connect_timeout_s: float = 1.0,
+                 read_timeout_s: float = 10.0,
+                 breaker_threshold: int = 8,
+                 breaker_reset_s: float = 0.5,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if not node_urls:
+            raise ValueError("a cluster needs at least one node")
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.faults = faults
+        self.retry_after_s = retry_after_s
+        self.failover_retries = failover_retries
+        self.failover_backoff_s = failover_backoff_s
+        self.probe_interval_s = probe_interval_s
+        self.down_after = down_after
+        self._clock = clock
+        self._sleep = sleep
+        # The front door's offload="auto" probe reads
+        # api.platform.durability; the router has no platform, so a
+        # stand-in keeps that path harmless (callers should still
+        # pass offload="thread" explicitly).
+        self.platform = type("_NoPlatform", (),
+                             {"durability": None})()
+        self.nodes: List[_NodeState] = []
+        for index, url in enumerate(node_urls):
+            # No retry policy on the node clients: the router's
+            # failover loop owns retries, so client attempts stay
+            # single-shot and deadlines stay predictable.
+            client = HttpClient(
+                url, connect_timeout_s=connect_timeout_s,
+                read_timeout_s=read_timeout_s,
+                registry=self.registry, tracer=self.tracer)
+            probe = HttpClient(
+                url, connect_timeout_s=connect_timeout_s,
+                read_timeout_s=max(1.0, connect_timeout_s),
+                registry=self.registry, tracer=self.tracer)
+            breaker = CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                reset_timeout_s=breaker_reset_s,
+                name=f"router-{index}", registry=self.registry)
+            self.nodes.append(_NodeState(index, url, client, probe,
+                                         breaker))
+        self.n_nodes = len(self.nodes)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * self.n_nodes),
+            thread_name_prefix="router-scatter")
+        self._rr_lock = threading.Lock()
+        self._rr = 0
+        self._stop = threading.Event()
+        self._probe_thread: Optional[threading.Thread] = None
+        self._started_monotonic = time.monotonic()
+        self._m_requests = self.registry.counter(
+            "router.requests", "router requests, by route/status")
+        self._m_latency = self.registry.histogram(
+            "router.latency_s", "router request latency, by route")
+        self._m_failovers = self.registry.counter(
+            "router.failovers",
+            "transparent same-node replays after a transport "
+            "failure, by node")
+        self._m_unavailable = self.registry.counter(
+            "router.unavailable",
+            "requests answered 503 for a down node, by node/reason")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ClusterRouter":
+        """Start the background health-probe thread."""
+        if self._probe_thread is None:
+            self._probe_thread = threading.Thread(
+                target=self._probe_loop, name="router-probe",
+                daemon=True)
+            self._probe_thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=5.0)
+            self._probe_thread = None
+        self._pool.shutdown(wait=False)
+        for node in self.nodes:
+            node.client.close()
+            node.probe_client.close()
+
+    # -- health --------------------------------------------------------
+
+    def _probe_loop(self) -> None:
+        while not self._stop.is_set():
+            for node in self.nodes:
+                if self._stop.is_set():
+                    break
+                self.probe_node(node)
+            self._stop.wait(self.probe_interval_s)
+
+    def probe_node(self, node: _NodeState) -> bool:
+        """One health probe; returns whether the node looked healthy."""
+        if self._clock() < node.partitioned_until:
+            with node.lock:
+                node.healthy = False
+                node.last_error = "partitioned"
+            return False
+        try:
+            response = node.probe_client.forward("GET", "/healthz")
+        except ServiceError as exc:
+            self._mark_down(node, str(exc))
+            return False
+        if response.status != 200:
+            self._mark_down(node, f"healthz status {response.status}")
+            return False
+        body = response.body
+        with node.lock:
+            node.healthy = True
+            node.consecutive_failures = 0
+            node.last_error = None
+            node.wal_seq = body.get("wal_seq")
+            node.last_checkpoint_age_s = body.get(
+                "last_checkpoint_age_s")
+            node.shard_range = body.get("shard_range")
+        # A live probe is direct evidence the node is back; close the
+        # breaker instead of waiting out its reset timeout.
+        node.breaker.record_success()
+        return True
+
+    def _mark_down(self, node: _NodeState, error: str) -> None:
+        with node.lock:
+            node.consecutive_failures += 1
+            node.last_error = error
+            if node.consecutive_failures >= self.down_after:
+                node.healthy = False
+
+    def set_partition(self, index: int, duration_s: float) -> None:
+        """Hide node ``index`` for ``duration_s`` seconds (the
+        ``PARTITION`` fault kind): requests answer 503 + Retry-After
+        while the node itself keeps running."""
+        node = self.nodes[index]
+        node.partitioned_until = self._clock() + duration_s
+        with node.lock:
+            node.healthy = False
+            node.last_error = "partitioned"
+
+    def nodes_snapshot(self) -> List[Dict[str, Any]]:
+        return [node.snapshot() for node in self.nodes]
+
+    # -- the one entry point -------------------------------------------
+
+    def handle(self, request: ApiRequest) -> ApiResponse:
+        started = time.perf_counter()
+        route = "other"
+        try:
+            route, response = self._route(request)
+        except ServiceError as exc:
+            response = ApiResponse(exc.status,
+                                   error_body(str(exc)))
+        except Exception as exc:  # noqa: BLE001 - router must answer
+            response = ApiResponse(
+                500, error_body(f"router error: {exc}"))
+        self._m_requests.inc(route=route,
+                             status=str(response.status))
+        self._m_latency.observe(time.perf_counter() - started,
+                                route=route)
+        return response
+
+    def _route(self, request: ApiRequest
+               ) -> Tuple[str, ApiResponse]:
+        method, path = request.method, request.path
+        if path == "/health":
+            return "health", ApiResponse(200, {
+                "status": "ok", "role": "router",
+                "nodes": self.n_nodes})
+        if path == "/healthz":
+            return "healthz", self._healthz()
+        if path == "/metrics":
+            return "metrics", self._metrics(request)
+        if path == "/dashboard":
+            return "dashboard", self._dashboard()
+        if path.startswith("/debug/"):
+            return "debug", self._debug(request)
+        if path == "/jobs":
+            if method == "POST":
+                return "create_job", self._create_job(request)
+            if method == "GET":
+                return "list_jobs", self._list_jobs(request)
+        if path == "/leaderboard" and method == "GET":
+            return "leaderboard", self._leaderboard(request)
+        if path == "/workers/flagged" and method == "GET":
+            return "flagged", self._flagged(request)
+        if path == "/workers" and method == "POST":
+            return "register", self._register_worker(request)
+        match = _DISCONNECT_PATH.match(path)
+        if match and method == "POST":
+            return "disconnect", self._disconnect(request)
+        match = _WORKER_PATH.match(path)
+        if match and method == "GET":
+            return "worker_stats", self._worker_stats(
+                request, match.group(1))
+        if path == "/tasks:batch-assign" and method == "POST":
+            return "batch_assign", self._batch_assign(request)
+        if path == "/answers:batch" and method == "POST":
+            return "batch_answers", self._batch_answers(request)
+        match = _ANSWER_PATH.match(path)
+        if match and method == "POST":
+            node = self._owner(match.group(1))
+            return "answer", self._forward(
+                node, method, path, body=request.body,
+                query=request.query)
+        match = _JOB_PATH.match(path)
+        if match:
+            node = self._owner(match.group(1))
+            return "job_scoped", self._forward(
+                node, method, path, body=request.body,
+                query=request.query)
+        return "other", ApiResponse(
+            404, error_body(f"no route for {method} {path}"))
+
+    # -- forwarding core -----------------------------------------------
+
+    def _owner(self, key: str) -> _NodeState:
+        return self.nodes[shard_of(key, self.n_nodes)]
+
+    def _forward(self, node: _NodeState, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 query: Optional[Dict[str, str]] = None,
+                 replay_safe: Optional[bool] = None) -> ApiResponse:
+        """One request to one node, with bounded same-node failover.
+
+        Replay-safe requests (GETs; bodies carrying an
+        ``idempotency_key``; callers asserting safety) ride out a node
+        restart: each transport failure trips the breaker, sleeps, and
+        tries again up to ``failover_retries`` times.  Everything else
+        surfaces the first failure as ``503 + Retry-After`` — the
+        at-least-once decision belongs to the caller.
+        """
+        if replay_safe is None:
+            replay_safe = (method == "GET"
+                           or (isinstance(body, dict)
+                               and bool(body.get("idempotency_key"))))
+        attempts = (self.failover_retries + 1) if replay_safe else 1
+        for attempt in range(attempts):
+            final = attempt + 1 >= attempts
+            if self._clock() < node.partitioned_until:
+                if not final:
+                    self._sleep(self.failover_backoff_s)
+                    continue
+                return self._unavailable(node, "partitioned")
+            if not node.breaker.allow():
+                if not final:
+                    self._sleep(self.failover_backoff_s)
+                    continue
+                return self._unavailable(node, "circuit_open")
+            try:
+                response = node.client.forward(method, path,
+                                               body=body, query=query)
+            except ServiceError as exc:
+                node.breaker.record_failure()
+                self._mark_down(node, str(exc))
+                if not final:
+                    self._m_failovers.inc(node=node.name)
+                    self._sleep(min(1.0, self.failover_backoff_s
+                                    * (attempt + 1)))
+                    continue
+                return self._unavailable(node,
+                                         f"unreachable ({exc})")
+            node.breaker.record_success()
+            return response
+        raise AssertionError("unreachable: failover loop exited")
+
+    def _unavailable(self, node: _NodeState,
+                     reason: str) -> ApiResponse:
+        self._m_unavailable.inc(
+            node=node.name,
+            reason=reason.split(" ", 1)[0].rstrip(":"))
+        body = error_body(
+            f"{node.name} unavailable: {reason}; retry after "
+            f"{self.retry_after_s:g}s")
+        body["node"] = node.index
+        return ApiResponse(
+            503, body,
+            headers={"Retry-After": f"{self.retry_after_s:g}"})
+
+    def _scatter(self, method: str, path: str,
+                 query: Optional[Dict[str, str]] = None
+                 ) -> List[ApiResponse]:
+        """The same GET against every node, concurrently, in index
+        order.  Callers decide whether a failed leg degrades (ops
+        endpoints) or aborts (data reads: never silently truncate)."""
+        futures = [self._pool.submit(self._forward, node, method,
+                                     path, None, query)
+                   for node in self.nodes]
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def _first_failure(responses: List[ApiResponse]
+                       ) -> Optional[ApiResponse]:
+        for response in responses:
+            if not response.ok:
+                return response
+        return None
+
+    # -- write routes --------------------------------------------------
+
+    def _create_job(self, request: ApiRequest) -> ApiResponse:
+        """Round-robin job placement across healthy nodes.
+
+        The chosen node mints a ``job_id`` inside its own hash slice,
+        so every later request for that job routes back to it by pure
+        hashing.  Placement is deterministic when all nodes are
+        healthy (call-count modulo), which keeps chaos baselines
+        comparable; an unhealthy node is skipped.
+        """
+        with self._rr_lock:
+            start = self._rr
+            self._rr += 1
+        last_error: Optional[ApiResponse] = None
+        for offset in range(self.n_nodes):
+            node = self.nodes[(start + offset) % self.n_nodes]
+            with node.lock:
+                healthy = node.healthy
+            if not healthy and offset + 1 < self.n_nodes:
+                continue
+            response = self._forward(node, "POST", "/jobs",
+                                     body=request.body,
+                                     replay_safe=False)
+            if response.status != 503:
+                return response
+            last_error = response
+        return last_error if last_error is not None else \
+            self._unavailable(self.nodes[start % self.n_nodes],
+                              "no healthy nodes")
+
+    def _register_worker(self, request: ApiRequest) -> ApiResponse:
+        """Broadcast: workers exist on every node (answers for a
+        worker land wherever its tasks hash).  Registration is
+        idempotent on the platform, so replay is safe."""
+        futures = [self._pool.submit(self._forward, node, "POST",
+                                     "/workers", request.body, None,
+                                     True)
+                   for node in self.nodes]
+        responses = [future.result() for future in futures]
+        failure = self._first_failure(responses)
+        if failure is not None:
+            return failure
+        return responses[0]
+
+    def _disconnect(self, request: ApiRequest) -> ApiResponse:
+        """Broadcast: the worker's leases live on every node that ever
+        assigned it a task.  Requeue counts sum."""
+        futures = [self._pool.submit(self._forward, node, "POST",
+                                     request.path, request.body or {},
+                                     None, True)
+                   for node in self.nodes]
+        responses = [future.result() for future in futures]
+        failure = self._first_failure(responses)
+        if failure is not None:
+            return failure
+        merged = dict(responses[0].body)
+        merged["requeued"] = sum(
+            int(response.body.get("requeued", 0))
+            for response in responses)
+        return ApiResponse(200, merged)
+
+    def _batch_assign(self, request: ApiRequest) -> ApiResponse:
+        job_id = (request.body or {}).get("job_id")
+        if not job_id:
+            return ApiResponse(
+                422, error_body("batch-assign needs a 'job_id'"))
+        return self._forward(self._owner(str(job_id)), "POST",
+                             request.path, body=request.body)
+
+    def _batch_answers(self, request: ApiRequest) -> ApiResponse:
+        """Split a batch by task owner, reassemble results in order.
+
+        The batch is replay-safe against a restarting node exactly
+        when *every* item carries an idempotency key (the client's
+        ``submit_answers`` always fills them in).  A failed shard
+        fails the whole batch with its error — a partial batch result
+        would silently drop answers.
+        """
+        items = (request.body or {}).get("answers")
+        if not isinstance(items, list):
+            return ApiResponse(
+                422, error_body("body needs an 'answers' array"))
+        if len(items) > MAX_BATCH_ITEMS:
+            return ApiResponse(422, error_body(
+                f"batch too large: {len(items)} > {MAX_BATCH_ITEMS}"))
+        groups: Dict[int, List[Tuple[int, Dict[str, Any]]]] = {}
+        for position, item in enumerate(items):
+            if not isinstance(item, dict) or not item.get("task_id"):
+                return ApiResponse(422, error_body(
+                    f"answer item {position} needs a 'task_id'"))
+            owner = shard_of(str(item["task_id"]), self.n_nodes)
+            groups.setdefault(owner, []).append((position, item))
+        replay_safe = all(bool(item.get("idempotency_key"))
+                          for item in items)
+        futures = {
+            owner: self._pool.submit(
+                self._forward, self.nodes[owner], "POST",
+                "/answers:batch",
+                {"answers": [item for _, item in group]}, None,
+                replay_safe)
+            for owner, group in groups.items()}
+        results: List[Optional[Dict[str, Any]]] = [None] * len(items)
+        accepted = 0
+        for owner, group in groups.items():
+            response = futures[owner].result()
+            if not response.ok:
+                return response
+            shard_results = response.body.get("results", [])
+            if len(shard_results) != len(group):
+                return ApiResponse(502, error_body(
+                    f"node-{owner} returned {len(shard_results)} "
+                    f"results for {len(group)} items"))
+            for (position, _), outcome in zip(group, shard_results):
+                results[position] = outcome
+            accepted += int(response.body.get("accepted", 0))
+        return ApiResponse(200, {"accepted": accepted,
+                                 "results": results})
+
+    # -- scatter-gather reads ------------------------------------------
+
+    def _list_jobs(self, request: ApiRequest) -> ApiResponse:
+        responses = self._scatter("GET", "/jobs", request.query)
+        failure = self._first_failure(responses)
+        if failure is not None:
+            return failure
+        jobs: List[Dict[str, Any]] = []
+        for response in responses:
+            jobs.extend(response.body.get("jobs", []))
+        jobs.sort(key=lambda job: str(job.get("job_id", "")))
+        return ApiResponse(200, {"jobs": jobs})
+
+    def _leaderboard(self, request: ApiRequest) -> ApiResponse:
+        """Sum points per account across nodes, then rank.
+
+        A worker's points are split across the nodes its tasks hashed
+        to, so per-node top-k lists cannot be merged directly: the
+        router asks every node for its *full* board and ranks the
+        summed totals.
+        """
+        try:
+            k = int(request.query.get("k", "10"))
+        except ValueError:
+            return ApiResponse(422, error_body("k must be an integer"))
+        responses = self._scatter("GET", "/leaderboard",
+                                  {"k": str(10_000_000)})
+        failure = self._first_failure(responses)
+        if failure is not None:
+            return failure
+        totals: Dict[str, int] = {}
+        for response in responses:
+            for row in response.body.get("leaderboard", []):
+                account = str(row.get("account_id"))
+                totals[account] = (totals.get(account, 0)
+                                   + int(row.get("points", 0)))
+        ranked = sorted(totals.items(),
+                        key=lambda kv: (-kv[1], kv[0]))[:max(0, k)]
+        return ApiResponse(200, {"leaderboard": [
+            {"account_id": account, "points": points}
+            for account, points in ranked]})
+
+    def _flagged(self, request: ApiRequest) -> ApiResponse:
+        responses = self._scatter("GET", "/workers/flagged")
+        failure = self._first_failure(responses)
+        if failure is not None:
+            return failure
+        flagged = set()
+        for response in responses:
+            flagged.update(response.body.get("flagged", []))
+        return ApiResponse(200, {"flagged": sorted(flagged)})
+
+    def _worker_stats(self, request: ApiRequest,
+                      worker_id: str) -> ApiResponse:
+        """Merge a worker's per-node accounts into one document.
+
+        Points sum (they are disjoint per node); reputation averages;
+        ``trusted`` requires every node's agreement; ``rank`` is
+        per-node state and comes back null — the merged leaderboard is
+        the cluster-wide ranking source.
+        """
+        responses = self._scatter("GET", f"/workers/{worker_id}")
+        failure = self._first_failure(responses)
+        if failure is not None:
+            return failure
+        reputations = [float(r.body.get("reputation", 0.0))
+                       for r in responses]
+        return ApiResponse(200, {
+            "account_id": worker_id,
+            "points": sum(int(r.body.get("points", 0))
+                          for r in responses),
+            "reputation": (sum(reputations) / len(reputations)
+                           if reputations else 0.0),
+            "trusted": all(bool(r.body.get("trusted"))
+                           for r in responses),
+            "rank": None,
+            "nodes": [{"index": index,
+                       "points": r.body.get("points", 0),
+                       "reputation": r.body.get("reputation"),
+                       "rank": r.body.get("rank")}
+                      for index, r in enumerate(responses)]})
+
+    # -- observability aggregation -------------------------------------
+
+    def _healthz(self) -> ApiResponse:
+        """Cluster readiness: the router's view of every node.
+
+        Unlike data reads, a down node does not fail the probe — it
+        *is* the information: status degrades and the per-node entry
+        carries the error."""
+        nodes = self.nodes_snapshot()
+        healthy = sum(1 for node in nodes if node["healthy"])
+        return ApiResponse(200, {
+            "status": "ok" if healthy == self.n_nodes else "degraded",
+            "role": "router",
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "n_nodes": self.n_nodes,
+            "healthy_nodes": healthy,
+            "nodes": nodes})
+
+    def _metrics(self, request: ApiRequest) -> ApiResponse:
+        """Cluster metrics: summed counters/gauges plus per-node
+        snapshots.  ``format=prometheus`` exposes the router's own
+        registry (node metrics stay per-node to keep series distinct).
+        """
+        fmt = negotiate(accept=request.headers.get("accept"),
+                        fmt=request.query.get("format"))
+        if fmt == "prometheus":
+            return ApiResponse(200, {},
+                               text=render_prometheus(self.registry),
+                               content_type=PROMETHEUS_CONTENT_TYPE)
+        responses = self._scatter("GET", "/metrics")
+        merged: Dict[str, Dict[str, Any]] = {}
+        per_node: Dict[str, Any] = {}
+        reachable = 0
+        for node, response in zip(self.nodes, responses):
+            if not response.ok:
+                per_node[node.name] = {
+                    "error": response.body.get("error",
+                                               "unreachable")}
+                continue
+            reachable += 1
+            snapshot = response.body.get("metrics", {})
+            per_node[node.name] = response.body
+            for name, metric in snapshot.items():
+                if metric.get("kind") not in ("counter", "gauge"):
+                    continue
+                slot = merged.setdefault(name, {
+                    "kind": metric["kind"],
+                    "description": metric.get("description", ""),
+                    "series": {}})
+                for series in metric.get("series", []):
+                    labels = tuple(sorted(
+                        (series.get("labels") or {}).items()))
+                    slot["series"][labels] = (
+                        slot["series"].get(labels, 0)
+                        + series.get("value", 0))
+        metrics_doc = {
+            name: {"kind": slot["kind"],
+                   "description": slot["description"],
+                   "series": [{"labels": dict(labels),
+                               "value": value}
+                              for labels, value
+                              in sorted(slot["series"].items())]}
+            for name, slot in sorted(merged.items())}
+        router_own = render_json(self.registry).get("metrics", {})
+        return ApiResponse(200, {
+            "cluster": {"n_nodes": self.n_nodes,
+                        "reachable_nodes": reachable,
+                        "complete": reachable == self.n_nodes},
+            "metrics": metrics_doc,
+            "router": router_own,
+            "nodes": per_node})
+
+    def _dashboard(self) -> ApiResponse:
+        """Per-node health plus aggregate service counters; rendered
+        by ``repro top`` as the cluster frame.  Deterministic JSON
+        (sorted keys) like the single-node dashboard."""
+        responses = self._scatter("GET", "/dashboard")
+        health = {node["index"]: node
+                  for node in self.nodes_snapshot()}
+        nodes_doc: Dict[str, Any] = {}
+        total_requests = 0
+        total_errors = 0
+        for node, response in zip(self.nodes, responses):
+            entry = dict(health[node.index])
+            if response.ok:
+                service = response.body.get("service", {})
+                entry["service"] = {
+                    "requests": service.get("requests", 0),
+                    "errors": service.get("errors", 0)}
+                total_requests += int(service.get("requests", 0))
+                total_errors += int(service.get("errors", 0))
+            elif response.status == 503 and "disabled" in str(
+                    response.body.get("error", "")):
+                # Live analytics off on the node: healthy, no doc.
+                entry["service"] = None
+            else:
+                entry["error"] = response.body.get("error",
+                                                   "unreachable")
+            nodes_doc[f"node-{node.index}"] = entry
+        doc = {
+            "role": "router",
+            "cluster": {
+                "n_nodes": self.n_nodes,
+                "healthy_nodes": sum(
+                    1 for node in health.values()
+                    if node["healthy"]),
+                "requests": total_requests,
+                "errors": total_errors},
+            "nodes": nodes_doc}
+        return ApiResponse(200, doc,
+                           text=json.dumps(doc, sort_keys=True),
+                           content_type="application/json; "
+                                        "charset=utf-8")
+
+    def _debug(self, request: ApiRequest) -> ApiResponse:
+        """Debug endpoints are per-node state; ``?node=I`` names one."""
+        raw = request.query.get("node")
+        if raw is None:
+            return ApiResponse(422, error_body(
+                "debug endpoints are per-node: add ?node=<index>"))
+        try:
+            index = int(raw)
+            node = self.nodes[index]
+        except (ValueError, IndexError):
+            return ApiResponse(422, error_body(
+                f"node must be an index in [0, {self.n_nodes})"))
+        query = {key: value for key, value in request.query.items()
+                 if key != "node"}
+        return self._forward(node, "GET", request.path, query=query)

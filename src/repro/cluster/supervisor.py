@@ -1,0 +1,285 @@
+"""Node process supervision: spawn, watch, respawn, chaos verdicts.
+
+The supervisor owns the cluster's worker processes.  Each node runs
+``python -m repro.cluster.node`` on a pre-assigned port (so a restart
+comes back at the same address and the router's node table never
+changes), logs to ``node.log`` in its data directory, and signals
+readiness by writing ``node.json`` once its listener is bound and its
+WAL replayed.
+
+A monitor thread polls liveness: a node that dies while the
+supervisor is running (SIGKILLed by a chaos campaign, OOMed, crashed)
+is respawned on the same port and directory, which makes it recover —
+:meth:`~repro.platform.facade.Platform.recover` replays the WAL it
+left behind.  Restarts are counted in ``cluster.node_restarts`` so a
+campaign can assert its kills actually happened.  The chaos fault
+kinds map to methods here: ``NODE_KILL`` → :meth:`kill_node`,
+``NODE_PAUSE`` → :meth:`pause_node` / :meth:`resume_node`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import repro
+from repro.cluster.node import NodeConfig, READY_FILE
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+#: Node data directories under a cluster root: ``node-00``,
+#: ``node-01``, ...  (two digits keeps listings sorted; the fsck
+#: glob accepts any width).
+NODE_DIR_FORMAT = "node-%02d"
+
+
+def node_dir(cluster_dir, index: int) -> Path:
+    """The data directory of node ``index`` under a cluster root."""
+    return Path(cluster_dir) / (NODE_DIR_FORMAT % index)
+
+
+def _subprocess_env() -> Dict[str, str]:
+    """The child's environment, with this repro importable.
+
+    The node entry point imports ``repro``; tests run from a source
+    tree where only ``PYTHONPATH`` makes that work, so the parent's
+    resolved package root is prepended explicitly rather than trusting
+    the inherited value.
+    """
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (package_root if not existing
+                         else package_root + os.pathsep + existing)
+    return env
+
+
+class NodeProcess:
+    """One supervised node: its config, current process, generation."""
+
+    def __init__(self, config: NodeConfig) -> None:
+        if config.port == 0:
+            raise ValueError(
+                "supervised nodes need a pre-assigned port (port 0 "
+                "would come back elsewhere after a restart)")
+        self.config = config
+        self.proc: Optional[subprocess.Popen] = None
+        #: How many times this node has been (re)spawned.
+        self.generation = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def spawn(self) -> None:
+        """Start (or restart) the node process."""
+        data_dir = Path(self.config.data_dir)
+        data_dir.mkdir(parents=True, exist_ok=True)
+        ready = data_dir / READY_FILE
+        try:
+            ready.unlink()
+        except FileNotFoundError:
+            pass
+        # The log handle is inherited by the child; closing our copy
+        # immediately keeps the parent's fd table flat across many
+        # restarts.
+        with open(data_dir / "node.log", "ab") as log:
+            self.proc = subprocess.Popen(
+                self.config.argv(), stdout=log,
+                stderr=subprocess.STDOUT, stdin=subprocess.DEVNULL,
+                env=_subprocess_env())
+        self.generation += 1
+
+    def wait_ready(self, timeout_s: float = 30.0) -> Dict[str, Any]:
+        """Block until the node publishes its ready file.
+
+        Returns the readiness document.  Raises if the process exits
+        first (with the tail of its log — the only place a crashed
+        child's traceback lives) or the deadline passes.
+        """
+        assert self.proc is not None, "spawn() first"
+        deadline = time.monotonic() + timeout_s
+        ready = Path(self.config.data_dir) / READY_FILE
+        while time.monotonic() < deadline:
+            code = self.proc.poll()
+            if code is not None:
+                raise RuntimeError(
+                    f"node {self.config.index} exited with code "
+                    f"{code} during startup\n{self._log_tail()}")
+            if ready.exists():
+                try:
+                    doc = json.loads(ready.read_text(encoding="utf-8"))
+                except (ValueError, OSError):
+                    doc = None  # torn read of a concurrent rename
+                if doc and doc.get("pid") == self.proc.pid:
+                    return doc
+            time.sleep(0.01)
+        raise TimeoutError(
+            f"node {self.config.index} not ready within {timeout_s}s"
+            f"\n{self._log_tail()}")
+
+    def _log_tail(self, lines: int = 20) -> str:
+        log = Path(self.config.data_dir) / "node.log"
+        try:
+            tail = log.read_text(encoding="utf-8",
+                                 errors="replace").splitlines()
+        except OSError:
+            return "(no node.log)"
+        return "\n".join(tail[-lines:])
+
+    # -- state ---------------------------------------------------------
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    # -- chaos verdicts ------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL: the crash the WAL exists for."""
+        if self.proc is not None:
+            self.proc.kill()
+
+    def pause(self) -> None:
+        """SIGSTOP: alive but unresponsive (deadline fodder)."""
+        if self.alive():
+            os.kill(self.proc.pid, signal.SIGSTOP)
+
+    def resume(self) -> None:
+        if self.alive():
+            os.kill(self.proc.pid, signal.SIGCONT)
+
+    def terminate(self) -> None:
+        """SIGTERM: graceful drain + final checkpoint."""
+        if self.alive():
+            self.proc.terminate()
+
+    def wait(self, timeout_s: Optional[float] = None) -> Optional[int]:
+        if self.proc is None:
+            return None
+        try:
+            return self.proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            return None
+
+
+class NodeSupervisor:
+    """Spawns a set of nodes and keeps them alive.
+
+    Args:
+        configs: one :class:`NodeConfig` per node, ports pre-assigned.
+        auto_restart: respawn nodes that die (the production posture;
+            chaos tests rely on it).  Restart keeps the port and data
+            directory, so recovery is implicit.
+        poll_interval_s: liveness poll cadence.
+        registry: lands ``cluster.node_restarts`` (by node).
+        on_restart: optional callback ``(index) -> None`` fired after
+            a respawn (before the node is necessarily ready).
+    """
+
+    def __init__(self, configs: Sequence[NodeConfig],
+                 auto_restart: bool = True,
+                 poll_interval_s: float = 0.05,
+                 registry: Optional[MetricsRegistry] = None,
+                 on_restart: Optional[Callable[[int], None]] = None
+                 ) -> None:
+        self.nodes: List[NodeProcess] = [NodeProcess(config)
+                                         for config in configs]
+        self.auto_restart = auto_restart
+        self.poll_interval_s = poll_interval_s
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self._on_restart = on_restart
+        self._m_restarts = self.registry.counter(
+            "cluster.node_restarts",
+            "node processes respawned after dying, by node")
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, ready_timeout_s: float = 30.0) -> None:
+        """Spawn every node, wait for readiness, start the monitor."""
+        for node in self.nodes:
+            node.spawn()
+        for node in self.nodes:
+            node.wait_ready(timeout_s=ready_timeout_s)
+        self._thread = threading.Thread(
+            target=self._monitor, name="cluster-supervisor",
+            daemon=True)
+        self._thread.start()
+
+    def _monitor(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                for node in self.nodes:
+                    if self._stop.is_set():
+                        break
+                    if node.proc is None or node.alive():
+                        continue
+                    if not self.auto_restart:
+                        continue
+                    node.spawn()
+                    self._m_restarts.inc(
+                        node=f"node-{node.config.index}")
+                    if self._on_restart is not None:
+                        self._on_restart(node.config.index)
+            self._stop.wait(self.poll_interval_s)
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Gracefully stop every node (SIGTERM, then SIGKILL)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        with self._lock:
+            for node in self.nodes:
+                node.terminate()
+            deadline = time.monotonic() + timeout_s
+            for node in self.nodes:
+                remaining = max(0.1, deadline - time.monotonic())
+                if node.wait(timeout_s=remaining) is None:
+                    node.kill()
+                    node.wait(timeout_s=5.0)
+
+    # -- chaos verdicts ------------------------------------------------
+
+    def kill_node(self, index: int) -> None:
+        """SIGKILL node ``index``; the monitor respawns it."""
+        self.nodes[index].kill()
+
+    def pause_node(self, index: int) -> None:
+        self.nodes[index].pause()
+
+    def resume_node(self, index: int) -> None:
+        self.nodes[index].resume()
+
+    def wait_node_ready(self, index: int,
+                        timeout_s: float = 30.0) -> Dict[str, Any]:
+        """Block until node ``index``'s current process is ready.
+
+        After a kill, the monitor may not have respawned it yet; poll
+        through that window instead of racing it.
+        """
+        deadline = time.monotonic() + timeout_s
+        node = self.nodes[index]
+        while time.monotonic() < deadline:
+            if node.alive():
+                try:
+                    return node.wait_ready(
+                        timeout_s=max(0.1,
+                                      deadline - time.monotonic()))
+                except RuntimeError:
+                    pass  # died again mid-wait; keep polling
+            time.sleep(0.01)
+        raise TimeoutError(
+            f"node {index} not back within {timeout_s}s")
+
+    # -- introspection -------------------------------------------------
+
+    def restarts(self) -> Dict[int, int]:
+        """Respawn counts per node index (first spawn excluded)."""
+        return {node.config.index: max(0, node.generation - 1)
+                for node in self.nodes}

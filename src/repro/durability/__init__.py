@@ -7,7 +7,8 @@ newest valid checkpoint and replaying the WAL tail.  ``repro fsck``
 diagnoses a durability directory offline.
 """
 
-from repro.durability.fsck import FsckIssue, FsckReport, fsck
+from repro.durability.fsck import (FsckIssue, FsckReport, cluster_fsck,
+                                   fsck)
 from repro.durability.log import (CHECKPOINT_FORMAT,
                                   DEFAULT_CHECKPOINT_EVERY,
                                   DurabilityLog)
@@ -27,6 +28,7 @@ __all__ = [
     "WalRecord",
     "atomic_write_bytes",
     "atomic_write_text",
+    "cluster_fsck",
     "crc32c",
     "decode_frame",
     "encode_frame",

@@ -324,4 +324,24 @@ def _all_seqs(segments) -> List[int]:
     return seqs
 
 
-_ = re  # imported for regex type parity with log module
+#: Node durability directories under a cluster root (see
+#: ``repro.cluster.supervisor.NODE_DIR_FORMAT``).
+_NODE_DIR_RE = re.compile(r"node-(\d+)$")
+
+
+def cluster_fsck(root: Union[str, Path]) -> Dict[int, FsckReport]:
+    """Diagnose every node directory under a cluster root.
+
+    Walks ``root/node-*/`` (the layout ``repro.cluster`` writes, one
+    durability directory per shard-owning node) and runs :func:`fsck`
+    on each.  Returns reports keyed by node index; an empty dict
+    means the root holds no node directories — callers should treat
+    that as a configuration error rather than a clean cluster.
+    """
+    root = Path(root)
+    reports: Dict[int, FsckReport] = {}
+    for path in sorted(root.iterdir()) if root.is_dir() else []:
+        match = _NODE_DIR_RE.match(path.name)
+        if match and path.is_dir():
+            reports[int(match.group(1))] = fsck(path)
+    return reports

@@ -216,7 +216,14 @@ class DurabilityLog:
             stale.unlink()
         self._seq = 0
         self._since_checkpoint = 0
+        # Monotonic timestamp of the newest checkpoint *this process*
+        # wrote (or the open, when the directory already had one) —
+        # feeds the ``last_checkpoint_age_s`` health field, which is
+        # about checkpoint cadence, not file mtimes.
+        self._checkpointed_monotonic: Optional[float] = None
         self._scan_directory()
+        if self._checkpoint_files():
+            self._checkpointed_monotonic = time.monotonic()
         self._next_seq = self._seq
 
     # ------------------------------------------------------------------
@@ -302,6 +309,8 @@ class DurabilityLog:
             seq = self._seq
             since = self._since_checkpoint
         checkpoints = self._checkpoint_files()
+        age = (time.monotonic() - self._checkpointed_monotonic
+               if self._checkpointed_monotonic is not None else None)
         return {
             "dir": str(self.root),
             "seq": seq,
@@ -309,6 +318,7 @@ class DurabilityLog:
             "records_since_checkpoint": since,
             "segments": len(self._segment_files()),
             "checkpoints": len(checkpoints),
+            "last_checkpoint_age_s": age,
         }
 
     # ------------------------------------------------------------------
@@ -604,6 +614,7 @@ class DurabilityLog:
                 self._current_segment = None
                 self._rotate(seq)
                 self._since_checkpoint = self._seq - seq
+                self._checkpointed_monotonic = time.monotonic()
         self._m_ckpt_latency.observe(
             time.perf_counter() - started, exemplar=trace_id)
         self._m_ckpt_bytes.inc(len(frame))

@@ -121,6 +121,31 @@ class TransientServiceError(ServiceError):
         return True
 
 
+class DeadlineExceeded(TransientServiceError):
+    """A client-side connect or read deadline expired.
+
+    Distinct from a generic transport failure so operators (and
+    metrics) can tell a *hung* peer from a *dead* one: a dead socket
+    fails instantly, a hung node eats the whole deadline.  Retryable —
+    the router's failover semantics and the platform's idempotency
+    keys make a replay safe — but the request may have executed, so it
+    is never transparently replayed at the transport layer unless the
+    request itself is idempotent.
+
+    Attributes:
+        phase: which deadline expired — ``"connect"`` or ``"read"``.
+        deadline_s: the deadline that was exceeded, in seconds.
+    """
+
+    def __init__(self, message: str, phase: str = "read",
+                 deadline_s: "float | None" = None,
+                 retry_after_s: "float | None" = None) -> None:
+        super().__init__(message, status=504,
+                         retry_after_s=retry_after_s)
+        self.phase = phase
+        self.deadline_s = deadline_s
+
+
 class CircuitOpenError(ServiceError):
     """The client's circuit breaker is open: failing fast, no retry.
 

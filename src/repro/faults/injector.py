@@ -157,6 +157,27 @@ class FaultInjector:
         """
         return self._fired(site, FaultKind.CRASH_POINT)
 
+    # The cluster kinds are consulted by the chaos harness (between
+    # client operations) rather than by an in-process injection point:
+    # the verdicts name whole-process failures only the harness and
+    # supervisor can execute.
+
+    def kills_node(self, site: str) -> bool:
+        """True when the node named by ``site`` should be SIGKILLed."""
+        return self._fired(site, FaultKind.NODE_KILL) is not None
+
+    def pauses_node(self, site: str) -> float:
+        """Seconds to SIGSTOP the node named by ``site`` (0 = no
+        pause)."""
+        rule = self._fired(site, FaultKind.NODE_PAUSE)
+        return rule.latency_s if rule is not None else 0.0
+
+    def partitions(self, site: str) -> float:
+        """Seconds the router should lose sight of the node named by
+        ``site`` (0 = no partition)."""
+        rule = self._fired(site, FaultKind.PARTITION)
+        return rule.latency_s if rule is not None else 0.0
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

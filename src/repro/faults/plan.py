@@ -29,6 +29,19 @@ service sees (ISSUE 2; Ponciano et al. 2015's dependability taxonomy):
   checkpoint frame, then raises
   :class:`~repro.errors.InjectedCrash`.  The crash-recovery matrix is
   built on this.
+
+Three cluster-level kinds (ISSUE 9) drive the multi-node chaos
+harness; their sites name cluster nodes (``cluster.node-2``) and the
+harness — not an in-process injection point — executes the verdicts:
+
+- ``NODE_KILL`` — SIGKILL a worker node mid-campaign; the supervisor
+  restarts it via :meth:`~repro.platform.facade.Platform.recover`
+  from its own WAL.
+- ``NODE_PAUSE`` — SIGSTOP a node for ``latency_s`` seconds, then
+  SIGCONT (the hung-but-alive failure deadlines exist for).
+- ``PARTITION`` — the router loses sight of a healthy node for
+  ``latency_s`` seconds (requests answered 503 + Retry-After while
+  the node keeps running).
 """
 
 from __future__ import annotations
@@ -51,6 +64,9 @@ class FaultKind(enum.Enum):
     DUPLICATE = "duplicate"
     STORE_CRASH = "store_crash"
     CRASH_POINT = "crash_point"
+    NODE_KILL = "node_kill"
+    NODE_PAUSE = "node_pause"
+    PARTITION = "partition"
 
 
 @dataclass(frozen=True)
@@ -186,6 +202,42 @@ class FaultPlan:
             site=site, kind=FaultKind.CRASH_POINT,
             probability=probability, after=after, max_fires=max_fires,
             at_byte=at_byte, **kw))
+
+    def with_node_kills(self, site: str = "cluster.node-*",
+                        probability: float = 1.0,
+                        after: int = 0,
+                        max_fires: Optional[int] = 1,
+                        **kw) -> "FaultPlan":
+        """SIGKILL a cluster node when the harness consults ``site``
+        (``cluster.node-<index>``); the supervisor recovers it from
+        its own WAL."""
+        return self.with_rule(FaultRule(
+            site=site, kind=FaultKind.NODE_KILL,
+            probability=probability, after=after, max_fires=max_fires,
+            **kw))
+
+    def with_node_pauses(self, site: str = "cluster.node-*",
+                         pause_s: float = 0.5,
+                         probability: float = 1.0,
+                         max_fires: Optional[int] = 1,
+                         **kw) -> "FaultPlan":
+        """SIGSTOP a node for ``pause_s`` seconds, then SIGCONT."""
+        return self.with_rule(FaultRule(
+            site=site, kind=FaultKind.NODE_PAUSE,
+            probability=probability, latency_s=pause_s,
+            max_fires=max_fires, **kw))
+
+    def with_partitions(self, site: str = "cluster.node-*",
+                        duration_s: float = 0.5,
+                        probability: float = 1.0,
+                        max_fires: Optional[int] = 1,
+                        **kw) -> "FaultPlan":
+        """Hide a healthy node from the router for ``duration_s``
+        seconds (requests get 503 + Retry-After while it runs on)."""
+        return self.with_rule(FaultRule(
+            site=site, kind=FaultKind.PARTITION,
+            probability=probability, latency_s=duration_s,
+            max_fires=max_fires, **kw))
 
     def rules_of(self, kind: FaultKind) -> List[FaultRule]:
         return [rule for rule in self.rules if rule.kind is kind]

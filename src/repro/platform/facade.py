@@ -27,7 +27,7 @@ from repro.platform.accounts import Account, AccountRegistry
 from repro.platform.jobs import (Job, JobStatus, TaskRecord, TaskState)
 from repro.platform.leaderboard import Leaderboard
 from repro.platform.scheduler import AssignmentPolicy, TaskScheduler
-from repro.platform.sharding import DEFAULT_SHARDS
+from repro.platform.sharding import DEFAULT_SHARDS, shard_of
 from repro.platform.store import JsonStore, ShardedStore
 from repro.quality.reputation import ReputationTracker
 from repro.quality.spam import SpamDetector
@@ -81,6 +81,15 @@ class Platform:
             shows service-driven jobs next to simulated campaigns.
             The service layer attaches its engine here automatically.
             None (the default) costs nothing.
+        shard_range: ``(node_index, n_nodes)`` when this platform is
+            one node of a consistent-hash cluster.  Every job and
+            task id it generates is filtered to hash (via
+            :func:`~repro.platform.sharding.shard_of`) to
+            ``node_index`` — so id-keyed routing is a pure function
+            of the id, and the id spaces of sibling nodes are
+            disjoint by construction (each candidate id hashes to
+            exactly one node).  None (the default) generates the
+            dense id sequence, exactly as before.
 
     Concurrency contract: the platform's verbs are not internally
     serialized per job — the service layer holds one lock stripe per
@@ -103,7 +112,8 @@ class Platform:
                  store_shards: int = DEFAULT_SHARDS,
                  durability: Optional[DurabilityLog] = None,
                  fast_path: bool = True,
-                 live=None) -> None:
+                 live=None,
+                 shard_range: Optional[Tuple[int, int]] = None) -> None:
         self.registry = (registry if registry is not None
                          else default_registry())
         self.tracer = tracer if tracer is not None else default_tracer()
@@ -134,6 +144,13 @@ class Platform:
         self.spam = SpamDetector() if spam_detection else None
         self.leaderboard = Leaderboard()
         self.points_per_answer = points_per_answer
+        if shard_range is not None:
+            index, n_nodes = shard_range
+            if not 0 <= index < n_nodes:
+                raise PlatformError(
+                    f"shard_range index {index} outside "
+                    f"[0, {n_nodes})")
+        self.shard_range = shard_range
         self._job_counter = itertools.count()
         self._task_counter = itertools.count()
         # At-least-once delivery defense: idempotency key -> task_id of
@@ -183,13 +200,41 @@ class Platform:
             self.checkpoint()
 
     # ------------------------------------------------------------------
+    # Id generation
+    # ------------------------------------------------------------------
+
+    def _next_id(self, counter: "itertools.count",
+                 template: str) -> str:
+        """The next id from ``counter``, filtered to this node's shard
+        range when clustered.
+
+        Skipped candidates belong to sibling nodes (they hash
+        elsewhere), so the union of all nodes' id streams is exactly
+        the dense sequence and no two nodes can ever mint the same
+        id.  Expected skips per id: ``n_nodes - 1``.
+        """
+        while True:
+            candidate = template % next(counter)
+            if self.shard_range is None:
+                return candidate
+            index, n_nodes = self.shard_range
+            if shard_of(candidate, n_nodes) == index:
+                return candidate
+
+    def _next_job_id(self) -> str:
+        return self._next_id(self._job_counter, "job-%04d")
+
+    def _next_task_id(self) -> str:
+        return self._next_id(self._task_counter, "task-%06d")
+
+    # ------------------------------------------------------------------
     # Job management
     # ------------------------------------------------------------------
 
     def create_job(self, name: str, redundancy: int = 3,
                    **meta: Any) -> Job:
         """Create a job in DRAFT state."""
-        job = Job(job_id=f"job-{next(self._job_counter):04d}", name=name,
+        job = Job(job_id=self._next_job_id(), name=name,
                   redundancy=redundancy, meta=dict(meta))
         with self.store.mutating(job.job_id):
             self.store.put_job(job)
@@ -206,7 +251,7 @@ class Platform:
             raise PlatformError(
                 f"job {job_id!r} is archived; cannot add tasks")
         task = TaskRecord(
-            task_id=f"task-{next(self._task_counter):06d}",
+            task_id=self._next_task_id(),
             job_id=job_id, payload=dict(payload),
             gold_answer=gold_answer)
         with self.store.mutating(job_id):

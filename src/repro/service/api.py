@@ -195,6 +195,11 @@ class ApiServer:
             locked read paths (the golden-trace comparison baseline).
             Defaults to True; disabled automatically if the store
             lacks snapshot support.
+        shard_range: ``(node_index, n_nodes)`` when this server is one
+            node of a cluster; surfaced on ``GET /healthz`` so the
+            router (and ``repro top``) can display which slice of the
+            consistent-hash key space each node owns.  Defaults to
+            the platform's own ``shard_range`` when it has one.
     """
 
     def __init__(self, platform: Platform,
@@ -206,7 +211,8 @@ class ApiServer:
                  lock_mode: str = "striped",
                  n_stripes: int = 16,
                  live: Any = None,
-                 snapshot_reads: bool = True) -> None:
+                 snapshot_reads: bool = True,
+                 shard_range: Optional[Tuple[int, int]] = None) -> None:
         if lock_mode not in ("striped", "global"):
             raise PlatformError(
                 f"lock_mode must be 'striped' or 'global', "
@@ -222,6 +228,9 @@ class ApiServer:
                        else getattr(platform, "faults", None))
         self.max_pending = max_pending
         self.shed_retry_after_s = shed_retry_after_s
+        self.shard_range = (shard_range if shard_range is not None
+                            else getattr(platform, "shard_range",
+                                         None))
         self.lock_mode = lock_mode
         self._routes: List[
             Tuple[str, str, re.Pattern, Handler, str]] = []
@@ -584,6 +593,15 @@ class ApiServer:
             "uptime_s": time.monotonic() - self._started_monotonic,
             "started_at": self._started_at,
             "durability": durability,
+            # Cluster probes read these three without digging into
+            # the durability sub-document: the WAL high-water mark
+            # (recovery progress after a restart), checkpoint
+            # freshness, and which hash slice this node owns.
+            "wal_seq": durability.get("seq"),
+            "last_checkpoint_age_s": durability.get(
+                "last_checkpoint_age_s"),
+            "shard_range": (list(self.shard_range)
+                            if self.shard_range is not None else None),
             "tracing": self.tracer.stats(),
             "recorder": self.tracer.recorder.occupancy()})
 

@@ -33,13 +33,14 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import urlencode, urlsplit
 
 from repro import rng as _rng
-from repro.errors import (CircuitOpenError, ServiceError,
-                          TransientServiceError, is_retryable)
+from repro.errors import (CircuitOpenError, DeadlineExceeded,
+                          ServiceError, TransientServiceError,
+                          is_retryable)
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.tracing import Tracer, default_tracer
 from repro.service.api import ApiServer
 from repro.service.retry import CircuitBreaker, RetryPolicy
-from repro.service.wire import ApiRequest
+from repro.service.wire import ApiRequest, ApiResponse
 
 
 def _parse_retry_after(value: Optional[str]) -> Optional[float]:
@@ -329,10 +330,15 @@ class _PersistentConnection:
     __slots__ = ("sock", "requests_sent", "last_used",
                  "responded_bytes", "_buffer")
 
-    def __init__(self, host: str, port: int,
-                 timeout_s: float) -> None:
-        self.sock = socket.create_connection((host, port),
-                                             timeout=timeout_s)
+    def __init__(self, host: str, port: int, connect_timeout_s: float,
+                 read_timeout_s: float) -> None:
+        # Distinct deadlines: dialing a dead node must fail within the
+        # connect budget, while a slow response gets the (usually
+        # longer) read budget.  The socket timeout is switched to the
+        # read deadline once connected.
+        self.sock = socket.create_connection(
+            (host, port), timeout=connect_timeout_s)
+        self.sock.settimeout(read_timeout_s)
         self.sock.setsockopt(socket.IPPROTO_TCP,
                              socket.TCP_NODELAY, 1)
         self.requests_sent = 0
@@ -431,18 +437,35 @@ class HttpClient(_BaseClient):
     per request.  A connection idle longer than ``reuse_idle_s`` is
     proactively replaced (the server's keep-alive timeout may have
     reaped it); a *stale* reused connection that dies before sending
-    any response byte is transparently replayed once for GETs —
-    POSTs surface a retryable :class:`TransientServiceError` so the
-    at-least-once decision stays with the retry policy and the
-    platform's idempotency keys, exactly as before.
+    any response byte is transparently replayed once when the request
+    is replay-safe: every GET, and any POST carrying an
+    ``idempotency_key`` in its body (the platform's dedupe table
+    absorbs a double delivery).  Unkeyed POSTs surface a retryable
+    :class:`TransientServiceError` so the at-least-once decision
+    stays with the retry policy.
+
+    Deadlines are explicit: ``connect_timeout_s`` bounds the TCP dial
+    and ``read_timeout_s`` bounds each socket read while waiting for
+    a response (both default to ``timeout_s``).  A hung node
+    therefore costs at most one deadline, surfaced as a retryable
+    :class:`~repro.errors.DeadlineExceeded` — never a blocked client
+    thread.
     """
 
     def __init__(self, base_url: str, timeout_s: float = 10.0,
                  reuse_idle_s: float = 10.0,
+                 connect_timeout_s: Optional[float] = None,
+                 read_timeout_s: Optional[float] = None,
                  **resilience: Any) -> None:
         super().__init__(**resilience)
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.connect_timeout_s = (connect_timeout_s
+                                  if connect_timeout_s is not None
+                                  else timeout_s)
+        self.read_timeout_s = (read_timeout_s
+                               if read_timeout_s is not None
+                               else timeout_s)
         self.reuse_idle_s = reuse_idle_s
         parts = urlsplit(self.base_url)
         self._host = parts.hostname or "127.0.0.1"
@@ -457,8 +480,11 @@ class HttpClient(_BaseClient):
             "client-side sockets dialed")
         self._m_stale_retries = self.registry.counter(
             "client.http_stale_retries",
-            "GETs transparently replayed on a stale keep-alive "
-            "connection")
+            "replay-safe requests (GETs and idempotency-keyed POSTs) "
+            "transparently replayed on a stale keep-alive connection")
+        self._m_deadlines = self.registry.counter(
+            "client.http_deadlines",
+            "client deadlines exceeded, by phase")
 
     # -- connection management -----------------------------------------
 
@@ -469,8 +495,17 @@ class HttpClient(_BaseClient):
                     <= self.reuse_idle_s):
                 return conn
             self._discard(conn)
-        conn = _PersistentConnection(self._host, self._port,
-                                     self.timeout_s)
+        try:
+            conn = _PersistentConnection(self._host, self._port,
+                                         self.connect_timeout_s,
+                                         self.read_timeout_s)
+        except socket.timeout:
+            self._m_deadlines.inc(phase="connect")
+            raise DeadlineExceeded(
+                f"connect to {self._host}:{self._port} exceeded "
+                f"{self.connect_timeout_s}s deadline",
+                phase="connect",
+                deadline_s=self.connect_timeout_s) from None
         self._m_conns_opened.inc()
         self._local.conn = conn
         with self._conns_lock:
@@ -509,11 +544,19 @@ class HttpClient(_BaseClient):
         return (head + f"Content-Length: {len(data)}\r\n\r\n"
                 ).encode("latin-1") + data
 
-    def _send(self, method: str, path: str,
-              body: Optional[Dict[str, Any]],
-              query: Optional[Dict[str, str]],
-              headers: Optional[Dict[str, str]] = None
-              ) -> Dict[str, Any]:
+    def _roundtrip(self, method: str, path: str,
+                   body: Optional[Dict[str, Any]],
+                   query: Optional[Dict[str, str]],
+                   headers: Optional[Dict[str, str]] = None
+                   ) -> Tuple[int, Dict[str, str], bytes]:
+        """One wire exchange: ``(status, headers, payload bytes)``.
+
+        Handles connection pooling, deadlines and the stale-connection
+        replay; translates transport failures to retryable errors but
+        returns HTTP error statuses as values (the router proxies them
+        verbatim; :meth:`_send` turns them into exceptions for the
+        verb API).
+        """
         target = path
         if query:
             if all(_QS_SAFE.match(f"{k}{v}") for k, v in
@@ -532,8 +575,16 @@ class HttpClient(_BaseClient):
         blob = self._encode_request(method, target,
                                     self._host_header,
                                     send_headers, data)
+        # A GET is replay-safe by definition; a POST is replay-safe
+        # exactly when it carries an idempotency key the platform's
+        # dedupe table will absorb.
+        replay_safe = (method == "GET"
+                       or (isinstance(body, dict)
+                           and bool(body.get("idempotency_key"))))
         try:
             conn = self._connection()
+        except DeadlineExceeded:
+            raise
         except OSError as exc:
             raise TransientServiceError(
                 f"connection failed: {exc}") from None
@@ -542,23 +593,63 @@ class HttpClient(_BaseClient):
             status, resp_headers, payload, keep = conn.roundtrip(blob)
         except socket.timeout:
             self._discard(conn)
-            raise TransientServiceError(
-                f"request timed out after {self.timeout_s}s"
-            ) from None
+            self._m_deadlines.inc(phase="read")
+            raise DeadlineExceeded(
+                f"{method} {path} exceeded {self.read_timeout_s}s "
+                f"read deadline", phase="read",
+                deadline_s=self.read_timeout_s) from None
         except (OSError, ConnectionError) as exc:
             responded = conn.responded_bytes
             self._discard(conn)
-            if reused and responded == 0 and method == "GET":
+            if reused and responded == 0 and replay_safe:
                 # The server reaped this keep-alive connection
-                # between requests; a GET is safe to replay on a
-                # fresh socket without involving the retry policy.
+                # between requests; a replay-safe request goes out
+                # again on a fresh socket without involving the
+                # retry policy.
                 self._m_stale_retries.inc()
-                return self._send(method, path, body, query,
-                                  headers=headers)
+                return self._roundtrip(method, path, body, query,
+                                       headers=headers)
             raise TransientServiceError(
                 f"connection failed: {exc}") from None
         if not keep:
             self._discard(conn)
+        return status, resp_headers, payload
+
+    def forward(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None,
+                query: Optional[Dict[str, str]] = None,
+                headers: Optional[Dict[str, str]] = None
+                ) -> ApiResponse:
+        """Proxy-style request: the response as a value, never raised.
+
+        Unlike the verb API, HTTP error statuses come back as an
+        :class:`~repro.service.wire.ApiResponse` (body parsed when it
+        is JSON) so a router can relay a node's 404/409 verbatim.
+        Transport failures still raise (``TransientServiceError`` /
+        ``DeadlineExceeded``) — the caller owns failover policy.
+        """
+        status, resp_headers, payload = self._roundtrip(
+            method, path, body, query, headers=headers)
+        try:
+            parsed = json.loads(payload.decode("utf-8"))
+        except Exception:
+            parsed = {"error": f"HTTP {status}"} if status >= 400 \
+                else {}
+        if not isinstance(parsed, dict):
+            parsed = {"value": parsed}
+        extra = {}
+        retry_after = resp_headers.get("retry-after")
+        if retry_after is not None:
+            extra["Retry-After"] = retry_after
+        return ApiResponse(status, parsed, headers=extra)
+
+    def _send(self, method: str, path: str,
+              body: Optional[Dict[str, Any]],
+              query: Optional[Dict[str, str]],
+              headers: Optional[Dict[str, str]] = None
+              ) -> Dict[str, Any]:
+        status, resp_headers, payload = self._roundtrip(
+            method, path, body, query, headers=headers)
         if 200 <= status < 300:
             try:
                 return json.loads(payload.decode("utf-8"))

@@ -1,0 +1,262 @@
+"""The cluster node-kill matrix: SIGKILL every node, lose nothing.
+
+The cluster analogue of the single-process crash matrix: a full
+labeling campaign (ESP and Peekaboom payloads) runs against a real
+3-node :class:`~repro.cluster.Cluster` — three ``repro.cluster.node``
+subprocesses with their own fsynced WALs behind the routed front door
+— while a seeded :class:`~repro.faults.FaultPlan` SIGKILLs **each
+node in turn** mid-campaign.  The supervisor respawns every victim on
+its old port and directory, recovery replays its WAL, and the router
+replays the idempotency-keyed writes that were in flight.
+
+Verdicts, per the resilience contract:
+
+- **Byte-identical oracle parity** — promoted labels equal both a
+  fault-free cluster run and the truth oracle derived from the task
+  payloads.
+- **Zero acked-but-lost** — every answer the client received a 2xx
+  for is present in the recovered node stores after the campaign.
+- **Clean fsck** — ``cluster_fsck`` finds nothing wrong with any
+  node's durability directory.
+
+Node faults are consulted *between* client operations (the verdicts
+name whole-process failures only the harness can execute), so each
+operation is atomic relative to a kill — exactly the guarantee the
+WAL provides to real clients.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.cluster import Cluster, node_dir
+from repro.durability import cluster_fsck
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+from repro.service.client import HttpClient
+from repro.service.retry import RetryPolicy
+
+from tests.chaos.harness import (ACTIVE_RECORDERS, esp_payloads,
+                                 honest_answer, noisy_answer,
+                                 peekaboom_payloads)
+
+N_NODES = 3
+
+
+@dataclass
+class ClusterCampaignResult:
+    """Everything a cluster chaos assertion needs from one run."""
+
+    labels_json: str
+    oracle_json: str
+    job_id: str
+    #: ``(task_id, worker_id) -> answer`` for every submit the client
+    #: got a 2xx for — the ledger the zero-acked-but-lost check
+    #: replays against the recovered stores.
+    acked: Dict[Tuple[str, str], Any]
+    restarts: Dict[int, int]
+    injector: Optional[FaultInjector]
+    data_dir: Any
+    timers: List[threading.Timer] = field(default_factory=list)
+
+
+def _consult_node_faults(injector: Optional[FaultInjector],
+                         cluster: Cluster,
+                         timers: List[threading.Timer]) -> None:
+    """One fault-schedule step: fire due node verdicts, if any."""
+    if injector is None:
+        return
+    for index in range(cluster.n_nodes):
+        site = f"cluster.node-{index}"
+        if injector.kills_node(site):
+            cluster.kill_node(index)
+        pause_s = injector.pauses_node(site)
+        if pause_s > 0:
+            cluster.pause_node(index)
+            timer = threading.Timer(pause_s, cluster.resume_node,
+                                    args=(index,))
+            timer.daemon = True
+            timer.start()
+            timers.append(timer)
+        partition_s = injector.partitions(site)
+        if partition_s > 0:
+            cluster.partition_node(index, partition_s)
+
+
+def run_cluster_campaign(data_dir,
+                         plan: Optional[FaultPlan] = None, *,
+                         game: str = "esp", n_tasks: int = 8,
+                         redundancy: int = 3, n_workers: int = 4,
+                         seed: int = 7) -> ClusterCampaignResult:
+    """One full campaign against a real 3-node cluster.
+
+    Mirrors :func:`tests.chaos.harness.run_campaign` but over the
+    routed front door, with the plan's node verdicts consulted
+    between client operations.  ``fsync`` stays on — the
+    zero-acked-but-lost guarantee under SIGKILL depends on it — and
+    ``gold_rate`` stays 0 so a recovery's scheduler-RNG reset cannot
+    diverge from the fault-free run.
+    """
+    registry = MetricsRegistry()
+    injector = plan.build(registry=registry) if plan is not None \
+        else None
+    tracer = Tracer()
+    ACTIVE_RECORDERS.append(tracer)
+    timers: List[threading.Timer] = []
+    acked: Dict[Tuple[str, str], Any] = {}
+
+    cluster = Cluster(
+        N_NODES, data_dir, seed=seed, checkpoint_every=16,
+        fsync=True, gold_rate=0.0, spam_detection=False,
+        registry=registry, tracer=tracer,
+        router_kwargs=dict(failover_retries=80,
+                           failover_backoff_s=0.05,
+                           probe_interval_s=0.1))
+    cluster.start()
+    try:
+        cluster.wait_healthy()
+        # Real sleeps: a killed node needs wall-clock time to respawn.
+        client = HttpClient(
+            cluster.base_url,
+            retry_policy=RetryPolicy(max_attempts=25,
+                                     base_delay_s=0.05,
+                                     max_delay_s=0.4, jitter=0.0),
+            registry=registry, tracer=tracer, seed=seed)
+        try:
+            payloads = (esp_payloads(n_tasks) if game == "esp"
+                        else peekaboom_payloads(n_tasks))
+            # Jobs and tasks are created before any fault can fire,
+            # so round-robin job placement and minted ids are
+            # identical between the faulted and fault-free runs.
+            job_id = client.create_job(f"cluster-{game}",
+                                       redundancy=redundancy)["job_id"]
+            created = client.add_tasks(
+                job_id, [{"payload": p} for p in payloads])
+            oracle = {task["task_id"]: payloads[i]["truth"]
+                      for i, task in enumerate(created)}
+            client.start_job(job_id)
+            workers = [f"w{k:02d}" for k in range(n_workers)]
+            for worker in workers:
+                client.register_worker(worker)
+            noisy = workers[-1]
+
+            served = True
+            while served:
+                served = False
+                for worker in workers:
+                    _consult_node_faults(injector, cluster, timers)
+                    task = client.next_task(job_id, worker)
+                    if task is None:
+                        continue
+                    served = True
+                    payload = task["payload"]
+                    answer = (noisy_answer(worker, payload)
+                              if worker == noisy
+                              else honest_answer(payload))
+                    client.submit_answer(task["task_id"], worker,
+                                         answer)
+                    # The 2xx just landed: this answer may never be
+                    # lost again, whatever gets killed from here on.
+                    acked[(task["task_id"], worker)] = answer
+
+            results = client.results(job_id)
+            labels = {task_id: result["answer"]
+                      for task_id, result in results.items()}
+            restarts = cluster.restarts()
+        finally:
+            client.close()
+    finally:
+        cluster.shutdown()
+        for timer in timers:
+            timer.cancel()
+    return ClusterCampaignResult(
+        labels_json=json.dumps(labels, sort_keys=True),
+        oracle_json=json.dumps(oracle, sort_keys=True),
+        job_id=job_id, acked=acked, restarts=restarts,
+        injector=injector, data_dir=data_dir, timers=timers)
+
+
+def recovered_answers(data_dir) -> Dict[Tuple[str, str], Any]:
+    """``(task_id, worker) -> answer`` replayed from every node WAL."""
+    answers: Dict[Tuple[str, str], Any] = {}
+    for index in range(N_NODES):
+        platform = Platform.recover(node_dir(data_dir, index),
+                                    gold_rate=0.0,
+                                    spam_detection=False)
+        for job in platform.store.jobs():
+            for task in platform.store.tasks_for(job.job_id):
+                for record in task.answers:
+                    answers[(task.task_id, record.worker_id)] = \
+                        record.answer
+    return answers
+
+
+def assert_cluster_verdicts(result: ClusterCampaignResult) -> None:
+    """The three post-campaign invariants every fault run must meet."""
+    reports = cluster_fsck(result.data_dir)
+    assert set(reports) == set(range(N_NODES))
+    for index, report in reports.items():
+        assert report.ok, (index, report.lines())
+    recovered = recovered_answers(result.data_dir)
+    lost = {key for key in result.acked
+            if key not in recovered
+            or recovered[key] != result.acked[key]}
+    assert not lost, f"acked-but-lost answers: {sorted(lost)}"
+
+
+class TestNodeKillMatrix:
+    @pytest.mark.parametrize("game", ["esp", "peekaboom"])
+    def test_killing_every_node_in_turn_preserves_parity(
+            self, tmp_path, chaos_seed, game):
+        baseline = run_cluster_campaign(tmp_path / "baseline",
+                                        game=game)
+        assert baseline.labels_json == baseline.oracle_json
+        assert_cluster_verdicts(baseline)
+
+        plan = FaultPlan(seed=chaos_seed)
+        for index in range(N_NODES):
+            # One SIGKILL per node, staggered through the campaign;
+            # the seed shifts the schedule so CI sweeps different
+            # interleavings.
+            plan = plan.with_node_kills(
+                f"cluster.node-{index}",
+                after=2 + 5 * index + chaos_seed % 7, max_fires=1)
+        faulted = run_cluster_campaign(tmp_path / "faulted",
+                                       plan=plan, game=game)
+        fired = sum(faulted.injector.fires().values())
+        assert fired == N_NODES, faulted.injector.fires()
+        assert sum(faulted.restarts.values()) >= N_NODES, \
+            faulted.restarts
+        assert faulted.labels_json == baseline.labels_json
+        assert faulted.labels_json == faulted.oracle_json
+        assert_cluster_verdicts(faulted)
+
+
+class TestNodePauseAndPartition:
+    def test_paused_node_stalls_then_campaign_completes(
+            self, tmp_path, chaos_seed):
+        plan = FaultPlan(seed=chaos_seed).with_node_pauses(
+            "cluster.node-*", pause_s=0.4, after=3, max_fires=1)
+        result = run_cluster_campaign(tmp_path, plan=plan)
+        assert sum(result.injector.fires().values()) == 1
+        # A pause is not a crash: nothing restarts, nothing is lost.
+        assert sum(result.restarts.values()) == 0
+        assert result.labels_json == result.oracle_json
+        assert_cluster_verdicts(result)
+
+    def test_partitioned_node_rejoins_without_data_loss(
+            self, tmp_path, chaos_seed):
+        plan = FaultPlan(seed=chaos_seed).with_partitions(
+            "cluster.node-*", duration_s=0.3, after=3, max_fires=1)
+        result = run_cluster_campaign(tmp_path, plan=plan)
+        assert sum(result.injector.fires().values()) == 1
+        assert sum(result.restarts.values()) == 0
+        assert result.labels_json == result.oracle_json
+        assert_cluster_verdicts(result)

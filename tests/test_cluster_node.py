@@ -1,0 +1,210 @@
+"""Node process lifecycle: spawn, ready protocol, kill, recover.
+
+These tests run real ``python -m repro.cluster.node`` subprocesses
+(the unit under test is the process boundary itself: ready files,
+signals, WAL recovery across an exec).  Router behavior lives in
+``test_cluster_router.py``; whole-cluster fault campaigns live in
+``tests/chaos/test_cluster_kill_matrix.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.cluster import (Cluster, NodeConfig, NodeProcess,
+                           NodeSupervisor, free_ports, node_dir)
+from repro.cluster.node import READY_FILE
+from repro.durability import cluster_fsck, fsck
+from repro.obs.metrics import MetricsRegistry
+from repro.platform.facade import Platform
+from repro.platform.sharding import shard_of
+from repro.service.client import HttpClient
+
+
+def single_node_config(tmp_path, **overrides):
+    defaults = dict(index=0, n_nodes=1,
+                    data_dir=tmp_path / "node-00",
+                    port=free_ports(1)[0], gold_rate=0.0,
+                    spam_detection=False, checkpoint_every=8)
+    defaults.update(overrides)
+    return NodeConfig(**defaults)
+
+
+@pytest.fixture()
+def node(tmp_path):
+    process = NodeProcess(single_node_config(tmp_path))
+    process.spawn()
+    process.wait_ready()
+    yield process
+    process.kill()
+    process.wait(timeout_s=5.0)
+
+
+class TestReadyProtocol:
+    def test_ready_file_names_the_live_process(self, node):
+        doc = json.loads(
+            (node.config.data_dir / READY_FILE).read_text())
+        assert doc["pid"] == node.proc.pid
+        assert doc["port"] == node.config.port
+        assert doc["shard_range"] == [0, 1]
+
+    def test_spawn_deletes_stale_ready_file(self, tmp_path):
+        config = single_node_config(tmp_path)
+        ready = config.data_dir / READY_FILE
+        config.data_dir.mkdir(parents=True)
+        # A stale document from a previous incarnation must never
+        # satisfy the readiness poll for the new process.
+        ready.write_text(json.dumps({"pid": 999999,
+                                     "port": config.port}))
+        process = NodeProcess(config)
+        process.spawn()
+        try:
+            doc = process.wait_ready()
+            assert doc["pid"] == process.proc.pid != 999999
+        finally:
+            process.kill()
+            process.wait(timeout_s=5.0)
+
+    def test_port_zero_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            NodeProcess(single_node_config(tmp_path, port=0))
+
+    def test_healthz_reports_durability_and_shard(self, node):
+        client = HttpClient(node.config.base_url)
+        try:
+            doc = client.forward("GET", "/healthz").body
+        finally:
+            client.close()
+        assert doc["status"] == "ok"
+        assert isinstance(doc["wal_seq"], int)
+        assert doc["shard_range"] == [0, 1]
+        assert "last_checkpoint_age_s" in doc
+
+
+class TestShardedIdMinting:
+    def test_node_only_mints_ids_in_its_slice(self, tmp_path):
+        config = single_node_config(tmp_path, index=1, n_nodes=3,
+                                    data_dir=tmp_path / "node-01")
+        process = NodeProcess(config)
+        process.spawn()
+        process.wait_ready()
+        client = HttpClient(config.base_url)
+        try:
+            job_id = client.create_job("shard", redundancy=1)["job_id"]
+            tasks = client.add_tasks(
+                job_id, [{"payload": {"i": i}} for i in range(5)])
+        finally:
+            client.close()
+            process.kill()
+            process.wait(timeout_s=5.0)
+        minted = [job_id] + [task["task_id"] for task in tasks]
+        assert all(shard_of(ident, 3) == 1 for ident in minted)
+
+
+class TestCrashRecovery:
+    def test_sigkill_then_respawn_recovers_acked_state(self,
+                                                       tmp_path):
+        config = single_node_config(tmp_path)
+        process = NodeProcess(config)
+        process.spawn()
+        process.wait_ready()
+        client = HttpClient(config.base_url)
+        try:
+            job_id = client.create_job("crash", redundancy=1)["job_id"]
+            task_id = client.add_tasks(
+                job_id, [{"payload": {"w": "dog"}}])[0]["task_id"]
+            client.start_job(job_id)
+            client.register_worker("w0")
+            assert client.next_task(job_id, "w0")["task_id"] == task_id
+            client.submit_answer(task_id, "w0", "dog")
+            process.kill()
+            process.wait(timeout_s=5.0)
+            client.close()
+
+            process.spawn()
+            process.wait_ready()
+            client = HttpClient(config.base_url)
+            # Everything acked before the SIGKILL survived the exec.
+            assert client.results(job_id)[task_id]["answer"] == "dog"
+            doc = client.forward("GET", "/healthz").body
+            assert doc["wal_seq"] > 0
+        finally:
+            client.close()
+            process.kill()
+            process.wait(timeout_s=5.0)
+        assert fsck(config.data_dir).ok
+
+    def test_sigterm_exits_zero_with_clean_wal(self, tmp_path):
+        config = single_node_config(tmp_path)
+        process = NodeProcess(config)
+        process.spawn()
+        process.wait_ready()
+        client = HttpClient(config.base_url)
+        try:
+            client.create_job("drain", redundancy=1)
+        finally:
+            client.close()
+        process.terminate()
+        assert process.wait(timeout_s=10.0) == 0
+        report = fsck(config.data_dir)
+        assert report.ok, report.lines()
+        # The drain replays into a platform identical to what the
+        # process acked.
+        platform = Platform.recover(config.data_dir, gold_rate=0.0,
+                                    spam_detection=False)
+        assert len(platform.store.jobs()) == 1
+
+
+class TestSupervision:
+    def test_supervisor_respawns_killed_node(self, tmp_path):
+        configs = [
+            NodeConfig(index=index, n_nodes=2,
+                       data_dir=node_dir(tmp_path, index),
+                       port=port, gold_rate=0.0,
+                       spam_detection=False)
+            for index, port in enumerate(free_ports(2))]
+        supervisor = NodeSupervisor(configs,
+                                    registry=MetricsRegistry(),
+                                    poll_interval_s=0.02)
+        supervisor.start()
+        try:
+            supervisor.kill_node(0)
+            # The monitor notices the death and respawns; only then
+            # does waiting on the *new* incarnation mean anything
+            # (the old ready file still names the killed pid).
+            deadline = time.monotonic() + 15.0
+            while (supervisor.restarts().get(0) != 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert supervisor.restarts() == {0: 1, 1: 0}
+            doc = supervisor.wait_node_ready(0, timeout_s=15.0)
+            assert doc["pid"] == supervisor.nodes[0].proc.pid
+        finally:
+            supervisor.stop()
+        reports = cluster_fsck(tmp_path)
+        assert set(reports) == {0, 1}
+        assert all(report.ok for report in reports.values())
+
+
+class TestClusterBundle:
+    def test_cluster_start_serves_and_manifests(self, tmp_path):
+        with Cluster(2, tmp_path, gold_rate=0.0,
+                     spam_detection=False,
+                     registry=MetricsRegistry()) as cluster:
+            cluster.wait_healthy()
+            manifest = json.loads(
+                (tmp_path / "cluster.json").read_text())
+            assert manifest["n_nodes"] == 2
+            client = HttpClient(cluster.base_url)
+            try:
+                job_id = client.create_job("thru",
+                                           redundancy=1)["job_id"]
+                assert client.get_job(job_id)["job_id"] == job_id
+            finally:
+                client.close()
+        reports = cluster_fsck(tmp_path)
+        assert set(reports) == {0, 1}
+        assert all(report.ok for report in reports.values())

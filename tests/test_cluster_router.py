@@ -1,0 +1,402 @@
+"""ClusterRouter unit tests against in-process node stacks.
+
+Three real ``Platform(shard_range=...)`` + ``ApiServer`` +
+``AsyncHttpServer`` stacks run in this process (no subprocesses — the
+process-level failure modes live in the chaos cluster tests); the
+router routes over real sockets.  Covers the consistent-hash routing
+table, scatter-gather merges and their edge cases (empty shards, a
+down node must 503 rather than silently truncate), batch splitting
+and in-order reassembly, idempotent duplicate suppression across a
+simulated failover replay, and the health/metrics aggregation
+endpoints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import ClusterRouter
+from repro.obs.metrics import MetricsRegistry
+from repro.platform.facade import Platform
+from repro.platform.sharding import shard_of
+from repro.service.api import ApiServer
+from repro.service.http import AsyncHttpServer
+from repro.service.wire import ApiRequest
+
+N_NODES = 3
+
+
+class _Stack:
+    """One in-process node: platform + api + listening front door."""
+
+    def __init__(self, index: int, n_nodes: int) -> None:
+        self.registry = MetricsRegistry()
+        self.platform = Platform(
+            gold_rate=0.0, spam_detection=False, seed=3 + index,
+            registry=self.registry, shard_range=(index, n_nodes))
+        self.api = ApiServer(self.platform, registry=self.registry)
+        self.server = AsyncHttpServer(self.api).start()
+
+    def close(self) -> None:
+        self.server.shutdown()
+
+
+@pytest.fixture()
+def stacks():
+    nodes = [_Stack(index, N_NODES) for index in range(N_NODES)]
+    yield nodes
+    for node in nodes:
+        node.close()
+
+
+@pytest.fixture()
+def router(stacks):
+    # No probe thread: tests drive probes explicitly where needed,
+    # keeping health transitions deterministic.
+    router = ClusterRouter(
+        [stack.server.base_url for stack in stacks],
+        registry=MetricsRegistry(),
+        failover_retries=1, failover_backoff_s=0.0,
+        retry_after_s=0.25, down_after=1,
+        connect_timeout_s=1.0, read_timeout_s=5.0)
+    yield router
+    router.close()
+
+
+def call(router, method, path, body=None, query=None):
+    return router.handle(ApiRequest(
+        method=method, path=path, body=body or {}, query=query or {},
+        headers={}))
+
+
+def make_job(router, n_tasks=4, redundancy=2, name="jr"):
+    """One started job with tasks, created through the router."""
+    job = call(router, "POST", "/jobs",
+               {"name": name, "redundancy": redundancy, "meta": {}})
+    assert job.status == 201, job.body
+    job_id = job.body["job_id"]
+    tasks = call(router, "POST", f"/jobs/{job_id}/tasks",
+                 {"tasks": [{"payload": {"i": i}}
+                            for i in range(n_tasks)]})
+    assert tasks.status == 201, tasks.body
+    assert call(router, "POST", f"/jobs/{job_id}/start",
+                {}).status == 200
+    return job_id, [task["task_id"] for task in tasks.body["tasks"]]
+
+
+class TestConsistentHashRouting:
+    def test_created_job_lives_on_its_hash_owner(self, router,
+                                                 stacks):
+        for round_robin in range(4):
+            response = call(router, "POST", "/jobs",
+                            {"name": f"j{round_robin}",
+                             "redundancy": 2, "meta": {}})
+            assert response.status == 201
+            job_id = response.body["job_id"]
+            owner = shard_of(job_id, N_NODES)
+            # The minted id hashes to the node that minted it, so
+            # hash routing finds the job without a placement table.
+            assert stacks[owner].platform.store.get_job(job_id) \
+                is not None
+
+    def test_job_scoped_requests_reach_the_owner(self, router,
+                                                 stacks):
+        job_id, task_ids = make_job(router)
+        got = call(router, "GET", f"/jobs/{job_id}")
+        assert got.status == 200
+        assert got.body["job_id"] == job_id
+        owner = shard_of(job_id, N_NODES)
+        assert {task.task_id for task
+                in stacks[owner].platform.store.tasks_for(job_id)} \
+            == set(task_ids)
+
+    def test_task_ids_hash_to_the_job_owner(self, router):
+        job_id, task_ids = make_job(router)
+        owner = shard_of(job_id, N_NODES)
+        # Tasks are minted by the job's node, so they land in the
+        # same slice: single-answer routing never needs the job id.
+        assert {shard_of(task_id, N_NODES) for task_id in task_ids} \
+            == {owner}
+
+    def test_answer_routes_by_task_hash(self, router, stacks):
+        job_id, _ = make_job(router)
+        call(router, "POST", "/workers",
+             {"worker_id": "w0", "display_name": None,
+              "attributes": {}})
+        task = call(router, "GET", f"/jobs/{job_id}/next",
+                    query={"worker": "w0"})
+        assert task.status == 200
+        task_id = task.body["task_id"]
+        answered = call(router, "POST", f"/tasks/{task_id}/answers",
+                        {"worker_id": "w0", "answer": "cat",
+                         "at_s": 0.0,
+                         "idempotency_key": f"{task_id}/w0"})
+        assert answered.status == 201
+        owner = shard_of(task_id, N_NODES)
+        stored = stacks[owner].platform.store.get_task(task_id)
+        assert len(stored.answers) == 1
+
+    def test_unknown_route_is_404(self, router):
+        assert call(router, "GET", "/no/such/route").status == 404
+
+
+class TestScatterGather:
+    def test_list_jobs_merges_across_shards(self, router):
+        created = {make_job(router, n_tasks=1)[0] for _ in range(5)}
+        listed = call(router, "GET", "/jobs")
+        assert listed.status == 200
+        assert {job["job_id"] for job in listed.body["jobs"]} \
+            == created
+
+    def test_empty_shards_merge_to_empty(self, router):
+        listed = call(router, "GET", "/jobs")
+        assert listed.status == 200
+        assert listed.body["jobs"] == []
+
+    def test_single_job_survives_empty_shard_responses(self, router):
+        # One job on one node; the other two nodes answer with empty
+        # lists that must not poison the merge.
+        job_id, _ = make_job(router, n_tasks=1)
+        listed = call(router, "GET", "/jobs")
+        assert [job["job_id"] for job in listed.body["jobs"]] \
+            == [job_id]
+
+    def test_down_node_yields_503_not_truncation(self, router,
+                                                 stacks):
+        make_job(router, n_tasks=1)
+        stacks[1].close()
+        listed = call(router, "GET", "/jobs")
+        # A partial listing would silently lose every job on the
+        # dead node; the contract is an honest 503 + Retry-After.
+        assert listed.status == 503
+        assert listed.headers.get("Retry-After")
+        assert "jobs" not in listed.body
+
+    def test_leaderboard_sums_points_across_nodes(self, router):
+        for _ in range(3):
+            job_id, _ = make_job(router, n_tasks=2, redundancy=1)
+            call(router, "POST", "/workers",
+                 {"worker_id": "w0", "display_name": None,
+                  "attributes": {}})
+            while True:
+                task = call(router, "GET", f"/jobs/{job_id}/next",
+                            query={"worker": "w0"})
+                if task.status == 404:
+                    break
+                call(router, "POST",
+                     f"/tasks/{task.body['task_id']}/answers",
+                     {"worker_id": "w0", "answer": "x", "at_s": 0.0,
+                      "idempotency_key":
+                          f"{task.body['task_id']}/w0"})
+        board = call(router, "GET", "/leaderboard")
+        assert board.status == 200
+        rows = board.body["leaderboard"]
+        assert rows[0]["account_id"] == "w0"
+        # 6 answers x 10 points, summed across every node the tasks
+        # hashed to — a per-node top-k merge could not produce this.
+        assert rows[0]["points"] == 60
+
+    def test_worker_stats_merge(self, router):
+        call(router, "POST", "/workers",
+             {"worker_id": "w9", "display_name": None,
+              "attributes": {}})
+        stats = call(router, "GET", "/workers/w9")
+        assert stats.status == 200
+        assert stats.body["account_id"] == "w9"
+        assert stats.body["points"] == 0
+        assert len(stats.body["nodes"]) == N_NODES
+
+
+class TestBroadcasts:
+    def test_register_worker_reaches_every_node(self, router,
+                                                stacks):
+        response = call(router, "POST", "/workers",
+                        {"worker_id": "wb", "display_name": None,
+                         "attributes": {}})
+        assert response.status == 201
+        for stack in stacks:
+            assert stack.platform.accounts.get("wb") is not None
+
+    def test_disconnect_broadcasts_and_sums_requeues(self, router):
+        job_id, _ = make_job(router)
+        call(router, "POST", "/workers",
+             {"worker_id": "wd", "display_name": None,
+              "attributes": {}})
+        task = call(router, "GET", f"/jobs/{job_id}/next",
+                    query={"worker": "wd"})
+        assert task.status == 200
+        response = call(router, "POST", "/workers/wd/disconnect", {})
+        assert response.status == 200
+        assert response.body["requeued"] == 1
+
+
+class TestBatchRouting:
+    def _assignments(self, router, job_id, workers):
+        response = call(router, "POST", "/tasks:batch-assign",
+                        {"job_id": job_id, "workers": workers})
+        assert response.status == 200
+        return response.body["assignments"]
+
+    def test_batch_assign_routes_by_job(self, router):
+        job_id, _ = make_job(router, n_tasks=3, redundancy=1)
+        for worker in ("w0", "w1"):
+            call(router, "POST", "/workers",
+                 {"worker_id": worker, "display_name": None,
+                  "attributes": {}})
+        assignments = self._assignments(router, job_id,
+                                        ["w0", "w1"])
+        assert len(assignments) == 2
+        assert all(entry["task"] is not None
+                   for entry in assignments)
+
+    def test_batch_answers_split_and_reassembled_in_order(
+            self, router):
+        # Two jobs on (very likely) different nodes: the batch
+        # interleaves their tasks, so the split must reassemble
+        # results back into input order.
+        job_a, tasks_a = make_job(router, n_tasks=2, redundancy=1)
+        job_b, tasks_b = make_job(router, n_tasks=2, redundancy=1)
+        call(router, "POST", "/workers",
+             {"worker_id": "w0", "display_name": None,
+              "attributes": {}})
+        interleaved = [tasks_a[0], tasks_b[0], tasks_a[1],
+                       tasks_b[1]]
+        response = call(router, "POST", "/answers:batch", {
+            "answers": [{"task_id": task_id, "worker_id": "w0",
+                         "answer": f"a-{position}",
+                         "idempotency_key": f"{task_id}/w0"}
+                        for position, task_id
+                        in enumerate(interleaved)]})
+        assert response.status == 200
+        assert response.body["accepted"] == 4
+        results = response.body["results"]
+        assert [entry["task_id"] for entry in results] \
+            == interleaved
+
+    def test_batch_answers_down_shard_fails_whole_batch(
+            self, router, stacks):
+        job_id, task_ids = make_job(router, n_tasks=2, redundancy=1)
+        call(router, "POST", "/workers",
+             {"worker_id": "w0", "display_name": None,
+              "attributes": {}})
+        owner = shard_of(job_id, N_NODES)
+        stacks[owner].close()
+        response = call(router, "POST", "/answers:batch", {
+            "answers": [{"task_id": task_id, "worker_id": "w0",
+                         "answer": "x",
+                         "idempotency_key": f"{task_id}/w0"}
+                        for task_id in task_ids]})
+        # Partial batch results would silently drop the dead shard's
+        # answers while reporting success for the rest.
+        assert response.status == 503
+        assert response.headers.get("Retry-After")
+        assert "results" not in response.body
+
+    def test_batch_answers_item_without_task_id_rejected(
+            self, router):
+        response = call(router, "POST", "/answers:batch",
+                        {"answers": [{"worker_id": "w0",
+                                      "answer": "x"}]})
+        assert response.status == 422
+
+    def test_oversized_batch_rejected_whole(self, router):
+        response = call(router, "POST", "/answers:batch", {
+            "answers": [{"task_id": f"task-{i:06d}",
+                         "worker_id": "w0", "answer": "x"}
+                        for i in range(513)]})
+        assert response.status == 422
+
+
+class TestDuplicateSuppression:
+    def test_failover_replay_of_keyed_answer_is_deduped(
+            self, router, stacks):
+        """A router failover replays the same keyed POST; the node's
+        dedupe table must absorb the double delivery."""
+        job_id, _ = make_job(router)
+        call(router, "POST", "/workers",
+             {"worker_id": "w0", "display_name": None,
+              "attributes": {}})
+        task = call(router, "GET", f"/jobs/{job_id}/next",
+                    query={"worker": "w0"})
+        task_id = task.body["task_id"]
+        body = {"worker_id": "w0", "answer": "cat", "at_s": 0.0,
+                "idempotency_key": f"{task_id}/w0"}
+        first = call(router, "POST", f"/tasks/{task_id}/answers",
+                     body)
+        # The replay the failover path would issue after an ack was
+        # lost in flight: byte-identical request, same key.
+        replay = call(router, "POST", f"/tasks/{task_id}/answers",
+                      body)
+        assert first.status == 201
+        assert replay.status == 201
+        owner = shard_of(task_id, N_NODES)
+        stored = stacks[owner].platform.store.get_task(task_id)
+        assert len(stored.answers) == 1
+
+
+class TestHealthAndAggregation:
+    def test_healthz_reports_every_node(self, router):
+        response = call(router, "GET", "/healthz")
+        assert response.status == 200
+        body = response.body
+        assert body["role"] == "router"
+        assert body["n_nodes"] == N_NODES
+        assert [node["index"] for node in body["nodes"]] \
+            == list(range(N_NODES))
+
+    def test_probe_learns_shard_ranges(self, router):
+        for node in router.nodes:
+            assert router.probe_node(node)
+        ranges = [node["shard_range"]
+                  for node in router.nodes_snapshot()]
+        assert ranges == [[0, 3], [1, 3], [2, 3]]
+
+    def test_probe_marks_dead_node_unhealthy(self, router, stacks):
+        stacks[2].close()
+        assert not router.probe_node(router.nodes[2])
+        snapshot = router.nodes_snapshot()[2]
+        assert snapshot["healthy"] is False
+        assert snapshot["error"]
+        healthz = call(router, "GET", "/healthz")
+        assert healthz.body["status"] == "degraded"
+        assert healthz.body["healthy_nodes"] == N_NODES - 1
+
+    def test_partition_answers_503_then_clears(self, router):
+        router.set_partition(0, duration_s=30.0)
+        job = call(router, "GET", "/jobs")
+        assert job.status == 503
+        router.nodes[0].partitioned_until = 0.0
+        assert router.probe_node(router.nodes[0])
+        assert call(router, "GET", "/jobs").status == 200
+
+    def test_metrics_aggregation_sums_counters(self, router):
+        make_job(router, n_tasks=1)
+        call(router, "GET", "/jobs")
+        response = call(router, "GET", "/metrics")
+        assert response.status == 200
+        body = response.body
+        assert body["cluster"]["complete"] is True
+        assert body["cluster"]["reachable_nodes"] == N_NODES
+        assert set(body["nodes"]) \
+            == {f"node-{i}" for i in range(N_NODES)}
+        requests = body["metrics"]["service.requests"]["series"]
+        # Every node served the scattered GET /jobs exactly once.
+        listed = [series for series in requests
+                  if series["labels"].get("route") == "/jobs"
+                  and series["labels"].get("method") == "GET"]
+        assert listed and listed[0]["value"] >= N_NODES
+
+    def test_dashboard_renders_per_node_health(self, router):
+        response = call(router, "GET", "/dashboard")
+        assert response.status == 200
+        body = response.body
+        assert body["role"] == "router"
+        assert set(body["nodes"]) \
+            == {f"node-{i}" for i in range(N_NODES)}
+        assert body["cluster"]["n_nodes"] == N_NODES
+
+    def test_debug_requires_node_selector(self, router):
+        assert call(router, "GET", "/debug/traces").status == 422
+        forwarded = call(router, "GET", "/debug/traces",
+                         query={"node": "1"})
+        assert forwarded.status == 200

@@ -38,8 +38,11 @@ class TestFaultPlan:
                 .with_dropped_answers("api.answer")
                 .with_duplicates("api.answer")
                 .with_store_crashes()
-                .with_crash_points("wal.append", at_byte=3))
-        assert len(plan.rules) == 7
+                .with_crash_points("wal.append", at_byte=3)
+                .with_node_kills("cluster.node-0")
+                .with_node_pauses("cluster.node-1", pause_s=0.2)
+                .with_partitions("cluster.node-2", duration_s=0.3))
+        assert len(plan.rules) == 10
         kinds = {rule.kind for rule in plan.rules}
         assert kinds == set(FaultKind)
 
