@@ -15,10 +15,13 @@ in-process and over loopback HTTP.  Results land in
 ratios to a committed baseline and exits non-zero on a >20% regression
 (ratios, not raw ops/s, so the gate is stable across machines).
 
-Six same-run gates ride along: the tracing sample-rate sweep
+Seven same-run gates ride along: the tracing sample-rate sweep
 (sampling off must be ~free), the live-analytics overhead gate (the
 streaming dashboard consumer must retain >=95% of consumer-off
-throughput at max threads), the HTTP transport gate (the asyncio
+throughput at max threads), the sampling-profiler overhead gate (the
+wall-clock profiler at its default 10 ms interval must retain >=95%
+of profiler-off throughput at max threads), the HTTP transport gate
+(the asyncio
 front door at max threads must keep >=0.5x of the same run's
 in-process sharded ops/s — the stdlib threaded server it replaced
 managed ~0.05x), the durability gate (WAL group commit with real
@@ -358,6 +361,73 @@ def check_live_overhead(results: Dict,
     if overhead["ratio_on_vs_off"] < floor:
         return [f"live analytics overhead: consumer-on throughput is "
                 f"{overhead['ratio_on_vs_off']:.3f}x of consumer-off, "
+                f"below the {floor:.2f}x floor"]
+    return []
+
+
+#: Profiler overhead gate: with the sampling profiler running at its
+#: default 10 ms interval, the 16-thread sharded stack must retain at
+#: least this fraction of the profiler-off throughput measured in the
+#: same run.
+PROFILER_OVERHEAD_FLOOR = 0.95
+
+
+def run_profiler_overhead(results: Dict, n_tasks: int,
+                          redundancy: int,
+                          thread_counts=THREAD_COUNTS,
+                          rounds: int = 3) -> Dict:
+    """Measure the sampling profiler's cost at max threads.
+
+    Same methodology as :func:`run_live_overhead`: interleaved off/on
+    pairs in the same run, best-of-``rounds`` ratio.  The "on" cell
+    runs with a :class:`~repro.obs.profiler.SamplingProfiler` at its
+    default interval sampling the whole process — worker threads, the
+    service stack, everything — exactly the posture ``serve
+    --profile`` ships.  Scheduler noise only ever depresses a single
+    pair's ratio, so the best pair converges on the true overhead
+    from below.
+    """
+    from repro.obs.profiler import SamplingProfiler
+
+    top = max(thread_counts)
+    pairs = []
+    samples = 0
+    for _ in range(rounds):
+        off = measure("sharded", top, n_tasks, redundancy,
+                      "inprocess")
+        with SamplingProfiler() as profiler:
+            on = measure("sharded", top, n_tasks, redundancy,
+                         "inprocess")
+            samples = profiler.snapshot()["samples"]
+        pairs.append({
+            "off": off, "on": on, "samples": samples,
+            "ratio": round(on["ops_per_s"] / off["ops_per_s"], 3)})
+    for i, pair in enumerate(pairs):
+        print(f"profgate x{top:<3} pair {i}   off "
+              f"{pair['off']['ops_per_s']:>8.1f} ops/s   on "
+              f"{pair['on']['ops_per_s']:>8.1f} ops/s   "
+              f"({pair['samples']} samples)   ratio "
+              f"{pair['ratio']:.3f}", flush=True)
+    ratio = max(pair["ratio"] for pair in pairs)
+    print(f"profgate x{top:<3} on/off ratio {ratio:.3f} "
+          f"(best of {rounds})", flush=True)
+    overhead = {"threads": top,
+                "interval_s": SamplingProfiler().interval_s,
+                "rounds": pairs, "ratio_on_vs_off": ratio}
+    results["profiler_overhead"] = overhead
+    return overhead
+
+
+def check_profiler_overhead(results: Dict,
+                            floor: float = PROFILER_OVERHEAD_FLOOR
+                            ) -> List[str]:
+    """Gate: the sampling profiler must cost < (1 - floor)."""
+    overhead = results.get("profiler_overhead")
+    if not overhead:
+        return []
+    if overhead["ratio_on_vs_off"] < floor:
+        return [f"profiler overhead: profiler-on throughput is "
+                f"{overhead['ratio_on_vs_off']:.3f}x of profiler-off, "
                 f"below the {floor:.2f}x floor"]
     return []
 
@@ -871,6 +941,10 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-live-overhead",
                         action="store_true",
                         help="skip the live-analytics overhead gate")
+    parser.add_argument("--skip-profiler-overhead",
+                        action="store_true",
+                        help="skip the sampling-profiler overhead "
+                             "gate")
     parser.add_argument("--durability-writes", type=int, default=150,
                         help="durable writes per thread in the "
                              "fsyncing durability-gate cells (the "
@@ -910,6 +984,9 @@ def main(argv=None) -> int:
     if not args.skip_live_overhead:
         run_live_overhead(results, args.tasks, args.redundancy)
         failures.extend(check_live_overhead(results))
+    if not args.skip_profiler_overhead:
+        run_profiler_overhead(results, args.tasks, args.redundancy)
+        failures.extend(check_profiler_overhead(results))
     if not args.skip_durability:
         run_durability_gate(results, args.durability_writes)
         failures.extend(
@@ -937,6 +1014,7 @@ def main(argv=None) -> int:
         return 1
     if (args.check_against or not args.skip_tracing_overhead
             or not args.skip_live_overhead
+            or not args.skip_profiler_overhead
             or not args.skip_durability or not args.skip_read_gate):
         print("regression gate passed")
     return 0

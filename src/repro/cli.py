@@ -108,6 +108,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="cluster nodes skip per-commit fsync "
                             "(faster, loses the acked-durable "
                             "guarantee under power loss)")
+    serve.add_argument("--profile", action="store_true",
+                       help="run the wall-clock sampling profiler "
+                            "and serve it at GET /debug/profile "
+                            "(with --cluster: one profiler per node, "
+                            "merged at the router)")
 
     suite = sub.add_parser(
         "suite", help="play one match of every game")
@@ -141,6 +146,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "GET /debug/traces?format=jsonl")
     trace.add_argument("--limit", type=int, default=None,
                        help="only the newest N traces")
+    trace.add_argument("--cluster", action="store_true",
+                       help="require the cluster-merged view: fail "
+                            "loudly unless --url points at a router "
+                            "whose /debug/traces stitches every "
+                            "node's spans (never silently dump a "
+                            "single process's recorder)")
 
     top = sub.add_parser(
         "top",
@@ -157,6 +168,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="refresh period in seconds")
     top.add_argument("--frames", type=int, default=None,
                      help="stop after N refreshes (default: forever)")
+    top.add_argument("--node", type=int, default=None,
+                     help="cluster drill-down: render node N's own "
+                          "dashboard through the router instead of "
+                          "the cluster rollup frame")
 
     fsck = sub.add_parser(
         "fsck", help="check a durability directory for corruption")
@@ -252,7 +267,9 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     cluster = Cluster(args.cluster, args.data_dir, host=args.host,
                       router_port=args.port, seed=args.seed,
                       checkpoint_every=args.checkpoint_every,
-                      fsync=not args.no_fsync)
+                      fsync=not args.no_fsync,
+                      sample_rate=args.sample_rate,
+                      profile=args.profile)
     cluster.start()
     try:
         cluster.wait_healthy()
@@ -291,7 +308,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"(seq {platform.durability.seq})")
     else:
         platform = Platform(seed=args.seed, tracer=tracer)
-    api = ApiServer(platform, tracer=tracer)
+    profiler = None
+    if args.profile:
+        from repro.obs.profiler import SamplingProfiler
+        profiler = SamplingProfiler().start()
+    api = ApiServer(platform, tracer=tracer, profiler=profiler)
     server = AsyncHttpServer(
         api, host=args.host, port=args.port,
         workers=max(1, args.workers),
@@ -311,6 +332,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # mutations land in the WAL before the checkpoint flush.
         server.shutdown()
         api.shutdown()
+        if profiler is not None:
+            profiler.stop()
     return 0
 
 
@@ -430,9 +453,29 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from urllib import request as urlrequest
 
     base = args.url.rstrip("/")
-    path = "/debug/traces?format=jsonl"
-    if args.limit is not None:
-        path += f"&limit={args.limit}"
+    suffix = "" if args.limit is None else f"&limit={args.limit}"
+    if args.cluster:
+        # Merge-or-fail: probe the JSON view first and demand the
+        # router's merged marker, so a --url pointed at a single node
+        # (or an old router) can never pass off one process's
+        # recorder as the cluster trace set.
+        probe = "/debug/traces?" + suffix.lstrip("&")
+        probe = probe.rstrip("?")
+        try:
+            with urlrequest.urlopen(base + probe,
+                                    timeout=10.0) as response:
+                doc = json.loads(response.read().decode("utf-8"))
+        except (urlerror.URLError, OSError) as exc:
+            print(f"cannot reach {base}{probe}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if not (doc.get("cluster") or {}).get("merged"):
+            print(f"{base} did not return a cluster-merged trace "
+                  "set: point --url at the cluster router (or drop "
+                  "--cluster for a single process's recorder)",
+                  file=sys.stderr)
+            return 1
+    path = "/debug/traces?format=jsonl" + suffix
     try:
         with urlrequest.urlopen(base + path, timeout=10.0) as response:
             raw = response.read().decode("utf-8")
@@ -451,28 +494,66 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     for record in records:
         status = record.get("status", "ok")
         mark = "" if status == "ok" else f"  [{status.upper()}]"
+        sources = record.get("sources")
+        origin = f"  [{','.join(sources)}]" if sources else ""
         print(f"trace {record.get('trace_id', '?')}  "
-              f"{record.get('duration_s', 0.0) * 1000.0:.3f}ms{mark}")
-        root = record.get("root")
-        if root:
+              f"{record.get('duration_s', 0.0) * 1000.0:.3f}ms"
+              f"{mark}{origin}")
+        # Single-process records carry one ``root``; cluster-stitched
+        # records carry ``roots`` (orphaned fragments stay roots).
+        roots = record.get("roots")
+        if roots is None:
+            roots = [record["root"]] if record.get("root") else []
+        for root in roots:
             _print_span_tree(root, depth=1)
         print()
     return 0
 
 
+def _slo_lines(slo: dict) -> list:
+    """SLO burn table + active alerts, shared by the single-node and
+    cluster frames (the router's live engine emits the same shape)."""
+    lines = ["SLOs"]
+    for name, state in sorted(slo.get("slos", {}).items()):
+        burn = state.get("burn", {})
+        burns = " ".join(f"{rule}={value:.2f}"
+                         for rule, value in sorted(burn.items()))
+        marker = state.get("state", "ok")
+        if marker == "firing":
+            marker = f"FIRING({state.get('severity')})"
+        lines.append(f"  {name:<16} {marker:<14} objective="
+                     f"{state.get('objective'):g} burn[{burns}]")
+    active = slo.get("active_alerts", [])
+    if active:
+        lines.append("")
+        lines.append("Active alerts")
+        for alert in active:
+            lines.append(f"  {alert['severity'].upper():<7} "
+                         f"{alert['slo']}/{alert['rule']} "
+                         f"burn={alert['burn_short']:.2f}")
+    return lines
+
+
 def _render_cluster_dashboard(doc: dict) -> str:
     """One terminal frame of a *router's* dashboard document:
-    cluster totals plus one health row per node."""
+    cluster totals, the cluster SLO burn table, one health row per
+    node, and the federated per-verb latency rollup (GK sketches
+    merged across nodes).  ``repro top --node I`` drills into one
+    node's full single-process frame."""
     cluster = doc.get("cluster", {})
     lines = [
         f"repro top — cluster of {cluster.get('n_nodes', 0)} "
         f"({cluster.get('healthy_nodes', 0)} healthy)  "
         f"requests={cluster.get('requests', 0)} "
         f"errors={cluster.get('errors', 0)}",
-        "",
-        f"  {'node':<10} {'health':<10} {'wal seq':>8} "
-        f"{'ckpt age':>9} {'shard':>7} {'requests':>9}",
     ]
+    slo = doc.get("slo")
+    if slo:
+        lines.append("")
+        lines.extend(_slo_lines(slo))
+    lines.append("")
+    lines.append(f"  {'node':<10} {'health':<10} {'wal seq':>8} "
+                 f"{'ckpt age':>9} {'shard':>7} {'requests':>9}")
     for name, node in sorted(doc.get("nodes", {}).items()):
         health = "up" if node.get("healthy") else "DOWN"
         age = node.get("last_checkpoint_age_s")
@@ -491,6 +572,20 @@ def _render_cluster_dashboard(doc: dict) -> str:
         error = node.get("error")
         if error:
             lines.append(f"      {error}")
+    verbs = (doc.get("latency") or {}).get("verbs") or {}
+    if verbs:
+        lines.append("")
+        lines.append("Cluster verb latency (merged sketches)")
+        for route, summary in sorted(verbs.items()):
+            if not summary.get("count"):
+                continue
+            lines.append(
+                f"  {route:<32} "
+                f"p50={summary.get('p50', 0.0) * 1000.0:8.3f}ms "
+                f"p95={summary.get('p95', 0.0) * 1000.0:8.3f}ms "
+                f"p99={summary.get('p99', 0.0) * 1000.0:8.3f}ms "
+                f"n={summary.get('count', 0)}")
+        lines.append("  (drill down with --node I)")
     return "\n".join(lines)
 
 
@@ -503,26 +598,8 @@ def _render_dashboard(doc: dict) -> str:
     lines.append(f"repro top — requests={service.get('requests', 0)} "
                  f"errors={service.get('errors', 0)} "
                  f"at_s={doc.get('at_s', 0.0):.1f}")
-    slo = doc.get("slo", {})
     lines.append("")
-    lines.append("SLOs")
-    for name, state in sorted(slo.get("slos", {}).items()):
-        burn = state.get("burn", {})
-        burns = " ".join(f"{rule}={value:.2f}"
-                         for rule, value in sorted(burn.items()))
-        marker = state.get("state", "ok")
-        if marker == "firing":
-            marker = f"FIRING({state.get('severity')})"
-        lines.append(f"  {name:<16} {marker:<14} objective="
-                     f"{state.get('objective'):g} burn[{burns}]")
-    active = slo.get("active_alerts", [])
-    if active:
-        lines.append("")
-        lines.append("Active alerts")
-        for alert in active:
-            lines.append(f"  {alert['severity'].upper():<7} "
-                         f"{alert['slo']}/{alert['rule']} "
-                         f"burn={alert['burn_short']:.2f}")
+    lines.extend(_slo_lines(doc.get("slo", {})))
     games = doc.get("games", {})
     if games:
         lines.append("")
@@ -571,6 +648,8 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
     base = args.url.rstrip("/")
     path = "/dashboard"
+    if args.node is not None:
+        path += f"?node={args.node}"
 
     def fetch() -> "tuple[str, dict]":
         with urlrequest.urlopen(base + path, timeout=10.0) as response:

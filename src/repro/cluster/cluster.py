@@ -64,6 +64,12 @@ class Cluster:
             SIGKILL requires acknowledged answers to be on disk.
         gold_rate / spam_detection: platform knobs, forwarded to
             every node.
+        sample_rate: trace head-sampling rate forwarded to every node
+            (0.0, the default, keeps node tracing off; 1.0 records
+            every trace — what the cross-process stitching tests use).
+        profile: start a sampling profiler in every node process,
+            served at each node's ``GET /debug/profile`` and merged
+            at the router.
         auto_restart: respawn dead nodes (chaos recovery path).
         node_ports: explicit node ports (otherwise free ones).
         registry / tracer: router-side observability.
@@ -75,6 +81,8 @@ class Cluster:
                  seed: int = 0, checkpoint_every: int = 512,
                  fsync: bool = True, gold_rate: float = 0.1,
                  spam_detection: bool = True,
+                 sample_rate: float = 0.0,
+                 profile: bool = False,
                  auto_restart: bool = True,
                  node_ports: Optional[List[int]] = None,
                  registry: Optional[MetricsRegistry] = None,
@@ -102,7 +110,8 @@ class Cluster:
                        seed=seed + index,
                        checkpoint_every=checkpoint_every,
                        fsync=fsync, gold_rate=gold_rate,
-                       spam_detection=spam_detection)
+                       spam_detection=spam_detection,
+                       sample_rate=sample_rate, profile=profile)
             for index in range(n_nodes)]
         self.supervisor: Optional[NodeSupervisor] = None
         self.router: Optional[ClusterRouter] = None

@@ -56,6 +56,7 @@ class NodeConfig:
     gold_rate: float = 0.1
     spam_detection: bool = True
     sample_rate: float = 0.0
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.index < self.n_nodes:
@@ -87,6 +88,8 @@ class NodeConfig:
             cmd.append("--no-fsync")
         if not self.spam_detection:
             cmd.append("--no-spam")
+        if self.profile:
+            cmd.append("--profile")
         return cmd
 
 
@@ -114,8 +117,13 @@ def build_node(config: NodeConfig):
         spam_detection=config.spam_detection,
         tracer=tracer,
         shard_range=config.shard_range)
+    profiler = None
+    if config.profile:
+        from repro.obs.profiler import SamplingProfiler
+        profiler = SamplingProfiler().start()
     api = ApiServer(platform, tracer=tracer,
-                    shard_range=config.shard_range)
+                    shard_range=config.shard_range,
+                    profiler=profiler)
     # Durable platform => handlers block on the WAL; always offload.
     server = AsyncHttpServer(api, host=config.host, port=config.port,
                              offload="thread")
@@ -157,6 +165,7 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser.add_argument("--gold-rate", type=float, default=0.1)
     parser.add_argument("--no-spam", action="store_true")
     parser.add_argument("--sample-rate", type=float, default=0.0)
+    parser.add_argument("--profile", action="store_true")
     return parser.parse_args(argv)
 
 
@@ -168,7 +177,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed, checkpoint_every=args.checkpoint_every,
         fsync=not args.no_fsync, gold_rate=args.gold_rate,
         spam_detection=not args.no_spam,
-        sample_rate=args.sample_rate)
+        sample_rate=args.sample_rate, profile=args.profile)
     platform, api, server = build_node(config)
     server.start()
 
@@ -190,6 +199,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # in the WAL before the final checkpoint flush.
     server.shutdown()
     api.shutdown()
+    if api.profiler is not None:
+        api.profiler.stop()
     return 0
 
 

@@ -26,8 +26,35 @@ request                                   routing
 ``GET /healthz /metrics /dashboard``      per-node aggregation (down
                                           nodes reported, not hidden)
 ``GET /health``                           router-local
+``GET /debug/traces``                     cluster-merged: spans from
+                                          every node's flight recorder
+                                          stitched by trace id
+``GET /debug/profile``                    cluster-merged: per-node
+                                          profiles, stack counts summed
 ``GET /debug/*?node=I``                   forwarded to node I
 ========================================  ==============================
+
+Observability: the router *continues* the client's W3C trace.  Every
+data request runs inside a ``router.<METHOD> <route>`` span, each
+node attempt is a ``router.forward`` child carrying a ``traceparent``
+header minted from that child — so the node's ``service.*`` tree links
+back to the exact attempt that sent it, failover retries show up as
+sibling ``router.forward`` spans under one trace, and scatter-gather
+legs become parallel children.  One trace id follows client → router →
+node handler → platform verb → WAL fsync; the cluster-merged
+``GET /debug/traces`` (see :mod:`repro.obs.stitch`) reassembles the
+fragments.  Ops routes (``/metrics``, ``/healthz``, ``/dashboard``,
+``/debug/*``) stay untraced, mirroring the node-side contract:
+reading telemetry must not write it.
+
+Metrics federation: the JSON ``/metrics`` aggregation keeps the
+summed counter/gauge rollup and adds a ``federated`` view in which
+every per-node series keeps its labels plus ``node="node-i"``, and a
+``histograms`` view where per-node raw bucket counts merge into
+cluster-exact percentiles
+(:func:`repro.obs.metrics.merged_histogram_snapshot`).
+``format=prometheus`` renders the router's own registry followed by
+every node's snapshot with the ``node`` label attached.
 
 Failover contract: a request to an unreachable node is transparently
 retried against the *same* node (its data lives nowhere else) while
@@ -47,12 +74,20 @@ import re
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
 from repro.obs.exposition import (PROMETHEUS_CONTENT_TYPE, negotiate,
-                                  render_json, render_prometheus)
-from repro.obs.metrics import MetricsRegistry, default_registry
+                                  render_json, render_prometheus,
+                                  render_prometheus_snapshot)
+from repro.obs.live import LiveAnalytics
+from repro.obs.metrics import (MetricsRegistry, default_registry,
+                               merged_histogram_snapshot)
+from repro.obs.profiler import collapsed_text, merge_profiles
+from repro.obs.propagation import parse_traceparent
+from repro.obs.sketch import QuantileSketch
+from repro.obs.stitch import stitch_traces, stitched_jsonl
 from repro.obs.tracing import Tracer, default_tracer
 from repro.platform.sharding import shard_of
 from repro.service.client import HttpClient
@@ -67,6 +102,30 @@ _DISCONNECT_PATH = re.compile(r"^/workers/([^/]+)/disconnect$")
 #: Mirror of the single-node batch cap; the router enforces it before
 #: splitting so an oversized batch is rejected whole, not per-shard.
 MAX_BATCH_ITEMS = 512
+
+#: Mirror of the node-side JSONL content type for merged trace dumps.
+NDJSON_CONTENT_TYPE = "application/x-ndjson; charset=utf-8"
+
+#: Plain-text content type for collapsed-stack profile dumps.
+COLLAPSED_CONTENT_TYPE = "text/plain; charset=utf-8"
+
+#: Router paths that must not open spans: they read the telemetry the
+#: spans would land in (same contract as the node-side
+#: ``_UNTRACED_ROUTES``).  ``/debug/*`` is matched by prefix.
+_UNTRACED_PATHS = frozenset({
+    "/health", "/healthz", "/metrics", "/dashboard"})
+
+
+def _parse_limit(raw: Optional[str]) -> Optional[int]:
+    """``?limit=N`` (newest N); garbage means no limit — mirrors the
+    node-side parser so merged and per-node views agree."""
+    if raw is None:
+        return None
+    try:
+        limit = int(raw)
+    except (TypeError, ValueError):
+        return None
+    return limit if limit > 0 else None
 
 
 class _NodeState:
@@ -127,6 +186,18 @@ class ClusterRouter:
         breaker_threshold / breaker_reset_s: per-node circuit breaker
             tuning; the reset is short because a restarting node is
             usually back within a second.
+        live: the router-side :class:`~repro.obs.live.LiveAnalytics`
+            engine — fed every routed request, it runs the cluster's
+            SLO burn rules and anomaly detectors over the full
+            client-visible request stream (every request passes the
+            router, so its stream *is* the cluster rollup).  None
+            (default) builds one on this router's registry; ``False``
+            disables it.
+        profiler: optional started
+            :class:`~repro.obs.profiler.SamplingProfiler` for the
+            router process itself; when set, its profile joins the
+            per-node profiles in the cluster-merged
+            ``GET /debug/profile``.
         clock / sleep: injectable time for tests.
     """
 
@@ -134,6 +205,8 @@ class ClusterRouter:
                  registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
                  faults=None,
+                 live: Any = None,
+                 profiler=None,
                  retry_after_s: float = 0.5,
                  failover_retries: int = 10,
                  failover_backoff_s: float = 0.1,
@@ -203,6 +276,13 @@ class ClusterRouter:
         self._m_unavailable = self.registry.counter(
             "router.unavailable",
             "requests answered 503 for a down node, by node/reason")
+        if live is False:
+            self.live = None
+        elif live is None:
+            self.live = LiveAnalytics(registry=self.registry)
+        else:
+            self.live = live
+        self.profiler = profiler
 
     # -- lifecycle -----------------------------------------------------
 
@@ -289,18 +369,40 @@ class ClusterRouter:
     def handle(self, request: ApiRequest) -> ApiResponse:
         started = time.perf_counter()
         route = "other"
-        try:
-            route, response = self._route(request)
-        except ServiceError as exc:
-            response = ApiResponse(exc.status,
-                                   error_body(str(exc)))
-        except Exception as exc:  # noqa: BLE001 - router must answer
-            response = ApiResponse(
-                500, error_body(f"router error: {exc}"))
+        path = request.path
+        untraced = (path in _UNTRACED_PATHS
+                    or path.startswith("/debug/"))
+        if untraced:
+            remote_cm = nullcontext()
+            span_cm = nullcontext(None)
+        else:
+            ctx = parse_traceparent(
+                request.headers.get("traceparent"))
+            remote_cm = self.tracer.continue_trace(ctx)
+            span_cm = self.tracer.span("router.request")
+        with remote_cm, span_cm as span:
+            try:
+                route, response = self._route(request)
+            except ServiceError as exc:
+                response = ApiResponse(exc.status,
+                                       error_body(str(exc)))
+            except Exception as exc:  # noqa: BLE001 - must answer
+                response = ApiResponse(
+                    500, error_body(f"router error: {exc}"))
+            if span is not None:
+                # The route name is only known after routing; rename
+                # before the root closes so exports carry it.
+                span.name = f"router.{request.method} {route}"
+                span.attributes["status"] = response.status
+        elapsed = time.perf_counter() - started
         self._m_requests.inc(route=route,
                              status=str(response.status))
-        self._m_latency.observe(time.perf_counter() - started,
-                                route=route)
+        self._m_latency.observe(elapsed, route=route)
+        if self.live is not None and not untraced:
+            self.live.observe_request(
+                route, request.method, response.status, elapsed,
+                at_s=started,
+                trace_id=span.trace_id if span is not None else None)
         return response
 
     def _route(self, request: ApiRequest
@@ -315,7 +417,7 @@ class ClusterRouter:
         if path == "/metrics":
             return "metrics", self._metrics(request)
         if path == "/dashboard":
-            return "dashboard", self._dashboard()
+            return "dashboard", self._dashboard(request)
         if path.startswith("/debug/"):
             return "debug", self._debug(request)
         if path == "/jobs":
@@ -372,12 +474,22 @@ class ClusterRouter:
         tries again up to ``failover_retries`` times.  Everything else
         surfaces the first failure as ``503 + Retry-After`` — the
         at-least-once decision belongs to the caller.
+
+        When a trace is active on this thread (the router span opened
+        by :meth:`handle`, or the context a scatter leg inherited),
+        every attempt runs inside a ``router.forward`` child span and
+        the request carries a ``traceparent`` minted from *that* span —
+        so the node's tree links to the exact attempt that reached it,
+        and failover retries are sibling spans under one trace id.
+        Ops aggregation (untraced routes) has no active trace, so its
+        fan-out stays out of the flight recorder it reads.
         """
         if replay_safe is None:
             replay_safe = (method == "GET"
                            or (isinstance(body, dict)
                                and bool(body.get("idempotency_key"))))
         attempts = (self.failover_retries + 1) if replay_safe else 1
+        traced = self._trace_active()
         for attempt in range(attempts):
             final = attempt + 1 >= attempts
             if self._clock() < node.partitioned_until:
@@ -390,9 +502,20 @@ class ClusterRouter:
                     self._sleep(self.failover_backoff_s)
                     continue
                 return self._unavailable(node, "circuit_open")
+            span_cm = (self.tracer.span("router.forward",
+                                        node=node.name,
+                                        attempt=attempt)
+                       if traced else nullcontext(None))
             try:
-                response = node.client.forward(method, path,
-                                               body=body, query=query)
+                with span_cm:
+                    headers = None
+                    if traced:
+                        tp = self.tracer.current_traceparent()
+                        if tp is not None:
+                            headers = {"traceparent": tp}
+                    response = node.client.forward(
+                        method, path, body=body, query=query,
+                        headers=headers)
             except ServiceError as exc:
                 node.breaker.record_failure()
                 self._mark_down(node, str(exc))
@@ -407,6 +530,17 @@ class ClusterRouter:
             return response
         raise AssertionError("unreachable: failover loop exited")
 
+    def _trace_active(self) -> bool:
+        """Whether this thread is inside a trace: a span is open, or a
+        scatter leg installed an inherited context.  Reads the
+        tracer's thread-local directly — there is no public probe for
+        "would a new root continue an existing trace"."""
+        if not self.tracer.enabled or self.tracer.sample_rate <= 0.0:
+            return False
+        local = self.tracer._local
+        return (bool(getattr(local, "stack", None))
+                or getattr(local, "remote", None) is not None)
+
     def _unavailable(self, node: _NodeState,
                      reason: str) -> ApiResponse:
         self._m_unavailable.inc(
@@ -420,14 +554,40 @@ class ClusterRouter:
             503, body,
             headers={"Retry-After": f"{self.retry_after_s:g}"})
 
+    def _submit(self, node: _NodeState, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None,
+                query: Optional[Dict[str, str]] = None,
+                replay_safe: Optional[bool] = None):
+        """Submit one :meth:`_forward` to the scatter pool, carrying
+        the submitting thread's trace context along.
+
+        Pool threads have no span stack, so the context is captured
+        here (as a ``traceparent``) and re-installed on the worker via
+        :meth:`~repro.obs.tracing.Tracer.continue_trace` — each leg's
+        ``router.forward`` span then records as a fragment whose
+        parent is the router span, and stitching reattaches it as a
+        parallel child.  Untraced routes capture None and the leg
+        stays span-free.
+        """
+        ctx = parse_traceparent(self.tracer.current_traceparent())
+        return self._pool.submit(self._leg, ctx, node, method, path,
+                                 body, query, replay_safe)
+
+    def _leg(self, ctx, node: _NodeState, method: str, path: str,
+             body: Optional[Dict[str, Any]],
+             query: Optional[Dict[str, str]],
+             replay_safe: Optional[bool]) -> ApiResponse:
+        with self.tracer.continue_trace(ctx):
+            return self._forward(node, method, path, body=body,
+                                 query=query, replay_safe=replay_safe)
+
     def _scatter(self, method: str, path: str,
                  query: Optional[Dict[str, str]] = None
                  ) -> List[ApiResponse]:
         """The same GET against every node, concurrently, in index
         order.  Callers decide whether a failed leg degrades (ops
         endpoints) or aborts (data reads: never silently truncate)."""
-        futures = [self._pool.submit(self._forward, node, method,
-                                     path, None, query)
+        futures = [self._submit(node, method, path, None, query)
                    for node in self.nodes]
         return [future.result() for future in futures]
 
@@ -474,9 +634,8 @@ class ClusterRouter:
         """Broadcast: workers exist on every node (answers for a
         worker land wherever its tasks hash).  Registration is
         idempotent on the platform, so replay is safe."""
-        futures = [self._pool.submit(self._forward, node, "POST",
-                                     "/workers", request.body, None,
-                                     True)
+        futures = [self._submit(node, "POST", "/workers",
+                                request.body, None, True)
                    for node in self.nodes]
         responses = [future.result() for future in futures]
         failure = self._first_failure(responses)
@@ -487,9 +646,8 @@ class ClusterRouter:
     def _disconnect(self, request: ApiRequest) -> ApiResponse:
         """Broadcast: the worker's leases live on every node that ever
         assigned it a task.  Requeue counts sum."""
-        futures = [self._pool.submit(self._forward, node, "POST",
-                                     request.path, request.body or {},
-                                     None, True)
+        futures = [self._submit(node, "POST", request.path,
+                                request.body or {}, None, True)
                    for node in self.nodes]
         responses = [future.result() for future in futures]
         failure = self._first_failure(responses)
@@ -535,9 +693,8 @@ class ClusterRouter:
         replay_safe = all(bool(item.get("idempotency_key"))
                           for item in items)
         futures = {
-            owner: self._pool.submit(
-                self._forward, self.nodes[owner], "POST",
-                "/answers:batch",
+            owner: self._submit(
+                self.nodes[owner], "POST", "/answers:batch",
                 {"answers": [item for _, item in group]}, None,
                 replay_safe)
             for owner, group in groups.items()}
@@ -659,18 +816,41 @@ class ClusterRouter:
             "nodes": nodes})
 
     def _metrics(self, request: ApiRequest) -> ApiResponse:
-        """Cluster metrics: summed counters/gauges plus per-node
-        snapshots.  ``format=prometheus`` exposes the router's own
-        registry (node metrics stay per-node to keep series distinct).
+        """Cluster metrics: labeled federation over every node.
+
+        The JSON document carries four views of the same scatter:
+
+        - ``metrics`` — the blind rollup (counters and gauges summed
+          per label set), kept for dashboards that want one number.
+        - ``federated`` — every per-node series with its labels
+          *plus* ``node="node-i"``, all kinds included: provenance is
+          never erased, so a per-node drill-down (``repro top``)
+          needs no second fetch.
+        - ``histograms`` — per-node raw bucket counts merged into
+          cluster-exact percentiles
+          (:func:`~repro.obs.metrics.merged_histogram_snapshot`).
+        - ``nodes`` / ``router`` — the raw per-node snapshots and the
+          router's own registry.
+
+        ``format=prometheus`` renders the router's registry followed
+        by each node's snapshot with the ``node`` label merged into
+        every series.
         """
         fmt = negotiate(accept=request.headers.get("accept"),
                         fmt=request.query.get("format"))
-        if fmt == "prometheus":
-            return ApiResponse(200, {},
-                               text=render_prometheus(self.registry),
-                               content_type=PROMETHEUS_CONTENT_TYPE)
         responses = self._scatter("GET", "/metrics")
+        if fmt == "prometheus":
+            parts = [render_prometheus(self.registry)]
+            for node, response in zip(self.nodes, responses):
+                if response.ok:
+                    parts.append(render_prometheus_snapshot(
+                        response.body, {"node": node.name}))
+            return ApiResponse(200, {},
+                               text="".join(parts),
+                               content_type=PROMETHEUS_CONTENT_TYPE)
         merged: Dict[str, Dict[str, Any]] = {}
+        federated: Dict[str, Dict[str, Any]] = {}
+        histogram_docs: Dict[str, List[Dict[str, Any]]] = {}
         per_node: Dict[str, Any] = {}
         reachable = 0
         for node, response in zip(self.nodes, responses):
@@ -683,6 +863,18 @@ class ClusterRouter:
             snapshot = response.body.get("metrics", {})
             per_node[node.name] = response.body
             for name, metric in snapshot.items():
+                fed = federated.setdefault(name, {
+                    "kind": metric.get("kind"),
+                    "description": metric.get("description", ""),
+                    "series": []})
+                for series in metric.get("series", []):
+                    labeled = dict(series)
+                    labeled["labels"] = dict(
+                        series.get("labels") or {})
+                    labeled["labels"]["node"] = node.name
+                    fed["series"].append(labeled)
+                if metric.get("kind") == "histogram":
+                    histogram_docs.setdefault(name, []).append(metric)
                 if metric.get("kind") not in ("counter", "gauge"):
                     continue
                 slot = merged.setdefault(name, {
@@ -703,25 +895,61 @@ class ClusterRouter:
                               for labels, value
                               in sorted(slot["series"].items())]}
             for name, slot in sorted(merged.items())}
+        for metric in federated.values():
+            metric["series"].sort(key=lambda s: sorted(
+                (s.get("labels") or {}).items()))
+        merged_histograms = {
+            name: doc for name, doc in
+            ((name, merged_histogram_snapshot(docs))
+             for name, docs in sorted(histogram_docs.items()))
+            if doc is not None}
         router_own = render_json(self.registry).get("metrics", {})
         return ApiResponse(200, {
             "cluster": {"n_nodes": self.n_nodes,
                         "reachable_nodes": reachable,
                         "complete": reachable == self.n_nodes},
             "metrics": metrics_doc,
+            "federated": dict(sorted(federated.items())),
+            "histograms": merged_histograms,
             "router": router_own,
             "nodes": per_node})
 
-    def _dashboard(self) -> ApiResponse:
-        """Per-node health plus aggregate service counters; rendered
-        by ``repro top`` as the cluster frame.  Deterministic JSON
-        (sorted keys) like the single-node dashboard."""
-        responses = self._scatter("GET", "/dashboard")
+    def _dashboard(self, request: ApiRequest) -> ApiResponse:
+        """Per-node health plus cluster rollups; rendered by ``repro
+        top`` as the cluster frame.  Deterministic JSON (sorted keys)
+        like the single-node dashboard.
+
+        Beyond the per-node health entries, the document now carries
+        the federation rollups: ``latency.verbs`` merges every node's
+        per-verb GK sketch (cluster-accurate percentiles, rank error
+        bounded by the sum of the operand budgets — see
+        :meth:`repro.obs.sketch.QuantileSketch.merge`), and ``slo`` /
+        ``anomalies`` come from the router's own live engine, which
+        watches the full client-visible request stream.
+
+        ``?node=I`` skips the rollup and forwards to one node's own
+        dashboard — the ``repro top --node I`` drill-down.
+        """
+        raw = request.query.get("node")
+        if raw is not None:
+            try:
+                node = self.nodes[int(raw)]
+            except (ValueError, IndexError):
+                return ApiResponse(422, error_body(
+                    f"node must be an index in [0, {self.n_nodes})"))
+            query = {key: value
+                     for key, value in request.query.items()
+                     if key != "node"}
+            return self._forward(node, "GET", "/dashboard",
+                                 query=query)
+        responses = self._scatter("GET", "/dashboard",
+                                  {"sketches": "1"})
         health = {node["index"]: node
                   for node in self.nodes_snapshot()}
         nodes_doc: Dict[str, Any] = {}
         total_requests = 0
         total_errors = 0
+        verb_sketches: Dict[str, QuantileSketch] = {}
         for node, response in zip(self.nodes, responses):
             entry = dict(health[node.index])
             if response.ok:
@@ -731,6 +959,21 @@ class ClusterRouter:
                     "errors": service.get("errors", 0)}
                 total_requests += int(service.get("requests", 0))
                 total_errors += int(service.get("errors", 0))
+                verbs = (response.body.get("latency") or {}).get(
+                    "verbs") or {}
+                for route, doc in verbs.items():
+                    raw = doc.get("sketch")
+                    if not isinstance(raw, dict):
+                        continue
+                    try:
+                        sketch = QuantileSketch.from_dict(raw)
+                    except (KeyError, TypeError, ValueError):
+                        continue
+                    have = verb_sketches.get(route)
+                    if have is None:
+                        verb_sketches[route] = sketch
+                    else:
+                        have.merge(sketch)
             elif response.status == 503 and "disabled" in str(
                     response.body.get("error", "")):
                 # Live analytics off on the node: healthy, no doc.
@@ -748,16 +991,32 @@ class ClusterRouter:
                     if node["healthy"]),
                 "requests": total_requests,
                 "errors": total_errors},
+            "latency": {"verbs": {
+                route: sketch.summary()
+                for route, sketch in sorted(verb_sketches.items())}},
             "nodes": nodes_doc}
+        if self.live is not None:
+            live = self.live.snapshot()
+            doc["router"] = {"service": live["service"],
+                             "latency": live["latency"]}
+            doc["slo"] = live["slo"]
+            doc["anomalies"] = live["anomalies"]
         return ApiResponse(200, doc,
                            text=json.dumps(doc, sort_keys=True),
                            content_type="application/json; "
                                         "charset=utf-8")
 
     def _debug(self, request: ApiRequest) -> ApiResponse:
-        """Debug endpoints are per-node state; ``?node=I`` names one."""
+        """Debug endpoints: ``?node=I`` forwards to one node; without
+        a selector, ``/debug/traces`` and ``/debug/profile`` answer
+        cluster-merged (the other flight-recorder views stay strictly
+        per-node — a stitched lock table would be meaningless)."""
         raw = request.query.get("node")
         if raw is None:
+            if request.path == "/debug/traces":
+                return self._merged_traces(request)
+            if request.path == "/debug/profile":
+                return self._merged_profile(request)
             return ApiResponse(422, error_body(
                 "debug endpoints are per-node: add ?node=<index>"))
         try:
@@ -769,3 +1028,69 @@ class ClusterRouter:
         query = {key: value for key, value in request.query.items()
                  if key != "node"}
         return self._forward(node, "GET", request.path, query=query)
+
+    def _merged_traces(self, request: ApiRequest) -> ApiResponse:
+        """Cluster-merged trace view: every node's flight recorder
+        plus the router's own, stitched by trace id.
+
+        ``?format=jsonl`` returns the canonical stitched JSONL (one
+        trace per line, sorted keys) — byte-deterministic for a given
+        set of recorder states, because the fan-out itself is
+        untraced and the stitcher sorts on stable keys.  ``?limit=N``
+        is forwarded to every recorder before stitching.
+        """
+        query: Dict[str, str] = {}
+        raw_limit = request.query.get("limit")
+        if raw_limit is not None:
+            query["limit"] = raw_limit
+        limit = _parse_limit(raw_limit)
+        responses = self._scatter("GET", "/debug/traces",
+                                  query or None)
+        sources: Dict[str, Any] = {
+            "router": self.tracer.recorder.trace_records(limit=limit)}
+        nodes_meta: Dict[str, Any] = {}
+        reachable = 0
+        for node, response in zip(self.nodes, responses):
+            if response.ok:
+                reachable += 1
+                records = response.body.get("traces", [])
+                sources[node.name] = records
+                nodes_meta[node.name] = {"traces": len(records)}
+            else:
+                nodes_meta[node.name] = {
+                    "error": response.body.get("error",
+                                               "unreachable")}
+        traces = stitch_traces(sources)
+        if request.query.get("format", "").lower() == "jsonl":
+            text = stitched_jsonl(traces)
+            if text:
+                text += "\n"
+            return ApiResponse(200, text=text,
+                               content_type=NDJSON_CONTENT_TYPE)
+        return ApiResponse(200, {
+            "cluster": {"n_nodes": self.n_nodes,
+                        "reachable_nodes": reachable,
+                        "merged": True},
+            "traces": traces,
+            "nodes": nodes_meta})
+
+    def _merged_profile(self, request: ApiRequest) -> ApiResponse:
+        """Cluster-merged sampling profile: per-node stack counts
+        summed (:func:`~repro.obs.profiler.merge_profiles`), the
+        per-node docs riding along for drill-down.  ``?format=
+        collapsed`` renders the merged counters as collapsed-stack
+        text for ``flamegraph.pl``.  A node without a profiler (or
+        unreachable) is reported and contributes nothing.
+        """
+        responses = self._scatter("GET", "/debug/profile")
+        node_docs: Dict[str, Optional[Dict[str, Any]]] = {}
+        for node, response in zip(self.nodes, responses):
+            node_docs[node.name] = (response.body if response.ok
+                                    else None)
+        if self.profiler is not None:
+            node_docs["router"] = self.profiler.snapshot()
+        merged = merge_profiles(node_docs)
+        if request.query.get("format", "").lower() == "collapsed":
+            return ApiResponse(200, text=collapsed_text(merged),
+                               content_type=COLLAPSED_CONTENT_TYPE)
+        return ApiResponse(200, merged)

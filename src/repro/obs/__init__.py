@@ -29,6 +29,10 @@ The measurement substrate for the whole platform:
   for latency/error/agreement regressions.
 - :mod:`repro.obs.live` — :class:`LiveAnalytics`, the streaming
   engine behind ``GET /dashboard`` and ``repro top``.
+- :mod:`repro.obs.stitch` — cross-process trace reassembly behind
+  the cluster-merged ``GET /debug/traces``.
+- :mod:`repro.obs.profiler` — :class:`SamplingProfiler`, the
+  wall-clock sampling profiler behind ``GET /debug/profile``.
 
 See ``docs/observability.md`` for a cookbook.
 """
@@ -45,13 +49,17 @@ from repro.obs.events import (TelemetryLogger, TelemetryRecord,
                               feed_registry, normalize_event,
                               normalize_log)
 from repro.obs.exposition import (PROMETHEUS_CONTENT_TYPE, negotiate,
-                                  render_json, render_prometheus)
+                                  render_json, render_prometheus,
+                                  render_prometheus_snapshot)
 from repro.obs.bridge import MonitorBridge
 from repro.obs.sketch import QuantileSketch
 from repro.obs.slo import (Alert, BurnRule, SloEngine, SloSpec,
                            default_slos)
 from repro.obs.anomaly import AnomalyMonitor, EwmaDetector
 from repro.obs.live import LiveAnalytics, WindowRing
+from repro.obs.stitch import stitch_traces, stitched_jsonl
+from repro.obs.profiler import (SamplingProfiler, collapsed_text,
+                                merge_profiles)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
@@ -63,10 +71,12 @@ __all__ = [
     "TelemetryLogger", "TelemetryRecord", "feed_registry",
     "normalize_event", "normalize_log",
     "PROMETHEUS_CONTENT_TYPE", "negotiate", "render_json",
-    "render_prometheus",
+    "render_prometheus", "render_prometheus_snapshot",
     "MonitorBridge",
     "QuantileSketch",
     "Alert", "BurnRule", "SloEngine", "SloSpec", "default_slos",
     "AnomalyMonitor", "EwmaDetector",
     "LiveAnalytics", "WindowRing",
+    "stitch_traces", "stitched_jsonl",
+    "SamplingProfiler", "collapsed_text", "merge_profiles",
 ]

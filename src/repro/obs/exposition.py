@@ -66,12 +66,21 @@ def render_json(registry: MetricsRegistry) -> Dict[str, Any]:
     return registry.snapshot()
 
 
-def render_prometheus(registry: MetricsRegistry) -> str:
-    """The snapshot as Prometheus 0.0.4 text exposition."""
-    snapshot = registry.snapshot()["metrics"]
+def render_prometheus_snapshot(
+        snapshot: Mapping[str, Any],
+        extra_labels: Optional[Mapping[str, str]] = None) -> str:
+    """A snapshot document as Prometheus 0.0.4 text exposition.
+
+    Works from the plain :meth:`MetricsRegistry.snapshot` dict rather
+    than a live registry so federators can render snapshots fetched
+    from other processes; ``extra_labels`` (e.g. ``node="node-0"``)
+    are merged into every series, which is how the cluster router
+    keeps per-node provenance in its federated ``/metrics``.
+    """
+    metrics = snapshot.get("metrics", {})
     lines = []
-    for name in sorted(snapshot):
-        metric = snapshot[name]
+    for name in sorted(metrics):
+        metric = metrics[name]
         kind = metric["kind"]
         base = prometheus_name(name)
         prom_kind = {"counter": "counter", "gauge": "gauge",
@@ -81,7 +90,9 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f"# HELP {exposed} {metric['description']}")
         lines.append(f"# TYPE {exposed} {prom_kind}")
         for series in metric["series"]:
-            labels = series.get("labels", {})
+            labels = dict(series.get("labels", {}))
+            if extra_labels:
+                labels.update(extra_labels)
             if kind in ("counter", "gauge"):
                 lines.append(f"{exposed}{_labels_text(labels)} "
                              f"{_format_value(series['value'])}")
@@ -98,7 +109,16 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                          f"{_format_value(series.get('count', 0))}")
             lines.append(f"{base}_sum{plain} "
                          f"{_format_value(series.get('sum', 0.0))}")
+            # Clamp flag: 1 when observations overflowed the bucket
+            # range, i.e. the quantiles above are lower bounds.
+            lines.append(f"{base}_saturated{plain} "
+                         f"{1 if series.get('saturated') else 0}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry's snapshot as Prometheus 0.0.4 text exposition."""
+    return render_prometheus_snapshot(registry.snapshot())
 
 
 def negotiate(accept: Optional[str] = None,

@@ -538,13 +538,19 @@ class LiveAnalytics:
         return {"lifetime": lifetime, "windows": windows,
                 "at_s": state.last_at_s}
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self, include_sketches: bool = False
+                 ) -> Dict[str, Any]:
         """The full dashboard document.
 
         A pure function of the events consumed so far: no clock reads,
         so repeated snapshots with no intervening traffic are
         identical — which is what makes ``repro top --once --json``
         byte-identical to the endpoint.
+
+        ``include_sketches`` attaches each verb's raw GK sketch state
+        (:meth:`~repro.obs.sketch.QuantileSketch.to_dict`) under
+        ``latency.verbs[route]["sketch"]`` — the mergeable form the
+        cluster router federates into cluster-wide percentiles.
         """
         with self._lock:
             self._drain_locked()
@@ -555,6 +561,8 @@ class LiveAnalytics:
                 doc = verb["sketch"].summary()
                 if verb["slowest_trace"] is not None:
                     doc["slowest_trace_id"] = verb["slowest_trace"]
+                if include_sketches:
+                    doc["sketch"] = verb["sketch"].to_dict()
                 verbs[route] = doc
             slow = sorted(
                 ((route, doc) for route, doc in verbs.items()

@@ -51,6 +51,63 @@ def _labels_dict(key: LabelKey) -> Dict[str, str]:
     return {k: v for k, v in key}
 
 
+def _percentile_from_counts(buckets: Tuple[float, ...],
+                            counts: Sequence[int], total: int,
+                            min_v: float, max_v: float,
+                            q: float) -> Tuple[float, bool]:
+    """(estimate, saturated) for one quantile over raw bucket counts.
+
+    The interpolation shared by live :class:`Histogram` series and
+    cross-process merges (:func:`merged_histogram_snapshot`):
+    ``saturated`` means the target rank landed in the overflow (+Inf)
+    bucket, where there is no finite upper bound to interpolate
+    against, so the estimate clamps to the last finite bucket bound.
+    """
+    target = q * total
+    cumulative = 0
+    for i, n in enumerate(counts):
+        if n == 0:
+            continue
+        if cumulative + n >= target:
+            if i >= len(buckets):
+                return buckets[-1], True
+            lower = buckets[i - 1] if i > 0 else min(0.0, min_v)
+            upper = buckets[i]
+            frac = (target - cumulative) / n
+            estimate = lower + frac * (upper - lower)
+            return min(max(estimate, min_v), max_v), False
+        cumulative += n
+    return max_v, counts[-1] > 0
+
+
+def _summary_from_counts(buckets: Tuple[float, ...],
+                         counts: Sequence[int], total: int,
+                         total_sum: float, min_v: float,
+                         max_v: float) -> Dict[str, Any]:
+    """The standard summary doc (count/sum/mean/min/max/p50/p95/p99,
+    plus ``saturated`` when any reported quantile hit the overflow
+    bucket) computed from raw state."""
+    p50, sat50 = _percentile_from_counts(buckets, counts, total,
+                                         min_v, max_v, 0.50)
+    p95, sat95 = _percentile_from_counts(buckets, counts, total,
+                                         min_v, max_v, 0.95)
+    p99, sat99 = _percentile_from_counts(buckets, counts, total,
+                                         min_v, max_v, 0.99)
+    doc: Dict[str, Any] = {
+        "count": total,
+        "sum": total_sum,
+        "mean": total_sum / total,
+        "min": min_v,
+        "max": max_v,
+        "p50": p50,
+        "p95": p95,
+        "p99": p99,
+    }
+    if sat50 or sat95 or sat99:
+        doc["saturated"] = True
+    return doc
+
+
 class Metric:
     """Base class: a named, described, lock-guarded metric."""
 
@@ -228,23 +285,9 @@ class Histogram(Metric):
         observed max.  Dashboards should treat a saturated value as
         "at least this much" and widen the buckets.
         """
-        target = q * series.count
-        cumulative = 0
-        for i, n in enumerate(series.counts):
-            if n == 0:
-                continue
-            if cumulative + n >= target:
-                if i >= len(self.buckets):
-                    return self.buckets[-1], True
-                lower = self.buckets[i - 1] if i > 0 else min(
-                    0.0, series.min)
-                upper = self.buckets[i]
-                frac = (target - cumulative) / n
-                estimate = lower + frac * (upper - lower)
-                return (min(max(estimate, series.min), series.max),
-                        False)
-            cumulative += n
-        return series.max, series.counts[-1] > 0
+        return _percentile_from_counts(self.buckets, series.counts,
+                                       series.count, series.min,
+                                       series.max, q)
 
     def summary(self, **labels: Any) -> Dict[str, float]:
         """count/sum/mean/min/max/p50/p95/p99 for one label set."""
@@ -256,22 +299,9 @@ class Histogram(Metric):
 
     def _summary_locked(self, series: _HistogramSeries
                         ) -> Dict[str, float]:
-        p50, sat50 = self._percentile_info_locked(series, 0.50)
-        p95, sat95 = self._percentile_info_locked(series, 0.95)
-        p99, sat99 = self._percentile_info_locked(series, 0.99)
-        doc = {
-            "count": series.count,
-            "sum": series.sum,
-            "mean": series.sum / series.count,
-            "min": series.min,
-            "max": series.max,
-            "p50": p50,
-            "p95": p95,
-            "p99": p99,
-        }
-        if sat50 or sat95 or sat99:
-            doc["saturated"] = True
-        return doc
+        return _summary_from_counts(self.buckets, series.counts,
+                                    series.count, series.sum,
+                                    series.min, series.max)
 
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
@@ -280,6 +310,12 @@ class Histogram(Metric):
                 doc: Dict[str, Any] = {"labels": _labels_dict(key)}
                 if state.count:
                     doc.update(self._summary_locked(state))
+                    # Raw per-bucket counts make the series exactly
+                    # mergeable across processes (the router's
+                    # metrics federation re-derives percentiles from
+                    # the summed counts instead of averaging
+                    # estimates).
+                    doc["counts"] = list(state.counts)
                 else:
                     doc.update({"count": 0, "sum": 0.0})
                 if state.exemplars:
@@ -298,6 +334,79 @@ class Histogram(Metric):
         if idx >= len(self.buckets):
             return "+Inf"
         return f"{self.buckets[idx]:g}"
+
+
+def merged_histogram_snapshot(docs: Sequence[Dict[str, Any]]
+                              ) -> Optional[Dict[str, Any]]:
+    """Merge several histogram snapshot docs (one metric, many
+    processes) into one, exactly.
+
+    Each input is a :meth:`Histogram.snapshot` document.  Series merge
+    per label set: raw bucket ``counts`` sum, count/sum add, min/max
+    combine, and the percentiles are re-derived from the merged counts
+    — identical to what a single process observing the union stream
+    would report.  A series arriving without raw counts (an older
+    snapshot shape) degrades to count/sum/min/max only.  Returns None
+    when the docs disagree on buckets (nothing exact can be said) or
+    no histogram docs were given.
+    """
+    docs = [d for d in docs
+            if isinstance(d, dict) and d.get("kind") == "histogram"]
+    if not docs:
+        return None
+    buckets = docs[0].get("buckets")
+    if not buckets or any(d.get("buckets") != buckets
+                          for d in docs[1:]):
+        return None
+    bounds = tuple(float(b) for b in buckets)
+    acc: Dict[LabelKey, Dict[str, Any]] = {}
+    for doc in docs:
+        for series in doc.get("series", ()):
+            labels = series.get("labels", {})
+            key = _label_key(labels)
+            state = acc.get(key)
+            if state is None:
+                state = acc[key] = {
+                    "labels": _labels_dict(key),
+                    "counts": [0] * (len(bounds) + 1),
+                    "count": 0, "sum": 0.0,
+                    "min": float("inf"), "max": float("-inf"),
+                    "exact": True}
+            n = int(series.get("count", 0))
+            if n == 0:
+                continue
+            state["count"] += n
+            state["sum"] += float(series.get("sum", 0.0))
+            if "min" in series:
+                state["min"] = min(state["min"], float(series["min"]))
+            if "max" in series:
+                state["max"] = max(state["max"], float(series["max"]))
+            raw = series.get("counts")
+            if (isinstance(raw, list)
+                    and len(raw) == len(bounds) + 1):
+                state["counts"] = [a + int(b) for a, b
+                                   in zip(state["counts"], raw)]
+            else:
+                state["exact"] = False
+    merged_series: List[Dict[str, Any]] = []
+    for key in sorted(acc):
+        state = acc[key]
+        doc: Dict[str, Any] = {"labels": state["labels"]}
+        if state["count"] == 0:
+            doc.update({"count": 0, "sum": 0.0})
+        elif state["exact"]:
+            doc.update(_summary_from_counts(
+                bounds, state["counts"], state["count"],
+                state["sum"], state["min"], state["max"]))
+            doc["counts"] = list(state["counts"])
+        else:
+            doc.update({"count": state["count"], "sum": state["sum"],
+                        "mean": state["sum"] / state["count"],
+                        "min": state["min"], "max": state["max"]})
+        merged_series.append(doc)
+    return {"kind": "histogram",
+            "description": docs[0].get("description", ""),
+            "buckets": list(buckets), "series": merged_series}
 
 
 class MetricsRegistry:

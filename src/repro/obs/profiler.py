@@ -1,0 +1,300 @@
+"""Low-overhead wall-clock sampling profiler.
+
+A :class:`SamplingProfiler` runs one daemon thread that periodically
+snapshots every other thread's Python stack via
+``sys._current_frames()`` and folds the collapsed stacks — root-first,
+semicolon-joined frames, the classic ``flamegraph.pl`` input format —
+into bounded counters.  Sampling is wall-clock (a thread blocked on a
+lock, a socket, or an fsync is *sampled where it waits*), which is
+exactly what a latency investigation needs and what CPU profilers
+miss.
+
+Design constraints, in order:
+
+- **Overhead.**  One sample is one ``sys._current_frames()`` call plus
+  a few string joins per live thread, every ``interval_s`` seconds.
+  At the 10 ms default that is well under the 5% budget the benchmark
+  gate enforces (``profiler_overhead`` in ``BENCH_service.json``).
+- **Bounded memory.**  Samples land in ring-buffered time windows
+  (``max_windows`` windows of ``window_s`` seconds) plus a lifetime
+  total; each counter holds at most ``max_stacks`` distinct stacks,
+  with the long tail folded into a ``<truncated>`` bucket rather than
+  growing without bound.
+- **Determinism for readers.**  :meth:`snapshot` and
+  :meth:`collapsed` are pure functions of the samples folded so far —
+  no clock reads — so two reads with no intervening samples are
+  byte-identical (the property the cluster-merged ``/debug/profile``
+  endpoint inherits).
+
+The thread-based design (rather than ``signal.setitimer``) is
+deliberate: signals only fire on the main thread, while the service
+stack does its work on event-loop offload threads, router pools, and
+node subprocesses — and a sampler thread needs no cooperation from
+any of them.
+
+Cross-process merging: :func:`merge_profiles` folds the ``stacks``
+counters of several per-node snapshots into one cluster-wide view
+(counts sum; sample rates are comparable because every node samples at
+its own configured interval, reported per node in the merged doc).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+from repro.errors import ObservabilityError
+
+#: Default sampling interval: 100 Hz, the ecosystem-standard rate that
+#: resolves millisecond-scale stalls while staying far under the
+#: overhead gate.
+DEFAULT_INTERVAL_S = 0.010
+
+#: Stack-count overflow key: once a counter holds ``max_stacks``
+#: distinct stacks, further new stacks aggregate here.
+TRUNCATED_KEY = "<truncated>"
+
+
+def _collapse(frame, max_depth: int) -> str:
+    """One thread's stack as a collapsed flamegraph line (no count).
+
+    Frames render innermost-last (``root;caller;leaf``) as
+    ``file.py:function``, which keeps lines short, stable across
+    machines (no absolute paths), and free of the spaces that would
+    break the ``stack count`` collapsed format.
+    """
+    parts: List[str] = []
+    depth = 0
+    while frame is not None and depth < max_depth:
+        code = frame.f_code
+        parts.append(
+            f"{os.path.basename(code.co_filename)}:{code.co_name}")
+        frame = frame.f_back
+        depth += 1
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Wall-clock sampling profiler with ring-buffered windows.
+
+    Args:
+        interval_s: seconds between samples (default 10 ms).
+        window_s: width of one ring window; recent activity is
+            readable per window while the lifetime totals accumulate.
+        max_windows: windows retained (oldest evicted first).
+        max_stacks: distinct stacks per counter before folding into
+            ``<truncated>``.
+        max_depth: frames kept per stack (deeper stacks truncate at
+            the root end).
+        clock: monotonic clock (injectable for tests).
+    """
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S,
+                 window_s: float = 10.0, max_windows: int = 6,
+                 max_stacks: int = 512, max_depth: int = 64,
+                 clock=None) -> None:
+        if interval_s <= 0:
+            raise ObservabilityError(
+                f"interval_s must be positive, got {interval_s}")
+        if window_s <= 0 or max_windows <= 0:
+            raise ObservabilityError(
+                f"profiler needs positive window_s/max_windows, got "
+                f"{window_s}/{max_windows}")
+        if max_stacks <= 0 or max_depth <= 0:
+            raise ObservabilityError(
+                f"profiler needs positive max_stacks/max_depth, got "
+                f"{max_stacks}/{max_depth}")
+        self.interval_s = interval_s
+        self.window_s = window_s
+        self.max_windows = max_windows
+        self.max_stacks = max_stacks
+        self.max_depth = max_depth
+        if clock is None:
+            import time
+            clock = time.monotonic
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        # Ring of {"index", "samples", "stacks"} window docs, oldest
+        # first; deque maxlen does the eviction.
+        self._windows: Deque[Dict[str, Any]] = deque(
+            maxlen=max_windows)
+        self._totals: Dict[str, int] = {}
+        self._samples = 0          # thread-stack samples folded
+        self._ticks = 0            # sampler iterations
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "SamplingProfiler":
+        """Start the sampler thread (idempotent); returns self."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop = threading.Event()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-profiler", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling; collected windows stay readable."""
+        with self._lock:
+            thread, self._thread = self._thread, None
+            if thread is None:
+                return
+            self._stop.set()
+        thread.join(timeout=5.0)
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        stop = self._stop
+        while not stop.wait(self.interval_s):
+            try:
+                self.sample_once()
+            except Exception:
+                # The profiler must never take the process down; a
+                # torn frame dict on a dying interpreter just skips
+                # one sample.
+                if stop.is_set():
+                    return
+
+    def sample_once(self) -> int:
+        """Take one sample of every live thread (the sampler loop's
+        body, callable directly in tests); returns the number of
+        thread stacks folded."""
+        me = threading.get_ident()
+        frames = sys._current_frames()
+        stacks = [_collapse(frame, self.max_depth)
+                  for ident, frame in frames.items() if ident != me]
+        del frames   # drop frame references promptly
+        now = self._clock()
+        with self._lock:
+            self._fold_locked(now, stacks)
+        return len(stacks)
+
+    def _fold_locked(self, now: float, stacks: List[str]) -> None:
+        self._ticks += 1
+        if not stacks:
+            return
+        index = int(now // self.window_s)
+        window = self._windows[-1] if self._windows else None
+        if window is None or window["index"] != index:
+            window = {"index": index, "samples": 0, "stacks": {}}
+            self._windows.append(window)
+        win_stacks = window["stacks"]
+        totals = self._totals
+        for stack in stacks:
+            self._samples += 1
+            window["samples"] += 1
+            self._bump(win_stacks, stack)
+            self._bump(totals, stack)
+
+    def _bump(self, counts: Dict[str, int], stack: str) -> None:
+        if stack in counts or len(counts) < self.max_stacks:
+            counts[stack] = counts.get(stack, 0) + 1
+        else:
+            counts[TRUNCATED_KEY] = counts.get(TRUNCATED_KEY, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The profile as a JSON-able document.
+
+        A pure function of the samples folded so far: sorted stack
+        keys, no clock reads — two snapshots with no intervening
+        samples serialize byte-identically.
+        """
+        with self._lock:
+            windows = [{"index": w["index"], "samples": w["samples"],
+                        "stacks": dict(sorted(w["stacks"].items()))}
+                       for w in self._windows]
+            return {
+                "running": self._thread is not None,
+                "interval_s": self.interval_s,
+                "window_s": self.window_s,
+                "max_windows": self.max_windows,
+                "samples": self._samples,
+                "ticks": self._ticks,
+                "windows": windows,
+                "stacks": dict(sorted(self._totals.items())),
+            }
+
+    def collapsed(self) -> str:
+        """Lifetime totals in collapsed-stack format: one
+        ``stack count`` line per distinct stack, sorted — feed it
+        straight to ``flamegraph.pl``."""
+        with self._lock:
+            items = sorted(self._totals.items())
+        return "".join(f"{stack} {count}\n" for stack, count in items)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._windows.clear()
+            self._totals = {}
+            self._samples = 0
+            self._ticks = 0
+
+
+def merge_profiles(node_docs: Mapping[str, Optional[Dict[str, Any]]]
+                   ) -> Dict[str, Any]:
+    """Fold per-node :meth:`SamplingProfiler.snapshot` docs into one
+    cluster-wide profile.
+
+    ``node_docs`` maps node name → snapshot (or None for a node whose
+    profile could not be fetched; it is reported but contributes no
+    stacks).  Stack counts sum across nodes; the per-node docs ride
+    along under ``nodes`` so a drill-down needs no second fetch.  The
+    output is deterministic for given inputs: sorted node names,
+    sorted stack keys.
+    """
+    merged: Dict[str, int] = {}
+    samples = 0
+    reachable = 0
+    nodes: Dict[str, Any] = {}
+    for name in sorted(node_docs):
+        doc = node_docs[name]
+        nodes[name] = doc
+        if doc is None or not isinstance(doc, dict):
+            continue
+        reachable += 1
+        samples += int(doc.get("samples", 0))
+        for stack, count in (doc.get("stacks") or {}).items():
+            merged[stack] = merged.get(stack, 0) + int(count)
+    return {
+        "cluster": {"n_nodes": len(node_docs),
+                    "reachable_nodes": reachable,
+                    "samples": samples},
+        "nodes": nodes,
+        "stacks": dict(sorted(merged.items())),
+    }
+
+
+def collapsed_text(doc: Dict[str, Any]) -> str:
+    """The ``stacks`` counter of any profile doc (per-node or merged)
+    rendered as collapsed-stack text."""
+    stacks = doc.get("stacks") or {}
+    return "".join(f"{stack} {count}\n"
+                   for stack, count in sorted(stacks.items()))

@@ -1,0 +1,199 @@
+"""Cross-process trace stitching: one trace id, many flight recorders.
+
+A clustered request leaves span fragments in several processes: the
+router records a ``router.*`` root (plus scatter-leg fragments from
+its pool threads), and every node it touched records a ``service.*``
+tree whose ``parent_id`` points back — via the ``traceparent`` header
+the router forwarded — at the router span that sent it.  Each process
+only ever sees its own fragments; :func:`stitch_traces` reassembles
+them into whole trees by trace id.
+
+Two realities shape the algorithm:
+
+- **Span ids are only process-unique.**  Every process mints span ids
+  from its own counter starting at 1, so ``span_id`` collides freely
+  across sources.  Fragments are therefore keyed by *(source,
+  span_id)*; a ``parent_id`` is resolved against all sources but
+  prefers a parent in a *different* source (the cross-process link a
+  ``traceparent`` hop creates) before falling back to the same
+  source, with deterministic tie-breaks.
+- **Fragments arrive as whole trees.**  In-process nesting is already
+  correct inside each recorder; only fragment *roots* need
+  re-parenting.  A root whose parent cannot be found (evicted from a
+  ring buffer, sampled out, still open) stays a top-level root of the
+  stitched trace rather than being dropped.
+
+The output is deterministic for a given set of recorder states:
+sources, roots, attached children and traces all sort on stable keys,
+so the cluster-merged ``GET /debug/traces?format=jsonl`` endpoint is
+byte-identical across fetches — the same contract the per-node
+endpoint has always had.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+
+def _annotate(node: Dict[str, Any], source: str) -> Dict[str, Any]:
+    """A deep copy of one span dict with ``source`` stamped on every
+    span (the original is never mutated — it may be a live recorder
+    record)."""
+    doc = dict(node)
+    doc["source"] = source
+    children = node.get("children")
+    if children:
+        doc["children"] = [_annotate(child, source)
+                           for child in children]
+    return doc
+
+
+def _walk(node: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk(child)
+
+
+def _span_order(node: Dict[str, Any]) -> Tuple[float, str, str]:
+    return (float(node.get("started_at") or 0.0),
+            str(node.get("source") or ""),
+            str(node.get("span_id") or ""))
+
+
+def stitch_traces(sources: Mapping[str, Sequence[Dict[str, Any]]]
+                  ) -> List[Dict[str, Any]]:
+    """Reassemble flight-recorder records from many processes.
+
+    Args:
+        sources: source name (``"router"``, ``"node-0"``, ...) → that
+            process's trace records, each shaped like
+            :meth:`repro.obs.recorder.FlightRecorder.trace_records`
+            output (``{"trace_id", ..., "root": <span tree>}``).
+
+    Returns:
+        One stitched document per distinct trace id, ordered by
+        (earliest span start, trace id):
+        ``{"trace_id", "name", "started_at", "duration_s", "status",
+        "n_spans", "sources", "roots"}`` where ``roots`` holds the
+        reassembled span trees (usually one; orphaned fragments stay
+        as extra roots) and every span carries its ``source``.
+    """
+    by_trace: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
+    for source in sorted(sources):
+        for record in sources[source]:
+            root = record.get("root")
+            if not isinstance(root, dict):
+                continue
+            trace_id = record.get("trace_id") or root.get("trace_id")
+            if not trace_id:
+                continue
+            by_trace.setdefault(str(trace_id), []).append(
+                (source, root))
+    stitched = [_stitch_one(trace_id, trees)
+                for trace_id, trees in by_trace.items()]
+    stitched.sort(key=lambda t: (t["started_at"], t["trace_id"]))
+    return stitched
+
+
+def _stitch_one(trace_id: str,
+                trees: List[Tuple[str, Dict[str, Any]]]
+                ) -> Dict[str, Any]:
+    # Annotated copies of every fragment, plus a span-id index that
+    # remembers which fragment each span lives in (for the
+    # same-source exclusion and the cycle guard).
+    fragments: List[Dict[str, Any]] = []
+    frag_sources: List[str] = []
+    index: Dict[str, List[Tuple[str, int, Dict[str, Any]]]] = {}
+    for frag_i, (source, root) in enumerate(trees):
+        copy = _annotate(root, source)
+        fragments.append(copy)
+        frag_sources.append(source)
+        for node in _walk(copy):
+            span_id = node.get("span_id")
+            if span_id is not None:
+                index.setdefault(str(span_id), []).append(
+                    (source, frag_i, node))
+
+    # Resolve each fragment root's parent.  frag_parent[i] is the
+    # fragment whose tree fragment i attaches into (or None); walking
+    # it detects the (pathological) mutual-parent cycle a span-id
+    # collision could fabricate, in which case the fragment stays a
+    # top-level root.
+    frag_parent: List[Optional[int]] = [None] * len(fragments)
+    attach_to: List[Optional[Dict[str, Any]]] = [None] * len(fragments)
+    for frag_i, copy in enumerate(fragments):
+        parent_id = copy.get("parent_id")
+        if parent_id is None:
+            continue
+        candidates = [(src, fi, node)
+                      for src, fi, node in index.get(str(parent_id), ())
+                      if fi != frag_i]
+        if not candidates:
+            continue
+        source = frag_sources[frag_i]
+        cross = [c for c in candidates if c[0] != source]
+        pool = cross if cross else candidates
+        pool.sort(key=lambda c: (c[0], _span_order(c[2])))
+        src, parent_frag, parent_node = pool[0]
+        # Cycle guard: refuse an attachment that would make this
+        # fragment its own ancestor.
+        seen = {frag_i}
+        walk: Optional[int] = parent_frag
+        cyclic = False
+        while walk is not None:
+            if walk in seen:
+                cyclic = True
+                break
+            seen.add(walk)
+            walk = frag_parent[walk]
+        if cyclic:
+            continue
+        frag_parent[frag_i] = parent_frag
+        attach_to[frag_i] = parent_node
+
+    # Attach, deterministically: children destined for one parent
+    # append in span order after the parent's in-process children.
+    pending: Dict[int, Tuple[Dict[str, Any], List[Dict[str, Any]]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for frag_i, copy in enumerate(fragments):
+        parent_node = attach_to[frag_i]
+        if parent_node is None:
+            roots.append(copy)
+        else:
+            pending.setdefault(id(parent_node),
+                               (parent_node, []))[1].append(copy)
+    for parent_node, kids in pending.values():
+        kids.sort(key=_span_order)
+        parent_node.setdefault("children", []).extend(kids)
+    roots.sort(key=_span_order)
+
+    # Walk the stitched roots, not the fragment list: an attached
+    # fragment now also lives inside its parent's tree and would be
+    # counted twice.
+    all_spans = [node for root in roots for node in _walk(root)]
+    started = min((float(n.get("started_at") or 0.0)
+                   for n in all_spans), default=0.0)
+    status = ("error" if any(n.get("status") == "error"
+                             for n in all_spans) else "ok")
+    head = roots[0] if roots else None
+    return {
+        "trace_id": trace_id,
+        "name": head.get("name") if head else None,
+        "started_at": started,
+        "duration_s": head.get("duration_s") if head else None,
+        "status": status,
+        "n_spans": len(all_spans),
+        "sources": sorted({frag_sources[i]
+                           for i in range(len(fragments))}),
+        "roots": roots,
+    }
+
+
+def stitched_jsonl(traces: Sequence[Dict[str, Any]]) -> str:
+    """Stitched traces as newline-delimited JSON, one trace per line —
+    the cluster-merged analogue of
+    :meth:`~repro.obs.recorder.FlightRecorder.to_jsonl` (sorted keys,
+    byte-deterministic for a given input)."""
+    return "\n".join(json.dumps(trace, sort_keys=True, default=str)
+                     for trace in traces)

@@ -25,6 +25,7 @@ GET    /dashboard                      live analytics: paper metrics, SLOs
 GET    /debug/traces?format=jsonl      flight recorder: recent traces
 GET    /debug/requests                 flight recorder: slow + errored
 GET    /debug/locks                    lock wait/hold timings per stripe
+GET    /debug/profile                  sampling profiler snapshot
 ====== =============================== =======================================
 
 Tracing: every routed request runs inside a ``service.<METHOD>
@@ -113,7 +114,10 @@ NDJSON_CONTENT_TYPE = "application/x-ndjson; charset=utf-8"
 #: ``/debug/traces`` twice would otherwise never return the same set).
 _UNTRACED_ROUTES = frozenset({
     "/metrics", "/healthz", "/dashboard", "/debug/traces",
-    "/debug/requests", "/debug/locks"})
+    "/debug/requests", "/debug/locks", "/debug/profile"})
+
+#: Plain-text content type for collapsed-stack profile dumps.
+COLLAPSED_CONTENT_TYPE = "text/plain; charset=utf-8"
 
 #: Canonical content type for the dashboard's deterministic JSON.
 DASHBOARD_CONTENT_TYPE = "application/json; charset=utf-8"
@@ -200,6 +204,11 @@ class ApiServer:
             router (and ``repro top``) can display which slice of the
             consistent-hash key space each node owns.  Defaults to
             the platform's own ``shard_range`` when it has one.
+        profiler: optional (already started)
+            :class:`~repro.obs.profiler.SamplingProfiler`; when set,
+            ``GET /debug/profile`` serves its snapshot (503 without
+            one).  The server never starts or stops it — lifecycle
+            belongs to whoever booted the process.
     """
 
     def __init__(self, platform: Platform,
@@ -212,7 +221,8 @@ class ApiServer:
                  n_stripes: int = 16,
                  live: Any = None,
                  snapshot_reads: bool = True,
-                 shard_range: Optional[Tuple[int, int]] = None) -> None:
+                 shard_range: Optional[Tuple[int, int]] = None,
+                 profiler=None) -> None:
         if lock_mode not in ("striped", "global"):
             raise PlatformError(
                 f"lock_mode must be 'striped' or 'global', "
@@ -228,6 +238,7 @@ class ApiServer:
                        else getattr(platform, "faults", None))
         self.max_pending = max_pending
         self.shed_retry_after_s = shed_retry_after_s
+        self.profiler = profiler
         self.shard_range = (shard_range if shard_range is not None
                             else getattr(platform, "shard_range",
                                          None))
@@ -345,6 +356,11 @@ class ApiServer:
         self._route("GET", "/debug/requests", self._debug_requests,
                     scope="none")
         self._route("GET", "/debug/locks", self._debug_locks,
+                    scope="none")
+        # The sampling profiler's view: lock-free, untraced, and
+        # deliberately NOT a front-door hot path — a profile fetch
+        # should see the service working, not itself.
+        self._route("GET", "/debug/profile", self._debug_profile,
                     scope="none")
 
     def handle(self, request: ApiRequest) -> ApiResponse:
@@ -618,7 +634,10 @@ class ApiServer:
         if self.live is None:
             return ApiResponse(503, error_body(
                 "live analytics disabled on this server"))
-        doc = self.live.snapshot()
+        # ?sketches=1: attach raw per-verb GK sketch state — the
+        # mergeable form the cluster router's federation consumes.
+        doc = self.live.snapshot(
+            include_sketches=request.query.get("sketches") == "1")
         return ApiResponse(200, doc,
                            text=json.dumps(doc, sort_keys=True),
                            content_type=DASHBOARD_CONTENT_TYPE)
@@ -655,6 +674,23 @@ class ApiServer:
             "slow_requests": recorder.slow_requests(limit=limit),
             "recent_errors": recorder.recent_errors(limit=limit),
             "occupancy": recorder.occupancy()})
+
+    def _debug_profile(self, request: ApiRequest,
+                       params: Dict[str, str]) -> ApiResponse:
+        """The sampling profiler's snapshot (ring windows + lifetime
+        stack counts).  ``?format=collapsed`` renders the lifetime
+        counters as collapsed-stack text ready for ``flamegraph.pl``.
+        Answers 503 when no profiler is attached (``repro serve
+        --profile`` / ``--profile`` on a cluster node turns one on).
+        """
+        profiler = self.profiler
+        if profiler is None:
+            return ApiResponse(503, error_body(
+                "profiler disabled on this server"))
+        if request.query.get("format", "").lower() == "collapsed":
+            return ApiResponse(200, text=profiler.collapsed(),
+                               content_type=COLLAPSED_CONTENT_TYPE)
+        return ApiResponse(200, profiler.snapshot())
 
     def _debug_locks(self, request: ApiRequest,
                      params: Dict[str, str]) -> ApiResponse:

@@ -8,7 +8,10 @@ test ran are dumped (traces + slow-request log + recent errors, JSONL)
 into ``CHAOS_ARTIFACT_DIR`` (default ``chaos-artifacts/``), one file
 per failed test — the CI job uploads that directory, so a flaky fault
 schedule ships the traces that led up to the failure instead of just a
-stack trace.
+stack trace.  Cluster campaigns additionally snapshot the
+cluster-merged plane at the router before shutdown (stitched-trace
+JSONL + merged sampling profile), and those land next to the recorder
+dumps.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from pathlib import Path
 
 import pytest
 
-from tests.chaos.harness import ACTIVE_RECORDERS
+from tests.chaos.harness import ACTIVE_CLUSTER_DUMPS, ACTIVE_RECORDERS
 
 
 @pytest.fixture(scope="session")
@@ -32,8 +35,10 @@ def chaos_seed() -> int:
 def _fresh_recorders():
     """Scope the recorder dump to one test's campaigns."""
     ACTIVE_RECORDERS.clear()
+    ACTIVE_CLUSTER_DUMPS.clear()
     yield
     ACTIVE_RECORDERS.clear()
+    ACTIVE_CLUSTER_DUMPS.clear()
 
 
 def _artifact_dir() -> Path:
@@ -42,11 +47,18 @@ def _artifact_dir() -> Path:
 
 
 def _dump_recorders(test_name: str) -> None:
-    if not ACTIVE_RECORDERS:
+    if not ACTIVE_RECORDERS and not ACTIVE_CLUSTER_DUMPS:
         return
     safe = re.sub(r"[^A-Za-z0-9_.-]", "_", test_name)
     target = _artifact_dir()
     target.mkdir(parents=True, exist_ok=True)
+    for index, dump in enumerate(ACTIVE_CLUSTER_DUMPS):
+        if "traces.jsonl" in dump:
+            (target / f"{safe}-cluster{index:02d}-traces.jsonl"
+             ).write_text(dump["traces.jsonl"])
+        if "profile.json" in dump:
+            (target / f"{safe}-cluster{index:02d}-profile.json"
+             ).write_text(dump["profile.json"])
     for index, tracer in enumerate(ACTIVE_RECORDERS):
         recorder = tracer.recorder
         path = target / f"{safe}-campaign{index:02d}.jsonl"

@@ -74,6 +74,14 @@ class CampaignResult:
 #: the autouse fixture in ``conftest.py``.
 ACTIVE_RECORDERS: List[Tracer] = []
 
+#: Cluster-merged observability snapshots (stitched-trace JSONL and
+#: merged profiler JSON, captured at the cluster router just before
+#: shutdown) for cluster campaigns run by the current test.  Like
+#: ``ACTIVE_RECORDERS``, the conftest failure hook dumps these into
+#: ``CHAOS_ARTIFACT_DIR`` so a failed chaos run ships the cross-node
+#: trace and profile evidence, not just the router-side recorder.
+ACTIVE_CLUSTER_DUMPS: List[Dict[str, str]] = []
+
 
 def run_campaign(plan: Optional[FaultPlan] = None, *,
                  game: str = "esp", n_tasks: int = 12,

@@ -43,7 +43,10 @@ from repro.platform.facade import Platform
 from repro.service.client import HttpClient
 from repro.service.retry import RetryPolicy
 
-from tests.chaos.harness import (ACTIVE_RECORDERS, esp_payloads,
+from repro.service.wire import ApiRequest
+
+from tests.chaos.harness import (ACTIVE_CLUSTER_DUMPS,
+                                 ACTIVE_RECORDERS, esp_payloads,
                                  honest_answer, noisy_answer,
                                  peekaboom_payloads)
 
@@ -90,6 +93,37 @@ def _consult_node_faults(injector: Optional[FaultInjector],
             cluster.partition_node(index, partition_s)
 
 
+def _capture_cluster_dump(cluster: Cluster) -> None:
+    """Snapshot the cluster-merged observability plane — stitched
+    traces and the merged sampling profile, straight off the router —
+    so a failed test's artifact shows what every node was doing, not
+    just what the router-side recorder saw.  Capture must never turn
+    a passing campaign into a failing one, so every fetch is
+    best-effort."""
+    if cluster.router is None:
+        return
+    dump: Dict[str, str] = {}
+    try:
+        response = cluster.router.handle(ApiRequest(
+            method="GET", path="/debug/traces", body={},
+            query={"format": "jsonl"}, headers={}))
+        if response.ok and response.text:
+            dump["traces.jsonl"] = response.text
+    except Exception:
+        pass
+    try:
+        response = cluster.router.handle(ApiRequest(
+            method="GET", path="/debug/profile", body={}, query={},
+            headers={}))
+        if response.ok:
+            dump["profile.json"] = json.dumps(
+                response.body, indent=2, sort_keys=True, default=str)
+    except Exception:
+        pass
+    if dump:
+        ACTIVE_CLUSTER_DUMPS.append(dump)
+
+
 def run_cluster_campaign(data_dir,
                          plan: Optional[FaultPlan] = None, *,
                          game: str = "esp", n_tasks: int = 8,
@@ -112,9 +146,13 @@ def run_cluster_campaign(data_dir,
     timers: List[threading.Timer] = []
     acked: Dict[Tuple[str, str], Any] = {}
 
+    # Node-side sampling + profiling stay on so the failure artifact
+    # (cluster-merged stitched traces, merged profile) has cross-node
+    # evidence in it; neither affects scheduling or promoted labels.
     cluster = Cluster(
         N_NODES, data_dir, seed=seed, checkpoint_every=16,
         fsync=True, gold_rate=0.0, spam_detection=False,
+        sample_rate=1.0, profile=True,
         registry=registry, tracer=tracer,
         router_kwargs=dict(failover_retries=80,
                            failover_backoff_s=0.05,
@@ -173,6 +211,7 @@ def run_cluster_campaign(data_dir,
         finally:
             client.close()
     finally:
+        _capture_cluster_dump(cluster)
         cluster.shutdown()
         for timer in timers:
             timer.cancel()

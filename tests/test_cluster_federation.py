@@ -1,0 +1,201 @@
+"""Metrics federation at the cluster router.
+
+Labeled federation (per-node series keep a ``node`` label), merged
+histogram rollups that agree exactly with a single-process oracle, GK
+sketch merging within its documented rank-error bound, and the
+prometheus exposition carrying node labels + the saturation marker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import ClusterRouter
+from repro.obs.metrics import (MetricsRegistry,
+                               merged_histogram_snapshot)
+from repro.obs.sketch import QuantileSketch
+from repro.platform.facade import Platform
+from repro.service.api import ApiServer
+from repro.service.http import AsyncHttpServer
+from repro.service.wire import ApiRequest
+
+N_NODES = 3
+
+
+class _Stack:
+    def __init__(self, index: int, n_nodes: int) -> None:
+        self.registry = MetricsRegistry()
+        self.platform = Platform(
+            gold_rate=0.0, spam_detection=False, seed=11 + index,
+            registry=self.registry, shard_range=(index, n_nodes))
+        self.api = ApiServer(self.platform, registry=self.registry)
+        self.server = AsyncHttpServer(self.api).start()
+
+    def close(self) -> None:
+        self.server.shutdown()
+
+
+@pytest.fixture()
+def stacks():
+    nodes = [_Stack(index, N_NODES) for index in range(N_NODES)]
+    yield nodes
+    for node in nodes:
+        node.close()
+
+
+@pytest.fixture()
+def router(stacks):
+    router = ClusterRouter(
+        [stack.server.base_url for stack in stacks],
+        registry=MetricsRegistry(),
+        failover_retries=1, failover_backoff_s=0.0,
+        retry_after_s=0.25, down_after=1,
+        connect_timeout_s=1.0, read_timeout_s=5.0)
+    yield router
+    router.close()
+
+
+def call(router, method, path, body=None, query=None):
+    return router.handle(ApiRequest(
+        method=method, path=path, body=body or {}, query=query or {},
+        headers={}))
+
+
+def seed_traffic(router):
+    for i in range(3):
+        response = call(router, "POST", "/jobs",
+                        {"name": f"f{i}", "redundancy": 2,
+                         "meta": {}})
+        assert response.status == 201
+    assert call(router, "GET", "/jobs").status == 200
+
+
+class TestFederatedView:
+    def test_every_series_keeps_its_node_label(self, router):
+        seed_traffic(router)
+        body = call(router, "GET", "/metrics").body
+        federated = body["federated"]
+        assert "service.requests" in federated
+        for name, metric in federated.items():
+            for series in metric["series"]:
+                assert series["labels"]["node"].startswith("node-"), \
+                    (name, series)
+        # All reachable nodes contribute.
+        nodes_seen = {series["labels"]["node"]
+                      for series in
+                      federated["service.requests"]["series"]}
+        assert nodes_seen == {f"node-{i}" for i in range(N_NODES)}
+
+    def test_summed_view_still_matches_federated_total(self, router):
+        seed_traffic(router)
+        body = call(router, "GET", "/metrics").body
+        summed = sum(
+            series["value"]
+            for series in body["metrics"]["service.requests"]["series"])
+        federated_total = sum(
+            series["value"]
+            for series in body["federated"]["service.requests"]["series"])
+        assert summed == federated_total > 0
+
+    def test_merged_histograms_are_served(self, router):
+        seed_traffic(router)
+        body = call(router, "GET", "/metrics").body
+        latency = body["histograms"]["service.request_latency_s"]
+        assert latency["kind"] == "histogram"
+        total = sum(series["count"] for series in latency["series"]
+                    if series.get("count"))
+        assert total > 0
+
+
+class TestMergedHistogramOracle:
+    def test_merge_agrees_exactly_with_single_process_oracle(self):
+        # The same observations split across three registries must
+        # merge to the identical summary a single registry produces:
+        # bucket counts are exact, so this is equality, not tolerance.
+        values = [0.001 * i for i in range(1, 301)]
+        oracle_registry = MetricsRegistry()
+        oracle = oracle_registry.histogram("h", "oracle")
+        shards = [MetricsRegistry().histogram("h", "shard")
+                  for _ in range(3)]
+        for i, value in enumerate(values):
+            oracle.observe(value, route="/jobs")
+            shards[i % 3].observe(value, route="/jobs")
+        merged = merged_histogram_snapshot(
+            [shard.snapshot() for shard in shards])
+        expected = oracle.snapshot()
+        assert len(merged["series"]) == len(expected["series"]) == 1
+        merged_series = merged["series"][0]
+        expected_series = expected["series"][0]
+        assert merged_series["labels"] == expected_series["labels"] \
+            == {"route": "/jobs"}
+        for field in ("count", "sum", "mean", "min", "max",
+                      "p50", "p95", "p99", "counts"):
+            assert merged_series[field] == expected_series[field], \
+                field
+
+    def test_bucket_disagreement_refuses_to_merge(self):
+        a = MetricsRegistry().histogram("h", "a", buckets=[0.1, 1.0])
+        b = MetricsRegistry().histogram("h", "b", buckets=[0.2, 2.0])
+        a.observe(0.05)
+        b.observe(0.05)
+        assert merged_histogram_snapshot(
+            [a.snapshot(), b.snapshot()]) is None
+
+
+class TestSketchFederationOracle:
+    def test_merged_percentiles_within_documented_rank_error(self):
+        # Per-node sketches at epsilon merge to a sketch whose rank
+        # error is bounded by the sum of the operand budgets — check
+        # merged p50/p95/p99 against the exact sorted-union oracle
+        # with that bound (documented in QuantileSketch.merge).
+        epsilon = 0.01
+        values = [((i * 2654435761) % 10_000) / 1000.0
+                  for i in range(3_000)]
+        shards = [QuantileSketch(epsilon=epsilon) for _ in range(3)]
+        for i, value in enumerate(values):
+            shards[i % 3].observe(value)
+        merged = shards[0]
+        merged.merge(shards[1])
+        merged.merge(shards[2])
+        ordered = sorted(values)
+        n = len(ordered)
+        max_rank_error = int(2 * epsilon * n) + 1
+        summary = merged.summary()
+        for q in (0.50, 0.95, 0.99):
+            estimate = summary[f"p{int(q * 100)}"]
+            target = int(q * (n - 1))
+            lo = ordered[max(0, target - max_rank_error)]
+            hi = ordered[min(n - 1, target + max_rank_error)]
+            assert lo <= estimate <= hi, (q, estimate, lo, hi)
+
+    def test_router_dashboard_rolls_up_node_sketches(self, router):
+        seed_traffic(router)
+        doc = call(router, "GET", "/dashboard").body
+        verbs = doc["latency"]["verbs"]
+        assert verbs, "expected merged per-verb sketches"
+        total = sum(summary["count"]
+                    for summary in verbs.values()
+                    if summary.get("count"))
+        assert total > 0
+        for summary in verbs.values():
+            if summary.get("count"):
+                assert summary["p50"] <= summary["p95"] \
+                    <= summary["p99"]
+
+
+class TestPrometheusFederation:
+    def test_prometheus_text_carries_node_labels_and_saturation(
+            self, router):
+        seed_traffic(router)
+        response = call(router, "GET", "/metrics",
+                        query={"format": "prometheus"})
+        assert response.status == 200
+        text = response.text
+        for index in range(N_NODES):
+            assert f'node="node-{index}"' in text
+        # Satellite: saturation marker exported per histogram series.
+        assert "_saturated{" in text
+        saturated_lines = [line for line in text.splitlines()
+                           if "_saturated{" in line]
+        assert all(line.rstrip().endswith((" 0", " 1"))
+                   for line in saturated_lines)

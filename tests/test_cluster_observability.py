@@ -1,0 +1,232 @@
+"""Cluster observability plane, end to end over real subprocesses.
+
+A real :class:`~repro.cluster.Cluster` (node subprocesses, sampled
+tracers, per-node profilers) behind the routed front door, driven over
+HTTP like any client.  Proves the PR's acceptance criteria:
+
+- one client-minted trace id crosses every process boundary — client
+  → router span → per-node ``service.*`` trees → ``platform.*`` verb
+  → ``wal.fsync`` — with recorder evidence from at least two nodes in
+  a single trace;
+- the cluster-merged ``GET /debug/traces?format=jsonl`` is
+  byte-deterministic across fetches, and ``repro trace --cluster``
+  refuses a non-merged endpoint;
+- ``GET /debug/profile`` merges every node's sampling profiler;
+- ``GET /metrics`` federates with per-node labels over real sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.cluster import Cluster
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.tracing import Tracer
+from repro.platform.sharding import shard_of
+
+N_NODES = 3
+CLIENT_TRACE = "feedfacecafebeef0123456789abcdef"
+TRACEPARENT = f"00-{CLIENT_TRACE}-00000000deadbeef-01"
+
+
+def http(base, method, path, body=None, headers=None, timeout=15.0):
+    data = (json.dumps(body).encode("utf-8")
+            if body is not None else None)
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json",
+                 **(headers or {})})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        raw = response.read().decode("utf-8")
+    return raw
+
+
+def http_json(base, method, path, body=None, headers=None):
+    return json.loads(http(base, method, path, body=body,
+                           headers=headers))
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    data_dir = tmp_path_factory.mktemp("obs-cluster")
+    cluster = Cluster(
+        N_NODES, data_dir, seed=5, fsync=True, gold_rate=0.0,
+        spam_detection=False, sample_rate=1.0, profile=True,
+        registry=MetricsRegistry(),
+        tracer=Tracer(sample_rate=1.0, recorder=FlightRecorder()))
+    cluster.start()
+    try:
+        cluster.wait_healthy()
+        yield cluster
+    finally:
+        cluster.shutdown()
+
+
+@pytest.fixture(scope="module")
+def traced_batch(cluster):
+    """One batch-answers request, under CLIENT_TRACE, whose items
+    land on two different nodes; returns the owner shard indexes."""
+    base = cluster.base_url
+    jobs = {}
+    for i in range(2 * N_NODES):
+        job = http_json(base, "POST", "/jobs",
+                        {"name": f"obs{i}", "redundancy": 1,
+                         "meta": {}})
+        jobs[job["job_id"]] = shard_of(job["job_id"], N_NODES)
+        if len(set(jobs.values())) >= 2:
+            break
+    owners = {}
+    for job_id, shard in jobs.items():
+        if shard in owners.values() or len(owners) == 2:
+            continue
+        owners[job_id] = shard
+    assert len(owners) == 2, jobs
+    http_json(base, "POST", "/workers",
+              {"worker_id": "w0", "display_name": None,
+               "attributes": {}})
+    answers = []
+    for job_id in owners:
+        created = http_json(
+            base, "POST", f"/jobs/{job_id}/tasks",
+            {"tasks": [{"payload": {"job": job_id}}]})
+        http_json(base, "POST", f"/jobs/{job_id}/start", {})
+        task_id = created["tasks"][0]["task_id"]
+        answers.append({"task_id": task_id, "worker_id": "w0",
+                        "answer": f"label-{job_id}",
+                        "idempotency_key": f"{task_id}/w0"})
+    result = http_json(base, "POST", "/answers:batch",
+                       {"answers": answers},
+                       headers={"traceparent": TRACEPARENT})
+    assert result["accepted"] == 2, result
+    return sorted(owners.values())
+
+
+def spans_by_source(trace):
+    """(source, name) pairs for every span in a stitched trace."""
+    pairs = []
+
+    def walk(node):
+        pairs.append((node.get("source"), node.get("name")))
+        for child in node.get("children", []):
+            walk(child)
+
+    for root in trace["roots"]:
+        walk(root)
+    return pairs
+
+
+class TestCrossProcessTrace:
+    def test_one_trace_id_reaches_wal_fsync_on_two_nodes(
+            self, cluster, traced_batch):
+        owners = traced_batch
+        body = http_json(cluster.base_url, "GET", "/debug/traces")
+        assert body["cluster"]["merged"] is True
+        traces = [trace for trace in body["traces"]
+                  if trace["trace_id"] == CLIENT_TRACE]
+        assert len(traces) == 1
+        trace = traces[0]
+        expected_sources = sorted(
+            ["router"] + [f"node-{i}" for i in owners])
+        assert trace["sources"] == expected_sources
+        # One reassembled tree: the router root, its forward legs,
+        # and both nodes' service trees attached underneath.
+        assert len(trace["roots"]) == 1
+        assert trace["roots"][0]["source"] == "router"
+        assert trace["roots"][0]["name"].startswith("router.POST")
+        pairs = spans_by_source(trace)
+        names_per_source = {}
+        for source, name in pairs:
+            names_per_source.setdefault(source, set()).add(name)
+        assert any(name == "router.forward"
+                   for name in names_per_source["router"])
+        for index in owners:
+            node_names = names_per_source[f"node-{index}"]
+            # Handler → platform verb → WAL fsync, all inside the
+            # client's trace, on both shards the batch touched.
+            assert any(name.startswith("service.POST")
+                       for name in node_names), node_names
+            assert "platform.submit_answer" in node_names
+            assert "wal.append" in node_names
+            assert "wal.fsync" in node_names
+
+    def test_merged_jsonl_is_byte_deterministic(self, cluster,
+                                                traced_batch):
+        path = "/debug/traces?format=jsonl"
+        first = http(cluster.base_url, "GET", path)
+        second = http(cluster.base_url, "GET", path)
+        assert first == second
+        assert first.endswith("\n")
+        lines = [json.loads(line)
+                 for line in first.splitlines() if line]
+        assert any(line["trace_id"] == CLIENT_TRACE
+                   for line in lines)
+
+
+class TestTraceCli:
+    def test_trace_cluster_jsonl_matches_endpoint(
+            self, cluster, traced_batch, capsys):
+        endpoint = http(cluster.base_url, "GET",
+                        "/debug/traces?format=jsonl")
+        assert cli_main(["trace", "--url", cluster.base_url,
+                         "--cluster", "--jsonl"]) == 0
+        assert capsys.readouterr().out == endpoint
+
+    def test_trace_cluster_fails_loudly_on_a_single_node(
+            self, cluster, traced_batch, capsys):
+        node_url = cluster.configs[0].base_url
+        assert cli_main(["trace", "--url", node_url,
+                         "--cluster", "--jsonl"]) == 1
+        captured = capsys.readouterr()
+        assert "cluster-merged" in captured.err
+        assert captured.out == ""
+
+
+class TestMergedProfiler:
+    def test_profile_endpoint_merges_every_node(self, cluster):
+        deadline = time.monotonic() + 10.0
+        merged = None
+        while time.monotonic() < deadline:
+            merged = http_json(cluster.base_url, "GET",
+                               "/debug/profile")
+            if (merged["cluster"]["reachable_nodes"] == N_NODES
+                    and merged["cluster"]["samples"] > 0):
+                break
+            time.sleep(0.1)
+        assert merged["cluster"]["n_nodes"] == N_NODES
+        assert merged["cluster"]["reachable_nodes"] == N_NODES
+        assert merged["cluster"]["samples"] > 0
+        assert merged["stacks"]
+        assert set(merged["nodes"]) \
+            == {f"node-{i}" for i in range(N_NODES)}
+        for doc in merged["nodes"].values():
+            assert doc["running"] is True
+
+    def test_profile_collapsed_format(self, cluster):
+        text = http(cluster.base_url, "GET",
+                    "/debug/profile?format=collapsed")
+        for line in text.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack
+            assert int(count) > 0
+
+
+class TestFederationOverSockets:
+    def test_metrics_carry_node_labels(self, cluster, traced_batch):
+        body = http_json(cluster.base_url, "GET", "/metrics")
+        nodes_seen = {
+            series["labels"]["node"]
+            for series in body["federated"]["service.requests"]["series"]}
+        assert nodes_seen == {f"node-{i}" for i in range(N_NODES)}
+        assert body["cluster"]["complete"] is True
+
+    def test_prometheus_text_federates(self, cluster, traced_batch):
+        text = http(cluster.base_url, "GET",
+                    "/metrics?format=prometheus")
+        for index in range(N_NODES):
+            assert f'node="node-{index}"' in text

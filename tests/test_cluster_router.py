@@ -395,8 +395,15 @@ class TestHealthAndAggregation:
             == {f"node-{i}" for i in range(N_NODES)}
         assert body["cluster"]["n_nodes"] == N_NODES
 
-    def test_debug_requires_node_selector(self, router):
-        assert call(router, "GET", "/debug/traces").status == 422
+    def test_debug_routes_merge_or_require_node(self, router):
+        # /debug/traces without a selector is cluster-merged ...
+        merged = call(router, "GET", "/debug/traces")
+        assert merged.status == 200
+        assert merged.body["cluster"]["merged"] is True
+        assert set(merged.body["nodes"]) \
+            == {f"node-{i}" for i in range(N_NODES)}
+        # ... but the unmergeable endpoints still demand ?node=.
+        assert call(router, "GET", "/debug/requests").status == 422
         forwarded = call(router, "GET", "/debug/traces",
                          query={"node": "1"})
         assert forwarded.status == 200

@@ -1,0 +1,251 @@
+"""Traceparent propagation through the cluster router.
+
+The contract under test (in-process node stacks, real sockets): a
+client trace continues — never restarts — across the router hop.  The
+router records ``router.<METHOD> <route>`` with ``router.forward``
+children carrying a traceparent minted per attempt, every node the
+request touches records a ``service.*`` tree under the same trace id,
+failover retries appear as *sibling* forward spans, and scatter-gather
+legs fan out as parallel children.  Ops aggregation endpoints stay out
+of the flight recorders entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import ClusterRouter
+from repro.errors import ServiceError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.stitch import stitch_traces
+from repro.obs.tracing import Tracer
+from repro.platform.facade import Platform
+from repro.platform.sharding import shard_of
+from repro.service.api import ApiServer
+from repro.service.http import AsyncHttpServer
+from repro.service.wire import ApiRequest
+
+N_NODES = 3
+CLIENT_TRACE = "a1b2c3d4e5f60718293a4b5c6d7e8f90"
+CLIENT_SPAN = "1234567890abcdef"
+TRACEPARENT = f"00-{CLIENT_TRACE}-{CLIENT_SPAN}-01"
+
+
+class _TracedStack:
+    """One in-process node with its own sampled tracer + recorder."""
+
+    def __init__(self, index: int, n_nodes: int) -> None:
+        self.registry = MetricsRegistry()
+        self.recorder = FlightRecorder()
+        self.tracer = Tracer(sample_rate=1.0, recorder=self.recorder)
+        self.platform = Platform(
+            gold_rate=0.0, spam_detection=False, seed=7 + index,
+            registry=self.registry, tracer=self.tracer,
+            shard_range=(index, n_nodes))
+        self.api = ApiServer(self.platform, registry=self.registry,
+                             tracer=self.tracer)
+        self.server = AsyncHttpServer(self.api).start()
+
+    def close(self) -> None:
+        self.server.shutdown()
+
+
+@pytest.fixture()
+def stacks():
+    nodes = [_TracedStack(index, N_NODES)
+             for index in range(N_NODES)]
+    yield nodes
+    for node in nodes:
+        node.close()
+
+
+@pytest.fixture()
+def recorder():
+    return FlightRecorder()
+
+
+@pytest.fixture()
+def router(stacks, recorder):
+    router = ClusterRouter(
+        [stack.server.base_url for stack in stacks],
+        registry=MetricsRegistry(),
+        tracer=Tracer(sample_rate=1.0, recorder=recorder),
+        failover_retries=1, failover_backoff_s=0.0,
+        retry_after_s=0.25, down_after=5,
+        connect_timeout_s=1.0, read_timeout_s=5.0)
+    yield router
+    router.close()
+
+
+def call(router, method, path, body=None, query=None, headers=None):
+    return router.handle(ApiRequest(
+        method=method, path=path, body=body or {}, query=query or {},
+        headers=headers or {}))
+
+
+def traced_call(router, method, path, body=None, query=None):
+    return call(router, method, path, body=body, query=query,
+                headers={"traceparent": TRACEPARENT})
+
+
+def records_for(recorder, trace_id):
+    return [record for record in recorder.trace_records()
+            if record["trace_id"] == trace_id]
+
+
+def make_job(router):
+    job = call(router, "POST", "/jobs",
+               {"name": "tp", "redundancy": 2, "meta": {}})
+    assert job.status == 201, job.body
+    return job.body["job_id"]
+
+
+class TestContinuation:
+    def test_forwarded_request_continues_the_client_trace(
+            self, router, stacks, recorder):
+        job_id = make_job(router)
+        owner = shard_of(job_id, N_NODES)
+        response = traced_call(router, "GET", f"/jobs/{job_id}")
+        assert response.status == 200
+
+        router_records = records_for(recorder, CLIENT_TRACE)
+        assert len(router_records) == 1
+        root = router_records[0]["root"]
+        assert root["name"] == "router.GET job_scoped"
+        # The router root hangs off the client's span.
+        assert root["parent_id"] == CLIENT_SPAN
+        forwards = [child for child in root.get("children", [])
+                    if child["name"] == "router.forward"]
+        assert len(forwards) == 1
+        forward = forwards[0]
+        assert forward["attributes"]["node"] == f"node-{owner}"
+
+        node_records = records_for(stacks[owner].recorder,
+                                   CLIENT_TRACE)
+        assert len(node_records) == 1
+        node_root = node_records[0]["root"]
+        assert node_root["name"].startswith("service.GET ")
+        # Cross-process link: the node tree points at the exact
+        # forward attempt that reached it.
+        assert node_root["parent_id"] == forward["span_id"]
+        # The other nodes never saw this trace.
+        for index, stack in enumerate(stacks):
+            if index != owner:
+                assert not records_for(stack.recorder, CLIENT_TRACE)
+
+    def test_without_traceparent_each_request_is_a_fresh_trace(
+            self, router, recorder):
+        job_id = make_job(router)
+        call(router, "GET", f"/jobs/{job_id}")
+        call(router, "GET", f"/jobs/{job_id}")
+        trace_ids = {record["trace_id"]
+                     for record in recorder.trace_records()}
+        assert CLIENT_TRACE not in trace_ids
+        assert len(trace_ids) >= 3   # create + two gets, all distinct
+
+    def test_ops_routes_stay_out_of_the_recorders(
+            self, router, stacks, recorder):
+        before = len(recorder.trace_records())
+        for path in ("/metrics", "/dashboard", "/debug/traces",
+                     "/debug/profile"):
+            call(router, "GET", path,
+                 headers={"traceparent": TRACEPARENT})
+        assert len(recorder.trace_records()) == before
+        for stack in stacks:
+            assert not records_for(stack.recorder, CLIENT_TRACE)
+
+
+class TestFailoverRetries:
+    def test_retry_spans_are_siblings_under_the_client_trace(
+            self, router, stacks, recorder):
+        job_id = make_job(router)
+        owner = shard_of(job_id, N_NODES)
+        node = router.nodes[owner]
+        original = node.client.forward
+        failures = {"left": 1}
+
+        def flaky(method, path, body=None, query=None, headers=None):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise ServiceError("injected transport failure",
+                                   status=503)
+            return original(method, path, body=body, query=query,
+                            headers=headers)
+
+        node.client.forward = flaky
+        try:
+            response = traced_call(router, "GET", f"/jobs/{job_id}")
+        finally:
+            node.client.forward = original
+        assert response.status == 200
+
+        router_records = records_for(recorder, CLIENT_TRACE)
+        assert len(router_records) == 1
+        root = router_records[0]["root"]
+        forwards = [child for child in root.get("children", [])
+                    if child["name"] == "router.forward"]
+        # Two attempts, both siblings directly under the router span
+        # (the failed one marked, the retry clean) — never nested,
+        # never a fresh trace id.
+        assert len(forwards) == 2
+        assert [f["attributes"]["attempt"] for f in forwards] == [0, 1]
+        assert forwards[0]["status"] == "error"
+        assert forwards[1]["status"] == "ok"
+
+        node_records = records_for(stacks[owner].recorder,
+                                   CLIENT_TRACE)
+        assert len(node_records) == 1
+        # The node links to the attempt that actually reached it.
+        assert node_records[0]["root"]["parent_id"] \
+            == forwards[1]["span_id"]
+
+
+class TestScatterGather:
+    def test_scatter_legs_fan_out_under_one_trace(
+            self, router, stacks, recorder):
+        make_job(router)
+        response = traced_call(router, "GET", "/jobs")
+        assert response.status == 200
+
+        router_records = records_for(recorder, CLIENT_TRACE)
+        # One router.request root plus one fragment per pool leg:
+        # pool threads record their forward spans as separate roots
+        # whose parent_id is the router span.
+        assert len(router_records) == 1 + N_NODES
+        roots = [record["root"] for record in router_records]
+        request_roots = [root for root in roots
+                         if root["name"].startswith("router.GET")]
+        assert len(request_roots) == 1
+        router_span = request_roots[0]
+        legs = [root for root in roots
+                if root["name"] == "router.forward"]
+        assert len(legs) == N_NODES
+        assert all(leg["parent_id"] == router_span["span_id"]
+                   for leg in legs)
+        assert {leg["attributes"]["node"] for leg in legs} \
+            == {f"node-{i}" for i in range(N_NODES)}
+
+        # Every node continued the same trace, and stitching
+        # reassembles the whole fan-out into one tree.
+        sources = {"router": recorder.trace_records()}
+        for index, stack in enumerate(stacks):
+            node_records = records_for(stack.recorder, CLIENT_TRACE)
+            assert len(node_records) == 1
+            sources[f"node-{index}"] = stack.recorder.trace_records()
+        stitched = [trace for trace in stitch_traces(sources)
+                    if trace["trace_id"] == CLIENT_TRACE]
+        assert len(stitched) == 1
+        trace = stitched[0]
+        assert trace["sources"] \
+            == sorted(["router"]
+                      + [f"node-{i}" for i in range(N_NODES)])
+        assert len(trace["roots"]) == 1
+        stitched_legs = [child
+                         for child in trace["roots"][0]["children"]
+                         if child["name"] == "router.forward"]
+        assert len(stitched_legs) == N_NODES
+        for leg in stitched_legs:
+            child_names = [c["name"] for c in leg.get("children", [])]
+            assert any(name.startswith("service.GET")
+                       for name in child_names)

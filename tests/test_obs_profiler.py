@@ -1,0 +1,199 @@
+"""Tests for repro.obs.profiler — the wall-clock sampling profiler."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.profiler import (DEFAULT_INTERVAL_S, TRUNCATED_KEY,
+                                SamplingProfiler, collapsed_text,
+                                merge_profiles)
+
+
+class _FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+class TestValidation:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(interval_s=0.0)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(window_s=0.0)
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(max_windows=0)
+
+    def test_rejects_nonpositive_bounds(self):
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(max_stacks=0)
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(max_depth=0)
+
+    def test_default_interval_is_100hz(self):
+        assert SamplingProfiler().interval_s == DEFAULT_INTERVAL_S
+
+
+class TestSampling:
+    def test_sample_once_excludes_the_sampling_thread(self):
+        profiler = SamplingProfiler(clock=_FakeClock())
+        # Only this thread exists (plus whatever pytest machinery is
+        # live); our own stack must never be folded.
+        profiler.sample_once()
+        for stack in profiler.snapshot()["stacks"]:
+            assert "sample_once" not in stack
+
+    def test_sample_once_catches_other_threads(self):
+        profiler = SamplingProfiler(clock=_FakeClock())
+        release = threading.Event()
+        ready = threading.Event()
+
+        def parked():
+            ready.set()
+            release.wait(10.0)
+
+        thread = threading.Thread(target=parked, daemon=True)
+        thread.start()
+        try:
+            assert ready.wait(5.0)
+            folded = profiler.sample_once()
+            assert folded >= 1
+            snapshot = profiler.snapshot()
+            assert snapshot["samples"] >= 1
+            assert any("parked" in stack
+                       for stack in snapshot["stacks"])
+        finally:
+            release.set()
+            thread.join()
+
+    def test_windows_roll_on_the_clock(self):
+        clock = _FakeClock()
+        profiler = SamplingProfiler(window_s=10.0, max_windows=2,
+                                    clock=clock)
+        profiler._fold_locked(clock(), ["a;b"])
+        clock.now = 11.0
+        profiler._fold_locked(clock(), ["a;b"])
+        clock.now = 22.0
+        profiler._fold_locked(clock(), ["a;c"])
+        snapshot = profiler.snapshot()
+        # Ring of 2: the index-0 window was evicted.
+        assert [w["index"] for w in snapshot["windows"]] == [1, 2]
+        # Lifetime totals survive eviction.
+        assert snapshot["stacks"] == {"a;b": 2, "a;c": 1}
+        assert snapshot["samples"] == 3
+
+    def test_stack_counter_truncates_at_max_stacks(self):
+        clock = _FakeClock()
+        profiler = SamplingProfiler(max_stacks=2, clock=clock)
+        profiler._fold_locked(clock(), ["s1", "s2", "s3", "s4", "s1"])
+        totals = profiler.snapshot()["stacks"]
+        assert totals["s1"] == 2
+        assert totals["s2"] == 1
+        assert totals[TRUNCATED_KEY] == 2
+        assert "s3" not in totals
+
+    def test_max_depth_bounds_every_sampled_stack(self):
+        profiler = SamplingProfiler(max_depth=2, clock=_FakeClock())
+        release = threading.Event()
+        ready = threading.Event()
+
+        def deep(n):
+            if n:
+                return deep(n - 1)
+            ready.set()
+            release.wait(10.0)
+
+        thread = threading.Thread(target=deep, args=(10,),
+                                  daemon=True)
+        thread.start()
+        try:
+            assert ready.wait(5.0)
+            profiler.sample_once()
+        finally:
+            release.set()
+            thread.join()
+        stacks = profiler.snapshot()["stacks"]
+        assert stacks
+        for stack in stacks:
+            # max_depth frames => at most max_depth - 1 separators.
+            assert stack.count(";") <= 1
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(interval_s=0.005)
+        assert not profiler.running
+        assert profiler.start() is profiler
+        assert profiler.start() is profiler   # no second thread
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_background_thread_actually_samples(self):
+        with SamplingProfiler(interval_s=0.002) as profiler:
+            deadline = time.monotonic() + 5.0
+            while (profiler.snapshot()["ticks"] == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.005)
+        assert profiler.snapshot()["ticks"] >= 1
+
+    def test_clear_resets_counters(self):
+        clock = _FakeClock()
+        profiler = SamplingProfiler(clock=clock)
+        profiler._fold_locked(clock(), ["a"])
+        profiler.clear()
+        snapshot = profiler.snapshot()
+        assert snapshot["samples"] == 0
+        assert snapshot["stacks"] == {}
+        assert snapshot["windows"] == []
+
+
+class TestDeterminism:
+    def test_snapshot_is_pure_between_samples(self):
+        clock = _FakeClock()
+        profiler = SamplingProfiler(clock=clock)
+        profiler._fold_locked(clock(), ["b;c", "a;b"])
+        first = json.dumps(profiler.snapshot(), sort_keys=True)
+        second = json.dumps(profiler.snapshot(), sort_keys=True)
+        assert first == second
+
+    def test_collapsed_output_is_sorted_flamegraph_input(self):
+        clock = _FakeClock()
+        profiler = SamplingProfiler(clock=clock)
+        profiler._fold_locked(clock(), ["b;c", "a;b", "b;c"])
+        assert profiler.collapsed() == "a;b 1\nb;c 2\n"
+
+
+class TestMerge:
+    def test_merge_sums_stacks_and_reports_unreachable(self):
+        node0 = {"samples": 3, "stacks": {"a;b": 2, "c": 1}}
+        node1 = {"samples": 2, "stacks": {"a;b": 1, "d": 1}}
+        merged = merge_profiles(
+            {"node-1": node1, "node-0": node0, "node-2": None})
+        assert merged["cluster"] == {
+            "n_nodes": 3, "reachable_nodes": 2, "samples": 5}
+        assert merged["stacks"] == {"a;b": 3, "c": 1, "d": 1}
+        assert list(merged["nodes"]) == ["node-0", "node-1", "node-2"]
+        assert merged["nodes"]["node-2"] is None
+
+    def test_merge_is_deterministic(self):
+        docs = {"n0": {"samples": 1, "stacks": {"z": 1, "a": 2}},
+                "n1": {"samples": 1, "stacks": {"m": 1}}}
+        first = json.dumps(merge_profiles(docs), sort_keys=True)
+        second = json.dumps(merge_profiles(dict(reversed(
+            list(docs.items())))), sort_keys=True)
+        assert first == second
+
+    def test_collapsed_text_renders_any_profile_doc(self):
+        merged = merge_profiles(
+            {"n0": {"samples": 2, "stacks": {"x;y": 2}}})
+        assert collapsed_text(merged) == "x;y 2\n"
+        assert collapsed_text({}) == ""

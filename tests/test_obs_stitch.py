@@ -1,0 +1,155 @@
+"""Tests for repro.obs.stitch — cross-process trace reassembly."""
+
+import json
+
+from repro.obs.stitch import stitch_traces, stitched_jsonl
+
+
+def span(span_id, name, started_at, parent_id=None, children=None,
+         status="ok", trace_id="t" * 32):
+    doc = {"span_id": span_id, "trace_id": trace_id, "name": name,
+           "started_at": started_at, "duration_s": 0.001,
+           "status": status}
+    if parent_id is not None:
+        doc["parent_id"] = parent_id
+    if children:
+        doc["children"] = children
+    return doc
+
+
+def record(root):
+    return {"trace_id": root["trace_id"], "name": root["name"],
+            "started_at": root["started_at"],
+            "duration_s": root["duration_s"],
+            "status": root["status"], "root": root}
+
+
+def names(node):
+    """The stitched tree as a nested (name, [children]) shape."""
+    return (node["name"],
+            [names(child) for child in node.get("children", [])])
+
+
+class TestReassembly:
+    def test_node_fragment_attaches_under_router_span(self):
+        router_root = span("0001", "router.POST /jobs", 1.0, children=[
+            span("0002", "router.forward", 1.001)])
+        node_root = span("0001", "service.POST /jobs", 1.002,
+                         parent_id="0002")
+        stitched = stitch_traces({
+            "router": [record(router_root)],
+            "node-0": [record(node_root)]})
+        assert len(stitched) == 1
+        trace = stitched[0]
+        assert trace["sources"] == ["node-0", "router"]
+        assert trace["n_spans"] == 3
+        assert len(trace["roots"]) == 1
+        assert names(trace["roots"][0]) == (
+            "router.POST /jobs",
+            [("router.forward", [("service.POST /jobs", [])])])
+
+    def test_span_id_collision_across_sources_is_harmless(self):
+        # Both processes minted span_id 0001; the node's parent_id
+        # 0002 must resolve to the *router's* forward span, not to
+        # anything in its own fragment.
+        router_root = span("0001", "router.GET /jobs", 1.0, children=[
+            span("0002", "router.forward", 1.001)])
+        node_root = span("0001", "service.GET /jobs", 1.002,
+                         parent_id="0002", children=[
+                             span("0002", "platform.list_jobs", 1.003,
+                                  parent_id="0001")])
+        stitched = stitch_traces({
+            "router": [record(router_root)],
+            "node-1": [record(node_root)]})
+        trace = stitched[0]
+        assert len(trace["roots"]) == 1
+        forward = trace["roots"][0]["children"][0]
+        assert forward["name"] == "router.forward"
+        assert [c["name"] for c in forward["children"]] \
+            == ["service.GET /jobs"]
+
+    def test_orphan_fragment_stays_a_root(self):
+        # Parent evicted from the router's ring: the node tree is
+        # kept as an extra root rather than dropped.
+        node_root = span("0007", "service.GET /jobs", 2.0,
+                         parent_id="beef")
+        stitched = stitch_traces({"node-0": [record(node_root)]})
+        trace = stitched[0]
+        assert len(trace["roots"]) == 1
+        assert trace["roots"][0]["name"] == "service.GET /jobs"
+        assert trace["n_spans"] == 1
+
+    def test_parallel_scatter_children_sort_by_start(self):
+        router_root = span("0001", "router.GET /metrics", 1.0)
+        legs = [span("000%d" % i, "router.forward", 1.0 + i / 10.0,
+                     parent_id="0001")
+                for i in (3, 2, 4)]
+        stitched = stitch_traces({
+            "router": [record(router_root)] + [record(l)
+                                               for l in legs]})
+        kids = stitched[0]["roots"][0]["children"]
+        assert [k["started_at"] for k in kids] == [1.2, 1.3, 1.4]
+
+    def test_cycle_from_fabricated_parents_does_not_hang(self):
+        # Mutually-parenting fragments (only possible via span-id
+        # collision): the second attachment is refused, both survive.
+        a = span("0001", "a", 1.0, parent_id="0002")
+        b = span("0002", "b", 1.1, parent_id="0001")
+        stitched = stitch_traces({"s1": [record(a)],
+                                  "s2": [record(b)]})
+        trace = stitched[0]
+        assert trace["n_spans"] == 2
+        assert len(trace["roots"]) == 1   # one attached, one refused
+
+    def test_error_anywhere_marks_the_trace(self):
+        router_root = span("0001", "router.POST /jobs", 1.0)
+        node_root = span("0001", "service.POST /jobs", 1.001,
+                         parent_id="0001", status="error")
+        stitched = stitch_traces({
+            "router": [record(router_root)],
+            "node-0": [record(node_root)]})
+        assert stitched[0]["status"] == "error"
+
+    def test_distinct_trace_ids_stay_separate(self):
+        first = span("0001", "a", 1.0, trace_id="a" * 32)
+        second = span("0001", "b", 2.0, trace_id="b" * 32)
+        stitched = stitch_traces({"router": [record(first),
+                                             record(second)]})
+        assert [t["trace_id"] for t in stitched] \
+            == ["a" * 32, "b" * 32]
+
+    def test_input_records_are_not_mutated(self):
+        router_root = span("0001", "router.GET /jobs", 1.0)
+        node_root = span("0002", "service.GET /jobs", 1.001,
+                         parent_id="0001")
+        before = json.dumps([router_root, node_root], sort_keys=True)
+        stitch_traces({"router": [record(router_root)],
+                       "node-0": [record(node_root)]})
+        assert json.dumps([router_root, node_root],
+                          sort_keys=True) == before
+
+
+class TestDeterminism:
+    def test_jsonl_is_byte_identical_across_source_orderings(self):
+        router_root = span("0001", "router.GET /jobs", 1.0, children=[
+            span("0002", "router.forward", 1.001)])
+        node_root = span("0001", "service.GET /jobs", 1.002,
+                         parent_id="0002")
+        one = stitched_jsonl(stitch_traces({
+            "router": [record(router_root)],
+            "node-0": [record(node_root)]}))
+        other = stitched_jsonl(stitch_traces({
+            "node-0": [record(node_root)],
+            "router": [record(router_root)]}))
+        assert one == other
+        assert "\n" not in one or one.count("\n") == 0
+
+    def test_spans_carry_their_source(self):
+        router_root = span("0001", "router.GET /jobs", 1.0)
+        node_root = span("0001", "service.GET /jobs", 1.001,
+                         parent_id="0001")
+        trace = stitch_traces({"router": [record(router_root)],
+                               "node-0": [record(node_root)]})[0]
+        root = trace["roots"][0]
+        assert root["source"] == "router"
+        assert root["children"][0]["source"] == "node-0"
